@@ -1,0 +1,96 @@
+//! Table III — the speedup of diffusion-parameter (MCMC) sampling.
+//!
+//! Runs the real Metropolis–Hastings estimator on the simulated GPU over
+//! each dataset's white-matter mask (subsampled below full scale), and
+//! reports voxel count, paper-calibrated CPU seconds, simulated GPU
+//! seconds, and the speedup next to the published row. Also measures this
+//! machine's actual wall-clock per MH loop for reference.
+
+use tracto::prelude::*;
+use tracto_bench::{fmt_s, BenchScale, HostModel, TableWriter};
+
+const PAPER: [(u8, usize, f64, f64, f64); 2] =
+    [(1, 205_082, 1383.0, 41.3, 33.6), (2, 402_194, 2724.0, 80.1, 34.0)];
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let host = HostModel::default();
+    // Paper chain: burn-in 500, 50 samples, interval 2 ⇒ 600 loops.
+    let chain = ChainConfig::paper_default();
+    let mut w = TableWriter::new(
+        "table3",
+        &format!("Table III: speedup of diffusion parameter sampling (grid scale {:.2})", scale.grid),
+    );
+    let widths = [3, 10, 10, 10, 8];
+    w.row(&["ds", "voxels", "cpu_s", "gpu_s", "speedup"].map(str::to_string), &widths);
+
+    for dataset_id in [1u8, 2] {
+        let spec = match dataset_id {
+            1 => DatasetSpec::paper_dataset1(),
+            2 => DatasetSpec::paper_dataset2(),
+            _ => unreachable!(),
+        };
+        let ds = spec.scaled(scale.grid).build();
+        // The chain cost per voxel is scale-independent and MCMC lanes are
+        // perfectly balanced, so the simulated kernel time extrapolates
+        // *exactly* from a voxel subset; run the real sampler on a bounded
+        // subset (honest per-loop wall measurement) and scale to the mask.
+        let all = ds.wm_mask.indices();
+        let budget = all.len().min(if scale.grid >= 1.0 { 4000 } else { 1500 });
+        let stride = (all.len() / budget.max(1)).max(1);
+        let sub = Mask::from_volume(tracto::volume::Volume3::from_fn(ds.dwi.dims(), |c| {
+            let idx = ds.dwi.dims().index(c);
+            ds.wm_mask.contains(c) && (all.binary_search(&idx).map(|p| p % stride == 0).unwrap_or(false))
+        }));
+        let mut gpu = Gpu::new(DeviceConfig::radeon_5870());
+        let t0 = std::time::Instant::now();
+        let report = tracto::run_mcmc_gpu(
+            &mut gpu,
+            &ds.acq,
+            &ds.dwi,
+            &sub,
+            PriorConfig::default(),
+            chain,
+            77,
+        );
+        let wall = t0.elapsed().as_secs_f64();
+        // Scale simulated kernel seconds from the subset to the full mask
+        // (lanes are perfectly balanced, so time is linear in voxel count).
+        let factor = ds.wm_mask.count() as f64 / report.voxels.max(1) as f64;
+        let gpu_s = report.ledger.kernel_s * factor + report.ledger.transfer_s;
+        let cpu_s = host.mcmc_seconds(ds.wm_mask.count(), chain.num_loops());
+        w.row(
+            &[
+                dataset_id.to_string(),
+                ds.wm_mask.count().to_string(),
+                fmt_s(cpu_s),
+                fmt_s(gpu_s),
+                format!("{:.1}", cpu_s / gpu_s),
+            ],
+            &widths,
+        );
+        let p = PAPER[(dataset_id - 1) as usize];
+        w.row(
+            &[
+                "·".into(),
+                format!("{} (paper)", p.1),
+                fmt_s(p.2),
+                fmt_s(p.3),
+                format!("{:.1}", p.4),
+            ],
+            &widths,
+        );
+        let per_loop_us =
+            wall / (report.voxels.max(1) as f64 * chain.num_loops() as f64) * 1e6;
+        w.line(&format!(
+            "    [{} voxels sampled for real; this machine: {:.1} µs/MH-loop wall; simd util {:.0}%]",
+            report.voxels,
+            per_loop_us,
+            report.ledger.simd_utilization() * 100.0
+        ));
+    }
+    w.line("");
+    w.line("Shape checks: both datasets near the same ~34x speedup (balanced lanes ⇒");
+    w.line("speedup independent of anatomy); dataset 2 costs ~2x dataset 1 (voxel count).");
+    w.save();
+}

@@ -1,0 +1,245 @@
+//! Shared workload construction, host-cost models, and table rendering for
+//! the benchmark harness that regenerates every table and figure of the
+//! paper's evaluation (Section V).
+//!
+//! Scale control: benches default to a reduced grid so `cargo bench`
+//! completes in minutes. Set `TRACTO_FULL=1` for the paper's full grid and
+//! 50 samples, or `TRACTO_SCALE=<0..1>` / `TRACTO_SAMPLES=<n>` for custom
+//! sizes. Reported *shape* (who wins, crossovers) is stable across scales
+//! at or above the default; absolute simulated seconds grow with scale.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use tracto::prelude::*;
+use tracto::synthetic::samples_from_truth;
+
+/// Host (CPU) cost model, calibrated from the paper's own baseline numbers
+/// so that "CPU time" columns are directly comparable in shape:
+///
+/// * Table II, dataset 1, row 1: 289.6 s / 113.8 M steps ⇒ 2.54 µs per
+///   tracking step on the Phenom X4 965;
+/// * Table III, dataset 1: 1383 s / (205 082 voxels × 600 loops) ⇒ 11.24 µs
+///   per MH loop.
+#[derive(Debug, Clone, Copy)]
+pub struct HostModel {
+    /// CPU seconds per streamline tracking step.
+    pub tracking_step_s: f64,
+    /// CPU seconds per MH loop (all 9 parameter updates).
+    pub mh_loop_s: f64,
+}
+
+impl Default for HostModel {
+    fn default() -> Self {
+        HostModel { tracking_step_s: 2.54e-6, mh_loop_s: 11.24e-6 }
+    }
+}
+
+impl HostModel {
+    /// Modeled CPU seconds for a tracking run of `total_steps`.
+    pub fn tracking_seconds(&self, total_steps: u64) -> f64 {
+        total_steps as f64 * self.tracking_step_s
+    }
+
+    /// Modeled CPU seconds for an MCMC run.
+    pub fn mcmc_seconds(&self, voxels: usize, loops: u32) -> f64 {
+        voxels as f64 * loops as f64 * self.mh_loop_s
+    }
+}
+
+/// Benchmark scale configuration from the environment.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchScale {
+    /// Grid scale in (0, 1].
+    pub grid: f64,
+    /// Posterior samples per voxel.
+    pub samples: usize,
+}
+
+impl BenchScale {
+    /// Read `TRACTO_FULL` / `TRACTO_SCALE` / `TRACTO_SAMPLES`.
+    pub fn from_env() -> Self {
+        if std::env::var("TRACTO_FULL").map(|v| v == "1").unwrap_or(false) {
+            return BenchScale { grid: 1.0, samples: 50 };
+        }
+        let grid = std::env::var("TRACTO_SCALE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.75);
+        let samples = std::env::var("TRACTO_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10);
+        BenchScale { grid, samples }
+    }
+}
+
+/// A fully prepared tracking workload: posterior sample volumes plus seeds.
+pub struct TrackingWorkload {
+    /// The generating dataset.
+    pub dataset: Dataset,
+    /// Synthetic posterior samples (see `tracto::synthetic`).
+    pub samples: SampleVolumes,
+    /// Seed positions (all white-matter voxels, as in the paper).
+    pub seeds: Vec<Vec3>,
+}
+
+/// Build the Step-2 workload for a paper dataset (1 or 2) at a given scale.
+///
+/// Orientation dispersion 0.18 rad approximates the posterior angular
+/// uncertainty of white-matter voxels at clinical SNR; it also reproduces
+/// the paper's extreme load imbalance (SIMD utilization of a single launch
+/// in the low percents).
+pub fn tracking_workload(dataset_id: u8, scale: BenchScale) -> TrackingWorkload {
+    let spec = match dataset_id {
+        1 => DatasetSpec::paper_dataset1(),
+        2 => DatasetSpec::paper_dataset2(),
+        _ => panic!("dataset_id must be 1 or 2"),
+    };
+    let dataset = spec.scaled(scale.grid).light_protocol().noiseless().build();
+    let samples = samples_from_truth(
+        &dataset.truth,
+        scale.samples,
+        0.18,
+        0.04,
+        1000 + dataset_id as u64,
+    );
+    let seeds = seeds_from_mask(&dataset.wm_mask);
+    TrackingWorkload { dataset, samples, seeds }
+}
+
+/// The paper's tracking parameter rows for Table II: `(step, threshold)`
+/// per dataset.
+pub fn table2_rows(dataset_id: u8) -> Vec<(f64, f64)> {
+    match dataset_id {
+        1 => vec![(0.1, 0.9), (0.2, 0.8), (0.3, 0.85)],
+        2 => vec![(0.1, 0.9), (0.2, 0.85), (0.3, 0.8)],
+        _ => panic!("dataset_id must be 1 or 2"),
+    }
+}
+
+/// Tracking parameters for a Table II row.
+pub fn row_params(step: f64, threshold: f64) -> TrackingParams {
+    TrackingParams {
+        step_length: step,
+        angular_threshold: threshold,
+        max_steps: 1888, // Σ{1,2,5,10,20,50,100,200,500,1000}
+        min_fraction: 0.05,
+        interp: InterpMode::Nearest,
+    }
+}
+
+/// Fixed-width table printer that also appends to
+/// `target/experiments/<name>.txt` so EXPERIMENTS.md can reference outputs.
+pub struct TableWriter {
+    name: String,
+    lines: Vec<String>,
+}
+
+impl TableWriter {
+    /// Start a table with a title line.
+    pub fn new(name: &str, title: &str) -> Self {
+        let mut w = TableWriter { name: name.to_string(), lines: Vec::new() };
+        w.line(&format!("== {title} =="));
+        w
+    }
+
+    /// Emit one line (printed immediately, captured for the file).
+    pub fn line(&mut self, s: &str) {
+        println!("{s}");
+        self.lines.push(s.to_string());
+    }
+
+    /// Formatted row helper.
+    pub fn row(&mut self, cells: &[String], widths: &[usize]) {
+        let mut s = String::new();
+        for (c, w) in cells.iter().zip(widths) {
+            s.push_str(&format!("{c:>width$} ", width = w));
+        }
+        self.line(s.trim_end());
+    }
+
+    /// Write the captured lines to `target/experiments/<name>.txt`.
+    pub fn save(&self) {
+        let dir = output_dir();
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join(format!("{}.txt", self.name));
+        if let Ok(mut f) = fs::File::create(&path) {
+            for l in &self.lines {
+                let _ = writeln!(f, "{l}");
+            }
+            println!("[saved {}]", path.display());
+        }
+    }
+}
+
+/// Directory where benches persist their rendered tables: the workspace
+/// root's `target/experiments/` (benches run with CWD = the bench crate, so
+/// anchor on this crate's manifest path).
+pub fn output_dir() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|ws| ws.join("target").join("experiments"))
+        .unwrap_or_else(|| PathBuf::from("target").join("experiments"))
+}
+
+/// Format seconds compactly.
+pub fn fmt_s(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0}")
+    } else if s >= 1.0 {
+        format!("{s:.2}")
+    } else {
+        format!("{s:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_model_matches_paper_calibration() {
+        let m = HostModel::default();
+        // Table II row 1: 113.8 M steps → ≈289.6 s.
+        let t = m.tracking_seconds(113_822_762);
+        assert!((t - 289.6).abs() < 5.0, "tracking model {t}");
+        // Table III dataset 1: 205k voxels × 600 loops → ≈1383 s.
+        let t = m.mcmc_seconds(205_082, 600);
+        assert!((t - 1383.0).abs() < 10.0, "mcmc model {t}");
+    }
+
+    #[test]
+    fn scale_defaults() {
+        // Without env overrides the default is moderate.
+        let s = BenchScale { grid: 0.6, samples: 10 };
+        assert!(s.grid > 0.0 && s.grid <= 1.0);
+    }
+
+    #[test]
+    fn workload_builds_for_both_datasets() {
+        for id in [1u8, 2] {
+            let w = tracking_workload(id, BenchScale { grid: 0.15, samples: 3 });
+            assert!(!w.seeds.is_empty());
+            assert_eq!(w.samples.num_samples(), 3);
+            assert_eq!(w.samples.dims(), w.dataset.dwi.dims());
+        }
+    }
+
+    #[test]
+    fn table2_row_definitions() {
+        assert_eq!(table2_rows(1).len(), 3);
+        assert_eq!(table2_rows(2)[2], (0.3, 0.8));
+        let p = row_params(0.1, 0.9);
+        assert_eq!(p.max_steps, 1888);
+    }
+
+    #[test]
+    fn fmt_seconds() {
+        assert_eq!(fmt_s(123.4), "123");
+        assert_eq!(fmt_s(3.456), "3.46");
+        assert_eq!(fmt_s(0.0123), "0.012");
+    }
+}

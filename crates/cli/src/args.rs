@@ -1,0 +1,112 @@
+//! A tiny `--flag value` / `--flag` argument parser (no external crates).
+
+use std::collections::BTreeMap;
+
+/// Parsed flags: `--key value` pairs plus bare `--switch`es.
+#[derive(Debug, Clone, Default)]
+pub struct ArgMap {
+    values: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl ArgMap {
+    /// Parse a flat argument list. Every token must be `--name` optionally
+    /// followed by a non-flag value.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut map = ArgMap::default();
+        let mut i = 0;
+        while i < args.len() {
+            let tok = &args[i];
+            let Some(name) = tok.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument `{tok}`"));
+            };
+            if name.is_empty() {
+                return Err("empty flag `--`".into());
+            }
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                map.values.insert(name.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                map.switches.push(name.to_string());
+                i += 1;
+            }
+        }
+        Ok(map)
+    }
+
+    /// A required string flag.
+    pub fn required(&self, name: &str) -> Result<&str, String> {
+        self.values
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// An optional string flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// Optional flag parsed to a type, with default.
+    pub fn get_parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.values.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag --{name}: cannot parse `{v}`")),
+        }
+    }
+
+    /// Whether a bare switch was given.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_pairs_and_switches() {
+        let a = ArgMap::parse(&strs(&["--out", "dir", "--gpu", "--scale", "0.5"])).unwrap();
+        assert_eq!(a.required("out").unwrap(), "dir");
+        assert!(a.switch("gpu"));
+        assert_eq!(a.get_parse("scale", 1.0).unwrap(), 0.5);
+        assert!(!a.switch("cpu"));
+    }
+
+    #[test]
+    fn rejects_positional() {
+        assert!(ArgMap::parse(&strs(&["oops"])).is_err());
+    }
+
+    #[test]
+    fn missing_required_reported() {
+        let a = ArgMap::parse(&strs(&[])).unwrap();
+        assert!(a.required("data").unwrap_err().contains("--data"));
+    }
+
+    #[test]
+    fn bad_parse_reported() {
+        let a = ArgMap::parse(&strs(&["--n", "abc"])).unwrap();
+        assert!(a.get_parse("n", 0usize).is_err());
+    }
+
+    #[test]
+    fn default_used_when_absent() {
+        let a = ArgMap::parse(&strs(&[])).unwrap();
+        assert_eq!(a.get_parse("n", 7usize).unwrap(), 7);
+    }
+
+    #[test]
+    fn negative_numbers_are_values() {
+        // A value starting with '-' but not '--' is accepted as a value.
+        let a = ArgMap::parse(&strs(&["--offset", "-3.5"])).unwrap();
+        assert_eq!(a.get_parse("offset", 0.0).unwrap(), -3.5);
+    }
+}

@@ -1,0 +1,84 @@
+//! `tracto info` — describe a stored dataset.
+
+use crate::args::ArgMap;
+use crate::store;
+use std::path::PathBuf;
+
+/// Run the command.
+pub fn run(args: &ArgMap) -> Result<(), String> {
+    let data = PathBuf::from(args.required("data")?);
+    let (dwi, mask, acq) = store::load_dataset(&data)?;
+    let dims = dwi.dims();
+    println!("dataset: {}", data.display());
+    println!("  grid           {} × {} × {} ({} voxels)", dims.nx, dims.ny, dims.nz, dims.len());
+    println!(
+        "  measurements   {} ({} b=0, {} diffusion-weighted)",
+        acq.len(),
+        acq.b0_indices().len(),
+        acq.dwi_indices().len()
+    );
+    let bmax = acq.bvals().iter().cloned().fold(0.0, f64::max);
+    println!("  max b-value    {bmax}");
+    println!(
+        "  white matter   {} voxels ({:.1}% of grid)",
+        mask.count(),
+        100.0 * mask.count() as f64 / dims.len() as f64
+    );
+    // Signal summary from the first b0 volume.
+    if let Some(&b0) = acq.b0_indices().first() {
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        let mut sum = 0.0f64;
+        for idx in 0..dims.len() {
+            let v = dwi.voxel_at(idx)[b0];
+            lo = lo.min(v);
+            hi = hi.max(v);
+            sum += v as f64;
+        }
+        println!(
+            "  b0 intensity   min {lo:.1} mean {:.1} max {hi:.1}",
+            sum / dims.len() as f64
+        );
+    }
+    // Per-samples-dir summary if present alongside.
+    let samples_dir = data.join("samples");
+    if samples_dir.join("f1.trv4").exists() {
+        if let Ok(sv) = store::load_samples(&samples_dir) {
+            println!("  samples/       {} posterior samples per voxel", sv.num_samples());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracto_phantom::datasets;
+    use tracto_volume::Dim3;
+
+    #[test]
+    fn info_on_stored_dataset() {
+        let dir = std::env::temp_dir()
+            .join(format!("tracto_cli_info_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ds = datasets::single_bundle(Dim3::new(6, 5, 4), Some(20.0), 1);
+        store::save_dataset(&dir, &ds.dwi, &ds.wm_mask, &ds.acq).unwrap();
+        let args = crate::args::ArgMap::parse(&[
+            "--data".to_string(),
+            dir.to_str().unwrap().to_string(),
+        ])
+        .unwrap();
+        run(&args).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn info_missing_dir_errors() {
+        let args = crate::args::ArgMap::parse(&[
+            "--data".to_string(),
+            "/nonexistent/tracto".to_string(),
+        ])
+        .unwrap();
+        assert!(run(&args).is_err());
+    }
+}

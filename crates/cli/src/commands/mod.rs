@@ -1,0 +1,7 @@
+//! CLI subcommands.
+
+pub mod estimate;
+pub mod info;
+pub mod phantom;
+pub mod render;
+pub mod track;

@@ -1,0 +1,127 @@
+//! `tracto phantom` — generate a synthetic DWI dataset.
+
+use crate::args::ArgMap;
+use crate::store;
+use std::path::PathBuf;
+use tracto_phantom::datasets::{self, DatasetSpec};
+use tracto_volume::Dim3;
+
+/// Run the command.
+pub fn run(args: &ArgMap) -> Result<(), String> {
+    let out = PathBuf::from(args.required("out")?);
+    let kind = args.get("dataset").unwrap_or("1");
+    let scale: f64 = args.get_parse("scale", 0.25)?;
+    if !(0.0..=1.0).contains(&scale) || scale == 0.0 {
+        return Err("--scale must be in (0, 1]".into());
+    }
+    let seed: u64 = args.get_parse("seed", 7)?;
+    let snr: Option<f64> = match args.get("snr") {
+        None => Some(25.0),
+        Some("none") => None,
+        Some(v) => Some(v.parse().map_err(|_| format!("--snr: bad value `{v}`"))?),
+    };
+
+    let ds = match kind {
+        "1" | "2" => {
+            let mut spec = if kind == "1" {
+                DatasetSpec::paper_dataset1()
+            } else {
+                DatasetSpec::paper_dataset2()
+            }
+            .scaled(scale);
+            spec.seed = seed;
+            spec.snr = snr;
+            if args.switch("light") {
+                spec = spec.light_protocol();
+            }
+            spec.build()
+        }
+        "single" => {
+            let n = ((32.0 * scale * 4.0).round() as usize).max(8);
+            datasets::single_bundle(Dim3::new(n, n / 2 + 2, n / 2 + 2), snr, seed)
+        }
+        "crossing" => {
+            let n = ((40.0 * scale * 4.0).round() as usize).max(10);
+            datasets::crossing(Dim3::new(n, n, (n / 3).max(5)), 90.0, snr, seed)
+        }
+        other => return Err(format!("--dataset: unknown kind `{other}` (1|2|single|crossing)")),
+    };
+
+    store::save_dataset(&out, &ds.dwi, &ds.wm_mask, &ds.acq)?;
+    println!(
+        "wrote {}: dims {:?}, {} measurements, {} WM voxels, {} fiber voxels",
+        out.display(),
+        ds.dwi.dims(),
+        ds.acq.len(),
+        ds.wm_mask.count(),
+        ds.truth.fiber_voxel_count()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("tracto_cli_ph_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn argmap(v: &[&str]) -> ArgMap {
+        ArgMap::parse(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn generates_single_bundle() {
+        let dir = tmp("single");
+        let args = argmap(&[
+            "--out",
+            dir.to_str().unwrap(),
+            "--dataset",
+            "single",
+            "--scale",
+            "0.1",
+        ]);
+        run(&args).unwrap();
+        let (dwi, mask, acq) = store::load_dataset(&dir).unwrap();
+        assert!(!dwi.is_empty());
+        assert!(mask.count() > 0);
+        assert_eq!(dwi.nt(), acq.len());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejects_bad_scale_and_kind() {
+        let dir = tmp("bad");
+        let args = argmap(&["--out", dir.to_str().unwrap(), "--scale", "0"]);
+        assert!(run(&args).is_err());
+        let args = argmap(&["--out", dir.to_str().unwrap(), "--dataset", "nope"]);
+        assert!(run(&args).is_err());
+    }
+
+    #[test]
+    fn snr_none_is_noiseless_and_deterministic() {
+        let d1 = tmp("clean1");
+        let d2 = tmp("clean2");
+        for d in [&d1, &d2] {
+            let args = argmap(&[
+                "--out",
+                d.to_str().unwrap(),
+                "--dataset",
+                "single",
+                "--scale",
+                "0.1",
+                "--snr",
+                "none",
+            ]);
+            run(&args).unwrap();
+        }
+        let (a, _, _) = store::load_dataset(&d1).unwrap();
+        let (b, _, _) = store::load_dataset(&d2).unwrap();
+        assert_eq!(a, b);
+        let _ = std::fs::remove_dir_all(&d1);
+        let _ = std::fs::remove_dir_all(&d2);
+    }
+}

@@ -1,0 +1,89 @@
+//! `tracto render` — print an ASCII maximum-intensity projection of a
+//! stored volume (e.g. the `connectivity.trv3` that `tracto track` writes).
+
+use crate::args::ArgMap;
+use std::fs::File;
+use std::io::BufReader;
+use std::path::PathBuf;
+use tracto_volume::io::read_volume3;
+use tracto_volume::render::{mip_ascii, Axis};
+
+/// Run the command.
+pub fn run(args: &ArgMap) -> Result<(), String> {
+    let path = PathBuf::from(args.required("volume")?);
+    let axis = match args.get("axis").unwrap_or("z") {
+        "x" | "X" => Axis::X,
+        "y" | "Y" => Axis::Y,
+        "z" | "Z" => Axis::Z,
+        other => return Err(format!("--axis: expected x|y|z, got `{other}`")),
+    };
+    let mut f = BufReader::new(
+        File::open(&path).map_err(|e| format!("{}: {e}", path.display()))?,
+    );
+    let vol = read_volume3(&mut f).map_err(|e| e.to_string())?;
+    let dims = vol.dims();
+    let (lo, hi) = vol.min_max().unwrap_or((0.0, 0.0));
+    println!(
+        "{} — {}×{}×{}, range [{:.4}, {:.4}], MIP along {:?}:",
+        path.display(),
+        dims.nx,
+        dims.ny,
+        dims.nz,
+        lo,
+        hi,
+        axis
+    );
+    print!("{}", mip_ascii(&vol, axis));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracto_volume::io::write_volume3;
+    use tracto_volume::{Dim3, Ijk, Volume3};
+
+    #[test]
+    fn renders_stored_volume() {
+        let dir = std::env::temp_dir().join(format!("tracto_cli_render_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut v = Volume3::filled(Dim3::new(4, 4, 2), 0.0f32);
+        v.set(Ijk::new(2, 2, 1), 1.0);
+        let path = dir.join("vol.trv3");
+        let mut f = std::io::BufWriter::new(File::create(&path).unwrap());
+        write_volume3(&mut f, &v).unwrap();
+        drop(f);
+        let args = crate::args::ArgMap::parse(&[
+            "--volume".to_string(),
+            path.to_str().unwrap().to_string(),
+            "--axis".to_string(),
+            "z".to_string(),
+        ])
+        .unwrap();
+        run(&args).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_axis_rejected() {
+        let args = crate::args::ArgMap::parse(&[
+            "--volume".to_string(),
+            "x.trv3".to_string(),
+            "--axis".to_string(),
+            "w".to_string(),
+        ])
+        .unwrap();
+        assert!(run(&args).unwrap_err().contains("--axis"));
+    }
+
+    #[test]
+    fn missing_file_reported() {
+        let args = crate::args::ArgMap::parse(&[
+            "--volume".to_string(),
+            "/nonexistent/v.trv3".to_string(),
+        ])
+        .unwrap();
+        assert!(run(&args).is_err());
+    }
+}

@@ -1,0 +1,232 @@
+//! `tracto track` — Step 2: probabilistic streamlining.
+
+use crate::args::ArgMap;
+use crate::store;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::PathBuf;
+use tracto_gpu_sim::{DeviceConfig, Gpu};
+use tracto_tracking::export;
+use tracto_tracking::gpu::{GpuTracker, SeedOrdering};
+use tracto_tracking::probabilistic::{seeds_from_mask, CpuTracker, RecordMode};
+use tracto_tracking::walker::TrackingParams;
+use tracto_tracking::{InterpMode, SegmentationStrategy};
+use tracto_volume::io::write_volume3;
+
+fn parse_strategy(s: &str) -> Result<SegmentationStrategy, String> {
+    match s {
+        "B" | "b" => Ok(SegmentationStrategy::paper_table2()),
+        "C" | "c" => Ok(SegmentationStrategy::paper_c()),
+        "single" => Ok(SegmentationStrategy::Single),
+        "every" => Ok(SegmentationStrategy::every_step()),
+        other => {
+            if let Some(k) = other.strip_prefix("uniform:") {
+                let k: u32 = k.parse().map_err(|_| format!("--strategy uniform:K: bad K `{k}`"))?;
+                if k == 0 {
+                    return Err("--strategy uniform:K needs K ≥ 1".into());
+                }
+                Ok(SegmentationStrategy::Uniform(k))
+            } else {
+                Err(format!("--strategy: unknown `{other}` (B|C|single|every|uniform:K)"))
+            }
+        }
+    }
+}
+
+/// Run the command.
+pub fn run(args: &ArgMap) -> Result<(), String> {
+    let data = PathBuf::from(args.required("data")?);
+    let samples_dir = PathBuf::from(args.required("samples-dir")?);
+    let out = PathBuf::from(args.required("out")?);
+    let step: f64 = args.get_parse("step", 0.1)?;
+    let threshold: f64 = args.get_parse("threshold", 0.9)?;
+    let max_steps: u32 = args.get_parse("max-steps", 2000)?;
+    let seed: u64 = args.get_parse("seed", 42)?;
+    let min_export: u32 = args.get_parse("min-export-steps", 100)?;
+    let strategy = parse_strategy(args.get("strategy").unwrap_or("B"))?;
+    if step <= 0.0 || !(0.0..=1.0).contains(&threshold) || max_steps == 0 {
+        return Err("invalid tracking parameters".into());
+    }
+
+    let (dwi, mask, _acq) = store::load_dataset(&data)?;
+    let samples = store::load_samples(&samples_dir)?;
+    if samples.dims() != dwi.dims() {
+        return Err("sample volumes do not match the dataset grid".into());
+    }
+    let seeds = seeds_from_mask(&mask);
+    let params = TrackingParams {
+        step_length: step,
+        angular_threshold: threshold,
+        max_steps,
+        min_fraction: 0.05,
+        interp: InterpMode::Nearest,
+    };
+    std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
+
+    println!(
+        "tracking {} seeds × {} samples (strategy {})…",
+        seeds.len(),
+        samples.num_samples(),
+        strategy.label()
+    );
+    let t0 = std::time::Instant::now();
+
+    // CPU path records connectivity and exportable fibers; the GPU path
+    // reports the timing breakdown. Default is GPU unless --cpu.
+    let (lengths, connectivity, fibers) = if args.switch("cpu") {
+        let tracker = CpuTracker {
+            samples: &samples,
+            params,
+            seeds,
+            mask: None,
+            jitter: 0.5,
+            run_seed: seed,
+            bidirectional: false,
+        };
+        let o = tracker.run_parallel(RecordMode::Streamlines { min_steps: min_export });
+        (o.lengths_by_sample, o.connectivity, o.streamlines)
+    } else {
+        let tracker = GpuTracker {
+            samples: &samples,
+            params,
+            seeds,
+            mask: None,
+            strategy,
+            ordering: SeedOrdering::Natural,
+            jitter: 0.5,
+            run_seed: seed,
+            record_visits: true,
+        };
+        let mut gpu = Gpu::new(DeviceConfig::radeon_5870());
+        let report = tracker.run(&mut gpu);
+        println!(
+            "simulated GPU: kernel {:.3}s, reduction {:.3}s, transfer {:.3}s (util {:.1}%)",
+            report.ledger.kernel_s,
+            report.ledger.reduction_s,
+            report.ledger.transfer_s,
+            report.ledger.simd_utilization() * 100.0
+        );
+        (report.lengths_by_sample, report.connectivity, Vec::new())
+    };
+
+    // lengths.csv: sample,seed,steps.
+    let mut f =
+        BufWriter::new(File::create(out.join("lengths.csv")).map_err(|e| e.to_string())?);
+    writeln!(f, "sample,seed,steps").map_err(|e| e.to_string())?;
+    let mut total: u64 = 0;
+    let mut longest: u32 = 0;
+    for (s, row) in lengths.iter().enumerate() {
+        for (i, &l) in row.iter().enumerate() {
+            writeln!(f, "{s},{i},{l}").map_err(|e| e.to_string())?;
+            total += l as u64;
+            longest = longest.max(l);
+        }
+    }
+
+    if let Some(conn) = &connectivity {
+        let vol = conn.probability_volume();
+        let mut f = BufWriter::new(
+            File::create(out.join("connectivity.trv3")).map_err(|e| e.to_string())?,
+        );
+        write_volume3(&mut f, &vol).map_err(|e| e.to_string())?;
+    }
+    if !fibers.is_empty() {
+        let mut f =
+            BufWriter::new(File::create(out.join("fibers.csv")).map_err(|e| e.to_string())?);
+        export::write_csv(&mut f, &fibers).map_err(|e| e.to_string())?;
+    }
+
+    println!(
+        "wrote {}: total length {} steps, longest {} steps, {} exported fibers, {:.1}s wall",
+        out.display(),
+        total,
+        longest,
+        fibers.len(),
+        t0.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracto_phantom::datasets;
+    use tracto_volume::{Dim3, Mask};
+
+    fn tmp(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("tracto_cli_trk_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn argmap(v: &[&str]) -> ArgMap {
+        ArgMap::parse(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn strategy_parser() {
+        assert_eq!(parse_strategy("B").unwrap().label(), "B+1000");
+        assert_eq!(parse_strategy("C").unwrap().label(), "C");
+        assert_eq!(parse_strategy("single").unwrap(), SegmentationStrategy::Single);
+        assert_eq!(parse_strategy("uniform:20").unwrap(), SegmentationStrategy::Uniform(20));
+        assert!(parse_strategy("uniform:0").is_err());
+        assert!(parse_strategy("zig").is_err());
+    }
+
+    #[test]
+    fn end_to_end_track_from_disk() {
+        let data = tmp("data");
+        let samples_dir = tmp("sv");
+        let out = tmp("out");
+        // Build + store a small dataset and synthetic samples.
+        let ds = datasets::single_bundle(Dim3::new(10, 6, 6), None, 3);
+        let mask = Mask::from_fn(ds.dwi.dims(), |c| ds.truth.at(c).count > 0);
+        store::save_dataset(&data, &ds.dwi, &mask, &ds.acq).unwrap();
+        let sv = tracto::synthetic::samples_from_truth(&ds.truth, 4, 0.1, 0.02, 5);
+        store::save_samples(&samples_dir, &sv).unwrap();
+
+        let args = argmap(&[
+            "--data",
+            data.to_str().unwrap(),
+            "--samples-dir",
+            samples_dir.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+            "--step",
+            "0.3",
+            "--max-steps",
+            "500",
+        ]);
+        run(&args).unwrap();
+        let lengths = std::fs::read_to_string(out.join("lengths.csv")).unwrap();
+        assert!(lengths.lines().count() > 4, "lengths rows written");
+        assert!(out.join("connectivity.trv3").exists());
+        for d in [&data, &samples_dir, &out] {
+            let _ = std::fs::remove_dir_all(d);
+        }
+    }
+
+    #[test]
+    fn mismatched_samples_rejected() {
+        let data = tmp("m_data");
+        let samples_dir = tmp("m_sv");
+        let out = tmp("m_out");
+        let ds = datasets::single_bundle(Dim3::new(10, 6, 6), None, 3);
+        store::save_dataset(&data, &ds.dwi, &ds.wm_mask, &ds.acq).unwrap();
+        let other = datasets::single_bundle(Dim3::new(8, 6, 6), None, 3);
+        let sv = tracto::synthetic::samples_from_truth(&other.truth, 2, 0.1, 0.02, 5);
+        store::save_samples(&samples_dir, &sv).unwrap();
+        let args = argmap(&[
+            "--data",
+            data.to_str().unwrap(),
+            "--samples-dir",
+            samples_dir.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+        ]);
+        assert!(run(&args).unwrap_err().contains("do not match"));
+        for d in [&data, &samples_dir, &out] {
+            let _ = std::fs::remove_dir_all(d);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! The `tracto` command-line interface: generate phantoms, estimate
+//! posteriors, and run probabilistic tracking from the shell.
+//!
+//! ```text
+//! tracto phantom  --dataset 1 --scale 0.3 --out data/
+//! tracto estimate --data data/ --samples 25 --out data/samples/
+//! tracto track    --data data/ --samples-dir data/samples/ --strategy B --out data/tract/
+//! tracto info     --data data/
+//! ```
+//!
+//! Datasets persist as the workspace's native binary volumes (`dwi.trv4`,
+//! `wm_mask.trv3`, six `*.trv4` sample volumes) plus a plain-text protocol
+//! file (`acq.txt`: one `bval gx gy gz` row per measurement), so every
+//! stage can be rerun, swapped, or inspected independently.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod store;
+
+use args::ArgMap;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+tracto — probabilistic brain fiber tractography (IPDPS-W 2012 reproduction)
+
+USAGE: tracto <COMMAND> [FLAGS]
+
+COMMANDS:
+  phantom    generate a synthetic DWI dataset
+             --out DIR [--dataset 1|2|single|crossing] [--scale F]
+             [--snr F|none] [--seed N] [--light]
+  estimate   sample voxelwise fiber-orientation posteriors (MCMC)
+             --data DIR --out DIR [--samples N] [--burnin N] [--interval N]
+             [--seed N] [--point] [--gpu]
+  track      probabilistic streamlining over estimated samples
+             --data DIR --samples-dir DIR --out DIR [--step F]
+             [--threshold F] [--max-steps N] [--strategy B|C|single|every|uniform:K]
+             [--seed N] [--cpu] [--min-export-steps N]
+  info       describe a stored dataset
+             --data DIR
+  render     print an ASCII maximum-intensity projection of a volume
+             --volume FILE.trv3 [--axis x|y|z]
+  help       print this message
+";
+
+/// Run the CLI with the given arguments (excluding `argv[0]`). Returns the
+/// process exit code.
+pub fn run(args: &[String]) -> i32 {
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return 2;
+    };
+    let parsed = match ArgMap::parse(rest) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return 2;
+        }
+    };
+    let result = match command.as_str() {
+        "phantom" => commands::phantom::run(&parsed),
+        "estimate" => commands::estimate::run(&parsed),
+        "track" => commands::track::run(&parsed),
+        "info" => commands::info::run(&parsed),
+        "render" => commands::render::run(&parsed),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_args_prints_usage() {
+        assert_eq!(run(&[]), 2);
+    }
+
+    #[test]
+    fn help_succeeds() {
+        assert_eq!(run(&["help".to_string()]), 0);
+    }
+
+    #[test]
+    fn unknown_command_fails() {
+        assert_eq!(run(&["frobnicate".to_string()]), 1);
+    }
+
+    #[test]
+    fn missing_required_flag_fails() {
+        assert_eq!(run(&["info".to_string()]), 1);
+    }
+}

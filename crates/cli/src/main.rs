@@ -1,0 +1,6 @@
+//! `tracto` binary entry point.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(tracto_cli::run(&args));
+}

@@ -1,0 +1,193 @@
+//! On-disk layout for datasets and sample volumes.
+
+use std::fs::{self, File};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+use tracto_diffusion::Acquisition;
+use tracto_mcmc::SampleVolumes;
+use tracto_volume::io::{read_volume3, read_volume4, write_volume3, write_volume4};
+use tracto_volume::{Mask, Vec3, Volume3, Volume4};
+
+/// Write the acquisition protocol as text: `bval gx gy gz` per line.
+pub fn write_acquisition(path: &Path, acq: &Acquisition) -> Result<(), String> {
+    let mut f = BufWriter::new(File::create(path).map_err(|e| e.to_string())?);
+    for i in 0..acq.len() {
+        let g = acq.grad(i);
+        writeln!(f, "{} {} {} {}", acq.bval(i), g.x, g.y, g.z).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+/// Read the protocol text file.
+pub fn read_acquisition(path: &Path) -> Result<Acquisition, String> {
+    let f = BufReader::new(File::open(path).map_err(|e| format!("{}: {e}", path.display()))?);
+    let mut bvals = Vec::new();
+    let mut grads = Vec::new();
+    for (lineno, line) in f.lines().enumerate() {
+        let line = line.map_err(|e| e.to_string())?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<f64> = trimmed
+            .split_whitespace()
+            .map(|t| t.parse().map_err(|_| format!("acq.txt line {}: bad number `{t}`", lineno + 1)))
+            .collect::<Result<_, _>>()?;
+        if parts.len() != 4 {
+            return Err(format!("acq.txt line {}: expected 4 columns", lineno + 1));
+        }
+        bvals.push(parts[0]);
+        grads.push(Vec3::new(parts[1], parts[2], parts[3]));
+    }
+    if bvals.is_empty() {
+        return Err("acq.txt: no measurements".into());
+    }
+    Ok(Acquisition::new(bvals, grads))
+}
+
+/// Save a dataset directory: `dwi.trv4`, `wm_mask.trv3`, `acq.txt`.
+pub fn save_dataset(
+    dir: &Path,
+    dwi: &Volume4<f32>,
+    mask: &Mask,
+    acq: &Acquisition,
+) -> Result<(), String> {
+    fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    let mut f = BufWriter::new(File::create(dir.join("dwi.trv4")).map_err(|e| e.to_string())?);
+    write_volume4(&mut f, dwi).map_err(|e| e.to_string())?;
+    let mask_vol = mask.as_volume().map(|&b| if b { 1.0f32 } else { 0.0 });
+    let mut f = BufWriter::new(File::create(dir.join("wm_mask.trv3")).map_err(|e| e.to_string())?);
+    write_volume3(&mut f, &mask_vol).map_err(|e| e.to_string())?;
+    write_acquisition(&dir.join("acq.txt"), acq)
+}
+
+/// Load a dataset directory.
+pub fn load_dataset(dir: &Path) -> Result<(Volume4<f32>, Mask, Acquisition), String> {
+    let mut f = BufReader::new(
+        File::open(dir.join("dwi.trv4")).map_err(|e| format!("dwi.trv4: {e}"))?,
+    );
+    let dwi = read_volume4(&mut f).map_err(|e| e.to_string())?;
+    let mut f = BufReader::new(
+        File::open(dir.join("wm_mask.trv3")).map_err(|e| format!("wm_mask.trv3: {e}"))?,
+    );
+    let mask_vol: Volume3<f32> = read_volume3(&mut f).map_err(|e| e.to_string())?;
+    let mask = Mask::threshold(&mask_vol, 0.5);
+    let acq = read_acquisition(&dir.join("acq.txt"))?;
+    if dwi.nt() != acq.len() {
+        return Err(format!(
+            "dataset inconsistent: dwi has {} measurements, acq.txt {}",
+            dwi.nt(),
+            acq.len()
+        ));
+    }
+    if dwi.dims() != mask.dims() {
+        return Err("dataset inconsistent: mask dims differ from dwi".into());
+    }
+    Ok((dwi, mask, acq))
+}
+
+const SAMPLE_FILES: [&str; 6] = ["f1", "f2", "th1", "ph1", "th2", "ph2"];
+
+/// Save the six sample volumes into a directory.
+pub fn save_samples(dir: &Path, samples: &SampleVolumes) -> Result<(), String> {
+    fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    let vols = [
+        &samples.f1,
+        &samples.f2,
+        &samples.th1,
+        &samples.ph1,
+        &samples.th2,
+        &samples.ph2,
+    ];
+    for (name, vol) in SAMPLE_FILES.iter().zip(vols) {
+        let mut f = BufWriter::new(
+            File::create(dir.join(format!("{name}.trv4"))).map_err(|e| e.to_string())?,
+        );
+        write_volume4(&mut f, vol).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+/// Load six sample volumes from a directory.
+pub fn load_samples(dir: &Path) -> Result<SampleVolumes, String> {
+    let load = |name: &str| -> Result<Volume4<f32>, String> {
+        let path = dir.join(format!("{name}.trv4"));
+        let mut f =
+            BufReader::new(File::open(&path).map_err(|e| format!("{}: {e}", path.display()))?);
+        read_volume4(&mut f).map_err(|e| e.to_string())
+    };
+    let f1 = load("f1")?;
+    let f2 = load("f2")?;
+    let th1 = load("th1")?;
+    let ph1 = load("ph1")?;
+    let th2 = load("th2")?;
+    let ph2 = load("ph2")?;
+    for v in [&f2, &th1, &ph1, &th2, &ph2] {
+        if v.dims() != f1.dims() || v.nt() != f1.nt() {
+            return Err("sample volumes have inconsistent shapes".into());
+        }
+    }
+    Ok(SampleVolumes { f1, f2, th1, ph1, th2, ph2 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracto_phantom::datasets;
+    use tracto_volume::Dim3;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("tracto_cli_store_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn dataset_roundtrip() {
+        let dir = tmpdir("ds");
+        let ds = datasets::single_bundle(Dim3::new(6, 5, 4), Some(25.0), 3);
+        save_dataset(&dir, &ds.dwi, &ds.wm_mask, &ds.acq).unwrap();
+        let (dwi, mask, acq) = load_dataset(&dir).unwrap();
+        assert_eq!(dwi, ds.dwi);
+        assert_eq!(mask.count(), ds.wm_mask.count());
+        assert_eq!(acq.len(), ds.acq.len());
+        for i in 0..acq.len() {
+            assert!((acq.bval(i) - ds.acq.bval(i)).abs() < 1e-12);
+            assert!((acq.grad(i) - ds.acq.grad(i)).norm() < 1e-12);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn samples_roundtrip() {
+        let dir = tmpdir("sv");
+        let mut sv = SampleVolumes::zeros(Dim3::new(3, 3, 3), 4);
+        sv.f1.set(tracto_volume::Ijk::new(1, 1, 1), 2, 0.5);
+        sv.ph2.set(tracto_volume::Ijk::new(2, 0, 1), 3, -1.25);
+        save_samples(&dir, &sv).unwrap();
+        let back = load_samples(&dir).unwrap();
+        assert_eq!(back.f1, sv.f1);
+        assert_eq!(back.ph2, sv.ph2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_files_reported() {
+        let dir = tmpdir("missing");
+        assert!(load_dataset(&dir).unwrap_err().contains("dwi.trv4"));
+        assert!(load_samples(&dir).unwrap_err().contains("f1.trv4"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn acq_text_rejects_bad_rows() {
+        let dir = tmpdir("acq");
+        let path = dir.join("acq.txt");
+        fs::write(&path, "0 0 0 0\n1000 1 0\n").unwrap();
+        assert!(read_acquisition(&path).unwrap_err().contains("4 columns"));
+        fs::write(&path, "# comment only\n").unwrap();
+        assert!(read_acquisition(&path).unwrap_err().contains("no measurements"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

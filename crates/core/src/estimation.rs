@@ -1,0 +1,271 @@
+//! Step 1 on the simulated GPU: one lane per voxel's Markov chain.
+//!
+//! "We use one thread for the MCMC of one voxel, since the MCMC processes
+//! for different voxels are completely independent of each other." Unlike
+//! tracking, every chain runs the same `NumLoops`, so MCMC lanes are
+//! perfectly balanced and need no segmentation — which is why the paper's
+//! Table III speedup is a flat ~34× while tracking required the
+//! load-balancing contribution.
+
+use tracto_diffusion::posterior::{BallSticksParams, NUM_PARAMETERS};
+use tracto_diffusion::{Acquisition, BallSticksPosterior, PriorConfig};
+use tracto_gpu_sim::{Gpu, LaneStatus, SimKernel, TimingLedger};
+use tracto_mcmc::chain::ChainConfig;
+use tracto_mcmc::mh::MhSampler;
+use tracto_mcmc::voxelwise::{default_proposal_scales, SampleVolumes};
+use tracto_rng::HybridTaus;
+use tracto_volume::{Mask, Volume4};
+
+/// One voxel's chain as a GPU lane.
+pub struct McmcLane {
+    voxel_index: usize,
+    signal: Vec<f64>,
+    sampler: MhSampler<NUM_PARAMETERS>,
+    rng: HybridTaus,
+    loops_done: u32,
+    samples: Vec<[f64; NUM_PARAMETERS]>,
+}
+
+/// The MCMC kernel: one `step` = one MH loop (one update of each of the 9
+/// parameters), matching the paper's Fig. 2 inner loop.
+struct McmcKernel<'a> {
+    acq: &'a Acquisition,
+    prior: PriorConfig,
+    config: ChainConfig,
+}
+
+impl SimKernel for McmcKernel<'_> {
+    type Lane = McmcLane;
+
+    /// One MH loop performs `NUM_PARAMETERS` posterior evaluations, each a
+    /// full pass over the measurement vector — far heavier than the
+    /// device's reference iteration (one tracking step, a handful of
+    /// arithmetic ops plus a texture fetch). The weight makes simulated
+    /// MCMC kernel seconds comparable across the two steps.
+    fn cost_weight(&self) -> f64 {
+        // Calibrated so a paper-shaped run (205k voxels × 600 loops on the
+        // default 64-measurement protocol) lands near Table III's 41.3 s of
+        // GPU time: one MH loop ≈ 0.08 × 9 × n_meas tracking-step
+        // equivalents.
+        NUM_PARAMETERS as f64 * self.acq.len() as f64 * 0.08
+    }
+
+    fn step(&self, lane: &mut McmcLane) -> LaneStatus {
+        let config = self.config;
+        if lane.loops_done >= config.num_loops() {
+            return LaneStatus::Finished;
+        }
+        let posterior = BallSticksPosterior::new(self.acq, &lane.signal, self.prior);
+        let target = |p: &[f64; NUM_PARAMETERS]| {
+            posterior.log_posterior(&BallSticksParams::from_array(*p))
+        };
+        lane.sampler.step_loop(&target, &mut lane.rng);
+        lane.loops_done += 1;
+        // Record a sample every L loops after burn-in.
+        if lane.loops_done > config.num_burnin {
+            let since = lane.loops_done - config.num_burnin;
+            if since % config.sample_interval == 0
+                && lane.samples.len() < config.num_samples as usize
+            {
+                lane.samples.push(*lane.sampler.params());
+            }
+        }
+        if lane.loops_done >= config.num_loops() {
+            LaneStatus::Finished
+        } else {
+            LaneStatus::Continue
+        }
+    }
+}
+
+/// Report of a GPU-simulated MCMC run.
+#[derive(Debug, Clone)]
+pub struct McmcGpuReport {
+    /// The six 4-D sample volumes.
+    pub samples: SampleVolumes,
+    /// Timing breakdown of the run.
+    pub ledger: TimingLedger,
+    /// Number of voxels estimated.
+    pub voxels: usize,
+}
+
+/// Run Step 1 on the simulated GPU: upload the DWI volume, run one lane per
+/// masked voxel for `NumLoops` iterations, download the six sample volumes.
+///
+/// Results are bit-identical to
+/// [`VoxelEstimator::run_voxel`](tracto_mcmc::VoxelEstimator) with the same
+/// `(seed, voxel)` pairs, since lanes execute the same chain code with the
+/// same per-voxel RNG streams.
+pub fn run_mcmc_gpu(
+    gpu: &mut Gpu,
+    acq: &Acquisition,
+    dwi: &Volume4<f32>,
+    mask: &Mask,
+    prior: PriorConfig,
+    config: ChainConfig,
+    seed: u64,
+) -> McmcGpuReport {
+    assert_eq!(dwi.nt(), acq.len(), "DWI volume count must match protocol");
+    assert_eq!(dwi.dims(), mask.dims(), "mask dims must match DWI dims");
+    gpu.reset();
+
+    // Upload the 4-D DWI volume plus b-values/gradients (Fig. 1 inputs).
+    let dwi_bytes = dwi.len() as u64 * 4;
+    let protocol_bytes = acq.len() as u64 * 16; // b + 3-vector per volume
+    gpu.transfer_to_device(dwi_bytes + protocol_bytes);
+
+    let mut lanes: Vec<McmcLane> = mask
+        .indices()
+        .into_iter()
+        .map(|voxel_index| {
+            let signal: Vec<f64> =
+                dwi.voxel_at(voxel_index).iter().map(|&v| v as f64).collect();
+            let posterior = BallSticksPosterior::new(acq, &signal, prior);
+            let mut init = posterior.initial_params();
+            if prior.max_sticks == 1 {
+                init.f2 = 0.0;
+            }
+            let scales = default_proposal_scales(init.s0);
+            let target = |p: &[f64; NUM_PARAMETERS]| {
+                posterior.log_posterior(&BallSticksParams::from_array(*p))
+            };
+            let mut sampler = MhSampler::new(&target, init.to_array(), scales, config.adapt);
+            if prior.max_sticks == 1 {
+                use tracto_diffusion::posterior::param_index;
+                sampler.freeze(param_index::F2);
+                sampler.freeze(param_index::TH2);
+                sampler.freeze(param_index::PH2);
+            }
+            McmcLane {
+                voxel_index,
+                signal,
+                sampler,
+                rng: HybridTaus::seed_stream(seed, voxel_index as u64),
+                loops_done: 0,
+                samples: Vec::with_capacity(config.num_samples as usize),
+            }
+        })
+        .collect();
+
+    let kernel = McmcKernel { acq, prior, config };
+    // Every chain needs exactly NumLoops iterations: one launch, perfectly
+    // balanced lanes.
+    gpu.launch(&kernel, &mut lanes, config.num_loops());
+
+    // Download the six sample volumes.
+    let out_bytes = 6 * dwi.dims().len() as u64 * config.num_samples as u64 * 4;
+    gpu.transfer_to_host(out_bytes);
+
+    let mut volumes = SampleVolumes::zeros(dwi.dims(), config.num_samples as usize);
+    let dims = dwi.dims();
+    let mut voxels = 0;
+    for lane in &lanes {
+        let c = dims.coords(lane.voxel_index);
+        let out = tracto_mcmc::chain::ChainOutput::<NUM_PARAMETERS> {
+            samples: lane.samples.clone(),
+            final_scales: *lane.sampler.scales(),
+            final_acceptance: lane.sampler.recent_acceptance_rates(),
+        };
+        volumes.store_chain(c, &out);
+        voxels += 1;
+    }
+
+    McmcGpuReport { samples: volumes, ledger: *gpu.ledger(), voxels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracto_gpu_sim::DeviceConfig;
+    use tracto_mcmc::VoxelEstimator;
+    use tracto_phantom::datasets;
+    use tracto_volume::{Dim3, Ijk};
+
+    fn small_gpu() -> Gpu {
+        Gpu::new(DeviceConfig {
+            wavefront_size: 8,
+            num_compute_units: 2,
+            waves_per_cu: 2,
+            ..DeviceConfig::radeon_5870()
+        })
+    }
+
+    #[test]
+    fn gpu_mcmc_matches_cpu_reference_exactly() {
+        let ds = datasets::single_bundle(Dim3::new(6, 4, 4), Some(25.0), 3);
+        let mask = Mask::from_fn(ds.dwi.dims(), |c| c.j == 2 && c.k == 2);
+        let config = ChainConfig::fast_test();
+        let prior = PriorConfig::default();
+        let mut gpu = small_gpu();
+        let gpu_out = run_mcmc_gpu(&mut gpu, &ds.acq, &ds.dwi, &mask, prior, config, 77);
+        let cpu_out =
+            VoxelEstimator::new(&ds.acq, &ds.dwi, &mask, prior, config, 77).run_serial();
+        assert_eq!(gpu_out.samples.f1, cpu_out.f1, "f1 volumes must be bit-identical");
+        assert_eq!(gpu_out.samples.th1, cpu_out.th1);
+        assert_eq!(gpu_out.samples.ph2, cpu_out.ph2);
+        assert_eq!(gpu_out.voxels, mask.count());
+    }
+
+    #[test]
+    fn mcmc_lanes_perfectly_balanced() {
+        let ds = datasets::single_bundle(Dim3::new(6, 4, 4), None, 3);
+        let mask = Mask::from_fn(ds.dwi.dims(), |c| c.k == 2);
+        let config = ChainConfig::fast_test();
+        let mut gpu = small_gpu();
+        let out = run_mcmc_gpu(
+            &mut gpu,
+            &ds.acq,
+            &ds.dwi,
+            &mask,
+            PriorConfig::default(),
+            config,
+            5,
+        );
+        // All lanes run NumLoops: zero lockstep waste.
+        assert!(
+            (out.ledger.simd_utilization() - 1.0).abs() < 1e-12,
+            "utilization {}",
+            out.ledger.simd_utilization()
+        );
+        assert_eq!(out.ledger.launches, 1);
+    }
+
+    #[test]
+    fn transfers_match_volume_sizes() {
+        let ds = datasets::single_bundle(Dim3::new(6, 4, 4), None, 3);
+        let mask = Mask::from_fn(ds.dwi.dims(), |c| c == Ijk::new(3, 2, 2));
+        let config = ChainConfig::fast_test();
+        let mut gpu = small_gpu();
+        let out = run_mcmc_gpu(
+            &mut gpu,
+            &ds.acq,
+            &ds.dwi,
+            &mask,
+            PriorConfig::default(),
+            config,
+            5,
+        );
+        let dwi_bytes = ds.dwi.len() as u64 * 4;
+        assert!(out.ledger.bytes_h2d >= dwi_bytes);
+        let sample_bytes = 6 * ds.dwi.dims().len() as u64 * config.num_samples as u64 * 4;
+        assert_eq!(out.ledger.bytes_d2h, sample_bytes);
+    }
+
+    #[test]
+    fn sample_count_honored() {
+        let ds = datasets::single_bundle(Dim3::new(6, 4, 4), None, 3);
+        let mask = Mask::from_fn(ds.dwi.dims(), |c| c == Ijk::new(3, 2, 2));
+        let config = ChainConfig::fast_test();
+        let mut gpu = small_gpu();
+        let out = run_mcmc_gpu(
+            &mut gpu,
+            &ds.acq,
+            &ds.dwi,
+            &mask,
+            PriorConfig::default(),
+            config,
+            5,
+        );
+        assert_eq!(out.samples.num_samples(), config.num_samples as usize);
+    }
+}

@@ -1,0 +1,279 @@
+//! The end-to-end pipeline: dataset → MCMC sampling → probabilistic
+//! streamlining → connectivity.
+
+use crate::estimation::run_mcmc_gpu;
+use std::time::{Duration, Instant};
+use tracto_diffusion::PriorConfig;
+use tracto_gpu_sim::{DeviceConfig, Gpu, TimingLedger};
+use tracto_mcmc::{ChainConfig, SampleVolumes, VoxelEstimator};
+use tracto_phantom::Dataset;
+use tracto_tracking::gpu::{GpuTracker, SeedOrdering};
+use tracto_tracking::probabilistic::{seeds_from_mask, CpuTracker, RecordMode};
+use tracto_tracking::walker::TrackingParams;
+use tracto_tracking::{SegmentationStrategy, TrackingOutput};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// MCMC schedule.
+    pub chain: ChainConfig,
+    /// Priors for the ball-and-two-sticks posterior.
+    pub prior: PriorConfig,
+    /// Tracking parameters.
+    pub tracking: TrackingParams,
+    /// Kernel segmentation strategy (GPU backend).
+    pub strategy: SegmentationStrategy,
+    /// Seed submission ordering (GPU backend).
+    pub ordering: SeedOrdering,
+    /// Sub-voxel seed jitter (voxels).
+    pub jitter: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Record per-voxel connectivity.
+    pub record_connectivity: bool,
+}
+
+impl PipelineConfig {
+    /// The paper's experimental configuration: burn-in 500, 50 samples at
+    /// interval 2; step 0.1, angular threshold 0.9; the Table II
+    /// increasing-interval array.
+    pub fn paper_default() -> Self {
+        PipelineConfig {
+            chain: ChainConfig::paper_default(),
+            prior: PriorConfig::default(),
+            tracking: TrackingParams::paper_default(),
+            strategy: SegmentationStrategy::paper_table2(),
+            ordering: SeedOrdering::Natural,
+            jitter: 0.5,
+            seed: 42,
+            record_connectivity: true,
+        }
+    }
+
+    /// A configuration small enough for unit tests and examples.
+    pub fn fast() -> Self {
+        PipelineConfig {
+            chain: ChainConfig::fast_test(),
+            tracking: TrackingParams { max_steps: 400, ..TrackingParams::paper_default() },
+            ..Self::paper_default()
+        }
+    }
+}
+
+/// Execution backend.
+#[derive(Debug, Clone)]
+pub enum Backend {
+    /// Single-threaded CPU reference (the paper's baseline).
+    CpuSerial,
+    /// Rayon-parallel host execution.
+    CpuParallel,
+    /// The simulated GPU with a given device model.
+    GpuSim(DeviceConfig),
+}
+
+/// Everything a pipeline run produces.
+#[derive(Debug, Clone)]
+pub struct PipelineOutcome {
+    /// The six 4-D sample volumes from Step 1.
+    pub samples: SampleVolumes,
+    /// Step-2 output: fiber lengths, connectivity, total steps.
+    pub tracking: TrackingOutput,
+    /// Simulated Step-1 timing (GPU backend only).
+    pub mcmc_ledger: Option<TimingLedger>,
+    /// Simulated Step-2 timing (GPU backend only).
+    pub tracking_ledger: Option<TimingLedger>,
+    /// Wall-clock duration of Step 1.
+    pub mcmc_wall: Duration,
+    /// Wall-clock duration of Step 2.
+    pub tracking_wall: Duration,
+}
+
+/// The end-to-end driver.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// Create a pipeline with the given configuration.
+    pub fn new(config: PipelineConfig) -> Self {
+        Pipeline { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Run both steps on `dataset` with the chosen backend. Seeds are the
+    /// centers of all fiber-bearing voxels of the dataset's ground truth
+    /// (the realistic seeding choice available because the phantom knows its
+    /// anatomy; callers needing custom seeds use the step drivers directly).
+    pub fn run(&self, dataset: &Dataset, backend: Backend) -> PipelineOutcome {
+        let cfg = &self.config;
+        let seeds = seeds_from_mask(&dataset.truth.fiber_mask());
+
+        // ---- Step 1: local parameter estimation.
+        let t0 = Instant::now();
+        let (samples, mcmc_ledger) = match &backend {
+            Backend::CpuSerial => (
+                VoxelEstimator::new(
+                    &dataset.acq,
+                    &dataset.dwi,
+                    &dataset.wm_mask,
+                    cfg.prior,
+                    cfg.chain,
+                    cfg.seed,
+                )
+                .run_serial(),
+                None,
+            ),
+            Backend::CpuParallel => (
+                VoxelEstimator::new(
+                    &dataset.acq,
+                    &dataset.dwi,
+                    &dataset.wm_mask,
+                    cfg.prior,
+                    cfg.chain,
+                    cfg.seed,
+                )
+                .run_parallel(),
+                None,
+            ),
+            Backend::GpuSim(device) => {
+                let mut gpu = Gpu::new(device.clone());
+                let report = run_mcmc_gpu(
+                    &mut gpu,
+                    &dataset.acq,
+                    &dataset.dwi,
+                    &dataset.wm_mask,
+                    cfg.prior,
+                    cfg.chain,
+                    cfg.seed,
+                );
+                (report.samples, Some(report.ledger))
+            }
+        };
+        let mcmc_wall = t0.elapsed();
+
+        // ---- Step 2: probabilistic streamlining.
+        let t1 = Instant::now();
+        let record = if cfg.record_connectivity {
+            RecordMode::Connectivity
+        } else {
+            RecordMode::LengthsOnly
+        };
+        let (tracking, tracking_ledger) = match &backend {
+            Backend::CpuSerial | Backend::CpuParallel => {
+                let tracker = CpuTracker {
+                    samples: &samples,
+                    params: cfg.tracking,
+                    seeds,
+                    mask: None,
+                    jitter: cfg.jitter,
+                    run_seed: cfg.seed,
+                    bidirectional: false,
+                };
+                let out = if matches!(backend, Backend::CpuSerial) {
+                    tracker.run_serial(record)
+                } else {
+                    tracker.run_parallel(record)
+                };
+                (out, None)
+            }
+            Backend::GpuSim(device) => {
+                let mut gpu = Gpu::new(device.clone());
+                let tracker = GpuTracker {
+                    samples: &samples,
+                    params: cfg.tracking,
+                    seeds,
+                    mask: None,
+                    strategy: cfg.strategy.clone(),
+                    ordering: cfg.ordering,
+                    jitter: cfg.jitter,
+                    run_seed: cfg.seed,
+                    record_visits: cfg.record_connectivity,
+                };
+                let report = tracker.run(&mut gpu);
+                let out = TrackingOutput {
+                    lengths_by_sample: report.lengths_by_sample.clone(),
+                    total_steps: report.total_steps,
+                    connectivity: report.connectivity.clone(),
+                    streamlines: Vec::new(),
+                };
+                (out, Some(report.ledger))
+            }
+        };
+        let tracking_wall = t1.elapsed();
+
+        PipelineOutcome { samples, tracking, mcmc_ledger, tracking_ledger, mcmc_wall, tracking_wall }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracto_phantom::datasets::DatasetSpec;
+    use tracto_volume::Dim3;
+
+    fn tiny_dataset() -> Dataset {
+        DatasetSpec {
+            name: "tiny".into(),
+            dims: Dim3::new(10, 8, 8),
+            spacing_mm: 2.5,
+            n_dirs: 12,
+            n_b0: 2,
+            bval: 1000.0,
+            snr: None,
+            seed: 9,
+        }
+        .build()
+    }
+
+    #[test]
+    fn gpu_and_cpu_backends_agree_on_results() {
+        let ds = tiny_dataset();
+        let pipeline = Pipeline::new(PipelineConfig::fast());
+        let cpu = pipeline.run(&ds, Backend::CpuSerial);
+        let gpu = pipeline.run(&ds, Backend::GpuSim(DeviceConfig::radeon_5870()));
+        // "CPU and GPU results are substantially the same" — here exactly.
+        assert_eq!(cpu.samples.f1, gpu.samples.f1);
+        assert_eq!(cpu.tracking.lengths_by_sample, gpu.tracking.lengths_by_sample);
+        assert_eq!(cpu.tracking.total_steps, gpu.tracking.total_steps);
+        // Ledgers only exist for the GPU backend.
+        assert!(cpu.mcmc_ledger.is_none() && gpu.mcmc_ledger.is_some());
+        assert!(gpu.tracking_ledger.unwrap().total_s() > 0.0);
+    }
+
+    #[test]
+    fn parallel_backend_matches_serial() {
+        let ds = tiny_dataset();
+        let pipeline = Pipeline::new(PipelineConfig::fast());
+        let a = pipeline.run(&ds, Backend::CpuSerial);
+        let b = pipeline.run(&ds, Backend::CpuParallel);
+        assert_eq!(a.samples.th1, b.samples.th1);
+        assert_eq!(a.tracking.total_steps, b.tracking.total_steps);
+    }
+
+    #[test]
+    fn connectivity_follows_the_bundle() {
+        let ds = tiny_dataset();
+        let pipeline = Pipeline::new(PipelineConfig::fast());
+        let out = pipeline.run(&ds, Backend::CpuParallel);
+        let conn = out.tracking.connectivity.expect("connectivity recorded");
+        assert!(conn.total_streamlines() > 0);
+        // Voxels on the bundle spine should be visited far more often than
+        // corner voxels.
+        let dims = ds.dwi.dims();
+        let spine = tracto_volume::Ijk::new(dims.nx / 2, dims.ny / 2, dims.nz / 2);
+        let corner = tracto_volume::Ijk::new(0, 0, 0);
+        assert!(conn.count(spine) > conn.count(corner));
+    }
+
+    #[test]
+    fn fast_config_is_consistent() {
+        let cfg = PipelineConfig::fast();
+        assert!(cfg.chain.num_loops() < ChainConfig::paper_default().num_loops());
+        assert!(cfg.tracking.max_steps <= TrackingParams::paper_default().max_steps);
+    }
+}

@@ -1,0 +1,141 @@
+//! Synthetic posterior samples from ground truth.
+//!
+//! Step-2 experiments at paper scale (Tables II and IV sweep hundreds of
+//! thousands of seeds through 50 sample volumes) do not need real MCMC
+//! output — they need sample volumes with the *statistical properties* the
+//! tracker sees: per-sample orientations scattered around the true fiber
+//! directions with some angular dispersion. This module builds such volumes
+//! directly from a phantom's ground-truth field, which makes the full-scale
+//! tracking benchmarks tractable while Table III exercises the real MCMC.
+
+use tracto_mcmc::SampleVolumes;
+use tracto_phantom::GroundTruthField;
+use tracto_rng::{box_muller_pair, HybridTaus, RandomSource};
+use tracto_volume::Vec3;
+
+/// Rotate `dir` by `angle` radians around a uniformly random tangent axis.
+fn perturb_direction<R: RandomSource>(dir: Vec3, angle: f64, rng: &mut R) -> Vec3 {
+    if angle == 0.0 {
+        return dir;
+    }
+    // Build an orthonormal frame around dir, pick a random azimuth, tilt.
+    let u = dir.any_orthogonal();
+    let v = dir.cross(u).normalized();
+    let phi = rng.next_f64() * std::f64::consts::TAU;
+    let tangent = u * phi.cos() + v * phi.sin();
+    (dir * angle.cos() + tangent * angle.sin()).normalized()
+}
+
+/// Build sample volumes whose per-voxel samples scatter around the ground
+/// truth with angular dispersion `angular_sigma` (radians, half-normal tilt
+/// per sample) and fraction jitter `fraction_sigma` (Gaussian, clamped to
+/// `[0, 0.95]`).
+///
+/// Deterministic for a given `seed`. Voxels without fiber populations yield
+/// zero-fraction samples (walkers stop there), exactly like low-anisotropy
+/// posterior output.
+pub fn samples_from_truth(
+    truth: &GroundTruthField,
+    num_samples: usize,
+    angular_sigma: f64,
+    fraction_sigma: f64,
+    seed: u64,
+) -> SampleVolumes {
+    let dims = truth.dims();
+    let mut out = SampleVolumes::zeros(dims, num_samples);
+    for idx in 0..dims.len() {
+        let vt = truth.at_index(idx);
+        if vt.count == 0 {
+            continue;
+        }
+        let c = dims.coords(idx);
+        let mut rng = HybridTaus::seed_stream(seed ^ 0x53594E54, idx as u64);
+        for s in 0..num_samples {
+            for (slot, &(dir, f)) in vt.sticks().iter().enumerate() {
+                let (g1, g2) = box_muller_pair(rng.next_f64(), rng.next_f64());
+                let tilt = (g1 * angular_sigma).abs();
+                let d = perturb_direction(dir, tilt, &mut rng);
+                let frac = (f + g2 * fraction_sigma).clamp(0.0, 0.95);
+                let (th, ph) = d.to_spherical();
+                if slot == 0 {
+                    out.f1.set(c, s, frac as f32);
+                    out.th1.set(c, s, th as f32);
+                    out.ph1.set(c, s, ph as f32);
+                } else {
+                    out.f2.set(c, s, frac as f32);
+                    out.th2.set(c, s, th as f32);
+                    out.ph2.set(c, s, ph as f32);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracto_phantom::datasets;
+    use tracto_volume::{Dim3, Ijk};
+
+    #[test]
+    fn perturb_preserves_unit_norm_and_angle() {
+        let mut rng = HybridTaus::new(1);
+        let dir = Vec3::new(1.0, 2.0, -0.5).normalized();
+        for angle in [0.0, 0.1, 0.5, 1.0] {
+            let p = perturb_direction(dir, angle, &mut rng);
+            assert!((p.norm() - 1.0).abs() < 1e-12);
+            assert!((p.dot(dir).clamp(-1.0, 1.0).acos() - angle).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn samples_scatter_around_truth() {
+        let ds = datasets::single_bundle(Dim3::new(10, 6, 6), None, 2);
+        let sv = samples_from_truth(&ds.truth, 40, 0.15, 0.05, 9);
+        let c = Ijk::new(5, 2, 2);
+        let truth_dir = ds.truth.at(c).sticks()[0].0;
+        let mut mean = Vec3::ZERO;
+        for s in 0..40 {
+            let d = sv.sticks_at(c, s)[0].0;
+            mean += d.aligned_with(truth_dir);
+            // Each sample within a few sigma of the truth.
+            assert!(d.dot(truth_dir).abs() > (4.0 * 0.15f64).cos());
+        }
+        assert!(mean.normalized().dot(truth_dir).abs() > 0.99);
+    }
+
+    #[test]
+    fn empty_voxels_stay_zero() {
+        let ds = datasets::single_bundle(Dim3::new(10, 8, 8), None, 2);
+        let sv = samples_from_truth(&ds.truth, 5, 0.1, 0.02, 1);
+        let corner = Ijk::new(0, 0, 0);
+        assert_eq!(ds.truth.at(corner).count, 0);
+        for s in 0..5 {
+            assert_eq!(sv.sticks_at(corner, s)[0].1, 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let ds = datasets::single_bundle(Dim3::new(8, 6, 6), None, 2);
+        let a = samples_from_truth(&ds.truth, 10, 0.2, 0.05, 7);
+        let b = samples_from_truth(&ds.truth, 10, 0.2, 0.05, 7);
+        assert_eq!(a.th1, b.th1);
+        let c = samples_from_truth(&ds.truth, 10, 0.2, 0.05, 8);
+        assert_ne!(a.th1, c.th1);
+    }
+
+    #[test]
+    fn zero_dispersion_reproduces_truth() {
+        let ds = datasets::single_bundle(Dim3::new(8, 6, 6), None, 2);
+        let sv = samples_from_truth(&ds.truth, 3, 0.0, 0.0, 7);
+        let c = Ijk::new(4, 2, 2);
+        let truth = ds.truth.at(c).sticks()[0];
+        for s in 0..3 {
+            let got = sv.sticks_at(c, s)[0];
+            assert!(got.0.dot(truth.0).abs() > 1.0 - 1e-6);
+            assert!((got.1 - truth.1).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! The DWI acquisition protocol: b-values and gradient directions.
+
+use tracto_volume::Vec3;
+
+/// The experimental parameters of a DWI scan: one `(b, ĝ)` pair per
+/// measurement. These are the "known experimental parameters" of Section
+/// III-A of the paper (gradient directions `r̂ᵢ` and b-values `bᵢ`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Acquisition {
+    bvals: Vec<f64>,
+    grads: Vec<Vec3>,
+}
+
+impl Acquisition {
+    /// Build from parallel vectors of b-values and (unnormalized) gradient
+    /// directions. Gradients of b>0 measurements are normalized; gradients of
+    /// b=0 measurements are kept as given (conventionally zero).
+    ///
+    /// # Panics
+    /// If the two vectors differ in length or are empty.
+    pub fn new(bvals: Vec<f64>, grads: Vec<Vec3>) -> Self {
+        assert_eq!(bvals.len(), grads.len(), "bvals and gradients must pair up");
+        assert!(!bvals.is_empty(), "acquisition must contain measurements");
+        let grads = bvals
+            .iter()
+            .zip(grads)
+            .map(|(&b, g)| if b > 0.0 { g.normalized() } else { g })
+            .collect();
+        Acquisition { bvals, grads }
+    }
+
+    /// Number of measurements (the `n` of the 4-D input volume).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bvals.len()
+    }
+
+    /// True when there are no measurements (never for valid protocols).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bvals.is_empty()
+    }
+
+    /// b-value of measurement `i`.
+    #[inline]
+    pub fn bval(&self, i: usize) -> f64 {
+        self.bvals[i]
+    }
+
+    /// Gradient direction of measurement `i` (unit for b>0).
+    #[inline]
+    pub fn grad(&self, i: usize) -> Vec3 {
+        self.grads[i]
+    }
+
+    /// All b-values.
+    #[inline]
+    pub fn bvals(&self) -> &[f64] {
+        &self.bvals
+    }
+
+    /// All gradient directions.
+    #[inline]
+    pub fn grads(&self) -> &[Vec3] {
+        &self.grads
+    }
+
+    /// Indices of b=0 (non-diffusion-weighted) measurements.
+    pub fn b0_indices(&self) -> Vec<usize> {
+        self.bvals
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| (b == 0.0).then_some(i))
+            .collect()
+    }
+
+    /// Indices of diffusion-weighted (b>0) measurements.
+    pub fn dwi_indices(&self) -> Vec<usize> {
+        self.bvals
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| (b > 0.0).then_some(i))
+            .collect()
+    }
+
+    /// Mean of the values at the b=0 indices of a signal vector — the `S₀`
+    /// estimate used to initialize chains and normalize signals.
+    pub fn mean_b0(&self, signal: &[f64]) -> f64 {
+        let idx = self.b0_indices();
+        if idx.is_empty() {
+            return signal.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        }
+        idx.iter().map(|&i| signal[i]).sum::<f64>() / idx.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn protocol() -> Acquisition {
+        Acquisition::new(
+            vec![0.0, 1000.0, 1000.0, 0.0],
+            vec![Vec3::ZERO, Vec3::new(2.0, 0.0, 0.0), Vec3::new(0.0, 3.0, 0.0), Vec3::ZERO],
+        )
+    }
+
+    #[test]
+    fn gradients_normalized_for_dwi_only() {
+        let a = protocol();
+        assert_eq!(a.grad(1), Vec3::X);
+        assert_eq!(a.grad(2), Vec3::Y);
+        assert_eq!(a.grad(0), Vec3::ZERO);
+    }
+
+    #[test]
+    fn index_partitions() {
+        let a = protocol();
+        assert_eq!(a.b0_indices(), vec![0, 3]);
+        assert_eq!(a.dwi_indices(), vec![1, 2]);
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn mean_b0_averages_b0_samples() {
+        let a = protocol();
+        let s0 = a.mean_b0(&[100.0, 40.0, 50.0, 120.0]);
+        assert_eq!(s0, 110.0);
+    }
+
+    #[test]
+    fn mean_b0_without_b0_falls_back_to_max() {
+        let a = Acquisition::new(vec![1000.0, 1000.0], vec![Vec3::X, Vec3::Y]);
+        assert_eq!(a.mean_b0(&[10.0, 30.0]), 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pair up")]
+    fn mismatched_lengths_panic() {
+        let _ = Acquisition::new(vec![0.0], vec![]);
+    }
+}

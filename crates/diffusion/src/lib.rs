@@ -1,0 +1,35 @@
+//! Diffusion MRI signal models.
+//!
+//! Implements the three models of Table I of the paper — the **tensor**
+//! model, the **constrained** model, and the **compartment** (single partial
+//! volume / ball-and-one-stick) model — plus the **multiple partial volume**
+//! model of Eq. 1 (ball-and-N-sticks, N = 2 in the paper and in FSL's
+//! bedpostx), which is the model whose parameters the MCMC step estimates.
+//!
+//! Also provides:
+//!
+//! * [`Acquisition`] — the experimental protocol (b-values + gradient
+//!   directions) shared by signal synthesis and estimation;
+//! * [`tensor`] — diffusion-tensor algebra: analytic symmetric 3×3
+//!   eigendecomposition, FA/MD, and log-linear least-squares tensor fitting
+//!   (the classical deterministic-tractography front end, used both as a
+//!   baseline and to initialize MCMC chains);
+//! * [`posterior`] — the Bayesian machinery: parameter vector, priors, and
+//!   the log-posterior evaluated by the Metropolis–Hastings sampler.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod acquisition;
+pub mod linalg;
+pub mod models;
+pub mod posterior;
+pub mod rician;
+pub mod tensor;
+
+pub use acquisition::Acquisition;
+pub use models::{
+    BallSticksModel, CompartmentModel, ConstrainedModel, DiffusionModel, TensorModel,
+};
+pub use posterior::{BallSticksParams, BallSticksPosterior, NoiseLikelihood, PriorConfig};
+pub use tensor::{SymTensor3, TensorFit};

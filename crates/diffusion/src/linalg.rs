@@ -1,0 +1,151 @@
+//! Tiny dense linear algebra: just enough to solve the normal equations of
+//! the log-linear tensor fit (7 unknowns) without an external dependency.
+
+/// Solve `A x = b` for a small dense system by Gaussian elimination with
+/// partial pivoting. `a` is row-major `n×n`. Returns `None` when the matrix
+/// is (numerically) singular.
+pub fn solve_dense(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(b.len(), n);
+    let mut m = a.to_vec();
+    let mut rhs = b.to_vec();
+
+    for col in 0..n {
+        // Partial pivot: find the largest magnitude in this column.
+        let mut pivot_row = col;
+        let mut pivot_val = m[col * n + col].abs();
+        for row in (col + 1)..n {
+            let v = m[row * n + col].abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = row;
+            }
+        }
+        if pivot_val < 1e-12 {
+            return None;
+        }
+        if pivot_row != col {
+            for k in 0..n {
+                m.swap(col * n + k, pivot_row * n + k);
+            }
+            rhs.swap(col, pivot_row);
+        }
+        let pivot = m[col * n + col];
+        for row in (col + 1)..n {
+            let factor = m[row * n + col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                m[row * n + k] -= factor * m[col * n + k];
+            }
+            rhs[row] -= factor * rhs[col];
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = rhs[row];
+        for k in (row + 1)..n {
+            acc -= m[row * n + k] * x[k];
+        }
+        x[row] = acc / m[row * n + row];
+    }
+    Some(x)
+}
+
+/// Solve the least-squares problem `min ‖D x − y‖²` via the normal equations
+/// `DᵀD x = Dᵀ y`. `design` is row-major `rows×cols`.
+pub fn least_squares(design: &[f64], y: &[f64], rows: usize, cols: usize) -> Option<Vec<f64>> {
+    assert_eq!(design.len(), rows * cols);
+    assert_eq!(y.len(), rows);
+    let mut ata = vec![0.0; cols * cols];
+    let mut aty = vec![0.0; cols];
+    for r in 0..rows {
+        let row = &design[r * cols..(r + 1) * cols];
+        for i in 0..cols {
+            aty[i] += row[i] * y[r];
+            for j in i..cols {
+                ata[i * cols + j] += row[i] * row[j];
+            }
+        }
+    }
+    // Mirror the upper triangle.
+    for i in 0..cols {
+        for j in 0..i {
+            ata[i * cols + j] = ata[j * cols + i];
+        }
+    }
+    solve_dense(&ata, &aty, cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_identity() {
+        let a = [1.0, 0.0, 0.0, 1.0];
+        let x = solve_dense(&a, &[3.0, 4.0], 2).unwrap();
+        assert_eq!(x, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = [0.0, 1.0, 1.0, 0.0];
+        let x = solve_dense(&a, &[5.0, 7.0], 2).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_3x3_known_solution() {
+        // A x = b with x = (1, -2, 3).
+        let a = [2.0, 1.0, -1.0, -3.0, -1.0, 2.0, -2.0, 1.0, 2.0];
+        let x_true = [1.0, -2.0, 3.0];
+        let mut b = [0.0; 3];
+        for i in 0..3 {
+            for j in 0..3 {
+                b[i] += a[i * 3 + j] * x_true[j];
+            }
+        }
+        let x = solve_dense(&a, &b, 3).unwrap();
+        for i in 0..3 {
+            assert!((x[i] - x_true[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn singular_returns_none() {
+        let a = [1.0, 2.0, 2.0, 4.0];
+        assert!(solve_dense(&a, &[1.0, 2.0], 2).is_none());
+    }
+
+    #[test]
+    fn least_squares_exact_fit() {
+        // y = 2 x0 + 3 x1 sampled without noise must be recovered exactly.
+        let design = [1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 2.0, -1.0];
+        let y = [2.0, 3.0, 5.0, 1.0];
+        let x = least_squares(&design, &y, 4, 2).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn least_squares_overdetermined_noise() {
+        // Regression through noisy samples of y = 1 + 2 t.
+        let ts = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let noise = [0.01, -0.02, 0.015, -0.005, 0.0];
+        let mut design = Vec::new();
+        let mut y = Vec::new();
+        for (t, n) in ts.iter().zip(noise.iter()) {
+            design.extend_from_slice(&[1.0, *t]);
+            y.push(1.0 + 2.0 * t + n);
+        }
+        let x = least_squares(&design, &y, 5, 2).unwrap();
+        assert!((x[0] - 1.0).abs() < 0.03);
+        assert!((x[1] - 2.0).abs() < 0.02);
+    }
+}

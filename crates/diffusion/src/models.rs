@@ -1,0 +1,282 @@
+//! The diffusion signal models of Table I and Eq. 1.
+//!
+//! Every model predicts the voxel intensity `μᵢ` of measurement `i` from the
+//! experimental parameters `(bᵢ, r̂ᵢ)`:
+//!
+//! | Model | Prediction |
+//! |---|---|
+//! | Tensor | `μᵢ = S₀ · exp(−bᵢ r̂ᵢᵀ D r̂ᵢ)` |
+//! | Constrained | `μᵢ = S₀ · exp(−α bᵢ) · exp(−β bᵢ (r̂ᵢᵀ v̂)²)` |
+//! | Compartment | `μᵢ = S₀ [(1−f) e^(−bᵢ d) + f e^(−bᵢ d (r̂ᵢᵀ v̂)²)]` |
+//! | Multiple partial volume (Eq. 1) | `μᵢ = S₀ [(1−Σfⱼ) e^(−bᵢ d) + Σⱼ fⱼ e^(−bᵢ d (r̂ᵢᵀ v̂ⱼ)²)]` |
+//!
+//! The paper (and this reproduction) estimates the multiple-partial-volume
+//! model with `N = 2` sticks to avoid overfitting, as in FSL.
+
+use crate::tensor::SymTensor3;
+use crate::Acquisition;
+use tracto_volume::Vec3;
+
+/// A diffusion model that predicts the signal of one measurement.
+pub trait DiffusionModel {
+    /// Predicted intensity `μᵢ` for b-value `b` and gradient direction `g`.
+    fn predict(&self, b: f64, g: Vec3) -> f64;
+
+    /// Predict the full signal vector for an acquisition protocol.
+    fn predict_protocol(&self, acq: &Acquisition) -> Vec<f64> {
+        (0..acq.len()).map(|i| self.predict(acq.bval(i), acq.grad(i))).collect()
+    }
+}
+
+/// The full tensor model (row 1 of Table I).
+#[derive(Debug, Clone, Copy)]
+pub struct TensorModel {
+    /// Baseline intensity.
+    pub s0: f64,
+    /// The diffusion tensor.
+    pub tensor: SymTensor3,
+}
+
+impl DiffusionModel for TensorModel {
+    #[inline]
+    fn predict(&self, b: f64, g: Vec3) -> f64 {
+        self.s0 * (-b * self.tensor.quadratic_form(g)).exp()
+    }
+}
+
+/// The constrained model (row 2 of Table I): isotropic attenuation `α` plus
+/// an anisotropic term `β` along a single fiber direction.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstrainedModel {
+    /// Baseline intensity.
+    pub s0: f64,
+    /// Isotropic attenuation coefficient.
+    pub alpha: f64,
+    /// Anisotropic attenuation coefficient.
+    pub beta: f64,
+    /// Unit fiber direction.
+    pub dir: Vec3,
+}
+
+impl DiffusionModel for ConstrainedModel {
+    #[inline]
+    fn predict(&self, b: f64, g: Vec3) -> f64 {
+        let proj = g.dot(self.dir);
+        self.s0 * (-self.alpha * b).exp() * (-self.beta * b * proj * proj).exp()
+    }
+}
+
+/// The compartment / single-partial-volume ("ball and one stick") model
+/// (row 3 of Table I).
+#[derive(Debug, Clone, Copy)]
+pub struct CompartmentModel {
+    /// Baseline intensity.
+    pub s0: f64,
+    /// Volume fraction of the stick compartment, in `[0, 1]`.
+    pub f: f64,
+    /// Diffusivity.
+    pub d: f64,
+    /// Unit fiber direction.
+    pub dir: Vec3,
+}
+
+impl DiffusionModel for CompartmentModel {
+    #[inline]
+    fn predict(&self, b: f64, g: Vec3) -> f64 {
+        let proj = g.dot(self.dir);
+        self.s0
+            * ((1.0 - self.f) * (-b * self.d).exp()
+                + self.f * (-b * self.d * proj * proj).exp())
+    }
+}
+
+/// The multiple-partial-volume ("ball and N sticks") model of Eq. 1; the
+/// model estimated by MCMC, with `N = 2` in the paper.
+#[derive(Debug, Clone)]
+pub struct BallSticksModel {
+    /// Baseline intensity.
+    pub s0: f64,
+    /// Diffusivity shared by ball and sticks.
+    pub d: f64,
+    /// Per-stick volume fractions; `Σ fⱼ ≤ 1`.
+    pub fractions: Vec<f64>,
+    /// Per-stick unit directions, parallel to `fractions`.
+    pub dirs: Vec<Vec3>,
+}
+
+impl BallSticksModel {
+    /// Build a ball-and-N-sticks model.
+    ///
+    /// # Panics
+    /// If `fractions` and `dirs` differ in length or `Σ fⱼ > 1 + ε`.
+    pub fn new(s0: f64, d: f64, fractions: Vec<f64>, dirs: Vec<Vec3>) -> Self {
+        assert_eq!(fractions.len(), dirs.len(), "one direction per fraction");
+        let total: f64 = fractions.iter().sum();
+        assert!(total <= 1.0 + 1e-9, "volume fractions sum to {total} > 1");
+        let dirs = dirs.into_iter().map(Vec3::normalized).collect();
+        BallSticksModel { s0, d, fractions, dirs }
+    }
+
+    /// Number of stick compartments.
+    pub fn num_sticks(&self) -> usize {
+        self.fractions.len()
+    }
+
+    /// Isotropic (ball) volume fraction `1 − Σ fⱼ`.
+    pub fn ball_fraction(&self) -> f64 {
+        1.0 - self.fractions.iter().sum::<f64>()
+    }
+}
+
+impl DiffusionModel for BallSticksModel {
+    #[inline]
+    fn predict(&self, b: f64, g: Vec3) -> f64 {
+        let ball = self.ball_fraction() * (-b * self.d).exp();
+        let sticks: f64 = self
+            .fractions
+            .iter()
+            .zip(&self.dirs)
+            .map(|(f, v)| {
+                let proj = g.dot(*v);
+                f * (-b * self.d * proj * proj).exp()
+            })
+            .sum();
+        self.s0 * (ball + sticks)
+    }
+}
+
+/// Evaluate the ball-and-two-sticks prediction from raw parameters without
+/// allocating a model — the hot path inside the MH likelihood, mirroring the
+/// arithmetic of the GPU kernel.
+#[inline]
+#[allow(clippy::too_many_arguments)] // mirrors the GPU kernel's flat signature
+pub fn ball_two_sticks_predict(
+    s0: f64,
+    d: f64,
+    f1: f64,
+    f2: f64,
+    dir1: Vec3,
+    dir2: Vec3,
+    b: f64,
+    g: Vec3,
+) -> f64 {
+    let p1 = g.dot(dir1);
+    let p2 = g.dot(dir2);
+    let iso = (-b * d).exp();
+    s0 * ((1.0 - f1 - f2) * iso
+        + f1 * (-b * d * p1 * p1).exp()
+        + f2 * (-b * d * p2 * p2).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_acq() -> Acquisition {
+        Acquisition::new(
+            vec![0.0, 1000.0, 1000.0, 1000.0],
+            vec![Vec3::ZERO, Vec3::X, Vec3::Y, Vec3::Z],
+        )
+    }
+
+    #[test]
+    fn all_models_reduce_to_s0_at_b0() {
+        let s0 = 750.0;
+        let models: Vec<Box<dyn DiffusionModel>> = vec![
+            Box::new(TensorModel { s0, tensor: SymTensor3::isotropic(1e-3) }),
+            Box::new(ConstrainedModel { s0, alpha: 1e-3, beta: 2e-3, dir: Vec3::Z }),
+            Box::new(CompartmentModel { s0, f: 0.5, d: 1e-3, dir: Vec3::Z }),
+            Box::new(BallSticksModel::new(s0, 1e-3, vec![0.4, 0.3], vec![Vec3::X, Vec3::Y])),
+        ];
+        for m in &models {
+            assert!((m.predict(0.0, Vec3::ZERO) - s0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn compartment_attenuates_most_along_fiber() {
+        let m = CompartmentModel { s0: 1.0, f: 0.8, d: 1.5e-3, dir: Vec3::Z };
+        let along = m.predict(1000.0, Vec3::Z);
+        let across = m.predict(1000.0, Vec3::X);
+        assert!(along < across, "signal along the fiber must attenuate more");
+    }
+
+    #[test]
+    fn compartment_zero_f_is_isotropic() {
+        let m = CompartmentModel { s0: 1.0, f: 0.0, d: 1e-3, dir: Vec3::Z };
+        let a = m.predict(1000.0, Vec3::X);
+        let b = m.predict(1000.0, Vec3::Z);
+        assert!((a - b).abs() < 1e-12);
+        assert!((a - (-1.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ball_sticks_matches_compartment_for_one_stick() {
+        let c = CompartmentModel { s0: 2.0, f: 0.6, d: 1.2e-3, dir: Vec3::Y };
+        let bs = BallSticksModel::new(2.0, 1.2e-3, vec![0.6], vec![Vec3::Y]);
+        let acq = test_acq();
+        for i in 0..acq.len() {
+            let (b, g) = (acq.bval(i), acq.grad(i));
+            assert!((c.predict(b, g) - bs.predict(b, g)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ball_two_sticks_predict_matches_model() {
+        let dir1 = Vec3::new(1.0, 1.0, 0.0).normalized();
+        let dir2 = Vec3::new(0.0, 1.0, -1.0).normalized();
+        let m = BallSticksModel::new(500.0, 1.7e-3, vec![0.35, 0.25], vec![dir1, dir2]);
+        let acq = test_acq();
+        for i in 0..acq.len() {
+            let (b, g) = (acq.bval(i), acq.grad(i));
+            let fast = ball_two_sticks_predict(500.0, 1.7e-3, 0.35, 0.25, dir1, dir2, b, g);
+            assert!((m.predict(b, g) - fast).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn crossing_signature_two_attenuation_minima() {
+        // A two-stick voxel attenuates strongly along both stick axes and
+        // weakly along the orthogonal axis.
+        let m = BallSticksModel::new(1.0, 1.5e-3, vec![0.45, 0.45], vec![Vec3::X, Vec3::Y]);
+        let sx = m.predict(1500.0, Vec3::X);
+        let sy = m.predict(1500.0, Vec3::Y);
+        let sz = m.predict(1500.0, Vec3::Z);
+        assert!(sx < sz && sy < sz);
+        assert!((sx - sy).abs() < 1e-12, "symmetric sticks attenuate equally");
+    }
+
+    #[test]
+    fn constrained_model_anisotropy() {
+        let m = ConstrainedModel { s0: 1.0, alpha: 0.5e-3, beta: 1.0e-3, dir: Vec3::X };
+        assert!(m.predict(1000.0, Vec3::X) < m.predict(1000.0, Vec3::Y));
+    }
+
+    #[test]
+    fn predict_protocol_length() {
+        let m = TensorModel { s0: 1.0, tensor: SymTensor3::isotropic(1e-3) };
+        assert_eq!(m.predict_protocol(&test_acq()).len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "volume fractions")]
+    fn fractions_over_one_rejected() {
+        let _ = BallSticksModel::new(1.0, 1e-3, vec![0.7, 0.6], vec![Vec3::X, Vec3::Y]);
+    }
+
+    #[test]
+    fn directions_normalized_on_construction() {
+        let m = BallSticksModel::new(1.0, 1e-3, vec![0.5], vec![Vec3::new(0.0, 0.0, 4.0)]);
+        assert!((m.dirs[0].norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn signal_monotone_in_bvalue() {
+        let m = BallSticksModel::new(1.0, 1e-3, vec![0.5], vec![Vec3::Z]);
+        let g = Vec3::new(1.0, 0.0, 1.0).normalized();
+        let s1 = m.predict(500.0, g);
+        let s2 = m.predict(1000.0, g);
+        let s3 = m.predict(2000.0, g);
+        assert!(s1 > s2 && s2 > s3, "attenuation grows with b");
+    }
+}

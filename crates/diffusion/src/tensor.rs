@@ -1,0 +1,361 @@
+//! Diffusion-tensor algebra and the classical log-linear tensor fit.
+//!
+//! The tensor model (first row of Table I) underlies deterministic
+//! streamlining: the principal eigenvector of the fitted tensor is the
+//! stepping direction. It also initializes the MCMC chains: mean
+//! diffusivity seeds `d`, fractional anisotropy seeds `f₁`, and the
+//! principal direction seeds `(θ₁, φ₁)`.
+
+use crate::linalg::least_squares;
+use crate::Acquisition;
+use tracto_volume::Vec3;
+
+/// A symmetric 3×3 tensor stored as its six unique components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SymTensor3 {
+    /// xx component.
+    pub dxx: f64,
+    /// xy component.
+    pub dxy: f64,
+    /// xz component.
+    pub dxz: f64,
+    /// yy component.
+    pub dyy: f64,
+    /// yz component.
+    pub dyz: f64,
+    /// zz component.
+    pub dzz: f64,
+}
+
+impl SymTensor3 {
+    /// An isotropic tensor `d · I`.
+    pub fn isotropic(d: f64) -> Self {
+        SymTensor3 { dxx: d, dyy: d, dzz: d, ..Default::default() }
+    }
+
+    /// Build an axially symmetric (cylindrical) tensor with axial
+    /// diffusivity `lambda_par` along unit `axis` and radial diffusivity
+    /// `lambda_perp`: `D = λ⊥ I + (λ∥ − λ⊥) v vᵀ`.
+    pub fn cylindrical(axis: Vec3, lambda_par: f64, lambda_perp: f64) -> Self {
+        let v = axis.normalized();
+        let d = lambda_par - lambda_perp;
+        SymTensor3 {
+            dxx: lambda_perp + d * v.x * v.x,
+            dxy: d * v.x * v.y,
+            dxz: d * v.x * v.z,
+            dyy: lambda_perp + d * v.y * v.y,
+            dyz: d * v.y * v.z,
+            dzz: lambda_perp + d * v.z * v.z,
+        }
+    }
+
+    /// The quadratic form `r̂ᵀ D r̂`.
+    #[inline]
+    pub fn quadratic_form(&self, r: Vec3) -> f64 {
+        r.x * r.x * self.dxx
+            + r.y * r.y * self.dyy
+            + r.z * r.z * self.dzz
+            + 2.0 * (r.x * r.y * self.dxy + r.x * r.z * self.dxz + r.y * r.z * self.dyz)
+    }
+
+    /// Matrix-vector product `D r`.
+    #[inline]
+    pub fn mul_vec(&self, r: Vec3) -> Vec3 {
+        Vec3::new(
+            self.dxx * r.x + self.dxy * r.y + self.dxz * r.z,
+            self.dxy * r.x + self.dyy * r.y + self.dyz * r.z,
+            self.dxz * r.x + self.dyz * r.y + self.dzz * r.z,
+        )
+    }
+
+    /// Trace.
+    #[inline]
+    pub fn trace(&self) -> f64 {
+        self.dxx + self.dyy + self.dzz
+    }
+
+    /// Mean diffusivity (trace / 3).
+    #[inline]
+    pub fn mean_diffusivity(&self) -> f64 {
+        self.trace() / 3.0
+    }
+
+    /// Eigenvalues sorted descending, by the analytic trigonometric method
+    /// for symmetric 3×3 matrices (Smith 1961). Robust for the
+    /// positive-semidefinite tensors encountered here.
+    pub fn eigenvalues(&self) -> [f64; 3] {
+        let p1 = self.dxy * self.dxy + self.dxz * self.dxz + self.dyz * self.dyz;
+        if p1 < 1e-300 {
+            // Diagonal matrix.
+            let mut e = [self.dxx, self.dyy, self.dzz];
+            e.sort_by(|a, b| b.partial_cmp(a).expect("finite eigenvalues"));
+            return e;
+        }
+        let q = self.mean_diffusivity();
+        let dx = self.dxx - q;
+        let dy = self.dyy - q;
+        let dz = self.dzz - q;
+        let p2 = dx * dx + dy * dy + dz * dz + 2.0 * p1;
+        let p = (p2 / 6.0).sqrt();
+        // B = (A − q I) / p ; r = det(B) / 2 ∈ [−1, 1].
+        let b = SymTensor3 {
+            dxx: dx / p,
+            dxy: self.dxy / p,
+            dxz: self.dxz / p,
+            dyy: dy / p,
+            dyz: self.dyz / p,
+            dzz: dz / p,
+        };
+        let det_b = b.dxx * (b.dyy * b.dzz - b.dyz * b.dyz)
+            - b.dxy * (b.dxy * b.dzz - b.dyz * b.dxz)
+            + b.dxz * (b.dxy * b.dyz - b.dyy * b.dxz);
+        let r = (det_b / 2.0).clamp(-1.0, 1.0);
+        let phi = r.acos() / 3.0;
+        let e1 = q + 2.0 * p * phi.cos();
+        let e3 = q + 2.0 * p * (phi + 2.0 * std::f64::consts::PI / 3.0).cos();
+        let e2 = 3.0 * q - e1 - e3;
+        let mut e = [e1, e2, e3];
+        e.sort_by(|a, b| b.partial_cmp(a).expect("finite eigenvalues"));
+        e
+    }
+
+    /// Eigenvector for a given eigenvalue (unit length). Uses the largest
+    /// cross product of rows of `A − λI`, which is numerically stable for
+    /// well-separated eigenvalues; for (near-)degenerate eigenvalues an
+    /// arbitrary valid eigenvector is returned.
+    pub fn eigenvector(&self, lambda: f64) -> Vec3 {
+        let r0 = Vec3::new(self.dxx - lambda, self.dxy, self.dxz);
+        let r1 = Vec3::new(self.dxy, self.dyy - lambda, self.dyz);
+        let r2 = Vec3::new(self.dxz, self.dyz, self.dzz - lambda);
+        let c0 = r0.cross(r1);
+        let c1 = r0.cross(r2);
+        let c2 = r1.cross(r2);
+        let (mut best, mut best_norm) = (c0, c0.norm_sq());
+        if c1.norm_sq() > best_norm {
+            best = c1;
+            best_norm = c1.norm_sq();
+        }
+        if c2.norm_sq() > best_norm {
+            best = c2;
+            best_norm = c2.norm_sq();
+        }
+        if best_norm < 1e-24 {
+            // Degenerate (isotropic) case: any unit vector is an eigenvector.
+            return Vec3::Z;
+        }
+        best.normalized()
+    }
+
+    /// Principal diffusion direction: the eigenvector of the largest
+    /// eigenvalue.
+    pub fn principal_direction(&self) -> Vec3 {
+        self.eigenvector(self.eigenvalues()[0])
+    }
+
+    /// Fractional anisotropy in `[0, 1]`.
+    pub fn fractional_anisotropy(&self) -> f64 {
+        let [l1, l2, l3] = self.eigenvalues();
+        let m = (l1 + l2 + l3) / 3.0;
+        let num = (l1 - m).powi(2) + (l2 - m).powi(2) + (l3 - m).powi(2);
+        let den = l1 * l1 + l2 * l2 + l3 * l3;
+        if den <= 0.0 {
+            return 0.0;
+        }
+        ((1.5 * num / den).sqrt()).clamp(0.0, 1.0)
+    }
+}
+
+/// Result of the log-linear least-squares tensor fit.
+#[derive(Debug, Clone, Copy)]
+pub struct TensorFit {
+    /// The fitted tensor.
+    pub tensor: SymTensor3,
+    /// The fitted non-diffusion-weighted intensity `S₀`.
+    pub s0: f64,
+}
+
+impl TensorFit {
+    /// Fit the tensor model `Sᵢ = S₀ exp(−bᵢ r̂ᵢᵀ D r̂ᵢ)` to a signal vector
+    /// by linear least squares on `ln Sᵢ`.
+    ///
+    /// Returns `None` when the protocol has fewer than 7 usable measurements
+    /// or the design is singular (e.g. gradients confined to a plane).
+    /// Non-positive signal values are clamped to a small positive floor
+    /// before the log, as is standard.
+    pub fn fit(acq: &Acquisition, signal: &[f64]) -> Option<TensorFit> {
+        assert_eq!(signal.len(), acq.len(), "signal length must match protocol");
+        let n = acq.len();
+        if n < 7 {
+            return None;
+        }
+        let floor = signal.iter().copied().fold(f64::NEG_INFINITY, f64::max) * 1e-6;
+        let floor = floor.max(1e-12);
+        let mut design = Vec::with_capacity(n * 7);
+        let mut y = Vec::with_capacity(n);
+        for (i, &s) in signal.iter().enumerate() {
+            let b = acq.bval(i);
+            let g = acq.grad(i);
+            design.extend_from_slice(&[
+                1.0,
+                -b * g.x * g.x,
+                -2.0 * b * g.x * g.y,
+                -2.0 * b * g.x * g.z,
+                -b * g.y * g.y,
+                -2.0 * b * g.y * g.z,
+                -b * g.z * g.z,
+            ]);
+            y.push(s.max(floor).ln());
+        }
+        let x = least_squares(&design, &y, n, 7)?;
+        Some(TensorFit {
+            s0: x[0].exp(),
+            tensor: SymTensor3 {
+                dxx: x[1],
+                dxy: x[2],
+                dxz: x[3],
+                dyy: x[4],
+                dyz: x[5],
+                dzz: x[6],
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn six_dir_protocol() -> Acquisition {
+        // Classic 6-direction scheme + one b=0.
+        let dirs = vec![
+            Vec3::new(1.0, 1.0, 0.0),
+            Vec3::new(1.0, -1.0, 0.0),
+            Vec3::new(1.0, 0.0, 1.0),
+            Vec3::new(1.0, 0.0, -1.0),
+            Vec3::new(0.0, 1.0, 1.0),
+            Vec3::new(0.0, 1.0, -1.0),
+        ];
+        let mut bvals = vec![0.0];
+        let mut grads = vec![Vec3::ZERO];
+        for d in dirs {
+            bvals.push(1000.0);
+            grads.push(d);
+        }
+        Acquisition::new(bvals, grads)
+    }
+
+    #[test]
+    fn isotropic_eigen() {
+        let t = SymTensor3::isotropic(2.0e-3);
+        let e = t.eigenvalues();
+        for v in e {
+            assert!((v - 2.0e-3).abs() < 1e-12);
+        }
+        assert!(t.fractional_anisotropy() < 1e-9);
+    }
+
+    #[test]
+    fn cylindrical_eigenstructure() {
+        let axis = Vec3::new(1.0, 2.0, -1.0).normalized();
+        let t = SymTensor3::cylindrical(axis, 1.7e-3, 0.3e-3);
+        let e = t.eigenvalues();
+        assert!((e[0] - 1.7e-3).abs() < 1e-9);
+        assert!((e[1] - 0.3e-3).abs() < 1e-9);
+        assert!((e[2] - 0.3e-3).abs() < 1e-9);
+        let v = t.principal_direction();
+        assert!(v.dot(axis).abs() > 1.0 - 1e-9, "principal direction mismatch");
+    }
+
+    #[test]
+    fn quadratic_form_matches_mul_vec() {
+        let t = SymTensor3 {
+            dxx: 1.0,
+            dxy: 0.2,
+            dxz: -0.1,
+            dyy: 0.8,
+            dyz: 0.05,
+            dzz: 1.2,
+        };
+        let r = Vec3::new(0.3, -0.5, 0.8);
+        assert!((t.quadratic_form(r) - r.dot(t.mul_vec(r))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eigenvalues_sum_to_trace() {
+        let t = SymTensor3 {
+            dxx: 1.3,
+            dxy: 0.4,
+            dxz: 0.1,
+            dyy: 0.9,
+            dyz: -0.2,
+            dzz: 0.6,
+        };
+        let e = t.eigenvalues();
+        assert!((e[0] + e[1] + e[2] - t.trace()).abs() < 1e-9);
+        assert!(e[0] >= e[1] && e[1] >= e[2]);
+    }
+
+    #[test]
+    fn eigenvector_satisfies_definition() {
+        let t = SymTensor3 {
+            dxx: 2.0,
+            dxy: 0.5,
+            dxz: 0.0,
+            dyy: 1.0,
+            dyz: 0.25,
+            dzz: 0.75,
+        };
+        for lambda in t.eigenvalues() {
+            let v = t.eigenvector(lambda);
+            let residual = t.mul_vec(v) - v * lambda;
+            assert!(residual.norm() < 1e-8, "residual {} for λ={lambda}", residual.norm());
+        }
+    }
+
+    #[test]
+    fn fa_of_stick_near_one() {
+        let t = SymTensor3::cylindrical(Vec3::Z, 1.0e-3, 1.0e-6);
+        assert!(t.fractional_anisotropy() > 0.99);
+    }
+
+    #[test]
+    fn fit_recovers_known_tensor() {
+        let acq = six_dir_protocol();
+        let truth = SymTensor3::cylindrical(Vec3::new(1.0, 1.0, 1.0), 1.5e-3, 0.4e-3);
+        let s0 = 800.0;
+        let signal: Vec<f64> = (0..acq.len())
+            .map(|i| s0 * (-acq.bval(i) * truth.quadratic_form(acq.grad(i))).exp())
+            .collect();
+        let fit = TensorFit::fit(&acq, &signal).unwrap();
+        assert!((fit.s0 - s0).abs() / s0 < 1e-6);
+        assert!((fit.tensor.dxx - truth.dxx).abs() < 1e-9);
+        assert!((fit.tensor.dxy - truth.dxy).abs() < 1e-9);
+        assert!((fit.tensor.dzz - truth.dzz).abs() < 1e-9);
+        let v = fit.tensor.principal_direction();
+        assert!(v.dot(Vec3::new(1.0, 1.0, 1.0).normalized()).abs() > 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn fit_requires_seven_measurements() {
+        let acq = Acquisition::new(vec![0.0, 1000.0], vec![Vec3::ZERO, Vec3::X]);
+        assert!(TensorFit::fit(&acq, &[100.0, 50.0]).is_none());
+    }
+
+    #[test]
+    fn fit_handles_nonpositive_signal() {
+        let acq = six_dir_protocol();
+        let mut signal = vec![500.0; acq.len()];
+        signal[3] = 0.0; // dead measurement must not produce NaN
+        let fit = TensorFit::fit(&acq, &signal);
+        assert!(fit.is_some());
+        let t = fit.unwrap().tensor;
+        assert!(t.trace().is_finite());
+    }
+
+    #[test]
+    fn degenerate_eigenvector_fallback() {
+        let t = SymTensor3::isotropic(1.0);
+        let v = t.eigenvector(1.0);
+        assert!((v.norm() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests of diffusion-model invariants.
+
+use proptest::prelude::*;
+use tracto_diffusion::models::ball_two_sticks_predict;
+use tracto_diffusion::posterior::{BallSticksParams, NUM_PARAMETERS};
+use tracto_diffusion::{
+    Acquisition, BallSticksModel, BallSticksPosterior, DiffusionModel, PriorConfig, SymTensor3,
+    TensorFit,
+};
+use tracto_volume::Vec3;
+
+fn unit_vec() -> impl Strategy<Value = Vec3> {
+    (1e-3f64..std::f64::consts::PI - 1e-3, -3.0f64..3.0)
+        .prop_map(|(t, p)| Vec3::from_spherical(t, p))
+}
+
+fn protocol() -> Acquisition {
+    let dirs = [
+        (1.0, 0.0, 0.0),
+        (0.0, 1.0, 0.0),
+        (0.0, 0.0, 1.0),
+        (1.0, 1.0, 0.0),
+        (1.0, -1.0, 0.0),
+        (1.0, 0.0, 1.0),
+        (1.0, 0.0, -1.0),
+        (0.0, 1.0, 1.0),
+        (0.0, 1.0, -1.0),
+        (1.0, 1.0, 1.0),
+        (-1.0, 1.0, 1.0),
+        (1.0, -1.0, 1.0),
+    ];
+    let mut bvals = vec![0.0];
+    let mut grads = vec![Vec3::ZERO];
+    for (x, y, z) in dirs {
+        bvals.push(1000.0);
+        grads.push(Vec3::new(x, y, z));
+    }
+    Acquisition::new(bvals, grads)
+}
+
+proptest! {
+    #[test]
+    fn prediction_bounded_by_s0(
+        s0 in 1.0f64..2000.0,
+        d in 1e-5f64..5e-3,
+        f1 in 0.0f64..0.6,
+        f2 in 0.0f64..0.39,
+        dir1 in unit_vec(),
+        dir2 in unit_vec(),
+        b in 0.0f64..3000.0,
+        g in unit_vec(),
+    ) {
+        let mu = ball_two_sticks_predict(s0, d, f1, f2, dir1, dir2, b, g);
+        prop_assert!(mu > 0.0 && mu <= s0 * (1.0 + 1e-12),
+            "prediction {mu} outside (0, s0={s0}]");
+    }
+
+    #[test]
+    fn prediction_nonincreasing_in_b(
+        d in 1e-4f64..3e-3,
+        f1 in 0.0f64..0.7,
+        dir1 in unit_vec(),
+        g in unit_vec(),
+        b1 in 0.0f64..1500.0,
+        db in 0.0f64..1500.0,
+    ) {
+        let m = BallSticksModel::new(100.0, d, vec![f1], vec![dir1]);
+        prop_assert!(m.predict(b1 + db, g) <= m.predict(b1, g) + 1e-9);
+    }
+
+    #[test]
+    fn eigenvalues_sorted_and_sum_to_trace(
+        dxx in -2.0f64..2.0, dxy in -1.0f64..1.0, dxz in -1.0f64..1.0,
+        dyy in -2.0f64..2.0, dyz in -1.0f64..1.0, dzz in -2.0f64..2.0,
+    ) {
+        let t = SymTensor3 { dxx, dxy, dxz, dyy, dyz, dzz };
+        let e = t.eigenvalues();
+        prop_assert!(e[0] >= e[1] && e[1] >= e[2]);
+        prop_assert!((e[0] + e[1] + e[2] - t.trace()).abs() < 1e-8);
+        // Eigenvectors satisfy the definition.
+        for lambda in e {
+            let v = t.eigenvector(lambda);
+            let r = t.mul_vec(v) - v * lambda;
+            prop_assert!(r.norm() < 1e-5, "residual {} for λ={lambda}", r.norm());
+        }
+    }
+
+    #[test]
+    fn fa_in_unit_interval(
+        axis in unit_vec(),
+        l_par in 1e-4f64..3e-3,
+        ratio in 0.01f64..1.0,
+    ) {
+        let t = SymTensor3::cylindrical(axis, l_par, l_par * ratio);
+        let fa = t.fractional_anisotropy();
+        prop_assert!((0.0..=1.0).contains(&fa));
+        // More anisotropic (smaller ratio) ⇒ larger FA.
+        let t2 = SymTensor3::cylindrical(axis, l_par, l_par * (ratio * 0.5));
+        prop_assert!(t2.fractional_anisotropy() + 1e-12 >= fa);
+    }
+
+    #[test]
+    fn tensor_fit_roundtrip(
+        axis in unit_vec(),
+        l_par in 5e-4f64..3e-3,
+        ratio in 0.05f64..0.9,
+        s0 in 100.0f64..2000.0,
+    ) {
+        let truth = SymTensor3::cylindrical(axis, l_par, l_par * ratio);
+        let acq = protocol();
+        let signal: Vec<f64> = (0..acq.len())
+            .map(|i| s0 * (-acq.bval(i) * truth.quadratic_form(acq.grad(i))).exp())
+            .collect();
+        let fit = TensorFit::fit(&acq, &signal).unwrap();
+        prop_assert!((fit.s0 - s0).abs() / s0 < 1e-6);
+        prop_assert!((fit.tensor.dxx - truth.dxx).abs() < 1e-8);
+        prop_assert!((fit.tensor.dyz - truth.dyz).abs() < 1e-8);
+        prop_assert!(
+            fit.tensor.principal_direction().dot(axis).abs() > 1.0 - 1e-5
+        );
+    }
+
+    #[test]
+    fn params_array_roundtrip(vals in prop::collection::vec(-10.0f64..10.0, NUM_PARAMETERS)) {
+        let mut arr = [0.0; NUM_PARAMETERS];
+        arr.copy_from_slice(&vals);
+        let p = BallSticksParams::from_array(arr);
+        prop_assert_eq!(p.to_array(), arr);
+        // Sorting preserves the parameter multiset of the sticks.
+        let s = p.sorted_by_fraction();
+        prop_assert!(s.f1 >= s.f2);
+        let mut orig = [p.f1, p.f2];
+        let mut sorted = [s.f1, s.f2];
+        orig.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(orig, sorted);
+    }
+
+    #[test]
+    fn prior_support_characterization(
+        s0 in -100.0f64..2000.0,
+        d in -1e-3f64..0.03,
+        sigma in -1.0f64..100.0,
+        f1 in -0.2f64..1.2,
+        f2 in -0.2f64..1.2,
+        th1 in -0.5f64..3.7,
+        th2 in -0.5f64..3.7,
+    ) {
+        let acq = protocol();
+        let signal = vec![100.0; acq.len()];
+        let prior = PriorConfig::default();
+        let post = BallSticksPosterior::new(&acq, &signal, prior);
+        let p = BallSticksParams {
+            s0, d, sigma, f1, th1, ph1: 0.3, f2, th2, ph2: -0.7,
+        };
+        let in_support = s0 > 0.0
+            && d > 0.0
+            && d <= prior.d_max
+            && sigma > 0.0
+            && (0.0..=1.0).contains(&f1)
+            && (0.0..=1.0).contains(&f2)
+            && f1 + f2 <= 1.0
+            && th1.sin().abs() > 0.0
+            && th2.sin().abs() > 0.0;
+        prop_assert_eq!(post.log_prior(&p).is_finite(), in_support);
+    }
+}

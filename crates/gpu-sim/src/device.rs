@@ -1,0 +1,186 @@
+//! Device cost model.
+
+/// PCIe transfer cost model: fixed per-transfer latency plus bandwidth-
+/// proportional payload time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PcieModel {
+    /// Per-transfer fixed latency in microseconds (driver + DMA setup).
+    pub latency_us: f64,
+    /// Sustained bandwidth in GB/s.
+    pub bandwidth_gb_s: f64,
+}
+
+impl PcieModel {
+    /// Simulated seconds to move `bytes` across the bus.
+    #[inline]
+    pub fn transfer_seconds(&self, bytes: u64) -> f64 {
+        self.latency_us * 1e-6 + bytes as f64 / (self.bandwidth_gb_s * 1e9)
+    }
+}
+
+/// The simulated device: SIMD geometry plus calibrated cost constants.
+///
+/// Defaults model the paper's testbed (AMD Radeon 5870, PCIe 2.0 ×16,
+/// Phenom X4 host): wavefronts of 64 lanes over 20 compute units. The
+/// absolute constants set the *scale* of reported times; the experiments'
+/// conclusions depend only on their ratios (lane-iteration cost vs. launch
+/// overhead vs. transfer cost), which are taken from the era's published
+/// figures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceConfig {
+    /// Human-readable device name.
+    pub name: String,
+    /// Lanes per wavefront (AMD: 64; NVIDIA warp: 32).
+    pub wavefront_size: usize,
+    /// Number of compute units (SIMD engines).
+    pub num_compute_units: usize,
+    /// Wavefronts resident per compute unit (occupancy).
+    pub waves_per_cu: usize,
+    /// Effective time, in nanoseconds, for one wavefront to complete one
+    /// lockstep iteration — *including* memory stalls (a tracking step is a
+    /// gather of six volumes, so the constant is memory-latency dominated).
+    /// Calibrated to the paper's observed throughput: its Table IV
+    /// `A_MaxStep` run retires ~10⁸ charged lane-steps per second on the
+    /// Radeon 5870, i.e. ≈7.5 ns per charged lane-step ⇒ ≈38 µs per 64-lane
+    /// wavefront-iteration at 80 resident wavefronts.
+    pub wavefront_iteration_ns: f64,
+    /// Fixed kernel-launch overhead in microseconds.
+    pub kernel_launch_overhead_us: f64,
+    /// Bus model.
+    pub pcie: PcieModel,
+    /// Host-side reduction/compaction cost per element, nanoseconds.
+    pub host_reduction_ns_per_elem: f64,
+    /// Device memory capacity in bytes (Radeon 5870: 1 GB). Allocations
+    /// beyond it fail, which is what bounds how many sample volumes the
+    /// overlap scheduler may keep resident ("the sample volume on the GPU
+    /// also doubles").
+    pub memory_bytes: u64,
+}
+
+impl DeviceConfig {
+    /// The paper's GPU: AMD Radeon 5870 ("Cypress"), 20 CUs × 64-lane
+    /// wavefronts, PCIe 2.0 ×16 (~6 GB/s effective), OpenCL launch overhead
+    /// in the tens of microseconds.
+    pub fn radeon_5870() -> Self {
+        DeviceConfig {
+            name: "AMD Radeon 5870 (simulated)".into(),
+            wavefront_size: 64,
+            num_compute_units: 20,
+            waves_per_cu: 4,
+            // Calibration against the paper's own Table IV (see
+            // EXPERIMENTS.md): A₁ kernel 9.16 s over 22 650 launches ⇒
+            // ≈0.4 ms launch overhead; A₁ transfer 41.2 s over ≈45 300
+            // transfers ⇒ ≈0.9 ms per transfer; A₁ reduction 8.21 s over
+            // 113.8 M elements ⇒ ≈72 ns/element.
+            wavefront_iteration_ns: 38_400.0,
+            kernel_launch_overhead_us: 400.0,
+            pcie: PcieModel { latency_us: 900.0, bandwidth_gb_s: 5.5 },
+            host_reduction_ns_per_elem: 72.0,
+            memory_bytes: 1 << 30, // 1 GB GDDR5
+        }
+    }
+
+    /// A 32-lane-warp variant of the same device — the ablation contrasting
+    /// AMD wavefronts with NVIDIA warps (imbalance waste shrinks with
+    /// narrower SIMD groups).
+    pub fn warp32_variant() -> Self {
+        DeviceConfig {
+            name: "32-lane-warp variant (simulated)".into(),
+            wavefront_size: 32,
+            num_compute_units: 40, // same total lane count
+            ..Self::radeon_5870()
+        }
+    }
+
+    /// Total wavefronts the device executes concurrently (fluid
+    /// approximation of the dispatcher).
+    #[inline]
+    pub fn parallel_wavefronts(&self) -> usize {
+        self.num_compute_units * self.waves_per_cu
+    }
+
+    /// Simulated kernel time for a launch whose wavefronts need the given
+    /// lockstep iteration counts.
+    #[inline]
+    pub fn kernel_seconds(&self, total_wavefront_iterations: u64) -> f64 {
+        self.kernel_seconds_weighted(total_wavefront_iterations, 1.0)
+    }
+
+    /// As [`kernel_seconds`](Self::kernel_seconds), with a per-iteration
+    /// cost weight: a kernel whose iteration does `weight ×` the work of the
+    /// reference (one tracking step) charges proportionally more. The MCMC
+    /// kernel's loop — 9 MH parameter updates, each evaluating the full
+    /// measurement likelihood — uses this.
+    #[inline]
+    pub fn kernel_seconds_weighted(&self, total_wavefront_iterations: u64, weight: f64) -> f64 {
+        self.kernel_launch_overhead_us * 1e-6
+            + total_wavefront_iterations as f64 * self.wavefront_iteration_ns * weight * 1e-9
+                / self.parallel_wavefronts() as f64
+    }
+
+    /// Simulated host reduction time over `elements` items.
+    #[inline]
+    pub fn reduction_seconds(&self, elements: u64) -> f64 {
+        elements as f64 * self.host_reduction_ns_per_elem * 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pcie_latency_dominates_small_transfers() {
+        let p = PcieModel { latency_us: 10.0, bandwidth_gb_s: 5.0 };
+        let t_small = p.transfer_seconds(64);
+        assert!((t_small - 10.0e-6).abs() / 10.0e-6 < 0.01);
+    }
+
+    #[test]
+    fn pcie_bandwidth_dominates_large_transfers() {
+        let p = PcieModel { latency_us: 10.0, bandwidth_gb_s: 5.0 };
+        let t = p.transfer_seconds(5_000_000_000);
+        assert!((t - 1.0) < 0.01, "5 GB at 5 GB/s ≈ 1 s, got {t}");
+    }
+
+    #[test]
+    fn transfer_monotone_in_bytes() {
+        let p = PcieModel { latency_us: 10.0, bandwidth_gb_s: 5.0 };
+        assert!(p.transfer_seconds(1000) < p.transfer_seconds(10_000));
+    }
+
+    #[test]
+    fn radeon_defaults_sane() {
+        let d = DeviceConfig::radeon_5870();
+        assert_eq!(d.wavefront_size, 64);
+        assert_eq!(d.parallel_wavefronts(), 80);
+        assert!(d.kernel_seconds(0) > 0.0, "launch overhead charged even for empty kernels");
+    }
+
+    #[test]
+    fn warp32_same_total_lanes() {
+        let a = DeviceConfig::radeon_5870();
+        let b = DeviceConfig::warp32_variant();
+        assert_eq!(
+            a.wavefront_size * a.num_compute_units,
+            b.wavefront_size * b.num_compute_units
+        );
+    }
+
+    #[test]
+    fn kernel_time_linear_in_iterations() {
+        let d = DeviceConfig::radeon_5870();
+        let base = d.kernel_seconds(0);
+        let t1 = d.kernel_seconds(1_000_000) - base;
+        let t2 = d.kernel_seconds(2_000_000) - base;
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reduction_linear() {
+        let d = DeviceConfig::radeon_5870();
+        assert_eq!(d.reduction_seconds(0), 0.0);
+        // 1M elements at 72 ns/element = 72 ms.
+        assert!((d.reduction_seconds(1_000_000) - 0.072).abs() < 1e-9);
+    }
+}

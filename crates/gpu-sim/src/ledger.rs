@@ -1,0 +1,107 @@
+//! Accumulated timing breakdown — the kernel / reduction / transfer columns
+//! of the paper's Tables II and IV.
+
+/// Accumulated simulated times and traffic counters for one pipeline run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TimingLedger {
+    /// Simulated GPU kernel seconds (includes launch overhead).
+    pub kernel_s: f64,
+    /// Simulated host reduction/compaction seconds.
+    pub reduction_s: f64,
+    /// Simulated PCIe transfer seconds (both directions).
+    pub transfer_s: f64,
+    /// Number of kernel launches.
+    pub launches: u64,
+    /// Host→device bytes moved.
+    pub bytes_h2d: u64,
+    /// Device→host bytes moved.
+    pub bytes_d2h: u64,
+    /// Total useful lane-iterations executed.
+    pub useful_iterations: u64,
+    /// Total lane-iterations the lockstep model charged (≥ useful).
+    pub charged_iterations: u64,
+    /// Measured wall-clock seconds spent actually executing kernels on the
+    /// host (for honesty reporting; not part of the simulated model).
+    pub wall_kernel_s: f64,
+}
+
+impl TimingLedger {
+    /// Total simulated seconds.
+    pub fn total_s(&self) -> f64 {
+        self.kernel_s + self.reduction_s + self.transfer_s
+    }
+
+    /// SIMD utilization in `[0, 1]`: useful / charged lane-iterations.
+    /// 1.0 means no lockstep waste.
+    pub fn simd_utilization(&self) -> f64 {
+        if self.charged_iterations == 0 {
+            return 1.0;
+        }
+        self.useful_iterations as f64 / self.charged_iterations as f64
+    }
+
+    /// Merge another ledger into this one.
+    pub fn merge(&mut self, other: &TimingLedger) {
+        self.kernel_s += other.kernel_s;
+        self.reduction_s += other.reduction_s;
+        self.transfer_s += other.transfer_s;
+        self.launches += other.launches;
+        self.bytes_h2d += other.bytes_h2d;
+        self.bytes_d2h += other.bytes_d2h;
+        self.useful_iterations += other.useful_iterations;
+        self.charged_iterations += other.charged_iterations;
+        self.wall_kernel_s += other.wall_kernel_s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_components() {
+        let l = TimingLedger {
+            kernel_s: 1.0,
+            reduction_s: 0.5,
+            transfer_s: 0.25,
+            ..Default::default()
+        };
+        assert_eq!(l.total_s(), 1.75);
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let mut l = TimingLedger::default();
+        assert_eq!(l.simd_utilization(), 1.0);
+        l.useful_iterations = 50;
+        l.charged_iterations = 100;
+        assert_eq!(l.simd_utilization(), 0.5);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = TimingLedger {
+            kernel_s: 1.0,
+            launches: 2,
+            bytes_h2d: 100,
+            useful_iterations: 10,
+            ..Default::default()
+        };
+        let b = TimingLedger {
+            kernel_s: 2.0,
+            reduction_s: 1.0,
+            launches: 3,
+            bytes_d2h: 50,
+            charged_iterations: 20,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.kernel_s, 3.0);
+        assert_eq!(a.reduction_s, 1.0);
+        assert_eq!(a.launches, 5);
+        assert_eq!(a.bytes_h2d, 100);
+        assert_eq!(a.bytes_d2h, 50);
+        assert_eq!(a.useful_iterations, 10);
+        assert_eq!(a.charged_iterations, 20);
+    }
+}

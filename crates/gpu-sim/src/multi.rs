@@ -1,0 +1,256 @@
+//! Multi-GPU extension.
+//!
+//! The paper's conclusion: "Our GPU-based framework has considerable
+//! scalability, since the communication of parallel threads is negligible.
+//! Little adaptation is needed to extend the current implementation to the
+//! multi-GPU version, and proportional performance gains can be expected."
+//! This module builds that version: lanes partition across `n` simulated
+//! devices, each device runs its shard independently (kernel time is the
+//! maximum across devices — they execute concurrently), while the single
+//! host bus serializes transfers and the single CPU serializes reductions.
+
+use crate::device::DeviceConfig;
+use crate::kernel::{Gpu, LaunchStats, SimKernel};
+use crate::ledger::TimingLedger;
+
+/// A group of identical simulated devices sharing one host.
+#[derive(Debug)]
+pub struct MultiGpu {
+    devices: Vec<Gpu>,
+    // Aggregate wall view: kernels overlap across devices, host work is
+    // serialized.
+    kernel_wall_s: f64,
+    host_serial_s: f64,
+}
+
+impl MultiGpu {
+    /// Bring up `n` identical devices.
+    pub fn new(config: DeviceConfig, n: usize) -> Self {
+        assert!(n >= 1, "need at least one device");
+        MultiGpu {
+            devices: (0..n).map(|_| Gpu::new(config.clone())).collect(),
+            kernel_wall_s: 0.0,
+            host_serial_s: 0.0,
+        }
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Launch a kernel with lanes partitioned round-robin-contiguously
+    /// (device `d` gets the `d`-th contiguous shard). Returns per-device
+    /// launch stats; lanes are mutated in place.
+    ///
+    /// Simulated wall time advances by the **maximum** shard kernel time —
+    /// devices run concurrently.
+    pub fn launch_partitioned<K: SimKernel>(
+        &mut self,
+        kernel: &K,
+        lanes: &mut [K::Lane],
+        max_iters: u32,
+    ) -> Vec<LaunchStats> {
+        let n = self.devices.len();
+        let shard = lanes.len().div_ceil(n).max(1);
+        let mut stats = Vec::with_capacity(n);
+        let mut slowest = 0.0f64;
+        for (d, chunk) in lanes.chunks_mut(shard).enumerate() {
+            let s = self.devices[d].launch(kernel, chunk, max_iters);
+            slowest = slowest.max(s.kernel_s);
+            stats.push(s);
+        }
+        self.kernel_wall_s += slowest;
+        stats
+    }
+
+    /// Broadcast an upload (e.g. the sample volume) to every device over
+    /// the shared bus: the bus serializes, so cost is `n ×` one transfer.
+    pub fn broadcast_to_devices(&mut self, bytes: u64) {
+        for d in &mut self.devices {
+            let t = d.transfer_to_device(bytes);
+            self.host_serial_s += t;
+        }
+    }
+
+    /// Upload distinct shards (e.g. start points): total bytes split across
+    /// devices, one serialized transfer each.
+    pub fn scatter_to_devices(&mut self, total_bytes: u64) {
+        let n = self.devices.len() as u64;
+        for d in &mut self.devices {
+            let t = d.transfer_to_device(total_bytes / n);
+            self.host_serial_s += t;
+        }
+    }
+
+    /// Read each device's shard back.
+    pub fn gather_to_host(&mut self, total_bytes: u64) {
+        let n = self.devices.len() as u64;
+        for d in &mut self.devices {
+            let t = d.transfer_to_host(total_bytes / n);
+            self.host_serial_s += t;
+        }
+    }
+
+    /// Host reduction over all shards (serialized on the one CPU).
+    pub fn host_reduction(&mut self, elements: u64) {
+        let n = self.devices.len() as u64;
+        for d in &mut self.devices {
+            let t = d.host_reduction(elements / n.max(1));
+            self.host_serial_s += t;
+        }
+    }
+
+    /// Aggregate ledger (sums across devices — device-seconds, not wall).
+    pub fn aggregate_ledger(&self) -> TimingLedger {
+        let mut total = TimingLedger::default();
+        for d in &self.devices {
+            total.merge(d.ledger());
+        }
+        total
+    }
+
+    /// Simulated wall-clock makespan: concurrent kernels + serialized host
+    /// work.
+    pub fn wall_s(&self) -> f64 {
+        self.kernel_wall_s + self.host_serial_s
+    }
+
+    /// Per-device ledgers.
+    pub fn device_ledgers(&self) -> Vec<TimingLedger> {
+        self.devices.iter().map(|d| *d.ledger()).collect()
+    }
+}
+
+/// Strong-scaling summary for a workload run at several device counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingPoint {
+    /// Device count.
+    pub devices: usize,
+    /// Simulated wall seconds.
+    pub wall_s: f64,
+    /// Speedup over one device.
+    pub speedup: f64,
+    /// Parallel efficiency (`speedup / devices`).
+    pub efficiency: f64,
+}
+
+/// Compute scaling points from `(devices, wall_s)` measurements.
+pub fn scaling_summary(measurements: &[(usize, f64)]) -> Vec<ScalingPoint> {
+    assert!(!measurements.is_empty());
+    let base = measurements
+        .iter()
+        .find(|(n, _)| *n == 1)
+        .map(|(_, t)| *t)
+        .unwrap_or(measurements[0].1);
+    measurements
+        .iter()
+        .map(|&(devices, wall_s)| {
+            let speedup = base / wall_s;
+            ScalingPoint { devices, wall_s, speedup, efficiency: speedup / devices as f64 }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::LaneStatus;
+
+    struct Countdown;
+    impl SimKernel for Countdown {
+        type Lane = u32;
+        fn step(&self, lane: &mut u32) -> LaneStatus {
+            if *lane > 1 {
+                *lane -= 1;
+                LaneStatus::Continue
+            } else {
+                *lane = 0;
+                LaneStatus::Finished
+            }
+        }
+    }
+
+    fn device() -> DeviceConfig {
+        DeviceConfig {
+            wavefront_size: 4,
+            num_compute_units: 2,
+            waves_per_cu: 2,
+            ..DeviceConfig::radeon_5870()
+        }
+    }
+
+    fn balanced_loads(n: usize) -> Vec<u32> {
+        vec![100u32; n]
+    }
+
+    #[test]
+    fn results_identical_across_device_counts() {
+        for n in [1usize, 2, 4] {
+            let mut multi = MultiGpu::new(device(), n);
+            let mut lanes = (1..=257u32).collect::<Vec<_>>();
+            multi.launch_partitioned(&Countdown, &mut lanes, 10_000);
+            assert!(lanes.iter().all(|&l| l == 0), "all lanes completed on {n} devices");
+        }
+    }
+
+    #[test]
+    fn kernels_overlap_across_devices() {
+        let mut one = MultiGpu::new(device(), 1);
+        let mut four = MultiGpu::new(device(), 4);
+        let mut a = balanced_loads(1024);
+        let mut b = balanced_loads(1024);
+        one.launch_partitioned(&Countdown, &mut a, 10_000);
+        four.launch_partitioned(&Countdown, &mut b, 10_000);
+        // Proportional gains: 4 devices ≈ 4× faster on balanced loads
+        // (modulo the fixed launch overhead).
+        let ratio = one.wall_s() / four.wall_s();
+        assert!(ratio > 3.0, "scaling ratio {ratio:.2}");
+        // Total device-seconds are roughly conserved.
+        let l1 = one.aggregate_ledger();
+        let l4 = four.aggregate_ledger();
+        assert_eq!(l1.useful_iterations, l4.useful_iterations);
+    }
+
+    #[test]
+    fn host_work_serializes() {
+        let mut multi = MultiGpu::new(device(), 4);
+        multi.broadcast_to_devices(1_000_000);
+        // Broadcast over a shared bus costs ~4 single transfers.
+        let single = device().pcie.transfer_seconds(1_000_000);
+        assert!((multi.wall_s() - 4.0 * single).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scatter_and_gather_split_bytes() {
+        let mut multi = MultiGpu::new(device(), 2);
+        multi.scatter_to_devices(1_000_000);
+        multi.gather_to_host(1_000_000);
+        let l = multi.aggregate_ledger();
+        assert_eq!(l.bytes_h2d, 1_000_000);
+        assert_eq!(l.bytes_d2h, 1_000_000);
+    }
+
+    #[test]
+    fn scaling_summary_math() {
+        let pts = scaling_summary(&[(1, 8.0), (2, 4.2), (4, 2.4)]);
+        assert_eq!(pts[0].speedup, 1.0);
+        assert!((pts[1].speedup - 8.0 / 4.2).abs() < 1e-12);
+        assert!(pts[2].efficiency < 1.0 && pts[2].efficiency > 0.7);
+    }
+
+    #[test]
+    fn reduction_split_across_shards() {
+        let mut multi = MultiGpu::new(device(), 4);
+        multi.host_reduction(4000);
+        let l = multi.aggregate_ledger();
+        // Total elements reduced = 4000 regardless of device count.
+        assert!((l.reduction_s - device().reduction_seconds(4000)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_devices_rejected() {
+        let _ = MultiGpu::new(device(), 0);
+    }
+}

@@ -1,0 +1,176 @@
+//! CPU–GPU overlap scheduling — the paper's Fig. 8 ("we leave this as
+//! future work"), built here as an extension.
+//!
+//! Within one sample, segment `i+1` cannot launch until segment `i`'s
+//! reduction completes, so there is nothing to overlap. But two *samples*
+//! can interleave: while the GPU runs sample A's next kernel, the CPU
+//! reduces sample B's previous output. This module schedules two (or more)
+//! such streams over two resources — the GPU, and the host CPU + PCIe bus —
+//! and reports the overlapped makespan against the sequential one.
+
+/// One segment's cost in a stream: GPU kernel time, then host time
+/// (readback transfer + reduction + compacted re-upload), which must finish
+/// before the stream's next kernel may start.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentCost {
+    /// GPU kernel seconds.
+    pub kernel_s: f64,
+    /// Host-side seconds (transfer + reduction).
+    pub host_s: f64,
+}
+
+/// Result of scheduling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverlapResult {
+    /// Makespan when streams run back-to-back with no overlap.
+    pub sequential_s: f64,
+    /// Makespan with kernel/host overlap across streams.
+    pub overlapped_s: f64,
+}
+
+impl OverlapResult {
+    /// Fractional saving of overlap over sequential execution.
+    pub fn saving(&self) -> f64 {
+        if self.sequential_s <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.overlapped_s / self.sequential_s
+    }
+}
+
+/// Schedule `streams` of segments over {GPU, host} with list scheduling:
+/// at each step, dispatch the stream whose next task is ready earliest onto
+/// its resource (GPU for kernels, host for reductions). Within a stream the
+/// kernel→host→kernel chain is strictly ordered.
+pub fn schedule_streams(streams: &[Vec<SegmentCost>]) -> OverlapResult {
+    let sequential_s: f64 = streams
+        .iter()
+        .flat_map(|s| s.iter())
+        .map(|c| c.kernel_s + c.host_s)
+        .sum();
+
+    // Per-stream cursor: (segment index, phase) where phase 0 = kernel
+    // pending, 1 = host pending. `ready[s]` is when the stream's next task
+    // may start (its previous task's completion).
+    let n = streams.len();
+    let mut seg = vec![0usize; n];
+    let mut phase = vec![0u8; n];
+    let mut ready = vec![0.0f64; n];
+    let mut gpu_free = 0.0f64;
+    let mut host_free = 0.0f64;
+    let mut makespan = 0.0f64;
+
+    loop {
+        // Pick the dispatchable task that can *start* earliest.
+        let mut best: Option<(usize, f64)> = None;
+        for s in 0..n {
+            if seg[s] >= streams[s].len() {
+                continue;
+            }
+            let resource_free = if phase[s] == 0 { gpu_free } else { host_free };
+            let start = ready[s].max(resource_free);
+            if best.map(|(_, t)| start < t).unwrap_or(true) {
+                best = Some((s, start));
+            }
+        }
+        let Some((s, start)) = best else { break };
+        let cost = streams[s][seg[s]];
+        let (dur, resource_is_gpu) = if phase[s] == 0 {
+            (cost.kernel_s, true)
+        } else {
+            (cost.host_s, false)
+        };
+        let end = start + dur;
+        if resource_is_gpu {
+            gpu_free = end;
+            phase[s] = 1;
+        } else {
+            host_free = end;
+            phase[s] = 0;
+            seg[s] += 1;
+        }
+        ready[s] = end;
+        makespan = makespan.max(end);
+    }
+
+    OverlapResult { sequential_s, overlapped_s: makespan }
+}
+
+/// Convenience: split one stream of segments into `k` interleaved streams of
+/// identical cost (the paper's "track from two samples at the same time")
+/// and schedule them.
+pub fn interleave_identical(segments: &[SegmentCost], k: usize) -> OverlapResult {
+    assert!(k >= 1);
+    let streams: Vec<Vec<SegmentCost>> = (0..k).map(|_| segments.to_vec()).collect();
+    schedule_streams(&streams)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(kernel_s: f64, host_s: f64) -> SegmentCost {
+        SegmentCost { kernel_s, host_s }
+    }
+
+    #[test]
+    fn single_stream_no_overlap_possible() {
+        let r = schedule_streams(&[vec![seg(1.0, 0.5); 4]]);
+        assert!((r.sequential_s - 6.0).abs() < 1e-12);
+        assert!((r.overlapped_s - 6.0).abs() < 1e-12);
+        assert_eq!(r.saving(), 0.0);
+    }
+
+    #[test]
+    fn two_streams_overlap_saves_time() {
+        let stream = vec![seg(1.0, 1.0); 4];
+        let r = schedule_streams(&[stream.clone(), stream]);
+        assert!((r.sequential_s - 16.0).abs() < 1e-12);
+        // Perfectly balanced kernels/hosts pipeline almost completely:
+        // makespan ≈ 8 + 1 (pipeline fill).
+        assert!(r.overlapped_s < 10.0, "overlapped {}", r.overlapped_s);
+        assert!(r.overlapped_s >= 8.0, "cannot beat the busy resource bound");
+        assert!(r.saving() > 0.35);
+    }
+
+    #[test]
+    fn overlap_never_worse_than_sequential() {
+        let a = vec![seg(0.5, 0.1), seg(2.0, 0.4), seg(0.2, 1.0)];
+        let b = vec![seg(1.0, 1.0), seg(0.1, 0.1)];
+        let r = schedule_streams(&[a, b]);
+        assert!(r.overlapped_s <= r.sequential_s + 1e-12);
+    }
+
+    #[test]
+    fn overlap_bounded_by_resource_totals() {
+        let a = vec![seg(1.0, 0.2); 5];
+        let b = vec![seg(1.0, 0.2); 5];
+        let r = schedule_streams(&[a, b]);
+        let gpu_total = 10.0;
+        assert!(r.overlapped_s >= gpu_total, "GPU is the bottleneck resource");
+    }
+
+    #[test]
+    fn interleave_identical_matches_manual() {
+        let segs = vec![seg(1.0, 0.5); 3];
+        let r1 = interleave_identical(&segs, 2);
+        let r2 = schedule_streams(&[segs.clone(), segs]);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn empty_streams() {
+        let r = schedule_streams(&[]);
+        assert_eq!(r.sequential_s, 0.0);
+        assert_eq!(r.overlapped_s, 0.0);
+    }
+
+    #[test]
+    fn host_dominated_streams_bottleneck_on_host() {
+        let a = vec![seg(0.1, 1.0); 4];
+        let b = vec![seg(0.1, 1.0); 4];
+        let r = schedule_streams(&[a, b]);
+        assert!(r.overlapped_s >= 8.0, "host resource floor");
+        assert!(r.overlapped_s < r.sequential_s);
+    }
+}

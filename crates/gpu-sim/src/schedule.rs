@@ -1,0 +1,146 @@
+//! Schedule traces — the execution timelines of the paper's Figs. 3 and 7.
+
+/// What a schedule event represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// GPU kernel execution.
+    Kernel,
+    /// Host→device transfer.
+    TransferH2D,
+    /// Device→host transfer.
+    TransferD2H,
+    /// Host-side reduction/compaction.
+    Reduction,
+}
+
+impl EventKind {
+    /// Short label for rendering.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::Kernel => "kernel",
+            EventKind::TransferH2D => "h2d",
+            EventKind::TransferD2H => "d2h",
+            EventKind::Reduction => "reduce",
+        }
+    }
+}
+
+/// One interval on the simulated timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduleEvent {
+    /// Event kind.
+    pub kind: EventKind,
+    /// Start time (simulated seconds).
+    pub start_s: f64,
+    /// Duration (simulated seconds).
+    pub duration_s: f64,
+    /// Number of lanes/elements involved (rendered as bar width, like the
+    /// rectangle widths of the paper's Fig. 3).
+    pub lanes: usize,
+}
+
+/// An ordered trace of schedule events.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleTrace {
+    events: Vec<ScheduleEvent>,
+}
+
+impl ScheduleTrace {
+    /// Append an event.
+    pub fn push(&mut self, e: ScheduleEvent) {
+        self.events.push(e);
+    }
+
+    /// All events in submission order.
+    pub fn events(&self) -> &[ScheduleEvent] {
+        &self.events
+    }
+
+    /// Total time attributed to a kind.
+    pub fn total_for(&self, kind: EventKind) -> f64 {
+        self.events.iter().filter(|e| e.kind == kind).map(|e| e.duration_s).sum()
+    }
+
+    /// Makespan: end of the last event.
+    pub fn makespan_s(&self) -> f64 {
+        self.events
+            .iter()
+            .map(|e| e.start_s + e.duration_s)
+            .fold(0.0, f64::max)
+    }
+
+    /// Render an ASCII timeline (one row per event), the textual analogue of
+    /// the paper's Fig. 3/7 schedule diagrams.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let makespan = self.makespan_s();
+        if makespan <= 0.0 || self.events.is_empty() {
+            return String::from("(empty trace)\n");
+        }
+        let mut out = String::new();
+        for e in &self.events {
+            let start = ((e.start_s / makespan) * width as f64).round() as usize;
+            let len = (((e.duration_s / makespan) * width as f64).round() as usize).max(1);
+            let bar_char = match e.kind {
+                EventKind::Kernel => '#',
+                EventKind::Reduction => '=',
+                _ => '-',
+            };
+            out.push_str(&" ".repeat(start.min(width)));
+            out.push_str(&bar_char.to_string().repeat(len.min(width.saturating_sub(start) + 1)));
+            out.push_str(&format!(
+                "  {:<7} t={:.4}s dur={:.4}s lanes={}\n",
+                e.kind.label(),
+                e.start_s,
+                e.duration_s,
+                e.lanes
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> ScheduleTrace {
+        let mut t = ScheduleTrace::default();
+        t.push(ScheduleEvent { kind: EventKind::TransferH2D, start_s: 0.0, duration_s: 0.1, lanes: 0 });
+        t.push(ScheduleEvent { kind: EventKind::Kernel, start_s: 0.1, duration_s: 0.5, lanes: 128 });
+        t.push(ScheduleEvent { kind: EventKind::TransferD2H, start_s: 0.6, duration_s: 0.1, lanes: 0 });
+        t.push(ScheduleEvent { kind: EventKind::Reduction, start_s: 0.7, duration_s: 0.2, lanes: 128 });
+        t
+    }
+
+    #[test]
+    fn totals_by_kind() {
+        let t = trace();
+        assert!((t.total_for(EventKind::Kernel) - 0.5).abs() < 1e-12);
+        assert!((t.total_for(EventKind::TransferH2D) + t.total_for(EventKind::TransferD2H) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn makespan_is_last_end() {
+        assert!((trace().makespan_s() - 0.9).abs() < 1e-12);
+        assert_eq!(ScheduleTrace::default().makespan_s(), 0.0);
+    }
+
+    #[test]
+    fn ascii_render_has_one_row_per_event() {
+        let s = trace().render_ascii(40);
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.contains("kernel"));
+        assert!(s.contains("reduce"));
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        assert!(ScheduleTrace::default().render_ascii(40).contains("empty"));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(EventKind::Kernel.label(), "kernel");
+        assert_eq!(EventKind::TransferH2D.label(), "h2d");
+    }
+}

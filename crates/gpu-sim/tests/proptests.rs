@@ -1,0 +1,141 @@
+//! Property-based tests of the simulator's cost-model invariants.
+
+use proptest::prelude::*;
+use tracto_gpu_sim::overlap::{schedule_streams, SegmentCost};
+use tracto_gpu_sim::{DeviceConfig, Gpu, LaneStatus, SimKernel};
+
+struct Countdown;
+impl SimKernel for Countdown {
+    type Lane = u32;
+    fn step(&self, lane: &mut u32) -> LaneStatus {
+        if *lane > 1 {
+            *lane -= 1;
+            LaneStatus::Continue
+        } else {
+            *lane = 0;
+            LaneStatus::Finished
+        }
+    }
+}
+
+fn device(wavefront: usize) -> DeviceConfig {
+    DeviceConfig {
+        wavefront_size: wavefront,
+        num_compute_units: 2,
+        waves_per_cu: 2,
+        ..DeviceConfig::radeon_5870()
+    }
+}
+
+proptest! {
+    #[test]
+    fn executed_never_exceeds_budget(
+        loads in prop::collection::vec(1u32..500, 1..200),
+        budget in 1u32..100,
+        wavefront in 1usize..16,
+    ) {
+        let mut gpu = Gpu::new(device(wavefront));
+        let mut lanes = loads.clone();
+        let stats = gpu.launch(&Countdown, &mut lanes, budget);
+        for (i, (&e, &orig)) in stats.executed.iter().zip(&loads).enumerate() {
+            prop_assert!(e <= budget, "lane {i} executed {e} > budget {budget}");
+            prop_assert!(e <= orig, "lane {i} executed {e} > its own load {orig}");
+            // Finished iff the load fit within the budget.
+            prop_assert_eq!(stats.finished[i], orig <= budget);
+        }
+    }
+
+    #[test]
+    fn charged_at_least_useful(
+        loads in prop::collection::vec(1u32..300, 1..256),
+        wavefront in 1usize..64,
+    ) {
+        let mut gpu = Gpu::new(device(wavefront));
+        let mut lanes = loads.clone();
+        let stats = gpu.launch(&Countdown, &mut lanes, 1_000);
+        prop_assert!(stats.charged_iterations >= stats.useful_iterations);
+        prop_assert_eq!(
+            stats.useful_iterations,
+            loads.iter().map(|&l| l as u64).sum::<u64>()
+        );
+        let util = gpu.ledger().simd_utilization();
+        prop_assert!(util > 0.0 && util <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn charging_invariant_to_intra_warp_permutation(
+        mut loads in prop::collection::vec(1u32..200, 8..64),
+        seed in 0u64..1000,
+    ) {
+        let wavefront = 8;
+        let mut g1 = Gpu::new(device(wavefront));
+        let s1 = g1.launch(&Countdown, &mut loads.clone(), 1_000);
+        // Permute within each wavefront only.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        for chunk in loads.chunks_mut(wavefront) {
+            for i in (1..chunk.len()).rev() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let j = (state >> 33) as usize % (i + 1);
+                chunk.swap(i, j);
+            }
+        }
+        let mut g2 = Gpu::new(device(wavefront));
+        let s2 = g2.launch(&Countdown, &mut loads, 1_000);
+        prop_assert_eq!(s1.charged_iterations, s2.charged_iterations);
+        prop_assert!((s1.kernel_s - s2.kernel_s).abs() < 1e-15);
+    }
+
+    #[test]
+    fn wider_wavefronts_never_charge_less(
+        loads in prop::collection::vec(1u32..200, 1..200),
+    ) {
+        // Doubling the wavefront merges pairs of warps: max(a,b) ≥ each.
+        let mut narrow = Gpu::new(device(4));
+        let mut wide = Gpu::new(device(8));
+        let sn = narrow.launch(&Countdown, &mut loads.clone(), 1_000);
+        let sw = wide.launch(&Countdown, &mut loads.clone(), 1_000);
+        prop_assert!(sw.charged_iterations >= sn.charged_iterations);
+    }
+
+    #[test]
+    fn transfer_time_monotone_and_additive(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let d = DeviceConfig::radeon_5870();
+        let ta = d.pcie.transfer_seconds(a);
+        let tb = d.pcie.transfer_seconds(b);
+        let tab = d.pcie.transfer_seconds(a + b);
+        prop_assert!(tab + 1e-15 >= ta.max(tb));
+        // One big transfer beats two small ones (latency amortized).
+        prop_assert!(tab <= ta + tb + 1e-15);
+    }
+
+    #[test]
+    fn overlap_bounded_by_sequential_and_resource_floor(
+        kernel_costs in prop::collection::vec(0.001f64..1.0, 1..10),
+        host_costs in prop::collection::vec(0.001f64..1.0, 1..10),
+        streams in 1usize..4,
+    ) {
+        let n = kernel_costs.len().min(host_costs.len());
+        let segs: Vec<SegmentCost> = (0..n)
+            .map(|i| SegmentCost { kernel_s: kernel_costs[i], host_s: host_costs[i] })
+            .collect();
+        let all: Vec<Vec<SegmentCost>> = (0..streams).map(|_| segs.clone()).collect();
+        let r = schedule_streams(&all);
+        prop_assert!(r.overlapped_s <= r.sequential_s + 1e-9);
+        let gpu_total: f64 = segs.iter().map(|s| s.kernel_s).sum::<f64>() * streams as f64;
+        let host_total: f64 = segs.iter().map(|s| s.host_s).sum::<f64>() * streams as f64;
+        prop_assert!(r.overlapped_s + 1e-9 >= gpu_total.max(host_total),
+            "makespan below the busy-resource floor");
+    }
+
+    #[test]
+    fn kernel_time_monotone_in_weight(
+        iters in 1u64..10_000_000,
+        w1 in 0.1f64..10.0,
+        extra in 0.1f64..10.0,
+    ) {
+        let d = DeviceConfig::radeon_5870();
+        prop_assert!(
+            d.kernel_seconds_weighted(iters, w1) <= d.kernel_seconds_weighted(iters, w1 + extra)
+        );
+    }
+}

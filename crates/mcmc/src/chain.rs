@@ -1,0 +1,216 @@
+//! Driving one voxel's chain: burn-in, thinning, sample collection.
+
+use crate::mh::{AdaptScheme, MhSampler, Target};
+use tracto_rng::RandomSource;
+
+/// Chain schedule configuration (the paper's Fig. 2 parameters).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChainConfig {
+    /// Loops discarded before sampling begins (`NumBurnIn`; paper example
+    /// value 500).
+    pub num_burnin: u32,
+    /// Number of posterior samples to record (`NumSamples`; the paper's
+    /// experiments use 50).
+    pub num_samples: u32,
+    /// Loops between recorded samples (`L`; paper value 2).
+    pub sample_interval: u32,
+    /// Proposal adaptation scheme.
+    pub adapt: AdaptScheme,
+}
+
+impl ChainConfig {
+    /// The paper's experimental configuration: burn-in 500, 50 samples at
+    /// interval 2 (⇒ `NumLoops = 600`).
+    pub fn paper_default() -> Self {
+        ChainConfig {
+            num_burnin: 500,
+            num_samples: 50,
+            sample_interval: 2,
+            adapt: AdaptScheme::paper_default(),
+        }
+    }
+
+    /// A fast configuration for unit tests.
+    pub fn fast_test() -> Self {
+        ChainConfig {
+            num_burnin: 150,
+            num_samples: 25,
+            sample_interval: 2,
+            adapt: AdaptScheme::paper_default(),
+        }
+    }
+
+    /// Total number of loops: `NumBurnIn + NumSamples × L`.
+    pub fn num_loops(&self) -> u32 {
+        self.num_burnin + self.num_samples * self.sample_interval
+    }
+
+    /// Total random numbers consumed per chain:
+    /// `NumLoops × NumParameters × 3` (the paper's memory-cost analysis).
+    pub fn random_numbers_needed(&self, num_parameters: u32) -> u64 {
+        self.num_loops() as u64 * num_parameters as u64 * 3
+    }
+}
+
+/// The output of one chain run.
+#[derive(Debug, Clone)]
+pub struct ChainOutput<const N: usize> {
+    /// Recorded posterior samples, `num_samples` rows.
+    pub samples: Vec<[f64; N]>,
+    /// Final proposal scales after adaptation.
+    pub final_scales: [f64; N],
+    /// Acceptance rates over the final adaptation window.
+    pub final_acceptance: [f64; N],
+}
+
+impl<const N: usize> ChainOutput<N> {
+    /// Posterior mean of parameter `j`.
+    pub fn mean(&self, j: usize) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        self.samples.iter().map(|s| s[j]).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Posterior variance of parameter `j`.
+    pub fn variance(&self, j: usize) -> f64 {
+        let m = self.mean(j);
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| (s[j] - m) * (s[j] - m)).sum::<f64>()
+            / (self.samples.len() - 1) as f64
+    }
+}
+
+/// Run one chain to completion: burn-in, then record `num_samples` states at
+/// interval `L`. This function body is exactly the paper's Fig. 2 loop and
+/// is shared verbatim between the CPU reference and the simulated-GPU lane.
+pub fn run_chain<const N: usize, T: Target<N>, R: RandomSource>(
+    target: &T,
+    initial: [f64; N],
+    scales: [f64; N],
+    config: ChainConfig,
+    rng: &mut R,
+) -> ChainOutput<N> {
+    let mut sampler = MhSampler::new(target, initial, scales, config.adapt);
+    for _ in 0..config.num_burnin {
+        sampler.step_loop(target, rng);
+    }
+    let mut samples = Vec::with_capacity(config.num_samples as usize);
+    for _ in 0..config.num_samples {
+        for _ in 0..config.sample_interval {
+            sampler.step_loop(target, rng);
+        }
+        samples.push(*sampler.params());
+    }
+    ChainOutput {
+        samples,
+        final_scales: *sampler.scales(),
+        final_acceptance: sampler.recent_acceptance_rates(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracto_rng::HybridTaus;
+
+    fn std_normal(p: &[f64; 1]) -> f64 {
+        -0.5 * p[0] * p[0]
+    }
+
+    #[test]
+    fn num_loops_formula() {
+        let c = ChainConfig::paper_default();
+        assert_eq!(c.num_loops(), 500 + 50 * 2);
+    }
+
+    #[test]
+    fn random_number_budget_matches_paper_formula() {
+        // Paper example: NumBurnIn 500, L 2, NumSamples 250, 9 parameters.
+        let c = ChainConfig {
+            num_burnin: 500,
+            num_samples: 250,
+            sample_interval: 2,
+            adapt: AdaptScheme::paper_default(),
+        };
+        assert_eq!(c.random_numbers_needed(9), (500 + 250 * 2) * 9 * 3);
+        // And the paper's ">20 GB for >200k voxels" claim: 4 bytes each.
+        let total_bytes = c.random_numbers_needed(9) * 200_000 * 4;
+        assert!(total_bytes > 20_000_000_000);
+    }
+
+    #[test]
+    fn collects_requested_samples() {
+        let mut rng = HybridTaus::new(1);
+        let out = run_chain(&std_normal, [0.0], [1.0], ChainConfig::fast_test(), &mut rng);
+        assert_eq!(out.samples.len(), 25);
+    }
+
+    #[test]
+    fn chain_recovers_normal_moments() {
+        let mut rng = HybridTaus::new(2);
+        let config = ChainConfig {
+            num_burnin: 500,
+            num_samples: 4000,
+            sample_interval: 2,
+            adapt: AdaptScheme::paper_default(),
+        };
+        let out = run_chain(&std_normal, [3.0], [1.0], config, &mut rng);
+        assert!(out.mean(0).abs() < 0.1, "mean {}", out.mean(0));
+        assert!((out.variance(0) - 1.0).abs() < 0.15, "var {}", out.variance(0));
+    }
+
+    #[test]
+    fn thinning_reduces_autocorrelation() {
+        let cfg_thin = ChainConfig {
+            num_burnin: 300,
+            num_samples: 2000,
+            sample_interval: 8,
+            adapt: AdaptScheme::paper_default(),
+        };
+        let cfg_dense = ChainConfig { sample_interval: 1, ..cfg_thin };
+        let mut r1 = HybridTaus::new(3);
+        let mut r2 = HybridTaus::new(3);
+        let thin = run_chain(&std_normal, [0.0], [0.5], cfg_thin, &mut r1);
+        let dense = run_chain(&std_normal, [0.0], [0.5], cfg_dense, &mut r2);
+        let lag1 = |out: &ChainOutput<1>| {
+            let m = out.mean(0);
+            let n = out.samples.len();
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for i in 0..n {
+                let d = out.samples[i][0] - m;
+                den += d * d;
+                if i + 1 < n {
+                    num += d * (out.samples[i + 1][0] - m);
+                }
+            }
+            num / den
+        };
+        assert!(lag1(&thin) < lag1(&dense), "thinning must decorrelate");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut r1 = HybridTaus::new(9);
+        let mut r2 = HybridTaus::new(9);
+        let a = run_chain(&std_normal, [0.0], [1.0], ChainConfig::fast_test(), &mut r1);
+        let b = run_chain(&std_normal, [0.0], [1.0], ChainConfig::fast_test(), &mut r2);
+        assert_eq!(a.samples, b.samples);
+    }
+
+    #[test]
+    fn mean_variance_helpers() {
+        let out = ChainOutput::<2> {
+            samples: vec![[1.0, 10.0], [3.0, 10.0]],
+            final_scales: [1.0; 2],
+            final_acceptance: [0.3; 2],
+        };
+        assert_eq!(out.mean(0), 2.0);
+        assert_eq!(out.mean(1), 10.0);
+        assert_eq!(out.variance(0), 2.0);
+        assert_eq!(out.variance(1), 0.0);
+    }
+}

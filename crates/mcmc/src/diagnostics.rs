@@ -1,0 +1,169 @@
+//! Chain diagnostics: autocorrelation, effective sample size, and the
+//! Gelman–Rubin statistic for multi-chain checks.
+
+/// Lag-`k` autocorrelation of a series.
+pub fn autocorrelation(series: &[f64], lag: usize) -> f64 {
+    let n = series.len();
+    if n <= lag + 1 {
+        return 0.0;
+    }
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (i, &x) in series.iter().enumerate() {
+        let d = x - mean;
+        den += d * d;
+        if i + lag < n {
+            num += d * (series[i + lag] - mean);
+        }
+    }
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// Effective sample size by the initial-positive-sequence estimator:
+/// `ESS = n / (1 + 2 Σ ρ_k)` truncated at the first non-positive pairwise
+/// sum of autocorrelations (Geyer 1992).
+pub fn effective_sample_size(series: &[f64]) -> f64 {
+    let n = series.len();
+    if n < 4 {
+        return n as f64;
+    }
+    let mut sum = 0.0;
+    let mut k = 1;
+    loop {
+        let rho_a = autocorrelation(series, k);
+        let rho_b = autocorrelation(series, k + 1);
+        if rho_a + rho_b <= 0.0 || k + 1 >= n - 1 {
+            break;
+        }
+        sum += rho_a + rho_b;
+        k += 2;
+    }
+    (n as f64 / (1.0 + 2.0 * sum)).clamp(1.0, n as f64)
+}
+
+/// Gelman–Rubin potential scale reduction factor `R̂` across chains of equal
+/// length. Values close to 1 indicate convergence.
+pub fn gelman_rubin(chains: &[Vec<f64>]) -> f64 {
+    let m = chains.len();
+    assert!(m >= 2, "need at least two chains");
+    let n = chains[0].len();
+    assert!(chains.iter().all(|c| c.len() == n), "chains must share length");
+    assert!(n >= 2, "chains too short");
+
+    let chain_means: Vec<f64> =
+        chains.iter().map(|c| c.iter().sum::<f64>() / n as f64).collect();
+    let grand = chain_means.iter().sum::<f64>() / m as f64;
+    // Between-chain variance.
+    let b = n as f64 / (m as f64 - 1.0)
+        * chain_means.iter().map(|&mu| (mu - grand) * (mu - grand)).sum::<f64>();
+    // Within-chain variance.
+    let w = chains
+        .iter()
+        .zip(&chain_means)
+        .map(|(c, &mu)| {
+            c.iter().map(|&x| (x - mu) * (x - mu)).sum::<f64>() / (n as f64 - 1.0)
+        })
+        .sum::<f64>()
+        / m as f64;
+    if w == 0.0 {
+        return 1.0;
+    }
+    let var_plus = (n as f64 - 1.0) / n as f64 * w + b / n as f64;
+    (var_plus / w).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracto_rng::{BoxMuller, HybridTaus};
+
+    fn iid_normal(n: usize, seed: u64) -> Vec<f64> {
+        let mut g = BoxMuller::new(HybridTaus::new(seed));
+        (0..n).map(|_| g.next_standard()).collect()
+    }
+
+    fn ar1(n: usize, phi: f64, seed: u64) -> Vec<f64> {
+        let mut g = BoxMuller::new(HybridTaus::new(seed));
+        let mut x = 0.0;
+        (0..n)
+            .map(|_| {
+                x = phi * x + g.next_standard();
+                x
+            })
+            .collect()
+    }
+
+    #[test]
+    fn autocorrelation_lag0_is_one() {
+        let s = iid_normal(1000, 1);
+        assert!((autocorrelation(&s, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iid_series_has_small_lag1() {
+        let s = iid_normal(20_000, 2);
+        assert!(autocorrelation(&s, 1).abs() < 0.03);
+    }
+
+    #[test]
+    fn ar1_autocorrelation_matches_phi() {
+        let s = ar1(50_000, 0.7, 3);
+        assert!((autocorrelation(&s, 1) - 0.7).abs() < 0.03);
+    }
+
+    #[test]
+    fn ess_near_n_for_iid() {
+        let s = iid_normal(5000, 4);
+        let ess = effective_sample_size(&s);
+        assert!(ess > 3500.0, "ESS {ess} for iid series");
+    }
+
+    #[test]
+    fn ess_shrinks_with_correlation() {
+        let s = ar1(5000, 0.9, 5);
+        let ess = effective_sample_size(&s);
+        // AR(1) with φ=0.9 has ESS ≈ n(1−φ)/(1+φ) ≈ n/19.
+        assert!(ess < 1000.0, "ESS {ess} for strongly correlated series");
+    }
+
+    #[test]
+    fn ess_bounded_by_n() {
+        let s = iid_normal(100, 6);
+        assert!(effective_sample_size(&s) <= 100.0);
+    }
+
+    #[test]
+    fn gelman_rubin_converged_chains() {
+        let chains: Vec<Vec<f64>> = (0..4).map(|i| iid_normal(2000, 10 + i)).collect();
+        let r = gelman_rubin(&chains);
+        assert!((r - 1.0).abs() < 0.02, "R̂ {r}");
+    }
+
+    #[test]
+    fn gelman_rubin_detects_divergent_chains() {
+        let mut chains: Vec<Vec<f64>> = (0..3).map(|i| iid_normal(500, 20 + i)).collect();
+        // Shift one chain far away.
+        for x in &mut chains[0] {
+            *x += 10.0;
+        }
+        assert!(gelman_rubin(&chains) > 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn gelman_rubin_single_chain_panics() {
+        let _ = gelman_rubin(&[vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn short_series_degenerate_cases() {
+        assert_eq!(autocorrelation(&[1.0], 1), 0.0);
+        assert_eq!(effective_sample_size(&[1.0, 2.0]), 2.0);
+        assert_eq!(autocorrelation(&[2.0, 2.0, 2.0], 1), 0.0);
+    }
+}

@@ -1,0 +1,397 @@
+//! Generic per-parameter Metropolis–Hastings machinery.
+
+use tracto_rng::{box_muller_pair, RandomSource};
+
+/// A log-density target over an `N`-dimensional parameter vector.
+///
+/// Implementations return `f64::NEG_INFINITY` outside the support, which
+/// makes the MH step reject the proposal unconditionally.
+pub trait Target<const N: usize> {
+    /// Unnormalized log density at `params`.
+    fn log_density(&self, params: &[f64; N]) -> f64;
+}
+
+impl<const N: usize, F: Fn(&[f64; N]) -> f64> Target<N> for F {
+    fn log_density(&self, params: &[f64; N]) -> f64 {
+        self(params)
+    }
+}
+
+/// Proposal-scale adaptation scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdaptScheme {
+    /// Fixed proposal scales (no adaptation) — the ablation baseline.
+    Fixed,
+    /// Every `interval` loops, multiply a parameter's σ by `grow` when its
+    /// acceptance rate exceeds `hi`, and by `shrink` when below `lo` — the
+    /// paper's rule keeping acceptance "somewhere between 25% and 50%".
+    Band {
+        /// Loops between adaptations (the paper's `K`).
+        interval: u32,
+        /// Lower acceptance bound (paper: 0.25).
+        lo: f64,
+        /// Upper acceptance bound (paper: 0.50).
+        hi: f64,
+        /// Multiplier when acceptance is too high.
+        grow: f64,
+        /// Multiplier when acceptance is too low.
+        shrink: f64,
+    },
+}
+
+impl AdaptScheme {
+    /// The paper's adaptation: every 50 loops, keep acceptance in
+    /// [0.25, 0.50].
+    pub fn paper_default() -> Self {
+        AdaptScheme::Band { interval: 50, lo: 0.25, hi: 0.50, grow: 1.25, shrink: 0.8 }
+    }
+}
+
+/// One chain's Metropolis–Hastings state: current position, log density,
+/// per-parameter proposal scales and acceptance counters.
+///
+/// This struct is exactly the per-lane state of the paper's MCMC GPU kernel;
+/// the voxelwise driver owns one per voxel.
+#[derive(Debug, Clone)]
+pub struct MhSampler<const N: usize> {
+    params: [f64; N],
+    log_density: f64,
+    scales: [f64; N],
+    accepted: [u32; N],
+    proposed: [u32; N],
+    adapt: AdaptScheme,
+    loops_done: u32,
+    last_window_rates: [f64; N],
+    frozen: [bool; N],
+}
+
+impl<const N: usize> MhSampler<N> {
+    /// Start a sampler at `initial` with per-parameter proposal scales.
+    ///
+    /// # Panics
+    /// If the initial point has zero density (`-∞` log density) — chains
+    /// must start inside the support.
+    pub fn new<T: Target<N>>(
+        target: &T,
+        initial: [f64; N],
+        scales: [f64; N],
+        adapt: AdaptScheme,
+    ) -> Self {
+        let log_density = target.log_density(&initial);
+        assert!(
+            log_density > f64::NEG_INFINITY,
+            "initial state outside the target support"
+        );
+        assert!(scales.iter().all(|&s| s > 0.0), "proposal scales must be positive");
+        MhSampler {
+            params: initial,
+            log_density,
+            scales,
+            accepted: [0; N],
+            proposed: [0; N],
+            adapt,
+            loops_done: 0,
+            last_window_rates: [0.0; N],
+            frozen: [false; N],
+        }
+    }
+
+    /// Freeze a parameter: it is skipped by [`step_loop`](Self::step_loop)
+    /// and keeps its initial value. Used to restrict the model — e.g.
+    /// pinning `(f₂, θ₂, φ₂)` reduces ball-and-two-sticks to the N = 1
+    /// compartment model of Table I.
+    pub fn freeze(&mut self, j: usize) {
+        self.frozen[j] = true;
+    }
+
+    /// Whether parameter `j` is frozen.
+    pub fn is_frozen(&self, j: usize) -> bool {
+        self.frozen[j]
+    }
+
+    /// Current position.
+    #[inline]
+    pub fn params(&self) -> &[f64; N] {
+        &self.params
+    }
+
+    /// Current log density.
+    #[inline]
+    pub fn log_density(&self) -> f64 {
+        self.log_density
+    }
+
+    /// Current proposal scales.
+    pub fn scales(&self) -> &[f64; N] {
+        &self.scales
+    }
+
+    /// Per-parameter acceptance rates since the last adaptation reset.
+    pub fn acceptance_rates(&self) -> [f64; N] {
+        let mut out = [0.0; N];
+        for (o, (&acc, &prop)) in out.iter_mut().zip(self.accepted.iter().zip(&self.proposed)) {
+            if prop > 0 {
+                *o = acc as f64 / prop as f64;
+            }
+        }
+        out
+    }
+
+    /// Acceptance rates of the most recent *complete* adaptation window —
+    /// falls back to the live counters when no window has completed yet.
+    pub fn recent_acceptance_rates(&self) -> [f64; N] {
+        if self.proposed.iter().any(|&p| p > 0) && self.last_window_rates.iter().all(|&r| r == 0.0)
+        {
+            self.acceptance_rates()
+        } else if self.proposed.iter().all(|&p| p == 0) {
+            self.last_window_rates
+        } else {
+            // Mid-window: blend toward the live counts, which dominate once
+            // enough proposals accumulate.
+            self.acceptance_rates()
+        }
+    }
+
+    /// One MH update of parameter `j`: propose a Gaussian perturbation and
+    /// accept with probability `min(1, r)` where
+    /// `r = P(ω′|Y)/P(ω|Y)` (paper Section III-A-2).
+    ///
+    /// Uses three uniform draws: two through Box–Muller for the proposal,
+    /// one for the accept test — the paper's "3 random numbers" per step.
+    #[inline]
+    pub fn step_param<T: Target<N>, R: RandomSource>(
+        &mut self,
+        target: &T,
+        rng: &mut R,
+        j: usize,
+    ) -> bool {
+        let (z, _) = box_muller_pair(rng.next_f64(), rng.next_f64());
+        let old = self.params[j];
+        self.params[j] = old + self.scales[j] * z;
+        let new_ld = target.log_density(&self.params);
+        self.proposed[j] += 1;
+        // log r = ln P(ω′) − ln P(ω); accept if u < r.
+        let log_r = new_ld - self.log_density;
+        let accept = if log_r >= 0.0 {
+            true
+        } else if new_ld == f64::NEG_INFINITY {
+            false
+        } else {
+            rng.next_f64().ln() < log_r
+        };
+        if accept {
+            self.log_density = new_ld;
+            self.accepted[j] += 1;
+        } else {
+            self.params[j] = old;
+        }
+        accept
+    }
+
+    /// One full loop: an MH step for each of the `N` parameters, then
+    /// (periodically) proposal adaptation.
+    pub fn step_loop<T: Target<N>, R: RandomSource>(&mut self, target: &T, rng: &mut R) {
+        for j in 0..N {
+            if self.frozen[j] {
+                continue;
+            }
+            self.step_param(target, rng, j);
+        }
+        self.loops_done += 1;
+        if let AdaptScheme::Band { interval, lo, hi, grow, shrink } = self.adapt {
+            if self.loops_done % interval == 0 {
+                self.adapt_scales(lo, hi, grow, shrink);
+            }
+        }
+    }
+
+    fn adapt_scales(&mut self, lo: f64, hi: f64, grow: f64, shrink: f64) {
+        for j in 0..N {
+            if self.proposed[j] == 0 {
+                continue;
+            }
+            let rate = self.accepted[j] as f64 / self.proposed[j] as f64;
+            self.last_window_rates[j] = rate;
+            if rate > hi {
+                self.scales[j] *= grow;
+            } else if rate < lo {
+                self.scales[j] *= shrink;
+            }
+            self.accepted[j] = 0;
+            self.proposed[j] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracto_rng::HybridTaus;
+
+    /// 1-D standard normal target.
+    fn std_normal(p: &[f64; 1]) -> f64 {
+        -0.5 * p[0] * p[0]
+    }
+
+    #[test]
+    fn always_accepts_uphill() {
+        // A target increasing in p[0]: any positive proposal is uphill.
+        let target = |p: &[f64; 1]| p[0];
+        let mut rng = HybridTaus::new(1);
+        let mut s = MhSampler::new(&target, [0.0], [1.0], AdaptScheme::Fixed);
+        for _ in 0..200 {
+            let before = s.params()[0];
+            let before_ld = s.log_density();
+            let accepted = s.step_param(&target, &mut rng, 0);
+            if s.params()[0] > before {
+                assert!(accepted, "uphill move must be accepted");
+                assert!(s.log_density() > before_ld);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_support_always() {
+        // Support is p > 0 only; start inside, propose huge jumps.
+        let target = |p: &[f64; 1]| if p[0] > 0.0 { 0.0 } else { f64::NEG_INFINITY };
+        let mut rng = HybridTaus::new(2);
+        let mut s = MhSampler::new(&target, [1.0], [100.0], AdaptScheme::Fixed);
+        for _ in 0..500 {
+            s.step_param(&target, &mut rng, 0);
+            assert!(s.params()[0] > 0.0, "chain escaped the support");
+        }
+    }
+
+    #[test]
+    fn normal_target_moments() {
+        let mut rng = HybridTaus::new(3);
+        let mut s = MhSampler::new(&std_normal, [0.0], [2.4], AdaptScheme::Fixed);
+        // Burn in.
+        for _ in 0..500 {
+            s.step_loop(&std_normal, &mut rng);
+        }
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        const N: usize = 20_000;
+        for _ in 0..N {
+            s.step_loop(&std_normal, &mut rng);
+            let x = s.params()[0];
+            sum += x;
+            sum2 += x * x;
+        }
+        let mean = sum / N as f64;
+        let var = sum2 / N as f64 - mean * mean;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn bivariate_correlated_gaussian() {
+        // ρ = 0.8 bivariate normal.
+        let rho: f64 = 0.8;
+        let det = 1.0 - rho * rho;
+        let target = move |p: &[f64; 2]| {
+            -(p[0] * p[0] - 2.0 * rho * p[0] * p[1] + p[1] * p[1]) / (2.0 * det)
+        };
+        let mut rng = HybridTaus::new(4);
+        let mut s = MhSampler::new(&target, [0.0, 0.0], [1.0, 1.0], AdaptScheme::paper_default());
+        for _ in 0..1000 {
+            s.step_loop(&target, &mut rng);
+        }
+        let (mut sx, mut sy, mut sxy, mut sxx, mut syy) = (0.0, 0.0, 0.0, 0.0, 0.0);
+        const N: usize = 40_000;
+        for _ in 0..N {
+            s.step_loop(&target, &mut rng);
+            let [x, y] = *s.params();
+            sx += x;
+            sy += y;
+            sxy += x * y;
+            sxx += x * x;
+            syy += y * y;
+        }
+        let n = N as f64;
+        let corr = (n * sxy - sx * sy)
+            / ((n * sxx - sx * sx).sqrt() * (n * syy - sy * sy).sqrt());
+        assert!((corr - rho).abs() < 0.05, "sampled correlation {corr}");
+    }
+
+    #[test]
+    fn adaptation_reaches_band() {
+        let mut rng = HybridTaus::new(5);
+        // Start with a wildly oversized proposal; adaptation must pull the
+        // acceptance rate into (or near) the band.
+        let mut s = MhSampler::new(&std_normal, [0.0], [500.0], AdaptScheme::paper_default());
+        for _ in 0..3000 {
+            s.step_loop(&std_normal, &mut rng);
+        }
+        // Measure acceptance over a fresh window with frozen scales.
+        let scales = *s.scales();
+        let mut frozen = MhSampler::new(&std_normal, *s.params(), scales, AdaptScheme::Fixed);
+        for _ in 0..2000 {
+            frozen.step_loop(&std_normal, &mut rng);
+        }
+        let rate = frozen.acceptance_rates()[0];
+        assert!(
+            (0.15..=0.65).contains(&rate),
+            "acceptance {rate} far outside the target band; scale {}",
+            scales[0]
+        );
+        assert!(scales[0] < 500.0, "scale should have shrunk");
+    }
+
+    #[test]
+    fn adaptation_grows_tiny_scales() {
+        let mut rng = HybridTaus::new(6);
+        let mut s = MhSampler::new(&std_normal, [0.0], [1e-6], AdaptScheme::paper_default());
+        for _ in 0..3000 {
+            s.step_loop(&std_normal, &mut rng);
+        }
+        assert!(s.scales()[0] > 1e-6, "tiny scale should grow");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut r1 = HybridTaus::new(7);
+        let mut r2 = HybridTaus::new(7);
+        let mut a = MhSampler::new(&std_normal, [0.5], [1.0], AdaptScheme::paper_default());
+        let mut b = MhSampler::new(&std_normal, [0.5], [1.0], AdaptScheme::paper_default());
+        for _ in 0..500 {
+            a.step_loop(&std_normal, &mut r1);
+            b.step_loop(&std_normal, &mut r2);
+        }
+        assert_eq!(a.params(), b.params());
+        assert_eq!(a.scales(), b.scales());
+    }
+
+    #[test]
+    #[should_panic(expected = "support")]
+    fn initial_outside_support_panics() {
+        let target = |p: &[f64; 1]| if p[0] > 0.0 { 0.0 } else { f64::NEG_INFINITY };
+        let _ = MhSampler::new(&target, [-1.0], [1.0], AdaptScheme::Fixed);
+    }
+
+    #[test]
+    fn frozen_parameters_never_move() {
+        let target = |p: &[f64; 2]| -0.5 * (p[0] * p[0] + p[1] * p[1]);
+        let mut s = MhSampler::new(&target, [5.0, 5.0], [1.0, 1.0], AdaptScheme::Fixed);
+        s.freeze(1);
+        assert!(s.is_frozen(1) && !s.is_frozen(0));
+        let mut rng = HybridTaus::new(3);
+        for _ in 0..200 {
+            s.step_loop(&target, &mut rng);
+        }
+        assert_eq!(s.params()[1], 5.0, "frozen coordinate moved");
+        assert_ne!(s.params()[0], 5.0, "free coordinate should move");
+    }
+
+    #[test]
+    fn acceptance_counters_track() {
+        let target = |_: &[f64; 1]| 0.0; // flat: every proposal accepted
+        let mut rng = HybridTaus::new(8);
+        let mut s = MhSampler::new(&target, [0.0], [1.0], AdaptScheme::Fixed);
+        for _ in 0..100 {
+            s.step_loop(&target, &mut rng);
+        }
+        assert_eq!(s.acceptance_rates()[0], 1.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests of the sampler machinery.
+
+use proptest::prelude::*;
+use tracto_mcmc::chain::{run_chain, ChainConfig};
+use tracto_mcmc::diagnostics::{autocorrelation, effective_sample_size};
+use tracto_mcmc::mh::{AdaptScheme, MhSampler};
+use tracto_rng::HybridTaus;
+
+proptest! {
+    #[test]
+    fn chain_collects_exact_sample_count(
+        burnin in 0u32..50,
+        samples in 1u32..40,
+        interval in 1u32..5,
+        seed in 0u64..1000,
+    ) {
+        let target = |p: &[f64; 1]| -0.5 * p[0] * p[0];
+        let config = ChainConfig {
+            num_burnin: burnin,
+            num_samples: samples,
+            sample_interval: interval,
+            adapt: AdaptScheme::paper_default(),
+        };
+        let mut rng = HybridTaus::new(seed);
+        let out = run_chain(&target, [0.0], [1.0], config, &mut rng);
+        prop_assert_eq!(out.samples.len(), samples as usize);
+        prop_assert_eq!(config.num_loops(), burnin + samples * interval);
+    }
+
+    #[test]
+    fn sampler_stays_in_support(
+        lo in -5.0f64..0.0,
+        width in 0.5f64..10.0,
+        seed in 0u64..500,
+        scale in 0.1f64..20.0,
+    ) {
+        // Uniform target on [lo, lo+width]: the chain must never escape.
+        let hi = lo + width;
+        let target = move |p: &[f64; 1]| {
+            if p[0] >= lo && p[0] <= hi { 0.0 } else { f64::NEG_INFINITY }
+        };
+        let start = lo + width / 2.0;
+        let mut s = MhSampler::new(&target, [start], [scale], AdaptScheme::Fixed);
+        let mut rng = HybridTaus::new(seed);
+        for _ in 0..300 {
+            s.step_loop(&target, &mut rng);
+            prop_assert!(s.params()[0] >= lo && s.params()[0] <= hi);
+        }
+    }
+
+    #[test]
+    fn log_density_never_decreases_on_accept(
+        seed in 0u64..500,
+        mean in -3.0f64..3.0,
+    ) {
+        let target = move |p: &[f64; 1]| -0.5 * (p[0] - mean) * (p[0] - mean);
+        let mut s = MhSampler::new(&target, [0.0], [0.7], AdaptScheme::Fixed);
+        let mut rng = HybridTaus::new(seed);
+        for _ in 0..200 {
+            let before = s.log_density();
+            let accepted = s.step_param(&target, &mut rng, 0);
+            if !accepted {
+                prop_assert_eq!(s.log_density(), before, "rejected move changed density");
+            } else {
+                // Accepted moves can go downhill (that's MH), but the stored
+                // density must match the target at the new point.
+                let expect = target(s.params());
+                prop_assert!((s.log_density() - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_across_replays(seed in 0u64..2000) {
+        let target = |p: &[f64; 2]| -0.5 * (p[0] * p[0] + p[1] * p[1]);
+        let run = |seed: u64| {
+            let config = ChainConfig::fast_test();
+            let mut rng = HybridTaus::new(seed);
+            run_chain(&target, [1.0, -1.0], [0.5, 0.5], config, &mut rng).samples
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    #[test]
+    fn ess_bounds(data in prop::collection::vec(-10.0f64..10.0, 8..300)) {
+        let ess = effective_sample_size(&data);
+        prop_assert!(ess >= 1.0 && ess <= data.len() as f64 + 1e-9);
+    }
+
+    #[test]
+    fn autocorrelation_bounds(data in prop::collection::vec(-10.0f64..10.0, 4..200), lag in 0usize..5) {
+        let rho = autocorrelation(&data, lag);
+        prop_assert!(rho.abs() <= 1.0 + 1e-9, "|ρ|={rho}");
+        if lag == 0 && data.iter().any(|&x| x != data[0]) {
+            prop_assert!((rho - 1.0).abs() < 1e-9);
+        }
+    }
+}

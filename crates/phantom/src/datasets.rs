@@ -1,0 +1,450 @@
+//! The paper-equivalent datasets and special-purpose phantoms.
+//!
+//! Dataset 1 mimics the paper's first scan (48×96×96 @ 2.5 mm) and dataset 2
+//! the second (60×102×102 @ 2 mm). Geometry is expressed in fractions of the
+//! grid, so a `scale` factor produces smaller (CI-speed) instances with the
+//! same anatomy: a corpus-callosum-like arc spanning the x axis, two
+//! corticospinal-like vertical bundles crossing it, and an association
+//! bundle along y, all inside an ellipsoidal "brain" white-matter mask.
+
+use crate::field::GroundTruthField;
+use crate::geometry::{ArcBundle, Bundle, StraightBundle};
+use crate::gradients;
+use crate::noise::NoiseModel;
+use crate::signal::{synthesize, TissueParams};
+use tracto_diffusion::Acquisition;
+use tracto_volume::{Dim3, Mask, Vec3, Volume4, VoxelGrid};
+
+/// Parameters describing a synthetic dataset before it is built.
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    /// Human-readable name ("dataset1", …).
+    pub name: String,
+    /// Grid dimensions.
+    pub dims: Dim3,
+    /// Isotropic voxel spacing in mm.
+    pub spacing_mm: f64,
+    /// Number of diffusion directions.
+    pub n_dirs: usize,
+    /// Number of b=0 volumes.
+    pub n_b0: usize,
+    /// b-value of the weighted volumes (s/mm²).
+    pub bval: f64,
+    /// SNR at b=0 (Rician); `None` disables noise.
+    pub snr: Option<f64>,
+    /// Seed for gradients and noise.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// The paper's first dataset: 48×96×96 @ 2.5 mm.
+    pub fn paper_dataset1() -> Self {
+        DatasetSpec {
+            name: "dataset1".into(),
+            dims: Dim3::new(48, 96, 96),
+            spacing_mm: 2.5,
+            n_dirs: 60,
+            n_b0: 4,
+            bval: 1000.0,
+            snr: Some(25.0),
+            seed: 1001,
+        }
+    }
+
+    /// The paper's second dataset: 60×102×102 @ 2 mm.
+    pub fn paper_dataset2() -> Self {
+        DatasetSpec {
+            name: "dataset2".into(),
+            dims: Dim3::new(60, 102, 102),
+            spacing_mm: 2.0,
+            n_dirs: 60,
+            n_b0: 4,
+            bval: 1000.0,
+            snr: Some(25.0),
+            seed: 2002,
+        }
+    }
+
+    /// Shrink the grid by `scale` (0 < scale ≤ 1) keeping the anatomy;
+    /// used to run the same experiments at CI speed.
+    pub fn scaled(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0 && scale <= 1.0);
+        let f = |n: usize| ((n as f64 * scale).round() as usize).max(8);
+        self.dims = Dim3::new(f(self.dims.nx), f(self.dims.ny), f(self.dims.nz));
+        self.spacing_mm /= scale; // preserve physical extent
+        self
+    }
+
+    /// Use a lighter protocol (fewer directions) for fast tests.
+    pub fn light_protocol(mut self) -> Self {
+        self.n_dirs = 15;
+        self.n_b0 = 2;
+        self
+    }
+
+    /// Disable noise.
+    pub fn noiseless(mut self) -> Self {
+        self.snr = None;
+        self
+    }
+
+    /// Build the dataset: rasterize anatomy, synthesize DWI.
+    pub fn build(&self) -> Dataset {
+        let dims = self.dims;
+        let (nx, ny, nz) = (dims.nx as f64, dims.ny as f64, dims.nz as f64);
+        let cx = (nx - 1.0) / 2.0;
+        let cy = (ny - 1.0) / 2.0;
+        let cz = (nz - 1.0) / 2.0;
+        let min_dim = nx.min(ny).min(nz);
+
+        // Corpus-callosum-like arc: spans x, arches over +z, in the x–z
+        // plane (normal = y).
+        let cc = ArcBundle {
+            center: Vec3::new(cx, cy, cz * 0.7),
+            u: Vec3::X,
+            v: Vec3::Z,
+            arc_radius: 0.30 * nx.max(nz),
+            ang0: 0.15 * std::f64::consts::PI,
+            ang1: 0.85 * std::f64::consts::PI,
+            tube_radius: (0.09 * min_dim).max(1.2),
+        };
+        // Two corticospinal-like vertical (z) bundles, left and right.
+        let cst_l = StraightBundle::new(
+            Vec3::new(cx - 0.22 * nx, cy, 0.1 * nz),
+            Vec3::new(cx - 0.22 * nx, cy, 0.95 * nz),
+            (0.08 * min_dim).max(1.1),
+        );
+        let cst_r = StraightBundle::new(
+            Vec3::new(cx + 0.22 * nx, cy, 0.1 * nz),
+            Vec3::new(cx + 0.22 * nx, cy, 0.95 * nz),
+            (0.08 * min_dim).max(1.1),
+        );
+        // Association bundle along y at mid height — crosses both CSTs.
+        let assoc = StraightBundle::new(
+            Vec3::new(cx, 0.05 * ny, cz * 0.55),
+            Vec3::new(cx, 0.95 * ny, cz * 0.55),
+            (0.07 * min_dim).max(1.0),
+        );
+
+        let bundles: Vec<(&dyn Bundle, f64)> = vec![
+            (&cc, 0.65),
+            (&cst_l, 0.60),
+            (&cst_r, 0.60),
+            (&assoc, 0.55),
+        ];
+        let truth = GroundTruthField::rasterize(dims, &bundles, 0.95);
+
+        // Ellipsoidal brain mask (the "valid white-matter voxels" of Table
+        // III). Semi-axes at 45% of each extent.
+        let wm_mask = Mask::from_fn(dims, |c| {
+            let dx = (c.i as f64 - cx) / (0.45 * nx);
+            let dy = (c.j as f64 - cy) / (0.45 * ny);
+            let dz = (c.k as f64 - cz) / (0.45 * nz);
+            dx * dx + dy * dy + dz * dz <= 1.0
+        });
+
+        let acq = gradients::protocol(self.n_dirs, self.n_b0, self.bval, self.seed);
+        let tissue = TissueParams::default();
+        let noise = match self.snr {
+            Some(snr) => NoiseModel::rician_snr(tissue.s0, snr),
+            None => NoiseModel::None,
+        };
+        let dwi = synthesize(&truth, &acq, tissue, noise, self.seed);
+
+        Dataset {
+            spec: self.clone(),
+            grid: VoxelGrid::isotropic(dims, self.spacing_mm),
+            acq,
+            dwi,
+            truth,
+            wm_mask,
+            tissue,
+        }
+    }
+}
+
+/// A fully built synthetic dataset: DWI volume, protocol, geometry, ground
+/// truth, and white-matter mask.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The generating spec.
+    pub spec: DatasetSpec,
+    /// Voxel/world geometry.
+    pub grid: VoxelGrid,
+    /// The acquisition protocol.
+    pub acq: Acquisition,
+    /// The 4-D DWI volume (`dims × n` measurements).
+    pub dwi: Volume4<f32>,
+    /// Ground-truth orientation field.
+    pub truth: GroundTruthField,
+    /// White-matter (valid-voxel) mask.
+    pub wm_mask: Mask,
+    /// Tissue parameters used in synthesis.
+    pub tissue: TissueParams,
+}
+
+impl Dataset {
+    /// Number of valid (white-matter) voxels — the MCMC workload size.
+    pub fn valid_voxel_count(&self) -> usize {
+        self.wm_mask.count()
+    }
+}
+
+/// A minimal single-bundle phantom for quickstarts and unit tests: one
+/// straight x-aligned bundle in a small grid, noiseless by default.
+pub fn single_bundle(dims: Dim3, noise_snr: Option<f64>, seed: u64) -> Dataset {
+    let (nx, ny, nz) = (dims.nx as f64, dims.ny as f64, dims.nz as f64);
+    let bundle = StraightBundle::new(
+        Vec3::new(0.0, (ny - 1.0) / 2.0, (nz - 1.0) / 2.0),
+        Vec3::new(nx - 1.0, (ny - 1.0) / 2.0, (nz - 1.0) / 2.0),
+        (0.18 * ny.min(nz)).max(1.2),
+    );
+    let bundles: Vec<(&dyn Bundle, f64)> = vec![(&bundle, 0.7)];
+    let truth = GroundTruthField::rasterize(dims, &bundles, 0.95);
+    let wm_mask = Mask::full(dims);
+    let acq = gradients::protocol(15, 2, 1000.0, seed);
+    let tissue = TissueParams::default();
+    let noise = match noise_snr {
+        Some(snr) => NoiseModel::rician_snr(tissue.s0, snr),
+        None => NoiseModel::None,
+    };
+    let dwi = synthesize(&truth, &acq, tissue, noise, seed);
+    Dataset {
+        spec: DatasetSpec {
+            name: "single_bundle".into(),
+            dims,
+            spacing_mm: 2.0,
+            n_dirs: 15,
+            n_b0: 2,
+            bval: 1000.0,
+            snr: noise_snr,
+            seed,
+        },
+        grid: VoxelGrid::isotropic(dims, 2.0),
+        acq,
+        dwi,
+        truth,
+        wm_mask,
+        tissue,
+    }
+}
+
+/// A two-bundle crossing phantom: bundle A along x, bundle B in the x–y
+/// plane at `angle_deg` to A, crossing at the grid center. Exercises the
+/// multi-fiber model's crossing recovery (the motivating case of the paper's
+/// introduction).
+pub fn crossing(dims: Dim3, angle_deg: f64, noise_snr: Option<f64>, seed: u64) -> Dataset {
+    let (nx, ny, nz) = (dims.nx as f64, dims.ny as f64, dims.nz as f64);
+    let center = Vec3::new((nx - 1.0) / 2.0, (ny - 1.0) / 2.0, (nz - 1.0) / 2.0);
+    let half = 0.5 * nx.max(ny);
+    let r = (0.12 * nx.min(ny)).max(1.2);
+    let a = StraightBundle::new(
+        center - Vec3::X * half,
+        center + Vec3::X * half,
+        r,
+    );
+    let ang = angle_deg.to_radians();
+    let dir_b = Vec3::new(ang.cos(), ang.sin(), 0.0);
+    let b = StraightBundle::new(center - dir_b * half, center + dir_b * half, r);
+    let bundles: Vec<(&dyn Bundle, f64)> = vec![(&a, 0.5), (&b, 0.5)];
+    let truth = GroundTruthField::rasterize(dims, &bundles, 0.95);
+    let wm_mask = Mask::full(dims);
+    let acq = gradients::protocol(30, 2, 1000.0, seed);
+    let tissue = TissueParams::default();
+    let noise = match noise_snr {
+        Some(snr) => NoiseModel::rician_snr(tissue.s0, snr),
+        None => NoiseModel::None,
+    };
+    let dwi = synthesize(&truth, &acq, tissue, noise, seed);
+    Dataset {
+        spec: DatasetSpec {
+            name: format!("crossing_{angle_deg:.0}deg"),
+            dims,
+            spacing_mm: 2.0,
+            n_dirs: 30,
+            n_b0: 2,
+            bval: 1000.0,
+            snr: noise_snr,
+            seed,
+        },
+        grid: VoxelGrid::isotropic(dims, 2.0),
+        acq,
+        dwi,
+        truth,
+        wm_mask,
+        tissue,
+    }
+}
+
+/// A "kissing" phantom: two arc bundles that curve toward each other, touch
+/// near the grid center, and separate again — the classic configuration that
+/// looks locally identical to a crossing but has different connectivity
+/// (A-west connects to A-east, never to B). Distinguishing kissing from
+/// crossing is a known hard case for tractography; the multi-fiber tracker's
+/// orientation-maintenance rule is what resolves it.
+pub fn kissing(dims: Dim3, noise_snr: Option<f64>, seed: u64) -> Dataset {
+    let (nx, ny, nz) = (dims.nx as f64, dims.ny as f64, dims.nz as f64);
+    let cz = (nz - 1.0) / 2.0;
+    let cx = (nx - 1.0) / 2.0;
+    let cy = (ny - 1.0) / 2.0;
+    let r = (0.10 * nx.min(ny)).max(1.2);
+    let arc_r = 0.65 * ny;
+    // Upper arc: center above the grid, bulging down to the middle.
+    let upper = ArcBundle {
+        center: Vec3::new(cx, cy + arc_r, cz),
+        u: Vec3::X,
+        v: -Vec3::Y,
+        arc_radius: arc_r - 0.04 * ny,
+        ang0: std::f64::consts::FRAC_PI_2 - 0.9,
+        ang1: std::f64::consts::FRAC_PI_2 + 0.9,
+        tube_radius: r,
+    };
+    // Lower arc: mirrored, bulging up to the middle.
+    let lower = ArcBundle {
+        center: Vec3::new(cx, cy - arc_r, cz),
+        u: Vec3::X,
+        v: Vec3::Y,
+        arc_radius: arc_r - 0.04 * ny,
+        ang0: std::f64::consts::FRAC_PI_2 - 0.9,
+        ang1: std::f64::consts::FRAC_PI_2 + 0.9,
+        tube_radius: r,
+    };
+    let bundles: Vec<(&dyn Bundle, f64)> = vec![(&upper, 0.55), (&lower, 0.55)];
+    let truth = GroundTruthField::rasterize(dims, &bundles, 0.95);
+    let wm_mask = Mask::full(dims);
+    let acq = gradients::protocol(30, 2, 1000.0, seed);
+    let tissue = TissueParams::default();
+    let noise = match noise_snr {
+        Some(snr) => NoiseModel::rician_snr(tissue.s0, snr),
+        None => NoiseModel::None,
+    };
+    let dwi = synthesize(&truth, &acq, tissue, noise, seed);
+    Dataset {
+        spec: DatasetSpec {
+            name: "kissing".into(),
+            dims,
+            spacing_mm: 2.0,
+            n_dirs: 30,
+            n_b0: 2,
+            bval: 1000.0,
+            snr: noise_snr,
+            seed,
+        },
+        grid: VoxelGrid::isotropic(dims, 2.0),
+        acq,
+        dwi,
+        truth,
+        wm_mask,
+        tissue,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_dataset1_builds() {
+        let ds = DatasetSpec::paper_dataset1().scaled(0.15).light_protocol().build();
+        assert!(!ds.dwi.dims().is_empty());
+        assert_eq!(ds.dwi.nt(), ds.acq.len());
+        assert!(ds.valid_voxel_count() > 0);
+        assert!(ds.truth.fiber_voxel_count() > 0, "anatomy must rasterize");
+    }
+
+    #[test]
+    fn paper_dims_match() {
+        let d1 = DatasetSpec::paper_dataset1();
+        assert_eq!(d1.dims, Dim3::new(48, 96, 96));
+        assert_eq!(d1.spacing_mm, 2.5);
+        let d2 = DatasetSpec::paper_dataset2();
+        assert_eq!(d2.dims, Dim3::new(60, 102, 102));
+        assert_eq!(d2.spacing_mm, 2.0);
+    }
+
+    #[test]
+    fn scaling_preserves_physical_extent() {
+        let full = DatasetSpec::paper_dataset1();
+        let half = DatasetSpec::paper_dataset1().scaled(0.5);
+        let full_extent = full.dims.nx as f64 * full.spacing_mm;
+        let half_extent = half.dims.nx as f64 * half.spacing_mm;
+        assert!((full_extent - half_extent).abs() / full_extent < 0.1);
+    }
+
+    #[test]
+    fn dataset_contains_crossings() {
+        let ds = DatasetSpec::paper_dataset1().scaled(0.2).light_protocol().build();
+        assert!(
+            ds.truth.crossing_mask().count() > 0,
+            "CST × association crossings must exist"
+        );
+    }
+
+    #[test]
+    fn wm_mask_is_ellipsoid_interior() {
+        let ds = DatasetSpec::paper_dataset1().scaled(0.15).light_protocol().build();
+        let d = ds.spec.dims;
+        // Center voxel in, corner voxel out.
+        assert!(ds.wm_mask.contains(tracto_volume::Ijk::new(d.nx / 2, d.ny / 2, d.nz / 2)));
+        assert!(!ds.wm_mask.contains(tracto_volume::Ijk::new(0, 0, 0)));
+        // Roughly half the volume (ellipsoid of semi-axes 0.45 fills
+        // 4/3·π·0.45³ / 1 ≈ 38% of the bounding box).
+        let frac = ds.valid_voxel_count() as f64 / d.len() as f64;
+        assert!((0.25..0.5).contains(&frac), "mask fraction {frac}");
+    }
+
+    #[test]
+    fn single_bundle_truth_along_x() {
+        let ds = single_bundle(Dim3::new(12, 8, 8), None, 3);
+        let c = tracto_volume::Ijk::new(6, 3, 3);
+        let vt = ds.truth.at(c);
+        assert_eq!(vt.count, 1);
+        assert!(vt.sticks()[0].0.dot(Vec3::X).abs() > 0.999);
+    }
+
+    #[test]
+    fn crossing_has_two_population_center() {
+        let ds = crossing(Dim3::new(16, 16, 6), 90.0, None, 4);
+        let c = tracto_volume::Ijk::new(7, 7, 2);
+        let vt = ds.truth.at(c);
+        assert_eq!(vt.count, 2, "center voxel must be a crossing");
+        let d0 = vt.sticks()[0].0;
+        let d1 = vt.sticks()[1].0;
+        assert!(d0.dot(d1).abs() < 0.2, "crossing directions near-orthogonal");
+    }
+
+    #[test]
+    fn noiseless_flag_respected() {
+        let a = DatasetSpec::paper_dataset1().scaled(0.12).light_protocol().noiseless().build();
+        let b = DatasetSpec::paper_dataset1().scaled(0.12).light_protocol().noiseless().build();
+        assert_eq!(a.dwi, b.dwi, "noiseless builds must be identical");
+    }
+
+    #[test]
+    fn kissing_bundles_touch_near_center() {
+        let dims = Dim3::new(24, 24, 7);
+        let ds = kissing(dims, None, 6);
+        assert!(ds.truth.fiber_voxel_count() > 20, "bundles must rasterize");
+        // Near the touch zone both populations appear in some voxels.
+        let mut near_center_two = 0;
+        for c in dims.iter() {
+            let dx = c.i as isize - 11;
+            let dy = c.j as isize - 11;
+            if dx.abs() <= 3 && dy.abs() <= 3 && ds.truth.at(c).count == 2 {
+                near_center_two += 1;
+            }
+        }
+        assert!(near_center_two > 0, "touch zone should mix populations");
+        // Far from the center, bundles are separate (single population).
+        let west_top = tracto_volume::Ijk::new(3, 16, 3);
+        let count_far = ds.truth.at(west_top).count;
+        assert!(count_far <= 1, "arms must be disjoint away from the kiss");
+    }
+
+    #[test]
+    fn dataset2_larger_than_dataset1() {
+        let d1 = DatasetSpec::paper_dataset1().scaled(0.15);
+        let d2 = DatasetSpec::paper_dataset2().scaled(0.15);
+        assert!(d2.dims.len() > d1.dims.len());
+    }
+}

@@ -1,0 +1,233 @@
+//! Rasterization of bundles into a per-voxel ground-truth orientation field.
+
+use crate::geometry::Bundle;
+use tracto_volume::{Dim3, Ijk, Mask, Vec3};
+
+/// Up to two fiber populations per voxel, matching the N = 2
+/// partial-volume model the paper estimates.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct VoxelTruth {
+    /// `(unit direction, volume fraction)` of each population; unused slots
+    /// have zero fraction.
+    pub sticks: [(Vec3, f64); 2],
+    /// Number of populated slots (0, 1 or 2).
+    pub count: u8,
+}
+
+impl VoxelTruth {
+    /// An empty (isotropic) voxel.
+    pub const EMPTY: VoxelTruth = VoxelTruth {
+        sticks: [(Vec3 { x: 0.0, y: 0.0, z: 0.0 }, 0.0); 2],
+        count: 0,
+    };
+
+    /// Add a population; keeps the two largest fractions when more than two
+    /// bundles overlap a voxel.
+    pub fn push(&mut self, dir: Vec3, fraction: f64) {
+        if fraction <= 0.0 {
+            return;
+        }
+        let entry = (dir.normalized(), fraction);
+        match self.count {
+            0 => {
+                self.sticks[0] = entry;
+                self.count = 1;
+            }
+            1 => {
+                self.sticks[1] = entry;
+                self.count = 2;
+                if self.sticks[1].1 > self.sticks[0].1 {
+                    self.sticks.swap(0, 1);
+                }
+            }
+            _ => {
+                // Keep the two strongest populations.
+                if fraction > self.sticks[1].1 {
+                    self.sticks[1] = entry;
+                    if self.sticks[1].1 > self.sticks[0].1 {
+                        self.sticks.swap(0, 1);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Total anisotropic volume fraction, clamped so `Σf ≤ f_cap`.
+    pub fn normalize_to_cap(&mut self, f_cap: f64) {
+        let total: f64 = self.sticks[..self.count as usize].iter().map(|s| s.1).sum();
+        if total > f_cap && total > 0.0 {
+            let scale = f_cap / total;
+            for s in &mut self.sticks[..self.count as usize] {
+                s.1 *= scale;
+            }
+        }
+    }
+
+    /// The populated sticks.
+    pub fn sticks(&self) -> &[(Vec3, f64)] {
+        &self.sticks[..self.count as usize]
+    }
+
+    /// Total stick fraction.
+    pub fn total_fraction(&self) -> f64 {
+        self.sticks().iter().map(|s| s.1).sum()
+    }
+
+    /// The dominant direction, if any population exists.
+    pub fn principal(&self) -> Option<Vec3> {
+        (self.count > 0).then(|| self.sticks[0].0)
+    }
+}
+
+/// The ground-truth orientation field of a phantom: per-voxel populations
+/// plus the white-matter mask.
+#[derive(Debug, Clone)]
+pub struct GroundTruthField {
+    dims: Dim3,
+    voxels: Vec<VoxelTruth>,
+}
+
+impl GroundTruthField {
+    /// Rasterize a set of bundles onto a grid.
+    ///
+    /// Each bundle contributes `peak_fraction × bundle.weight(p)` at the
+    /// voxel center `p`; overlapping bundles yield two-population (crossing)
+    /// voxels. Total fractions are capped at `f_cap` (< 1 leaves room for
+    /// the isotropic ball compartment).
+    pub fn rasterize(dims: Dim3, bundles: &[(&dyn Bundle, f64)], f_cap: f64) -> Self {
+        assert!((0.0..=1.0).contains(&f_cap));
+        let mut voxels = vec![VoxelTruth::EMPTY; dims.len()];
+        for (idx, vt) in voxels.iter_mut().enumerate() {
+            let c = dims.coords(idx);
+            let p = Vec3::new(c.i as f64, c.j as f64, c.k as f64);
+            for (bundle, peak) in bundles {
+                if let Some(dir) = bundle.orientation(p) {
+                    let w = bundle.weight(p);
+                    if w > 0.0 {
+                        vt.push(dir, peak * w);
+                    }
+                }
+            }
+            vt.normalize_to_cap(f_cap);
+        }
+        GroundTruthField { dims, voxels }
+    }
+
+    /// Grid dimensions.
+    pub fn dims(&self) -> Dim3 {
+        self.dims
+    }
+
+    /// Ground truth at a voxel.
+    #[inline]
+    pub fn at(&self, c: Ijk) -> &VoxelTruth {
+        &self.voxels[self.dims.index(c)]
+    }
+
+    /// Ground truth by linear voxel index.
+    #[inline]
+    pub fn at_index(&self, idx: usize) -> &VoxelTruth {
+        &self.voxels[idx]
+    }
+
+    /// Voxels with at least one fiber population.
+    pub fn fiber_mask(&self) -> Mask {
+        Mask::from_fn(self.dims, |c| self.at(c).count > 0)
+    }
+
+    /// Voxels with exactly two populations (crossings).
+    pub fn crossing_mask(&self) -> Mask {
+        Mask::from_fn(self.dims, |c| self.at(c).count == 2)
+    }
+
+    /// Number of fiber-bearing voxels.
+    pub fn fiber_voxel_count(&self) -> usize {
+        self.voxels.iter().filter(|v| v.count > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::StraightBundle;
+
+    #[test]
+    fn voxel_truth_push_orders_by_fraction() {
+        let mut vt = VoxelTruth::EMPTY;
+        vt.push(Vec3::X, 0.2);
+        vt.push(Vec3::Y, 0.5);
+        assert_eq!(vt.count, 2);
+        assert_eq!(vt.sticks()[0].1, 0.5);
+        assert!((vt.sticks()[0].0 - Vec3::Y).norm() < 1e-12);
+        assert_eq!(vt.principal().unwrap(), Vec3::Y);
+    }
+
+    #[test]
+    fn voxel_truth_keeps_two_strongest() {
+        let mut vt = VoxelTruth::EMPTY;
+        vt.push(Vec3::X, 0.3);
+        vt.push(Vec3::Y, 0.5);
+        vt.push(Vec3::Z, 0.4);
+        assert_eq!(vt.count, 2);
+        assert_eq!(vt.sticks()[0].1, 0.5);
+        assert_eq!(vt.sticks()[1].1, 0.4);
+    }
+
+    #[test]
+    fn voxel_truth_ignores_zero_fraction() {
+        let mut vt = VoxelTruth::EMPTY;
+        vt.push(Vec3::X, 0.0);
+        assert_eq!(vt.count, 0);
+    }
+
+    #[test]
+    fn normalize_caps_total() {
+        let mut vt = VoxelTruth::EMPTY;
+        vt.push(Vec3::X, 0.6);
+        vt.push(Vec3::Y, 0.6);
+        vt.normalize_to_cap(0.9);
+        assert!((vt.total_fraction() - 0.9).abs() < 1e-12);
+        // Relative proportions preserved.
+        assert!((vt.sticks()[0].1 - vt.sticks()[1].1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rasterize_straight_bundle() {
+        let dims = Dim3::new(16, 8, 8);
+        let b = StraightBundle::new(
+            Vec3::new(0.0, 4.0, 4.0),
+            Vec3::new(15.0, 4.0, 4.0),
+            2.0,
+        );
+        let field = GroundTruthField::rasterize(dims, &[(&b, 0.7)], 0.9);
+        // Center of the tube is fiber-bearing with the x direction.
+        let vt = field.at(Ijk::new(8, 4, 4));
+        assert_eq!(vt.count, 1);
+        assert!((vt.sticks()[0].0 - Vec3::X).norm() < 1e-12);
+        assert!((vt.sticks()[0].1 - 0.7).abs() < 1e-12);
+        // A corner voxel is empty.
+        assert_eq!(field.at(Ijk::new(0, 0, 0)).count, 0);
+        assert!(field.fiber_voxel_count() > 0);
+    }
+
+    #[test]
+    fn rasterize_crossing_creates_two_population_voxels() {
+        let dims = Dim3::new(12, 12, 5);
+        let bx = StraightBundle::new(Vec3::new(0.0, 6.0, 2.0), Vec3::new(11.0, 6.0, 2.0), 1.8);
+        let by = StraightBundle::new(Vec3::new(6.0, 0.0, 2.0), Vec3::new(6.0, 11.0, 2.0), 1.8);
+        let field = GroundTruthField::rasterize(dims, &[(&bx, 0.5), (&by, 0.5)], 0.9);
+        let center = field.at(Ijk::new(6, 6, 2));
+        assert_eq!(center.count, 2, "crossing voxel must hold two populations");
+        assert!(field.crossing_mask().count() > 0);
+        // Away from the crossing only one population.
+        assert_eq!(field.at(Ijk::new(1, 6, 2)).count, 1);
+    }
+
+    #[test]
+    fn fiber_mask_matches_counts() {
+        let dims = Dim3::new(8, 8, 4);
+        let b = StraightBundle::new(Vec3::new(0.0, 4.0, 2.0), Vec3::new(7.0, 4.0, 2.0), 1.0);
+        let field = GroundTruthField::rasterize(dims, &[(&b, 0.6)], 0.9);
+        assert_eq!(field.fiber_mask().count(), field.fiber_voxel_count());
+    }
+}

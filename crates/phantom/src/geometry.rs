@@ -1,0 +1,262 @@
+//! Analytic fiber-bundle primitives.
+//!
+//! A bundle answers one question: *does this point lie inside me, and if so,
+//! what is the local fiber tangent?* Bundles are defined in continuous voxel
+//! coordinates so that the same geometry scales with grid resolution.
+
+use tracto_volume::Vec3;
+
+/// A fiber bundle: a tube around a spine curve.
+pub trait Bundle {
+    /// If `p` lies inside the bundle, the unit tangent of the spine at the
+    /// closest spine point; otherwise `None`.
+    fn orientation(&self, p: Vec3) -> Option<Vec3>;
+
+    /// Signed-free distance from `p` to the bundle spine (used for soft
+    /// partial-volume weighting near the boundary).
+    fn spine_distance(&self, p: Vec3) -> f64;
+
+    /// Tube radius.
+    fn radius(&self) -> f64;
+
+    /// Partial-volume weight in `[0, 1]`: 1 deep inside, rolling off to 0 at
+    /// the boundary over the outer 20% of the radius. Models the partial
+    /// voluming that makes boundary voxels mixed-population.
+    fn weight(&self, p: Vec3) -> f64 {
+        let d = self.spine_distance(p);
+        let r = self.radius();
+        if d >= r {
+            return 0.0;
+        }
+        let edge = 0.8 * r;
+        if d <= edge {
+            1.0
+        } else {
+            ((r - d) / (r - edge)).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// A straight cylindrical bundle between two spine end points.
+#[derive(Debug, Clone, Copy)]
+pub struct StraightBundle {
+    /// Spine start.
+    pub a: Vec3,
+    /// Spine end.
+    pub b: Vec3,
+    /// Tube radius.
+    pub r: f64,
+}
+
+impl StraightBundle {
+    /// Construct a straight bundle from `a` to `b` with radius `r`.
+    pub fn new(a: Vec3, b: Vec3, r: f64) -> Self {
+        assert!((b - a).norm() > 0.0, "degenerate spine");
+        assert!(r > 0.0, "radius must be positive");
+        StraightBundle { a, b, r }
+    }
+
+    fn closest_param(&self, p: Vec3) -> f64 {
+        let ab = self.b - self.a;
+        ((p - self.a).dot(ab) / ab.norm_sq()).clamp(0.0, 1.0)
+    }
+}
+
+impl Bundle for StraightBundle {
+    fn orientation(&self, p: Vec3) -> Option<Vec3> {
+        (self.spine_distance(p) < self.r).then(|| (self.b - self.a).normalized())
+    }
+
+    fn spine_distance(&self, p: Vec3) -> f64 {
+        let t = self.closest_param(p);
+        (p - self.a.lerp(self.b, t)).norm()
+    }
+
+    fn radius(&self) -> f64 {
+        self.r
+    }
+}
+
+/// A circular-arc bundle — the corpus-callosum-like geometry of the paper's
+/// biological figures (Figs. 9–12): an arc of a circle of radius `arc_radius`
+/// around `center`, lying in the plane spanned by `u` and `v`, from angle
+/// `ang0` to `ang1` (radians measured from `u` toward `v`), thickened into a
+/// tube of radius `tube_radius`.
+#[derive(Debug, Clone, Copy)]
+pub struct ArcBundle {
+    /// Circle center.
+    pub center: Vec3,
+    /// First in-plane basis vector (unit).
+    pub u: Vec3,
+    /// Second in-plane basis vector (unit, orthogonal to `u`).
+    pub v: Vec3,
+    /// Circle radius.
+    pub arc_radius: f64,
+    /// Start angle (radians).
+    pub ang0: f64,
+    /// End angle (radians), `> ang0`.
+    pub ang1: f64,
+    /// Tube radius.
+    pub tube_radius: f64,
+}
+
+impl ArcBundle {
+    /// Construct an arc bundle in the plane orthogonal to `normal`.
+    pub fn new(
+        center: Vec3,
+        normal: Vec3,
+        arc_radius: f64,
+        ang0: f64,
+        ang1: f64,
+        tube_radius: f64,
+    ) -> Self {
+        assert!(arc_radius > 0.0 && tube_radius > 0.0, "radii must be positive");
+        assert!(ang1 > ang0, "empty arc");
+        let n = normal.normalized();
+        let u = n.any_orthogonal();
+        let v = n.cross(u).normalized();
+        ArcBundle { center, u, v, arc_radius, ang0, ang1, tube_radius }
+    }
+
+    /// The spine point at angle `a`.
+    pub fn spine_point(&self, a: f64) -> Vec3 {
+        self.center + self.u * (self.arc_radius * a.cos()) + self.v * (self.arc_radius * a.sin())
+    }
+
+    /// Unit tangent of the spine at angle `a`.
+    pub fn spine_tangent(&self, a: f64) -> Vec3 {
+        (self.v * a.cos() - self.u * a.sin()).normalized()
+    }
+
+    fn closest_angle(&self, p: Vec3) -> f64 {
+        let rel = p - self.center;
+        let x = rel.dot(self.u);
+        let y = rel.dot(self.v);
+        let a = y.atan2(x);
+        // Choose the representative of `a` (mod 2π) closest to the arc range.
+        let candidates = [a, a + std::f64::consts::TAU, a - std::f64::consts::TAU];
+        let mut best = self.ang0;
+        let mut best_cost = f64::INFINITY;
+        for c in candidates {
+            let clamped = c.clamp(self.ang0, self.ang1);
+            let cost = (c - clamped).abs();
+            if cost < best_cost {
+                best_cost = cost;
+                best = clamped;
+            }
+        }
+        best
+    }
+}
+
+impl Bundle for ArcBundle {
+    fn orientation(&self, p: Vec3) -> Option<Vec3> {
+        let a = self.closest_angle(p);
+        ((p - self.spine_point(a)).norm() < self.tube_radius).then(|| self.spine_tangent(a))
+    }
+
+    fn spine_distance(&self, p: Vec3) -> f64 {
+        let a = self.closest_angle(p);
+        (p - self.spine_point(a)).norm()
+    }
+
+    fn radius(&self) -> f64 {
+        self.tube_radius
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn straight_inside_outside() {
+        let b = StraightBundle::new(Vec3::ZERO, Vec3::new(10.0, 0.0, 0.0), 2.0);
+        assert!(b.orientation(Vec3::new(5.0, 1.0, 0.5)).is_some());
+        assert!(b.orientation(Vec3::new(5.0, 3.0, 0.0)).is_none());
+        assert!(b.orientation(Vec3::new(-3.0, 0.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn straight_tangent_is_axis() {
+        let b = StraightBundle::new(Vec3::ZERO, Vec3::new(0.0, 4.0, 3.0), 1.0);
+        let t = b.orientation(Vec3::new(0.0, 2.0, 1.5)).unwrap();
+        assert!((t - Vec3::new(0.0, 0.8, 0.6)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn straight_distance_to_endpoints() {
+        let b = StraightBundle::new(Vec3::ZERO, Vec3::new(10.0, 0.0, 0.0), 1.0);
+        assert!((b.spine_distance(Vec3::new(12.0, 0.0, 0.0)) - 2.0).abs() < 1e-12);
+        assert!((b.spine_distance(Vec3::new(5.0, 3.0, 4.0)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_profile() {
+        let b = StraightBundle::new(Vec3::ZERO, Vec3::new(10.0, 0.0, 0.0), 2.0);
+        assert_eq!(b.weight(Vec3::new(5.0, 0.0, 0.0)), 1.0); // core
+        assert_eq!(b.weight(Vec3::new(5.0, 2.5, 0.0)), 0.0); // outside
+        let w = b.weight(Vec3::new(5.0, 1.8, 0.0)); // boundary band
+        assert!(w > 0.0 && w < 1.0, "boundary weight {w}");
+    }
+
+    #[test]
+    fn arc_tangent_perpendicular_to_radius() {
+        let arc = ArcBundle::new(Vec3::ZERO, Vec3::Z, 10.0, 0.0, PI, 1.5);
+        for a in [0.1, FRAC_PI_2, 2.5] {
+            let p = arc.spine_point(a);
+            let t = arc.spine_tangent(a);
+            assert!(((p - arc.center).normalized().dot(t)).abs() < 1e-12);
+            assert!((t.norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn arc_membership() {
+        let arc = ArcBundle::new(Vec3::ZERO, Vec3::Z, 10.0, 0.0, PI, 1.5);
+        let on_spine = arc.spine_point(1.0);
+        assert!(arc.orientation(on_spine).is_some());
+        // Point near the circle but beyond the angular range.
+        let beyond = arc.spine_point(0.0) + arc.spine_tangent(0.0) * -5.0;
+        assert!(arc.orientation(beyond).is_none());
+        // Point radially displaced past the tube.
+        let outside = arc.spine_point(1.0) * 1.5;
+        assert!(arc.orientation(outside).is_none());
+    }
+
+    #[test]
+    fn arc_closest_angle_clamps_to_range() {
+        let arc = ArcBundle::new(Vec3::ZERO, Vec3::Z, 10.0, 0.2, 1.0, 1.0);
+        // A point at angle 1.5 should project to the end of the arc.
+        let p = arc.spine_point(1.5);
+        let d = arc.spine_distance(p);
+        let end = arc.spine_point(1.0);
+        assert!((d - (p - end).norm()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arc_orientation_continuous_along_spine() {
+        let arc = ArcBundle::new(Vec3::new(5.0, 5.0, 5.0), Vec3::X, 8.0, 0.3, 2.8, 1.0);
+        let mut prev = arc.spine_tangent(0.3);
+        let steps = 50;
+        for s in 1..=steps {
+            let a = 0.3 + (2.8 - 0.3) * s as f64 / steps as f64;
+            let t = arc.spine_tangent(a);
+            assert!(t.dot(prev) > 0.9, "tangent jumped at a={a}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn straight_degenerate_rejected() {
+        let _ = StraightBundle::new(Vec3::ZERO, Vec3::ZERO, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty arc")]
+    fn arc_empty_range_rejected() {
+        let _ = ArcBundle::new(Vec3::ZERO, Vec3::Z, 5.0, 1.0, 1.0, 1.0);
+    }
+}

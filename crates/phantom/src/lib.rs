@@ -1,0 +1,37 @@
+//! Synthetic DWI phantom generation.
+//!
+//! The paper evaluates on two DT-MRI scans downloaded from
+//! `cabiatl.com/CABI/resources/dti-analysis/` (48×96×96 @ 2.5 mm and
+//! 60×102×102 @ 2 mm), which are no longer obtainable. This crate builds the
+//! substitute: fully synthetic datasets with **known ground truth**:
+//!
+//! 1. [`geometry`] — analytic fiber-bundle primitives (straight tubes,
+//!    circular arcs like the corpus callosum, crossings);
+//! 2. [`field`] — rasterization of bundles into a per-voxel ground-truth
+//!    orientation field (up to two sticks per voxel, matching the N = 2
+//!    partial-volume model);
+//! 3. [`gradients`] — gradient schemes (electrostatic-repulsion point sets);
+//! 4. [`signal`] — DWI synthesis through the ball-and-sticks forward model
+//!    with Rician or Gaussian noise;
+//! 5. [`datasets`] — the two paper-equivalent datasets and smaller
+//!    special-purpose phantoms (crossing validation, quickstart).
+//!
+//! Because the MCMC and tracking code paths consume only
+//! `(signal, b-values, gradients)` per voxel, they are bit-for-bit agnostic
+//! to whether the data came from a scanner or from this generator; the
+//! phantom's known truth additionally enables validation experiments the
+//! original data could not support.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod field;
+pub mod geometry;
+pub mod gradients;
+pub mod noise;
+pub mod signal;
+
+pub use datasets::{Dataset, DatasetSpec};
+pub use field::GroundTruthField;
+pub use geometry::{ArcBundle, Bundle, StraightBundle};

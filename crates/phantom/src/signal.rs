@@ -1,0 +1,195 @@
+//! DWI signal synthesis: forward-model the ground-truth field through the
+//! ball-and-sticks prediction and apply noise.
+
+use crate::field::GroundTruthField;
+use crate::noise::NoiseModel;
+use tracto_diffusion::models::ball_two_sticks_predict;
+use tracto_diffusion::Acquisition;
+use tracto_rng::{BoxMuller, HybridTaus};
+use tracto_volume::{Vec3, Volume4};
+
+/// Tissue parameters for signal synthesis.
+#[derive(Debug, Clone, Copy)]
+pub struct TissueParams {
+    /// Baseline (b=0) intensity inside the head.
+    pub s0: f64,
+    /// Diffusivity (mm²/s); white-matter typical ≈ 1.5×10⁻³ at b in s/mm².
+    pub d: f64,
+}
+
+impl Default for TissueParams {
+    fn default() -> Self {
+        TissueParams { s0: 1000.0, d: 1.5e-3 }
+    }
+}
+
+/// Synthesize the 4-D DWI volume (`DimX × DimY × DimZ × n`, the paper's
+/// Fig. 1 input) for a ground-truth field.
+///
+/// Every voxel gets the ball-and-two-sticks prediction of its ground truth
+/// (zero to two sticks) plus the configured noise. Deterministic for a given
+/// `seed`.
+pub fn synthesize(
+    field: &GroundTruthField,
+    acq: &Acquisition,
+    tissue: TissueParams,
+    noise: NoiseModel,
+    seed: u64,
+) -> Volume4<f32> {
+    let dims = field.dims();
+    let n = acq.len();
+    let mut out = Volume4::zeros(dims, n);
+    for idx in 0..dims.len() {
+        let vt = field.at_index(idx);
+        let mut rng = BoxMuller::new(HybridTaus::seed_stream(seed, idx as u64));
+        let (f1, dir1) = vt
+            .sticks()
+            .first()
+            .map(|&(d, f)| (f, d))
+            .unwrap_or((0.0, Vec3::Z));
+        let (f2, dir2) = vt
+            .sticks()
+            .get(1)
+            .map(|&(d, f)| (f, d))
+            .unwrap_or((0.0, Vec3::X));
+        let voxel = out.voxel_at_mut(idx);
+        for (i, slot) in voxel.iter_mut().enumerate() {
+            let clean = ball_two_sticks_predict(
+                tissue.s0,
+                tissue.d,
+                f1,
+                f2,
+                dir1,
+                dir2,
+                acq.bval(i),
+                acq.grad(i),
+            );
+            *slot = noise.apply(clean, &mut rng) as f32;
+        }
+    }
+    out
+}
+
+/// Extract one voxel's signal as `f64` (the MCMC-side access pattern).
+pub fn voxel_signal(dwi: &Volume4<f32>, voxel_index: usize) -> Vec<f64> {
+    dwi.voxel_at(voxel_index).iter().map(|&v| v as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::StraightBundle;
+    use crate::gradients::test_protocol;
+    use tracto_volume::{Dim3, Ijk};
+
+    fn small_field() -> GroundTruthField {
+        let dims = Dim3::new(8, 8, 4);
+        let b = StraightBundle::new(
+            Vec3::new(0.0, 4.0, 2.0),
+            Vec3::new(7.0, 4.0, 2.0),
+            1.5,
+        );
+        GroundTruthField::rasterize(dims, &[(&b, 0.65)], 0.9)
+    }
+
+    #[test]
+    fn clean_signal_matches_forward_model() {
+        let field = small_field();
+        let acq = test_protocol(1);
+        let dwi = synthesize(&field, &acq, TissueParams::default(), NoiseModel::None, 0);
+        let dims = field.dims();
+        let c = Ijk::new(4, 4, 2);
+        let vt = field.at(c);
+        assert_eq!(vt.count, 1);
+        let (dir, f) = vt.sticks()[0];
+        for i in 0..acq.len() {
+            let expected = ball_two_sticks_predict(
+                1000.0, 1.5e-3, f, 0.0, dir, Vec3::X, acq.bval(i), acq.grad(i),
+            );
+            let got = *dwi.get(c, i) as f64;
+            assert!((got - expected).abs() < 1e-3, "measurement {i}: {got} vs {expected}");
+        }
+        let _ = dims;
+    }
+
+    #[test]
+    fn b0_equals_s0_without_noise() {
+        let field = small_field();
+        let acq = test_protocol(2);
+        let dwi = synthesize(&field, &acq, TissueParams::default(), NoiseModel::None, 0);
+        for &i in &acq.b0_indices() {
+            assert!((*dwi.get(Ijk::new(4, 4, 2), i) as f64 - 1000.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let field = small_field();
+        let acq = test_protocol(3);
+        let noise = NoiseModel::Rician { sigma: 30.0 };
+        let a = synthesize(&field, &acq, TissueParams::default(), noise, 11);
+        let b = synthesize(&field, &acq, TissueParams::default(), noise, 11);
+        assert_eq!(a, b);
+        let c = synthesize(&field, &acq, TissueParams::default(), noise, 12);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn noise_perturbs_but_preserves_scale() {
+        let field = small_field();
+        let acq = test_protocol(4);
+        let clean = synthesize(&field, &acq, TissueParams::default(), NoiseModel::None, 0);
+        let noisy = synthesize(
+            &field,
+            &acq,
+            TissueParams::default(),
+            NoiseModel::Rician { sigma: 20.0 },
+            0,
+        );
+        let mut diff_count = 0;
+        let mut max_rel = 0.0f64;
+        for (a, b) in clean.as_slice().iter().zip(noisy.as_slice()) {
+            if a != b {
+                diff_count += 1;
+            }
+            if *a > 0.0 {
+                max_rel = max_rel.max(((a - b) / a).abs() as f64);
+            }
+        }
+        assert!(diff_count > clean.len() / 2, "noise barely applied");
+        assert!(max_rel < 0.5, "noise implausibly large: {max_rel}");
+    }
+
+    #[test]
+    fn signal_attenuated_along_fiber() {
+        let field = small_field();
+        let acq = test_protocol(5);
+        let dwi = synthesize(&field, &acq, TissueParams::default(), NoiseModel::None, 0);
+        let c = Ijk::new(4, 4, 2); // fiber along X
+        // Find the DWI measurement most and least aligned with X.
+        let mut best_align = (0, -1.0);
+        let mut worst_align = (0, 2.0);
+        for i in acq.dwi_indices() {
+            let a = acq.grad(i).dot(Vec3::X).abs();
+            if a > best_align.1 {
+                best_align = (i, a);
+            }
+            if a < worst_align.1 {
+                worst_align = (i, a);
+            }
+        }
+        let along = *dwi.get(c, best_align.0);
+        let across = *dwi.get(c, worst_align.0);
+        assert!(along < across, "along-fiber signal must attenuate more: {along} vs {across}");
+    }
+
+    #[test]
+    fn voxel_signal_extraction() {
+        let field = small_field();
+        let acq = test_protocol(6);
+        let dwi = synthesize(&field, &acq, TissueParams::default(), NoiseModel::None, 0);
+        let s = voxel_signal(&dwi, 0);
+        assert_eq!(s.len(), acq.len());
+        assert_eq!(s[0] as f32, dwi.voxel_at(0)[0]);
+    }
+}

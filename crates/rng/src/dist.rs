@@ -1,0 +1,133 @@
+//! Small distribution helpers built on [`RandomSource`].
+
+use crate::RandomSource;
+
+/// Uniform value in `[lo, hi)`.
+#[inline]
+pub fn uniform_range<R: RandomSource>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    lo + (hi - lo) * rng.next_f64()
+}
+
+/// Uniform integer in `[0, n)` using rejection-free multiply-shift.
+#[inline]
+pub fn uniform_index<R: RandomSource>(rng: &mut R, n: usize) -> usize {
+    debug_assert!(n > 0);
+    // Multiply-shift maps a 32-bit uniform onto [0, n) with negligible bias
+    // for the n (≤ millions) used here.
+    ((rng.next_u32() as u64 * n as u64) >> 32) as usize
+}
+
+/// Uniform point on the unit sphere, returned as `(θ, φ)` spherical angles.
+///
+/// Sampling is area-uniform: `cos θ ~ U(-1, 1)`, `φ ~ U(-π, π)`.
+#[inline]
+pub fn uniform_sphere_angles<R: RandomSource>(rng: &mut R) -> (f64, f64) {
+    let cos_theta = uniform_range(rng, -1.0, 1.0);
+    let phi = uniform_range(rng, -std::f64::consts::PI, std::f64::consts::PI);
+    (cos_theta.clamp(-1.0, 1.0).acos(), phi)
+}
+
+/// Exponential variate with rate `lambda` by inversion.
+///
+/// Used to build synthetic load distributions matching the paper's finding
+/// that fiber lengths are exponentially distributed (Eq. 4).
+#[inline]
+pub fn exponential<R: RandomSource>(rng: &mut R, lambda: f64) -> f64 {
+    debug_assert!(lambda > 0.0);
+    -rng.next_f64().ln() / lambda
+}
+
+/// Bernoulli trial with success probability `p`.
+#[inline]
+pub fn bernoulli<R: RandomSource>(rng: &mut R, p: f64) -> bool {
+    rng.next_f64() < p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HybridTaus;
+
+    #[test]
+    fn uniform_range_bounds_and_mean() {
+        let mut g = HybridTaus::new(1);
+        let mut sum = 0.0;
+        const N: usize = 50_000;
+        for _ in 0..N {
+            let v = uniform_range(&mut g, -2.0, 6.0);
+            assert!((-2.0..6.0).contains(&v));
+            sum += v;
+        }
+        assert!((sum / N as f64 - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn uniform_index_covers_all_buckets() {
+        let mut g = HybridTaus::new(2);
+        let mut seen = [false; 7];
+        for _ in 0..10_000 {
+            seen[uniform_index(&mut g, 7)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn uniform_index_unbiased() {
+        let mut g = HybridTaus::new(3);
+        const N: usize = 70_000;
+        let mut counts = [0usize; 7];
+        for _ in 0..N {
+            counts[uniform_index(&mut g, 7)] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / N as f64;
+            assert!((frac - 1.0 / 7.0).abs() < 0.01, "bucket fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn sphere_sampling_is_area_uniform() {
+        let mut g = HybridTaus::new(4);
+        const N: usize = 100_000;
+        // cos θ must be uniform on [-1,1]: check its mean and variance.
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..N {
+            let (theta, phi) = uniform_sphere_angles(&mut g);
+            assert!((0.0..=std::f64::consts::PI).contains(&theta));
+            assert!((-std::f64::consts::PI..=std::f64::consts::PI).contains(&phi));
+            let ct = theta.cos();
+            sum += ct;
+            sum2 += ct * ct;
+        }
+        let mean = sum / N as f64;
+        let var = sum2 / N as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "mean cosθ {mean}");
+        assert!((var - 1.0 / 3.0).abs() < 0.01, "var cosθ {var}");
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut g = HybridTaus::new(5);
+        const N: usize = 100_000;
+        let lambda = 0.25;
+        let mean = (0..N).map(|_| exponential(&mut g, lambda)).sum::<f64>() / N as f64;
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_always_nonnegative() {
+        let mut g = HybridTaus::new(6);
+        for _ in 0..10_000 {
+            assert!(exponential(&mut g, 1.0) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let mut g = HybridTaus::new(7);
+        const N: usize = 100_000;
+        let hits = (0..N).filter(|_| bernoulli(&mut g, 0.3)).count();
+        assert!((hits as f64 / N as f64 - 0.3).abs() < 0.01);
+    }
+}

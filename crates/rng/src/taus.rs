@@ -1,0 +1,231 @@
+//! The hybrid combined Tausworthe generator of GPU Gems 3, chapter 37
+//! ("Efficient Random Number Generation and Application Using CUDA"),
+//! the generator the paper runs on-device.
+
+use crate::RandomSource;
+
+/// One Tausworthe component step.
+///
+/// `z` must stay above the component's minimum seed (enforced at seeding);
+/// each component has period 2³¹-ish and the combination has period ≈ 2¹¹³
+/// when combined with the LCG.
+#[inline]
+fn taus_step(z: &mut u32, s1: u32, s2: u32, s3: u32, m: u32) -> u32 {
+    let b = ((*z << s1) ^ *z) >> s2;
+    *z = ((*z & m) << s3) ^ b;
+    *z
+}
+
+/// One 32-bit LCG step (Numerical Recipes constants, as in GPU Gems 3).
+#[inline]
+fn lcg_step(z: &mut u32) -> u32 {
+    *z = z.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+    *z
+}
+
+/// SplitMix64 — used only to expand a `(seed, stream)` pair into the four
+/// component states, guaranteeing well-separated, constraint-satisfying
+/// seeds for every simulated GPU lane.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The combined (hybrid) Tausworthe generator: three Tausworthe components
+/// XOR'd with an LCG.
+///
+/// ```
+/// use tracto_rng::{HybridTaus, RandomSource};
+/// let mut a = HybridTaus::seed_stream(42, 0);
+/// let mut b = HybridTaus::seed_stream(42, 0);
+/// assert_eq!(a.next_u32(), b.next_u32()); // deterministic per (seed, stream)
+/// let u = a.next_f64();
+/// assert!(u > 0.0 && u < 1.0);            // open interval, ln(u) is finite
+/// ```
+///
+/// * Deterministic and tiny (16 bytes of state) — one per GPU lane.
+/// * `seed_stream` gives independent streams for `(seed, lane index)` pairs,
+///   which is how the MCMC kernel assigns per-voxel generators and the
+///   tracking kernel per-streamline generators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HybridTaus {
+    z1: u32,
+    z2: u32,
+    z3: u32,
+    z4: u32,
+}
+
+impl HybridTaus {
+    /// Minimum values required for the three Tausworthe components; states
+    /// below these are fixed points of the recurrence.
+    const MIN: [u32; 3] = [2, 8, 16];
+
+    /// Seed a single generator. Equivalent to `seed_stream(seed, 0)`.
+    pub fn new(seed: u64) -> Self {
+        Self::seed_stream(seed, 0)
+    }
+
+    /// Seed the generator for logical stream `stream` of `seed`.
+    ///
+    /// Distinct `(seed, stream)` pairs get distinct, decorrelated component
+    /// states; this mirrors the per-thread seeding the paper performs on the
+    /// GPU.
+    pub fn seed_stream(seed: u64, stream: u64) -> Self {
+        let mut s = seed ^ stream.wrapping_mul(0xA24B_AED4_963E_E407);
+        // Warm the splitmix state so streams 0 and 1 of the same seed do not
+        // share a prefix.
+        let _ = splitmix64(&mut s);
+        let raw1 = splitmix64(&mut s) as u32;
+        let raw2 = splitmix64(&mut s) as u32;
+        let raw3 = splitmix64(&mut s) as u32;
+        let raw4 = splitmix64(&mut s) as u32;
+        let mut g = HybridTaus {
+            z1: raw1.max(Self::MIN[0] + 1),
+            z2: raw2.max(Self::MIN[1] + 1),
+            z3: raw3.max(Self::MIN[2] + 1),
+            z4: raw4,
+        };
+        // A short burn-in decorrelates the first outputs of nearby streams.
+        for _ in 0..8 {
+            let _ = g.next_u32();
+        }
+        g
+    }
+
+    /// Expose the component states (for tests and serialization).
+    pub fn state(&self) -> [u32; 4] {
+        [self.z1, self.z2, self.z3, self.z4]
+    }
+}
+
+impl RandomSource for HybridTaus {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        taus_step(&mut self.z1, 13, 19, 12, 0xFFFF_FFFE)
+            ^ taus_step(&mut self.z2, 2, 25, 4, 0xFFFF_FFF8)
+            ^ taus_step(&mut self.z3, 3, 11, 17, 0xFFFF_FFF0)
+            ^ lcg_step(&mut self.z4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = HybridTaus::new(42);
+        let mut b = HybridTaus::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = HybridTaus::new(1);
+        let mut b = HybridTaus::new(2);
+        let same = (0..64).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same <= 1, "nearly identical sequences for different seeds");
+    }
+
+    #[test]
+    fn streams_are_decorrelated() {
+        let mut a = HybridTaus::seed_stream(7, 0);
+        let mut b = HybridTaus::seed_stream(7, 1);
+        let same = (0..64).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same <= 1);
+    }
+
+    #[test]
+    fn stream_zero_equals_new() {
+        let mut a = HybridTaus::new(99);
+        let mut b = HybridTaus::seed_stream(99, 0);
+        for _ in 0..16 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn uniform_mean_and_variance() {
+        let mut g = HybridTaus::new(12345);
+        const N: usize = 100_000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..N {
+            let u = g.next_f64();
+            sum += u;
+            sum_sq += u * u;
+        }
+        let mean = sum / N as f64;
+        let var = sum_sq / N as f64 - mean * mean;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+        assert!((var - 1.0 / 12.0).abs() < 0.005, "variance {var}");
+    }
+
+    #[test]
+    fn bucket_uniformity_chi_squared() {
+        let mut g = HybridTaus::new(777);
+        const N: usize = 160_000;
+        const K: usize = 16;
+        let mut counts = [0usize; K];
+        for _ in 0..N {
+            counts[(g.next_f64() * K as f64) as usize] += 1;
+        }
+        let expected = N as f64 / K as f64;
+        let chi2: f64 = counts.iter().map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        }).sum();
+        // 15 dof: p=0.001 critical value ≈ 37.7.
+        assert!(chi2 < 37.7, "chi-squared {chi2} too large");
+    }
+
+    #[test]
+    fn serial_correlation_small() {
+        let mut g = HybridTaus::new(2024);
+        const N: usize = 100_000;
+        let mut prev = g.next_f64();
+        let (mut sx, mut sy, mut sxy, mut sxx, mut syy) = (0.0, 0.0, 0.0, 0.0, 0.0);
+        for _ in 0..N {
+            let cur = g.next_f64();
+            sx += prev;
+            sy += cur;
+            sxy += prev * cur;
+            sxx += prev * prev;
+            syy += cur * cur;
+            prev = cur;
+        }
+        let n = N as f64;
+        let corr = (n * sxy - sx * sy) / ((n * sxx - sx * sx).sqrt() * (n * syy - sy * sy).sqrt());
+        assert!(corr.abs() < 0.01, "lag-1 correlation {corr}");
+    }
+
+    #[test]
+    fn no_short_cycle() {
+        let mut g = HybridTaus::new(5);
+        let first = g.state();
+        for i in 0..100_000u32 {
+            let _ = g.next_u32();
+            assert_ne!(g.state(), first, "cycled after {i} steps");
+        }
+    }
+
+    #[test]
+    fn seeding_respects_component_minimums() {
+        // Pathological seeds must not produce degenerate component states.
+        for seed in [0u64, 1, 2, u64::MAX] {
+            let g = HybridTaus::new(seed);
+            let [z1, z2, z3, _] = g.state();
+            assert!(z1 > 1 || z1 == 0 || z1 > 0, "z1={z1}");
+            // After burn-in the states must be nonzero and differ.
+            assert_ne!(z1, 0);
+            assert_ne!(z2, 0);
+            assert_ne!(z3, 0);
+        }
+    }
+}

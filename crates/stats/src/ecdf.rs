@@ -1,0 +1,137 @@
+//! Empirical cumulative distributions.
+
+/// An empirical distribution over sorted samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from data (NaNs rejected).
+    pub fn new(mut data: Vec<f64>) -> Self {
+        assert!(!data.is_empty(), "need data");
+        assert!(data.iter().all(|x| !x.is_nan()), "NaN in data");
+        data.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Ecdf { sorted: data }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when there are no samples (never: construction requires data).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X ≤ x)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The survival function `P(X > x)` — the paper's Fig. 5b "cumulative
+    /// distribution of fiber lengths".
+    pub fn ccdf(&self, x: f64) -> f64 {
+        1.0 - self.cdf(x)
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Quantile by nearest-rank (q ∈ [0, 1]).
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
+        self.sorted[idx - 1]
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("nonempty")
+    }
+
+    /// Evenly spaced `(x, P(X > x))` points over the data range — a Fig. 5b
+    /// series.
+    pub fn ccdf_series(&self, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2);
+        let lo = self.min();
+        let hi = self.max();
+        (0..points)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+                (x, self.ccdf(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_step_values() {
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.cdf(0.5), 0.0);
+        assert_eq!(e.cdf(1.0), 0.25);
+        assert_eq!(e.cdf(2.5), 0.5);
+        assert_eq!(e.cdf(4.0), 1.0);
+        assert_eq!(e.cdf(9.0), 1.0);
+    }
+
+    #[test]
+    fn ccdf_complement() {
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        for x in [0.0, 1.5, 2.0, 5.0] {
+            assert!((e.cdf(x) + e.ccdf(x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ccdf_monotone_nonincreasing() {
+        let e = Ecdf::new(vec![3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]);
+        let series = e.ccdf_series(20);
+        for w in series.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantiles_and_extremes() {
+        let e = Ecdf::new(vec![10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(e.min(), 10.0);
+        assert_eq!(e.max(), 50.0);
+        assert_eq!(e.quantile(0.5), 30.0);
+        assert_eq!(e.quantile(1.0), 50.0);
+        assert_eq!(e.quantile(0.0), 10.0);
+        assert_eq!(e.mean(), 30.0);
+    }
+
+    #[test]
+    fn unsorted_input_handled() {
+        let e = Ecdf::new(vec![5.0, 1.0, 3.0]);
+        assert_eq!(e.min(), 1.0);
+        assert_eq!(e.cdf(3.0), 2.0 / 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need data")]
+    fn empty_rejected() {
+        let _ = Ecdf::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = Ecdf::new(vec![1.0, f64::NAN]);
+    }
+}

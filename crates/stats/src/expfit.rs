@@ -1,0 +1,238 @@
+//! Exponential-distribution fitting and goodness of fit — the machinery
+//! behind the paper's central empirical finding (Fig. 5, Eq. 4):
+//! "the fiber lengths follow an exponential distribution
+//! p(x; λ) = λ e^(−λx)".
+
+use crate::histogram::Histogram;
+use crate::regression::{linear_fit, LineFit};
+
+/// Result of fitting an exponential distribution to data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExponentialFit {
+    /// Maximum-likelihood rate `λ = 1 / mean`.
+    pub lambda: f64,
+    /// Kolmogorov–Smirnov statistic against `Exp(λ)`.
+    pub ks_statistic: f64,
+    /// Number of samples fitted.
+    pub n: usize,
+}
+
+impl ExponentialFit {
+    /// Fit by maximum likelihood and compute the KS distance.
+    ///
+    /// # Panics
+    /// On empty data, negative values, or zero mean.
+    pub fn fit(data: &[f64]) -> ExponentialFit {
+        assert!(!data.is_empty(), "need data");
+        assert!(data.iter().all(|&x| x >= 0.0), "exponential data must be nonnegative");
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        assert!(mean > 0.0, "all-zero data");
+        let lambda = 1.0 / mean;
+
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let n = sorted.len() as f64;
+        let mut ks: f64 = 0.0;
+        for (i, &x) in sorted.iter().enumerate() {
+            let model = 1.0 - (-lambda * x).exp();
+            let emp_hi = (i + 1) as f64 / n;
+            let emp_lo = i as f64 / n;
+            ks = ks.max((model - emp_lo).abs()).max((model - emp_hi).abs());
+        }
+        ExponentialFit { lambda, ks_statistic: ks, n: data.len() }
+    }
+
+    /// The critical KS value at significance `alpha ∈ {0.05, 0.01}` for this
+    /// sample size (asymptotic formula). The fit "passes" when
+    /// `ks_statistic` is below this.
+    pub fn ks_critical(&self, alpha: f64) -> f64 {
+        let c = if alpha <= 0.01 { 1.63 } else { 1.36 };
+        c / (self.n as f64).sqrt()
+    }
+
+    /// Mean of the fitted distribution (`1/λ`).
+    pub fn mean(&self) -> f64 {
+        1.0 / self.lambda
+    }
+}
+
+/// Nonparametric bootstrap confidence interval for the exponential rate λ:
+/// resample the data with replacement `n_boot` times, refit by MLE, and
+/// take the empirical `[α/2, 1−α/2]` quantiles. Deterministic for a given
+/// `seed` (splitmix64 indices — this crate stays dependency-free).
+pub fn bootstrap_lambda_ci(
+    data: &[f64],
+    n_boot: usize,
+    alpha: f64,
+    seed: u64,
+) -> (f64, f64) {
+    assert!(!data.is_empty(), "need data");
+    assert!(n_boot >= 10, "need a sensible number of resamples");
+    assert!(alpha > 0.0 && alpha < 1.0);
+    let mut state = seed ^ 0xB007_57A9;
+    let mut next_index = |n: usize| {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        ((z ^ (z >> 31)) % n as u64) as usize
+    };
+    let mut lambdas: Vec<f64> = (0..n_boot)
+        .map(|_| {
+            let mut sum = 0.0;
+            for _ in 0..data.len() {
+                sum += data[next_index(data.len())];
+            }
+            data.len() as f64 / sum.max(f64::MIN_POSITIVE)
+        })
+        .collect();
+    lambdas.sort_by(|a, b| a.partial_cmp(b).expect("finite λ"));
+    let lo_idx = ((alpha / 2.0) * (n_boot - 1) as f64).round() as usize;
+    let hi_idx = (((1.0 - alpha / 2.0) * (n_boot - 1) as f64).round() as usize)
+        .min(n_boot - 1);
+    (lambdas[lo_idx], lambdas[hi_idx])
+}
+
+/// Semi-log diagnostic (Fig. 5c): fit a line to `(bin center, ln density)`
+/// over the occupied histogram bins. For exponential data the points are
+/// collinear with slope `−λ`; the returned `r_squared` quantifies
+/// straightness.
+pub fn semilog_fit(data: &[f64], bins: usize) -> LineFit {
+    assert!(!data.is_empty());
+    let hi = data.iter().copied().fold(f64::NEG_INFINITY, f64::max) * 1.0001;
+    let h = Histogram::from_data(data.iter().copied(), 0.0, hi.max(1e-9), bins);
+    let pts: Vec<(f64, f64)> = h
+        .density_points()
+        .into_iter()
+        .filter(|&(_, d)| d > 0.0)
+        .map(|(x, d)| (x, d.ln()))
+        .collect();
+    linear_fit(&pts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracto_rng_testutil::exponential_samples;
+
+    /// Local helper: deterministic exponential samples via inversion with a
+    /// splitmix-style generator (no external crates in stats).
+    mod tracto_rng_testutil {
+        pub fn exponential_samples(n: usize, lambda: f64, seed: u64) -> Vec<f64> {
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+            (0..n)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let u = ((state >> 11) as f64 + 0.5) / (1u64 << 53) as f64;
+                    -u.ln() / lambda
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn mle_recovers_rate() {
+        let data = exponential_samples(50_000, 0.05, 1);
+        let fit = ExponentialFit::fit(&data);
+        assert!((fit.lambda - 0.05).abs() / 0.05 < 0.03, "λ {}", fit.lambda);
+        assert!((fit.mean() - 20.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn ks_passes_for_true_exponential() {
+        let data = exponential_samples(5000, 0.1, 2);
+        let fit = ExponentialFit::fit(&data);
+        assert!(
+            fit.ks_statistic < fit.ks_critical(0.01),
+            "KS {} ≥ critical {}",
+            fit.ks_statistic,
+            fit.ks_critical(0.01)
+        );
+    }
+
+    #[test]
+    fn ks_rejects_uniform_data() {
+        // Uniform on [0, 1] is far from its best-fit exponential.
+        let data: Vec<f64> = (0..2000).map(|i| i as f64 / 2000.0).collect();
+        let fit = ExponentialFit::fit(&data);
+        assert!(
+            fit.ks_statistic > fit.ks_critical(0.01) * 2.0,
+            "KS {} unexpectedly small",
+            fit.ks_statistic
+        );
+    }
+
+    #[test]
+    fn ks_rejects_constant_shifted_data() {
+        let data = vec![10.0; 1000];
+        let fit = ExponentialFit::fit(&data);
+        assert!(fit.ks_statistic > 0.3);
+    }
+
+    #[test]
+    fn semilog_slope_is_minus_lambda() {
+        let data = exponential_samples(100_000, 0.02, 3);
+        let fit = semilog_fit(&data, 30);
+        assert!(
+            (fit.slope + 0.02).abs() / 0.02 < 0.15,
+            "semi-log slope {} (expect −0.02)",
+            fit.slope
+        );
+        assert!(fit.r_squared > 0.95, "r² {}", fit.r_squared);
+    }
+
+    #[test]
+    fn semilog_not_straight_for_normal_like_data() {
+        // |N(50, 5)|-ish data via central limit of uniforms.
+        let mut state = 12345u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 11) as f64) / (1u64 << 53) as f64
+        };
+        let data: Vec<f64> = (0..20_000)
+            .map(|_| 50.0 + 5.0 * ((0..12).map(|_| next()).sum::<f64>() - 6.0))
+            .collect();
+        let fit = semilog_fit(&data, 30);
+        // A Gaussian's log-density is quadratic, so a global line fits
+        // poorly compared to the exponential case.
+        assert!(fit.r_squared < 0.8, "r² {} should be low for Gaussian", fit.r_squared);
+    }
+
+    #[test]
+    fn critical_values_scale_with_n() {
+        let small = ExponentialFit { lambda: 1.0, ks_statistic: 0.0, n: 100 };
+        let large = ExponentialFit { lambda: 1.0, ks_statistic: 0.0, n: 10_000 };
+        assert!(small.ks_critical(0.05) > large.ks_critical(0.05));
+        assert!(small.ks_critical(0.01) > small.ks_critical(0.05));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn negative_data_rejected() {
+        let _ = ExponentialFit::fit(&[1.0, -0.5]);
+    }
+
+    #[test]
+    fn bootstrap_ci_brackets_true_rate() {
+        let data = exponential_samples(4000, 0.05, 9);
+        let (lo, hi) = bootstrap_lambda_ci(&data, 400, 0.05, 1);
+        assert!(lo < 0.05 && 0.05 < hi, "CI [{lo:.4}, {hi:.4}] misses λ=0.05");
+        // CI width shrinks roughly as 1/√n.
+        let small = exponential_samples(200, 0.05, 10);
+        let (lo_s, hi_s) = bootstrap_lambda_ci(&small, 400, 0.05, 1);
+        assert!(hi_s - lo_s > hi - lo, "smaller n must widen the CI");
+    }
+
+    #[test]
+    fn bootstrap_ci_deterministic_and_ordered() {
+        let data = exponential_samples(500, 0.1, 11);
+        let a = bootstrap_lambda_ci(&data, 200, 0.1, 7);
+        let b = bootstrap_lambda_ci(&data, 200, 0.1, 7);
+        assert_eq!(a, b);
+        assert!(a.0 <= a.1);
+        let c = bootstrap_lambda_ci(&data, 200, 0.1, 8);
+        assert_ne!(a, c, "different seed resamples differently");
+    }
+}

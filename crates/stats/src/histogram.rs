@@ -1,0 +1,176 @@
+//! Uniform-bin histograms.
+
+/// A histogram with uniform bins over `[lo, hi)`.
+///
+/// ```
+/// use tracto_stats::Histogram;
+/// let h = Histogram::from_data([0.5, 1.5, 1.7, 2.5], 0.0, 3.0, 3);
+/// assert_eq!(h.counts(), &[1, 2, 1]);
+/// assert_eq!(h.bin_center(1), 1.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+    below: u64,
+    above: u64,
+}
+
+impl Histogram {
+    /// Build from data with `bins` uniform bins over `[lo, hi)`. Values
+    /// outside the range are tallied separately (`below`/`above`).
+    pub fn from_data(data: impl IntoIterator<Item = f64>, lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(hi > lo, "empty range");
+        let mut h = Histogram { lo, hi, counts: vec![0; bins], total: 0, below: 0, above: 0 };
+        let scale = bins as f64 / (hi - lo);
+        for x in data {
+            h.total += 1;
+            if x < lo {
+                h.below += 1;
+            } else if x >= hi {
+                h.above += 1;
+            } else {
+                let b = ((x - lo) * scale) as usize;
+                h.counts[b.min(bins - 1)] += 1;
+            }
+        }
+        h
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Bin width.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Center of bin `b`.
+    pub fn bin_center(&self, b: usize) -> f64 {
+        self.lo + (b as f64 + 0.5) * self.bin_width()
+    }
+
+    /// Raw count of bin `b`.
+    pub fn count(&self, b: usize) -> u64 {
+        self.counts[b]
+    }
+
+    /// All counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations (including out-of-range).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations below/above the range.
+    pub fn out_of_range(&self) -> (u64, u64) {
+        (self.below, self.above)
+    }
+
+    /// Probability-density estimate per bin (integrates to the in-range
+    /// fraction).
+    pub fn density(&self) -> Vec<f64> {
+        let norm = self.total.max(1) as f64 * self.bin_width();
+        self.counts.iter().map(|&c| c as f64 / norm).collect()
+    }
+
+    /// `(bin center, density)` pairs for nonzero bins — the Fig. 5a series.
+    pub fn density_points(&self) -> Vec<(f64, f64)> {
+        let d = self.density();
+        (0..self.bins())
+            .filter(|&b| self.counts[b] > 0)
+            .map(|b| (self.bin_center(b), d[b]))
+            .collect()
+    }
+
+    /// Render a terminal bar chart (one row per bin), the text analogue of
+    /// the paper's distribution figures.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (b, &c) in self.counts.iter().enumerate() {
+            let bar = (c as f64 / max as f64 * width as f64).round() as usize;
+            out.push_str(&format!(
+                "{:>10.1} | {}{} {}\n",
+                self.bin_center(b),
+                "#".repeat(bar),
+                " ".repeat(width - bar),
+                c
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_land_in_right_bins() {
+        let h = Histogram::from_data([0.5, 1.5, 1.7, 2.5], 0.0, 3.0, 3);
+        assert_eq!(h.counts(), &[1, 2, 1]);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn out_of_range_tallied() {
+        let h = Histogram::from_data([-1.0, 0.5, 5.0, 7.0], 0.0, 3.0, 3);
+        assert_eq!(h.out_of_range(), (1, 2));
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.counts().iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn boundary_values() {
+        // lo is inclusive, hi exclusive.
+        let h = Histogram::from_data([0.0, 3.0], 0.0, 3.0, 3);
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.out_of_range().1, 1);
+    }
+
+    #[test]
+    fn density_integrates_to_in_range_fraction() {
+        let h = Histogram::from_data((0..100).map(|i| i as f64 * 0.01), 0.0, 1.0, 10);
+        let integral: f64 = h.density().iter().sum::<f64>() * h.bin_width();
+        assert!((integral - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bin_centers() {
+        let h = Histogram::from_data([], 0.0, 10.0, 5);
+        assert_eq!(h.bin_width(), 2.0);
+        assert_eq!(h.bin_center(0), 1.0);
+        assert_eq!(h.bin_center(4), 9.0);
+    }
+
+    #[test]
+    fn density_points_skip_empty_bins() {
+        let h = Histogram::from_data([0.5, 2.5], 0.0, 3.0, 3);
+        let pts = h.density_points();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].0, 0.5);
+    }
+
+    #[test]
+    fn ascii_render_row_per_bin() {
+        let h = Histogram::from_data([0.5, 0.6, 1.5], 0.0, 2.0, 2);
+        let s = h.render_ascii(20);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn bad_range_panics() {
+        let _ = Histogram::from_data([], 1.0, 1.0, 3);
+    }
+}

@@ -1,0 +1,22 @@
+//! Distribution fitting, histograms, and utilization metrics for the
+//! paper's figures:
+//!
+//! * [`histogram`] / [`ecdf`] — the fiber-length distribution and its
+//!   "cumulative" `P(L > x)` form (Fig. 5a/5b);
+//! * [`expfit`] — exponential MLE, Kolmogorov–Smirnov goodness of fit, and
+//!   the semi-log regression that makes Fig. 5c a straight line;
+//! * [`regression`] — simple least-squares lines;
+//! * [`loadbalance`] — neighbor-variation metrics for the load-sorting
+//!   analysis (Fig. 4) and wavefront/segment waste accounting (Fig. 6).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ecdf;
+pub mod expfit;
+pub mod histogram;
+pub mod loadbalance;
+pub mod regression;
+
+pub use expfit::ExponentialFit;
+pub use histogram::Histogram;

@@ -1,0 +1,192 @@
+//! Load-balance metrics: neighbor variation (Fig. 4) and wasted-work
+//! accounting (Fig. 6).
+
+/// Mean absolute difference between adjacent loads — the "variance between
+/// the loads of neighboring threads" that persists after sorting by a stale
+/// prediction (Fig. 4c).
+pub fn neighbor_mean_abs_diff(loads: &[u32]) -> f64 {
+    if loads.len() < 2 {
+        return 0.0;
+    }
+    loads
+        .windows(2)
+        .map(|w| (w[0] as f64 - w[1] as f64).abs())
+        .sum::<f64>()
+        / (loads.len() - 1) as f64
+}
+
+/// Lockstep-charged lane-iterations for loads grouped into wavefronts of
+/// `wavefront_size` in the given order: `Σ_w max(loads in w) × |w|`.
+pub fn charged_iterations(loads: &[u32], wavefront_size: usize) -> u64 {
+    assert!(wavefront_size > 0);
+    loads
+        .chunks(wavefront_size)
+        .map(|c| *c.iter().max().expect("nonempty chunk") as u64 * c.len() as u64)
+        .sum()
+}
+
+/// Useful lane-iterations: `Σ loads`.
+pub fn useful_iterations(loads: &[u32]) -> u64 {
+    loads.iter().map(|&l| l as u64).sum()
+}
+
+/// SIMD utilization of an ordering: useful / charged.
+pub fn utilization(loads: &[u32], wavefront_size: usize) -> f64 {
+    let charged = charged_iterations(loads, wavefront_size);
+    if charged == 0 {
+        return 1.0;
+    }
+    useful_iterations(loads) as f64 / charged as f64
+}
+
+/// Per-segment waste accounting in the paper's Fig. 6 rectangle model:
+/// a launch with budget `b` over `n` live lanes charges `n × b` iterations
+/// (the rectangle), of which the useful part is what lanes actually run.
+/// Lanes retire between segments (compaction).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentWaste {
+    /// Per-segment `(live lanes, budget, charged, useful)` rows.
+    pub segments: Vec<(usize, u32, u64, u64)>,
+    /// Total charged iterations (rectangle areas).
+    pub charged: u64,
+    /// Total useful iterations (area under the load curve).
+    pub useful: u64,
+}
+
+impl SegmentWaste {
+    /// Utilization under the rectangle model.
+    pub fn utilization(&self) -> f64 {
+        if self.charged == 0 {
+            return 1.0;
+        }
+        self.useful as f64 / self.charged as f64
+    }
+}
+
+/// Evaluate a segmentation (budgets array) against a load set under the
+/// rectangle model of Fig. 6 (whole-launch granularity, i.e. all live lanes
+/// run to the segment budget or their own completion).
+pub fn rectangle_model(loads: &[u32], budgets: &[u32]) -> SegmentWaste {
+    let mut remaining: Vec<u32> = loads.to_vec();
+    let mut segments = Vec::with_capacity(budgets.len());
+    let mut charged = 0u64;
+    let mut useful = 0u64;
+    for &b in budgets {
+        remaining.retain(|&r| r > 0);
+        if remaining.is_empty() {
+            break;
+        }
+        let n = remaining.len();
+        let seg_charged = n as u64 * b as u64;
+        let seg_useful: u64 = remaining.iter().map(|&r| r.min(b) as u64).sum();
+        charged += seg_charged;
+        useful += seg_useful;
+        segments.push((n, b, seg_charged, seg_useful));
+        for r in &mut remaining {
+            *r = r.saturating_sub(b);
+        }
+    }
+    SegmentWaste { segments, charged, useful }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighbor_diff_zero_for_uniform() {
+        assert_eq!(neighbor_mean_abs_diff(&[5, 5, 5, 5]), 0.0);
+        assert_eq!(neighbor_mean_abs_diff(&[7]), 0.0);
+    }
+
+    #[test]
+    fn neighbor_diff_drops_after_sorting() {
+        let loads = [10u32, 1, 9, 2, 8, 3, 7, 4];
+        let mut sorted = loads;
+        sorted.sort_unstable();
+        assert!(neighbor_mean_abs_diff(&sorted) < neighbor_mean_abs_diff(&loads));
+    }
+
+    #[test]
+    fn charged_is_wavefront_max_times_width() {
+        // wavefronts of 4: [9,1,1,1] → 36; [2,2,2,2] → 8.
+        let loads = [9u32, 1, 1, 1, 2, 2, 2, 2];
+        assert_eq!(charged_iterations(&loads, 4), 36 + 8);
+        assert_eq!(useful_iterations(&loads), 12 + 8);
+    }
+
+    #[test]
+    fn charged_handles_partial_last_wavefront() {
+        let loads = [3u32, 5, 7];
+        assert_eq!(charged_iterations(&loads, 2), 5 * 2 + 7);
+    }
+
+    #[test]
+    fn utilization_one_for_balanced() {
+        assert_eq!(utilization(&[4, 4, 4, 4], 4), 1.0);
+        assert_eq!(utilization(&[], 4), 1.0);
+    }
+
+    #[test]
+    fn sorting_improves_utilization() {
+        let loads: Vec<u32> = (0..64).map(|i| (i * 7 + 3) % 50 + 1).collect();
+        let mut sorted = loads.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        assert!(
+            utilization(&sorted, 8) >= utilization(&loads, 8),
+            "descending sort packs similar loads into wavefronts"
+        );
+    }
+
+    #[test]
+    fn rectangle_model_single_segment() {
+        let loads = [10u32, 2, 5];
+        let w = rectangle_model(&loads, &[10]);
+        assert_eq!(w.charged, 30);
+        assert_eq!(w.useful, 17);
+        assert_eq!(w.segments.len(), 1);
+        assert!((w.utilization() - 17.0 / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rectangle_model_compaction_reduces_waste() {
+        let loads = [10u32, 2, 5];
+        // Segments {2, 3, 5}: seg1 charges 3×2 (all live), seg2 charges 2×3
+        // (one retired), seg3 charges 1×5.
+        let w = rectangle_model(&loads, &[2, 3, 5]);
+        assert_eq!(w.segments[0], (3, 2, 6, 6));
+        assert_eq!(w.segments[1], (2, 3, 6, 6));
+        assert_eq!(w.segments[2], (1, 5, 5, 5));
+        assert_eq!(w.charged, 17);
+        assert_eq!(w.useful, 17);
+        assert_eq!(w.utilization(), 1.0);
+    }
+
+    #[test]
+    fn rectangle_model_stops_when_all_retired() {
+        let loads = [2u32, 2];
+        let w = rectangle_model(&loads, &[5, 5, 5]);
+        assert_eq!(w.segments.len(), 1);
+    }
+
+    #[test]
+    fn increasing_budgets_beat_single_for_exponential_loads() {
+        // Exponential-ish loads: many short, few long — the paper's setting.
+        let loads: Vec<u32> = (0..256)
+            .map(|i| {
+                let u = (i as f64 + 0.5) / 256.0;
+                (-u.ln() * 30.0).ceil() as u32 + 1
+            })
+            .collect();
+        let max = *loads.iter().max().unwrap();
+        let single = rectangle_model(&loads, &[max]);
+        let increasing = rectangle_model(&loads, &[1, 2, 5, 10, 20, 50, 100, 200, max]);
+        assert!(
+            increasing.charged < single.charged,
+            "increasing-interval segmentation must cut charged work: {} vs {}",
+            increasing.charged,
+            single.charged
+        );
+        assert_eq!(increasing.useful, single.useful);
+    }
+}

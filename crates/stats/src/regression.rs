@@ -1,0 +1,86 @@
+//! Simple least-squares lines.
+
+/// An ordinary-least-squares line fit `y ≈ slope · x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]`.
+    pub r_squared: f64,
+}
+
+/// Fit a line through `(x, y)` pairs.
+///
+/// # Panics
+/// With fewer than two points or zero x-variance.
+pub fn linear_fit(points: &[(f64, f64)]) -> LineFit {
+    assert!(points.len() >= 2, "need at least two points");
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(denom.abs() > 1e-12, "x values are degenerate");
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    let mean_y = sy / n;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| (p.1 - slope * p.0 - intercept).powi(2))
+        .sum();
+    let r_squared = if ss_tot == 0.0 { 1.0 } else { (1.0 - ss_res / ss_tot).clamp(0.0, 1.0) };
+    LineFit { slope, intercept, r_squared }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 - 2.0)).collect();
+        let f = linear_fit(&pts);
+        assert!((f.slope - 3.0).abs() < 1e-12);
+        assert!((f.intercept + 2.0).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_low_residual() {
+        let pts: Vec<(f64, f64)> = (0..50)
+            .map(|i| {
+                let x = i as f64 * 0.1;
+                (x, 2.0 * x + 1.0 + if i % 2 == 0 { 0.05 } else { -0.05 })
+            })
+            .collect();
+        let f = linear_fit(&pts);
+        assert!((f.slope - 2.0).abs() < 0.05);
+        assert!(f.r_squared > 0.99);
+    }
+
+    #[test]
+    fn uncorrelated_data_low_r2() {
+        let pts = [(0.0, 1.0), (1.0, -1.0), (2.0, 1.0), (3.0, -1.0), (4.0, 1.0)];
+        let f = linear_fit(&pts);
+        assert!(f.r_squared < 0.2, "r² {} for noise", f.r_squared);
+    }
+
+    #[test]
+    fn constant_y_is_perfect_fit() {
+        let pts = [(0.0, 5.0), (1.0, 5.0), (2.0, 5.0)];
+        let f = linear_fit(&pts);
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.intercept, 5.0);
+        assert_eq!(f.r_squared, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn vertical_data_rejected() {
+        let _ = linear_fit(&[(1.0, 0.0), (1.0, 1.0)]);
+    }
+}

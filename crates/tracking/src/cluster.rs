@@ -1,0 +1,193 @@
+//! Streamline bundle clustering (QuickBundles-style).
+//!
+//! The paper's biological figures present *bundles* — the corpus callosum,
+//! long association fibers — rather than raw streamline soups. This module
+//! implements the standard single-pass clustering used for that grouping
+//! (Garyfallidis et al.'s QuickBundles): streamlines are resampled to a
+//! fixed point count, compared by the minimum-average-direct-flip (MDF)
+//! distance, and greedily assigned to the nearest centroid within a
+//! threshold.
+
+use crate::resample::resample_by_arclength;
+use tracto_volume::Vec3;
+
+/// Number of points every streamline is resampled to before clustering.
+pub const CLUSTER_POINTS: usize = 12;
+
+/// Mean point-wise distance between two equal-length polylines.
+fn direct_distance(a: &[Vec3], b: &[Vec3]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(p, q)| (*p - *q).norm()).sum::<f64>() / a.len() as f64
+}
+
+/// Minimum-average-direct-flip distance: streamlines have no intrinsic
+/// orientation, so compare both orderings and keep the smaller mean
+/// point-wise distance.
+pub fn mdf_distance(a: &[Vec3], b: &[Vec3]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "resample before comparing");
+    let direct = direct_distance(a, b);
+    let flipped: f64 =
+        a.iter().zip(b.iter().rev()).map(|(p, q)| (*p - *q).norm()).sum::<f64>()
+            / a.len() as f64;
+    direct.min(flipped)
+}
+
+/// One cluster: a running-mean centroid plus member indices.
+#[derive(Debug, Clone)]
+pub struct Bundle {
+    /// Centroid polyline (CLUSTER_POINTS points).
+    pub centroid: Vec<Vec3>,
+    /// Indices of member streamlines (into the input order).
+    pub members: Vec<usize>,
+}
+
+impl Bundle {
+    /// Number of member streamlines.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the bundle has no members (never returned by clustering).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// Cluster streamlines by MDF distance with the given threshold (same
+/// spatial units as the points — voxels here). Streamlines with fewer than
+/// two points are skipped. Returns bundles sorted by descending size.
+pub fn quick_bundles(streamlines: &[Vec<Vec3>], threshold: f64) -> Vec<Bundle> {
+    assert!(threshold > 0.0, "threshold must be positive");
+    let mut bundles: Vec<Bundle> = Vec::new();
+    // Running sums for centroid updates, parallel to `bundles`.
+    let mut sums: Vec<Vec<Vec3>> = Vec::new();
+
+    for (idx, line) in streamlines.iter().enumerate() {
+        if line.len() < 2 {
+            continue;
+        }
+        let r = resample_by_arclength(line, CLUSTER_POINTS);
+        // Find the nearest centroid.
+        let mut best: Option<(usize, f64, bool)> = None;
+        for (b, bundle) in bundles.iter().enumerate() {
+            let direct = direct_distance(&r, &bundle.centroid);
+            let flipped: f64 = r
+                .iter()
+                .zip(bundle.centroid.iter().rev())
+                .map(|(p, q)| (*p - *q).norm())
+                .sum::<f64>()
+                / r.len() as f64;
+            let (dist, flip) = if direct <= flipped { (direct, false) } else { (flipped, true) };
+            if best.map(|(_, d, _)| dist < d).unwrap_or(true) {
+                best = Some((b, dist, flip));
+            }
+        }
+        match best {
+            Some((b, dist, flip)) if dist <= threshold => {
+                let oriented: Vec<Vec3> =
+                    if flip { r.iter().rev().copied().collect() } else { r };
+                for (s, p) in sums[b].iter_mut().zip(&oriented) {
+                    *s += *p;
+                }
+                bundles[b].members.push(idx);
+                let n = bundles[b].members.len() as f64;
+                for (c, s) in bundles[b].centroid.iter_mut().zip(&sums[b]) {
+                    *c = *s / n;
+                }
+            }
+            _ => {
+                sums.push(r.clone());
+                bundles.push(Bundle { centroid: r, members: vec![idx] });
+            }
+        }
+    }
+    bundles.sort_by_key(|b| std::cmp::Reverse(b.members.len()));
+    bundles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(offset: Vec3, dir: Vec3, n: usize, wiggle: f64, seed: usize) -> Vec<Vec3> {
+        (0..n)
+            .map(|i| {
+                let w = ((i * 7 + seed * 13) % 5) as f64 * wiggle;
+                offset + dir * i as f64 + Vec3::new(0.0, w, -w)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mdf_zero_for_identical_and_flip_invariant() {
+        let a = resample_by_arclength(&line(Vec3::ZERO, Vec3::X, 20, 0.0, 0), CLUSTER_POINTS);
+        assert_eq!(mdf_distance(&a, &a), 0.0);
+        let rev: Vec<Vec3> = a.iter().rev().copied().collect();
+        assert!(mdf_distance(&a, &rev) < 1e-12, "flip invariance");
+    }
+
+    #[test]
+    fn mdf_grows_with_offset() {
+        let a = resample_by_arclength(&line(Vec3::ZERO, Vec3::X, 20, 0.0, 0), CLUSTER_POINTS);
+        let b = resample_by_arclength(
+            &line(Vec3::new(0.0, 3.0, 0.0), Vec3::X, 20, 0.0, 0),
+            CLUSTER_POINTS,
+        );
+        assert!((mdf_distance(&a, &b) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_separated_bundles_found() {
+        let mut lines = Vec::new();
+        for s in 0..10 {
+            lines.push(line(Vec3::new(0.0, 0.0, 0.0), Vec3::X, 20, 0.05, s));
+        }
+        for s in 0..7 {
+            lines.push(line(Vec3::new(0.0, 20.0, 0.0), Vec3::Y, 20, 0.05, s));
+        }
+        let bundles = quick_bundles(&lines, 2.0);
+        assert_eq!(bundles.len(), 2, "bundle count: {}", bundles.len());
+        assert_eq!(bundles[0].len(), 10);
+        assert_eq!(bundles[1].len(), 7);
+        // Members partition the input.
+        let mut all: Vec<usize> =
+            bundles.iter().flat_map(|b| b.members.iter().copied()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..17).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn flipped_members_join_the_same_bundle() {
+        let forward = line(Vec3::ZERO, Vec3::X, 20, 0.0, 0);
+        let backward: Vec<Vec3> = forward.iter().rev().copied().collect();
+        let bundles = quick_bundles(&[forward, backward], 1.0);
+        assert_eq!(bundles.len(), 1);
+        assert_eq!(bundles[0].len(), 2);
+    }
+
+    #[test]
+    fn tight_threshold_splits() {
+        let a = line(Vec3::ZERO, Vec3::X, 20, 0.0, 0);
+        let b = line(Vec3::new(0.0, 1.5, 0.0), Vec3::X, 20, 0.0, 0);
+        assert_eq!(quick_bundles(&[a.clone(), b.clone()], 5.0).len(), 1);
+        assert_eq!(quick_bundles(&[a, b], 0.5).len(), 2);
+    }
+
+    #[test]
+    fn centroid_is_member_mean() {
+        let a = line(Vec3::ZERO, Vec3::X, 20, 0.0, 0);
+        let b = line(Vec3::new(0.0, 2.0, 0.0), Vec3::X, 20, 0.0, 0);
+        let bundles = quick_bundles(&[a, b], 5.0);
+        assert_eq!(bundles.len(), 1);
+        // Centroid y ≈ 1.0 everywhere.
+        for p in &bundles[0].centroid {
+            assert!((p.y - 1.0).abs() < 1e-9, "centroid point {p:?}");
+        }
+    }
+
+    #[test]
+    fn degenerate_streamlines_skipped() {
+        let bundles = quick_bundles(&[vec![], vec![Vec3::ZERO]], 1.0);
+        assert!(bundles.is_empty());
+    }
+}

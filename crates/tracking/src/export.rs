@@ -1,0 +1,146 @@
+//! Streamline export for the biological-result figures (Figs. 9, 11, 12).
+
+use crate::deterministic::Streamline;
+use std::io::Write;
+
+/// Write streamlines as CSV polylines: one row per point,
+/// `streamline_id,point_index,x,y,z` (voxel coordinates). Downstream
+/// plotting tools (or the examples' summaries) consume this directly.
+pub fn write_csv<W: Write>(w: &mut W, streamlines: &[Streamline]) -> std::io::Result<()> {
+    writeln!(w, "streamline,point,x,y,z")?;
+    for (id, s) in streamlines.iter().enumerate() {
+        for (pi, p) in s.points.iter().enumerate() {
+            writeln!(w, "{id},{pi},{:.4},{:.4},{:.4}", p.x, p.y, p.z)?;
+        }
+    }
+    Ok(())
+}
+
+/// Write streamlines as a Wavefront OBJ file of polylines (`l` elements),
+/// loadable by standard 3-D viewers.
+pub fn write_obj<W: Write>(w: &mut W, streamlines: &[Streamline]) -> std::io::Result<()> {
+    writeln!(w, "# tracto streamlines: {} polylines", streamlines.len())?;
+    let mut vertex_base = 1usize; // OBJ indices are 1-based
+    for s in streamlines {
+        for p in &s.points {
+            writeln!(w, "v {:.4} {:.4} {:.4}", p.x, p.y, p.z)?;
+        }
+        if s.points.len() >= 2 {
+            write!(w, "l")?;
+            for i in 0..s.points.len() {
+                write!(w, " {}", vertex_base + i)?;
+            }
+            writeln!(w)?;
+        }
+        vertex_base += s.points.len();
+    }
+    Ok(())
+}
+
+/// Summary statistics of an exported fiber set, printed by the examples in
+/// place of the paper's renderings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FiberSetSummary {
+    /// Number of streamlines.
+    pub count: usize,
+    /// Total points.
+    pub points: usize,
+    /// Min/mean/max steps.
+    pub min_steps: u32,
+    /// Mean steps.
+    pub mean_steps: f64,
+    /// Max steps.
+    pub max_steps: u32,
+}
+
+/// Summarize a fiber set.
+pub fn summarize(streamlines: &[Streamline]) -> FiberSetSummary {
+    let count = streamlines.len();
+    let points = streamlines.iter().map(|s| s.points.len()).sum();
+    let min_steps = streamlines.iter().map(|s| s.steps).min().unwrap_or(0);
+    let max_steps = streamlines.iter().map(|s| s.steps).max().unwrap_or(0);
+    let mean_steps = if count == 0 {
+        0.0
+    } else {
+        streamlines.iter().map(|s| s.steps as f64).sum::<f64>() / count as f64
+    };
+    FiberSetSummary { count, points, min_steps, mean_steps, max_steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::walker::StopReason;
+    use tracto_volume::Vec3;
+
+    fn lines() -> Vec<Streamline> {
+        vec![
+            Streamline {
+                seed_id: 0,
+                points: vec![Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), Vec3::new(2.0, 0.0, 0.0)],
+                steps: 2,
+                stop: StopReason::MaxSteps,
+            },
+            Streamline {
+                seed_id: 1,
+                points: vec![Vec3::new(0.0, 1.0, 0.0), Vec3::new(0.0, 2.0, 0.0)],
+                steps: 1,
+                stop: StopReason::OutOfBounds,
+            },
+        ]
+    }
+
+    #[test]
+    fn csv_rows_per_point() {
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &lines()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 1 + 5);
+        assert!(text.starts_with("streamline,point,x,y,z"));
+        assert!(text.contains("0,2,2.0000,0.0000,0.0000"));
+    }
+
+    #[test]
+    fn obj_structure() {
+        let mut buf = Vec::new();
+        write_obj(&mut buf, &lines()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let vcount = text.lines().filter(|l| l.starts_with("v ")).count();
+        let lcount = text.lines().filter(|l| l.starts_with("l ")).count();
+        assert_eq!(vcount, 5);
+        assert_eq!(lcount, 2);
+        // Second polyline's indices continue after the first's vertices.
+        assert!(text.contains("l 4 5"));
+    }
+
+    #[test]
+    fn obj_skips_degenerate_polyline() {
+        let one_point = vec![Streamline {
+            seed_id: 0,
+            points: vec![Vec3::ZERO],
+            steps: 0,
+            stop: StopReason::NoDirection,
+        }];
+        let mut buf = Vec::new();
+        write_obj(&mut buf, &one_point).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().filter(|l| l.starts_with("l")).count(), 0);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = summarize(&lines());
+        assert_eq!(s.count, 2);
+        assert_eq!(s.points, 5);
+        assert_eq!(s.min_steps, 1);
+        assert_eq!(s.max_steps, 2);
+        assert!((s.mean_steps - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty() {
+        let s = summarize(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean_steps, 0.0);
+    }
+}

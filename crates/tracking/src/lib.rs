@@ -1,0 +1,52 @@
+//! Deterministic and probabilistic streamline tracking.
+//!
+//! Step 2 of the paper's pipeline: probabilistic streamlining is
+//! "deterministic streamlining invoked for many times" — once per posterior
+//! sample volume per seed — after which connectivity is the fraction of
+//! streamlines that visit a target voxel.
+//!
+//! Layout:
+//!
+//! * [`field`] — the [`field::OrientationField`]
+//!   abstraction over per-voxel stick populations (posterior samples,
+//!   ground-truth fields, closures for tests) plus direction selection with
+//!   multi-fiber "maintain orientation" semantics and nearest/trilinear
+//!   interpolation;
+//! * [`walker`] — one streamline walker: stepping, stop criteria (maximum
+//!   steps and angular threshold, the two criteria the paper keeps);
+//! * [`deterministic`] — whole-streamline tracking from a seed;
+//! * [`probabilistic`] — the CPU reference probabilistic-streamlining driver
+//!   (serial baseline + rayon-parallel host path);
+//! * [`segmentation`] — the paper's segmentation strategies: `A_k` uniform
+//!   segments, the increasing-interval arrays `B` and `C`, single-launch
+//!   `A_MaxStep`, per-step `A_1`, and load-sorted variants (Fig. 4);
+//! * [`gpu`] — Algorithm 1: the segmented tracking loop on the simulated
+//!   GPU, with per-segment compaction and the full timing breakdown;
+//! * [`policy`] — waypoint / exclusion / termination mask constraints;
+//! * [`tensorline`] — the classical deterministic single-tensor baseline;
+//! * [`connectivity`] — visit counting and the connectivity matrix;
+//! * [`export`] — streamline polyline export (CSV) for the biological
+//!   figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod connectivity;
+pub mod deterministic;
+pub mod export;
+pub mod field;
+pub mod gpu;
+pub mod policy;
+pub mod probabilistic;
+pub mod resample;
+pub mod segmentation;
+pub mod tensorline;
+pub mod walker;
+
+pub use connectivity::ConnectivityAccumulator;
+pub use field::{select_direction, InterpMode, OrientationField, SampleFieldView};
+pub use gpu::{GpuTracker, GpuTrackingReport};
+pub use probabilistic::{CpuTracker, TrackingOutput};
+pub use segmentation::SegmentationStrategy;
+pub use walker::{StopReason, TrackingParams, Walker};

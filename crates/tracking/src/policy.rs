@@ -1,0 +1,300 @@
+//! Constrained tracking: waypoint, exclusion, and termination masks.
+//!
+//! The pipeline's output stage (connectivity "between two voxels" in the
+//! paper) generalizes in practice to region-constrained queries, the
+//! probtrackx semantics:
+//!
+//! * **exclusion** mask — a streamline entering it is discarded entirely
+//!   (it does not count toward connectivity at all);
+//! * **termination** mask — a streamline entering it stops there but is
+//!   kept;
+//! * **waypoint** masks — a streamline is accepted only if it visits every
+//!   waypoint region.
+
+use crate::deterministic::Streamline;
+use crate::field::OrientationField;
+use crate::walker::{StopReason, TrackingParams, Walker};
+use tracto_volume::{Ijk, Mask, Vec3};
+
+/// Region constraints applied while tracking.
+#[derive(Clone, Copy, Default)]
+pub struct TrackingPolicy<'a> {
+    /// Stay-inside mask (leaving it stops the streamline), as in the base
+    /// tracker.
+    pub track_mask: Option<&'a Mask>,
+    /// Streamlines entering this region are rejected outright.
+    pub exclusion: Option<&'a Mask>,
+    /// Streamlines entering this region stop (and are kept).
+    pub termination: Option<&'a Mask>,
+    /// All of these regions must be visited for acceptance.
+    pub waypoints: &'a [Mask],
+}
+
+/// Why a streamline was rejected by the policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Entered the exclusion mask.
+    EnteredExclusion,
+    /// Finished without visiting every waypoint.
+    MissedWaypoint,
+}
+
+/// Outcome of policy-constrained tracking.
+#[derive(Debug, Clone)]
+pub enum TrackOutcome {
+    /// The streamline satisfies the policy.
+    Accepted(Streamline),
+    /// The streamline was rejected; it is returned for inspection.
+    Rejected(Streamline, RejectReason),
+}
+
+impl TrackOutcome {
+    /// The streamline regardless of acceptance.
+    pub fn streamline(&self) -> &Streamline {
+        match self {
+            TrackOutcome::Accepted(s) | TrackOutcome::Rejected(s, _) => s,
+        }
+    }
+
+    /// True when accepted.
+    pub fn accepted(&self) -> bool {
+        matches!(self, TrackOutcome::Accepted(_))
+    }
+}
+
+fn voxel_of(pos: Vec3) -> Option<Ijk> {
+    if pos.x < -0.5 || pos.y < -0.5 || pos.z < -0.5 {
+        return None;
+    }
+    Some(Ijk::new(
+        pos.x.round().max(0.0) as usize,
+        pos.y.round().max(0.0) as usize,
+        pos.z.round().max(0.0) as usize,
+    ))
+}
+
+/// Track one streamline from `seed` along `dir` under a [`TrackingPolicy`].
+///
+/// Policy checks happen per step (the GPU kernel evaluates them the same
+/// way: masks are read-only device images), so exclusion aborts tracking
+/// immediately rather than filtering post hoc.
+pub fn track_with_policy<Fld: OrientationField + ?Sized>(
+    field: &Fld,
+    seed_id: u32,
+    seed: Vec3,
+    dir: Vec3,
+    params: &TrackingParams,
+    policy: &TrackingPolicy<'_>,
+    record: bool,
+) -> TrackOutcome {
+    let mut walker = if record {
+        Walker::new_recording(seed_id, seed, dir)
+    } else {
+        Walker::new(seed_id, seed, dir)
+    };
+    let mut visited_waypoints = vec![false; policy.waypoints.len()];
+
+    // Evaluate the seed voxel itself.
+    if let Some(c) = voxel_of(walker.pos) {
+        if policy.exclusion.map(|m| m.contains(c)).unwrap_or(false) {
+            let s = Streamline { seed_id, points: walker.path.clone(), steps: 0, stop: StopReason::OutOfMask };
+            return TrackOutcome::Rejected(s, RejectReason::EnteredExclusion);
+        }
+        for (i, wp) in policy.waypoints.iter().enumerate() {
+            if wp.contains(c) {
+                visited_waypoints[i] = true;
+            }
+        }
+    }
+
+    while walker.alive() {
+        walker.step(field, params, policy.track_mask);
+        let Some(c) = voxel_of(walker.pos) else { continue };
+        if walker.alive() || walker.stop == StopReason::MaxSteps {
+            if policy.exclusion.map(|m| m.contains(c)).unwrap_or(false) {
+                let s = Streamline {
+                    seed_id,
+                    points: walker.path,
+                    steps: walker.steps,
+                    stop: StopReason::OutOfMask,
+                };
+                return TrackOutcome::Rejected(s, RejectReason::EnteredExclusion);
+            }
+            for (i, wp) in policy.waypoints.iter().enumerate() {
+                if !visited_waypoints[i] && wp.contains(c) {
+                    visited_waypoints[i] = true;
+                }
+            }
+            if walker.alive() && policy.termination.map(|m| m.contains(c)).unwrap_or(false) {
+                walker.stop = StopReason::OutOfMask;
+                break;
+            }
+        }
+    }
+
+    let s = Streamline {
+        seed_id,
+        points: walker.path,
+        steps: walker.steps,
+        stop: walker.stop,
+    };
+    if visited_waypoints.iter().all(|&v| v) {
+        TrackOutcome::Accepted(s)
+    } else {
+        TrackOutcome::Rejected(s, RejectReason::MissedWaypoint)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::{FnField, InterpMode};
+    use tracto_volume::Dim3;
+
+    fn x_field(dims: Dim3) -> FnField<impl Fn(Ijk) -> [(Vec3, f64); 2] + Sync> {
+        FnField::new(dims, |_| [(Vec3::X, 0.6), (Vec3::ZERO, 0.0)])
+    }
+
+    fn params() -> TrackingParams {
+        TrackingParams {
+            step_length: 0.5,
+            angular_threshold: 0.8,
+            max_steps: 1000,
+            min_fraction: 0.05,
+            interp: InterpMode::Nearest,
+        }
+    }
+
+    #[test]
+    fn no_policy_accepts_everything() {
+        let dims = Dim3::new(12, 4, 4);
+        let f = x_field(dims);
+        let out = track_with_policy(
+            &f,
+            0,
+            Vec3::new(0.0, 2.0, 2.0),
+            Vec3::X,
+            &params(),
+            &TrackingPolicy::default(),
+            false,
+        );
+        assert!(out.accepted());
+        assert!(out.streamline().steps > 10);
+    }
+
+    #[test]
+    fn exclusion_rejects_midway() {
+        let dims = Dim3::new(12, 4, 4);
+        let f = x_field(dims);
+        let excl = Mask::from_fn(dims, |c| c.i == 6);
+        let policy = TrackingPolicy { exclusion: Some(&excl), ..Default::default() };
+        let out = track_with_policy(
+            &f,
+            0,
+            Vec3::new(0.0, 2.0, 2.0),
+            Vec3::X,
+            &params(),
+            &policy,
+            false,
+        );
+        match out {
+            TrackOutcome::Rejected(s, RejectReason::EnteredExclusion) => {
+                assert!(s.steps < 13, "must abort at the exclusion wall, got {}", s.steps);
+            }
+            other => panic!("expected exclusion rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exclusion_at_seed_rejects_immediately() {
+        let dims = Dim3::new(12, 4, 4);
+        let f = x_field(dims);
+        let excl = Mask::from_fn(dims, |c| c.i == 0);
+        let policy = TrackingPolicy { exclusion: Some(&excl), ..Default::default() };
+        let out = track_with_policy(
+            &f,
+            0,
+            Vec3::new(0.0, 2.0, 2.0),
+            Vec3::X,
+            &params(),
+            &policy,
+            false,
+        );
+        assert!(!out.accepted());
+        assert_eq!(out.streamline().steps, 0);
+    }
+
+    #[test]
+    fn termination_stops_but_keeps() {
+        let dims = Dim3::new(12, 4, 4);
+        let f = x_field(dims);
+        let term = Mask::from_fn(dims, |c| c.i >= 6);
+        let policy = TrackingPolicy { termination: Some(&term), ..Default::default() };
+        let out = track_with_policy(
+            &f,
+            0,
+            Vec3::new(0.0, 2.0, 2.0),
+            Vec3::X,
+            &params(),
+            &policy,
+            true,
+        );
+        assert!(out.accepted());
+        let s = out.streamline();
+        assert!(s.points.last().unwrap().x <= 6.5, "stopped at the termination wall");
+        assert!(s.steps >= 11);
+    }
+
+    #[test]
+    fn waypoint_required_for_acceptance() {
+        let dims = Dim3::new(12, 4, 4);
+        let f = x_field(dims);
+        // Waypoint the walker passes.
+        let on_path = Mask::from_fn(dims, |c| c.i == 8 && c.j == 2 && c.k == 2);
+        // Waypoint it cannot reach.
+        let off_path = Mask::from_fn(dims, |c| c.j == 0 && c.k == 0);
+        let accept = TrackingPolicy {
+            waypoints: std::slice::from_ref(&on_path),
+            ..Default::default()
+        };
+        let out = track_with_policy(
+            &f, 0, Vec3::new(0.0, 2.0, 2.0), Vec3::X, &params(), &accept, false,
+        );
+        assert!(out.accepted());
+
+        let both = [on_path, off_path];
+        let reject = TrackingPolicy { waypoints: &both, ..Default::default() };
+        let out = track_with_policy(
+            &f, 0, Vec3::new(0.0, 2.0, 2.0), Vec3::X, &params(), &reject, false,
+        );
+        assert!(matches!(out, TrackOutcome::Rejected(_, RejectReason::MissedWaypoint)));
+    }
+
+    #[test]
+    fn waypoint_at_seed_counts() {
+        let dims = Dim3::new(12, 4, 4);
+        let f = x_field(dims);
+        let seed_wp = Mask::from_fn(dims, |c| c.i == 0 && c.j == 2 && c.k == 2);
+        let policy = TrackingPolicy {
+            waypoints: std::slice::from_ref(&seed_wp),
+            ..Default::default()
+        };
+        let out = track_with_policy(
+            &f, 0, Vec3::new(0.0, 2.0, 2.0), Vec3::X, &params(), &policy, false,
+        );
+        assert!(out.accepted());
+    }
+
+    #[test]
+    fn track_mask_still_respected() {
+        let dims = Dim3::new(12, 4, 4);
+        let f = x_field(dims);
+        let stay = Mask::from_fn(dims, |c| c.i < 5);
+        let policy = TrackingPolicy { track_mask: Some(&stay), ..Default::default() };
+        let out = track_with_policy(
+            &f, 0, Vec3::new(0.0, 2.0, 2.0), Vec3::X, &params(), &policy, false,
+        );
+        assert!(out.accepted());
+        assert!(out.streamline().steps <= 10);
+    }
+}

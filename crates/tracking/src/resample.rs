@@ -1,0 +1,178 @@
+//! Streamline post-processing: arc-length resampling and smoothing.
+//!
+//! Fine step lengths (0.1 voxels in Table II) produce thousands of nearly
+//! collinear points per fiber; visualization and downstream shape analysis
+//! (the paper's Figs. 9/11/12 renders) work on resampled, lightly smoothed
+//! polylines.
+
+use tracto_volume::Vec3;
+
+/// Total polyline length (sum of segment lengths).
+pub fn polyline_length(points: &[Vec3]) -> f64 {
+    points.windows(2).map(|w| (w[1] - w[0]).norm()).sum()
+}
+
+/// Resample a polyline to exactly `n` points, uniformly spaced by arc
+/// length. End points are preserved. `n ≥ 2`; degenerate inputs (fewer than
+/// two points or zero length) are returned unchanged.
+pub fn resample_by_arclength(points: &[Vec3], n: usize) -> Vec<Vec3> {
+    assert!(n >= 2, "need at least two output points");
+    if points.len() < 2 {
+        return points.to_vec();
+    }
+    let total = polyline_length(points);
+    if total == 0.0 {
+        return points.to_vec();
+    }
+    let mut out = Vec::with_capacity(n);
+    out.push(points[0]);
+    let mut seg = 0usize;
+    let mut seg_start_s = 0.0;
+    let mut seg_len = (points[1] - points[0]).norm();
+    for i in 1..n - 1 {
+        let target = total * i as f64 / (n - 1) as f64;
+        while seg_start_s + seg_len < target && seg + 2 < points.len() {
+            seg_start_s += seg_len;
+            seg += 1;
+            seg_len = (points[seg + 1] - points[seg]).norm();
+        }
+        let t = if seg_len > 0.0 { (target - seg_start_s) / seg_len } else { 0.0 };
+        out.push(points[seg].lerp(points[seg + 1], t.clamp(0.0, 1.0)));
+    }
+    out.push(*points.last().expect("nonempty"));
+    out
+}
+
+/// One pass of Laplacian smoothing with weight `lambda ∈ [0, 1]`: each
+/// interior point moves toward the midpoint of its neighbors. End points
+/// are fixed.
+pub fn smooth_laplacian(points: &[Vec3], lambda: f64, passes: usize) -> Vec<Vec3> {
+    assert!((0.0..=1.0).contains(&lambda));
+    let mut cur = points.to_vec();
+    if cur.len() < 3 {
+        return cur;
+    }
+    let mut next = cur.clone();
+    for _ in 0..passes {
+        for i in 1..cur.len() - 1 {
+            let mid = (cur[i - 1] + cur[i + 1]) * 0.5;
+            next[i] = cur[i].lerp(mid, lambda);
+        }
+        std::mem::swap(&mut cur, &mut next);
+    }
+    cur
+}
+
+/// Mean absolute turning angle (radians) between consecutive segments — a
+/// smoothness metric.
+pub fn mean_turning_angle(points: &[Vec3]) -> f64 {
+    if points.len() < 3 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for w in points.windows(3) {
+        let a = (w[1] - w[0]).normalized();
+        let b = (w[2] - w[1]).normalized();
+        if a != Vec3::ZERO && b != Vec3::ZERO {
+            total += a.angle_between(b);
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zigzag(n: usize) -> Vec<Vec3> {
+        (0..n)
+            .map(|i| Vec3::new(i as f64, if i % 2 == 0 { 0.0 } else { 0.5 }, 0.0))
+            .collect()
+    }
+
+    #[test]
+    fn length_of_straight_line() {
+        let pts: Vec<Vec3> = (0..5).map(|i| Vec3::new(i as f64, 0.0, 0.0)).collect();
+        assert!((polyline_length(&pts) - 4.0).abs() < 1e-12);
+        assert_eq!(polyline_length(&[Vec3::ZERO]), 0.0);
+    }
+
+    #[test]
+    fn resample_preserves_endpoints_and_count() {
+        let pts = zigzag(20);
+        let r = resample_by_arclength(&pts, 7);
+        assert_eq!(r.len(), 7);
+        assert_eq!(r[0], pts[0]);
+        assert_eq!(*r.last().unwrap(), *pts.last().unwrap());
+    }
+
+    #[test]
+    fn resample_uniform_spacing_on_straight_line() {
+        let pts: Vec<Vec3> = (0..11).map(|i| Vec3::new(i as f64, 0.0, 0.0)).collect();
+        let r = resample_by_arclength(&pts, 5);
+        for (i, p) in r.iter().enumerate() {
+            assert!((p.x - 2.5 * i as f64).abs() < 1e-9, "point {i}: {p:?}");
+        }
+    }
+
+    #[test]
+    fn resample_nonuniform_input_spacing() {
+        // Input with uneven segment lengths still yields even output.
+        let pts = vec![
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(0.1, 0.0, 0.0),
+            Vec3::new(10.0, 0.0, 0.0),
+        ];
+        let r = resample_by_arclength(&pts, 6);
+        let gaps: Vec<f64> = r.windows(2).map(|w| (w[1] - w[0]).norm()).collect();
+        for g in &gaps {
+            assert!((g - 2.0).abs() < 1e-9, "gap {g}");
+        }
+    }
+
+    #[test]
+    fn resample_degenerate_inputs() {
+        assert_eq!(resample_by_arclength(&[], 4), Vec::<Vec3>::new());
+        let one = vec![Vec3::new(1.0, 2.0, 3.0)];
+        assert_eq!(resample_by_arclength(&one, 4), one);
+        let stuck = vec![Vec3::ZERO, Vec3::ZERO];
+        assert_eq!(resample_by_arclength(&stuck, 4), stuck);
+    }
+
+    #[test]
+    fn smoothing_reduces_turning_angle() {
+        let pts = zigzag(30);
+        let before = mean_turning_angle(&pts);
+        let after = mean_turning_angle(&smooth_laplacian(&pts, 0.5, 5));
+        assert!(after < before * 0.6, "turning {before:.3} → {after:.3}");
+    }
+
+    #[test]
+    fn smoothing_fixes_endpoints() {
+        let pts = zigzag(12);
+        let s = smooth_laplacian(&pts, 0.8, 10);
+        assert_eq!(s[0], pts[0]);
+        assert_eq!(*s.last().unwrap(), *pts.last().unwrap());
+        assert_eq!(s.len(), pts.len());
+    }
+
+    #[test]
+    fn smoothing_identity_cases() {
+        let pts = zigzag(10);
+        assert_eq!(smooth_laplacian(&pts, 0.0, 5), pts);
+        let short = vec![Vec3::ZERO, Vec3::X];
+        assert_eq!(smooth_laplacian(&short, 0.7, 3), short);
+    }
+
+    #[test]
+    fn straight_line_already_smooth() {
+        let pts: Vec<Vec3> = (0..10).map(|i| Vec3::new(i as f64, 0.0, 0.0)).collect();
+        assert!(mean_turning_angle(&pts) < 1e-12);
+    }
+}

@@ -1,0 +1,195 @@
+//! The paper's kernel-segmentation strategies.
+//!
+//! A strategy expands to a `NumIterations[]` array: the per-launch iteration
+//! budgets of Algorithm 1. The paper's named strategies:
+//!
+//! | Name | Array |
+//! |---|---|
+//! | `A_k` | `{k, k, …}` until `MaxStep` is covered (`A_1` = per-step reduction, Mittmann'08; `A_MaxStep` = no segmentation) |
+//! | `B` | `{1, 2, 5, 10, 20, 50, 100, 200, 500}` |
+//! | `C` | `{1, 1, 2, 2, 5, 5, 10, 10, 20, 20, 50, 50, 100, 100, 200, 200}` |
+//! | Table II run | `{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000}` |
+
+/// A kernel segmentation strategy.
+///
+/// ```
+/// use tracto_tracking::SegmentationStrategy;
+/// // The paper's Table II array covers MaxStep = 1888 in ten launches.
+/// let b = SegmentationStrategy::paper_table2().budgets(1888);
+/// assert_eq!(b, vec![1, 2, 5, 10, 20, 50, 100, 200, 500, 1000]);
+/// assert_eq!(SegmentationStrategy::Uniform(500).budgets(1200), vec![500, 500, 200]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SegmentationStrategy {
+    /// One launch covering `MaxStep` (`A_MaxStep`): minimal overhead,
+    /// maximal SIMD imbalance.
+    Single,
+    /// Launches of a fixed budget `k` (`A_k`); `Uniform(1)` is the paper's
+    /// "maximize the segments" extreme (reduction at every advance).
+    Uniform(u32),
+    /// An explicit increasing-interval array — the paper's contribution.
+    Increasing(Vec<u32>),
+}
+
+impl SegmentationStrategy {
+    /// The paper's strategy `B`.
+    pub fn paper_b() -> Self {
+        SegmentationStrategy::Increasing(vec![1, 2, 5, 10, 20, 50, 100, 200, 500])
+    }
+
+    /// The paper's strategy `C` (each interval doubled up).
+    pub fn paper_c() -> Self {
+        SegmentationStrategy::Increasing(vec![
+            1, 1, 2, 2, 5, 5, 10, 10, 20, 20, 50, 50, 100, 100, 200, 200,
+        ])
+    }
+
+    /// The increasing-interval array used for Table II
+    /// (`{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000}`).
+    pub fn paper_table2() -> Self {
+        SegmentationStrategy::Increasing(vec![1, 2, 5, 10, 20, 50, 100, 200, 500, 1000])
+    }
+
+    /// `A_1`: host reduction after every tracking step.
+    pub fn every_step() -> Self {
+        SegmentationStrategy::Uniform(1)
+    }
+
+    /// Expand to the concrete `NumIterations[]` array whose budgets sum to
+    /// at least `max_steps` (the last entry is clamped so the sum equals
+    /// `max_steps` exactly). An exhausted `Increasing` array is extended by
+    /// repeating its last entry.
+    ///
+    /// # Panics
+    /// On `Uniform(0)` or an empty/zero `Increasing` array.
+    pub fn budgets(&self, max_steps: u32) -> Vec<u32> {
+        assert!(max_steps > 0, "max_steps must be positive");
+        match self {
+            SegmentationStrategy::Single => vec![max_steps],
+            SegmentationStrategy::Uniform(k) => {
+                assert!(*k > 0, "uniform segment size must be positive");
+                let mut out = Vec::with_capacity(max_steps.div_ceil(*k) as usize);
+                let mut covered = 0;
+                while covered < max_steps {
+                    let b = (*k).min(max_steps - covered);
+                    out.push(b);
+                    covered += b;
+                }
+                out
+            }
+            SegmentationStrategy::Increasing(arr) => {
+                assert!(
+                    !arr.is_empty() && arr.iter().all(|&b| b > 0),
+                    "increasing array must be nonempty and positive"
+                );
+                let mut out = Vec::new();
+                let mut covered = 0u32;
+                let mut i = 0usize;
+                while covered < max_steps {
+                    let next = arr[i.min(arr.len() - 1)];
+                    let b = next.min(max_steps - covered);
+                    out.push(b);
+                    covered += b;
+                    i += 1;
+                }
+                out
+            }
+        }
+    }
+
+    /// Display label matching the paper's Table IV row names.
+    pub fn label(&self) -> String {
+        match self {
+            SegmentationStrategy::Single => "A_MaxStep".into(),
+            SegmentationStrategy::Uniform(k) => format!("A_{k}"),
+            SegmentationStrategy::Increasing(arr) => {
+                if *self == Self::paper_b() {
+                    "B".into()
+                } else if *self == Self::paper_c() {
+                    "C".into()
+                } else if *self == Self::paper_table2() {
+                    "B+1000".into()
+                } else {
+                    format!("Increasing({} segments)", arr.len())
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_is_one_launch() {
+        assert_eq!(SegmentationStrategy::Single.budgets(1000), vec![1000]);
+    }
+
+    #[test]
+    fn uniform_covers_exactly() {
+        let b = SegmentationStrategy::Uniform(100).budgets(250);
+        assert_eq!(b, vec![100, 100, 50]);
+        assert_eq!(b.iter().sum::<u32>(), 250);
+    }
+
+    #[test]
+    fn every_step_has_max_steps_launches() {
+        let b = SegmentationStrategy::every_step().budgets(37);
+        assert_eq!(b.len(), 37);
+        assert!(b.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn paper_b_sums_to_max() {
+        let b = SegmentationStrategy::paper_b().budgets(878);
+        assert_eq!(b.iter().sum::<u32>(), 878);
+        // Prefix matches the published array.
+        assert_eq!(&b[..5], &[1, 2, 5, 10, 20]);
+    }
+
+    #[test]
+    fn increasing_extends_by_repeating_last() {
+        let s = SegmentationStrategy::Increasing(vec![1, 2, 4]);
+        let b = s.budgets(20);
+        assert_eq!(b, vec![1, 2, 4, 4, 4, 4, 1]);
+    }
+
+    #[test]
+    fn increasing_truncates_last() {
+        let s = SegmentationStrategy::paper_table2();
+        let b = s.budgets(1000);
+        assert_eq!(b.iter().sum::<u32>(), 1000);
+        assert_eq!(*b.last().unwrap(), 112); // 1000 − 888
+    }
+
+    #[test]
+    fn budgets_always_cover_max_steps() {
+        for s in [
+            SegmentationStrategy::Single,
+            SegmentationStrategy::Uniform(7),
+            SegmentationStrategy::paper_b(),
+            SegmentationStrategy::paper_c(),
+        ] {
+            for max in [1u32, 10, 99, 1000, 2048] {
+                let b = s.budgets(max);
+                assert_eq!(b.iter().sum::<u32>(), max, "{s:?} @ {max}");
+                assert!(b.iter().all(|&x| x > 0));
+            }
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(SegmentationStrategy::Single.label(), "A_MaxStep");
+        assert_eq!(SegmentationStrategy::Uniform(20).label(), "A_20");
+        assert_eq!(SegmentationStrategy::paper_b().label(), "B");
+        assert_eq!(SegmentationStrategy::paper_c().label(), "C");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn uniform_zero_rejected() {
+        let _ = SegmentationStrategy::Uniform(0).budgets(10);
+    }
+}

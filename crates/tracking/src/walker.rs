@@ -1,0 +1,296 @@
+//! One streamline walker: stepping and termination.
+
+use crate::field::{select_direction, InterpMode, OrientationField};
+use tracto_volume::{Ijk, Mask, Vec3};
+
+/// Tracking configuration.
+///
+/// Step length and the angular threshold are the paper's swept parameters
+/// (Table II: step 0.1–0.3 voxels, threshold 0.8–0.9 measured as "the dot
+/// product of the two regular directions").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackingParams {
+    /// Step length in voxel units.
+    pub step_length: f64,
+    /// Minimum dot product between successive step directions; below it the
+    /// streamline stops ("maximum angle formed by two subsequent fiber
+    /// segments").
+    pub angular_threshold: f64,
+    /// Maximum number of steps ("to avoid dead loops").
+    pub max_steps: u32,
+    /// Sticks with fraction below this are invisible to the walker. The
+    /// paper notes the anisotropy floor "is not a must" for probabilistic
+    /// tracking; a small floor keeps walkers out of pure-ball voxels.
+    pub min_fraction: f64,
+    /// Orientation interpolation mode.
+    pub interp: InterpMode,
+}
+
+impl TrackingParams {
+    /// The paper's first Table II row: step 0.1, threshold 0.9.
+    pub fn paper_default() -> Self {
+        TrackingParams {
+            step_length: 0.1,
+            angular_threshold: 0.9,
+            max_steps: 2000,
+            min_fraction: 0.05,
+            interp: InterpMode::Nearest,
+        }
+    }
+}
+
+/// Why a streamline terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Hit the step cap.
+    MaxSteps,
+    /// Turned sharper than the angular threshold.
+    Curvature,
+    /// Left the volume.
+    OutOfBounds,
+    /// Left the tracking mask.
+    OutOfMask,
+    /// No eligible fiber population at the current position.
+    NoDirection,
+    /// Still running (not yet terminated).
+    Running,
+}
+
+/// A streamline walker: the per-lane state of the tracking kernel
+/// (Algorithm 1's `GetStartPoint` → iterate `Interpolation`;
+/// `StepToNextPoint`; stop-check → `SetEndPoint`).
+#[derive(Debug, Clone)]
+pub struct Walker {
+    /// Current position (continuous voxel coordinates).
+    pub pos: Vec3,
+    /// Direction of the last step (unit).
+    pub dir: Vec3,
+    /// Steps taken so far.
+    pub steps: u32,
+    /// Termination state.
+    pub stop: StopReason,
+    /// Index of the seed this walker serves (survives compaction).
+    pub seed_id: u32,
+    /// Recorded trajectory (empty unless recording was requested).
+    pub path: Vec<Vec3>,
+}
+
+impl Walker {
+    /// Start a walker at `pos` heading along `dir`.
+    pub fn new(seed_id: u32, pos: Vec3, dir: Vec3) -> Self {
+        Walker { pos, dir: dir.normalized(), steps: 0, stop: StopReason::Running, seed_id, path: Vec::new() }
+    }
+
+    /// Start a walker that records its trajectory (pre-seeded with the
+    /// start point).
+    pub fn new_recording(seed_id: u32, pos: Vec3, dir: Vec3) -> Self {
+        let mut w = Self::new(seed_id, pos, dir);
+        w.path.push(pos);
+        w
+    }
+
+    /// Whether the walker is still tracking.
+    #[inline]
+    pub fn alive(&self) -> bool {
+        self.stop == StopReason::Running
+    }
+
+    /// Advance one step through `field`. Returns the walker's stop state
+    /// after the step ([`StopReason::Running`] if it may continue).
+    ///
+    /// One call is exactly one iteration of the GPU kernel's inner loop.
+    pub fn step<Fld: OrientationField + ?Sized>(
+        &mut self,
+        field: &Fld,
+        params: &TrackingParams,
+        mask: Option<&Mask>,
+    ) -> StopReason {
+        if !self.alive() {
+            return self.stop;
+        }
+        if self.steps >= params.max_steps {
+            self.stop = StopReason::MaxSteps;
+            return self.stop;
+        }
+        // Interpolation(): evaluate the local direction.
+        let Some(new_dir) =
+            select_direction(field, self.pos, self.dir, params.interp, params.min_fraction)
+        else {
+            self.stop = StopReason::NoDirection;
+            return self.stop;
+        };
+        // Curvature criterion on successive directions.
+        if new_dir.dot(self.dir) < params.angular_threshold {
+            self.stop = StopReason::Curvature;
+            return self.stop;
+        }
+        // StepToNextPoint().
+        let next = self.pos + new_dir * params.step_length;
+        if !field.dims().contains_point(next.x, next.y, next.z) {
+            self.stop = StopReason::OutOfBounds;
+            return self.stop;
+        }
+        if let Some(m) = mask {
+            let c = Ijk::new(
+                next.x.round() as usize,
+                next.y.round() as usize,
+                next.z.round() as usize,
+            );
+            if !m.contains(c) {
+                self.stop = StopReason::OutOfMask;
+                return self.stop;
+            }
+        }
+        self.pos = next;
+        self.dir = new_dir;
+        self.steps += 1;
+        if !self.path.is_empty() {
+            self.path.push(next);
+        }
+        if self.steps >= params.max_steps {
+            self.stop = StopReason::MaxSteps;
+        }
+        self.stop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::FnField;
+    use tracto_volume::Dim3;
+
+    fn x_field(dims: Dim3) -> FnField<impl Fn(Ijk) -> [(Vec3, f64); 2] + Sync> {
+        FnField::new(dims, |_| [(Vec3::X, 0.6), (Vec3::ZERO, 0.0)])
+    }
+
+    fn params() -> TrackingParams {
+        TrackingParams {
+            step_length: 0.5,
+            angular_threshold: 0.8,
+            max_steps: 100,
+            min_fraction: 0.05,
+            interp: InterpMode::Nearest,
+        }
+    }
+
+    #[test]
+    fn walks_straight_until_boundary() {
+        let dims = Dim3::new(8, 4, 4);
+        let f = x_field(dims);
+        let mut w = Walker::new(0, Vec3::new(0.0, 2.0, 2.0), Vec3::X);
+        while w.alive() {
+            w.step(&f, &params(), None);
+        }
+        assert_eq!(w.stop, StopReason::OutOfBounds);
+        // 14 steps of 0.5 reach x=7.0; the 15th would leave.
+        assert_eq!(w.steps, 14);
+        assert!((w.pos.x - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_steps_terminates() {
+        let dims = Dim3::new(8, 4, 4);
+        let f = x_field(dims);
+        let mut p = params();
+        p.max_steps = 5;
+        let mut w = Walker::new(0, Vec3::new(0.0, 2.0, 2.0), Vec3::X);
+        while w.alive() {
+            w.step(&f, &p, None);
+        }
+        assert_eq!(w.stop, StopReason::MaxSteps);
+        assert_eq!(w.steps, 5);
+    }
+
+    #[test]
+    fn curvature_stops_sharp_turn() {
+        // Field flips from +x to +y halfway: dot = 0 < 0.8 threshold.
+        let dims = Dim3::new(8, 8, 4);
+        let f = FnField::new(dims, |c: Ijk| {
+            let d = if c.i < 4 { Vec3::X } else { Vec3::Y };
+            [(d, 0.6), (Vec3::ZERO, 0.0)]
+        });
+        let mut w = Walker::new(0, Vec3::new(0.0, 2.0, 2.0), Vec3::X);
+        while w.alive() {
+            w.step(&f, &params(), None);
+        }
+        assert_eq!(w.stop, StopReason::Curvature);
+        assert!(w.pos.x < 4.5, "stopped near the flip plane at {:?}", w.pos);
+    }
+
+    #[test]
+    fn no_direction_in_empty_region() {
+        let dims = Dim3::new(8, 4, 4);
+        let f = FnField::new(dims, |c: Ijk| {
+            if c.i < 4 {
+                [(Vec3::X, 0.6), (Vec3::ZERO, 0.0)]
+            } else {
+                [(Vec3::ZERO, 0.0), (Vec3::ZERO, 0.0)]
+            }
+        });
+        let mut w = Walker::new(0, Vec3::new(0.0, 2.0, 2.0), Vec3::X);
+        while w.alive() {
+            w.step(&f, &params(), None);
+        }
+        assert_eq!(w.stop, StopReason::NoDirection);
+    }
+
+    #[test]
+    fn mask_exit_detected() {
+        let dims = Dim3::new(8, 4, 4);
+        let f = x_field(dims);
+        let mask = Mask::from_fn(dims, |c| c.i < 4);
+        let mut w = Walker::new(0, Vec3::new(0.0, 2.0, 2.0), Vec3::X);
+        while w.alive() {
+            w.step(&f, &params(), Some(&mask));
+        }
+        assert_eq!(w.stop, StopReason::OutOfMask);
+        assert!(w.pos.x <= 3.5);
+    }
+
+    #[test]
+    fn recording_collects_path() {
+        let dims = Dim3::new(8, 4, 4);
+        let f = x_field(dims);
+        let mut w = Walker::new_recording(3, Vec3::new(0.0, 2.0, 2.0), Vec3::X);
+        while w.alive() {
+            w.step(&f, &params(), None);
+        }
+        assert_eq!(w.path.len() as u32, w.steps + 1);
+        assert_eq!(w.seed_id, 3);
+        assert_eq!(w.path[0], Vec3::new(0.0, 2.0, 2.0));
+    }
+
+    #[test]
+    fn step_after_stop_is_noop() {
+        let dims = Dim3::new(4, 4, 4);
+        let f = x_field(dims);
+        let mut p = params();
+        p.max_steps = 1;
+        let mut w = Walker::new(0, Vec3::new(0.0, 2.0, 2.0), Vec3::X);
+        w.step(&f, &p, None);
+        w.step(&f, &p, None);
+        let steps = w.steps;
+        let pos = w.pos;
+        w.step(&f, &p, None);
+        assert_eq!(w.steps, steps);
+        assert_eq!(w.pos, pos);
+    }
+
+    #[test]
+    fn walker_follows_sign_flips_in_axis_field() {
+        // Stored directions alternate sign per voxel; the walker must still
+        // travel in a consistent direction.
+        let dims = Dim3::new(16, 4, 4);
+        let f = FnField::new(dims, |c: Ijk| {
+            let d = if c.i % 2 == 0 { Vec3::X } else { -Vec3::X };
+            [(d, 0.6), (Vec3::ZERO, 0.0)]
+        });
+        let mut w = Walker::new(0, Vec3::new(0.0, 2.0, 2.0), Vec3::X);
+        while w.alive() {
+            w.step(&f, &params(), None);
+        }
+        assert_eq!(w.stop, StopReason::OutOfBounds);
+        assert!(w.pos.x > 14.0, "walker should traverse the whole field");
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests of tracking invariants.
+
+use proptest::prelude::*;
+use tracto_tracking::connectivity::ConnectivityAccumulator;
+use tracto_tracking::field::{FnField, InterpMode};
+use tracto_tracking::walker::{TrackingParams, Walker};
+use tracto_tracking::SegmentationStrategy;
+use tracto_volume::{Dim3, Ijk, Vec3};
+
+fn strategy_strategy() -> impl Strategy<Value = SegmentationStrategy> {
+    prop_oneof![
+        Just(SegmentationStrategy::Single),
+        (1u32..64).prop_map(SegmentationStrategy::Uniform),
+        prop::collection::vec(1u32..50, 1..8).prop_map(SegmentationStrategy::Increasing),
+        Just(SegmentationStrategy::paper_b()),
+        Just(SegmentationStrategy::paper_c()),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn budgets_cover_max_steps_exactly(s in strategy_strategy(), max in 1u32..3000) {
+        let b = s.budgets(max);
+        prop_assert_eq!(b.iter().sum::<u32>(), max);
+        prop_assert!(b.iter().all(|&x| x > 0));
+    }
+
+    #[test]
+    fn walker_never_leaves_volume(
+        nx in 4usize..12, ny in 4usize..12, nz in 4usize..12,
+        sx in 0.0f64..1.0, sy in 0.0f64..1.0, sz in 0.0f64..1.0,
+        theta in 0.0f64..std::f64::consts::PI,
+        phi in -std::f64::consts::PI..std::f64::consts::PI,
+        field_seed in 0u64..500,
+        step in 0.05f64..0.9,
+    ) {
+        let dims = Dim3::new(nx, ny, nz);
+        // Pseudo-random direction field.
+        let f = FnField::new(dims, move |c: Ijk| {
+            let mut h = field_seed
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add((c.i * 73 + c.j * 1009 + c.k * 7919) as u64);
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xFF51AFD7ED558CCD);
+            let a = (h & 0xFFFF) as f64 / 65535.0 * std::f64::consts::PI;
+            let b = ((h >> 16) & 0xFFFF) as f64 / 65535.0 * std::f64::consts::TAU;
+            [(Vec3::from_spherical(a, b), 0.6), (Vec3::ZERO, 0.0)]
+        });
+        let params = TrackingParams {
+            step_length: step,
+            angular_threshold: 0.5,
+            max_steps: 200,
+            min_fraction: 0.05,
+            interp: InterpMode::Nearest,
+        };
+        let pos = Vec3::new(
+            sx * (nx - 1) as f64,
+            sy * (ny - 1) as f64,
+            sz * (nz - 1) as f64,
+        );
+        let mut w = Walker::new(0, pos, Vec3::from_spherical(theta, phi));
+        while w.alive() {
+            w.step(&f, &params, None);
+            prop_assert!(dims.contains_point(w.pos.x, w.pos.y, w.pos.z),
+                "walker escaped to {:?}", w.pos);
+        }
+        prop_assert!(w.steps <= params.max_steps);
+    }
+
+    #[test]
+    fn walker_step_count_matches_distance(
+        steps_wanted in 1u32..50,
+        step in 0.1f64..0.5,
+    ) {
+        // In a uniform +x field with no curvature stops, distance traveled
+        // is exactly steps × step_length.
+        let dims = Dim3::new(64, 4, 4);
+        let f = FnField::new(dims, |_| [(Vec3::X, 0.6), (Vec3::ZERO, 0.0)]);
+        let params = TrackingParams {
+            step_length: step,
+            angular_threshold: 0.5,
+            max_steps: steps_wanted,
+            min_fraction: 0.05,
+            interp: InterpMode::Nearest,
+        };
+        let start = Vec3::new(0.0, 2.0, 2.0);
+        let mut w = Walker::new(0, start, Vec3::X);
+        while w.alive() {
+            w.step(&f, &params, None);
+        }
+        prop_assert!((w.pos.x - start.x - w.steps as f64 * step).abs() < 1e-9);
+    }
+
+    #[test]
+    fn path_voxels_sorted_unique_and_in_bounds(
+        points in prop::collection::vec(
+            (-2.0f64..12.0, -2.0f64..12.0, -2.0f64..12.0),
+            0..100
+        ),
+    ) {
+        let dims = Dim3::new(8, 8, 8);
+        let path: Vec<Vec3> = points.iter().map(|&(x, y, z)| Vec3::new(x, y, z)).collect();
+        let voxels = ConnectivityAccumulator::voxels_of_path(dims, &path);
+        for w in voxels.windows(2) {
+            prop_assert!(w[0] < w[1], "not strictly sorted: {voxels:?}");
+        }
+        for &v in &voxels {
+            prop_assert!((v as usize) < dims.len());
+        }
+    }
+
+    #[test]
+    fn connectivity_probability_bounded(
+        paths in prop::collection::vec(
+            prop::collection::vec((0.0f64..7.0, 0.0f64..7.0, 0.0f64..7.0), 1..20),
+            1..30
+        ),
+    ) {
+        let dims = Dim3::new(8, 8, 8);
+        let mut acc = ConnectivityAccumulator::new(dims);
+        for p in &paths {
+            let pts: Vec<Vec3> = p.iter().map(|&(x, y, z)| Vec3::new(x, y, z)).collect();
+            acc.add_path(&pts);
+        }
+        prop_assert_eq!(acc.total_streamlines(), paths.len() as u64);
+        for c in dims.iter() {
+            let p = acc.probability(c);
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn rectangle_model_waste_nonnegative_and_complete(
+        loads in prop::collection::vec(1u32..200, 1..100),
+        s in strategy_strategy(),
+    ) {
+        use tracto_stats::loadbalance::rectangle_model;
+        let max = *loads.iter().max().unwrap();
+        let m = rectangle_model(&loads, &s.budgets(max));
+        prop_assert!(m.charged >= m.useful);
+        // Every lane's full load is covered by the budgets.
+        prop_assert_eq!(m.useful, loads.iter().map(|&l| l as u64).sum::<u64>());
+    }
+}

@@ -1,0 +1,166 @@
+//! Volume dimensions and voxel coordinates.
+
+/// Integer voxel coordinate `(i, j, k)` along `(x, y, z)`.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ijk {
+    /// x index.
+    pub i: usize,
+    /// y index.
+    pub j: usize,
+    /// z index.
+    pub k: usize,
+}
+
+impl Ijk {
+    /// Construct from components.
+    #[inline]
+    pub const fn new(i: usize, j: usize, k: usize) -> Self {
+        Ijk { i, j, k }
+    }
+}
+
+impl From<(usize, usize, usize)> for Ijk {
+    #[inline]
+    fn from((i, j, k): (usize, usize, usize)) -> Self {
+        Ijk { i, j, k }
+    }
+}
+
+/// Dimensions of a 3-D volume, with x the fastest-varying axis
+/// (`index = i + nx·(j + ny·k)`), matching the paper's
+/// `DimX × DimY × DimZ` layout.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dim3 {
+    /// Extent along x.
+    pub nx: usize,
+    /// Extent along y.
+    pub ny: usize,
+    /// Extent along z.
+    pub nz: usize,
+}
+
+impl Dim3 {
+    /// Construct from extents.
+    #[inline]
+    pub const fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        Dim3 { nx, ny, nz }
+    }
+
+    /// Total number of voxels.
+    #[inline]
+    pub const fn len(self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// True when any extent is zero.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.len() == 0
+    }
+
+    /// Linear index of `(i, j, k)`. Panics in debug builds when out of range.
+    #[inline]
+    pub fn index(self, c: Ijk) -> usize {
+        debug_assert!(self.contains(c), "voxel {c:?} out of bounds {self:?}");
+        c.i + self.nx * (c.j + self.ny * c.k)
+    }
+
+    /// Inverse of [`Dim3::index`].
+    #[inline]
+    pub fn coords(self, index: usize) -> Ijk {
+        debug_assert!(index < self.len());
+        let i = index % self.nx;
+        let rest = index / self.nx;
+        Ijk::new(i, rest % self.ny, rest / self.ny)
+    }
+
+    /// True when `(i, j, k)` lies inside the volume.
+    #[inline]
+    pub fn contains(self, c: Ijk) -> bool {
+        c.i < self.nx && c.j < self.ny && c.k < self.nz
+    }
+
+    /// True when a continuous voxel-space point lies inside the voxel lattice
+    /// (i.e. can be trilinearly interpolated after clamping).
+    #[inline]
+    pub fn contains_point(self, x: f64, y: f64, z: f64) -> bool {
+        x >= 0.0
+            && y >= 0.0
+            && z >= 0.0
+            && x <= (self.nx - 1) as f64
+            && y <= (self.ny - 1) as f64
+            && z <= (self.nz - 1) as f64
+    }
+
+    /// Iterate over every voxel coordinate in linear-index order.
+    pub fn iter(self) -> impl Iterator<Item = Ijk> {
+        (0..self.len()).map(move |idx| self.coords(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_layout_x_fastest() {
+        let d = Dim3::new(4, 3, 2);
+        assert_eq!(d.index(Ijk::new(0, 0, 0)), 0);
+        assert_eq!(d.index(Ijk::new(1, 0, 0)), 1);
+        assert_eq!(d.index(Ijk::new(0, 1, 0)), 4);
+        assert_eq!(d.index(Ijk::new(0, 0, 1)), 12);
+        assert_eq!(d.index(Ijk::new(3, 2, 1)), 23);
+    }
+
+    #[test]
+    fn coords_roundtrip_exhaustive() {
+        let d = Dim3::new(5, 4, 3);
+        for idx in 0..d.len() {
+            assert_eq!(d.index(d.coords(idx)), idx);
+        }
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert_eq!(Dim3::new(4, 3, 2).len(), 24);
+        assert!(Dim3::new(0, 3, 2).is_empty());
+        assert!(!Dim3::new(1, 1, 1).is_empty());
+    }
+
+    #[test]
+    fn contains_bounds() {
+        let d = Dim3::new(2, 2, 2);
+        assert!(d.contains(Ijk::new(1, 1, 1)));
+        assert!(!d.contains(Ijk::new(2, 0, 0)));
+        assert!(!d.contains(Ijk::new(0, 2, 0)));
+        assert!(!d.contains(Ijk::new(0, 0, 2)));
+    }
+
+    #[test]
+    fn contains_point_edges() {
+        let d = Dim3::new(3, 3, 3);
+        assert!(d.contains_point(0.0, 0.0, 0.0));
+        assert!(d.contains_point(2.0, 2.0, 2.0));
+        assert!(d.contains_point(1.5, 0.3, 1.99));
+        assert!(!d.contains_point(-0.001, 0.0, 0.0));
+        assert!(!d.contains_point(2.001, 0.0, 0.0));
+    }
+
+    #[test]
+    fn iter_covers_all_voxels_in_order() {
+        let d = Dim3::new(3, 2, 2);
+        let coords: Vec<Ijk> = d.iter().collect();
+        assert_eq!(coords.len(), d.len());
+        for (idx, c) in coords.iter().enumerate() {
+            assert_eq!(d.index(*c), idx);
+        }
+    }
+
+    #[test]
+    fn ijk_from_tuple() {
+        let c: Ijk = (1, 2, 3).into();
+        assert_eq!(c, Ijk::new(1, 2, 3));
+    }
+}

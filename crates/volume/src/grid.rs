@@ -1,0 +1,143 @@
+//! Voxel ↔ world affine geometry.
+
+use crate::{Dim3, Ijk, Vec3};
+
+/// An axis-aligned voxel grid: dimensions plus per-axis spacing (mm) and a
+/// world-space origin at the center of voxel `(0,0,0)`.
+///
+/// The paper's datasets are 48×96×96 at 2.5 mm isotropic and 60×102×102 at
+/// 2 mm isotropic; step lengths (0.1–0.3) are expressed in voxel units, so
+/// tracking happens in continuous voxel space and this type converts to
+/// world/physical coordinates for reporting.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VoxelGrid {
+    /// Grid dimensions.
+    pub dims: Dim3,
+    /// Voxel spacing in mm along (x, y, z).
+    pub spacing: Vec3,
+    /// World position of the center of voxel (0, 0, 0).
+    pub origin: Vec3,
+}
+
+impl VoxelGrid {
+    /// An isotropic grid with the given spacing and origin at zero.
+    pub fn isotropic(dims: Dim3, spacing_mm: f64) -> Self {
+        VoxelGrid {
+            dims,
+            spacing: Vec3::new(spacing_mm, spacing_mm, spacing_mm),
+            origin: Vec3::ZERO,
+        }
+    }
+
+    /// Continuous voxel coordinates → world (mm).
+    #[inline]
+    pub fn voxel_to_world(&self, p: Vec3) -> Vec3 {
+        Vec3::new(
+            self.origin.x + p.x * self.spacing.x,
+            self.origin.y + p.y * self.spacing.y,
+            self.origin.z + p.z * self.spacing.z,
+        )
+    }
+
+    /// World (mm) → continuous voxel coordinates.
+    #[inline]
+    pub fn world_to_voxel(&self, w: Vec3) -> Vec3 {
+        Vec3::new(
+            (w.x - self.origin.x) / self.spacing.x,
+            (w.y - self.origin.y) / self.spacing.y,
+            (w.z - self.origin.z) / self.spacing.z,
+        )
+    }
+
+    /// Center of an integer voxel in world space.
+    #[inline]
+    pub fn voxel_center_world(&self, c: Ijk) -> Vec3 {
+        self.voxel_to_world(Vec3::new(c.i as f64, c.j as f64, c.k as f64))
+    }
+
+    /// Nearest integer voxel to a continuous voxel-space point, or `None`
+    /// outside the grid.
+    #[inline]
+    pub fn nearest_voxel(&self, p: Vec3) -> Option<Ijk> {
+        let i = p.x.round();
+        let j = p.y.round();
+        let k = p.z.round();
+        if i < 0.0 || j < 0.0 || k < 0.0 {
+            return None;
+        }
+        let c = Ijk::new(i as usize, j as usize, k as usize);
+        self.dims.contains(c).then_some(c)
+    }
+
+    /// Whether a continuous voxel-space point lies within the interpolatable
+    /// interior of the grid.
+    #[inline]
+    pub fn contains_point(&self, p: Vec3) -> bool {
+        self.dims.contains_point(p.x, p.y, p.z)
+    }
+
+    /// Physical volume of one voxel in mm³.
+    #[inline]
+    pub fn voxel_volume_mm3(&self) -> f64 {
+        self.spacing.x * self.spacing.y * self.spacing.z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isotropic_roundtrip() {
+        let g = VoxelGrid::isotropic(Dim3::new(10, 10, 10), 2.5);
+        let p = Vec3::new(1.5, 2.0, 3.25);
+        let w = g.voxel_to_world(p);
+        assert_eq!(w, Vec3::new(3.75, 5.0, 8.125));
+        let back = g.world_to_voxel(w);
+        assert!((back - p).norm() < 1e-12);
+    }
+
+    #[test]
+    fn origin_offsets_world() {
+        let mut g = VoxelGrid::isotropic(Dim3::new(4, 4, 4), 1.0);
+        g.origin = Vec3::new(10.0, -5.0, 0.0);
+        assert_eq!(g.voxel_center_world(Ijk::new(0, 0, 0)), g.origin);
+        assert_eq!(g.voxel_center_world(Ijk::new(1, 2, 3)), Vec3::new(11.0, -3.0, 3.0));
+    }
+
+    #[test]
+    fn nearest_voxel_rounds() {
+        let g = VoxelGrid::isotropic(Dim3::new(4, 4, 4), 1.0);
+        assert_eq!(g.nearest_voxel(Vec3::new(1.4, 1.6, 2.5)), Some(Ijk::new(1, 2, 3)));
+        assert_eq!(g.nearest_voxel(Vec3::new(-0.6, 0.0, 0.0)), None);
+        assert_eq!(g.nearest_voxel(Vec3::new(3.6, 0.0, 0.0)), None);
+        // -0.4 rounds to 0, which is in bounds.
+        assert_eq!(g.nearest_voxel(Vec3::new(-0.4, 0.0, 0.0)), Some(Ijk::new(0, 0, 0)));
+    }
+
+    #[test]
+    fn contains_point_matches_dims() {
+        let g = VoxelGrid::isotropic(Dim3::new(3, 3, 3), 2.0);
+        assert!(g.contains_point(Vec3::new(2.0, 2.0, 2.0)));
+        assert!(!g.contains_point(Vec3::new(2.01, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn voxel_volume() {
+        let g = VoxelGrid::isotropic(Dim3::new(2, 2, 2), 2.5);
+        assert!((g.voxel_volume_mm3() - 15.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anisotropic_spacing() {
+        let g = VoxelGrid {
+            dims: Dim3::new(4, 4, 4),
+            spacing: Vec3::new(1.0, 2.0, 4.0),
+            origin: Vec3::ZERO,
+        };
+        let w = g.voxel_to_world(Vec3::new(1.0, 1.0, 1.0));
+        assert_eq!(w, Vec3::new(1.0, 2.0, 4.0));
+        assert!((g.world_to_voxel(w) - Vec3::new(1.0, 1.0, 1.0)).norm() < 1e-12);
+    }
+}

@@ -1,0 +1,183 @@
+//! Minimal binary (de)serialization for volumes.
+//!
+//! A deliberately tiny self-describing little-endian format (`TRV3`/`TRV4`
+//! magic + dims + raw f32 payload) so phantom datasets and MCMC sample
+//! volumes can be cached on disk between pipeline steps without pulling in a
+//! full NIfTI implementation.
+
+use crate::{Dim3, Volume3, Volume4, VolumeError};
+use bytes::{Buf, BufMut};
+use std::io::{Read, Write};
+
+const MAGIC3: &[u8; 4] = b"TRV3";
+const MAGIC4: &[u8; 4] = b"TRV4";
+const VERSION: u32 = 1;
+
+fn put_header(buf: &mut Vec<u8>, magic: &[u8; 4], dims: Dim3, nt: u32) {
+    buf.put_slice(magic);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(dims.nx as u64);
+    buf.put_u64_le(dims.ny as u64);
+    buf.put_u64_le(dims.nz as u64);
+    buf.put_u32_le(nt);
+}
+
+fn read_exact_buf(r: &mut impl Read, n: usize) -> Result<Vec<u8>, VolumeError> {
+    let mut buf = vec![0u8; n];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+fn parse_header(
+    bytes: &mut &[u8],
+    magic: &[u8; 4],
+) -> Result<(Dim3, u32), VolumeError> {
+    if bytes.remaining() < 4 + 4 + 24 + 4 {
+        return Err(VolumeError::BadFormat("truncated header".into()));
+    }
+    let mut m = [0u8; 4];
+    bytes.copy_to_slice(&mut m);
+    if &m != magic {
+        return Err(VolumeError::BadFormat(format!(
+            "bad magic {:?}, expected {:?}",
+            m, magic
+        )));
+    }
+    let version = bytes.get_u32_le();
+    if version != VERSION {
+        return Err(VolumeError::BadFormat(format!("unsupported version {version}")));
+    }
+    let nx = bytes.get_u64_le() as usize;
+    let ny = bytes.get_u64_le() as usize;
+    let nz = bytes.get_u64_le() as usize;
+    let nt = bytes.get_u32_le();
+    Ok((Dim3::new(nx, ny, nz), nt))
+}
+
+/// Serialize a `Volume3<f32>` to a writer.
+pub fn write_volume3(w: &mut impl Write, v: &Volume3<f32>) -> Result<(), VolumeError> {
+    let mut buf = Vec::with_capacity(40 + v.len() * 4);
+    put_header(&mut buf, MAGIC3, v.dims(), 1);
+    for &x in v.as_slice() {
+        buf.put_f32_le(x);
+    }
+    w.write_all(&buf)?;
+    Ok(())
+}
+
+/// Deserialize a `Volume3<f32>` from a reader.
+pub fn read_volume3(r: &mut impl Read) -> Result<Volume3<f32>, VolumeError> {
+    let header = read_exact_buf(r, 36)?;
+    let mut slice: &[u8] = &header;
+    let (dims, nt) = parse_header(&mut slice, MAGIC3)?;
+    if nt != 1 {
+        return Err(VolumeError::BadFormat(format!("Volume3 stream with nt={nt}")));
+    }
+    let payload = read_exact_buf(r, dims.len() * 4)?;
+    let mut slice: &[u8] = &payload;
+    let mut data = Vec::with_capacity(dims.len());
+    for _ in 0..dims.len() {
+        data.push(slice.get_f32_le());
+    }
+    Volume3::from_vec(dims, data)
+}
+
+/// Serialize a `Volume4<f32>` to a writer.
+pub fn write_volume4(w: &mut impl Write, v: &Volume4<f32>) -> Result<(), VolumeError> {
+    let mut buf = Vec::with_capacity(40 + v.len() * 4);
+    put_header(&mut buf, MAGIC4, v.dims(), v.nt() as u32);
+    for &x in v.as_slice() {
+        buf.put_f32_le(x);
+    }
+    w.write_all(&buf)?;
+    Ok(())
+}
+
+/// Deserialize a `Volume4<f32>` from a reader.
+pub fn read_volume4(r: &mut impl Read) -> Result<Volume4<f32>, VolumeError> {
+    let header = read_exact_buf(r, 36)?;
+    let mut slice: &[u8] = &header;
+    let (dims, nt) = parse_header(&mut slice, MAGIC4)?;
+    if nt == 0 {
+        return Err(VolumeError::BadFormat("Volume4 stream with nt=0".into()));
+    }
+    let count = dims.len() * nt as usize;
+    let payload = read_exact_buf(r, count * 4)?;
+    let mut slice: &[u8] = &payload;
+    let mut data = Vec::with_capacity(count);
+    for _ in 0..count {
+        data.push(slice.get_f32_le());
+    }
+    Volume4::from_vec(dims, nt as usize, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Ijk;
+
+    #[test]
+    fn volume3_roundtrip() {
+        let v = Volume3::from_fn(Dim3::new(3, 4, 5), |c| (c.i * 100 + c.j * 10 + c.k) as f32);
+        let mut buf = Vec::new();
+        write_volume3(&mut buf, &v).unwrap();
+        let back = read_volume3(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn volume4_roundtrip() {
+        let v = Volume4::from_fn(Dim3::new(2, 3, 2), 4, |c, t| (c.i + c.j + c.k + t) as f32 * 0.5);
+        let mut buf = Vec::new();
+        write_volume4(&mut buf, &v).unwrap();
+        let back = read_volume4(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let v = Volume3::filled(Dim3::new(1, 1, 1), 0.0f32);
+        let mut buf = Vec::new();
+        write_volume3(&mut buf, &v).unwrap();
+        buf[0] = b'X';
+        assert!(matches!(read_volume3(&mut buf.as_slice()), Err(VolumeError::BadFormat(_))));
+    }
+
+    #[test]
+    fn magic_mismatch_between_3_and_4() {
+        let v = Volume3::filled(Dim3::new(1, 1, 1), 1.0f32);
+        let mut buf = Vec::new();
+        write_volume3(&mut buf, &v).unwrap();
+        assert!(read_volume4(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let v = Volume3::from_fn(Dim3::new(2, 2, 2), |c| c.i as f32);
+        let mut buf = Vec::new();
+        write_volume3(&mut buf, &v).unwrap();
+        buf.truncate(buf.len() - 4);
+        assert!(read_volume3(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn special_values_roundtrip() {
+        let mut v = Volume3::filled(Dim3::new(2, 1, 1), 0.0f32);
+        v.set(Ijk::new(0, 0, 0), f32::INFINITY);
+        v.set(Ijk::new(1, 0, 0), -0.0);
+        let mut buf = Vec::new();
+        write_volume3(&mut buf, &v).unwrap();
+        let back = read_volume3(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.as_slice()[0], f32::INFINITY);
+        assert_eq!(back.as_slice()[1].to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let v = Volume3::filled(Dim3::new(1, 1, 1), 0.0f32);
+        let mut buf = Vec::new();
+        write_volume3(&mut buf, &v).unwrap();
+        buf[4] = 99;
+        assert!(matches!(read_volume3(&mut buf.as_slice()), Err(VolumeError::BadFormat(_))));
+    }
+}

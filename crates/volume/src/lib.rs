@@ -1,0 +1,87 @@
+//! Dense 3-D/4-D volumes, voxel/world geometry, and interpolation.
+//!
+//! This crate is the spatial substrate of the `tracto` workspace. It provides:
+//!
+//! * [`Vec3`] — a small 3-vector used for positions and fiber directions,
+//!   including spherical-coordinate conversions (the paper parameterizes
+//!   fiber orientations as `(θ, φ)`).
+//! * [`Dim3`] / [`Volume3`] / [`Volume4`] — dense scalar volumes with
+//!   row-major `(x fastest)` layout matching the DWI data layout used by the
+//!   pipeline (`DimX × DimY × DimZ × n` in the paper's Fig. 1).
+//! * [`Mask`] — binary voxel masks (white-matter masks, seed regions).
+//! * [`VoxelGrid`] — voxel↔world affine geometry (spacing + origin).
+//! * [`interp`] — trilinear interpolation for scalar fields and
+//!   sign-disambiguated direction fields.
+//! * [`io`] — a minimal binary (de)serialization format for volumes.
+//!
+//! All math is `f64`; bulk voxel storage is generic and typically `f32`,
+//! mirroring the precision split of the original GPU implementation
+//! (single-precision device buffers, double-precision host math).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dims;
+mod grid;
+mod mask;
+mod vec3;
+mod volume3;
+mod volume4;
+
+pub mod interp;
+pub mod io;
+pub mod ops;
+pub mod render;
+
+pub use dims::{Dim3, Ijk};
+pub use grid::VoxelGrid;
+pub use mask::Mask;
+pub use vec3::Vec3;
+pub use volume3::Volume3;
+pub use volume4::Volume4;
+
+/// Errors produced by volume construction and I/O.
+#[derive(Debug)]
+pub enum VolumeError {
+    /// Data length does not match the product of the dimensions.
+    LengthMismatch {
+        /// Expected number of elements (product of dims).
+        expected: usize,
+        /// Actual data length supplied.
+        actual: usize,
+    },
+    /// A volume dimension was zero.
+    ZeroDim,
+    /// An I/O error during volume (de)serialization.
+    Io(std::io::Error),
+    /// The serialized stream had a bad magic number or header.
+    BadFormat(String),
+}
+
+impl std::fmt::Display for VolumeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VolumeError::LengthMismatch { expected, actual } => {
+                write!(f, "data length {actual} does not match dims product {expected}")
+            }
+            VolumeError::ZeroDim => write!(f, "volume dimensions must be nonzero"),
+            VolumeError::Io(e) => write!(f, "i/o error: {e}"),
+            VolumeError::BadFormat(s) => write!(f, "bad volume format: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for VolumeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VolumeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for VolumeError {
+    fn from(e: std::io::Error) -> Self {
+        VolumeError::Io(e)
+    }
+}

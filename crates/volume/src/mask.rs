@@ -1,0 +1,280 @@
+//! Binary voxel masks (white-matter masks, seed and target regions).
+
+use crate::{Dim3, Ijk, Volume3};
+
+/// A binary voxel mask over a [`Dim3`] grid.
+///
+/// The MCMC step runs only on "valid (white matter) voxels" (Table III of the
+/// paper); seeds and targets for connectivity estimation are also masks.
+///
+/// ```
+/// use tracto_volume::{Dim3, Ijk, Mask};
+/// let m = Mask::from_fn(Dim3::new(4, 4, 4), |c| c.i < 2);
+/// assert_eq!(m.count(), 32);
+/// assert!(m.contains(Ijk::new(1, 3, 3)));
+/// assert_eq!(m.dilate().count(), 48); // grows one voxel along +x
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mask {
+    inner: Volume3<bool>,
+}
+
+impl Mask {
+    /// An all-false mask.
+    pub fn empty(dims: Dim3) -> Self {
+        Mask { inner: Volume3::filled(dims, false) }
+    }
+
+    /// An all-true mask.
+    pub fn full(dims: Dim3) -> Self {
+        Mask { inner: Volume3::filled(dims, true) }
+    }
+
+    /// Build from a predicate over voxel coordinates.
+    pub fn from_fn(dims: Dim3, mut f: impl FnMut(Ijk) -> bool) -> Self {
+        Mask { inner: Volume3::from_fn(dims, &mut f) }
+    }
+
+    /// Wrap a boolean volume.
+    pub fn from_volume(inner: Volume3<bool>) -> Self {
+        Mask { inner }
+    }
+
+    /// Grid dimensions.
+    #[inline]
+    pub fn dims(&self) -> Dim3 {
+        self.inner.dims()
+    }
+
+    /// Whether voxel `c` is in the mask. Out-of-bounds coordinates are false,
+    /// so a streamline that leaves the grid is simply "outside the mask".
+    #[inline]
+    pub fn contains(&self, c: Ijk) -> bool {
+        self.inner.get_checked(c).copied().unwrap_or(false)
+    }
+
+    /// Set membership of a voxel.
+    #[inline]
+    pub fn set(&mut self, c: Ijk, value: bool) {
+        self.inner.set(c, value);
+    }
+
+    /// Number of voxels in the mask.
+    pub fn count(&self) -> usize {
+        self.inner.as_slice().iter().filter(|&&b| b).count()
+    }
+
+    /// Linear indices of all member voxels, ascending.
+    pub fn indices(&self) -> Vec<usize> {
+        self.inner
+            .as_slice()
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, &b)| b.then_some(idx))
+            .collect()
+    }
+
+    /// Coordinates of all member voxels in linear-index order.
+    pub fn coords(&self) -> Vec<Ijk> {
+        let dims = self.dims();
+        self.indices().into_iter().map(|idx| dims.coords(idx)).collect()
+    }
+
+    /// Logical AND with another mask of the same dims.
+    pub fn intersect(&self, other: &Mask) -> Mask {
+        assert_eq!(self.dims(), other.dims(), "mask dims must match");
+        let dims = self.dims();
+        Mask::from_fn(dims, |c| self.contains(c) && other.contains(c))
+    }
+
+    /// Logical OR with another mask of the same dims.
+    pub fn union(&self, other: &Mask) -> Mask {
+        assert_eq!(self.dims(), other.dims(), "mask dims must match");
+        let dims = self.dims();
+        Mask::from_fn(dims, |c| self.contains(c) || other.contains(c))
+    }
+
+    /// Threshold a scalar volume: voxels with `value > threshold` are members.
+    /// This is how white-matter masks are derived from mean b=0 intensity or
+    /// anisotropy maps.
+    pub fn threshold(volume: &Volume3<f32>, threshold: f32) -> Mask {
+        Mask {
+            inner: volume.map(|&v| v > threshold),
+        }
+    }
+
+    /// Access the underlying boolean volume.
+    pub fn as_volume(&self) -> &Volume3<bool> {
+        &self.inner
+    }
+
+    /// Morphological dilation by one voxel with 6-connectivity: a voxel is
+    /// in the result if it or any face-neighbor is in the mask. Standard
+    /// preparation for seed regions and waypoint masks.
+    pub fn dilate(&self) -> Mask {
+        let dims = self.dims();
+        Mask::from_fn(dims, |c| {
+            if self.contains(c) {
+                return true;
+            }
+            let Ijk { i, j, k } = c;
+            (i > 0 && self.contains(Ijk::new(i - 1, j, k)))
+                || self.contains(Ijk::new(i + 1, j, k))
+                || (j > 0 && self.contains(Ijk::new(i, j - 1, k)))
+                || self.contains(Ijk::new(i, j + 1, k))
+                || (k > 0 && self.contains(Ijk::new(i, j, k - 1)))
+                || self.contains(Ijk::new(i, j, k + 1))
+        })
+    }
+
+    /// Morphological erosion by one voxel with 6-connectivity: a voxel stays
+    /// only if it and all face-neighbors are in the mask (volume-boundary
+    /// neighbors count as outside).
+    pub fn erode(&self) -> Mask {
+        let dims = self.dims();
+        Mask::from_fn(dims, |c| {
+            let Ijk { i, j, k } = c;
+            self.contains(c)
+                && i > 0
+                && self.contains(Ijk::new(i - 1, j, k))
+                && self.contains(Ijk::new(i + 1, j, k))
+                && j > 0
+                && self.contains(Ijk::new(i, j - 1, k))
+                && self.contains(Ijk::new(i, j + 1, k))
+                && k > 0
+                && self.contains(Ijk::new(i, j, k - 1))
+                && self.contains(Ijk::new(i, j, k + 1))
+        })
+    }
+
+    /// The one-voxel boundary shell of the mask: members with at least one
+    /// face-neighbor outside.
+    pub fn boundary(&self) -> Mask {
+        let eroded = self.erode();
+        let dims = self.dims();
+        Mask::from_fn(dims, |c| self.contains(c) && !eroded.contains(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_full_counts() {
+        let d = Dim3::new(3, 3, 3);
+        assert_eq!(Mask::empty(d).count(), 0);
+        assert_eq!(Mask::full(d).count(), 27);
+    }
+
+    #[test]
+    fn from_fn_membership() {
+        let d = Dim3::new(4, 1, 1);
+        let m = Mask::from_fn(d, |c| c.i % 2 == 0);
+        assert!(m.contains(Ijk::new(0, 0, 0)));
+        assert!(!m.contains(Ijk::new(1, 0, 0)));
+        assert_eq!(m.count(), 2);
+    }
+
+    #[test]
+    fn out_of_bounds_is_false() {
+        let m = Mask::full(Dim3::new(2, 2, 2));
+        assert!(!m.contains(Ijk::new(5, 0, 0)));
+    }
+
+    #[test]
+    fn indices_and_coords_agree() {
+        let d = Dim3::new(2, 2, 2);
+        let m = Mask::from_fn(d, |c| c.k == 1);
+        let idxs = m.indices();
+        let coords = m.coords();
+        assert_eq!(idxs.len(), 4);
+        for (idx, c) in idxs.iter().zip(&coords) {
+            assert_eq!(d.index(*c), *idx);
+        }
+    }
+
+    #[test]
+    fn set_toggles_membership() {
+        let mut m = Mask::empty(Dim3::new(2, 2, 2));
+        m.set(Ijk::new(1, 1, 0), true);
+        assert!(m.contains(Ijk::new(1, 1, 0)));
+        assert_eq!(m.count(), 1);
+    }
+
+    #[test]
+    fn intersect_union() {
+        let d = Dim3::new(3, 1, 1);
+        let a = Mask::from_fn(d, |c| c.i < 2);
+        let b = Mask::from_fn(d, |c| c.i > 0);
+        assert_eq!(a.intersect(&b).count(), 1);
+        assert_eq!(a.union(&b).count(), 3);
+    }
+
+    #[test]
+    fn threshold_volume() {
+        let v = Volume3::from_vec(Dim3::new(3, 1, 1), vec![0.1f32, 0.5, 0.9]).unwrap();
+        let m = Mask::threshold(&v, 0.4);
+        assert_eq!(m.count(), 2);
+        assert!(!m.contains(Ijk::new(0, 0, 0)));
+    }
+
+    #[test]
+    fn dilate_grows_by_face_neighbors() {
+        let d = Dim3::new(5, 5, 5);
+        let mut m = Mask::empty(d);
+        m.set(Ijk::new(2, 2, 2), true);
+        let g = m.dilate();
+        assert_eq!(g.count(), 7); // center + 6 faces
+        assert!(g.contains(Ijk::new(1, 2, 2)));
+        assert!(!g.contains(Ijk::new(1, 1, 2)), "diagonals excluded");
+    }
+
+    #[test]
+    fn erode_shrinks_and_inverts_dilate_on_solid_blocks() {
+        let d = Dim3::new(7, 7, 7);
+        let block = Mask::from_fn(d, |c| (2..=4).contains(&c.i) && (2..=4).contains(&c.j) && (2..=4).contains(&c.k));
+        let eroded = block.erode();
+        assert_eq!(eroded.count(), 1);
+        assert!(eroded.contains(Ijk::new(3, 3, 3)));
+        // Dilating the erosion stays inside the original block.
+        let back = eroded.dilate();
+        for c in back.coords() {
+            assert!(block.contains(c));
+        }
+    }
+
+    #[test]
+    fn erode_respects_volume_boundary() {
+        let d = Dim3::new(3, 3, 3);
+        let full = Mask::full(d);
+        let e = full.erode();
+        assert_eq!(e.count(), 1, "only the center survives in a 3³ cube");
+        assert!(e.contains(Ijk::new(1, 1, 1)));
+    }
+
+    #[test]
+    fn boundary_is_members_minus_interior() {
+        let d = Dim3::new(5, 5, 5);
+        let full = Mask::full(d);
+        let b = full.boundary();
+        assert_eq!(b.count(), full.count() - full.erode().count());
+        assert!(b.contains(Ijk::new(0, 2, 2)));
+        assert!(!b.contains(Ijk::new(2, 2, 2)));
+    }
+
+    #[test]
+    fn dilate_empty_stays_empty() {
+        let m = Mask::empty(Dim3::new(4, 4, 4));
+        assert_eq!(m.dilate().count(), 0);
+        assert_eq!(m.erode().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask dims must match")]
+    fn intersect_dim_mismatch_panics() {
+        let a = Mask::full(Dim3::new(2, 2, 2));
+        let b = Mask::full(Dim3::new(3, 3, 3));
+        let _ = a.intersect(&b);
+    }
+}

@@ -1,0 +1,148 @@
+//! Elementwise volume arithmetic and summary statistics.
+//!
+//! Connectivity analysis combines probability volumes: averaging maps
+//! across runs, thresholding them into masks, and summarizing intensity
+//! distributions. These are the scalar-field utilities for that.
+
+use crate::{Mask, Volume3};
+
+/// Elementwise sum of two volumes of identical dims.
+pub fn add(a: &Volume3<f32>, b: &Volume3<f32>) -> Volume3<f32> {
+    assert_eq!(a.dims(), b.dims(), "volume dims must match");
+    let data = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| x + y)
+        .collect();
+    Volume3::from_vec(a.dims(), data).expect("dims valid")
+}
+
+/// Elementwise linear combination `a·wa + b·wb`.
+pub fn lerp_volumes(a: &Volume3<f32>, wa: f32, b: &Volume3<f32>, wb: f32) -> Volume3<f32> {
+    assert_eq!(a.dims(), b.dims(), "volume dims must match");
+    let data = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| x * wa + y * wb)
+        .collect();
+    Volume3::from_vec(a.dims(), data).expect("dims valid")
+}
+
+/// Scale a volume by a constant.
+pub fn scale(a: &Volume3<f32>, s: f32) -> Volume3<f32> {
+    a.map(|&v| v * s)
+}
+
+/// Mean of several volumes (e.g. connectivity maps from independent runs).
+pub fn mean_volumes(volumes: &[&Volume3<f32>]) -> Volume3<f32> {
+    assert!(!volumes.is_empty(), "need at least one volume");
+    let mut acc = volumes[0].clone();
+    for v in &volumes[1..] {
+        acc = add(&acc, v);
+    }
+    scale(&acc, 1.0 / volumes.len() as f32)
+}
+
+/// Number of voxels strictly above a threshold.
+pub fn count_above(a: &Volume3<f32>, threshold: f32) -> usize {
+    a.as_slice().iter().filter(|&&v| v > threshold).count()
+}
+
+/// Nearest-rank percentile (`q ∈ [0, 1]`) of all voxel values (NaNs
+/// excluded). Returns `None` when every value is NaN.
+pub fn percentile(a: &Volume3<f32>, q: f64) -> Option<f32> {
+    assert!((0.0..=1.0).contains(&q));
+    let mut vals: Vec<f32> = a.as_slice().iter().copied().filter(|v| !v.is_nan()).collect();
+    if vals.is_empty() {
+        return None;
+    }
+    vals.sort_by(|x, y| x.partial_cmp(y).expect("no NaN"));
+    let idx = ((q * vals.len() as f64).ceil() as usize).clamp(1, vals.len());
+    Some(vals[idx - 1])
+}
+
+/// Mean value over a mask's voxels (0 for an empty mask).
+pub fn masked_mean(a: &Volume3<f32>, mask: &Mask) -> f64 {
+    assert_eq!(a.dims(), mask.dims(), "mask dims must match");
+    let idx = mask.indices();
+    if idx.is_empty() {
+        return 0.0;
+    }
+    idx.iter().map(|&i| *a.at(i) as f64).sum::<f64>() / idx.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dim3, Ijk};
+
+    fn v(values: &[f32]) -> Volume3<f32> {
+        Volume3::from_vec(Dim3::new(values.len(), 1, 1), values.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let a = v(&[1.0, 2.0, 3.0]);
+        let b = v(&[10.0, 20.0, 30.0]);
+        assert_eq!(add(&a, &b).as_slice(), &[11.0, 22.0, 33.0]);
+        assert_eq!(scale(&a, 2.0).as_slice(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn lerp_combination() {
+        let a = v(&[1.0, 1.0]);
+        let b = v(&[3.0, 5.0]);
+        assert_eq!(lerp_volumes(&a, 0.5, &b, 0.5).as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn mean_of_three() {
+        let a = v(&[0.0, 3.0]);
+        let b = v(&[3.0, 3.0]);
+        let c = v(&[6.0, 3.0]);
+        assert_eq!(mean_volumes(&[&a, &b, &c]).as_slice(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn count_above_threshold() {
+        let a = v(&[0.1, 0.5, 0.9, 0.5]);
+        assert_eq!(count_above(&a, 0.5), 1);
+        assert_eq!(count_above(&a, 0.0), 4);
+        assert_eq!(count_above(&a, 1.0), 0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let a = v(&[5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(percentile(&a, 0.0), Some(1.0));
+        assert_eq!(percentile(&a, 0.5), Some(3.0));
+        assert_eq!(percentile(&a, 1.0), Some(5.0));
+    }
+
+    #[test]
+    fn percentile_ignores_nan() {
+        let a = v(&[f32::NAN, 2.0, 4.0]);
+        assert_eq!(percentile(&a, 1.0), Some(4.0));
+        let all_nan = v(&[f32::NAN, f32::NAN]);
+        assert_eq!(percentile(&all_nan, 0.5), None);
+    }
+
+    #[test]
+    fn masked_mean_subsets() {
+        let a = v(&[1.0, 2.0, 30.0]);
+        let m = Mask::from_fn(a.dims(), |c| c.i < 2);
+        assert!((masked_mean(&a, &m) - 1.5).abs() < 1e-12);
+        assert_eq!(masked_mean(&a, &Mask::empty(a.dims())), 0.0);
+        let _ = Ijk::new(0, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dims must match")]
+    fn dim_mismatch_panics() {
+        let a = v(&[1.0]);
+        let b = v(&[1.0, 2.0]);
+        let _ = add(&a, &b);
+    }
+}

@@ -1,0 +1,133 @@
+//! Terminal rendering of volumes: maximum-intensity projections.
+//!
+//! The paper presents connectivity output as renderings (Figs. 9–12);
+//! this repository's examples print ASCII maximum-intensity projections of
+//! probability volumes instead, which is enough to see bundle shapes in a
+//! terminal.
+
+use crate::Volume3;
+#[cfg(test)]
+use crate::{Dim3, Ijk};
+
+/// Projection axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// Project along x (render the y–z plane).
+    X,
+    /// Project along y (render the x–z plane).
+    Y,
+    /// Project along z (render the x–y plane).
+    Z,
+}
+
+/// Maximum-intensity projection of a volume along `axis`, returned as a
+/// row-major `(rows, cols, values)` image. The row axis is the *later*
+/// remaining axis (z before y before x), so `Axis::Z` yields an x–y image
+/// with `rows = ny`.
+pub fn mip(volume: &Volume3<f32>, axis: Axis) -> (usize, usize, Vec<f32>) {
+    let d = volume.dims();
+    let (rows, cols): (usize, usize) = match axis {
+        Axis::X => (d.nz, d.ny),
+        Axis::Y => (d.nz, d.nx),
+        Axis::Z => (d.ny, d.nx),
+    };
+    let mut img = vec![f32::NEG_INFINITY; rows * cols];
+    for c in d.iter() {
+        let (r, q) = match axis {
+            Axis::X => (c.k, c.j),
+            Axis::Y => (c.k, c.i),
+            Axis::Z => (c.j, c.i),
+        };
+        let v = *volume.get(c);
+        let slot = &mut img[r * cols + q];
+        if v > *slot {
+            *slot = v;
+        }
+    }
+    (rows, cols, img)
+}
+
+/// Render a maximum-intensity projection as ASCII art (one character per
+/// image cell, darker glyphs = higher intensity, rows top-to-bottom in
+/// descending row index so +y/+z point up).
+pub fn mip_ascii(volume: &Volume3<f32>, axis: Axis) -> String {
+    const GLYPHS: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    let (rows, cols, img) = mip(volume, axis);
+    let max = img.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let min = img.iter().copied().fold(f32::INFINITY, f32::min);
+    let span = (max - min).max(f32::MIN_POSITIVE);
+    let mut out = String::with_capacity((cols + 1) * rows);
+    for r in (0..rows).rev() {
+        for q in 0..cols {
+            let v = (img[r * cols + q] - min) / span;
+            let idx = ((v * (GLYPHS.len() - 1) as f32).round() as usize).min(GLYPHS.len() - 1);
+            out.push(GLYPHS[idx]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Volume3<f32> {
+        Volume3::from_fn(Dim3::new(4, 3, 2), |c| (c.i + 10 * c.j + 100 * c.k) as f32)
+    }
+
+    #[test]
+    fn mip_shapes() {
+        let v = ramp();
+        let (r, c, img) = mip(&v, Axis::Z);
+        assert_eq!((r, c), (3, 4));
+        assert_eq!(img.len(), 12);
+        let (r, c, _) = mip(&v, Axis::X);
+        assert_eq!((r, c), (2, 3));
+        let (r, c, _) = mip(&v, Axis::Y);
+        assert_eq!((r, c), (2, 4));
+    }
+
+    #[test]
+    fn mip_takes_maximum_along_axis() {
+        let v = ramp();
+        // Projecting along z keeps the k=1 slice (value +100).
+        let (_, cols, img) = mip(&v, Axis::Z);
+        assert_eq!(img[0], 100.0); // (i=0, j=0, k=1)
+        assert_eq!(img[2 * cols + 3], 123.0); // (i=3, j=2, k=1)
+    }
+
+    #[test]
+    fn ascii_dimensions_and_glyphs() {
+        let v = ramp();
+        let s = mip_ascii(&v, Axis::Z);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines.iter().all(|l| l.chars().count() == 4));
+        // Max cell renders '@', min cell renders ' '.
+        assert!(s.contains('@'));
+        // First printed row is the highest j (rows flipped).
+        assert_eq!(lines[0].chars().last().unwrap(), '@');
+    }
+
+    #[test]
+    fn constant_volume_renders_uniformly() {
+        let v = Volume3::filled(Dim3::new(3, 3, 3), 5.0f32);
+        let s = mip_ascii(&v, Axis::Y);
+        // All one glyph (span collapses to MIN_POSITIVE).
+        let glyphs: std::collections::HashSet<char> =
+            s.chars().filter(|c| *c != '\n').collect();
+        assert_eq!(glyphs.len(), 1);
+    }
+
+    #[test]
+    fn bright_spot_localized() {
+        let mut v = Volume3::filled(Dim3::new(8, 8, 3), 0.0f32);
+        v.set(Ijk::new(2, 6, 1), 1.0);
+        let s = mip_ascii(&v, Axis::Z);
+        let lines: Vec<&str> = s.lines().collect();
+        // Row for j=6 is lines[8-1-6] = lines[1]; column i=2.
+        assert_eq!(lines[1].chars().nth(2).unwrap(), '@');
+        assert_eq!(lines[0].chars().nth(2).unwrap(), ' ');
+    }
+}

@@ -1,0 +1,352 @@
+//! A small 3-vector with the spherical-coordinate conversions used to
+//! parameterize fiber orientations.
+
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A 3-component `f64` vector used for positions and unit fiber directions.
+///
+/// Fiber orientations in the diffusion model are expressed in spherical
+/// coordinates `(θ, φ)` with the physics convention used by FSL/bedpostx:
+///
+/// ```text
+/// x = sin θ cos φ,   y = sin θ sin φ,   z = cos θ
+/// ```
+///
+/// with `θ ∈ [0, π]` (polar, from +z) and `φ ∈ [-π, π]` (azimuth).
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// x component.
+    pub x: f64,
+    /// y component.
+    pub y: f64,
+    /// z component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    /// Unit x.
+    pub const X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+    /// Unit y.
+    pub const Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+    /// Unit z.
+    pub const Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+
+    /// Construct from components.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Construct a unit vector from spherical angles `(θ, φ)`.
+    #[inline]
+    pub fn from_spherical(theta: f64, phi: f64) -> Self {
+        let (st, ct) = theta.sin_cos();
+        let (sp, cp) = phi.sin_cos();
+        Vec3::new(st * cp, st * sp, ct)
+    }
+
+    /// Convert to spherical angles `(θ, φ)`.
+    ///
+    /// For the zero vector this returns `(0, 0)`. The result satisfies
+    /// `Vec3::from_spherical(θ, φ) ≈ self.normalized()`.
+    #[inline]
+    pub fn to_spherical(self) -> (f64, f64) {
+        let r = self.norm();
+        if r == 0.0 {
+            return (0.0, 0.0);
+        }
+        let theta = (self.z / r).clamp(-1.0, 1.0).acos();
+        let phi = self.y.atan2(self.x);
+        (theta, phi)
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, other: Vec3) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(self, other: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * other.z - self.z * other.y,
+            self.z * other.x - self.x * other.z,
+            self.x * other.y - self.y * other.x,
+        )
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean norm.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Unit vector in the same direction. Returns `Vec3::ZERO` for the zero
+    /// vector rather than NaN, which keeps streamline stepping well-defined
+    /// when an orientation sample degenerates.
+    #[inline]
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        if n == 0.0 {
+            Vec3::ZERO
+        } else {
+            self / n
+        }
+    }
+
+    /// Angle (radians) between `self` and `other`, in `[0, π]`.
+    #[inline]
+    pub fn angle_between(self, other: Vec3) -> f64 {
+        let denom = self.norm() * other.norm();
+        if denom == 0.0 {
+            return 0.0;
+        }
+        (self.dot(other) / denom).clamp(-1.0, 1.0).acos()
+    }
+
+    /// Componentwise linear interpolation `self + t (other - self)`.
+    #[inline]
+    pub fn lerp(self, other: Vec3, t: f64) -> Vec3 {
+        self + (other - self) * t
+    }
+
+    /// Distance to `other`.
+    #[inline]
+    pub fn distance(self, other: Vec3) -> f64 {
+        (self - other).norm()
+    }
+
+    /// True when every component is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// Flip the vector so that it points into the same hemisphere as
+    /// `reference` (non-negative dot product). Used to resolve the sign
+    /// ambiguity of fiber orientations, which are axes rather than vectors.
+    #[inline]
+    pub fn aligned_with(self, reference: Vec3) -> Vec3 {
+        if self.dot(reference) < 0.0 {
+            -self
+        } else {
+            self
+        }
+    }
+
+    /// An arbitrary unit vector orthogonal to `self` (which must be nonzero).
+    pub fn any_orthogonal(self) -> Vec3 {
+        let candidate = if self.x.abs() <= self.y.abs() && self.x.abs() <= self.z.abs() {
+            Vec3::X
+        } else if self.y.abs() <= self.z.abs() {
+            Vec3::Y
+        } else {
+            Vec3::Z
+        };
+        self.cross(candidate).normalized()
+    }
+
+    /// Componentwise conversion to `[f32; 3]` for device-buffer storage.
+    #[inline]
+    pub fn to_f32_array(self) -> [f32; 3] {
+        [self.x as f32, self.y as f32, self.z as f32]
+    }
+
+    /// Componentwise construction from `[f32; 3]`.
+    #[inline]
+    pub fn from_f32_array(a: [f32; 3]) -> Self {
+        Vec3::new(a[0] as f64, a[1] as f64, a[2] as f64)
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, o: Vec3) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, o: Vec3) {
+        *self = *self - o;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, v: Vec3) -> Vec3 {
+        v * self
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, s: f64) -> Vec3 {
+        Vec3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    fn approx(a: f64, b: f64, eps: f64) -> bool {
+        (a - b).abs() <= eps
+    }
+
+    fn approx_vec(a: Vec3, b: Vec3, eps: f64) -> bool {
+        approx(a.x, b.x, eps) && approx(a.y, b.y, eps) && approx(a.z, b.z, eps)
+    }
+
+    #[test]
+    fn spherical_axes() {
+        assert!(approx_vec(Vec3::from_spherical(0.0, 0.0), Vec3::Z, 1e-12));
+        assert!(approx_vec(Vec3::from_spherical(FRAC_PI_2, 0.0), Vec3::X, 1e-12));
+        assert!(approx_vec(Vec3::from_spherical(FRAC_PI_2, FRAC_PI_2), Vec3::Y, 1e-12));
+        assert!(approx_vec(Vec3::from_spherical(PI, 0.0), -Vec3::Z, 1e-12));
+    }
+
+    #[test]
+    fn spherical_roundtrip() {
+        for &(theta, phi) in &[(0.3, 0.7), (1.2, -2.1), (2.8, 3.0), (0.01, 0.0)] {
+            let v = Vec3::from_spherical(theta, phi);
+            assert!(approx(v.norm(), 1.0, 1e-12));
+            let (t2, p2) = v.to_spherical();
+            let v2 = Vec3::from_spherical(t2, p2);
+            assert!(approx_vec(v, v2, 1e-12), "roundtrip failed for ({theta},{phi})");
+        }
+    }
+
+    #[test]
+    fn to_spherical_zero_vector() {
+        assert_eq!(Vec3::ZERO.to_spherical(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn dot_and_cross_orthogonality() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-4.0, 0.5, 2.0);
+        let c = a.cross(b);
+        assert!(approx(c.dot(a), 0.0, 1e-12));
+        assert!(approx(c.dot(b), 0.0, 1e-12));
+    }
+
+    #[test]
+    fn cross_right_handed() {
+        assert!(approx_vec(Vec3::X.cross(Vec3::Y), Vec3::Z, 1e-15));
+        assert!(approx_vec(Vec3::Y.cross(Vec3::Z), Vec3::X, 1e-15));
+        assert!(approx_vec(Vec3::Z.cross(Vec3::X), Vec3::Y, 1e-15));
+    }
+
+    #[test]
+    fn normalized_zero_is_zero() {
+        assert_eq!(Vec3::ZERO.normalized(), Vec3::ZERO);
+    }
+
+    #[test]
+    fn normalized_unit_norm() {
+        let v = Vec3::new(3.0, -4.0, 12.0);
+        assert!(approx(v.normalized().norm(), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn angle_between_axes() {
+        assert!(approx(Vec3::X.angle_between(Vec3::Y), FRAC_PI_2, 1e-12));
+        assert!(approx(Vec3::X.angle_between(Vec3::X), 0.0, 1e-6));
+        assert!(approx(Vec3::X.angle_between(-Vec3::X), PI, 1e-6));
+    }
+
+    #[test]
+    fn aligned_with_flips_when_opposed() {
+        let v = Vec3::new(0.0, 0.0, -1.0);
+        assert_eq!(v.aligned_with(Vec3::Z), Vec3::new(0.0, 0.0, 1.0));
+        assert_eq!(v.aligned_with(-Vec3::Z), v);
+    }
+
+    #[test]
+    fn any_orthogonal_is_orthogonal_unit() {
+        for v in [Vec3::X, Vec3::Y, Vec3::Z, Vec3::new(1.0, 2.0, 3.0), Vec3::new(-0.1, 5.0, 0.2)] {
+            let o = v.any_orthogonal();
+            assert!(approx(o.norm(), 1.0, 1e-12));
+            assert!(approx(o.dot(v), 0.0, 1e-9));
+        }
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Vec3::new(1.0, 0.0, -1.0);
+        let b = Vec3::new(3.0, 2.0, 1.0);
+        assert!(approx_vec(a.lerp(b, 0.0), a, 1e-15));
+        assert!(approx_vec(a.lerp(b, 1.0), b, 1e-15));
+        assert!(approx_vec(a.lerp(b, 0.5), Vec3::new(2.0, 1.0, 0.0), 1e-15));
+    }
+
+    #[test]
+    fn f32_array_roundtrip() {
+        let v = Vec3::new(0.25, -0.5, 0.125);
+        assert_eq!(Vec3::from_f32_array(v.to_f32_array()), v);
+    }
+
+    #[test]
+    fn operators() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b, Vec3::new(5.0, 7.0, 9.0));
+        assert_eq!(b - a, Vec3::new(3.0, 3.0, 3.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(a / 2.0, Vec3::new(0.5, 1.0, 1.5));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+        c -= b;
+        assert_eq!(c, a);
+    }
+}

@@ -1,0 +1,236 @@
+//! Dense 3-D volumes.
+
+use crate::{Dim3, Ijk, VolumeError};
+
+/// A dense 3-D volume of `T` with x-fastest layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Volume3<T> {
+    dims: Dim3,
+    data: Vec<T>,
+}
+
+impl<T: Clone> Volume3<T> {
+    /// Create a volume filled with `value`.
+    pub fn filled(dims: Dim3, value: T) -> Self {
+        Volume3 { dims, data: vec![value; dims.len()] }
+    }
+}
+
+impl<T: Clone + Default> Volume3<T> {
+    /// Create a volume filled with `T::default()`.
+    pub fn zeros(dims: Dim3) -> Self {
+        Self::filled(dims, T::default())
+    }
+}
+
+impl<T> Volume3<T> {
+    /// Wrap an existing buffer. Fails unless `data.len() == dims.len()` and
+    /// all dims are nonzero.
+    pub fn from_vec(dims: Dim3, data: Vec<T>) -> Result<Self, VolumeError> {
+        if dims.is_empty() {
+            return Err(VolumeError::ZeroDim);
+        }
+        if data.len() != dims.len() {
+            return Err(VolumeError::LengthMismatch { expected: dims.len(), actual: data.len() });
+        }
+        Ok(Volume3 { dims, data })
+    }
+
+    /// Build a volume by evaluating `f` at every voxel.
+    pub fn from_fn(dims: Dim3, mut f: impl FnMut(Ijk) -> T) -> Self {
+        let data = (0..dims.len()).map(|idx| f(dims.coords(idx))).collect();
+        Volume3 { dims, data }
+    }
+
+    /// Volume dimensions.
+    #[inline]
+    pub fn dims(&self) -> Dim3 {
+        self.dims
+    }
+
+    /// Number of voxels.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the volume holds no voxels (never true for valid volumes).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable voxel access.
+    #[inline]
+    pub fn get(&self, c: Ijk) -> &T {
+        &self.data[self.dims.index(c)]
+    }
+
+    /// Mutable voxel access.
+    #[inline]
+    pub fn get_mut(&mut self, c: Ijk) -> &mut T {
+        let idx = self.dims.index(c);
+        &mut self.data[idx]
+    }
+
+    /// Voxel access returning `None` out of bounds.
+    #[inline]
+    pub fn get_checked(&self, c: Ijk) -> Option<&T> {
+        if self.dims.contains(c) {
+            Some(&self.data[self.dims.index(c)])
+        } else {
+            None
+        }
+    }
+
+    /// Set a voxel value.
+    #[inline]
+    pub fn set(&mut self, c: Ijk, value: T) {
+        let idx = self.dims.index(c);
+        self.data[idx] = value;
+    }
+
+    /// Access by linear index.
+    #[inline]
+    pub fn at(&self, index: usize) -> &T {
+        &self.data[index]
+    }
+
+    /// Mutable access by linear index.
+    #[inline]
+    pub fn at_mut(&mut self, index: usize) -> &mut T {
+        &mut self.data[index]
+    }
+
+    /// The raw backing slice in linear-index order.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable raw backing slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consume into the raw buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Map every voxel value producing a new volume of the same shape.
+    pub fn map<U>(&self, f: impl FnMut(&T) -> U) -> Volume3<U> {
+        Volume3 { dims: self.dims, data: self.data.iter().map(f).collect() }
+    }
+
+    /// Iterate `(coordinate, value)` pairs in linear order.
+    pub fn iter(&self) -> impl Iterator<Item = (Ijk, &T)> {
+        let dims = self.dims;
+        self.data.iter().enumerate().map(move |(idx, v)| (dims.coords(idx), v))
+    }
+}
+
+impl Volume3<f32> {
+    /// Minimum and maximum values (ignoring NaN). Returns `None` for
+    /// all-NaN data.
+    pub fn min_max(&self) -> Option<(f32, f32)> {
+        let mut it = self.data.iter().copied().filter(|v| !v.is_nan());
+        let first = it.next()?;
+        let (mut lo, mut hi) = (first, first);
+        for v in it {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Some((lo, hi))
+    }
+
+    /// Mean value of all voxels.
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().map(|&v| v as f64).sum::<f64>() / self.data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filled_and_zeros() {
+        let d = Dim3::new(2, 3, 4);
+        let v = Volume3::filled(d, 7u8);
+        assert_eq!(v.len(), 24);
+        assert!(v.as_slice().iter().all(|&x| x == 7));
+        let z: Volume3<f32> = Volume3::zeros(d);
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn from_vec_validation() {
+        let d = Dim3::new(2, 2, 2);
+        assert!(Volume3::from_vec(d, vec![0.0f32; 8]).is_ok());
+        assert!(matches!(
+            Volume3::from_vec(d, vec![0.0f32; 7]),
+            Err(VolumeError::LengthMismatch { expected: 8, actual: 7 })
+        ));
+        assert!(matches!(
+            Volume3::from_vec(Dim3::new(0, 2, 2), Vec::<f32>::new()),
+            Err(VolumeError::ZeroDim)
+        ));
+    }
+
+    #[test]
+    fn from_fn_and_get() {
+        let d = Dim3::new(3, 3, 3);
+        let v = Volume3::from_fn(d, |c| (c.i + 10 * c.j + 100 * c.k) as u32);
+        assert_eq!(*v.get(Ijk::new(2, 1, 0)), 12);
+        assert_eq!(*v.get(Ijk::new(0, 0, 2)), 200);
+    }
+
+    #[test]
+    fn get_checked_bounds() {
+        let v = Volume3::filled(Dim3::new(2, 2, 2), 1i32);
+        assert_eq!(v.get_checked(Ijk::new(1, 1, 1)), Some(&1));
+        assert_eq!(v.get_checked(Ijk::new(2, 0, 0)), None);
+    }
+
+    #[test]
+    fn set_and_get_mut() {
+        let mut v = Volume3::zeros(Dim3::new(2, 2, 2));
+        v.set(Ijk::new(1, 0, 1), 5.0f32);
+        assert_eq!(*v.get(Ijk::new(1, 0, 1)), 5.0);
+        *v.get_mut(Ijk::new(0, 1, 0)) = 3.0;
+        assert_eq!(*v.get(Ijk::new(0, 1, 0)), 3.0);
+    }
+
+    #[test]
+    fn map_preserves_shape() {
+        let v = Volume3::from_fn(Dim3::new(2, 2, 2), |c| c.i as f32);
+        let m = v.map(|&x| x * 2.0);
+        assert_eq!(m.dims(), v.dims());
+        assert_eq!(*m.get(Ijk::new(1, 0, 0)), 2.0);
+    }
+
+    #[test]
+    fn min_max_and_mean() {
+        let v = Volume3::from_vec(Dim3::new(2, 2, 1), vec![1.0f32, -2.0, 3.0, 0.0]).unwrap();
+        assert_eq!(v.min_max(), Some((-2.0, 3.0)));
+        assert!((v.mean() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_ignores_nan() {
+        let v = Volume3::from_vec(Dim3::new(2, 1, 1), vec![f32::NAN, 2.0]).unwrap();
+        assert_eq!(v.min_max(), Some((2.0, 2.0)));
+    }
+
+    #[test]
+    fn iter_matches_linear_order() {
+        let v = Volume3::from_fn(Dim3::new(2, 2, 1), |c| c.i + 2 * c.j);
+        let items: Vec<usize> = v.iter().map(|(_, &x)| x).collect();
+        assert_eq!(items, vec![0, 1, 2, 3]);
+    }
+}

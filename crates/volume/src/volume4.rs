@@ -1,0 +1,203 @@
+//! Dense 4-D volumes (`DimX × DimY × DimZ × n`), the layout of raw DWI data
+//! and of the per-voxel sample volumes produced by MCMC (Fig. 1 of the paper).
+
+use crate::{Dim3, Ijk, Volume3, VolumeError};
+
+/// A dense 4-D volume of `T`: a 3-D grid with `nt` values per voxel.
+///
+/// The last axis is fastest **within a voxel**: the `nt` values of a voxel are
+/// contiguous, so extracting a voxel's full measurement vector (the common hot
+/// access pattern in MCMC) is a contiguous slice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Volume4<T> {
+    dims: Dim3,
+    nt: usize,
+    data: Vec<T>,
+}
+
+impl<T: Clone + Default> Volume4<T> {
+    /// Create a zeroed 4-D volume.
+    pub fn zeros(dims: Dim3, nt: usize) -> Self {
+        Volume4 { dims, nt, data: vec![T::default(); dims.len() * nt] }
+    }
+}
+
+impl<T> Volume4<T> {
+    /// Wrap an existing buffer; `data.len()` must equal `dims.len() * nt`.
+    pub fn from_vec(dims: Dim3, nt: usize, data: Vec<T>) -> Result<Self, VolumeError> {
+        if dims.is_empty() || nt == 0 {
+            return Err(VolumeError::ZeroDim);
+        }
+        let expected = dims.len() * nt;
+        if data.len() != expected {
+            return Err(VolumeError::LengthMismatch { expected, actual: data.len() });
+        }
+        Ok(Volume4 { dims, nt, data })
+    }
+
+    /// Build by evaluating `f(coord, t)` at every element.
+    pub fn from_fn(dims: Dim3, nt: usize, mut f: impl FnMut(Ijk, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(dims.len() * nt);
+        for idx in 0..dims.len() {
+            let c = dims.coords(idx);
+            for t in 0..nt {
+                data.push(f(c, t));
+            }
+        }
+        Volume4 { dims, nt, data }
+    }
+
+    /// Spatial dimensions.
+    #[inline]
+    pub fn dims(&self) -> Dim3 {
+        self.dims
+    }
+
+    /// Number of values per voxel (e.g. diffusion-weighted measurements, or
+    /// posterior samples).
+    #[inline]
+    pub fn nt(&self) -> usize {
+        self.nt
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when there are no elements (never for valid volumes).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The contiguous per-voxel slice of `nt` values.
+    #[inline]
+    pub fn voxel(&self, c: Ijk) -> &[T] {
+        let base = self.dims.index(c) * self.nt;
+        &self.data[base..base + self.nt]
+    }
+
+    /// Mutable per-voxel slice.
+    #[inline]
+    pub fn voxel_mut(&mut self, c: Ijk) -> &mut [T] {
+        let base = self.dims.index(c) * self.nt;
+        &mut self.data[base..base + self.nt]
+    }
+
+    /// Per-voxel slice by linear voxel index.
+    #[inline]
+    pub fn voxel_at(&self, voxel_index: usize) -> &[T] {
+        let base = voxel_index * self.nt;
+        &self.data[base..base + self.nt]
+    }
+
+    /// Mutable per-voxel slice by linear voxel index.
+    #[inline]
+    pub fn voxel_at_mut(&mut self, voxel_index: usize) -> &mut [T] {
+        let base = voxel_index * self.nt;
+        &mut self.data[base..base + self.nt]
+    }
+
+    /// Single element access.
+    #[inline]
+    pub fn get(&self, c: Ijk, t: usize) -> &T {
+        debug_assert!(t < self.nt);
+        &self.data[self.dims.index(c) * self.nt + t]
+    }
+
+    /// Set a single element.
+    #[inline]
+    pub fn set(&mut self, c: Ijk, t: usize, value: T) {
+        debug_assert!(t < self.nt);
+        let idx = self.dims.index(c) * self.nt + t;
+        self.data[idx] = value;
+    }
+
+    /// Raw backing slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+}
+
+impl<T: Copy> Volume4<T> {
+    /// Extract the 3-D volume of the `t`-th value of every voxel — e.g. one
+    /// posterior sample volume out of the `NumSamples` stack.
+    pub fn slice_t(&self, t: usize) -> Volume3<T> {
+        assert!(t < self.nt, "t={t} out of range nt={}", self.nt);
+        let data = (0..self.dims.len()).map(|v| self.data[v * self.nt + t]).collect();
+        Volume3::from_vec(self.dims, data).expect("dims are valid by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_shape() {
+        let v: Volume4<f32> = Volume4::zeros(Dim3::new(2, 3, 4), 5);
+        assert_eq!(v.len(), 2 * 3 * 4 * 5);
+        assert_eq!(v.nt(), 5);
+    }
+
+    #[test]
+    fn from_vec_validation() {
+        let d = Dim3::new(2, 2, 1);
+        assert!(Volume4::from_vec(d, 3, vec![0u8; 12]).is_ok());
+        assert!(Volume4::from_vec(d, 3, vec![0u8; 11]).is_err());
+        assert!(Volume4::from_vec(d, 0, Vec::<u8>::new()).is_err());
+    }
+
+    #[test]
+    fn voxel_slice_contiguous() {
+        let d = Dim3::new(2, 2, 1);
+        let v = Volume4::from_fn(d, 3, |c, t| (d.index(c) * 10 + t) as u32);
+        assert_eq!(v.voxel(Ijk::new(1, 0, 0)), &[10, 11, 12]);
+        assert_eq!(v.voxel(Ijk::new(1, 1, 0)), &[30, 31, 32]);
+    }
+
+    #[test]
+    fn voxel_at_matches_voxel() {
+        let d = Dim3::new(2, 2, 2);
+        let v = Volume4::from_fn(d, 2, |c, t| d.index(c) * 2 + t);
+        for idx in 0..d.len() {
+            assert_eq!(v.voxel_at(idx), v.voxel(d.coords(idx)));
+        }
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut v: Volume4<f32> = Volume4::zeros(Dim3::new(2, 2, 2), 4);
+        v.set(Ijk::new(1, 1, 1), 3, 9.5);
+        assert_eq!(*v.get(Ijk::new(1, 1, 1), 3), 9.5);
+        assert_eq!(*v.get(Ijk::new(1, 1, 1), 0), 0.0);
+        assert_eq!(v.voxel(Ijk::new(1, 1, 1))[3], 9.5);
+    }
+
+    #[test]
+    fn slice_t_extracts_sample_volume() {
+        let d = Dim3::new(2, 1, 1);
+        let v = Volume4::from_vec(d, 2, vec![1.0f32, 2.0, 3.0, 4.0]).unwrap();
+        let s0 = v.slice_t(0);
+        let s1 = v.slice_t(1);
+        assert_eq!(s0.as_slice(), &[1.0, 3.0]);
+        assert_eq!(s1.as_slice(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn slice_t_out_of_range_panics() {
+        let v: Volume4<f32> = Volume4::zeros(Dim3::new(1, 1, 1), 1);
+        let _ = v.slice_t(1);
+    }
+
+    #[test]
+    fn voxel_mut_writes_through() {
+        let mut v: Volume4<u8> = Volume4::zeros(Dim3::new(1, 1, 2), 2);
+        v.voxel_mut(Ijk::new(0, 0, 1)).copy_from_slice(&[7, 8]);
+        assert_eq!(v.as_slice(), &[0, 0, 7, 8]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Crossing-fiber recovery — the motivating case for probabilistic,
+//! multi-fiber tractography (paper Section I: deterministic methods "may be
+//! disturbed by the presence of fiber crossings or bifurcations").
+//!
+//! ```sh
+//! cargo run --release --example crossing_fibers
+//! ```
+//!
+//! Builds a 90° two-bundle crossing phantom, then contrasts:
+//! 1. the classical single-tensor fit at the crossing voxel (which cannot
+//!    represent two populations — its principal direction is ambiguous and
+//!    its FA collapses), and
+//! 2. the ball-and-two-sticks posterior sampled by MCMC, which recovers
+//!    both bundle directions.
+
+use tracto::diffusion::TensorFit;
+use tracto::prelude::*;
+
+fn angle_deg(a: Vec3, b: Vec3) -> f64 {
+    a.dot(b).abs().clamp(0.0, 1.0).acos().to_degrees()
+}
+
+fn main() {
+    let dims = Dim3::new(18, 18, 7);
+    let dataset = datasets::crossing(dims, 90.0, Some(30.0), 11);
+    let center = Ijk::new(dims.nx / 2 - 1, dims.ny / 2 - 1, dims.nz / 2);
+    let truth = dataset.truth.at(center);
+    assert_eq!(truth.count, 2, "phantom center must be a crossing voxel");
+    let t0 = truth.sticks()[0].0;
+    let t1 = truth.sticks()[1].0;
+    println!("ground truth at {center:?}:");
+    println!("  stick 1 {:?} (f={:.2})", t0.to_f32_array(), truth.sticks()[0].1);
+    println!("  stick 2 {:?} (f={:.2})", t1.to_f32_array(), truth.sticks()[1].1);
+
+    // --- Classical tensor model at the crossing.
+    let signal: Vec<f64> = dataset
+        .dwi
+        .voxel(center)
+        .iter()
+        .map(|&v| v as f64)
+        .collect();
+    let fit = TensorFit::fit(&dataset.acq, &signal).expect("tensor fit");
+    let fa = fit.tensor.fractional_anisotropy();
+    let pd = fit.tensor.principal_direction();
+    println!("\nsingle tensor model:");
+    println!("  FA = {fa:.3} (collapses at crossings)");
+    println!(
+        "  principal direction {:?} — {:.0}° / {:.0}° from the two true sticks",
+        pd.to_f32_array(),
+        angle_deg(pd, t0),
+        angle_deg(pd, t1)
+    );
+
+    // --- Ball-and-two-sticks posterior via MCMC on just the center voxel.
+    let mask = Mask::from_fn(dims, |c| c == center);
+    let estimator = VoxelEstimator::new(
+        &dataset.acq,
+        &dataset.dwi,
+        &mask,
+        PriorConfig::default(),
+        ChainConfig::paper_default(),
+        99,
+    );
+    let samples = estimator.run_parallel();
+    // Posterior-mean directions per stick (sign-aligned within each stick).
+    let n = samples.num_samples();
+    let ref1 = samples.sticks_at(center, 0)[0].0;
+    let ref2 = samples.sticks_at(center, 0)[1].0;
+    let mut m1 = Vec3::ZERO;
+    let mut m2 = Vec3::ZERO;
+    let mut f1 = 0.0;
+    let mut f2 = 0.0;
+    for s in 0..n {
+        let sticks = samples.sticks_at(center, s);
+        m1 += sticks[0].0.aligned_with(ref1);
+        m2 += sticks[1].0.aligned_with(ref2);
+        f1 += sticks[0].1;
+        f2 += sticks[1].1;
+    }
+    let m1 = m1.normalized();
+    let m2 = m2.normalized();
+    f1 /= n as f64;
+    f2 /= n as f64;
+
+    println!("\nball-and-two-sticks posterior ({n} samples):");
+    println!("  stick 1 mean {:?}, f̄₁={f1:.2}", m1.to_f32_array());
+    println!("  stick 2 mean {:?}, f̄₂={f2:.2}", m2.to_f32_array());
+
+    // Match recovered sticks to ground truth (order-free assignment).
+    let (e11, e12) = (angle_deg(m1, t0), angle_deg(m1, t1));
+    let (e21, e22) = (angle_deg(m2, t0), angle_deg(m2, t1));
+    let (err_a, err_b) =
+        if e11 + e22 <= e12 + e21 { (e11, e22) } else { (e12, e21) };
+    println!("  angular error vs truth: {err_a:.1}° and {err_b:.1}°");
+    assert!(
+        err_a < 20.0 && err_b < 20.0,
+        "both crossing populations must be recovered (errors {err_a:.1}°, {err_b:.1}°)"
+    );
+    println!("\nok: the two-stick model resolves the crossing that the tensor model cannot.");
+}
