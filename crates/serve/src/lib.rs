@@ -1,0 +1,3 @@
+//! tracto-serve: a batched, cache-backed tractography job service.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]

@@ -1,7 +1,6 @@
 //! Volume dimensions and voxel coordinates.
 
 /// Integer voxel coordinate `(i, j, k)` along `(x, y, z)`.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Ijk {
     /// x index.
@@ -30,7 +29,6 @@ impl From<(usize, usize, usize)> for Ijk {
 /// Dimensions of a 3-D volume, with x the fastest-varying axis
 /// (`index = i + nx·(j + ny·k)`), matching the paper's
 /// `DimX × DimY × DimZ` layout.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Dim3 {
     /// Extent along x.

@@ -9,7 +9,6 @@ use crate::{Dim3, Ijk, Vec3};
 /// 2 mm isotropic; step lengths (0.1–0.3) are expressed in voxel units, so
 /// tracking happens in continuous voxel space and this type converts to
 /// world/physical coordinates for reporting.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VoxelGrid {
     /// Grid dimensions.

@@ -13,7 +13,6 @@ use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 /// ```
 ///
 /// with `θ ∈ [0, π]` (polar, from +z) and `φ ∈ [-π, π]` (azimuth).
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Vec3 {
     /// x component.

@@ -1,0 +1,261 @@
+//! Offline shim for the slice of `rayon` this workspace uses.
+//!
+//! The registry is unreachable in the build environment, so this local
+//! crate stands in for rayon 1.x. It is a *real* data-parallel executor —
+//! work is split into contiguous chunks across `std::thread::scope`
+//! threads — but it only implements the combinators the workspace calls:
+//! `par_iter`, `into_par_iter`, `par_chunks_mut`, `map`, and `collect`
+//! into `Vec`. Results are returned in input order, so swapping the real
+//! rayon back in changes nothing observable.
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+
+/// Items-with-a-map pipeline, evaluated in parallel at `collect` time.
+pub struct Map<P, F> {
+    producer: P,
+    f: F,
+}
+
+/// An owned parallel iterator over materialized items.
+pub struct ParItems<T> {
+    items: Vec<T>,
+}
+
+/// Number of worker threads to use for `n` items.
+fn threads_for(n: usize) -> usize {
+    let hw = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+    hw.min(n).max(1)
+}
+
+/// Map `items` in parallel, preserving order.
+fn parallel_map_vec<I, R, F>(items: Vec<I>, f: &F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads_for(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Split into `workers` contiguous chunks, map each on its own scoped
+    // thread, then stitch the per-chunk outputs back together in order.
+    let chunk_len = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(workers);
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk_len));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    let mut outputs: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            outputs.push(h.join().expect("rayon-shim worker panicked"));
+        }
+    });
+    outputs.into_iter().flatten().collect()
+}
+
+/// The subset of rayon's `ParallelIterator` the workspace relies on.
+pub trait ParallelIterator: Sized {
+    /// Item type produced by the iterator.
+    type Item: Send;
+
+    /// Materialize the items (sequentially — parallelism happens at the
+    /// terminal operation).
+    fn into_items(self) -> Vec<Self::Item>;
+
+    /// Lazily apply `f` to every item.
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+        R: Send,
+    {
+        Map { producer: self, f }
+    }
+
+    /// Execute the pipeline and collect into a container (only
+    /// `Vec<Self::Item>` is supported, matching workspace usage).
+    fn collect<C: FromParallel<Self::Item>>(self) -> C {
+        C::from_items(self.into_items())
+    }
+
+    /// Execute the pipeline for side effects.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        parallel_map_vec(self.into_items(), &|item| f(item));
+    }
+}
+
+/// Collect target abstraction (rayon's `FromParallelIterator`).
+pub trait FromParallel<T> {
+    /// Build the container from ordered items.
+    fn from_items(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallel<T> for Vec<T> {
+    fn from_items(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+impl<T: Send> ParallelIterator for ParItems<T> {
+    type Item = T;
+
+    fn into_items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<P, F, R> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(P::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn into_items(self) -> Vec<R> {
+        parallel_map_vec(self.producer.into_items(), &self.f)
+    }
+}
+
+/// Conversion into a parallel iterator (rayon's `IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Concrete iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParItems<T>;
+    fn into_par_iter(self) -> ParItems<T> {
+        ParItems { items: self }
+    }
+}
+
+macro_rules! range_into_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = ParItems<$t>;
+            fn into_par_iter(self) -> ParItems<$t> {
+                ParItems { items: self.collect() }
+            }
+        }
+    )*};
+}
+range_into_par!(usize, u32, u64, i32, i64);
+
+/// Borrowing conversion (rayon's `IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a reference).
+    type Item: Send;
+    /// Concrete iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Parallel-iterate over references.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParItems<&'a T>;
+    fn par_iter(&'a self) -> ParItems<&'a T> {
+        ParItems { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParItems<&'a T>;
+    fn par_iter(&'a self) -> ParItems<&'a T> {
+        ParItems { items: self.iter().collect() }
+    }
+}
+
+/// Parallel mutable-chunk access (rayon's `ParallelSliceMut`).
+pub trait ParallelSliceMut<T: Send> {
+    /// Split into disjoint `&mut` chunks of `chunk_size`, iterated in
+    /// parallel.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParItems<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParItems<&mut [T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParItems { items: self.chunks_mut(chunk_size).collect() }
+    }
+}
+
+/// The drop-in prelude, mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        FromParallel, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+        ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_over_slice() {
+        let v = vec![3u64, 1, 4, 1, 5, 9, 2, 6];
+        let out: Vec<u64> = v.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![4, 2, 5, 2, 6, 10, 3, 7]);
+    }
+
+    #[test]
+    fn par_chunks_mut_disjoint_and_complete() {
+        let mut v: Vec<u32> = (0..103).collect();
+        let sums: Vec<u32> = v
+            .par_chunks_mut(10)
+            .map(|chunk| {
+                for x in chunk.iter_mut() {
+                    *x += 1;
+                }
+                chunk.iter().sum()
+            })
+            .collect();
+        assert_eq!(sums.len(), 11);
+        assert_eq!(v[0], 1);
+        assert_eq!(v[102], 103);
+        assert_eq!(sums.iter().sum::<u32>(), v.iter().sum::<u32>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads() {
+        if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) < 2 {
+            return; // single-core CI: nothing to assert
+        }
+        let ids: Vec<std::thread::ThreadId> =
+            (0..256usize).into_par_iter().map(|_| std::thread::current().id()).collect();
+        let first = ids[0];
+        assert!(ids.iter().any(|&id| id != first), "expected >1 worker thread");
+    }
+}

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-83fbb087c8d67406.d: shims/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/bytes-83fbb087c8d67406: shims/bytes/src/lib.rs
+
+shims/bytes/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-9723cb7c66e9206a.d: shims/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-9723cb7c66e9206a.rlib: shims/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-9723cb7c66e9206a.rmeta: shims/bytes/src/lib.rs
+
+shims/bytes/src/lib.rs:

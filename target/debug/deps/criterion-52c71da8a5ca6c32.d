@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-52c71da8a5ca6c32.d: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-52c71da8a5ca6c32: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-c1d3278b9918d361.d: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-c1d3278b9918d361.rlib: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-c1d3278b9918d361.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

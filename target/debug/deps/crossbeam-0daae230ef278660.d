@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-0daae230ef278660.d: shims/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam-0daae230ef278660: shims/crossbeam/src/lib.rs
+
+shims/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-2909eceb4529dd5d.d: shims/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-2909eceb4529dd5d.rlib: shims/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-2909eceb4529dd5d.rmeta: shims/crossbeam/src/lib.rs
+
+shims/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments_integration-b62dfabce790bc62.d: crates/core/../../tests/experiments_integration.rs
+
+/root/repo/target/debug/deps/experiments_integration-b62dfabce790bc62: crates/core/../../tests/experiments_integration.rs
+
+crates/core/../../tests/experiments_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gpu_sim_integration-508198ce8ce4e1f9.d: crates/core/../../tests/gpu_sim_integration.rs
+
+/root/repo/target/debug/deps/gpu_sim_integration-508198ce8ce4e1f9: crates/core/../../tests/gpu_sim_integration.rs
+
+crates/core/../../tests/gpu_sim_integration.rs:

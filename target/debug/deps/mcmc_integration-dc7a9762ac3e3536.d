@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mcmc_integration-dc7a9762ac3e3536.d: crates/core/../../tests/mcmc_integration.rs
+
+/root/repo/target/debug/deps/mcmc_integration-dc7a9762ac3e3536: crates/core/../../tests/mcmc_integration.rs
+
+crates/core/../../tests/mcmc_integration.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-8656ae4428b4c648.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-8656ae4428b4c648.rlib: shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-8656ae4428b4c648.rmeta: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

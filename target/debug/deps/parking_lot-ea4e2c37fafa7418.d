@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-ea4e2c37fafa7418.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-ea4e2c37fafa7418: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

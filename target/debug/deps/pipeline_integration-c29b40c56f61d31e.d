@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_integration-c29b40c56f61d31e.d: crates/core/../../tests/pipeline_integration.rs
+
+/root/repo/target/debug/deps/pipeline_integration-c29b40c56f61d31e: crates/core/../../tests/pipeline_integration.rs
+
+crates/core/../../tests/pipeline_integration.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-2981f2ca34161ede.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-2981f2ca34161ede.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-2981f2ca34161ede.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-e40110de830e3783.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-e40110de830e3783: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-1bbb62564a75375a.d: crates/diffusion/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-1bbb62564a75375a: crates/diffusion/tests/proptests.rs
+
+crates/diffusion/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-ad9fdd12ff2710fc.d: crates/volume/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-ad9fdd12ff2710fc: crates/volume/tests/proptests.rs
+
+crates/volume/tests/proptests.rs:

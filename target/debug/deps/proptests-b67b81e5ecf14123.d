@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-b67b81e5ecf14123.d: crates/mcmc/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-b67b81e5ecf14123: crates/mcmc/tests/proptests.rs
+
+crates/mcmc/tests/proptests.rs:

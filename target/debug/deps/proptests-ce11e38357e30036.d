@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-ce11e38357e30036.d: crates/gpu-sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-ce11e38357e30036: crates/gpu-sim/tests/proptests.rs
+
+crates/gpu-sim/tests/proptests.rs:

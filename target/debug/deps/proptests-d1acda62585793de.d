@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-d1acda62585793de.d: crates/tracking/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-d1acda62585793de: crates/tracking/tests/proptests.rs
+
+crates/tracking/tests/proptests.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-1ccb8d0054f85711.d: shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-1ccb8d0054f85711.rlib: shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-1ccb8d0054f85711.rmeta: shims/rayon/src/lib.rs
+
+shims/rayon/src/lib.rs:

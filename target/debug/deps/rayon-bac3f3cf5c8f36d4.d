@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-bac3f3cf5c8f36d4.d: shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/rayon-bac3f3cf5c8f36d4: shims/rayon/src/lib.rs
+
+shims/rayon/src/lib.rs:

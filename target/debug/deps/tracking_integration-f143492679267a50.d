@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tracking_integration-f143492679267a50.d: crates/core/../../tests/tracking_integration.rs
+
+/root/repo/target/debug/deps/tracking_integration-f143492679267a50: crates/core/../../tests/tracking_integration.rs
+
+crates/core/../../tests/tracking_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tracto-206ab559941a9eda.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/tracto-206ab559941a9eda: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/tracto-6255e0eae83e2403.d: crates/core/src/lib.rs crates/core/src/estimation.rs crates/core/src/pipeline.rs crates/core/src/synthetic.rs
+
+/root/repo/target/debug/deps/tracto-6255e0eae83e2403: crates/core/src/lib.rs crates/core/src/estimation.rs crates/core/src/pipeline.rs crates/core/src/synthetic.rs
+
+crates/core/src/lib.rs:
+crates/core/src/estimation.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/synthetic.rs:

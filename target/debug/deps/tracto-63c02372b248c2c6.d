@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tracto-63c02372b248c2c6.d: crates/core/src/lib.rs crates/core/src/estimation.rs crates/core/src/pipeline.rs crates/core/src/synthetic.rs
+
+/root/repo/target/debug/deps/libtracto-63c02372b248c2c6.rlib: crates/core/src/lib.rs crates/core/src/estimation.rs crates/core/src/pipeline.rs crates/core/src/synthetic.rs
+
+/root/repo/target/debug/deps/libtracto-63c02372b248c2c6.rmeta: crates/core/src/lib.rs crates/core/src/estimation.rs crates/core/src/pipeline.rs crates/core/src/synthetic.rs
+
+crates/core/src/lib.rs:
+crates/core/src/estimation.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/synthetic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tracto-c6dfcfd988aee332.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/tracto-c6dfcfd988aee332: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

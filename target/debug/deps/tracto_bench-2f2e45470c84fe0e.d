@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tracto_bench-2f2e45470c84fe0e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/tracto_bench-2f2e45470c84fe0e: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tracto_bench-f00b2e1dc1661723.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libtracto_bench-f00b2e1dc1661723.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libtracto_bench-f00b2e1dc1661723.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/tracto_cli-778a7c6e8a96035e.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands/mod.rs crates/cli/src/commands/estimate.rs crates/cli/src/commands/info.rs crates/cli/src/commands/phantom.rs crates/cli/src/commands/render.rs crates/cli/src/commands/track.rs crates/cli/src/store.rs
+
+/root/repo/target/debug/deps/libtracto_cli-778a7c6e8a96035e.rlib: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands/mod.rs crates/cli/src/commands/estimate.rs crates/cli/src/commands/info.rs crates/cli/src/commands/phantom.rs crates/cli/src/commands/render.rs crates/cli/src/commands/track.rs crates/cli/src/store.rs
+
+/root/repo/target/debug/deps/libtracto_cli-778a7c6e8a96035e.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands/mod.rs crates/cli/src/commands/estimate.rs crates/cli/src/commands/info.rs crates/cli/src/commands/phantom.rs crates/cli/src/commands/render.rs crates/cli/src/commands/track.rs crates/cli/src/store.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands/mod.rs:
+crates/cli/src/commands/estimate.rs:
+crates/cli/src/commands/info.rs:
+crates/cli/src/commands/phantom.rs:
+crates/cli/src/commands/render.rs:
+crates/cli/src/commands/track.rs:
+crates/cli/src/store.rs:

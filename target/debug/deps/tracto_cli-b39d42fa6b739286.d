@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tracto_cli-b39d42fa6b739286.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands/mod.rs crates/cli/src/commands/estimate.rs crates/cli/src/commands/info.rs crates/cli/src/commands/phantom.rs crates/cli/src/commands/render.rs crates/cli/src/commands/track.rs crates/cli/src/store.rs
+
+/root/repo/target/debug/deps/tracto_cli-b39d42fa6b739286: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands/mod.rs crates/cli/src/commands/estimate.rs crates/cli/src/commands/info.rs crates/cli/src/commands/phantom.rs crates/cli/src/commands/render.rs crates/cli/src/commands/track.rs crates/cli/src/store.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands/mod.rs:
+crates/cli/src/commands/estimate.rs:
+crates/cli/src/commands/info.rs:
+crates/cli/src/commands/phantom.rs:
+crates/cli/src/commands/render.rs:
+crates/cli/src/commands/track.rs:
+crates/cli/src/store.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tracto_diffusion-d7f161fe5938bbe6.d: crates/diffusion/src/lib.rs crates/diffusion/src/acquisition.rs crates/diffusion/src/linalg.rs crates/diffusion/src/models.rs crates/diffusion/src/posterior.rs crates/diffusion/src/rician.rs crates/diffusion/src/tensor.rs
+
+/root/repo/target/debug/deps/tracto_diffusion-d7f161fe5938bbe6: crates/diffusion/src/lib.rs crates/diffusion/src/acquisition.rs crates/diffusion/src/linalg.rs crates/diffusion/src/models.rs crates/diffusion/src/posterior.rs crates/diffusion/src/rician.rs crates/diffusion/src/tensor.rs
+
+crates/diffusion/src/lib.rs:
+crates/diffusion/src/acquisition.rs:
+crates/diffusion/src/linalg.rs:
+crates/diffusion/src/models.rs:
+crates/diffusion/src/posterior.rs:
+crates/diffusion/src/rician.rs:
+crates/diffusion/src/tensor.rs:

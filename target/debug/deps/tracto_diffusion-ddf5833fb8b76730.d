@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tracto_diffusion-ddf5833fb8b76730.d: crates/diffusion/src/lib.rs crates/diffusion/src/acquisition.rs crates/diffusion/src/linalg.rs crates/diffusion/src/models.rs crates/diffusion/src/posterior.rs crates/diffusion/src/rician.rs crates/diffusion/src/tensor.rs
+
+/root/repo/target/debug/deps/libtracto_diffusion-ddf5833fb8b76730.rlib: crates/diffusion/src/lib.rs crates/diffusion/src/acquisition.rs crates/diffusion/src/linalg.rs crates/diffusion/src/models.rs crates/diffusion/src/posterior.rs crates/diffusion/src/rician.rs crates/diffusion/src/tensor.rs
+
+/root/repo/target/debug/deps/libtracto_diffusion-ddf5833fb8b76730.rmeta: crates/diffusion/src/lib.rs crates/diffusion/src/acquisition.rs crates/diffusion/src/linalg.rs crates/diffusion/src/models.rs crates/diffusion/src/posterior.rs crates/diffusion/src/rician.rs crates/diffusion/src/tensor.rs
+
+crates/diffusion/src/lib.rs:
+crates/diffusion/src/acquisition.rs:
+crates/diffusion/src/linalg.rs:
+crates/diffusion/src/models.rs:
+crates/diffusion/src/posterior.rs:
+crates/diffusion/src/rician.rs:
+crates/diffusion/src/tensor.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tracto_gpu_sim-5cde672e5558449b.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/kernel.rs crates/gpu-sim/src/ledger.rs crates/gpu-sim/src/multi.rs crates/gpu-sim/src/overlap.rs crates/gpu-sim/src/schedule.rs
+
+/root/repo/target/debug/deps/libtracto_gpu_sim-5cde672e5558449b.rlib: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/kernel.rs crates/gpu-sim/src/ledger.rs crates/gpu-sim/src/multi.rs crates/gpu-sim/src/overlap.rs crates/gpu-sim/src/schedule.rs
+
+/root/repo/target/debug/deps/libtracto_gpu_sim-5cde672e5558449b.rmeta: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/kernel.rs crates/gpu-sim/src/ledger.rs crates/gpu-sim/src/multi.rs crates/gpu-sim/src/overlap.rs crates/gpu-sim/src/schedule.rs
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/device.rs:
+crates/gpu-sim/src/kernel.rs:
+crates/gpu-sim/src/ledger.rs:
+crates/gpu-sim/src/multi.rs:
+crates/gpu-sim/src/overlap.rs:
+crates/gpu-sim/src/schedule.rs:

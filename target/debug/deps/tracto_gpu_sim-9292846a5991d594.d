@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tracto_gpu_sim-9292846a5991d594.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/kernel.rs crates/gpu-sim/src/ledger.rs crates/gpu-sim/src/multi.rs crates/gpu-sim/src/overlap.rs crates/gpu-sim/src/schedule.rs
+
+/root/repo/target/debug/deps/tracto_gpu_sim-9292846a5991d594: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/kernel.rs crates/gpu-sim/src/ledger.rs crates/gpu-sim/src/multi.rs crates/gpu-sim/src/overlap.rs crates/gpu-sim/src/schedule.rs
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/device.rs:
+crates/gpu-sim/src/kernel.rs:
+crates/gpu-sim/src/ledger.rs:
+crates/gpu-sim/src/multi.rs:
+crates/gpu-sim/src/overlap.rs:
+crates/gpu-sim/src/schedule.rs:

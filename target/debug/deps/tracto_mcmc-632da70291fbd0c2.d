@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tracto_mcmc-632da70291fbd0c2.d: crates/mcmc/src/lib.rs crates/mcmc/src/chain.rs crates/mcmc/src/diagnostics.rs crates/mcmc/src/gibbs.rs crates/mcmc/src/mh.rs crates/mcmc/src/pointest.rs crates/mcmc/src/voxelwise.rs
+
+/root/repo/target/debug/deps/libtracto_mcmc-632da70291fbd0c2.rlib: crates/mcmc/src/lib.rs crates/mcmc/src/chain.rs crates/mcmc/src/diagnostics.rs crates/mcmc/src/gibbs.rs crates/mcmc/src/mh.rs crates/mcmc/src/pointest.rs crates/mcmc/src/voxelwise.rs
+
+/root/repo/target/debug/deps/libtracto_mcmc-632da70291fbd0c2.rmeta: crates/mcmc/src/lib.rs crates/mcmc/src/chain.rs crates/mcmc/src/diagnostics.rs crates/mcmc/src/gibbs.rs crates/mcmc/src/mh.rs crates/mcmc/src/pointest.rs crates/mcmc/src/voxelwise.rs
+
+crates/mcmc/src/lib.rs:
+crates/mcmc/src/chain.rs:
+crates/mcmc/src/diagnostics.rs:
+crates/mcmc/src/gibbs.rs:
+crates/mcmc/src/mh.rs:
+crates/mcmc/src/pointest.rs:
+crates/mcmc/src/voxelwise.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tracto_mcmc-d910d3679acecb9e.d: crates/mcmc/src/lib.rs crates/mcmc/src/chain.rs crates/mcmc/src/diagnostics.rs crates/mcmc/src/gibbs.rs crates/mcmc/src/mh.rs crates/mcmc/src/pointest.rs crates/mcmc/src/voxelwise.rs
+
+/root/repo/target/debug/deps/tracto_mcmc-d910d3679acecb9e: crates/mcmc/src/lib.rs crates/mcmc/src/chain.rs crates/mcmc/src/diagnostics.rs crates/mcmc/src/gibbs.rs crates/mcmc/src/mh.rs crates/mcmc/src/pointest.rs crates/mcmc/src/voxelwise.rs
+
+crates/mcmc/src/lib.rs:
+crates/mcmc/src/chain.rs:
+crates/mcmc/src/diagnostics.rs:
+crates/mcmc/src/gibbs.rs:
+crates/mcmc/src/mh.rs:
+crates/mcmc/src/pointest.rs:
+crates/mcmc/src/voxelwise.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tracto_phantom-7bc401ab61a5a9a3.d: crates/phantom/src/lib.rs crates/phantom/src/datasets.rs crates/phantom/src/field.rs crates/phantom/src/geometry.rs crates/phantom/src/gradients.rs crates/phantom/src/noise.rs crates/phantom/src/signal.rs
+
+/root/repo/target/debug/deps/libtracto_phantom-7bc401ab61a5a9a3.rlib: crates/phantom/src/lib.rs crates/phantom/src/datasets.rs crates/phantom/src/field.rs crates/phantom/src/geometry.rs crates/phantom/src/gradients.rs crates/phantom/src/noise.rs crates/phantom/src/signal.rs
+
+/root/repo/target/debug/deps/libtracto_phantom-7bc401ab61a5a9a3.rmeta: crates/phantom/src/lib.rs crates/phantom/src/datasets.rs crates/phantom/src/field.rs crates/phantom/src/geometry.rs crates/phantom/src/gradients.rs crates/phantom/src/noise.rs crates/phantom/src/signal.rs
+
+crates/phantom/src/lib.rs:
+crates/phantom/src/datasets.rs:
+crates/phantom/src/field.rs:
+crates/phantom/src/geometry.rs:
+crates/phantom/src/gradients.rs:
+crates/phantom/src/noise.rs:
+crates/phantom/src/signal.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tracto_phantom-c4ce7ee03ce3f71a.d: crates/phantom/src/lib.rs crates/phantom/src/datasets.rs crates/phantom/src/field.rs crates/phantom/src/geometry.rs crates/phantom/src/gradients.rs crates/phantom/src/noise.rs crates/phantom/src/signal.rs
+
+/root/repo/target/debug/deps/tracto_phantom-c4ce7ee03ce3f71a: crates/phantom/src/lib.rs crates/phantom/src/datasets.rs crates/phantom/src/field.rs crates/phantom/src/geometry.rs crates/phantom/src/gradients.rs crates/phantom/src/noise.rs crates/phantom/src/signal.rs
+
+crates/phantom/src/lib.rs:
+crates/phantom/src/datasets.rs:
+crates/phantom/src/field.rs:
+crates/phantom/src/geometry.rs:
+crates/phantom/src/gradients.rs:
+crates/phantom/src/noise.rs:
+crates/phantom/src/signal.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/tracto_rng-5bde2cbef7351cb3.d: crates/rng/src/lib.rs crates/rng/src/dist.rs crates/rng/src/boxmuller.rs crates/rng/src/taus.rs
+
+/root/repo/target/debug/deps/tracto_rng-5bde2cbef7351cb3: crates/rng/src/lib.rs crates/rng/src/dist.rs crates/rng/src/boxmuller.rs crates/rng/src/taus.rs
+
+crates/rng/src/lib.rs:
+crates/rng/src/dist.rs:
+crates/rng/src/boxmuller.rs:
+crates/rng/src/taus.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tracto_rng-b2c0a0076ac19d70.d: crates/rng/src/lib.rs crates/rng/src/dist.rs crates/rng/src/boxmuller.rs crates/rng/src/taus.rs
+
+/root/repo/target/debug/deps/libtracto_rng-b2c0a0076ac19d70.rlib: crates/rng/src/lib.rs crates/rng/src/dist.rs crates/rng/src/boxmuller.rs crates/rng/src/taus.rs
+
+/root/repo/target/debug/deps/libtracto_rng-b2c0a0076ac19d70.rmeta: crates/rng/src/lib.rs crates/rng/src/dist.rs crates/rng/src/boxmuller.rs crates/rng/src/taus.rs
+
+crates/rng/src/lib.rs:
+crates/rng/src/dist.rs:
+crates/rng/src/boxmuller.rs:
+crates/rng/src/taus.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tracto_serve-302ab1535f8a0429.d: crates/serve/src/lib.rs
+
+/root/repo/target/debug/deps/tracto_serve-302ab1535f8a0429: crates/serve/src/lib.rs
+
+crates/serve/src/lib.rs:

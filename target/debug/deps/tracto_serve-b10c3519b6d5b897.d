@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tracto_serve-b10c3519b6d5b897.d: crates/serve/src/lib.rs
+
+/root/repo/target/debug/deps/libtracto_serve-b10c3519b6d5b897.rlib: crates/serve/src/lib.rs
+
+/root/repo/target/debug/deps/libtracto_serve-b10c3519b6d5b897.rmeta: crates/serve/src/lib.rs
+
+crates/serve/src/lib.rs:

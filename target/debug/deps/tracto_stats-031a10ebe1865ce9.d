@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tracto_stats-031a10ebe1865ce9.d: crates/stats/src/lib.rs crates/stats/src/ecdf.rs crates/stats/src/expfit.rs crates/stats/src/histogram.rs crates/stats/src/loadbalance.rs crates/stats/src/regression.rs
+
+/root/repo/target/debug/deps/tracto_stats-031a10ebe1865ce9: crates/stats/src/lib.rs crates/stats/src/ecdf.rs crates/stats/src/expfit.rs crates/stats/src/histogram.rs crates/stats/src/loadbalance.rs crates/stats/src/regression.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/ecdf.rs:
+crates/stats/src/expfit.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/loadbalance.rs:
+crates/stats/src/regression.rs:

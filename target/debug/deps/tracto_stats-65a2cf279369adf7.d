@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tracto_stats-65a2cf279369adf7.d: crates/stats/src/lib.rs crates/stats/src/ecdf.rs crates/stats/src/expfit.rs crates/stats/src/histogram.rs crates/stats/src/loadbalance.rs crates/stats/src/regression.rs
+
+/root/repo/target/debug/deps/libtracto_stats-65a2cf279369adf7.rlib: crates/stats/src/lib.rs crates/stats/src/ecdf.rs crates/stats/src/expfit.rs crates/stats/src/histogram.rs crates/stats/src/loadbalance.rs crates/stats/src/regression.rs
+
+/root/repo/target/debug/deps/libtracto_stats-65a2cf279369adf7.rmeta: crates/stats/src/lib.rs crates/stats/src/ecdf.rs crates/stats/src/expfit.rs crates/stats/src/histogram.rs crates/stats/src/loadbalance.rs crates/stats/src/regression.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/ecdf.rs:
+crates/stats/src/expfit.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/loadbalance.rs:
+crates/stats/src/regression.rs:

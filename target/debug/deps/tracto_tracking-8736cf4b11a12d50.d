@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/tracto_tracking-8736cf4b11a12d50.d: crates/tracking/src/lib.rs crates/tracking/src/cluster.rs crates/tracking/src/connectivity.rs crates/tracking/src/deterministic.rs crates/tracking/src/export.rs crates/tracking/src/field.rs crates/tracking/src/gpu.rs crates/tracking/src/policy.rs crates/tracking/src/probabilistic.rs crates/tracking/src/resample.rs crates/tracking/src/segmentation.rs crates/tracking/src/tensorline.rs crates/tracking/src/walker.rs
+
+/root/repo/target/debug/deps/libtracto_tracking-8736cf4b11a12d50.rlib: crates/tracking/src/lib.rs crates/tracking/src/cluster.rs crates/tracking/src/connectivity.rs crates/tracking/src/deterministic.rs crates/tracking/src/export.rs crates/tracking/src/field.rs crates/tracking/src/gpu.rs crates/tracking/src/policy.rs crates/tracking/src/probabilistic.rs crates/tracking/src/resample.rs crates/tracking/src/segmentation.rs crates/tracking/src/tensorline.rs crates/tracking/src/walker.rs
+
+/root/repo/target/debug/deps/libtracto_tracking-8736cf4b11a12d50.rmeta: crates/tracking/src/lib.rs crates/tracking/src/cluster.rs crates/tracking/src/connectivity.rs crates/tracking/src/deterministic.rs crates/tracking/src/export.rs crates/tracking/src/field.rs crates/tracking/src/gpu.rs crates/tracking/src/policy.rs crates/tracking/src/probabilistic.rs crates/tracking/src/resample.rs crates/tracking/src/segmentation.rs crates/tracking/src/tensorline.rs crates/tracking/src/walker.rs
+
+crates/tracking/src/lib.rs:
+crates/tracking/src/cluster.rs:
+crates/tracking/src/connectivity.rs:
+crates/tracking/src/deterministic.rs:
+crates/tracking/src/export.rs:
+crates/tracking/src/field.rs:
+crates/tracking/src/gpu.rs:
+crates/tracking/src/policy.rs:
+crates/tracking/src/probabilistic.rs:
+crates/tracking/src/resample.rs:
+crates/tracking/src/segmentation.rs:
+crates/tracking/src/tensorline.rs:
+crates/tracking/src/walker.rs:

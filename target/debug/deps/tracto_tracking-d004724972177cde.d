@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/tracto_tracking-d004724972177cde.d: crates/tracking/src/lib.rs crates/tracking/src/cluster.rs crates/tracking/src/connectivity.rs crates/tracking/src/deterministic.rs crates/tracking/src/export.rs crates/tracking/src/field.rs crates/tracking/src/gpu.rs crates/tracking/src/policy.rs crates/tracking/src/probabilistic.rs crates/tracking/src/resample.rs crates/tracking/src/segmentation.rs crates/tracking/src/tensorline.rs crates/tracking/src/walker.rs
+
+/root/repo/target/debug/deps/tracto_tracking-d004724972177cde: crates/tracking/src/lib.rs crates/tracking/src/cluster.rs crates/tracking/src/connectivity.rs crates/tracking/src/deterministic.rs crates/tracking/src/export.rs crates/tracking/src/field.rs crates/tracking/src/gpu.rs crates/tracking/src/policy.rs crates/tracking/src/probabilistic.rs crates/tracking/src/resample.rs crates/tracking/src/segmentation.rs crates/tracking/src/tensorline.rs crates/tracking/src/walker.rs
+
+crates/tracking/src/lib.rs:
+crates/tracking/src/cluster.rs:
+crates/tracking/src/connectivity.rs:
+crates/tracking/src/deterministic.rs:
+crates/tracking/src/export.rs:
+crates/tracking/src/field.rs:
+crates/tracking/src/gpu.rs:
+crates/tracking/src/policy.rs:
+crates/tracking/src/probabilistic.rs:
+crates/tracking/src/resample.rs:
+crates/tracking/src/segmentation.rs:
+crates/tracking/src/tensorline.rs:
+crates/tracking/src/walker.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/tracto_volume-479015dab261a10e.d: crates/volume/src/lib.rs crates/volume/src/dims.rs crates/volume/src/grid.rs crates/volume/src/mask.rs crates/volume/src/vec3.rs crates/volume/src/volume3.rs crates/volume/src/volume4.rs crates/volume/src/interp.rs crates/volume/src/io.rs crates/volume/src/ops.rs crates/volume/src/render.rs
+
+/root/repo/target/debug/deps/libtracto_volume-479015dab261a10e.rlib: crates/volume/src/lib.rs crates/volume/src/dims.rs crates/volume/src/grid.rs crates/volume/src/mask.rs crates/volume/src/vec3.rs crates/volume/src/volume3.rs crates/volume/src/volume4.rs crates/volume/src/interp.rs crates/volume/src/io.rs crates/volume/src/ops.rs crates/volume/src/render.rs
+
+/root/repo/target/debug/deps/libtracto_volume-479015dab261a10e.rmeta: crates/volume/src/lib.rs crates/volume/src/dims.rs crates/volume/src/grid.rs crates/volume/src/mask.rs crates/volume/src/vec3.rs crates/volume/src/volume3.rs crates/volume/src/volume4.rs crates/volume/src/interp.rs crates/volume/src/io.rs crates/volume/src/ops.rs crates/volume/src/render.rs
+
+crates/volume/src/lib.rs:
+crates/volume/src/dims.rs:
+crates/volume/src/grid.rs:
+crates/volume/src/mask.rs:
+crates/volume/src/vec3.rs:
+crates/volume/src/volume3.rs:
+crates/volume/src/volume4.rs:
+crates/volume/src/interp.rs:
+crates/volume/src/io.rs:
+crates/volume/src/ops.rs:
+crates/volume/src/render.rs:

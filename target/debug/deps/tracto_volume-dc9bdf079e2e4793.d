@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/tracto_volume-dc9bdf079e2e4793.d: crates/volume/src/lib.rs crates/volume/src/dims.rs crates/volume/src/grid.rs crates/volume/src/mask.rs crates/volume/src/vec3.rs crates/volume/src/volume3.rs crates/volume/src/volume4.rs crates/volume/src/interp.rs crates/volume/src/io.rs crates/volume/src/ops.rs crates/volume/src/render.rs
+
+/root/repo/target/debug/deps/tracto_volume-dc9bdf079e2e4793: crates/volume/src/lib.rs crates/volume/src/dims.rs crates/volume/src/grid.rs crates/volume/src/mask.rs crates/volume/src/vec3.rs crates/volume/src/volume3.rs crates/volume/src/volume4.rs crates/volume/src/interp.rs crates/volume/src/io.rs crates/volume/src/ops.rs crates/volume/src/render.rs
+
+crates/volume/src/lib.rs:
+crates/volume/src/dims.rs:
+crates/volume/src/grid.rs:
+crates/volume/src/mask.rs:
+crates/volume/src/vec3.rs:
+crates/volume/src/volume3.rs:
+crates/volume/src/volume4.rs:
+crates/volume/src/interp.rs:
+crates/volume/src/io.rs:
+crates/volume/src/ops.rs:
+crates/volume/src/render.rs:

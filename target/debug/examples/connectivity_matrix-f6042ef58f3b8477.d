@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/connectivity_matrix-f6042ef58f3b8477.d: crates/core/../../examples/connectivity_matrix.rs
+
+/root/repo/target/debug/examples/connectivity_matrix-f6042ef58f3b8477: crates/core/../../examples/connectivity_matrix.rs
+
+crates/core/../../examples/connectivity_matrix.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/corpus_callosum-7fed452610f7ab5a.d: crates/core/../../examples/corpus_callosum.rs
+
+/root/repo/target/debug/examples/corpus_callosum-7fed452610f7ab5a: crates/core/../../examples/corpus_callosum.rs
+
+crates/core/../../examples/corpus_callosum.rs:

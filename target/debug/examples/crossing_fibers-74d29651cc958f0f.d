@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crossing_fibers-74d29651cc958f0f.d: crates/core/../../examples/crossing_fibers.rs
+
+/root/repo/target/debug/examples/crossing_fibers-74d29651cc958f0f: crates/core/../../examples/crossing_fibers.rs
+
+crates/core/../../examples/crossing_fibers.rs:

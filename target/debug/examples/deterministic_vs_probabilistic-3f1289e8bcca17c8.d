@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/deterministic_vs_probabilistic-3f1289e8bcca17c8.d: crates/core/../../examples/deterministic_vs_probabilistic.rs
+
+/root/repo/target/debug/examples/deterministic_vs_probabilistic-3f1289e8bcca17c8: crates/core/../../examples/deterministic_vs_probabilistic.rs
+
+crates/core/../../examples/deterministic_vs_probabilistic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1a062f3aca6b9843.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1a062f3aca6b9843: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

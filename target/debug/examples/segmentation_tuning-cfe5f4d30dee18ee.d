@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/segmentation_tuning-cfe5f4d30dee18ee.d: crates/core/../../examples/segmentation_tuning.rs
+
+/root/repo/target/debug/examples/segmentation_tuning-cfe5f4d30dee18ee: crates/core/../../examples/segmentation_tuning.rs
+
+crates/core/../../examples/segmentation_tuning.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libtracto_rng.rlib: /root/repo/crates/rng/src/boxmuller.rs /root/repo/crates/rng/src/dist.rs /root/repo/crates/rng/src/lib.rs /root/repo/crates/rng/src/taus.rs

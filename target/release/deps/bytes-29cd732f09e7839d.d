@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-29cd732f09e7839d.d: shims/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-29cd732f09e7839d.rlib: shims/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-29cd732f09e7839d.rmeta: shims/bytes/src/lib.rs
+
+shims/bytes/src/lib.rs:

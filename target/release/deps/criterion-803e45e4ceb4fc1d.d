@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-803e45e4ceb4fc1d.d: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-803e45e4ceb4fc1d.rlib: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-803e45e4ceb4fc1d.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

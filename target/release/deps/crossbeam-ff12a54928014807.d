@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-ff12a54928014807.d: shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-ff12a54928014807.rlib: shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-ff12a54928014807.rmeta: shims/crossbeam/src/lib.rs
+
+shims/crossbeam/src/lib.rs:

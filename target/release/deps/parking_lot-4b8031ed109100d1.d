@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-4b8031ed109100d1.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-4b8031ed109100d1.rlib: shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-4b8031ed109100d1.rmeta: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-2038abed4bcc32e4.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-2038abed4bcc32e4.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-2038abed4bcc32e4.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

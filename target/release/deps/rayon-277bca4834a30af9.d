@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-277bca4834a30af9.d: shims/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-277bca4834a30af9.rlib: shims/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-277bca4834a30af9.rmeta: shims/rayon/src/lib.rs
+
+shims/rayon/src/lib.rs:

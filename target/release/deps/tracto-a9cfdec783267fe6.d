@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/tracto-a9cfdec783267fe6.d: crates/core/src/lib.rs crates/core/src/estimation.rs crates/core/src/pipeline.rs crates/core/src/synthetic.rs
+
+/root/repo/target/release/deps/libtracto-a9cfdec783267fe6.rlib: crates/core/src/lib.rs crates/core/src/estimation.rs crates/core/src/pipeline.rs crates/core/src/synthetic.rs
+
+/root/repo/target/release/deps/libtracto-a9cfdec783267fe6.rmeta: crates/core/src/lib.rs crates/core/src/estimation.rs crates/core/src/pipeline.rs crates/core/src/synthetic.rs
+
+crates/core/src/lib.rs:
+crates/core/src/estimation.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/synthetic.rs:

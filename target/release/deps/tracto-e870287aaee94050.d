@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tracto-e870287aaee94050.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/tracto-e870287aaee94050: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

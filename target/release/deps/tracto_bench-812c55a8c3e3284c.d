@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tracto_bench-812c55a8c3e3284c.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libtracto_bench-812c55a8c3e3284c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libtracto_bench-812c55a8c3e3284c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

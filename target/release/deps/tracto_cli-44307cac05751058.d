@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/tracto_cli-44307cac05751058.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands/mod.rs crates/cli/src/commands/estimate.rs crates/cli/src/commands/info.rs crates/cli/src/commands/phantom.rs crates/cli/src/commands/render.rs crates/cli/src/commands/track.rs crates/cli/src/store.rs
+
+/root/repo/target/release/deps/libtracto_cli-44307cac05751058.rlib: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands/mod.rs crates/cli/src/commands/estimate.rs crates/cli/src/commands/info.rs crates/cli/src/commands/phantom.rs crates/cli/src/commands/render.rs crates/cli/src/commands/track.rs crates/cli/src/store.rs
+
+/root/repo/target/release/deps/libtracto_cli-44307cac05751058.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands/mod.rs crates/cli/src/commands/estimate.rs crates/cli/src/commands/info.rs crates/cli/src/commands/phantom.rs crates/cli/src/commands/render.rs crates/cli/src/commands/track.rs crates/cli/src/store.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands/mod.rs:
+crates/cli/src/commands/estimate.rs:
+crates/cli/src/commands/info.rs:
+crates/cli/src/commands/phantom.rs:
+crates/cli/src/commands/render.rs:
+crates/cli/src/commands/track.rs:
+crates/cli/src/store.rs:

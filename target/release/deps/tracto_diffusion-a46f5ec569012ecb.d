@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/tracto_diffusion-a46f5ec569012ecb.d: crates/diffusion/src/lib.rs crates/diffusion/src/acquisition.rs crates/diffusion/src/linalg.rs crates/diffusion/src/models.rs crates/diffusion/src/posterior.rs crates/diffusion/src/rician.rs crates/diffusion/src/tensor.rs
+
+/root/repo/target/release/deps/libtracto_diffusion-a46f5ec569012ecb.rlib: crates/diffusion/src/lib.rs crates/diffusion/src/acquisition.rs crates/diffusion/src/linalg.rs crates/diffusion/src/models.rs crates/diffusion/src/posterior.rs crates/diffusion/src/rician.rs crates/diffusion/src/tensor.rs
+
+/root/repo/target/release/deps/libtracto_diffusion-a46f5ec569012ecb.rmeta: crates/diffusion/src/lib.rs crates/diffusion/src/acquisition.rs crates/diffusion/src/linalg.rs crates/diffusion/src/models.rs crates/diffusion/src/posterior.rs crates/diffusion/src/rician.rs crates/diffusion/src/tensor.rs
+
+crates/diffusion/src/lib.rs:
+crates/diffusion/src/acquisition.rs:
+crates/diffusion/src/linalg.rs:
+crates/diffusion/src/models.rs:
+crates/diffusion/src/posterior.rs:
+crates/diffusion/src/rician.rs:
+crates/diffusion/src/tensor.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/tracto_gpu_sim-6f7bd32a4501136b.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/kernel.rs crates/gpu-sim/src/ledger.rs crates/gpu-sim/src/multi.rs crates/gpu-sim/src/overlap.rs crates/gpu-sim/src/schedule.rs
+
+/root/repo/target/release/deps/libtracto_gpu_sim-6f7bd32a4501136b.rlib: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/kernel.rs crates/gpu-sim/src/ledger.rs crates/gpu-sim/src/multi.rs crates/gpu-sim/src/overlap.rs crates/gpu-sim/src/schedule.rs
+
+/root/repo/target/release/deps/libtracto_gpu_sim-6f7bd32a4501136b.rmeta: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/kernel.rs crates/gpu-sim/src/ledger.rs crates/gpu-sim/src/multi.rs crates/gpu-sim/src/overlap.rs crates/gpu-sim/src/schedule.rs
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/device.rs:
+crates/gpu-sim/src/kernel.rs:
+crates/gpu-sim/src/ledger.rs:
+crates/gpu-sim/src/multi.rs:
+crates/gpu-sim/src/overlap.rs:
+crates/gpu-sim/src/schedule.rs:

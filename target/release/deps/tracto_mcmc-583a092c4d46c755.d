@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/tracto_mcmc-583a092c4d46c755.d: crates/mcmc/src/lib.rs crates/mcmc/src/chain.rs crates/mcmc/src/diagnostics.rs crates/mcmc/src/gibbs.rs crates/mcmc/src/mh.rs crates/mcmc/src/pointest.rs crates/mcmc/src/voxelwise.rs
+
+/root/repo/target/release/deps/libtracto_mcmc-583a092c4d46c755.rlib: crates/mcmc/src/lib.rs crates/mcmc/src/chain.rs crates/mcmc/src/diagnostics.rs crates/mcmc/src/gibbs.rs crates/mcmc/src/mh.rs crates/mcmc/src/pointest.rs crates/mcmc/src/voxelwise.rs
+
+/root/repo/target/release/deps/libtracto_mcmc-583a092c4d46c755.rmeta: crates/mcmc/src/lib.rs crates/mcmc/src/chain.rs crates/mcmc/src/diagnostics.rs crates/mcmc/src/gibbs.rs crates/mcmc/src/mh.rs crates/mcmc/src/pointest.rs crates/mcmc/src/voxelwise.rs
+
+crates/mcmc/src/lib.rs:
+crates/mcmc/src/chain.rs:
+crates/mcmc/src/diagnostics.rs:
+crates/mcmc/src/gibbs.rs:
+crates/mcmc/src/mh.rs:
+crates/mcmc/src/pointest.rs:
+crates/mcmc/src/voxelwise.rs:

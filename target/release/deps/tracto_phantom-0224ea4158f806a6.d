@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/tracto_phantom-0224ea4158f806a6.d: crates/phantom/src/lib.rs crates/phantom/src/datasets.rs crates/phantom/src/field.rs crates/phantom/src/geometry.rs crates/phantom/src/gradients.rs crates/phantom/src/noise.rs crates/phantom/src/signal.rs
+
+/root/repo/target/release/deps/libtracto_phantom-0224ea4158f806a6.rlib: crates/phantom/src/lib.rs crates/phantom/src/datasets.rs crates/phantom/src/field.rs crates/phantom/src/geometry.rs crates/phantom/src/gradients.rs crates/phantom/src/noise.rs crates/phantom/src/signal.rs
+
+/root/repo/target/release/deps/libtracto_phantom-0224ea4158f806a6.rmeta: crates/phantom/src/lib.rs crates/phantom/src/datasets.rs crates/phantom/src/field.rs crates/phantom/src/geometry.rs crates/phantom/src/gradients.rs crates/phantom/src/noise.rs crates/phantom/src/signal.rs
+
+crates/phantom/src/lib.rs:
+crates/phantom/src/datasets.rs:
+crates/phantom/src/field.rs:
+crates/phantom/src/geometry.rs:
+crates/phantom/src/gradients.rs:
+crates/phantom/src/noise.rs:
+crates/phantom/src/signal.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/tracto_rng-770889e5222481e0.d: crates/rng/src/lib.rs crates/rng/src/dist.rs crates/rng/src/boxmuller.rs crates/rng/src/taus.rs
+
+/root/repo/target/release/deps/libtracto_rng-770889e5222481e0.rlib: crates/rng/src/lib.rs crates/rng/src/dist.rs crates/rng/src/boxmuller.rs crates/rng/src/taus.rs
+
+/root/repo/target/release/deps/libtracto_rng-770889e5222481e0.rmeta: crates/rng/src/lib.rs crates/rng/src/dist.rs crates/rng/src/boxmuller.rs crates/rng/src/taus.rs
+
+crates/rng/src/lib.rs:
+crates/rng/src/dist.rs:
+crates/rng/src/boxmuller.rs:
+crates/rng/src/taus.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tracto_serve-b36291a998594553.d: crates/serve/src/lib.rs
+
+/root/repo/target/release/deps/libtracto_serve-b36291a998594553.rlib: crates/serve/src/lib.rs
+
+/root/repo/target/release/deps/libtracto_serve-b36291a998594553.rmeta: crates/serve/src/lib.rs
+
+crates/serve/src/lib.rs:

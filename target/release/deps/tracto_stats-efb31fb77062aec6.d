@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/tracto_stats-efb31fb77062aec6.d: crates/stats/src/lib.rs crates/stats/src/ecdf.rs crates/stats/src/expfit.rs crates/stats/src/histogram.rs crates/stats/src/loadbalance.rs crates/stats/src/regression.rs
+
+/root/repo/target/release/deps/libtracto_stats-efb31fb77062aec6.rlib: crates/stats/src/lib.rs crates/stats/src/ecdf.rs crates/stats/src/expfit.rs crates/stats/src/histogram.rs crates/stats/src/loadbalance.rs crates/stats/src/regression.rs
+
+/root/repo/target/release/deps/libtracto_stats-efb31fb77062aec6.rmeta: crates/stats/src/lib.rs crates/stats/src/ecdf.rs crates/stats/src/expfit.rs crates/stats/src/histogram.rs crates/stats/src/loadbalance.rs crates/stats/src/regression.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/ecdf.rs:
+crates/stats/src/expfit.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/loadbalance.rs:
+crates/stats/src/regression.rs:

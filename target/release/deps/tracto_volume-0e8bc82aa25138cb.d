@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/tracto_volume-0e8bc82aa25138cb.d: crates/volume/src/lib.rs crates/volume/src/dims.rs crates/volume/src/grid.rs crates/volume/src/mask.rs crates/volume/src/vec3.rs crates/volume/src/volume3.rs crates/volume/src/volume4.rs crates/volume/src/interp.rs crates/volume/src/io.rs crates/volume/src/ops.rs crates/volume/src/render.rs
+
+/root/repo/target/release/deps/libtracto_volume-0e8bc82aa25138cb.rlib: crates/volume/src/lib.rs crates/volume/src/dims.rs crates/volume/src/grid.rs crates/volume/src/mask.rs crates/volume/src/vec3.rs crates/volume/src/volume3.rs crates/volume/src/volume4.rs crates/volume/src/interp.rs crates/volume/src/io.rs crates/volume/src/ops.rs crates/volume/src/render.rs
+
+/root/repo/target/release/deps/libtracto_volume-0e8bc82aa25138cb.rmeta: crates/volume/src/lib.rs crates/volume/src/dims.rs crates/volume/src/grid.rs crates/volume/src/mask.rs crates/volume/src/vec3.rs crates/volume/src/volume3.rs crates/volume/src/volume4.rs crates/volume/src/interp.rs crates/volume/src/io.rs crates/volume/src/ops.rs crates/volume/src/render.rs
+
+crates/volume/src/lib.rs:
+crates/volume/src/dims.rs:
+crates/volume/src/grid.rs:
+crates/volume/src/mask.rs:
+crates/volume/src/vec3.rs:
+crates/volume/src/volume3.rs:
+crates/volume/src/volume4.rs:
+crates/volume/src/interp.rs:
+crates/volume/src/io.rs:
+crates/volume/src/ops.rs:
+crates/volume/src/render.rs:
