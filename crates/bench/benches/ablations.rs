@@ -53,8 +53,10 @@ fn main() {
     // ---- 2. Interpolation mode.
     w.line("");
     w.line("2) orientation interpolation (CPU tracker, one run each):");
-    for (label, interp) in [("nearest", InterpMode::Nearest), ("trilinear", InterpMode::Trilinear)]
-    {
+    for (label, interp) in [
+        ("nearest", InterpMode::Nearest),
+        ("trilinear", InterpMode::Trilinear),
+    ] {
         let p = TrackingParams { interp, ..params };
         let t0 = std::time::Instant::now();
         let out = CpuTracker {
@@ -70,7 +72,8 @@ fn main() {
         w.line(&format!(
             "   {label:<9}: total {:>10} steps, mean fiber {:>6.1}, wall {:.2}s",
             out.total_steps,
-            out.total_steps as f64 / out.all_lengths().iter().filter(|&&l| l > 0).count().max(1) as f64,
+            out.total_steps as f64
+                / out.all_lengths().iter().filter(|&&l| l > 0).count().max(1) as f64,
             t0.elapsed().as_secs_f64()
         ));
     }
@@ -115,11 +118,16 @@ fn main() {
             adapt,
         };
         let mut rng = HybridTaus::new(11);
-        let out = run_chain(&target, init.to_array(), default_proposal_scales(init.s0), config, &mut rng);
+        let out = run_chain(
+            &target,
+            init.to_array(),
+            default_proposal_scales(init.s0),
+            config,
+            &mut rng,
+        );
         let f1_series: Vec<f64> = out.samples.iter().map(|s| s[3]).collect();
         let ess = effective_sample_size(&f1_series);
-        let mean_acc =
-            out.final_acceptance.iter().sum::<f64>() / out.final_acceptance.len() as f64;
+        let mean_acc = out.final_acceptance.iter().sum::<f64>() / out.final_acceptance.len() as f64;
         w.line(&format!(
             "   {label:<17}: mean acceptance {:.2}, ESS(f1) {:>7.1} / 2000",
             mean_acc, ess
@@ -130,16 +138,18 @@ fn main() {
     // ---- 4. ARD shrinkage prior on f2 at a single-fiber voxel.
     w.line("");
     w.line("4) ARD shrinkage prior on f2 (single-fiber voxel, should push f2 → 0):");
-    let single_model = tracto::diffusion::BallSticksModel::new(
-        1000.0,
-        1.5e-3,
-        vec![0.6],
-        vec![Vec3::X],
-    );
+    let single_model =
+        tracto::diffusion::BallSticksModel::new(1000.0, 1.5e-3, vec![0.6], vec![Vec3::X]);
     let single_signal = noise(single_model.predict_protocol(&acq), 32);
     for (label, prior) in [
         ("flat prior", PriorConfig::default()),
-        ("ARD w=40", PriorConfig { ard_weight: Some(40.0), ..Default::default() }),
+        (
+            "ARD w=40",
+            PriorConfig {
+                ard_weight: Some(40.0),
+                ..Default::default()
+            },
+        ),
     ] {
         let post = BallSticksPosterior::new(&acq, &single_signal, prior);
         let init = post.initial_params();
@@ -150,8 +160,13 @@ fn main() {
             ..tracto::mcmc::ChainConfig::paper_default()
         };
         let mut rng = HybridTaus::new(13);
-        let out =
-            run_chain(&target, init.to_array(), default_proposal_scales(init.s0), config, &mut rng);
+        let out = run_chain(
+            &target,
+            init.to_array(),
+            default_proposal_scales(init.s0),
+            config,
+            &mut rng,
+        );
         let mean_f2 = out.mean(6);
         w.line(&format!("   {label:<11}: posterior mean f2 = {mean_f2:.4}"));
     }
@@ -166,7 +181,10 @@ fn main() {
         let c = tracto::volume::Ijk::new(6, 6, 2);
         let mask = Mask::from_fn(ds.dwi.dims(), |x| x == c);
         for (label, sticks) in [("N = 1", 1u8), ("N = 2", 2u8)] {
-            let prior = PriorConfig { max_sticks: sticks, ..Default::default() };
+            let prior = PriorConfig {
+                max_sticks: sticks,
+                ..Default::default()
+            };
             let t0 = std::time::Instant::now();
             let sv = VoxelEstimator::new(
                 &ds.acq,
@@ -178,8 +196,7 @@ fn main() {
             )
             .run_parallel();
             let n = sv.num_samples();
-            let mean_f2: f64 =
-                (0..n).map(|s| sv.sticks_at(c, s)[1].1).sum::<f64>() / n as f64;
+            let mean_f2: f64 = (0..n).map(|s| sv.sticks_at(c, s)[1].1).sum::<f64>() / n as f64;
             w.line(&format!(
                 "   {label}: mean f2 at the crossing {:.3}, wall {:.0} ms/voxel",
                 mean_f2,
@@ -192,9 +209,10 @@ fn main() {
     // ---- 5. Sorting vs natural (charged work).
     w.line("");
     w.line("5) seed ordering (strategy A_MaxStep):");
-    for (label, ordering) in
-        [("natural", SeedOrdering::Natural), ("sorted-by-pilot", SeedOrdering::SortedByPilot)]
-    {
+    for (label, ordering) in [
+        ("natural", SeedOrdering::Natural),
+        ("sorted-by-pilot", SeedOrdering::SortedByPilot),
+    ] {
         let tracker = GpuTracker {
             samples: &workload.samples,
             params,
@@ -261,8 +279,7 @@ fn main() {
                 let stats = multi.launch_partitioned(&Countdown, &mut lanes, b);
                 multi.gather_to_host(lanes.len() as u64 * 32);
                 multi.host_reduction(lanes.len() as u64);
-                let finished: Vec<bool> =
-                    stats.iter().flat_map(|s| s.finished.clone()).collect();
+                let finished: Vec<bool> = stats.iter().flat_map(|s| s.finished.clone()).collect();
                 let mut next = Vec::with_capacity(lanes.len());
                 for (lane, fin) in lanes.into_iter().zip(finished) {
                     if !fin {

@@ -51,8 +51,11 @@ fn main() {
     let applied = report.thread_loads(1);
 
     let wf = 64;
-    let rows: [(&str, &Vec<u32>); 3] =
-        [("(a) original", &original), ("(b) sorted", &sorted), ("(c) next sample", &applied)];
+    let rows: [(&str, &Vec<u32>); 3] = [
+        ("(a) original", &original),
+        ("(b) sorted", &sorted),
+        ("(c) next sample", &applied),
+    ];
     for (label, loads) in rows {
         w.line(&format!(
             "{label:<16} neighbor-MAD {:>8.2}  simd-util {:>5.1}%  charged {:>12}   |{}|",
@@ -79,6 +82,9 @@ fn main() {
         "so charged SIMD work improves only {:.0}% — the paper's negative result.",
         improvement * 100.0
     ));
-    assert!(mad_applied > 2.0 * mad_sorted.max(0.05), "sorting unexpectedly transferred");
+    assert!(
+        mad_applied > 2.0 * mad_sorted.max(0.05),
+        "sorting unexpectedly transferred"
+    );
     w.save();
 }

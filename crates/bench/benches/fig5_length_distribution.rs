@@ -37,7 +37,10 @@ fn main() {
 
     let mut w = TableWriter::new(
         "fig5",
-        &format!("Fig. 5: fiber length distribution ({} tracked fibers)", lengths.len()),
+        &format!(
+            "Fig. 5: fiber length distribution ({} tracked fibers)",
+            lengths.len()
+        ),
     );
 
     let fit = ExponentialFit::fit(&lengths);
@@ -76,7 +79,11 @@ fn main() {
     w.line("Shape check: the semi-log density is a straight line (R² near 1) and the");
     w.line("MLE rate matches the semi-log slope — fiber lengths are exponential, the");
     w.line("paper's empirical finding enabling the increasing-interval strategy.");
-    assert!(line.r_squared > 0.8, "semi-log R² {} too low", line.r_squared);
+    assert!(
+        line.r_squared > 0.8,
+        "semi-log R² {} too low",
+        line.r_squared
+    );
     assert!(
         (line.slope + fit.lambda).abs() / fit.lambda < 0.5,
         "slope {} vs -λ {}",

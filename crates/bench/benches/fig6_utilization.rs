@@ -64,7 +64,10 @@ fn main() {
         &widths,
     );
     let cases: Vec<(String, Vec<u32>)> = vec![
-        ("(a) minimize segments".into(), SegmentationStrategy::Single.budgets(max)),
+        (
+            "(a) minimize segments".into(),
+            SegmentationStrategy::Single.budgets(max),
+        ),
         // Fig. 6(b) draws a handful of coarse uniform segments; the full
         // uniform granularity sweep (with its launch/transfer costs) is
         // Table IV's subject.
@@ -72,7 +75,10 @@ fn main() {
             "(b) uniform segments".into(),
             SegmentationStrategy::Uniform((max / 4).max(1)).budgets(max),
         ),
-        ("(c) increasing intervals".into(), SegmentationStrategy::paper_b().budgets(max)),
+        (
+            "(c) increasing intervals".into(),
+            SegmentationStrategy::paper_b().budgets(max),
+        ),
     ];
     let mut wastes = Vec::new();
     for (label, budgets) in cases {

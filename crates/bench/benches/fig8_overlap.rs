@@ -71,7 +71,10 @@ fn main() {
     w.line("");
     w.line("Fig. 8 (overlapped execution of interleaved samples):");
     let widths = [10, 14, 14, 9];
-    w.row(&["streams", "sequential_s", "overlapped_s", "saving%"].map(str::to_string), &widths);
+    w.row(
+        &["streams", "sequential_s", "overlapped_s", "saving%"].map(str::to_string),
+        &widths,
+    );
     let mut savings = Vec::new();
     for k in [1usize, 2, 4] {
         let r = interleave_identical(&segments, k);

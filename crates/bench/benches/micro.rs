@@ -60,9 +60,8 @@ fn bench_posterior(c: &mut Criterion) {
         b.iter(|| black_box(posterior.log_posterior(black_box(&params))))
     });
     g.bench_function("mh_full_loop_9_params", |b| {
-        let target = |p: &[f64; NUM_PARAMETERS]| {
-            posterior.log_posterior(&BallSticksParams::from_array(*p))
-        };
+        let target =
+            |p: &[f64; NUM_PARAMETERS]| posterior.log_posterior(&BallSticksParams::from_array(*p));
         let mut sampler = MhSampler::new(
             &target,
             params.to_array(),
@@ -95,7 +94,12 @@ fn bench_tracking(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("tracking");
     g.bench_function("trilinear_scalar", |b| {
-        b.iter(|| black_box(trilinear_scalar(&scalar, black_box(Vec3::new(12.3, 4.5, 21.7)))))
+        b.iter(|| {
+            black_box(trilinear_scalar(
+                &scalar,
+                black_box(Vec3::new(12.3, 4.5, 21.7)),
+            ))
+        })
     });
     g.bench_function("walker_step_nearest", |b| {
         let mut w = Walker::new(0, Vec3::new(1.0, 16.0, 16.0), Vec3::X);
@@ -106,7 +110,10 @@ fn bench_tracking(c: &mut Criterion) {
             black_box(w.step(&field, &params, None))
         })
     });
-    let tri_params = TrackingParams { interp: InterpMode::Trilinear, ..params };
+    let tri_params = TrackingParams {
+        interp: InterpMode::Trilinear,
+        ..params
+    };
     g.bench_function("walker_step_trilinear", |b| {
         let mut w = Walker::new(0, Vec3::new(1.0, 16.0, 16.0), Vec3::X);
         b.iter(|| {
@@ -121,11 +128,8 @@ fn bench_tracking(c: &mut Criterion) {
 
 fn bench_tensor_fit(c: &mut Criterion) {
     let acq = gradients::default_protocol(2);
-    let tensor = tracto::diffusion::SymTensor3::cylindrical(
-        Vec3::new(1.0, 1.0, 0.5),
-        1.7e-3,
-        0.3e-3,
-    );
+    let tensor =
+        tracto::diffusion::SymTensor3::cylindrical(Vec3::new(1.0, 1.0, 0.5), 1.7e-3, 0.3e-3);
     use tracto::diffusion::DiffusionModel;
     let model = tracto::diffusion::TensorModel { s0: 900.0, tensor };
     let signal = model.predict_protocol(&acq);

@@ -9,17 +9,85 @@
 
 use tracto::prelude::*;
 use tracto::tracking2::{GpuTracker, SeedOrdering};
-use tracto_bench::{fmt_s, row_params, table2_rows, tracking_workload, BenchScale, HostModel, TableWriter};
+use tracto_bench::{
+    fmt_s, row_params, table2_rows, tracking_workload, BenchScale, HostModel, TableWriter,
+};
 
 /// (dataset, step, thr, longest, total len, kernel, reduce, xfer, cpu, speedup)
 type PaperRow = (u8, f64, f64, u32, u64, f64, f64, f64, f64, f64);
 const PAPER: [PaperRow; 6] = [
-    (1, 0.1, 0.90, 453, 113_822_762, 3.02, 0.78, 2.94, 289.6, 43.0),
-    (1, 0.2, 0.80, 304, 102_796_526, 2.73, 0.92, 2.32, 271.7, 45.5),
-    (1, 0.3, 0.85, 286, 109_408_821, 2.71, 0.78, 2.33, 306.6, 52.7),
-    (2, 0.1, 0.90, 777, 305_396_623, 6.78, 3.77, 4.29, 739.6, 52.0),
-    (2, 0.2, 0.85, 476, 272_836_940, 6.42, 3.35, 4.38, 702.8, 49.7),
-    (2, 0.3, 0.80, 517, 291_393_911, 6.63, 3.38, 4.37, 784.5, 54.5),
+    (
+        1,
+        0.1,
+        0.90,
+        453,
+        113_822_762,
+        3.02,
+        0.78,
+        2.94,
+        289.6,
+        43.0,
+    ),
+    (
+        1,
+        0.2,
+        0.80,
+        304,
+        102_796_526,
+        2.73,
+        0.92,
+        2.32,
+        271.7,
+        45.5,
+    ),
+    (
+        1,
+        0.3,
+        0.85,
+        286,
+        109_408_821,
+        2.71,
+        0.78,
+        2.33,
+        306.6,
+        52.7,
+    ),
+    (
+        2,
+        0.1,
+        0.90,
+        777,
+        305_396_623,
+        6.78,
+        3.77,
+        4.29,
+        739.6,
+        52.0,
+    ),
+    (
+        2,
+        0.2,
+        0.85,
+        476,
+        272_836_940,
+        6.42,
+        3.35,
+        4.38,
+        702.8,
+        49.7,
+    ),
+    (
+        2,
+        0.3,
+        0.80,
+        517,
+        291_393_911,
+        6.63,
+        3.38,
+        4.37,
+        784.5,
+        54.5,
+    ),
 ];
 
 fn main() {
@@ -35,8 +103,16 @@ fn main() {
     let widths = [3, 5, 5, 8, 13, 9, 9, 9, 9, 8];
     w.row(
         &[
-            "ds", "step", "thr", "longest", "total_len", "kernel_s", "reduce_s", "xfer_s",
-            "cpu_s", "speedup",
+            "ds",
+            "step",
+            "thr",
+            "longest",
+            "total_len",
+            "kernel_s",
+            "reduce_s",
+            "xfer_s",
+            "cpu_s",
+            "speedup",
         ]
         .map(str::to_string),
         &widths,

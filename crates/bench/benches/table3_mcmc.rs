@@ -9,8 +9,10 @@
 use tracto::prelude::*;
 use tracto_bench::{fmt_s, BenchScale, HostModel, TableWriter};
 
-const PAPER: [(u8, usize, f64, f64, f64); 2] =
-    [(1, 205_082, 1383.0, 41.3, 33.6), (2, 402_194, 2724.0, 80.1, 34.0)];
+const PAPER: [(u8, usize, f64, f64, f64); 2] = [
+    (1, 205_082, 1383.0, 41.3, 33.6),
+    (2, 402_194, 2724.0, 80.1, 34.0),
+];
 
 fn main() {
     let scale = BenchScale::from_env();
@@ -19,10 +21,16 @@ fn main() {
     let chain = ChainConfig::paper_default();
     let mut w = TableWriter::new(
         "table3",
-        &format!("Table III: speedup of diffusion parameter sampling (grid scale {:.2})", scale.grid),
+        &format!(
+            "Table III: speedup of diffusion parameter sampling (grid scale {:.2})",
+            scale.grid
+        ),
     );
     let widths = [3, 10, 10, 10, 8];
-    w.row(&["ds", "voxels", "cpu_s", "gpu_s", "speedup"].map(str::to_string), &widths);
+    w.row(
+        &["ds", "voxels", "cpu_s", "gpu_s", "speedup"].map(str::to_string),
+        &widths,
+    );
 
     for dataset_id in [1u8, 2] {
         let spec = match dataset_id {
@@ -40,7 +48,11 @@ fn main() {
         let stride = (all.len() / budget.max(1)).max(1);
         let sub = Mask::from_volume(tracto::volume::Volume3::from_fn(ds.dwi.dims(), |c| {
             let idx = ds.dwi.dims().index(c);
-            ds.wm_mask.contains(c) && (all.binary_search(&idx).map(|p| p % stride == 0).unwrap_or(false))
+            ds.wm_mask.contains(c)
+                && (all
+                    .binary_search(&idx)
+                    .map(|p| p % stride == 0)
+                    .unwrap_or(false))
         }));
         let mut gpu = Gpu::new(DeviceConfig::radeon_5870());
         let t0 = std::time::Instant::now();
@@ -80,8 +92,7 @@ fn main() {
             ],
             &widths,
         );
-        let per_loop_us =
-            wall / (report.voxels.max(1) as f64 * chain.num_loops() as f64) * 1e6;
+        let per_loop_us = wall / (report.voxels.max(1) as f64 * chain.num_loops() as f64) * 1e6;
         w.line(&format!(
             "    [{} voxels sampled for real; this machine: {:.1} µs/MH-loop wall; simd util {:.0}%]",
             report.voxels,

@@ -38,8 +38,16 @@ fn main() {
     );
     let widths = [10, 9, 9, 9, 9, 7, 24];
     w.row(
-        &["strategy", "kernel_s", "reduce_s", "xfer_s", "total_s", "util%", "paper k/r/x/total"]
-            .map(str::to_string),
+        &[
+            "strategy",
+            "kernel_s",
+            "reduce_s",
+            "xfer_s",
+            "total_s",
+            "util%",
+            "paper k/r/x/total",
+        ]
+        .map(str::to_string),
         &widths,
     );
 
@@ -107,8 +115,18 @@ fn main() {
         .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
         .unwrap();
     w.line("");
-    w.line(&format!("winner: {} at {} simulated s (paper: B at 14.5 s, C at 14.7 s)", best.0, fmt_s(best.1)));
-    let get = |n: &str| results.iter().find(|(l, _)| l == n).map(|(_, t)| *t).unwrap();
+    w.line(&format!(
+        "winner: {} at {} simulated s (paper: B at 14.5 s, C at 14.7 s)",
+        best.0,
+        fmt_s(best.1)
+    ));
+    let get = |n: &str| {
+        results
+            .iter()
+            .find(|(l, _)| l == n)
+            .map(|(_, t)| *t)
+            .unwrap()
+    };
     w.line(&format!(
         "shape: A_1 {}s > A_k sweet spot; A_MaxStep {}s imbalance-bound; B {}s / C {}s near the bottom",
         fmt_s(get("A_1")),

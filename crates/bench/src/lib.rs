@@ -31,7 +31,10 @@ pub struct HostModel {
 
 impl Default for HostModel {
     fn default() -> Self {
-        HostModel { tracking_step_s: 2.54e-6, mh_loop_s: 11.24e-6 }
+        HostModel {
+            tracking_step_s: 2.54e-6,
+            mh_loop_s: 11.24e-6,
+        }
     }
 }
 
@@ -59,8 +62,14 @@ pub struct BenchScale {
 impl BenchScale {
     /// Read `TRACTO_FULL` / `TRACTO_SCALE` / `TRACTO_SAMPLES`.
     pub fn from_env() -> Self {
-        if std::env::var("TRACTO_FULL").map(|v| v == "1").unwrap_or(false) {
-            return BenchScale { grid: 1.0, samples: 50 };
+        if std::env::var("TRACTO_FULL")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
+            return BenchScale {
+                grid: 1.0,
+                samples: 50,
+            };
         }
         let grid = std::env::var("TRACTO_SCALE")
             .ok()
@@ -105,7 +114,11 @@ pub fn tracking_workload(dataset_id: u8, scale: BenchScale) -> TrackingWorkload 
         1000 + dataset_id as u64,
     );
     let seeds = seeds_from_mask(&dataset.wm_mask);
-    TrackingWorkload { dataset, samples, seeds }
+    TrackingWorkload {
+        dataset,
+        samples,
+        seeds,
+    }
 }
 
 /// The paper's tracking parameter rows for Table II: `(step, threshold)`
@@ -139,7 +152,10 @@ pub struct TableWriter {
 impl TableWriter {
     /// Start a table with a title line.
     pub fn new(name: &str, title: &str) -> Self {
-        let mut w = TableWriter { name: name.to_string(), lines: Vec::new() };
+        let mut w = TableWriter {
+            name: name.to_string(),
+            lines: Vec::new(),
+        };
         w.line(&format!("== {title} =="));
         w
     }
@@ -214,14 +230,23 @@ mod tests {
     #[test]
     fn scale_defaults() {
         // Without env overrides the default is moderate.
-        let s = BenchScale { grid: 0.6, samples: 10 };
+        let s = BenchScale {
+            grid: 0.6,
+            samples: 10,
+        };
         assert!(s.grid > 0.0 && s.grid <= 1.0);
     }
 
     #[test]
     fn workload_builds_for_both_datasets() {
         for id in [1u8, 2] {
-            let w = tracking_workload(id, BenchScale { grid: 0.15, samples: 3 });
+            let w = tracking_workload(
+                id,
+                BenchScale {
+                    grid: 0.15,
+                    samples: 3,
+                },
+            );
             assert!(!w.seeds.is_empty());
             assert_eq!(w.samples.num_samples(), 3);
             assert_eq!(w.samples.dims(), w.dataset.dwi.dims());

@@ -10,7 +10,13 @@ pub fn run(args: &ArgMap) -> Result<(), String> {
     let (dwi, mask, acq) = store::load_dataset(&data)?;
     let dims = dwi.dims();
     println!("dataset: {}", data.display());
-    println!("  grid           {} × {} × {} ({} voxels)", dims.nx, dims.ny, dims.nz, dims.len());
+    println!(
+        "  grid           {} × {} × {} ({} voxels)",
+        dims.nx,
+        dims.ny,
+        dims.nz,
+        dims.len()
+    );
     println!(
         "  measurements   {} ({} b=0, {} diffusion-weighted)",
         acq.len(),
@@ -44,7 +50,10 @@ pub fn run(args: &ArgMap) -> Result<(), String> {
     let samples_dir = data.join("samples");
     if samples_dir.join("f1.trv4").exists() {
         if let Ok(sv) = store::load_samples(&samples_dir) {
-            println!("  samples/       {} posterior samples per voxel", sv.num_samples());
+            println!(
+                "  samples/       {} posterior samples per voxel",
+                sv.num_samples()
+            );
         }
     }
     Ok(())
@@ -58,27 +67,22 @@ mod tests {
 
     #[test]
     fn info_on_stored_dataset() {
-        let dir = std::env::temp_dir()
-            .join(format!("tracto_cli_info_{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("tracto_cli_info_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let ds = datasets::single_bundle(Dim3::new(6, 5, 4), Some(20.0), 1);
         store::save_dataset(&dir, &ds.dwi, &ds.wm_mask, &ds.acq).unwrap();
-        let args = crate::args::ArgMap::parse(&[
-            "--data".to_string(),
-            dir.to_str().unwrap().to_string(),
-        ])
-        .unwrap();
+        let args =
+            crate::args::ArgMap::parse(&["--data".to_string(), dir.to_str().unwrap().to_string()])
+                .unwrap();
         run(&args).unwrap();
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn info_missing_dir_errors() {
-        let args = crate::args::ArgMap::parse(&[
-            "--data".to_string(),
-            "/nonexistent/tracto".to_string(),
-        ])
-        .unwrap();
+        let args =
+            crate::args::ArgMap::parse(&["--data".to_string(), "/nonexistent/tracto".to_string()])
+                .unwrap();
         assert!(run(&args).is_err());
     }
 }

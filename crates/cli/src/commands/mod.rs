@@ -4,4 +4,5 @@ pub mod estimate;
 pub mod info;
 pub mod phantom;
 pub mod render;
+pub mod serve;
 pub mod track;

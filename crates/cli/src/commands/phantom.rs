@@ -44,7 +44,11 @@ pub fn run(args: &ArgMap) -> Result<(), String> {
             let n = ((40.0 * scale * 4.0).round() as usize).max(10);
             datasets::crossing(Dim3::new(n, n, (n / 3).max(5)), 90.0, snr, seed)
         }
-        other => return Err(format!("--dataset: unknown kind `{other}` (1|2|single|crossing)")),
+        other => {
+            return Err(format!(
+                "--dataset: unknown kind `{other}` (1|2|single|crossing)"
+            ))
+        }
     };
 
     store::save_dataset(&out, &ds.dwi, &ds.wm_mask, &ds.acq)?;

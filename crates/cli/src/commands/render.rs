@@ -17,9 +17,7 @@ pub fn run(args: &ArgMap) -> Result<(), String> {
         "z" | "Z" => Axis::Z,
         other => return Err(format!("--axis: expected x|y|z, got `{other}`")),
     };
-    let mut f = BufReader::new(
-        File::open(&path).map_err(|e| format!("{}: {e}", path.display()))?,
-    );
+    let mut f = BufReader::new(File::open(&path).map_err(|e| format!("{}: {e}", path.display()))?);
     let vol = read_volume3(&mut f).map_err(|e| e.to_string())?;
     let dims = vol.dims();
     let (lo, hi) = vol.min_max().unwrap_or((0.0, 0.0));

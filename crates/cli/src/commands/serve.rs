@@ -1,0 +1,419 @@
+//! `tracto serve` — replay a job script through the batched job service.
+//!
+//! The script is line-based (`#` starts a comment). Three directives:
+//!
+//! ```text
+//! dataset <name> <kind> [scale=F] [seed=N] [snr=F|none]   # kind: 1|2|single|crossing
+//! estimate <dataset> [samples=N] [burnin=N] [interval=N] [seed=N]
+//! track <dataset> [samples=N] [burnin=N] [interval=N] [seed=N]
+//!       [step=F] [threshold=F] [max-steps=N] [deadline-ms=N]
+//! ```
+//!
+//! All jobs are submitted up front, so tracking jobs that land in the same
+//! batching window share GPU launches; `estimate` warms the sample cache
+//! for later `track` lines with the same estimation configuration.
+
+use crate::args::ArgMap;
+use crate::commands::track::parse_strategy;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::str::FromStr;
+use std::sync::Arc;
+use std::time::Duration;
+use tracto::phantom::{datasets, datasets::DatasetSpec, Dataset};
+use tracto::pipeline::PipelineConfig;
+use tracto_diffusion::PriorConfig;
+use tracto_mcmc::mh::AdaptScheme;
+use tracto_mcmc::ChainConfig;
+use tracto_serve::{
+    EstimateJob, EstimateResult, ServiceConfig, Ticket, TrackJob, TrackResult, TractoService,
+};
+use tracto_volume::Dim3;
+
+/// `key=value` options trailing a script directive.
+struct Kv(HashMap<String, String>);
+
+impl Kv {
+    fn parse(tokens: &[&str], lineno: usize) -> Result<Kv, String> {
+        let mut map = HashMap::new();
+        for tok in tokens {
+            let Some((k, v)) = tok.split_once('=') else {
+                return Err(format!("line {lineno}: expected key=value, got `{tok}`"));
+            };
+            map.insert(k.to_string(), v.to_string());
+        }
+        Ok(Kv(map))
+    }
+
+    fn get<T: FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.0.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("{key}: bad value `{v}`")),
+        }
+    }
+}
+
+/// One parsed `estimate` or `track` line.
+enum ScriptJob {
+    Estimate {
+        dataset: String,
+        chain: ChainConfig,
+        seed: u64,
+    },
+    Track {
+        dataset: String,
+        config: PipelineConfig,
+        deadline: Option<Duration>,
+    },
+}
+
+/// A parsed script: named datasets plus jobs in submission order.
+struct Script {
+    datasets: Vec<(String, Arc<Dataset>)>,
+    jobs: Vec<ScriptJob>,
+}
+
+fn chain_from(kv: &Kv) -> Result<(ChainConfig, u64), String> {
+    let chain = ChainConfig {
+        num_burnin: kv.get("burnin", 300)?,
+        num_samples: kv.get("samples", 25)?,
+        sample_interval: kv.get("interval", 2)?,
+        adapt: AdaptScheme::paper_default(),
+    };
+    if chain.num_samples == 0 || chain.sample_interval == 0 {
+        return Err("samples and interval must be positive".into());
+    }
+    Ok((chain, kv.get("seed", 42)?))
+}
+
+fn build_dataset(kind: &str, kv: &Kv) -> Result<Dataset, String> {
+    let scale: f64 = kv.get("scale", 0.25)?;
+    if !(0.0..=1.0).contains(&scale) || scale == 0.0 {
+        return Err("scale must be in (0, 1]".into());
+    }
+    let seed: u64 = kv.get("seed", 7)?;
+    let snr: Option<f64> = match kv.0.get("snr").map(String::as_str) {
+        None => Some(25.0),
+        Some("none") => None,
+        Some(v) => Some(v.parse().map_err(|_| format!("snr: bad value `{v}`"))?),
+    };
+    match kind {
+        "1" | "2" => {
+            let mut spec = if kind == "1" {
+                DatasetSpec::paper_dataset1()
+            } else {
+                DatasetSpec::paper_dataset2()
+            }
+            .scaled(scale);
+            spec.seed = seed;
+            spec.snr = snr;
+            Ok(spec.build())
+        }
+        "single" => {
+            let n = ((32.0 * scale * 4.0).round() as usize).max(8);
+            Ok(datasets::single_bundle(
+                Dim3::new(n, n / 2 + 2, n / 2 + 2),
+                snr,
+                seed,
+            ))
+        }
+        "crossing" => {
+            let n = ((40.0 * scale * 4.0).round() as usize).max(10);
+            Ok(datasets::crossing(
+                Dim3::new(n, n, (n / 3).max(5)),
+                90.0,
+                snr,
+                seed,
+            ))
+        }
+        other => Err(format!(
+            "unknown dataset kind `{other}` (1|2|single|crossing)"
+        )),
+    }
+}
+
+fn parse_script(text: &str) -> Result<Script, String> {
+    let mut script = Script {
+        datasets: Vec::new(),
+        jobs: Vec::new(),
+    };
+    let lookup = |script: &Script, name: &str, lineno: usize| {
+        script
+            .datasets
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, ds)| Arc::clone(ds))
+            .ok_or(format!("line {lineno}: unknown dataset `{name}`"))
+    };
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens[0] {
+            "dataset" => {
+                let [_, name, kind, rest @ ..] = tokens.as_slice() else {
+                    return Err(format!("line {lineno}: dataset <name> <kind> [k=v…]"));
+                };
+                if script.datasets.iter().any(|(n, _)| n == name) {
+                    return Err(format!("line {lineno}: dataset `{name}` redefined"));
+                }
+                let kv = Kv::parse(rest, lineno)?;
+                let ds = build_dataset(kind, &kv).map_err(|e| format!("line {lineno}: {e}"))?;
+                script.datasets.push((name.to_string(), Arc::new(ds)));
+            }
+            "estimate" => {
+                let [_, name, rest @ ..] = tokens.as_slice() else {
+                    return Err(format!("line {lineno}: estimate <dataset> [k=v…]"));
+                };
+                lookup(&script, name, lineno)?;
+                let kv = Kv::parse(rest, lineno)?;
+                let (chain, seed) = chain_from(&kv).map_err(|e| format!("line {lineno}: {e}"))?;
+                script.jobs.push(ScriptJob::Estimate {
+                    dataset: name.to_string(),
+                    chain,
+                    seed,
+                });
+            }
+            "track" => {
+                let [_, name, rest @ ..] = tokens.as_slice() else {
+                    return Err(format!("line {lineno}: track <dataset> [k=v…]"));
+                };
+                lookup(&script, name, lineno)?;
+                let kv = Kv::parse(rest, lineno)?;
+                let (chain, seed) = chain_from(&kv).map_err(|e| format!("line {lineno}: {e}"))?;
+                let mut config = PipelineConfig {
+                    chain,
+                    seed,
+                    ..PipelineConfig::fast()
+                };
+                config.tracking.step_length = kv.get("step", config.tracking.step_length)?;
+                config.tracking.angular_threshold =
+                    kv.get("threshold", config.tracking.angular_threshold)?;
+                config.tracking.max_steps = kv.get("max-steps", config.tracking.max_steps)?;
+                if config.tracking.step_length <= 0.0 || config.tracking.max_steps == 0 {
+                    return Err(format!("line {lineno}: invalid tracking parameters"));
+                }
+                let deadline = match kv.0.get("deadline-ms") {
+                    None => None,
+                    Some(v) => {
+                        Some(Duration::from_millis(v.parse().map_err(|_| {
+                            format!("line {lineno}: bad deadline-ms `{v}`")
+                        })?))
+                    }
+                };
+                script.jobs.push(ScriptJob::Track {
+                    dataset: name.to_string(),
+                    config,
+                    deadline,
+                });
+            }
+            other => {
+                return Err(format!(
+                    "line {lineno}: unknown directive `{other}` (dataset|estimate|track)"
+                ))
+            }
+        }
+    }
+    if script.jobs.is_empty() {
+        return Err("script contains no jobs".into());
+    }
+    Ok(script)
+}
+
+enum Pending {
+    Estimate(Ticket<EstimateResult>),
+    Track(Ticket<TrackResult>),
+}
+
+/// Run the command.
+pub fn run(args: &ArgMap) -> Result<(), String> {
+    let path = PathBuf::from(args.required("script")?);
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let script = parse_script(&text)?;
+
+    let config = ServiceConfig {
+        devices: args.get_parse("devices", 1)?,
+        estimate_workers: args.get_parse("workers", 2)?,
+        max_batch_jobs: args.get_parse("max-batch", 16)?,
+        batch_window: Duration::from_millis(args.get_parse("batch-window-ms", 20)?),
+        strategy: parse_strategy(args.get("strategy").unwrap_or("B"))?,
+        cache_bytes: args.get_parse::<u64>("cache-mb", 256)? << 20,
+        disk_cache: args.get("cache-dir").map(PathBuf::from),
+        ..ServiceConfig::default()
+    };
+    if config.devices == 0 || config.estimate_workers == 0 || config.max_batch_jobs == 0 {
+        return Err("--devices, --workers, and --max-batch must be positive".into());
+    }
+
+    for (name, ds) in &script.datasets {
+        println!(
+            "dataset {name}: dims {:?}, {} measurements, {} fiber voxels",
+            ds.dwi.dims(),
+            ds.acq.len(),
+            ds.truth.fiber_voxel_count()
+        );
+    }
+    println!(
+        "serving {} job(s) on {} device(s), window {:?}, strategy {}",
+        script.jobs.len(),
+        config.devices,
+        config.batch_window,
+        config.strategy.label()
+    );
+
+    let service = TractoService::start(config);
+    let mut pending: Vec<(String, Pending)> = Vec::new();
+    for job in &script.jobs {
+        match job {
+            ScriptJob::Estimate {
+                dataset,
+                chain,
+                seed,
+            } => {
+                let (_, ds) = script
+                    .datasets
+                    .iter()
+                    .find(|(n, _)| n == dataset)
+                    .expect("validated");
+                let ticket = service.submit_estimate(EstimateJob {
+                    dataset: Arc::clone(ds),
+                    prior: PriorConfig::default(),
+                    chain: *chain,
+                    seed: *seed,
+                });
+                pending.push((format!("estimate {dataset}"), Pending::Estimate(ticket)));
+            }
+            ScriptJob::Track {
+                dataset,
+                config,
+                deadline,
+            } => {
+                let (_, ds) = script
+                    .datasets
+                    .iter()
+                    .find(|(n, _)| n == dataset)
+                    .expect("validated");
+                let ticket = service.submit_track(TrackJob {
+                    dataset: Arc::clone(ds),
+                    config: config.clone(),
+                    seeds: None,
+                    deadline: *deadline,
+                });
+                pending.push((format!("track {dataset}"), Pending::Track(ticket)));
+            }
+        }
+    }
+
+    let mut failed = 0usize;
+    for (label, ticket) in pending {
+        match ticket {
+            Pending::Estimate(t) => match t.wait() {
+                Ok(r) => println!(
+                    "[{}] {label}: {} voxels, cache_hit={}",
+                    t.id, r.voxels, r.cache_hit
+                ),
+                Err(e) => {
+                    failed += 1;
+                    println!("[{}] {label}: error: {e}", t.id);
+                }
+            },
+            Pending::Track(t) => match t.wait() {
+                Ok(r) => println!(
+                    "[{}] {label}: {} total steps, cache_hit={}, batch of {} job(s) / {} lanes",
+                    t.id, r.tracking.total_steps, r.cache_hit, r.batch_jobs, r.batch_lanes
+                ),
+                Err(e) => {
+                    failed += 1;
+                    println!("[{}] {label}: error: {e}", t.id);
+                }
+            },
+        }
+    }
+
+    service.drain();
+    println!("\n--- service metrics ---\n{}", service.shutdown());
+    if failed > 0 {
+        return Err(format!("{failed} job(s) failed"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("tracto_cli_srv_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn argmap(v: &[&str]) -> ArgMap {
+        ArgMap::parse(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    const TINY: &str = "\
+# two datasets, one estimate warm-up, three tracking jobs
+dataset b single scale=0.05 seed=3 snr=none
+dataset x crossing scale=0.05 seed=5 snr=none
+estimate b samples=2 burnin=30 interval=1 seed=9
+track b samples=2 burnin=30 interval=1 seed=9 max-steps=60
+track x samples=2 burnin=30 interval=1 seed=9 max-steps=60
+track b samples=2 burnin=30 interval=1 seed=9 max-steps=60
+";
+
+    #[test]
+    fn parses_directives_and_rejects_garbage() {
+        let s = parse_script(TINY).unwrap();
+        assert_eq!(s.datasets.len(), 2);
+        assert_eq!(s.jobs.len(), 4);
+        assert!(matches!(s.jobs[0], ScriptJob::Estimate { .. }));
+        assert!(parse_script("track nowhere\n")
+            .err()
+            .unwrap()
+            .contains("unknown dataset"));
+        assert!(parse_script("dataset d single\n")
+            .err()
+            .unwrap()
+            .contains("no jobs"));
+        assert!(parse_script("frob x\n")
+            .err()
+            .unwrap()
+            .contains("unknown directive"));
+        assert!(parse_script("dataset d single scale\n")
+            .err()
+            .unwrap()
+            .contains("key=value"));
+        assert!(parse_script("dataset d nope\ntrack d\n")
+            .err()
+            .unwrap()
+            .contains("unknown dataset kind"));
+    }
+
+    #[test]
+    fn replays_script_end_to_end() {
+        let dir = tmp("e2e");
+        let script = dir.join("jobs.txt");
+        std::fs::write(&script, TINY).unwrap();
+        let args = argmap(&[
+            "--script",
+            script.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--batch-window-ms",
+            "30",
+        ]);
+        run(&args).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_script_reported() {
+        let args = argmap(&["--script", "/nonexistent/jobs.txt"]);
+        assert!(run(&args).unwrap_err().contains("jobs.txt"));
+    }
+}

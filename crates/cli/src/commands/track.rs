@@ -13,7 +13,7 @@ use tracto_tracking::walker::TrackingParams;
 use tracto_tracking::{InterpMode, SegmentationStrategy};
 use tracto_volume::io::write_volume3;
 
-fn parse_strategy(s: &str) -> Result<SegmentationStrategy, String> {
+pub(crate) fn parse_strategy(s: &str) -> Result<SegmentationStrategy, String> {
     match s {
         "B" | "b" => Ok(SegmentationStrategy::paper_table2()),
         "C" | "c" => Ok(SegmentationStrategy::paper_c()),
@@ -21,22 +21,64 @@ fn parse_strategy(s: &str) -> Result<SegmentationStrategy, String> {
         "every" => Ok(SegmentationStrategy::every_step()),
         other => {
             if let Some(k) = other.strip_prefix("uniform:") {
-                let k: u32 = k.parse().map_err(|_| format!("--strategy uniform:K: bad K `{k}`"))?;
+                let k: u32 = k
+                    .parse()
+                    .map_err(|_| format!("--strategy uniform:K: bad K `{k}`"))?;
                 if k == 0 {
                     return Err("--strategy uniform:K needs K ≥ 1".into());
                 }
                 Ok(SegmentationStrategy::Uniform(k))
             } else {
-                Err(format!("--strategy: unknown `{other}` (B|C|single|every|uniform:K)"))
+                Err(format!(
+                    "--strategy: unknown `{other}` (B|C|single|every|uniform:K)"
+                ))
             }
         }
     }
 }
 
+/// Resolve the posterior samples for `track` out of a serve-layer disk
+/// cache, running Step 1 only on a miss (the CLI analogue of what
+/// `tracto-serve` does in memory).
+fn samples_from_cache(
+    cache_dir: &std::path::Path,
+    dwi: &tracto_volume::Volume4<f32>,
+    mask: &tracto_volume::Mask,
+    acq: &tracto_diffusion::Acquisition,
+    args: &ArgMap,
+) -> Result<tracto_mcmc::SampleVolumes, String> {
+    use tracto_mcmc::mh::AdaptScheme;
+    let chain = tracto_mcmc::ChainConfig {
+        num_burnin: args.get_parse("est-burnin", 300)?,
+        num_samples: args.get_parse("est-samples", 25)?,
+        sample_interval: args.get_parse("est-interval", 2)?,
+        adapt: AdaptScheme::paper_default(),
+    };
+    if chain.num_samples == 0 || chain.sample_interval == 0 {
+        return Err("--est-samples and --est-interval must be positive".into());
+    }
+    let est_seed: u64 = args.get_parse("est-seed", 42)?;
+    let prior = tracto_diffusion::PriorConfig::default();
+    let key = tracto_serve::sample_key_parts(dwi, mask, acq, &prior, &chain, est_seed);
+    let cache = tracto_serve::DiskSampleCache::open(cache_dir)?;
+    if let Some(samples) = cache.get(key) {
+        println!("cache hit {} — skipping estimation", key.hex());
+        return Ok(samples);
+    }
+    println!(
+        "cache miss {} — running MCMC over {} voxels…",
+        key.hex(),
+        mask.count()
+    );
+    let mut gpu = Gpu::new(DeviceConfig::radeon_5870());
+    let report = tracto::run_mcmc_gpu(&mut gpu, acq, dwi, mask, prior, chain, est_seed);
+    cache.put(key, &report.samples)?;
+    Ok(report.samples)
+}
+
 /// Run the command.
 pub fn run(args: &ArgMap) -> Result<(), String> {
     let data = PathBuf::from(args.required("data")?);
-    let samples_dir = PathBuf::from(args.required("samples-dir")?);
     let out = PathBuf::from(args.required("out")?);
     let step: f64 = args.get_parse("step", 0.1)?;
     let threshold: f64 = args.get_parse("threshold", 0.9)?;
@@ -48,8 +90,15 @@ pub fn run(args: &ArgMap) -> Result<(), String> {
         return Err("invalid tracking parameters".into());
     }
 
-    let (dwi, mask, _acq) = store::load_dataset(&data)?;
-    let samples = store::load_samples(&samples_dir)?;
+    let (dwi, mask, acq) = store::load_dataset(&data)?;
+    let samples = match (args.get("samples-dir"), args.get("cache-dir")) {
+        (Some(_), Some(_)) => {
+            return Err("--samples-dir and --cache-dir are mutually exclusive".into())
+        }
+        (Some(dir), None) => store::load_samples(&PathBuf::from(dir))?,
+        (None, Some(dir)) => samples_from_cache(&PathBuf::from(dir), &dwi, &mask, &acq, args)?,
+        (None, None) => return Err("need --samples-dir or --cache-dir".into()),
+    };
     if samples.dims() != dwi.dims() {
         return Err("sample volumes do not match the dataset grid".into());
     }
@@ -83,7 +132,9 @@ pub fn run(args: &ArgMap) -> Result<(), String> {
             run_seed: seed,
             bidirectional: false,
         };
-        let o = tracker.run_parallel(RecordMode::Streamlines { min_steps: min_export });
+        let o = tracker.run_parallel(RecordMode::Streamlines {
+            min_steps: min_export,
+        });
         (o.lengths_by_sample, o.connectivity, o.streamlines)
     } else {
         let tracker = GpuTracker {
@@ -110,8 +161,7 @@ pub fn run(args: &ArgMap) -> Result<(), String> {
     };
 
     // lengths.csv: sample,seed,steps.
-    let mut f =
-        BufWriter::new(File::create(out.join("lengths.csv")).map_err(|e| e.to_string())?);
+    let mut f = BufWriter::new(File::create(out.join("lengths.csv")).map_err(|e| e.to_string())?);
     writeln!(f, "sample,seed,steps").map_err(|e| e.to_string())?;
     let mut total: u64 = 0;
     let mut longest: u32 = 0;
@@ -125,9 +175,8 @@ pub fn run(args: &ArgMap) -> Result<(), String> {
 
     if let Some(conn) = &connectivity {
         let vol = conn.probability_volume();
-        let mut f = BufWriter::new(
-            File::create(out.join("connectivity.trv3")).map_err(|e| e.to_string())?,
-        );
+        let mut f =
+            BufWriter::new(File::create(out.join("connectivity.trv3")).map_err(|e| e.to_string())?);
         write_volume3(&mut f, &vol).map_err(|e| e.to_string())?;
     }
     if !fibers.is_empty() {
@@ -167,8 +216,14 @@ mod tests {
     fn strategy_parser() {
         assert_eq!(parse_strategy("B").unwrap().label(), "B+1000");
         assert_eq!(parse_strategy("C").unwrap().label(), "C");
-        assert_eq!(parse_strategy("single").unwrap(), SegmentationStrategy::Single);
-        assert_eq!(parse_strategy("uniform:20").unwrap(), SegmentationStrategy::Uniform(20));
+        assert_eq!(
+            parse_strategy("single").unwrap(),
+            SegmentationStrategy::Single
+        );
+        assert_eq!(
+            parse_strategy("uniform:20").unwrap(),
+            SegmentationStrategy::Uniform(20)
+        );
         assert!(parse_strategy("uniform:0").is_err());
         assert!(parse_strategy("zig").is_err());
     }
@@ -204,6 +259,65 @@ mod tests {
         for d in [&data, &samples_dir, &out] {
             let _ = std::fs::remove_dir_all(d);
         }
+    }
+
+    #[test]
+    fn cache_dir_runs_estimation_once_then_hits() {
+        let data = tmp("cc_data");
+        let cache = tmp("cc_cache");
+        let out = tmp("cc_out");
+        let ds = datasets::single_bundle(Dim3::new(6, 5, 5), None, 3);
+        // Narrow mask keeps both estimation and seeding small.
+        let mask = Mask::from_fn(ds.dwi.dims(), |c| c.j == 2 && c.k == 2);
+        store::save_dataset(&data, &ds.dwi, &mask, &ds.acq).unwrap();
+        let args = argmap(&[
+            "--data",
+            data.to_str().unwrap(),
+            "--cache-dir",
+            cache.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+            "--step",
+            "0.3",
+            "--max-steps",
+            "200",
+            "--est-samples",
+            "3",
+            "--est-burnin",
+            "40",
+            "--est-interval",
+            "1",
+        ]);
+        run(&args).unwrap();
+        let entries = std::fs::read_dir(&cache).unwrap().count();
+        assert_eq!(entries, 1, "one cache entry after a cold run");
+        // Second run must reuse the entry (no new directories) and still
+        // produce the outputs.
+        std::fs::remove_dir_all(&out).unwrap();
+        run(&args).unwrap();
+        assert_eq!(std::fs::read_dir(&cache).unwrap().count(), 1);
+        assert!(out.join("lengths.csv").exists());
+        for d in [&data, &cache, &out] {
+            let _ = std::fs::remove_dir_all(d);
+        }
+    }
+
+    #[test]
+    fn samples_source_flags_validated() {
+        let data = tmp("sf_data");
+        let ds = datasets::single_bundle(Dim3::new(6, 5, 5), None, 3);
+        store::save_dataset(&data, &ds.dwi, &ds.wm_mask, &ds.acq).unwrap();
+        let base = ["--data", data.to_str().unwrap(), "--out", "x"];
+        let none = argmap(&base);
+        assert!(run(&none)
+            .unwrap_err()
+            .contains("--samples-dir or --cache-dir"));
+        let mut both = base.to_vec();
+        both.extend(["--samples-dir", "a", "--cache-dir", "b"]);
+        assert!(run(&argmap(&both))
+            .unwrap_err()
+            .contains("mutually exclusive"));
+        let _ = std::fs::remove_dir_all(&data);
     }
 
     #[test]

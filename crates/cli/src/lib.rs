@@ -36,9 +36,15 @@ COMMANDS:
              --data DIR --out DIR [--samples N] [--burnin N] [--interval N]
              [--seed N] [--point] [--gpu]
   track      probabilistic streamlining over estimated samples
-             --data DIR --samples-dir DIR --out DIR [--step F]
-             [--threshold F] [--max-steps N] [--strategy B|C|single|every|uniform:K]
-             [--seed N] [--cpu] [--min-export-steps N]
+             --data DIR (--samples-dir DIR | --cache-dir DIR) --out DIR
+             [--step F] [--threshold F] [--max-steps N]
+             [--strategy B|C|single|every|uniform:K] [--seed N] [--cpu]
+             [--min-export-steps N]
+             [--est-samples N] [--est-burnin N] [--est-interval N] [--est-seed N]
+  serve      replay a job script through the batched job service
+             --script FILE [--devices N] [--workers N] [--max-batch N]
+             [--batch-window-ms N] [--strategy B|C|single|every|uniform:K]
+             [--cache-mb N] [--cache-dir DIR]
   info       describe a stored dataset
              --data DIR
   render     print an ASCII maximum-intensity projection of a volume
@@ -64,6 +70,7 @@ pub fn run(args: &[String]) -> i32 {
         "phantom" => commands::phantom::run(&parsed),
         "estimate" => commands::estimate::run(&parsed),
         "track" => commands::track::run(&parsed),
+        "serve" => commands::serve::run(&parsed),
         "info" => commands::info::run(&parsed),
         "render" => commands::render::run(&parsed),
         "help" | "--help" | "-h" => {

@@ -31,7 +31,10 @@ pub fn read_acquisition(path: &Path) -> Result<Acquisition, String> {
         }
         let parts: Vec<f64> = trimmed
             .split_whitespace()
-            .map(|t| t.parse().map_err(|_| format!("acq.txt line {}: bad number `{t}`", lineno + 1)))
+            .map(|t| {
+                t.parse()
+                    .map_err(|_| format!("acq.txt line {}: bad number `{t}`", lineno + 1))
+            })
             .collect::<Result<_, _>>()?;
         if parts.len() != 4 {
             return Err(format!("acq.txt line {}: expected 4 columns", lineno + 1));
@@ -63,9 +66,8 @@ pub fn save_dataset(
 
 /// Load a dataset directory.
 pub fn load_dataset(dir: &Path) -> Result<(Volume4<f32>, Mask, Acquisition), String> {
-    let mut f = BufReader::new(
-        File::open(dir.join("dwi.trv4")).map_err(|e| format!("dwi.trv4: {e}"))?,
-    );
+    let mut f =
+        BufReader::new(File::open(dir.join("dwi.trv4")).map_err(|e| format!("dwi.trv4: {e}"))?);
     let dwi = read_volume4(&mut f).map_err(|e| e.to_string())?;
     let mut f = BufReader::new(
         File::open(dir.join("wm_mask.trv3")).map_err(|e| format!("wm_mask.trv3: {e}"))?,
@@ -127,7 +129,14 @@ pub fn load_samples(dir: &Path) -> Result<SampleVolumes, String> {
             return Err("sample volumes have inconsistent shapes".into());
         }
     }
-    Ok(SampleVolumes { f1, f2, th1, ph1, th2, ph2 })
+    Ok(SampleVolumes {
+        f1,
+        f2,
+        th1,
+        ph1,
+        th2,
+        ph2,
+    })
 }
 
 #[cfg(test)]
@@ -137,7 +146,8 @@ mod tests {
     use tracto_volume::Dim3;
 
     fn tmpdir(tag: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!("tracto_cli_store_{tag}_{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("tracto_cli_store_{tag}_{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         dir
@@ -187,7 +197,9 @@ mod tests {
         fs::write(&path, "0 0 0 0\n1000 1 0\n").unwrap();
         assert!(read_acquisition(&path).unwrap_err().contains("4 columns"));
         fs::write(&path, "# comment only\n").unwrap();
-        assert!(read_acquisition(&path).unwrap_err().contains("no measurements"));
+        assert!(read_acquisition(&path)
+            .unwrap_err()
+            .contains("no measurements"));
         let _ = fs::remove_dir_all(&dir);
     }
 }

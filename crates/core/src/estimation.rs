@@ -56,9 +56,8 @@ impl SimKernel for McmcKernel<'_> {
             return LaneStatus::Finished;
         }
         let posterior = BallSticksPosterior::new(self.acq, &lane.signal, self.prior);
-        let target = |p: &[f64; NUM_PARAMETERS]| {
-            posterior.log_posterior(&BallSticksParams::from_array(*p))
-        };
+        let target =
+            |p: &[f64; NUM_PARAMETERS]| posterior.log_posterior(&BallSticksParams::from_array(*p));
         lane.sampler.step_loop(&target, &mut lane.rng);
         lane.loops_done += 1;
         // Record a sample every L loops after burn-in.
@@ -118,8 +117,11 @@ pub fn run_mcmc_gpu(
         .indices()
         .into_iter()
         .map(|voxel_index| {
-            let signal: Vec<f64> =
-                dwi.voxel_at(voxel_index).iter().map(|&v| v as f64).collect();
+            let signal: Vec<f64> = dwi
+                .voxel_at(voxel_index)
+                .iter()
+                .map(|&v| v as f64)
+                .collect();
             let posterior = BallSticksPosterior::new(acq, &signal, prior);
             let mut init = posterior.initial_params();
             if prior.max_sticks == 1 {
@@ -170,7 +172,11 @@ pub fn run_mcmc_gpu(
         voxels += 1;
     }
 
-    McmcGpuReport { samples: volumes, ledger: *gpu.ledger(), voxels }
+    McmcGpuReport {
+        samples: volumes,
+        ledger: *gpu.ledger(),
+        voxels,
+    }
 }
 
 #[cfg(test)]
@@ -198,9 +204,11 @@ mod tests {
         let prior = PriorConfig::default();
         let mut gpu = small_gpu();
         let gpu_out = run_mcmc_gpu(&mut gpu, &ds.acq, &ds.dwi, &mask, prior, config, 77);
-        let cpu_out =
-            VoxelEstimator::new(&ds.acq, &ds.dwi, &mask, prior, config, 77).run_serial();
-        assert_eq!(gpu_out.samples.f1, cpu_out.f1, "f1 volumes must be bit-identical");
+        let cpu_out = VoxelEstimator::new(&ds.acq, &ds.dwi, &mask, prior, config, 77).run_serial();
+        assert_eq!(
+            gpu_out.samples.f1, cpu_out.f1,
+            "f1 volumes must be bit-identical"
+        );
         assert_eq!(gpu_out.samples.th1, cpu_out.th1);
         assert_eq!(gpu_out.samples.ph2, cpu_out.ph2);
         assert_eq!(gpu_out.voxels, mask.count());

@@ -54,7 +54,10 @@ impl PipelineConfig {
     pub fn fast() -> Self {
         PipelineConfig {
             chain: ChainConfig::fast_test(),
-            tracking: TrackingParams { max_steps: 400, ..TrackingParams::paper_default() },
+            tracking: TrackingParams {
+                max_steps: 400,
+                ..TrackingParams::paper_default()
+            },
             ..Self::paper_default()
         }
     }
@@ -206,7 +209,14 @@ impl Pipeline {
         };
         let tracking_wall = t1.elapsed();
 
-        PipelineOutcome { samples, tracking, mcmc_ledger, tracking_ledger, mcmc_wall, tracking_wall }
+        PipelineOutcome {
+            samples,
+            tracking,
+            mcmc_ledger,
+            tracking_ledger,
+            mcmc_wall,
+            tracking_wall,
+        }
     }
 }
 
@@ -238,7 +248,10 @@ mod tests {
         let gpu = pipeline.run(&ds, Backend::GpuSim(DeviceConfig::radeon_5870()));
         // "CPU and GPU results are substantially the same" — here exactly.
         assert_eq!(cpu.samples.f1, gpu.samples.f1);
-        assert_eq!(cpu.tracking.lengths_by_sample, gpu.tracking.lengths_by_sample);
+        assert_eq!(
+            cpu.tracking.lengths_by_sample,
+            gpu.tracking.lengths_by_sample
+        );
         assert_eq!(cpu.tracking.total_steps, gpu.tracking.total_steps);
         // Ledgers only exist for the GPU backend.
         assert!(cpu.mcmc_ledger.is_none() && gpu.mcmc_ledger.is_some());

@@ -101,7 +101,12 @@ mod tests {
     fn protocol() -> Acquisition {
         Acquisition::new(
             vec![0.0, 1000.0, 1000.0, 0.0],
-            vec![Vec3::ZERO, Vec3::new(2.0, 0.0, 0.0), Vec3::new(0.0, 3.0, 0.0), Vec3::ZERO],
+            vec![
+                Vec3::ZERO,
+                Vec3::new(2.0, 0.0, 0.0),
+                Vec3::new(0.0, 3.0, 0.0),
+                Vec3::ZERO,
+            ],
         )
     }
 

@@ -24,7 +24,9 @@ pub trait DiffusionModel {
 
     /// Predict the full signal vector for an acquisition protocol.
     fn predict_protocol(&self, acq: &Acquisition) -> Vec<f64> {
-        (0..acq.len()).map(|i| self.predict(acq.bval(i), acq.grad(i))).collect()
+        (0..acq.len())
+            .map(|i| self.predict(acq.bval(i), acq.grad(i)))
+            .collect()
     }
 }
 
@@ -85,8 +87,7 @@ impl DiffusionModel for CompartmentModel {
     fn predict(&self, b: f64, g: Vec3) -> f64 {
         let proj = g.dot(self.dir);
         self.s0
-            * ((1.0 - self.f) * (-b * self.d).exp()
-                + self.f * (-b * self.d * proj * proj).exp())
+            * ((1.0 - self.f) * (-b * self.d).exp() + self.f * (-b * self.d * proj * proj).exp())
     }
 }
 
@@ -114,7 +115,12 @@ impl BallSticksModel {
         let total: f64 = fractions.iter().sum();
         assert!(total <= 1.0 + 1e-9, "volume fractions sum to {total} > 1");
         let dirs = dirs.into_iter().map(Vec3::normalized).collect();
-        BallSticksModel { s0, d, fractions, dirs }
+        BallSticksModel {
+            s0,
+            d,
+            fractions,
+            dirs,
+        }
     }
 
     /// Number of stick compartments.
@@ -163,9 +169,7 @@ pub fn ball_two_sticks_predict(
     let p1 = g.dot(dir1);
     let p2 = g.dot(dir2);
     let iso = (-b * d).exp();
-    s0 * ((1.0 - f1 - f2) * iso
-        + f1 * (-b * d * p1 * p1).exp()
-        + f2 * (-b * d * p2 * p2).exp())
+    s0 * ((1.0 - f1 - f2) * iso + f1 * (-b * d * p1 * p1).exp() + f2 * (-b * d * p2 * p2).exp())
 }
 
 #[cfg(test)]
@@ -183,10 +187,28 @@ mod tests {
     fn all_models_reduce_to_s0_at_b0() {
         let s0 = 750.0;
         let models: Vec<Box<dyn DiffusionModel>> = vec![
-            Box::new(TensorModel { s0, tensor: SymTensor3::isotropic(1e-3) }),
-            Box::new(ConstrainedModel { s0, alpha: 1e-3, beta: 2e-3, dir: Vec3::Z }),
-            Box::new(CompartmentModel { s0, f: 0.5, d: 1e-3, dir: Vec3::Z }),
-            Box::new(BallSticksModel::new(s0, 1e-3, vec![0.4, 0.3], vec![Vec3::X, Vec3::Y])),
+            Box::new(TensorModel {
+                s0,
+                tensor: SymTensor3::isotropic(1e-3),
+            }),
+            Box::new(ConstrainedModel {
+                s0,
+                alpha: 1e-3,
+                beta: 2e-3,
+                dir: Vec3::Z,
+            }),
+            Box::new(CompartmentModel {
+                s0,
+                f: 0.5,
+                d: 1e-3,
+                dir: Vec3::Z,
+            }),
+            Box::new(BallSticksModel::new(
+                s0,
+                1e-3,
+                vec![0.4, 0.3],
+                vec![Vec3::X, Vec3::Y],
+            )),
         ];
         for m in &models {
             assert!((m.predict(0.0, Vec3::ZERO) - s0).abs() < 1e-9);
@@ -195,7 +217,12 @@ mod tests {
 
     #[test]
     fn compartment_attenuates_most_along_fiber() {
-        let m = CompartmentModel { s0: 1.0, f: 0.8, d: 1.5e-3, dir: Vec3::Z };
+        let m = CompartmentModel {
+            s0: 1.0,
+            f: 0.8,
+            d: 1.5e-3,
+            dir: Vec3::Z,
+        };
         let along = m.predict(1000.0, Vec3::Z);
         let across = m.predict(1000.0, Vec3::X);
         assert!(along < across, "signal along the fiber must attenuate more");
@@ -203,7 +230,12 @@ mod tests {
 
     #[test]
     fn compartment_zero_f_is_isotropic() {
-        let m = CompartmentModel { s0: 1.0, f: 0.0, d: 1e-3, dir: Vec3::Z };
+        let m = CompartmentModel {
+            s0: 1.0,
+            f: 0.0,
+            d: 1e-3,
+            dir: Vec3::Z,
+        };
         let a = m.predict(1000.0, Vec3::X);
         let b = m.predict(1000.0, Vec3::Z);
         assert!((a - b).abs() < 1e-12);
@@ -212,7 +244,12 @@ mod tests {
 
     #[test]
     fn ball_sticks_matches_compartment_for_one_stick() {
-        let c = CompartmentModel { s0: 2.0, f: 0.6, d: 1.2e-3, dir: Vec3::Y };
+        let c = CompartmentModel {
+            s0: 2.0,
+            f: 0.6,
+            d: 1.2e-3,
+            dir: Vec3::Y,
+        };
         let bs = BallSticksModel::new(2.0, 1.2e-3, vec![0.6], vec![Vec3::Y]);
         let acq = test_acq();
         for i in 0..acq.len() {
@@ -243,18 +280,29 @@ mod tests {
         let sy = m.predict(1500.0, Vec3::Y);
         let sz = m.predict(1500.0, Vec3::Z);
         assert!(sx < sz && sy < sz);
-        assert!((sx - sy).abs() < 1e-12, "symmetric sticks attenuate equally");
+        assert!(
+            (sx - sy).abs() < 1e-12,
+            "symmetric sticks attenuate equally"
+        );
     }
 
     #[test]
     fn constrained_model_anisotropy() {
-        let m = ConstrainedModel { s0: 1.0, alpha: 0.5e-3, beta: 1.0e-3, dir: Vec3::X };
+        let m = ConstrainedModel {
+            s0: 1.0,
+            alpha: 0.5e-3,
+            beta: 1.0e-3,
+            dir: Vec3::X,
+        };
         assert!(m.predict(1000.0, Vec3::X) < m.predict(1000.0, Vec3::Y));
     }
 
     #[test]
     fn predict_protocol_length() {
-        let m = TensorModel { s0: 1.0, tensor: SymTensor3::isotropic(1e-3) };
+        let m = TensorModel {
+            s0: 1.0,
+            tensor: SymTensor3::isotropic(1e-3),
+        };
         assert_eq!(m.predict_protocol(&test_acq()).len(), 4);
     }
 

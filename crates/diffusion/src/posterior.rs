@@ -70,8 +70,7 @@ impl BallSticksParams {
     /// Pack into a parameter array in [`param_index`] order.
     pub fn to_array(self) -> [f64; NUM_PARAMETERS] {
         [
-            self.s0, self.d, self.sigma, self.f1, self.th1, self.ph1, self.f2, self.th2,
-            self.ph2,
+            self.s0, self.d, self.sigma, self.f1, self.th1, self.ph1, self.f2, self.th2, self.ph2,
         ]
     }
 
@@ -299,7 +298,10 @@ impl<'a> BallSticksPosterior<'a> {
         let fallback_s0 = self.acq.mean_b0(self.signal).max(1e-6);
         let (s0, d, f1, dir1) = match TensorFit::fit(self.acq, self.signal) {
             Some(fit) => {
-                let md = fit.tensor.mean_diffusivity().clamp(1e-5 * self.prior.d_max, self.prior.d_max * 0.5);
+                let md = fit
+                    .tensor
+                    .mean_diffusivity()
+                    .clamp(1e-5 * self.prior.d_max, self.prior.d_max * 0.5);
                 let fa = fit.tensor.fractional_anisotropy().clamp(0.05, 0.9);
                 (fit.s0.max(1e-6), md, fa, fit.tensor.principal_direction())
             }
@@ -315,7 +317,11 @@ impl<'a> BallSticksPosterior<'a> {
             sse += (y - mu) * (y - mu);
         }
         let sigma = (sse / self.signal.len() as f64).sqrt().max(1e-3 * s0).min(
-            if self.prior.sigma_max.is_finite() { self.prior.sigma_max } else { f64::MAX },
+            if self.prior.sigma_max.is_finite() {
+                self.prior.sigma_max
+            } else {
+                f64::MAX
+            },
         );
         BallSticksParams {
             s0,
@@ -479,7 +485,10 @@ mod tests {
     fn ard_prior_penalizes_large_f2() {
         let acq = test_acq();
         let signal = vec![90.0; acq.len()];
-        let prior = PriorConfig { ard_weight: Some(5.0), ..Default::default() };
+        let prior = PriorConfig {
+            ard_weight: Some(5.0),
+            ..Default::default()
+        };
         let post = BallSticksPosterior::new(&acq, &signal, prior);
         let mut small = default_params();
         small.f2 = 0.01;
@@ -501,9 +510,16 @@ mod tests {
         let signal = model.predict_protocol(&acq);
         let post = BallSticksPosterior::new(&acq, &signal, PriorConfig::default());
         let init = post.initial_params();
-        assert!(post.log_prior(&init).is_finite(), "init must be in the prior support");
+        assert!(
+            post.log_prior(&init).is_finite(),
+            "init must be in the prior support"
+        );
         // The initial stick-1 direction should be within ~30° of the truth.
-        assert!(init.dir1().dot(truth_dir).abs() > 0.85, "init dir {:?}", init.dir1());
+        assert!(
+            init.dir1().dot(truth_dir).abs() > 0.85,
+            "init dir {:?}",
+            init.dir1()
+        );
         assert!((init.s0 - 120.0).abs() / 120.0 < 0.2);
     }
 

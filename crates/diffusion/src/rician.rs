@@ -91,7 +91,10 @@ mod tests {
                 total += rician_log_pdf(y, mu, sigma).exp() * dy;
                 y += dy;
             }
-            assert!((total - 1.0).abs() < 1e-3, "∫p={total} for μ={mu}, σ={sigma}");
+            assert!(
+                (total - 1.0).abs() < 1e-3,
+                "∫p={total} for μ={mu}, σ={sigma}"
+            );
         }
     }
 
@@ -121,7 +124,10 @@ mod tests {
             let gauss = -((y - mu) * (y - mu)) / (2.0 * sigma * sigma)
                 - sigma.ln()
                 - 0.5 * (std::f64::consts::TAU).ln();
-            assert!((rice - gauss).abs() < 0.05, "y={y}: rice {rice} gauss {gauss}");
+            assert!(
+                (rice - gauss).abs() < 0.05,
+                "y={y}: rice {rice} gauss {gauss}"
+            );
         }
     }
 }

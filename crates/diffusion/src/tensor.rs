@@ -30,7 +30,12 @@ pub struct SymTensor3 {
 impl SymTensor3 {
     /// An isotropic tensor `d · I`.
     pub fn isotropic(d: f64) -> Self {
-        SymTensor3 { dxx: d, dyy: d, dzz: d, ..Default::default() }
+        SymTensor3 {
+            dxx: d,
+            dyy: d,
+            dzz: d,
+            ..Default::default()
+        }
     }
 
     /// Build an axially symmetric (cylindrical) tensor with axial
@@ -263,7 +268,10 @@ mod tests {
         assert!((e[1] - 0.3e-3).abs() < 1e-9);
         assert!((e[2] - 0.3e-3).abs() < 1e-9);
         let v = t.principal_direction();
-        assert!(v.dot(axis).abs() > 1.0 - 1e-9, "principal direction mismatch");
+        assert!(
+            v.dot(axis).abs() > 1.0 - 1e-9,
+            "principal direction mismatch"
+        );
     }
 
     #[test]
@@ -308,7 +316,11 @@ mod tests {
         for lambda in t.eigenvalues() {
             let v = t.eigenvector(lambda);
             let residual = t.mul_vec(v) - v * lambda;
-            assert!(residual.norm() < 1e-8, "residual {} for λ={lambda}", residual.norm());
+            assert!(
+                residual.norm() < 1e-8,
+                "residual {} for λ={lambda}",
+                residual.norm()
+            );
         }
     }
 

@@ -74,7 +74,10 @@ impl DeviceConfig {
             // 113.8 M elements ⇒ ≈72 ns/element.
             wavefront_iteration_ns: 38_400.0,
             kernel_launch_overhead_us: 400.0,
-            pcie: PcieModel { latency_us: 900.0, bandwidth_gb_s: 5.5 },
+            pcie: PcieModel {
+                latency_us: 900.0,
+                bandwidth_gb_s: 5.5,
+            },
             host_reduction_ns_per_elem: 72.0,
             memory_bytes: 1 << 30, // 1 GB GDDR5
         }
@@ -131,21 +134,30 @@ mod tests {
 
     #[test]
     fn pcie_latency_dominates_small_transfers() {
-        let p = PcieModel { latency_us: 10.0, bandwidth_gb_s: 5.0 };
+        let p = PcieModel {
+            latency_us: 10.0,
+            bandwidth_gb_s: 5.0,
+        };
         let t_small = p.transfer_seconds(64);
         assert!((t_small - 10.0e-6).abs() / 10.0e-6 < 0.01);
     }
 
     #[test]
     fn pcie_bandwidth_dominates_large_transfers() {
-        let p = PcieModel { latency_us: 10.0, bandwidth_gb_s: 5.0 };
+        let p = PcieModel {
+            latency_us: 10.0,
+            bandwidth_gb_s: 5.0,
+        };
         let t = p.transfer_seconds(5_000_000_000);
         assert!((t - 1.0) < 0.01, "5 GB at 5 GB/s ≈ 1 s, got {t}");
     }
 
     #[test]
     fn transfer_monotone_in_bytes() {
-        let p = PcieModel { latency_us: 10.0, bandwidth_gb_s: 5.0 };
+        let p = PcieModel {
+            latency_us: 10.0,
+            bandwidth_gb_s: 5.0,
+        };
         assert!(p.transfer_seconds(1000) < p.transfer_seconds(10_000));
     }
 
@@ -154,7 +166,10 @@ mod tests {
         let d = DeviceConfig::radeon_5870();
         assert_eq!(d.wavefront_size, 64);
         assert_eq!(d.parallel_wavefronts(), 80);
-        assert!(d.kernel_seconds(0) > 0.0, "launch overhead charged even for empty kernels");
+        assert!(
+            d.kernel_seconds(0) > 0.0,
+            "launch overhead charged even for empty kernels"
+        );
     }
 
     #[test]

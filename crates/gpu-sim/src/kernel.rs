@@ -166,8 +166,9 @@ impl Gpu {
             finished.extend(fi);
         }
 
-        let kernel_s =
-            self.config.kernel_seconds_weighted(wavefront_iterations, kernel.cost_weight());
+        let kernel_s = self
+            .config
+            .kernel_seconds_weighted(wavefront_iterations, kernel.cost_weight());
         self.ledger.kernel_s += kernel_s;
         self.ledger.launches += 1;
         self.ledger.useful_iterations += useful;
@@ -181,7 +182,13 @@ impl Gpu {
         });
         self.clock_s += kernel_s;
 
-        LaunchStats { executed, finished, kernel_s, charged_iterations: charged, useful_iterations: useful }
+        LaunchStats {
+            executed,
+            finished,
+            kernel_s,
+            charged_iterations: charged,
+            useful_iterations: useful,
+        }
     }
 
     /// Charge a host→device transfer.
@@ -304,7 +311,10 @@ mod tests {
         assert_eq!(stats.executed, vec![3, 2]);
         assert_eq!(stats.finished, vec![false, true]);
         assert_eq!(stats.unfinished(), 1);
-        assert_eq!(lanes[0], 7, "partial progress preserved for the next segment");
+        assert_eq!(
+            lanes[0], 7,
+            "partial progress preserved for the next segment"
+        );
     }
 
     #[test]
@@ -346,7 +356,10 @@ mod tests {
         let mut g3 = Gpu::new(device());
         let mut interleaved = vec![9u32, 1, 9, 1, 9, 1, 9, 1];
         let s3 = g3.launch(&CountdownKernel, &mut interleaved, 100);
-        assert_eq!(s3.charged_iterations, 72, "imbalanced wavefronts charge more");
+        assert_eq!(
+            s3.charged_iterations, 72,
+            "imbalanced wavefronts charge more"
+        );
     }
 
     #[test]
@@ -413,7 +426,10 @@ mod tests {
         // The same lanes through a 1-wide device (serial wavefronts) and the
         // normal device must end in identical states.
         let mut wide = Gpu::new(device());
-        let mut narrow = Gpu::new(DeviceConfig { wavefront_size: 1, ..device() });
+        let mut narrow = Gpu::new(DeviceConfig {
+            wavefront_size: 1,
+            ..device()
+        });
         let mut a: Vec<u32> = (1..100).collect();
         let mut b = a.clone();
         wide.launch(&CountdownKernel, &mut a, 1000);

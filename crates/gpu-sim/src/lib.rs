@@ -42,3 +42,4 @@ pub mod schedule;
 pub use device::{DeviceConfig, PcieModel};
 pub use kernel::{Gpu, LaneStatus, LaunchStats, SimKernel};
 pub use ledger::TimingLedger;
+pub use multi::MultiGpu;

@@ -101,6 +101,29 @@ impl MultiGpu {
         }
     }
 
+    /// Reserve `bytes` on every device (replicated residency, e.g. each
+    /// device holding the full sample-volume stack). On failure the
+    /// devices already charged are rolled back and the first shortfall is
+    /// returned.
+    pub fn device_alloc_all(&mut self, bytes: u64) -> Result<(), u64> {
+        for i in 0..self.devices.len() {
+            if let Err(short) = self.devices[i].device_alloc(bytes) {
+                for d in &mut self.devices[..i] {
+                    d.device_free(bytes);
+                }
+                return Err(short);
+            }
+        }
+        Ok(())
+    }
+
+    /// Release a replicated reservation on every device.
+    pub fn device_free_all(&mut self, bytes: u64) {
+        for d in &mut self.devices {
+            d.device_free(bytes);
+        }
+    }
+
     /// Aggregate ledger (sums across devices — device-seconds, not wall).
     pub fn aggregate_ledger(&self) -> TimingLedger {
         let mut total = TimingLedger::default();
@@ -147,7 +170,12 @@ pub fn scaling_summary(measurements: &[(usize, f64)]) -> Vec<ScalingPoint> {
         .iter()
         .map(|&(devices, wall_s)| {
             let speedup = base / wall_s;
-            ScalingPoint { devices, wall_s, speedup, efficiency: speedup / devices as f64 }
+            ScalingPoint {
+                devices,
+                wall_s,
+                speedup,
+                efficiency: speedup / devices as f64,
+            }
         })
         .collect()
 }
@@ -190,7 +218,10 @@ mod tests {
             let mut multi = MultiGpu::new(device(), n);
             let mut lanes = (1..=257u32).collect::<Vec<_>>();
             multi.launch_partitioned(&Countdown, &mut lanes, 10_000);
-            assert!(lanes.iter().all(|&l| l == 0), "all lanes completed on {n} devices");
+            assert!(
+                lanes.iter().all(|&l| l == 0),
+                "all lanes completed on {n} devices"
+            );
         }
     }
 

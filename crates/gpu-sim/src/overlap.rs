@@ -93,7 +93,10 @@ pub fn schedule_streams(streams: &[Vec<SegmentCost>]) -> OverlapResult {
         makespan = makespan.max(end);
     }
 
-    OverlapResult { sequential_s, overlapped_s: makespan }
+    OverlapResult {
+        sequential_s,
+        overlapped_s: makespan,
+    }
 }
 
 /// Convenience: split one stream of segments into `k` interleaved streams of
@@ -147,7 +150,10 @@ mod tests {
         let b = vec![seg(1.0, 0.2); 5];
         let r = schedule_streams(&[a, b]);
         let gpu_total = 10.0;
-        assert!(r.overlapped_s >= gpu_total, "GPU is the bottleneck resource");
+        assert!(
+            r.overlapped_s >= gpu_total,
+            "GPU is the bottleneck resource"
+        );
     }
 
     #[test]

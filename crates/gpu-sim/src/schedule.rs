@@ -58,7 +58,11 @@ impl ScheduleTrace {
 
     /// Total time attributed to a kind.
     pub fn total_for(&self, kind: EventKind) -> f64 {
-        self.events.iter().filter(|e| e.kind == kind).map(|e| e.duration_s).sum()
+        self.events
+            .iter()
+            .filter(|e| e.kind == kind)
+            .map(|e| e.duration_s)
+            .sum()
     }
 
     /// Makespan: end of the last event.
@@ -86,7 +90,11 @@ impl ScheduleTrace {
                 _ => '-',
             };
             out.push_str(&" ".repeat(start.min(width)));
-            out.push_str(&bar_char.to_string().repeat(len.min(width.saturating_sub(start) + 1)));
+            out.push_str(
+                &bar_char
+                    .to_string()
+                    .repeat(len.min(width.saturating_sub(start) + 1)),
+            );
             out.push_str(&format!(
                 "  {:<7} t={:.4}s dur={:.4}s lanes={}\n",
                 e.kind.label(),
@@ -105,10 +113,30 @@ mod tests {
 
     fn trace() -> ScheduleTrace {
         let mut t = ScheduleTrace::default();
-        t.push(ScheduleEvent { kind: EventKind::TransferH2D, start_s: 0.0, duration_s: 0.1, lanes: 0 });
-        t.push(ScheduleEvent { kind: EventKind::Kernel, start_s: 0.1, duration_s: 0.5, lanes: 128 });
-        t.push(ScheduleEvent { kind: EventKind::TransferD2H, start_s: 0.6, duration_s: 0.1, lanes: 0 });
-        t.push(ScheduleEvent { kind: EventKind::Reduction, start_s: 0.7, duration_s: 0.2, lanes: 128 });
+        t.push(ScheduleEvent {
+            kind: EventKind::TransferH2D,
+            start_s: 0.0,
+            duration_s: 0.1,
+            lanes: 0,
+        });
+        t.push(ScheduleEvent {
+            kind: EventKind::Kernel,
+            start_s: 0.1,
+            duration_s: 0.5,
+            lanes: 128,
+        });
+        t.push(ScheduleEvent {
+            kind: EventKind::TransferD2H,
+            start_s: 0.6,
+            duration_s: 0.1,
+            lanes: 0,
+        });
+        t.push(ScheduleEvent {
+            kind: EventKind::Reduction,
+            start_s: 0.7,
+            duration_s: 0.2,
+            lanes: 128,
+        });
         t
     }
 
@@ -116,7 +144,10 @@ mod tests {
     fn totals_by_kind() {
         let t = trace();
         assert!((t.total_for(EventKind::Kernel) - 0.5).abs() < 1e-12);
-        assert!((t.total_for(EventKind::TransferH2D) + t.total_for(EventKind::TransferD2H) - 0.2).abs() < 1e-12);
+        assert!(
+            (t.total_for(EventKind::TransferH2D) + t.total_for(EventKind::TransferD2H) - 0.2).abs()
+                < 1e-12
+        );
     }
 
     #[test]

@@ -78,7 +78,10 @@ impl<const N: usize> ChainOutput<N> {
         if self.samples.len() < 2 {
             return 0.0;
         }
-        self.samples.iter().map(|s| (s[j] - m) * (s[j] - m)).sum::<f64>()
+        self.samples
+            .iter()
+            .map(|s| (s[j] - m) * (s[j] - m))
+            .sum::<f64>()
             / (self.samples.len() - 1) as f64
     }
 }
@@ -144,7 +147,13 @@ mod tests {
     #[test]
     fn collects_requested_samples() {
         let mut rng = HybridTaus::new(1);
-        let out = run_chain(&std_normal, [0.0], [1.0], ChainConfig::fast_test(), &mut rng);
+        let out = run_chain(
+            &std_normal,
+            [0.0],
+            [1.0],
+            ChainConfig::fast_test(),
+            &mut rng,
+        );
         assert_eq!(out.samples.len(), 25);
     }
 
@@ -159,7 +168,11 @@ mod tests {
         };
         let out = run_chain(&std_normal, [3.0], [1.0], config, &mut rng);
         assert!(out.mean(0).abs() < 0.1, "mean {}", out.mean(0));
-        assert!((out.variance(0) - 1.0).abs() < 0.15, "var {}", out.variance(0));
+        assert!(
+            (out.variance(0) - 1.0).abs() < 0.15,
+            "var {}",
+            out.variance(0)
+        );
     }
 
     #[test]
@@ -170,7 +183,10 @@ mod tests {
             sample_interval: 8,
             adapt: AdaptScheme::paper_default(),
         };
-        let cfg_dense = ChainConfig { sample_interval: 1, ..cfg_thin };
+        let cfg_dense = ChainConfig {
+            sample_interval: 1,
+            ..cfg_thin
+        };
         let mut r1 = HybridTaus::new(3);
         let mut r2 = HybridTaus::new(3);
         let thin = run_chain(&std_normal, [0.0], [0.5], cfg_thin, &mut r1);

@@ -52,22 +52,28 @@ pub fn gelman_rubin(chains: &[Vec<f64>]) -> f64 {
     let m = chains.len();
     assert!(m >= 2, "need at least two chains");
     let n = chains[0].len();
-    assert!(chains.iter().all(|c| c.len() == n), "chains must share length");
+    assert!(
+        chains.iter().all(|c| c.len() == n),
+        "chains must share length"
+    );
     assert!(n >= 2, "chains too short");
 
-    let chain_means: Vec<f64> =
-        chains.iter().map(|c| c.iter().sum::<f64>() / n as f64).collect();
+    let chain_means: Vec<f64> = chains
+        .iter()
+        .map(|c| c.iter().sum::<f64>() / n as f64)
+        .collect();
     let grand = chain_means.iter().sum::<f64>() / m as f64;
     // Between-chain variance.
     let b = n as f64 / (m as f64 - 1.0)
-        * chain_means.iter().map(|&mu| (mu - grand) * (mu - grand)).sum::<f64>();
+        * chain_means
+            .iter()
+            .map(|&mu| (mu - grand) * (mu - grand))
+            .sum::<f64>();
     // Within-chain variance.
     let w = chains
         .iter()
         .zip(&chain_means)
-        .map(|(c, &mu)| {
-            c.iter().map(|&x| (x - mu) * (x - mu)).sum::<f64>() / (n as f64 - 1.0)
-        })
+        .map(|(c, &mu)| c.iter().map(|&x| (x - mu) * (x - mu)).sum::<f64>() / (n as f64 - 1.0))
         .sum::<f64>()
         / m as f64;
     if w == 0.0 {

@@ -101,8 +101,8 @@ impl ScalarRegressionGibbs {
         self.beta = self.rng.next(mean, sd);
         // σ² | β: InvGamma(n/2, SSE/2); draw via sum of squared normals
         // (chi-square with n dof).
-        let sse = (self.yty - 2.0 * self.beta * self.xty + self.beta * self.beta * self.xtx)
-            .max(1e-12);
+        let sse =
+            (self.yty - 2.0 * self.beta * self.xty + self.beta * self.beta * self.xtx).max(1e-12);
         let mut chi2 = 0.0;
         for _ in 0..self.n {
             let z = self.rng.next_standard();
@@ -150,7 +150,12 @@ mod tests {
         let target = move |p: &[f64; 2]| {
             -(p[0] * p[0] - 2.0 * rho * p[0] * p[1] + p[1] * p[1]) / (2.0 * det)
         };
-        let mut mh = MhSampler::new(&target, [0.0, 0.0], [1.0, 1.0], AdaptScheme::paper_default());
+        let mut mh = MhSampler::new(
+            &target,
+            [0.0, 0.0],
+            [1.0, 1.0],
+            AdaptScheme::paper_default(),
+        );
         let mut rng = Taus::new(2);
         for _ in 0..1000 {
             mh.step_loop(&target, &mut rng);
@@ -165,8 +170,7 @@ mod tests {
 
         let mut gibbs = BivariateGaussianGibbs::new(rho, 3);
         let samples = gibbs.sample(500, N);
-        let cov_gibbs: f64 =
-            samples.iter().map(|s| s[0] * s[1]).sum::<f64>() / N as f64;
+        let cov_gibbs: f64 = samples.iter().map(|s| s[0] * s[1]).sum::<f64>() / N as f64;
         assert!(
             (cov_mh - cov_gibbs).abs() < 0.06,
             "MH {cov_mh:.3} vs Gibbs {cov_gibbs:.3}"
@@ -188,8 +192,14 @@ mod tests {
         // error of the data itself.
         let ols = x.iter().zip(&y).map(|(a, b)| a * b).sum::<f64>()
             / x.iter().map(|v| v * v).sum::<f64>();
-        assert!((mean_beta - ols).abs() < 0.005, "β {mean_beta} vs OLS {ols}");
-        assert!((mean_beta - 2.5).abs() < 0.1, "β {mean_beta} far from truth");
+        assert!(
+            (mean_beta - ols).abs() < 0.005,
+            "β {mean_beta} vs OLS {ols}"
+        );
+        assert!(
+            (mean_beta - 2.5).abs() < 0.1,
+            "β {mean_beta} far from truth"
+        );
         assert!((mean_s2 - 0.25).abs() < 0.06, "σ² {mean_s2}");
     }
 

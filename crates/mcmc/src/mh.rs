@@ -43,7 +43,13 @@ impl AdaptScheme {
     /// The paper's adaptation: every 50 loops, keep acceptance in
     /// [0.25, 0.50].
     pub fn paper_default() -> Self {
-        AdaptScheme::Band { interval: 50, lo: 0.25, hi: 0.50, grow: 1.25, shrink: 0.8 }
+        AdaptScheme::Band {
+            interval: 50,
+            lo: 0.25,
+            hi: 0.50,
+            grow: 1.25,
+            shrink: 0.8,
+        }
     }
 }
 
@@ -82,7 +88,10 @@ impl<const N: usize> MhSampler<N> {
             log_density > f64::NEG_INFINITY,
             "initial state outside the target support"
         );
-        assert!(scales.iter().all(|&s| s > 0.0), "proposal scales must be positive");
+        assert!(
+            scales.iter().all(|&s| s > 0.0),
+            "proposal scales must be positive"
+        );
         MhSampler {
             params: initial,
             log_density,
@@ -198,7 +207,14 @@ impl<const N: usize> MhSampler<N> {
             self.step_param(target, rng, j);
         }
         self.loops_done += 1;
-        if let AdaptScheme::Band { interval, lo, hi, grow, shrink } = self.adapt {
+        if let AdaptScheme::Band {
+            interval,
+            lo,
+            hi,
+            grow,
+            shrink,
+        } = self.adapt
+        {
             if self.loops_done % interval == 0 {
                 self.adapt_scales(lo, hi, grow, shrink);
             }
@@ -294,7 +310,12 @@ mod tests {
             -(p[0] * p[0] - 2.0 * rho * p[0] * p[1] + p[1] * p[1]) / (2.0 * det)
         };
         let mut rng = HybridTaus::new(4);
-        let mut s = MhSampler::new(&target, [0.0, 0.0], [1.0, 1.0], AdaptScheme::paper_default());
+        let mut s = MhSampler::new(
+            &target,
+            [0.0, 0.0],
+            [1.0, 1.0],
+            AdaptScheme::paper_default(),
+        );
         for _ in 0..1000 {
             s.step_loop(&target, &mut rng);
         }
@@ -310,8 +331,7 @@ mod tests {
             syy += y * y;
         }
         let n = N as f64;
-        let corr = (n * sxy - sx * sy)
-            / ((n * sxx - sx * sx).sqrt() * (n * syy - sy * sy).sqrt());
+        let corr = (n * sxy - sx * sy) / ((n * sxx - sx * sx).sqrt() * (n * syy - sy * sy).sqrt());
         assert!((corr - rho).abs() < 0.05, "sampled correlation {corr}");
     }
 

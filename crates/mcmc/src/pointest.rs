@@ -82,12 +82,17 @@ pub fn fit_map(acq: &Acquisition, signal: &[f64], prior: PriorConfig) -> PointEs
     // Coordinate sweeps: (s0, d, sigma, f1, th1, ph1).
     for _sweep in 0..12 {
         let s0 = p.s0;
-        p.s0 = golden_max(0.5 * s0, 1.5 * s0, 24, |v| eval(&BallSticksParams { s0: v, ..p }));
+        p.s0 = golden_max(0.5 * s0, 1.5 * s0, 24, |v| {
+            eval(&BallSticksParams { s0: v, ..p })
+        });
         let d = p.d;
-        p.d = golden_max(0.25 * d, 3.0 * d, 24, |v| eval(&BallSticksParams { d: v, ..p }));
+        p.d = golden_max(0.25 * d, 3.0 * d, 24, |v| {
+            eval(&BallSticksParams { d: v, ..p })
+        });
         let sg = p.sigma;
-        p.sigma =
-            golden_max(0.2 * sg, 4.0 * sg, 24, |v| eval(&BallSticksParams { sigma: v, ..p }));
+        p.sigma = golden_max(0.2 * sg, 4.0 * sg, 24, |v| {
+            eval(&BallSticksParams { sigma: v, ..p })
+        });
         p.f1 = golden_max(0.0, 1.0, 24, |v| eval(&BallSticksParams { f1: v, ..p }));
         let th = p.th1;
         p.th1 = golden_max(
@@ -97,14 +102,20 @@ pub fn fit_map(acq: &Acquisition, signal: &[f64], prior: PriorConfig) -> PointEs
             |v| eval(&BallSticksParams { th1: v, ..p }),
         );
         let ph = p.ph1;
-        p.ph1 = golden_max(ph - 0.6, ph + 0.6, 24, |v| eval(&BallSticksParams { ph1: v, ..p }));
+        p.ph1 = golden_max(ph - 0.6, ph + 0.6, 24, |v| {
+            eval(&BallSticksParams { ph1: v, ..p })
+        });
     }
 
     // Laplace: numerical Hessian of −log posterior in (θ₁, φ₁).
     let h = 1e-3;
     let f00 = eval(&p);
     let fpp = |dt: f64, dp: f64| {
-        eval(&BallSticksParams { th1: p.th1 + dt, ph1: p.ph1 + dp, ..p })
+        eval(&BallSticksParams {
+            th1: p.th1 + dt,
+            ph1: p.ph1 + dp,
+            ..p
+        })
     };
     let d2t = -(fpp(h, 0.0) - 2.0 * f00 + fpp(-h, 0.0)) / (h * h);
     let d2p = -(fpp(0.0, h) - 2.0 * f00 + fpp(0.0, -h)) / (h * h);
@@ -117,7 +128,10 @@ pub fn fit_map(acq: &Acquisition, signal: &[f64], prior: PriorConfig) -> PointEs
         // Flat direction: fall back to a broad prior-scale dispersion.
         [0.25, 0.0, 0.25]
     };
-    PointEstimate { map: p, orientation_cov: cov }
+    PointEstimate {
+        map: p,
+        orientation_cov: cov,
+    }
 }
 
 /// Voxelwise point estimation mirroring
@@ -147,13 +161,24 @@ impl<'a> PointEstimator<'a> {
         assert_eq!(dwi.nt(), acq.len());
         assert_eq!(dwi.dims(), mask.dims());
         assert!(num_samples > 0);
-        PointEstimator { acq, dwi, mask, prior, num_samples, seed }
+        PointEstimator {
+            acq,
+            dwi,
+            mask,
+            prior,
+            num_samples,
+            seed,
+        }
     }
 
     /// Point-estimate one voxel.
     pub fn estimate_voxel(&self, voxel_index: usize) -> PointEstimate {
-        let signal: Vec<f64> =
-            self.dwi.voxel_at(voxel_index).iter().map(|&v| v as f64).collect();
+        let signal: Vec<f64> = self
+            .dwi
+            .voxel_at(voxel_index)
+            .iter()
+            .map(|&v| v as f64)
+            .collect();
         fit_map(self.acq, &signal, self.prior)
     }
 
@@ -177,8 +202,7 @@ impl<'a> PointEstimator<'a> {
             for s in 0..self.num_samples {
                 let z1 = rng.next_standard();
                 let z2 = rng.next_standard();
-                let th = (est.map.th1 + a * z1)
-                    .clamp(1e-3, std::f64::consts::PI - 1e-3);
+                let th = (est.map.th1 + a * z1).clamp(1e-3, std::f64::consts::PI - 1e-3);
                 let ph = est.map.ph1 + b * z1 + c22 * z2;
                 out.f1.set(c, s, est.map.f1 as f32);
                 out.th1.set(c, s, th as f32);
@@ -259,8 +283,7 @@ mod tests {
         let point = PointEstimator::new(&ds.acq, &ds.dwi, &mask, PriorConfig::default(), 30, 3)
             .run_parallel();
         // Point estimation reports exactly one population.
-        let pe_f2: f64 =
-            (0..30).map(|s| point.sticks_at(c, s)[1].1).sum::<f64>() / 30.0;
+        let pe_f2: f64 = (0..30).map(|s| point.sticks_at(c, s)[1].1).sum::<f64>() / 30.0;
         assert_eq!(pe_f2, 0.0);
         // Full MCMC assigns substantial volume to the second stick.
         let mcmc = crate::VoxelEstimator::new(

@@ -153,7 +153,14 @@ impl<'a> VoxelEstimator<'a> {
     ) -> Self {
         assert_eq!(dwi.nt(), acq.len(), "DWI volume count must match protocol");
         assert_eq!(dwi.dims(), mask.dims(), "mask dims must match DWI dims");
-        VoxelEstimator { acq, dwi, mask, prior, config, seed }
+        VoxelEstimator {
+            acq,
+            dwi,
+            mask,
+            prior,
+            config,
+            seed,
+        }
     }
 
     /// Chain configuration in use.
@@ -171,8 +178,12 @@ impl<'a> VoxelEstimator<'a> {
     /// `prior.max_sticks == 1` the second stick's parameters are frozen at
     /// `f₂ = 0` — the N = 1 compartment model.
     pub fn run_voxel(&self, voxel_index: usize) -> ChainOutput<NUM_PARAMETERS> {
-        let signal: Vec<f64> =
-            self.dwi.voxel_at(voxel_index).iter().map(|&v| v as f64).collect();
+        let signal: Vec<f64> = self
+            .dwi
+            .voxel_at(voxel_index)
+            .iter()
+            .map(|&v| v as f64)
+            .collect();
         let posterior = BallSticksPosterior::new(self.acq, &signal, self.prior);
         let mut init = posterior.initial_params();
         if self.prior.max_sticks == 1 {
@@ -232,8 +243,12 @@ impl<'a> VoxelEstimator<'a> {
             param_index::TH2,
             param_index::PH2,
         ];
-        let signal: Vec<f64> =
-            self.dwi.voxel_at(voxel_index).iter().map(|&v| v as f64).collect();
+        let signal: Vec<f64> = self
+            .dwi
+            .voxel_at(voxel_index)
+            .iter()
+            .map(|&v| v as f64)
+            .collect();
         let posterior = BallSticksPosterior::new(self.acq, &signal, self.prior);
         let init = posterior.initial_params();
         let scales = default_proposal_scales(init.s0);
@@ -297,7 +312,11 @@ mod tests {
         );
         // Estimate just the center voxel.
         let c = Ijk::new(4, 2, 2);
-        assert_eq!(ds.truth.at(c).count, 1, "center voxel must carry the bundle");
+        assert_eq!(
+            ds.truth.at(c).count,
+            1,
+            "center voxel must carry the bundle"
+        );
         let idx = ds.dwi.dims().index(c);
         let chain = est.run_voxel(idx);
         let mut vols = SampleVolumes::zeros(ds.dwi.dims(), chain.samples.len());
@@ -410,7 +429,11 @@ mod tests {
             .iter()
             .filter(|&&r| (0.1..=0.7).contains(&r))
             .count();
-        assert!(in_band >= 6, "acceptance rates {:?}", chain.final_acceptance);
+        assert!(
+            in_band >= 6,
+            "acceptance rates {:?}",
+            chain.final_acceptance
+        );
     }
 
     #[test]

@@ -126,12 +126,8 @@ impl DatasetSpec {
             (0.07 * min_dim).max(1.0),
         );
 
-        let bundles: Vec<(&dyn Bundle, f64)> = vec![
-            (&cc, 0.65),
-            (&cst_l, 0.60),
-            (&cst_r, 0.60),
-            (&assoc, 0.55),
-        ];
+        let bundles: Vec<(&dyn Bundle, f64)> =
+            vec![(&cc, 0.65), (&cst_l, 0.60), (&cst_r, 0.60), (&assoc, 0.55)];
         let truth = GroundTruthField::rasterize(dims, &bundles, 0.95);
 
         // Ellipsoidal brain mask (the "valid white-matter voxels" of Table
@@ -238,11 +234,7 @@ pub fn crossing(dims: Dim3, angle_deg: f64, noise_snr: Option<f64>, seed: u64) -
     let center = Vec3::new((nx - 1.0) / 2.0, (ny - 1.0) / 2.0, (nz - 1.0) / 2.0);
     let half = 0.5 * nx.max(ny);
     let r = (0.12 * nx.min(ny)).max(1.2);
-    let a = StraightBundle::new(
-        center - Vec3::X * half,
-        center + Vec3::X * half,
-        r,
-    );
+    let a = StraightBundle::new(center - Vec3::X * half, center + Vec3::X * half, r);
     let ang = angle_deg.to_radians();
     let dir_b = Vec3::new(ang.cos(), ang.sin(), 0.0);
     let b = StraightBundle::new(center - dir_b * half, center + dir_b * half, r);
@@ -345,7 +337,10 @@ mod tests {
 
     #[test]
     fn scaled_dataset1_builds() {
-        let ds = DatasetSpec::paper_dataset1().scaled(0.15).light_protocol().build();
+        let ds = DatasetSpec::paper_dataset1()
+            .scaled(0.15)
+            .light_protocol()
+            .build();
         assert!(!ds.dwi.dims().is_empty());
         assert_eq!(ds.dwi.nt(), ds.acq.len());
         assert!(ds.valid_voxel_count() > 0);
@@ -373,7 +368,10 @@ mod tests {
 
     #[test]
     fn dataset_contains_crossings() {
-        let ds = DatasetSpec::paper_dataset1().scaled(0.2).light_protocol().build();
+        let ds = DatasetSpec::paper_dataset1()
+            .scaled(0.2)
+            .light_protocol()
+            .build();
         assert!(
             ds.truth.crossing_mask().count() > 0,
             "CST × association crossings must exist"
@@ -382,10 +380,15 @@ mod tests {
 
     #[test]
     fn wm_mask_is_ellipsoid_interior() {
-        let ds = DatasetSpec::paper_dataset1().scaled(0.15).light_protocol().build();
+        let ds = DatasetSpec::paper_dataset1()
+            .scaled(0.15)
+            .light_protocol()
+            .build();
         let d = ds.spec.dims;
         // Center voxel in, corner voxel out.
-        assert!(ds.wm_mask.contains(tracto_volume::Ijk::new(d.nx / 2, d.ny / 2, d.nz / 2)));
+        assert!(ds
+            .wm_mask
+            .contains(tracto_volume::Ijk::new(d.nx / 2, d.ny / 2, d.nz / 2)));
         assert!(!ds.wm_mask.contains(tracto_volume::Ijk::new(0, 0, 0)));
         // Roughly half the volume (ellipsoid of semi-axes 0.45 fills
         // 4/3·π·0.45³ / 1 ≈ 38% of the bounding box).
@@ -410,13 +413,24 @@ mod tests {
         assert_eq!(vt.count, 2, "center voxel must be a crossing");
         let d0 = vt.sticks()[0].0;
         let d1 = vt.sticks()[1].0;
-        assert!(d0.dot(d1).abs() < 0.2, "crossing directions near-orthogonal");
+        assert!(
+            d0.dot(d1).abs() < 0.2,
+            "crossing directions near-orthogonal"
+        );
     }
 
     #[test]
     fn noiseless_flag_respected() {
-        let a = DatasetSpec::paper_dataset1().scaled(0.12).light_protocol().noiseless().build();
-        let b = DatasetSpec::paper_dataset1().scaled(0.12).light_protocol().noiseless().build();
+        let a = DatasetSpec::paper_dataset1()
+            .scaled(0.12)
+            .light_protocol()
+            .noiseless()
+            .build();
+        let b = DatasetSpec::paper_dataset1()
+            .scaled(0.12)
+            .light_protocol()
+            .noiseless()
+            .build();
         assert_eq!(a.dwi, b.dwi, "noiseless builds must be identical");
     }
 

@@ -17,7 +17,14 @@ pub struct VoxelTruth {
 impl VoxelTruth {
     /// An empty (isotropic) voxel.
     pub const EMPTY: VoxelTruth = VoxelTruth {
-        sticks: [(Vec3 { x: 0.0, y: 0.0, z: 0.0 }, 0.0); 2],
+        sticks: [(
+            Vec3 {
+                x: 0.0,
+                y: 0.0,
+                z: 0.0,
+            },
+            0.0,
+        ); 2],
         count: 0,
     };
 
@@ -194,11 +201,7 @@ mod tests {
     #[test]
     fn rasterize_straight_bundle() {
         let dims = Dim3::new(16, 8, 8);
-        let b = StraightBundle::new(
-            Vec3::new(0.0, 4.0, 4.0),
-            Vec3::new(15.0, 4.0, 4.0),
-            2.0,
-        );
+        let b = StraightBundle::new(Vec3::new(0.0, 4.0, 4.0), Vec3::new(15.0, 4.0, 4.0), 2.0);
         let field = GroundTruthField::rasterize(dims, &[(&b, 0.7)], 0.9);
         // Center of the tube is fiber-bearing with the x direction.
         let vt = field.at(Ijk::new(8, 4, 4));

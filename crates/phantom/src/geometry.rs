@@ -110,12 +110,23 @@ impl ArcBundle {
         ang1: f64,
         tube_radius: f64,
     ) -> Self {
-        assert!(arc_radius > 0.0 && tube_radius > 0.0, "radii must be positive");
+        assert!(
+            arc_radius > 0.0 && tube_radius > 0.0,
+            "radii must be positive"
+        );
         assert!(ang1 > ang0, "empty arc");
         let n = normal.normalized();
         let u = n.any_orthogonal();
         let v = n.cross(u).normalized();
-        ArcBundle { center, u, v, arc_radius, ang0, ang1, tube_radius }
+        ArcBundle {
+            center,
+            u,
+            v,
+            arc_radius,
+            ang0,
+            ang1,
+            tube_radius,
+        }
     }
 
     /// The spine point at angle `a`.

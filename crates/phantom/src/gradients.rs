@@ -132,7 +132,11 @@ mod tests {
         // case: with 20 points, min pairwise angle should exceed ~15°.
         let dirs = repulsion_directions(20, 42);
         let min = min_pairwise_angle(&dirs);
-        assert!(min > 15f64.to_radians(), "min angle {:.1}°", min.to_degrees());
+        assert!(
+            min > 15f64.to_radians(),
+            "min angle {:.1}°",
+            min.to_degrees()
+        );
     }
 
     #[test]

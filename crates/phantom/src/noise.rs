@@ -95,7 +95,10 @@ mod tests {
         const N: usize = 50_000;
         let mean = (0..N).map(|_| m.apply(0.0, &mut r)).sum::<f64>() / N as f64;
         let expected = sigma * (std::f64::consts::PI / 2.0).sqrt();
-        assert!((mean - expected).abs() < 0.05, "mean {mean} expected {expected}");
+        assert!(
+            (mean - expected).abs() < 0.05,
+            "mean {mean} expected {expected}"
+        );
     }
 
     #[test]

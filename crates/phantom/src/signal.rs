@@ -19,7 +19,10 @@ pub struct TissueParams {
 
 impl Default for TissueParams {
     fn default() -> Self {
-        TissueParams { s0: 1000.0, d: 1.5e-3 }
+        TissueParams {
+            s0: 1000.0,
+            d: 1.5e-3,
+        }
     }
 }
 
@@ -72,7 +75,10 @@ pub fn synthesize(
 
 /// Extract one voxel's signal as `f64` (the MCMC-side access pattern).
 pub fn voxel_signal(dwi: &Volume4<f32>, voxel_index: usize) -> Vec<f64> {
-    dwi.voxel_at(voxel_index).iter().map(|&v| v as f64).collect()
+    dwi.voxel_at(voxel_index)
+        .iter()
+        .map(|&v| v as f64)
+        .collect()
 }
 
 #[cfg(test)]
@@ -84,11 +90,7 @@ mod tests {
 
     fn small_field() -> GroundTruthField {
         let dims = Dim3::new(8, 8, 4);
-        let b = StraightBundle::new(
-            Vec3::new(0.0, 4.0, 2.0),
-            Vec3::new(7.0, 4.0, 2.0),
-            1.5,
-        );
+        let b = StraightBundle::new(Vec3::new(0.0, 4.0, 2.0), Vec3::new(7.0, 4.0, 2.0), 1.5);
         GroundTruthField::rasterize(dims, &[(&b, 0.65)], 0.9)
     }
 
@@ -104,10 +106,20 @@ mod tests {
         let (dir, f) = vt.sticks()[0];
         for i in 0..acq.len() {
             let expected = ball_two_sticks_predict(
-                1000.0, 1.5e-3, f, 0.0, dir, Vec3::X, acq.bval(i), acq.grad(i),
+                1000.0,
+                1.5e-3,
+                f,
+                0.0,
+                dir,
+                Vec3::X,
+                acq.bval(i),
+                acq.grad(i),
             );
             let got = *dwi.get(c, i) as f64;
-            assert!((got - expected).abs() < 1e-3, "measurement {i}: {got} vs {expected}");
+            assert!(
+                (got - expected).abs() < 1e-3,
+                "measurement {i}: {got} vs {expected}"
+            );
         }
         let _ = dims;
     }
@@ -166,7 +178,7 @@ mod tests {
         let acq = test_protocol(5);
         let dwi = synthesize(&field, &acq, TissueParams::default(), NoiseModel::None, 0);
         let c = Ijk::new(4, 4, 2); // fiber along X
-        // Find the DWI measurement most and least aligned with X.
+                                   // Find the DWI measurement most and least aligned with X.
         let mut best_align = (0, -1.0);
         let mut worst_align = (0, 2.0);
         for i in acq.dwi_indices() {
@@ -180,7 +192,10 @@ mod tests {
         }
         let along = *dwi.get(c, best_align.0);
         let across = *dwi.get(c, worst_align.0);
-        assert!(along < across, "along-fiber signal must attenuate more: {along} vs {across}");
+        assert!(
+            along < across,
+            "along-fiber signal must attenuate more: {along} vs {across}"
+        );
     }
 
     #[test]

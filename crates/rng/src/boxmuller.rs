@@ -21,7 +21,10 @@ pub struct BoxMuller<R> {
 impl<R: RandomSource> BoxMuller<R> {
     /// Wrap a uniform source.
     pub fn new(source: R) -> Self {
-        BoxMuller { source, cached: None }
+        BoxMuller {
+            source,
+            cached: None,
+        }
     }
 
     /// Next standard normal N(0, 1).
@@ -133,7 +136,10 @@ mod tests {
         const N: usize = 50_000;
         let mut sxy = 0.0;
         for _ in 0..N {
-            let (a, b) = box_muller_pair(crate::RandomSource::next_f64(&mut g), crate::RandomSource::next_f64(&mut g));
+            let (a, b) = box_muller_pair(
+                crate::RandomSource::next_f64(&mut g),
+                crate::RandomSource::next_f64(&mut g),
+            );
             sxy += a * b;
         }
         assert!((sxy / N as f64).abs() < 0.02);
@@ -162,6 +168,9 @@ mod tests {
         let beyond_2 = (0..N).filter(|_| g.next_standard().abs() > 2.0).count();
         let frac = beyond_2 as f64 / N as f64;
         // P(|Z| > 2) ≈ 0.0455.
-        assert!((frac - 0.0455).abs() < 0.005, "two-sigma tail fraction {frac}");
+        assert!(
+            (frac - 0.0455).abs() < 0.005,
+            "two-sigma tail fraction {frac}"
+        );
     }
 }

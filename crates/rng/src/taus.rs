@@ -177,10 +177,13 @@ mod tests {
             counts[(g.next_f64() * K as f64) as usize] += 1;
         }
         let expected = N as f64 / K as f64;
-        let chi2: f64 = counts.iter().map(|&c| {
-            let d = c as f64 - expected;
-            d * d / expected
-        }).sum();
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum();
         // 15 dof: p=0.001 critical value ≈ 37.7.
         assert!(chi2 < 37.7, "chi-squared {chi2} too large");
     }

@@ -1,0 +1,483 @@
+//! Continuous batching of tracking work from many jobs into shared
+//! GPU launches.
+//!
+//! The paper's segmentation keeps wavefronts full *within* one tracking
+//! run by compacting lanes between launches. A job service can go one step
+//! further: because every lane is independent (one walker, one sample
+//! volume view), lanes from *different jobs* can share the same launch.
+//! Merging the queue's pending jobs into one lane population keeps the
+//! device saturated even when each individual job is too small to fill it,
+//! and the compaction boundaries the paper already requires are exactly
+//! where finished jobs' results are demultiplexed back out.
+//!
+//! Results are bit-identical to running each job alone through
+//! [`tracto::tracking2::GpuTracker`]: lane initialization reproduces its
+//! recipe exactly (jittered seed → initial direction → walker), stepping is
+//! deterministic, and the per-job accumulators are order-independent sums.
+
+use std::sync::Arc;
+use tracto::tracking::connectivity::ConnectivityAccumulator;
+use tracto::tracking::field::SampleFieldView;
+use tracto::tracking::gpu::LANE_BYTES;
+use tracto::tracking::probabilistic::{initial_direction, jittered_seed};
+use tracto::tracking::walker::{StopReason, TrackingParams, Walker};
+use tracto::tracking::{SegmentationStrategy, TrackingOutput};
+use tracto_gpu_sim::{LaneStatus, MultiGpu, SimKernel, TimingLedger};
+use tracto_mcmc::SampleVolumes;
+use tracto_volume::{Mask, Vec3};
+
+/// One job's contribution to a batch.
+#[derive(Clone)]
+pub struct BatchJob {
+    /// Posterior sample stack (usually shared with the cache).
+    pub samples: Arc<SampleVolumes>,
+    /// Tracking parameters — may differ per job; each walker enforces its
+    /// own `max_steps`, so a shared launch budget cannot overrun a job.
+    pub params: TrackingParams,
+    /// Seed positions.
+    pub seeds: Vec<Vec3>,
+    /// Optional tracking mask.
+    pub mask: Option<Mask>,
+    /// Sub-voxel jitter amplitude.
+    pub jitter: f64,
+    /// Run seed.
+    pub run_seed: u64,
+    /// Record per-voxel visits.
+    pub record_visits: bool,
+}
+
+/// One lane of the merged population: a walker plus routing identity.
+#[derive(Clone)]
+pub struct BatchLane {
+    walker: Walker,
+    job: u32,
+    sample: u32,
+}
+
+/// The batched tracking kernel: routes each lane's step through its own
+/// job's sample volume, parameters, and mask.
+struct BatchKernel<'a> {
+    jobs: &'a [BatchJob],
+}
+
+impl SimKernel for BatchKernel<'_> {
+    type Lane = BatchLane;
+
+    #[inline]
+    fn step(&self, lane: &mut BatchLane) -> LaneStatus {
+        let job = &self.jobs[lane.job as usize];
+        let field = SampleFieldView::new(&job.samples, lane.sample as usize);
+        match lane.walker.step(&field, &job.params, job.mask.as_ref()) {
+            StopReason::Running => LaneStatus::Continue,
+            _ => LaneStatus::Finished,
+        }
+    }
+}
+
+/// Why a batch could not run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchError {
+    /// The merged working set exceeds device memory by this many bytes.
+    InsufficientMemory(u64),
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchError::InsufficientMemory(short) => {
+                write!(
+                    f,
+                    "batch working set exceeds device memory by {short} bytes"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// One batched run's outcome.
+pub struct BatchReport {
+    /// Per-job results, in submission order, shaped exactly like the
+    /// single-job pipeline output.
+    pub per_job: Vec<TrackingOutput>,
+    /// Aggregate device ledger for the batch (device-seconds).
+    pub ledger: TimingLedger,
+    /// Simulated wall-clock of the batch (kernels overlap across devices).
+    pub wall_s: f64,
+    /// Total lanes in the merged population.
+    pub lanes: usize,
+    /// Launches issued.
+    pub launches: u64,
+    /// Mean wavefront (SIMD) utilization across the batch's launches.
+    pub utilization: f64,
+}
+
+/// Run `jobs` as one merged lane population on `multi`, under one shared
+/// segmentation schedule. The report's ledger and wall clock are deltas
+/// over this call, so a long-lived device group yields per-batch numbers.
+pub fn run_batch(
+    multi: &mut MultiGpu,
+    jobs: &[BatchJob],
+    strategy: &SegmentationStrategy,
+) -> Result<BatchReport, BatchError> {
+    assert!(!jobs.is_empty(), "empty batch");
+    let ledger_before = multi.aggregate_ledger();
+    let wall_before = multi.wall_s();
+
+    // Residency: every job's full sample stack on every device (lanes from
+    // all samples are in flight together), plus the merged lane buffers.
+    let volume_bytes: u64 = jobs
+        .iter()
+        .map(|j| 6 * j.samples.dims().len() as u64 * j.samples.num_samples() as u64 * 4)
+        .sum();
+
+    let mut lanes: Vec<BatchLane> = Vec::new();
+    for (job_idx, job) in jobs.iter().enumerate() {
+        let num_samples = job.samples.num_samples();
+        for sample in 0..num_samples {
+            let field = SampleFieldView::new(&job.samples, sample);
+            for (seed_idx, &seed) in job.seeds.iter().enumerate() {
+                let pos = jittered_seed(seed, job.run_seed, sample, seed_idx, job.jitter);
+                let dir =
+                    initial_direction(&field, pos, job.params.min_fraction).unwrap_or(Vec3::ZERO);
+                let mut walker = if job.record_visits {
+                    Walker::new_recording(seed_idx as u32, pos, dir)
+                } else {
+                    Walker::new(seed_idx as u32, pos, dir)
+                };
+                if dir == Vec3::ZERO {
+                    walker.stop = StopReason::NoDirection;
+                }
+                lanes.push(BatchLane {
+                    walker,
+                    job: job_idx as u32,
+                    sample: sample as u32,
+                });
+            }
+        }
+    }
+    let total_lanes = lanes.len();
+    let lane_bytes = total_lanes as u64 * LANE_BYTES;
+
+    multi
+        .device_alloc_all(volume_bytes + lane_bytes)
+        .map_err(BatchError::InsufficientMemory)?;
+    multi.broadcast_to_devices(volume_bytes);
+    multi.scatter_to_devices(lane_bytes);
+
+    // One shared schedule covers the longest job; shorter jobs' walkers
+    // stop at their own max_steps and retire at the next compaction.
+    let max_steps = jobs
+        .iter()
+        .map(|j| j.params.max_steps)
+        .max()
+        .expect("non-empty");
+    let budgets = strategy.budgets(max_steps);
+
+    let mut per_job: Vec<JobAccum> = jobs
+        .iter()
+        .map(|j| {
+            (
+                vec![vec![0u32; j.seeds.len()]; j.samples.num_samples()],
+                0u64,
+                j.record_visits
+                    .then(|| ConnectivityAccumulator::new(j.samples.dims())),
+            )
+        })
+        .collect();
+
+    let kernel = BatchKernel { jobs };
+    let mut launches = 0u64;
+    let mut charged = 0u64;
+    let mut useful = 0u64;
+
+    for (seg_idx, &budget) in budgets.iter().enumerate() {
+        if lanes.is_empty() {
+            break;
+        }
+        if seg_idx > 0 {
+            // Re-upload the compacted population.
+            multi.scatter_to_devices(lanes.len() as u64 * LANE_BYTES);
+        }
+        let stats = multi.launch_partitioned(&kernel, &mut lanes, budget);
+        launches += stats.len() as u64;
+        for s in &stats {
+            charged += s.charged_iterations;
+            useful += s.useful_iterations;
+        }
+        multi.gather_to_host(lanes.len() as u64 * LANE_BYTES);
+        multi.host_reduction(lanes.len() as u64);
+
+        // Compact: retire finished lanes into their job's accumulators.
+        let mut still_running = Vec::with_capacity(lanes.len());
+        for lane in lanes.drain(..) {
+            if lane.walker.alive() {
+                still_running.push(lane);
+            } else {
+                retire(&lane, &mut per_job);
+            }
+        }
+        lanes = still_running;
+    }
+    debug_assert!(lanes.is_empty(), "lanes survived the full budget");
+    for lane in lanes.drain(..) {
+        retire(&lane, &mut per_job);
+    }
+
+    multi.device_free_all(volume_bytes + lane_bytes);
+
+    let per_job = per_job
+        .into_iter()
+        .map(
+            |(lengths_by_sample, total_steps, connectivity)| TrackingOutput {
+                lengths_by_sample,
+                total_steps,
+                connectivity,
+                streamlines: Vec::new(),
+            },
+        )
+        .collect();
+
+    let after = multi.aggregate_ledger();
+    let ledger = TimingLedger {
+        kernel_s: after.kernel_s - ledger_before.kernel_s,
+        reduction_s: after.reduction_s - ledger_before.reduction_s,
+        transfer_s: after.transfer_s - ledger_before.transfer_s,
+        launches: after.launches - ledger_before.launches,
+        bytes_h2d: after.bytes_h2d - ledger_before.bytes_h2d,
+        bytes_d2h: after.bytes_d2h - ledger_before.bytes_d2h,
+        useful_iterations: after.useful_iterations - ledger_before.useful_iterations,
+        charged_iterations: after.charged_iterations - ledger_before.charged_iterations,
+        wall_kernel_s: after.wall_kernel_s - ledger_before.wall_kernel_s,
+    };
+
+    Ok(BatchReport {
+        per_job,
+        ledger,
+        wall_s: multi.wall_s() - wall_before,
+        lanes: total_lanes,
+        launches,
+        utilization: if charged == 0 {
+            1.0
+        } else {
+            useful as f64 / charged as f64
+        },
+    })
+}
+
+/// Per-job accumulation during a batch: lengths by (sample, seed),
+/// total steps, and the optional connectivity accumulator.
+type JobAccum = (Vec<Vec<u32>>, u64, Option<ConnectivityAccumulator>);
+
+fn retire(lane: &BatchLane, per_job: &mut [JobAccum]) {
+    let (lengths, total_steps, connectivity) = &mut per_job[lane.job as usize];
+    let seed = lane.walker.seed_id as usize;
+    lengths[lane.sample as usize][seed] = lane.walker.steps;
+    *total_steps += lane.walker.steps as u64;
+    if let Some(acc) = connectivity.as_mut() {
+        if lane.walker.path.is_empty() {
+            acc.add_empty();
+        } else {
+            acc.add_path(&lane.walker.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracto::tracking2::{GpuTracker, SeedOrdering};
+    use tracto_gpu_sim::{DeviceConfig, Gpu};
+    use tracto_volume::Dim3;
+
+    fn x_samples(dims: Dim3, n: usize) -> Arc<SampleVolumes> {
+        let mut sv = SampleVolumes::zeros(dims, n);
+        for c in dims.iter() {
+            for s in 0..n {
+                sv.f1.set(c, s, 0.6);
+                sv.th1.set(c, s, std::f64::consts::FRAC_PI_2 as f32);
+                sv.ph1.set(c, s, 0.0);
+            }
+        }
+        Arc::new(sv)
+    }
+
+    fn params(max_steps: u32) -> TrackingParams {
+        TrackingParams {
+            step_length: 0.5,
+            angular_threshold: 0.8,
+            max_steps,
+            min_fraction: 0.05,
+            interp: tracto::tracking::InterpMode::Nearest,
+        }
+    }
+
+    fn device() -> DeviceConfig {
+        DeviceConfig {
+            wavefront_size: 4,
+            num_compute_units: 2,
+            waves_per_cu: 2,
+            ..DeviceConfig::radeon_5870()
+        }
+    }
+
+    fn line_seeds(dims: Dim3) -> Vec<Vec3> {
+        (0..dims.nx)
+            .map(|i| Vec3::new(i as f64, 2.0, 2.0))
+            .collect()
+    }
+
+    fn batch_job(sv: &Arc<SampleVolumes>, seeds: Vec<Vec3>, run_seed: u64, max: u32) -> BatchJob {
+        BatchJob {
+            samples: Arc::clone(sv),
+            params: params(max),
+            seeds,
+            mask: None,
+            jitter: 0.4,
+            run_seed,
+            record_visits: false,
+        }
+    }
+
+    fn solo_report(job: &BatchJob, strategy: &SegmentationStrategy) -> (Vec<Vec<u32>>, u64) {
+        let tracker = GpuTracker {
+            samples: &job.samples,
+            params: job.params,
+            seeds: job.seeds.clone(),
+            mask: job.mask.as_ref(),
+            strategy: strategy.clone(),
+            ordering: SeedOrdering::Natural,
+            jitter: job.jitter,
+            run_seed: job.run_seed,
+            record_visits: job.record_visits,
+        };
+        let r = tracker.run(&mut Gpu::new(device()));
+        (r.lengths_by_sample, r.total_steps)
+    }
+
+    #[test]
+    fn batched_results_match_solo_runs() {
+        let dims = Dim3::new(12, 6, 6);
+        let sv = x_samples(dims, 3);
+        let strategy = SegmentationStrategy::paper_b();
+        let jobs = vec![
+            batch_job(&sv, line_seeds(dims), 5, 200),
+            batch_job(&sv, line_seeds(dims), 77, 200),
+            // A job with a smaller step cap under the shared schedule.
+            batch_job(&sv, line_seeds(dims), 5, 9),
+        ];
+        let mut multi = MultiGpu::new(device(), 2);
+        let report = run_batch(&mut multi, &jobs, &strategy).unwrap();
+        assert_eq!(report.per_job.len(), 3);
+        assert_eq!(report.lanes, 3 * 3 * 12);
+        for (job, out) in jobs.iter().zip(&report.per_job) {
+            let (lengths, total) = solo_report(job, &strategy);
+            assert_eq!(
+                out.lengths_by_sample, lengths,
+                "batching must not change results"
+            );
+            assert_eq!(out.total_steps, total);
+        }
+    }
+
+    #[test]
+    fn batched_connectivity_matches_solo() {
+        let dims = Dim3::new(10, 6, 6);
+        let sv = x_samples(dims, 2);
+        let strategy = SegmentationStrategy::paper_c();
+        let mut job = batch_job(&sv, vec![Vec3::new(0.0, 2.0, 2.0)], 3, 200);
+        job.record_visits = true;
+        job.jitter = 0.0;
+        let mut multi = MultiGpu::new(device(), 1);
+        let report = run_batch(&mut multi, std::slice::from_ref(&job), &strategy).unwrap();
+        let batched = report.per_job[0].connectivity.as_ref().unwrap();
+
+        let tracker = GpuTracker {
+            samples: &job.samples,
+            params: job.params,
+            seeds: job.seeds.clone(),
+            mask: None,
+            strategy: strategy.clone(),
+            ordering: SeedOrdering::Natural,
+            jitter: 0.0,
+            run_seed: 3,
+            record_visits: true,
+        };
+        let solo = tracker.run(&mut Gpu::new(device()));
+        let solo_acc = solo.connectivity.unwrap();
+        assert_eq!(batched.total_streamlines(), solo_acc.total_streamlines());
+        assert_eq!(batched.probability_volume(), solo_acc.probability_volume());
+    }
+
+    #[test]
+    fn results_invariant_to_batch_composition() {
+        let dims = Dim3::new(12, 6, 6);
+        let sv = x_samples(dims, 2);
+        let strategy = SegmentationStrategy::paper_b();
+        let a = batch_job(&sv, line_seeds(dims), 11, 200);
+        let b = batch_job(&sv, line_seeds(dims), 22, 150);
+        let mut multi = MultiGpu::new(device(), 2);
+        let together = run_batch(&mut multi, &[a.clone(), b.clone()], &strategy).unwrap();
+        let mut m1 = MultiGpu::new(device(), 2);
+        let alone_a = run_batch(&mut m1, std::slice::from_ref(&a), &strategy).unwrap();
+        let mut m2 = MultiGpu::new(device(), 2);
+        let alone_b = run_batch(&mut m2, std::slice::from_ref(&b), &strategy).unwrap();
+        assert_eq!(
+            together.per_job[0].lengths_by_sample,
+            alone_a.per_job[0].lengths_by_sample
+        );
+        assert_eq!(
+            together.per_job[1].lengths_by_sample,
+            alone_b.per_job[0].lengths_by_sample
+        );
+    }
+
+    #[test]
+    fn merged_batch_fewer_launches_than_sequential() {
+        let dims = Dim3::new(12, 6, 6);
+        let sv = x_samples(dims, 2);
+        let strategy = SegmentationStrategy::paper_b();
+        let jobs: Vec<BatchJob> = (0..4)
+            .map(|i| batch_job(&sv, line_seeds(dims), i, 200))
+            .collect();
+        let mut merged = MultiGpu::new(device(), 1);
+        let batch = run_batch(&mut merged, &jobs, &strategy).unwrap();
+        let sequential: u64 = jobs
+            .iter()
+            .map(|j| {
+                let mut m = MultiGpu::new(device(), 1);
+                run_batch(&mut m, std::slice::from_ref(j), &strategy)
+                    .unwrap()
+                    .launches
+            })
+            .sum();
+        assert!(
+            batch.launches < sequential,
+            "merged {} vs sequential {}",
+            batch.launches,
+            sequential
+        );
+        assert!(batch.utilization > 0.0 && batch.utilization <= 1.0);
+    }
+
+    #[test]
+    fn insufficient_memory_reported() {
+        let dims = Dim3::new(12, 6, 6);
+        let sv = x_samples(dims, 2);
+        let tiny = DeviceConfig {
+            memory_bytes: 64,
+            ..device()
+        };
+        let mut multi = MultiGpu::new(tiny, 1);
+        let job = batch_job(&sv, line_seeds(dims), 1, 100);
+        match run_batch(
+            &mut multi,
+            std::slice::from_ref(&job),
+            &SegmentationStrategy::Single,
+        ) {
+            Err(BatchError::InsufficientMemory(short)) => assert!(short > 0),
+            other => panic!("expected memory error, got {:?}", other.map(|_| "report")),
+        }
+    }
+}

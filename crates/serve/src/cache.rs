@@ -1,0 +1,435 @@
+//! Posterior sample-volume caching.
+//!
+//! Step 1 (voxelwise MCMC) dominates end-to-end cost, yet its output
+//! depends only on the dataset content and the estimation configuration —
+//! both fully hashable. The service therefore keys a byte-bounded LRU of
+//! [`SampleVolumes`] stacks on a content hash of `(dataset, PriorConfig,
+//! ChainConfig, seed)`, so a repeated `TrackJob` against a known dataset
+//! skips Step 1 entirely. A directory-backed variant persists entries in
+//! the CLI's TRV4 sample format so `tracto track --cache-dir` shares them
+//! across processes.
+
+use parking_lot::Mutex;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use tracto::diffusion::{Acquisition, NoiseLikelihood, PriorConfig};
+use tracto::mcmc::{AdaptScheme, ChainConfig, SampleVolumes};
+use tracto::phantom::Dataset;
+use tracto_volume::io::{read_volume4, write_volume4};
+use tracto_volume::{Mask, Volume4};
+
+/// Content hash identifying one Step-1 computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SampleKey(pub u64);
+
+impl SampleKey {
+    /// Hex form used for on-disk directory names.
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+/// FNV-1a accumulator over the typed fields that determine Step-1 output.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn f32(&mut self, v: f32) {
+        self.u64(v.to_bits() as u64);
+    }
+}
+
+/// Hash everything Step 1 reads: DWI signal bits, white-matter mask,
+/// acquisition protocol, priors, chain schedule, and the master seed.
+/// Estimation is deterministic, so equal keys imply bit-identical
+/// [`SampleVolumes`].
+pub fn sample_key(
+    dataset: &Dataset,
+    prior: &PriorConfig,
+    chain: &ChainConfig,
+    seed: u64,
+) -> SampleKey {
+    sample_key_parts(
+        &dataset.dwi,
+        &dataset.wm_mask,
+        &dataset.acq,
+        prior,
+        chain,
+        seed,
+    )
+}
+
+/// [`sample_key`] over the raw dataset parts, for callers (like the CLI)
+/// holding a stored dataset rather than a [`Dataset`] struct.
+pub fn sample_key_parts(
+    dwi: &Volume4<f32>,
+    wm_mask: &Mask,
+    acq: &Acquisition,
+    prior: &PriorConfig,
+    chain: &ChainConfig,
+    seed: u64,
+) -> SampleKey {
+    let mut h = Fnv::new();
+    let dims = dwi.dims();
+    h.u64(dims.nx as u64);
+    h.u64(dims.ny as u64);
+    h.u64(dims.nz as u64);
+    h.u64(dwi.nt() as u64);
+    for &v in dwi.as_slice() {
+        h.f32(v);
+    }
+    for idx in wm_mask.indices() {
+        h.u64(idx as u64);
+    }
+    for (&b, g) in acq.bvals().iter().zip(acq.grads()) {
+        h.f64(b);
+        h.f64(g.x);
+        h.f64(g.y);
+        h.f64(g.z);
+    }
+    h.f64(prior.d_max);
+    h.f64(prior.sigma_max);
+    match prior.ard_weight {
+        None => h.u64(0),
+        Some(w) => {
+            h.u64(1);
+            h.f64(w);
+        }
+    }
+    h.u64(match prior.likelihood {
+        NoiseLikelihood::Gaussian => 0,
+        NoiseLikelihood::Rician => 1,
+    });
+    h.u64(prior.max_sticks as u64);
+    h.u64(chain.num_burnin as u64);
+    h.u64(chain.num_samples as u64);
+    h.u64(chain.sample_interval as u64);
+    match chain.adapt {
+        AdaptScheme::Fixed => h.u64(0),
+        AdaptScheme::Band {
+            interval,
+            lo,
+            hi,
+            grow,
+            shrink,
+        } => {
+            h.u64(1);
+            h.u64(interval as u64);
+            h.f64(lo);
+            h.f64(hi);
+            h.f64(grow);
+            h.f64(shrink);
+        }
+    }
+    h.u64(seed);
+    SampleKey(h.0)
+}
+
+/// Device-resident footprint of one cached stack: six f32 fields over
+/// `dims × num_samples`.
+pub fn sample_bytes(samples: &SampleVolumes) -> u64 {
+    6 * samples.dims().len() as u64 * samples.num_samples() as u64 * 4
+}
+
+struct CacheEntry {
+    key: SampleKey,
+    samples: Arc<SampleVolumes>,
+    bytes: u64,
+}
+
+struct CacheInner {
+    // Recency order: front = least recently used.
+    entries: Vec<CacheEntry>,
+    bytes: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// Byte-bounded LRU cache of posterior sample stacks.
+pub struct SampleCache {
+    max_bytes: u64,
+    inner: Mutex<CacheInner>,
+}
+
+/// Point-in-time cache statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted to respect the byte bound.
+    pub evictions: u64,
+    /// Bytes currently held.
+    pub bytes: u64,
+    /// Entries currently held.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]` (1.0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 1.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+impl SampleCache {
+    /// Create a cache bounded to `max_bytes` of sample data.
+    pub fn new(max_bytes: u64) -> Self {
+        SampleCache {
+            max_bytes,
+            inner: Mutex::new(CacheInner {
+                entries: Vec::new(),
+                bytes: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+        }
+    }
+
+    /// Look up a key, refreshing its recency.
+    pub fn get(&self, key: SampleKey) -> Option<Arc<SampleVolumes>> {
+        let mut inner = self.inner.lock();
+        if let Some(pos) = inner.entries.iter().position(|e| e.key == key) {
+            let entry = inner.entries.remove(pos);
+            let samples = Arc::clone(&entry.samples);
+            inner.entries.push(entry);
+            inner.hits += 1;
+            Some(samples)
+        } else {
+            inner.misses += 1;
+            None
+        }
+    }
+
+    /// Insert (or refresh) an entry, evicting least-recently-used entries
+    /// until the byte bound holds. An entry larger than the whole bound is
+    /// simply not retained.
+    pub fn insert(&self, key: SampleKey, samples: Arc<SampleVolumes>) {
+        let bytes = sample_bytes(&samples);
+        let mut inner = self.inner.lock();
+        if let Some(pos) = inner.entries.iter().position(|e| e.key == key) {
+            let entry = inner.entries.remove(pos);
+            inner.bytes -= entry.bytes;
+        }
+        if bytes > self.max_bytes {
+            return;
+        }
+        while inner.bytes + bytes > self.max_bytes {
+            let evicted = inner.entries.remove(0);
+            inner.bytes -= evicted.bytes;
+            inner.evictions += 1;
+        }
+        inner.bytes += bytes;
+        inner.entries.push(CacheEntry {
+            key,
+            samples,
+            bytes,
+        });
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            bytes: inner.bytes,
+            entries: inner.entries.len(),
+        }
+    }
+}
+
+const DISK_FIELDS: [&str; 6] = ["f1", "f2", "th1", "ph1", "th2", "ph2"];
+
+/// Directory-backed sample cache in the CLI's TRV4 layout: one
+/// subdirectory per key (`<dir>/<hex key>/{f1,f2,th1,ph1,th2,ph2}.trv4`).
+/// Unbounded; eviction is left to the operator (see ROADMAP open items).
+pub struct DiskSampleCache {
+    dir: PathBuf,
+}
+
+impl DiskSampleCache {
+    /// Open (creating if needed) a cache rooted at `dir`.
+    pub fn open(dir: &Path) -> Result<Self, String> {
+        std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        Ok(DiskSampleCache {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    fn entry_dir(&self, key: SampleKey) -> PathBuf {
+        self.dir.join(key.hex())
+    }
+
+    /// Load an entry if present.
+    pub fn get(&self, key: SampleKey) -> Option<SampleVolumes> {
+        let dir = self.entry_dir(key);
+        if !dir.is_dir() {
+            return None;
+        }
+        let mut vols: Vec<Volume4<f32>> = Vec::with_capacity(6);
+        for name in DISK_FIELDS {
+            let path = dir.join(format!("{name}.trv4"));
+            let data = std::fs::read(&path).ok()?;
+            vols.push(read_volume4(&mut data.as_slice()).ok()?);
+        }
+        let [f1, f2, th1, ph1, th2, ph2]: [Volume4<f32>; 6] = vols.try_into().ok()?;
+        Some(SampleVolumes {
+            f1,
+            f2,
+            th1,
+            ph1,
+            th2,
+            ph2,
+        })
+    }
+
+    /// Persist an entry (overwrites).
+    pub fn put(&self, key: SampleKey, samples: &SampleVolumes) -> Result<(), String> {
+        let dir = self.entry_dir(key);
+        std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        let fields = [
+            ("f1", &samples.f1),
+            ("f2", &samples.f2),
+            ("th1", &samples.th1),
+            ("ph1", &samples.ph1),
+            ("th2", &samples.th2),
+            ("ph2", &samples.ph2),
+        ];
+        for (name, vol) in fields {
+            let mut buf = Vec::new();
+            write_volume4(&mut buf, vol).map_err(|e| format!("encode {name}: {e:?}"))?;
+            let path = dir.join(format!("{name}.trv4"));
+            std::fs::write(&path, buf).map_err(|e| format!("write {}: {e}", path.display()))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracto_volume::Dim3;
+
+    fn stack(dims: Dim3, n: usize, fill: f32) -> Arc<SampleVolumes> {
+        let mut sv = SampleVolumes::zeros(dims, n);
+        for c in dims.iter() {
+            for s in 0..n {
+                sv.f1.set(c, s, fill);
+            }
+        }
+        Arc::new(sv)
+    }
+
+    #[test]
+    fn key_sensitive_to_each_input() {
+        let ds = tracto::phantom::datasets::single_bundle(Dim3::new(6, 4, 4), Some(20.0), 3);
+        let prior = PriorConfig::default();
+        let chain = ChainConfig::fast_test();
+        let base = sample_key(&ds, &prior, &chain, 42);
+        assert_eq!(base, sample_key(&ds, &prior, &chain, 42), "deterministic");
+        assert_ne!(base, sample_key(&ds, &prior, &chain, 43), "seed matters");
+        let other_chain = ChainConfig {
+            num_samples: chain.num_samples + 1,
+            ..chain
+        };
+        assert_ne!(
+            base,
+            sample_key(&ds, &prior, &other_chain, 42),
+            "chain matters"
+        );
+        let other_prior = PriorConfig {
+            d_max: prior.d_max * 2.0,
+            ..prior
+        };
+        assert_ne!(
+            base,
+            sample_key(&ds, &other_prior, &chain, 42),
+            "prior matters"
+        );
+        let ds2 = tracto::phantom::datasets::single_bundle(Dim3::new(6, 4, 4), Some(20.0), 4);
+        assert_ne!(
+            base,
+            sample_key(&ds2, &prior, &chain, 42),
+            "dataset content matters"
+        );
+    }
+
+    #[test]
+    fn lru_evicts_oldest_under_byte_bound() {
+        let dims = Dim3::new(4, 4, 4);
+        let per = sample_bytes(&stack(dims, 2, 0.0));
+        let cache = SampleCache::new(2 * per);
+        cache.insert(SampleKey(1), stack(dims, 2, 0.1));
+        cache.insert(SampleKey(2), stack(dims, 2, 0.2));
+        assert!(cache.get(SampleKey(1)).is_some(), "refresh key 1");
+        cache.insert(SampleKey(3), stack(dims, 2, 0.3));
+        // Key 2 was least recently used, so it went.
+        assert!(cache.get(SampleKey(2)).is_none());
+        assert!(cache.get(SampleKey(1)).is_some());
+        assert!(cache.get(SampleKey(3)).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+        assert!(stats.bytes <= 2 * per);
+    }
+
+    #[test]
+    fn oversized_entry_not_retained() {
+        let dims = Dim3::new(4, 4, 4);
+        let cache = SampleCache::new(10);
+        cache.insert(SampleKey(1), stack(dims, 2, 0.5));
+        assert!(cache.get(SampleKey(1)).is_none());
+        assert_eq!(cache.stats().bytes, 0);
+    }
+
+    #[test]
+    fn hit_rate_counts() {
+        let dims = Dim3::new(4, 4, 4);
+        let cache = SampleCache::new(u64::MAX);
+        assert_eq!(cache.stats().hit_rate(), 1.0);
+        cache.insert(SampleKey(7), stack(dims, 1, 0.5));
+        assert!(cache.get(SampleKey(7)).is_some());
+        assert!(cache.get(SampleKey(8)).is_none());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disk_cache_roundtrip() {
+        let dims = Dim3::new(3, 2, 2);
+        let dir = std::env::temp_dir().join(format!("tracto-serve-cache-{}", std::process::id()));
+        let cache = DiskSampleCache::open(&dir).unwrap();
+        let key = SampleKey(0xABCD);
+        assert!(cache.get(key).is_none());
+        let sv = stack(dims, 2, 0.75);
+        cache.put(key, &sv).unwrap();
+        let back = cache.get(key).expect("entry persisted");
+        assert_eq!(back.f1, sv.f1);
+        assert_eq!(back.num_samples(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

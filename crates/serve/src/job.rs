@@ -1,0 +1,250 @@
+//! Job descriptions, results, and the completion tickets clients wait on.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tracto::diffusion::PriorConfig;
+use tracto::mcmc::{ChainConfig, SampleVolumes};
+use tracto::phantom::Dataset;
+use tracto::pipeline::PipelineConfig;
+use tracto::tracking::TrackingOutput;
+use tracto_volume::Vec3;
+
+/// Monotonic identifier the service assigns at submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// Run Step 1 (voxelwise MCMC) for a dataset and warm the sample cache.
+#[derive(Clone)]
+pub struct EstimateJob {
+    /// The dataset to estimate (shared — many jobs can reference one).
+    pub dataset: Arc<Dataset>,
+    /// Posterior priors.
+    pub prior: PriorConfig,
+    /// Chain schedule.
+    pub chain: ChainConfig,
+    /// Master seed.
+    pub seed: u64,
+}
+
+/// Run the full pipeline for a dataset: Step 1 via the sample cache, Step 2
+/// batched with whatever other jobs are in flight.
+#[derive(Clone)]
+pub struct TrackJob {
+    /// The dataset to track on.
+    pub dataset: Arc<Dataset>,
+    /// Full pipeline configuration (chain + prior + tracking + seed).
+    pub config: PipelineConfig,
+    /// Seed points; `None` seeds every fiber-bearing ground-truth voxel,
+    /// exactly as [`tracto::Pipeline`] does.
+    pub seeds: Option<Vec<Vec3>>,
+    /// Give up if the job has not *started* tracking within this budget.
+    pub deadline: Option<Duration>,
+}
+
+impl TrackJob {
+    /// A job with default seeding and no deadline.
+    pub fn new(dataset: Arc<Dataset>, config: PipelineConfig) -> Self {
+        TrackJob {
+            dataset,
+            config,
+            seeds: None,
+            deadline: None,
+        }
+    }
+}
+
+/// Outcome of an [`EstimateJob`].
+#[derive(Debug, Clone)]
+pub struct EstimateResult {
+    /// The posterior sample stack (shared with the cache).
+    pub samples: Arc<SampleVolumes>,
+    /// Whether the stack came from the cache rather than a fresh MCMC run.
+    pub cache_hit: bool,
+    /// Voxels estimated (0 on a cache hit).
+    pub voxels: usize,
+}
+
+/// Outcome of a [`TrackJob`].
+#[derive(Debug, Clone)]
+pub struct TrackResult {
+    /// Lengths, total steps, and optional connectivity — the same shape
+    /// [`tracto::Pipeline`] returns.
+    pub tracking: TrackingOutput,
+    /// Whether Step 1 was skipped via the sample cache.
+    pub cache_hit: bool,
+    /// Number of jobs sharing the batch this job's lanes ran in.
+    pub batch_jobs: usize,
+    /// Total lanes in that batch (all jobs, all samples, all seeds).
+    pub batch_lanes: usize,
+}
+
+/// Why a job did not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The bounded submission queue was full (`try_submit` only).
+    QueueFull,
+    /// The client cancelled the ticket.
+    Cancelled,
+    /// The job's deadline passed before tracking started.
+    DeadlineExceeded,
+    /// The service is shutting down and no longer accepts or runs jobs.
+    ShuttingDown,
+    /// The job failed outright (e.g. device memory exhausted).
+    Failed(String),
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::QueueFull => f.write_str("submission queue full"),
+            JobError::Cancelled => f.write_str("cancelled by client"),
+            JobError::DeadlineExceeded => f.write_str("deadline exceeded"),
+            JobError::ShuttingDown => f.write_str("service shutting down"),
+            JobError::Failed(msg) => write!(f, "job failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+struct TicketState<T> {
+    result: Mutex<Option<Result<T, JobError>>>,
+    done: Condvar,
+    cancelled: AtomicBool,
+}
+
+/// A client's handle to a submitted job: blocks on the result, supports
+/// cancellation. Cloneable so one waiter can hand the cancel side to
+/// another thread.
+pub struct Ticket<T> {
+    /// Identifier assigned at submission.
+    pub id: JobId,
+    /// When the job was accepted (deadlines are measured from here).
+    pub accepted_at: Instant,
+    state: Arc<TicketState<T>>,
+}
+
+impl<T> Clone for Ticket<T> {
+    fn clone(&self) -> Self {
+        Ticket {
+            id: self.id,
+            accepted_at: self.accepted_at,
+            state: Arc::clone(&self.state),
+        }
+    }
+}
+
+impl<T: Clone> Ticket<T> {
+    pub(crate) fn new(id: JobId) -> Self {
+        Ticket {
+            id,
+            accepted_at: Instant::now(),
+            state: Arc::new(TicketState {
+                result: Mutex::new(None),
+                done: Condvar::new(),
+                cancelled: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Deliver the result. The first fulfillment wins; later ones (e.g. a
+    /// worker racing a cancellation) are dropped.
+    pub(crate) fn fulfill(&self, result: Result<T, JobError>) {
+        let mut slot = self.state.result.lock();
+        if slot.is_none() {
+            *slot = Some(result);
+            self.state.done.notify_all();
+        }
+    }
+
+    /// Request cancellation. Stages check this flag before doing work; a
+    /// job already past the point of no return still completes normally.
+    pub fn cancel(&self) {
+        self.state.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether [`cancel`](Self::cancel) was called.
+    pub fn is_cancelled(&self) -> bool {
+        self.state.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// Non-blocking poll.
+    pub fn try_result(&self) -> Option<Result<T, JobError>> {
+        self.state.result.lock().clone()
+    }
+
+    /// Block until the job completes (or fails).
+    pub fn wait(&self) -> Result<T, JobError> {
+        let mut slot = self.state.result.lock();
+        while slot.is_none() {
+            self.state.done.wait(&mut slot);
+        }
+        slot.clone().expect("slot filled")
+    }
+
+    /// Block up to `timeout`; `None` when still pending.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<T, JobError>> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = self.state.result.lock();
+        while slot.is_none() {
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.state.done.wait_for(&mut slot, deadline - now);
+        }
+        slot.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticket_wait_sees_fulfillment() {
+        let t: Ticket<u32> = Ticket::new(JobId(1));
+        let t2 = t.clone();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            t2.fulfill(Ok(7));
+        });
+        assert_eq!(t.wait(), Ok(7));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn first_fulfillment_wins() {
+        let t: Ticket<u32> = Ticket::new(JobId(2));
+        t.fulfill(Err(JobError::Cancelled));
+        t.fulfill(Ok(9));
+        assert_eq!(t.wait(), Err(JobError::Cancelled));
+    }
+
+    #[test]
+    fn wait_timeout_on_pending() {
+        let t: Ticket<u32> = Ticket::new(JobId(3));
+        assert!(t.wait_timeout(Duration::from_millis(5)).is_none());
+        assert!(t.try_result().is_none());
+        t.fulfill(Ok(1));
+        assert_eq!(t.wait_timeout(Duration::from_millis(5)), Some(Ok(1)));
+    }
+
+    #[test]
+    fn cancel_sets_flag_only() {
+        let t: Ticket<u32> = Ticket::new(JobId(4));
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled());
+        // Cancellation is advisory: the result slot is untouched.
+        assert!(t.try_result().is_none());
+    }
+}

@@ -1,3 +1,49 @@
-//! tracto-serve: a batched, cache-backed tractography job service.
+//! **tracto-serve** — a batched, cache-backed tractography job service.
+//!
+//! The paper treats one tractography run as one program invocation. This
+//! crate wraps the reproduction's pipeline in a multi-client job service
+//! built around two observations:
+//!
+//! 1. **Step 1 is cacheable.** Voxelwise MCMC is deterministic in
+//!    `(dataset, priors, chain schedule, seed)`, so its sample volumes are
+//!    keyed by a content hash and held in a byte-bounded LRU
+//!    ([`SampleCache`]) — a repeated tracking request skips estimation
+//!    entirely.
+//! 2. **Step 2 batches across clients.** Tracking lanes are independent,
+//!    so pending jobs merge into one lane population per launch sequence
+//!    (continuous batching, [`run_batch`]); the compaction boundaries the
+//!    paper's segmentation already requires are where per-job results are
+//!    demultiplexed back out. Results are bit-identical to running each
+//!    job alone through [`tracto::Pipeline`].
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use tracto::pipeline::PipelineConfig;
+//! use tracto::phantom::datasets::DatasetSpec;
+//! use tracto_serve::{ServiceConfig, TractoService, TrackJob};
+//!
+//! let service = TractoService::start(ServiceConfig::default());
+//! let dataset = Arc::new(DatasetSpec::paper_dataset1().scaled(0.2).build());
+//! let ticket = service.submit_track(TrackJob::new(dataset, PipelineConfig::fast()));
+//! let result = ticket.wait().unwrap();
+//! println!("{} total steps (batched with {} jobs)",
+//!     result.tracking.total_steps, result.batch_jobs);
+//! println!("{}", service.shutdown());
+//! ```
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod batch;
+pub mod cache;
+pub mod job;
+pub mod metrics;
+pub mod service;
+
+pub use batch::{run_batch, BatchError, BatchJob, BatchReport};
+pub use cache::{
+    sample_key, sample_key_parts, CacheStats, DiskSampleCache, SampleCache, SampleKey,
+};
+pub use job::{EstimateJob, EstimateResult, JobError, JobId, Ticket, TrackJob, TrackResult};
+pub use metrics::MetricsSnapshot;
+pub use service::{ServiceConfig, TractoService};

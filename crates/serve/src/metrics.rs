@@ -1,0 +1,202 @@
+//! Service observability: counters accumulated by the workers, exposed as
+//! point-in-time snapshots.
+
+use crate::cache::CacheStats;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared counter block the workers write into.
+#[derive(Default)]
+pub(crate) struct Metrics {
+    pub submitted: AtomicU64,
+    pub completed: AtomicU64,
+    pub failed: AtomicU64,
+    pub cancelled: AtomicU64,
+    pub deadline_exceeded: AtomicU64,
+    pub batches: AtomicU64,
+    pub batch_jobs: AtomicU64,
+    pub lanes_tracked: AtomicU64,
+    pub launches: AtomicU64,
+    pub estimations_run: AtomicU64,
+    // f64 accumulators (simulated seconds, utilization sums) under a lock.
+    pub accum: Mutex<Accum>,
+}
+
+#[derive(Default, Clone, Copy)]
+pub(crate) struct Accum {
+    pub tracking_sim_s: f64,
+    pub estimation_sim_s: f64,
+    pub utilization_sum: f64,
+    pub utilization_batches: u64,
+}
+
+impl Metrics {
+    pub(crate) fn add_batch(&self, jobs: u64, lanes: u64, launches: u64, wall_s: f64, util: f64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_jobs.fetch_add(jobs, Ordering::Relaxed);
+        self.lanes_tracked.fetch_add(lanes, Ordering::Relaxed);
+        self.launches.fetch_add(launches, Ordering::Relaxed);
+        let mut acc = self.accum.lock();
+        acc.tracking_sim_s += wall_s;
+        acc.utilization_sum += util;
+        acc.utilization_batches += 1;
+    }
+}
+
+/// A point-in-time view of the service's health and throughput.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Jobs accepted (both kinds).
+    pub submitted: u64,
+    /// Jobs fulfilled successfully.
+    pub completed: u64,
+    /// Jobs that failed outright.
+    pub failed: u64,
+    /// Jobs cancelled by their client before running.
+    pub cancelled: u64,
+    /// Jobs dropped for missing their deadline.
+    pub deadline_exceeded: u64,
+    /// Jobs currently queued or running.
+    pub in_flight: u64,
+    /// Batched tracking rounds executed.
+    pub batches: u64,
+    /// Jobs that rode in those batches.
+    pub batch_jobs: u64,
+    /// Mean jobs per batch (continuous-batching occupancy).
+    pub mean_batch_occupancy: f64,
+    /// Total lanes tracked across all batches.
+    pub lanes_tracked: u64,
+    /// GPU launches issued by the batch worker.
+    pub launches: u64,
+    /// Mean per-batch wavefront (SIMD) utilization.
+    pub mean_wavefront_utilization: f64,
+    /// Fresh MCMC estimations executed (cache misses that did work).
+    pub estimations_run: u64,
+    /// Simulated seconds spent in batched tracking.
+    pub tracking_sim_s: f64,
+    /// Simulated seconds spent in estimation.
+    pub estimation_sim_s: f64,
+    /// Sample-cache statistics (hits, misses, bytes, evictions).
+    pub cache: CacheStats,
+}
+
+impl Metrics {
+    pub(crate) fn snapshot(&self, in_flight: u64, cache: CacheStats) -> MetricsSnapshot {
+        let acc = *self.accum.lock();
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batch_jobs = self.batch_jobs.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            in_flight,
+            batches,
+            batch_jobs,
+            mean_batch_occupancy: if batches == 0 {
+                0.0
+            } else {
+                batch_jobs as f64 / batches as f64
+            },
+            lanes_tracked: self.lanes_tracked.load(Ordering::Relaxed),
+            launches: self.launches.load(Ordering::Relaxed),
+            mean_wavefront_utilization: if acc.utilization_batches == 0 {
+                0.0
+            } else {
+                acc.utilization_sum / acc.utilization_batches as f64
+            },
+            estimations_run: self.estimations_run.load(Ordering::Relaxed),
+            tracking_sim_s: acc.tracking_sim_s,
+            estimation_sim_s: acc.estimation_sim_s,
+            cache,
+        }
+    }
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "jobs: {} submitted, {} completed, {} failed, {} cancelled, {} past deadline, {} in flight",
+            self.submitted,
+            self.completed,
+            self.failed,
+            self.cancelled,
+            self.deadline_exceeded,
+            self.in_flight
+        )?;
+        writeln!(
+            f,
+            "batches: {} ({} jobs, mean occupancy {:.2}, {} lanes, {} launches, wavefront util {:.3})",
+            self.batches,
+            self.batch_jobs,
+            self.mean_batch_occupancy,
+            self.lanes_tracked,
+            self.launches,
+            self.mean_wavefront_utilization
+        )?;
+        writeln!(
+            f,
+            "cache: {} hits / {} misses (rate {:.2}), {} entries, {} bytes, {} evictions",
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.hit_rate(),
+            self.cache.entries,
+            self.cache.bytes,
+            self.cache.evictions
+        )?;
+        write!(
+            f,
+            "simulated: {:.4} s tracking, {:.4} s estimation ({} MCMC runs)",
+            self.tracking_sim_s, self.estimation_sim_s, self.estimations_run
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_and_utilization_means() {
+        let m = Metrics::default();
+        m.add_batch(4, 100, 10, 1.5, 0.8);
+        m.add_batch(2, 50, 5, 0.5, 0.6);
+        let snap = m.snapshot(
+            0,
+            CacheStats {
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+                bytes: 0,
+                entries: 0,
+            },
+        );
+        assert_eq!(snap.batches, 2);
+        assert!((snap.mean_batch_occupancy - 3.0).abs() < 1e-12);
+        assert!((snap.mean_wavefront_utilization - 0.7).abs() < 1e-12);
+        assert!((snap.tracking_sim_s - 2.0).abs() < 1e-12);
+        assert_eq!(snap.lanes_tracked, 150);
+    }
+
+    #[test]
+    fn display_is_complete() {
+        let m = Metrics::default();
+        m.add_batch(1, 10, 3, 0.1, 0.9);
+        let snap = m.snapshot(
+            2,
+            CacheStats {
+                hits: 3,
+                misses: 1,
+                evictions: 0,
+                bytes: 64,
+                entries: 1,
+            },
+        );
+        let text = snap.to_string();
+        assert!(text.contains("in flight"));
+        assert!(text.contains("occupancy"));
+        assert!(text.contains("0.75") || text.contains("rate"));
+    }
+}

@@ -1,0 +1,713 @@
+//! The job service: submission queues, estimation workers, and the
+//! continuous-batching tracking worker.
+//!
+//! Topology:
+//!
+//! ```text
+//! clients ──submit──▶ [bounded prep queue] ──▶ estimation workers (1 Gpu each)
+//!                                                │  cache miss → run_mcmc_gpu
+//!                                                │  cache hit  → Arc clone
+//!                                                ▼
+//!                            [bounded ready queue] ──▶ batch worker (MultiGpu)
+//!                                                        collects a window of
+//!                                                        ready jobs, merges
+//!                                                        their lanes, runs one
+//!                                                        shared segmented
+//!                                                        launch sequence,
+//!                                                        demuxes per job
+//! ```
+//!
+//! Backpressure: both queues are bounded; `submit_*` blocks when the prep
+//! queue is full, `try_submit_*` fails fast with [`JobError::QueueFull`].
+//! Shutdown drops the submission side, lets the workers drain, and joins
+//! them; `drain` blocks until no job is queued or running.
+
+use crate::batch::{run_batch, BatchJob};
+use crate::cache::{sample_key, DiskSampleCache, SampleCache, SampleKey};
+use crate::job::{EstimateJob, EstimateResult, JobError, JobId, Ticket, TrackJob, TrackResult};
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use parking_lot::{Condvar, Mutex};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tracto::mcmc::SampleVolumes;
+use tracto::run_mcmc_gpu;
+use tracto::tracking::probabilistic::seeds_from_mask;
+use tracto::tracking::SegmentationStrategy;
+use tracto_gpu_sim::{DeviceConfig, Gpu, MultiGpu};
+use tracto_volume::Vec3;
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Simulated device model.
+    pub device: DeviceConfig,
+    /// Devices in the tracking worker's group.
+    pub devices: usize,
+    /// Estimation worker threads (each owns one simulated GPU).
+    pub estimate_workers: usize,
+    /// Bound of both submission queues.
+    pub queue_capacity: usize,
+    /// Most jobs merged into one batch.
+    pub max_batch_jobs: usize,
+    /// How long the batch worker waits for more jobs after the first.
+    pub batch_window: Duration,
+    /// Segmentation schedule for batched launches. Results are invariant
+    /// to this choice (it only shapes timing), so one service-wide
+    /// schedule serves jobs that asked for different ones.
+    pub strategy: SegmentationStrategy,
+    /// In-memory sample-cache bound in bytes.
+    pub cache_bytes: u64,
+    /// Optional on-disk sample cache shared with `tracto track --cache-dir`.
+    pub disk_cache: Option<PathBuf>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            device: DeviceConfig::radeon_5870(),
+            devices: 1,
+            estimate_workers: 2,
+            queue_capacity: 64,
+            max_batch_jobs: 16,
+            batch_window: Duration::from_millis(20),
+            strategy: SegmentationStrategy::paper_table2(),
+            cache_bytes: 256 * 1024 * 1024,
+            disk_cache: None,
+        }
+    }
+}
+
+enum PrepTask {
+    Estimate {
+        job: EstimateJob,
+        ticket: Ticket<EstimateResult>,
+    },
+    Track {
+        job: TrackJob,
+        seeds: Vec<Vec3>,
+        ticket: Ticket<TrackResult>,
+    },
+}
+
+struct ReadyTrack {
+    job: TrackJob,
+    seeds: Vec<Vec3>,
+    samples: Arc<SampleVolumes>,
+    cache_hit: bool,
+    deadline_at: Option<Instant>,
+    ticket: Ticket<TrackResult>,
+}
+
+struct Shared {
+    cache: SampleCache,
+    disk: Option<DiskSampleCache>,
+    metrics: Metrics,
+    in_flight: Mutex<u64>,
+    idle: Condvar,
+    next_id: AtomicU64,
+}
+
+impl Shared {
+    fn job_started(&self) {
+        *self.in_flight.lock() += 1;
+        self.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn job_finished(&self) {
+        let mut n = self.in_flight.lock();
+        *n -= 1;
+        if *n == 0 {
+            self.idle.notify_all();
+        }
+    }
+
+    /// Fulfill a ticket and settle the per-outcome counters.
+    fn complete<T: Clone>(&self, ticket: &Ticket<T>, result: Result<T, JobError>) {
+        let counter = match &result {
+            Ok(_) => &self.metrics.completed,
+            Err(JobError::Cancelled) => &self.metrics.cancelled,
+            Err(JobError::DeadlineExceeded) => &self.metrics.deadline_exceeded,
+            Err(_) => &self.metrics.failed,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        ticket.fulfill(result);
+        self.job_finished();
+    }
+
+    /// Resolve a sample stack through memory cache → disk cache → fresh
+    /// MCMC. Returns `(samples, cache_hit, voxels_estimated)`.
+    fn resolve_samples(
+        &self,
+        gpu: &mut Gpu,
+        key: SampleKey,
+        job: &EstimateJob,
+    ) -> (Arc<SampleVolumes>, bool, usize) {
+        if let Some(samples) = self.cache.get(key) {
+            return (samples, true, 0);
+        }
+        if let Some(disk) = &self.disk {
+            if let Some(samples) = disk.get(key) {
+                let samples = Arc::new(samples);
+                self.cache.insert(key, Arc::clone(&samples));
+                return (samples, true, 0);
+            }
+        }
+        let report = run_mcmc_gpu(
+            gpu,
+            &job.dataset.acq,
+            &job.dataset.dwi,
+            &job.dataset.wm_mask,
+            job.prior,
+            job.chain,
+            job.seed,
+        );
+        self.metrics.estimations_run.fetch_add(1, Ordering::Relaxed);
+        self.metrics.accum.lock().estimation_sim_s += report.ledger.total_s();
+        let samples = Arc::new(report.samples);
+        self.cache.insert(key, Arc::clone(&samples));
+        if let Some(disk) = &self.disk {
+            // Disk persistence is best-effort; the in-memory result stands.
+            let _ = disk.put(key, &samples);
+        }
+        (samples, false, report.voxels)
+    }
+}
+
+/// The running service. Dropping it without calling
+/// [`shutdown`](Self::shutdown) aborts queued jobs with
+/// [`JobError::ShuttingDown`] and joins the workers.
+pub struct TractoService {
+    config: ServiceConfig,
+    shared: Arc<Shared>,
+    prep_tx: Option<Sender<PrepTask>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl TractoService {
+    /// Bring up the worker pool.
+    pub fn start(config: ServiceConfig) -> Self {
+        assert!(
+            config.estimate_workers >= 1,
+            "need at least one estimation worker"
+        );
+        assert!(config.max_batch_jobs >= 1, "need a positive batch bound");
+        let disk = config
+            .disk_cache
+            .as_ref()
+            .map(|dir| DiskSampleCache::open(dir).expect("open disk cache"));
+        let shared = Arc::new(Shared {
+            cache: SampleCache::new(config.cache_bytes),
+            disk,
+            metrics: Metrics::default(),
+            in_flight: Mutex::new(0),
+            idle: Condvar::new(),
+            next_id: AtomicU64::new(1),
+        });
+
+        let (prep_tx, prep_rx) = bounded::<PrepTask>(config.queue_capacity);
+        let (ready_tx, ready_rx) = bounded::<ReadyTrack>(config.queue_capacity);
+
+        let mut workers = Vec::new();
+        for i in 0..config.estimate_workers {
+            let rx = prep_rx.clone();
+            let tx = ready_tx.clone();
+            let shared = Arc::clone(&shared);
+            let device = config.device.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("tracto-estimate-{i}"))
+                    .spawn(move || estimate_worker(rx, tx, shared, device))
+                    .expect("spawn estimation worker"),
+            );
+        }
+        // The clones above keep the channel alive; drop the originals so
+        // the pipeline collapses cleanly once the senders go away.
+        drop(prep_rx);
+        drop(ready_tx);
+
+        {
+            let shared = Arc::clone(&shared);
+            let cfg = config.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name("tracto-batch".into())
+                    .spawn(move || batch_worker(ready_rx, shared, cfg))
+                    .expect("spawn batch worker"),
+            );
+        }
+
+        TractoService {
+            config,
+            shared,
+            prep_tx: Some(prep_tx),
+            workers,
+        }
+    }
+
+    /// The configuration the service was started with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    fn next_id(&self) -> JobId {
+        JobId(self.shared.next_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Submit an estimation job, blocking while the queue is full.
+    pub fn submit_estimate(&self, job: EstimateJob) -> Ticket<EstimateResult> {
+        let ticket = Ticket::new(self.next_id());
+        self.shared.job_started();
+        let task = PrepTask::Estimate {
+            job,
+            ticket: ticket.clone(),
+        };
+        let sent = match &self.prep_tx {
+            Some(tx) => tx.send(task).is_ok(),
+            None => false,
+        };
+        if !sent {
+            self.shared.complete(&ticket, Err(JobError::ShuttingDown));
+        }
+        ticket
+    }
+
+    /// Submit a tracking job, blocking while the queue is full.
+    pub fn submit_track(&self, job: TrackJob) -> Ticket<TrackResult> {
+        let ticket = Ticket::new(self.next_id());
+        let seeds = job
+            .seeds
+            .clone()
+            .unwrap_or_else(|| seeds_from_mask(&job.dataset.truth.fiber_mask()));
+        self.shared.job_started();
+        let task = PrepTask::Track {
+            job,
+            seeds,
+            ticket: ticket.clone(),
+        };
+        let sent = match &self.prep_tx {
+            Some(tx) => tx.send(task).is_ok(),
+            None => false,
+        };
+        if !sent {
+            self.shared.complete(&ticket, Err(JobError::ShuttingDown));
+        }
+        ticket
+    }
+
+    /// Submit a tracking job without blocking; fails with
+    /// [`JobError::QueueFull`] when the bounded queue is at capacity.
+    pub fn try_submit_track(&self, job: TrackJob) -> Result<Ticket<TrackResult>, JobError> {
+        let ticket = Ticket::new(self.next_id());
+        let seeds = job
+            .seeds
+            .clone()
+            .unwrap_or_else(|| seeds_from_mask(&job.dataset.truth.fiber_mask()));
+        let Some(tx) = &self.prep_tx else {
+            return Err(JobError::ShuttingDown);
+        };
+        self.shared.job_started();
+        match tx.try_send(PrepTask::Track {
+            job,
+            seeds,
+            ticket: ticket.clone(),
+        }) {
+            Ok(()) => Ok(ticket),
+            Err(TrySendError::Full(_)) => {
+                self.shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                self.shared.job_finished();
+                Err(JobError::QueueFull)
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                self.shared.job_finished();
+                Err(JobError::ShuttingDown)
+            }
+        }
+    }
+
+    /// Block until every accepted job has completed (successfully or not).
+    pub fn drain(&self) {
+        let mut n = self.shared.in_flight.lock();
+        while *n > 0 {
+            self.shared.idle.wait(&mut n);
+        }
+    }
+
+    /// Current metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let in_flight = *self.shared.in_flight.lock();
+        self.shared
+            .metrics
+            .snapshot(in_flight, self.shared.cache.stats())
+    }
+
+    /// Stop accepting jobs, drain the queues, and join the workers.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.shutdown_inner();
+        self.metrics()
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.prep_tx.take();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TractoService {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn estimate_worker(
+    rx: Receiver<PrepTask>,
+    tx: Sender<ReadyTrack>,
+    shared: Arc<Shared>,
+    device: DeviceConfig,
+) {
+    let mut gpu = Gpu::new(device);
+    while let Ok(task) = rx.recv() {
+        match task {
+            PrepTask::Estimate { job, ticket } => {
+                if ticket.is_cancelled() {
+                    shared.complete(&ticket, Err(JobError::Cancelled));
+                    continue;
+                }
+                let key = sample_key(&job.dataset, &job.prior, &job.chain, job.seed);
+                let (samples, cache_hit, voxels) = shared.resolve_samples(&mut gpu, key, &job);
+                shared.complete(
+                    &ticket,
+                    Ok(EstimateResult {
+                        samples,
+                        cache_hit,
+                        voxels,
+                    }),
+                );
+            }
+            PrepTask::Track { job, seeds, ticket } => {
+                let deadline_at = job.deadline.map(|d| ticket.accepted_at + d);
+                if ticket.is_cancelled() {
+                    shared.complete(&ticket, Err(JobError::Cancelled));
+                    continue;
+                }
+                if deadline_at.is_some_and(|t| Instant::now() >= t) {
+                    shared.complete(&ticket, Err(JobError::DeadlineExceeded));
+                    continue;
+                }
+                let estimate = EstimateJob {
+                    dataset: Arc::clone(&job.dataset),
+                    prior: job.config.prior,
+                    chain: job.config.chain,
+                    seed: job.config.seed,
+                };
+                let key = sample_key(
+                    &job.dataset,
+                    &job.config.prior,
+                    &job.config.chain,
+                    job.config.seed,
+                );
+                let (samples, cache_hit, _) = shared.resolve_samples(&mut gpu, key, &estimate);
+                let ready = ReadyTrack {
+                    job,
+                    seeds,
+                    samples,
+                    cache_hit,
+                    deadline_at,
+                    ticket,
+                };
+                if let Err(send_err) = tx.send(ready) {
+                    let ReadyTrack { ticket, .. } = send_err.0;
+                    shared.complete(&ticket, Err(JobError::ShuttingDown));
+                }
+            }
+        }
+    }
+}
+
+fn batch_worker(rx: Receiver<ReadyTrack>, shared: Arc<Shared>, cfg: ServiceConfig) {
+    let mut multi = MultiGpu::new(cfg.device.clone(), cfg.devices);
+    'outer: loop {
+        let first = match rx.recv() {
+            Ok(t) => t,
+            Err(_) => break 'outer,
+        };
+        // Continuous batching: hold the window open briefly to merge work
+        // from other clients into this launch sequence.
+        let mut ready = vec![first];
+        let window_end = Instant::now() + cfg.batch_window;
+        let mut disconnected = false;
+        while ready.len() < cfg.max_batch_jobs {
+            let now = Instant::now();
+            if now >= window_end {
+                break;
+            }
+            match rx.recv_timeout(window_end - now) {
+                Ok(t) => ready.push(t),
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+
+        let mut live = Vec::with_capacity(ready.len());
+        for r in ready {
+            if r.ticket.is_cancelled() {
+                shared.complete(&r.ticket, Err(JobError::Cancelled));
+            } else if r.deadline_at.is_some_and(|t| Instant::now() >= t) {
+                shared.complete(&r.ticket, Err(JobError::DeadlineExceeded));
+            } else {
+                live.push(r);
+            }
+        }
+        if !live.is_empty() {
+            execute_batch(&mut multi, &shared, &cfg, live);
+        }
+        if disconnected {
+            break 'outer;
+        }
+    }
+    // Drain anything still buffered after the senders vanished.
+    while let Ok(r) = rx.try_recv() {
+        shared.complete(&r.ticket, Err(JobError::ShuttingDown));
+    }
+}
+
+fn execute_batch(
+    multi: &mut MultiGpu,
+    shared: &Shared,
+    cfg: &ServiceConfig,
+    live: Vec<ReadyTrack>,
+) {
+    let jobs: Vec<BatchJob> = live
+        .iter()
+        .map(|r| BatchJob {
+            samples: Arc::clone(&r.samples),
+            params: r.job.config.tracking,
+            seeds: r.seeds.clone(),
+            mask: None,
+            jitter: r.job.config.jitter,
+            run_seed: r.job.config.seed,
+            record_visits: r.job.config.record_connectivity,
+        })
+        .collect();
+
+    match run_batch(multi, &jobs, &cfg.strategy) {
+        Ok(report) => {
+            shared.metrics.add_batch(
+                live.len() as u64,
+                report.lanes as u64,
+                report.launches,
+                report.wall_s,
+                report.utilization,
+            );
+            let batch_jobs = live.len();
+            for (r, out) in live.into_iter().zip(report.per_job) {
+                shared.complete(
+                    &r.ticket,
+                    Ok(TrackResult {
+                        tracking: out,
+                        cache_hit: r.cache_hit,
+                        batch_jobs,
+                        batch_lanes: report.lanes,
+                    }),
+                );
+            }
+        }
+        Err(err) => {
+            if live.len() > 1 {
+                // The merged working set didn't fit: fall back to running
+                // each job alone, which halves residency per attempt.
+                for r in live {
+                    execute_batch(multi, shared, cfg, vec![r]);
+                }
+            } else {
+                let r = &live[0];
+                shared.complete(&r.ticket, Err(JobError::Failed(err.to_string())));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracto::phantom::datasets::DatasetSpec;
+    use tracto::pipeline::PipelineConfig;
+    use tracto_volume::Dim3;
+
+    fn tiny_dataset(seed: u64) -> Arc<tracto::phantom::Dataset> {
+        Arc::new(
+            DatasetSpec {
+                name: format!("svc-{seed}"),
+                dims: Dim3::new(8, 6, 6),
+                spacing_mm: 2.5,
+                n_dirs: 9,
+                n_b0: 1,
+                bval: 1000.0,
+                snr: None,
+                seed,
+            }
+            .build(),
+        )
+    }
+
+    fn small_config() -> ServiceConfig {
+        ServiceConfig {
+            device: DeviceConfig {
+                wavefront_size: 4,
+                num_compute_units: 2,
+                waves_per_cu: 2,
+                ..DeviceConfig::radeon_5870()
+            },
+            devices: 2,
+            estimate_workers: 2,
+            queue_capacity: 8,
+            max_batch_jobs: 4,
+            batch_window: Duration::from_millis(10),
+            ..ServiceConfig::default()
+        }
+    }
+
+    fn fast_pipeline(seed: u64) -> PipelineConfig {
+        PipelineConfig {
+            seed,
+            chain: tracto::mcmc::ChainConfig {
+                num_burnin: 40,
+                num_samples: 3,
+                sample_interval: 2,
+                ..tracto::mcmc::ChainConfig::fast_test()
+            },
+            ..PipelineConfig::fast()
+        }
+    }
+
+    #[test]
+    fn estimate_then_track_hits_cache() {
+        let service = TractoService::start(small_config());
+        let ds = tiny_dataset(1);
+        let cfg = fast_pipeline(7);
+        let est = service.submit_estimate(EstimateJob {
+            dataset: Arc::clone(&ds),
+            prior: cfg.prior,
+            chain: cfg.chain,
+            seed: cfg.seed,
+        });
+        let est = est.wait().expect("estimation succeeds");
+        assert!(!est.cache_hit, "first estimation is a miss");
+        assert!(est.voxels > 0);
+
+        let track = service.submit_track(TrackJob::new(Arc::clone(&ds), cfg));
+        let result = track.wait().expect("tracking succeeds");
+        assert!(result.cache_hit, "warm cache skips Step 1");
+        assert!(result.tracking.total_steps > 0);
+
+        let snap = service.shutdown();
+        assert_eq!(snap.completed, 2);
+        assert_eq!(snap.estimations_run, 1, "only the cold job ran MCMC");
+        assert!(snap.cache.hits >= 1);
+    }
+
+    #[test]
+    fn concurrent_jobs_share_batches() {
+        let service = TractoService::start(small_config());
+        let ds = tiny_dataset(2);
+        // Warm the cache so all four jobs arrive at the batch worker close
+        // together.
+        let warm = service.submit_track(TrackJob::new(Arc::clone(&ds), fast_pipeline(3)));
+        warm.wait().expect("warm job");
+        // Same dataset + estimation config ⇒ same cache key for all four.
+        let tickets: Vec<_> = (0..4)
+            .map(|_| service.submit_track(TrackJob::new(Arc::clone(&ds), fast_pipeline(3))))
+            .collect();
+        for t in &tickets {
+            let r = t.wait().expect("batched job succeeds");
+            assert!(r.batch_jobs >= 1);
+        }
+        let snap = service.shutdown();
+        assert_eq!(snap.completed, 5);
+        // Four cache-warm jobs cannot need four cold MCMC runs.
+        assert_eq!(snap.estimations_run, 1);
+        assert!(snap.mean_batch_occupancy >= 1.0);
+    }
+
+    #[test]
+    fn cancellation_before_work() {
+        let service = TractoService::start(small_config());
+        let ds = tiny_dataset(3);
+        let ticket = service.submit_track(TrackJob::new(Arc::clone(&ds), fast_pipeline(1)));
+        ticket.cancel();
+        // Depending on timing the job is either cancelled or completed —
+        // cancellation is advisory — but it must terminate either way.
+        let result = ticket.wait();
+        if let Err(e) = &result {
+            assert_eq!(*e, JobError::Cancelled);
+        }
+        service.drain();
+        let snap = service.shutdown();
+        assert_eq!(snap.cancelled + snap.completed, 1);
+    }
+
+    #[test]
+    fn immediate_deadline_rejected() {
+        let service = TractoService::start(small_config());
+        let ds = tiny_dataset(4);
+        let mut job = TrackJob::new(Arc::clone(&ds), fast_pipeline(1));
+        job.deadline = Some(Duration::ZERO);
+        let err = service
+            .submit_track(job)
+            .wait()
+            .expect_err("deadline must fire");
+        assert_eq!(err, JobError::DeadlineExceeded);
+        let snap = service.shutdown();
+        assert_eq!(snap.deadline_exceeded, 1);
+    }
+
+    #[test]
+    fn drain_waits_for_everything() {
+        let service = TractoService::start(small_config());
+        let ds = tiny_dataset(5);
+        let tickets: Vec<_> = (0..3)
+            .map(|i| service.submit_track(TrackJob::new(Arc::clone(&ds), fast_pipeline(i))))
+            .collect();
+        service.drain();
+        for t in tickets {
+            assert!(
+                t.try_result().is_some(),
+                "drain returned before a job finished"
+            );
+        }
+        assert_eq!(service.metrics().in_flight, 0);
+    }
+
+    #[test]
+    fn try_submit_backpressure_shape() {
+        let mut cfg = small_config();
+        cfg.queue_capacity = 1;
+        cfg.estimate_workers = 1;
+        let service = TractoService::start(cfg);
+        let ds = tiny_dataset(6);
+        let mut accepted = Vec::new();
+        let mut rejected = 0;
+        for i in 0..16 {
+            match service.try_submit_track(TrackJob::new(Arc::clone(&ds), fast_pipeline(i))) {
+                Ok(t) => accepted.push(t),
+                Err(JobError::QueueFull) => rejected += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(!accepted.is_empty(), "some jobs must get through");
+        for t in accepted {
+            t.wait().expect("accepted jobs complete");
+        }
+        let snap = service.shutdown();
+        // Every submission is accounted for: completed or rejected.
+        assert_eq!(snap.completed + rejected, 16);
+    }
+}

@@ -1,0 +1,153 @@
+//! End-to-end contract: N jobs through the batched service produce results
+//! bit-identical to the same N jobs run one at a time through
+//! [`tracto::Pipeline`] on the gpu-sim backend — batching and caching are
+//! pure scheduling optimizations, never numerics changes.
+
+use std::sync::Arc;
+use std::time::Duration;
+use tracto::mcmc::ChainConfig;
+use tracto::phantom::{datasets, Dataset};
+use tracto::pipeline::{Backend, Pipeline, PipelineConfig};
+use tracto_gpu_sim::DeviceConfig;
+use tracto_serve::{ServiceConfig, TrackJob, TractoService};
+use tracto_volume::Dim3;
+
+fn small_config(seed: u64, max_steps: u32) -> PipelineConfig {
+    let mut cfg = PipelineConfig::fast();
+    cfg.chain = ChainConfig {
+        num_burnin: 60,
+        num_samples: 3,
+        sample_interval: 1,
+        ..ChainConfig::fast_test()
+    };
+    cfg.seed = seed;
+    cfg.tracking.max_steps = max_steps;
+    cfg
+}
+
+#[test]
+fn service_matches_sequential_pipeline_bit_for_bit() {
+    let bundle: Arc<Dataset> = Arc::new(datasets::single_bundle(Dim3::new(8, 6, 6), Some(20.0), 3));
+    let crossing: Arc<Dataset> =
+        Arc::new(datasets::crossing(Dim3::new(8, 8, 5), 90.0, Some(20.0), 5));
+
+    // Jobs 0 and 2 share (dataset, prior, chain, seed) — same sample-cache
+    // key — but diverge in tracking depth; job 1 is an unrelated dataset.
+    let jobs: Vec<(Arc<Dataset>, PipelineConfig)> = vec![
+        (Arc::clone(&bundle), small_config(5, 120)),
+        (Arc::clone(&crossing), small_config(9, 60)),
+        (Arc::clone(&bundle), small_config(5, 80)),
+    ];
+
+    // Reference: each job alone, sequentially, through the pipeline.
+    let reference: Vec<_> = jobs
+        .iter()
+        .map(|(ds, cfg)| {
+            Pipeline::new(cfg.clone()).run(ds, Backend::GpuSim(DeviceConfig::radeon_5870()))
+        })
+        .collect();
+
+    // Service: everything submitted up front; a single estimate worker
+    // serializes Step 1, so job 2 is guaranteed to hit job 0's cache entry.
+    let service = TractoService::start(ServiceConfig {
+        estimate_workers: 1,
+        max_batch_jobs: 8,
+        batch_window: Duration::from_millis(150),
+        ..ServiceConfig::default()
+    });
+    let tickets: Vec<_> = jobs
+        .iter()
+        .map(|(ds, cfg)| service.submit_track(TrackJob::new(Arc::clone(ds), cfg.clone())))
+        .collect();
+    let results: Vec<_> = tickets
+        .iter()
+        .map(|t| t.wait().expect("job completes"))
+        .collect();
+
+    for (i, (got, want)) in results.iter().zip(&reference).enumerate() {
+        assert_eq!(
+            got.tracking.lengths_by_sample, want.tracking.lengths_by_sample,
+            "job {i}: per-streamline lengths must be bit-identical"
+        );
+        assert_eq!(
+            got.tracking.total_steps, want.tracking.total_steps,
+            "job {i}: total step count must match"
+        );
+        let got_conn = got
+            .tracking
+            .connectivity
+            .as_ref()
+            .expect("service connectivity");
+        let want_conn = want
+            .tracking
+            .connectivity
+            .as_ref()
+            .expect("pipeline connectivity");
+        assert_eq!(
+            got_conn.total_streamlines(),
+            want_conn.total_streamlines(),
+            "job {i}: streamline totals must match"
+        );
+        assert_eq!(
+            got_conn.probability_volume(),
+            want_conn.probability_volume(),
+            "job {i}: per-voxel connectivity must be bit-identical"
+        );
+    }
+
+    // Job 2 skipped Step 1 via the cache; jobs 0 and 1 each ran MCMC once.
+    assert!(
+        results[2].cache_hit,
+        "repeat estimation config must hit the cache"
+    );
+    assert!(!results[0].cache_hit, "first job is a cold miss");
+
+    let metrics = service.shutdown();
+    assert_eq!(metrics.completed, 3);
+    assert_eq!(metrics.failed, 0);
+    assert_eq!(metrics.estimations_run, 2, "two distinct estimation keys");
+    assert!(metrics.cache.hits >= 1);
+    assert_eq!(metrics.batch_jobs, 3, "every job rode in a batch");
+    assert!(metrics.lanes_tracked > 0);
+}
+
+#[test]
+fn disk_cache_survives_service_restart() {
+    let dir = std::env::temp_dir().join(format!("tracto-serve-it-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let ds: Arc<Dataset> = Arc::new(datasets::single_bundle(Dim3::new(8, 6, 6), Some(20.0), 3));
+    let cfg = small_config(5, 60);
+
+    let service = TractoService::start(ServiceConfig {
+        disk_cache: Some(dir.clone()),
+        ..ServiceConfig::default()
+    });
+    let first = service
+        .submit_track(TrackJob::new(Arc::clone(&ds), cfg.clone()))
+        .wait()
+        .expect("cold job");
+    assert!(!first.cache_hit);
+    let cold = service.shutdown();
+    assert_eq!(cold.estimations_run, 1);
+
+    // A fresh service (empty memory cache) warm-starts from disk.
+    let service = TractoService::start(ServiceConfig {
+        disk_cache: Some(dir.clone()),
+        ..ServiceConfig::default()
+    });
+    let second = service
+        .submit_track(TrackJob::new(Arc::clone(&ds), cfg.clone()))
+        .wait()
+        .expect("warm job");
+    assert!(
+        second.cache_hit,
+        "disk entry must satisfy the second service"
+    );
+    let warm = service.shutdown();
+    assert_eq!(warm.estimations_run, 0, "no MCMC after a disk hit");
+    assert_eq!(
+        first.tracking.lengths_by_sample, second.tracking.lengths_by_sample,
+        "disk round-trip must not perturb results"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -24,7 +24,10 @@ impl ExponentialFit {
     /// On empty data, negative values, or zero mean.
     pub fn fit(data: &[f64]) -> ExponentialFit {
         assert!(!data.is_empty(), "need data");
-        assert!(data.iter().all(|&x| x >= 0.0), "exponential data must be nonnegative");
+        assert!(
+            data.iter().all(|&x| x >= 0.0),
+            "exponential data must be nonnegative"
+        );
         let mean = data.iter().sum::<f64>() / data.len() as f64;
         assert!(mean > 0.0, "all-zero data");
         let lambda = 1.0 / mean;
@@ -39,7 +42,11 @@ impl ExponentialFit {
             let emp_lo = i as f64 / n;
             ks = ks.max((model - emp_lo).abs()).max((model - emp_hi).abs());
         }
-        ExponentialFit { lambda, ks_statistic: ks, n: data.len() }
+        ExponentialFit {
+            lambda,
+            ks_statistic: ks,
+            n: data.len(),
+        }
     }
 
     /// The critical KS value at significance `alpha ∈ {0.05, 0.01}` for this
@@ -60,12 +67,7 @@ impl ExponentialFit {
 /// resample the data with replacement `n_boot` times, refit by MLE, and
 /// take the empirical `[α/2, 1−α/2]` quantiles. Deterministic for a given
 /// `seed` (splitmix64 indices — this crate stays dependency-free).
-pub fn bootstrap_lambda_ci(
-    data: &[f64],
-    n_boot: usize,
-    alpha: f64,
-    seed: u64,
-) -> (f64, f64) {
+pub fn bootstrap_lambda_ci(data: &[f64], n_boot: usize, alpha: f64, seed: u64) -> (f64, f64) {
     assert!(!data.is_empty(), "need data");
     assert!(n_boot >= 10, "need a sensible number of resamples");
     assert!(alpha > 0.0 && alpha < 1.0);
@@ -88,8 +90,7 @@ pub fn bootstrap_lambda_ci(
         .collect();
     lambdas.sort_by(|a, b| a.partial_cmp(b).expect("finite λ"));
     let lo_idx = ((alpha / 2.0) * (n_boot - 1) as f64).round() as usize;
-    let hi_idx = (((1.0 - alpha / 2.0) * (n_boot - 1) as f64).round() as usize)
-        .min(n_boot - 1);
+    let hi_idx = (((1.0 - alpha / 2.0) * (n_boot - 1) as f64).round() as usize).min(n_boot - 1);
     (lambdas[lo_idx], lambdas[hi_idx])
 }
 
@@ -197,13 +198,25 @@ mod tests {
         let fit = semilog_fit(&data, 30);
         // A Gaussian's log-density is quadratic, so a global line fits
         // poorly compared to the exponential case.
-        assert!(fit.r_squared < 0.8, "r² {} should be low for Gaussian", fit.r_squared);
+        assert!(
+            fit.r_squared < 0.8,
+            "r² {} should be low for Gaussian",
+            fit.r_squared
+        );
     }
 
     #[test]
     fn critical_values_scale_with_n() {
-        let small = ExponentialFit { lambda: 1.0, ks_statistic: 0.0, n: 100 };
-        let large = ExponentialFit { lambda: 1.0, ks_statistic: 0.0, n: 10_000 };
+        let small = ExponentialFit {
+            lambda: 1.0,
+            ks_statistic: 0.0,
+            n: 100,
+        };
+        let large = ExponentialFit {
+            lambda: 1.0,
+            ks_statistic: 0.0,
+            n: 10_000,
+        };
         assert!(small.ks_critical(0.05) > large.ks_critical(0.05));
         assert!(small.ks_critical(0.01) > small.ks_critical(0.05));
     }
@@ -218,7 +231,10 @@ mod tests {
     fn bootstrap_ci_brackets_true_rate() {
         let data = exponential_samples(4000, 0.05, 9);
         let (lo, hi) = bootstrap_lambda_ci(&data, 400, 0.05, 1);
-        assert!(lo < 0.05 && 0.05 < hi, "CI [{lo:.4}, {hi:.4}] misses λ=0.05");
+        assert!(
+            lo < 0.05 && 0.05 < hi,
+            "CI [{lo:.4}, {hi:.4}] misses λ=0.05"
+        );
         // CI width shrinks roughly as 1/√n.
         let small = exponential_samples(200, 0.05, 10);
         let (lo_s, hi_s) = bootstrap_lambda_ci(&small, 400, 0.05, 1);

@@ -24,7 +24,14 @@ impl Histogram {
     pub fn from_data(data: impl IntoIterator<Item = f64>, lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "need at least one bin");
         assert!(hi > lo, "empty range");
-        let mut h = Histogram { lo, hi, counts: vec![0; bins], total: 0, below: 0, above: 0 };
+        let mut h = Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+            below: 0,
+            above: 0,
+        };
         let scale = bins as f64 / (hi - lo);
         for x in data {
             h.total += 1;

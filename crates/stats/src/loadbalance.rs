@@ -86,7 +86,11 @@ pub fn rectangle_model(loads: &[u32], budgets: &[u32]) -> SegmentWaste {
             *r = r.saturating_sub(b);
         }
     }
-    SegmentWaste { segments, charged, useful }
+    SegmentWaste {
+        segments,
+        charged,
+        useful,
+    }
 }
 
 #[cfg(test)]

@@ -32,8 +32,16 @@ pub fn linear_fit(points: &[(f64, f64)]) -> LineFit {
         .iter()
         .map(|p| (p.1 - slope * p.0 - intercept).powi(2))
         .sum();
-    let r_squared = if ss_tot == 0.0 { 1.0 } else { (1.0 - ss_res / ss_tot).clamp(0.0, 1.0) };
-    LineFit { slope, intercept, r_squared }
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        (1.0 - ss_res / ss_tot).clamp(0.0, 1.0)
+    };
+    LineFit {
+        slope,
+        intercept,
+        r_squared,
+    }
 }
 
 #[cfg(test)]

@@ -26,9 +26,12 @@ fn direct_distance(a: &[Vec3], b: &[Vec3]) -> f64 {
 pub fn mdf_distance(a: &[Vec3], b: &[Vec3]) -> f64 {
     debug_assert_eq!(a.len(), b.len(), "resample before comparing");
     let direct = direct_distance(a, b);
-    let flipped: f64 =
-        a.iter().zip(b.iter().rev()).map(|(p, q)| (*p - *q).norm()).sum::<f64>()
-            / a.len() as f64;
+    let flipped: f64 = a
+        .iter()
+        .zip(b.iter().rev())
+        .map(|(p, q)| (*p - *q).norm())
+        .sum::<f64>()
+        / a.len() as f64;
     direct.min(flipped)
 }
 
@@ -77,15 +80,22 @@ pub fn quick_bundles(streamlines: &[Vec<Vec3>], threshold: f64) -> Vec<Bundle> {
                 .map(|(p, q)| (*p - *q).norm())
                 .sum::<f64>()
                 / r.len() as f64;
-            let (dist, flip) = if direct <= flipped { (direct, false) } else { (flipped, true) };
+            let (dist, flip) = if direct <= flipped {
+                (direct, false)
+            } else {
+                (flipped, true)
+            };
             if best.map(|(_, d, _)| dist < d).unwrap_or(true) {
                 best = Some((b, dist, flip));
             }
         }
         match best {
             Some((b, dist, flip)) if dist <= threshold => {
-                let oriented: Vec<Vec3> =
-                    if flip { r.iter().rev().copied().collect() } else { r };
+                let oriented: Vec<Vec3> = if flip {
+                    r.iter().rev().copied().collect()
+                } else {
+                    r
+                };
                 for (s, p) in sums[b].iter_mut().zip(&oriented) {
                     *s += *p;
                 }
@@ -97,7 +107,10 @@ pub fn quick_bundles(streamlines: &[Vec<Vec3>], threshold: f64) -> Vec<Bundle> {
             }
             _ => {
                 sums.push(r.clone());
-                bundles.push(Bundle { centroid: r, members: vec![idx] });
+                bundles.push(Bundle {
+                    centroid: r,
+                    members: vec![idx],
+                });
             }
         }
     }
@@ -150,8 +163,10 @@ mod tests {
         assert_eq!(bundles[0].len(), 10);
         assert_eq!(bundles[1].len(), 7);
         // Members partition the input.
-        let mut all: Vec<usize> =
-            bundles.iter().flat_map(|b| b.members.iter().copied()).collect();
+        let mut all: Vec<usize> = bundles
+            .iter()
+            .flat_map(|b| b.members.iter().copied())
+            .collect();
         all.sort_unstable();
         assert_eq!(all, (0..17).collect::<Vec<_>>());
     }

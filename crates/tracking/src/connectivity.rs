@@ -19,7 +19,11 @@ pub struct ConnectivityAccumulator {
 impl ConnectivityAccumulator {
     /// New empty accumulator over a grid.
     pub fn new(dims: Dim3) -> Self {
-        ConnectivityAccumulator { dims, counts: vec![0; dims.len()], total_streamlines: 0 }
+        ConnectivityAccumulator {
+            dims,
+            counts: vec![0; dims.len()],
+            total_streamlines: 0,
+        }
     }
 
     /// Grid dimensions.
@@ -95,7 +99,9 @@ impl ConnectivityAccumulator {
     /// The full probability volume.
     pub fn probability_volume(&self) -> Volume3<f32> {
         let total = self.total_streamlines.max(1) as f64;
-        Volume3::from_fn(self.dims, |c| (self.counts[self.dims.index(c)] as f64 / total) as f32)
+        Volume3::from_fn(self.dims, |c| {
+            (self.counts[self.dims.index(c)] as f64 / total) as f32
+        })
     }
 
     /// Probability that a streamline reaches *any* voxel of `target` —
@@ -143,7 +149,11 @@ pub struct RegionConnectivity {
 impl RegionConnectivity {
     /// New matrix over `n` regions.
     pub fn new(n: usize) -> Self {
-        RegionConnectivity { n, counts: vec![vec![0; n]; n], totals: vec![0; n] }
+        RegionConnectivity {
+            n,
+            counts: vec![vec![0; n]; n],
+            totals: vec![0; n],
+        }
     }
 
     /// Number of regions.
@@ -190,8 +200,9 @@ mod tests {
     fn path_voxels_dedup() {
         let dims = Dim3::new(8, 4, 4);
         // Many sub-voxel steps through two voxels.
-        let points: Vec<Vec3> =
-            (0..20).map(|i| Vec3::new(i as f64 * 0.1, 2.0, 2.0)).collect();
+        let points: Vec<Vec3> = (0..20)
+            .map(|i| Vec3::new(i as f64 * 0.1, 2.0, 2.0))
+            .collect();
         let voxels = ConnectivityAccumulator::voxels_of_path(dims, &points);
         assert_eq!(voxels.len(), 3); // x rounds to 0, 1, 2
     }
@@ -199,7 +210,11 @@ mod tests {
     #[test]
     fn path_voxels_skip_out_of_bounds() {
         let dims = Dim3::new(2, 2, 2);
-        let points = vec![Vec3::new(-3.0, 0.0, 0.0), Vec3::new(1.0, 1.0, 1.0), Vec3::new(9.0, 0.0, 0.0)];
+        let points = vec![
+            Vec3::new(-3.0, 0.0, 0.0),
+            Vec3::new(1.0, 1.0, 1.0),
+            Vec3::new(9.0, 0.0, 0.0),
+        ];
         let voxels = ConnectivityAccumulator::voxels_of_path(dims, &points);
         assert_eq!(voxels.len(), 1);
     }

@@ -46,7 +46,12 @@ pub fn track_streamline<Fld: OrientationField + ?Sized>(
     while w.alive() {
         w.step(field, params, mask);
     }
-    Streamline { seed_id, points: w.path, steps: w.steps, stop: w.stop }
+    Streamline {
+        seed_id,
+        points: w.path,
+        steps: w.steps,
+        stop: w.stop,
+    }
 }
 
 /// Track bidirectionally: once along the seed's dominant direction and once
@@ -110,7 +115,15 @@ mod tests {
     fn streamline_reaches_far_boundary() {
         let dims = Dim3::new(16, 4, 4);
         let f = x_field(dims);
-        let s = track_streamline(&f, 0, Vec3::new(0.0, 2.0, 2.0), Vec3::X, &params(), None, true);
+        let s = track_streamline(
+            &f,
+            0,
+            Vec3::new(0.0, 2.0, 2.0),
+            Vec3::X,
+            &params(),
+            None,
+            true,
+        );
         assert_eq!(s.stop, StopReason::OutOfBounds);
         assert_eq!(s.points.len() as u32, s.steps + 1);
         assert!((s.length_voxels(&params()) - 15.0).abs() < 1e-9);
@@ -120,7 +133,15 @@ mod tests {
     fn unrecorded_streamline_has_no_points() {
         let dims = Dim3::new(8, 4, 4);
         let f = x_field(dims);
-        let s = track_streamline(&f, 0, Vec3::new(0.0, 2.0, 2.0), Vec3::X, &params(), None, false);
+        let s = track_streamline(
+            &f,
+            0,
+            Vec3::new(0.0, 2.0, 2.0),
+            Vec3::X,
+            &params(),
+            None,
+            false,
+        );
         assert!(s.points.is_empty());
         assert!(s.steps > 0);
     }
@@ -139,7 +160,11 @@ mod tests {
         let last = s.points.last().unwrap();
         assert!(first.x < 1.0 && last.x > 14.0, "ends {first:?} {last:?}");
         // No duplicated seed point.
-        let dup = s.points.windows(2).filter(|w| (w[0] - w[1]).norm() < 1e-12).count();
+        let dup = s
+            .points
+            .windows(2)
+            .filter(|w| (w[0] - w[1]).norm() < 1e-12)
+            .count();
         assert_eq!(dup, 0);
     }
 
@@ -147,8 +172,9 @@ mod tests {
     fn bidirectional_none_off_fiber() {
         let dims = Dim3::new(8, 4, 4);
         let f = FnField::new(dims, |_| [(Vec3::ZERO, 0.0), (Vec3::ZERO, 0.0)]);
-        assert!(track_bidirectional(&f, 0, Vec3::new(4.0, 2.0, 2.0), &params(), None, false)
-            .is_none());
+        assert!(
+            track_bidirectional(&f, 0, Vec3::new(4.0, 2.0, 2.0), &params(), None, false).is_none()
+        );
     }
 
     #[test]
@@ -173,6 +199,10 @@ mod tests {
             let r = (pt.x * pt.x + pt.y * pt.y).sqrt();
             assert!((r - r0).abs() < 2.0, "radius drifted: {r} vs {r0}");
         }
-        assert!(s.steps > 50, "should follow the curve a while, got {}", s.steps);
+        assert!(
+            s.steps > 50,
+            "should follow the curve a while, got {}",
+            s.steps
+        );
     }
 }

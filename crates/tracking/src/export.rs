@@ -64,7 +64,13 @@ pub fn summarize(streamlines: &[Streamline]) -> FiberSetSummary {
     } else {
         streamlines.iter().map(|s| s.steps as f64).sum::<f64>() / count as f64
     };
-    FiberSetSummary { count, points, min_steps, mean_steps, max_steps }
+    FiberSetSummary {
+        count,
+        points,
+        min_steps,
+        mean_steps,
+        max_steps,
+    }
 }
 
 #[cfg(test)]
@@ -77,7 +83,11 @@ mod tests {
         vec![
             Streamline {
                 seed_id: 0,
-                points: vec![Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), Vec3::new(2.0, 0.0, 0.0)],
+                points: vec![
+                    Vec3::ZERO,
+                    Vec3::new(1.0, 0.0, 0.0),
+                    Vec3::new(2.0, 0.0, 0.0),
+                ],
                 steps: 2,
                 stop: StopReason::MaxSteps,
             },

@@ -196,7 +196,10 @@ mod tests {
         let dims = Dim3::new(2, 2, 2);
         let f = uniform_x_field(dims);
         let d = select_stick(&f, Ijk::new(0, 0, 0), -Vec3::X, 0.0).unwrap();
-        assert!((d + Vec3::X).norm() < 1e-12, "must flip into walker hemisphere");
+        assert!(
+            (d + Vec3::X).norm() < 1e-12,
+            "must flip into walker hemisphere"
+        );
     }
 
     #[test]
@@ -214,11 +217,23 @@ mod tests {
             let d = if c.i < 2 { Vec3::X } else { Vec3::Z };
             [(d, 0.5), (Vec3::ZERO, 0.0)]
         });
-        let d = select_direction(&f, Vec3::new(2.4, 0.0, 0.0), Vec3::Z, InterpMode::Nearest, 0.0)
-            .unwrap();
+        let d = select_direction(
+            &f,
+            Vec3::new(2.4, 0.0, 0.0),
+            Vec3::Z,
+            InterpMode::Nearest,
+            0.0,
+        )
+        .unwrap();
         assert!((d - Vec3::Z).norm() < 1e-12);
-        let d = select_direction(&f, Vec3::new(1.4, 0.0, 0.0), Vec3::X, InterpMode::Nearest, 0.0)
-            .unwrap();
+        let d = select_direction(
+            &f,
+            Vec3::new(1.4, 0.0, 0.0),
+            Vec3::X,
+            InterpMode::Nearest,
+            0.0,
+        )
+        .unwrap();
         assert!((d - Vec3::X).norm() < 1e-12);
     }
 
@@ -231,10 +246,19 @@ mod tests {
         let f = FnField::new(dims, move |c| {
             [(if c.i == 0 { d0 } else { d1 }, 0.5), (Vec3::ZERO, 0.0)]
         });
-        let d = select_direction(&f, Vec3::new(0.5, 0.0, 0.0), Vec3::X, InterpMode::Trilinear, 0.0)
-            .unwrap();
+        let d = select_direction(
+            &f,
+            Vec3::new(0.5, 0.0, 0.0),
+            Vec3::X,
+            InterpMode::Trilinear,
+            0.0,
+        )
+        .unwrap();
         assert!((d.norm() - 1.0).abs() < 1e-12);
-        assert!(d.dot(d0) > 0.8 && d.dot(d1) > 0.8, "blend between neighbors: {d:?}");
+        assert!(
+            d.dot(d0) > 0.8 && d.dot(d1) > 0.8,
+            "blend between neighbors: {d:?}"
+        );
     }
 
     #[test]

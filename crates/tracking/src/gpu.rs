@@ -120,7 +120,12 @@ impl GpuTrackingReport {
 
     /// Longest fiber across the run.
     pub fn longest(&self) -> u32 {
-        self.lengths_by_sample.iter().flatten().copied().max().unwrap_or(0)
+        self.lengths_by_sample
+            .iter()
+            .flatten()
+            .copied()
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -136,8 +141,9 @@ impl<'a> GpuTracker<'a> {
         let mut lengths_by_sample = vec![vec![0u32; n_seeds]; num_samples];
         let mut submission_orders = Vec::with_capacity(num_samples);
         let mut per_segment_unfinished = Vec::with_capacity(num_samples);
-        let mut connectivity =
-            self.record_visits.then(|| ConnectivityAccumulator::new(self.samples.dims()));
+        let mut connectivity = self
+            .record_visits
+            .then(|| ConnectivityAccumulator::new(self.samples.dims()));
         let mut total_steps = 0u64;
         let mut pilot_lengths: Option<Vec<u32>> = None;
 
@@ -145,13 +151,14 @@ impl<'a> GpuTracker<'a> {
             // Copy3DImagesToGPU(): the six parameter fields of this sample.
             let volume_bytes = sample_volume_bytes(self.samples);
             let lane_bytes = n_seeds as u64 * LANE_BYTES;
-            gpu.device_alloc(volume_bytes + lane_bytes).unwrap_or_else(|short| {
-                panic!(
-                    "sample volume + lanes exceed device memory by {short} bytes \
+            gpu.device_alloc(volume_bytes + lane_bytes)
+                .unwrap_or_else(|short| {
+                    panic!(
+                        "sample volume + lanes exceed device memory by {short} bytes \
                      (device holds {}; shrink the grid or sample count)",
-                    gpu.config().memory_bytes
-                )
-            });
+                        gpu.config().memory_bytes
+                    )
+                });
             gpu.transfer_to_device(volume_bytes);
 
             let order: Vec<u32> = match (&self.ordering, &pilot_lengths) {
@@ -194,7 +201,11 @@ impl<'a> GpuTracker<'a> {
             // SendStartPointsToGPU().
             gpu.transfer_to_device(lanes.len() as u64 * LANE_BYTES);
 
-            let kernel = TrackingKernel { field, params: self.params, mask: self.mask };
+            let kernel = TrackingKernel {
+                field,
+                params: self.params,
+                mask: self.mask,
+            };
             let mut unfinished_after_segment = Vec::with_capacity(budgets.len());
 
             for (seg_idx, &budget) in budgets.iter().enumerate() {
@@ -230,7 +241,13 @@ impl<'a> GpuTracker<'a> {
             // Budgets sum to max_steps, so every walker has terminated.
             debug_assert!(lanes.is_empty(), "lanes survived the full budget");
             for lane in lanes.drain(..) {
-                self.retire(&lane, sample, &mut lengths_by_sample, &mut connectivity, &mut total_steps);
+                self.retire(
+                    &lane,
+                    sample,
+                    &mut lengths_by_sample,
+                    &mut connectivity,
+                    &mut total_steps,
+                );
             }
 
             gpu.device_free(volume_bytes + lane_bytes);
@@ -330,7 +347,9 @@ mod tests {
     }
 
     fn line_seeds(dims: Dim3) -> Vec<Vec3> {
-        (0..dims.nx).map(|i| Vec3::new(i as f64, 2.0, 2.0)).collect()
+        (0..dims.nx)
+            .map(|i| Vec3::new(i as f64, 2.0, 2.0))
+            .collect()
     }
 
     #[test]
@@ -338,8 +357,8 @@ mod tests {
         let dims = Dim3::new(12, 6, 6);
         let sv = x_samples(dims, 3);
         let seeds = line_seeds(dims);
-        let gpu_run = tracker(&sv, seeds.clone(), SegmentationStrategy::paper_b())
-            .run(&mut small_gpu());
+        let gpu_run =
+            tracker(&sv, seeds.clone(), SegmentationStrategy::paper_b()).run(&mut small_gpu());
         let cpu = CpuTracker {
             samples: &sv,
             params: params(),
@@ -350,8 +369,10 @@ mod tests {
             bidirectional: false,
         }
         .run_serial(RecordMode::LengthsOnly);
-        assert_eq!(gpu_run.lengths_by_sample, cpu.lengths_by_sample,
-            "bit-identical results regardless of segmentation (the paper's CPU≡GPU check)");
+        assert_eq!(
+            gpu_run.lengths_by_sample, cpu.lengths_by_sample,
+            "bit-identical results regardless of segmentation (the paper's CPU≡GPU check)"
+        );
         assert_eq!(gpu_run.total_steps, cpu.total_steps);
     }
 
@@ -380,9 +401,10 @@ mod tests {
         let dims = Dim3::new(12, 6, 6);
         let sv = x_samples(dims, 2);
         let seeds = line_seeds(dims);
-        let single = tracker(&sv, seeds.clone(), SegmentationStrategy::Single).run(&mut small_gpu());
-        let every = tracker(&sv, seeds.clone(), SegmentationStrategy::every_step())
-            .run(&mut small_gpu());
+        let single =
+            tracker(&sv, seeds.clone(), SegmentationStrategy::Single).run(&mut small_gpu());
+        let every =
+            tracker(&sv, seeds.clone(), SegmentationStrategy::every_step()).run(&mut small_gpu());
         assert!(every.ledger.launches > single.ledger.launches);
         assert!(every.ledger.transfer_s > single.ledger.transfer_s);
         assert!(every.ledger.reduction_s > single.ledger.reduction_s);
@@ -398,7 +420,10 @@ mod tests {
         let run = tracker(&sv, seeds, SegmentationStrategy::paper_b()).run(&mut small_gpu());
         let counts = &run.per_segment_unfinished[0];
         for w in counts.windows(2) {
-            assert!(w[1] <= w[0], "unfinished counts must be non-increasing: {counts:?}");
+            assert!(
+                w[1] <= w[0],
+                "unfinished counts must be non-increasing: {counts:?}"
+            );
         }
         assert_eq!(*counts.last().unwrap(), 0);
     }
@@ -440,7 +465,11 @@ mod tests {
     fn connectivity_when_recording() {
         let dims = Dim3::new(10, 6, 6);
         let sv = x_samples(dims, 2);
-        let mut t = tracker(&sv, vec![Vec3::new(0.0, 2.0, 2.0)], SegmentationStrategy::paper_b());
+        let mut t = tracker(
+            &sv,
+            vec![Vec3::new(0.0, 2.0, 2.0)],
+            SegmentationStrategy::paper_b(),
+        );
         t.record_visits = true;
         t.jitter = 0.0;
         let run = t.run(&mut small_gpu());
@@ -453,8 +482,8 @@ mod tests {
     fn ledger_charges_sample_volume_uploads() {
         let dims = Dim3::new(8, 6, 6);
         let sv = x_samples(dims, 3);
-        let run = tracker(&sv, line_seeds(dims), SegmentationStrategy::Single)
-            .run(&mut small_gpu());
+        let run =
+            tracker(&sv, line_seeds(dims), SegmentationStrategy::Single).run(&mut small_gpu());
         let expected_volume_bytes = 3 * sample_volume_bytes(&sv);
         assert!(run.ledger.bytes_h2d >= expected_volume_bytes);
     }
@@ -463,11 +492,16 @@ mod tests {
     fn longest_reported() {
         let dims = Dim3::new(12, 6, 6);
         let sv = x_samples(dims, 1);
-        let run = tracker(&sv, line_seeds(dims), SegmentationStrategy::Single)
-            .run(&mut small_gpu());
+        let run =
+            tracker(&sv, line_seeds(dims), SegmentationStrategy::Single).run(&mut small_gpu());
         assert_eq!(
             run.longest(),
-            run.lengths_by_sample.iter().flatten().copied().max().unwrap()
+            run.lengths_by_sample
+                .iter()
+                .flatten()
+                .copied()
+                .max()
+                .unwrap()
         );
         assert!(run.longest() > 0);
     }

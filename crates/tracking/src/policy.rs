@@ -97,7 +97,12 @@ pub fn track_with_policy<Fld: OrientationField + ?Sized>(
     // Evaluate the seed voxel itself.
     if let Some(c) = voxel_of(walker.pos) {
         if policy.exclusion.map(|m| m.contains(c)).unwrap_or(false) {
-            let s = Streamline { seed_id, points: walker.path.clone(), steps: 0, stop: StopReason::OutOfMask };
+            let s = Streamline {
+                seed_id,
+                points: walker.path.clone(),
+                steps: 0,
+                stop: StopReason::OutOfMask,
+            };
             return TrackOutcome::Rejected(s, RejectReason::EnteredExclusion);
         }
         for (i, wp) in policy.waypoints.iter().enumerate() {
@@ -109,7 +114,9 @@ pub fn track_with_policy<Fld: OrientationField + ?Sized>(
 
     while walker.alive() {
         walker.step(field, params, policy.track_mask);
-        let Some(c) = voxel_of(walker.pos) else { continue };
+        let Some(c) = voxel_of(walker.pos) else {
+            continue;
+        };
         if walker.alive() || walker.stop == StopReason::MaxSteps {
             if policy.exclusion.map(|m| m.contains(c)).unwrap_or(false) {
                 let s = Streamline {
@@ -187,7 +194,10 @@ mod tests {
         let dims = Dim3::new(12, 4, 4);
         let f = x_field(dims);
         let excl = Mask::from_fn(dims, |c| c.i == 6);
-        let policy = TrackingPolicy { exclusion: Some(&excl), ..Default::default() };
+        let policy = TrackingPolicy {
+            exclusion: Some(&excl),
+            ..Default::default()
+        };
         let out = track_with_policy(
             &f,
             0,
@@ -199,7 +209,11 @@ mod tests {
         );
         match out {
             TrackOutcome::Rejected(s, RejectReason::EnteredExclusion) => {
-                assert!(s.steps < 13, "must abort at the exclusion wall, got {}", s.steps);
+                assert!(
+                    s.steps < 13,
+                    "must abort at the exclusion wall, got {}",
+                    s.steps
+                );
             }
             other => panic!("expected exclusion rejection, got {other:?}"),
         }
@@ -210,7 +224,10 @@ mod tests {
         let dims = Dim3::new(12, 4, 4);
         let f = x_field(dims);
         let excl = Mask::from_fn(dims, |c| c.i == 0);
-        let policy = TrackingPolicy { exclusion: Some(&excl), ..Default::default() };
+        let policy = TrackingPolicy {
+            exclusion: Some(&excl),
+            ..Default::default()
+        };
         let out = track_with_policy(
             &f,
             0,
@@ -229,7 +246,10 @@ mod tests {
         let dims = Dim3::new(12, 4, 4);
         let f = x_field(dims);
         let term = Mask::from_fn(dims, |c| c.i >= 6);
-        let policy = TrackingPolicy { termination: Some(&term), ..Default::default() };
+        let policy = TrackingPolicy {
+            termination: Some(&term),
+            ..Default::default()
+        };
         let out = track_with_policy(
             &f,
             0,
@@ -241,7 +261,10 @@ mod tests {
         );
         assert!(out.accepted());
         let s = out.streamline();
-        assert!(s.points.last().unwrap().x <= 6.5, "stopped at the termination wall");
+        assert!(
+            s.points.last().unwrap().x <= 6.5,
+            "stopped at the termination wall"
+        );
         assert!(s.steps >= 11);
     }
 
@@ -258,16 +281,34 @@ mod tests {
             ..Default::default()
         };
         let out = track_with_policy(
-            &f, 0, Vec3::new(0.0, 2.0, 2.0), Vec3::X, &params(), &accept, false,
+            &f,
+            0,
+            Vec3::new(0.0, 2.0, 2.0),
+            Vec3::X,
+            &params(),
+            &accept,
+            false,
         );
         assert!(out.accepted());
 
         let both = [on_path, off_path];
-        let reject = TrackingPolicy { waypoints: &both, ..Default::default() };
+        let reject = TrackingPolicy {
+            waypoints: &both,
+            ..Default::default()
+        };
         let out = track_with_policy(
-            &f, 0, Vec3::new(0.0, 2.0, 2.0), Vec3::X, &params(), &reject, false,
+            &f,
+            0,
+            Vec3::new(0.0, 2.0, 2.0),
+            Vec3::X,
+            &params(),
+            &reject,
+            false,
         );
-        assert!(matches!(out, TrackOutcome::Rejected(_, RejectReason::MissedWaypoint)));
+        assert!(matches!(
+            out,
+            TrackOutcome::Rejected(_, RejectReason::MissedWaypoint)
+        ));
     }
 
     #[test]
@@ -280,7 +321,13 @@ mod tests {
             ..Default::default()
         };
         let out = track_with_policy(
-            &f, 0, Vec3::new(0.0, 2.0, 2.0), Vec3::X, &params(), &policy, false,
+            &f,
+            0,
+            Vec3::new(0.0, 2.0, 2.0),
+            Vec3::X,
+            &params(),
+            &policy,
+            false,
         );
         assert!(out.accepted());
     }
@@ -290,9 +337,18 @@ mod tests {
         let dims = Dim3::new(12, 4, 4);
         let f = x_field(dims);
         let stay = Mask::from_fn(dims, |c| c.i < 5);
-        let policy = TrackingPolicy { track_mask: Some(&stay), ..Default::default() };
+        let policy = TrackingPolicy {
+            track_mask: Some(&stay),
+            ..Default::default()
+        };
         let out = track_with_policy(
-            &f, 0, Vec3::new(0.0, 2.0, 2.0), Vec3::X, &params(), &policy, false,
+            &f,
+            0,
+            Vec3::new(0.0, 2.0, 2.0),
+            Vec3::X,
+            &params(),
+            &policy,
+            false,
         );
         assert!(out.accepted());
         assert!(out.streamline().steps <= 10);

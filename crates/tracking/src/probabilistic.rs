@@ -89,7 +89,12 @@ impl TrackingOutput {
 
     /// The longest fiber (steps) — Table II's "Longest fiber length".
     pub fn longest(&self) -> u32 {
-        self.lengths_by_sample.iter().flatten().copied().max().unwrap_or(0)
+        self.lengths_by_sample
+            .iter()
+            .flatten()
+            .copied()
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -117,11 +122,22 @@ impl<'a> CpuTracker<'a> {
     /// streamline; seeds without an eligible direction yield zero steps.
     pub fn track_one(&self, sample: usize, seed_idx: usize, record: bool) -> Streamline {
         let field = SampleFieldView::new(self.samples, sample);
-        let pos = jittered_seed(self.seeds[seed_idx], self.run_seed, sample, seed_idx, self.jitter);
+        let pos = jittered_seed(
+            self.seeds[seed_idx],
+            self.run_seed,
+            sample,
+            seed_idx,
+            self.jitter,
+        );
         if self.bidirectional {
-            if let Some(s) =
-                track_bidirectional(&field, seed_idx as u32, pos, &self.params, self.mask, record)
-            {
+            if let Some(s) = track_bidirectional(
+                &field,
+                seed_idx as u32,
+                pos,
+                &self.params,
+                self.mask,
+                record,
+            ) {
                 return s;
             }
         } else if let Some(dir) = initial_direction(&field, pos, self.params.min_fraction) {
@@ -135,10 +151,19 @@ impl<'a> CpuTracker<'a> {
                 record,
             );
         }
-        Streamline { seed_id: seed_idx as u32, points: Vec::new(), steps: 0, stop: StopReason::NoDirection }
+        Streamline {
+            seed_id: seed_idx as u32,
+            points: Vec::new(),
+            steps: 0,
+            stop: StopReason::NoDirection,
+        }
     }
 
-    fn assemble(&self, mode: RecordMode, per_sample: Vec<(Vec<u32>, Option<ConnectivityAccumulator>, Vec<Streamline>)>) -> TrackingOutput {
+    fn assemble(
+        &self,
+        mode: RecordMode,
+        per_sample: Vec<(Vec<u32>, Option<ConnectivityAccumulator>, Vec<Streamline>)>,
+    ) -> TrackingOutput {
         let mut lengths_by_sample = Vec::with_capacity(per_sample.len());
         let mut connectivity = match mode {
             RecordMode::LengthsOnly => None,
@@ -154,7 +179,12 @@ impl<'a> CpuTracker<'a> {
             }
             streamlines.extend(lines);
         }
-        TrackingOutput { lengths_by_sample, total_steps, connectivity, streamlines }
+        TrackingOutput {
+            lengths_by_sample,
+            total_steps,
+            connectivity,
+            streamlines,
+        }
     }
 
     fn run_sample(
@@ -192,8 +222,9 @@ impl<'a> CpuTracker<'a> {
 
     /// Run serially — the Table II "CPU time" baseline.
     pub fn run_serial(&self, mode: RecordMode) -> TrackingOutput {
-        let per_sample: Vec<_> =
-            (0..self.samples.num_samples()).map(|s| self.run_sample(s, mode)).collect();
+        let per_sample: Vec<_> = (0..self.samples.num_samples())
+            .map(|s| self.run_sample(s, mode))
+            .collect();
         self.assemble(mode, per_sample)
     }
 
@@ -295,7 +326,10 @@ mod tests {
         // Same nominal seed, different jitter per (sample, idx) → spread of
         // lengths.
         let s0 = &out.lengths_by_sample[0];
-        assert!(s0.iter().any(|&l| l != s0[0]), "jitter had no effect: {s0:?}");
+        assert!(
+            s0.iter().any(|&l| l != s0[0]),
+            "jitter had no effect: {s0:?}"
+        );
     }
 
     #[test]

@@ -36,7 +36,11 @@ pub fn resample_by_arclength(points: &[Vec3], n: usize) -> Vec<Vec3> {
             seg += 1;
             seg_len = (points[seg + 1] - points[seg]).norm();
         }
-        let t = if seg_len > 0.0 { (target - seg_start_s) / seg_len } else { 0.0 };
+        let t = if seg_len > 0.0 {
+            (target - seg_start_s) / seg_len
+        } else {
+            0.0
+        };
         out.push(points[seg].lerp(points[seg + 1], t.clamp(0.0, 1.0)));
     }
     out.push(*points.last().expect("nonempty"));

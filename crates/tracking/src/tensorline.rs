@@ -95,7 +95,9 @@ pub fn track_tensorline(
     if dir == Vec3::ZERO || field.fa_at(c) < params.min_fraction {
         return None;
     }
-    Some(track_streamline(field, seed_id, seed, dir, params, mask, record))
+    Some(track_streamline(
+        field, seed_id, seed, dir, params, mask, record,
+    ))
 }
 
 /// A closure field wrapper for hand-built tensor baselines in tests.
@@ -158,8 +160,9 @@ mod tests {
         let ds = datasets::single_bundle(Dim3::new(12, 8, 8), None, 3);
         let field = TensorField::fit(&ds.acq, &ds.dwi);
         // Corner voxel: isotropic.
-        assert!(track_tensorline(&field, 0, Vec3::new(0.0, 0.0, 0.0), &params(), None, false)
-            .is_none());
+        assert!(
+            track_tensorline(&field, 0, Vec3::new(0.0, 0.0, 0.0), &params(), None, false).is_none()
+        );
     }
 
     #[test]
@@ -175,12 +178,14 @@ mod tests {
         assert_eq!(ds.truth.at(crossing).count, 2);
         assert_eq!(ds.truth.at(single).count, 1);
         let shape = |c: Ijk| {
-            let signal: Vec<f64> =
-                ds.dwi.voxel(c).iter().map(|&v| v as f64).collect();
+            let signal: Vec<f64> = ds.dwi.voxel(c).iter().map(|&v| v as f64).collect();
             let fit = TensorFit::fit(&ds.acq, &signal).unwrap();
             let [l1, l2, l3] = fit.tensor.eigenvalues();
             // Westin-style prolate vs planar discriminator.
-            ((l1 - l2) / (l1 - l3).max(1e-12), (l2 - l3) / (l1 - l3).max(1e-12))
+            (
+                (l1 - l2) / (l1 - l3).max(1e-12),
+                (l2 - l3) / (l1 - l3).max(1e-12),
+            )
         };
         let (cl_single, _) = shape(single);
         let (cl_cross, cp_cross) = shape(crossing);

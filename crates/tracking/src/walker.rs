@@ -78,7 +78,14 @@ pub struct Walker {
 impl Walker {
     /// Start a walker at `pos` heading along `dir`.
     pub fn new(seed_id: u32, pos: Vec3, dir: Vec3) -> Self {
-        Walker { pos, dir: dir.normalized(), steps: 0, stop: StopReason::Running, seed_id, path: Vec::new() }
+        Walker {
+            pos,
+            dir: dir.normalized(),
+            steps: 0,
+            stop: StopReason::Running,
+            seed_id,
+            path: Vec::new(),
+        }
     }
 
     /// Start a walker that records its trajectory (pre-seeded with the
@@ -113,9 +120,13 @@ impl Walker {
             return self.stop;
         }
         // Interpolation(): evaluate the local direction.
-        let Some(new_dir) =
-            select_direction(field, self.pos, self.dir, params.interp, params.min_fraction)
-        else {
+        let Some(new_dir) = select_direction(
+            field,
+            self.pos,
+            self.dir,
+            params.interp,
+            params.min_fraction,
+        ) else {
             self.stop = StopReason::NoDirection;
             return self.stop;
         };

@@ -102,17 +102,26 @@ mod tests {
         let mut g = VoxelGrid::isotropic(Dim3::new(4, 4, 4), 1.0);
         g.origin = Vec3::new(10.0, -5.0, 0.0);
         assert_eq!(g.voxel_center_world(Ijk::new(0, 0, 0)), g.origin);
-        assert_eq!(g.voxel_center_world(Ijk::new(1, 2, 3)), Vec3::new(11.0, -3.0, 3.0));
+        assert_eq!(
+            g.voxel_center_world(Ijk::new(1, 2, 3)),
+            Vec3::new(11.0, -3.0, 3.0)
+        );
     }
 
     #[test]
     fn nearest_voxel_rounds() {
         let g = VoxelGrid::isotropic(Dim3::new(4, 4, 4), 1.0);
-        assert_eq!(g.nearest_voxel(Vec3::new(1.4, 1.6, 2.5)), Some(Ijk::new(1, 2, 3)));
+        assert_eq!(
+            g.nearest_voxel(Vec3::new(1.4, 1.6, 2.5)),
+            Some(Ijk::new(1, 2, 3))
+        );
         assert_eq!(g.nearest_voxel(Vec3::new(-0.6, 0.0, 0.0)), None);
         assert_eq!(g.nearest_voxel(Vec3::new(3.6, 0.0, 0.0)), None);
         // -0.4 rounds to 0, which is in bounds.
-        assert_eq!(g.nearest_voxel(Vec3::new(-0.4, 0.0, 0.0)), Some(Ijk::new(0, 0, 0)));
+        assert_eq!(
+            g.nearest_voxel(Vec3::new(-0.4, 0.0, 0.0)),
+            Some(Ijk::new(0, 0, 0))
+        );
     }
 
     #[test]

@@ -39,9 +39,21 @@ pub fn trilinear_stencil(dims: Dim3, p: Vec3) -> TrilinearStencil {
     let y0 = y.floor().min(max_y - 1.0).max(0.0);
     let z0 = z.floor().min(max_z - 1.0).max(0.0);
     // Degenerate axes (extent 1) collapse the stencil onto the single plane.
-    let (x0, fx) = if dims.nx == 1 { (0.0, 0.0) } else { (x0, x - x0) };
-    let (y0, fy) = if dims.ny == 1 { (0.0, 0.0) } else { (y0, y - y0) };
-    let (z0, fz) = if dims.nz == 1 { (0.0, 0.0) } else { (z0, z - z0) };
+    let (x0, fx) = if dims.nx == 1 {
+        (0.0, 0.0)
+    } else {
+        (x0, x - x0)
+    };
+    let (y0, fy) = if dims.ny == 1 {
+        (0.0, 0.0)
+    } else {
+        (y0, y - y0)
+    };
+    let (z0, fz) = if dims.nz == 1 {
+        (0.0, 0.0)
+    } else {
+        (z0, z - z0)
+    };
 
     let i0 = x0 as usize;
     let j0 = y0 as usize;
@@ -133,7 +145,11 @@ impl DirectionField {
     /// The stored direction at an integer voxel.
     #[inline]
     pub fn at(&self, c: Ijk) -> Vec3 {
-        Vec3::new(*self.dx.get(c) as f64, *self.dy.get(c) as f64, *self.dz.get(c) as f64)
+        Vec3::new(
+            *self.dx.get(c) as f64,
+            *self.dy.get(c) as f64,
+            *self.dz.get(c) as f64,
+        )
     }
 
     /// Nearest-voxel direction sample, flipped toward `reference`.
@@ -166,7 +182,9 @@ mod tests {
 
     fn ramp_volume() -> Volume3<f32> {
         // value = i + 10 j + 100 k, trilinear in all axes.
-        Volume3::from_fn(Dim3::new(4, 4, 4), |c| (c.i as f32) + 10.0 * c.j as f32 + 100.0 * c.k as f32)
+        Volume3::from_fn(Dim3::new(4, 4, 4), |c| {
+            (c.i as f32) + 10.0 * c.j as f32 + 100.0 * c.k as f32
+        })
     }
 
     #[test]
@@ -181,7 +199,10 @@ mod tests {
             let st = trilinear_stencil(d, p);
             let sum: f64 = st.weights.iter().sum();
             assert!((sum - 1.0).abs() < 1e-12, "weights sum {sum} at {p:?}");
-            assert!(st.weights.iter().all(|&w| (-1e-12..=1.0 + 1e-12).contains(&w)));
+            assert!(st
+                .weights
+                .iter()
+                .all(|&w| (-1e-12..=1.0 + 1e-12).contains(&w)));
         }
     }
 
@@ -216,7 +237,10 @@ mod tests {
     #[test]
     fn nearest_scalar_picks_closest() {
         let v = ramp_volume();
-        assert_eq!(nearest_scalar(&v, Vec3::new(1.4, 0.6, 2.5)), 1.0 + 10.0 + 100.0 * 3.0);
+        assert_eq!(
+            nearest_scalar(&v, Vec3::new(1.4, 0.6, 2.5)),
+            1.0 + 10.0 + 100.0 * 3.0
+        );
     }
 
     #[test]
@@ -231,7 +255,10 @@ mod tests {
         let dims = Dim3::new(2, 1, 1);
         let f = DirectionField::from_fn(dims, |c| if c.i == 0 { Vec3::Z } else { -Vec3::Z });
         let s = f.sample_nearest(Vec3::new(1.0, 0.0, 0.0), Vec3::Z);
-        assert!((s - Vec3::Z).norm() < 1e-12, "flipped into reference hemisphere");
+        assert!(
+            (s - Vec3::Z).norm() < 1e-12,
+            "flipped into reference hemisphere"
+        );
         let s2 = f.sample_nearest(Vec3::new(1.0, 0.0, 0.0), -Vec3::Z);
         assert!((s2 + Vec3::Z).norm() < 1e-12);
     }

@@ -28,10 +28,7 @@ fn read_exact_buf(r: &mut impl Read, n: usize) -> Result<Vec<u8>, VolumeError> {
     Ok(buf)
 }
 
-fn parse_header(
-    bytes: &mut &[u8],
-    magic: &[u8; 4],
-) -> Result<(Dim3, u32), VolumeError> {
+fn parse_header(bytes: &mut &[u8], magic: &[u8; 4]) -> Result<(Dim3, u32), VolumeError> {
     if bytes.remaining() < 4 + 4 + 24 + 4 {
         return Err(VolumeError::BadFormat("truncated header".into()));
     }
@@ -45,7 +42,9 @@ fn parse_header(
     }
     let version = bytes.get_u32_le();
     if version != VERSION {
-        return Err(VolumeError::BadFormat(format!("unsupported version {version}")));
+        return Err(VolumeError::BadFormat(format!(
+            "unsupported version {version}"
+        )));
     }
     let nx = bytes.get_u64_le() as usize;
     let ny = bytes.get_u64_le() as usize;
@@ -71,7 +70,9 @@ pub fn read_volume3(r: &mut impl Read) -> Result<Volume3<f32>, VolumeError> {
     let mut slice: &[u8] = &header;
     let (dims, nt) = parse_header(&mut slice, MAGIC3)?;
     if nt != 1 {
-        return Err(VolumeError::BadFormat(format!("Volume3 stream with nt={nt}")));
+        return Err(VolumeError::BadFormat(format!(
+            "Volume3 stream with nt={nt}"
+        )));
     }
     let payload = read_exact_buf(r, dims.len() * 4)?;
     let mut slice: &[u8] = &payload;
@@ -127,7 +128,9 @@ mod tests {
 
     #[test]
     fn volume4_roundtrip() {
-        let v = Volume4::from_fn(Dim3::new(2, 3, 2), 4, |c, t| (c.i + c.j + c.k + t) as f32 * 0.5);
+        let v = Volume4::from_fn(Dim3::new(2, 3, 2), 4, |c, t| {
+            (c.i + c.j + c.k + t) as f32 * 0.5
+        });
         let mut buf = Vec::new();
         write_volume4(&mut buf, &v).unwrap();
         let back = read_volume4(&mut buf.as_slice()).unwrap();
@@ -140,7 +143,10 @@ mod tests {
         let mut buf = Vec::new();
         write_volume3(&mut buf, &v).unwrap();
         buf[0] = b'X';
-        assert!(matches!(read_volume3(&mut buf.as_slice()), Err(VolumeError::BadFormat(_))));
+        assert!(matches!(
+            read_volume3(&mut buf.as_slice()),
+            Err(VolumeError::BadFormat(_))
+        ));
     }
 
     #[test]
@@ -178,6 +184,9 @@ mod tests {
         let mut buf = Vec::new();
         write_volume3(&mut buf, &v).unwrap();
         buf[4] = 99;
-        assert!(matches!(read_volume3(&mut buf.as_slice()), Err(VolumeError::BadFormat(_))));
+        assert!(matches!(
+            read_volume3(&mut buf.as_slice()),
+            Err(VolumeError::BadFormat(_))
+        ));
     }
 }

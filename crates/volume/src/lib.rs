@@ -62,7 +62,10 @@ impl std::fmt::Display for VolumeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             VolumeError::LengthMismatch { expected, actual } => {
-                write!(f, "data length {actual} does not match dims product {expected}")
+                write!(
+                    f,
+                    "data length {actual} does not match dims product {expected}"
+                )
             }
             VolumeError::ZeroDim => write!(f, "volume dimensions must be nonzero"),
             VolumeError::Io(e) => write!(f, "i/o error: {e}"),

@@ -22,17 +22,23 @@ pub struct Mask {
 impl Mask {
     /// An all-false mask.
     pub fn empty(dims: Dim3) -> Self {
-        Mask { inner: Volume3::filled(dims, false) }
+        Mask {
+            inner: Volume3::filled(dims, false),
+        }
     }
 
     /// An all-true mask.
     pub fn full(dims: Dim3) -> Self {
-        Mask { inner: Volume3::filled(dims, true) }
+        Mask {
+            inner: Volume3::filled(dims, true),
+        }
     }
 
     /// Build from a predicate over voxel coordinates.
     pub fn from_fn(dims: Dim3, mut f: impl FnMut(Ijk) -> bool) -> Self {
-        Mask { inner: Volume3::from_fn(dims, &mut f) }
+        Mask {
+            inner: Volume3::from_fn(dims, &mut f),
+        }
     }
 
     /// Wrap a boolean volume.
@@ -77,7 +83,10 @@ impl Mask {
     /// Coordinates of all member voxels in linear-index order.
     pub fn coords(&self) -> Vec<Ijk> {
         let dims = self.dims();
-        self.indices().into_iter().map(|idx| dims.coords(idx)).collect()
+        self.indices()
+            .into_iter()
+            .map(|idx| dims.coords(idx))
+            .collect()
     }
 
     /// Logical AND with another mask of the same dims.
@@ -233,7 +242,9 @@ mod tests {
     #[test]
     fn erode_shrinks_and_inverts_dilate_on_solid_blocks() {
         let d = Dim3::new(7, 7, 7);
-        let block = Mask::from_fn(d, |c| (2..=4).contains(&c.i) && (2..=4).contains(&c.j) && (2..=4).contains(&c.k));
+        let block = Mask::from_fn(d, |c| {
+            (2..=4).contains(&c.i) && (2..=4).contains(&c.j) && (2..=4).contains(&c.k)
+        });
         let eroded = block.erode();
         assert_eq!(eroded.count(), 1);
         assert!(eroded.contains(Ijk::new(3, 3, 3)));

@@ -54,7 +54,12 @@ pub fn count_above(a: &Volume3<f32>, threshold: f32) -> usize {
 /// excluded). Returns `None` when every value is NaN.
 pub fn percentile(a: &Volume3<f32>, q: f64) -> Option<f32> {
     assert!((0.0..=1.0).contains(&q));
-    let mut vals: Vec<f32> = a.as_slice().iter().copied().filter(|v| !v.is_nan()).collect();
+    let mut vals: Vec<f32> = a
+        .as_slice()
+        .iter()
+        .copied()
+        .filter(|v| !v.is_nan())
+        .collect();
     if vals.is_empty() {
         return None;
     }

@@ -115,8 +115,7 @@ mod tests {
         let v = Volume3::filled(Dim3::new(3, 3, 3), 5.0f32);
         let s = mip_ascii(&v, Axis::Y);
         // All one glyph (span collapses to MIN_POSITIVE).
-        let glyphs: std::collections::HashSet<char> =
-            s.chars().filter(|c| *c != '\n').collect();
+        let glyphs: std::collections::HashSet<char> = s.chars().filter(|c| *c != '\n').collect();
         assert_eq!(glyphs.len(), 1);
     }
 

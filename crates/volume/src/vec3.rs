@@ -25,13 +25,29 @@ pub struct Vec3 {
 
 impl Vec3 {
     /// The zero vector.
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
     /// Unit x.
-    pub const X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+    pub const X: Vec3 = Vec3 {
+        x: 1.0,
+        y: 0.0,
+        z: 0.0,
+    };
     /// Unit y.
-    pub const Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+    pub const Y: Vec3 = Vec3 {
+        x: 0.0,
+        y: 1.0,
+        z: 0.0,
+    };
     /// Unit z.
-    pub const Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+    pub const Z: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 1.0,
+    };
 
     /// Construct from components.
     #[inline]
@@ -246,8 +262,16 @@ mod tests {
     #[test]
     fn spherical_axes() {
         assert!(approx_vec(Vec3::from_spherical(0.0, 0.0), Vec3::Z, 1e-12));
-        assert!(approx_vec(Vec3::from_spherical(FRAC_PI_2, 0.0), Vec3::X, 1e-12));
-        assert!(approx_vec(Vec3::from_spherical(FRAC_PI_2, FRAC_PI_2), Vec3::Y, 1e-12));
+        assert!(approx_vec(
+            Vec3::from_spherical(FRAC_PI_2, 0.0),
+            Vec3::X,
+            1e-12
+        ));
+        assert!(approx_vec(
+            Vec3::from_spherical(FRAC_PI_2, FRAC_PI_2),
+            Vec3::Y,
+            1e-12
+        ));
         assert!(approx_vec(Vec3::from_spherical(PI, 0.0), -Vec3::Z, 1e-12));
     }
 
@@ -258,7 +282,10 @@ mod tests {
             assert!(approx(v.norm(), 1.0, 1e-12));
             let (t2, p2) = v.to_spherical();
             let v2 = Vec3::from_spherical(t2, p2);
-            assert!(approx_vec(v, v2, 1e-12), "roundtrip failed for ({theta},{phi})");
+            assert!(
+                approx_vec(v, v2, 1e-12),
+                "roundtrip failed for ({theta},{phi})"
+            );
         }
     }
 
@@ -310,7 +337,13 @@ mod tests {
 
     #[test]
     fn any_orthogonal_is_orthogonal_unit() {
-        for v in [Vec3::X, Vec3::Y, Vec3::Z, Vec3::new(1.0, 2.0, 3.0), Vec3::new(-0.1, 5.0, 0.2)] {
+        for v in [
+            Vec3::X,
+            Vec3::Y,
+            Vec3::Z,
+            Vec3::new(1.0, 2.0, 3.0),
+            Vec3::new(-0.1, 5.0, 0.2),
+        ] {
             let o = v.any_orthogonal();
             assert!(approx(o.norm(), 1.0, 1e-12));
             assert!(approx(o.dot(v), 0.0, 1e-9));

@@ -12,7 +12,10 @@ pub struct Volume3<T> {
 impl<T: Clone> Volume3<T> {
     /// Create a volume filled with `value`.
     pub fn filled(dims: Dim3, value: T) -> Self {
-        Volume3 { dims, data: vec![value; dims.len()] }
+        Volume3 {
+            dims,
+            data: vec![value; dims.len()],
+        }
     }
 }
 
@@ -31,7 +34,10 @@ impl<T> Volume3<T> {
             return Err(VolumeError::ZeroDim);
         }
         if data.len() != dims.len() {
-            return Err(VolumeError::LengthMismatch { expected: dims.len(), actual: data.len() });
+            return Err(VolumeError::LengthMismatch {
+                expected: dims.len(),
+                actual: data.len(),
+            });
         }
         Ok(Volume3 { dims, data })
     }
@@ -121,13 +127,19 @@ impl<T> Volume3<T> {
 
     /// Map every voxel value producing a new volume of the same shape.
     pub fn map<U>(&self, f: impl FnMut(&T) -> U) -> Volume3<U> {
-        Volume3 { dims: self.dims, data: self.data.iter().map(f).collect() }
+        Volume3 {
+            dims: self.dims,
+            data: self.data.iter().map(f).collect(),
+        }
     }
 
     /// Iterate `(coordinate, value)` pairs in linear order.
     pub fn iter(&self) -> impl Iterator<Item = (Ijk, &T)> {
         let dims = self.dims;
-        self.data.iter().enumerate().map(move |(idx, v)| (dims.coords(idx), v))
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(idx, v)| (dims.coords(idx), v))
     }
 }
 
@@ -174,7 +186,10 @@ mod tests {
         assert!(Volume3::from_vec(d, vec![0.0f32; 8]).is_ok());
         assert!(matches!(
             Volume3::from_vec(d, vec![0.0f32; 7]),
-            Err(VolumeError::LengthMismatch { expected: 8, actual: 7 })
+            Err(VolumeError::LengthMismatch {
+                expected: 8,
+                actual: 7
+            })
         ));
         assert!(matches!(
             Volume3::from_vec(Dim3::new(0, 2, 2), Vec::<f32>::new()),

@@ -18,7 +18,11 @@ pub struct Volume4<T> {
 impl<T: Clone + Default> Volume4<T> {
     /// Create a zeroed 4-D volume.
     pub fn zeros(dims: Dim3, nt: usize) -> Self {
-        Volume4 { dims, nt, data: vec![T::default(); dims.len() * nt] }
+        Volume4 {
+            dims,
+            nt,
+            data: vec![T::default(); dims.len() * nt],
+        }
     }
 }
 
@@ -30,7 +34,10 @@ impl<T> Volume4<T> {
         }
         let expected = dims.len() * nt;
         if data.len() != expected {
-            return Err(VolumeError::LengthMismatch { expected, actual: data.len() });
+            return Err(VolumeError::LengthMismatch {
+                expected,
+                actual: data.len(),
+            });
         }
         Ok(Volume4 { dims, nt, data })
     }
@@ -127,7 +134,9 @@ impl<T: Copy> Volume4<T> {
     /// posterior sample volume out of the `NumSamples` stack.
     pub fn slice_t(&self, t: usize) -> Volume3<T> {
         assert!(t < self.nt, "t={t} out of range nt={}", self.nt);
-        let data = (0..self.dims.len()).map(|v| self.data[v * self.nt + t]).collect();
+        let data = (0..self.dims.len())
+            .map(|v| self.data[v * self.nt + t])
+            .collect();
         Volume3::from_vec(self.dims, data).expect("dims are valid by construction")
     }
 }

@@ -68,9 +68,8 @@ fn main() {
         };
         let out = tracker.run_parallel(RecordMode::Streamlines { min_steps: 0 });
         for s in &out.streamlines {
-            let visited = tracto::tracking::ConnectivityAccumulator::voxels_of_path(
-                dims, &s.points,
-            );
+            let visited =
+                tracto::tracking::ConnectivityAccumulator::voxels_of_path(dims, &s.points);
             matrix.add_streamline(region_idx, &visited, &regions);
         }
     }

@@ -19,7 +19,10 @@ use tracto::tracking2::{CpuTracker, GpuTracker, RecordMode, SeedOrdering};
 
 fn main() {
     // Dataset 2 geometry at reduced scale so the example runs in seconds.
-    let dataset = DatasetSpec::paper_dataset2().scaled(0.22).light_protocol().build();
+    let dataset = DatasetSpec::paper_dataset2()
+        .scaled(0.22)
+        .light_protocol()
+        .build();
     println!(
         "dataset2 (scaled): dims {:?}, {} white-matter voxels",
         dataset.dwi.dims(),

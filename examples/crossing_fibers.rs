@@ -29,8 +29,16 @@ fn main() {
     let t0 = truth.sticks()[0].0;
     let t1 = truth.sticks()[1].0;
     println!("ground truth at {center:?}:");
-    println!("  stick 1 {:?} (f={:.2})", t0.to_f32_array(), truth.sticks()[0].1);
-    println!("  stick 2 {:?} (f={:.2})", t1.to_f32_array(), truth.sticks()[1].1);
+    println!(
+        "  stick 1 {:?} (f={:.2})",
+        t0.to_f32_array(),
+        truth.sticks()[0].1
+    );
+    println!(
+        "  stick 2 {:?} (f={:.2})",
+        t1.to_f32_array(),
+        truth.sticks()[1].1
+    );
 
     // --- Classical tensor model at the crossing.
     let signal: Vec<f64> = dataset
@@ -89,8 +97,11 @@ fn main() {
     // Match recovered sticks to ground truth (order-free assignment).
     let (e11, e12) = (angle_deg(m1, t0), angle_deg(m1, t1));
     let (e21, e22) = (angle_deg(m2, t0), angle_deg(m2, t1));
-    let (err_a, err_b) =
-        if e11 + e22 <= e12 + e21 { (e11, e22) } else { (e12, e21) };
+    let (err_a, err_b) = if e11 + e22 <= e12 + e21 {
+        (e11, e22)
+    } else {
+        (e12, e21)
+    };
     println!("  angular error vs truth: {err_a:.1}° and {err_b:.1}°");
     assert!(
         err_a < 20.0 && err_b < 20.0,

@@ -21,9 +21,7 @@ fn main() {
     let cz = (dims.nz - 1) as f64 / 2.0;
 
     // Seeds on the west arm of the x bundle, before the crossing.
-    let seeds: Vec<Vec3> = (0..3)
-        .map(|i| Vec3::new(2.0 + i as f64, cy, cz))
-        .collect();
+    let seeds: Vec<Vec3> = (0..3).map(|i| Vec3::new(2.0 + i as f64, cy, cz)).collect();
 
     // ---- Deterministic tensor-line baseline.
     println!("fitting tensors over {} voxels…", dims.len());
@@ -38,9 +36,7 @@ fn main() {
     let mut det_crossed = 0;
     let mut det_total = 0;
     for (i, &seed) in seeds.iter().enumerate() {
-        if let Some(s) =
-            track_tensorline(&tensor_field, i as u32, seed, &det_params, None, true)
-        {
+        if let Some(s) = track_tensorline(&tensor_field, i as u32, seed, &det_params, None, true) {
             det_total += 1;
             let end = s.points.last().copied().unwrap_or(seed);
             let crossed = end.x > cx + 4.0;
@@ -50,7 +46,11 @@ fn main() {
                 s.steps,
                 end.x,
                 end.y,
-                if crossed { "crossed" } else { "stopped/deflected at the crossing" }
+                if crossed {
+                    "crossed"
+                } else {
+                    "stopped/deflected at the crossing"
+                }
             );
             if crossed {
                 det_crossed += 1;
@@ -111,9 +111,7 @@ fn main() {
     // The probabilistic tracker both *maintains orientation through* the
     // crossing and *quantifies* the confidence; the tensor baseline gives a
     // single answer per seed with no uncertainty.
-    println!(
-        "\ndeterministic crossings: {det_crossed}/{det_total} (single answer, no confidence)"
-    );
+    println!("\ndeterministic crossings: {det_crossed}/{det_total} (single answer, no confidence)");
     println!("probabilistic crossing probability: {prob_rate:.2} (a connectivity estimate)");
     assert!(
         prob_rate > 0.5,

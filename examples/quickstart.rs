@@ -26,30 +26,60 @@ fn main() {
     let pipeline = Pipeline::new(PipelineConfig::fast());
     let outcome = pipeline.run(&dataset, Backend::GpuSim(DeviceConfig::radeon_5870()));
 
-    let mcmc = outcome.mcmc_ledger.expect("GPU backend records MCMC timing");
-    let track = outcome.tracking_ledger.expect("GPU backend records tracking timing");
+    let mcmc = outcome
+        .mcmc_ledger
+        .expect("GPU backend records MCMC timing");
+    let track = outcome
+        .tracking_ledger
+        .expect("GPU backend records tracking timing");
     println!("\nStep 1 (MCMC sampling)");
     println!("  simulated kernel time   {:>8.3} s", mcmc.kernel_s);
     println!("  simulated transfer time {:>8.3} s", mcmc.transfer_s);
-    println!("  SIMD utilization        {:>8.1} %", mcmc.simd_utilization() * 100.0);
-    println!("  wall clock              {:>8.3} s", outcome.mcmc_wall.as_secs_f64());
+    println!(
+        "  SIMD utilization        {:>8.1} %",
+        mcmc.simd_utilization() * 100.0
+    );
+    println!(
+        "  wall clock              {:>8.3} s",
+        outcome.mcmc_wall.as_secs_f64()
+    );
 
     println!("\nStep 2 (probabilistic streamlining)");
     println!("  simulated kernel time   {:>8.3} s", track.kernel_s);
     println!("  simulated reduction     {:>8.3} s", track.reduction_s);
     println!("  simulated transfer      {:>8.3} s", track.transfer_s);
-    println!("  SIMD utilization        {:>8.1} %", track.simd_utilization() * 100.0);
-    println!("  total steps tracked     {:>8}", outcome.tracking.total_steps);
-    println!("  longest fiber           {:>8} steps", outcome.tracking.longest());
+    println!(
+        "  SIMD utilization        {:>8.1} %",
+        track.simd_utilization() * 100.0
+    );
+    println!(
+        "  total steps tracked     {:>8}",
+        outcome.tracking.total_steps
+    );
+    println!(
+        "  longest fiber           {:>8} steps",
+        outcome.tracking.longest()
+    );
 
     // 3. Connectivity sanity: voxels downstream along the bundle should be
     //    reached by streamlines seeded on it.
-    let conn = outcome.tracking.connectivity.expect("connectivity recorded");
+    let conn = outcome
+        .tracking
+        .connectivity
+        .expect("connectivity recorded");
     let mid = Ijk::new(8, 5, 5);
     let off = Ijk::new(8, 1, 1);
     println!("\nconnectivity");
-    println!("  P(seed → bundle core voxel {:?})  = {:.3}", mid, conn.probability(mid));
-    println!("  P(seed → off-bundle voxel {:?}) = {:.3}", off, conn.probability(off));
+    println!(
+        "  P(seed → bundle core voxel {:?})  = {:.3}",
+        mid,
+        conn.probability(mid)
+    );
+    println!(
+        "  P(seed → off-bundle voxel {:?}) = {:.3}",
+        off,
+        conn.probability(off)
+    );
     assert!(
         conn.probability(mid) > conn.probability(off),
         "bundle voxels must be better connected than background"
@@ -58,6 +88,12 @@ fn main() {
     // A terminal rendering of the connectivity map (maximum-intensity
     // projection along z — the bundle should appear as a horizontal band).
     println!("\nconnectivity MIP (x-y plane):");
-    print!("{}", tracto::volume::render::mip_ascii(&conn.probability_volume(), tracto::volume::render::Axis::Z));
+    print!(
+        "{}",
+        tracto::volume::render::mip_ascii(
+            &conn.probability_volume(),
+            tracto::volume::render::Axis::Z
+        )
+    );
     println!("\nok: probabilistic tractography follows the bundle.");
 }

@@ -11,7 +11,10 @@ use tracto::tracking2::{GpuTracker, SeedOrdering};
 
 fn main() {
     // A moderate phantom so every strategy runs in a few seconds.
-    let dataset = DatasetSpec::paper_dataset1().scaled(0.25).light_protocol().build();
+    let dataset = DatasetSpec::paper_dataset1()
+        .scaled(0.25)
+        .light_protocol()
+        .build();
     let fiber_mask = dataset.truth.fiber_mask();
     let config = PipelineConfig::fast();
     println!("estimating posteriors over {} voxels…", fiber_mask.count());

@@ -43,7 +43,12 @@ impl Buf for &[u8] {
     }
 
     fn copy_to_slice(&mut self, dst: &mut [u8]) {
-        assert!(self.len() >= dst.len(), "buffer underflow: {} < {}", self.len(), dst.len());
+        assert!(
+            self.len() >= dst.len(),
+            "buffer underflow: {} < {}",
+            self.len(),
+            dst.len()
+        );
         let (head, tail) = self.split_at(dst.len());
         dst.copy_from_slice(head);
         *self = tail;

@@ -65,23 +65,35 @@ fn run_one(
     f: &mut dyn FnMut(&mut Bencher),
 ) {
     if test_mode() {
-        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         println!("test {label} ... ok");
         return;
     }
     // Warm-up / calibration: single run to size the measured batch.
-    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
     let warm_start = Instant::now();
     f(&mut b);
     let once = warm_start.elapsed().max(Duration::from_nanos(1));
     while warm_start.elapsed() < warm_up_time {
-        let mut w = Bencher { iters: 1, elapsed: Duration::ZERO };
+        let mut w = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
         f(&mut w);
     }
     let budget_iters = (measurement_time.as_nanos() / once.as_nanos()).max(1) as u64;
     let iters = budget_iters.min(sample_size as u64).max(1);
-    let mut b = Bencher { iters, elapsed: Duration::ZERO };
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
     f(&mut b);
     let per_iter_ns = b.elapsed.as_nanos() as f64 / iters as f64;
     match throughput {
@@ -128,7 +140,14 @@ impl Criterion {
 
     /// Benchmark a standalone function.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
-        run_one(name, self.sample_size, self.measurement_time, self.warm_up_time, None, &mut f);
+        run_one(
+            name,
+            self.sample_size,
+            self.measurement_time,
+            self.warm_up_time,
+            None,
+            &mut f,
+        );
         self
     }
 }
@@ -209,7 +228,10 @@ mod tests {
     #[test]
     fn bencher_counts_iters() {
         let mut calls = 0u64;
-        let mut b = Bencher { iters: 5, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters: 5,
+            elapsed: Duration::ZERO,
+        };
         b.iter(|| calls += 1);
         assert_eq!(calls, 5);
     }

@@ -87,7 +87,12 @@ pub mod channel {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
         });
-        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
     }
 
     /// An unbounded MPMC channel.
@@ -99,21 +104,28 @@ pub mod channel {
     /// buffered. `cap` must be at least 1 (crossbeam's zero-capacity
     /// rendezvous channel is not implemented).
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
-        assert!(cap > 0, "this shim does not implement zero-capacity rendezvous channels");
+        assert!(
+            cap > 0,
+            "this shim does not implement zero-capacity rendezvous channels"
+        );
         shared(Some(cap))
     }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
             self.shared.state.lock().unwrap().senders += 1;
-            Sender { shared: Arc::clone(&self.shared) }
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
         }
     }
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
             self.shared.state.lock().unwrap().receivers += 1;
-            Receiver { shared: Arc::clone(&self.shared) }
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
         }
     }
 
@@ -230,8 +242,11 @@ pub mod channel {
                 if now >= deadline {
                     return Err(RecvTimeoutError::Timeout);
                 }
-                let (guard, _res) =
-                    self.shared.not_empty.wait_timeout(st, deadline - now).unwrap();
+                let (guard, _res) = self
+                    .shared
+                    .not_empty
+                    .wait_timeout(st, deadline - now)
+                    .unwrap();
                 st = guard;
             }
         }
@@ -269,7 +284,10 @@ mod tests {
         let (tx, rx) = channel::bounded(2);
         tx.send(1).unwrap();
         tx.send(2).unwrap();
-        assert!(matches!(tx.try_send(3), Err(channel::TrySendError::Full(3))));
+        assert!(matches!(
+            tx.try_send(3),
+            Err(channel::TrySendError::Full(3))
+        ));
         let t = {
             let tx = tx.clone();
             std::thread::spawn(move || tx.send(3).unwrap())
@@ -310,10 +328,14 @@ mod tests {
         for p in producers {
             p.join().unwrap();
         }
-        let mut all: Vec<i32> = consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
+        let mut all: Vec<i32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
         all.sort_unstable();
-        let mut expected: Vec<i32> =
-            (0..4).flat_map(|p| (0..50).map(move |i| p * 1000 + i)).collect();
+        let mut expected: Vec<i32> = (0..4)
+            .flat_map(|p| (0..50).map(move |i| p * 1000 + i))
+            .collect();
         expected.sort_unstable();
         assert_eq!(all, expected);
     }

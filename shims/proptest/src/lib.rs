@@ -227,7 +227,10 @@ pub mod prop {
 
         /// `Vec` of values from `element`, with length in `len`.
         pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
-            VecStrategy { element, len: len.into().0 }
+            VecStrategy {
+                element,
+                len: len.into().0,
+            }
         }
 
         impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -369,7 +372,7 @@ mod tests {
         fn macro_smoke(a in 0u64..100, pair in (0i32..5, -1.0f64..1.0)) {
             prop_assert!(a < 100);
             let (i, f) = pair;
-            prop_assert!(i >= 0 && i < 5);
+            prop_assert!((0..5).contains(&i));
             prop_assert!((-1.0..1.0).contains(&f));
             prop_assert_eq!(i as i64 * 2, (i + i) as i64);
         }

@@ -24,7 +24,9 @@ pub struct ParItems<T> {
 
 /// Number of worker threads to use for `n` items.
 fn threads_for(n: usize) -> usize {
-    let hw = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+    let hw = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
     hw.min(n).max(1)
 }
 
@@ -173,7 +175,9 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
     type Item = &'a T;
     type Iter = ParItems<&'a T>;
     fn par_iter(&'a self) -> ParItems<&'a T> {
-        ParItems { items: self.iter().collect() }
+        ParItems {
+            items: self.iter().collect(),
+        }
     }
 }
 
@@ -181,7 +185,9 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
     type Item = &'a T;
     type Iter = ParItems<&'a T>;
     fn par_iter(&'a self) -> ParItems<&'a T> {
-        ParItems { items: self.iter().collect() }
+        ParItems {
+            items: self.iter().collect(),
+        }
     }
 }
 
@@ -195,7 +201,9 @@ pub trait ParallelSliceMut<T: Send> {
 impl<T: Send> ParallelSliceMut<T> for [T] {
     fn par_chunks_mut(&mut self, chunk_size: usize) -> ParItems<&mut [T]> {
         assert!(chunk_size > 0, "chunk size must be positive");
-        ParItems { items: self.chunks_mut(chunk_size).collect() }
+        ParItems {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
     }
 }
 
@@ -250,12 +258,21 @@ mod tests {
 
     #[test]
     fn actually_runs_on_multiple_threads() {
-        if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) < 2 {
+        if std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            < 2
+        {
             return; // single-core CI: nothing to assert
         }
-        let ids: Vec<std::thread::ThreadId> =
-            (0..256usize).into_par_iter().map(|_| std::thread::current().id()).collect();
+        let ids: Vec<std::thread::ThreadId> = (0..256usize)
+            .into_par_iter()
+            .map(|_| std::thread::current().id())
+            .collect();
         let first = ids[0];
-        assert!(ids.iter().any(|&id| id != first), "expected >1 worker thread");
+        assert!(
+            ids.iter().any(|&id| id != first),
+            "expected >1 worker thread"
+        );
     }
 }

@@ -27,7 +27,11 @@ fn experiment() -> Experiment {
 /// dataset-1 anatomy, whose arcs and crossings mix long and dead lanes
 /// within wavefronts; half the paper's grid, 25 sample volumes.
 fn experiment_large() -> Experiment {
-    let ds = DatasetSpec::paper_dataset1().scaled(0.75).light_protocol().noiseless().build();
+    let ds = DatasetSpec::paper_dataset1()
+        .scaled(0.75)
+        .light_protocol()
+        .noiseless()
+        .build();
     let samples = samples_from_truth(&ds.truth, 10, 0.10, 0.04, 99);
     let seeds = seeds_from_mask(&ds.wm_mask);
     Experiment { samples, seeds }
@@ -43,7 +47,10 @@ fn params() -> TrackingParams {
     }
 }
 
-fn gpu_run(exp: &Experiment, strategy: SegmentationStrategy) -> tracto::tracking2::GpuTrackingReport {
+fn gpu_run(
+    exp: &Experiment,
+    strategy: SegmentationStrategy,
+) -> tracto::tracking2::GpuTrackingReport {
     GpuTracker {
         samples: &exp.samples,
         params: params(),
@@ -97,7 +104,11 @@ fn table4_shape_increasing_interval_wins() {
         .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
         .unwrap();
     assert!(
-        best.0 == "B" || best.0 == "C" || best.0.starts_with("A_5") || best.0 == "A_10" || best.0 == "A_50",
+        best.0 == "B"
+            || best.0 == "C"
+            || best.0.starts_with("A_5")
+            || best.0 == "A_10"
+            || best.0 == "A_50",
         "unexpected winner {rows:?}"
     );
     // The paper's two extremes must both lose to B.
@@ -132,7 +143,10 @@ fn fig5_shape_lengths_exponential() {
     let ecdf = Ecdf::new(lengths);
     let p_short = ecdf.ccdf(ecdf.mean());
     let p_long = ecdf.ccdf(4.0 * ecdf.mean());
-    assert!(p_short > 5.0 * p_long.max(1e-6), "tail not decaying: {p_short} vs {p_long}");
+    assert!(
+        p_short > 5.0 * p_long.max(1e-6),
+        "tail not decaying: {p_short} vs {p_long}"
+    );
 }
 
 #[test]
@@ -159,7 +173,10 @@ fn fig4_shape_sorting_fails_across_samples() {
     resorted.sort_unstable_by(|a, b| b.cmp(a));
     let cross = neighbor_mean_abs_diff(&loads_sample1);
     let ideal = neighbor_mean_abs_diff(&resorted);
-    assert!(cross > 3.0 * ideal.max(0.05), "cross {cross:.2} vs ideal {ideal:.2}");
+    assert!(
+        cross > 3.0 * ideal.max(0.05),
+        "cross {cross:.2} vs ideal {ideal:.2}"
+    );
 
     // (c) consequently the charged work barely improves vs natural order —
     // "this method does not bring any notable improvement at all".
@@ -186,7 +203,10 @@ fn fig6_shape_utilization_ordering() {
     let every = util(SegmentationStrategy::every_step());
     assert!(single < b, "single {single:.3} vs B {b:.3}");
     assert!(b <= every + 1e-9, "A_1 has no lockstep waste");
-    assert!(every > 0.95, "per-step launches are near-perfectly balanced: {every:.3}");
+    assert!(
+        every > 0.95,
+        "per-step launches are near-perfectly balanced: {every:.3}"
+    );
 }
 
 #[test]
@@ -194,7 +214,10 @@ fn table3_shape_mcmc_utilization_and_transfer() {
     // MCMC lanes are balanced (utilization 1) and its speedup is therefore
     // strategy-independent — the structural reason Table III needs no
     // segmentation analysis.
-    let ds = DatasetSpec::paper_dataset1().scaled(0.12).light_protocol().build();
+    let ds = DatasetSpec::paper_dataset1()
+        .scaled(0.12)
+        .light_protocol()
+        .build();
     let mut gpu = Gpu::new(DeviceConfig::radeon_5870());
     let report = tracto::run_mcmc_gpu(
         &mut gpu,

@@ -26,12 +26,18 @@ impl SimKernel for Countdown {
 /// Exponentially distributed synthetic loads (the paper's Fig. 5 regime).
 fn exponential_loads(n: usize, mean: f64, seed: u64) -> Vec<u32> {
     let mut rng = HybridTaus::new(seed);
-    (0..n).map(|_| dist::exponential(&mut rng, 1.0 / mean).ceil() as u32 + 1).collect()
+    (0..n)
+        .map(|_| dist::exponential(&mut rng, 1.0 / mean).ceil() as u32 + 1)
+        .collect()
 }
 
 /// Run a segmented countdown through the simulator, with host compaction
 /// between launches, mimicking the tracking driver.
-fn run_strategy(loads: &[u32], strategy: &SegmentationStrategy, device: DeviceConfig) -> tracto::gpu_sim::TimingLedger {
+fn run_strategy(
+    loads: &[u32],
+    strategy: &SegmentationStrategy,
+    device: DeviceConfig,
+) -> tracto::gpu_sim::TimingLedger {
     let max = *loads.iter().max().unwrap();
     let mut gpu = Gpu::new(device);
     let mut lanes: Vec<u32> = loads.to_vec();
@@ -89,10 +95,16 @@ fn table_iv_u_curve_on_exponential_loads() {
     let single = total(SegmentationStrategy::Single);
     let b = total(SegmentationStrategy::paper_b());
 
-    assert!(a1 > a5, "A_1 {a1:.3} must be slower than A_5 {a5:.3} (transfer overhead)");
+    assert!(
+        a1 > a5,
+        "A_1 {a1:.3} must be slower than A_5 {a5:.3} (transfer overhead)"
+    );
     assert!(b < a1, "B {b:.3} must beat A_1 {a1:.3}");
     assert!(b < single, "B {b:.3} must beat A_MaxStep {single:.3}");
-    assert!(b <= a20 * 1.3, "B {b:.3} should be near the best uniform {a20:.3}");
+    assert!(
+        b <= a20 * 1.3,
+        "B {b:.3} should be near the best uniform {a20:.3}"
+    );
 }
 
 #[test]
@@ -101,7 +113,10 @@ fn wavefront_size_ablation_narrow_warps_waste_less() {
     let wide = charged_iterations(&loads, 64);
     let narrow = charged_iterations(&loads, 32);
     assert!(narrow < wide, "32-lane warps must charge fewer iterations");
-    assert_eq!(useful_iterations(&loads), loads.iter().map(|&l| l as u64).sum::<u64>());
+    assert_eq!(
+        useful_iterations(&loads),
+        loads.iter().map(|&l| l as u64).sum::<u64>()
+    );
 }
 
 #[test]
@@ -163,7 +178,10 @@ fn overlap_extension_saves_on_balanced_streams() {
     // Fig. 8: interleaving two samples overlaps GPU kernels with host
     // reductions.
     let segments: Vec<SegmentCost> = (0..8)
-        .map(|i| SegmentCost { kernel_s: 0.1 + 0.01 * i as f64, host_s: 0.08 })
+        .map(|i| SegmentCost {
+            kernel_s: 0.1 + 0.01 * i as f64,
+            host_s: 0.08,
+        })
         .collect();
     let two = interleave_identical(&segments, 2);
     assert!(two.overlapped_s < two.sequential_s);
@@ -172,15 +190,27 @@ fn overlap_extension_saves_on_balanced_streams() {
     let four = interleave_identical(&segments, 4);
     let eff2 = two.overlapped_s / 2.0;
     let eff4 = four.overlapped_s / 4.0;
-    assert!(eff4 <= eff2 * 1.05, "per-stream time should not degrade: {eff4} vs {eff2}");
+    assert!(
+        eff4 <= eff2 * 1.05,
+        "per-stream time should not degrade: {eff4} vs {eff2}"
+    );
 }
 
 #[test]
 fn overlap_respects_dependency_chains() {
     // A stream with one giant kernel serializes everything behind it on the
     // GPU resource.
-    let a = vec![SegmentCost { kernel_s: 10.0, host_s: 0.1 }];
-    let b = vec![SegmentCost { kernel_s: 0.1, host_s: 0.1 }; 5];
+    let a = vec![SegmentCost {
+        kernel_s: 10.0,
+        host_s: 0.1,
+    }];
+    let b = vec![
+        SegmentCost {
+            kernel_s: 0.1,
+            host_s: 0.1
+        };
+        5
+    ];
     let r = schedule_streams(&[a, b]);
     assert!(r.overlapped_s >= 10.0, "GPU-bound floor");
     assert!(r.overlapped_s <= r.sequential_s);
@@ -208,7 +238,10 @@ fn device_memory_accounting() {
             failures += 1;
         }
     }
-    assert!(failures > 0, "1 GB device must refuse ~70 resident sample volumes");
+    assert!(
+        failures > 0,
+        "1 GB device must refuse ~70 resident sample volumes"
+    );
     gpu.device_free(one_volume * 80); // saturating
     assert_eq!(gpu.allocated_bytes(), 0);
 }

@@ -190,9 +190,19 @@ fn rician_likelihood_estimates_on_rician_data() {
     let c = Ijk::new(4, 2, 2);
     let mask = Mask::from_fn(ds.dwi.dims(), |x| x == c);
     let run = |likelihood| {
-        let prior = PriorConfig { likelihood, ..Default::default() };
-        VoxelEstimator::new(&ds.acq, &ds.dwi, &mask, prior, ChainConfig::paper_default(), 31)
-            .run_parallel()
+        let prior = PriorConfig {
+            likelihood,
+            ..Default::default()
+        };
+        VoxelEstimator::new(
+            &ds.acq,
+            &ds.dwi,
+            &mask,
+            prior,
+            ChainConfig::paper_default(),
+            31,
+        )
+        .run_parallel()
     };
     let gauss = run(NoiseLikelihood::Gaussian);
     let rice = run(NoiseLikelihood::Rician);
@@ -214,29 +224,31 @@ fn single_stick_model_matches_gpu_and_misses_crossings() {
     let ds = datasets::crossing(dims, 90.0, Some(30.0), 8);
     let c = Ijk::new(6, 6, 2);
     let mask = Mask::from_fn(dims, |x| x == c);
-    let prior = PriorConfig { max_sticks: 1, ..Default::default() };
+    let prior = PriorConfig {
+        max_sticks: 1,
+        ..Default::default()
+    };
     let config = ChainConfig::paper_default();
     let cpu = VoxelEstimator::new(&ds.acq, &ds.dwi, &mask, prior, config, 3).run_parallel();
     let mut gpu = Gpu::new(DeviceConfig::radeon_5870());
     let gpu_out = tracto::run_mcmc_gpu(&mut gpu, &ds.acq, &ds.dwi, &mask, prior, config, 3);
-    assert_eq!(cpu.th1, gpu_out.samples.th1, "backends agree under N = 1 too");
+    assert_eq!(
+        cpu.th1, gpu_out.samples.th1,
+        "backends agree under N = 1 too"
+    );
     // f2 identically zero across all samples.
     for s in 0..cpu.num_samples() {
         assert_eq!(cpu.sticks_at(c, s)[1].1, 0.0);
     }
     // N = 2 finds substantial f2 at the same voxel.
-    let full = VoxelEstimator::new(
-        &ds.acq,
-        &ds.dwi,
-        &mask,
-        PriorConfig::default(),
-        config,
-        3,
-    )
-    .run_parallel();
+    let full = VoxelEstimator::new(&ds.acq, &ds.dwi, &mask, PriorConfig::default(), config, 3)
+        .run_parallel();
     let mean_f2: f64 = (0..full.num_samples())
         .map(|s| full.sticks_at(c, s)[1].1)
         .sum::<f64>()
         / full.num_samples() as f64;
-    assert!(mean_f2 > 0.15, "N = 2 should capture the crossing: f2 {mean_f2}");
+    assert!(
+        mean_f2 > 0.15,
+        "N = 2 should capture the crossing: f2 {mean_f2}"
+    );
 }

@@ -4,7 +4,10 @@
 use tracto::prelude::*;
 
 fn dataset() -> Dataset {
-    DatasetSpec::paper_dataset1().scaled(0.14).light_protocol().build()
+    DatasetSpec::paper_dataset1()
+        .scaled(0.14)
+        .light_protocol()
+        .build()
 }
 
 #[test]
@@ -17,7 +20,10 @@ fn full_pipeline_runs_on_all_backends() {
     // The paper's Fig. 11/12 claim, strengthened: results identical.
     assert_eq!(cpu.samples.f1, gpu.samples.f1);
     assert_eq!(cpu.samples.th2, gpu.samples.th2);
-    assert_eq!(cpu.tracking.lengths_by_sample, gpu.tracking.lengths_by_sample);
+    assert_eq!(
+        cpu.tracking.lengths_by_sample,
+        gpu.tracking.lengths_by_sample
+    );
 
     // GPU backend reports simulated timing with all three components.
     let ledger = gpu.tracking_ledger.expect("tracking ledger");
@@ -25,7 +31,10 @@ fn full_pipeline_runs_on_all_backends() {
     assert!(ledger.transfer_s > 0.0);
     assert!(ledger.launches > 0);
     let mcmc = gpu.mcmc_ledger.expect("mcmc ledger");
-    assert!((mcmc.simd_utilization() - 1.0).abs() < 1e-9, "MCMC lanes are balanced");
+    assert!(
+        (mcmc.simd_utilization() - 1.0).abs() < 1e-9,
+        "MCMC lanes are balanced"
+    );
 }
 
 #[test]

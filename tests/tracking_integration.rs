@@ -21,7 +21,11 @@ fn workload() -> (Dataset, SampleVolumes, Vec<Vec3>) {
 /// A larger anatomy-mixed workload where imbalance waste dominates segment
 /// overheads (the Table IV regime).
 fn workload_large() -> (Dataset, SampleVolumes, Vec<Vec3>) {
-    let ds = DatasetSpec::paper_dataset1().scaled(0.75).light_protocol().noiseless().build();
+    let ds = DatasetSpec::paper_dataset1()
+        .scaled(0.75)
+        .light_protocol()
+        .noiseless()
+        .build();
     let samples = samples_from_truth(&ds.truth, 10, 0.10, 0.04, 99);
     let seeds = seeds_from_mask(&ds.wm_mask);
     (ds, samples, seeds)
@@ -58,7 +62,11 @@ fn fiber_lengths_are_exponentially_distributed() {
         .filter(|&l| l > 0)
         .map(|l| l as f64)
         .collect();
-    assert!(lengths.len() > 2000, "need a populated length set: {}", lengths.len());
+    assert!(
+        lengths.len() > 2000,
+        "need a populated length set: {}",
+        lengths.len()
+    );
     let fit = ExponentialFit::fit(&lengths);
     // The KS test against a perfect exponential is extremely strict at this
     // n; the paper's own claim is the straight semi-log line, so assert a
@@ -71,7 +79,11 @@ fn fiber_lengths_are_exponentially_distributed() {
         line.r_squared,
         line.slope
     );
-    assert!(fit.ks_statistic < 0.15, "KS {:.3} too far from exponential", fit.ks_statistic);
+    assert!(
+        fit.ks_statistic < 0.15,
+        "KS {:.3} too far from exponential",
+        fit.ks_statistic
+    );
 }
 
 #[test]
@@ -151,7 +163,10 @@ fn increasing_interval_beats_both_extremes_at_scale() {
         single.total_s()
     );
     // And the mechanisms are the expected ones:
-    assert!(every.transfer_s > single.transfer_s, "A_1 is transfer-dominated");
+    assert!(
+        every.transfer_s > single.transfer_s,
+        "A_1 is transfer-dominated"
+    );
     assert!(
         single.simd_utilization() < b.simd_utilization(),
         "A_MaxStep wastes SIMD cycles"
@@ -208,8 +223,7 @@ fn sorted_pilot_does_not_predict_other_samples() {
     // Within the pilot sample, its own sorted order is perfectly smooth.
     let pilot = &report.lengths_by_sample[0];
     let order1 = &report.submission_orders[1];
-    let pilot_in_sorted_order: Vec<u32> =
-        order1.iter().map(|&i| pilot[i as usize]).collect();
+    let pilot_in_sorted_order: Vec<u32> = order1.iter().map(|&i| pilot[i as usize]).collect();
     let sample1_in_sorted_order = report.thread_loads(1);
     let self_smooth = neighbor_mean_abs_diff(&pilot_in_sorted_order);
     let cross_smooth = neighbor_mean_abs_diff(&sample1_in_sorted_order);
@@ -317,12 +331,22 @@ fn policy_masks_shape_connectivity() {
                 min_fraction: 0.05,
                 interp: InterpMode::Nearest,
             };
-            let blocked = TrackingPolicy { exclusion: Some(&wall), ..Default::default() };
+            let blocked = TrackingPolicy {
+                exclusion: Some(&wall),
+                ..Default::default()
+            };
             let open = TrackingPolicy::default();
             let wp = [far_east.clone()];
-            let gated = TrackingPolicy { waypoints: &wp, ..Default::default() };
+            let gated = TrackingPolicy {
+                waypoints: &wp,
+                ..Default::default()
+            };
             let reach = |o: &tracto::tracking::policy::TrackOutcome| {
-                o.streamline().points.last().map(|e| e.x >= 20.0).unwrap_or(false)
+                o.streamline()
+                    .points
+                    .last()
+                    .map(|e| e.x >= 20.0)
+                    .unwrap_or(false)
             };
             let run = |pol: &TrackingPolicy| {
                 track_with_policy(&field, i as u32, seed, Vec3::X, &p, pol, true)
@@ -340,8 +364,14 @@ fn policy_masks_shape_connectivity() {
             }
         }
     }
-    assert_eq!(reached_with_wall, 0, "exclusion wall must block the east side");
-    assert!(reached_without > 10, "open tracking crosses: {reached_without}");
+    assert_eq!(
+        reached_with_wall, 0,
+        "exclusion wall must block the east side"
+    );
+    assert!(
+        reached_without > 10,
+        "open tracking crosses: {reached_without}"
+    );
     assert!(
         accepted_by_waypoint >= reached_without - reached_without.min(2),
         "waypoint acceptance ≈ open reach count: {accepted_by_waypoint} vs {reached_without}"
