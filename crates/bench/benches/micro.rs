@@ -185,6 +185,41 @@ fn bench_end_to_end(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_trace(c: &mut Criterion) {
+    use tracto_trace::{RingSink, Tracer};
+
+    let mut g = c.benchmark_group("trace");
+    g.throughput(Throughput::Elements(1));
+    // The disabled tracer must cost a branch, nothing more: every
+    // instrumented hot loop in gpu-sim and mcmc pays this on each event.
+    g.bench_function("emit_disabled", |b| {
+        let tracer = Tracer::disabled();
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            tracer.emit("bench.noop", &[("n", black_box(n).into())]);
+            black_box(&tracer)
+        })
+    });
+    g.bench_function("emit_ring", |b| {
+        let tracer = Tracer::new(RingSink::new(4096));
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            tracer.emit("bench.ring", &[("n", black_box(n).into())]);
+            black_box(&tracer)
+        })
+    });
+    g.bench_function("span_ring", |b| {
+        let tracer = Tracer::new(RingSink::new(4096));
+        b.iter(|| {
+            let span = tracer.span("bench.span");
+            drop(black_box(span));
+        })
+    });
+    g.finish();
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(30)
@@ -195,6 +230,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_rng, bench_posterior, bench_tracking, bench_tensor_fit, bench_end_to_end
+    targets = bench_rng, bench_posterior, bench_tracking, bench_tensor_fit, bench_end_to_end, bench_trace
 }
 criterion_main!(benches);

@@ -1,6 +1,10 @@
 //! A tiny `--flag value` / `--flag` argument parser (no external crates).
 
 use std::collections::BTreeMap;
+use tracto_trace::{TractoError, TractoResult};
+
+/// Flags accepted by every subcommand (stripped by the top-level driver).
+pub const GLOBAL_FLAGS: [&str; 2] = ["trace", "trace-stderr"];
 
 /// Parsed flags: `--key value` pairs plus bare `--switch`es.
 #[derive(Debug, Clone, Default)]
@@ -12,16 +16,18 @@ pub struct ArgMap {
 impl ArgMap {
     /// Parse a flat argument list. Every token must be `--name` optionally
     /// followed by a non-flag value.
-    pub fn parse(args: &[String]) -> Result<Self, String> {
+    pub fn parse(args: &[String]) -> TractoResult<Self> {
         let mut map = ArgMap::default();
         let mut i = 0;
         while i < args.len() {
             let tok = &args[i];
             let Some(name) = tok.strip_prefix("--") else {
-                return Err(format!("unexpected positional argument `{tok}`"));
+                return Err(TractoError::config(format!(
+                    "unexpected positional argument `{tok}`"
+                )));
             };
             if name.is_empty() {
-                return Err("empty flag `--`".into());
+                return Err(TractoError::config("empty flag `--`"));
             }
             if i + 1 < args.len() && !args[i + 1].starts_with("--") {
                 map.values.insert(name.to_string(), args[i + 1].clone());
@@ -35,11 +41,11 @@ impl ArgMap {
     }
 
     /// A required string flag.
-    pub fn required(&self, name: &str) -> Result<&str, String> {
+    pub fn required(&self, name: &str) -> TractoResult<&str> {
         self.values
             .get(name)
             .map(String::as_str)
-            .ok_or_else(|| format!("missing required flag --{name}"))
+            .ok_or_else(|| TractoError::config(format!("missing required flag --{name}")))
     }
 
     /// An optional string flag.
@@ -48,12 +54,12 @@ impl ArgMap {
     }
 
     /// Optional flag parsed to a type, with default.
-    pub fn get_parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+    pub fn get_parse<T: std::str::FromStr>(&self, name: &str, default: T) -> TractoResult<T> {
         match self.values.get(name) {
             None => Ok(default),
             Some(v) => v
                 .parse()
-                .map_err(|_| format!("flag --{name}: cannot parse `{v}`")),
+                .map_err(|_| TractoError::config(format!("flag --{name}: cannot parse `{v}`"))),
         }
     }
 
@@ -61,11 +67,36 @@ impl ArgMap {
     pub fn switch(&self, name: &str) -> bool {
         self.switches.iter().any(|s| s == name)
     }
+
+    /// Reject any flag outside `valid` (the [`GLOBAL_FLAGS`] are always
+    /// accepted). The error lists what the subcommand does accept.
+    pub fn reject_unknown(&self, valid: &[&str]) -> TractoResult<()> {
+        let known = |name: &str| valid.contains(&name) || GLOBAL_FLAGS.contains(&name);
+        let unknown: Vec<&str> = self
+            .values
+            .keys()
+            .map(String::as_str)
+            .chain(self.switches.iter().map(String::as_str))
+            .filter(|name| !known(name))
+            .collect();
+        if unknown.is_empty() {
+            return Ok(());
+        }
+        let mut accepted: Vec<&str> = valid.iter().chain(GLOBAL_FLAGS.iter()).copied().collect();
+        accepted.sort_unstable();
+        let accepted: Vec<String> = accepted.iter().map(|f| format!("--{f}")).collect();
+        Err(TractoError::config(format!(
+            "unknown flag --{} (valid flags: {})",
+            unknown[0],
+            accepted.join(", ")
+        )))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tracto_trace::ErrorKind;
 
     fn strs(v: &[&str]) -> Vec<String> {
         v.iter().map(|s| s.to_string()).collect()
@@ -82,19 +113,23 @@ mod tests {
 
     #[test]
     fn rejects_positional() {
-        assert!(ArgMap::parse(&strs(&["oops"])).is_err());
+        let err = ArgMap::parse(&strs(&["oops"])).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Config);
     }
 
     #[test]
     fn missing_required_reported() {
         let a = ArgMap::parse(&strs(&[])).unwrap();
-        assert!(a.required("data").unwrap_err().contains("--data"));
+        let err = a.required("data").unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Config);
+        assert!(err.to_string().contains("--data"));
     }
 
     #[test]
     fn bad_parse_reported() {
         let a = ArgMap::parse(&strs(&["--n", "abc"])).unwrap();
-        assert!(a.get_parse("n", 0usize).is_err());
+        let err = a.get_parse("n", 0usize).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Config);
     }
 
     #[test]
@@ -108,5 +143,28 @@ mod tests {
         // A value starting with '-' but not '--' is accepted as a value.
         let a = ArgMap::parse(&strs(&["--offset", "-3.5"])).unwrap();
         assert_eq!(a.get_parse("offset", 0.0).unwrap(), -3.5);
+    }
+
+    #[test]
+    fn unknown_flags_rejected_with_listing() {
+        let a = ArgMap::parse(&strs(&["--out", "dir", "--frobnicate"])).unwrap();
+        let err = a.reject_unknown(&["out", "scale"]).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Config);
+        let text = err.to_string();
+        assert!(text.contains("--frobnicate"));
+        assert!(text.contains("--out") && text.contains("--scale"));
+    }
+
+    #[test]
+    fn global_trace_flags_always_accepted() {
+        let a = ArgMap::parse(&strs(&[
+            "--out",
+            "dir",
+            "--trace",
+            "t.jsonl",
+            "--trace-stderr",
+        ]))
+        .unwrap();
+        a.reject_unknown(&["out"]).unwrap();
     }
 }

@@ -8,9 +8,15 @@ use tracto_diffusion::PriorConfig;
 use tracto_gpu_sim::{DeviceConfig, Gpu};
 use tracto_mcmc::mh::AdaptScheme;
 use tracto_mcmc::{ChainConfig, PointEstimator, VoxelEstimator};
+use tracto_trace::{Tracer, TractoError, TractoResult};
+
+const FLAGS: [&str; 8] = [
+    "data", "out", "samples", "burnin", "interval", "seed", "point", "gpu",
+];
 
 /// Run the command.
-pub fn run(args: &ArgMap) -> Result<(), String> {
+pub fn run(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
+    args.reject_unknown(&FLAGS)?;
     let data = PathBuf::from(args.required("data")?);
     let out = PathBuf::from(args.required("out")?);
     let num_samples: u32 = args.get_parse("samples", 25)?;
@@ -18,7 +24,9 @@ pub fn run(args: &ArgMap) -> Result<(), String> {
     let interval: u32 = args.get_parse("interval", 2)?;
     let seed: u64 = args.get_parse("seed", 42)?;
     if num_samples == 0 || interval == 0 {
-        return Err("--samples and --interval must be positive".into());
+        return Err(TractoError::config(
+            "--samples and --interval must be positive",
+        ));
     }
 
     let (dwi, mask, acq) = store::load_dataset(&data)?;
@@ -46,7 +54,7 @@ pub fn run(args: &ArgMap) -> Result<(), String> {
             config.num_loops()
         );
         if args.switch("gpu") {
-            let mut gpu = Gpu::new(DeviceConfig::radeon_5870());
+            let mut gpu = Gpu::with_tracer(DeviceConfig::radeon_5870(), tracer.clone());
             let report = run_mcmc_gpu(&mut gpu, &acq, &dwi, &mask, prior, config, seed);
             println!(
                 "simulated GPU time {:.2}s (kernel {:.2}s, transfer {:.2}s)",
@@ -56,7 +64,9 @@ pub fn run(args: &ArgMap) -> Result<(), String> {
             );
             report.samples
         } else {
-            VoxelEstimator::new(&acq, &dwi, &mask, prior, config, seed).run_parallel()
+            VoxelEstimator::new(&acq, &dwi, &mask, prior, config, seed)
+                .with_tracer(tracer.clone())
+                .run_parallel()
         }
     };
 
@@ -104,7 +114,7 @@ mod tests {
             "--burnin",
             "100",
         ]);
-        run(&args).unwrap();
+        run(&args, &Tracer::disabled()).unwrap();
         let sv = store::load_samples(&out).unwrap();
         assert_eq!(sv.num_samples(), 8);
         // The bundle voxel's direction should be near x.
@@ -130,7 +140,7 @@ mod tests {
             "5",
             "--point",
         ]);
-        run(&args).unwrap();
+        run(&args, &Tracer::disabled()).unwrap();
         let sv = store::load_samples(&out).unwrap();
         for s in 0..5 {
             assert_eq!(sv.sticks_at(Ijk::new(3, 2, 2), s)[1].1, 0.0);
@@ -142,6 +152,6 @@ mod tests {
     #[test]
     fn rejects_zero_samples() {
         let args = argmap(&["--data", "x", "--out", "y", "--samples", "0"]);
-        assert!(run(&args).is_err());
+        assert!(run(&args, &Tracer::disabled()).is_err());
     }
 }

@@ -3,9 +3,11 @@
 use crate::args::ArgMap;
 use crate::store;
 use std::path::PathBuf;
+use tracto_trace::{Tracer, TractoResult};
 
 /// Run the command.
-pub fn run(args: &ArgMap) -> Result<(), String> {
+pub fn run(args: &ArgMap, _tracer: &Tracer) -> TractoResult<()> {
+    args.reject_unknown(&["data"])?;
     let data = PathBuf::from(args.required("data")?);
     let (dwi, mask, acq) = store::load_dataset(&data)?;
     let dims = dwi.dims();
@@ -74,7 +76,7 @@ mod tests {
         let args =
             crate::args::ArgMap::parse(&["--data".to_string(), dir.to_str().unwrap().to_string()])
                 .unwrap();
-        run(&args).unwrap();
+        run(&args, &Tracer::disabled()).unwrap();
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -83,6 +85,6 @@ mod tests {
         let args =
             crate::args::ArgMap::parse(&["--data".to_string(), "/nonexistent/tracto".to_string()])
                 .unwrap();
-        assert!(run(&args).is_err());
+        assert!(run(&args, &Tracer::disabled()).is_err());
     }
 }

@@ -4,21 +4,28 @@ use crate::args::ArgMap;
 use crate::store;
 use std::path::PathBuf;
 use tracto_phantom::datasets::{self, DatasetSpec};
+use tracto_trace::{Tracer, TractoError, TractoResult};
 use tracto_volume::Dim3;
 
+const FLAGS: [&str; 6] = ["out", "dataset", "scale", "snr", "seed", "light"];
+
 /// Run the command.
-pub fn run(args: &ArgMap) -> Result<(), String> {
+pub fn run(args: &ArgMap, _tracer: &Tracer) -> TractoResult<()> {
+    args.reject_unknown(&FLAGS)?;
     let out = PathBuf::from(args.required("out")?);
     let kind = args.get("dataset").unwrap_or("1");
     let scale: f64 = args.get_parse("scale", 0.25)?;
     if !(0.0..=1.0).contains(&scale) || scale == 0.0 {
-        return Err("--scale must be in (0, 1]".into());
+        return Err(TractoError::config("--scale must be in (0, 1]"));
     }
     let seed: u64 = args.get_parse("seed", 7)?;
     let snr: Option<f64> = match args.get("snr") {
         None => Some(25.0),
         Some("none") => None,
-        Some(v) => Some(v.parse().map_err(|_| format!("--snr: bad value `{v}`"))?),
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| TractoError::config(format!("--snr: bad value `{v}`")))?,
+        ),
     };
 
     let ds = match kind {
@@ -45,9 +52,9 @@ pub fn run(args: &ArgMap) -> Result<(), String> {
             datasets::crossing(Dim3::new(n, n, (n / 3).max(5)), 90.0, snr, seed)
         }
         other => {
-            return Err(format!(
+            return Err(TractoError::config(format!(
                 "--dataset: unknown kind `{other}` (1|2|single|crossing)"
-            ))
+            )))
         }
     };
 
@@ -88,7 +95,7 @@ mod tests {
             "--scale",
             "0.1",
         ]);
-        run(&args).unwrap();
+        run(&args, &Tracer::disabled()).unwrap();
         let (dwi, mask, acq) = store::load_dataset(&dir).unwrap();
         assert!(!dwi.is_empty());
         assert!(mask.count() > 0);
@@ -100,9 +107,18 @@ mod tests {
     fn rejects_bad_scale_and_kind() {
         let dir = tmp("bad");
         let args = argmap(&["--out", dir.to_str().unwrap(), "--scale", "0"]);
-        assert!(run(&args).is_err());
+        assert!(run(&args, &Tracer::disabled()).is_err());
         let args = argmap(&["--out", dir.to_str().unwrap(), "--dataset", "nope"]);
-        assert!(run(&args).is_err());
+        assert!(run(&args, &Tracer::disabled()).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_rejected_with_listing() {
+        let args = argmap(&["--out", "x", "--bogus"]);
+        let err = run(&args, &Tracer::disabled()).unwrap_err();
+        assert_eq!(err.kind(), tracto_trace::ErrorKind::Config);
+        let text = err.to_string();
+        assert!(text.contains("--bogus") && text.contains("--dataset"));
     }
 
     #[test]
@@ -120,7 +136,7 @@ mod tests {
                 "--snr",
                 "none",
             ]);
-            run(&args).unwrap();
+            run(&args, &Tracer::disabled()).unwrap();
         }
         let (a, _, _) = store::load_dataset(&d1).unwrap();
         let (b, _, _) = store::load_dataset(&d2).unwrap();

@@ -5,20 +5,29 @@ use crate::args::ArgMap;
 use std::fs::File;
 use std::io::BufReader;
 use std::path::PathBuf;
+use tracto_trace::{Tracer, TractoError, TractoResult};
 use tracto_volume::io::read_volume3;
 use tracto_volume::render::{mip_ascii, Axis};
 
 /// Run the command.
-pub fn run(args: &ArgMap) -> Result<(), String> {
+pub fn run(args: &ArgMap, _tracer: &Tracer) -> TractoResult<()> {
+    args.reject_unknown(&["volume", "axis"])?;
     let path = PathBuf::from(args.required("volume")?);
     let axis = match args.get("axis").unwrap_or("z") {
         "x" | "X" => Axis::X,
         "y" | "Y" => Axis::Y,
         "z" | "Z" => Axis::Z,
-        other => return Err(format!("--axis: expected x|y|z, got `{other}`")),
+        other => {
+            return Err(TractoError::config(format!(
+                "--axis: expected x|y|z, got `{other}`"
+            )))
+        }
     };
-    let mut f = BufReader::new(File::open(&path).map_err(|e| format!("{}: {e}", path.display()))?);
-    let vol = read_volume3(&mut f).map_err(|e| e.to_string())?;
+    let mut f = BufReader::new(
+        File::open(&path).map_err(|e| TractoError::io(format!("open {}", path.display()), e))?,
+    );
+    let vol = read_volume3(&mut f)
+        .map_err(|e| TractoError::format_with(format!("read {}", path.display()), e))?;
     let dims = vol.dims();
     let (lo, hi) = vol.min_max().unwrap_or((0.0, 0.0));
     println!(
@@ -59,7 +68,7 @@ mod tests {
             "z".to_string(),
         ])
         .unwrap();
-        run(&args).unwrap();
+        run(&args, &Tracer::disabled()).unwrap();
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -72,7 +81,10 @@ mod tests {
             "w".to_string(),
         ])
         .unwrap();
-        assert!(run(&args).unwrap_err().contains("--axis"));
+        assert!(run(&args, &Tracer::disabled())
+            .unwrap_err()
+            .to_string()
+            .contains("--axis"));
     }
 
     #[test]
@@ -82,6 +94,6 @@ mod tests {
             "/nonexistent/v.trv3".to_string(),
         ])
         .unwrap();
-        assert!(run(&args).is_err());
+        assert!(run(&args, &Tracer::disabled()).is_err());
     }
 }

@@ -28,27 +28,44 @@ use tracto_mcmc::ChainConfig;
 use tracto_serve::{
     EstimateJob, EstimateResult, ServiceConfig, Ticket, TrackJob, TrackResult, TractoService,
 };
+use tracto_trace::{Tracer, TractoError, TractoResult};
 use tracto_volume::Dim3;
+
+const FLAGS: [&str; 9] = [
+    "script",
+    "devices",
+    "workers",
+    "max-batch",
+    "batch-window-ms",
+    "strategy",
+    "cache-mb",
+    "cache-dir",
+    "disk-cache-mb",
+];
 
 /// `key=value` options trailing a script directive.
 struct Kv(HashMap<String, String>);
 
 impl Kv {
-    fn parse(tokens: &[&str], lineno: usize) -> Result<Kv, String> {
+    fn parse(tokens: &[&str], lineno: usize) -> TractoResult<Kv> {
         let mut map = HashMap::new();
         for tok in tokens {
             let Some((k, v)) = tok.split_once('=') else {
-                return Err(format!("line {lineno}: expected key=value, got `{tok}`"));
+                return Err(TractoError::config(format!(
+                    "line {lineno}: expected key=value, got `{tok}`"
+                )));
             };
             map.insert(k.to_string(), v.to_string());
         }
         Ok(Kv(map))
     }
 
-    fn get<T: FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+    fn get<T: FromStr>(&self, key: &str, default: T) -> TractoResult<T> {
         match self.0.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("{key}: bad value `{v}`")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| TractoError::config(format!("{key}: bad value `{v}`"))),
         }
     }
 }
@@ -73,7 +90,7 @@ struct Script {
     jobs: Vec<ScriptJob>,
 }
 
-fn chain_from(kv: &Kv) -> Result<(ChainConfig, u64), String> {
+fn chain_from(kv: &Kv) -> TractoResult<(ChainConfig, u64)> {
     let chain = ChainConfig {
         num_burnin: kv.get("burnin", 300)?,
         num_samples: kv.get("samples", 25)?,
@@ -81,21 +98,24 @@ fn chain_from(kv: &Kv) -> Result<(ChainConfig, u64), String> {
         adapt: AdaptScheme::paper_default(),
     };
     if chain.num_samples == 0 || chain.sample_interval == 0 {
-        return Err("samples and interval must be positive".into());
+        return Err(TractoError::config("samples and interval must be positive"));
     }
     Ok((chain, kv.get("seed", 42)?))
 }
 
-fn build_dataset(kind: &str, kv: &Kv) -> Result<Dataset, String> {
+fn build_dataset(kind: &str, kv: &Kv) -> TractoResult<Dataset> {
     let scale: f64 = kv.get("scale", 0.25)?;
     if !(0.0..=1.0).contains(&scale) || scale == 0.0 {
-        return Err("scale must be in (0, 1]".into());
+        return Err(TractoError::config("scale must be in (0, 1]"));
     }
     let seed: u64 = kv.get("seed", 7)?;
     let snr: Option<f64> = match kv.0.get("snr").map(String::as_str) {
         None => Some(25.0),
         Some("none") => None,
-        Some(v) => Some(v.parse().map_err(|_| format!("snr: bad value `{v}`"))?),
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| TractoError::config(format!("snr: bad value `{v}`")))?,
+        ),
     };
     match kind {
         "1" | "2" => {
@@ -126,13 +146,13 @@ fn build_dataset(kind: &str, kv: &Kv) -> Result<Dataset, String> {
                 seed,
             ))
         }
-        other => Err(format!(
+        other => Err(TractoError::config(format!(
             "unknown dataset kind `{other}` (1|2|single|crossing)"
-        )),
+        ))),
     }
 }
 
-fn parse_script(text: &str) -> Result<Script, String> {
+fn parse_script(text: &str) -> TractoResult<Script> {
     let mut script = Script {
         datasets: Vec::new(),
         jobs: Vec::new(),
@@ -143,7 +163,7 @@ fn parse_script(text: &str) -> Result<Script, String> {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, ds)| Arc::clone(ds))
-            .ok_or(format!("line {lineno}: unknown dataset `{name}`"))
+            .ok_or_else(|| TractoError::config(format!("line {lineno}: unknown dataset `{name}`")))
     };
     for (i, raw) in text.lines().enumerate() {
         let lineno = i + 1;
@@ -155,22 +175,30 @@ fn parse_script(text: &str) -> Result<Script, String> {
         match tokens[0] {
             "dataset" => {
                 let [_, name, kind, rest @ ..] = tokens.as_slice() else {
-                    return Err(format!("line {lineno}: dataset <name> <kind> [k=v…]"));
+                    return Err(TractoError::config(format!(
+                        "line {lineno}: dataset <name> <kind> [k=v…]"
+                    )));
                 };
                 if script.datasets.iter().any(|(n, _)| n == name) {
-                    return Err(format!("line {lineno}: dataset `{name}` redefined"));
+                    return Err(TractoError::config(format!(
+                        "line {lineno}: dataset `{name}` redefined"
+                    )));
                 }
                 let kv = Kv::parse(rest, lineno)?;
-                let ds = build_dataset(kind, &kv).map_err(|e| format!("line {lineno}: {e}"))?;
+                let ds = build_dataset(kind, &kv)
+                    .map_err(|e| TractoError::config(format!("line {lineno}: {e}")))?;
                 script.datasets.push((name.to_string(), Arc::new(ds)));
             }
             "estimate" => {
                 let [_, name, rest @ ..] = tokens.as_slice() else {
-                    return Err(format!("line {lineno}: estimate <dataset> [k=v…]"));
+                    return Err(TractoError::config(format!(
+                        "line {lineno}: estimate <dataset> [k=v…]"
+                    )));
                 };
                 lookup(&script, name, lineno)?;
                 let kv = Kv::parse(rest, lineno)?;
-                let (chain, seed) = chain_from(&kv).map_err(|e| format!("line {lineno}: {e}"))?;
+                let (chain, seed) = chain_from(&kv)
+                    .map_err(|e| TractoError::config(format!("line {lineno}: {e}")))?;
                 script.jobs.push(ScriptJob::Estimate {
                     dataset: name.to_string(),
                     chain,
@@ -179,11 +207,14 @@ fn parse_script(text: &str) -> Result<Script, String> {
             }
             "track" => {
                 let [_, name, rest @ ..] = tokens.as_slice() else {
-                    return Err(format!("line {lineno}: track <dataset> [k=v…]"));
+                    return Err(TractoError::config(format!(
+                        "line {lineno}: track <dataset> [k=v…]"
+                    )));
                 };
                 lookup(&script, name, lineno)?;
                 let kv = Kv::parse(rest, lineno)?;
-                let (chain, seed) = chain_from(&kv).map_err(|e| format!("line {lineno}: {e}"))?;
+                let (chain, seed) = chain_from(&kv)
+                    .map_err(|e| TractoError::config(format!("line {lineno}: {e}")))?;
                 let mut config = PipelineConfig {
                     chain,
                     seed,
@@ -194,15 +225,15 @@ fn parse_script(text: &str) -> Result<Script, String> {
                     kv.get("threshold", config.tracking.angular_threshold)?;
                 config.tracking.max_steps = kv.get("max-steps", config.tracking.max_steps)?;
                 if config.tracking.step_length <= 0.0 || config.tracking.max_steps == 0 {
-                    return Err(format!("line {lineno}: invalid tracking parameters"));
+                    return Err(TractoError::config(format!(
+                        "line {lineno}: invalid tracking parameters"
+                    )));
                 }
                 let deadline = match kv.0.get("deadline-ms") {
                     None => None,
-                    Some(v) => {
-                        Some(Duration::from_millis(v.parse().map_err(|_| {
-                            format!("line {lineno}: bad deadline-ms `{v}`")
-                        })?))
-                    }
+                    Some(v) => Some(Duration::from_millis(v.parse().map_err(|_| {
+                        TractoError::config(format!("line {lineno}: bad deadline-ms `{v}`"))
+                    })?)),
                 };
                 script.jobs.push(ScriptJob::Track {
                     dataset: name.to_string(),
@@ -211,14 +242,14 @@ fn parse_script(text: &str) -> Result<Script, String> {
                 });
             }
             other => {
-                return Err(format!(
+                return Err(TractoError::config(format!(
                     "line {lineno}: unknown directive `{other}` (dataset|estimate|track)"
-                ))
+                )))
             }
         }
     }
     if script.jobs.is_empty() {
-        return Err("script contains no jobs".into());
+        return Err(TractoError::config("script contains no jobs"));
     }
     Ok(script)
 }
@@ -229,9 +260,11 @@ enum Pending {
 }
 
 /// Run the command.
-pub fn run(args: &ArgMap) -> Result<(), String> {
+pub fn run(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
+    args.reject_unknown(&FLAGS)?;
     let path = PathBuf::from(args.required("script")?);
-    let text = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| TractoError::io(format!("read {}", path.display()), e))?;
     let script = parse_script(&text)?;
 
     let config = ServiceConfig {
@@ -242,10 +275,21 @@ pub fn run(args: &ArgMap) -> Result<(), String> {
         strategy: parse_strategy(args.get("strategy").unwrap_or("B"))?,
         cache_bytes: args.get_parse::<u64>("cache-mb", 256)? << 20,
         disk_cache: args.get("cache-dir").map(PathBuf::from),
+        disk_cache_bytes: args
+            .get("disk-cache-mb")
+            .map(|v| {
+                v.parse::<u64>()
+                    .map(|mb| mb << 20)
+                    .map_err(|_| TractoError::config(format!("--disk-cache-mb: bad value `{v}`")))
+            })
+            .transpose()?,
+        tracer: tracer.clone(),
         ..ServiceConfig::default()
     };
     if config.devices == 0 || config.estimate_workers == 0 || config.max_batch_jobs == 0 {
-        return Err("--devices, --workers, and --max-batch must be positive".into());
+        return Err(TractoError::config(
+            "--devices, --workers, and --max-batch must be positive",
+        ));
     }
 
     for (name, ds) in &script.datasets {
@@ -336,7 +380,7 @@ pub fn run(args: &ArgMap) -> Result<(), String> {
     service.drain();
     println!("\n--- service metrics ---\n{}", service.shutdown());
     if failed > 0 {
-        return Err(format!("{failed} job(s) failed"));
+        return Err(TractoError::format(format!("{failed} job(s) failed")));
     }
     Ok(())
 }
@@ -372,26 +416,17 @@ track b samples=2 burnin=30 interval=1 seed=9 max-steps=60
         assert_eq!(s.datasets.len(), 2);
         assert_eq!(s.jobs.len(), 4);
         assert!(matches!(s.jobs[0], ScriptJob::Estimate { .. }));
-        assert!(parse_script("track nowhere\n")
-            .err()
-            .unwrap()
-            .contains("unknown dataset"));
-        assert!(parse_script("dataset d single\n")
-            .err()
-            .unwrap()
-            .contains("no jobs"));
-        assert!(parse_script("frob x\n")
-            .err()
-            .unwrap()
-            .contains("unknown directive"));
-        assert!(parse_script("dataset d single scale\n")
-            .err()
-            .unwrap()
-            .contains("key=value"));
-        assert!(parse_script("dataset d nope\ntrack d\n")
-            .err()
-            .unwrap()
-            .contains("unknown dataset kind"));
+        for (text, needle) in [
+            ("track nowhere\n", "unknown dataset"),
+            ("dataset d single\n", "no jobs"),
+            ("frob x\n", "unknown directive"),
+            ("dataset d single scale\n", "key=value"),
+            ("dataset d nope\ntrack d\n", "unknown dataset kind"),
+        ] {
+            let err = parse_script(text).err().expect("parse must fail");
+            assert_eq!(err.kind(), tracto_trace::ErrorKind::Config, "{text}");
+            assert!(err.to_string().contains(needle), "{text}: {err}");
+        }
     }
 
     #[test]
@@ -407,13 +442,31 @@ track b samples=2 burnin=30 interval=1 seed=9 max-steps=60
             "--batch-window-ms",
             "30",
         ]);
-        run(&args).unwrap();
+        run(&args, &Tracer::disabled()).unwrap();
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn missing_script_reported() {
         let args = argmap(&["--script", "/nonexistent/jobs.txt"]);
-        assert!(run(&args).unwrap_err().contains("jobs.txt"));
+        let err = run(&args, &Tracer::disabled()).unwrap_err();
+        assert_eq!(err.kind(), tracto_trace::ErrorKind::Io);
+        assert!(err.to_string().contains("jobs.txt"));
+    }
+
+    #[test]
+    fn malformed_script_line_is_typed_config_error() {
+        let dir = tmp("badscript");
+        let script = dir.join("jobs.txt");
+        std::fs::write(
+            &script,
+            "dataset b single scale=0.05\ntrack b max-steps=oops\n",
+        )
+        .unwrap();
+        let args = argmap(&["--script", script.to_str().unwrap()]);
+        let err = run(&args, &Tracer::disabled()).unwrap_err();
+        assert_eq!(err.kind(), tracto_trace::ErrorKind::Config);
+        assert!(err.to_string().contains("max-steps"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

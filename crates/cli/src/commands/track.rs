@@ -6,6 +6,7 @@ use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::PathBuf;
 use tracto_gpu_sim::{DeviceConfig, Gpu};
+use tracto_trace::{Tracer, TractoError, TractoResult};
 use tracto_tracking::export;
 use tracto_tracking::gpu::{GpuTracker, SeedOrdering};
 use tracto_tracking::probabilistic::{seeds_from_mask, CpuTracker, RecordMode};
@@ -13,7 +14,25 @@ use tracto_tracking::walker::TrackingParams;
 use tracto_tracking::{InterpMode, SegmentationStrategy};
 use tracto_volume::io::write_volume3;
 
-pub(crate) fn parse_strategy(s: &str) -> Result<SegmentationStrategy, String> {
+const FLAGS: [&str; 15] = [
+    "data",
+    "out",
+    "samples-dir",
+    "cache-dir",
+    "step",
+    "threshold",
+    "max-steps",
+    "strategy",
+    "seed",
+    "cpu",
+    "min-export-steps",
+    "est-samples",
+    "est-burnin",
+    "est-interval",
+    "est-seed",
+];
+
+pub(crate) fn parse_strategy(s: &str) -> TractoResult<SegmentationStrategy> {
     match s {
         "B" | "b" => Ok(SegmentationStrategy::paper_table2()),
         "C" | "c" => Ok(SegmentationStrategy::paper_c()),
@@ -21,17 +40,17 @@ pub(crate) fn parse_strategy(s: &str) -> Result<SegmentationStrategy, String> {
         "every" => Ok(SegmentationStrategy::every_step()),
         other => {
             if let Some(k) = other.strip_prefix("uniform:") {
-                let k: u32 = k
-                    .parse()
-                    .map_err(|_| format!("--strategy uniform:K: bad K `{k}`"))?;
+                let k: u32 = k.parse().map_err(|_| {
+                    TractoError::config(format!("--strategy uniform:K: bad K `{k}`"))
+                })?;
                 if k == 0 {
-                    return Err("--strategy uniform:K needs K ≥ 1".into());
+                    return Err(TractoError::config("--strategy uniform:K needs K ≥ 1"));
                 }
                 Ok(SegmentationStrategy::Uniform(k))
             } else {
-                Err(format!(
+                Err(TractoError::config(format!(
                     "--strategy: unknown `{other}` (B|C|single|every|uniform:K)"
-                ))
+                )))
             }
         }
     }
@@ -46,7 +65,8 @@ fn samples_from_cache(
     mask: &tracto_volume::Mask,
     acq: &tracto_diffusion::Acquisition,
     args: &ArgMap,
-) -> Result<tracto_mcmc::SampleVolumes, String> {
+    tracer: &Tracer,
+) -> TractoResult<tracto_mcmc::SampleVolumes> {
     use tracto_mcmc::mh::AdaptScheme;
     let chain = tracto_mcmc::ChainConfig {
         num_burnin: args.get_parse("est-burnin", 300)?,
@@ -55,13 +75,15 @@ fn samples_from_cache(
         adapt: AdaptScheme::paper_default(),
     };
     if chain.num_samples == 0 || chain.sample_interval == 0 {
-        return Err("--est-samples and --est-interval must be positive".into());
+        return Err(TractoError::config(
+            "--est-samples and --est-interval must be positive",
+        ));
     }
     let est_seed: u64 = args.get_parse("est-seed", 42)?;
     let prior = tracto_diffusion::PriorConfig::default();
     let key = tracto_serve::sample_key_parts(dwi, mask, acq, &prior, &chain, est_seed);
-    let cache = tracto_serve::DiskSampleCache::open(cache_dir)?;
-    if let Some(samples) = cache.get(key) {
+    let cache = tracto_serve::DiskSampleCache::open(cache_dir)?.with_tracer(tracer.clone());
+    if let Some(samples) = cache.get(key)? {
         println!("cache hit {} — skipping estimation", key.hex());
         return Ok(samples);
     }
@@ -70,14 +92,15 @@ fn samples_from_cache(
         key.hex(),
         mask.count()
     );
-    let mut gpu = Gpu::new(DeviceConfig::radeon_5870());
+    let mut gpu = Gpu::with_tracer(DeviceConfig::radeon_5870(), tracer.clone());
     let report = tracto::run_mcmc_gpu(&mut gpu, acq, dwi, mask, prior, chain, est_seed);
     cache.put(key, &report.samples)?;
     Ok(report.samples)
 }
 
 /// Run the command.
-pub fn run(args: &ArgMap) -> Result<(), String> {
+pub fn run(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
+    args.reject_unknown(&FLAGS)?;
     let data = PathBuf::from(args.required("data")?);
     let out = PathBuf::from(args.required("out")?);
     let step: f64 = args.get_parse("step", 0.1)?;
@@ -87,20 +110,28 @@ pub fn run(args: &ArgMap) -> Result<(), String> {
     let min_export: u32 = args.get_parse("min-export-steps", 100)?;
     let strategy = parse_strategy(args.get("strategy").unwrap_or("B"))?;
     if step <= 0.0 || !(0.0..=1.0).contains(&threshold) || max_steps == 0 {
-        return Err("invalid tracking parameters".into());
+        return Err(TractoError::config("invalid tracking parameters"));
     }
 
     let (dwi, mask, acq) = store::load_dataset(&data)?;
     let samples = match (args.get("samples-dir"), args.get("cache-dir")) {
         (Some(_), Some(_)) => {
-            return Err("--samples-dir and --cache-dir are mutually exclusive".into())
+            return Err(TractoError::config(
+                "--samples-dir and --cache-dir are mutually exclusive",
+            ))
         }
         (Some(dir), None) => store::load_samples(&PathBuf::from(dir))?,
-        (None, Some(dir)) => samples_from_cache(&PathBuf::from(dir), &dwi, &mask, &acq, args)?,
-        (None, None) => return Err("need --samples-dir or --cache-dir".into()),
+        (None, Some(dir)) => {
+            samples_from_cache(&PathBuf::from(dir), &dwi, &mask, &acq, args, tracer)?
+        }
+        (None, None) => {
+            return Err(TractoError::config("need --samples-dir or --cache-dir"));
+        }
     };
     if samples.dims() != dwi.dims() {
-        return Err("sample volumes do not match the dataset grid".into());
+        return Err(TractoError::format(
+            "sample volumes do not match the dataset grid",
+        ));
     }
     let seeds = seeds_from_mask(&mask);
     let params = TrackingParams {
@@ -110,7 +141,8 @@ pub fn run(args: &ArgMap) -> Result<(), String> {
         min_fraction: 0.05,
         interp: InterpMode::Nearest,
     };
-    std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
+    std::fs::create_dir_all(&out)
+        .map_err(|e| TractoError::io(format!("create {}", out.display()), e))?;
 
     println!(
         "tracking {} seeds × {} samples (strategy {})…",
@@ -137,6 +169,7 @@ pub fn run(args: &ArgMap) -> Result<(), String> {
         });
         (o.lengths_by_sample, o.connectivity, o.streamlines)
     } else {
+        let mut gpu = Gpu::with_tracer(DeviceConfig::radeon_5870(), tracer.clone());
         let tracker = GpuTracker {
             samples: &samples,
             params,
@@ -148,7 +181,6 @@ pub fn run(args: &ArgMap) -> Result<(), String> {
             run_seed: seed,
             record_visits: true,
         };
-        let mut gpu = Gpu::new(DeviceConfig::radeon_5870());
         let report = tracker.run(&mut gpu);
         println!(
             "simulated GPU: kernel {:.3}s, reduction {:.3}s, transfer {:.3}s (util {:.1}%)",
@@ -161,28 +193,36 @@ pub fn run(args: &ArgMap) -> Result<(), String> {
     };
 
     // lengths.csv: sample,seed,steps.
-    let mut f = BufWriter::new(File::create(out.join("lengths.csv")).map_err(|e| e.to_string())?);
-    writeln!(f, "sample,seed,steps").map_err(|e| e.to_string())?;
+    let path = out.join("lengths.csv");
+    let io_err = |e| TractoError::io(format!("write {}", path.display()), e);
+    let mut f = BufWriter::new(File::create(&path).map_err(io_err)?);
+    writeln!(f, "sample,seed,steps").map_err(io_err)?;
     let mut total: u64 = 0;
     let mut longest: u32 = 0;
     for (s, row) in lengths.iter().enumerate() {
         for (i, &l) in row.iter().enumerate() {
-            writeln!(f, "{s},{i},{l}").map_err(|e| e.to_string())?;
+            writeln!(f, "{s},{i},{l}").map_err(io_err)?;
             total += l as u64;
             longest = longest.max(l);
         }
     }
+    drop(f);
 
     if let Some(conn) = &connectivity {
         let vol = conn.probability_volume();
-        let mut f =
-            BufWriter::new(File::create(out.join("connectivity.trv3")).map_err(|e| e.to_string())?);
-        write_volume3(&mut f, &vol).map_err(|e| e.to_string())?;
+        let path = out.join("connectivity.trv3");
+        let mut f = BufWriter::new(
+            File::create(&path)
+                .map_err(|e| TractoError::io(format!("write {}", path.display()), e))?,
+        );
+        write_volume3(&mut f, &vol)
+            .map_err(|e| TractoError::format_with(format!("write {}", path.display()), e))?;
     }
     if !fibers.is_empty() {
-        let mut f =
-            BufWriter::new(File::create(out.join("fibers.csv")).map_err(|e| e.to_string())?);
-        export::write_csv(&mut f, &fibers).map_err(|e| e.to_string())?;
+        let path = out.join("fibers.csv");
+        let io_err = |e| TractoError::io(format!("write {}", path.display()), e);
+        let mut f = BufWriter::new(File::create(&path).map_err(io_err)?);
+        export::write_csv(&mut f, &fibers).map_err(io_err)?;
     }
 
     println!(
@@ -252,7 +292,7 @@ mod tests {
             "--max-steps",
             "500",
         ]);
-        run(&args).unwrap();
+        run(&args, &Tracer::disabled()).unwrap();
         let lengths = std::fs::read_to_string(out.join("lengths.csv")).unwrap();
         assert!(lengths.lines().count() > 4, "lengths rows written");
         assert!(out.join("connectivity.trv3").exists());
@@ -288,13 +328,13 @@ mod tests {
             "--est-interval",
             "1",
         ]);
-        run(&args).unwrap();
+        run(&args, &Tracer::disabled()).unwrap();
         let entries = std::fs::read_dir(&cache).unwrap().count();
         assert_eq!(entries, 1, "one cache entry after a cold run");
         // Second run must reuse the entry (no new directories) and still
         // produce the outputs.
         std::fs::remove_dir_all(&out).unwrap();
-        run(&args).unwrap();
+        run(&args, &Tracer::disabled()).unwrap();
         assert_eq!(std::fs::read_dir(&cache).unwrap().count(), 1);
         assert!(out.join("lengths.csv").exists());
         for d in [&data, &cache, &out] {
@@ -309,13 +349,15 @@ mod tests {
         store::save_dataset(&data, &ds.dwi, &ds.wm_mask, &ds.acq).unwrap();
         let base = ["--data", data.to_str().unwrap(), "--out", "x"];
         let none = argmap(&base);
-        assert!(run(&none)
+        assert!(run(&none, &Tracer::disabled())
             .unwrap_err()
+            .to_string()
             .contains("--samples-dir or --cache-dir"));
         let mut both = base.to_vec();
         both.extend(["--samples-dir", "a", "--cache-dir", "b"]);
-        assert!(run(&argmap(&both))
+        assert!(run(&argmap(&both), &Tracer::disabled())
             .unwrap_err()
+            .to_string()
             .contains("mutually exclusive"));
         let _ = std::fs::remove_dir_all(&data);
     }
@@ -338,7 +380,10 @@ mod tests {
             "--out",
             out.to_str().unwrap(),
         ]);
-        assert!(run(&args).unwrap_err().contains("do not match"));
+        assert!(run(&args, &Tracer::disabled())
+            .unwrap_err()
+            .to_string()
+            .contains("do not match"));
         for d in [&data, &samples_dir, &out] {
             let _ = std::fs::remove_dir_all(d);
         }

@@ -12,6 +12,10 @@
 //! `wm_mask.trv3`, six `*.trv4` sample volumes) plus a plain-text protocol
 //! file (`acq.txt`: one `bval gx gy gz` row per measurement), so every
 //! stage can be rerun, swapped, or inspected independently.
+//!
+//! Every command accepts the global `--trace FILE` (JSON-lines event log)
+//! and `--trace-stderr` (pretty-printed events) flags; failures exit with a
+//! typed [`tracto_trace::TractoError`] printed with its cause chain.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,6 +25,9 @@ pub mod commands;
 pub mod store;
 
 use args::ArgMap;
+use std::error::Error as _;
+use std::path::Path;
+use tracto_trace::{JsonlSink, StderrSink, Tracer, TractoError, TractoResult, Value};
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -44,13 +51,30 @@ COMMANDS:
   serve      replay a job script through the batched job service
              --script FILE [--devices N] [--workers N] [--max-batch N]
              [--batch-window-ms N] [--strategy B|C|single|every|uniform:K]
-             [--cache-mb N] [--cache-dir DIR]
+             [--cache-mb N] [--cache-dir DIR] [--disk-cache-mb N]
   info       describe a stored dataset
              --data DIR
   render     print an ASCII maximum-intensity projection of a volume
              --volume FILE.trv3 [--axis x|y|z]
   help       print this message
+
+GLOBAL FLAGS (any command):
+  --trace FILE      append structured events as JSON lines to FILE
+  --trace-stderr    pretty-print structured events to stderr
 ";
+
+/// Build the tracer requested by the global `--trace`/`--trace-stderr`
+/// flags (disabled when neither is given).
+fn build_tracer(args: &ArgMap) -> TractoResult<Tracer> {
+    match (args.get("trace"), args.switch("trace-stderr")) {
+        (Some(_), true) => Err(TractoError::config(
+            "--trace and --trace-stderr are mutually exclusive",
+        )),
+        (Some(path), false) => Ok(Tracer::new(JsonlSink::create(Path::new(path))?)),
+        (None, true) => Ok(Tracer::new(StderrSink)),
+        (None, false) => Ok(Tracer::disabled()),
+    }
+}
 
 /// Run the CLI with the given arguments (excluding `argv[0]`). Returns the
 /// process exit code.
@@ -66,26 +90,58 @@ pub fn run(args: &[String]) -> i32 {
             return 2;
         }
     };
+    let tracer = match build_tracer(&parsed) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let span = tracer.span_with(
+        "cli.command",
+        &[("command", Value::Text(command.to_string()))],
+    );
     let result = match command.as_str() {
-        "phantom" => commands::phantom::run(&parsed),
-        "estimate" => commands::estimate::run(&parsed),
-        "track" => commands::track::run(&parsed),
-        "serve" => commands::serve::run(&parsed),
-        "info" => commands::info::run(&parsed),
-        "render" => commands::render::run(&parsed),
+        "phantom" => commands::phantom::run(&parsed, &tracer),
+        "estimate" => commands::estimate::run(&parsed, &tracer),
+        "track" => commands::track::run(&parsed, &tracer),
+        "serve" => commands::serve::run(&parsed, &tracer),
+        "info" => commands::info::run(&parsed, &tracer),
+        "render" => commands::render::run(&parsed, &tracer),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`")),
+        other => Err(TractoError::config(format!("unknown command `{other}`"))),
     };
-    match result {
-        Ok(()) => 0,
+    let code = match result {
+        Ok(()) => {
+            span.end_with(&[("ok", true.into())]);
+            0
+        }
         Err(e) => {
+            if tracer.enabled() {
+                tracer.emit(
+                    "cli.error",
+                    &[
+                        ("command", Value::Text(command.to_string())),
+                        ("kind", Value::Text(e.kind().to_string())),
+                        ("error", Value::Text(e.to_string())),
+                    ],
+                );
+            }
+            span.end_with(&[("ok", false.into())]);
             eprintln!("error: {e}");
+            let mut source = e.source();
+            while let Some(cause) = source {
+                eprintln!("  caused by: {cause}");
+                source = cause.source();
+            }
             1
         }
-    }
+    };
+    tracer.flush();
+    code
 }
 
 #[cfg(test)]
@@ -110,5 +166,14 @@ mod tests {
     #[test]
     fn missing_required_flag_fails() {
         assert_eq!(run(&["info".to_string()]), 1);
+    }
+
+    #[test]
+    fn conflicting_trace_flags_rejected() {
+        let args: Vec<String> = ["help", "--trace", "t.jsonl", "--trace-stderr"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(run(&args), 2);
     }
 }

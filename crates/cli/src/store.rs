@@ -5,26 +5,40 @@ use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 use tracto_diffusion::Acquisition;
 use tracto_mcmc::SampleVolumes;
+use tracto_trace::{TractoError, TractoResult};
 use tracto_volume::io::{read_volume3, read_volume4, write_volume3, write_volume4};
 use tracto_volume::{Mask, Vec3, Volume3, Volume4};
 
+fn create(path: &Path) -> TractoResult<BufWriter<File>> {
+    File::create(path)
+        .map(BufWriter::new)
+        .map_err(|e| TractoError::io(format!("create {}", path.display()), e))
+}
+
+fn open(path: &Path) -> TractoResult<BufReader<File>> {
+    File::open(path)
+        .map(BufReader::new)
+        .map_err(|e| TractoError::io(format!("open {}", path.display()), e))
+}
+
 /// Write the acquisition protocol as text: `bval gx gy gz` per line.
-pub fn write_acquisition(path: &Path, acq: &Acquisition) -> Result<(), String> {
-    let mut f = BufWriter::new(File::create(path).map_err(|e| e.to_string())?);
+pub fn write_acquisition(path: &Path, acq: &Acquisition) -> TractoResult<()> {
+    let mut f = create(path)?;
     for i in 0..acq.len() {
         let g = acq.grad(i);
-        writeln!(f, "{} {} {} {}", acq.bval(i), g.x, g.y, g.z).map_err(|e| e.to_string())?;
+        writeln!(f, "{} {} {} {}", acq.bval(i), g.x, g.y, g.z)
+            .map_err(|e| TractoError::io(format!("write {}", path.display()), e))?;
     }
     Ok(())
 }
 
 /// Read the protocol text file.
-pub fn read_acquisition(path: &Path) -> Result<Acquisition, String> {
-    let f = BufReader::new(File::open(path).map_err(|e| format!("{}: {e}", path.display()))?);
+pub fn read_acquisition(path: &Path) -> TractoResult<Acquisition> {
+    let f = open(path)?;
     let mut bvals = Vec::new();
     let mut grads = Vec::new();
     for (lineno, line) in f.lines().enumerate() {
-        let line = line.map_err(|e| e.to_string())?;
+        let line = line.map_err(|e| TractoError::io(format!("read {}", path.display()), e))?;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
@@ -32,18 +46,22 @@ pub fn read_acquisition(path: &Path) -> Result<Acquisition, String> {
         let parts: Vec<f64> = trimmed
             .split_whitespace()
             .map(|t| {
-                t.parse()
-                    .map_err(|_| format!("acq.txt line {}: bad number `{t}`", lineno + 1))
+                t.parse().map_err(|_| {
+                    TractoError::format(format!("acq.txt line {}: bad number `{t}`", lineno + 1))
+                })
             })
-            .collect::<Result<_, _>>()?;
+            .collect::<TractoResult<_>>()?;
         if parts.len() != 4 {
-            return Err(format!("acq.txt line {}: expected 4 columns", lineno + 1));
+            return Err(TractoError::format(format!(
+                "acq.txt line {}: expected 4 columns",
+                lineno + 1
+            )));
         }
         bvals.push(parts[0]);
         grads.push(Vec3::new(parts[1], parts[2], parts[3]));
     }
     if bvals.is_empty() {
-        return Err("acq.txt: no measurements".into());
+        return Err(TractoError::format("acq.txt: no measurements"));
     }
     Ok(Acquisition::new(bvals, grads))
 }
@@ -54,36 +72,43 @@ pub fn save_dataset(
     dwi: &Volume4<f32>,
     mask: &Mask,
     acq: &Acquisition,
-) -> Result<(), String> {
-    fs::create_dir_all(dir).map_err(|e| e.to_string())?;
-    let mut f = BufWriter::new(File::create(dir.join("dwi.trv4")).map_err(|e| e.to_string())?);
-    write_volume4(&mut f, dwi).map_err(|e| e.to_string())?;
+) -> TractoResult<()> {
+    fs::create_dir_all(dir).map_err(|e| TractoError::io(format!("create {}", dir.display()), e))?;
+    let path = dir.join("dwi.trv4");
+    let mut f = create(&path)?;
+    write_volume4(&mut f, dwi)
+        .map_err(|e| TractoError::format_with(format!("write {}", path.display()), e))?;
     let mask_vol = mask.as_volume().map(|&b| if b { 1.0f32 } else { 0.0 });
-    let mut f = BufWriter::new(File::create(dir.join("wm_mask.trv3")).map_err(|e| e.to_string())?);
-    write_volume3(&mut f, &mask_vol).map_err(|e| e.to_string())?;
+    let path = dir.join("wm_mask.trv3");
+    let mut f = create(&path)?;
+    write_volume3(&mut f, &mask_vol)
+        .map_err(|e| TractoError::format_with(format!("write {}", path.display()), e))?;
     write_acquisition(&dir.join("acq.txt"), acq)
 }
 
 /// Load a dataset directory.
-pub fn load_dataset(dir: &Path) -> Result<(Volume4<f32>, Mask, Acquisition), String> {
-    let mut f =
-        BufReader::new(File::open(dir.join("dwi.trv4")).map_err(|e| format!("dwi.trv4: {e}"))?);
-    let dwi = read_volume4(&mut f).map_err(|e| e.to_string())?;
-    let mut f = BufReader::new(
-        File::open(dir.join("wm_mask.trv3")).map_err(|e| format!("wm_mask.trv3: {e}"))?,
-    );
-    let mask_vol: Volume3<f32> = read_volume3(&mut f).map_err(|e| e.to_string())?;
+pub fn load_dataset(dir: &Path) -> TractoResult<(Volume4<f32>, Mask, Acquisition)> {
+    let path = dir.join("dwi.trv4");
+    let mut f = open(&path)?;
+    let dwi = read_volume4(&mut f)
+        .map_err(|e| TractoError::format_with(format!("read {}", path.display()), e))?;
+    let path = dir.join("wm_mask.trv3");
+    let mut f = open(&path)?;
+    let mask_vol: Volume3<f32> = read_volume3(&mut f)
+        .map_err(|e| TractoError::format_with(format!("read {}", path.display()), e))?;
     let mask = Mask::threshold(&mask_vol, 0.5);
     let acq = read_acquisition(&dir.join("acq.txt"))?;
     if dwi.nt() != acq.len() {
-        return Err(format!(
+        return Err(TractoError::format(format!(
             "dataset inconsistent: dwi has {} measurements, acq.txt {}",
             dwi.nt(),
             acq.len()
-        ));
+        )));
     }
     if dwi.dims() != mask.dims() {
-        return Err("dataset inconsistent: mask dims differ from dwi".into());
+        return Err(TractoError::format(
+            "dataset inconsistent: mask dims differ from dwi",
+        ));
     }
     Ok((dwi, mask, acq))
 }
@@ -91,8 +116,8 @@ pub fn load_dataset(dir: &Path) -> Result<(Volume4<f32>, Mask, Acquisition), Str
 const SAMPLE_FILES: [&str; 6] = ["f1", "f2", "th1", "ph1", "th2", "ph2"];
 
 /// Save the six sample volumes into a directory.
-pub fn save_samples(dir: &Path, samples: &SampleVolumes) -> Result<(), String> {
-    fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+pub fn save_samples(dir: &Path, samples: &SampleVolumes) -> TractoResult<()> {
+    fs::create_dir_all(dir).map_err(|e| TractoError::io(format!("create {}", dir.display()), e))?;
     let vols = [
         &samples.f1,
         &samples.f2,
@@ -102,21 +127,21 @@ pub fn save_samples(dir: &Path, samples: &SampleVolumes) -> Result<(), String> {
         &samples.ph2,
     ];
     for (name, vol) in SAMPLE_FILES.iter().zip(vols) {
-        let mut f = BufWriter::new(
-            File::create(dir.join(format!("{name}.trv4"))).map_err(|e| e.to_string())?,
-        );
-        write_volume4(&mut f, vol).map_err(|e| e.to_string())?;
+        let path = dir.join(format!("{name}.trv4"));
+        let mut f = create(&path)?;
+        write_volume4(&mut f, vol)
+            .map_err(|e| TractoError::format_with(format!("write {}", path.display()), e))?;
     }
     Ok(())
 }
 
 /// Load six sample volumes from a directory.
-pub fn load_samples(dir: &Path) -> Result<SampleVolumes, String> {
-    let load = |name: &str| -> Result<Volume4<f32>, String> {
+pub fn load_samples(dir: &Path) -> TractoResult<SampleVolumes> {
+    let load = |name: &str| -> TractoResult<Volume4<f32>> {
         let path = dir.join(format!("{name}.trv4"));
-        let mut f =
-            BufReader::new(File::open(&path).map_err(|e| format!("{}: {e}", path.display()))?);
-        read_volume4(&mut f).map_err(|e| e.to_string())
+        let mut f = open(&path)?;
+        read_volume4(&mut f)
+            .map_err(|e| TractoError::format_with(format!("read {}", path.display()), e))
     };
     let f1 = load("f1")?;
     let f2 = load("f2")?;
@@ -126,7 +151,9 @@ pub fn load_samples(dir: &Path) -> Result<SampleVolumes, String> {
     let ph2 = load("ph2")?;
     for v in [&f2, &th1, &ph1, &th2, &ph2] {
         if v.dims() != f1.dims() || v.nt() != f1.nt() {
-            return Err("sample volumes have inconsistent shapes".into());
+            return Err(TractoError::format(
+                "sample volumes have inconsistent shapes",
+            ));
         }
     }
     Ok(SampleVolumes {
@@ -143,6 +170,7 @@ pub fn load_samples(dir: &Path) -> Result<SampleVolumes, String> {
 mod tests {
     use super::*;
     use tracto_phantom::datasets;
+    use tracto_trace::ErrorKind;
     use tracto_volume::Dim3;
 
     fn tmpdir(tag: &str) -> std::path::PathBuf {
@@ -183,10 +211,35 @@ mod tests {
     }
 
     #[test]
-    fn missing_files_reported() {
+    fn missing_files_are_io_errors() {
         let dir = tmpdir("missing");
-        assert!(load_dataset(&dir).unwrap_err().contains("dwi.trv4"));
-        assert!(load_samples(&dir).unwrap_err().contains("f1.trv4"));
+        let err = load_dataset(&dir).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Io);
+        assert!(err.to_string().contains("dwi.trv4"));
+        let err = load_samples(&dir).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Io);
+        assert!(err.to_string().contains("f1.trv4"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_volume_is_format_error_with_source() {
+        use std::error::Error as _;
+        let dir = tmpdir("trunc");
+        let ds = datasets::single_bundle(Dim3::new(5, 4, 4), None, 2);
+        save_dataset(&dir, &ds.dwi, &ds.wm_mask, &ds.acq).unwrap();
+        // Chop the volume mid-payload: typed Format error, chained source.
+        let path = dir.join("dwi.trv4");
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let err = load_dataset(&dir).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Format);
+        assert!(err.to_string().contains("dwi.trv4"));
+        assert!(err.source().is_some(), "volume error chained as source");
+        // Garbage header is also a Format error, not a panic.
+        fs::write(&path, b"not a volume at all").unwrap();
+        let err = load_dataset(&dir).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Format);
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -195,11 +248,13 @@ mod tests {
         let dir = tmpdir("acq");
         let path = dir.join("acq.txt");
         fs::write(&path, "0 0 0 0\n1000 1 0\n").unwrap();
-        assert!(read_acquisition(&path).unwrap_err().contains("4 columns"));
+        let err = read_acquisition(&path).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Format);
+        assert!(err.to_string().contains("4 columns"));
         fs::write(&path, "# comment only\n").unwrap();
-        assert!(read_acquisition(&path)
-            .unwrap_err()
-            .contains("no measurements"));
+        let err = read_acquisition(&path).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Format);
+        assert!(err.to_string().contains("no measurements"));
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,128 @@
+//! End-to-end CLI tests driving `tracto_cli::run` the way `main` does,
+//! with the global `--trace` flag writing a JSON-lines event log.
+
+use tracto_trace::json::{self, Json};
+
+fn tmp(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("tracto_cli_it_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn run(args: &[&str]) -> i32 {
+    let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    tracto_cli::run(&argv)
+}
+
+#[test]
+fn track_with_trace_writes_parseable_json_lines() {
+    let root = tmp("trace");
+    let data = root.join("data");
+    let out = root.join("tract");
+    let trace = root.join("out.jsonl");
+
+    assert_eq!(
+        run(&[
+            "phantom",
+            "--out",
+            data.to_str().unwrap(),
+            "--dataset",
+            "single",
+            "--scale",
+            "0.05",
+            "--snr",
+            "none",
+        ]),
+        0
+    );
+    assert_eq!(
+        run(&[
+            "track",
+            "--data",
+            data.to_str().unwrap(),
+            "--cache-dir",
+            root.join("cache").to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+            "--max-steps",
+            "100",
+            "--est-samples",
+            "2",
+            "--est-burnin",
+            "30",
+            "--est-interval",
+            "1",
+            "--trace",
+            trace.to_str().unwrap(),
+        ]),
+        0
+    );
+
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    let mut names = Vec::new();
+    for line in text.lines() {
+        let event = json::parse(line).expect("every trace line parses as JSON");
+        let name = event
+            .get("name")
+            .and_then(Json::as_str)
+            .expect("event has a name")
+            .to_string();
+        assert!(event.get("seq").is_some(), "event has a sequence number");
+        assert!(event.get("t_ns").is_some(), "event has a timestamp");
+        names.push(name);
+    }
+    // The command span wraps everything; the simulated GPU emits at least
+    // one launch per kernel; the disk cache misses on a cold run.
+    assert!(names.iter().any(|n| n == "cli.command"));
+    assert!(names.iter().any(|n| n == "gpu.launch"));
+    assert!(names.iter().any(|n| n == "serve.disk_cache_miss"));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn corrupt_dataset_exits_with_typed_error_and_trace_event() {
+    let root = tmp("corrupt");
+    let data = root.join("data");
+    let trace = root.join("err.jsonl");
+    assert_eq!(
+        run(&[
+            "phantom",
+            "--out",
+            data.to_str().unwrap(),
+            "--dataset",
+            "single",
+            "--scale",
+            "0.05",
+        ]),
+        0
+    );
+    // Truncate the stored DWI volume so loading fails mid-payload.
+    let dwi = data.join("dwi.trv4");
+    let bytes = std::fs::read(&dwi).unwrap();
+    std::fs::write(&dwi, &bytes[..bytes.len() / 3]).unwrap();
+
+    let code = run(&[
+        "info",
+        "--data",
+        data.to_str().unwrap(),
+        "--trace",
+        trace.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 1, "corrupt dataset is an error, not a panic");
+
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let error_event = text
+        .lines()
+        .map(|l| json::parse(l).unwrap())
+        .find(|e| e.get("name").and_then(Json::as_str) == Some("cli.error"))
+        .expect("cli.error event recorded");
+    let fields = error_event.get("fields").expect("fields object");
+    assert_eq!(fields.get("kind").and_then(Json::as_str), Some("format"));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn unknown_flag_fails_fast() {
+    assert_eq!(run(&["info", "--data", "x", "--frobnicate"]), 1);
+}

@@ -7,6 +7,7 @@ use tracto_diffusion::PriorConfig;
 use tracto_gpu_sim::{DeviceConfig, Gpu, TimingLedger};
 use tracto_mcmc::{ChainConfig, SampleVolumes, VoxelEstimator};
 use tracto_phantom::Dataset;
+use tracto_trace::Tracer;
 use tracto_tracking::gpu::{GpuTracker, SeedOrdering};
 use tracto_tracking::probabilistic::{seeds_from_mask, CpuTracker, RecordMode};
 use tracto_tracking::walker::TrackingParams;
@@ -95,12 +96,23 @@ pub struct PipelineOutcome {
 #[derive(Debug, Clone)]
 pub struct Pipeline {
     config: PipelineConfig,
+    tracer: Tracer,
 }
 
 impl Pipeline {
     /// Create a pipeline with the given configuration.
     pub fn new(config: PipelineConfig) -> Self {
-        Pipeline { config }
+        Pipeline {
+            config,
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Emit structured events (spans per step, per-launch GPU events,
+    /// MCMC chain progress) into `tracer`.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// The configuration.
@@ -118,6 +130,10 @@ impl Pipeline {
 
         // ---- Step 1: local parameter estimation.
         let t0 = Instant::now();
+        let step1 = self.tracer.span_with(
+            "pipeline.step1",
+            &[("voxels", dataset.wm_mask.count().into())],
+        );
         let (samples, mcmc_ledger) = match &backend {
             Backend::CpuSerial => (
                 VoxelEstimator::new(
@@ -128,6 +144,7 @@ impl Pipeline {
                     cfg.chain,
                     cfg.seed,
                 )
+                .with_tracer(self.tracer.clone())
                 .run_serial(),
                 None,
             ),
@@ -140,11 +157,12 @@ impl Pipeline {
                     cfg.chain,
                     cfg.seed,
                 )
+                .with_tracer(self.tracer.clone())
                 .run_parallel(),
                 None,
             ),
             Backend::GpuSim(device) => {
-                let mut gpu = Gpu::new(device.clone());
+                let mut gpu = Gpu::with_tracer(device.clone(), self.tracer.clone());
                 let report = run_mcmc_gpu(
                     &mut gpu,
                     &dataset.acq,
@@ -157,6 +175,14 @@ impl Pipeline {
                 (report.samples, Some(report.ledger))
             }
         };
+        step1.end_with(&[(
+            "sim_s",
+            mcmc_ledger
+                .as_ref()
+                .map(|l| l.total_s())
+                .unwrap_or(0.0)
+                .into(),
+        )]);
         let mcmc_wall = t0.elapsed();
 
         // ---- Step 2: probabilistic streamlining.
@@ -166,6 +192,9 @@ impl Pipeline {
         } else {
             RecordMode::LengthsOnly
         };
+        let step2 = self
+            .tracer
+            .span_with("pipeline.step2", &[("seeds", seeds.len().into())]);
         let (tracking, tracking_ledger) = match &backend {
             Backend::CpuSerial | Backend::CpuParallel => {
                 let tracker = CpuTracker {
@@ -185,7 +214,7 @@ impl Pipeline {
                 (out, None)
             }
             Backend::GpuSim(device) => {
-                let mut gpu = Gpu::new(device.clone());
+                let mut gpu = Gpu::with_tracer(device.clone(), self.tracer.clone());
                 let tracker = GpuTracker {
                     samples: &samples,
                     params: cfg.tracking,
@@ -207,6 +236,7 @@ impl Pipeline {
                 (out, Some(report.ledger))
             }
         };
+        step2.end_with(&[("total_steps", tracking.total_steps.into())]);
         let tracking_wall = t1.elapsed();
 
         PipelineOutcome {
@@ -238,6 +268,27 @@ mod tests {
             seed: 9,
         }
         .build()
+    }
+
+    #[test]
+    fn gpu_backend_records_one_event_per_kernel_launch() {
+        use std::sync::Arc;
+        use tracto_trace::{RingSink, Tracer};
+
+        let ds = tiny_dataset();
+        let ring = Arc::new(RingSink::new(1 << 16));
+        let pipeline =
+            Pipeline::new(PipelineConfig::fast()).with_tracer(Tracer::shared(ring.clone()));
+        let out = pipeline.run(&ds, Backend::GpuSim(DeviceConfig::radeon_5870()));
+        let launches = out.mcmc_ledger.as_ref().unwrap().launches
+            + out.tracking_ledger.as_ref().unwrap().launches;
+        assert!(launches >= 1);
+        assert_eq!(ring.count("gpu.launch") as u64, launches);
+        // Each step's span opens and closes.
+        assert_eq!(ring.count("pipeline.step1"), 2);
+        assert_eq!(ring.count("pipeline.step2"), 2);
+        // Transfers are traced too.
+        assert!(ring.count("gpu.transfer_h2d") >= 1);
     }
 
     #[test]

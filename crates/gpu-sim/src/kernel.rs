@@ -5,6 +5,7 @@ use crate::ledger::TimingLedger;
 use crate::schedule::{EventKind, ScheduleEvent, ScheduleTrace};
 use rayon::prelude::*;
 use std::time::Instant;
+use tracto_trace::{Tracer, TractoError};
 
 /// Whether a lane wants to keep iterating.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +68,8 @@ pub struct Gpu {
     trace: ScheduleTrace,
     clock_s: f64,
     allocated_bytes: u64,
+    tracer: Tracer,
+    device_id: u32,
 }
 
 impl Gpu {
@@ -78,7 +81,28 @@ impl Gpu {
             trace: ScheduleTrace::default(),
             clock_s: 0.0,
             allocated_bytes: 0,
+            tracer: Tracer::disabled(),
+            device_id: 0,
         }
+    }
+
+    /// Bring up a device that emits structured events into `tracer`.
+    pub fn with_tracer(config: DeviceConfig, tracer: Tracer) -> Self {
+        let mut gpu = Gpu::new(config);
+        gpu.tracer = tracer;
+        gpu
+    }
+
+    /// Attach (or detach, with [`Tracer::disabled`]) a tracer after
+    /// construction, tagging this device's events with `device_id`.
+    pub fn set_tracer(&mut self, tracer: Tracer, device_id: u32) {
+        self.tracer = tracer;
+        self.device_id = device_id;
+    }
+
+    /// The tracer this device emits into (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The device model.
@@ -181,6 +205,21 @@ impl Gpu {
             lanes: n,
         });
         self.clock_s += kernel_s;
+        if self.tracer.enabled() {
+            self.tracer.emit_sim(
+                "gpu.launch",
+                self.clock_s,
+                &[
+                    ("device", self.device_id.into()),
+                    ("lanes", n.into()),
+                    ("budget", max_iters.into()),
+                    ("kernel_s", kernel_s.into()),
+                    ("charged_iterations", charged.into()),
+                    ("useful_iterations", useful.into()),
+                    ("wall_s", wall.into()),
+                ],
+            );
+        }
 
         LaunchStats {
             executed,
@@ -203,6 +242,17 @@ impl Gpu {
             lanes: 0,
         });
         self.clock_s += t;
+        if self.tracer.enabled() {
+            self.tracer.emit_sim(
+                "gpu.transfer_h2d",
+                self.clock_s,
+                &[
+                    ("device", self.device_id.into()),
+                    ("bytes", bytes.into()),
+                    ("transfer_s", t.into()),
+                ],
+            );
+        }
         t
     }
 
@@ -218,6 +268,17 @@ impl Gpu {
             lanes: 0,
         });
         self.clock_s += t;
+        if self.tracer.enabled() {
+            self.tracer.emit_sim(
+                "gpu.transfer_d2h",
+                self.clock_s,
+                &[
+                    ("device", self.device_id.into()),
+                    ("bytes", bytes.into()),
+                    ("transfer_s", t.into()),
+                ],
+            );
+        }
         t
     }
 
@@ -232,6 +293,17 @@ impl Gpu {
             lanes: elements as usize,
         });
         self.clock_s += t;
+        if self.tracer.enabled() {
+            self.tracer.emit_sim(
+                "gpu.compaction",
+                self.clock_s,
+                &[
+                    ("device", self.device_id.into()),
+                    ("elements", elements.into()),
+                    ("reduction_s", t.into()),
+                ],
+            );
+        }
         t
     }
 
@@ -240,12 +312,16 @@ impl Gpu {
         self.clock_s
     }
 
-    /// Reserve device memory. Fails when the device's capacity would be
-    /// exceeded, returning the shortfall.
-    pub fn device_alloc(&mut self, bytes: u64) -> Result<(), u64> {
+    /// Reserve device memory. Fails with [`TractoError::Capacity`] when the
+    /// device's capacity would be exceeded.
+    pub fn device_alloc(&mut self, bytes: u64) -> Result<(), TractoError> {
         let new_total = self.allocated_bytes + bytes;
         if new_total > self.config.memory_bytes {
-            Err(new_total - self.config.memory_bytes)
+            Err(TractoError::capacity(
+                "device memory",
+                new_total,
+                self.config.memory_bytes,
+            ))
         } else {
             self.allocated_bytes = new_total;
             Ok(())
@@ -419,6 +495,39 @@ mod tests {
         // But launch overhead is still charged — the cost the segmentation
         // strategy must amortize.
         assert!(stats.kernel_s > 0.0);
+    }
+
+    #[test]
+    fn tracer_records_launch_transfer_and_compaction_events() {
+        use std::sync::Arc;
+        use tracto_trace::{RingSink, Tracer};
+
+        let ring = Arc::new(RingSink::new(64));
+        let mut gpu = Gpu::with_tracer(device(), Tracer::shared(ring.clone()));
+        let mut lanes = vec![3u32, 1, 5, 2];
+        gpu.transfer_to_device(1024);
+        gpu.launch(&CountdownKernel, &mut lanes, 100);
+        gpu.host_reduction(4);
+        gpu.transfer_to_host(512);
+
+        assert_eq!(ring.count("gpu.launch"), 1);
+        assert_eq!(ring.count("gpu.transfer_h2d"), 1);
+        assert_eq!(ring.count("gpu.transfer_d2h"), 1);
+        assert_eq!(ring.count("gpu.compaction"), 1);
+        let launch = &ring.named("gpu.launch")[0];
+        assert_eq!(launch.field_u64("lanes"), Some(4));
+        assert_eq!(launch.field_u64("charged_iterations"), Some(20));
+        let sim = launch.sim_s.expect("launch carries the simulated clock");
+        assert!(sim > 0.0);
+    }
+
+    #[test]
+    fn device_alloc_failure_is_capacity_error() {
+        let mut gpu = Gpu::new(device());
+        let cap = gpu.config().memory_bytes;
+        let err = gpu.device_alloc(cap + 1).expect_err("over capacity");
+        assert_eq!(err.kind(), tracto_trace::ErrorKind::Capacity);
+        assert!(err.to_string().contains("device memory"));
     }
 
     #[test]

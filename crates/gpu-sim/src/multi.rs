@@ -12,6 +12,7 @@
 use crate::device::DeviceConfig;
 use crate::kernel::{Gpu, LaunchStats, SimKernel};
 use crate::ledger::TimingLedger;
+use tracto_trace::{Tracer, TractoError};
 
 /// A group of identical simulated devices sharing one host.
 #[derive(Debug)]
@@ -37,6 +38,14 @@ impl MultiGpu {
     /// Number of devices.
     pub fn num_devices(&self) -> usize {
         self.devices.len()
+    }
+
+    /// Attach a tracer to every device; device `d`'s events carry
+    /// `device=d`.
+    pub fn set_tracer(&mut self, tracer: &Tracer) {
+        for (d, gpu) in self.devices.iter_mut().enumerate() {
+            gpu.set_tracer(tracer.clone(), d as u32);
+        }
     }
 
     /// Launch a kernel with lanes partitioned round-robin-contiguously
@@ -103,15 +112,15 @@ impl MultiGpu {
 
     /// Reserve `bytes` on every device (replicated residency, e.g. each
     /// device holding the full sample-volume stack). On failure the
-    /// devices already charged are rolled back and the first shortfall is
-    /// returned.
-    pub fn device_alloc_all(&mut self, bytes: u64) -> Result<(), u64> {
+    /// devices already charged are rolled back and the first device's
+    /// [`TractoError::Capacity`] error is returned.
+    pub fn device_alloc_all(&mut self, bytes: u64) -> Result<(), TractoError> {
         for i in 0..self.devices.len() {
-            if let Err(short) = self.devices[i].device_alloc(bytes) {
+            if let Err(err) = self.devices[i].device_alloc(bytes) {
                 for d in &mut self.devices[..i] {
                     d.device_free(bytes);
                 }
-                return Err(short);
+                return Err(err);
             }
         }
         Ok(())

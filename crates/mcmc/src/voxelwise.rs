@@ -135,6 +135,7 @@ pub struct VoxelEstimator<'a> {
     prior: PriorConfig,
     config: ChainConfig,
     seed: u64,
+    tracer: tracto_trace::Tracer,
 }
 
 impl<'a> VoxelEstimator<'a> {
@@ -160,7 +161,14 @@ impl<'a> VoxelEstimator<'a> {
             prior,
             config,
             seed,
+            tracer: tracto_trace::Tracer::disabled(),
         }
+    }
+
+    /// Emit chain-progress and acceptance-rate events into `tracer`.
+    pub fn with_tracer(mut self, tracer: tracto_trace::Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Chain configuration in use.
@@ -210,20 +218,42 @@ impl<'a> VoxelEstimator<'a> {
             }
             samples.push(*sampler.params());
         }
-        ChainOutput {
+        let out = ChainOutput {
             samples,
             final_scales: *sampler.scales(),
             final_acceptance: sampler.recent_acceptance_rates(),
+        };
+        if self.tracer.enabled() {
+            let rates = &out.final_acceptance;
+            let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+            self.tracer.emit(
+                "mcmc.chain",
+                &[
+                    ("voxel", voxel_index.into()),
+                    ("samples", self.config.num_samples.into()),
+                    ("mean_acceptance", mean.into()),
+                ],
+            );
         }
+        out
     }
 
     /// Estimate all masked voxels serially (the CPU baseline of Table III).
     pub fn run_serial(&self) -> SampleVolumes {
         let mut out = SampleVolumes::zeros(self.dwi.dims(), self.config.num_samples as usize);
         let dims = self.dwi.dims();
-        for idx in self.mask.indices() {
+        let indices = self.mask.indices();
+        let total = indices.len();
+        let stride = progress_stride(total);
+        for (done, idx) in indices.into_iter().enumerate() {
             let chain = self.run_voxel(idx);
             out.store_chain(dims.coords(idx), &chain);
+            if (done + 1) % stride == 0 || done + 1 == total {
+                self.tracer.emit(
+                    "mcmc.progress",
+                    &[("done", (done + 1).into()), ("total", total.into())],
+                );
+            }
         }
         out
     }
@@ -278,9 +308,22 @@ impl<'a> VoxelEstimator<'a> {
     pub fn run_parallel(&self) -> SampleVolumes {
         let dims = self.dwi.dims();
         let indices = self.mask.indices();
+        let total = indices.len();
+        let stride = progress_stride(total);
+        let done = std::sync::atomic::AtomicUsize::new(0);
         let chains: Vec<(usize, ChainOutput<NUM_PARAMETERS>)> = indices
             .par_iter()
-            .map(|&idx| (idx, self.run_voxel(idx)))
+            .map(|&idx| {
+                let chain = self.run_voxel(idx);
+                let n = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                if n % stride == 0 || n == total {
+                    self.tracer.emit(
+                        "mcmc.progress",
+                        &[("done", n.into()), ("total", total.into())],
+                    );
+                }
+                (idx, chain)
+            })
             .collect();
         let mut out = SampleVolumes::zeros(dims, self.config.num_samples as usize);
         for (idx, chain) in chains {
@@ -290,6 +333,12 @@ impl<'a> VoxelEstimator<'a> {
     }
 }
 
+/// Progress events are emitted roughly sixteen times per run, and at
+/// completion.
+fn progress_stride(total: usize) -> usize {
+    (total / 16).max(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -297,6 +346,35 @@ mod tests {
 
     fn quick_config() -> ChainConfig {
         ChainConfig::fast_test()
+    }
+
+    #[test]
+    fn tracer_sees_chain_and_progress_events() {
+        use std::sync::Arc;
+        use tracto_trace::{RingSink, Tracer};
+
+        let ds = datasets::single_bundle(Dim3::new(6, 4, 4), None, 11);
+        let ring = Arc::new(RingSink::new(4096));
+        let est = VoxelEstimator::new(
+            &ds.acq,
+            &ds.dwi,
+            &ds.wm_mask,
+            PriorConfig::default(),
+            quick_config(),
+            42,
+        )
+        .with_tracer(Tracer::shared(ring.clone()));
+        let total = est.workload();
+        est.run_parallel();
+        assert_eq!(ring.count("mcmc.chain"), total);
+        let progress = ring.named("mcmc.progress");
+        assert!(!progress.is_empty());
+        assert!(progress
+            .iter()
+            .any(|e| e.field_u64("done") == Some(total as u64)));
+        let chain = &ring.named("mcmc.chain")[0];
+        let rate = chain.field_f64("mean_acceptance").expect("rate field");
+        assert!((0.0..=1.0).contains(&rate));
     }
 
     #[test]

@@ -74,28 +74,6 @@ impl SimKernel for BatchKernel<'_> {
     }
 }
 
-/// Why a batch could not run.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum BatchError {
-    /// The merged working set exceeds device memory by this many bytes.
-    InsufficientMemory(u64),
-}
-
-impl std::fmt::Display for BatchError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            BatchError::InsufficientMemory(short) => {
-                write!(
-                    f,
-                    "batch working set exceeds device memory by {short} bytes"
-                )
-            }
-        }
-    }
-}
-
-impl std::error::Error for BatchError {}
-
 /// One batched run's outcome.
 pub struct BatchReport {
     /// Per-job results, in submission order, shaped exactly like the
@@ -120,7 +98,7 @@ pub fn run_batch(
     multi: &mut MultiGpu,
     jobs: &[BatchJob],
     strategy: &SegmentationStrategy,
-) -> Result<BatchReport, BatchError> {
+) -> Result<BatchReport, tracto_trace::TractoError> {
     assert!(!jobs.is_empty(), "empty batch");
     let ledger_before = multi.aggregate_ledger();
     let wall_before = multi.wall_s();
@@ -160,9 +138,7 @@ pub fn run_batch(
     let total_lanes = lanes.len();
     let lane_bytes = total_lanes as u64 * LANE_BYTES;
 
-    multi
-        .device_alloc_all(volume_bytes + lane_bytes)
-        .map_err(BatchError::InsufficientMemory)?;
+    multi.device_alloc_all(volume_bytes + lane_bytes)?;
     multi.broadcast_to_devices(volume_bytes);
     multi.scatter_to_devices(lane_bytes);
 
@@ -476,7 +452,10 @@ mod tests {
             std::slice::from_ref(&job),
             &SegmentationStrategy::Single,
         ) {
-            Err(BatchError::InsufficientMemory(short)) => assert!(short > 0),
+            Err(err) => {
+                assert_eq!(err.kind(), tracto_trace::ErrorKind::Capacity);
+                assert!(err.to_string().contains("device memory"));
+            }
             other => panic!("expected memory error, got {:?}", other.map(|_| "report")),
         }
     }

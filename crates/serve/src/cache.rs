@@ -12,9 +12,11 @@
 use parking_lot::Mutex;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::SystemTime;
 use tracto::diffusion::{Acquisition, NoiseLikelihood, PriorConfig};
 use tracto::mcmc::{AdaptScheme, ChainConfig, SampleVolumes};
 use tracto::phantom::Dataset;
+use tracto_trace::{Tracer, TractoError, TractoResult, Value};
 use tracto_volume::io::{read_volume4, write_volume4};
 use tracto_volume::{Mask, Volume4};
 
@@ -164,6 +166,7 @@ struct CacheInner {
 pub struct SampleCache {
     max_bytes: u64,
     inner: Mutex<CacheInner>,
+    tracer: Tracer,
 }
 
 /// Point-in-time cache statistics.
@@ -204,7 +207,14 @@ impl SampleCache {
                 misses: 0,
                 evictions: 0,
             }),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Emit hit/miss/eviction events into `tracer`.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Look up a key, refreshing its recency.
@@ -215,9 +225,19 @@ impl SampleCache {
             let samples = Arc::clone(&entry.samples);
             inner.entries.push(entry);
             inner.hits += 1;
+            drop(inner);
+            if self.tracer.enabled() {
+                self.tracer
+                    .emit("serve.cache_hit", &[("key", Value::Text(key.hex()))]);
+            }
             Some(samples)
         } else {
             inner.misses += 1;
+            drop(inner);
+            if self.tracer.enabled() {
+                self.tracer
+                    .emit("serve.cache_miss", &[("key", Value::Text(key.hex()))]);
+            }
             None
         }
     }
@@ -239,6 +259,15 @@ impl SampleCache {
             let evicted = inner.entries.remove(0);
             inner.bytes -= evicted.bytes;
             inner.evictions += 1;
+            if self.tracer.enabled() {
+                self.tracer.emit(
+                    "serve.cache_evict",
+                    &[
+                        ("key", Value::Text(evicted.key.hex())),
+                        ("bytes", evicted.bytes.into()),
+                    ],
+                );
+            }
         }
         inner.bytes += bytes;
         inner.entries.push(CacheEntry {
@@ -265,38 +294,200 @@ const DISK_FIELDS: [&str; 6] = ["f1", "f2", "th1", "ph1", "th2", "ph2"];
 
 /// Directory-backed sample cache in the CLI's TRV4 layout: one
 /// subdirectory per key (`<dir>/<hex key>/{f1,f2,th1,ph1,th2,ph2}.trv4`).
-/// Unbounded; eviction is left to the operator (see ROADMAP open items).
+///
+/// Optionally byte-capped: with [`DiskSampleCache::with_limit`] the cache
+/// evicts least-recently-used entry directories on insert until the bound
+/// holds. Recency survives restarts via file modification times — a hit
+/// touches the entry's `f1.trv4`, and [`DiskSampleCache::open`] rebuilds
+/// the recency order from the on-disk timestamps.
 pub struct DiskSampleCache {
     dir: PathBuf,
+    max_bytes: Option<u64>,
+    tracer: Tracer,
+    state: Mutex<DiskState>,
+}
+
+struct DiskState {
+    // Recency order: front = least recently used. Bytes are the summed
+    // file sizes of the entry directory.
+    entries: Vec<(SampleKey, u64)>,
+    bytes: u64,
+}
+
+fn dir_entry_stats(dir: &Path) -> (u64, Option<SystemTime>) {
+    let mut bytes = 0u64;
+    let mut newest: Option<SystemTime> = None;
+    if let Ok(read) = std::fs::read_dir(dir) {
+        for file in read.flatten() {
+            if let Ok(meta) = file.metadata() {
+                bytes += meta.len();
+                if let Ok(modified) = meta.modified() {
+                    newest = Some(newest.map_or(modified, |n| n.max(modified)));
+                }
+            }
+        }
+    }
+    (bytes, newest)
 }
 
 impl DiskSampleCache {
-    /// Open (creating if needed) a cache rooted at `dir`.
-    pub fn open(dir: &Path) -> Result<Self, String> {
-        std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    /// Open (creating if needed) a cache rooted at `dir`, rebuilding the
+    /// recency order from entry modification times.
+    pub fn open(dir: &Path) -> TractoResult<Self> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| TractoError::io(format!("create cache dir {}", dir.display()), e))?;
+        let read = std::fs::read_dir(dir)
+            .map_err(|e| TractoError::io(format!("scan cache dir {}", dir.display()), e))?;
+        let mut scanned: Vec<(SampleKey, u64, Option<SystemTime>)> = Vec::new();
+        for entry in read.flatten() {
+            let name = entry.file_name();
+            let Some(key) = name
+                .to_str()
+                .filter(|n| n.len() == 16)
+                .and_then(|n| u64::from_str_radix(n, 16).ok())
+            else {
+                continue; // unrelated file/dir — not ours to manage
+            };
+            if !entry.path().is_dir() {
+                continue;
+            }
+            let (bytes, modified) = dir_entry_stats(&entry.path());
+            scanned.push((SampleKey(key), bytes, modified));
+        }
+        scanned.sort_by_key(|&(key, _, modified)| (modified, key));
+        let bytes = scanned.iter().map(|&(_, b, _)| b).sum();
         Ok(DiskSampleCache {
             dir: dir.to_path_buf(),
+            max_bytes: None,
+            tracer: Tracer::disabled(),
+            state: Mutex::new(DiskState {
+                entries: scanned.into_iter().map(|(k, b, _)| (k, b)).collect(),
+                bytes,
+            }),
         })
+    }
+
+    /// Cap the cache at `max_bytes`, evicting least-recently-used entries
+    /// immediately if the existing contents already exceed the bound.
+    pub fn with_limit(mut self, max_bytes: u64) -> Self {
+        self.max_bytes = Some(max_bytes);
+        let mut state = self.state.lock();
+        self.enforce_cap(&mut state);
+        drop(state);
+        self
+    }
+
+    /// Emit hit/miss/eviction/poisoned-entry events into `tracer`.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Entries currently tracked.
+    pub fn len(&self) -> usize {
+        self.state.lock().entries.len()
+    }
+
+    /// True when the cache tracks no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes currently held on disk (tracked entries only).
+    pub fn bytes(&self) -> u64 {
+        self.state.lock().bytes
     }
 
     fn entry_dir(&self, key: SampleKey) -> PathBuf {
         self.dir.join(key.hex())
     }
 
-    /// Load an entry if present.
-    pub fn get(&self, key: SampleKey) -> Option<SampleVolumes> {
+    fn forget(state: &mut DiskState, key: SampleKey) {
+        if let Some(pos) = state.entries.iter().position(|&(k, _)| k == key) {
+            let (_, bytes) = state.entries.remove(pos);
+            state.bytes -= bytes;
+        }
+    }
+
+    fn enforce_cap(&self, state: &mut DiskState) {
+        let Some(max) = self.max_bytes else { return };
+        while state.bytes > max && !state.entries.is_empty() {
+            let (key, bytes) = state.entries.remove(0);
+            state.bytes -= bytes;
+            std::fs::remove_dir_all(self.entry_dir(key)).ok();
+            if self.tracer.enabled() {
+                self.tracer.emit(
+                    "serve.disk_cache_evict",
+                    &[("key", Value::Text(key.hex())), ("bytes", bytes.into())],
+                );
+            }
+        }
+    }
+
+    /// Load an entry. `Ok(None)` is a clean miss; a present-but-unreadable
+    /// entry (truncated or corrupt file) is a typed error, never a panic.
+    pub fn get(&self, key: SampleKey) -> TractoResult<Option<SampleVolumes>> {
         let dir = self.entry_dir(key);
         if !dir.is_dir() {
-            return None;
+            if self.tracer.enabled() {
+                self.tracer
+                    .emit("serve.disk_cache_miss", &[("key", Value::Text(key.hex()))]);
+            }
+            return Ok(None);
         }
+        match self.read_entry(&dir) {
+            Ok(samples) => {
+                let mut state = self.state.lock();
+                if let Some(pos) = state.entries.iter().position(|&(k, _)| k == key) {
+                    let entry = state.entries.remove(pos);
+                    state.entries.push(entry);
+                }
+                drop(state);
+                // Touch the entry so recency survives a restart (best
+                // effort — a read-only cache dir still works, it just
+                // degrades to scan order).
+                if let Ok(f) = std::fs::File::options()
+                    .write(true)
+                    .open(dir.join("f1.trv4"))
+                {
+                    f.set_modified(SystemTime::now()).ok();
+                }
+                if self.tracer.enabled() {
+                    self.tracer
+                        .emit("serve.disk_cache_hit", &[("key", Value::Text(key.hex()))]);
+                }
+                Ok(Some(samples))
+            }
+            Err(err) => {
+                if self.tracer.enabled() {
+                    self.tracer.emit(
+                        "serve.disk_cache_error",
+                        &[
+                            ("key", Value::Text(key.hex())),
+                            ("error", Value::Text(err.to_string())),
+                        ],
+                    );
+                }
+                Err(err)
+            }
+        }
+    }
+
+    fn read_entry(&self, dir: &Path) -> TractoResult<SampleVolumes> {
         let mut vols: Vec<Volume4<f32>> = Vec::with_capacity(6);
         for name in DISK_FIELDS {
             let path = dir.join(format!("{name}.trv4"));
-            let data = std::fs::read(&path).ok()?;
-            vols.push(read_volume4(&mut data.as_slice()).ok()?);
+            let data = std::fs::read(&path)
+                .map_err(|e| TractoError::io(format!("read cache entry {}", path.display()), e))?;
+            let vol = read_volume4(&mut data.as_slice()).map_err(|e| {
+                TractoError::format_with(format!("corrupt cache entry {}", path.display()), e)
+            })?;
+            vols.push(vol);
         }
-        let [f1, f2, th1, ph1, th2, ph2]: [Volume4<f32>; 6] = vols.try_into().ok()?;
-        Some(SampleVolumes {
+        let [f1, f2, th1, ph1, th2, ph2]: [Volume4<f32>; 6] = vols
+            .try_into()
+            .map_err(|_| TractoError::format("cache entry field count"))?;
+        Ok(SampleVolumes {
             f1,
             f2,
             th1,
@@ -306,10 +497,12 @@ impl DiskSampleCache {
         })
     }
 
-    /// Persist an entry (overwrites).
-    pub fn put(&self, key: SampleKey, samples: &SampleVolumes) -> Result<(), String> {
+    /// Persist an entry (overwrites), then evict least-recently-used
+    /// entries while the byte cap is exceeded.
+    pub fn put(&self, key: SampleKey, samples: &SampleVolumes) -> TractoResult<()> {
         let dir = self.entry_dir(key);
-        std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| TractoError::io(format!("create cache entry {}", dir.display()), e))?;
         let fields = [
             ("f1", &samples.f1),
             ("f2", &samples.f2),
@@ -318,12 +511,21 @@ impl DiskSampleCache {
             ("th2", &samples.th2),
             ("ph2", &samples.ph2),
         ];
+        let mut written = 0u64;
         for (name, vol) in fields {
             let mut buf = Vec::new();
-            write_volume4(&mut buf, vol).map_err(|e| format!("encode {name}: {e:?}"))?;
+            write_volume4(&mut buf, vol)
+                .map_err(|e| TractoError::format_with(format!("encode {name}.trv4"), e))?;
             let path = dir.join(format!("{name}.trv4"));
-            std::fs::write(&path, buf).map_err(|e| format!("write {}: {e}", path.display()))?;
+            written += buf.len() as u64;
+            std::fs::write(&path, buf)
+                .map_err(|e| TractoError::io(format!("write cache entry {}", path.display()), e))?;
         }
+        let mut state = self.state.lock();
+        Self::forget(&mut state, key);
+        state.entries.push((key, written));
+        state.bytes += written;
+        self.enforce_cap(&mut state);
         Ok(())
     }
 }
@@ -424,12 +626,93 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("tracto-serve-cache-{}", std::process::id()));
         let cache = DiskSampleCache::open(&dir).unwrap();
         let key = SampleKey(0xABCD);
-        assert!(cache.get(key).is_none());
+        assert!(cache.get(key).unwrap().is_none());
         let sv = stack(dims, 2, 0.75);
         cache.put(key, &sv).unwrap();
-        let back = cache.get(key).expect("entry persisted");
+        let back = cache.get(key).unwrap().expect("entry persisted");
         assert_eq!(back.f1, sv.f1);
         assert_eq!(back.num_samples(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disk_cache_byte_cap_evicts_lru_and_traces() {
+        use tracto_trace::{RingSink, Tracer};
+
+        let dims = Dim3::new(3, 2, 2);
+        let dir = std::env::temp_dir().join(format!(
+            "tracto-serve-disk-lru-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let ring = Arc::new(RingSink::new(128));
+        let cache = DiskSampleCache::open(&dir)
+            .unwrap()
+            .with_tracer(Tracer::shared(ring.clone()));
+        let sv = stack(dims, 2, 0.5);
+        cache.put(SampleKey(1), &sv).unwrap();
+        let per = cache.bytes();
+        assert!(per > 0);
+
+        // Re-open with a cap that fits exactly two entries.
+        drop(cache);
+        let cache = DiskSampleCache::open(&dir)
+            .unwrap()
+            .with_limit(2 * per)
+            .with_tracer(Tracer::shared(ring.clone()));
+        assert_eq!(cache.len(), 1);
+        cache.put(SampleKey(2), &sv).unwrap();
+        // Refresh key 1 so key 2 becomes the LRU.
+        assert!(cache.get(SampleKey(1)).unwrap().is_some());
+        cache.put(SampleKey(3), &sv).unwrap();
+
+        assert_eq!(cache.len(), 2);
+        assert!(cache.bytes() <= 2 * per);
+        assert!(cache.get(SampleKey(2)).unwrap().is_none(), "LRU evicted");
+        assert!(cache.get(SampleKey(1)).unwrap().is_some());
+        assert!(cache.get(SampleKey(3)).unwrap().is_some());
+        let evicts = ring.named("serve.disk_cache_evict");
+        assert_eq!(evicts.len(), 1);
+        assert_eq!(
+            evicts[0].field("key"),
+            Some(&tracto_trace::Value::Text(SampleKey(2).hex()))
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn poisoned_disk_entry_is_typed_error_with_trace_event() {
+        use tracto_trace::{ErrorKind, RingSink, Tracer};
+
+        let dims = Dim3::new(3, 2, 2);
+        let dir = std::env::temp_dir().join(format!(
+            "tracto-serve-disk-poison-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let ring = Arc::new(RingSink::new(32));
+        let cache = DiskSampleCache::open(&dir)
+            .unwrap()
+            .with_tracer(Tracer::shared(ring.clone()));
+        let key = SampleKey(0xBEEF);
+        cache.put(key, &stack(dims, 2, 0.25)).unwrap();
+
+        // Truncate one field mid-header: the entry is now poisoned.
+        let poisoned = dir.join(key.hex()).join("th1.trv4");
+        let full = std::fs::read(&poisoned).unwrap();
+        std::fs::write(&poisoned, &full[..7.min(full.len())]).unwrap();
+
+        let err = cache.get(key).expect_err("poisoned entry must error");
+        assert_eq!(err.kind(), ErrorKind::Format);
+        assert!(err.to_string().contains("th1.trv4"));
+        assert_eq!(ring.count("serve.disk_cache_error"), 1);
+
+        // Garbage bytes (bad magic) are also a typed error, not a panic.
+        std::fs::write(&poisoned, b"not a volume at all").unwrap();
+        let err = cache.get(key).expect_err("corrupt entry must error");
+        assert_eq!(err.kind(), ErrorKind::Format);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

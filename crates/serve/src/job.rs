@@ -87,7 +87,7 @@ pub struct TrackResult {
 }
 
 /// Why a job did not complete.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub enum JobError {
     /// The bounded submission queue was full (`try_submit` only).
     QueueFull,
@@ -97,8 +97,43 @@ pub enum JobError {
     DeadlineExceeded,
     /// The service is shutting down and no longer accepts or runs jobs.
     ShuttingDown,
-    /// The job failed outright (e.g. device memory exhausted).
-    Failed(String),
+    /// The job failed outright (e.g. device memory exhausted); the typed
+    /// cause is shared so the ticket stays cheaply cloneable.
+    Failed(Arc<tracto_trace::TractoError>),
+}
+
+impl JobError {
+    /// Wrap a workspace error as a job failure.
+    pub fn failed(err: tracto_trace::TractoError) -> Self {
+        JobError::Failed(Arc::new(err))
+    }
+}
+
+impl PartialEq for JobError {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (JobError::QueueFull, JobError::QueueFull)
+            | (JobError::Cancelled, JobError::Cancelled)
+            | (JobError::DeadlineExceeded, JobError::DeadlineExceeded)
+            | (JobError::ShuttingDown, JobError::ShuttingDown) => true,
+            // Failures compare by error kind: callers match on what went
+            // wrong, not the exact message.
+            (JobError::Failed(a), JobError::Failed(b)) => a.kind() == b.kind(),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for JobError {}
+
+impl From<tracto_trace::TractoError> for JobError {
+    fn from(err: tracto_trace::TractoError) -> Self {
+        match err {
+            tracto_trace::TractoError::Cancelled => JobError::Cancelled,
+            tracto_trace::TractoError::Deadline => JobError::DeadlineExceeded,
+            other => JobError::Failed(Arc::new(other)),
+        }
+    }
 }
 
 impl std::fmt::Display for JobError {
@@ -108,12 +143,19 @@ impl std::fmt::Display for JobError {
             JobError::Cancelled => f.write_str("cancelled by client"),
             JobError::DeadlineExceeded => f.write_str("deadline exceeded"),
             JobError::ShuttingDown => f.write_str("service shutting down"),
-            JobError::Failed(msg) => write!(f, "job failed: {msg}"),
+            JobError::Failed(err) => write!(f, "job failed: {err}"),
         }
     }
 }
 
-impl std::error::Error for JobError {}
+impl std::error::Error for JobError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JobError::Failed(err) => Some(err.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 struct TicketState<T> {
     result: Mutex<Option<Result<T, JobError>>>,

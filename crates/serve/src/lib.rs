@@ -40,7 +40,7 @@ pub mod job;
 pub mod metrics;
 pub mod service;
 
-pub use batch::{run_batch, BatchError, BatchJob, BatchReport};
+pub use batch::{run_batch, BatchJob, BatchReport};
 pub use cache::{
     sample_key, sample_key_parts, CacheStats, DiskSampleCache, SampleCache, SampleKey,
 };

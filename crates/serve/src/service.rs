@@ -37,6 +37,7 @@ use tracto::run_mcmc_gpu;
 use tracto::tracking::probabilistic::seeds_from_mask;
 use tracto::tracking::SegmentationStrategy;
 use tracto_gpu_sim::{DeviceConfig, Gpu, MultiGpu};
+use tracto_trace::{Tracer, Value};
 use tracto_volume::Vec3;
 
 /// Service tuning knobs.
@@ -62,6 +63,11 @@ pub struct ServiceConfig {
     pub cache_bytes: u64,
     /// Optional on-disk sample cache shared with `tracto track --cache-dir`.
     pub disk_cache: Option<PathBuf>,
+    /// Byte cap for the disk tier; `None` leaves it unbounded.
+    pub disk_cache_bytes: Option<u64>,
+    /// Structured-event sink for job lifecycle, cache, batch, and GPU
+    /// events. Disabled by default.
+    pub tracer: Tracer,
 }
 
 impl Default for ServiceConfig {
@@ -76,6 +82,8 @@ impl Default for ServiceConfig {
             strategy: SegmentationStrategy::paper_table2(),
             cache_bytes: 256 * 1024 * 1024,
             disk_cache: None,
+            disk_cache_bytes: None,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -108,6 +116,7 @@ struct Shared {
     in_flight: Mutex<u64>,
     idle: Condvar,
     next_id: AtomicU64,
+    tracer: Tracer,
 }
 
 impl Shared {
@@ -126,13 +135,27 @@ impl Shared {
 
     /// Fulfill a ticket and settle the per-outcome counters.
     fn complete<T: Clone>(&self, ticket: &Ticket<T>, result: Result<T, JobError>) {
-        let counter = match &result {
-            Ok(_) => &self.metrics.completed,
-            Err(JobError::Cancelled) => &self.metrics.cancelled,
-            Err(JobError::DeadlineExceeded) => &self.metrics.deadline_exceeded,
-            Err(_) => &self.metrics.failed,
+        let (counter, event) = match &result {
+            Ok(_) => (&self.metrics.completed, "serve.job_completed"),
+            Err(JobError::Cancelled) => (&self.metrics.cancelled, "serve.job_cancelled"),
+            Err(JobError::DeadlineExceeded) => {
+                (&self.metrics.deadline_exceeded, "serve.job_deadline")
+            }
+            Err(_) => (&self.metrics.failed, "serve.job_failed"),
         };
         counter.fetch_add(1, Ordering::Relaxed);
+        if self.tracer.enabled() {
+            match &result {
+                Err(JobError::Failed(err)) => self.tracer.emit(
+                    event,
+                    &[
+                        ("job", ticket.id.0.into()),
+                        ("error", Value::Text(err.to_string())),
+                    ],
+                ),
+                _ => self.tracer.emit(event, &[("job", ticket.id.0.into())]),
+            }
+        }
         ticket.fulfill(result);
         self.job_finished();
     }
@@ -149,7 +172,9 @@ impl Shared {
             return (samples, true, 0);
         }
         if let Some(disk) = &self.disk {
-            if let Some(samples) = disk.get(key) {
+            // A poisoned entry already left a `serve.disk_cache_error`
+            // event; treat it as a miss and re-estimate.
+            if let Ok(Some(samples)) = disk.get(key) {
                 let samples = Arc::new(samples);
                 self.cache.insert(key, Arc::clone(&samples));
                 return (samples, true, 0);
@@ -194,17 +219,23 @@ impl TractoService {
             "need at least one estimation worker"
         );
         assert!(config.max_batch_jobs >= 1, "need a positive batch bound");
-        let disk = config
-            .disk_cache
-            .as_ref()
-            .map(|dir| DiskSampleCache::open(dir).expect("open disk cache"));
+        let disk = config.disk_cache.as_ref().map(|dir| {
+            let mut cache = DiskSampleCache::open(dir)
+                .expect("open disk cache")
+                .with_tracer(config.tracer.clone());
+            if let Some(cap) = config.disk_cache_bytes {
+                cache = cache.with_limit(cap);
+            }
+            cache
+        });
         let shared = Arc::new(Shared {
-            cache: SampleCache::new(config.cache_bytes),
+            cache: SampleCache::new(config.cache_bytes).with_tracer(config.tracer.clone()),
             disk,
             metrics: Metrics::default(),
             in_flight: Mutex::new(0),
             idle: Condvar::new(),
             next_id: AtomicU64::new(1),
+            tracer: config.tracer.clone(),
         });
 
         let (prep_tx, prep_rx) = bounded::<PrepTask>(config.queue_capacity);
@@ -219,7 +250,7 @@ impl TractoService {
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("tracto-estimate-{i}"))
-                    .spawn(move || estimate_worker(rx, tx, shared, device))
+                    .spawn(move || estimate_worker(i, rx, tx, shared, device))
                     .expect("spawn estimation worker"),
             );
         }
@@ -256,9 +287,19 @@ impl TractoService {
         JobId(self.shared.next_id.fetch_add(1, Ordering::Relaxed))
     }
 
+    fn trace_submit(&self, id: JobId, kind: &'static str) {
+        if self.shared.tracer.enabled() {
+            self.shared.tracer.emit(
+                "serve.job_submitted",
+                &[("job", id.0.into()), ("kind", kind.into())],
+            );
+        }
+    }
+
     /// Submit an estimation job, blocking while the queue is full.
     pub fn submit_estimate(&self, job: EstimateJob) -> Ticket<EstimateResult> {
         let ticket = Ticket::new(self.next_id());
+        self.trace_submit(ticket.id, "estimate");
         self.shared.job_started();
         let task = PrepTask::Estimate {
             job,
@@ -277,6 +318,7 @@ impl TractoService {
     /// Submit a tracking job, blocking while the queue is full.
     pub fn submit_track(&self, job: TrackJob) -> Ticket<TrackResult> {
         let ticket = Ticket::new(self.next_id());
+        self.trace_submit(ticket.id, "track");
         let seeds = job
             .seeds
             .clone()
@@ -308,6 +350,7 @@ impl TractoService {
         let Some(tx) = &self.prep_tx else {
             return Err(JobError::ShuttingDown);
         };
+        self.trace_submit(ticket.id, "track");
         self.shared.job_started();
         match tx.try_send(PrepTask::Track {
             job,
@@ -365,12 +408,14 @@ impl Drop for TractoService {
 }
 
 fn estimate_worker(
+    index: usize,
     rx: Receiver<PrepTask>,
     tx: Sender<ReadyTrack>,
     shared: Arc<Shared>,
     device: DeviceConfig,
 ) {
     let mut gpu = Gpu::new(device);
+    gpu.set_tracer(shared.tracer.clone(), index as u32);
     while let Ok(task) = rx.recv() {
         match task {
             PrepTask::Estimate { job, ticket } => {
@@ -429,35 +474,57 @@ fn estimate_worker(
     }
 }
 
+/// Admission order for the batch worker's pending window: jobs with the
+/// nearest deadlines go first; jobs without a deadline keep their FIFO
+/// order behind every dated job (the sort is stable).
+fn cmp_deadlines(a: Option<Instant>, b: Option<Instant>) -> std::cmp::Ordering {
+    use std::cmp::Ordering::*;
+    match (a, b) {
+        (Some(x), Some(y)) => x.cmp(&y),
+        (Some(_), None) => Less,
+        (None, Some(_)) => Greater,
+        (None, None) => Equal,
+    }
+}
+
+/// Pull up to `max_jobs` jobs out of `pending` in deadline order.
+fn admit_batch(pending: &mut Vec<ReadyTrack>, max_jobs: usize) -> Vec<ReadyTrack> {
+    pending.sort_by(|a, b| cmp_deadlines(a.deadline_at, b.deadline_at));
+    let take = max_jobs.min(pending.len());
+    pending.drain(..take).collect()
+}
+
 fn batch_worker(rx: Receiver<ReadyTrack>, shared: Arc<Shared>, cfg: ServiceConfig) {
     let mut multi = MultiGpu::new(cfg.device.clone(), cfg.devices);
-    'outer: loop {
-        let first = match rx.recv() {
-            Ok(t) => t,
-            Err(_) => break 'outer,
-        };
+    multi.set_tracer(&shared.tracer);
+    let mut pending: Vec<ReadyTrack> = Vec::new();
+    loop {
+        if pending.is_empty() {
+            match rx.recv() {
+                Ok(t) => pending.push(t),
+                Err(_) => break,
+            }
+        }
         // Continuous batching: hold the window open briefly to merge work
-        // from other clients into this launch sequence.
-        let mut ready = vec![first];
+        // from other clients into this launch sequence. A backlog wider
+        // than one batch skips the wait and drains immediately.
         let window_end = Instant::now() + cfg.batch_window;
-        let mut disconnected = false;
-        while ready.len() < cfg.max_batch_jobs {
+        while pending.len() < cfg.max_batch_jobs {
             let now = Instant::now();
             if now >= window_end {
                 break;
             }
             match rx.recv_timeout(window_end - now) {
-                Ok(t) => ready.push(t),
-                Err(RecvTimeoutError::Timeout) => break,
-                Err(RecvTimeoutError::Disconnected) => {
-                    disconnected = true;
-                    break;
-                }
+                Ok(t) => pending.push(t),
+                // On disconnect the held jobs still run; the next recv
+                // at the top of the loop observes the closed channel.
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
             }
         }
 
-        let mut live = Vec::with_capacity(ready.len());
-        for r in ready {
+        let admitted = admit_batch(&mut pending, cfg.max_batch_jobs);
+        let mut live = Vec::with_capacity(admitted.len());
+        for r in admitted {
             if r.ticket.is_cancelled() {
                 shared.complete(&r.ticket, Err(JobError::Cancelled));
             } else if r.deadline_at.is_some_and(|t| Instant::now() >= t) {
@@ -467,13 +534,19 @@ fn batch_worker(rx: Receiver<ReadyTrack>, shared: Arc<Shared>, cfg: ServiceConfi
             }
         }
         if !live.is_empty() {
+            if shared.tracer.enabled() {
+                shared.tracer.emit(
+                    "serve.batch_formed",
+                    &[("jobs", live.len().into()), ("held", pending.len().into())],
+                );
+            }
             execute_batch(&mut multi, &shared, &cfg, live);
         }
-        if disconnected {
-            break 'outer;
-        }
     }
-    // Drain anything still buffered after the senders vanished.
+    // Complete anything still held or buffered after the senders vanished.
+    for r in pending {
+        shared.complete(&r.ticket, Err(JobError::ShuttingDown));
+    }
     while let Ok(r) = rx.try_recv() {
         shared.complete(&r.ticket, Err(JobError::ShuttingDown));
     }
@@ -500,6 +573,17 @@ fn execute_batch(
 
     match run_batch(multi, &jobs, &cfg.strategy) {
         Ok(report) => {
+            if shared.tracer.enabled() {
+                shared.tracer.emit(
+                    "serve.batch_done",
+                    &[
+                        ("jobs", live.len().into()),
+                        ("lanes", report.lanes.into()),
+                        ("launches", report.launches.into()),
+                        ("utilization", report.utilization.into()),
+                    ],
+                );
+            }
             shared.metrics.add_batch(
                 live.len() as u64,
                 report.lanes as u64,
@@ -529,7 +613,7 @@ fn execute_batch(
                 }
             } else {
                 let r = &live[0];
-                shared.complete(&r.ticket, Err(JobError::Failed(err.to_string())));
+                shared.complete(&r.ticket, Err(JobError::from(err)));
             }
         }
     }
@@ -586,6 +670,45 @@ mod tests {
             },
             ..PipelineConfig::fast()
         }
+    }
+
+    #[test]
+    fn deadline_ordering_admits_urgent_job_first() {
+        let now = Instant::now();
+        let long = Some(now + Duration::from_secs(60));
+        let short = Some(now + Duration::from_secs(1));
+        // FIFO arrival: no-deadline, long-deadline, short-deadline.
+        let mut window = [(0u32, None), (1, long), (2, short), (3, None)];
+        window.sort_by(|a, b| cmp_deadlines(a.1, b.1));
+        let order: Vec<u32> = window.iter().map(|(id, _)| *id).collect();
+        // The short-deadline job jumps the queue; undated jobs keep FIFO
+        // order behind every dated one.
+        assert_eq!(order, vec![2, 1, 0, 3]);
+    }
+
+    #[test]
+    fn short_deadline_job_completes_under_load() {
+        let mut cfg = small_config();
+        cfg.max_batch_jobs = 2;
+        let service = TractoService::start(cfg);
+        let ds = tiny_dataset(7);
+        // Warm the cache so the batch worker sees all jobs close together.
+        service
+            .submit_track(TrackJob::new(Arc::clone(&ds), fast_pipeline(2)))
+            .wait()
+            .expect("warm job");
+        let mut tickets = Vec::new();
+        for _ in 0..4 {
+            tickets.push(service.submit_track(TrackJob::new(Arc::clone(&ds), fast_pipeline(2))));
+        }
+        let mut urgent = TrackJob::new(Arc::clone(&ds), fast_pipeline(2));
+        urgent.deadline = Some(Duration::from_secs(30));
+        let urgent = service.submit_track(urgent);
+        urgent.wait().expect("urgent job completes");
+        for t in tickets {
+            t.wait().expect("background jobs complete");
+        }
+        service.shutdown();
     }
 
     #[test]

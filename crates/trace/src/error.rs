@@ -1,0 +1,234 @@
+//! The workspace-wide typed error hierarchy.
+//!
+//! Every fallible public API in the workspace returns [`TractoError`] so
+//! callers can match on [`ErrorKind`] instead of scraping format strings.
+//! Variants carry human-readable context plus a chained `source()` where an
+//! underlying error exists.
+
+use std::error::Error;
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type TractoResult<T> = Result<T, TractoError>;
+
+/// Discriminant of a [`TractoError`], for cheap equality checks in callers
+/// and tests without comparing message text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// Operating-system I/O failure.
+    Io,
+    /// Malformed or inconsistent data (on disk or in a stream).
+    Format,
+    /// Invalid configuration, arguments, or script input.
+    Config,
+    /// A resource bound (device memory, queue, cache) would be exceeded.
+    Capacity,
+    /// The operation was cancelled by its client.
+    Cancelled,
+    /// A deadline passed before the work could complete.
+    Deadline,
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ErrorKind::Io => "io",
+            ErrorKind::Format => "format",
+            ErrorKind::Config => "config",
+            ErrorKind::Capacity => "capacity",
+            ErrorKind::Cancelled => "cancelled",
+            ErrorKind::Deadline => "deadline",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The workspace error type. Construct via the helper constructors
+/// ([`TractoError::io`], [`TractoError::format`], ...) rather than the
+/// variants directly so context strings stay uniform.
+#[derive(Debug)]
+pub enum TractoError {
+    /// An operating-system I/O failure, with the path or operation as context.
+    Io {
+        /// What was being done (usually a path plus an operation).
+        context: String,
+        /// The underlying OS error, reachable via `source()`.
+        source: std::io::Error,
+    },
+    /// Malformed or inconsistent data.
+    Format {
+        /// What is wrong and where.
+        context: String,
+        /// The underlying parse/decode error, if any.
+        source: Option<Box<dyn Error + Send + Sync + 'static>>,
+    },
+    /// Invalid configuration, arguments, or script input.
+    Config {
+        /// What is invalid and what would be valid.
+        message: String,
+    },
+    /// A resource bound would be exceeded.
+    Capacity {
+        /// The bounded resource ("device memory", "job queue", ...).
+        resource: String,
+        /// Units required by the request.
+        required: u64,
+        /// Units actually available.
+        available: u64,
+    },
+    /// The operation was cancelled by its client.
+    Cancelled,
+    /// A deadline passed before the work could complete.
+    Deadline,
+}
+
+impl TractoError {
+    /// An I/O error with context.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        TractoError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+
+    /// A data-format error with no underlying cause.
+    pub fn format(context: impl Into<String>) -> Self {
+        TractoError::Format {
+            context: context.into(),
+            source: None,
+        }
+    }
+
+    /// A data-format error chaining an underlying cause.
+    pub fn format_with(
+        context: impl Into<String>,
+        source: impl Error + Send + Sync + 'static,
+    ) -> Self {
+        TractoError::Format {
+            context: context.into(),
+            source: Some(Box::new(source)),
+        }
+    }
+
+    /// A configuration/argument error.
+    pub fn config(message: impl Into<String>) -> Self {
+        TractoError::Config {
+            message: message.into(),
+        }
+    }
+
+    /// A capacity error for a bounded resource.
+    pub fn capacity(resource: impl Into<String>, required: u64, available: u64) -> Self {
+        TractoError::Capacity {
+            resource: resource.into(),
+            required,
+            available,
+        }
+    }
+
+    /// This error's discriminant, for matching without message text.
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            TractoError::Io { .. } => ErrorKind::Io,
+            TractoError::Format { .. } => ErrorKind::Format,
+            TractoError::Config { .. } => ErrorKind::Config,
+            TractoError::Capacity { .. } => ErrorKind::Capacity,
+            TractoError::Cancelled => ErrorKind::Cancelled,
+            TractoError::Deadline => ErrorKind::Deadline,
+        }
+    }
+}
+
+impl fmt::Display for TractoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TractoError::Io { context, source } => write!(f, "{context}: {source}"),
+            TractoError::Format { context, source } => match source {
+                Some(inner) => write!(f, "{context}: {inner}"),
+                None => write!(f, "{context}"),
+            },
+            TractoError::Config { message } => write!(f, "{message}"),
+            TractoError::Capacity {
+                resource,
+                required,
+                available,
+            } => write!(
+                f,
+                "{resource} exhausted: {required} required, {available} available"
+            ),
+            TractoError::Cancelled => write!(f, "cancelled"),
+            TractoError::Deadline => write!(f, "deadline exceeded"),
+        }
+    }
+}
+
+impl Error for TractoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TractoError::Io { source, .. } => Some(source),
+            TractoError::Format { source, .. } => {
+                source.as_deref().map(|e| e as &(dyn Error + 'static))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TractoError {
+    fn from(source: std::io::Error) -> Self {
+        TractoError::Io {
+            context: "i/o error".to_string(),
+            source,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_match_variants() {
+        assert_eq!(
+            TractoError::io("open x", std::io::Error::other("boom")).kind(),
+            ErrorKind::Io
+        );
+        assert_eq!(TractoError::format("bad magic").kind(), ErrorKind::Format);
+        assert_eq!(
+            TractoError::config("no such flag").kind(),
+            ErrorKind::Config
+        );
+        assert_eq!(
+            TractoError::capacity("queue", 2, 1).kind(),
+            ErrorKind::Capacity
+        );
+        assert_eq!(TractoError::Cancelled.kind(), ErrorKind::Cancelled);
+        assert_eq!(TractoError::Deadline.kind(), ErrorKind::Deadline);
+    }
+
+    #[test]
+    fn display_includes_context() {
+        let e = TractoError::io("read dwi.trv4", std::io::Error::other("denied"));
+        let text = e.to_string();
+        assert!(text.contains("dwi.trv4"));
+        assert!(text.contains("denied"));
+        let c = TractoError::capacity("device memory", 100, 64);
+        assert!(c.to_string().contains("100 required"));
+    }
+
+    #[test]
+    fn source_chain_is_reachable() {
+        let inner = std::io::Error::other("short read");
+        let e = TractoError::format_with("truncated volume", inner);
+        let src = e.source().expect("has source");
+        assert!(src.to_string().contains("short read"));
+        assert!(TractoError::format("no cause").source().is_none());
+    }
+
+    #[test]
+    fn io_from_impl_sets_generic_context() {
+        let e: TractoError = std::io::Error::other("nope").into();
+        assert_eq!(e.kind(), ErrorKind::Io);
+        assert!(e.to_string().contains("nope"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Structured events: a static name, sequencing/timestamps, and typed
+//! key/value fields.
+
+use std::fmt;
+
+/// A typed field value. Field keys are `&'static str` so the disabled path
+/// never allocates; values allocate only for [`Value::Text`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (counts, bytes, lane totals).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (simulated seconds, rates).
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Static string (enum-like labels).
+    Str(&'static str),
+    /// Owned string (paths, formatted keys).
+    Text(String),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::U64(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v}"),
+            Value::Text(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+macro_rules! value_from {
+    ($($ty:ty => $variant:ident as $cast:ty),* $(,)?) => {
+        $(impl From<$ty> for Value {
+            fn from(v: $ty) -> Self {
+                Value::$variant(v as $cast)
+            }
+        })*
+    };
+}
+
+value_from!(
+    u64 => U64 as u64,
+    u32 => U64 as u64,
+    usize => U64 as u64,
+    i64 => I64 as i64,
+    i32 => I64 as i64,
+    f64 => F64 as f64,
+    f32 => F64 as f64,
+);
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&'static str> for Value {
+    fn from(v: &'static str) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+/// A key/value pair attached to an event.
+pub type Field = (&'static str, Value);
+
+/// One recorded event. `seq` and `t_ns` are assigned by the tracer at emit
+/// time; `sim_s` carries the simulated-device clock when the emitting layer
+/// has one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Monotonically increasing per-tracer sequence number.
+    pub seq: u64,
+    /// Monotonic nanoseconds since the tracer was created.
+    pub t_ns: u64,
+    /// Simulated-clock seconds, if the emitter tracks a simulated device.
+    pub sim_s: Option<f64>,
+    /// Event name, dotted by subsystem (`gpu.launch`, `serve.cache_hit`).
+    pub name: &'static str,
+    /// Typed key/value payload.
+    pub fields: Vec<Field>,
+}
+
+impl Event {
+    /// Look up a field by key.
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// Look up a field and coerce it to `u64` (U64/I64 only).
+    pub fn field_u64(&self, key: &str) -> Option<u64> {
+        match self.field(key)? {
+            Value::U64(v) => Some(*v),
+            Value::I64(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// Look up a field and coerce it to `f64` (numeric variants only).
+    pub fn field_f64(&self, key: &str) -> Option<f64> {
+        match self.field(key)? {
+            Value::F64(v) => Some(*v),
+            Value::U64(v) => Some(*v as f64),
+            Value::I64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_lookup_and_coercion() {
+        let e = Event {
+            seq: 0,
+            t_ns: 1,
+            sim_s: Some(0.5),
+            name: "gpu.launch",
+            fields: vec![
+                ("lanes", Value::U64(4096)),
+                ("kernel_s", Value::F64(0.25)),
+                ("label", Value::Str("step2")),
+            ],
+        };
+        assert_eq!(e.field_u64("lanes"), Some(4096));
+        assert_eq!(e.field_f64("kernel_s"), Some(0.25));
+        assert_eq!(e.field_f64("lanes"), Some(4096.0));
+        assert!(e.field("missing").is_none());
+        assert!(e.field_u64("label").is_none());
+    }
+
+    #[test]
+    fn from_impls_cover_common_types() {
+        assert_eq!(Value::from(3usize), Value::U64(3));
+        assert_eq!(Value::from(-2i32), Value::I64(-2));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("x"), Value::Str("x"));
+        assert_eq!(Value::from(String::from("y")), Value::Text("y".into()));
+    }
+}

@@ -1,0 +1,205 @@
+//! Pluggable event sinks: ring buffer (tests), JSON-lines file, pretty
+//! stderr.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::error::TractoError;
+use crate::event::Event;
+use crate::json::event_to_json;
+
+/// Destination for recorded events. Sinks must be thread-safe: workers on
+/// several threads share one tracer.
+pub trait TraceSink: Send + Sync {
+    /// Record one event. Sinks should not block for long; the emitting hot
+    /// paths (kernel launches, cache lookups) call this inline.
+    fn record(&self, event: Event);
+
+    /// Flush any buffered output. Default is a no-op.
+    fn flush(&self) {}
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // A panic while holding the lock poisons it; the event stream is
+    // best-effort diagnostics, so keep recording anyway.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Bounded in-memory ring buffer; oldest events are dropped once full.
+/// Intended for tests and in-process inspection.
+pub struct RingSink {
+    capacity: usize,
+    events: Mutex<VecDeque<Event>>,
+    dropped: Mutex<u64>,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            capacity: capacity.max(1),
+            events: Mutex::new(VecDeque::new()),
+            dropped: Mutex::new(0),
+        }
+    }
+
+    /// Snapshot of the buffered events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        lock(&self.events).iter().cloned().collect()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        lock(&self.events).len()
+    }
+
+    /// True when nothing has been recorded (or everything was dropped).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        *lock(&self.dropped)
+    }
+
+    /// Count buffered events with the given name.
+    pub fn count(&self, name: &str) -> usize {
+        lock(&self.events).iter().filter(|e| e.name == name).count()
+    }
+
+    /// Clone the buffered events with the given name, oldest first.
+    pub fn named(&self, name: &str) -> Vec<Event> {
+        lock(&self.events)
+            .iter()
+            .filter(|e| e.name == name)
+            .cloned()
+            .collect()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&self, event: Event) {
+        let mut events = lock(&self.events);
+        if events.len() == self.capacity {
+            events.pop_front();
+            *lock(&self.dropped) += 1;
+        }
+        events.push_back(event);
+    }
+}
+
+/// JSON-lines file writer: one event per line, flushed on `flush()` and on
+/// drop.
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Create (truncating) the file at `path`.
+    pub fn create(path: &Path) -> Result<Self, TractoError> {
+        let file = File::create(path)
+            .map_err(|e| TractoError::io(format!("create trace file {}", path.display()), e))?;
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&self, event: Event) {
+        let mut line = event_to_json(&event);
+        line.push('\n');
+        let mut writer = lock(&self.writer);
+        // Diagnostics are best-effort: a full disk must not take the
+        // pipeline down with it.
+        let _ = writer.write_all(line.as_bytes());
+    }
+
+    fn flush(&self) {
+        let _ = lock(&self.writer).flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Human-oriented stderr sink: `[seq +12.345ms sim=0.5000s] name k=v ...`.
+pub struct StderrSink;
+
+impl TraceSink for StderrSink {
+    fn record(&self, event: Event) {
+        let mut line = format!("[{:>6} +{:>10.3}ms", event.seq, event.t_ns as f64 / 1e6);
+        if let Some(sim) = event.sim_s {
+            line.push_str(&format!(" sim={sim:.4}s"));
+        }
+        line.push_str("] ");
+        line.push_str(event.name);
+        for (key, value) in &event.fields {
+            line.push_str(&format!(" {key}={value}"));
+        }
+        eprintln!("{line}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(seq: u64, name: &'static str) -> Event {
+        Event {
+            seq,
+            t_ns: seq * 10,
+            sim_s: None,
+            name,
+            fields: vec![],
+        }
+    }
+
+    #[test]
+    fn ring_drops_oldest_when_full() {
+        let ring = RingSink::new(2);
+        ring.record(event(0, "a"));
+        ring.record(event(1, "b"));
+        ring.record(event(2, "c"));
+        let events = ring.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "b");
+        assert_eq!(events[1].name, "c");
+        assert_eq!(ring.dropped(), 1);
+        assert_eq!(ring.count("c"), 1);
+        assert_eq!(ring.count("a"), 0);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let dir = std::env::temp_dir().join("tracto-trace-sink-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.jsonl");
+        {
+            let sink = JsonlSink::create(&path).unwrap();
+            sink.record(event(0, "one"));
+            sink.record(event(1, "two"));
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            crate::json::parse(line).expect("line parses as json");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn jsonl_create_in_missing_dir_is_typed_io_error() {
+        let path = Path::new("/nonexistent-tracto-dir/out.jsonl");
+        let err = JsonlSink::create(path).err().expect("create should fail");
+        assert_eq!(err.kind(), crate::error::ErrorKind::Io);
+    }
+}

@@ -1,0 +1,253 @@
+//! The cheap-to-clone tracer handle shared by every instrumented layer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::event::{Event, Field};
+use crate::sink::TraceSink;
+
+struct Inner {
+    sink: Box<dyn TraceSink>,
+    epoch: Instant,
+    seq: AtomicU64,
+}
+
+/// Handle through which instrumented code emits events. Cloning is an `Arc`
+/// bump; a disabled tracer (the default) makes every emit a single branch
+/// with no allocation, so instrumentation can stay on hot paths
+/// unconditionally.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A tracer that records nothing. Equivalent to `Tracer::default()`.
+    pub fn disabled() -> Self {
+        Tracer { inner: None }
+    }
+
+    /// A tracer recording into `sink`. Timestamps are monotonic nanoseconds
+    /// since this call.
+    pub fn new(sink: impl TraceSink + 'static) -> Self {
+        Tracer {
+            inner: Some(Arc::new(Inner {
+                sink: Box::new(sink),
+                epoch: Instant::now(),
+                seq: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// Like [`Tracer::new`] but shares an already-`Arc`ed sink, so the
+    /// caller can keep a handle for inspection (ring buffers in tests).
+    pub fn shared(sink: Arc<dyn TraceSink>) -> Self {
+        struct ArcSink(Arc<dyn TraceSink>);
+        impl TraceSink for ArcSink {
+            fn record(&self, event: Event) {
+                self.0.record(event);
+            }
+            fn flush(&self) {
+                self.0.flush();
+            }
+        }
+        Tracer::new(ArcSink(sink))
+    }
+
+    /// True when a sink is attached. Callers building expensive field sets
+    /// should check this first; plain `emit` calls need not.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Emit an event with no simulated timestamp.
+    #[inline]
+    pub fn emit(&self, name: &'static str, fields: &[Field]) {
+        if let Some(inner) = &self.inner {
+            Self::record(inner, name, None, fields);
+        }
+    }
+
+    /// Emit an event stamped with a simulated-clock reading.
+    #[inline]
+    pub fn emit_sim(&self, name: &'static str, sim_s: f64, fields: &[Field]) {
+        if let Some(inner) = &self.inner {
+            Self::record(inner, name, Some(sim_s), fields);
+        }
+    }
+
+    /// Emit a counter observation: one named value, standard `value` key.
+    #[inline]
+    pub fn counter(&self, name: &'static str, value: u64) {
+        if let Some(inner) = &self.inner {
+            Self::record(inner, name, None, &[("value", crate::Value::U64(value))]);
+        }
+    }
+
+    #[cold]
+    fn record(inner: &Inner, name: &'static str, sim_s: Option<f64>, fields: &[Field]) {
+        let event = Event {
+            seq: inner.seq.fetch_add(1, Ordering::Relaxed),
+            t_ns: inner.epoch.elapsed().as_nanos() as u64,
+            sim_s,
+            name,
+            fields: fields.to_vec(),
+        };
+        inner.sink.record(event);
+    }
+
+    /// Open a span: emits `<name>` with `phase="begin"` now and, when the
+    /// guard ends, `<name>` with `phase="end"` and the wall duration.
+    pub fn span(&self, name: &'static str) -> Span {
+        self.span_with(name, &[])
+    }
+
+    /// Open a span carrying extra fields on the begin event.
+    pub fn span_with(&self, name: &'static str, fields: &[Field]) -> Span {
+        if self.inner.is_some() {
+            let mut begin = vec![("phase", crate::Value::Str("begin"))];
+            begin.extend_from_slice(fields);
+            self.emit(name, &begin);
+            Span {
+                tracer: self.clone(),
+                name,
+                start: Some(Instant::now()),
+            }
+        } else {
+            Span {
+                tracer: Tracer::disabled(),
+                name,
+                start: None,
+            }
+        }
+    }
+
+    /// Flush the attached sink, if any.
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            inner.sink.flush();
+        }
+    }
+}
+
+/// Guard for an open span. Emits the end event on drop; use
+/// [`Span::end_with`] to attach result fields.
+#[must_use = "a span measures the scope it lives in"]
+pub struct Span {
+    tracer: Tracer,
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Close the span now, attaching extra fields to the end event.
+    pub fn end_with(mut self, fields: &[Field]) {
+        self.finish(fields);
+    }
+
+    fn finish(&mut self, fields: &[Field]) {
+        if let Some(start) = self.start.take() {
+            let mut end = vec![
+                ("phase", crate::Value::Str("end")),
+                (
+                    "duration_ns",
+                    crate::Value::U64(start.elapsed().as_nanos() as u64),
+                ),
+            ];
+            end.extend_from_slice(fields);
+            self.tracer.emit(self.name, &end);
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.finish(&[]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::RingSink;
+    use crate::Value;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        assert!(!t.enabled());
+        t.emit("x", &[("k", Value::U64(1))]);
+        t.counter("c", 3);
+        let span = t.span("s");
+        span.end_with(&[("r", Value::Bool(true))]);
+        // Nothing to assert against — the point is no panic and no sink.
+    }
+
+    #[test]
+    fn shared_ring_sees_emits_in_order() {
+        let ring = Arc::new(RingSink::new(64));
+        let t = Tracer::shared(ring.clone());
+        t.emit("a", &[("n", Value::U64(1))]);
+        t.emit_sim("b", 2.5, &[]);
+        t.counter("c", 9);
+        let events = ring.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].name, "a");
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[1].sim_s, Some(2.5));
+        assert_eq!(events[2].field_u64("value"), Some(9));
+        assert!(events[1].seq < events[2].seq);
+    }
+
+    #[test]
+    fn span_emits_begin_and_end_with_duration() {
+        let ring = Arc::new(RingSink::new(64));
+        let t = Tracer::shared(ring.clone());
+        {
+            let span = t.span_with("step", &[("step", Value::U64(1))]);
+            t.emit("inner", &[]);
+            span.end_with(&[("voxels", Value::U64(100))]);
+        }
+        let events = ring.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].name, "step");
+        assert_eq!(events[0].field("phase"), Some(&Value::Str("begin")));
+        assert_eq!(events[0].field_u64("step"), Some(1));
+        assert_eq!(events[2].name, "step");
+        assert_eq!(events[2].field("phase"), Some(&Value::Str("end")));
+        assert!(events[2].field_u64("duration_ns").is_some());
+        assert_eq!(events[2].field_u64("voxels"), Some(100));
+    }
+
+    #[test]
+    fn span_drop_also_closes() {
+        let ring = Arc::new(RingSink::new(8));
+        let t = Tracer::shared(ring.clone());
+        {
+            let _span = t.span("scope");
+        }
+        assert_eq!(ring.count("scope"), 2);
+    }
+
+    #[test]
+    fn clones_share_sequence_numbers() {
+        let ring = Arc::new(RingSink::new(8));
+        let t = Tracer::shared(ring.clone());
+        let t2 = t.clone();
+        t.emit("a", &[]);
+        t2.emit("b", &[]);
+        let events = ring.events();
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[1].seq, 1);
+    }
+}

@@ -152,13 +152,7 @@ impl<'a> GpuTracker<'a> {
             let volume_bytes = sample_volume_bytes(self.samples);
             let lane_bytes = n_seeds as u64 * LANE_BYTES;
             gpu.device_alloc(volume_bytes + lane_bytes)
-                .unwrap_or_else(|short| {
-                    panic!(
-                        "sample volume + lanes exceed device memory by {short} bytes \
-                     (device holds {}; shrink the grid or sample count)",
-                        gpu.config().memory_bytes
-                    )
-                });
+                .unwrap_or_else(|err| panic!("{err} (shrink the grid or sample count)"));
             gpu.transfer_to_device(volume_bytes);
 
             let order: Vec<u32> = match (&self.ordering, &pilot_lengths) {
