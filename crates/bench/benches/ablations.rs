@@ -276,7 +276,7 @@ fn main() {
                 if lanes.is_empty() {
                     break;
                 }
-                let stats = multi.launch_partitioned(&Countdown, &mut lanes, b);
+                let stats = multi.launch_partitioned(&Countdown, &mut lanes, b).unwrap();
                 multi.gather_to_host(lanes.len() as u64 * 32);
                 multi.host_reduction(lanes.len() as u64);
                 let finished: Vec<bool> = stats.iter().flat_map(|s| s.finished.clone()).collect();

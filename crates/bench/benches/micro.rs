@@ -220,6 +220,102 @@ fn bench_trace(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_failover_overhead(c: &mut Criterion) {
+    use tracto_gpu_sim::{FaultPlan, Gpu, LaneStatus, MultiGpu, SimKernel};
+
+    // A deterministic spin kernel: each lane mixes a counter into an
+    // accumulator for a fixed budget of iterations, so results expose any
+    // replay divergence and the work is identical across pool sizes.
+    struct SpinKernel;
+    struct SpinLane {
+        acc: u64,
+        done: u32,
+        budget: u32,
+    }
+    impl SimKernel for SpinKernel {
+        type Lane = SpinLane;
+        fn step(&self, lane: &mut SpinLane) -> LaneStatus {
+            lane.acc = lane
+                .acc
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(u64::from(lane.done));
+            lane.done += 1;
+            if lane.done >= lane.budget {
+                LaneStatus::Finished
+            } else {
+                LaneStatus::Continue
+            }
+        }
+    }
+    let lanes = |n: usize| -> Vec<SpinLane> {
+        (0..n)
+            .map(|i| SpinLane {
+                acc: i as u64,
+                done: 0,
+                budget: 64,
+            })
+            .collect()
+    };
+
+    let mut g = c.benchmark_group("failover_overhead");
+    for devices in [2usize, 4, 8] {
+        // Fault-free baseline at this pool width.
+        g.bench_function(&format!("{devices}_devices_fault_free"), |b| {
+            b.iter(|| {
+                let mut multi = MultiGpu::new(DeviceConfig::radeon_5870(), devices);
+                let mut pop = lanes(512);
+                multi
+                    .launch_partitioned(&SpinKernel, &mut pop, 64)
+                    .expect("fault-free launch");
+                black_box(pop.iter().map(|l| l.acc).fold(0u64, u64::wrapping_add))
+            })
+        });
+        // Same run with one device lost mid-launch: the re-partition and
+        // replay are the measured overhead, and the results must not move.
+        let reference: u64 = {
+            let mut multi = MultiGpu::new(DeviceConfig::radeon_5870(), devices);
+            let mut pop = lanes(512);
+            multi
+                .launch_partitioned(&SpinKernel, &mut pop, 64)
+                .expect("reference launch");
+            pop.iter().map(|l| l.acc).fold(0u64, u64::wrapping_add)
+        };
+        g.bench_function(&format!("{devices}_devices_one_loss"), |b| {
+            let plan = FaultPlan::parse("fault 1 0 device-lost").unwrap();
+            b.iter(|| {
+                let mut multi = MultiGpu::new(DeviceConfig::radeon_5870(), devices);
+                multi.set_fault_plan(&plan);
+                let mut pop = lanes(512);
+                multi
+                    .launch_partitioned(&SpinKernel, &mut pop, 64)
+                    .expect("survivors absorb one loss");
+                assert_eq!(multi.failovers(), 1);
+                let sum = pop.iter().map(|l| l.acc).fold(0u64, u64::wrapping_add);
+                assert_eq!(sum, reference, "failover must not change results");
+                black_box(sum)
+            })
+        });
+    }
+    // Single-device fault path for scale: a transient launch failure
+    // retried in place (no re-partition).
+    g.bench_function("1_device_transient_retry", |b| {
+        let plan = FaultPlan::parse("fault 0 0 launch-fail").unwrap();
+        b.iter(|| {
+            let mut gpu = Gpu::new(DeviceConfig::radeon_5870());
+            gpu.set_fault_plan(&plan, 0);
+            let mut pop = lanes(512);
+            let err = gpu
+                .try_launch(&SpinKernel, &mut pop, 64)
+                .expect_err("planned transient fault");
+            black_box(err.is_retryable());
+            gpu.try_launch(&SpinKernel, &mut pop, 64)
+                .expect("retry succeeds");
+            black_box(pop.len())
+        })
+    });
+    g.finish();
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(30)
@@ -230,6 +326,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_rng, bench_posterior, bench_tracking, bench_tensor_fit, bench_end_to_end, bench_trace
+    targets = bench_rng, bench_posterior, bench_tracking, bench_tensor_fit, bench_end_to_end, bench_trace, bench_failover_overhead
 }
 criterion_main!(benches);

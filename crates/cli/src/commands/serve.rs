@@ -31,7 +31,7 @@ use tracto_serve::{
 use tracto_trace::{Tracer, TractoError, TractoResult};
 use tracto_volume::Dim3;
 
-const FLAGS: [&str; 9] = [
+const FLAGS: [&str; 12] = [
     "script",
     "devices",
     "workers",
@@ -41,6 +41,9 @@ const FLAGS: [&str; 9] = [
     "cache-mb",
     "cache-dir",
     "disk-cache-mb",
+    "fault-plan",
+    "fault-seed",
+    "retry-budget",
 ];
 
 /// `key=value` options trailing a script directive.
@@ -267,8 +270,12 @@ pub fn run(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
         .map_err(|e| TractoError::io(format!("read {}", path.display()), e))?;
     let script = parse_script(&text)?;
 
+    let devices: usize = args.get_parse("devices", 1)?;
+    let fault_plan = crate::commands::track::parse_fault_plan(args, devices)?;
     let config = ServiceConfig {
-        devices: args.get_parse("devices", 1)?,
+        devices,
+        fault_plan,
+        retry_budget: args.get_parse("retry-budget", 2)?,
         estimate_workers: args.get_parse("workers", 2)?,
         max_batch_jobs: args.get_parse("max-batch", 16)?,
         batch_window: Duration::from_millis(args.get_parse("batch-window-ms", 20)?),
@@ -307,6 +314,13 @@ pub fn run(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
         config.batch_window,
         config.strategy.label()
     );
+    if let Some(plan) = &config.fault_plan {
+        println!(
+            "fault injection: {} scheduled event(s), retry budget {}",
+            plan.events.len(),
+            config.retry_budget
+        );
+    }
 
     let service = TractoService::start(config);
     let mut pending: Vec<(String, Pending)> = Vec::new();
@@ -441,6 +455,27 @@ track b samples=2 burnin=30 interval=1 seed=9 max-steps=60
             "2",
             "--batch-window-ms",
             "30",
+        ]);
+        run(&args, &Tracer::disabled()).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replays_script_with_seeded_faults() {
+        let dir = tmp("chaos");
+        let script = dir.join("jobs.txt");
+        std::fs::write(&script, TINY).unwrap();
+        // Seeded plans are internally recoverable (no alloc faults, at
+        // least one survivor), so every job must still complete.
+        let args = argmap(&[
+            "--script",
+            script.to_str().unwrap(),
+            "--devices",
+            "2",
+            "--fault-seed",
+            "5",
+            "--retry-budget",
+            "3",
         ]);
         run(&args, &Tracer::disabled()).unwrap();
         let _ = std::fs::remove_dir_all(&dir);

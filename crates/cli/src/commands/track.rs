@@ -5,7 +5,9 @@ use crate::store;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::PathBuf;
-use tracto_gpu_sim::{DeviceConfig, Gpu};
+use std::sync::Arc;
+use tracto_gpu_sim::{DeviceConfig, FaultPlan, Gpu, MultiGpu};
+use tracto_mcmc::CheckpointPolicy;
 use tracto_trace::{Tracer, TractoError, TractoResult};
 use tracto_tracking::export;
 use tracto_tracking::gpu::{GpuTracker, SeedOrdering};
@@ -14,7 +16,7 @@ use tracto_tracking::walker::TrackingParams;
 use tracto_tracking::{InterpMode, SegmentationStrategy};
 use tracto_volume::io::write_volume3;
 
-const FLAGS: [&str; 15] = [
+const FLAGS: [&str; 19] = [
     "data",
     "out",
     "samples-dir",
@@ -30,6 +32,10 @@ const FLAGS: [&str; 15] = [
     "est-burnin",
     "est-interval",
     "est-seed",
+    "devices",
+    "fault-plan",
+    "fault-seed",
+    "checkpoint-every",
 ];
 
 pub(crate) fn parse_strategy(s: &str) -> TractoResult<SegmentationStrategy> {
@@ -56,9 +62,30 @@ pub(crate) fn parse_strategy(s: &str) -> TractoResult<SegmentationStrategy> {
     }
 }
 
+/// Resolve `--fault-plan FILE` / `--fault-seed S` into a deterministic
+/// fault schedule for a pool of `devices` devices. The two flags are
+/// mutually exclusive; seeded plans only contain internally-recoverable
+/// faults, so results stay bit-identical to a fault-free run.
+pub(crate) fn parse_fault_plan(args: &ArgMap, devices: usize) -> TractoResult<Option<FaultPlan>> {
+    match (args.get("fault-plan"), args.get("fault-seed")) {
+        (Some(_), Some(_)) => Err(TractoError::config(
+            "--fault-plan and --fault-seed are mutually exclusive",
+        )),
+        (Some(path), None) => Ok(Some(FaultPlan::load(path)?)),
+        (None, Some(seed)) => {
+            let seed: u64 = seed
+                .parse()
+                .map_err(|_| TractoError::config(format!("--fault-seed: bad value `{seed}`")))?;
+            Ok(Some(FaultPlan::seeded(seed, devices as u32)))
+        }
+        (None, None) => Ok(None),
+    }
+}
+
 /// Resolve the posterior samples for `track` out of a serve-layer disk
 /// cache, running Step 1 only on a miss (the CLI analogue of what
-/// `tracto-serve` does in memory).
+/// `tracto-serve` does in memory). With a device pool, estimation runs
+/// checkpointed across it and survives injected faults.
 fn samples_from_cache(
     cache_dir: &std::path::Path,
     dwi: &tracto_volume::Volume4<f32>,
@@ -66,6 +93,7 @@ fn samples_from_cache(
     acq: &tracto_diffusion::Acquisition,
     args: &ArgMap,
     tracer: &Tracer,
+    pool: Option<(&mut MultiGpu, CheckpointPolicy)>,
 ) -> TractoResult<tracto_mcmc::SampleVolumes> {
     use tracto_mcmc::mh::AdaptScheme;
     let chain = tracto_mcmc::ChainConfig {
@@ -92,10 +120,26 @@ fn samples_from_cache(
         key.hex(),
         mask.count()
     );
-    let mut gpu = Gpu::with_tracer(DeviceConfig::radeon_5870(), tracer.clone());
-    let report = tracto::run_mcmc_gpu(&mut gpu, acq, dwi, mask, prior, chain, est_seed);
-    cache.put(key, &report.samples)?;
-    Ok(report.samples)
+    let samples = match pool {
+        Some((multi, checkpoint)) => {
+            let report =
+                tracto::run_mcmc_multi(multi, acq, dwi, mask, prior, chain, est_seed, checkpoint)?;
+            println!(
+                "estimated on {} device(s): {} checkpoint(s), {} failover(s), {} fault(s) injected",
+                multi.alive_devices(),
+                report.checkpoints,
+                multi.failovers(),
+                multi.faults_injected()
+            );
+            report.samples
+        }
+        None => {
+            let mut gpu = Gpu::with_tracer(DeviceConfig::radeon_5870(), tracer.clone());
+            tracto::run_mcmc_gpu(&mut gpu, acq, dwi, mask, prior, chain, est_seed).samples
+        }
+    };
+    cache.put(key, &samples)?;
+    Ok(samples)
 }
 
 /// Run the command.
@@ -112,6 +156,33 @@ pub fn run(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
     if step <= 0.0 || !(0.0..=1.0).contains(&threshold) || max_steps == 0 {
         return Err(TractoError::config("invalid tracking parameters"));
     }
+    let devices: usize = args.get_parse("devices", 1)?;
+    if devices == 0 {
+        return Err(TractoError::config("--devices must be positive"));
+    }
+    let fault_plan = parse_fault_plan(args, devices)?;
+    let checkpoint_every: u32 = args.get_parse("checkpoint-every", 0)?;
+    let checkpoint = if checkpoint_every == 0 {
+        CheckpointPolicy::disabled()
+    } else {
+        CheckpointPolicy::every(checkpoint_every)
+    };
+    // A device pool (and its fault schedule) only exists on the GPU path.
+    let mut pool = if devices > 1 || fault_plan.is_some() {
+        if args.switch("cpu") {
+            return Err(TractoError::config(
+                "--cpu is incompatible with --devices/--fault-plan/--fault-seed",
+            ));
+        }
+        let mut m = MultiGpu::try_new(DeviceConfig::radeon_5870(), devices)?;
+        m.set_tracer(tracer);
+        if let Some(plan) = &fault_plan {
+            m.set_fault_plan(plan);
+        }
+        Some(m)
+    } else {
+        None
+    };
 
     let (dwi, mask, acq) = store::load_dataset(&data)?;
     let samples = match (args.get("samples-dir"), args.get("cache-dir")) {
@@ -121,9 +192,15 @@ pub fn run(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
             ))
         }
         (Some(dir), None) => store::load_samples(&PathBuf::from(dir))?,
-        (None, Some(dir)) => {
-            samples_from_cache(&PathBuf::from(dir), &dwi, &mask, &acq, args, tracer)?
-        }
+        (None, Some(dir)) => samples_from_cache(
+            &PathBuf::from(dir),
+            &dwi,
+            &mask,
+            &acq,
+            args,
+            tracer,
+            pool.as_mut().map(|m| (m, checkpoint)),
+        )?,
         (None, None) => {
             return Err(TractoError::config("need --samples-dir or --cache-dir"));
         }
@@ -133,6 +210,7 @@ pub fn run(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
             "sample volumes do not match the dataset grid",
         ));
     }
+    let samples = Arc::new(samples);
     let seeds = seeds_from_mask(&mask);
     let params = TrackingParams {
         step_length: step,
@@ -152,8 +230,9 @@ pub fn run(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
     );
     let t0 = std::time::Instant::now();
 
-    // CPU path records connectivity and exportable fibers; the GPU path
-    // reports the timing breakdown. Default is GPU unless --cpu.
+    // CPU path records connectivity and exportable fibers; the GPU paths
+    // report the timing breakdown. Default is one simulated GPU unless
+    // --cpu, or a fault-tolerant pool with --devices/--fault-plan.
     let (lengths, connectivity, fibers) = if args.switch("cpu") {
         let tracker = CpuTracker {
             samples: &samples,
@@ -168,6 +247,30 @@ pub fn run(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
             min_steps: min_export,
         });
         (o.lengths_by_sample, o.connectivity, o.streamlines)
+    } else if let Some(multi) = pool.as_mut() {
+        let job = tracto_serve::BatchJob {
+            samples: Arc::clone(&samples),
+            params,
+            seeds,
+            mask: None,
+            jitter: 0.5,
+            run_seed: seed,
+            record_visits: true,
+        };
+        let mut report = tracto_serve::run_batch(multi, &[job], &strategy)?;
+        let out = report.per_job.pop().expect("one job in the batch");
+        println!(
+            "simulated pool: {}/{} devices alive, wall {:.3}s (util {:.1}%), \
+             {} failover(s), {} retry(ies), {} fault(s) injected",
+            multi.alive_devices(),
+            multi.num_devices(),
+            report.wall_s,
+            report.utilization * 100.0,
+            multi.failovers(),
+            multi.fault_retries(),
+            multi.faults_injected()
+        );
+        (out.lengths_by_sample, out.connectivity, Vec::new())
     } else {
         let mut gpu = Gpu::with_tracer(DeviceConfig::radeon_5870(), tracer.clone());
         let tracker = GpuTracker {
@@ -340,6 +443,85 @@ mod tests {
         for d in [&data, &cache, &out] {
             let _ = std::fs::remove_dir_all(d);
         }
+    }
+
+    #[test]
+    fn seeded_faults_leave_track_output_bit_identical() {
+        let data = tmp("fp_data");
+        let samples_dir = tmp("fp_sv");
+        let out_clean = tmp("fp_clean");
+        let out_chaos = tmp("fp_chaos");
+        let ds = datasets::single_bundle(Dim3::new(10, 6, 6), None, 3);
+        let mask = Mask::from_fn(ds.dwi.dims(), |c| ds.truth.at(c).count > 0);
+        store::save_dataset(&data, &ds.dwi, &mask, &ds.acq).unwrap();
+        let sv = tracto::synthetic::samples_from_truth(&ds.truth, 4, 0.1, 0.02, 5);
+        store::save_samples(&samples_dir, &sv).unwrap();
+
+        let base = |out: &PathBuf, extra: &[&str]| {
+            let mut v = vec![
+                "--data",
+                data.to_str().unwrap(),
+                "--samples-dir",
+                samples_dir.to_str().unwrap(),
+                "--out",
+                out.to_str().unwrap(),
+                "--step",
+                "0.3",
+                "--max-steps",
+                "300",
+                "--devices",
+                "3",
+            ];
+            v.extend_from_slice(extra);
+            argmap(&v)
+        };
+        run(&base(&out_clean, &[]), &Tracer::disabled()).unwrap();
+        run(
+            &base(&out_chaos, &["--fault-seed", "9"]),
+            &Tracer::disabled(),
+        )
+        .unwrap();
+        let clean = std::fs::read_to_string(out_clean.join("lengths.csv")).unwrap();
+        let chaos = std::fs::read_to_string(out_chaos.join("lengths.csv")).unwrap();
+        assert_eq!(clean, chaos, "injected faults must not change results");
+        for d in [&data, &samples_dir, &out_clean, &out_chaos] {
+            let _ = std::fs::remove_dir_all(d);
+        }
+    }
+
+    #[test]
+    fn fault_flags_validated() {
+        let args = argmap(&[
+            "--data",
+            "x",
+            "--out",
+            "y",
+            "--samples-dir",
+            "z",
+            "--fault-plan",
+            "p.txt",
+            "--fault-seed",
+            "3",
+        ]);
+        assert!(run(&args, &Tracer::disabled())
+            .unwrap_err()
+            .to_string()
+            .contains("mutually exclusive"));
+        let args = argmap(&[
+            "--data",
+            "x",
+            "--out",
+            "y",
+            "--samples-dir",
+            "z",
+            "--cpu",
+            "--fault-seed",
+            "3",
+        ]);
+        assert!(run(&args, &Tracer::disabled())
+            .unwrap_err()
+            .to_string()
+            .contains("incompatible"));
     }
 
     #[test]

@@ -48,10 +48,13 @@ COMMANDS:
              [--strategy B|C|single|every|uniform:K] [--seed N] [--cpu]
              [--min-export-steps N]
              [--est-samples N] [--est-burnin N] [--est-interval N] [--est-seed N]
+             [--devices N] [--fault-plan FILE | --fault-seed N]
+             [--checkpoint-every N]
   serve      replay a job script through the batched job service
              --script FILE [--devices N] [--workers N] [--max-batch N]
              [--batch-window-ms N] [--strategy B|C|single|every|uniform:K]
              [--cache-mb N] [--cache-dir DIR] [--disk-cache-mb N]
+             [--fault-plan FILE | --fault-seed N] [--retry-budget N]
   info       describe a stored dataset
              --data DIR
   render     print an ASCII maximum-intensity projection of a volume

@@ -9,11 +9,13 @@
 
 use tracto_diffusion::posterior::{BallSticksParams, NUM_PARAMETERS};
 use tracto_diffusion::{Acquisition, BallSticksPosterior, PriorConfig};
-use tracto_gpu_sim::{Gpu, LaneStatus, SimKernel, TimingLedger};
+use tracto_gpu_sim::{Gpu, LaneStatus, MultiGpu, SimKernel, TimingLedger};
 use tracto_mcmc::chain::ChainConfig;
+use tracto_mcmc::checkpoint::{CheckpointPolicy, CHECKPOINT_LANE_BYTES};
 use tracto_mcmc::mh::MhSampler;
 use tracto_mcmc::voxelwise::{default_proposal_scales, SampleVolumes};
 use tracto_rng::HybridTaus;
+use tracto_trace::TractoResult;
 use tracto_volume::{Mask, Volume4};
 
 /// One voxel's chain as a GPU lane.
@@ -86,35 +88,21 @@ pub struct McmcGpuReport {
     pub ledger: TimingLedger,
     /// Number of voxels estimated.
     pub voxels: usize,
+    /// Chain-state snapshots taken (0 when checkpointing is disabled).
+    pub checkpoints: u64,
 }
 
-/// Run Step 1 on the simulated GPU: upload the DWI volume, run one lane per
-/// masked voxel for `NumLoops` iterations, download the six sample volumes.
-///
-/// Results are bit-identical to
-/// [`VoxelEstimator::run_voxel`](tracto_mcmc::VoxelEstimator) with the same
-/// `(seed, voxel)` pairs, since lanes execute the same chain code with the
-/// same per-voxel RNG streams.
-pub fn run_mcmc_gpu(
-    gpu: &mut Gpu,
+/// Build one [`McmcLane`] per masked voxel, seeded per-voxel so results are
+/// independent of how lanes are later partitioned across devices.
+fn build_mcmc_lanes(
     acq: &Acquisition,
     dwi: &Volume4<f32>,
     mask: &Mask,
     prior: PriorConfig,
     config: ChainConfig,
     seed: u64,
-) -> McmcGpuReport {
-    assert_eq!(dwi.nt(), acq.len(), "DWI volume count must match protocol");
-    assert_eq!(dwi.dims(), mask.dims(), "mask dims must match DWI dims");
-    gpu.reset();
-
-    // Upload the 4-D DWI volume plus b-values/gradients (Fig. 1 inputs).
-    let dwi_bytes = dwi.len() as u64 * 4;
-    let protocol_bytes = acq.len() as u64 * 16; // b + 3-vector per volume
-    gpu.transfer_to_device(dwi_bytes + protocol_bytes);
-
-    let mut lanes: Vec<McmcLane> = mask
-        .indices()
+) -> Vec<McmcLane> {
+    mask.indices()
         .into_iter()
         .map(|voxel_index| {
             let signal: Vec<f64> = dwi
@@ -147,7 +135,57 @@ pub fn run_mcmc_gpu(
                 samples: Vec::with_capacity(config.num_samples as usize),
             }
         })
-        .collect();
+        .collect()
+}
+
+/// Assemble downloaded lanes into the six sample volumes.
+fn assemble_volumes(
+    lanes: &[McmcLane],
+    dwi: &Volume4<f32>,
+    config: ChainConfig,
+) -> (SampleVolumes, usize) {
+    let mut volumes = SampleVolumes::zeros(dwi.dims(), config.num_samples as usize);
+    let dims = dwi.dims();
+    let mut voxels = 0;
+    for lane in lanes {
+        let c = dims.coords(lane.voxel_index);
+        let out = tracto_mcmc::chain::ChainOutput::<NUM_PARAMETERS> {
+            samples: lane.samples.clone(),
+            final_scales: *lane.sampler.scales(),
+            final_acceptance: lane.sampler.recent_acceptance_rates(),
+        };
+        volumes.store_chain(c, &out);
+        voxels += 1;
+    }
+    (volumes, voxels)
+}
+
+/// Run Step 1 on the simulated GPU: upload the DWI volume, run one lane per
+/// masked voxel for `NumLoops` iterations, download the six sample volumes.
+///
+/// Results are bit-identical to
+/// [`VoxelEstimator::run_voxel`](tracto_mcmc::VoxelEstimator) with the same
+/// `(seed, voxel)` pairs, since lanes execute the same chain code with the
+/// same per-voxel RNG streams.
+pub fn run_mcmc_gpu(
+    gpu: &mut Gpu,
+    acq: &Acquisition,
+    dwi: &Volume4<f32>,
+    mask: &Mask,
+    prior: PriorConfig,
+    config: ChainConfig,
+    seed: u64,
+) -> McmcGpuReport {
+    assert_eq!(dwi.nt(), acq.len(), "DWI volume count must match protocol");
+    assert_eq!(dwi.dims(), mask.dims(), "mask dims must match DWI dims");
+    gpu.reset();
+
+    // Upload the 4-D DWI volume plus b-values/gradients (Fig. 1 inputs).
+    let dwi_bytes = dwi.len() as u64 * 4;
+    let protocol_bytes = acq.len() as u64 * 16; // b + 3-vector per volume
+    gpu.transfer_to_device(dwi_bytes + protocol_bytes);
+
+    let mut lanes = build_mcmc_lanes(acq, dwi, mask, prior, config, seed);
 
     let kernel = McmcKernel { acq, prior, config };
     // Every chain needs exactly NumLoops iterations: one launch, perfectly
@@ -158,25 +196,76 @@ pub fn run_mcmc_gpu(
     let out_bytes = 6 * dwi.dims().len() as u64 * config.num_samples as u64 * 4;
     gpu.transfer_to_host(out_bytes);
 
-    let mut volumes = SampleVolumes::zeros(dwi.dims(), config.num_samples as usize);
-    let dims = dwi.dims();
-    let mut voxels = 0;
-    for lane in &lanes {
-        let c = dims.coords(lane.voxel_index);
-        let out = tracto_mcmc::chain::ChainOutput::<NUM_PARAMETERS> {
-            samples: lane.samples.clone(),
-            final_scales: *lane.sampler.scales(),
-            final_acceptance: lane.sampler.recent_acceptance_rates(),
-        };
-        volumes.store_chain(c, &out);
-        voxels += 1;
-    }
+    let (volumes, voxels) = assemble_volumes(&lanes, dwi, config);
 
     McmcGpuReport {
         samples: volumes,
         ledger: *gpu.ledger(),
         voxels,
+        checkpoints: 0,
     }
+}
+
+/// Run Step 1 across a device pool with chain checkpointing.
+///
+/// The single `NumLoops` launch is split into `checkpoint.segments(..)`
+/// budgets; after each non-final segment the kept chain state is
+/// snapshotted to the host ([`CHECKPOINT_LANE_BYTES`] per lane). Each chain
+/// guards on its own loop counter, so segmentation — and any mid-segment
+/// device-loss failover inside
+/// [`launch_partitioned`](MultiGpu::launch_partitioned) — leaves the
+/// posterior samples bit-identical to [`run_mcmc_gpu`] with the same seed:
+/// a failed launch never advances a lane, so a lost device costs only the
+/// replay time since the last completed segment, never a burn-in re-run.
+///
+/// Errors with [`tracto_trace::TractoError::Capacity`] if every device in
+/// the pool is lost.
+#[allow(clippy::too_many_arguments)]
+pub fn run_mcmc_multi(
+    multi: &mut MultiGpu,
+    acq: &Acquisition,
+    dwi: &Volume4<f32>,
+    mask: &Mask,
+    prior: PriorConfig,
+    config: ChainConfig,
+    seed: u64,
+    checkpoint: CheckpointPolicy,
+) -> TractoResult<McmcGpuReport> {
+    assert_eq!(dwi.nt(), acq.len(), "DWI volume count must match protocol");
+    assert_eq!(dwi.dims(), mask.dims(), "mask dims must match DWI dims");
+
+    // Every device needs the full DWI volume and protocol.
+    let dwi_bytes = dwi.len() as u64 * 4;
+    let protocol_bytes = acq.len() as u64 * 16;
+    multi.broadcast_to_devices(dwi_bytes + protocol_bytes);
+
+    let mut lanes = build_mcmc_lanes(acq, dwi, mask, prior, config, seed);
+    let kernel = McmcKernel { acq, prior, config };
+
+    let segments = checkpoint.segments(config.num_loops());
+    let mut checkpoints = 0u64;
+    for (i, &budget) in segments.iter().enumerate() {
+        multi.launch_partitioned(&kernel, &mut lanes, budget)?;
+        if i + 1 < segments.len() {
+            // Snapshot chain state so a later device loss replays at most
+            // one segment.
+            multi.gather_to_host(lanes.len() as u64 * CHECKPOINT_LANE_BYTES);
+            checkpoints += 1;
+        }
+    }
+
+    // Download the six sample volumes.
+    let out_bytes = 6 * dwi.dims().len() as u64 * config.num_samples as u64 * 4;
+    multi.gather_to_host(out_bytes);
+
+    let (volumes, voxels) = assemble_volumes(&lanes, dwi, config);
+
+    Ok(McmcGpuReport {
+        samples: volumes,
+        ledger: multi.aggregate_ledger(),
+        voxels,
+        checkpoints,
+    })
 }
 
 #[cfg(test)]
@@ -257,6 +346,101 @@ mod tests {
         assert!(out.ledger.bytes_h2d >= dwi_bytes);
         let sample_bytes = 6 * ds.dwi.dims().len() as u64 * config.num_samples as u64 * 4;
         assert_eq!(out.ledger.bytes_d2h, sample_bytes);
+    }
+
+    #[test]
+    fn multi_device_checkpointed_matches_single_device_exactly() {
+        let ds = datasets::single_bundle(Dim3::new(6, 4, 4), Some(25.0), 3);
+        let mask = Mask::from_fn(ds.dwi.dims(), |c| c.j == 2 && c.k == 2);
+        let config = ChainConfig::fast_test();
+        let prior = PriorConfig::default();
+        let mut gpu = small_gpu();
+        let single = run_mcmc_gpu(&mut gpu, &ds.acq, &ds.dwi, &mask, prior, config, 77);
+        let mut multi = MultiGpu::new(small_gpu().config().clone(), 3);
+        let multi_out = run_mcmc_multi(
+            &mut multi,
+            &ds.acq,
+            &ds.dwi,
+            &mask,
+            prior,
+            config,
+            77,
+            CheckpointPolicy::every(3),
+        )
+        .unwrap();
+        assert_eq!(single.samples.f1, multi_out.samples.f1);
+        assert_eq!(single.samples.th1, multi_out.samples.th1);
+        assert_eq!(single.samples.ph2, multi_out.samples.ph2);
+        assert_eq!(single.voxels, multi_out.voxels);
+        assert!(multi_out.checkpoints > 0, "policy of 3 loops snapshots");
+        // Snapshots are charged to the transfer ledger.
+        assert!(multi_out.ledger.bytes_d2h > single.ledger.bytes_d2h);
+    }
+
+    #[test]
+    fn device_loss_mid_estimation_resumes_from_checkpoint() {
+        use tracto_gpu_sim::FaultPlan;
+
+        let ds = datasets::single_bundle(Dim3::new(6, 4, 4), Some(25.0), 3);
+        let mask = Mask::from_fn(ds.dwi.dims(), |c| c.j == 2 && c.k == 2);
+        let config = ChainConfig::fast_test();
+        let prior = PriorConfig::default();
+        let run = |plan: Option<&FaultPlan>| {
+            let mut multi = MultiGpu::new(small_gpu().config().clone(), 3);
+            if let Some(p) = plan {
+                multi.set_fault_plan(p);
+            }
+            run_mcmc_multi(
+                &mut multi,
+                &ds.acq,
+                &ds.dwi,
+                &mask,
+                prior,
+                config,
+                77,
+                CheckpointPolicy::every(3),
+            )
+            .map(|r| {
+                (
+                    r,
+                    multi.failovers(),
+                    multi.aggregate_ledger().useful_iterations,
+                )
+            })
+        };
+        let (clean, _, clean_useful) = run(None).unwrap();
+        // Lose device 1 partway through the segmented launches.
+        let plan = FaultPlan::parse("fault 1 2 device-lost").unwrap();
+        let (faulted, failovers, faulted_useful) = run(Some(&plan)).unwrap();
+        assert_eq!(clean.samples.f1, faulted.samples.f1, "bit-identical");
+        assert_eq!(clean.samples.th1, faulted.samples.th1);
+        assert_eq!(failovers, 1);
+        // No burn-in re-run: failed launches never advance a lane, so the
+        // faulted run performs exactly the same useful work.
+        assert_eq!(clean_useful, faulted_useful);
+    }
+
+    #[test]
+    fn all_devices_lost_surfaces_capacity_error() {
+        use tracto_gpu_sim::FaultPlan;
+
+        let ds = datasets::single_bundle(Dim3::new(6, 4, 4), None, 3);
+        let mask = Mask::from_fn(ds.dwi.dims(), |c| c == Ijk::new(3, 2, 2));
+        let plan = FaultPlan::parse("fault 0 0 device-lost\nfault 1 0 device-lost").unwrap();
+        let mut multi = MultiGpu::new(small_gpu().config().clone(), 2);
+        multi.set_fault_plan(&plan);
+        let err = run_mcmc_multi(
+            &mut multi,
+            &ds.acq,
+            &ds.dwi,
+            &mask,
+            PriorConfig::default(),
+            ChainConfig::fast_test(),
+            5,
+            CheckpointPolicy::disabled(),
+        )
+        .expect_err("no devices left");
+        assert_eq!(err.kind(), tracto_trace::ErrorKind::Capacity);
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod tracking2 {
     pub use tracto_tracking::probabilistic::{CpuTracker, RecordMode, TrackingOutput};
 }
 
-pub use estimation::{run_mcmc_gpu, McmcGpuReport};
+pub use estimation::{run_mcmc_gpu, run_mcmc_multi, McmcGpuReport};
 pub use pipeline::{Backend, Pipeline, PipelineConfig, PipelineOutcome};
 
 pub use tracto_diffusion as diffusion;
@@ -55,7 +55,7 @@ pub use tracto_volume as volume;
 
 /// Convenient glob-import surface for examples and tests.
 pub mod prelude {
-    pub use crate::estimation::{run_mcmc_gpu, McmcGpuReport};
+    pub use crate::estimation::{run_mcmc_gpu, run_mcmc_multi, McmcGpuReport};
     pub use crate::pipeline::{Backend, Pipeline, PipelineConfig, PipelineOutcome};
     pub use tracto_diffusion::{Acquisition, BallSticksPosterior, PriorConfig};
     pub use tracto_gpu_sim::{DeviceConfig, Gpu, TimingLedger};

@@ -1,0 +1,558 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a seeded, finite schedule of fault events addressed
+//! by `(device, operation index, kind)`. The simulator keeps one operation
+//! counter per fault *category* (launch / transfer / alloc) per device, and
+//! when a counter reaches an event's `at_op` the fault fires — exactly once.
+//! Because every event is consumed on firing, retry loops over a faulted
+//! operation always terminate, and because the schedule is pure data keyed
+//! on counters (not wall time), a run with a given plan is reproducible
+//! bit-for-bit.
+//!
+//! Faults never mutate lane state: they fire *before* the simulated kernel
+//! executes, so a failed launch leaves its lanes untouched and a replay on
+//! a surviving device produces the same results as a fault-free run — the
+//! property the chaos tests assert.
+
+use std::fmt;
+use std::path::Path;
+use tracto_trace::{TractoError, TractoResult};
+
+/// What kind of fault an event injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A kernel launch fails transiently (driver hiccup). The launch
+    /// charges only its fixed overhead; a retry on the same device works.
+    LaunchFail,
+    /// The device is lost: health becomes [`DeviceHealth::Failed`] and every
+    /// subsequent operation on it errors. Sticky.
+    DeviceLost,
+    /// A device allocation fails even though capacity remains (fragmentation
+    /// / driver fault). Transient.
+    AllocFail,
+    /// A transfer stalls until the plan's timeout, charges that stall to the
+    /// clock, then errors. Transient.
+    TransferTimeout,
+    /// The device drops to [`DeviceHealth::Degraded`]: kernels still run but
+    /// take `degrade_factor ×` as long. Sticky.
+    Degrade,
+}
+
+impl FaultKind {
+    /// Which operation counter this kind is matched against.
+    pub fn category(self) -> FaultCategory {
+        match self {
+            FaultKind::LaunchFail | FaultKind::DeviceLost | FaultKind::Degrade => {
+                FaultCategory::Launch
+            }
+            FaultKind::TransferTimeout => FaultCategory::Transfer,
+            FaultKind::AllocFail => FaultCategory::Alloc,
+        }
+    }
+
+    /// Stable kebab-case name, used in plan files and trace events.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::LaunchFail => "launch-fail",
+            FaultKind::DeviceLost => "device-lost",
+            FaultKind::AllocFail => "alloc-fail",
+            FaultKind::TransferTimeout => "transfer-timeout",
+            FaultKind::Degrade => "degrade",
+        }
+    }
+
+    /// Severity rank when several events collide on one operation: only the
+    /// most severe fires, the rest are dropped.
+    fn severity(self) -> u8 {
+        match self {
+            FaultKind::DeviceLost => 3,
+            FaultKind::LaunchFail | FaultKind::AllocFail | FaultKind::TransferTimeout => 2,
+            FaultKind::Degrade => 1,
+        }
+    }
+
+    fn parse(text: &str) -> Option<Self> {
+        match text {
+            "launch-fail" => Some(FaultKind::LaunchFail),
+            "device-lost" => Some(FaultKind::DeviceLost),
+            "alloc-fail" => Some(FaultKind::AllocFail),
+            "transfer-timeout" => Some(FaultKind::TransferTimeout),
+            "degrade" => Some(FaultKind::Degrade),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The operation counter a fault kind is matched against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultCategory {
+    /// Kernel launches.
+    Launch,
+    /// Transfers (either direction; one shared counter per device).
+    Transfer,
+    /// Device allocations.
+    Alloc,
+}
+
+/// Health of a simulated device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceHealth {
+    /// Operating normally.
+    Healthy,
+    /// Still executing, but kernels run `degrade_factor ×` slower.
+    Degraded,
+    /// Lost. Every operation errors with [`TractoError::Device`].
+    Failed,
+}
+
+/// One scheduled fault: fires when `device`'s counter for
+/// `kind.category()` reaches `at_op`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Which device the fault hits.
+    pub device: u32,
+    /// Zero-based index of the operation (within the kind's category) that
+    /// the fault fires on.
+    pub at_op: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of fault events plus the constants that shape
+/// their cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// The scheduled events, in declaration order.
+    pub events: Vec<FaultEvent>,
+    /// Simulated seconds a timed-out transfer stalls before erroring.
+    pub transfer_timeout_s: f64,
+    /// Kernel-time multiplier applied once a device degrades.
+    pub degrade_factor: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            events: Vec::new(),
+            transfer_timeout_s: 0.05,
+            degrade_factor: 4.0,
+        }
+    }
+}
+
+/// splitmix64: small, dependency-free, and good enough to scatter fault
+/// events deterministically from a seed.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults, default timing constants).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Generate a recoverable plan from a seed: transient launch failures,
+    /// transfer timeouts, and degradations scattered across `devices`
+    /// devices, plus at most `devices - 1` device losses — never all of
+    /// them. Every fault in a seeded plan is absorbable by multi-device
+    /// failover, so results stay bit-identical to a fault-free run.
+    pub fn seeded(seed: u64, devices: u32) -> Self {
+        let devices = devices.max(1);
+        let mut state = seed ^ 0xD6E8_FEB8_6659_FD93;
+        let mut events = Vec::new();
+        for d in 0..devices {
+            let r = splitmix64(&mut state);
+            if r % 2 == 0 {
+                events.push(FaultEvent {
+                    device: d,
+                    at_op: (r >> 32) & 3,
+                    kind: FaultKind::LaunchFail,
+                });
+            }
+            let r = splitmix64(&mut state);
+            if r % 3 == 0 {
+                events.push(FaultEvent {
+                    device: d,
+                    at_op: (r >> 32) & 3,
+                    kind: FaultKind::TransferTimeout,
+                });
+            }
+            let r = splitmix64(&mut state);
+            if r % 4 == 0 {
+                events.push(FaultEvent {
+                    device: d,
+                    at_op: (r >> 32) & 7,
+                    kind: FaultKind::Degrade,
+                });
+            }
+        }
+        if devices > 1 {
+            let losses = 1 + (splitmix64(&mut state) % u64::from(devices - 1)) as u32;
+            let mut candidates: Vec<u32> = (0..devices).collect();
+            for _ in 0..losses {
+                let idx = (splitmix64(&mut state) % candidates.len() as u64) as usize;
+                let device = candidates.swap_remove(idx);
+                events.push(FaultEvent {
+                    device,
+                    // Lose the device a little later than the transient
+                    // faults so both paths get exercised.
+                    at_op: 1 + (splitmix64(&mut state) & 3),
+                    kind: FaultKind::DeviceLost,
+                });
+            }
+        }
+        if events.is_empty() {
+            // A single lucky device still gets one transient fault so a
+            // seeded plan is never a silent no-op.
+            events.push(FaultEvent {
+                device: 0,
+                at_op: 0,
+                kind: FaultKind::LaunchFail,
+            });
+        }
+        FaultPlan {
+            events,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// The events addressed to one device, in declaration order.
+    pub fn events_for(&self, device: u32) -> Vec<FaultEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.device == device)
+            .copied()
+            .collect()
+    }
+
+    /// Highest device index named by any event, plus one (0 for an empty
+    /// plan). Useful for validating a plan against a pool size.
+    pub fn max_device(&self) -> u32 {
+        self.events.iter().map(|e| e.device + 1).max().unwrap_or(0)
+    }
+
+    /// Parse the plan file format: one directive per line, `#` comments.
+    ///
+    /// ```text
+    /// # lose device 1 on its second launch, stall a transfer on device 0
+    /// timeout-s 0.02
+    /// degrade-factor 3.0
+    /// fault 1 1 device-lost
+    /// fault 0 0 transfer-timeout
+    /// ```
+    pub fn parse(text: &str) -> TractoResult<Self> {
+        let mut plan = FaultPlan::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let directive = parts.next().unwrap_or("");
+            let bad = |what: &str| {
+                TractoError::config(format!("fault plan line {}: {what}: {raw:?}", lineno + 1))
+            };
+            match directive {
+                "timeout-s" => {
+                    let v: f64 = parts
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| bad("expected `timeout-s <seconds>`"))?;
+                    if v <= 0.0 || v.is_nan() {
+                        return Err(bad("timeout must be positive"));
+                    }
+                    plan.transfer_timeout_s = v;
+                }
+                "degrade-factor" => {
+                    let v: f64 = parts
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| bad("expected `degrade-factor <multiplier>`"))?;
+                    if v < 1.0 || v.is_nan() {
+                        return Err(bad("degrade factor must be >= 1"));
+                    }
+                    plan.degrade_factor = v;
+                }
+                "fault" => {
+                    let device: u32 = parts
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| bad("expected `fault <device> <at-op> <kind>`"))?;
+                    let at_op: u64 = parts
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| bad("expected `fault <device> <at-op> <kind>`"))?;
+                    let kind = parts.next().and_then(FaultKind::parse).ok_or_else(|| {
+                        bad("kind must be one of launch-fail, device-lost, \
+                                 alloc-fail, transfer-timeout, degrade")
+                    })?;
+                    plan.events.push(FaultEvent {
+                        device,
+                        at_op,
+                        kind,
+                    });
+                }
+                _ => return Err(bad("unknown directive")),
+            }
+            if parts.next().is_some() {
+                return Err(bad("trailing tokens"));
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Load and parse a plan file.
+    pub fn load(path: impl AsRef<Path>) -> TractoResult<Self> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| TractoError::io(format!("read fault plan {}", path.display()), e))?;
+        FaultPlan::parse(&text)
+    }
+}
+
+/// Per-device runtime fault state: the device's pending events, health, and
+/// operation counters. Owned by [`Gpu`](crate::Gpu); split out so the
+/// firing rule is testable on its own.
+#[derive(Debug, Clone)]
+pub(crate) struct FaultState {
+    pending: Vec<FaultEvent>,
+    pub(crate) health: DeviceHealth,
+    pub(crate) degrade_factor: f64,
+    pub(crate) transfer_timeout_s: f64,
+    planned_degrade_factor: f64,
+    launches_seen: u64,
+    transfers_seen: u64,
+    allocs_seen: u64,
+    pub(crate) faults_injected: u64,
+}
+
+impl Default for FaultState {
+    fn default() -> Self {
+        FaultState {
+            pending: Vec::new(),
+            health: DeviceHealth::Healthy,
+            degrade_factor: 1.0,
+            transfer_timeout_s: FaultPlan::default().transfer_timeout_s,
+            planned_degrade_factor: FaultPlan::default().degrade_factor,
+            launches_seen: 0,
+            transfers_seen: 0,
+            allocs_seen: 0,
+            faults_injected: 0,
+        }
+    }
+}
+
+impl FaultState {
+    /// Install `plan`'s events for `device`, resetting counters and health.
+    pub(crate) fn install(&mut self, plan: &FaultPlan, device: u32) {
+        *self = FaultState {
+            pending: plan.events_for(device),
+            transfer_timeout_s: plan.transfer_timeout_s,
+            planned_degrade_factor: plan.degrade_factor,
+            ..FaultState::default()
+        };
+    }
+
+    /// Advance the counter for `category` and return the fault (if any)
+    /// scheduled for the operation just counted. When several events
+    /// collide on one operation, the most severe fires and the others are
+    /// dropped — all are consumed either way, so retries terminate.
+    pub(crate) fn next_fault(&mut self, category: FaultCategory) -> Option<FaultKind> {
+        let op = match category {
+            FaultCategory::Launch => {
+                self.launches_seen += 1;
+                self.launches_seen - 1
+            }
+            FaultCategory::Transfer => {
+                self.transfers_seen += 1;
+                self.transfers_seen - 1
+            }
+            FaultCategory::Alloc => {
+                self.allocs_seen += 1;
+                self.allocs_seen - 1
+            }
+        };
+        let mut fired: Option<FaultKind> = None;
+        self.pending.retain(|e| {
+            if e.kind.category() == category && e.at_op == op {
+                match fired {
+                    Some(prev) if prev.severity() >= e.kind.severity() => {}
+                    _ => fired = Some(e.kind),
+                }
+                false
+            } else {
+                true
+            }
+        });
+        if let Some(kind) = fired {
+            self.faults_injected += 1;
+            match kind {
+                FaultKind::DeviceLost => self.health = DeviceHealth::Failed,
+                FaultKind::Degrade if self.health == DeviceHealth::Healthy => {
+                    self.health = DeviceHealth::Degraded;
+                    self.degrade_factor = self.planned_degrade_factor;
+                }
+                _ => {}
+            }
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_recoverable() {
+        for seed in [0u64, 1, 2, 3, 42, 0xDEADBEEF] {
+            for devices in [1u32, 2, 4, 8] {
+                let a = FaultPlan::seeded(seed, devices);
+                let b = FaultPlan::seeded(seed, devices);
+                assert_eq!(a, b, "seed {seed} devices {devices}");
+                assert!(!a.events.is_empty());
+                let losses = a
+                    .events
+                    .iter()
+                    .filter(|e| e.kind == FaultKind::DeviceLost)
+                    .count();
+                assert!(
+                    losses < devices as usize,
+                    "seed {seed}: {losses} losses must leave a survivor among {devices}"
+                );
+                assert!(
+                    a.events.iter().all(|e| e.kind != FaultKind::AllocFail),
+                    "seeded plans only contain internally recoverable faults"
+                );
+                assert!(a.events.iter().all(|e| e.device < devices));
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::seeded(1, 4);
+        let b = FaultPlan::seeded(2, 4);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn parse_round_trips_directives() {
+        let plan = FaultPlan::parse(
+            "# header comment\n\
+             timeout-s 0.02\n\
+             degrade-factor 3.0\n\
+             fault 1 1 device-lost  # inline comment\n\
+             fault 0 0 transfer-timeout\n\
+             fault 0 2 alloc-fail\n",
+        )
+        .unwrap();
+        assert_eq!(plan.transfer_timeout_s, 0.02);
+        assert_eq!(plan.degrade_factor, 3.0);
+        assert_eq!(plan.events.len(), 3);
+        assert_eq!(
+            plan.events[0],
+            FaultEvent {
+                device: 1,
+                at_op: 1,
+                kind: FaultKind::DeviceLost
+            }
+        );
+        assert_eq!(plan.max_device(), 2);
+        assert_eq!(plan.events_for(0).len(), 2);
+        assert_eq!(plan.events_for(7).len(), 0);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        for bad in [
+            "fault 0 0 explode",
+            "fault 0 zero launch-fail",
+            "fault 0",
+            "timeout-s -1",
+            "degrade-factor 0.5",
+            "warp-core-breach 1",
+            "fault 0 0 launch-fail extra",
+        ] {
+            let err = FaultPlan::parse(bad).expect_err(bad);
+            assert_eq!(err.kind(), tracto_trace::ErrorKind::Config, "{bad}");
+            assert!(err.to_string().contains("line 1"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn fault_state_fires_once_at_indexed_op() {
+        let plan = FaultPlan::parse("fault 0 2 launch-fail\nfault 0 1 transfer-timeout").unwrap();
+        let mut state = FaultState::default();
+        state.install(&plan, 0);
+        assert_eq!(state.next_fault(FaultCategory::Launch), None); // op 0
+        assert_eq!(state.next_fault(FaultCategory::Launch), None); // op 1
+        assert_eq!(
+            state.next_fault(FaultCategory::Launch),
+            Some(FaultKind::LaunchFail)
+        );
+        // Consumed: the retry of launch op 3 is clean.
+        assert_eq!(state.next_fault(FaultCategory::Launch), None);
+        assert_eq!(state.next_fault(FaultCategory::Transfer), None);
+        assert_eq!(
+            state.next_fault(FaultCategory::Transfer),
+            Some(FaultKind::TransferTimeout)
+        );
+        assert_eq!(state.faults_injected, 2);
+        assert_eq!(state.health, DeviceHealth::Healthy);
+    }
+
+    #[test]
+    fn colliding_events_fire_most_severe_and_consume_all() {
+        let plan =
+            FaultPlan::parse("fault 0 0 degrade\nfault 0 0 device-lost\nfault 0 0 launch-fail")
+                .unwrap();
+        let mut state = FaultState::default();
+        state.install(&plan, 0);
+        assert_eq!(
+            state.next_fault(FaultCategory::Launch),
+            Some(FaultKind::DeviceLost)
+        );
+        assert_eq!(state.health, DeviceHealth::Failed);
+        assert_eq!(state.next_fault(FaultCategory::Launch), None);
+    }
+
+    #[test]
+    fn degrade_sets_health_and_factor() {
+        let mut plan = FaultPlan::parse("fault 0 0 degrade").unwrap();
+        plan.degrade_factor = 2.5;
+        let mut state = FaultState::default();
+        state.install(&plan, 0);
+        assert_eq!(
+            state.next_fault(FaultCategory::Launch),
+            Some(FaultKind::Degrade)
+        );
+        assert_eq!(state.health, DeviceHealth::Degraded);
+        assert_eq!(state.degrade_factor, 2.5);
+    }
+
+    #[test]
+    fn events_only_hit_their_device() {
+        let plan = FaultPlan::parse("fault 3 0 launch-fail").unwrap();
+        let mut state = FaultState::default();
+        state.install(&plan, 0);
+        assert_eq!(state.next_fault(FaultCategory::Launch), None);
+        let mut state3 = FaultState::default();
+        state3.install(&plan, 3);
+        assert_eq!(
+            state3.next_fault(FaultCategory::Launch),
+            Some(FaultKind::LaunchFail)
+        );
+    }
+}

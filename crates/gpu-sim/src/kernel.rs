@@ -1,11 +1,12 @@
 //! Kernel execution: real computation, lockstep-charged timing.
 
 use crate::device::DeviceConfig;
+use crate::fault::{DeviceHealth, FaultCategory, FaultKind, FaultPlan, FaultState};
 use crate::ledger::TimingLedger;
 use crate::schedule::{EventKind, ScheduleEvent, ScheduleTrace};
 use rayon::prelude::*;
 use std::time::Instant;
-use tracto_trace::{Tracer, TractoError};
+use tracto_trace::{Tracer, TractoError, TractoResult};
 
 /// Whether a lane wants to keep iterating.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +71,7 @@ pub struct Gpu {
     allocated_bytes: u64,
     tracer: Tracer,
     device_id: u32,
+    fault: FaultState,
 }
 
 impl Gpu {
@@ -83,6 +85,7 @@ impl Gpu {
             allocated_bytes: 0,
             tracer: Tracer::disabled(),
             device_id: 0,
+            fault: FaultState::default(),
         }
     }
 
@@ -120,27 +123,127 @@ impl Gpu {
         &self.trace
     }
 
-    /// Reset ledger, trace, and clock (keep the device model).
+    /// Reset ledger, trace, and clock (keep the device model). Fault state
+    /// — health, pending events, operation counters — is preserved: a lost
+    /// device stays lost across a reset. Reinstall a plan with
+    /// [`set_fault_plan`](Self::set_fault_plan) to revive it.
     pub fn reset(&mut self) {
         self.ledger = TimingLedger::default();
         self.trace = ScheduleTrace::default();
         self.clock_s = 0.0;
     }
 
+    /// Install `plan`'s events addressed to `device` on this GPU, resetting
+    /// health, operation counters, and the injected-fault count.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan, device: u32) {
+        self.fault.install(plan, device);
+    }
+
+    /// Current health of this device.
+    pub fn health(&self) -> DeviceHealth {
+        self.fault.health
+    }
+
+    /// How many faults the plan has injected on this device so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.fault.faults_injected
+    }
+
+    /// Emit a `gpu.fault` trace event for an injected fault.
+    fn emit_fault(&mut self, kind: FaultKind, op: &'static str) {
+        if self.tracer.enabled() {
+            let health = match self.fault.health {
+                DeviceHealth::Healthy => "healthy",
+                DeviceHealth::Degraded => "degraded",
+                DeviceHealth::Failed => "failed",
+            };
+            self.tracer.emit_sim(
+                "gpu.fault",
+                self.clock_s,
+                &[
+                    ("device", self.device_id.into()),
+                    ("kind", kind.as_str().into()),
+                    ("op", op.into()),
+                    ("health", health.into()),
+                ],
+            );
+        }
+    }
+
     /// Launch a kernel over `lanes` with a per-lane iteration budget of
     /// `max_iters` (one `NumIteration[i]` entry of the segmentation array).
     ///
-    /// Lanes are grouped into wavefronts **in submission order** — exactly
-    /// how the paper's kernel maps seed points to SIMD threads — and each
-    /// wavefront is charged the maximum iteration count among its lanes
-    /// (lockstep execution). The real per-lane computation runs in parallel
-    /// with one rayon task per wavefront.
+    /// Infallible wrapper over [`try_launch`](Self::try_launch) for devices
+    /// without a fault plan, where a launch cannot fail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fault plan injects a launch fault or the device has
+    /// failed; fault-aware callers use `try_launch`.
     pub fn launch<K: SimKernel>(
         &mut self,
         kernel: &K,
         lanes: &mut [K::Lane],
         max_iters: u32,
     ) -> LaunchStats {
+        self.try_launch(kernel, lanes, max_iters)
+            .expect("launch failed on a device with a fault plan; use try_launch")
+    }
+
+    /// Fault-aware launch. Scheduled launch faults fire *before* any lane
+    /// is stepped, so a failed launch leaves lane state untouched (the
+    /// failed attempt still charges its fixed launch overhead to the
+    /// simulated clock) and a replay — on this device or another — yields
+    /// results bit-identical to a fault-free run.
+    ///
+    /// Lanes are grouped into wavefronts **in submission order** — exactly
+    /// how the paper's kernel maps seed points to SIMD threads — and each
+    /// wavefront is charged the maximum iteration count among its lanes
+    /// (lockstep execution). The real per-lane computation runs in parallel
+    /// with one rayon task per wavefront. On a [`DeviceHealth::Degraded`]
+    /// device the charged kernel time is multiplied by the plan's
+    /// `degrade_factor`.
+    pub fn try_launch<K: SimKernel>(
+        &mut self,
+        kernel: &K,
+        lanes: &mut [K::Lane],
+        max_iters: u32,
+    ) -> TractoResult<LaunchStats> {
+        if self.fault.health == DeviceHealth::Failed {
+            return Err(TractoError::device(
+                self.device_id,
+                "kernel launch on failed device",
+            ));
+        }
+        if let Some(kind) = self.fault.next_fault(FaultCategory::Launch) {
+            match kind {
+                FaultKind::LaunchFail | FaultKind::DeviceLost => {
+                    let overhead = self.config.kernel_seconds_weighted(0, kernel.cost_weight());
+                    self.ledger.kernel_s += overhead;
+                    self.trace.push(ScheduleEvent {
+                        kind: EventKind::Kernel,
+                        start_s: self.clock_s,
+                        duration_s: overhead,
+                        lanes: 0,
+                    });
+                    self.clock_s += overhead;
+                    self.emit_fault(kind, "launch");
+                    let context = if kind == FaultKind::DeviceLost {
+                        "device lost during kernel launch"
+                    } else {
+                        "kernel launch failed"
+                    };
+                    return Err(TractoError::device(self.device_id, context));
+                }
+                FaultKind::Degrade => {
+                    // Sticky slowdown; the launch itself proceeds.
+                    self.emit_fault(kind, "launch");
+                }
+                FaultKind::AllocFail | FaultKind::TransferTimeout => {
+                    unreachable!("category filter yields only launch faults")
+                }
+            }
+        }
         let wf = self.config.wavefront_size.max(1);
         let n = lanes.len();
         let wall_start = Instant::now();
@@ -192,7 +295,8 @@ impl Gpu {
 
         let kernel_s = self
             .config
-            .kernel_seconds_weighted(wavefront_iterations, kernel.cost_weight());
+            .kernel_seconds_weighted(wavefront_iterations, kernel.cost_weight())
+            * self.fault.degrade_factor;
         self.ledger.kernel_s += kernel_s;
         self.ledger.launches += 1;
         self.ledger.useful_iterations += useful;
@@ -221,17 +325,66 @@ impl Gpu {
             );
         }
 
-        LaunchStats {
+        Ok(LaunchStats {
             executed,
             finished,
             kernel_s,
             charged_iterations: charged,
             useful_iterations: useful,
+        })
+    }
+
+    /// Whether a scheduled fault pre-empts a transfer. On a timeout the
+    /// stall is charged to the clock and ledger before the error returns.
+    fn check_transfer_fault(
+        &mut self,
+        event_kind: EventKind,
+        dir: &'static str,
+    ) -> TractoResult<()> {
+        if self.fault.health == DeviceHealth::Failed {
+            return Err(TractoError::device(
+                self.device_id,
+                format!("{dir} transfer on failed device"),
+            ));
         }
+        if let Some(kind) = self.fault.next_fault(FaultCategory::Transfer) {
+            let stall = self.fault.transfer_timeout_s;
+            self.ledger.transfer_s += stall;
+            self.trace.push(ScheduleEvent {
+                kind: event_kind,
+                start_s: self.clock_s,
+                duration_s: stall,
+                lanes: 0,
+            });
+            self.clock_s += stall;
+            self.emit_fault(kind, "transfer");
+            return Err(TractoError::device(
+                self.device_id,
+                format!("{dir} transfer timed out"),
+            ));
+        }
+        Ok(())
     }
 
     /// Charge a host→device transfer.
+    ///
+    /// Infallible wrapper over [`try_transfer_to_device`]
+    /// (Self::try_transfer_to_device) for devices without a fault plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fault plan injects a transfer fault or the device has
+    /// failed.
     pub fn transfer_to_device(&mut self, bytes: u64) -> f64 {
+        self.try_transfer_to_device(bytes)
+            .expect("transfer failed on a device with a fault plan; use try_transfer_to_device")
+    }
+
+    /// Fault-aware host→device transfer: a scheduled timeout stalls for the
+    /// plan's `transfer_timeout_s` (charged to the simulated clock), then
+    /// errors without moving any bytes.
+    pub fn try_transfer_to_device(&mut self, bytes: u64) -> TractoResult<f64> {
+        self.check_transfer_fault(EventKind::TransferH2D, "host-to-device")?;
         let t = self.config.pcie.transfer_seconds(bytes);
         self.ledger.transfer_s += t;
         self.ledger.bytes_h2d += bytes;
@@ -253,11 +406,28 @@ impl Gpu {
                 ],
             );
         }
-        t
+        Ok(t)
     }
 
     /// Charge a device→host transfer.
+    ///
+    /// Infallible wrapper over [`try_transfer_to_host`]
+    /// (Self::try_transfer_to_host) for devices without a fault plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fault plan injects a transfer fault or the device has
+    /// failed.
     pub fn transfer_to_host(&mut self, bytes: u64) -> f64 {
+        self.try_transfer_to_host(bytes)
+            .expect("transfer failed on a device with a fault plan; use try_transfer_to_host")
+    }
+
+    /// Fault-aware device→host transfer: a scheduled timeout stalls for the
+    /// plan's `transfer_timeout_s` (charged to the simulated clock), then
+    /// errors without moving any bytes.
+    pub fn try_transfer_to_host(&mut self, bytes: u64) -> TractoResult<f64> {
+        self.check_transfer_fault(EventKind::TransferD2H, "device-to-host")?;
         let t = self.config.pcie.transfer_seconds(bytes);
         self.ledger.transfer_s += t;
         self.ledger.bytes_d2h += bytes;
@@ -279,7 +449,7 @@ impl Gpu {
                 ],
             );
         }
-        t
+        Ok(t)
     }
 
     /// Charge a host-side reduction/compaction over `elements` items.
@@ -313,8 +483,23 @@ impl Gpu {
     }
 
     /// Reserve device memory. Fails with [`TractoError::Capacity`] when the
-    /// device's capacity would be exceeded.
+    /// device's capacity would be exceeded, or with [`TractoError::Device`]
+    /// when the device has failed or a fault plan injects an allocation
+    /// fault (transient — a retry may succeed).
     pub fn device_alloc(&mut self, bytes: u64) -> Result<(), TractoError> {
+        if self.fault.health == DeviceHealth::Failed {
+            return Err(TractoError::device(
+                self.device_id,
+                "allocation on failed device",
+            ));
+        }
+        if let Some(kind) = self.fault.next_fault(FaultCategory::Alloc) {
+            self.emit_fault(kind, "alloc");
+            return Err(TractoError::device(
+                self.device_id,
+                "device allocation fault",
+            ));
+        }
         let new_total = self.allocated_bytes + bytes;
         if new_total > self.config.memory_bytes {
             Err(TractoError::capacity(
@@ -528,6 +713,115 @@ mod tests {
         let err = gpu.device_alloc(cap + 1).expect_err("over capacity");
         assert_eq!(err.kind(), tracto_trace::ErrorKind::Capacity);
         assert!(err.to_string().contains("device memory"));
+    }
+
+    #[test]
+    fn launch_fault_fires_before_lane_mutation() {
+        let plan = FaultPlan::parse("fault 0 0 launch-fail").unwrap();
+        let mut gpu = Gpu::new(device());
+        gpu.set_fault_plan(&plan, 0);
+        let mut lanes = vec![3u32, 1, 5, 2];
+        let err = gpu
+            .try_launch(&CountdownKernel, &mut lanes, 100)
+            .expect_err("op 0 launch faulted");
+        assert_eq!(err.kind(), tracto_trace::ErrorKind::Device);
+        assert!(err.is_retryable());
+        assert_eq!(lanes, vec![3, 1, 5, 2], "failed launch never touches lanes");
+        // The failed attempt still cost its fixed overhead.
+        let overhead = gpu.config().kernel_seconds_weighted(0, 1.0);
+        assert!((gpu.clock_s() - overhead).abs() < 1e-15);
+        assert_eq!(gpu.health(), DeviceHealth::Healthy);
+        // Transient: the retry (launch op 1) succeeds with full results.
+        let stats = gpu
+            .try_launch(&CountdownKernel, &mut lanes, 100)
+            .expect("retry clean");
+        assert_eq!(stats.executed, vec![3, 1, 5, 2]);
+        assert_eq!(gpu.faults_injected(), 1);
+    }
+
+    #[test]
+    fn device_lost_is_sticky() {
+        let plan = FaultPlan::parse("fault 0 1 device-lost").unwrap();
+        let mut gpu = Gpu::new(device());
+        gpu.set_fault_plan(&plan, 0);
+        let mut lanes = vec![2u32; 4];
+        gpu.try_launch(&CountdownKernel, &mut lanes, 10).unwrap();
+        let err = gpu
+            .try_launch(&CountdownKernel, &mut lanes, 10)
+            .expect_err("lost on second launch");
+        assert_eq!(err.kind(), tracto_trace::ErrorKind::Device);
+        assert_eq!(gpu.health(), DeviceHealth::Failed);
+        // Every subsequent operation errors.
+        assert!(gpu.try_launch(&CountdownKernel, &mut lanes, 10).is_err());
+        assert!(gpu.try_transfer_to_device(64).is_err());
+        assert!(gpu.try_transfer_to_host(64).is_err());
+        assert!(gpu.device_alloc(64).is_err());
+    }
+
+    #[test]
+    fn transfer_timeout_charges_stall_then_errors() {
+        let plan = FaultPlan::parse("timeout-s 0.125\nfault 0 0 transfer-timeout").unwrap();
+        let mut gpu = Gpu::new(device());
+        gpu.set_fault_plan(&plan, 0);
+        let err = gpu.try_transfer_to_device(1024).expect_err("timed out");
+        assert!(err.is_retryable());
+        assert!((gpu.clock_s() - 0.125).abs() < 1e-15);
+        assert_eq!(gpu.ledger().bytes_h2d, 0, "no bytes moved");
+        // The retry is clean and moves the bytes.
+        gpu.try_transfer_to_device(1024).expect("retry clean");
+        assert_eq!(gpu.ledger().bytes_h2d, 1024);
+    }
+
+    #[test]
+    fn degrade_slows_kernels_but_results_identical() {
+        let plan = FaultPlan::parse("degrade-factor 4.0\nfault 0 0 degrade").unwrap();
+        let mut clean = Gpu::new(device());
+        let mut slow = Gpu::new(device());
+        slow.set_fault_plan(&plan, 0);
+        let mut a = vec![9u32, 3, 7, 5];
+        let mut b = a.clone();
+        let sc = clean.launch(&CountdownKernel, &mut a, 100);
+        let sd = slow
+            .try_launch(&CountdownKernel, &mut b, 100)
+            .expect("degraded device still runs");
+        assert_eq!(a, b, "degradation affects time, never results");
+        assert_eq!(slow.health(), DeviceHealth::Degraded);
+        assert!((sd.kernel_s / sc.kernel_s - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alloc_fault_is_transient_device_error() {
+        let plan = FaultPlan::parse("fault 0 0 alloc-fail").unwrap();
+        let mut gpu = Gpu::new(device());
+        gpu.set_fault_plan(&plan, 0);
+        let err = gpu.device_alloc(1024).expect_err("alloc fault");
+        assert_eq!(err.kind(), tracto_trace::ErrorKind::Device);
+        assert!(err.is_retryable());
+        assert_eq!(gpu.allocated_bytes(), 0);
+        gpu.device_alloc(1024).expect("retry clean");
+        assert_eq!(gpu.allocated_bytes(), 1024);
+    }
+
+    #[test]
+    fn injected_faults_emit_trace_events() {
+        use std::sync::Arc;
+        use tracto_trace::{RingSink, Tracer};
+
+        let plan = FaultPlan::parse(
+            "fault 2 0 launch-fail\nfault 2 0 transfer-timeout\nfault 2 0 alloc-fail",
+        )
+        .unwrap();
+        let ring = Arc::new(RingSink::new(64));
+        let mut gpu = Gpu::with_tracer(device(), Tracer::shared(ring.clone()));
+        gpu.set_tracer(Tracer::shared(ring.clone()), 2);
+        gpu.set_fault_plan(&plan, 2);
+        let mut lanes = vec![1u32];
+        let _ = gpu.try_launch(&CountdownKernel, &mut lanes, 10);
+        let _ = gpu.try_transfer_to_host(64);
+        let _ = gpu.device_alloc(64);
+        let faults = ring.named("gpu.fault");
+        assert_eq!(faults.len(), 3);
+        assert!(faults.iter().all(|e| e.field_u64("device") == Some(2)));
     }
 
     #[test]

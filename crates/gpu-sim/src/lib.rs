@@ -35,11 +35,13 @@ mod device;
 mod kernel;
 mod ledger;
 
+pub mod fault;
 pub mod multi;
 pub mod overlap;
 pub mod schedule;
 
 pub use device::{DeviceConfig, PcieModel};
+pub use fault::{DeviceHealth, FaultEvent, FaultKind, FaultPlan};
 pub use kernel::{Gpu, LaneStatus, LaunchStats, SimKernel};
 pub use ledger::TimingLedger;
 pub use multi::MultiGpu;

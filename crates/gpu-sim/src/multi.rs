@@ -10,11 +10,18 @@
 //! host bus serializes transfers and the single CPU serializes reductions.
 
 use crate::device::DeviceConfig;
+use crate::fault::{DeviceHealth, FaultPlan};
 use crate::kernel::{Gpu, LaunchStats, SimKernel};
 use crate::ledger::TimingLedger;
-use tracto_trace::{Tracer, TractoError};
+use tracto_trace::{Tracer, TractoError, TractoResult};
 
 /// A group of identical simulated devices sharing one host.
+///
+/// Device faults injected by a [`FaultPlan`] are absorbed here where
+/// possible: transient launch failures and transfer timeouts retry on the
+/// same device, and a lost device's lane shard fails over to the survivors
+/// (see [`launch_partitioned`](Self::launch_partitioned)). Only allocation
+/// faults and the loss of *every* device escape to the caller.
 #[derive(Debug)]
 pub struct MultiGpu {
     devices: Vec<Gpu>,
@@ -22,106 +29,294 @@ pub struct MultiGpu {
     // serialized.
     kernel_wall_s: f64,
     host_serial_s: f64,
+    failovers: u64,
+    fault_retries: u64,
+    tracer: Tracer,
 }
 
 impl MultiGpu {
     /// Bring up `n` identical devices.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0`; fallible callers use
+    /// [`try_new`](Self::try_new).
     pub fn new(config: DeviceConfig, n: usize) -> Self {
-        assert!(n >= 1, "need at least one device");
-        MultiGpu {
+        MultiGpu::try_new(config, n).expect("need at least one device")
+    }
+
+    /// Bring up `n` identical devices, rejecting `n == 0` with
+    /// [`TractoError::Config`].
+    pub fn try_new(config: DeviceConfig, n: usize) -> TractoResult<Self> {
+        if n == 0 {
+            return Err(TractoError::config("device pool needs at least one device"));
+        }
+        Ok(MultiGpu {
             devices: (0..n).map(|_| Gpu::new(config.clone())).collect(),
             kernel_wall_s: 0.0,
             host_serial_s: 0.0,
-        }
+            failovers: 0,
+            fault_retries: 0,
+            tracer: Tracer::disabled(),
+        })
     }
 
-    /// Number of devices.
+    /// Number of devices (including failed ones).
     pub fn num_devices(&self) -> usize {
         self.devices.len()
+    }
+
+    /// Number of devices still able to execute work (healthy or degraded).
+    pub fn alive_devices(&self) -> usize {
+        self.devices
+            .iter()
+            .filter(|d| d.health() != DeviceHealth::Failed)
+            .count()
+    }
+
+    /// Per-device health, indexed by device id.
+    pub fn health(&self) -> Vec<DeviceHealth> {
+        self.devices.iter().map(|d| d.health()).collect()
+    }
+
+    /// How many lane shards have been re-partitioned off a lost device.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// How many transient faults were absorbed by same-device retries.
+    pub fn fault_retries(&self) -> u64 {
+        self.fault_retries
+    }
+
+    /// Total faults injected across the pool so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.devices.iter().map(|d| d.faults_injected()).sum()
+    }
+
+    /// Install a fault plan: device `d` receives the plan's events
+    /// addressed to device `d`.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        for (d, gpu) in self.devices.iter_mut().enumerate() {
+            gpu.set_fault_plan(plan, d as u32);
+        }
     }
 
     /// Attach a tracer to every device; device `d`'s events carry
     /// `device=d`.
     pub fn set_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = tracer.clone();
         for (d, gpu) in self.devices.iter_mut().enumerate() {
             gpu.set_tracer(tracer.clone(), d as u32);
         }
     }
 
+    /// Indices of devices that can still execute work.
+    fn alive_indices(&self) -> Vec<usize> {
+        self.devices
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.health() != DeviceHealth::Failed)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// All devices lost: the pool can no longer run anything.
+    fn pool_exhausted() -> TractoError {
+        TractoError::capacity("gpu devices", 1, 0)
+    }
+
     /// Launch a kernel with lanes partitioned round-robin-contiguously
-    /// (device `d` gets the `d`-th contiguous shard). Returns per-device
-    /// launch stats; lanes are mutated in place.
+    /// (device `d` gets the `d`-th contiguous shard). Returns per-shard
+    /// launch stats whose concatenated `executed`/`finished` vectors align
+    /// with `lanes` in order; lanes are mutated in place.
     ///
-    /// Simulated wall time advances by the **maximum** shard kernel time —
-    /// devices run concurrently.
+    /// Simulated wall time advances by the **maximum** shard kernel time
+    /// per round — devices run concurrently.
+    ///
+    /// Fault handling: a transient launch failure retries on the same
+    /// device (the failed attempt's overhead is charged). A lost device
+    /// triggers failover — its shard and every not-yet-launched shard of
+    /// the round are re-partitioned across the surviving devices and
+    /// replayed. Because faults fire before any lane is stepped, the
+    /// failed-over replay produces results bit-identical to a fault-free
+    /// run. Errors with [`TractoError::Capacity`] only when no device
+    /// remains.
     pub fn launch_partitioned<K: SimKernel>(
         &mut self,
         kernel: &K,
         lanes: &mut [K::Lane],
         max_iters: u32,
-    ) -> Vec<LaunchStats> {
-        let n = self.devices.len();
-        let shard = lanes.len().div_ceil(n).max(1);
-        let mut stats = Vec::with_capacity(n);
-        let mut slowest = 0.0f64;
-        for (d, chunk) in lanes.chunks_mut(shard).enumerate() {
-            let s = self.devices[d].launch(kernel, chunk, max_iters);
-            slowest = slowest.max(s.kernel_s);
-            stats.push(s);
+    ) -> TractoResult<Vec<LaunchStats>> {
+        let mut stats = Vec::with_capacity(self.devices.len());
+        let mut rest: &mut [K::Lane] = lanes;
+        loop {
+            if rest.is_empty() {
+                return Ok(stats);
+            }
+            let alive = self.alive_indices();
+            if alive.is_empty() {
+                return Err(Self::pool_exhausted());
+            }
+            let shard = rest.len().div_ceil(alive.len()).max(1);
+            let mut round_slowest = 0.0f64;
+            let mut done_lanes = 0usize;
+            let mut lost_device: Option<usize> = None;
+            for (k, chunk) in rest.chunks_mut(shard).enumerate() {
+                let d = alive[k];
+                let t0 = self.devices[d].clock_s();
+                let outcome = loop {
+                    match self.devices[d].try_launch(kernel, chunk, max_iters) {
+                        Ok(s) => break Ok(s),
+                        Err(e) if self.devices[d].health() == DeviceHealth::Failed => {
+                            break Err(e);
+                        }
+                        Err(_) => {
+                            // Transient launch failure: retry on the same
+                            // device. Bounded — every fault event fires at
+                            // most once.
+                            self.fault_retries += 1;
+                            if self.tracer.enabled() {
+                                self.tracer.emit(
+                                    "gpu.retry",
+                                    &[("device", (d as u32).into()), ("op", "launch".into())],
+                                );
+                            }
+                        }
+                    }
+                };
+                // Device time spent this round, including failed attempts.
+                round_slowest = round_slowest.max(self.devices[d].clock_s() - t0);
+                match outcome {
+                    Ok(s) => {
+                        done_lanes += chunk.len();
+                        stats.push(s);
+                    }
+                    Err(_) => {
+                        lost_device = Some(d);
+                        break;
+                    }
+                }
+            }
+            self.kernel_wall_s += round_slowest;
+            let Some(d) = lost_device else {
+                return Ok(stats);
+            };
+            // Failover: re-partition everything not yet executed (the lost
+            // device's untouched shard plus any shards after it) across the
+            // survivors on the next round.
+            self.failovers += 1;
+            if self.tracer.enabled() {
+                self.tracer.emit(
+                    "gpu.failover",
+                    &[
+                        ("device", (d as u32).into()),
+                        ("orphaned_lanes", (rest.len() - done_lanes).into()),
+                        ("survivors", self.alive_devices().into()),
+                    ],
+                );
+            }
+            let r = std::mem::take(&mut rest);
+            rest = &mut r[done_lanes..];
         }
-        self.kernel_wall_s += slowest;
-        stats
     }
 
-    /// Broadcast an upload (e.g. the sample volume) to every device over
-    /// the shared bus: the bus serializes, so cost is `n ×` one transfer.
+    /// Run one serialized host-bus transfer on device `i` via `op`,
+    /// absorbing transient timeouts by retrying (each stall is charged to
+    /// serialized host time). Gives up only if the device fails outright.
+    fn transfer_with_retry(
+        &mut self,
+        i: usize,
+        op: impl Fn(&mut Gpu) -> TractoResult<f64>,
+        label: &'static str,
+    ) {
+        loop {
+            let d = &mut self.devices[i];
+            if d.health() == DeviceHealth::Failed {
+                return;
+            }
+            let before = d.clock_s();
+            match op(d) {
+                Ok(t) => {
+                    self.host_serial_s += t;
+                    return;
+                }
+                Err(_) => {
+                    // Timed-out transfer: the stall was charged to the
+                    // device clock; mirror it into serialized host time and
+                    // retry.
+                    self.host_serial_s += self.devices[i].clock_s() - before;
+                    self.fault_retries += 1;
+                    if self.tracer.enabled() {
+                        self.tracer.emit(
+                            "gpu.retry",
+                            &[("device", (i as u32).into()), ("op", label.into())],
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Broadcast an upload (e.g. the sample volume) to every live device
+    /// over the shared bus: the bus serializes, so cost is `alive ×` one
+    /// transfer.
     pub fn broadcast_to_devices(&mut self, bytes: u64) {
-        for d in &mut self.devices {
-            let t = d.transfer_to_device(bytes);
-            self.host_serial_s += t;
+        for i in 0..self.devices.len() {
+            self.transfer_with_retry(i, |d| d.try_transfer_to_device(bytes), "broadcast");
         }
     }
 
     /// Upload distinct shards (e.g. start points): total bytes split across
-    /// devices, one serialized transfer each.
+    /// live devices, one serialized transfer each.
     pub fn scatter_to_devices(&mut self, total_bytes: u64) {
-        let n = self.devices.len() as u64;
-        for d in &mut self.devices {
-            let t = d.transfer_to_device(total_bytes / n);
-            self.host_serial_s += t;
-        }
-    }
-
-    /// Read each device's shard back.
-    pub fn gather_to_host(&mut self, total_bytes: u64) {
-        let n = self.devices.len() as u64;
-        for d in &mut self.devices {
-            let t = d.transfer_to_host(total_bytes / n);
-            self.host_serial_s += t;
-        }
-    }
-
-    /// Host reduction over all shards (serialized on the one CPU).
-    pub fn host_reduction(&mut self, elements: u64) {
-        let n = self.devices.len() as u64;
-        for d in &mut self.devices {
-            let t = d.host_reduction(elements / n.max(1));
-            self.host_serial_s += t;
-        }
-    }
-
-    /// Reserve `bytes` on every device (replicated residency, e.g. each
-    /// device holding the full sample-volume stack). On failure the
-    /// devices already charged are rolled back and the first device's
-    /// [`TractoError::Capacity`] error is returned.
-    pub fn device_alloc_all(&mut self, bytes: u64) -> Result<(), TractoError> {
+        let n = self.alive_devices().max(1) as u64;
         for i in 0..self.devices.len() {
+            self.transfer_with_retry(i, |d| d.try_transfer_to_device(total_bytes / n), "scatter");
+        }
+    }
+
+    /// Read each live device's shard back.
+    pub fn gather_to_host(&mut self, total_bytes: u64) {
+        let n = self.alive_devices().max(1) as u64;
+        for i in 0..self.devices.len() {
+            self.transfer_with_retry(i, |d| d.try_transfer_to_host(total_bytes / n), "gather");
+        }
+    }
+
+    /// Host reduction over all live shards (serialized on the one CPU).
+    pub fn host_reduction(&mut self, elements: u64) {
+        let n = self.alive_devices().max(1) as u64;
+        for d in &mut self.devices {
+            if d.health() == DeviceHealth::Failed {
+                continue;
+            }
+            let t = d.host_reduction(elements / n);
+            self.host_serial_s += t;
+        }
+    }
+
+    /// Reserve `bytes` on every live device (replicated residency, e.g.
+    /// each device holding the full sample-volume stack). On failure the
+    /// devices already charged are rolled back and the error is returned:
+    /// [`TractoError::Capacity`] for genuine exhaustion, retryable
+    /// [`TractoError::Device`] for an injected allocation fault.
+    pub fn device_alloc_all(&mut self, bytes: u64) -> Result<(), TractoError> {
+        if self.alive_devices() == 0 {
+            return Err(Self::pool_exhausted());
+        }
+        let mut charged: Vec<usize> = Vec::new();
+        for i in 0..self.devices.len() {
+            if self.devices[i].health() == DeviceHealth::Failed {
+                continue;
+            }
             if let Err(err) = self.devices[i].device_alloc(bytes) {
-                for d in &mut self.devices[..i] {
-                    d.device_free(bytes);
+                for &j in &charged {
+                    self.devices[j].device_free(bytes);
                 }
                 return Err(err);
             }
+            charged.push(i);
         }
         Ok(())
     }
@@ -226,7 +421,9 @@ mod tests {
         for n in [1usize, 2, 4] {
             let mut multi = MultiGpu::new(device(), n);
             let mut lanes = (1..=257u32).collect::<Vec<_>>();
-            multi.launch_partitioned(&Countdown, &mut lanes, 10_000);
+            multi
+                .launch_partitioned(&Countdown, &mut lanes, 10_000)
+                .unwrap();
             assert!(
                 lanes.iter().all(|&l| l == 0),
                 "all lanes completed on {n} devices"
@@ -240,8 +437,8 @@ mod tests {
         let mut four = MultiGpu::new(device(), 4);
         let mut a = balanced_loads(1024);
         let mut b = balanced_loads(1024);
-        one.launch_partitioned(&Countdown, &mut a, 10_000);
-        four.launch_partitioned(&Countdown, &mut b, 10_000);
+        one.launch_partitioned(&Countdown, &mut a, 10_000).unwrap();
+        four.launch_partitioned(&Countdown, &mut b, 10_000).unwrap();
         // Proportional gains: 4 devices ≈ 4× faster on balanced loads
         // (modulo the fixed launch overhead).
         let ratio = one.wall_s() / four.wall_s();
@@ -292,5 +489,147 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn zero_devices_rejected() {
         let _ = MultiGpu::new(device(), 0);
+    }
+
+    #[test]
+    fn try_new_rejects_zero_devices_with_config_error() {
+        let err = MultiGpu::try_new(device(), 0).expect_err("zero devices");
+        assert_eq!(err.kind(), tracto_trace::ErrorKind::Config);
+        assert!(MultiGpu::try_new(device(), 1).is_ok());
+    }
+
+    /// A device loss mid-launch fails over to the survivors and the lane
+    /// results are bit-identical to the fault-free run.
+    #[test]
+    fn failover_preserves_results_bit_identically() {
+        let plan = FaultPlan::parse("fault 1 0 device-lost").unwrap();
+        let mut clean = MultiGpu::new(device(), 4);
+        let mut faulted = MultiGpu::new(device(), 4);
+        faulted.set_fault_plan(&plan);
+
+        let mut a: Vec<u32> = (1..=257u32).collect();
+        let mut b = a.clone();
+        let sa = clean
+            .launch_partitioned(&Countdown, &mut a, 10_000)
+            .unwrap();
+        let sb = faulted
+            .launch_partitioned(&Countdown, &mut b, 10_000)
+            .unwrap();
+        assert_eq!(a, b, "lane states identical after failover");
+        assert_eq!(faulted.failovers(), 1);
+        assert_eq!(faulted.alive_devices(), 3);
+        assert_eq!(faulted.health()[1], DeviceHealth::Failed);
+        // Per-lane accounting also matches: concatenated executed vectors
+        // align with the lane order either way.
+        let ex_a: Vec<u32> = sa.into_iter().flat_map(|s| s.executed).collect();
+        let ex_b: Vec<u32> = sb.into_iter().flat_map(|s| s.executed).collect();
+        assert_eq!(ex_a, ex_b);
+        // The replay costs extra simulated wall time.
+        assert!(faulted.wall_s() > clean.wall_s());
+    }
+
+    #[test]
+    fn transient_launch_failure_retries_on_same_device() {
+        let plan = FaultPlan::parse("fault 0 0 launch-fail").unwrap();
+        let mut multi = MultiGpu::new(device(), 2);
+        multi.set_fault_plan(&plan);
+        let mut lanes: Vec<u32> = (1..=64u32).collect();
+        multi
+            .launch_partitioned(&Countdown, &mut lanes, 10_000)
+            .unwrap();
+        assert!(lanes.iter().all(|&l| l == 0));
+        assert_eq!(multi.fault_retries(), 1);
+        assert_eq!(multi.failovers(), 0);
+        assert_eq!(multi.alive_devices(), 2);
+    }
+
+    #[test]
+    fn all_devices_lost_is_capacity_error() {
+        let plan = FaultPlan::parse("fault 0 0 device-lost\nfault 1 0 device-lost").unwrap();
+        let mut multi = MultiGpu::new(device(), 2);
+        multi.set_fault_plan(&plan);
+        let mut lanes: Vec<u32> = (1..=64u32).collect();
+        let err = multi
+            .launch_partitioned(&Countdown, &mut lanes, 10_000)
+            .expect_err("no survivors");
+        assert_eq!(err.kind(), tracto_trace::ErrorKind::Capacity);
+        assert!(!err.is_retryable());
+        assert_eq!(multi.alive_devices(), 0);
+    }
+
+    #[test]
+    fn transfer_timeouts_absorbed_and_charged() {
+        let plan = FaultPlan::parse("timeout-s 0.5\nfault 1 0 transfer-timeout").unwrap();
+        let mut clean = MultiGpu::new(device(), 2);
+        let mut faulted = MultiGpu::new(device(), 2);
+        faulted.set_fault_plan(&plan);
+        clean.broadcast_to_devices(1_000_000);
+        faulted.broadcast_to_devices(1_000_000);
+        let l_clean = clean.aggregate_ledger();
+        let l_faulted = faulted.aggregate_ledger();
+        assert_eq!(
+            l_clean.bytes_h2d, l_faulted.bytes_h2d,
+            "all bytes still arrive"
+        );
+        assert_eq!(faulted.fault_retries(), 1);
+        assert!(
+            (faulted.wall_s() - clean.wall_s() - 0.5).abs() < 1e-9,
+            "the stall is charged to serialized host time"
+        );
+    }
+
+    #[test]
+    fn transfers_skip_failed_devices() {
+        let plan = FaultPlan::parse("fault 0 0 device-lost").unwrap();
+        let mut multi = MultiGpu::new(device(), 2);
+        multi.set_fault_plan(&plan);
+        let mut lanes: Vec<u32> = (1..=64u32).collect();
+        multi
+            .launch_partitioned(&Countdown, &mut lanes, 10_000)
+            .unwrap();
+        assert_eq!(multi.alive_devices(), 1);
+        multi.scatter_to_devices(1_000_000);
+        multi.gather_to_host(1_000_000);
+        let l = multi.aggregate_ledger();
+        // The surviving device carries the full payload.
+        assert_eq!(l.bytes_h2d, 1_000_000);
+        assert_eq!(l.bytes_d2h, 1_000_000);
+    }
+
+    #[test]
+    fn failover_emits_trace_events() {
+        use std::sync::Arc;
+        use tracto_trace::{RingSink, Tracer};
+
+        let plan = FaultPlan::parse("fault 0 1 device-lost\nfault 1 0 launch-fail").unwrap();
+        let ring = Arc::new(RingSink::new(128));
+        let mut multi = MultiGpu::new(device(), 2);
+        multi.set_tracer(&Tracer::shared(ring.clone()));
+        multi.set_fault_plan(&plan);
+        let mut lanes: Vec<u32> = (1..=64u32).collect();
+        multi.launch_partitioned(&Countdown, &mut lanes, 4).unwrap();
+        multi
+            .launch_partitioned(&Countdown, &mut lanes, 10_000)
+            .unwrap();
+        assert_eq!(ring.count("gpu.fault"), 2, "each injected fault traced");
+        assert_eq!(ring.count("gpu.failover"), 1);
+        assert_eq!(ring.count("gpu.retry"), 1);
+        let failover = &ring.named("gpu.failover")[0];
+        assert_eq!(failover.field_u64("device"), Some(0));
+        assert_eq!(failover.field_u64("survivors"), Some(1));
+    }
+
+    #[test]
+    fn device_alloc_all_propagates_injected_alloc_fault() {
+        let plan = FaultPlan::parse("fault 1 0 alloc-fail").unwrap();
+        let mut multi = MultiGpu::new(device(), 2);
+        multi.set_fault_plan(&plan);
+        let err = multi.device_alloc_all(1024).expect_err("alloc fault");
+        assert_eq!(err.kind(), tracto_trace::ErrorKind::Device);
+        assert!(err.is_retryable());
+        // Rollback: nothing remains charged anywhere.
+        assert_eq!(multi.aggregate_ledger().bytes_h2d, 0);
+        // The fault was consumed; the retry succeeds on every device.
+        multi.device_alloc_all(1024).expect("retry clean");
     }
 }

@@ -1,0 +1,94 @@
+//! Chain checkpointing cadence.
+//!
+//! MCMC burn-in is the expensive, unsampled prefix of every chain; losing a
+//! device mid-Step-1 without checkpoints means re-running it. A
+//! [`CheckpointPolicy`] splits the single `NumLoops` launch into segments
+//! of at most `every` loops. After each non-final segment the driver
+//! snapshots kept samples to the host (a device→host transfer of
+//! [`CHECKPOINT_LANE_BYTES`] per lane), so a device lost in segment *k*
+//! resumes from the end of segment *k−1* instead of loop 0.
+//!
+//! Segmentation itself is free of numerical consequence: each chain guards
+//! on its own `loops_done`, so running `NumLoops` iterations as one launch
+//! or as many produces bit-identical samples. The policy only chooses how
+//! much work sits between snapshots — the re-execution window after a
+//! fault — against the transfer cost of taking them.
+
+/// Bytes snapshotted per lane at a checkpoint: the 9-parameter state vector
+/// plus RNG state and loop counter, in device precision (f32 on the paper's
+/// hardware).
+pub const CHECKPOINT_LANE_BYTES: u64 = 64;
+
+/// How often the voxelwise driver snapshots chain state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Maximum MH loops between snapshots. `u32::MAX` disables
+    /// checkpointing (one segment, no snapshots).
+    pub every: u32,
+}
+
+impl CheckpointPolicy {
+    /// Checkpoint every `every` loops (clamped to at least 1).
+    pub fn every(every: u32) -> Self {
+        CheckpointPolicy {
+            every: every.max(1),
+        }
+    }
+
+    /// No checkpoints: the whole chain runs as one segment.
+    pub fn disabled() -> Self {
+        CheckpointPolicy { every: u32::MAX }
+    }
+
+    /// Whether this policy ever snapshots a chain of `num_loops` loops.
+    pub fn active_for(&self, num_loops: u32) -> bool {
+        self.every < num_loops
+    }
+
+    /// The per-segment loop budgets covering a chain of `num_loops` loops:
+    /// `ceil(num_loops / every)` segments, all of size `every` except a
+    /// final remainder. An empty chain yields no segments.
+    pub fn segments(&self, num_loops: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut remaining = num_loops;
+        while remaining > 0 {
+            let seg = remaining.min(self.every);
+            out.push(seg);
+            remaining -= seg;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segments_cover_num_loops_exactly() {
+        let p = CheckpointPolicy::every(100);
+        assert_eq!(p.segments(250), vec![100, 100, 50]);
+        assert_eq!(p.segments(200), vec![100, 100]);
+        assert_eq!(p.segments(99), vec![99]);
+        assert_eq!(p.segments(0), Vec::<u32>::new());
+        for n in [1u32, 99, 100, 101, 1000, 1234] {
+            assert_eq!(p.segments(n).iter().sum::<u32>(), n);
+        }
+    }
+
+    #[test]
+    fn disabled_policy_is_one_segment() {
+        let p = CheckpointPolicy::disabled();
+        assert_eq!(p.segments(600), vec![600]);
+        assert!(!p.active_for(600));
+        assert!(CheckpointPolicy::every(100).active_for(600));
+        assert!(!CheckpointPolicy::every(600).active_for(600));
+    }
+
+    #[test]
+    fn zero_interval_clamped() {
+        let p = CheckpointPolicy::every(0);
+        assert_eq!(p.every, 1);
+        assert_eq!(p.segments(3), vec![1, 1, 1]);
+    }
+}

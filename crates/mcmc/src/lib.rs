@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod chain;
+pub mod checkpoint;
 pub mod diagnostics;
 pub mod gibbs;
 pub mod mh;
@@ -30,6 +31,7 @@ pub mod pointest;
 pub mod voxelwise;
 
 pub use chain::{ChainConfig, ChainOutput};
+pub use checkpoint::{CheckpointPolicy, CHECKPOINT_LANE_BYTES};
 pub use mh::{AdaptScheme, MhSampler, Target};
 pub use pointest::{PointEstimate, PointEstimator};
 pub use voxelwise::{SampleVolumes, VoxelEstimator};

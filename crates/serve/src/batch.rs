@@ -176,7 +176,7 @@ pub fn run_batch(
             // Re-upload the compacted population.
             multi.scatter_to_devices(lanes.len() as u64 * LANE_BYTES);
         }
-        let stats = multi.launch_partitioned(&kernel, &mut lanes, budget);
+        let stats = multi.launch_partitioned(&kernel, &mut lanes, budget)?;
         launches += stats.len() as u64;
         for s in &stats {
             charged += s.charged_iterations;

@@ -424,8 +424,11 @@ impl DiskSampleCache {
         }
     }
 
-    /// Load an entry. `Ok(None)` is a clean miss; a present-but-unreadable
-    /// entry (truncated or corrupt file) is a typed error, never a panic.
+    /// Load an entry. `Ok(None)` is a clean miss. A present-but-unreadable
+    /// entry (truncated or corrupt file) is quarantined — deleted from disk,
+    /// dropped from the index, reported via a `serve.cache_quarantine` trace
+    /// event — and also returns `Ok(None)` so callers fall through to a
+    /// recompute instead of failing the job.
     pub fn get(&self, key: SampleKey) -> TractoResult<Option<SampleVolumes>> {
         let dir = self.entry_dir(key);
         if !dir.is_dir() {
@@ -459,16 +462,24 @@ impl DiskSampleCache {
                 Ok(Some(samples))
             }
             Err(err) => {
+                // Quarantine: a present-but-unreadable entry (truncated or
+                // corrupt file) is deleted and forgotten so it can never
+                // poison the cache twice, then reported as a clean miss —
+                // the caller recomputes and `put` repopulates the slot.
+                std::fs::remove_dir_all(&dir).ok();
+                let mut state = self.state.lock();
+                Self::forget(&mut state, key);
+                drop(state);
                 if self.tracer.enabled() {
                     self.tracer.emit(
-                        "serve.disk_cache_error",
+                        "serve.cache_quarantine",
                         &[
                             ("key", Value::Text(key.hex())),
                             ("error", Value::Text(err.to_string())),
                         ],
                     );
                 }
-                Err(err)
+                Ok(None)
             }
         }
     }
@@ -682,8 +693,8 @@ mod tests {
     }
 
     #[test]
-    fn poisoned_disk_entry_is_typed_error_with_trace_event() {
-        use tracto_trace::{ErrorKind, RingSink, Tracer};
+    fn poisoned_disk_entry_is_quarantined_with_trace_event() {
+        use tracto_trace::{RingSink, Tracer, Value};
 
         let dims = Dim3::new(3, 2, 2);
         let dir = std::env::temp_dir().join(format!(
@@ -697,22 +708,38 @@ mod tests {
             .unwrap()
             .with_tracer(Tracer::shared(ring.clone()));
         let key = SampleKey(0xBEEF);
-        cache.put(key, &stack(dims, 2, 0.25)).unwrap();
+        let sv = stack(dims, 2, 0.25);
+        cache.put(key, &sv).unwrap();
 
         // Truncate one field mid-header: the entry is now poisoned.
-        let poisoned = dir.join(key.hex()).join("th1.trv4");
+        let entry_dir = dir.join(key.hex());
+        let poisoned = entry_dir.join("th1.trv4");
         let full = std::fs::read(&poisoned).unwrap();
         std::fs::write(&poisoned, &full[..7.min(full.len())]).unwrap();
 
-        let err = cache.get(key).expect_err("poisoned entry must error");
-        assert_eq!(err.kind(), ErrorKind::Format);
-        assert!(err.to_string().contains("th1.trv4"));
-        assert_eq!(ring.count("serve.disk_cache_error"), 1);
+        // A poisoned entry is quarantined (deleted + forgotten) and reads
+        // as a clean miss — never an error, never a panic.
+        assert!(cache.get(key).unwrap().is_none(), "quarantined entry");
+        assert!(!entry_dir.exists(), "entry dir removed from disk");
+        assert_eq!(cache.len(), 0, "entry dropped from index");
+        assert_eq!(cache.bytes(), 0);
+        let events = ring.named("serve.cache_quarantine");
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].field("key"), Some(&Value::Text(key.hex())));
+        assert!(matches!(
+            events[0].field("error"),
+            Some(Value::Text(msg)) if msg.contains("th1.trv4")
+        ));
 
-        // Garbage bytes (bad magic) are also a typed error, not a panic.
-        std::fs::write(&poisoned, b"not a volume at all").unwrap();
-        let err = cache.get(key).expect_err("corrupt entry must error");
-        assert_eq!(err.kind(), ErrorKind::Format);
+        // The slot is immediately reusable: a fresh put round-trips.
+        cache.put(key, &sv).unwrap();
+        let back = cache.get(key).unwrap().expect("repopulated entry");
+        assert_eq!(back.f1, sv.f1);
+
+        // Garbage bytes (bad magic) are quarantined the same way.
+        std::fs::write(entry_dir.join("f1.trv4"), b"not a volume at all").unwrap();
+        assert!(cache.get(key).unwrap().is_none());
+        assert_eq!(ring.count("serve.cache_quarantine"), 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

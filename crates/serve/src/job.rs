@@ -1,7 +1,7 @@
 //! Job descriptions, results, and the completion tickets clients wait on.
 
 use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tracto::diffusion::PriorConfig;
@@ -107,6 +107,13 @@ impl JobError {
     pub fn failed(err: tracto_trace::TractoError) -> Self {
         JobError::Failed(Arc::new(err))
     }
+
+    /// Whether the batch worker may retry the job: only failures whose
+    /// typed cause is a transient device fault qualify. Cancellations,
+    /// deadlines, and exhausted capacity never retry.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, JobError::Failed(err) if err.is_retryable())
+    }
 }
 
 impl PartialEq for JobError {
@@ -161,6 +168,7 @@ struct TicketState<T> {
     result: Mutex<Option<Result<T, JobError>>>,
     done: Condvar,
     cancelled: AtomicBool,
+    attempts: AtomicU32,
 }
 
 /// A client's handle to a submitted job: blocks on the result, supports
@@ -193,6 +201,7 @@ impl<T: Clone> Ticket<T> {
                 result: Mutex::new(None),
                 done: Condvar::new(),
                 cancelled: AtomicBool::new(false),
+                attempts: AtomicU32::new(0),
             }),
         }
     }
@@ -216,6 +225,17 @@ impl<T: Clone> Ticket<T> {
     /// Whether [`cancel`](Self::cancel) was called.
     pub fn is_cancelled(&self) -> bool {
         self.state.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// Retries this job has consumed so far (0 until a device fault forces
+    /// the first re-run).
+    pub fn attempts(&self) -> u32 {
+        self.state.attempts.load(Ordering::SeqCst)
+    }
+
+    /// Record one retry and return the new count (1 for the first retry).
+    pub(crate) fn record_attempt(&self) -> u32 {
+        self.state.attempts.fetch_add(1, Ordering::SeqCst) + 1
     }
 
     /// Non-blocking poll.

@@ -18,6 +18,13 @@ pub(crate) struct Metrics {
     pub lanes_tracked: AtomicU64,
     pub launches: AtomicU64,
     pub estimations_run: AtomicU64,
+    pub faults_injected: AtomicU64,
+    pub device_retries: AtomicU64,
+    pub job_retries: AtomicU64,
+    pub failovers: AtomicU64,
+    // Gauges, not counters: the batch worker stores the pool's current shape.
+    pub devices_alive: AtomicU64,
+    pub devices_total: AtomicU64,
     // f64 accumulators (simulated seconds, utilization sums) under a lock.
     pub accum: Mutex<Accum>,
 }
@@ -72,6 +79,22 @@ pub struct MetricsSnapshot {
     pub mean_wavefront_utilization: f64,
     /// Fresh MCMC estimations executed (cache misses that did work).
     pub estimations_run: u64,
+    /// Faults the simulated device pool injected (from its [`FaultPlan`]).
+    ///
+    /// [`FaultPlan`]: tracto_gpu_sim::FaultPlan
+    pub faults_injected: u64,
+    /// Transient device faults the pool absorbed by retrying in place.
+    pub device_retries: u64,
+    /// Whole jobs re-queued with backoff after a device fault escaped the
+    /// pool (e.g. an allocation failure).
+    pub job_retries: u64,
+    /// Device losses survived by re-partitioning work onto the rest of the
+    /// pool.
+    pub failovers: u64,
+    /// Devices currently accepting work.
+    pub devices_alive: u64,
+    /// Devices the pool started with.
+    pub devices_total: u64,
     /// Simulated seconds spent in batched tracking.
     pub tracking_sim_s: f64,
     /// Simulated seconds spent in estimation.
@@ -107,6 +130,12 @@ impl Metrics {
                 acc.utilization_sum / acc.utilization_batches as f64
             },
             estimations_run: self.estimations_run.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            device_retries: self.device_retries.load(Ordering::Relaxed),
+            job_retries: self.job_retries.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
+            devices_alive: self.devices_alive.load(Ordering::Relaxed),
+            devices_total: self.devices_total.load(Ordering::Relaxed),
             tracking_sim_s: acc.tracking_sim_s,
             estimation_sim_s: acc.estimation_sim_s,
             cache,
@@ -145,6 +174,16 @@ impl std::fmt::Display for MetricsSnapshot {
             self.cache.entries,
             self.cache.bytes,
             self.cache.evictions
+        )?;
+        writeln!(
+            f,
+            "faults: {} injected, {} device retries, {} job retries, {} failovers, {}/{} devices alive",
+            self.faults_injected,
+            self.device_retries,
+            self.job_retries,
+            self.failovers,
+            self.devices_alive,
+            self.devices_total
         )?;
         write!(
             f,

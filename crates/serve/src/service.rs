@@ -36,7 +36,7 @@ use tracto::mcmc::SampleVolumes;
 use tracto::run_mcmc_gpu;
 use tracto::tracking::probabilistic::seeds_from_mask;
 use tracto::tracking::SegmentationStrategy;
-use tracto_gpu_sim::{DeviceConfig, Gpu, MultiGpu};
+use tracto_gpu_sim::{DeviceConfig, FaultPlan, Gpu, MultiGpu};
 use tracto_trace::{Tracer, Value};
 use tracto_volume::Vec3;
 
@@ -65,6 +65,14 @@ pub struct ServiceConfig {
     pub disk_cache: Option<PathBuf>,
     /// Byte cap for the disk tier; `None` leaves it unbounded.
     pub disk_cache_bytes: Option<u64>,
+    /// Deterministic fault schedule installed on the batch worker's device
+    /// pool (chaos testing); `None` runs fault-free.
+    pub fault_plan: Option<FaultPlan>,
+    /// Times a job may be re-queued after a device fault escapes the pool
+    /// before it fails with the typed cause.
+    pub retry_budget: u32,
+    /// Backoff before the first retry; doubles per retry, capped at 1024×.
+    pub retry_backoff: Duration,
     /// Structured-event sink for job lifecycle, cache, batch, and GPU
     /// events. Disabled by default.
     pub tracer: Tracer,
@@ -83,6 +91,9 @@ impl Default for ServiceConfig {
             cache_bytes: 256 * 1024 * 1024,
             disk_cache: None,
             disk_cache_bytes: None,
+            fault_plan: None,
+            retry_budget: 2,
+            retry_backoff: Duration::from_millis(5),
             tracer: Tracer::disabled(),
         }
     }
@@ -172,8 +183,9 @@ impl Shared {
             return (samples, true, 0);
         }
         if let Some(disk) = &self.disk {
-            // A poisoned entry already left a `serve.disk_cache_error`
-            // event; treat it as a miss and re-estimate.
+            // A poisoned entry was quarantined by `get` (deleted, with a
+            // `serve.cache_quarantine` event) and reads as a miss, so the
+            // job falls through to a fresh estimation.
             if let Ok(Some(samples)) = disk.get(key) {
                 let samples = Arc::new(samples);
                 self.cache.insert(key, Arc::clone(&samples));
@@ -494,31 +506,124 @@ fn admit_batch(pending: &mut Vec<ReadyTrack>, max_jobs: usize) -> Vec<ReadyTrack
     pending.drain(..take).collect()
 }
 
+/// Device-pool counter values already copied into the service metrics; the
+/// pool's counters are cumulative, so the worker settles deltas after each
+/// batch.
+#[derive(Default)]
+struct FaultCounters {
+    faults: u64,
+    retries: u64,
+    failovers: u64,
+}
+
+fn settle_fault_metrics(multi: &MultiGpu, shared: &Shared, last: &mut FaultCounters) {
+    let faults = multi.faults_injected();
+    let retries = multi.fault_retries();
+    let failovers = multi.failovers();
+    shared
+        .metrics
+        .faults_injected
+        .fetch_add(faults - last.faults, Ordering::Relaxed);
+    shared
+        .metrics
+        .device_retries
+        .fetch_add(retries - last.retries, Ordering::Relaxed);
+    shared
+        .metrics
+        .failovers
+        .fetch_add(failovers - last.failovers, Ordering::Relaxed);
+    shared
+        .metrics
+        .devices_alive
+        .store(multi.alive_devices() as u64, Ordering::Relaxed);
+    *last = FaultCounters {
+        faults,
+        retries,
+        failovers,
+    };
+}
+
 fn batch_worker(rx: Receiver<ReadyTrack>, shared: Arc<Shared>, cfg: ServiceConfig) {
     let mut multi = MultiGpu::new(cfg.device.clone(), cfg.devices);
     multi.set_tracer(&shared.tracer);
+    if let Some(plan) = &cfg.fault_plan {
+        multi.set_fault_plan(plan);
+    }
+    let total_devices = multi.num_devices();
+    shared
+        .metrics
+        .devices_total
+        .store(total_devices as u64, Ordering::Relaxed);
+    shared
+        .metrics
+        .devices_alive
+        .store(total_devices as u64, Ordering::Relaxed);
     let mut pending: Vec<ReadyTrack> = Vec::new();
+    // Jobs re-queued after a device fault, held until their backoff expires.
+    let mut delayed: Vec<(ReadyTrack, Instant)> = Vec::new();
+    let mut counters = FaultCounters::default();
+    let mut prev_alive = multi.alive_devices();
+    let mut channel_open = true;
     loop {
+        // Promote retries whose backoff has expired.
+        let now = Instant::now();
+        let mut i = 0;
+        while i < delayed.len() {
+            if delayed[i].1 <= now {
+                pending.push(delayed.swap_remove(i).0);
+            } else {
+                i += 1;
+            }
+        }
         if pending.is_empty() {
-            match rx.recv() {
-                Ok(t) => pending.push(t),
-                Err(_) => break,
+            if !channel_open {
+                if delayed.is_empty() {
+                    break;
+                }
+                // Shutdown with retries still cooling down: run them now
+                // rather than abandoning them mid-backoff.
+                pending.extend(delayed.drain(..).map(|(r, _)| r));
+            } else if let Some(due) = delayed.iter().map(|&(_, at)| at).min() {
+                // Idle but with retries pending: sleep on the channel only
+                // until the earliest backoff expires.
+                match rx.recv_timeout(due.saturating_duration_since(Instant::now())) {
+                    Ok(t) => pending.push(t),
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => channel_open = false,
+                }
+                continue;
+            } else {
+                match rx.recv() {
+                    Ok(t) => pending.push(t),
+                    Err(_) => channel_open = false,
+                }
+                continue;
             }
         }
         // Continuous batching: hold the window open briefly to merge work
         // from other clients into this launch sequence. A backlog wider
-        // than one batch skips the wait and drains immediately.
-        let window_end = Instant::now() + cfg.batch_window;
-        while pending.len() < cfg.max_batch_jobs {
+        // than one batch skips the wait and drains immediately. A degraded
+        // pool shrinks the window proportionally — fewer devices means
+        // piling up a full-width batch only adds queueing delay.
+        let alive = multi.alive_devices().max(1);
+        let window = cfg
+            .batch_window
+            .mul_f64(alive as f64 / total_devices.max(1) as f64);
+        let window_end = Instant::now() + window;
+        while channel_open && pending.len() < cfg.max_batch_jobs {
             let now = Instant::now();
             if now >= window_end {
                 break;
             }
             match rx.recv_timeout(window_end - now) {
                 Ok(t) => pending.push(t),
-                // On disconnect the held jobs still run; the next recv
-                // at the top of the loop observes the closed channel.
-                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+                Err(RecvTimeoutError::Timeout) => break,
+                // The held jobs still run; the next iteration observes the
+                // closed channel.
+                Err(RecvTimeoutError::Disconnected) => {
+                    channel_open = false;
+                    break;
+                }
             }
         }
 
@@ -540,10 +645,25 @@ fn batch_worker(rx: Receiver<ReadyTrack>, shared: Arc<Shared>, cfg: ServiceConfi
                     &[("jobs", live.len().into()), ("held", pending.len().into())],
                 );
             }
-            execute_batch(&mut multi, &shared, &cfg, live);
+            execute_batch(&mut multi, &shared, &cfg, live, &mut delayed);
+            settle_fault_metrics(&multi, &shared, &mut counters);
+            let alive_now = multi.alive_devices();
+            if alive_now < prev_alive {
+                if shared.tracer.enabled() {
+                    shared.tracer.emit(
+                        "serve.pool_degraded",
+                        &[
+                            ("alive", (alive_now as u64).into()),
+                            ("total", (total_devices as u64).into()),
+                        ],
+                    );
+                }
+                prev_alive = alive_now;
+            }
         }
     }
-    // Complete anything still held or buffered after the senders vanished.
+    // Complete anything still buffered after the senders vanished (pending
+    // and delayed are empty here — the loop drains both before exiting).
     for r in pending {
         shared.complete(&r.ticket, Err(JobError::ShuttingDown));
     }
@@ -557,6 +677,7 @@ fn execute_batch(
     shared: &Shared,
     cfg: &ServiceConfig,
     live: Vec<ReadyTrack>,
+    delayed: &mut Vec<(ReadyTrack, Instant)>,
 ) {
     let jobs: Vec<BatchJob> = live
         .iter()
@@ -604,12 +725,42 @@ fn execute_batch(
                 );
             }
         }
+        Err(err) if err.is_retryable() => {
+            // A transient device fault escaped the pool before any lane ran
+            // (mid-launch faults are absorbed by failover, so lanes never
+            // run twice). Re-queue each job with exponential backoff until
+            // its budget is spent, then fail it with the typed cause.
+            let err = Arc::new(err);
+            for r in live {
+                let attempt = r.ticket.record_attempt();
+                if attempt > cfg.retry_budget {
+                    shared.complete(&r.ticket, Err(JobError::Failed(Arc::clone(&err))));
+                    continue;
+                }
+                let backoff = cfg
+                    .retry_backoff
+                    .saturating_mul(1u32 << (attempt - 1).min(10));
+                shared.metrics.job_retries.fetch_add(1, Ordering::Relaxed);
+                if shared.tracer.enabled() {
+                    shared.tracer.emit(
+                        "serve.job_retry",
+                        &[
+                            ("job", r.ticket.id.0.into()),
+                            ("attempt", u64::from(attempt).into()),
+                            ("backoff_ms", (backoff.as_millis() as u64).into()),
+                            ("error", Value::Text(err.to_string())),
+                        ],
+                    );
+                }
+                delayed.push((r, Instant::now() + backoff));
+            }
+        }
         Err(err) => {
             if live.len() > 1 {
                 // The merged working set didn't fit: fall back to running
                 // each job alone, which halves residency per attempt.
                 for r in live {
-                    execute_batch(multi, shared, cfg, vec![r]);
+                    execute_batch(multi, shared, cfg, vec![r], delayed);
                 }
             } else {
                 let r = &live[0];
@@ -807,6 +958,66 @@ mod tests {
             );
         }
         assert_eq!(service.metrics().in_flight, 0);
+    }
+
+    #[test]
+    fn device_loss_mid_service_jobs_still_complete() {
+        let mut cfg = small_config();
+        // One transient launch failure on device 0 and a permanent loss of
+        // device 1: every job must still complete via retry + failover.
+        cfg.fault_plan =
+            Some(FaultPlan::parse("fault 0 0 launch-fail\nfault 1 0 device-lost").unwrap());
+        let service = TractoService::start(cfg);
+        let ds = tiny_dataset(11);
+        let tickets: Vec<_> = (0..3)
+            .map(|_| service.submit_track(TrackJob::new(Arc::clone(&ds), fast_pipeline(4))))
+            .collect();
+        for t in tickets {
+            t.wait().expect("jobs survive device loss via failover");
+        }
+        let snap = service.shutdown();
+        assert_eq!(snap.completed, 3);
+        assert_eq!(snap.failed, 0);
+        assert_eq!(snap.faults_injected, 2, "both plan events fired");
+        assert_eq!(snap.device_retries, 1);
+        assert_eq!(snap.failovers, 1);
+        assert_eq!(snap.devices_total, 2);
+        assert_eq!(snap.devices_alive, 1);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_surfaces_typed_device_error() {
+        use std::error::Error;
+        use tracto_trace::ErrorKind;
+
+        let mut cfg = small_config();
+        cfg.devices = 1;
+        cfg.retry_budget = 1;
+        cfg.retry_backoff = Duration::from_millis(1);
+        // Allocation faults escape the pool (nothing to fail over to for an
+        // admission-time fault), so the first run and the one retry both
+        // die; the budget is then spent.
+        cfg.fault_plan =
+            Some(FaultPlan::parse("fault 0 0 alloc-fail\nfault 0 1 alloc-fail").unwrap());
+        let service = TractoService::start(cfg);
+        let ds = tiny_dataset(12);
+        let err = service
+            .submit_track(TrackJob::new(Arc::clone(&ds), fast_pipeline(5)))
+            .wait()
+            .expect_err("retry budget must run out");
+        match &err {
+            JobError::Failed(cause) => {
+                assert_eq!(cause.kind(), ErrorKind::Device);
+                assert!(cause.to_string().contains("device"));
+            }
+            other => panic!("expected a typed device failure, got {other}"),
+        }
+        assert!(err.source().is_some(), "typed cause stays chained");
+        let snap = service.shutdown();
+        assert_eq!(snap.failed, 1);
+        assert_eq!(snap.job_retries, 1, "exactly one backoff retry ran");
+        assert_eq!(snap.faults_injected, 2);
+        assert_eq!(snap.completed, 0);
     }
 
     #[test]

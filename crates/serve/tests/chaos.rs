@@ -1,0 +1,127 @@
+//! Chaos contract for the serve layer: a seeded fault plan changes the
+//! service's timing and scheduling, never its results — and when recovery
+//! is impossible, jobs fail with a typed, chained error instead of
+//! panicking or hanging.
+//!
+//! `TRACTO_CHAOS_SEED` (default 1) selects the fault schedule so CI can
+//! sweep several without editing the test.
+
+use std::sync::Arc;
+use std::time::Duration;
+use tracto::mcmc::ChainConfig;
+use tracto::phantom::{datasets, Dataset};
+use tracto::pipeline::PipelineConfig;
+use tracto_gpu_sim::FaultPlan;
+use tracto_serve::{JobError, ServiceConfig, TrackJob, TractoService};
+use tracto_volume::Dim3;
+
+fn chaos_seed() -> u64 {
+    std::env::var("TRACTO_CHAOS_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+fn small_config(seed: u64, max_steps: u32) -> PipelineConfig {
+    let mut cfg = PipelineConfig::fast();
+    cfg.chain = ChainConfig {
+        num_burnin: 60,
+        num_samples: 3,
+        sample_interval: 1,
+        ..ChainConfig::fast_test()
+    };
+    cfg.seed = seed;
+    cfg.tracking.max_steps = max_steps;
+    cfg
+}
+
+fn run_jobs(
+    fault_plan: Option<FaultPlan>,
+    jobs: &[(Arc<Dataset>, PipelineConfig)],
+) -> (
+    Vec<tracto_serve::TrackResult>,
+    tracto_serve::MetricsSnapshot,
+) {
+    let service = TractoService::start(ServiceConfig {
+        devices: 3,
+        estimate_workers: 1,
+        max_batch_jobs: 8,
+        batch_window: Duration::from_millis(100),
+        fault_plan,
+        ..ServiceConfig::default()
+    });
+    let tickets: Vec<_> = jobs
+        .iter()
+        .map(|(ds, cfg)| service.submit_track(TrackJob::new(Arc::clone(ds), cfg.clone())))
+        .collect();
+    let results = tickets
+        .iter()
+        .map(|t| t.wait().expect("job completes despite faults"))
+        .collect();
+    (results, service.shutdown())
+}
+
+#[test]
+fn seeded_faults_leave_streamline_counts_bit_identical() {
+    let bundle: Arc<Dataset> = Arc::new(datasets::single_bundle(Dim3::new(8, 6, 6), Some(20.0), 3));
+    let crossing: Arc<Dataset> =
+        Arc::new(datasets::crossing(Dim3::new(8, 8, 5), 90.0, Some(20.0), 5));
+    let jobs: Vec<(Arc<Dataset>, PipelineConfig)> = vec![
+        (Arc::clone(&bundle), small_config(5, 120)),
+        (Arc::clone(&crossing), small_config(9, 60)),
+        (Arc::clone(&bundle), small_config(5, 80)),
+    ];
+
+    let (clean, _) = run_jobs(None, &jobs);
+    let plan = FaultPlan::seeded(chaos_seed(), 3);
+    let (chaos, metrics) = run_jobs(Some(plan), &jobs);
+
+    assert!(metrics.faults_injected >= 1, "the schedule must fire");
+    assert_eq!(metrics.completed, jobs.len() as u64);
+    assert_eq!(metrics.failed, 0);
+    for (i, (a, b)) in clean.iter().zip(&chaos).enumerate() {
+        assert_eq!(
+            a.tracking.lengths_by_sample, b.tracking.lengths_by_sample,
+            "job {i}: streamline lengths must be bit-identical under faults"
+        );
+        assert_eq!(a.tracking.total_steps, b.tracking.total_steps, "job {i}");
+    }
+}
+
+#[test]
+fn exhausted_retry_budget_is_a_typed_chained_error_not_a_panic() {
+    use std::error::Error;
+
+    let bundle: Arc<Dataset> = Arc::new(datasets::single_bundle(Dim3::new(8, 6, 6), Some(20.0), 3));
+    // Alloc faults escape the pool on every attempt: initial run + 1 retry.
+    let plan = FaultPlan::parse(
+        "fault 0 0 alloc-fail\n\
+         fault 0 1 alloc-fail\n\
+         fault 0 2 alloc-fail\n\
+         fault 0 3 alloc-fail",
+    )
+    .unwrap();
+    let service = TractoService::start(ServiceConfig {
+        devices: 1,
+        estimate_workers: 1,
+        retry_budget: 1,
+        retry_backoff: Duration::from_millis(1),
+        fault_plan: Some(plan),
+        ..ServiceConfig::default()
+    });
+    let ticket = service.submit_track(TrackJob::new(Arc::clone(&bundle), small_config(5, 60)));
+    let err = ticket.wait().expect_err("budget must run out");
+    match &err {
+        JobError::Failed(cause) => {
+            assert_eq!(cause.kind(), tracto_trace::ErrorKind::Device);
+        }
+        other => panic!("expected a typed device failure, got {other}"),
+    }
+    // The cause chain survives: JobError → TractoError.
+    assert!(err.source().is_some());
+    assert!(err.to_string().contains("device"));
+    let metrics = service.shutdown();
+    assert_eq!(metrics.failed, 1);
+    assert_eq!(metrics.job_retries, 1);
+    assert_eq!(metrics.completed, 0);
+}

@@ -23,6 +23,9 @@ pub enum ErrorKind {
     Config,
     /// A resource bound (device memory, queue, cache) would be exceeded.
     Capacity,
+    /// A device fault: launch failure, device loss, allocation fault, or
+    /// transfer timeout. Usually transient — callers may retry.
+    Device,
     /// The operation was cancelled by its client.
     Cancelled,
     /// A deadline passed before the work could complete.
@@ -36,6 +39,7 @@ impl fmt::Display for ErrorKind {
             ErrorKind::Format => "format",
             ErrorKind::Config => "config",
             ErrorKind::Capacity => "capacity",
+            ErrorKind::Device => "device",
             ErrorKind::Cancelled => "cancelled",
             ErrorKind::Deadline => "deadline",
         };
@@ -75,6 +79,15 @@ pub enum TractoError {
         required: u64,
         /// Units actually available.
         available: u64,
+    },
+    /// A device fault (injected by a fault plan or surfaced by the
+    /// simulator): failed launch, lost device, allocation fault, or
+    /// stalled transfer.
+    Device {
+        /// Which device faulted.
+        device: u32,
+        /// What failed on it.
+        context: String,
     },
     /// The operation was cancelled by its client.
     Cancelled,
@@ -126,6 +139,14 @@ impl TractoError {
         }
     }
 
+    /// A device-fault error.
+    pub fn device(device: u32, context: impl Into<String>) -> Self {
+        TractoError::Device {
+            device,
+            context: context.into(),
+        }
+    }
+
     /// This error's discriminant, for matching without message text.
     pub fn kind(&self) -> ErrorKind {
         match self {
@@ -133,9 +154,18 @@ impl TractoError {
             TractoError::Format { .. } => ErrorKind::Format,
             TractoError::Config { .. } => ErrorKind::Config,
             TractoError::Capacity { .. } => ErrorKind::Capacity,
+            TractoError::Device { .. } => ErrorKind::Device,
             TractoError::Cancelled => ErrorKind::Cancelled,
             TractoError::Deadline => ErrorKind::Deadline,
         }
+    }
+
+    /// Whether a retry could plausibly succeed. Device faults are
+    /// transient by contract (a lost device is replaced by failover or a
+    /// re-dispatched job); everything else reflects state a retry will see
+    /// again.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, TractoError::Device { .. })
     }
 }
 
@@ -156,6 +186,9 @@ impl fmt::Display for TractoError {
                 f,
                 "{resource} exhausted: {required} required, {available} available"
             ),
+            TractoError::Device { device, context } => {
+                write!(f, "device {device} fault: {context}")
+            }
             TractoError::Cancelled => write!(f, "cancelled"),
             TractoError::Deadline => write!(f, "deadline exceeded"),
         }
@@ -202,8 +235,23 @@ mod tests {
             TractoError::capacity("queue", 2, 1).kind(),
             ErrorKind::Capacity
         );
+        assert_eq!(
+            TractoError::device(3, "launch failed").kind(),
+            ErrorKind::Device
+        );
         assert_eq!(TractoError::Cancelled.kind(), ErrorKind::Cancelled);
         assert_eq!(TractoError::Deadline.kind(), ErrorKind::Deadline);
+    }
+
+    #[test]
+    fn only_device_faults_are_retryable() {
+        assert!(TractoError::device(0, "transfer timeout").is_retryable());
+        assert!(!TractoError::config("bad flag").is_retryable());
+        assert!(!TractoError::capacity("queue", 2, 1).is_retryable());
+        assert!(!TractoError::Cancelled.is_retryable());
+        let d = TractoError::device(7, "device lost");
+        assert!(d.to_string().contains("device 7"));
+        assert!(d.to_string().contains("device lost"));
     }
 
     #[test]

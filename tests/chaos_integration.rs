@@ -1,0 +1,172 @@
+//! Chaos integration: deterministic fault injection must never change
+//! results, only timing.
+//!
+//! The seed is taken from `TRACTO_CHAOS_SEED` (default 1) so CI can sweep a
+//! matrix of schedules over the same assertions: any seeded fault plan that
+//! leaves at least one device alive yields posterior samples bit-identical
+//! to a fault-free run, and every injected fault shows up as a structured
+//! trace event.
+
+use std::sync::Arc;
+use tracto::diffusion::PriorConfig;
+use tracto::mcmc::{ChainConfig, CheckpointPolicy};
+use tracto::phantom::datasets;
+use tracto::run_mcmc_multi;
+use tracto_gpu_sim::{DeviceConfig, DeviceHealth, FaultPlan, MultiGpu};
+use tracto_trace::{RingSink, Tracer};
+use tracto_volume::{Dim3, Mask};
+
+fn chaos_seed() -> u64 {
+    std::env::var("TRACTO_CHAOS_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+fn small_device() -> DeviceConfig {
+    DeviceConfig {
+        wavefront_size: 4,
+        num_compute_units: 2,
+        waves_per_cu: 2,
+        ..DeviceConfig::radeon_5870()
+    }
+}
+
+struct ChaosRun {
+    report: tracto::McmcGpuReport,
+    faults: u64,
+    failovers: u64,
+    alive: usize,
+    ring: Arc<RingSink>,
+}
+
+fn estimate(devices: usize, plan: Option<&FaultPlan>) -> ChaosRun {
+    let ds = datasets::single_bundle(Dim3::new(6, 4, 4), Some(25.0), 3);
+    let mask = Mask::from_fn(ds.dwi.dims(), |c| c.j == 2 && c.k == 2);
+    let ring = Arc::new(RingSink::new(4096));
+    let mut multi = MultiGpu::new(small_device(), devices);
+    multi.set_tracer(&Tracer::shared(ring.clone()));
+    if let Some(p) = plan {
+        multi.set_fault_plan(p);
+    }
+    let report = run_mcmc_multi(
+        &mut multi,
+        &ds.acq,
+        &ds.dwi,
+        &mask,
+        PriorConfig::default(),
+        ChainConfig::fast_test(),
+        77,
+        CheckpointPolicy::every(3),
+    )
+    .expect("seeded plans leave at least one device alive");
+    ChaosRun {
+        report,
+        faults: multi.faults_injected(),
+        failovers: multi.failovers(),
+        alive: multi.alive_devices(),
+        ring,
+    }
+}
+
+#[test]
+fn seeded_fault_plan_leaves_posterior_samples_bit_identical() {
+    let devices = 4;
+    let plan = FaultPlan::seeded(chaos_seed(), devices as u32);
+    assert!(!plan.events.is_empty(), "seeded plans are never empty");
+
+    let clean = estimate(devices, None);
+    let chaos = estimate(devices, Some(&plan));
+
+    assert!(chaos.faults >= 1, "the schedule must actually fire");
+    assert!(chaos.alive >= 1, "seeded plans never kill the whole pool");
+    assert_eq!(clean.report.samples.f1, chaos.report.samples.f1);
+    assert_eq!(clean.report.samples.f2, chaos.report.samples.f2);
+    assert_eq!(clean.report.samples.th1, chaos.report.samples.th1);
+    assert_eq!(clean.report.samples.ph1, chaos.report.samples.ph1);
+    assert_eq!(clean.report.samples.th2, chaos.report.samples.th2);
+    assert_eq!(clean.report.samples.ph2, chaos.report.samples.ph2);
+    assert_eq!(clean.report.voxels, chaos.report.voxels);
+    // Recovery costs simulated time, never simulated work: the faulted run
+    // executes exactly the same useful iterations.
+    assert_eq!(
+        clean.report.ledger.useful_iterations,
+        chaos.report.ledger.useful_iterations
+    );
+}
+
+#[test]
+fn every_injected_fault_is_a_structured_trace_event() {
+    let devices = 3;
+    let plan = FaultPlan::seeded(chaos_seed().wrapping_add(1), devices as u32);
+    let chaos = estimate(devices, Some(&plan));
+
+    let fault_events = chaos.ring.count("gpu.fault");
+    assert_eq!(
+        fault_events as u64, chaos.faults,
+        "one gpu.fault event per injected fault"
+    );
+    assert_eq!(
+        chaos.ring.count("gpu.failover") as u64,
+        chaos.failovers,
+        "one gpu.failover event per device loss survived"
+    );
+    for ev in chaos.ring.named("gpu.fault") {
+        assert!(ev.field("device").is_some(), "fault events name the device");
+        assert!(ev.field("kind").is_some(), "fault events name the kind");
+    }
+}
+
+#[test]
+fn seeded_plans_are_deterministic_and_recoverable() {
+    for seed in [chaos_seed(), chaos_seed() + 7, 0, u64::MAX] {
+        for devices in [1u32, 2, 4, 8] {
+            let a = FaultPlan::seeded(seed, devices);
+            let b = FaultPlan::seeded(seed, devices);
+            assert_eq!(a.events, b.events, "seed {seed} devices {devices}");
+            assert!(!a.events.is_empty());
+            // Recoverable by construction: strictly fewer losses than
+            // devices, and no allocation faults (those abort a launch
+            // sequence rather than being absorbed by failover).
+            let losses = a
+                .events
+                .iter()
+                .filter(|e| e.kind == tracto_gpu_sim::FaultKind::DeviceLost)
+                .count();
+            assert!(losses < devices.max(1) as usize);
+            assert!(!a
+                .events
+                .iter()
+                .any(|e| e.kind == tracto_gpu_sim::FaultKind::AllocFail));
+        }
+    }
+}
+
+#[test]
+fn pool_health_reflects_the_schedule_after_the_run() {
+    let devices = 3;
+    let plan = FaultPlan::parse("fault 2 1 device-lost\nfault 0 0 degrade").unwrap();
+    let chaos = estimate(devices, Some(&plan));
+    assert_eq!(chaos.failovers, 1);
+    assert_eq!(chaos.alive, devices - 1);
+    // Health is queryable per device after the fact.
+    let ds = datasets::single_bundle(Dim3::new(6, 4, 4), Some(25.0), 3);
+    let mask = Mask::from_fn(ds.dwi.dims(), |c| c.j == 2 && c.k == 2);
+    let mut multi = MultiGpu::new(small_device(), devices);
+    multi.set_fault_plan(&plan);
+    run_mcmc_multi(
+        &mut multi,
+        &ds.acq,
+        &ds.dwi,
+        &mask,
+        PriorConfig::default(),
+        ChainConfig::fast_test(),
+        77,
+        CheckpointPolicy::every(3),
+    )
+    .unwrap();
+    let health = multi.health();
+    assert_eq!(health[2], DeviceHealth::Failed);
+    assert_eq!(health[0], DeviceHealth::Degraded);
+    assert_eq!(health[1], DeviceHealth::Healthy);
+}
