@@ -15,7 +15,7 @@ use tracto::pipeline::PipelineConfig;
 use tracto::prelude::*;
 use tracto_bench::{fmt_s, row_params, tracking_workload, BenchScale, TableWriter};
 use tracto_gpu_sim::MultiGpu;
-use tracto_serve::{run_batch, BatchJob, ServiceConfig, TrackJob, TractoService};
+use tracto_serve::{run_batch, BatchJob, JobSpec, ServiceConfig, TractoService};
 use tracto_volume::Dim3;
 
 /// Split the workload's seeds round-robin into `k` jobs, as if `k` clients
@@ -131,13 +131,13 @@ fn main() {
         ..ServiceConfig::default()
     });
     let cold = service
-        .submit_track(TrackJob::new(Arc::clone(&ds), cfg.clone()))
-        .wait()
+        .submit(JobSpec::track(Arc::clone(&ds), cfg.clone()))
+        .wait_track()
         .expect("cold job");
     let after_cold = service.metrics();
     let warm = service
-        .submit_track(TrackJob::new(Arc::clone(&ds), cfg.clone()))
-        .wait()
+        .submit(JobSpec::track(Arc::clone(&ds), cfg.clone()))
+        .wait_track()
         .expect("warm job");
     let after_warm = service.shutdown();
     assert!(

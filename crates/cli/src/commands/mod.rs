@@ -3,6 +3,7 @@
 pub mod estimate;
 pub mod info;
 pub mod phantom;
+pub mod remote;
 pub mod render;
 pub mod serve;
 pub mod track;

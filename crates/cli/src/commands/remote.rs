@@ -1,0 +1,292 @@
+//! Remote-service commands: `tracto submit | status | cancel | metrics |
+//! shutdown`, all speaking the `tracto-proto` wire protocol to a
+//! `tracto serve --listen` process via `--connect ENDPOINT`.
+//!
+//! Datasets cross the wire as deterministic phantom recipes, so a remote
+//! submission names `(kind, scale, seed, snr)` and the server materializes
+//! bit-identical volumes on its side.
+
+use crate::args::ArgMap;
+use tracto_proto::{
+    CachePolicy, ChainSpec, DatasetSpec, Endpoint, JobKind, JobSpec, JobState, Outcome, Priority,
+    RemoteService, TrackSpec,
+};
+use tracto_trace::{Tracer, TractoError, TractoResult, Value};
+
+const SUBMIT_FLAGS: [&str; 16] = [
+    "connect",
+    "dataset",
+    "scale",
+    "dataset-seed",
+    "snr",
+    "estimate",
+    "samples",
+    "burnin",
+    "interval",
+    "seed",
+    "step",
+    "threshold",
+    "max-steps",
+    "deadline-ms",
+    "priority",
+    "no-wait",
+];
+
+/// Connect and perform the handshake, emitting a trace span for the call.
+fn connect(args: &ArgMap, tracer: &Tracer) -> TractoResult<RemoteService> {
+    let endpoint = Endpoint::parse(args.required("connect")?)?;
+    let client = RemoteService::connect(&endpoint, "tracto-cli")?;
+    tracer.emit(
+        "cli.connected",
+        &[
+            ("endpoint", Value::Text(endpoint.to_string())),
+            ("server", Value::Text(client.server_name.clone())),
+        ],
+    );
+    Ok(client)
+}
+
+/// Render a job state; returns `Err` for a failed job so the process exits
+/// non-zero.
+fn report_state(job: u64, state: &JobState) -> TractoResult<()> {
+    match state {
+        JobState::Pending => {
+            println!("job {job}: pending");
+            Ok(())
+        }
+        JobState::Done(Outcome::Estimate { voxels, cache_hit }) => {
+            println!("job {job}: done (estimate), {voxels} voxels, cache_hit={cache_hit}");
+            Ok(())
+        }
+        JobState::Done(Outcome::Track {
+            total_steps,
+            streamlines,
+            lengths_digest,
+            cache_hit,
+            batch_jobs,
+            batch_lanes,
+        }) => {
+            println!(
+                "job {job}: done (track), {total_steps} total steps, {streamlines} streamlines, \
+                 digest {lengths_digest:016x}, cache_hit={cache_hit}, \
+                 batch of {batch_jobs} job(s) / {batch_lanes} lanes"
+            );
+            Ok(())
+        }
+        JobState::Failed { kind, message } => Err(TractoError::format(format!(
+            "job {job} failed ({kind}): {message}"
+        ))),
+    }
+}
+
+/// Build the wire spec from submit flags.
+fn spec_from_args(args: &ArgMap) -> TractoResult<JobSpec> {
+    let dataset = DatasetSpec {
+        kind: args.get("dataset").unwrap_or("1").to_string(),
+        scale: args.get_parse("scale", 0.25)?,
+        seed: args.get_parse("dataset-seed", 7)?,
+        snr: match args.get("snr") {
+            None => Some(25.0),
+            Some("none") => None,
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|_| TractoError::config(format!("--snr: bad value `{v}`")))?,
+            ),
+        },
+    };
+    let kind = if args.switch("estimate") {
+        JobKind::Estimate
+    } else {
+        let defaults = TrackSpec::default();
+        JobKind::Track(TrackSpec {
+            step: args.get_parse("step", defaults.step)?,
+            threshold: args.get_parse("threshold", defaults.threshold)?,
+            max_steps: args.get_parse("max-steps", defaults.max_steps)?,
+        })
+    };
+    let chain_defaults = ChainSpec::default();
+    Ok(JobSpec {
+        dataset,
+        kind,
+        chain: ChainSpec {
+            burnin: args.get_parse("burnin", chain_defaults.burnin)?,
+            samples: args.get_parse("samples", chain_defaults.samples)?,
+            interval: args.get_parse("interval", chain_defaults.interval)?,
+        },
+        seed: args.get_parse("seed", 42)?,
+        deadline_ms: args
+            .get("deadline-ms")
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| TractoError::config(format!("--deadline-ms: bad value `{v}`")))
+            })
+            .transpose()?,
+        priority: Priority::parse(args.get("priority").unwrap_or("normal"))?,
+        retry_budget: args
+            .get("retry-budget")
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| TractoError::config(format!("--retry-budget: bad value `{v}`")))
+            })
+            .transpose()?,
+        cache: CachePolicy::parse(args.get("cache").unwrap_or("read-write"))?,
+    })
+}
+
+/// `tracto submit --connect EP [job flags]`: submit one job, and (unless
+/// `--no-wait`) block until it finishes.
+pub fn submit(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
+    let mut flags = SUBMIT_FLAGS.to_vec();
+    flags.extend(["retry-budget", "cache", "timeout-ms"]);
+    args.reject_unknown(&flags)?;
+    let spec = spec_from_args(args)?;
+    let mut client = connect(args, tracer)?;
+    let job = client.submit(spec)?;
+    println!("submitted job {job}");
+    if args.switch("no-wait") {
+        return Ok(());
+    }
+    let timeout_ms = args
+        .get("timeout-ms")
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| TractoError::config(format!("--timeout-ms: bad value `{v}`")))
+        })
+        .transpose()?;
+    let state = client.await_job(job, timeout_ms)?;
+    if state == JobState::Pending {
+        return Err(TractoError::format(format!(
+            "job {job} still pending after {}ms",
+            timeout_ms.unwrap_or(0)
+        )));
+    }
+    report_state(job, &state)
+}
+
+/// `tracto status --connect EP --job N`: poll one job without blocking.
+pub fn status(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
+    args.reject_unknown(&["connect", "job"])?;
+    let job = args.required("job")?.parse::<u64>().map_err(|_| {
+        TractoError::config(format!("--job: bad value `{}`", args.get("job").unwrap()))
+    })?;
+    let mut client = connect(args, tracer)?;
+    let state = client.status(job)?;
+    report_state(job, &state)
+}
+
+/// `tracto cancel --connect EP --job N`: request cancellation.
+pub fn cancel(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
+    args.reject_unknown(&["connect", "job"])?;
+    let job = args.required("job")?.parse::<u64>().map_err(|_| {
+        TractoError::config(format!("--job: bad value `{}`", args.get("job").unwrap()))
+    })?;
+    let mut client = connect(args, tracer)?;
+    if client.cancel(job)? {
+        println!("job {job}: cancelled");
+    } else {
+        println!("job {job}: already settled, cancel lost the race");
+    }
+    Ok(())
+}
+
+/// `tracto metrics --connect EP`: print the server's metrics snapshot.
+pub fn metrics(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
+    args.reject_unknown(&["connect"])?;
+    let mut client = connect(args, tracer)?;
+    println!("{}", client.metrics()?);
+    Ok(())
+}
+
+/// `tracto shutdown --connect EP`: drain the remote service and stop its
+/// listener.
+pub fn shutdown(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
+    args.reject_unknown(&["connect"])?;
+    let mut client = connect(args, tracer)?;
+    client.drain()?;
+    client.shutdown()?;
+    println!("server is draining and shutting down");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argmap(v: &[&str]) -> ArgMap {
+        ArgMap::parse(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn spec_defaults_match_wire_defaults() {
+        let spec = spec_from_args(&argmap(&["--connect", "/tmp/x.sock"])).unwrap();
+        assert_eq!(spec, JobSpec::track(DatasetSpec::new("1")));
+    }
+
+    #[test]
+    fn spec_flags_land_in_the_right_fields() {
+        let spec = spec_from_args(&argmap(&[
+            "--dataset",
+            "crossing",
+            "--scale",
+            "0.1",
+            "--dataset-seed",
+            "11",
+            "--snr",
+            "none",
+            "--samples",
+            "3",
+            "--seed",
+            "9",
+            "--step",
+            "0.2",
+            "--deadline-ms",
+            "1500",
+            "--priority",
+            "high",
+            "--cache",
+            "bypass",
+        ]))
+        .unwrap();
+        assert_eq!(spec.dataset.kind, "crossing");
+        assert_eq!(spec.dataset.scale, 0.1);
+        assert_eq!(spec.dataset.seed, 11);
+        assert_eq!(spec.dataset.snr, None);
+        assert_eq!(spec.chain.samples, 3);
+        assert_eq!(spec.seed, 9);
+        match spec.kind {
+            JobKind::Track(t) => assert_eq!(t.step, 0.2),
+            JobKind::Estimate => panic!("expected a track job"),
+        }
+        assert_eq!(spec.deadline_ms, Some(1500));
+        assert_eq!(spec.priority, Priority::High);
+        assert_eq!(spec.cache, CachePolicy::Bypass);
+    }
+
+    #[test]
+    fn estimate_switch_selects_estimation() {
+        let spec = spec_from_args(&argmap(&["--estimate"])).unwrap();
+        assert_eq!(spec.kind, JobKind::Estimate);
+    }
+
+    #[test]
+    fn bad_values_are_config_errors() {
+        for flags in [
+            vec!["--priority", "urgent"],
+            vec!["--cache", "write-back"],
+            vec!["--snr", "loud"],
+            vec!["--deadline-ms", "soon"],
+        ] {
+            let err = spec_from_args(&argmap(&flags))
+                .map(|_| ())
+                .expect_err("must fail");
+            assert_eq!(err.kind(), tracto_trace::ErrorKind::Config, "{flags:?}");
+        }
+    }
+
+    #[test]
+    fn connect_refused_is_typed_io_error() {
+        let args = argmap(&["--connect", "/nonexistent/tracto.sock", "--job", "1"]);
+        let err = status(&args, &Tracer::disabled()).unwrap_err();
+        assert_eq!(err.kind(), tracto_trace::ErrorKind::Io);
+    }
+}

@@ -1,4 +1,5 @@
-//! `tracto serve` — replay a job script through the batched job service.
+//! `tracto serve` — run the batched job service, replaying a job script,
+//! listening on a socket for remote clients, or both.
 //!
 //! The script is line-based (`#` starts a comment). Three directives:
 //!
@@ -9,42 +10,33 @@
 //!       [step=F] [threshold=F] [max-steps=N] [deadline-ms=N]
 //! ```
 //!
-//! All jobs are submitted up front, so tracking jobs that land in the same
-//! batching window share GPU launches; `estimate` warms the sample cache
-//! for later `track` lines with the same estimation configuration.
+//! All script jobs are submitted up front, so tracking jobs that land in
+//! the same batching window share GPU launches; `estimate` warms the
+//! sample cache for later `track` lines with the same estimation
+//! configuration.
+//!
+//! With `--listen ENDPOINT` the same service also accepts remote jobs over
+//! the `tracto-proto` wire protocol (`unix:PATH` by default, `tcp:` to
+//! opt in) until a client sends a `shutdown` request. Service tuning flags
+//! are exactly [`ServiceConfigBuilder::CLI_FLAGS`] — the flag set is
+//! derived from the builder, so it cannot drift from the library.
 
 use crate::args::ArgMap;
-use crate::commands::track::parse_strategy;
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::str::FromStr;
 use std::sync::Arc;
 use std::time::Duration;
-use tracto::phantom::{datasets, datasets::DatasetSpec, Dataset};
+use tracto::phantom::Dataset;
 use tracto::pipeline::PipelineConfig;
-use tracto_diffusion::PriorConfig;
 use tracto_mcmc::mh::AdaptScheme;
 use tracto_mcmc::ChainConfig;
+use tracto_proto::Endpoint;
 use tracto_serve::{
-    EstimateJob, EstimateResult, ServiceConfig, Ticket, TrackJob, TrackResult, TractoService,
+    materialize_dataset, JobOutput, JobSpec, ServiceConfig, ServiceConfigBuilder, SocketServer,
+    Ticket, TractoService,
 };
 use tracto_trace::{Tracer, TractoError, TractoResult};
-use tracto_volume::Dim3;
-
-const FLAGS: [&str; 12] = [
-    "script",
-    "devices",
-    "workers",
-    "max-batch",
-    "batch-window-ms",
-    "strategy",
-    "cache-mb",
-    "cache-dir",
-    "disk-cache-mb",
-    "fault-plan",
-    "fault-seed",
-    "retry-budget",
-];
 
 /// `key=value` options trailing a script directive.
 struct Kv(HashMap<String, String>);
@@ -106,12 +98,10 @@ fn chain_from(kv: &Kv) -> TractoResult<(ChainConfig, u64)> {
     Ok((chain, kv.get("seed", 42)?))
 }
 
+/// A `dataset` directive is exactly a wire-level recipe: the same
+/// [`materialize_dataset`] the socket listener uses builds it, so a script
+/// replay and a remote submission of the same recipe run identical data.
 fn build_dataset(kind: &str, kv: &Kv) -> TractoResult<Dataset> {
-    let scale: f64 = kv.get("scale", 0.25)?;
-    if !(0.0..=1.0).contains(&scale) || scale == 0.0 {
-        return Err(TractoError::config("scale must be in (0, 1]"));
-    }
-    let seed: u64 = kv.get("seed", 7)?;
     let snr: Option<f64> = match kv.0.get("snr").map(String::as_str) {
         None => Some(25.0),
         Some("none") => None,
@@ -120,39 +110,12 @@ fn build_dataset(kind: &str, kv: &Kv) -> TractoResult<Dataset> {
                 .map_err(|_| TractoError::config(format!("snr: bad value `{v}`")))?,
         ),
     };
-    match kind {
-        "1" | "2" => {
-            let mut spec = if kind == "1" {
-                DatasetSpec::paper_dataset1()
-            } else {
-                DatasetSpec::paper_dataset2()
-            }
-            .scaled(scale);
-            spec.seed = seed;
-            spec.snr = snr;
-            Ok(spec.build())
-        }
-        "single" => {
-            let n = ((32.0 * scale * 4.0).round() as usize).max(8);
-            Ok(datasets::single_bundle(
-                Dim3::new(n, n / 2 + 2, n / 2 + 2),
-                snr,
-                seed,
-            ))
-        }
-        "crossing" => {
-            let n = ((40.0 * scale * 4.0).round() as usize).max(10);
-            Ok(datasets::crossing(
-                Dim3::new(n, n, (n / 3).max(5)),
-                90.0,
-                snr,
-                seed,
-            ))
-        }
-        other => Err(TractoError::config(format!(
-            "unknown dataset kind `{other}` (1|2|single|crossing)"
-        ))),
-    }
+    materialize_dataset(&tracto_proto::DatasetSpec {
+        kind: kind.to_string(),
+        scale: kv.get("scale", 0.25)?,
+        seed: kv.get("seed", 7)?,
+        snr,
+    })
 }
 
 fn parse_script(text: &str) -> TractoResult<Script> {
@@ -258,109 +221,45 @@ fn parse_script(text: &str) -> TractoResult<Script> {
 }
 
 enum Pending {
-    Estimate(Ticket<EstimateResult>),
-    Track(Ticket<TrackResult>),
+    Estimate(Ticket<JobOutput>),
+    Track(Ticket<JobOutput>),
 }
 
-/// Run the command.
-pub fn run(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
-    args.reject_unknown(&FLAGS)?;
-    let path = PathBuf::from(args.required("script")?);
-    let text = std::fs::read_to_string(&path)
-        .map_err(|e| TractoError::io(format!("read {}", path.display()), e))?;
-    let script = parse_script(&text)?;
-
-    let devices: usize = args.get_parse("devices", 1)?;
-    let fault_plan = crate::commands::track::parse_fault_plan(args, devices)?;
-    let config = ServiceConfig {
-        devices,
-        fault_plan,
-        retry_budget: args.get_parse("retry-budget", 2)?,
-        estimate_workers: args.get_parse("workers", 2)?,
-        max_batch_jobs: args.get_parse("max-batch", 16)?,
-        batch_window: Duration::from_millis(args.get_parse("batch-window-ms", 20)?),
-        strategy: parse_strategy(args.get("strategy").unwrap_or("B"))?,
-        cache_bytes: args.get_parse::<u64>("cache-mb", 256)? << 20,
-        disk_cache: args.get("cache-dir").map(PathBuf::from),
-        disk_cache_bytes: args
-            .get("disk-cache-mb")
-            .map(|v| {
-                v.parse::<u64>()
-                    .map(|mb| mb << 20)
-                    .map_err(|_| TractoError::config(format!("--disk-cache-mb: bad value `{v}`")))
-            })
-            .transpose()?,
-        tracer: tracer.clone(),
-        ..ServiceConfig::default()
-    };
-    if config.devices == 0 || config.estimate_workers == 0 || config.max_batch_jobs == 0 {
-        return Err(TractoError::config(
-            "--devices, --workers, and --max-batch must be positive",
-        ));
-    }
-
-    for (name, ds) in &script.datasets {
-        println!(
-            "dataset {name}: dims {:?}, {} measurements, {} fiber voxels",
-            ds.dwi.dims(),
-            ds.acq.len(),
-            ds.truth.fiber_voxel_count()
-        );
-    }
-    println!(
-        "serving {} job(s) on {} device(s), window {:?}, strategy {}",
-        script.jobs.len(),
-        config.devices,
-        config.batch_window,
-        config.strategy.label()
-    );
-    if let Some(plan) = &config.fault_plan {
-        println!(
-            "fault injection: {} scheduled event(s), retry budget {}",
-            plan.events.len(),
-            config.retry_budget
-        );
-    }
-
-    let service = TractoService::start(config);
+/// Replay a parsed script through the service: submit everything up front,
+/// then wait in submission order. Returns how many jobs failed.
+fn replay_script(service: &TractoService, script: &Script) -> usize {
     let mut pending: Vec<(String, Pending)> = Vec::new();
     for job in &script.jobs {
+        let dataset = |name: &str| {
+            script
+                .datasets
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, ds)| Arc::clone(ds))
+                .expect("validated at parse time")
+        };
         match job {
             ScriptJob::Estimate {
-                dataset,
+                dataset: name,
                 chain,
                 seed,
             } => {
-                let (_, ds) = script
-                    .datasets
-                    .iter()
-                    .find(|(n, _)| n == dataset)
-                    .expect("validated");
-                let ticket = service.submit_estimate(EstimateJob {
-                    dataset: Arc::clone(ds),
-                    prior: PriorConfig::default(),
-                    chain: *chain,
-                    seed: *seed,
-                });
-                pending.push((format!("estimate {dataset}"), Pending::Estimate(ticket)));
+                let ticket = service.submit(JobSpec::estimate(dataset(name), *chain, *seed));
+                pending.push((format!("estimate {name}"), Pending::Estimate(ticket)));
             }
             ScriptJob::Track {
-                dataset,
+                dataset: name,
                 config,
                 deadline,
             } => {
-                let (_, ds) = script
-                    .datasets
-                    .iter()
-                    .find(|(n, _)| n == dataset)
-                    .expect("validated");
-                let ticket = service.submit_track(TrackJob {
-                    dataset: Arc::clone(ds),
-                    config: config.clone(),
-                    seeds: None,
-                    deadline: *deadline,
-                });
-                pending.push((format!("track {dataset}"), Pending::Track(ticket)));
+                let mut spec = JobSpec::track(dataset(name), config.clone());
+                if let Some(d) = deadline {
+                    spec = spec.with_deadline(*d);
+                }
+                pending.push((
+                    format!("track {name}"),
+                    Pending::Track(service.submit(spec)),
+                ));
             }
         }
     }
@@ -368,7 +267,7 @@ pub fn run(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
     let mut failed = 0usize;
     for (label, ticket) in pending {
         match ticket {
-            Pending::Estimate(t) => match t.wait() {
+            Pending::Estimate(t) => match t.wait_estimate() {
                 Ok(r) => println!(
                     "[{}] {label}: {} voxels, cache_hit={}",
                     t.id, r.voxels, r.cache_hit
@@ -378,7 +277,7 @@ pub fn run(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
                     println!("[{}] {label}: error: {e}", t.id);
                 }
             },
-            Pending::Track(t) => match t.wait() {
+            Pending::Track(t) => match t.wait_track() {
                 Ok(r) => println!(
                     "[{}] {label}: {} total steps, cache_hit={}, batch of {} job(s) / {} lanes",
                     t.id, r.tracking.total_steps, r.cache_hit, r.batch_jobs, r.batch_lanes
@@ -390,9 +289,87 @@ pub fn run(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
             },
         }
     }
+    failed
+}
+
+/// Run the command.
+pub fn run(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
+    let mut flags: Vec<&str> = vec!["script", "listen"];
+    flags.extend(ServiceConfigBuilder::CLI_FLAGS.iter().map(|(n, _, _)| *n));
+    args.reject_unknown(&flags)?;
+
+    let script = args
+        .get("script")
+        .map(|p| {
+            let path = PathBuf::from(p);
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| TractoError::io(format!("read {}", path.display()), e))?;
+            parse_script(&text)
+        })
+        .transpose()?;
+    let listen = args.get("listen").map(Endpoint::parse).transpose()?;
+    if script.is_none() && listen.is_none() {
+        return Err(TractoError::config(
+            "serve needs --script, --listen, or both",
+        ));
+    }
+
+    let mut builder = ServiceConfig::builder();
+    for (name, _, _) in ServiceConfigBuilder::CLI_FLAGS {
+        if let Some(value) = args.get(name) {
+            builder = builder.set_cli(name, value)?;
+        }
+    }
+    let config = builder.tracer(tracer.clone()).build()?;
+
+    if let Some(script) = &script {
+        for (name, ds) in &script.datasets {
+            println!(
+                "dataset {name}: dims {:?}, {} measurements, {} fiber voxels",
+                ds.dwi.dims(),
+                ds.acq.len(),
+                ds.truth.fiber_voxel_count()
+            );
+        }
+        println!(
+            "serving {} job(s) on {} device(s), window {:?}, strategy {}",
+            script.jobs.len(),
+            config.devices,
+            config.batch_window,
+            config.strategy.label()
+        );
+    }
+    if let Some(plan) = &config.fault_plan {
+        println!(
+            "fault injection: {} scheduled event(s), retry budget {}",
+            plan.events.len(),
+            config.retry_budget
+        );
+    }
+
+    let service = Arc::new(TractoService::start(config));
+    let failed = script
+        .as_ref()
+        .map(|s| replay_script(&service, s))
+        .unwrap_or(0);
+
+    if let Some(endpoint) = listen {
+        let server = SocketServer::bind(Arc::clone(&service), &endpoint)?;
+        println!(
+            "listening on {} (stops when a client sends `shutdown`)",
+            server.endpoint()
+        );
+        server.wait_shutdown();
+        let remote = server.remote_jobs();
+        server.stop();
+        println!("served {remote} remote job(s)");
+    }
 
     service.drain();
-    println!("\n--- service metrics ---\n{}", service.shutdown());
+    match Arc::try_unwrap(service) {
+        Ok(service) => println!("\n--- service metrics ---\n{}", service.shutdown()),
+        Err(service) => println!("\n--- service metrics ---\n{}", service.metrics()),
+    }
     if failed > 0 {
         return Err(TractoError::format(format!("{failed} job(s) failed")));
     }
@@ -487,6 +464,27 @@ track b samples=2 burnin=30 interval=1 seed=9 max-steps=60
         let err = run(&args, &Tracer::disabled()).unwrap_err();
         assert_eq!(err.kind(), tracto_trace::ErrorKind::Io);
         assert!(err.to_string().contains("jobs.txt"));
+    }
+
+    #[test]
+    fn neither_script_nor_listen_is_config_error() {
+        let err = run(&argmap(&[]), &Tracer::disabled()).unwrap_err();
+        assert_eq!(err.kind(), tracto_trace::ErrorKind::Config);
+        assert!(err.to_string().contains("--script"), "{err}");
+    }
+
+    #[test]
+    fn invalid_service_knob_is_config_error() {
+        // Validation comes from ServiceConfigBuilder::build, not ad-hoc
+        // checks in the command.
+        let dir = tmp("knob");
+        let script = dir.join("jobs.txt");
+        std::fs::write(&script, TINY).unwrap();
+        let args = argmap(&["--script", script.to_str().unwrap(), "--devices", "0"]);
+        let err = run(&args, &Tracer::disabled()).unwrap_err();
+        assert_eq!(err.kind(), tracto_trace::ErrorKind::Config);
+        assert!(err.to_string().contains("devices"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

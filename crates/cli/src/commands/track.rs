@@ -39,27 +39,8 @@ const FLAGS: [&str; 19] = [
 ];
 
 pub(crate) fn parse_strategy(s: &str) -> TractoResult<SegmentationStrategy> {
-    match s {
-        "B" | "b" => Ok(SegmentationStrategy::paper_table2()),
-        "C" | "c" => Ok(SegmentationStrategy::paper_c()),
-        "single" => Ok(SegmentationStrategy::Single),
-        "every" => Ok(SegmentationStrategy::every_step()),
-        other => {
-            if let Some(k) = other.strip_prefix("uniform:") {
-                let k: u32 = k.parse().map_err(|_| {
-                    TractoError::config(format!("--strategy uniform:K: bad K `{k}`"))
-                })?;
-                if k == 0 {
-                    return Err(TractoError::config("--strategy uniform:K needs K ≥ 1"));
-                }
-                Ok(SegmentationStrategy::Uniform(k))
-            } else {
-                Err(TractoError::config(format!(
-                    "--strategy: unknown `{other}` (B|C|single|every|uniform:K)"
-                )))
-            }
-        }
-    }
+    // One parser serves the CLI, the serve script, and the wire protocol.
+    SegmentationStrategy::parse(s)
 }
 
 /// Resolve `--fault-plan FILE` / `--fault-seed S` into a deterministic

@@ -50,16 +50,32 @@ COMMANDS:
              [--est-samples N] [--est-burnin N] [--est-interval N] [--est-seed N]
              [--devices N] [--fault-plan FILE | --fault-seed N]
              [--checkpoint-every N]
-  serve      replay a job script through the batched job service
-             --script FILE [--devices N] [--workers N] [--max-batch N]
-             [--batch-window-ms N] [--strategy B|C|single|every|uniform:K]
-             [--cache-mb N] [--cache-dir DIR] [--disk-cache-mb N]
+  serve      run the batched job service: replay a job script, listen on a
+             socket for remote clients, or both
+             (--script FILE | --listen ENDPOINT | both) [--devices N]
+             [--workers N] [--max-batch N] [--batch-window-ms N]
+             [--strategy B|C|single|every|uniform:K] [--cache-mb N]
+             [--cache-dir DIR] [--disk-cache-mb N]
              [--fault-plan FILE | --fault-seed N] [--retry-budget N]
+  submit     submit one job to a listening server and wait for its result
+             --connect ENDPOINT [--dataset 1|2|single|crossing] [--scale F]
+             [--dataset-seed N] [--snr F|none] [--estimate]
+             [--samples N] [--burnin N] [--interval N] [--seed N]
+             [--step F] [--threshold F] [--max-steps N]
+             [--deadline-ms N] [--priority low|normal|high]
+             [--retry-budget N] [--cache rw|ro|bypass]
+             [--no-wait] [--timeout-ms N]
+  status     poll a remote job          --connect ENDPOINT --job N
+  cancel     cancel a remote job        --connect ENDPOINT --job N
+  metrics    print remote service metrics  --connect ENDPOINT
+  shutdown   drain and stop a listening server  --connect ENDPOINT
   info       describe a stored dataset
              --data DIR
   render     print an ASCII maximum-intensity projection of a volume
              --volume FILE.trv3 [--axis x|y|z]
   help       print this message
+
+ENDPOINTS: unix:PATH (the default — a bare path works) or tcp:HOST:PORT
 
 GLOBAL FLAGS (any command):
   --trace FILE      append structured events as JSON lines to FILE
@@ -109,6 +125,11 @@ pub fn run(args: &[String]) -> i32 {
         "estimate" => commands::estimate::run(&parsed, &tracer),
         "track" => commands::track::run(&parsed, &tracer),
         "serve" => commands::serve::run(&parsed, &tracer),
+        "submit" => commands::remote::submit(&parsed, &tracer),
+        "status" => commands::remote::status(&parsed, &tracer),
+        "cancel" => commands::remote::cancel(&parsed, &tracer),
+        "metrics" => commands::remote::metrics(&parsed, &tracer),
+        "shutdown" => commands::remote::shutdown(&parsed, &tracer),
         "info" => commands::info::run(&parsed, &tracer),
         "render" => commands::render::run(&parsed, &tracer),
         "help" | "--help" | "-h" => {

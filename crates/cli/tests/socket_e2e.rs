@@ -1,0 +1,167 @@
+//! Two-process end-to-end test: a real `tracto serve --listen` server
+//! process driven by real `tracto submit/status/metrics/shutdown` client
+//! invocations over a Unix socket.
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_tracto");
+
+fn tmp(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("tracto_sock_e2e_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Run a client command against the server, returning (exit code, stdout).
+fn client(args: &[&str]) -> (i32, String) {
+    let out = Command::new(BIN)
+        .args(args)
+        .stderr(Stdio::piped())
+        .output()
+        .expect("spawn client");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+/// Kills the server on drop so a failing test doesn't leak a process.
+struct ServerGuard(Option<Child>);
+
+impl ServerGuard {
+    fn wait(mut self) -> std::process::ExitStatus {
+        let mut child = self.0.take().expect("server still running");
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            if let Some(status) = child.try_wait().expect("try_wait") {
+                return status;
+            }
+            if Instant::now() > deadline {
+                let _ = child.kill();
+                panic!("server did not exit after shutdown request");
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+}
+
+impl Drop for ServerGuard {
+    fn drop(&mut self) {
+        if let Some(mut child) = self.0.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+fn start_server(socket: &str) -> ServerGuard {
+    let child = Command::new(BIN)
+        .args(["serve", "--listen", socket, "--workers", "2"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn server");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !std::path::Path::new(socket).exists() {
+        assert!(Instant::now() < deadline, "server never bound {socket}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    ServerGuard(Some(child))
+}
+
+fn digest_of(stdout: &str) -> &str {
+    let at = stdout.find("digest ").expect("digest in output");
+    &stdout[at + 7..at + 23]
+}
+
+#[test]
+fn socket_round_trip_across_processes() {
+    let dir = tmp("rt");
+    let socket = dir.join("tracto.sock");
+    let socket = socket.to_str().unwrap();
+    let server = start_server(socket);
+
+    let job = [
+        "submit",
+        "--connect",
+        socket,
+        "--dataset",
+        "single",
+        "--scale",
+        "0.05",
+        "--snr",
+        "none",
+        "--samples",
+        "2",
+        "--burnin",
+        "30",
+        "--interval",
+        "1",
+        "--seed",
+        "9",
+        "--max-steps",
+        "60",
+    ];
+    let (code, out) = client(&job);
+    assert_eq!(code, 0, "submit failed: {out}");
+    assert!(out.contains("done (track)"), "{out}");
+    let first = digest_of(&out).to_string();
+
+    // The identical recipe resubmitted is served from the sample cache and
+    // produces a bit-identical length digest.
+    let (code, out) = client(&job);
+    assert_eq!(code, 0, "resubmit failed: {out}");
+    assert!(out.contains("cache_hit=true"), "{out}");
+    assert_eq!(digest_of(&out), first, "digest must be deterministic");
+
+    // An estimation job over the same recipe also hits the warm cache.
+    let (code, out) = client(&[
+        "submit",
+        "--connect",
+        socket,
+        "--estimate",
+        "--dataset",
+        "single",
+        "--scale",
+        "0.05",
+        "--snr",
+        "none",
+        "--samples",
+        "2",
+        "--burnin",
+        "30",
+        "--interval",
+        "1",
+        "--seed",
+        "9",
+    ]);
+    assert_eq!(code, 0, "estimate failed: {out}");
+    assert!(out.contains("done (estimate)"), "{out}");
+
+    let (code, out) = client(&["metrics", "--connect", socket]);
+    assert_eq!(code, 0, "metrics failed: {out}");
+    assert!(out.contains("3 remote"), "{out}");
+    assert!(out.contains("3 completed"), "{out}");
+
+    // Unknown job ids are typed errors, not crashes.
+    let (code, _) = client(&["status", "--connect", socket, "--job", "999"]);
+    assert_ne!(code, 0);
+
+    let (code, out) = client(&["shutdown", "--connect", socket]);
+    assert_eq!(code, 0, "shutdown failed: {out}");
+    let status = server.wait();
+    assert!(status.success(), "server exited with {status:?}");
+    assert!(!std::path::Path::new(socket).exists(), "socket unlinked");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_endpoint_and_dead_socket_fail_cleanly() {
+    let (code, _) = client(&["submit", "--connect", "tcp:nohost", "--no-wait"]);
+    assert_ne!(code, 0, "malformed endpoint must fail");
+    let (code, _) = client(&["metrics", "--connect", "/nonexistent/tracto.sock"]);
+    assert_ne!(code, 0, "dead socket must fail");
+}

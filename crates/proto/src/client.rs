@@ -1,0 +1,179 @@
+//! The remote client: a blocking connection that speaks the protocol and
+//! exposes the same submit/status/cancel/await verbs as the in-process
+//! service.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+
+use crate::endpoint::Endpoint;
+use crate::frame::{read_frame, write_frame};
+use crate::spec::JobSpec;
+use crate::wire::{JobState, MetricsWire, Request, Response};
+use crate::PROTOCOL_VERSION;
+use tracto_trace::{TractoError, TractoResult};
+
+enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// A connected client. One request is in flight at a time (the protocol is
+/// strict request/response), so methods take `&mut self`.
+pub struct RemoteService {
+    stream: Stream,
+    /// The server's protocol version from the handshake.
+    pub server_version: u32,
+    /// The server's identification string from the handshake.
+    pub server_name: String,
+}
+
+impl RemoteService {
+    /// Connect to `endpoint` and perform the `hello` handshake. Fails with
+    /// a typed [protocol error](TractoError::Protocol) on a version
+    /// mismatch.
+    pub fn connect(endpoint: &Endpoint, client_name: &str) -> TractoResult<Self> {
+        let stream = match endpoint {
+            Endpoint::Unix(path) => Stream::Unix(
+                UnixStream::connect(path)
+                    .map_err(|e| TractoError::io(format!("connect {}", path.display()), e))?,
+            ),
+            Endpoint::Tcp(addr) => Stream::Tcp(
+                TcpStream::connect(addr)
+                    .map_err(|e| TractoError::io(format!("connect tcp:{addr}"), e))?,
+            ),
+        };
+        let mut client = RemoteService {
+            stream,
+            server_version: 0,
+            server_name: String::new(),
+        };
+        let reply = client.call(&Request::Hello {
+            version: PROTOCOL_VERSION,
+            client: client_name.to_string(),
+        })?;
+        match reply {
+            Response::Hello { version, server } => {
+                if version != PROTOCOL_VERSION {
+                    return Err(TractoError::protocol(format!(
+                        "server speaks protocol v{version}, client speaks v{PROTOCOL_VERSION}"
+                    )));
+                }
+                client.server_version = version;
+                client.server_name = server;
+                Ok(client)
+            }
+            other => Err(unexpected("hello", &other)),
+        }
+    }
+
+    /// Send one request and read its response. [`Response::Error`] is
+    /// returned as-is so callers can inspect it; transport and decode
+    /// failures are typed errors.
+    pub fn call(&mut self, request: &Request) -> TractoResult<Response> {
+        write_frame(&mut self.stream, &request.encode())?;
+        match read_frame(&mut self.stream)? {
+            Some(payload) => Response::decode(&payload),
+            None => Err(TractoError::protocol(
+                "server closed the connection before responding",
+            )),
+        }
+    }
+
+    /// Submit a job, returning its server-assigned id.
+    pub fn submit(&mut self, spec: JobSpec) -> TractoResult<u64> {
+        match self.call(&Request::Submit(Box::new(spec)))? {
+            Response::Submitted { job } => Ok(job),
+            other => Err(unexpected("submitted", &other)),
+        }
+    }
+
+    /// Poll a job's state without blocking.
+    pub fn status(&mut self, job: u64) -> TractoResult<JobState> {
+        match self.call(&Request::Status { job })? {
+            Response::Status { state, .. } => Ok(state),
+            other => Err(unexpected("status", &other)),
+        }
+    }
+
+    /// Block until the job finishes (or `timeout_ms` elapses server-side)
+    /// and return its state — [`JobState::Pending`] means the timeout hit.
+    pub fn await_job(&mut self, job: u64, timeout_ms: Option<u64>) -> TractoResult<JobState> {
+        match self.call(&Request::Await { job, timeout_ms })? {
+            Response::Status { state, .. } => Ok(state),
+            other => Err(unexpected("status", &other)),
+        }
+    }
+
+    /// Request cancellation; `true` means the cancel won the race.
+    pub fn cancel(&mut self, job: u64) -> TractoResult<bool> {
+        match self.call(&Request::Cancel { job })? {
+            Response::Cancelled { cancelled, .. } => Ok(cancelled),
+            other => Err(unexpected("cancelled", &other)),
+        }
+    }
+
+    /// Fetch a metrics snapshot.
+    pub fn metrics(&mut self) -> TractoResult<MetricsWire> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics(m) => Ok(*m),
+            other => Err(unexpected("metrics", &other)),
+        }
+    }
+
+    /// Block until the server has no jobs in flight.
+    pub fn drain(&mut self) -> TractoResult<()> {
+        match self.call(&Request::Drain)? {
+            Response::Drained => Ok(()),
+            other => Err(unexpected("drained", &other)),
+        }
+    }
+
+    /// Ask the serving process to drain and exit.
+    pub fn shutdown(&mut self) -> TractoResult<()> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("shutting_down", &other)),
+        }
+    }
+}
+
+/// Map a reply that wasn't the expected variant to a typed error. Server
+/// [`Response::Error`]s are re-typed where the kind survives the wire
+/// (`cancelled`, `deadline`, `config`); anything else is a protocol error.
+fn unexpected(wanted: &str, got: &Response) -> TractoError {
+    match got {
+        Response::Error { kind, message } => match kind.as_str() {
+            "cancelled" => TractoError::Cancelled,
+            "deadline" => TractoError::Deadline,
+            "config" => TractoError::config(message.clone()),
+            _ => TractoError::protocol(format!("server error ({kind}): {message}")),
+        },
+        other => TractoError::protocol(format!("expected a `{wanted}` response, got {other:?}")),
+    }
+}

@@ -1,0 +1,86 @@
+//! Listen/connect addresses: Unix-domain sockets by default, TCP opt-in.
+
+use std::fmt;
+use std::path::PathBuf;
+use tracto_trace::{TractoError, TractoResult};
+
+/// Where a tracto service listens (or a client connects).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A Unix-domain socket at this filesystem path (the default — no
+    /// network exposure, filesystem permissions apply).
+    Unix(PathBuf),
+    /// A TCP address like `127.0.0.1:7450`; opt-in via the `tcp:` prefix.
+    Tcp(String),
+}
+
+impl Endpoint {
+    /// Parse an endpoint string: `unix:PATH`, `tcp:HOST:PORT`, or a bare
+    /// path (treated as `unix:`).
+    pub fn parse(s: &str) -> TractoResult<Self> {
+        if let Some(addr) = s.strip_prefix("tcp:") {
+            if addr
+                .rsplit_once(':')
+                .is_none_or(|(host, port)| host.is_empty() || port.parse::<u16>().is_err())
+            {
+                return Err(TractoError::config(format!(
+                    "bad tcp endpoint `{addr}` (expected HOST:PORT)"
+                )));
+            }
+            return Ok(Endpoint::Tcp(addr.to_string()));
+        }
+        let path = s.strip_prefix("unix:").unwrap_or(s);
+        if path.is_empty() {
+            return Err(TractoError::config("empty socket path"));
+        }
+        Ok(Endpoint::Unix(PathBuf::from(path)))
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+            Endpoint::Tcp(addr) => write!(f, "tcp:{addr}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_path_is_unix() {
+        assert_eq!(
+            Endpoint::parse("/tmp/tracto.sock").unwrap(),
+            Endpoint::Unix(PathBuf::from("/tmp/tracto.sock"))
+        );
+        assert_eq!(
+            Endpoint::parse("unix:/run/t.sock").unwrap(),
+            Endpoint::Unix(PathBuf::from("/run/t.sock"))
+        );
+    }
+
+    #[test]
+    fn tcp_requires_host_and_port() {
+        assert_eq!(
+            Endpoint::parse("tcp:127.0.0.1:7450").unwrap(),
+            Endpoint::Tcp("127.0.0.1:7450".into())
+        );
+        assert!(Endpoint::parse("tcp:nohost").is_err());
+        assert!(Endpoint::parse("tcp::80").is_err());
+        assert!(Endpoint::parse("tcp:host:notaport").is_err());
+        assert!(Endpoint::parse("").is_err());
+        assert!(Endpoint::parse("unix:").is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for s in ["unix:/tmp/x.sock", "tcp:localhost:1234"] {
+            let e = Endpoint::parse(s).unwrap();
+            assert_eq!(e.to_string(), s);
+            assert_eq!(Endpoint::parse(&e.to_string()).unwrap(), e);
+        }
+    }
+}

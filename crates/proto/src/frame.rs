@@ -1,0 +1,153 @@
+//! Length-prefixed frames: every protocol message travels as a 4-byte
+//! big-endian byte length followed by that many bytes of UTF-8 JSON.
+//!
+//! The prefix makes message boundaries explicit on a byte stream, so a
+//! reader never has to scan for delimiters inside JSON, and a malformed
+//! payload poisons only its own frame. Frames above [`MAX_FRAME_BYTES`]
+//! are rejected before any allocation, bounding what a misbehaving peer
+//! can make the other side buffer.
+
+use std::io::{ErrorKind as IoKind, Read, Write};
+use tracto_trace::{TractoError, TractoResult};
+
+/// Upper bound on a single frame's payload (16 MiB). Large enough for any
+/// result this service returns, small enough to bound a hostile prefix.
+pub const MAX_FRAME_BYTES: u32 = 16 << 20;
+
+/// Write one frame: 4-byte big-endian length, then the payload bytes.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> TractoResult<()> {
+    let bytes = payload.as_bytes();
+    if bytes.len() as u64 > MAX_FRAME_BYTES as u64 {
+        return Err(TractoError::protocol(format!(
+            "outgoing frame of {} bytes exceeds the {} byte limit",
+            bytes.len(),
+            MAX_FRAME_BYTES
+        )));
+    }
+    let len = (bytes.len() as u32).to_be_bytes();
+    w.write_all(&len)
+        .and_then(|()| w.write_all(bytes))
+        .and_then(|()| w.flush())
+        .map_err(|e| TractoError::io("write frame", e))
+}
+
+/// Read one frame's payload. Returns `Ok(None)` on a clean end-of-stream
+/// (the peer closed between frames); a stream that ends *inside* a frame —
+/// a truncated length prefix or a short body — is a typed
+/// [protocol error](TractoError::Protocol).
+pub fn read_frame(r: &mut impl Read) -> TractoResult<Option<String>> {
+    let mut prefix = [0u8; 4];
+    match read_exact_or_eof(r, &mut prefix)? {
+        Filled::Eof => return Ok(None),
+        Filled::Partial(n) => {
+            return Err(TractoError::protocol(format!(
+                "stream ended inside a length prefix ({n} of 4 bytes)"
+            )))
+        }
+        Filled::Complete => {}
+    }
+    let len = u32::from_be_bytes(prefix);
+    if len > MAX_FRAME_BYTES {
+        return Err(TractoError::protocol(format!(
+            "incoming frame of {len} bytes exceeds the {MAX_FRAME_BYTES} byte limit"
+        )));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body).map_err(|e| {
+        if e.kind() == IoKind::UnexpectedEof {
+            TractoError::protocol(format!("stream ended inside a {len}-byte frame body"))
+        } else {
+            TractoError::io("read frame body", e)
+        }
+    })?;
+    String::from_utf8(body)
+        .map(Some)
+        .map_err(|_| TractoError::protocol("frame body is not valid UTF-8"))
+}
+
+enum Filled {
+    Complete,
+    Partial(usize),
+    Eof,
+}
+
+/// Fill `buf`, distinguishing "no bytes at all" (clean EOF) from "some but
+/// not all" (truncation mid-prefix).
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> TractoResult<Filled> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    Filled::Eof
+                } else {
+                    Filled::Partial(filled)
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == IoKind::Interrupted => {}
+            Err(e) => return Err(TractoError::io("read frame prefix", e)),
+        }
+    }
+    Ok(Filled::Complete)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracto_trace::ErrorKind;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"a\":1}").unwrap();
+        write_frame(&mut buf, "").unwrap();
+        write_frame(&mut buf, "second ünïcode frame").unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("{\"a\":1}"));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(""));
+        assert_eq!(
+            read_frame(&mut r).unwrap().as_deref(),
+            Some("second ünïcode frame")
+        );
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF is None");
+    }
+
+    #[test]
+    fn truncated_prefix_is_a_protocol_error() {
+        let mut r: &[u8] = &[0u8, 0]; // two of four length bytes
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Protocol);
+        assert!(err.to_string().contains("length prefix"));
+    }
+
+    #[test]
+    fn truncated_body_is_a_protocol_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "hello frame").unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut r = buf.as_slice();
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Protocol);
+        assert!(err.to_string().contains("frame body"));
+    }
+
+    #[test]
+    fn oversized_prefix_rejected_without_allocation() {
+        let mut buf = (MAX_FRAME_BYTES + 1).to_be_bytes().to_vec();
+        buf.extend_from_slice(b"x");
+        let mut r = buf.as_slice();
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Protocol);
+        assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn non_utf8_body_rejected() {
+        let mut buf = 2u32.to_be_bytes().to_vec();
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        let mut r = buf.as_slice();
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Protocol);
+    }
+}

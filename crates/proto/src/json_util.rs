@@ -1,0 +1,211 @@
+//! Shared helpers for hand-rolled JSON encoding/decoding of wire messages.
+//!
+//! Encoding builds strings directly (reusing `tracto_trace::json::escape_into`
+//! for string literals); decoding reads `tracto_trace::json::Json` trees.
+//! Wire numbers are IEEE doubles, so integer fields are exact up to 2^53 —
+//! fields that need the full `u64` range (digests) travel as hex strings.
+
+use std::fmt::Write as _;
+use tracto_trace::json::{escape_into, Json};
+use tracto_trace::{TractoError, TractoResult};
+
+/// Incremental writer for nested JSON objects. Tracks per-depth comma
+/// state so callers only name fields.
+pub(crate) struct JsonWriter {
+    out: String,
+    first: Vec<bool>,
+}
+
+impl JsonWriter {
+    pub(crate) fn new() -> Self {
+        JsonWriter {
+            out: String::with_capacity(128),
+            first: Vec::new(),
+        }
+    }
+
+    /// Open an object (top-level, or the value of a pending `raw_field`).
+    pub(crate) fn begin(&mut self) {
+        self.out.push('{');
+        self.first.push(true);
+    }
+
+    /// Close the innermost object.
+    pub(crate) fn end(&mut self) {
+        self.out.push('}');
+        self.first.pop();
+    }
+
+    pub(crate) fn finish(self) -> String {
+        debug_assert!(self.first.is_empty(), "unbalanced begin/end");
+        self.out
+    }
+
+    fn key(&mut self, name: &str) {
+        if let Some(first) = self.first.last_mut() {
+            if !*first {
+                self.out.push(',');
+            }
+            *first = false;
+        }
+        escape_into(&mut self.out, name);
+        self.out.push(':');
+    }
+
+    pub(crate) fn str_field(&mut self, name: &str, value: &str) {
+        self.key(name);
+        escape_into(&mut self.out, value);
+    }
+
+    pub(crate) fn u64_field(&mut self, name: &str, value: u64) {
+        self.key(name);
+        let _ = write!(self.out, "{value}");
+    }
+
+    pub(crate) fn f64_field(&mut self, name: &str, value: f64) {
+        self.key(name);
+        if value.is_finite() {
+            let _ = write!(self.out, "{value}");
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
+    pub(crate) fn bool_field(&mut self, name: &str, value: bool) {
+        self.key(name);
+        self.out.push_str(if value { "true" } else { "false" });
+    }
+
+    pub(crate) fn null_field(&mut self, name: &str) {
+        self.key(name);
+        self.out.push_str("null");
+    }
+
+    /// A field whose value is a nested object written by `f` (which must
+    /// call `begin()`/`end()` itself).
+    pub(crate) fn raw_field(&mut self, name: &str, f: impl FnOnce(&mut JsonWriter)) {
+        self.key(name);
+        f(self);
+    }
+}
+
+fn field<'a>(v: &'a Json, key: &str) -> TractoResult<&'a Json> {
+    v.get(key)
+        .ok_or_else(|| TractoError::protocol(format!("message missing field `{key}`")))
+}
+
+pub(crate) fn obj_str(v: &Json, key: &str) -> TractoResult<String> {
+    field(v, key)?
+        .as_str()
+        .map(str::to_owned)
+        .ok_or_else(|| TractoError::protocol(format!("field `{key}` is not a string")))
+}
+
+pub(crate) fn obj_f64(v: &Json, key: &str) -> TractoResult<f64> {
+    field(v, key)?
+        .as_f64()
+        .ok_or_else(|| TractoError::protocol(format!("field `{key}` is not a number")))
+}
+
+pub(crate) fn obj_u64(v: &Json, key: &str) -> TractoResult<u64> {
+    let n = obj_f64(v, key)?;
+    if n.is_finite() && n >= 0.0 && n.fract() == 0.0 && n <= 9.007_199_254_740_992e15 {
+        Ok(n as u64)
+    } else {
+        Err(TractoError::protocol(format!(
+            "field `{key}` is not a non-negative integer"
+        )))
+    }
+}
+
+pub(crate) fn obj_u32(v: &Json, key: &str) -> TractoResult<u32> {
+    let n = obj_u64(v, key)?;
+    u32::try_from(n)
+        .map_err(|_| TractoError::protocol(format!("field `{key}` exceeds the u32 range")))
+}
+
+pub(crate) fn obj_bool(v: &Json, key: &str) -> TractoResult<bool> {
+    match field(v, key)? {
+        Json::Bool(b) => Ok(*b),
+        _ => Err(TractoError::protocol(format!(
+            "field `{key}` is not a boolean"
+        ))),
+    }
+}
+
+/// `None` when the field is absent or `null`.
+pub(crate) fn obj_opt_f64(v: &Json, key: &str) -> TractoResult<Option<f64>> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(j) => j
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| TractoError::protocol(format!("field `{key}` is not a number"))),
+    }
+}
+
+/// `None` when the field is absent or `null`.
+pub(crate) fn obj_opt_u64(v: &Json, key: &str) -> TractoResult<Option<u64>> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(_) => obj_u64(v, key).map(Some),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracto_trace::json::parse;
+    use tracto_trace::ErrorKind;
+
+    #[test]
+    fn writer_produces_parseable_nesting() {
+        let mut w = JsonWriter::new();
+        w.begin();
+        w.str_field("type", "hello \"quoted\"");
+        w.u64_field("n", 42);
+        w.raw_field("inner", |w| {
+            w.begin();
+            w.bool_field("flag", true);
+            w.null_field("nothing");
+            w.end();
+        });
+        w.f64_field("x", 2.5);
+        w.end();
+        let v = parse(&w.finish()).expect("valid JSON");
+        assert_eq!(obj_str(&v, "type").unwrap(), "hello \"quoted\"");
+        assert_eq!(obj_u64(&v, "n").unwrap(), 42);
+        assert!(obj_bool(v.get("inner").unwrap(), "flag").unwrap());
+        assert_eq!(
+            obj_opt_f64(v.get("inner").unwrap(), "nothing").unwrap(),
+            None
+        );
+        assert_eq!(obj_f64(&v, "x").unwrap(), 2.5);
+    }
+
+    #[test]
+    fn accessors_return_protocol_errors() {
+        let v = parse(r#"{"s":"x","n":-1,"f":2.5,"b":true}"#).unwrap();
+        assert_eq!(
+            obj_str(&v, "missing").unwrap_err().kind(),
+            ErrorKind::Protocol
+        );
+        assert_eq!(obj_str(&v, "n").unwrap_err().kind(), ErrorKind::Protocol);
+        assert_eq!(obj_u64(&v, "n").unwrap_err().kind(), ErrorKind::Protocol);
+        assert_eq!(obj_u64(&v, "f").unwrap_err().kind(), ErrorKind::Protocol);
+        assert_eq!(obj_u32(&v, "s").unwrap_err().kind(), ErrorKind::Protocol);
+        assert_eq!(obj_bool(&v, "s").unwrap_err().kind(), ErrorKind::Protocol);
+        assert_eq!(
+            obj_opt_u64(&v, "f").unwrap_err().kind(),
+            ErrorKind::Protocol
+        );
+        assert!(obj_bool(&v, "b").unwrap());
+    }
+
+    #[test]
+    fn u32_range_is_enforced() {
+        let v = parse(r#"{"big":4294967296}"#).unwrap();
+        assert_eq!(obj_u32(&v, "big").unwrap_err().kind(), ErrorKind::Protocol);
+        assert_eq!(obj_u64(&v, "big").unwrap(), 4_294_967_296);
+    }
+}

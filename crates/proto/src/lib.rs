@@ -1,0 +1,53 @@
+//! The tracto wire protocol: how jobs cross a process boundary.
+//!
+//! `tracto-serve` exposes one submission surface — a typed
+//! [`JobSpec`] — and this crate defines its wire form plus the transport
+//! it rides on:
+//!
+//! - **Frames** ([`frame`]): 4-byte big-endian length prefix + UTF-8 JSON
+//!   payload, capped at [`MAX_FRAME_BYTES`].
+//! - **Messages** ([`wire`]): tagged [`Request`]/[`Response`] objects. A
+//!   connection opens with a `hello` exchange carrying
+//!   [`PROTOCOL_VERSION`]; a mismatch is answered with a typed error and
+//!   the connection closes.
+//! - **Endpoints** ([`endpoint`]): Unix-domain sockets by default, TCP via
+//!   an explicit `tcp:` prefix.
+//! - **Client** ([`client`]): [`RemoteService`], a blocking
+//!   request/response connection with the same verbs as the in-process
+//!   service.
+//!
+//! # Compatibility policy
+//!
+//! The version is a single integer, bumped on any change a v_n peer could
+//! misread: renamed/removed fields, re-typed fields, or changed framing.
+//! *Adding* an optional request field or a new response variant bumps it
+//! too — the protocol is young, and one number both sides compare exactly
+//! beats field-level feature negotiation at this stage. Servers answer a
+//! mismatched `hello` with an `error` frame (so old clients get a readable
+//! reason) and then close.
+//!
+//! The crate is std-only: JSON encode/decode reuses `tracto-trace`'s
+//! hand-rolled writer/parser, so nothing new is pulled into the workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod endpoint;
+pub mod frame;
+mod json_util;
+pub mod spec;
+pub mod wire;
+
+pub use client::RemoteService;
+pub use endpoint::Endpoint;
+pub use frame::{read_frame, write_frame, MAX_FRAME_BYTES};
+pub use spec::{
+    lengths_digest, CachePolicy, ChainSpec, DatasetSpec, JobKind, JobSpec, Priority, TrackSpec,
+};
+pub use wire::{JobState, MetricsWire, Outcome, Request, Response};
+
+/// The protocol version both sides exchange in `hello`. Peers with
+/// different versions refuse to talk (see the compatibility policy in the
+/// crate docs).
+pub const PROTOCOL_VERSION: u32 = 1;

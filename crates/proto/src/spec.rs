@@ -1,0 +1,383 @@
+//! The unified wire-level job description.
+//!
+//! A [`JobSpec`] names everything the service needs to run a job from
+//! scratch in another process: the dataset (as a deterministic phantom
+//! recipe, not raw volumes — phantom generation is seeded, so both sides
+//! agree bit-for-bit), the MCMC schedule, the tracking parameters, and the
+//! scheduling envelope (deadline, priority, retry budget, cache policy).
+
+use crate::json_util::{obj_f64, obj_opt_f64, obj_opt_u64, obj_str, obj_u32, obj_u64, JsonWriter};
+use tracto_trace::json::Json;
+use tracto_trace::{TractoError, TractoResult};
+
+/// Scheduling priority. Higher priorities are admitted into batches first;
+/// within a priority class the batch worker keeps its earliest-deadline
+/// order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Behind everything else.
+    Low,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Ahead of normal and low traffic.
+    High,
+}
+
+impl Priority {
+    /// Canonical wire name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Priority::Low => "low",
+            Priority::Normal => "normal",
+            Priority::High => "high",
+        }
+    }
+
+    /// Parse a wire/CLI name.
+    pub fn parse(s: &str) -> TractoResult<Self> {
+        match s {
+            "low" => Ok(Priority::Low),
+            "normal" => Ok(Priority::Normal),
+            "high" => Ok(Priority::High),
+            other => Err(TractoError::config(format!(
+                "unknown priority `{other}` (low|normal|high)"
+            ))),
+        }
+    }
+}
+
+/// How a job interacts with the sample cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CachePolicy {
+    /// Read hits and write fresh results back (the default).
+    #[default]
+    ReadWrite,
+    /// Read hits but never write (e.g. probe jobs that should not evict).
+    ReadOnly,
+    /// Ignore the cache entirely: always re-estimate, store nothing.
+    Bypass,
+}
+
+impl CachePolicy {
+    /// Canonical wire name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CachePolicy::ReadWrite => "read-write",
+            CachePolicy::ReadOnly => "read-only",
+            CachePolicy::Bypass => "bypass",
+        }
+    }
+
+    /// Parse a wire/CLI name.
+    pub fn parse(s: &str) -> TractoResult<Self> {
+        match s {
+            "read-write" | "rw" => Ok(CachePolicy::ReadWrite),
+            "read-only" | "ro" => Ok(CachePolicy::ReadOnly),
+            "bypass" => Ok(CachePolicy::Bypass),
+            other => Err(TractoError::config(format!(
+                "unknown cache policy `{other}` (read-write|read-only|bypass)"
+            ))),
+        }
+    }
+}
+
+/// A deterministic phantom-dataset recipe, the wire stand-in for raw
+/// volumes. `(kind, scale, seed, snr)` fully determine the generated
+/// dataset, so it doubles as a memoization key server-side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSpec {
+    /// Phantom family: `1` | `2` (the paper's datasets) | `single` |
+    /// `crossing`.
+    pub kind: String,
+    /// Grid scale in `(0, 1]`.
+    pub scale: f64,
+    /// Generation seed.
+    pub seed: u64,
+    /// Rician noise SNR; `None` generates a noiseless dataset.
+    pub snr: Option<f64>,
+}
+
+impl DatasetSpec {
+    /// A spec with the script defaults (scale 0.25, seed 7, SNR 25).
+    pub fn new(kind: impl Into<String>) -> Self {
+        DatasetSpec {
+            kind: kind.into(),
+            scale: 0.25,
+            seed: 7,
+            snr: Some(25.0),
+        }
+    }
+
+    /// Canonical string form, used as the server's memoization key.
+    pub fn canonical(&self) -> String {
+        match self.snr {
+            Some(snr) => format!("{}:{}:{}:{}", self.kind, self.scale, self.seed, snr),
+            None => format!("{}:{}:{}:none", self.kind, self.scale, self.seed),
+        }
+    }
+
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.begin();
+        w.str_field("kind", &self.kind);
+        w.f64_field("scale", self.scale);
+        w.u64_field("seed", self.seed);
+        match self.snr {
+            Some(snr) => w.f64_field("snr", snr),
+            None => w.null_field("snr"),
+        }
+        w.end();
+    }
+
+    fn from_json(v: &Json) -> TractoResult<Self> {
+        Ok(DatasetSpec {
+            kind: obj_str(v, "kind")?,
+            scale: obj_f64(v, "scale")?,
+            seed: obj_u64(v, "seed")?,
+            snr: obj_opt_f64(v, "snr")?,
+        })
+    }
+}
+
+/// The MCMC schedule knobs carried on the wire (protocol v1 exposes the
+/// same knobs as the `serve` script; the adaptation scheme is always the
+/// paper default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainSpec {
+    /// Burn-in loops.
+    pub burnin: u32,
+    /// Recorded samples.
+    pub samples: u32,
+    /// Loops between samples.
+    pub interval: u32,
+}
+
+impl Default for ChainSpec {
+    fn default() -> Self {
+        ChainSpec {
+            burnin: 300,
+            samples: 25,
+            interval: 2,
+        }
+    }
+}
+
+/// Step-2 tracking knobs carried on the wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackSpec {
+    /// Step length in voxel units.
+    pub step: f64,
+    /// Angular threshold (minimum successive-direction dot product).
+    pub threshold: f64,
+    /// Maximum steps per streamline.
+    pub max_steps: u32,
+}
+
+impl Default for TrackSpec {
+    fn default() -> Self {
+        TrackSpec {
+            step: 0.1,
+            threshold: 0.9,
+            max_steps: 400,
+        }
+    }
+}
+
+/// What kind of work the job does.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobKind {
+    /// Step 1 only: estimate posteriors and warm the sample cache.
+    Estimate,
+    /// The full pipeline: Step 1 via the cache, Step 2 batched.
+    Track(TrackSpec),
+}
+
+/// The one job-submission payload: everything [`Submit`] carries.
+///
+/// [`Submit`]: crate::Request::Submit
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// The dataset recipe.
+    pub dataset: DatasetSpec,
+    /// Estimate or track (with tracking knobs).
+    pub kind: JobKind,
+    /// MCMC schedule.
+    pub chain: ChainSpec,
+    /// Master seed for estimation and tracking.
+    pub seed: u64,
+    /// Give up if the job has not started tracking within this budget.
+    pub deadline_ms: Option<u64>,
+    /// Batch-admission priority.
+    pub priority: Priority,
+    /// Per-job override of the service retry budget.
+    pub retry_budget: Option<u32>,
+    /// Sample-cache interaction.
+    pub cache: CachePolicy,
+}
+
+impl JobSpec {
+    /// An estimation job with default chain/scheduling knobs.
+    pub fn estimate(dataset: DatasetSpec) -> Self {
+        JobSpec {
+            dataset,
+            kind: JobKind::Estimate,
+            chain: ChainSpec::default(),
+            seed: 42,
+            deadline_ms: None,
+            priority: Priority::Normal,
+            retry_budget: None,
+            cache: CachePolicy::ReadWrite,
+        }
+    }
+
+    /// A tracking job with default knobs.
+    pub fn track(dataset: DatasetSpec) -> Self {
+        JobSpec {
+            kind: JobKind::Track(TrackSpec::default()),
+            ..Self::estimate(dataset)
+        }
+    }
+
+    pub(crate) fn write_json(&self, w: &mut JsonWriter) {
+        w.begin();
+        w.raw_field("dataset", |w| self.dataset.write_json(w));
+        match &self.kind {
+            JobKind::Estimate => w.str_field("job", "estimate"),
+            JobKind::Track(t) => {
+                w.str_field("job", "track");
+                w.f64_field("step", t.step);
+                w.f64_field("threshold", t.threshold);
+                w.u64_field("max_steps", u64::from(t.max_steps));
+            }
+        }
+        w.u64_field("burnin", u64::from(self.chain.burnin));
+        w.u64_field("samples", u64::from(self.chain.samples));
+        w.u64_field("interval", u64::from(self.chain.interval));
+        w.u64_field("seed", self.seed);
+        if let Some(ms) = self.deadline_ms {
+            w.u64_field("deadline_ms", ms);
+        }
+        w.str_field("priority", self.priority.as_str());
+        if let Some(n) = self.retry_budget {
+            w.u64_field("retry_budget", u64::from(n));
+        }
+        w.str_field("cache", self.cache.as_str());
+        w.end();
+    }
+
+    pub(crate) fn from_json(v: &Json) -> TractoResult<Self> {
+        let dataset = DatasetSpec::from_json(
+            v.get("dataset")
+                .ok_or_else(|| TractoError::protocol("job spec missing `dataset`"))?,
+        )?;
+        let kind = match obj_str(v, "job")?.as_str() {
+            "estimate" => JobKind::Estimate,
+            "track" => JobKind::Track(TrackSpec {
+                step: obj_f64(v, "step")?,
+                threshold: obj_f64(v, "threshold")?,
+                max_steps: obj_u32(v, "max_steps")?,
+            }),
+            other => {
+                return Err(TractoError::protocol(format!(
+                    "unknown job kind `{other}` (estimate|track)"
+                )))
+            }
+        };
+        Ok(JobSpec {
+            dataset,
+            kind,
+            chain: ChainSpec {
+                burnin: obj_u32(v, "burnin")?,
+                samples: obj_u32(v, "samples")?,
+                interval: obj_u32(v, "interval")?,
+            },
+            seed: obj_u64(v, "seed")?,
+            deadline_ms: obj_opt_u64(v, "deadline_ms")?,
+            priority: Priority::parse(&obj_str(v, "priority")?)?,
+            retry_budget: obj_opt_u64(v, "retry_budget")?.map(|n| n as u32),
+            cache: CachePolicy::parse(&obj_str(v, "cache")?)?,
+        })
+    }
+}
+
+/// FNV-1a digest of a per-sample length table, the compact form of "these
+/// two tracking runs are bit-identical". Stable across platforms.
+pub fn lengths_digest(lengths: &[Vec<u32>]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    };
+    mix(lengths.len() as u64);
+    for row in lengths {
+        mix(row.len() as u64);
+        for &l in row {
+            mix(u64::from(l));
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(spec: &JobSpec) -> JobSpec {
+        let mut w = JsonWriter::new();
+        spec.write_json(&mut w);
+        let text = w.finish();
+        let v = tracto_trace::json::parse(&text).expect("valid JSON");
+        JobSpec::from_json(&v).expect("decodes")
+    }
+
+    #[test]
+    fn track_spec_round_trips() {
+        let mut spec = JobSpec::track(DatasetSpec::new("crossing"));
+        spec.chain = ChainSpec {
+            burnin: 30,
+            samples: 2,
+            interval: 1,
+        };
+        spec.seed = 9;
+        spec.deadline_ms = Some(1500);
+        spec.priority = Priority::High;
+        spec.retry_budget = Some(3);
+        spec.cache = CachePolicy::Bypass;
+        spec.dataset.snr = None;
+        assert_eq!(roundtrip(&spec), spec);
+    }
+
+    #[test]
+    fn estimate_spec_round_trips() {
+        let spec = JobSpec::estimate(DatasetSpec::new("1"));
+        assert_eq!(roundtrip(&spec), spec);
+    }
+
+    #[test]
+    fn priority_and_cache_parse_reject_unknown() {
+        assert!(Priority::parse("urgent").is_err());
+        assert!(CachePolicy::parse("write-back").is_err());
+        assert_eq!(Priority::parse("high").unwrap(), Priority::High);
+        assert_eq!(CachePolicy::parse("ro").unwrap(), CachePolicy::ReadOnly);
+    }
+
+    #[test]
+    fn digest_separates_shapes() {
+        let a = vec![vec![1, 2, 3], vec![4]];
+        let b = vec![vec![1, 2], vec![3, 4]];
+        let c = vec![vec![1, 2, 3], vec![4]];
+        assert_ne!(lengths_digest(&a), lengths_digest(&b));
+        assert_eq!(lengths_digest(&a), lengths_digest(&c));
+        assert_ne!(lengths_digest(&a), lengths_digest(&[]));
+    }
+
+    #[test]
+    fn canonical_key_distinguishes_noise() {
+        let mut a = DatasetSpec::new("single");
+        let mut b = a.clone();
+        b.snr = None;
+        assert_ne!(a.canonical(), b.canonical());
+        a.seed = 8;
+        assert!(a.canonical().contains("single"));
+    }
+}

@@ -1,0 +1,676 @@
+//! Protocol messages: the JSON payloads carried inside frames.
+//!
+//! Every message is an object with a `"type"` tag. The first message on a
+//! connection must be `hello` in each direction; after a successful
+//! handshake any request may follow. A request the server cannot decode is
+//! answered with an `error` response — frame boundaries stay intact, so
+//! the connection survives; only *framing* violations tear it down.
+
+use crate::json_util::{obj_bool, obj_opt_u64, obj_str, obj_u32, obj_u64, JsonWriter};
+use crate::spec::JobSpec;
+use tracto_trace::json::{parse, Json};
+use tracto_trace::{TractoError, TractoResult};
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Handshake; must be the first request on a connection.
+    Hello {
+        /// The client's [`PROTOCOL_VERSION`](crate::PROTOCOL_VERSION).
+        version: u32,
+        /// Free-form client identification, for trace spans.
+        client: String,
+    },
+    /// Submit a job; answered with [`Response::Submitted`].
+    Submit(Box<JobSpec>),
+    /// Poll a job's state without blocking.
+    Status {
+        /// Server-assigned job id from [`Response::Submitted`].
+        job: u64,
+    },
+    /// Request cancellation; answered with [`Response::Cancelled`].
+    Cancel {
+        /// Job id.
+        job: u64,
+    },
+    /// Block until the job finishes (or `timeout_ms` elapses), then answer
+    /// with its [`Response::Status`].
+    Await {
+        /// Job id.
+        job: u64,
+        /// Give up waiting after this long; `None` waits indefinitely.
+        timeout_ms: Option<u64>,
+    },
+    /// Fetch a service metrics snapshot.
+    Metrics,
+    /// Block until all in-flight jobs finish.
+    Drain,
+    /// Ask the serving process to drain and exit.
+    Shutdown,
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Handshake acknowledgement.
+    Hello {
+        /// The server's [`PROTOCOL_VERSION`](crate::PROTOCOL_VERSION).
+        version: u32,
+        /// Free-form server identification.
+        server: String,
+    },
+    /// The job was accepted and assigned an id.
+    Submitted {
+        /// Id for subsequent `status`/`cancel`/`await` requests.
+        job: u64,
+    },
+    /// A job's current (or, for `await`, final) state.
+    Status {
+        /// Job id.
+        job: u64,
+        /// The state.
+        state: JobState,
+    },
+    /// Cancellation outcome.
+    Cancelled {
+        /// Job id.
+        job: u64,
+        /// `true` if the cancel arrived in time to stop fulfilment.
+        cancelled: bool,
+    },
+    /// A metrics snapshot.
+    Metrics(Box<MetricsWire>),
+    /// All in-flight jobs have finished.
+    Drained,
+    /// The server accepted a shutdown request and is draining.
+    ShuttingDown,
+    /// The request failed; `kind` matches
+    /// [`ErrorKind`](tracto_trace::ErrorKind) display names.
+    Error {
+        /// Error discriminant name (`protocol`, `config`, ...).
+        kind: String,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// A job's lifecycle state as reported on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobState {
+    /// Queued or running.
+    Pending,
+    /// Finished successfully.
+    Done(Outcome),
+    /// Finished with an error.
+    Failed {
+        /// Error discriminant name.
+        kind: String,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// What a finished job produced. Tracking results travel as a summary plus
+/// an FNV-1a digest of the full per-sample length table
+/// ([`lengths_digest`](crate::lengths_digest)), which is how two runs are
+/// compared bit-for-bit without shipping every streamline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// An estimation job's result.
+    Estimate {
+        /// Voxels estimated.
+        voxels: u64,
+        /// Whether the samples came from the cache.
+        cache_hit: bool,
+    },
+    /// A tracking job's result.
+    Track {
+        /// Total tracking steps across all lanes.
+        total_steps: u64,
+        /// Streamlines produced.
+        streamlines: u64,
+        /// FNV-1a digest of `lengths_by_sample`.
+        lengths_digest: u64,
+        /// Whether estimation was served from the cache.
+        cache_hit: bool,
+        /// Jobs sharing the batch that tracked this one.
+        batch_jobs: u64,
+        /// Lanes in that batch.
+        batch_lanes: u64,
+    },
+}
+
+/// A flattened service metrics snapshot (the wire form of serve's
+/// `MetricsSnapshot`).
+#[derive(Debug, Clone, PartialEq, Default)]
+#[allow(missing_docs)] // field names mirror serve::MetricsSnapshot
+pub struct MetricsWire {
+    pub submitted: u64,
+    pub completed: u64,
+    pub failed: u64,
+    pub cancelled: u64,
+    pub deadline_exceeded: u64,
+    pub in_flight: u64,
+    pub batches: u64,
+    pub batch_jobs: u64,
+    pub mean_batch_occupancy: f64,
+    pub lanes_tracked: u64,
+    pub launches: u64,
+    pub mean_wavefront_utilization: f64,
+    pub estimations_run: u64,
+    pub faults_injected: u64,
+    pub device_retries: u64,
+    pub job_retries: u64,
+    pub failovers: u64,
+    pub devices_alive: u64,
+    pub devices_total: u64,
+    pub tracking_sim_s: f64,
+    pub estimation_sim_s: f64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_evictions: u64,
+    pub cache_bytes: u64,
+    pub cache_entries: u64,
+    pub remote_jobs: u64,
+}
+
+impl MetricsWire {
+    fn u64_fields(&self) -> [(&'static str, u64); 22] {
+        [
+            ("submitted", self.submitted),
+            ("completed", self.completed),
+            ("failed", self.failed),
+            ("cancelled", self.cancelled),
+            ("deadline_exceeded", self.deadline_exceeded),
+            ("in_flight", self.in_flight),
+            ("batches", self.batches),
+            ("batch_jobs", self.batch_jobs),
+            ("lanes_tracked", self.lanes_tracked),
+            ("launches", self.launches),
+            ("estimations_run", self.estimations_run),
+            ("faults_injected", self.faults_injected),
+            ("device_retries", self.device_retries),
+            ("job_retries", self.job_retries),
+            ("failovers", self.failovers),
+            ("devices_alive", self.devices_alive),
+            ("devices_total", self.devices_total),
+            ("cache_hits", self.cache_hits),
+            ("cache_misses", self.cache_misses),
+            ("cache_evictions", self.cache_evictions),
+            ("cache_bytes", self.cache_bytes),
+            ("cache_entries", self.cache_entries),
+        ]
+    }
+
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.begin();
+        for (name, value) in self.u64_fields() {
+            w.u64_field(name, value);
+        }
+        w.u64_field("remote_jobs", self.remote_jobs);
+        w.f64_field("mean_batch_occupancy", self.mean_batch_occupancy);
+        w.f64_field(
+            "mean_wavefront_utilization",
+            self.mean_wavefront_utilization,
+        );
+        w.f64_field("tracking_sim_s", self.tracking_sim_s);
+        w.f64_field("estimation_sim_s", self.estimation_sim_s);
+        w.end();
+    }
+
+    fn from_json(v: &Json) -> TractoResult<Self> {
+        use crate::json_util::obj_f64;
+        Ok(MetricsWire {
+            submitted: obj_u64(v, "submitted")?,
+            completed: obj_u64(v, "completed")?,
+            failed: obj_u64(v, "failed")?,
+            cancelled: obj_u64(v, "cancelled")?,
+            deadline_exceeded: obj_u64(v, "deadline_exceeded")?,
+            in_flight: obj_u64(v, "in_flight")?,
+            batches: obj_u64(v, "batches")?,
+            batch_jobs: obj_u64(v, "batch_jobs")?,
+            mean_batch_occupancy: obj_f64(v, "mean_batch_occupancy")?,
+            lanes_tracked: obj_u64(v, "lanes_tracked")?,
+            launches: obj_u64(v, "launches")?,
+            mean_wavefront_utilization: obj_f64(v, "mean_wavefront_utilization")?,
+            estimations_run: obj_u64(v, "estimations_run")?,
+            faults_injected: obj_u64(v, "faults_injected")?,
+            device_retries: obj_u64(v, "device_retries")?,
+            job_retries: obj_u64(v, "job_retries")?,
+            failovers: obj_u64(v, "failovers")?,
+            devices_alive: obj_u64(v, "devices_alive")?,
+            devices_total: obj_u64(v, "devices_total")?,
+            tracking_sim_s: obj_f64(v, "tracking_sim_s")?,
+            estimation_sim_s: obj_f64(v, "estimation_sim_s")?,
+            cache_hits: obj_u64(v, "cache_hits")?,
+            cache_misses: obj_u64(v, "cache_misses")?,
+            cache_evictions: obj_u64(v, "cache_evictions")?,
+            cache_bytes: obj_u64(v, "cache_bytes")?,
+            cache_entries: obj_u64(v, "cache_entries")?,
+            remote_jobs: obj_u64(v, "remote_jobs")?,
+        })
+    }
+}
+
+impl std::fmt::Display for MetricsWire {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "jobs: {} submitted ({} remote), {} completed, {} failed, {} cancelled, {} past deadline, {} in flight",
+            self.submitted,
+            self.remote_jobs,
+            self.completed,
+            self.failed,
+            self.cancelled,
+            self.deadline_exceeded,
+            self.in_flight
+        )?;
+        writeln!(
+            f,
+            "batches: {} run, {} jobs, {:.2} mean occupancy, {} lanes, {} launches, {:.1}% wavefront util",
+            self.batches,
+            self.batch_jobs,
+            self.mean_batch_occupancy,
+            self.lanes_tracked,
+            self.launches,
+            self.mean_wavefront_utilization * 100.0
+        )?;
+        writeln!(
+            f,
+            "estimation: {} runs, cache {} hits / {} misses / {} evictions, {} entries, {} bytes",
+            self.estimations_run,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions,
+            self.cache_entries,
+            self.cache_bytes
+        )?;
+        writeln!(
+            f,
+            "faults: {} injected, {} device retries, {} job retries, {} failovers, {}/{} devices alive",
+            self.faults_injected,
+            self.device_retries,
+            self.job_retries,
+            self.failovers,
+            self.devices_alive,
+            self.devices_total
+        )?;
+        write!(
+            f,
+            "sim time: {:.3}s tracking, {:.3}s estimation",
+            self.tracking_sim_s, self.estimation_sim_s
+        )
+    }
+}
+
+impl Request {
+    /// Serialize to the JSON payload of one frame.
+    pub fn encode(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin();
+        match self {
+            Request::Hello { version, client } => {
+                w.str_field("type", "hello");
+                w.u64_field("version", u64::from(*version));
+                w.str_field("client", client);
+            }
+            Request::Submit(spec) => {
+                w.str_field("type", "submit");
+                w.raw_field("spec", |w| spec.write_json(w));
+            }
+            Request::Status { job } => {
+                w.str_field("type", "status");
+                w.u64_field("job", *job);
+            }
+            Request::Cancel { job } => {
+                w.str_field("type", "cancel");
+                w.u64_field("job", *job);
+            }
+            Request::Await { job, timeout_ms } => {
+                w.str_field("type", "await");
+                w.u64_field("job", *job);
+                if let Some(ms) = timeout_ms {
+                    w.u64_field("timeout_ms", *ms);
+                }
+            }
+            Request::Metrics => w.str_field("type", "metrics"),
+            Request::Drain => w.str_field("type", "drain"),
+            Request::Shutdown => w.str_field("type", "shutdown"),
+        }
+        w.end();
+        w.finish()
+    }
+
+    /// Decode a frame payload. Malformed JSON, a missing tag, or an unknown
+    /// `type` all yield a typed [protocol error](TractoError::Protocol) the
+    /// server can answer without closing the connection.
+    pub fn decode(payload: &str) -> TractoResult<Self> {
+        let v = parse(payload)
+            .map_err(|e| TractoError::protocol(format!("request is not valid JSON: {e}")))?;
+        let tag = obj_str(&v, "type")?;
+        match tag.as_str() {
+            "hello" => Ok(Request::Hello {
+                version: obj_u32(&v, "version")?,
+                client: obj_str(&v, "client")?,
+            }),
+            "submit" => {
+                let spec = v
+                    .get("spec")
+                    .ok_or_else(|| TractoError::protocol("submit request missing `spec`"))?;
+                Ok(Request::Submit(Box::new(JobSpec::from_json(spec)?)))
+            }
+            "status" => Ok(Request::Status {
+                job: obj_u64(&v, "job")?,
+            }),
+            "cancel" => Ok(Request::Cancel {
+                job: obj_u64(&v, "job")?,
+            }),
+            "await" => Ok(Request::Await {
+                job: obj_u64(&v, "job")?,
+                timeout_ms: obj_opt_u64(&v, "timeout_ms")?,
+            }),
+            "metrics" => Ok(Request::Metrics),
+            "drain" => Ok(Request::Drain),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(TractoError::protocol(format!(
+                "unknown request type `{other}`"
+            ))),
+        }
+    }
+}
+
+fn write_state(w: &mut JsonWriter, state: &JobState) {
+    w.begin();
+    match state {
+        JobState::Pending => w.str_field("state", "pending"),
+        JobState::Done(outcome) => {
+            w.str_field("state", "done");
+            w.raw_field("outcome", |w| {
+                w.begin();
+                match outcome {
+                    Outcome::Estimate { voxels, cache_hit } => {
+                        w.str_field("kind", "estimate");
+                        w.u64_field("voxels", *voxels);
+                        w.bool_field("cache_hit", *cache_hit);
+                    }
+                    Outcome::Track {
+                        total_steps,
+                        streamlines,
+                        lengths_digest,
+                        cache_hit,
+                        batch_jobs,
+                        batch_lanes,
+                    } => {
+                        w.str_field("kind", "track");
+                        w.u64_field("total_steps", *total_steps);
+                        w.u64_field("streamlines", *streamlines);
+                        // Full u64 range: travels as hex, not an IEEE double.
+                        w.str_field("digest", &format!("{lengths_digest:016x}"));
+                        w.bool_field("cache_hit", *cache_hit);
+                        w.u64_field("batch_jobs", *batch_jobs);
+                        w.u64_field("batch_lanes", *batch_lanes);
+                    }
+                }
+                w.end();
+            });
+        }
+        JobState::Failed { kind, message } => {
+            w.str_field("state", "failed");
+            w.str_field("kind", kind);
+            w.str_field("message", message);
+        }
+    }
+    w.end();
+}
+
+fn read_state(v: &Json) -> TractoResult<JobState> {
+    match obj_str(v, "state")?.as_str() {
+        "pending" => Ok(JobState::Pending),
+        "failed" => Ok(JobState::Failed {
+            kind: obj_str(v, "kind")?,
+            message: obj_str(v, "message")?,
+        }),
+        "done" => {
+            let o = v
+                .get("outcome")
+                .ok_or_else(|| TractoError::protocol("done state missing `outcome`"))?;
+            match obj_str(o, "kind")?.as_str() {
+                "estimate" => Ok(JobState::Done(Outcome::Estimate {
+                    voxels: obj_u64(o, "voxels")?,
+                    cache_hit: obj_bool(o, "cache_hit")?,
+                })),
+                "track" => {
+                    let hex = obj_str(o, "digest")?;
+                    let lengths_digest = u64::from_str_radix(&hex, 16).map_err(|_| {
+                        TractoError::protocol(format!("bad digest `{hex}` (expected hex)"))
+                    })?;
+                    Ok(JobState::Done(Outcome::Track {
+                        total_steps: obj_u64(o, "total_steps")?,
+                        streamlines: obj_u64(o, "streamlines")?,
+                        lengths_digest,
+                        cache_hit: obj_bool(o, "cache_hit")?,
+                        batch_jobs: obj_u64(o, "batch_jobs")?,
+                        batch_lanes: obj_u64(o, "batch_lanes")?,
+                    }))
+                }
+                other => Err(TractoError::protocol(format!(
+                    "unknown outcome kind `{other}`"
+                ))),
+            }
+        }
+        other => Err(TractoError::protocol(format!(
+            "unknown job state `{other}`"
+        ))),
+    }
+}
+
+impl Response {
+    /// Serialize to the JSON payload of one frame.
+    pub fn encode(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin();
+        match self {
+            Response::Hello { version, server } => {
+                w.str_field("type", "hello");
+                w.u64_field("version", u64::from(*version));
+                w.str_field("server", server);
+            }
+            Response::Submitted { job } => {
+                w.str_field("type", "submitted");
+                w.u64_field("job", *job);
+            }
+            Response::Status { job, state } => {
+                w.str_field("type", "status");
+                w.u64_field("job", *job);
+                w.raw_field("job_state", |w| write_state(w, state));
+            }
+            Response::Cancelled { job, cancelled } => {
+                w.str_field("type", "cancelled");
+                w.u64_field("job", *job);
+                w.bool_field("cancelled", *cancelled);
+            }
+            Response::Metrics(m) => {
+                w.str_field("type", "metrics");
+                w.raw_field("metrics", |w| m.write_json(w));
+            }
+            Response::Drained => w.str_field("type", "drained"),
+            Response::ShuttingDown => w.str_field("type", "shutting_down"),
+            Response::Error { kind, message } => {
+                w.str_field("type", "error");
+                w.str_field("kind", kind);
+                w.str_field("message", message);
+            }
+        }
+        w.end();
+        w.finish()
+    }
+
+    /// Decode a frame payload.
+    pub fn decode(payload: &str) -> TractoResult<Self> {
+        let v = parse(payload)
+            .map_err(|e| TractoError::protocol(format!("response is not valid JSON: {e}")))?;
+        let tag = obj_str(&v, "type")?;
+        match tag.as_str() {
+            "hello" => Ok(Response::Hello {
+                version: obj_u32(&v, "version")?,
+                server: obj_str(&v, "server")?,
+            }),
+            "submitted" => Ok(Response::Submitted {
+                job: obj_u64(&v, "job")?,
+            }),
+            "status" => Ok(Response::Status {
+                job: obj_u64(&v, "job")?,
+                state: read_state(v.get("job_state").ok_or_else(|| {
+                    TractoError::protocol("status response missing `job_state`")
+                })?)?,
+            }),
+            "cancelled" => Ok(Response::Cancelled {
+                job: obj_u64(&v, "job")?,
+                cancelled: obj_bool(&v, "cancelled")?,
+            }),
+            "metrics" => Ok(Response::Metrics(Box::new(MetricsWire::from_json(
+                v.get("metrics")
+                    .ok_or_else(|| TractoError::protocol("metrics response missing `metrics`"))?,
+            )?))),
+            "drained" => Ok(Response::Drained),
+            "shutting_down" => Ok(Response::ShuttingDown),
+            "error" => Ok(Response::Error {
+                kind: obj_str(&v, "kind")?,
+                message: obj_str(&v, "message")?,
+            }),
+            other => Err(TractoError::protocol(format!(
+                "unknown response type `{other}`"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{CachePolicy, DatasetSpec, Priority};
+    use tracto_trace::ErrorKind;
+
+    fn rt_req(r: Request) {
+        assert_eq!(Request::decode(&r.encode()).expect("decodes"), r);
+    }
+
+    fn rt_resp(r: Response) {
+        assert_eq!(Response::decode(&r.encode()).expect("decodes"), r);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        rt_req(Request::Hello {
+            version: 1,
+            client: "cli \"quoted\"".into(),
+        });
+        let mut spec = JobSpec::track(DatasetSpec::new("2"));
+        spec.priority = Priority::Low;
+        spec.cache = CachePolicy::ReadOnly;
+        spec.deadline_ms = Some(250);
+        rt_req(Request::Submit(Box::new(spec)));
+        rt_req(Request::Submit(Box::new(JobSpec::estimate(
+            DatasetSpec::new("single"),
+        ))));
+        rt_req(Request::Status { job: 7 });
+        rt_req(Request::Cancel { job: 9 });
+        rt_req(Request::Await {
+            job: 3,
+            timeout_ms: Some(4000),
+        });
+        rt_req(Request::Await {
+            job: 3,
+            timeout_ms: None,
+        });
+        rt_req(Request::Metrics);
+        rt_req(Request::Drain);
+        rt_req(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        rt_resp(Response::Hello {
+            version: 1,
+            server: "tracto-serve".into(),
+        });
+        rt_resp(Response::Submitted { job: 12 });
+        rt_resp(Response::Status {
+            job: 12,
+            state: JobState::Pending,
+        });
+        rt_resp(Response::Status {
+            job: 12,
+            state: JobState::Done(Outcome::Estimate {
+                voxels: 4096,
+                cache_hit: true,
+            }),
+        });
+        rt_resp(Response::Status {
+            job: 13,
+            state: JobState::Done(Outcome::Track {
+                total_steps: 123_456,
+                streamlines: 640,
+                lengths_digest: u64::MAX - 3, // exercises the hex path
+                cache_hit: false,
+                batch_jobs: 4,
+                batch_lanes: 2560,
+            }),
+        });
+        rt_resp(Response::Status {
+            job: 14,
+            state: JobState::Failed {
+                kind: "device".into(),
+                message: "device 0 fault: launch failed".into(),
+            },
+        });
+        rt_resp(Response::Cancelled {
+            job: 5,
+            cancelled: false,
+        });
+        rt_resp(Response::Metrics(Box::new(MetricsWire {
+            submitted: 9,
+            remote_jobs: 4,
+            mean_batch_occupancy: 2.25,
+            tracking_sim_s: 0.125,
+            cache_bytes: 1 << 20,
+            ..Default::default()
+        })));
+        rt_resp(Response::Drained);
+        rt_resp(Response::ShuttingDown);
+        rt_resp(Response::Error {
+            kind: "protocol".into(),
+            message: "unknown request type `zap`".into(),
+        });
+    }
+
+    #[test]
+    fn malformed_payloads_are_protocol_errors() {
+        for bad in [
+            "",
+            "not json",
+            "[1,2,3]",
+            "{}",
+            r#"{"type":"warp_core_breach"}"#,
+            r#"{"type":"submit"}"#,
+            r#"{"type":"status","job":"seven"}"#,
+            r#"{"type":"await","job":1,"timeout_ms":"soon"}"#,
+        ] {
+            let err = Request::decode(bad).expect_err(bad);
+            assert_eq!(err.kind(), ErrorKind::Protocol, "{bad}");
+        }
+        for bad in ["{}", r#"{"type":"status","job":1}"#, "null"] {
+            assert_eq!(
+                Response::decode(bad).expect_err(bad).kind(),
+                ErrorKind::Protocol,
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_request_error_names_the_type() {
+        let err = Request::decode(r#"{"type":"frobnicate"}"#).unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+    }
+}

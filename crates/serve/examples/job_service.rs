@@ -9,7 +9,7 @@ use std::time::Duration;
 use tracto::mcmc::ChainConfig;
 use tracto::phantom::datasets::DatasetSpec;
 use tracto::pipeline::PipelineConfig;
-use tracto_serve::{EstimateJob, ServiceConfig, TrackJob, TractoService};
+use tracto_serve::{JobSpec, ServiceConfig, TractoService};
 use tracto_volume::Dim3;
 
 fn dataset(name: &str, seed: u64) -> Arc<tracto::phantom::Dataset> {
@@ -53,13 +53,8 @@ fn main() {
 
     // Client A warms the cache explicitly.
     let est = service
-        .submit_estimate(EstimateJob {
-            dataset: Arc::clone(&bundle),
-            prior: cfg.prior,
-            chain: cfg.chain,
-            seed: cfg.seed,
-        })
-        .wait()
+        .submit(JobSpec::estimate(Arc::clone(&bundle), cfg.chain, cfg.seed))
+        .wait_estimate()
         .expect("estimation");
     println!(
         "estimate(bundle): {} voxels, cache_hit={}",
@@ -72,19 +67,19 @@ fn main() {
     let tickets = vec![
         (
             "bundle/warm",
-            service.submit_track(TrackJob::new(Arc::clone(&bundle), cfg.clone())),
+            service.submit(JobSpec::track(Arc::clone(&bundle), cfg.clone())),
         ),
         (
             "crossing/cold",
-            service.submit_track(TrackJob::new(Arc::clone(&crossing), cfg.clone())),
+            service.submit(JobSpec::track(Arc::clone(&crossing), cfg.clone())),
         ),
         (
             "bundle/warm-2",
-            service.submit_track(TrackJob::new(Arc::clone(&bundle), cfg.clone())),
+            service.submit(JobSpec::track(Arc::clone(&bundle), cfg.clone())),
         ),
     ];
     for (label, ticket) in tickets {
-        let r = ticket.wait().expect("tracking");
+        let r = ticket.wait_track().expect("tracking");
         println!(
             "track({label}): {} total steps, cache_hit={}, batch of {} job(s) / {} lanes",
             r.tracking.total_steps, r.cache_hit, r.batch_jobs, r.batch_lanes

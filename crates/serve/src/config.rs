@@ -1,0 +1,393 @@
+//! Service configuration and its validating builder.
+//!
+//! [`ServiceConfigBuilder`] is the one place service knobs are defined:
+//! every knob has a typed setter, a validation rule applied in
+//! [`build`](ServiceConfigBuilder::build), and (where it makes sense on a
+//! command line) an entry in [`CLI_FLAGS`](ServiceConfigBuilder::CLI_FLAGS)
+//! consumed by [`set_cli`](ServiceConfigBuilder::set_cli) — so the CLI's
+//! flag set is derived from the builder and cannot drift from it.
+
+use std::path::PathBuf;
+use std::time::Duration;
+use tracto::tracking::SegmentationStrategy;
+use tracto_gpu_sim::{DeviceConfig, FaultPlan};
+use tracto_trace::{Tracer, TractoError, TractoResult};
+
+/// Service tuning knobs. Construct via [`ServiceConfig::builder`] (which
+/// validates) or field-by-field with `..Default::default()` in tests.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Simulated device model.
+    pub device: DeviceConfig,
+    /// Devices in the tracking worker's group.
+    pub devices: usize,
+    /// Estimation worker threads (each owns one simulated GPU).
+    pub estimate_workers: usize,
+    /// Bound of both submission queues.
+    pub queue_capacity: usize,
+    /// Most jobs merged into one batch.
+    pub max_batch_jobs: usize,
+    /// How long the batch worker waits for more jobs after the first.
+    pub batch_window: Duration,
+    /// Segmentation schedule for batched launches. Results are invariant
+    /// to this choice (it only shapes timing), so one service-wide
+    /// schedule serves jobs that asked for different ones.
+    pub strategy: SegmentationStrategy,
+    /// In-memory sample-cache bound in bytes.
+    pub cache_bytes: u64,
+    /// Optional on-disk sample cache shared with `tracto track --cache-dir`.
+    pub disk_cache: Option<PathBuf>,
+    /// Byte cap for the disk tier; `None` leaves it unbounded.
+    pub disk_cache_bytes: Option<u64>,
+    /// Deterministic fault schedule installed on the batch worker's device
+    /// pool (chaos testing); `None` runs fault-free.
+    pub fault_plan: Option<FaultPlan>,
+    /// Times a job may be re-queued after a device fault escapes the pool
+    /// before it fails with the typed cause.
+    pub retry_budget: u32,
+    /// Backoff before the first retry; doubles per retry, capped at 1024×.
+    pub retry_backoff: Duration,
+    /// Structured-event sink for job lifecycle, cache, batch, and GPU
+    /// events. Disabled by default.
+    pub tracer: Tracer,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            device: DeviceConfig::radeon_5870(),
+            devices: 1,
+            estimate_workers: 2,
+            queue_capacity: 64,
+            max_batch_jobs: 16,
+            batch_window: Duration::from_millis(20),
+            strategy: SegmentationStrategy::paper_table2(),
+            cache_bytes: 256 * 1024 * 1024,
+            disk_cache: None,
+            disk_cache_bytes: None,
+            fault_plan: None,
+            retry_budget: 2,
+            retry_backoff: Duration::from_millis(5),
+            tracer: Tracer::disabled(),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Start building a validated configuration.
+    pub fn builder() -> ServiceConfigBuilder {
+        ServiceConfigBuilder::default()
+    }
+}
+
+/// Builder for [`ServiceConfig`] with validation at
+/// [`build`](Self::build) time. All setters take and return `self` so
+/// configurations read as one chain.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceConfigBuilder {
+    config: ServiceConfig,
+    /// Deferred `--fault-seed`: a seeded plan needs the final device count,
+    /// so it is generated in `build()` rather than at set time.
+    fault_seed: Option<u64>,
+}
+
+impl ServiceConfigBuilder {
+    /// The service flags a CLI exposes, as `(name, value-hint, help)`.
+    /// [`set_cli`](Self::set_cli) accepts exactly these names, so commands
+    /// can loop over this table for both parsing and usage text.
+    pub const CLI_FLAGS: [(&'static str, &'static str, &'static str); 11] = [
+        ("devices", "N", "devices in the tracking pool (default 1)"),
+        ("workers", "N", "estimation worker threads (default 2)"),
+        (
+            "max-batch",
+            "N",
+            "max jobs merged into one batch (default 16)",
+        ),
+        ("batch-window-ms", "MS", "batching window (default 20)"),
+        ("strategy", "S", "segmentation: B|C|single|every|uniform:K"),
+        (
+            "cache-mb",
+            "MB",
+            "in-memory sample cache bound (default 256)",
+        ),
+        ("cache-dir", "DIR", "on-disk sample cache directory"),
+        ("disk-cache-mb", "MB", "byte cap for the disk cache tier"),
+        ("fault-plan", "FILE", "deterministic fault schedule"),
+        ("fault-seed", "S", "generate a recoverable fault schedule"),
+        (
+            "retry-budget",
+            "N",
+            "job re-queues after device faults (default 2)",
+        ),
+    ];
+
+    /// Set the simulated device model.
+    pub fn device(mut self, device: DeviceConfig) -> Self {
+        self.config.device = device;
+        self
+    }
+
+    /// Set the tracking-pool device count.
+    pub fn devices(mut self, devices: usize) -> Self {
+        self.config.devices = devices;
+        self
+    }
+
+    /// Set the estimation worker count.
+    pub fn estimate_workers(mut self, workers: usize) -> Self {
+        self.config.estimate_workers = workers;
+        self
+    }
+
+    /// Set the submission-queue bound.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.queue_capacity = capacity;
+        self
+    }
+
+    /// Set the per-batch job bound.
+    pub fn max_batch_jobs(mut self, jobs: usize) -> Self {
+        self.config.max_batch_jobs = jobs;
+        self
+    }
+
+    /// Set the batching window.
+    pub fn batch_window(mut self, window: Duration) -> Self {
+        self.config.batch_window = window;
+        self
+    }
+
+    /// Set the segmentation schedule.
+    pub fn strategy(mut self, strategy: SegmentationStrategy) -> Self {
+        self.config.strategy = strategy;
+        self
+    }
+
+    /// Set the in-memory cache bound in bytes.
+    pub fn cache_bytes(mut self, bytes: u64) -> Self {
+        self.config.cache_bytes = bytes;
+        self
+    }
+
+    /// Enable the on-disk cache tier.
+    pub fn disk_cache(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.config.disk_cache = Some(dir.into());
+        self
+    }
+
+    /// Cap the disk cache tier.
+    pub fn disk_cache_bytes(mut self, bytes: u64) -> Self {
+        self.config.disk_cache_bytes = Some(bytes);
+        self
+    }
+
+    /// Install an explicit fault schedule.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.config.fault_plan = Some(plan);
+        self
+    }
+
+    /// Generate a recoverable fault schedule at build time, seeded over the
+    /// final device count. Mutually exclusive with
+    /// [`fault_plan`](Self::fault_plan).
+    pub fn fault_seed(mut self, seed: u64) -> Self {
+        self.fault_seed = Some(seed);
+        self
+    }
+
+    /// Set the per-job retry budget.
+    pub fn retry_budget(mut self, budget: u32) -> Self {
+        self.config.retry_budget = budget;
+        self
+    }
+
+    /// Set the initial retry backoff.
+    pub fn retry_backoff(mut self, backoff: Duration) -> Self {
+        self.config.retry_backoff = backoff;
+        self
+    }
+
+    /// Install an event sink.
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        self.config.tracer = tracer;
+        self
+    }
+
+    /// Apply one CLI flag by name (a name from
+    /// [`CLI_FLAGS`](Self::CLI_FLAGS), without leading dashes). Unknown
+    /// names and malformed values are [`TractoError::Config`].
+    pub fn set_cli(self, name: &str, value: &str) -> TractoResult<Self> {
+        fn num<T: std::str::FromStr>(name: &str, value: &str) -> TractoResult<T> {
+            value
+                .parse()
+                .map_err(|_| TractoError::config(format!("--{name}: bad value `{value}`")))
+        }
+        Ok(match name {
+            "devices" => self.devices(num(name, value)?),
+            "workers" => self.estimate_workers(num(name, value)?),
+            "max-batch" => self.max_batch_jobs(num(name, value)?),
+            "batch-window-ms" => self.batch_window(Duration::from_millis(num::<u64>(name, value)?)),
+            "strategy" => self.strategy(SegmentationStrategy::parse(value)?),
+            "cache-mb" => self.cache_bytes(num::<u64>(name, value)? << 20),
+            "cache-dir" => self.disk_cache(value),
+            "disk-cache-mb" => self.disk_cache_bytes(num::<u64>(name, value)? << 20),
+            "fault-plan" => self.fault_plan(FaultPlan::load(value)?),
+            "fault-seed" => self.fault_seed(num(name, value)?),
+            "retry-budget" => self.retry_budget(num(name, value)?),
+            other => {
+                return Err(TractoError::config(format!(
+                    "unknown service flag `--{other}`"
+                )))
+            }
+        })
+    }
+
+    /// Validate and produce the configuration. Every failure is a
+    /// [`TractoError::Config`] naming the offending knob.
+    pub fn build(self) -> TractoResult<ServiceConfig> {
+        let mut config = self.config;
+        if config.devices == 0 {
+            return Err(TractoError::config("devices must be positive"));
+        }
+        if config.estimate_workers == 0 {
+            return Err(TractoError::config("workers must be positive"));
+        }
+        if config.max_batch_jobs == 0 {
+            return Err(TractoError::config("max-batch must be positive"));
+        }
+        if config.queue_capacity == 0 {
+            return Err(TractoError::config("queue capacity must be positive"));
+        }
+        if config.cache_bytes == 0 {
+            return Err(TractoError::config("cache-mb must be positive"));
+        }
+        if config.batch_window > Duration::from_secs(60) {
+            return Err(TractoError::config(
+                "batch-window-ms above 60s holds jobs hostage",
+            ));
+        }
+        if let Some(seed) = self.fault_seed {
+            if config.fault_plan.is_some() {
+                return Err(TractoError::config(
+                    "fault-plan and fault-seed are mutually exclusive",
+                ));
+            }
+            config.fault_plan = Some(FaultPlan::seeded(seed, config.devices as u32));
+        }
+        Ok(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracto_trace::ErrorKind;
+
+    #[test]
+    fn builder_defaults_match_config_defaults() {
+        let built = ServiceConfig::builder().build().unwrap();
+        let def = ServiceConfig::default();
+        assert_eq!(built.devices, def.devices);
+        assert_eq!(built.estimate_workers, def.estimate_workers);
+        assert_eq!(built.queue_capacity, def.queue_capacity);
+        assert_eq!(built.max_batch_jobs, def.max_batch_jobs);
+        assert_eq!(built.batch_window, def.batch_window);
+        assert_eq!(built.cache_bytes, def.cache_bytes);
+        assert_eq!(built.retry_budget, def.retry_budget);
+        assert!(built.fault_plan.is_none());
+    }
+
+    #[test]
+    fn invalid_knobs_are_typed_config_errors() {
+        for builder in [
+            ServiceConfig::builder().devices(0),
+            ServiceConfig::builder().estimate_workers(0),
+            ServiceConfig::builder().max_batch_jobs(0),
+            ServiceConfig::builder().queue_capacity(0),
+            ServiceConfig::builder().cache_bytes(0),
+            ServiceConfig::builder().batch_window(Duration::from_secs(3600)),
+        ] {
+            let err = builder.build().expect_err("must be rejected");
+            assert_eq!(err.kind(), ErrorKind::Config);
+        }
+    }
+
+    #[test]
+    fn fault_seed_resolves_against_final_device_count() {
+        let cfg = ServiceConfig::builder()
+            .fault_seed(9)
+            .devices(3)
+            .build()
+            .unwrap();
+        let plan = cfg.fault_plan.expect("seeded plan generated");
+        // Seeded plans target only devices that exist.
+        assert!(plan.events.iter().all(|e| e.device < 3));
+        let err = ServiceConfig::builder()
+            .fault_seed(9)
+            .fault_plan(FaultPlan::seeded(1, 1))
+            .build()
+            .expect_err("seed and plan are mutually exclusive");
+        assert!(err.to_string().contains("mutually exclusive"));
+    }
+
+    #[test]
+    fn cli_flags_round_trip_through_set_cli() {
+        let mut b = ServiceConfig::builder();
+        for (name, value) in [
+            ("devices", "3"),
+            ("workers", "4"),
+            ("max-batch", "8"),
+            ("batch-window-ms", "15"),
+            ("strategy", "uniform:50"),
+            ("cache-mb", "64"),
+            ("cache-dir", "/tmp/tracto-test-cache"),
+            ("disk-cache-mb", "128"),
+            ("retry-budget", "5"),
+        ] {
+            assert!(
+                ServiceConfigBuilder::CLI_FLAGS
+                    .iter()
+                    .any(|(n, _, _)| *n == name),
+                "{name} missing from CLI_FLAGS"
+            );
+            b = b.set_cli(name, value).unwrap();
+        }
+        let cfg = b.build().unwrap();
+        assert_eq!(cfg.devices, 3);
+        assert_eq!(cfg.estimate_workers, 4);
+        assert_eq!(cfg.max_batch_jobs, 8);
+        assert_eq!(cfg.batch_window, Duration::from_millis(15));
+        assert_eq!(cfg.strategy, SegmentationStrategy::Uniform(50));
+        assert_eq!(cfg.cache_bytes, 64 << 20);
+        assert_eq!(
+            cfg.disk_cache.as_deref().unwrap().to_str().unwrap(),
+            "/tmp/tracto-test-cache"
+        );
+        assert_eq!(cfg.disk_cache_bytes, Some(128 << 20));
+        assert_eq!(cfg.retry_budget, 5);
+    }
+
+    #[test]
+    fn every_cli_flag_name_is_accepted_by_set_cli() {
+        // A flag listed in CLI_FLAGS but not handled in set_cli (or vice
+        // versa) is exactly the drift this table exists to prevent.
+        for (name, _, _) in ServiceConfigBuilder::CLI_FLAGS {
+            let sample = match name {
+                "strategy" => "B",
+                "cache-dir" => "/tmp/x",
+                "fault-plan" => continue, // needs a real file; covered below
+                _ => "1",
+            };
+            ServiceConfig::builder()
+                .set_cli(name, sample)
+                .unwrap_or_else(|e| panic!("flag {name} rejected: {e}"));
+        }
+        let err = ServiceConfig::builder()
+            .set_cli("warp-factor", "9")
+            .expect_err("unknown flags rejected");
+        assert_eq!(err.kind(), ErrorKind::Config);
+        assert!(ServiceConfig::builder()
+            .set_cli("fault-plan", "/nonexistent/plan.txt")
+            .is_err());
+    }
+}

@@ -86,6 +86,37 @@ pub struct TrackResult {
     pub batch_lanes: usize,
 }
 
+/// What a completed job produced — the single result type behind
+/// [`TractoService::submit`](crate::TractoService::submit). Estimation
+/// jobs yield [`JobOutput::Estimate`], tracking jobs [`JobOutput::Track`];
+/// the [`Ticket::wait_estimate`]/[`Ticket::wait_track`] helpers unwrap the
+/// expected variant.
+#[derive(Debug, Clone)]
+pub enum JobOutput {
+    /// Result of an estimation job.
+    Estimate(EstimateResult),
+    /// Result of a tracking job.
+    Track(TrackResult),
+}
+
+impl JobOutput {
+    /// The tracking result, if this job tracked.
+    pub fn into_track(self) -> Option<TrackResult> {
+        match self {
+            JobOutput::Track(r) => Some(r),
+            JobOutput::Estimate(_) => None,
+        }
+    }
+
+    /// The estimation result, if this job estimated.
+    pub fn into_estimate(self) -> Option<EstimateResult> {
+        match self {
+            JobOutput::Estimate(r) => Some(r),
+            JobOutput::Track(_) => None,
+        }
+    }
+}
+
 /// Why a job did not complete.
 #[derive(Debug, Clone)]
 pub enum JobError {
@@ -207,19 +238,36 @@ impl<T: Clone> Ticket<T> {
     }
 
     /// Deliver the result. The first fulfillment wins; later ones (e.g. a
-    /// worker racing a cancellation) are dropped.
-    pub(crate) fn fulfill(&self, result: Result<T, JobError>) {
+    /// worker racing a cancellation) are dropped. A successful result for
+    /// a ticket whose [`cancel`](Self::cancel) won the race is converted to
+    /// [`JobError::Cancelled`] *under the same lock* — the client that was
+    /// told "cancelled" never observes a completed job. Returns what was
+    /// actually stored, or `None` if the ticket was already fulfilled.
+    pub(crate) fn fulfill(&self, result: Result<T, JobError>) -> Option<Result<T, JobError>> {
         let mut slot = self.state.result.lock();
-        if slot.is_none() {
-            *slot = Some(result);
-            self.state.done.notify_all();
+        if slot.is_some() {
+            return None;
         }
+        let stored = if self.state.cancelled.load(Ordering::SeqCst) && result.is_ok() {
+            Err(JobError::Cancelled)
+        } else {
+            result
+        };
+        *slot = Some(stored.clone());
+        self.state.done.notify_all();
+        Some(stored)
     }
 
-    /// Request cancellation. Stages check this flag before doing work; a
-    /// job already past the point of no return still completes normally.
-    pub fn cancel(&self) {
+    /// Request cancellation. Returns `true` if the cancel arrived before a
+    /// result was stored — the job is then guaranteed to resolve to
+    /// [`JobError::Cancelled`], even if a worker was mid-fulfilment
+    /// (the cancelled flag and the result slot are settled under one lock,
+    /// so there is no window where both "cancelled" and a completed result
+    /// are observable). Returns `false` if the job had already finished.
+    pub fn cancel(&self) -> bool {
+        let slot = self.state.result.lock();
         self.state.cancelled.store(true, Ordering::SeqCst);
+        slot.is_none()
     }
 
     /// Whether [`cancel`](Self::cancel) was called.
@@ -267,6 +315,27 @@ impl<T: Clone> Ticket<T> {
     }
 }
 
+impl Ticket<JobOutput> {
+    /// [`wait`](Self::wait) and unwrap the tracking result.
+    ///
+    /// # Panics
+    /// If the ticket belongs to an estimation job — waiting for the wrong
+    /// kind is a caller bug, not a runtime condition.
+    pub fn wait_track(&self) -> Result<TrackResult, JobError> {
+        self.wait()
+            .map(|o| o.into_track().expect("ticket is for an estimation job"))
+    }
+
+    /// [`wait`](Self::wait) and unwrap the estimation result.
+    ///
+    /// # Panics
+    /// If the ticket belongs to a tracking job.
+    pub fn wait_estimate(&self) -> Result<EstimateResult, JobError> {
+        self.wait()
+            .map(|o| o.into_estimate().expect("ticket is for a tracking job"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,8 +355,8 @@ mod tests {
     #[test]
     fn first_fulfillment_wins() {
         let t: Ticket<u32> = Ticket::new(JobId(2));
-        t.fulfill(Err(JobError::Cancelled));
-        t.fulfill(Ok(9));
+        assert!(t.fulfill(Err(JobError::Cancelled)).is_some());
+        assert!(t.fulfill(Ok(9)).is_none(), "second fulfilment is dropped");
         assert_eq!(t.wait(), Err(JobError::Cancelled));
     }
 
@@ -301,12 +370,55 @@ mod tests {
     }
 
     #[test]
-    fn cancel_sets_flag_only() {
+    fn cancel_reports_whether_it_won() {
         let t: Ticket<u32> = Ticket::new(JobId(4));
         assert!(!t.is_cancelled());
-        t.cancel();
+        assert!(t.cancel(), "no result yet: cancel wins");
         assert!(t.is_cancelled());
-        // Cancellation is advisory: the result slot is untouched.
-        assert!(t.try_result().is_none());
+        let late: Ticket<u32> = Ticket::new(JobId(5));
+        late.fulfill(Ok(3));
+        assert!(!late.cancel(), "result stored: cancel loses");
+        assert_eq!(late.wait(), Ok(3), "a lost cancel leaves the result");
+    }
+
+    /// Regression for the cancel/fulfil race: a cancel that returned `true`
+    /// must never be followed by an observable completed result, even when
+    /// a worker fulfils `Ok` immediately afterwards (the batch-admission
+    /// race). The conversion happens under the result lock, so there is no
+    /// interleaving where both outcomes are visible.
+    #[test]
+    fn winning_cancel_converts_late_success() {
+        let t: Ticket<u32> = Ticket::new(JobId(6));
+        assert!(t.cancel());
+        let stored = t.fulfill(Ok(7)).expect("first fulfilment stores");
+        assert_eq!(stored, Err(JobError::Cancelled));
+        assert_eq!(t.wait(), Err(JobError::Cancelled));
+        // Errors pass through unconverted — a deadline miss stays a
+        // deadline miss even on a cancelled ticket.
+        let t2: Ticket<u32> = Ticket::new(JobId(7));
+        assert!(t2.cancel());
+        assert_eq!(
+            t2.fulfill(Err(JobError::DeadlineExceeded)),
+            Some(Err(JobError::DeadlineExceeded))
+        );
+    }
+
+    #[test]
+    fn hammered_cancel_never_observes_success() {
+        for round in 0..200 {
+            let t: Ticket<u32> = Ticket::new(JobId(round));
+            let worker = t.clone();
+            let h = std::thread::spawn(move || {
+                worker.fulfill(Ok(1));
+            });
+            let won = t.cancel();
+            h.join().unwrap();
+            let result = t.wait();
+            if won {
+                assert_eq!(result, Err(JobError::Cancelled), "round {round}");
+            } else {
+                assert_eq!(result, Ok(1), "round {round}");
+            }
+        }
     }
 }

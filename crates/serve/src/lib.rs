@@ -16,34 +16,49 @@
 //!    demultiplexed back out. Results are bit-identical to running each
 //!    job alone through [`tracto::Pipeline`].
 //!
+//! Every job — estimation or tracking, local dataset or phantom recipe —
+//! enters through one door, [`TractoService::submit`], as a [`JobSpec`]:
+//!
 //! ```no_run
 //! use std::sync::Arc;
 //! use tracto::pipeline::PipelineConfig;
 //! use tracto::phantom::datasets::DatasetSpec;
-//! use tracto_serve::{ServiceConfig, TractoService, TrackJob};
+//! use tracto_serve::{JobSpec, ServiceConfig, TractoService};
 //!
-//! let service = TractoService::start(ServiceConfig::default());
+//! let service = TractoService::start(ServiceConfig::builder().build().unwrap());
 //! let dataset = Arc::new(DatasetSpec::paper_dataset1().scaled(0.2).build());
-//! let ticket = service.submit_track(TrackJob::new(dataset, PipelineConfig::fast()));
-//! let result = ticket.wait().unwrap();
+//! let ticket = service.submit(JobSpec::track(dataset, PipelineConfig::fast()));
+//! let result = ticket.wait_track().unwrap();
 //! println!("{} total steps (batched with {} jobs)",
 //!     result.tracking.total_steps, result.batch_jobs);
 //! println!("{}", service.shutdown());
 //! ```
+//!
+//! The same service can serve other processes: [`SocketServer`] exposes it
+//! over the `tracto-proto` wire protocol (Unix socket by default, TCP on
+//! request), and results are bit-identical to in-process submission.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod batch;
 pub mod cache;
+pub mod config;
 pub mod job;
+pub mod listener;
 pub mod metrics;
 pub mod service;
+pub mod spec;
 
 pub use batch::{run_batch, BatchJob, BatchReport};
 pub use cache::{
     sample_key, sample_key_parts, CacheStats, DiskSampleCache, SampleCache, SampleKey,
 };
-pub use job::{EstimateJob, EstimateResult, JobError, JobId, Ticket, TrackJob, TrackResult};
+pub use config::{ServiceConfig, ServiceConfigBuilder};
+pub use job::{
+    EstimateJob, EstimateResult, JobError, JobId, JobOutput, Ticket, TrackJob, TrackResult,
+};
+pub use listener::SocketServer;
 pub use metrics::MetricsSnapshot;
-pub use service::{ServiceConfig, TractoService};
+pub use service::TractoService;
+pub use spec::{materialize_dataset, DatasetSource, JobSpec, Work};

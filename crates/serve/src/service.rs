@@ -17,112 +17,64 @@
 //!                                                        demuxes per job
 //! ```
 //!
-//! Backpressure: both queues are bounded; `submit_*` blocks when the prep
-//! queue is full, `try_submit_*` fails fast with [`JobError::QueueFull`].
+//! Work enters through exactly one door: [`TractoService::submit`] takes a
+//! [`JobSpec`] — estimation or tracking, in-process dataset or phantom
+//! recipe — and returns a [`Ticket<JobOutput>`]. The legacy
+//! `submit_estimate`/`submit_track` methods survive as deprecated shims
+//! that convert to a `JobSpec` and call `submit`.
+//!
+//! Backpressure: both queues are bounded; `submit` blocks when the prep
+//! queue is full, `try_submit` fails fast with [`JobError::QueueFull`].
 //! Shutdown drops the submission side, lets the workers drain, and joins
 //! them; `drain` blocks until no job is queued or running.
 
 use crate::batch::{run_batch, BatchJob};
 use crate::cache::{sample_key, DiskSampleCache, SampleCache, SampleKey};
-use crate::job::{EstimateJob, EstimateResult, JobError, JobId, Ticket, TrackJob, TrackResult};
+use crate::config::ServiceConfig;
+use crate::job::{
+    EstimateJob, EstimateResult, JobError, JobId, JobOutput, Ticket, TrackJob, TrackResult,
+};
 use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::spec::{materialize_dataset, DatasetSource, JobSpec, Work};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use parking_lot::{Condvar, Mutex};
-use std::path::PathBuf;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
-use tracto::mcmc::SampleVolumes;
+use std::time::Instant;
+use tracto::mcmc::{ChainConfig, SampleVolumes};
+use tracto::phantom::Dataset;
+use tracto::pipeline::PipelineConfig;
 use tracto::run_mcmc_gpu;
 use tracto::tracking::probabilistic::seeds_from_mask;
-use tracto::tracking::SegmentationStrategy;
-use tracto_gpu_sim::{DeviceConfig, FaultPlan, Gpu, MultiGpu};
+use tracto_diffusion::PriorConfig;
+use tracto_gpu_sim::{DeviceConfig, Gpu, MultiGpu};
+use tracto_proto::{CachePolicy, Priority};
 use tracto_trace::{Tracer, Value};
 use tracto_volume::Vec3;
 
-/// Service tuning knobs.
-#[derive(Debug, Clone)]
-pub struct ServiceConfig {
-    /// Simulated device model.
-    pub device: DeviceConfig,
-    /// Devices in the tracking worker's group.
-    pub devices: usize,
-    /// Estimation worker threads (each owns one simulated GPU).
-    pub estimate_workers: usize,
-    /// Bound of both submission queues.
-    pub queue_capacity: usize,
-    /// Most jobs merged into one batch.
-    pub max_batch_jobs: usize,
-    /// How long the batch worker waits for more jobs after the first.
-    pub batch_window: Duration,
-    /// Segmentation schedule for batched launches. Results are invariant
-    /// to this choice (it only shapes timing), so one service-wide
-    /// schedule serves jobs that asked for different ones.
-    pub strategy: SegmentationStrategy,
-    /// In-memory sample-cache bound in bytes.
-    pub cache_bytes: u64,
-    /// Optional on-disk sample cache shared with `tracto track --cache-dir`.
-    pub disk_cache: Option<PathBuf>,
-    /// Byte cap for the disk tier; `None` leaves it unbounded.
-    pub disk_cache_bytes: Option<u64>,
-    /// Deterministic fault schedule installed on the batch worker's device
-    /// pool (chaos testing); `None` runs fault-free.
-    pub fault_plan: Option<FaultPlan>,
-    /// Times a job may be re-queued after a device fault escapes the pool
-    /// before it fails with the typed cause.
-    pub retry_budget: u32,
-    /// Backoff before the first retry; doubles per retry, capped at 1024×.
-    pub retry_backoff: Duration,
-    /// Structured-event sink for job lifecycle, cache, batch, and GPU
-    /// events. Disabled by default.
-    pub tracer: Tracer,
-}
-
-impl Default for ServiceConfig {
-    fn default() -> Self {
-        ServiceConfig {
-            device: DeviceConfig::radeon_5870(),
-            devices: 1,
-            estimate_workers: 2,
-            queue_capacity: 64,
-            max_batch_jobs: 16,
-            batch_window: Duration::from_millis(20),
-            strategy: SegmentationStrategy::paper_table2(),
-            cache_bytes: 256 * 1024 * 1024,
-            disk_cache: None,
-            disk_cache_bytes: None,
-            fault_plan: None,
-            retry_budget: 2,
-            retry_backoff: Duration::from_millis(5),
-            tracer: Tracer::disabled(),
-        }
-    }
-}
-
-enum PrepTask {
-    Estimate {
-        job: EstimateJob,
-        ticket: Ticket<EstimateResult>,
-    },
-    Track {
-        job: TrackJob,
-        seeds: Vec<Vec3>,
-        ticket: Ticket<TrackResult>,
-    },
+struct PrepTask {
+    spec: JobSpec,
+    ticket: Ticket<JobOutput>,
 }
 
 struct ReadyTrack {
-    job: TrackJob,
+    config: PipelineConfig,
     seeds: Vec<Vec3>,
     samples: Arc<SampleVolumes>,
     cache_hit: bool,
     deadline_at: Option<Instant>,
-    ticket: Ticket<TrackResult>,
+    priority: Priority,
+    retry_budget: Option<u32>,
+    ticket: Ticket<JobOutput>,
 }
 
 struct Shared {
     cache: SampleCache,
     disk: Option<DiskSampleCache>,
+    /// Materialized phantom recipes, keyed by canonical recipe string, so
+    /// repeated remote submissions of the same recipe build once.
+    phantoms: Mutex<HashMap<String, Arc<Dataset>>>,
     metrics: Metrics,
     in_flight: Mutex<u64>,
     idle: Condvar,
@@ -144,70 +96,110 @@ impl Shared {
         }
     }
 
-    /// Fulfill a ticket and settle the per-outcome counters.
-    fn complete<T: Clone>(&self, ticket: &Ticket<T>, result: Result<T, JobError>) {
-        let (counter, event) = match &result {
-            Ok(_) => (&self.metrics.completed, "serve.job_completed"),
-            Err(JobError::Cancelled) => (&self.metrics.cancelled, "serve.job_cancelled"),
-            Err(JobError::DeadlineExceeded) => {
-                (&self.metrics.deadline_exceeded, "serve.job_deadline")
-            }
-            Err(_) => (&self.metrics.failed, "serve.job_failed"),
-        };
-        counter.fetch_add(1, Ordering::Relaxed);
-        if self.tracer.enabled() {
-            match &result {
-                Err(JobError::Failed(err)) => self.tracer.emit(
-                    event,
-                    &[
-                        ("job", ticket.id.0.into()),
-                        ("error", Value::Text(err.to_string())),
-                    ],
-                ),
-                _ => self.tracer.emit(event, &[("job", ticket.id.0.into())]),
+    /// Fulfill a ticket and settle the per-outcome counters. The counters
+    /// follow what the ticket actually *stored* — a cancel that won the
+    /// race converts a late success into `Cancelled`, and the cancelled
+    /// counter (not the completed one) must tick.
+    fn complete(&self, ticket: &Ticket<JobOutput>, result: Result<JobOutput, JobError>) {
+        if let Some(stored) = ticket.fulfill(result) {
+            let (counter, event) = match &stored {
+                Ok(_) => (&self.metrics.completed, "serve.job_completed"),
+                Err(JobError::Cancelled) => (&self.metrics.cancelled, "serve.job_cancelled"),
+                Err(JobError::DeadlineExceeded) => {
+                    (&self.metrics.deadline_exceeded, "serve.job_deadline")
+                }
+                Err(_) => (&self.metrics.failed, "serve.job_failed"),
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+            if self.tracer.enabled() {
+                match &stored {
+                    Err(JobError::Failed(err)) => self.tracer.emit(
+                        event,
+                        &[
+                            ("job", ticket.id.0.into()),
+                            ("error", Value::Text(err.to_string())),
+                        ],
+                    ),
+                    _ => self.tracer.emit(event, &[("job", ticket.id.0.into())]),
+                }
             }
         }
-        ticket.fulfill(result);
         self.job_finished();
     }
 
+    /// Resolve a job's dataset: an in-process `Arc` passes through, a
+    /// phantom recipe is materialized once and memoized by its canonical
+    /// string.
+    fn resolve_dataset(&self, source: &DatasetSource) -> Result<Arc<Dataset>, JobError> {
+        match source {
+            DatasetSource::Loaded(ds) => Ok(Arc::clone(ds)),
+            DatasetSource::Phantom(spec) => {
+                let key = spec.canonical();
+                if let Some(ds) = self.phantoms.lock().get(&key) {
+                    return Ok(Arc::clone(ds));
+                }
+                // Build outside the lock — materialization is seconds of
+                // work at full scale and must not serialize other workers.
+                // A racing duplicate build is wasted work, not an error;
+                // first insert wins so every job shares one copy.
+                let built =
+                    Arc::new(materialize_dataset(spec).map_err(|e| JobError::Failed(Arc::new(e)))?);
+                let mut memo = self.phantoms.lock();
+                Ok(Arc::clone(memo.entry(key).or_insert(built)))
+            }
+        }
+    }
+
     /// Resolve a sample stack through memory cache → disk cache → fresh
-    /// MCMC. Returns `(samples, cache_hit, voxels_estimated)`.
+    /// MCMC, honoring the job's cache policy: `Bypass` never touches
+    /// either tier, `ReadOnly` reads hits but never writes fresh results
+    /// back. Returns `(samples, cache_hit, voxels_estimated)`.
+    #[allow(clippy::too_many_arguments)]
     fn resolve_samples(
         &self,
         gpu: &mut Gpu,
         key: SampleKey,
-        job: &EstimateJob,
+        dataset: &Dataset,
+        prior: PriorConfig,
+        chain: ChainConfig,
+        seed: u64,
+        policy: CachePolicy,
     ) -> (Arc<SampleVolumes>, bool, usize) {
-        if let Some(samples) = self.cache.get(key) {
-            return (samples, true, 0);
-        }
-        if let Some(disk) = &self.disk {
-            // A poisoned entry was quarantined by `get` (deleted, with a
-            // `serve.cache_quarantine` event) and reads as a miss, so the
-            // job falls through to a fresh estimation.
-            if let Ok(Some(samples)) = disk.get(key) {
-                let samples = Arc::new(samples);
-                self.cache.insert(key, Arc::clone(&samples));
+        if policy != CachePolicy::Bypass {
+            if let Some(samples) = self.cache.get(key) {
                 return (samples, true, 0);
+            }
+            if let Some(disk) = &self.disk {
+                // A poisoned entry was quarantined by `get` (deleted, with a
+                // `serve.cache_quarantine` event) and reads as a miss, so the
+                // job falls through to a fresh estimation.
+                if let Ok(Some(samples)) = disk.get(key) {
+                    let samples = Arc::new(samples);
+                    if policy == CachePolicy::ReadWrite {
+                        self.cache.insert(key, Arc::clone(&samples));
+                    }
+                    return (samples, true, 0);
+                }
             }
         }
         let report = run_mcmc_gpu(
             gpu,
-            &job.dataset.acq,
-            &job.dataset.dwi,
-            &job.dataset.wm_mask,
-            job.prior,
-            job.chain,
-            job.seed,
+            &dataset.acq,
+            &dataset.dwi,
+            &dataset.wm_mask,
+            prior,
+            chain,
+            seed,
         );
         self.metrics.estimations_run.fetch_add(1, Ordering::Relaxed);
         self.metrics.accum.lock().estimation_sim_s += report.ledger.total_s();
         let samples = Arc::new(report.samples);
-        self.cache.insert(key, Arc::clone(&samples));
-        if let Some(disk) = &self.disk {
-            // Disk persistence is best-effort; the in-memory result stands.
-            let _ = disk.put(key, &samples);
+        if policy == CachePolicy::ReadWrite {
+            self.cache.insert(key, Arc::clone(&samples));
+            if let Some(disk) = &self.disk {
+                // Disk persistence is best-effort; the in-memory result stands.
+                let _ = disk.put(key, &samples);
+            }
         }
         (samples, false, report.voxels)
     }
@@ -243,6 +235,7 @@ impl TractoService {
         let shared = Arc::new(Shared {
             cache: SampleCache::new(config.cache_bytes).with_tracer(config.tracer.clone()),
             disk,
+            phantoms: Mutex::new(HashMap::new()),
             metrics: Metrics::default(),
             in_flight: Mutex::new(0),
             idle: Condvar::new(),
@@ -308,13 +301,16 @@ impl TractoService {
         }
     }
 
-    /// Submit an estimation job, blocking while the queue is full.
-    pub fn submit_estimate(&self, job: EstimateJob) -> Ticket<EstimateResult> {
+    /// Submit any job, blocking while the queue is full. This is the one
+    /// submission door: estimation and tracking, in-process datasets and
+    /// phantom recipes, all enter as a [`JobSpec`].
+    pub fn submit(&self, spec: impl Into<JobSpec>) -> Ticket<JobOutput> {
+        let spec = spec.into();
         let ticket = Ticket::new(self.next_id());
-        self.trace_submit(ticket.id, "estimate");
+        self.trace_submit(ticket.id, work_kind(&spec.work));
         self.shared.job_started();
-        let task = PrepTask::Estimate {
-            job,
+        let task = PrepTask {
+            spec,
             ticket: ticket.clone(),
         };
         let sent = match &self.prep_tx {
@@ -327,46 +323,18 @@ impl TractoService {
         ticket
     }
 
-    /// Submit a tracking job, blocking while the queue is full.
-    pub fn submit_track(&self, job: TrackJob) -> Ticket<TrackResult> {
-        let ticket = Ticket::new(self.next_id());
-        self.trace_submit(ticket.id, "track");
-        let seeds = job
-            .seeds
-            .clone()
-            .unwrap_or_else(|| seeds_from_mask(&job.dataset.truth.fiber_mask()));
-        self.shared.job_started();
-        let task = PrepTask::Track {
-            job,
-            seeds,
-            ticket: ticket.clone(),
-        };
-        let sent = match &self.prep_tx {
-            Some(tx) => tx.send(task).is_ok(),
-            None => false,
-        };
-        if !sent {
-            self.shared.complete(&ticket, Err(JobError::ShuttingDown));
-        }
-        ticket
-    }
-
-    /// Submit a tracking job without blocking; fails with
+    /// Submit any job without blocking; fails with
     /// [`JobError::QueueFull`] when the bounded queue is at capacity.
-    pub fn try_submit_track(&self, job: TrackJob) -> Result<Ticket<TrackResult>, JobError> {
-        let ticket = Ticket::new(self.next_id());
-        let seeds = job
-            .seeds
-            .clone()
-            .unwrap_or_else(|| seeds_from_mask(&job.dataset.truth.fiber_mask()));
+    pub fn try_submit(&self, spec: impl Into<JobSpec>) -> Result<Ticket<JobOutput>, JobError> {
+        let spec = spec.into();
         let Some(tx) = &self.prep_tx else {
             return Err(JobError::ShuttingDown);
         };
-        self.trace_submit(ticket.id, "track");
+        let ticket = Ticket::new(self.next_id());
+        self.trace_submit(ticket.id, work_kind(&spec.work));
         self.shared.job_started();
-        match tx.try_send(PrepTask::Track {
-            job,
-            seeds,
+        match tx.try_send(PrepTask {
+            spec,
             ticket: ticket.clone(),
         }) {
             Ok(()) => Ok(ticket),
@@ -381,6 +349,24 @@ impl TractoService {
                 Err(JobError::ShuttingDown)
             }
         }
+    }
+
+    /// Submit an estimation job.
+    #[deprecated(note = "use `submit(JobSpec)`; wait with `wait_estimate()`")]
+    pub fn submit_estimate(&self, job: EstimateJob) -> Ticket<JobOutput> {
+        self.submit(JobSpec::from(job))
+    }
+
+    /// Submit a tracking job.
+    #[deprecated(note = "use `submit(JobSpec)`; wait with `wait_track()`")]
+    pub fn submit_track(&self, job: TrackJob) -> Ticket<JobOutput> {
+        self.submit(JobSpec::from(job))
+    }
+
+    /// Submit a tracking job without blocking.
+    #[deprecated(note = "use `try_submit(JobSpec)`; wait with `wait_track()`")]
+    pub fn try_submit_track(&self, job: TrackJob) -> Result<Ticket<JobOutput>, JobError> {
+        self.try_submit(JobSpec::from(job))
     }
 
     /// Block until every accepted job has completed (successfully or not).
@@ -419,6 +405,13 @@ impl Drop for TractoService {
     }
 }
 
+fn work_kind(work: &Work) -> &'static str {
+    match work {
+        Work::Estimate { .. } => "estimate",
+        Work::Track { .. } => "track",
+    }
+}
+
 fn estimate_worker(
     index: usize,
     rx: Receiver<PrepTask>,
@@ -428,53 +421,57 @@ fn estimate_worker(
 ) {
     let mut gpu = Gpu::new(device);
     gpu.set_tracer(shared.tracer.clone(), index as u32);
-    while let Ok(task) = rx.recv() {
-        match task {
-            PrepTask::Estimate { job, ticket } => {
-                if ticket.is_cancelled() {
-                    shared.complete(&ticket, Err(JobError::Cancelled));
-                    continue;
-                }
-                let key = sample_key(&job.dataset, &job.prior, &job.chain, job.seed);
-                let (samples, cache_hit, voxels) = shared.resolve_samples(&mut gpu, key, &job);
+    while let Ok(PrepTask { spec, ticket }) = rx.recv() {
+        if ticket.is_cancelled() {
+            shared.complete(&ticket, Err(JobError::Cancelled));
+            continue;
+        }
+        let deadline_at = spec.deadline.map(|d| ticket.accepted_at + d);
+        if deadline_at.is_some_and(|t| Instant::now() >= t) {
+            shared.complete(&ticket, Err(JobError::DeadlineExceeded));
+            continue;
+        }
+        let dataset = match shared.resolve_dataset(&spec.dataset) {
+            Ok(ds) => ds,
+            Err(err) => {
+                shared.complete(&ticket, Err(err));
+                continue;
+            }
+        };
+        match spec.work {
+            Work::Estimate { prior, chain, seed } => {
+                let key = sample_key(&dataset, &prior, &chain, seed);
+                let (samples, cache_hit, voxels) =
+                    shared.resolve_samples(&mut gpu, key, &dataset, prior, chain, seed, spec.cache);
                 shared.complete(
                     &ticket,
-                    Ok(EstimateResult {
+                    Ok(JobOutput::Estimate(EstimateResult {
                         samples,
                         cache_hit,
                         voxels,
-                    }),
+                    })),
                 );
             }
-            PrepTask::Track { job, seeds, ticket } => {
-                let deadline_at = job.deadline.map(|d| ticket.accepted_at + d);
-                if ticket.is_cancelled() {
-                    shared.complete(&ticket, Err(JobError::Cancelled));
-                    continue;
-                }
-                if deadline_at.is_some_and(|t| Instant::now() >= t) {
-                    shared.complete(&ticket, Err(JobError::DeadlineExceeded));
-                    continue;
-                }
-                let estimate = EstimateJob {
-                    dataset: Arc::clone(&job.dataset),
-                    prior: job.config.prior,
-                    chain: job.config.chain,
-                    seed: job.config.seed,
-                };
-                let key = sample_key(
-                    &job.dataset,
-                    &job.config.prior,
-                    &job.config.chain,
-                    job.config.seed,
+            Work::Track { config, seeds } => {
+                let seeds = seeds.unwrap_or_else(|| seeds_from_mask(&dataset.truth.fiber_mask()));
+                let key = sample_key(&dataset, &config.prior, &config.chain, config.seed);
+                let (samples, cache_hit, _) = shared.resolve_samples(
+                    &mut gpu,
+                    key,
+                    &dataset,
+                    config.prior,
+                    config.chain,
+                    config.seed,
+                    spec.cache,
                 );
-                let (samples, cache_hit, _) = shared.resolve_samples(&mut gpu, key, &estimate);
                 let ready = ReadyTrack {
-                    job,
+                    config,
                     seeds,
                     samples,
                     cache_hit,
                     deadline_at,
+                    priority: spec.priority,
+                    retry_budget: spec.retry_budget,
                     ticket,
                 };
                 if let Err(send_err) = tx.send(ready) {
@@ -486,9 +483,16 @@ fn estimate_worker(
     }
 }
 
-/// Admission order for the batch worker's pending window: jobs with the
-/// nearest deadlines go first; jobs without a deadline keep their FIFO
-/// order behind every dated job (the sort is stable).
+/// Admission order for the batch worker's pending window: higher-priority
+/// jobs first; within a priority band, jobs with the nearest deadlines go
+/// first and jobs without a deadline keep their FIFO order behind every
+/// dated job (the sort is stable).
+fn cmp_admission(a: &ReadyTrack, b: &ReadyTrack) -> std::cmp::Ordering {
+    b.priority
+        .cmp(&a.priority)
+        .then_with(|| cmp_deadlines(a.deadline_at, b.deadline_at))
+}
+
 fn cmp_deadlines(a: Option<Instant>, b: Option<Instant>) -> std::cmp::Ordering {
     use std::cmp::Ordering::*;
     match (a, b) {
@@ -499,9 +503,9 @@ fn cmp_deadlines(a: Option<Instant>, b: Option<Instant>) -> std::cmp::Ordering {
     }
 }
 
-/// Pull up to `max_jobs` jobs out of `pending` in deadline order.
+/// Pull up to `max_jobs` jobs out of `pending` in admission order.
 fn admit_batch(pending: &mut Vec<ReadyTrack>, max_jobs: usize) -> Vec<ReadyTrack> {
-    pending.sort_by(|a, b| cmp_deadlines(a.deadline_at, b.deadline_at));
+    pending.sort_by(cmp_admission);
     let take = max_jobs.min(pending.len());
     pending.drain(..take).collect()
 }
@@ -683,12 +687,12 @@ fn execute_batch(
         .iter()
         .map(|r| BatchJob {
             samples: Arc::clone(&r.samples),
-            params: r.job.config.tracking,
+            params: r.config.tracking,
             seeds: r.seeds.clone(),
             mask: None,
-            jitter: r.job.config.jitter,
-            run_seed: r.job.config.seed,
-            record_visits: r.job.config.record_connectivity,
+            jitter: r.config.jitter,
+            run_seed: r.config.seed,
+            record_visits: r.config.record_connectivity,
         })
         .collect();
 
@@ -716,12 +720,12 @@ fn execute_batch(
             for (r, out) in live.into_iter().zip(report.per_job) {
                 shared.complete(
                     &r.ticket,
-                    Ok(TrackResult {
+                    Ok(JobOutput::Track(TrackResult {
                         tracking: out,
                         cache_hit: r.cache_hit,
                         batch_jobs,
                         batch_lanes: report.lanes,
-                    }),
+                    })),
                 );
             }
         }
@@ -733,7 +737,8 @@ fn execute_batch(
             let err = Arc::new(err);
             for r in live {
                 let attempt = r.ticket.record_attempt();
-                if attempt > cfg.retry_budget {
+                let budget = r.retry_budget.unwrap_or(cfg.retry_budget);
+                if attempt > budget {
                     shared.complete(&r.ticket, Err(JobError::Failed(Arc::clone(&err))));
                     continue;
                 }
@@ -773,15 +778,15 @@ fn execute_batch(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
     use tracto::phantom::datasets::DatasetSpec;
-    use tracto::pipeline::PipelineConfig;
-    use tracto_volume::Dim3;
+    use tracto_gpu_sim::FaultPlan;
 
     fn tiny_dataset(seed: u64) -> Arc<tracto::phantom::Dataset> {
         Arc::new(
             DatasetSpec {
                 name: format!("svc-{seed}"),
-                dims: Dim3::new(8, 6, 6),
+                dims: tracto_volume::Dim3::new(8, 6, 6),
                 spacing_mm: 2.5,
                 n_dirs: 9,
                 n_b0: 1,
@@ -823,18 +828,39 @@ mod tests {
         }
     }
 
+    fn ready(priority: Priority, deadline_at: Option<Instant>) -> ReadyTrack {
+        ReadyTrack {
+            config: fast_pipeline(0),
+            seeds: Vec::new(),
+            samples: Arc::new(SampleVolumes::zeros(tracto_volume::Dim3::new(1, 1, 1), 1)),
+            cache_hit: false,
+            deadline_at,
+            priority,
+            retry_budget: None,
+            ticket: Ticket::new(JobId(0)),
+        }
+    }
+
     #[test]
-    fn deadline_ordering_admits_urgent_job_first() {
+    fn admission_orders_priority_then_deadline() {
         let now = Instant::now();
         let long = Some(now + Duration::from_secs(60));
         let short = Some(now + Duration::from_secs(1));
-        // FIFO arrival: no-deadline, long-deadline, short-deadline.
-        let mut window = [(0u32, None), (1, long), (2, short), (3, None)];
-        window.sort_by(|a, b| cmp_deadlines(a.1, b.1));
+        // FIFO arrival: normal/no-deadline, normal/long, normal/short,
+        // low/short, high/no-deadline.
+        let mut window = [
+            (0u32, ready(Priority::Normal, None)),
+            (1, ready(Priority::Normal, long)),
+            (2, ready(Priority::Normal, short)),
+            (3, ready(Priority::Low, short)),
+            (4, ready(Priority::High, None)),
+        ];
+        window.sort_by(|a, b| cmp_admission(&a.1, &b.1));
         let order: Vec<u32> = window.iter().map(|(id, _)| *id).collect();
-        // The short-deadline job jumps the queue; undated jobs keep FIFO
-        // order behind every dated one.
-        assert_eq!(order, vec![2, 1, 0, 3]);
+        // High priority beats any deadline in a lower band; within the
+        // normal band the short-deadline job jumps the queue and undated
+        // jobs keep FIFO order behind every dated one.
+        assert_eq!(order, vec![4, 2, 1, 0, 3]);
     }
 
     #[test]
@@ -845,19 +871,21 @@ mod tests {
         let ds = tiny_dataset(7);
         // Warm the cache so the batch worker sees all jobs close together.
         service
-            .submit_track(TrackJob::new(Arc::clone(&ds), fast_pipeline(2)))
-            .wait()
+            .submit(JobSpec::track(Arc::clone(&ds), fast_pipeline(2)))
+            .wait_track()
             .expect("warm job");
         let mut tickets = Vec::new();
         for _ in 0..4 {
-            tickets.push(service.submit_track(TrackJob::new(Arc::clone(&ds), fast_pipeline(2))));
+            tickets.push(service.submit(JobSpec::track(Arc::clone(&ds), fast_pipeline(2))));
         }
-        let mut urgent = TrackJob::new(Arc::clone(&ds), fast_pipeline(2));
-        urgent.deadline = Some(Duration::from_secs(30));
-        let urgent = service.submit_track(urgent);
-        urgent.wait().expect("urgent job completes");
+        let urgent = service.submit(
+            JobSpec::track(Arc::clone(&ds), fast_pipeline(2))
+                .with_priority(Priority::High)
+                .with_deadline(Duration::from_secs(30)),
+        );
+        urgent.wait_track().expect("urgent job completes");
         for t in tickets {
-            t.wait().expect("background jobs complete");
+            t.wait_track().expect("background jobs complete");
         }
         service.shutdown();
     }
@@ -867,18 +895,13 @@ mod tests {
         let service = TractoService::start(small_config());
         let ds = tiny_dataset(1);
         let cfg = fast_pipeline(7);
-        let est = service.submit_estimate(EstimateJob {
-            dataset: Arc::clone(&ds),
-            prior: cfg.prior,
-            chain: cfg.chain,
-            seed: cfg.seed,
-        });
-        let est = est.wait().expect("estimation succeeds");
+        let est = service.submit(JobSpec::estimate(Arc::clone(&ds), cfg.chain, cfg.seed));
+        let est = est.wait_estimate().expect("estimation succeeds");
         assert!(!est.cache_hit, "first estimation is a miss");
         assert!(est.voxels > 0);
 
-        let track = service.submit_track(TrackJob::new(Arc::clone(&ds), cfg));
-        let result = track.wait().expect("tracking succeeds");
+        let track = service.submit(JobSpec::track(Arc::clone(&ds), cfg));
+        let result = track.wait_track().expect("tracking succeeds");
         assert!(result.cache_hit, "warm cache skips Step 1");
         assert!(result.tracking.total_steps > 0);
 
@@ -889,19 +912,102 @@ mod tests {
     }
 
     #[test]
+    fn cache_bypass_always_recomputes() {
+        let service = TractoService::start(small_config());
+        let ds = tiny_dataset(9);
+        let cfg = fast_pipeline(5);
+        // Two bypass jobs: neither reads nor warms the cache.
+        for _ in 0..2 {
+            service
+                .submit(
+                    JobSpec::estimate(Arc::clone(&ds), cfg.chain, cfg.seed)
+                        .with_cache(CachePolicy::Bypass),
+                )
+                .wait_estimate()
+                .expect("bypass estimation succeeds");
+        }
+        // A read-only job misses (nothing was written) and writes nothing.
+        let ro = service
+            .submit(
+                JobSpec::estimate(Arc::clone(&ds), cfg.chain, cfg.seed)
+                    .with_cache(CachePolicy::ReadOnly),
+            )
+            .wait_estimate()
+            .expect("read-only estimation succeeds");
+        assert!(!ro.cache_hit, "bypass jobs must not have warmed the cache");
+        // A read-write job still misses, then warms the cache for the last.
+        let rw = service
+            .submit(JobSpec::estimate(Arc::clone(&ds), cfg.chain, cfg.seed))
+            .wait_estimate()
+            .expect("read-write estimation succeeds");
+        assert!(!rw.cache_hit, "read-only jobs must not have written");
+        let warm = service
+            .submit(JobSpec::estimate(Arc::clone(&ds), cfg.chain, cfg.seed))
+            .wait_estimate()
+            .expect("warm estimation succeeds");
+        assert!(warm.cache_hit, "read-write job warmed the cache");
+        let snap = service.shutdown();
+        assert_eq!(snap.estimations_run, 4, "only the warm job skipped MCMC");
+    }
+
+    #[test]
+    fn phantom_datasets_materialize_once() {
+        let service = TractoService::start(small_config());
+        let recipe = tracto_proto::DatasetSpec {
+            kind: "single".into(),
+            scale: 0.05,
+            seed: 3,
+            snr: None,
+        };
+        // Warm first so the two remaining jobs deterministically hit the
+        // cache instead of racing both estimate workers on a cold key.
+        service
+            .submit(JobSpec::track(recipe.clone(), fast_pipeline(6)))
+            .wait_track()
+            .expect("warm phantom job");
+        let tickets: Vec<_> = (0..2)
+            .map(|_| service.submit(JobSpec::track(recipe.clone(), fast_pipeline(6))))
+            .collect();
+        for t in tickets {
+            t.wait_track().expect("phantom jobs complete");
+        }
+        assert_eq!(service.shared.phantoms.lock().len(), 1, "one build, shared");
+        let snap = service.shutdown();
+        assert_eq!(snap.completed, 3);
+        assert_eq!(snap.estimations_run, 1, "identical recipes share the cache");
+    }
+
+    #[test]
+    fn bad_phantom_recipe_fails_typed() {
+        use tracto_trace::ErrorKind;
+        let service = TractoService::start(small_config());
+        let recipe = tracto_proto::DatasetSpec::new("klein-bottle");
+        let err = service
+            .submit(JobSpec::track(recipe, fast_pipeline(1)))
+            .wait()
+            .expect_err("unknown recipe must fail");
+        match err {
+            JobError::Failed(cause) => assert_eq!(cause.kind(), ErrorKind::Config),
+            other => panic!("expected a typed config failure, got {other}"),
+        }
+        let snap = service.shutdown();
+        assert_eq!(snap.failed, 1);
+    }
+
+    #[test]
     fn concurrent_jobs_share_batches() {
         let service = TractoService::start(small_config());
         let ds = tiny_dataset(2);
         // Warm the cache so all four jobs arrive at the batch worker close
         // together.
-        let warm = service.submit_track(TrackJob::new(Arc::clone(&ds), fast_pipeline(3)));
-        warm.wait().expect("warm job");
+        let warm = service.submit(JobSpec::track(Arc::clone(&ds), fast_pipeline(3)));
+        warm.wait_track().expect("warm job");
         // Same dataset + estimation config ⇒ same cache key for all four.
         let tickets: Vec<_> = (0..4)
-            .map(|_| service.submit_track(TrackJob::new(Arc::clone(&ds), fast_pipeline(3))))
+            .map(|_| service.submit(JobSpec::track(Arc::clone(&ds), fast_pipeline(3))))
             .collect();
         for t in &tickets {
-            let r = t.wait().expect("batched job succeeds");
+            let r = t.wait_track().expect("batched job succeeds");
             assert!(r.batch_jobs >= 1);
         }
         let snap = service.shutdown();
@@ -915,7 +1021,7 @@ mod tests {
     fn cancellation_before_work() {
         let service = TractoService::start(small_config());
         let ds = tiny_dataset(3);
-        let ticket = service.submit_track(TrackJob::new(Arc::clone(&ds), fast_pipeline(1)));
+        let ticket = service.submit(JobSpec::track(Arc::clone(&ds), fast_pipeline(1)));
         ticket.cancel();
         // Depending on timing the job is either cancelled or completed —
         // cancellation is advisory — but it must terminate either way.
@@ -929,15 +1035,37 @@ mod tests {
     }
 
     #[test]
+    fn winning_cancel_counts_as_cancelled_even_if_work_finished() {
+        // The cancel/fulfill race, driven to both outcomes: whatever the
+        // ticket reports, the metrics must agree with it.
+        for seed in 0..6 {
+            let service = TractoService::start(small_config());
+            let ds = tiny_dataset(20 + seed);
+            let ticket = service.submit(JobSpec::track(Arc::clone(&ds), fast_pipeline(seed)));
+            let won = ticket.cancel();
+            let result = ticket.wait();
+            let snap = service.shutdown();
+            match result {
+                Err(JobError::Cancelled) => {
+                    assert_eq!(snap.cancelled, 1, "ticket said cancelled; metrics must too");
+                    assert_eq!(snap.completed, 0);
+                }
+                Ok(_) => {
+                    assert!(!won, "a winning cancel can never observe success");
+                    assert_eq!(snap.completed, 1);
+                    assert_eq!(snap.cancelled, 0);
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+    }
+
+    #[test]
     fn immediate_deadline_rejected() {
         let service = TractoService::start(small_config());
         let ds = tiny_dataset(4);
-        let mut job = TrackJob::new(Arc::clone(&ds), fast_pipeline(1));
-        job.deadline = Some(Duration::ZERO);
-        let err = service
-            .submit_track(job)
-            .wait()
-            .expect_err("deadline must fire");
+        let job = JobSpec::track(Arc::clone(&ds), fast_pipeline(1)).with_deadline(Duration::ZERO);
+        let err = service.submit(job).wait().expect_err("deadline must fire");
         assert_eq!(err, JobError::DeadlineExceeded);
         let snap = service.shutdown();
         assert_eq!(snap.deadline_exceeded, 1);
@@ -948,7 +1076,7 @@ mod tests {
         let service = TractoService::start(small_config());
         let ds = tiny_dataset(5);
         let tickets: Vec<_> = (0..3)
-            .map(|i| service.submit_track(TrackJob::new(Arc::clone(&ds), fast_pipeline(i))))
+            .map(|i| service.submit(JobSpec::track(Arc::clone(&ds), fast_pipeline(i))))
             .collect();
         service.drain();
         for t in tickets {
@@ -970,10 +1098,11 @@ mod tests {
         let service = TractoService::start(cfg);
         let ds = tiny_dataset(11);
         let tickets: Vec<_> = (0..3)
-            .map(|_| service.submit_track(TrackJob::new(Arc::clone(&ds), fast_pipeline(4))))
+            .map(|_| service.submit(JobSpec::track(Arc::clone(&ds), fast_pipeline(4))))
             .collect();
         for t in tickets {
-            t.wait().expect("jobs survive device loss via failover");
+            t.wait_track()
+                .expect("jobs survive device loss via failover");
         }
         let snap = service.shutdown();
         assert_eq!(snap.completed, 3);
@@ -1002,7 +1131,7 @@ mod tests {
         let service = TractoService::start(cfg);
         let ds = tiny_dataset(12);
         let err = service
-            .submit_track(TrackJob::new(Arc::clone(&ds), fast_pipeline(5)))
+            .submit(JobSpec::track(Arc::clone(&ds), fast_pipeline(5)))
             .wait()
             .expect_err("retry budget must run out");
         match &err {
@@ -1021,6 +1150,32 @@ mod tests {
     }
 
     #[test]
+    fn per_job_retry_budget_overrides_service_budget() {
+        use tracto_trace::ErrorKind;
+
+        let mut cfg = small_config();
+        cfg.devices = 1;
+        cfg.retry_budget = 5; // generous service-wide budget…
+        cfg.retry_backoff = Duration::from_millis(1);
+        cfg.fault_plan =
+            Some(FaultPlan::parse("fault 0 0 alloc-fail\nfault 0 1 alloc-fail").unwrap());
+        let service = TractoService::start(cfg);
+        let ds = tiny_dataset(13);
+        // …but this job opts out of retries entirely: the first fault kills it.
+        let err = service
+            .submit(JobSpec::track(Arc::clone(&ds), fast_pipeline(5)).with_retry_budget(0))
+            .wait()
+            .expect_err("zero per-job budget fails on the first fault");
+        match &err {
+            JobError::Failed(cause) => assert_eq!(cause.kind(), ErrorKind::Device),
+            other => panic!("expected a typed device failure, got {other}"),
+        }
+        let snap = service.shutdown();
+        assert_eq!(snap.job_retries, 0, "no retries despite the service budget");
+        assert_eq!(snap.faults_injected, 1, "second fault event never fired");
+    }
+
+    #[test]
     fn try_submit_backpressure_shape() {
         let mut cfg = small_config();
         cfg.queue_capacity = 1;
@@ -1030,7 +1185,7 @@ mod tests {
         let mut accepted = Vec::new();
         let mut rejected = 0;
         for i in 0..16 {
-            match service.try_submit_track(TrackJob::new(Arc::clone(&ds), fast_pipeline(i))) {
+            match service.try_submit(JobSpec::track(Arc::clone(&ds), fast_pipeline(i))) {
                 Ok(t) => accepted.push(t),
                 Err(JobError::QueueFull) => rejected += 1,
                 Err(e) => panic!("unexpected error: {e}"),
@@ -1038,10 +1193,40 @@ mod tests {
         }
         assert!(!accepted.is_empty(), "some jobs must get through");
         for t in accepted {
-            t.wait().expect("accepted jobs complete");
+            t.wait_track().expect("accepted jobs complete");
         }
         let snap = service.shutdown();
         // Every submission is accounted for: completed or rejected.
         assert_eq!(snap.completed + rejected, 16);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_route() {
+        let service = TractoService::start(small_config());
+        let ds = tiny_dataset(8);
+        let cfg = fast_pipeline(2);
+        let est = service.submit_estimate(EstimateJob {
+            dataset: Arc::clone(&ds),
+            prior: cfg.prior,
+            chain: cfg.chain,
+            seed: cfg.seed,
+        });
+        assert!(est.wait_estimate().expect("estimate shim works").voxels > 0);
+        let track = service.submit_track(TrackJob::new(Arc::clone(&ds), cfg.clone()));
+        assert!(
+            track
+                .wait_track()
+                .expect("track shim works")
+                .tracking
+                .total_steps
+                > 0
+        );
+        let t = service
+            .try_submit_track(TrackJob::new(Arc::clone(&ds), cfg))
+            .expect("try shim accepts");
+        t.wait_track().expect("try shim job completes");
+        let snap = service.shutdown();
+        assert_eq!(snap.completed, 3);
     }
 }

@@ -12,7 +12,7 @@ use tracto::mcmc::ChainConfig;
 use tracto::phantom::{datasets, Dataset};
 use tracto::pipeline::PipelineConfig;
 use tracto_gpu_sim::FaultPlan;
-use tracto_serve::{JobError, ServiceConfig, TrackJob, TractoService};
+use tracto_serve::{JobError, JobSpec, ServiceConfig, TractoService};
 use tracto_volume::Dim3;
 
 fn chaos_seed() -> u64 {
@@ -52,11 +52,11 @@ fn run_jobs(
     });
     let tickets: Vec<_> = jobs
         .iter()
-        .map(|(ds, cfg)| service.submit_track(TrackJob::new(Arc::clone(ds), cfg.clone())))
+        .map(|(ds, cfg)| service.submit(JobSpec::track(Arc::clone(ds), cfg.clone())))
         .collect();
     let results = tickets
         .iter()
-        .map(|t| t.wait().expect("job completes despite faults"))
+        .map(|t| t.wait_track().expect("job completes despite faults"))
         .collect();
     (results, service.shutdown())
 }
@@ -109,7 +109,7 @@ fn exhausted_retry_budget_is_a_typed_chained_error_not_a_panic() {
         fault_plan: Some(plan),
         ..ServiceConfig::default()
     });
-    let ticket = service.submit_track(TrackJob::new(Arc::clone(&bundle), small_config(5, 60)));
+    let ticket = service.submit(JobSpec::track(Arc::clone(&bundle), small_config(5, 60)));
     let err = ticket.wait().expect_err("budget must run out");
     match &err {
         JobError::Failed(cause) => {

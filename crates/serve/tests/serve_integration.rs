@@ -9,7 +9,7 @@ use tracto::mcmc::ChainConfig;
 use tracto::phantom::{datasets, Dataset};
 use tracto::pipeline::{Backend, Pipeline, PipelineConfig};
 use tracto_gpu_sim::DeviceConfig;
-use tracto_serve::{ServiceConfig, TrackJob, TractoService};
+use tracto_serve::{JobSpec, ServiceConfig, TractoService};
 use tracto_volume::Dim3;
 
 fn small_config(seed: u64, max_steps: u32) -> PipelineConfig {
@@ -57,11 +57,11 @@ fn service_matches_sequential_pipeline_bit_for_bit() {
     });
     let tickets: Vec<_> = jobs
         .iter()
-        .map(|(ds, cfg)| service.submit_track(TrackJob::new(Arc::clone(ds), cfg.clone())))
+        .map(|(ds, cfg)| service.submit(JobSpec::track(Arc::clone(ds), cfg.clone())))
         .collect();
     let results: Vec<_> = tickets
         .iter()
-        .map(|t| t.wait().expect("job completes"))
+        .map(|t| t.wait_track().expect("job completes"))
         .collect();
 
     for (i, (got, want)) in results.iter().zip(&reference).enumerate() {
@@ -123,8 +123,8 @@ fn disk_cache_survives_service_restart() {
         ..ServiceConfig::default()
     });
     let first = service
-        .submit_track(TrackJob::new(Arc::clone(&ds), cfg.clone()))
-        .wait()
+        .submit(JobSpec::track(Arc::clone(&ds), cfg.clone()))
+        .wait_track()
         .expect("cold job");
     assert!(!first.cache_hit);
     let cold = service.shutdown();
@@ -136,8 +136,8 @@ fn disk_cache_survives_service_restart() {
         ..ServiceConfig::default()
     });
     let second = service
-        .submit_track(TrackJob::new(Arc::clone(&ds), cfg.clone()))
-        .wait()
+        .submit(JobSpec::track(Arc::clone(&ds), cfg.clone()))
+        .wait_track()
         .expect("warm job");
     assert!(
         second.cache_hit,

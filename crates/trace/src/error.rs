@@ -30,6 +30,9 @@ pub enum ErrorKind {
     Cancelled,
     /// A deadline passed before the work could complete.
     Deadline,
+    /// A wire-protocol violation: malformed frame, bad message, or an
+    /// incompatible peer version.
+    Protocol,
 }
 
 impl fmt::Display for ErrorKind {
@@ -42,6 +45,7 @@ impl fmt::Display for ErrorKind {
             ErrorKind::Device => "device",
             ErrorKind::Cancelled => "cancelled",
             ErrorKind::Deadline => "deadline",
+            ErrorKind::Protocol => "protocol",
         };
         f.write_str(name)
     }
@@ -93,6 +97,12 @@ pub enum TractoError {
     Cancelled,
     /// A deadline passed before the work could complete.
     Deadline,
+    /// A wire-protocol violation (malformed frame, bad message, version
+    /// mismatch) from `tracto-proto` or its socket front end.
+    Protocol {
+        /// What was violated and where.
+        context: String,
+    },
 }
 
 impl TractoError {
@@ -147,6 +157,13 @@ impl TractoError {
         }
     }
 
+    /// A wire-protocol violation.
+    pub fn protocol(context: impl Into<String>) -> Self {
+        TractoError::Protocol {
+            context: context.into(),
+        }
+    }
+
     /// This error's discriminant, for matching without message text.
     pub fn kind(&self) -> ErrorKind {
         match self {
@@ -157,6 +174,7 @@ impl TractoError {
             TractoError::Device { .. } => ErrorKind::Device,
             TractoError::Cancelled => ErrorKind::Cancelled,
             TractoError::Deadline => ErrorKind::Deadline,
+            TractoError::Protocol { .. } => ErrorKind::Protocol,
         }
     }
 
@@ -191,6 +209,7 @@ impl fmt::Display for TractoError {
             }
             TractoError::Cancelled => write!(f, "cancelled"),
             TractoError::Deadline => write!(f, "deadline exceeded"),
+            TractoError::Protocol { context } => write!(f, "protocol violation: {context}"),
         }
     }
 }
@@ -241,6 +260,19 @@ mod tests {
         );
         assert_eq!(TractoError::Cancelled.kind(), ErrorKind::Cancelled);
         assert_eq!(TractoError::Deadline.kind(), ErrorKind::Deadline);
+        assert_eq!(
+            TractoError::protocol("bad frame").kind(),
+            ErrorKind::Protocol
+        );
+    }
+
+    #[test]
+    fn protocol_errors_are_not_retryable_and_carry_context() {
+        let e = TractoError::protocol("frame exceeds 16 MiB");
+        assert!(!e.is_retryable());
+        assert!(e.to_string().contains("protocol violation"));
+        assert!(e.to_string().contains("16 MiB"));
+        assert_eq!(ErrorKind::Protocol.to_string(), "protocol");
     }
 
     #[test]

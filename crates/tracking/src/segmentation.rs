@@ -97,6 +97,33 @@ impl SegmentationStrategy {
         }
     }
 
+    /// Parse a strategy name as accepted by the CLI and the wire protocol:
+    /// `B`, `C`, `single`, `every`, or `uniform:K`.
+    pub fn parse(s: &str) -> tracto_trace::TractoResult<Self> {
+        use tracto_trace::TractoError;
+        match s {
+            "B" | "b" => Ok(SegmentationStrategy::paper_table2()),
+            "C" | "c" => Ok(SegmentationStrategy::paper_c()),
+            "single" => Ok(SegmentationStrategy::Single),
+            "every" => Ok(SegmentationStrategy::every_step()),
+            other => {
+                if let Some(k) = other.strip_prefix("uniform:") {
+                    let k: u32 = k.parse().map_err(|_| {
+                        TractoError::config(format!("strategy uniform:K: bad K `{k}`"))
+                    })?;
+                    if k == 0 {
+                        return Err(TractoError::config("strategy uniform:K needs K ≥ 1"));
+                    }
+                    Ok(SegmentationStrategy::Uniform(k))
+                } else {
+                    Err(TractoError::config(format!(
+                        "unknown strategy `{other}` (B|C|single|every|uniform:K)"
+                    )))
+                }
+            }
+        }
+    }
+
     /// Display label matching the paper's Table IV row names.
     pub fn label(&self) -> String {
         match self {
@@ -124,6 +151,28 @@ mod tests {
     #[test]
     fn single_is_one_launch() {
         assert_eq!(SegmentationStrategy::Single.budgets(1000), vec![1000]);
+    }
+
+    #[test]
+    fn parse_accepts_cli_names_and_rejects_garbage() {
+        assert_eq!(
+            SegmentationStrategy::parse("B").unwrap(),
+            SegmentationStrategy::paper_table2()
+        );
+        assert_eq!(
+            SegmentationStrategy::parse("C").unwrap(),
+            SegmentationStrategy::paper_c()
+        );
+        assert_eq!(
+            SegmentationStrategy::parse("single").unwrap(),
+            SegmentationStrategy::Single
+        );
+        assert_eq!(
+            SegmentationStrategy::parse("uniform:20").unwrap(),
+            SegmentationStrategy::Uniform(20)
+        );
+        assert!(SegmentationStrategy::parse("uniform:0").is_err());
+        assert!(SegmentationStrategy::parse("zig").is_err());
     }
 
     #[test]

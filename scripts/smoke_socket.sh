@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Cross-process smoke: a real `tracto serve --listen` server process driven
+# by real `tracto submit` clients over a Unix socket must be deterministic
+# (identical digests on resubmission) and bit-identical to an in-process
+# script replay of the same job (same total step count).
+# Usage: scripts/smoke_socket.sh  [uses target/debug/tracto or $TRACTO_BIN]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=${TRACTO_BIN:-target/debug/tracto}
+if [[ ! -x "$BIN" ]]; then
+  echo "== building tracto-cli =="
+  cargo build -q -p tracto-cli
+fi
+
+DIR=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+  [[ -n "$SERVER_PID" ]] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+SOCK="$DIR/tracto.sock"
+
+echo "== starting server on unix:$SOCK =="
+"$BIN" serve --listen "unix:$SOCK" >"$DIR/server.log" &
+SERVER_PID=$!
+for _ in $(seq 100); do [[ -S "$SOCK" ]] && break; sleep 0.1; done
+[[ -S "$SOCK" ]] || { echo "FAIL: server never bound $SOCK"; cat "$DIR/server.log"; exit 1; }
+
+SUBMIT=(submit --connect "unix:$SOCK"
+        --dataset single --scale 0.05 --dataset-seed 3 --snr none
+        --samples 2 --burnin 30 --interval 1 --seed 9 --max-steps 60)
+
+echo "== submitting the same job twice over the socket =="
+OUT1=$("$BIN" "${SUBMIT[@]}")
+OUT2=$("$BIN" "${SUBMIT[@]}")
+echo "$OUT1"
+DIGEST1=$(grep -o 'digest [0-9a-f]*' <<<"$OUT1" || true)
+DIGEST2=$(grep -o 'digest [0-9a-f]*' <<<"$OUT2" || true)
+STEPS_REMOTE=$(grep -o '[0-9]* total steps' <<<"$OUT1" || true)
+[[ -n "$DIGEST1" ]] || { echo "FAIL: no digest in client output"; exit 1; }
+[[ "$DIGEST1" == "$DIGEST2" ]] || {
+  echo "FAIL: remote digests differ: $DIGEST1 vs $DIGEST2"; exit 1; }
+grep -q 'cache_hit=true' <<<"$OUT2" || {
+  echo "FAIL: resubmission missed the sample cache"; echo "$OUT2"; exit 1; }
+
+echo "== shutting the server down over the socket =="
+"$BIN" shutdown --connect "unix:$SOCK"
+wait "$SERVER_PID"
+SERVER_PID=""
+[[ ! -e "$SOCK" ]] || { echo "FAIL: socket not unlinked on shutdown"; exit 1; }
+
+echo "== replaying the identical job in-process =="
+cat >"$DIR/job.txt" <<EOF
+dataset d single scale=0.05 seed=3 snr=none
+track d samples=2 burnin=30 interval=1 seed=9 max-steps=60
+EOF
+LOCAL=$("$BIN" serve --script "$DIR/job.txt")
+STEPS_LOCAL=$(grep -o '[0-9]* total steps' <<<"$LOCAL" | head -1)
+[[ -n "$STEPS_REMOTE" && "$STEPS_REMOTE" == "$STEPS_LOCAL" ]] || {
+  echo "FAIL: socket vs in-process mismatch: '$STEPS_REMOTE' vs '$STEPS_LOCAL'"
+  exit 1
+}
+
+echo "socket smoke passed: $DIGEST1, $STEPS_REMOTE (socket == in-process)"
