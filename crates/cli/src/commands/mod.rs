@@ -5,5 +5,6 @@ pub mod info;
 pub mod phantom;
 pub mod remote;
 pub mod render;
+pub mod replay;
 pub mod serve;
 pub mod track;

@@ -1,5 +1,5 @@
-//! Remote-service commands: `tracto submit | status | cancel | metrics |
-//! shutdown`, all speaking the `tracto-proto` wire protocol to a
+//! Remote-service commands: `tracto submit | await | status | cancel |
+//! metrics | shutdown`, all speaking the `tracto-proto` wire protocol to a
 //! `tracto serve --listen` process via `--connect ENDPOINT`.
 //!
 //! Datasets cross the wire as deterministic phantom recipes, so a remote
@@ -12,6 +12,11 @@ use tracto_proto::{
     RemoteService, TrackSpec,
 };
 use tracto_trace::{Tracer, TractoError, TractoResult, Value};
+
+/// Flags every remote command accepts: the endpoint plus the reconnect
+/// policy (a restarting server refuses connections while it replays its
+/// journal, so the client rides that out with bounded retries).
+const CONNECT_FLAGS: [&str; 3] = ["connect", "connect-retries", "connect-backoff-ms"];
 
 const SUBMIT_FLAGS: [&str; 16] = [
     "connect",
@@ -33,9 +38,19 @@ const SUBMIT_FLAGS: [&str; 16] = [
 ];
 
 /// Connect and perform the handshake, emitting a trace span for the call.
+/// Transient transport failures are retried `--connect-retries` times
+/// (default 3) with exponential backoff starting at
+/// `--connect-backoff-ms` (default 20).
 fn connect(args: &ArgMap, tracer: &Tracer) -> TractoResult<RemoteService> {
     let endpoint = Endpoint::parse(args.required("connect")?)?;
-    let client = RemoteService::connect(&endpoint, "tracto-cli")?;
+    let retries: u32 = args.get_parse("connect-retries", 3)?;
+    let backoff_ms: u64 = args.get_parse("connect-backoff-ms", 20)?;
+    let client = RemoteService::connect_with_retry(
+        &endpoint,
+        "tracto-cli",
+        retries,
+        std::time::Duration::from_millis(backoff_ms),
+    )?;
     tracer.emit(
         "cli.connected",
         &[
@@ -44,6 +59,13 @@ fn connect(args: &ArgMap, tracer: &Tracer) -> TractoResult<RemoteService> {
         ],
     );
     Ok(client)
+}
+
+/// The [`CONNECT_FLAGS`] plus a command's own flags, for `reject_unknown`.
+fn with_connect_flags<'a>(extra: &[&'a str]) -> Vec<&'a str> {
+    let mut flags = CONNECT_FLAGS.to_vec();
+    flags.extend_from_slice(extra);
+    flags
 }
 
 /// Render a job state; returns `Err` for a failed job so the process exits
@@ -136,7 +158,7 @@ fn spec_from_args(args: &ArgMap) -> TractoResult<JobSpec> {
 /// `tracto submit --connect EP [job flags]`: submit one job, and (unless
 /// `--no-wait`) block until it finishes.
 pub fn submit(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
-    let mut flags = SUBMIT_FLAGS.to_vec();
+    let mut flags = with_connect_flags(&SUBMIT_FLAGS);
     flags.extend(["retry-budget", "cache", "timeout-ms"]);
     args.reject_unknown(&flags)?;
     let spec = spec_from_args(args)?;
@@ -163,9 +185,35 @@ pub fn submit(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
     report_state(job, &state)
 }
 
+/// `tracto await --connect EP --job N [--timeout-ms N]`: block until a
+/// job finishes (e.g. one recovered from the journal after a restart) and
+/// render its outcome exactly like `submit` would have.
+pub fn await_job(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
+    args.reject_unknown(&with_connect_flags(&["job", "timeout-ms"]))?;
+    let job = args.required("job")?.parse::<u64>().map_err(|_| {
+        TractoError::config(format!("--job: bad value `{}`", args.get("job").unwrap()))
+    })?;
+    let timeout_ms = args
+        .get("timeout-ms")
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| TractoError::config(format!("--timeout-ms: bad value `{v}`")))
+        })
+        .transpose()?;
+    let mut client = connect(args, tracer)?;
+    let state = client.await_job(job, timeout_ms)?;
+    if state == JobState::Pending {
+        return Err(TractoError::format(format!(
+            "job {job} still pending after {}ms",
+            timeout_ms.unwrap_or(0)
+        )));
+    }
+    report_state(job, &state)
+}
+
 /// `tracto status --connect EP --job N`: poll one job without blocking.
 pub fn status(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
-    args.reject_unknown(&["connect", "job"])?;
+    args.reject_unknown(&with_connect_flags(&["job"]))?;
     let job = args.required("job")?.parse::<u64>().map_err(|_| {
         TractoError::config(format!("--job: bad value `{}`", args.get("job").unwrap()))
     })?;
@@ -176,7 +224,7 @@ pub fn status(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
 
 /// `tracto cancel --connect EP --job N`: request cancellation.
 pub fn cancel(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
-    args.reject_unknown(&["connect", "job"])?;
+    args.reject_unknown(&with_connect_flags(&["job"]))?;
     let job = args.required("job")?.parse::<u64>().map_err(|_| {
         TractoError::config(format!("--job: bad value `{}`", args.get("job").unwrap()))
     })?;
@@ -191,7 +239,7 @@ pub fn cancel(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
 
 /// `tracto metrics --connect EP`: print the server's metrics snapshot.
 pub fn metrics(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
-    args.reject_unknown(&["connect"])?;
+    args.reject_unknown(&with_connect_flags(&[]))?;
     let mut client = connect(args, tracer)?;
     println!("{}", client.metrics()?);
     Ok(())
@@ -200,7 +248,7 @@ pub fn metrics(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
 /// `tracto shutdown --connect EP`: drain the remote service and stop its
 /// listener.
 pub fn shutdown(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
-    args.reject_unknown(&["connect"])?;
+    args.reject_unknown(&with_connect_flags(&[]))?;
     let mut client = connect(args, tracer)?;
     client.drain()?;
     client.shutdown()?;
@@ -285,8 +333,45 @@ mod tests {
 
     #[test]
     fn connect_refused_is_typed_io_error() {
-        let args = argmap(&["--connect", "/nonexistent/tracto.sock", "--job", "1"]);
+        // --connect-retries 0 keeps the failure fast; the error type must
+        // survive retry exhaustion either way.
+        let args = argmap(&[
+            "--connect",
+            "/nonexistent/tracto.sock",
+            "--job",
+            "1",
+            "--connect-retries",
+            "0",
+        ]);
         let err = status(&args, &Tracer::disabled()).unwrap_err();
         assert_eq!(err.kind(), tracto_trace::ErrorKind::Io);
+    }
+
+    #[test]
+    fn await_accepts_the_connect_retry_flags() {
+        // The flag set parses cleanly; the connection itself still fails
+        // (nothing listens), which proves the flags reached `connect`.
+        let args = argmap(&[
+            "--connect",
+            "/nonexistent/tracto.sock",
+            "--job",
+            "3",
+            "--timeout-ms",
+            "50",
+            "--connect-retries",
+            "1",
+            "--connect-backoff-ms",
+            "1",
+        ]);
+        let err = await_job(&args, &Tracer::disabled()).unwrap_err();
+        assert_eq!(err.kind(), tracto_trace::ErrorKind::Io);
+    }
+
+    #[test]
+    fn await_rejects_submit_only_flags() {
+        let args = argmap(&["--connect", "/tmp/x.sock", "--job", "1", "--estimate"]);
+        let err = await_job(&args, &Tracer::disabled()).unwrap_err();
+        assert_eq!(err.kind(), tracto_trace::ErrorKind::Config);
+        assert!(err.to_string().contains("--estimate"));
     }
 }

@@ -1,0 +1,122 @@
+//! `tracto replay-faults` — turn a recorded trace back into a fault plan.
+//!
+//! A chaos run traced with `--trace FILE` records every injected fault as
+//! a `gpu.fault` event. This command distills that log into the plan-file
+//! format [`FaultPlan::parse`] accepts, so the exact fault schedule a
+//! crashed or flaky run experienced can be replayed deterministically:
+//!
+//! ```text
+//! tracto serve --script jobs.txt --fault-seed 7 --trace run.jsonl
+//! tracto replay-faults --trace run.jsonl --out faults.plan
+//! tracto serve --script jobs.txt --fault-plan faults.plan
+//! ```
+//!
+//! Note the flag asymmetry: everywhere else `--trace FILE` *writes* an
+//! event log; here it *reads* one (the top-level driver suppresses the
+//! usual sink for this command so the recording is never truncated).
+
+use crate::args::ArgMap;
+use std::path::Path;
+use tracto_gpu_sim::FaultPlan;
+use tracto_trace::{Tracer, TractoError, TractoResult, Value};
+
+/// `tracto replay-faults --trace FILE [--out FILE]`: reconstruct the fault
+/// plan recorded in a JSON-lines trace and print it (or write it with
+/// `--out`) in `--fault-plan` format.
+pub fn run(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
+    args.reject_unknown(&["trace", "out"])?;
+    let path = Path::new(args.required("trace")?);
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| TractoError::io(format!("read trace {}", path.display()), e))?;
+    let plan = FaultPlan::from_trace(&text)?;
+    tracer.emit(
+        "cli.replay_faults",
+        &[
+            ("trace", Value::Text(path.display().to_string())),
+            ("events", Value::U64(plan.events.len() as u64)),
+        ],
+    );
+    let rendered = plan.to_text();
+    match args.get("out") {
+        Some(out) => {
+            let out = Path::new(out);
+            std::fs::write(out, rendered.as_bytes())
+                .map_err(|e| TractoError::io(format!("write plan {}", out.display()), e))?;
+            println!(
+                "replayed {} fault event(s) from {} into {}",
+                plan.events.len(),
+                path.display(),
+                out.display()
+            );
+        }
+        None => print!("{rendered}"),
+    }
+    if plan.events.is_empty() {
+        eprintln!("note: the trace records no gpu.fault events; the plan is empty");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argmap(v: &[&str]) -> ArgMap {
+        ArgMap::parse(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("tracto-replay-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn recorded_faults_round_trip_through_the_plan_format() {
+        let dir = tmp_dir("roundtrip");
+        let trace = dir.join("run.jsonl");
+        // A hand-rolled recording: two faults on device 0, one on device 1,
+        // interleaved with unrelated events a real trace would contain.
+        std::fs::write(
+            &trace,
+            concat!(
+                "{\"name\":\"serve.start\",\"fields\":{\"workers\":2}}\n",
+                "{\"name\":\"gpu.fault\",\"fields\":{\"device\":0,\"kind\":\"launch-fail\",\"at_op\":5}}\n",
+                "{\"name\":\"batch.launch\",\"fields\":{\"lanes\":64}}\n",
+                "{\"name\":\"gpu.fault\",\"fields\":{\"device\":1,\"kind\":\"transfer-timeout\",\"at_op\":9}}\n",
+                "{\"name\":\"gpu.fault\",\"fields\":{\"device\":0,\"kind\":\"device-lost\",\"at_op\":12}}\n",
+            ),
+        )
+        .unwrap();
+        let out = dir.join("faults.plan");
+        let args = argmap(&[
+            "--trace",
+            trace.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+        ]);
+        run(&args, &Tracer::disabled()).unwrap();
+
+        let written = std::fs::read_to_string(&out).unwrap();
+        let plan = FaultPlan::parse(&written).unwrap();
+        assert_eq!(plan.events.len(), 3, "all three faults survive: {written}");
+        assert_eq!(plan.events_for(0).len(), 2);
+        assert_eq!(plan.events_for(1).len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_trace_file_is_a_typed_io_error() {
+        let args = argmap(&["--trace", "/nonexistent/tracto-run.jsonl"]);
+        let err = run(&args, &Tracer::disabled()).unwrap_err();
+        assert_eq!(err.kind(), tracto_trace::ErrorKind::Io);
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        let args = argmap(&["--trace", "x.jsonl", "--fault-seed", "3"]);
+        let err = run(&args, &Tracer::disabled()).unwrap_err();
+        assert_eq!(err.kind(), tracto_trace::ErrorKind::Config);
+    }
+}

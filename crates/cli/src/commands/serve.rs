@@ -348,6 +348,17 @@ pub fn run(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
     }
 
     let service = Arc::new(TractoService::start(config));
+    // Re-enqueue jobs the journal says never finished (from a previous
+    // process that crashed with the same --state-dir). Their tickets are
+    // handed to the socket server below so remote clients can `await` the
+    // original job ids across the restart.
+    let recovered = service.recover();
+    if !recovered.is_empty() {
+        println!(
+            "recovered {} unfinished job(s) from the journal",
+            recovered.len()
+        );
+    }
     let failed = script
         .as_ref()
         .map(|s| replay_script(&service, s))
@@ -355,6 +366,7 @@ pub fn run(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
 
     if let Some(endpoint) = listen {
         let server = SocketServer::bind(Arc::clone(&service), &endpoint)?;
+        server.adopt_jobs(recovered);
         println!(
             "listening on {} (stops when a client sends `shutdown`)",
             server.endpoint()

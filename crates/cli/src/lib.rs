@@ -57,6 +57,7 @@ COMMANDS:
              [--strategy B|C|single|every|uniform:K] [--cache-mb N]
              [--cache-dir DIR] [--disk-cache-mb N]
              [--fault-plan FILE | --fault-seed N] [--retry-budget N]
+             [--state-dir DIR] [--checkpoint-every N]
   submit     submit one job to a listening server and wait for its result
              --connect ENDPOINT [--dataset 1|2|single|crossing] [--scale F]
              [--dataset-seed N] [--snr F|none] [--estimate]
@@ -65,10 +66,15 @@ COMMANDS:
              [--deadline-ms N] [--priority low|normal|high]
              [--retry-budget N] [--cache rw|ro|bypass]
              [--no-wait] [--timeout-ms N]
+  await      wait for a remote job (e.g. one recovered after a restart)
+             --connect ENDPOINT --job N [--timeout-ms N]
   status     poll a remote job          --connect ENDPOINT --job N
   cancel     cancel a remote job        --connect ENDPOINT --job N
   metrics    print remote service metrics  --connect ENDPOINT
   shutdown   drain and stop a listening server  --connect ENDPOINT
+  replay-faults
+             reconstruct a --fault-plan file from a recorded trace
+             --trace FILE [--out FILE]
   info       describe a stored dataset
              --data DIR
   render     print an ASCII maximum-intensity projection of a volume
@@ -79,7 +85,11 @@ ENDPOINTS: unix:PATH (the default — a bare path works) or tcp:HOST:PORT
 
 GLOBAL FLAGS (any command):
   --trace FILE      append structured events as JSON lines to FILE
+                    (for replay-faults, --trace is the input recording)
   --trace-stderr    pretty-print structured events to stderr
+
+REMOTE COMMANDS also accept [--connect-retries N] [--connect-backoff-ms N]
+to ride out a server restart (defaults: 3 retries, 20 ms base backoff).
 ";
 
 /// Build the tracer requested by the global `--trace`/`--trace-stderr`
@@ -109,11 +119,21 @@ pub fn run(args: &[String]) -> i32 {
             return 2;
         }
     };
-    let tracer = match build_tracer(&parsed) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return 2;
+    // For `replay-faults`, `--trace FILE` names the *input* recording, not
+    // an event sink — building the usual JSONL sink would truncate it.
+    let tracer = if command == "replay-faults" {
+        if parsed.switch("trace-stderr") {
+            Tracer::new(StderrSink)
+        } else {
+            Tracer::disabled()
+        }
+    } else {
+        match build_tracer(&parsed) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 2;
+            }
         }
     };
     let span = tracer.span_with(
@@ -126,12 +146,14 @@ pub fn run(args: &[String]) -> i32 {
         "track" => commands::track::run(&parsed, &tracer),
         "serve" => commands::serve::run(&parsed, &tracer),
         "submit" => commands::remote::submit(&parsed, &tracer),
+        "await" => commands::remote::await_job(&parsed, &tracer),
         "status" => commands::remote::status(&parsed, &tracer),
         "cancel" => commands::remote::cancel(&parsed, &tracer),
         "metrics" => commands::remote::metrics(&parsed, &tracer),
         "shutdown" => commands::remote::shutdown(&parsed, &tracer),
         "info" => commands::info::run(&parsed, &tracer),
         "render" => commands::render::run(&parsed, &tracer),
+        "replay-faults" => commands::replay::run(&parsed, &tracer),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

@@ -1,0 +1,283 @@
+//! Kill-the-process end-to-end test: a real `tracto serve --listen
+//! --state-dir` server is SIGKILLed at randomized points mid-batch,
+//! restarted over the same state dir, and every job submitted before the
+//! first crash must still complete — with results bit-identical to an
+//! uninterrupted run of the same specs.
+//!
+//! The kill schedule is seeded (`TRACTO_CHAOS_SEED`, default 1) so a
+//! failing timing can be replayed exactly.
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_tracto");
+
+/// How many SIGKILL/restart cycles the chaos run performs.
+const CRASHES: usize = 3;
+
+fn tmp(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("tracto_crash_e2e_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Deterministic kill-point schedule: an LCG over the chaos seed.
+struct Lcg(u64);
+
+impl Lcg {
+    fn from_env() -> Self {
+        let seed = std::env::var("TRACTO_CHAOS_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1u64);
+        Lcg(seed.wrapping_mul(0x9e3779b97f4a7c15).max(1))
+    }
+
+    fn next_delay_ms(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        60 + (self.0 >> 33) % 340 // 60..400 ms into the batch
+    }
+}
+
+fn client(args: &[&str]) -> (i32, String) {
+    let out = Command::new(BIN)
+        .args(args)
+        .stderr(Stdio::piped())
+        .output()
+        .expect("spawn client");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+struct ServerGuard(Option<Child>);
+
+impl Drop for ServerGuard {
+    fn drop(&mut self) {
+        if let Some(mut child) = self.0.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+impl ServerGuard {
+    /// SIGKILL — no drain, no Drop handlers, no journal compaction.
+    fn crash(mut self) {
+        let mut child = self.0.take().expect("server running");
+        child.kill().expect("SIGKILL server");
+        let _ = child.wait();
+    }
+
+    /// Release the child from the guard (caller takes over reaping).
+    fn release(mut self) -> Child {
+        self.0.take().expect("server running")
+    }
+}
+
+fn start_server(socket: &str, state_dir: &str) -> ServerGuard {
+    let child = Command::new(BIN)
+        .args([
+            "serve",
+            "--listen",
+            socket,
+            "--workers",
+            "2",
+            "--state-dir",
+            state_dir,
+            "--checkpoint-every",
+            "1",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn server");
+    // Guard first so a panic below still reaps the child. The previous
+    // incarnation's socket file may linger after SIGKILL; the new server
+    // replaces it, so wait until a client can actually connect.
+    let guard = ServerGuard(Some(child));
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (code, _) = client(&["metrics", "--connect", socket, "--connect-retries", "0"]);
+        if code == 0 {
+            return guard;
+        }
+        assert!(Instant::now() < deadline, "server never became reachable");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// The job recipes under test: three distinct tracking jobs (distinct MCMC
+/// seeds, so distinct cache keys and real per-job estimation work).
+fn spec_flags(seed: u32) -> Vec<String> {
+    [
+        "--dataset",
+        "single",
+        "--scale",
+        "0.05",
+        "--snr",
+        "none",
+        "--samples",
+        "2",
+        "--burnin",
+        "30",
+        "--interval",
+        "1",
+        "--max-steps",
+        "60",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .chain(["--seed".to_string(), seed.to_string()])
+    .collect()
+}
+
+const SEEDS: [u32; 3] = [9, 10, 11];
+
+fn digest_of(stdout: &str) -> String {
+    let at = stdout.find("digest ").expect("digest in output");
+    stdout[at + 7..at + 23].to_string()
+}
+
+/// Run every spec against an uninterrupted server and return its digests.
+fn reference_digests(dir: &std::path::Path) -> Vec<String> {
+    let socket = dir.join("ref.sock");
+    let socket = socket.to_str().unwrap();
+    let state = dir.join("ref-state");
+    let server = start_server(socket, state.to_str().unwrap());
+    let digests = SEEDS
+        .iter()
+        .map(|&seed| {
+            let mut args = vec!["submit".to_string(), "--connect".into(), socket.into()];
+            args.extend(spec_flags(seed));
+            let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+            let (code, out) = client(&argv);
+            assert_eq!(code, 0, "reference submit failed: {out}");
+            digest_of(&out)
+        })
+        .collect();
+    drop(server);
+    digests
+}
+
+#[test]
+fn killed_server_recovers_every_job_bit_identically() {
+    let dir = tmp("kill");
+    let reference = reference_digests(&dir);
+
+    let socket = dir.join("chaos.sock");
+    let socket = socket.to_str().unwrap();
+    let state = dir.join("chaos-state");
+    let state = state.to_str().unwrap();
+    let mut schedule = Lcg::from_env();
+
+    // Incarnation 0: accept the whole batch, then die mid-flight.
+    let mut server = start_server(socket, state);
+    let mut jobs = Vec::new();
+    for &seed in &SEEDS {
+        let mut args = vec![
+            "submit".to_string(),
+            "--connect".into(),
+            socket.into(),
+            "--no-wait".into(),
+        ];
+        args.extend(spec_flags(seed));
+        let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+        let (code, out) = client(&argv);
+        assert_eq!(code, 0, "chaos submit failed: {out}");
+        let id: u64 = out
+            .trim()
+            .rsplit(' ')
+            .next()
+            .and_then(|t| t.parse().ok())
+            .unwrap_or_else(|| panic!("no job id in {out:?}"));
+        jobs.push((id, seed));
+    }
+
+    for _ in 0..CRASHES {
+        let delay = schedule.next_delay_ms();
+        std::thread::sleep(Duration::from_millis(delay));
+        server.crash();
+        // Same state dir: the journal's dead lock is stolen, unfinished
+        // jobs re-enqueue under their original ids, and any mid-run MCMC
+        // checkpoint resumes bit-identically.
+        server = start_server(socket, state);
+    }
+
+    // Every job submitted to incarnation 0 must finish. A job that
+    // completed entirely within an earlier incarnation has left the
+    // journal, so its id is gone after the next restart — re-submitting
+    // the identical recipe must then reproduce the same digest (that is
+    // the determinism the cache and journal both key on).
+    for (i, &(id, seed)) in jobs.iter().enumerate() {
+        let id_str = id.to_string();
+        let (code, out) = client(&[
+            "await",
+            "--connect",
+            socket,
+            "--job",
+            &id_str,
+            "--timeout-ms",
+            "120000",
+            "--connect-retries",
+            "10",
+            "--connect-backoff-ms",
+            "50",
+        ]);
+        let digest = if code == 0 {
+            digest_of(&out)
+        } else {
+            let mut args = vec!["submit".to_string(), "--connect".into(), socket.into()];
+            args.extend(spec_flags(seed));
+            let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+            let (code, out) = client(&argv);
+            assert_eq!(code, 0, "post-crash resubmit failed: {out}");
+            digest_of(&out)
+        };
+        assert_eq!(
+            digest, reference[i],
+            "job {id} (seed {seed}) must match the uninterrupted run"
+        );
+    }
+
+    let (code, out) = client(&["shutdown", "--connect", socket]);
+    assert_eq!(code, 0, "shutdown failed: {out}");
+    drop(server);
+
+    // The journal settles: a fresh incarnation over the same state dir has
+    // nothing to recover (no "recovered" line on stdout).
+    let probe = Command::new(BIN)
+        .args(["serve", "--listen", socket, "--state-dir", state])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn probe server");
+    let probe = ServerGuard(Some(probe));
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (code, _) = client(&["metrics", "--connect", socket, "--connect-retries", "0"]);
+        if code == 0 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "probe server never bound");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let (code, _) = client(&["shutdown", "--connect", socket]);
+    assert_eq!(code, 0);
+    let out = probe
+        .release()
+        .wait_with_output()
+        .expect("probe server exit");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !stdout.contains("recovered"),
+        "settled journal must recover nothing, got: {stdout}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

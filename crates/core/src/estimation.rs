@@ -11,11 +11,13 @@ use tracto_diffusion::posterior::{BallSticksParams, NUM_PARAMETERS};
 use tracto_diffusion::{Acquisition, BallSticksPosterior, PriorConfig};
 use tracto_gpu_sim::{Gpu, LaneStatus, MultiGpu, SimKernel, TimingLedger};
 use tracto_mcmc::chain::ChainConfig;
-use tracto_mcmc::checkpoint::{CheckpointPolicy, CHECKPOINT_LANE_BYTES};
-use tracto_mcmc::mh::MhSampler;
+use tracto_mcmc::checkpoint::{
+    CheckpointPolicy, CheckpointStore, SnapshotLoad, CHECKPOINT_LANE_BYTES,
+};
+use tracto_mcmc::mh::{MhSampler, MhState};
 use tracto_mcmc::voxelwise::{default_proposal_scales, SampleVolumes};
 use tracto_rng::HybridTaus;
-use tracto_trace::TractoResult;
+use tracto_trace::{Tracer, TractoResult, Value};
 use tracto_volume::{Mask, Volume4};
 
 /// One voxel's chain as a GPU lane.
@@ -268,6 +270,328 @@ pub fn run_mcmc_multi(
     })
 }
 
+/// Where a persistently checkpointed run stores its snapshots: a
+/// [`CheckpointStore`], the key naming this chain (the serve layer uses the
+/// Step-1 content hash, so a recovered job recomputes the same key and
+/// finds its own snapshot), and a tracer for `ckpt.*` lifecycle events.
+pub struct PersistentCheckpoint<'a> {
+    /// The snapshot store (under the service's `--state-dir`).
+    pub store: &'a CheckpointStore,
+    /// Snapshot key; must satisfy the store's key rules.
+    pub key: String,
+    /// Receives `ckpt.save` / `ckpt.resume` / `ckpt.corrupt` events.
+    pub tracer: Tracer,
+}
+
+// --- chain-state snapshot codec -------------------------------------------
+//
+// The payload the CheckpointStore envelopes for one MCMC run: a fingerprint
+// of the chain schedule, then the full mutable state of every lane. Every
+// number is written as little-endian bit patterns (f64::to_bits for floats),
+// so restore is exact — no text round-trip, no rounding.
+
+struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.pos + n > self.bytes.len() {
+            return Err(format!(
+                "snapshot payload truncated at byte {} (wanted {n} more of {})",
+                self.pos,
+                self.bytes.len()
+            ));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn f64_array<const N: usize>(&mut self) -> Result<[f64; N], String> {
+        let mut out = [0.0; N];
+        for v in &mut out {
+            *v = self.f64()?;
+        }
+        Ok(out)
+    }
+
+    fn u32_array<const N: usize>(&mut self) -> Result<[u32; N], String> {
+        let mut out = [0; N];
+        for v in &mut out {
+            *v = self.u32()?;
+        }
+        Ok(out)
+    }
+}
+
+fn encode_chain_state(
+    lanes: &[McmcLane],
+    config: ChainConfig,
+    seed: u64,
+    segments_done: u32,
+) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(32 + lanes.len() * 256);
+    buf.extend_from_slice(&config.num_burnin.to_le_bytes());
+    buf.extend_from_slice(&config.num_samples.to_le_bytes());
+    buf.extend_from_slice(&config.sample_interval.to_le_bytes());
+    buf.extend_from_slice(&segments_done.to_le_bytes());
+    buf.extend_from_slice(&seed.to_le_bytes());
+    buf.extend_from_slice(&(lanes.len() as u64).to_le_bytes());
+    for lane in lanes {
+        buf.extend_from_slice(&(lane.voxel_index as u64).to_le_bytes());
+        buf.extend_from_slice(&lane.loops_done.to_le_bytes());
+        for z in lane.rng.state() {
+            buf.extend_from_slice(&z.to_le_bytes());
+        }
+        let s = lane.sampler.snapshot();
+        for p in s.params {
+            buf.extend_from_slice(&p.to_bits().to_le_bytes());
+        }
+        buf.extend_from_slice(&s.log_density.to_bits().to_le_bytes());
+        for sc in s.scales {
+            buf.extend_from_slice(&sc.to_bits().to_le_bytes());
+        }
+        for a in s.accepted {
+            buf.extend_from_slice(&a.to_le_bytes());
+        }
+        for p in s.proposed {
+            buf.extend_from_slice(&p.to_le_bytes());
+        }
+        buf.extend_from_slice(&s.loops_done.to_le_bytes());
+        for r in s.last_window_rates {
+            buf.extend_from_slice(&r.to_bits().to_le_bytes());
+        }
+        buf.extend_from_slice(&(lane.samples.len() as u32).to_le_bytes());
+        for sample in &lane.samples {
+            for v in sample {
+                buf.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+    }
+    buf
+}
+
+/// Apply a decoded snapshot onto freshly built lanes. Returns how many
+/// segments the snapshotted run had completed, or a reason string when the
+/// payload does not belong to this `(lanes, config, seed)` run — the caller
+/// then restarts from scratch exactly as for a corrupt envelope.
+fn restore_chain_state(
+    lanes: &mut [McmcLane],
+    config: ChainConfig,
+    seed: u64,
+    payload: &[u8],
+) -> Result<u32, String> {
+    let mut r = ByteReader {
+        bytes: payload,
+        pos: 0,
+    };
+    let (burnin, samples, interval) = (r.u32()?, r.u32()?, r.u32()?);
+    let segments_done = r.u32()?;
+    let snap_seed = r.u64()?;
+    let lane_count = r.u64()?;
+    if (burnin, samples, interval)
+        != (
+            config.num_burnin,
+            config.num_samples,
+            config.sample_interval,
+        )
+    {
+        return Err(format!(
+            "chain schedule mismatch: snapshot {burnin}/{samples}/{interval}, \
+             run {}/{}/{}",
+            config.num_burnin, config.num_samples, config.sample_interval
+        ));
+    }
+    if snap_seed != seed {
+        return Err(format!("seed mismatch: snapshot {snap_seed}, run {seed}"));
+    }
+    if lane_count != lanes.len() as u64 {
+        return Err(format!(
+            "lane count mismatch: snapshot {lane_count}, run {}",
+            lanes.len()
+        ));
+    }
+    for lane in lanes.iter_mut() {
+        let voxel = r.u64()?;
+        if voxel != lane.voxel_index as u64 {
+            return Err(format!(
+                "voxel order mismatch: snapshot {voxel}, run {}",
+                lane.voxel_index
+            ));
+        }
+        let loops_done = r.u32()?;
+        let rng_state = r.u32_array::<4>()?;
+        let state = MhState::<NUM_PARAMETERS> {
+            params: r.f64_array()?,
+            log_density: r.f64()?,
+            scales: r.f64_array()?,
+            accepted: r.u32_array()?,
+            proposed: r.u32_array()?,
+            loops_done: r.u32()?,
+            last_window_rates: r.f64_array()?,
+        };
+        let n_samples = r.u32()? as usize;
+        if n_samples > config.num_samples as usize {
+            return Err(format!(
+                "snapshot holds {n_samples} samples, schedule allows {}",
+                config.num_samples
+            ));
+        }
+        let mut collected = Vec::with_capacity(config.num_samples as usize);
+        for _ in 0..n_samples {
+            collected.push(r.f64_array::<NUM_PARAMETERS>()?);
+        }
+        // The freeze mask is configuration: carry it over from the freshly
+        // built sampler rather than trusting bytes on disk.
+        let mut frozen = [false; NUM_PARAMETERS];
+        for (j, f) in frozen.iter_mut().enumerate() {
+            *f = lane.sampler.is_frozen(j);
+        }
+        lane.sampler = MhSampler::restore(state, config.adapt, frozen);
+        lane.rng = HybridTaus::from_state(rng_state);
+        lane.loops_done = loops_done;
+        lane.samples = collected;
+    }
+    if r.pos != payload.len() {
+        return Err(format!(
+            "snapshot payload has {} trailing bytes",
+            payload.len() - r.pos
+        ));
+    }
+    Ok(segments_done)
+}
+
+/// [`run_mcmc_gpu`] with durable, resumable checkpoints.
+///
+/// The `NumLoops` launch is split into `checkpoint.segments(..)` budgets;
+/// after each non-final segment the full chain state (sampler, RNG, kept
+/// samples) is encoded and written through `persist.store` — atomically, so
+/// a process killed at any instant leaves a complete snapshot from at most
+/// one checkpoint interval ago. On entry, an existing valid snapshot for
+/// `persist.key` is restored and the completed segments are skipped; a
+/// corrupt or mismatched snapshot emits a `ckpt.corrupt` event and the run
+/// restarts from scratch. Each chain guards on its own loop counter, so
+/// interrupted-and-resumed runs are bit-identical to uninterrupted ones.
+///
+/// The snapshot is discarded once the run completes.
+#[allow(clippy::too_many_arguments)]
+pub fn run_mcmc_gpu_checkpointed(
+    gpu: &mut Gpu,
+    acq: &Acquisition,
+    dwi: &Volume4<f32>,
+    mask: &Mask,
+    prior: PriorConfig,
+    config: ChainConfig,
+    seed: u64,
+    checkpoint: CheckpointPolicy,
+    persist: &PersistentCheckpoint<'_>,
+) -> TractoResult<McmcGpuReport> {
+    assert_eq!(dwi.nt(), acq.len(), "DWI volume count must match protocol");
+    assert_eq!(dwi.dims(), mask.dims(), "mask dims must match DWI dims");
+    gpu.reset();
+
+    let dwi_bytes = dwi.len() as u64 * 4;
+    let protocol_bytes = acq.len() as u64 * 16;
+    gpu.transfer_to_device(dwi_bytes + protocol_bytes);
+
+    let mut lanes = build_mcmc_lanes(acq, dwi, mask, prior, config, seed);
+    let key = persist.key.as_str();
+    let mut segments_done = 0u32;
+    match persist.store.load(key)? {
+        SnapshotLoad::Missing => {}
+        SnapshotLoad::Corrupt(reason) => {
+            persist.tracer.emit(
+                "ckpt.corrupt",
+                &[
+                    ("key", Value::Text(key.to_string())),
+                    ("reason", Value::Text(reason)),
+                ],
+            );
+        }
+        SnapshotLoad::Snapshot(payload) => {
+            match restore_chain_state(&mut lanes, config, seed, &payload) {
+                Ok(done) => {
+                    segments_done = done;
+                    persist.tracer.emit(
+                        "ckpt.resume",
+                        &[
+                            ("key", Value::Text(key.to_string())),
+                            ("segments_done", u64::from(done).into()),
+                        ],
+                    );
+                }
+                Err(reason) => {
+                    // Structurally valid envelope, wrong contents: same
+                    // fallback as corruption — restart from scratch.
+                    persist.store.discard(key)?;
+                    lanes = build_mcmc_lanes(acq, dwi, mask, prior, config, seed);
+                    persist.tracer.emit(
+                        "ckpt.corrupt",
+                        &[
+                            ("key", Value::Text(key.to_string())),
+                            ("reason", Value::Text(reason)),
+                        ],
+                    );
+                }
+            }
+        }
+    }
+
+    let kernel = McmcKernel { acq, prior, config };
+    let segments = checkpoint.segments(config.num_loops());
+    let mut checkpoints = 0u64;
+    for (i, &budget) in segments.iter().enumerate() {
+        if (i as u32) < segments_done {
+            continue; // already covered by the restored snapshot
+        }
+        gpu.launch(&kernel, &mut lanes, budget);
+        if i + 1 < segments.len() {
+            // The simulated device pays the same per-lane snapshot transfer
+            // as in-memory checkpointing; durability adds host-side fsync
+            // cost only (measured by the checkpoint_persistence bench).
+            gpu.transfer_to_host(lanes.len() as u64 * CHECKPOINT_LANE_BYTES);
+            let payload = encode_chain_state(&lanes, config, seed, i as u32 + 1);
+            let bytes = payload.len() as u64;
+            persist.store.save(key, &payload)?;
+            checkpoints += 1;
+            persist.tracer.emit(
+                "ckpt.save",
+                &[
+                    ("key", Value::Text(key.to_string())),
+                    ("segment", (i as u64 + 1).into()),
+                    ("bytes", bytes.into()),
+                ],
+            );
+        }
+    }
+
+    let out_bytes = 6 * dwi.dims().len() as u64 * config.num_samples as u64 * 4;
+    gpu.transfer_to_host(out_bytes);
+    let (volumes, voxels) = assemble_volumes(&lanes, dwi, config);
+    persist.store.discard(key)?;
+
+    Ok(McmcGpuReport {
+        samples: volumes,
+        ledger: *gpu.ledger(),
+        voxels,
+        checkpoints,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -441,6 +765,201 @@ mod tests {
         )
         .expect_err("no devices left");
         assert_eq!(err.kind(), tracto_trace::ErrorKind::Capacity);
+    }
+
+    fn tmp_store(tag: &str) -> (std::path::PathBuf, CheckpointStore) {
+        let dir = std::env::temp_dir().join(format!(
+            "tracto-est-ckpt-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CheckpointStore::open(&dir).unwrap();
+        (dir, store)
+    }
+
+    /// Simulate a crash: run only `crash_after` segments of the schedule,
+    /// persist the snapshot exactly as the checkpointed runner would, and
+    /// throw everything else away.
+    #[allow(clippy::too_many_arguments)]
+    fn run_partially_then_die(
+        ds: &tracto_phantom::datasets::Dataset,
+        mask: &Mask,
+        config: ChainConfig,
+        seed: u64,
+        policy: CheckpointPolicy,
+        crash_after: usize,
+        store: &CheckpointStore,
+        key: &str,
+    ) {
+        let prior = PriorConfig::default();
+        let mut gpu = small_gpu();
+        let mut lanes = build_mcmc_lanes(&ds.acq, &ds.dwi, mask, prior, config, seed);
+        let kernel = McmcKernel {
+            acq: &ds.acq,
+            prior,
+            config,
+        };
+        let segments = policy.segments(config.num_loops());
+        assert!(crash_after < segments.len(), "crash point must be mid-run");
+        for (i, &budget) in segments.iter().take(crash_after).enumerate() {
+            gpu.launch(&kernel, &mut lanes, budget);
+            store
+                .save(key, &encode_chain_state(&lanes, config, seed, i as u32 + 1))
+                .unwrap();
+        }
+        // ... SIGKILL: lanes dropped, only the store survives.
+    }
+
+    #[test]
+    fn interrupted_run_resumes_bit_identical_to_uninterrupted() {
+        let ds = datasets::single_bundle(Dim3::new(6, 4, 4), Some(25.0), 3);
+        let mask = Mask::from_fn(ds.dwi.dims(), |c| c.j == 2 && c.k == 2);
+        let config = ChainConfig::fast_test();
+        let prior = PriorConfig::default();
+        let policy = CheckpointPolicy::every(3);
+        let mut gpu = small_gpu();
+        let clean = run_mcmc_gpu(&mut gpu, &ds.acq, &ds.dwi, &mask, prior, config, 77);
+
+        let n_segments = policy.segments(config.num_loops()).len();
+        assert!(
+            n_segments >= 3,
+            "schedule too short to test mid-run crashes"
+        );
+        for crash_after in 1..n_segments {
+            let (dir, store) = tmp_store(&format!("resume{crash_after}"));
+            run_partially_then_die(&ds, &mask, config, 77, policy, crash_after, &store, "job");
+            // "Restart": a fresh checkpointed run over the same store.
+            let ring = std::sync::Arc::new(tracto_trace::RingSink::new(4096));
+            let persist = PersistentCheckpoint {
+                store: &store,
+                key: "job".to_string(),
+                tracer: Tracer::shared(ring.clone()),
+            };
+            let mut gpu2 = small_gpu();
+            let resumed = run_mcmc_gpu_checkpointed(
+                &mut gpu2, &ds.acq, &ds.dwi, &mask, prior, config, 77, policy, &persist,
+            )
+            .unwrap();
+            assert_eq!(
+                clean.samples.f1, resumed.samples.f1,
+                "crash after {crash_after} segment(s): f1 must be bit-identical"
+            );
+            assert_eq!(clean.samples.th1, resumed.samples.th1);
+            assert_eq!(clean.samples.ph2, resumed.samples.ph2);
+            assert_eq!(clean.voxels, resumed.voxels);
+            assert_eq!(ring.count("ckpt.resume"), 1, "crash {crash_after}");
+            assert_eq!(ring.count("ckpt.corrupt"), 0);
+            assert_eq!(
+                store.load("job").unwrap(),
+                SnapshotLoad::Missing,
+                "snapshot discarded after completion"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn corrupt_snapshot_restarts_from_scratch_with_trace_event() {
+        let ds = datasets::single_bundle(Dim3::new(6, 4, 4), Some(25.0), 3);
+        let mask = Mask::from_fn(ds.dwi.dims(), |c| c.j == 2 && c.k == 2);
+        let config = ChainConfig::fast_test();
+        let prior = PriorConfig::default();
+        let policy = CheckpointPolicy::every(3);
+        let mut gpu = small_gpu();
+        let clean = run_mcmc_gpu(&mut gpu, &ds.acq, &ds.dwi, &mask, prior, config, 77);
+
+        let (dir, store) = tmp_store("corrupt");
+        run_partially_then_die(&ds, &mask, config, 77, policy, 2, &store, "job");
+        // Flip a payload byte: the envelope checksum must catch it.
+        let path = dir.join("job.ckpt");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let ring = std::sync::Arc::new(tracto_trace::RingSink::new(4096));
+        let persist = PersistentCheckpoint {
+            store: &store,
+            key: "job".to_string(),
+            tracer: Tracer::shared(ring.clone()),
+        };
+        let mut gpu2 = small_gpu();
+        let resumed = run_mcmc_gpu_checkpointed(
+            &mut gpu2, &ds.acq, &ds.dwi, &mask, prior, config, 77, policy, &persist,
+        )
+        .unwrap();
+        assert_eq!(ring.count("ckpt.corrupt"), 1, "corruption must be reported");
+        assert_eq!(ring.count("ckpt.resume"), 0, "no resume from garbage");
+        assert_eq!(
+            clean.samples.f1, resumed.samples.f1,
+            "restart is still exact"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_snapshot_is_rejected_not_resumed() {
+        // A snapshot taken under a different seed shares the key (operator
+        // error / key collision): the fingerprint rejects it and the run
+        // restarts from scratch rather than splicing chains.
+        let ds = datasets::single_bundle(Dim3::new(6, 4, 4), Some(25.0), 3);
+        let mask = Mask::from_fn(ds.dwi.dims(), |c| c.j == 2 && c.k == 2);
+        let config = ChainConfig::fast_test();
+        let prior = PriorConfig::default();
+        let policy = CheckpointPolicy::every(3);
+        let (dir, store) = tmp_store("mismatch");
+        run_partially_then_die(&ds, &mask, config, 123, policy, 1, &store, "job");
+
+        let ring = std::sync::Arc::new(tracto_trace::RingSink::new(4096));
+        let persist = PersistentCheckpoint {
+            store: &store,
+            key: "job".to_string(),
+            tracer: Tracer::shared(ring.clone()),
+        };
+        let mut gpu = small_gpu();
+        let resumed = run_mcmc_gpu_checkpointed(
+            &mut gpu, &ds.acq, &ds.dwi, &mask, prior, config, 77, policy, &persist,
+        )
+        .unwrap();
+        let mut gpu2 = small_gpu();
+        let clean = run_mcmc_gpu(&mut gpu2, &ds.acq, &ds.dwi, &mask, prior, config, 77);
+        assert_eq!(clean.samples.f1, resumed.samples.f1);
+        assert_eq!(ring.count("ckpt.corrupt"), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpointed_run_without_prior_snapshot_matches_plain_run() {
+        let ds = datasets::single_bundle(Dim3::new(6, 4, 4), Some(25.0), 3);
+        let mask = Mask::from_fn(ds.dwi.dims(), |c| c.j == 2 && c.k == 2);
+        let config = ChainConfig::fast_test();
+        let prior = PriorConfig::default();
+        let (dir, store) = tmp_store("fresh");
+        let persist = PersistentCheckpoint {
+            store: &store,
+            key: "fresh".to_string(),
+            tracer: Tracer::disabled(),
+        };
+        let mut gpu = small_gpu();
+        let ckpt = run_mcmc_gpu_checkpointed(
+            &mut gpu,
+            &ds.acq,
+            &ds.dwi,
+            &mask,
+            prior,
+            config,
+            77,
+            CheckpointPolicy::every(3),
+            &persist,
+        )
+        .unwrap();
+        let mut gpu2 = small_gpu();
+        let plain = run_mcmc_gpu(&mut gpu2, &ds.acq, &ds.dwi, &mask, prior, config, 77);
+        assert_eq!(ckpt.samples.f1, plain.samples.f1);
+        assert_eq!(ckpt.samples.th2, plain.samples.th2);
+        assert!(ckpt.checkpoints > 0, "snapshots were written");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -41,7 +41,9 @@ pub mod tracking2 {
     pub use tracto_tracking::probabilistic::{CpuTracker, RecordMode, TrackingOutput};
 }
 
-pub use estimation::{run_mcmc_gpu, run_mcmc_multi, McmcGpuReport};
+pub use estimation::{
+    run_mcmc_gpu, run_mcmc_gpu_checkpointed, run_mcmc_multi, McmcGpuReport, PersistentCheckpoint,
+};
 pub use pipeline::{Backend, Pipeline, PipelineConfig, PipelineOutcome};
 
 pub use tracto_diffusion as diffusion;

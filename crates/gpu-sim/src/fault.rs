@@ -319,6 +319,76 @@ impl FaultPlan {
             .map_err(|e| TractoError::io(format!("read fault plan {}", path.display()), e))?;
         FaultPlan::parse(&text)
     }
+
+    /// Serialize the plan back to the [`FaultPlan::parse`] file format.
+    /// `FaultPlan::parse(&plan.to_text())` reproduces the plan exactly.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "timeout-s {}", self.transfer_timeout_s);
+        let _ = writeln!(out, "degrade-factor {}", self.degrade_factor);
+        for e in &self.events {
+            let _ = writeln!(out, "fault {} {} {}", e.device, e.at_op, e.kind);
+        }
+        out
+    }
+
+    /// Reconstruct a plan from a recorded JSON-lines trace: every
+    /// `gpu.fault` event (as emitted by the simulator and written by a
+    /// `JsonlSink`) becomes one scheduled [`FaultEvent`] at the operation
+    /// index it originally fired on. Lines for other event names are
+    /// ignored; malformed JSON or a `gpu.fault` line missing its
+    /// `device`/`at_op`/`kind` fields is a [`Format`] error.
+    ///
+    /// Because the simulator's counters are deterministic, replaying the
+    /// reconstructed plan against the same workload injects the identical
+    /// failure sequence. Timing constants (`timeout-s`, `degrade-factor`)
+    /// are not recorded in fault events and revert to defaults.
+    ///
+    /// [`Format`]: tracto_trace::ErrorKind::Format
+    pub fn from_trace(text: &str) -> TractoResult<Self> {
+        use tracto_trace::json::{parse, Json};
+        let mut plan = FaultPlan::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let bad = |what: String| {
+                TractoError::format(format!("fault trace line {}: {what}", lineno + 1))
+            };
+            let doc = parse(line).map_err(|e| bad(e.to_string()))?;
+            if doc.get("name").and_then(Json::as_str) != Some("gpu.fault") {
+                continue;
+            }
+            let fields = doc
+                .get("fields")
+                .ok_or_else(|| bad("gpu.fault event has no fields".into()))?;
+            let device = fields
+                .get("device")
+                .and_then(Json::as_f64)
+                .filter(|v| *v >= 0.0 && v.fract() == 0.0)
+                .ok_or_else(|| bad("missing or non-integer `device`".into()))?
+                as u32;
+            let at_op = fields
+                .get("at_op")
+                .and_then(Json::as_f64)
+                .filter(|v| *v >= 0.0 && v.fract() == 0.0)
+                .ok_or_else(|| bad("missing or non-integer `at_op`".into()))?
+                as u64;
+            let kind = fields
+                .get("kind")
+                .and_then(Json::as_str)
+                .and_then(FaultKind::parse)
+                .ok_or_else(|| bad("missing or unknown `kind`".into()))?;
+            plan.events.push(FaultEvent {
+                device,
+                at_op,
+                kind,
+            });
+        }
+        Ok(plan)
+    }
 }
 
 /// Per-device runtime fault state: the device's pending events, health, and
@@ -365,10 +435,12 @@ impl FaultState {
     }
 
     /// Advance the counter for `category` and return the fault (if any)
-    /// scheduled for the operation just counted. When several events
-    /// collide on one operation, the most severe fires and the others are
-    /// dropped — all are consumed either way, so retries terminate.
-    pub(crate) fn next_fault(&mut self, category: FaultCategory) -> Option<FaultKind> {
+    /// scheduled for the operation just counted, paired with that
+    /// operation's index — the `at_op` a replay plan needs to re-fire it.
+    /// When several events collide on one operation, the most severe fires
+    /// and the others are dropped — all are consumed either way, so retries
+    /// terminate.
+    pub(crate) fn next_fault(&mut self, category: FaultCategory) -> Option<(FaultKind, u64)> {
         let op = match category {
             FaultCategory::Launch => {
                 self.launches_seen += 1;
@@ -406,7 +478,7 @@ impl FaultState {
                 _ => {}
             }
         }
-        fired
+        fired.map(|kind| (kind, op))
     }
 }
 
@@ -500,14 +572,14 @@ mod tests {
         assert_eq!(state.next_fault(FaultCategory::Launch), None); // op 1
         assert_eq!(
             state.next_fault(FaultCategory::Launch),
-            Some(FaultKind::LaunchFail)
+            Some((FaultKind::LaunchFail, 2))
         );
         // Consumed: the retry of launch op 3 is clean.
         assert_eq!(state.next_fault(FaultCategory::Launch), None);
         assert_eq!(state.next_fault(FaultCategory::Transfer), None);
         assert_eq!(
             state.next_fault(FaultCategory::Transfer),
-            Some(FaultKind::TransferTimeout)
+            Some((FaultKind::TransferTimeout, 1))
         );
         assert_eq!(state.faults_injected, 2);
         assert_eq!(state.health, DeviceHealth::Healthy);
@@ -522,7 +594,7 @@ mod tests {
         state.install(&plan, 0);
         assert_eq!(
             state.next_fault(FaultCategory::Launch),
-            Some(FaultKind::DeviceLost)
+            Some((FaultKind::DeviceLost, 0))
         );
         assert_eq!(state.health, DeviceHealth::Failed);
         assert_eq!(state.next_fault(FaultCategory::Launch), None);
@@ -536,10 +608,132 @@ mod tests {
         state.install(&plan, 0);
         assert_eq!(
             state.next_fault(FaultCategory::Launch),
-            Some(FaultKind::Degrade)
+            Some((FaultKind::Degrade, 0))
         );
         assert_eq!(state.health, DeviceHealth::Degraded);
         assert_eq!(state.degrade_factor, 2.5);
+    }
+
+    #[test]
+    fn to_text_round_trips_through_parse() {
+        let plan = FaultPlan::parse(
+            "timeout-s 0.02\ndegrade-factor 3\n\
+             fault 1 1 device-lost\nfault 0 0 transfer-timeout\nfault 2 5 degrade",
+        )
+        .unwrap();
+        assert_eq!(FaultPlan::parse(&plan.to_text()).unwrap(), plan);
+        for seed in [1u64, 7, 42] {
+            let seeded = FaultPlan::seeded(seed, 4);
+            assert_eq!(FaultPlan::parse(&seeded.to_text()).unwrap(), seeded);
+        }
+    }
+
+    /// Exercise `gpu` with a fixed operation schedule (fault-tolerantly)
+    /// and return the `gpu.fault` events that fired, rendered as the
+    /// JSON lines a `JsonlSink` would write.
+    fn run_workload_capturing_faults(plan: &FaultPlan) -> Vec<String> {
+        use crate::{DeviceConfig, Gpu};
+        use std::sync::Arc;
+        use tracto_trace::{json::event_to_json, RingSink, Tracer};
+
+        struct Spin;
+        impl crate::SimKernel for Spin {
+            type Lane = u32;
+            fn step(&self, lane: &mut u32) -> crate::LaneStatus {
+                if *lane > 1 {
+                    *lane -= 1;
+                    crate::LaneStatus::Continue
+                } else {
+                    *lane = 0;
+                    crate::LaneStatus::Finished
+                }
+            }
+        }
+
+        let ring = Arc::new(RingSink::new(256));
+        let mut gpu = Gpu::with_tracer(
+            DeviceConfig {
+                wavefront_size: 4,
+                num_compute_units: 2,
+                waves_per_cu: 1,
+                ..DeviceConfig::radeon_5870()
+            },
+            Tracer::shared(ring.clone()),
+        );
+        gpu.set_fault_plan(plan, 0);
+        for _ in 0..4 {
+            let _ = gpu.try_transfer_to_device(1024);
+            let mut lanes = vec![3u32; 8];
+            let _ = gpu.try_launch(&Spin, &mut lanes, 10);
+            let _ = gpu.device_alloc(64);
+            let _ = gpu.try_transfer_to_host(1024);
+        }
+        ring.named("gpu.fault").iter().map(event_to_json).collect()
+    }
+
+    #[test]
+    fn from_trace_replays_an_identical_failure_sequence() {
+        // Record a faulty run, turn its trace back into a plan, replay the
+        // same workload: the second trace must fire the same faults at the
+        // same operations.
+        let original = FaultPlan::parse(
+            "fault 0 1 launch-fail\nfault 0 2 transfer-timeout\n\
+             fault 0 0 alloc-fail\nfault 0 3 degrade",
+        )
+        .unwrap();
+        let first = run_workload_capturing_faults(&original);
+        assert_eq!(first.len(), 4, "all scheduled faults fire");
+
+        let recovered = FaultPlan::from_trace(&first.join("\n")).unwrap();
+        // Events are reconstructed in firing order; the schedule itself is
+        // order-independent (events fire by counter), so compare as sets.
+        let sorted = |plan: &FaultPlan| {
+            let mut v = plan.events.clone();
+            v.sort_by_key(|e| (e.device, e.kind.category() as u8, e.at_op));
+            v
+        };
+        assert_eq!(
+            sorted(&recovered),
+            sorted(&original),
+            "schedule reconstructed"
+        );
+
+        let second = run_workload_capturing_faults(&recovered);
+        let strip = |lines: &[String]| -> Vec<String> {
+            // Compare the deterministic parts only (seq/t_ns are wall-time).
+            lines
+                .iter()
+                .map(|l| l.split("\"name\"").nth(1).unwrap_or(l).to_string())
+                .collect()
+        };
+        assert_eq!(strip(&first), strip(&second));
+    }
+
+    #[test]
+    fn from_trace_skips_other_events_and_rejects_garbage() {
+        let mixed = "{\"seq\":0,\"t_ns\":1,\"name\":\"serve.submit\",\"fields\":{}}\n\
+             {\"seq\":1,\"t_ns\":2,\"name\":\"gpu.fault\",\"fields\":{\
+             \"device\":1,\"kind\":\"device-lost\",\"op\":\"launch\",\
+             \"at_op\":2,\"health\":\"failed\"}}\n";
+        let plan = FaultPlan::from_trace(mixed).unwrap();
+        assert_eq!(
+            plan.events,
+            vec![FaultEvent {
+                device: 1,
+                at_op: 2,
+                kind: FaultKind::DeviceLost
+            }]
+        );
+
+        for bad in [
+            "not json at all",
+            "{\"name\":\"gpu.fault\"}",
+            "{\"name\":\"gpu.fault\",\"fields\":{\"device\":0,\"kind\":\"explode\",\"at_op\":0}}",
+            "{\"name\":\"gpu.fault\",\"fields\":{\"device\":0,\"kind\":\"degrade\"}}",
+        ] {
+            let err = FaultPlan::from_trace(bad).expect_err(bad);
+            assert_eq!(err.kind(), tracto_trace::ErrorKind::Format, "{bad}");
+        }
     }
 
     #[test]
@@ -552,7 +746,7 @@ mod tests {
         state3.install(&plan, 3);
         assert_eq!(
             state3.next_fault(FaultCategory::Launch),
-            Some(FaultKind::LaunchFail)
+            Some((FaultKind::LaunchFail, 0))
         );
     }
 }

@@ -149,8 +149,10 @@ impl Gpu {
         self.fault.faults_injected
     }
 
-    /// Emit a `gpu.fault` trace event for an injected fault.
-    fn emit_fault(&mut self, kind: FaultKind, op: &'static str) {
+    /// Emit a `gpu.fault` trace event for an injected fault. `at_op` is the
+    /// per-category operation index the fault fired on; recording it makes
+    /// the trace replayable ([`FaultPlan::from_trace`]).
+    fn emit_fault(&mut self, kind: FaultKind, op: &'static str, at_op: u64) {
         if self.tracer.enabled() {
             let health = match self.fault.health {
                 DeviceHealth::Healthy => "healthy",
@@ -164,6 +166,7 @@ impl Gpu {
                     ("device", self.device_id.into()),
                     ("kind", kind.as_str().into()),
                     ("op", op.into()),
+                    ("at_op", at_op.into()),
                     ("health", health.into()),
                 ],
             );
@@ -215,7 +218,7 @@ impl Gpu {
                 "kernel launch on failed device",
             ));
         }
-        if let Some(kind) = self.fault.next_fault(FaultCategory::Launch) {
+        if let Some((kind, at_op)) = self.fault.next_fault(FaultCategory::Launch) {
             match kind {
                 FaultKind::LaunchFail | FaultKind::DeviceLost => {
                     let overhead = self.config.kernel_seconds_weighted(0, kernel.cost_weight());
@@ -227,7 +230,7 @@ impl Gpu {
                         lanes: 0,
                     });
                     self.clock_s += overhead;
-                    self.emit_fault(kind, "launch");
+                    self.emit_fault(kind, "launch", at_op);
                     let context = if kind == FaultKind::DeviceLost {
                         "device lost during kernel launch"
                     } else {
@@ -237,7 +240,7 @@ impl Gpu {
                 }
                 FaultKind::Degrade => {
                     // Sticky slowdown; the launch itself proceeds.
-                    self.emit_fault(kind, "launch");
+                    self.emit_fault(kind, "launch", at_op);
                 }
                 FaultKind::AllocFail | FaultKind::TransferTimeout => {
                     unreachable!("category filter yields only launch faults")
@@ -347,7 +350,7 @@ impl Gpu {
                 format!("{dir} transfer on failed device"),
             ));
         }
-        if let Some(kind) = self.fault.next_fault(FaultCategory::Transfer) {
+        if let Some((kind, at_op)) = self.fault.next_fault(FaultCategory::Transfer) {
             let stall = self.fault.transfer_timeout_s;
             self.ledger.transfer_s += stall;
             self.trace.push(ScheduleEvent {
@@ -357,7 +360,7 @@ impl Gpu {
                 lanes: 0,
             });
             self.clock_s += stall;
-            self.emit_fault(kind, "transfer");
+            self.emit_fault(kind, "transfer", at_op);
             return Err(TractoError::device(
                 self.device_id,
                 format!("{dir} transfer timed out"),
@@ -493,8 +496,8 @@ impl Gpu {
                 "allocation on failed device",
             ));
         }
-        if let Some(kind) = self.fault.next_fault(FaultCategory::Alloc) {
-            self.emit_fault(kind, "alloc");
+        if let Some((kind, at_op)) = self.fault.next_fault(FaultCategory::Alloc) {
+            self.emit_fault(kind, "alloc", at_op);
             return Err(TractoError::device(
                 self.device_id,
                 "device allocation fault",

@@ -1,4 +1,4 @@
-//! Chain checkpointing cadence.
+//! Chain checkpointing cadence and the persistent snapshot store.
 //!
 //! MCMC burn-in is the expensive, unsampled prefix of every chain; losing a
 //! device mid-Step-1 without checkpoints means re-running it. A
@@ -13,6 +13,18 @@
 //! or as many produces bit-identical samples. The policy only chooses how
 //! much work sits between snapshots — the re-execution window after a
 //! fault — against the transfer cost of taking them.
+//!
+//! [`CheckpointStore`] extends the same snapshots across *process* crashes:
+//! a keyed directory of versioned, checksummed snapshot files, each written
+//! atomically (write + fsync + rename) so a crash mid-write leaves either
+//! the previous snapshot or a complete new one, never a torn file. A
+//! snapshot that fails validation on load is quarantined (deleted) and
+//! reported as [`SnapshotLoad::Corrupt`], so callers fall back to
+//! restart-from-scratch instead of resuming from garbage.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use tracto_trace::{TractoError, TractoResult};
 
 /// Bytes snapshotted per lane at a checkpoint: the 9-parameter state vector
 /// plus RNG state and loop counter, in device precision (f32 on the paper's
@@ -60,6 +72,193 @@ impl CheckpointPolicy {
     }
 }
 
+/// Snapshot file magic: identifies the format before any parsing.
+const SNAPSHOT_MAGIC: [u8; 4] = *b"TCKP";
+
+/// Current snapshot envelope version. Bumped on any layout change; older
+/// versions are treated as corrupt (restart-from-scratch), never
+/// misinterpreted.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// FNV-1a over a byte slice — the workspace's standard content hash, used
+/// here as the snapshot integrity checksum.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Outcome of [`CheckpointStore::load`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotLoad {
+    /// No snapshot exists for the key.
+    Missing,
+    /// A snapshot existed but failed validation (bad magic, unknown
+    /// version, truncation, or checksum mismatch). The file has been
+    /// quarantined (deleted); the payload describes what was wrong.
+    Corrupt(String),
+    /// A valid snapshot payload.
+    Snapshot(Vec<u8>),
+}
+
+/// A keyed directory of durable, checksummed snapshots.
+///
+/// File layout per snapshot (`<key>.ckpt`), all integers little-endian:
+///
+/// ```text
+/// magic "TCKP" | version u32 | payload_len u64 | payload … | fnv64 checksum
+/// ```
+///
+/// The checksum covers everything before it. Writes go to `<key>.ckpt.tmp`
+/// first, are fsynced, then renamed over the final name (and the directory
+/// fsynced), so a crash at any instant leaves a previous complete snapshot
+/// or none — never a partial one presented as valid.
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+impl CheckpointStore {
+    /// Open (creating if needed) a store rooted at `dir`.
+    pub fn open(dir: &Path) -> TractoResult<Self> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| TractoError::io(format!("create checkpoint dir {}", dir.display()), e))?;
+        Ok(CheckpointStore {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The directory snapshots live in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn validate_key(key: &str) -> TractoResult<()> {
+        if key.is_empty()
+            || !key
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+        {
+            return Err(TractoError::config(format!(
+                "checkpoint key `{key}` must be non-empty [A-Za-z0-9._-]"
+            )));
+        }
+        Ok(())
+    }
+
+    fn snapshot_path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.ckpt"))
+    }
+
+    /// Durably persist `payload` under `key`, replacing any previous
+    /// snapshot atomically.
+    pub fn save(&self, key: &str, payload: &[u8]) -> TractoResult<()> {
+        Self::validate_key(key)?;
+        let final_path = self.snapshot_path(key);
+        let tmp_path = self.dir.join(format!("{key}.ckpt.tmp"));
+        let mut buf = Vec::with_capacity(payload.len() + 24);
+        buf.extend_from_slice(&SNAPSHOT_MAGIC);
+        buf.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        buf.extend_from_slice(payload);
+        let checksum = fnv1a(&buf);
+        buf.extend_from_slice(&checksum.to_le_bytes());
+
+        let io = |what: &str, e: std::io::Error| {
+            TractoError::io(format!("{what} {}", tmp_path.display()), e)
+        };
+        let mut file = std::fs::File::create(&tmp_path).map_err(|e| io("create snapshot", e))?;
+        file.write_all(&buf).map_err(|e| io("write snapshot", e))?;
+        file.sync_all().map_err(|e| io("sync snapshot", e))?;
+        drop(file);
+        std::fs::rename(&tmp_path, &final_path).map_err(|e| {
+            TractoError::io(format!("rename snapshot into {}", final_path.display()), e)
+        })?;
+        // fsync the directory so the rename itself is durable (best effort:
+        // not every filesystem supports opening a directory for sync).
+        if let Ok(d) = std::fs::File::open(&self.dir) {
+            d.sync_all().ok();
+        }
+        Ok(())
+    }
+
+    /// Load the snapshot stored under `key`. Corrupt snapshots are deleted
+    /// and reported as [`SnapshotLoad::Corrupt`] — loading never fails the
+    /// caller into an unrecoverable state over bad bytes on disk.
+    pub fn load(&self, key: &str) -> TractoResult<SnapshotLoad> {
+        Self::validate_key(key)?;
+        let path = self.snapshot_path(key);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(SnapshotLoad::Missing),
+            Err(e) => {
+                return Err(TractoError::io(
+                    format!("read snapshot {}", path.display()),
+                    e,
+                ))
+            }
+        };
+        match Self::decode(&bytes) {
+            Ok(payload) => Ok(SnapshotLoad::Snapshot(payload)),
+            Err(reason) => {
+                std::fs::remove_file(&path).ok();
+                Ok(SnapshotLoad::Corrupt(reason))
+            }
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Vec<u8>, String> {
+        if bytes.len() < 24 {
+            return Err(format!("truncated envelope ({} bytes)", bytes.len()));
+        }
+        if bytes[0..4] != SNAPSHOT_MAGIC {
+            return Err("bad magic".to_string());
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        if version != SNAPSHOT_VERSION {
+            return Err(format!(
+                "unsupported snapshot version {version} (expected {SNAPSHOT_VERSION})"
+            ));
+        }
+        let payload_len = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+        let expected_total = 16usize
+            .checked_add(payload_len)
+            .and_then(|n| n.checked_add(8));
+        if expected_total != Some(bytes.len()) {
+            return Err(format!(
+                "length mismatch: payload_len {payload_len}, file {} bytes",
+                bytes.len()
+            ));
+        }
+        let body = &bytes[..16 + payload_len];
+        let stored = u64::from_le_bytes(bytes[16 + payload_len..].try_into().unwrap());
+        let computed = fnv1a(body);
+        if stored != computed {
+            return Err(format!(
+                "checksum mismatch: stored {stored:016x}, computed {computed:016x}"
+            ));
+        }
+        Ok(bytes[16..16 + payload_len].to_vec())
+    }
+
+    /// Remove the snapshot for `key`, if any (e.g. after the chain it
+    /// guards has completed). Missing snapshots are not an error.
+    pub fn discard(&self, key: &str) -> TractoResult<()> {
+        Self::validate_key(key)?;
+        let path = self.snapshot_path(key);
+        match std::fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(TractoError::io(
+                format!("remove snapshot {}", path.display()),
+                e,
+            )),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,5 +289,109 @@ mod tests {
         let p = CheckpointPolicy::every(0);
         assert_eq!(p.every, 1);
         assert_eq!(p.segments(3), vec![1, 1, 1]);
+    }
+
+    fn tmp_store(tag: &str) -> (PathBuf, CheckpointStore) {
+        let dir = std::env::temp_dir().join(format!(
+            "tracto-ckpt-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CheckpointStore::open(&dir).unwrap();
+        (dir, store)
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_discards() {
+        let (dir, store) = tmp_store("roundtrip");
+        assert_eq!(store.load("chain-a").unwrap(), SnapshotLoad::Missing);
+        let payload = vec![7u8; 1000];
+        store.save("chain-a", &payload).unwrap();
+        assert_eq!(
+            store.load("chain-a").unwrap(),
+            SnapshotLoad::Snapshot(payload.clone())
+        );
+        // Overwrite is atomic and replaces the payload.
+        store.save("chain-a", b"second").unwrap();
+        assert_eq!(
+            store.load("chain-a").unwrap(),
+            SnapshotLoad::Snapshot(b"second".to_vec())
+        );
+        store.discard("chain-a").unwrap();
+        assert_eq!(store.load("chain-a").unwrap(), SnapshotLoad::Missing);
+        store.discard("chain-a").unwrap(); // idempotent
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_payload_is_valid() {
+        let (dir, store) = tmp_store("empty");
+        store.save("k", b"").unwrap();
+        assert_eq!(store.load("k").unwrap(), SnapshotLoad::Snapshot(Vec::new()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_is_detected_and_quarantined() {
+        for (tag, mutate) in [
+            (
+                "flip",
+                (|b: &mut Vec<u8>| b[20] ^= 0x01) as fn(&mut Vec<u8>),
+            ),
+            ("truncate", |b| b.truncate(b.len() - 3)),
+            ("magic", |b| b[0] = b'X'),
+            ("version", |b| b[4] = 99),
+            ("short", |b| b.truncate(5)),
+        ] {
+            let (dir, store) = tmp_store(&format!("corrupt-{tag}"));
+            store.save("k", &[3u8; 64]).unwrap();
+            let path = dir.join("k.ckpt");
+            let mut bytes = std::fs::read(&path).unwrap();
+            mutate(&mut bytes);
+            std::fs::write(&path, &bytes).unwrap();
+            match store.load("k").unwrap() {
+                SnapshotLoad::Corrupt(_) => {}
+                other => panic!("{tag}: expected Corrupt, got {other:?}"),
+            }
+            assert!(!path.exists(), "{tag}: corrupt snapshot quarantined");
+            assert_eq!(
+                store.load("k").unwrap(),
+                SnapshotLoad::Missing,
+                "{tag}: a quarantined snapshot never reappears"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn crash_mid_write_leaves_previous_snapshot() {
+        // A leftover .tmp file (crash between write and rename) must not
+        // shadow or corrupt the committed snapshot.
+        let (dir, store) = tmp_store("tornwrite");
+        store.save("k", b"committed").unwrap();
+        std::fs::write(dir.join("k.ckpt.tmp"), b"torn partial write").unwrap();
+        assert_eq!(
+            store.load("k").unwrap(),
+            SnapshotLoad::Snapshot(b"committed".to_vec())
+        );
+        // The next save replaces the stale tmp file and commits cleanly.
+        store.save("k", b"next").unwrap();
+        assert_eq!(
+            store.load("k").unwrap(),
+            SnapshotLoad::Snapshot(b"next".to_vec())
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hostile_keys_are_config_errors() {
+        let (dir, store) = tmp_store("keys");
+        for key in ["", "../escape", "a/b", "a b", "k\0"] {
+            let err = store.save(key, b"x").expect_err("must reject");
+            assert_eq!(err.kind(), tracto_trace::ErrorKind::Config, "{key:?}");
+        }
+        assert!(store.save("Ok-key_1.ckpt", b"x").is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -31,7 +31,7 @@ pub mod pointest;
 pub mod voxelwise;
 
 pub use chain::{ChainConfig, ChainOutput};
-pub use checkpoint::{CheckpointPolicy, CHECKPOINT_LANE_BYTES};
-pub use mh::{AdaptScheme, MhSampler, Target};
+pub use checkpoint::{CheckpointPolicy, CheckpointStore, SnapshotLoad, CHECKPOINT_LANE_BYTES};
+pub use mh::{AdaptScheme, MhSampler, MhState, Target};
 pub use pointest::{PointEstimate, PointEstimator};
 pub use voxelwise::{SampleVolumes, VoxelEstimator};

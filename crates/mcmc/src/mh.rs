@@ -53,6 +53,28 @@ impl AdaptScheme {
     }
 }
 
+/// The serializable portion of one sampler: everything
+/// [`MhSampler::step_loop`] mutates. Plain-old-data so persistent
+/// checkpoints can encode it as raw bit patterns; the adaptation scheme and
+/// freeze mask are configuration, re-derived on restore rather than stored.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MhState<const N: usize> {
+    /// Current position.
+    pub params: [f64; N],
+    /// Log density at `params`.
+    pub log_density: f64,
+    /// Per-parameter proposal scales.
+    pub scales: [f64; N],
+    /// Acceptances since the last adaptation reset.
+    pub accepted: [u32; N],
+    /// Proposals since the last adaptation reset.
+    pub proposed: [u32; N],
+    /// Completed MH loops.
+    pub loops_done: u32,
+    /// Acceptance rates of the last complete adaptation window.
+    pub last_window_rates: [f64; N],
+}
+
 /// One chain's Metropolis–Hastings state: current position, log density,
 /// per-parameter proposal scales and acceptance counters.
 ///
@@ -221,6 +243,40 @@ impl<const N: usize> MhSampler<N> {
         }
     }
 
+    /// Export the sampler's full mutable state for a persistent checkpoint.
+    /// [`restore`](Self::restore) with the same adaptation scheme and freeze
+    /// mask rebuilds a sampler that continues the chain bit-identically.
+    pub fn snapshot(&self) -> MhState<N> {
+        MhState {
+            params: self.params,
+            log_density: self.log_density,
+            scales: self.scales,
+            accepted: self.accepted,
+            proposed: self.proposed,
+            loops_done: self.loops_done,
+            last_window_rates: self.last_window_rates,
+        }
+    }
+
+    /// Rebuild a sampler from a [`snapshot`](Self::snapshot). The target is
+    /// *not* re-evaluated: the stored log density is trusted, so restore is
+    /// exact even where the density computation involves cached signal.
+    /// `frozen` must match the mask the original sampler ran with (it is
+    /// re-derived from the model configuration, not stored).
+    pub fn restore(state: MhState<N>, adapt: AdaptScheme, frozen: [bool; N]) -> Self {
+        MhSampler {
+            params: state.params,
+            log_density: state.log_density,
+            scales: state.scales,
+            accepted: state.accepted,
+            proposed: state.proposed,
+            adapt,
+            loops_done: state.loops_done,
+            last_window_rates: state.last_window_rates,
+            frozen,
+        }
+    }
+
     fn adapt_scales(&mut self, lo: f64, hi: f64, grow: f64, shrink: f64) {
         for j in 0..N {
             if self.proposed[j] == 0 {
@@ -381,6 +437,42 @@ mod tests {
         }
         assert_eq!(a.params(), b.params());
         assert_eq!(a.scales(), b.scales());
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        let mut rng = HybridTaus::new(11);
+        let mut s = MhSampler::new(&std_normal, [0.3], [1.0], AdaptScheme::paper_default());
+        // Stop mid-adaptation-window so counters and window rates matter.
+        for _ in 0..137 {
+            s.step_loop(&std_normal, &mut rng);
+        }
+        let state = s.snapshot();
+        let rng_state = rng.state();
+        // Continue the original.
+        for _ in 0..300 {
+            s.step_loop(&std_normal, &mut rng);
+        }
+        // Restore and continue the copy with the same draws.
+        let mut restored = MhSampler::restore(state, AdaptScheme::paper_default(), [false]);
+        let mut rng2 = HybridTaus::from_state(rng_state);
+        for _ in 0..300 {
+            restored.step_loop(&std_normal, &mut rng2);
+        }
+        assert_eq!(s.params(), restored.params());
+        assert_eq!(s.scales(), restored.scales());
+        assert_eq!(s.log_density(), restored.log_density());
+        assert_eq!(s.acceptance_rates(), restored.acceptance_rates());
+    }
+
+    #[test]
+    fn restore_preserves_freeze_mask() {
+        let target = |p: &[f64; 2]| -0.5 * (p[0] * p[0] + p[1] * p[1]);
+        let mut s = MhSampler::new(&target, [1.0, 4.0], [1.0, 1.0], AdaptScheme::Fixed);
+        s.freeze(1);
+        let restored = MhSampler::restore(s.snapshot(), AdaptScheme::Fixed, [false, true]);
+        assert!(restored.is_frozen(1) && !restored.is_frozen(0));
+        assert_eq!(restored.params(), s.params());
     }
 
     #[test]

@@ -92,6 +92,37 @@ impl RemoteService {
         }
     }
 
+    /// Connect like [`connect`](Self::connect), retrying transient
+    /// transport failures with exponential backoff — the client-side half
+    /// of crash recovery: a server being restarted (or still replaying its
+    /// journal) refuses connections for a moment, and `submit`/`status`/
+    /// `await` should ride that out rather than fail.
+    ///
+    /// Only [`Io`](tracto_trace::ErrorKind::Io) errors are retried; a
+    /// protocol or version mismatch will not fix itself by waiting. After
+    /// `retries` extra attempts the last error is returned unchanged, so
+    /// exhaustion still reads as a typed Io error.
+    pub fn connect_with_retry(
+        endpoint: &Endpoint,
+        client_name: &str,
+        retries: u32,
+        backoff: std::time::Duration,
+    ) -> TractoResult<Self> {
+        let mut wait = backoff;
+        let mut attempt = 0;
+        loop {
+            match Self::connect(endpoint, client_name) {
+                Ok(client) => return Ok(client),
+                Err(err) if attempt < retries && err.kind() == tracto_trace::ErrorKind::Io => {
+                    attempt += 1;
+                    std::thread::sleep(wait);
+                    wait = wait.saturating_mul(2);
+                }
+                Err(err) => return Err(err),
+            }
+        }
+    }
+
     /// Send one request and read its response. [`Response::Error`] is
     /// returned as-is so callers can inspect it; transport and decode
     /// failures are typed errors.
@@ -175,5 +206,41 @@ fn unexpected(wanted: &str, got: &Response) -> TractoError {
             _ => TractoError::protocol(format!("server error ({kind}): {message}")),
         },
         other => TractoError::protocol(format!("expected a `{wanted}` response, got {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+    use tracto_trace::ErrorKind;
+
+    #[test]
+    fn connect_with_retry_exhaustion_is_a_typed_io_error_after_backoff() {
+        let endpoint = Endpoint::Unix("/nonexistent/tracto-retry-test.sock".into());
+        let start = Instant::now();
+        let err = RemoteService::connect_with_retry(&endpoint, "t", 2, Duration::from_millis(5))
+            .err()
+            .expect("nothing listens there");
+        assert_eq!(err.kind(), ErrorKind::Io, "exhaustion keeps the Io type");
+        // Two retries back off 5 ms then 10 ms before giving up.
+        assert!(
+            start.elapsed() >= Duration::from_millis(15),
+            "retries must actually wait"
+        );
+    }
+
+    #[test]
+    fn connect_with_zero_retries_fails_fast() {
+        let endpoint = Endpoint::Unix("/nonexistent/tracto-retry-test.sock".into());
+        let start = Instant::now();
+        let err = RemoteService::connect_with_retry(&endpoint, "t", 0, Duration::from_secs(30))
+            .err()
+            .expect("nothing listens there");
+        assert_eq!(err.kind(), ErrorKind::Io);
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "zero retries must not sleep"
+        );
     }
 }

@@ -238,6 +238,26 @@ impl JobSpec {
         }
     }
 
+    /// Serialize to a standalone JSON string (one line, no trailing
+    /// newline) — the durable form used by the service's job journal.
+    pub fn to_json_string(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_json(&mut w);
+        w.finish()
+    }
+
+    /// Parse a standalone JSON string produced by [`Self::to_json_string`].
+    pub fn from_json_str(s: &str) -> TractoResult<Self> {
+        let v = tracto_trace::json::parse(s)?;
+        Self::from_json(&v)
+    }
+
+    /// Decode from an already-parsed JSON value, e.g. one field of a
+    /// larger journal record.
+    pub fn from_json_value(v: &Json) -> TractoResult<Self> {
+        Self::from_json(v)
+    }
+
     pub(crate) fn write_json(&self, w: &mut JsonWriter) {
         w.begin();
         w.raw_field("dataset", |w| self.dataset.write_json(w));
@@ -351,6 +371,16 @@ mod tests {
     fn estimate_spec_round_trips() {
         let spec = JobSpec::estimate(DatasetSpec::new("1"));
         assert_eq!(roundtrip(&spec), spec);
+    }
+
+    #[test]
+    fn json_string_helpers_round_trip_on_one_line() {
+        let mut spec = JobSpec::track(DatasetSpec::new("2"));
+        spec.retry_budget = Some(1);
+        let text = spec.to_json_string();
+        assert!(!text.contains('\n'), "journal records must be one line");
+        assert_eq!(JobSpec::from_json_str(&text).unwrap(), spec);
+        assert!(JobSpec::from_json_str("{\"job\":12}").is_err());
     }
 
     #[test]

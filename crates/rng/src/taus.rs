@@ -100,6 +100,19 @@ impl HybridTaus {
     pub fn state(&self) -> [u32; 4] {
         [self.z1, self.z2, self.z3, self.z4]
     }
+
+    /// Rebuild a generator from a [`state`](Self::state) snapshot, clamping
+    /// the Tausworthe components above their fixed-point minimums so even a
+    /// corrupted snapshot cannot produce a degenerate generator. Restoring
+    /// an unclamped snapshot continues the original sequence exactly.
+    pub fn from_state(state: [u32; 4]) -> Self {
+        HybridTaus {
+            z1: state[0].max(Self::MIN[0] + 1),
+            z2: state[1].max(Self::MIN[1] + 1),
+            z3: state[2].max(Self::MIN[2] + 1),
+            z4: state[3],
+        }
+    }
 }
 
 impl RandomSource for HybridTaus {
@@ -216,6 +229,23 @@ mod tests {
             let _ = g.next_u32();
             assert_ne!(g.state(), first, "cycled after {i} steps");
         }
+    }
+
+    #[test]
+    fn from_state_resumes_the_exact_sequence() {
+        let mut g = HybridTaus::seed_stream(42, 17);
+        for _ in 0..100 {
+            let _ = g.next_u32();
+        }
+        let snap = g.state();
+        let tail: Vec<u32> = (0..64).map(|_| g.next_u32()).collect();
+        let mut restored = HybridTaus::from_state(snap);
+        let resumed: Vec<u32> = (0..64).map(|_| restored.next_u32()).collect();
+        assert_eq!(tail, resumed, "restore must continue bit-identically");
+        // Degenerate component states are clamped, never propagated.
+        let clamped = HybridTaus::from_state([0, 0, 0, 0]);
+        let [z1, z2, z3, _] = clamped.state();
+        assert!(z1 > 2 && z2 > 8 && z3 > 16);
     }
 
     #[test]

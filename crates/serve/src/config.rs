@@ -47,6 +47,14 @@ pub struct ServiceConfig {
     pub retry_budget: u32,
     /// Backoff before the first retry; doubles per retry, capped at 1024×.
     pub retry_backoff: Duration,
+    /// Durable-state directory: the write-ahead job journal and persistent
+    /// MCMC checkpoints live here. `None` runs the service purely
+    /// in-memory (no crash recovery).
+    pub state_dir: Option<PathBuf>,
+    /// Persist an MCMC checkpoint every N launch segments during
+    /// estimation (0 disables mid-run checkpoints; the job journal still
+    /// replays whole jobs). Requires `state_dir`.
+    pub checkpoint_every: u32,
     /// Structured-event sink for job lifecycle, cache, batch, and GPU
     /// events. Disabled by default.
     pub tracer: Tracer,
@@ -68,6 +76,8 @@ impl Default for ServiceConfig {
             fault_plan: None,
             retry_budget: 2,
             retry_backoff: Duration::from_millis(5),
+            state_dir: None,
+            checkpoint_every: 0,
             tracer: Tracer::disabled(),
         }
     }
@@ -95,7 +105,7 @@ impl ServiceConfigBuilder {
     /// The service flags a CLI exposes, as `(name, value-hint, help)`.
     /// [`set_cli`](Self::set_cli) accepts exactly these names, so commands
     /// can loop over this table for both parsing and usage text.
-    pub const CLI_FLAGS: [(&'static str, &'static str, &'static str); 11] = [
+    pub const CLI_FLAGS: [(&'static str, &'static str, &'static str); 13] = [
         ("devices", "N", "devices in the tracking pool (default 1)"),
         ("workers", "N", "estimation worker threads (default 2)"),
         (
@@ -118,6 +128,16 @@ impl ServiceConfigBuilder {
             "retry-budget",
             "N",
             "job re-queues after device faults (default 2)",
+        ),
+        (
+            "state-dir",
+            "DIR",
+            "durable state: job journal + MCMC checkpoints",
+        ),
+        (
+            "checkpoint-every",
+            "N",
+            "persist an MCMC checkpoint every N segments (0 = off)",
         ),
     ];
 
@@ -207,6 +227,19 @@ impl ServiceConfigBuilder {
         self
     }
 
+    /// Enable durable state (write-ahead job journal and persistent MCMC
+    /// checkpoints) under `dir`.
+    pub fn state_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.config.state_dir = Some(dir.into());
+        self
+    }
+
+    /// Persist an MCMC checkpoint every `n` launch segments (0 disables).
+    pub fn checkpoint_every(mut self, n: u32) -> Self {
+        self.config.checkpoint_every = n;
+        self
+    }
+
     /// Install an event sink.
     pub fn tracer(mut self, tracer: Tracer) -> Self {
         self.config.tracer = tracer;
@@ -234,6 +267,8 @@ impl ServiceConfigBuilder {
             "fault-plan" => self.fault_plan(FaultPlan::load(value)?),
             "fault-seed" => self.fault_seed(num(name, value)?),
             "retry-budget" => self.retry_budget(num(name, value)?),
+            "state-dir" => self.state_dir(value),
+            "checkpoint-every" => self.checkpoint_every(num(name, value)?),
             other => {
                 return Err(TractoError::config(format!(
                     "unknown service flag `--{other}`"
@@ -264,6 +299,11 @@ impl ServiceConfigBuilder {
         if config.batch_window > Duration::from_secs(60) {
             return Err(TractoError::config(
                 "batch-window-ms above 60s holds jobs hostage",
+            ));
+        }
+        if config.checkpoint_every > 0 && config.state_dir.is_none() {
+            return Err(TractoError::config(
+                "checkpoint-every requires state-dir (checkpoints need somewhere to live)",
             ));
         }
         if let Some(seed) = self.fault_seed {
@@ -306,6 +346,7 @@ mod tests {
             ServiceConfig::builder().queue_capacity(0),
             ServiceConfig::builder().cache_bytes(0),
             ServiceConfig::builder().batch_window(Duration::from_secs(3600)),
+            ServiceConfig::builder().checkpoint_every(2),
         ] {
             let err = builder.build().expect_err("must be rejected");
             assert_eq!(err.kind(), ErrorKind::Config);
@@ -343,6 +384,8 @@ mod tests {
             ("cache-dir", "/tmp/tracto-test-cache"),
             ("disk-cache-mb", "128"),
             ("retry-budget", "5"),
+            ("state-dir", "/tmp/tracto-test-state"),
+            ("checkpoint-every", "2"),
         ] {
             assert!(
                 ServiceConfigBuilder::CLI_FLAGS
@@ -365,6 +408,11 @@ mod tests {
         );
         assert_eq!(cfg.disk_cache_bytes, Some(128 << 20));
         assert_eq!(cfg.retry_budget, 5);
+        assert_eq!(
+            cfg.state_dir.as_deref().unwrap().to_str().unwrap(),
+            "/tmp/tracto-test-state"
+        );
+        assert_eq!(cfg.checkpoint_every, 2);
     }
 
     #[test]
@@ -374,7 +422,7 @@ mod tests {
         for (name, _, _) in ServiceConfigBuilder::CLI_FLAGS {
             let sample = match name {
                 "strategy" => "B",
-                "cache-dir" => "/tmp/x",
+                "cache-dir" | "state-dir" => "/tmp/x",
                 "fault-plan" => continue, // needs a real file; covered below
                 _ => "1",
             };

@@ -1,0 +1,544 @@
+//! The write-ahead job journal: crash durability for accepted jobs.
+//!
+//! Every lifecycle transition of a journalable job is appended — and
+//! fsync'd — to `journal.jsonl` under the service's `--state-dir` *before*
+//! the transition becomes observable to clients. On startup,
+//! [`JobJournal::open`] replays the journal: jobs with a `submitted`
+//! record but no terminal record are returned as [`RecoveredJob`]s for the
+//! service to re-enqueue, then the journal is compacted down to exactly
+//! those records. Together with the persistent MCMC checkpoints this
+//! bounds the cost of a `kill -9` to one checkpoint interval — and loses
+//! no accepted job.
+//!
+//! Only wire-form jobs are journalable: a [`tracto_proto::JobSpec`] names
+//! its dataset as a deterministic phantom recipe, so a replayed job is
+//! bit-identical to the original. Jobs submitted in-process with an
+//! `Arc<Dataset>` have no durable description and are never journaled.
+//!
+//! Single-writer discipline is enforced with a PID-stamped `journal.lock`:
+//! a live owner is a hard [`Config`](tracto_trace::ErrorKind::Config)
+//! error, a dead owner's lock is stolen (with a `journal.lock_stolen`
+//! trace event) so an unclean crash never wedges recovery.
+
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::fs::{self, File, OpenOptions};
+use std::io::{ErrorKind as IoErrorKind, Write as _};
+use std::path::{Path, PathBuf};
+use tracto_trace::json::{parse, Json};
+use tracto_trace::{Tracer, TractoError, TractoResult, Value};
+
+/// A job found in the journal with no terminal record: it was accepted
+/// before the crash and must be re-enqueued.
+#[derive(Debug, Clone)]
+pub struct RecoveredJob {
+    /// The original job id — recovery preserves ids so clients polling
+    /// across a restart keep their handle.
+    pub id: u64,
+    /// The wire spec to re-run.
+    pub spec: tracto_proto::JobSpec,
+    /// Key of the job's latest persistent MCMC checkpoint, when one was
+    /// recorded. The re-run recomputes the same sample key and resumes
+    /// from this snapshot rather than restarting Step 1 from scratch.
+    pub checkpoint: Option<String>,
+}
+
+/// What [`JobJournal::open`] found on disk.
+#[derive(Debug, Clone)]
+pub struct Recovery {
+    /// Unfinished jobs, in submission (id) order.
+    pub jobs: Vec<RecoveredJob>,
+    /// The highest job id ever journaled; the service must start
+    /// allocating above it so recovered and fresh jobs never collide.
+    pub max_seen_id: u64,
+}
+
+struct Inner {
+    file: File,
+    /// Ids with a `submitted` record and no terminal record yet. Guards
+    /// against journaling transitions of jobs that were never journaled
+    /// (in-process submissions) and against double terminal records.
+    open_jobs: HashSet<u64>,
+}
+
+/// An fsync'd, append-only JSON-lines journal of job lifecycle records.
+pub struct JobJournal {
+    inner: Mutex<Inner>,
+    path: PathBuf,
+    lock_path: PathBuf,
+    tracer: Tracer,
+}
+
+const JOURNAL_FILE: &str = "journal.jsonl";
+const LOCK_FILE: &str = "journal.lock";
+
+/// Is the process with this pid still running? Checked via procfs; on
+/// hosts without `/proc` the lock is treated as stale — recovery must
+/// never wedge on a crashed owner.
+fn pid_alive(pid: u32) -> bool {
+    if pid == std::process::id() {
+        return true;
+    }
+    let proc_root = Path::new("/proc");
+    proc_root.is_dir() && proc_root.join(pid.to_string()).exists()
+}
+
+impl JobJournal {
+    /// Open (or create) the journal in `dir`, acquire the single-writer
+    /// lock, replay any existing records, and compact. Fails with a
+    /// [`Config`](tracto_trace::ErrorKind::Config) error if another live
+    /// process holds the lock.
+    pub fn open(dir: &Path, tracer: Tracer) -> TractoResult<(JobJournal, Recovery)> {
+        fs::create_dir_all(dir).map_err(TractoError::from)?;
+        let lock_path = dir.join(LOCK_FILE);
+        acquire_lock(&lock_path, &tracer)?;
+        let path = dir.join(JOURNAL_FILE);
+        let recovery = replay(&path, &tracer)?;
+        compact(dir, &path, &recovery)?;
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(TractoError::from)?;
+        let open_jobs = recovery.jobs.iter().map(|j| j.id).collect();
+        if tracer.enabled() && !recovery.jobs.is_empty() {
+            tracer.emit(
+                "journal.recovered",
+                &[
+                    ("jobs", (recovery.jobs.len() as u64).into()),
+                    ("max_id", recovery.max_seen_id.into()),
+                ],
+            );
+        }
+        Ok((
+            JobJournal {
+                inner: Mutex::new(Inner { file, open_jobs }),
+                path,
+                lock_path,
+                tracer,
+            },
+            recovery,
+        ))
+    }
+
+    /// Path of the journal file (for tests and tooling).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Record an accepted job, durably, *before* the acceptance becomes
+    /// observable. The spec is embedded in wire JSON form so recovery can
+    /// re-run it bit-identically.
+    pub fn submitted(&self, id: u64, spec: &tracto_proto::JobSpec) {
+        let mut inner = self.inner.lock();
+        if !inner.open_jobs.insert(id) {
+            return; // already journaled (a recovered job being re-enqueued)
+        }
+        let line = format!(
+            "{{\"rec\":\"submitted\",\"job\":{id},\"spec\":{}}}",
+            spec.to_json_string()
+        );
+        self.append(&mut inner, &line);
+    }
+
+    /// Record that a journaled job entered the work queues.
+    pub fn admitted(&self, id: u64) {
+        let mut inner = self.inner.lock();
+        if !inner.open_jobs.contains(&id) {
+            return;
+        }
+        self.append(
+            &mut inner,
+            &format!("{{\"rec\":\"admitted\",\"job\":{id}}}"),
+        );
+    }
+
+    /// Record the persistent-checkpoint key a journaled job's estimation
+    /// writes under, so recovery can rebind the re-run to its snapshot.
+    pub fn checkpointed(&self, id: u64, key: &str) {
+        let mut inner = self.inner.lock();
+        if !inner.open_jobs.contains(&id) {
+            return;
+        }
+        // Keys are CheckpointStore keys ([A-Za-z0-9._-]), safe to embed
+        // without escaping.
+        self.append(
+            &mut inner,
+            &format!("{{\"rec\":\"checkpointed\",\"job\":{id},\"key\":\"{key}\"}}"),
+        );
+    }
+
+    /// Record successful completion (terminal).
+    pub fn completed(&self, id: u64) {
+        self.terminal(id, format!("{{\"rec\":\"completed\",\"job\":{id}}}"));
+    }
+
+    /// Record cancellation (terminal).
+    pub fn cancelled(&self, id: u64) {
+        self.terminal(id, format!("{{\"rec\":\"cancelled\",\"job\":{id}}}"));
+    }
+
+    /// Record permanent failure with the number of retries spent
+    /// (terminal).
+    pub fn failed(&self, id: u64, retries: u32) {
+        self.terminal(
+            id,
+            format!("{{\"rec\":\"failed\",\"job\":{id},\"retries\":{retries}}}"),
+        );
+    }
+
+    fn terminal(&self, id: u64, line: String) {
+        let mut inner = self.inner.lock();
+        if !inner.open_jobs.remove(&id) {
+            return;
+        }
+        self.append(&mut inner, &line);
+    }
+
+    /// Append one record and fsync. Failures after open are surfaced as
+    /// trace events, not errors — the job itself must still run; only its
+    /// crash durability degrades.
+    fn append(&self, inner: &mut Inner, line: &str) {
+        let result = writeln!(inner.file, "{line}").and_then(|_| inner.file.sync_data());
+        if let Err(err) = result {
+            if self.tracer.enabled() {
+                self.tracer.emit(
+                    "journal.write_error",
+                    &[("error", Value::Text(err.to_string()))],
+                );
+            }
+        }
+    }
+}
+
+impl Drop for JobJournal {
+    fn drop(&mut self) {
+        // Release the single-writer lock on clean shutdown. After a crash
+        // the stale lock stays behind and the next open steals it.
+        let _ = fs::remove_file(&self.lock_path);
+    }
+}
+
+/// Take the PID lock, stealing it from a dead owner.
+fn acquire_lock(lock_path: &Path, tracer: &Tracer) -> TractoResult<()> {
+    for _ in 0..2 {
+        match OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(lock_path)
+        {
+            Ok(mut f) => {
+                let _ = writeln!(f, "{}", std::process::id());
+                let _ = f.sync_data();
+                return Ok(());
+            }
+            Err(err) if err.kind() == IoErrorKind::AlreadyExists => {
+                let owner = fs::read_to_string(lock_path)
+                    .ok()
+                    .and_then(|s| s.trim().parse::<u32>().ok());
+                if let Some(pid) = owner {
+                    if pid_alive(pid) {
+                        return Err(TractoError::config(format!(
+                            "state dir is locked by live process {pid} \
+                             (another server on the same --state-dir?)"
+                        )));
+                    }
+                }
+                // Dead (or unreadable) owner: steal the lock and retry.
+                if tracer.enabled() {
+                    tracer.emit(
+                        "journal.lock_stolen",
+                        &[("owner_pid", u64::from(owner.unwrap_or(0)).into())],
+                    );
+                }
+                fs::remove_file(lock_path).map_err(TractoError::from)?;
+            }
+            Err(err) => return Err(TractoError::from(err)),
+        }
+    }
+    Err(TractoError::config(
+        "could not acquire journal lock (raced another starting server)",
+    ))
+}
+
+/// One job's replayed state while scanning the journal.
+struct ReplayedJob {
+    spec: tracto_proto::JobSpec,
+    checkpoint: Option<String>,
+    terminal: bool,
+}
+
+/// Scan the journal and reconstruct per-job state. Unparsable lines are
+/// skipped with a `journal.bad_record` event — a crash mid-append leaves a
+/// truncated final line, which must not poison the rest of the journal.
+fn replay(path: &Path, tracer: &Tracer) -> TractoResult<Recovery> {
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(err) if err.kind() == IoErrorKind::NotFound => String::new(),
+        Err(err) => return Err(TractoError::from(err)),
+    };
+    let mut jobs: HashMap<u64, ReplayedJob> = HashMap::new();
+    let mut max_seen_id = 0u64;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Some((rec, id, doc)) = decode_record(line) else {
+            if tracer.enabled() {
+                tracer.emit(
+                    "journal.bad_record",
+                    &[("line", (lineno as u64 + 1).into())],
+                );
+            }
+            continue;
+        };
+        max_seen_id = max_seen_id.max(id);
+        match rec.as_str() {
+            "submitted" => {
+                let spec = doc
+                    .get("spec")
+                    .and_then(|v| tracto_proto::JobSpec::from_json_value(v).ok());
+                match spec {
+                    Some(spec) => {
+                        jobs.entry(id).or_insert(ReplayedJob {
+                            spec,
+                            checkpoint: None,
+                            terminal: false,
+                        });
+                    }
+                    None => {
+                        if tracer.enabled() {
+                            tracer.emit(
+                                "journal.bad_record",
+                                &[("line", (lineno as u64 + 1).into())],
+                            );
+                        }
+                    }
+                }
+            }
+            "admitted" => {}
+            "checkpointed" => {
+                let key = doc.get("key").and_then(Json::as_str).map(|s| s.to_string());
+                if let (Some(job), Some(key)) = (jobs.get_mut(&id), key) {
+                    job.checkpoint = Some(key);
+                }
+            }
+            "completed" | "cancelled" | "failed" => {
+                if let Some(job) = jobs.get_mut(&id) {
+                    job.terminal = true;
+                }
+            }
+            _ => {
+                if tracer.enabled() {
+                    tracer.emit(
+                        "journal.bad_record",
+                        &[("line", (lineno as u64 + 1).into())],
+                    );
+                }
+            }
+        }
+    }
+    let mut unfinished: Vec<RecoveredJob> = jobs
+        .into_iter()
+        .filter(|(_, j)| !j.terminal)
+        .map(|(id, j)| RecoveredJob {
+            id,
+            spec: j.spec,
+            checkpoint: j.checkpoint,
+        })
+        .collect();
+    unfinished.sort_by_key(|j| j.id);
+    Ok(Recovery {
+        jobs: unfinished,
+        max_seen_id,
+    })
+}
+
+fn decode_record(line: &str) -> Option<(String, u64, Json)> {
+    let doc = parse(line).ok()?;
+    let rec = doc.get("rec")?.as_str()?.to_string();
+    let id = doc.get("job")?.as_f64()?;
+    if id < 0.0 || id.fract() != 0.0 {
+        return None;
+    }
+    Some((rec, id as u64, doc))
+}
+
+/// Rewrite the journal to contain exactly the unfinished jobs' records
+/// (atomic write-then-rename, both fsync'd), discarding completed history.
+fn compact(dir: &Path, path: &Path, recovery: &Recovery) -> TractoResult<()> {
+    let tmp = dir.join(format!("{JOURNAL_FILE}.tmp"));
+    {
+        let mut f = File::create(&tmp).map_err(TractoError::from)?;
+        for job in &recovery.jobs {
+            writeln!(
+                f,
+                "{{\"rec\":\"submitted\",\"job\":{},\"spec\":{}}}",
+                job.id,
+                job.spec.to_json_string()
+            )
+            .map_err(TractoError::from)?;
+            if let Some(key) = &job.checkpoint {
+                writeln!(
+                    f,
+                    "{{\"rec\":\"checkpointed\",\"job\":{},\"key\":\"{key}\"}}",
+                    job.id
+                )
+                .map_err(TractoError::from)?;
+            }
+        }
+        f.sync_all().map_err(TractoError::from)?;
+    }
+    fs::rename(&tmp, path).map_err(TractoError::from)?;
+    // Make the rename itself durable; best-effort on filesystems that
+    // refuse directory fsync.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tracto_proto::{DatasetSpec, JobSpec};
+    use tracto_trace::{ErrorKind, RingSink};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "tracto-journal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn spec(seed: u64) -> JobSpec {
+        let mut s = JobSpec::track(DatasetSpec::new("single"));
+        s.seed = seed;
+        s
+    }
+
+    #[test]
+    fn unfinished_jobs_survive_reopen_and_finished_ones_do_not() {
+        let dir = tmp_dir("reopen");
+        {
+            let (j, rec) = JobJournal::open(&dir, Tracer::disabled()).unwrap();
+            assert!(rec.jobs.is_empty());
+            assert_eq!(rec.max_seen_id, 0);
+            j.submitted(1, &spec(1));
+            j.admitted(1);
+            j.submitted(2, &spec(2));
+            j.checkpointed(2, "deadbeef01020304");
+            j.submitted(3, &spec(3));
+            j.completed(1);
+            j.cancelled(3);
+            // Simulate a crash: drop without terminal records for job 2.
+        }
+        let (_j, rec) = JobJournal::open(&dir, Tracer::disabled()).unwrap();
+        assert_eq!(rec.max_seen_id, 3);
+        assert_eq!(rec.jobs.len(), 1, "only the unfinished job comes back");
+        assert_eq!(rec.jobs[0].id, 2);
+        assert_eq!(rec.jobs[0].spec, spec(2));
+        assert_eq!(rec.jobs[0].checkpoint.as_deref(), Some("deadbeef01020304"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_discards_finished_history() {
+        let dir = tmp_dir("compact");
+        {
+            let (j, _) = JobJournal::open(&dir, Tracer::disabled()).unwrap();
+            for id in 1..=20 {
+                j.submitted(id, &spec(id));
+                if id % 2 == 0 {
+                    j.completed(id);
+                } else {
+                    j.failed(id, 1);
+                }
+            }
+        }
+        {
+            let (_j, rec) = JobJournal::open(&dir, Tracer::disabled()).unwrap();
+            assert!(rec.jobs.is_empty());
+            assert_eq!(rec.max_seen_id, 20, "ids stay reserved after compaction");
+        }
+        // After compaction of an all-terminal journal the file is empty.
+        let text = fs::read_to_string(dir.join(JOURNAL_FILE)).unwrap();
+        assert!(
+            text.is_empty(),
+            "compacted journal should be empty: {text:?}"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_final_record_is_skipped_not_fatal() {
+        let dir = tmp_dir("truncated");
+        {
+            let (j, _) = JobJournal::open(&dir, Tracer::disabled()).unwrap();
+            j.submitted(7, &spec(7));
+        }
+        // Simulate a crash mid-append: a torn, half-written record.
+        {
+            let mut f = OpenOptions::new()
+                .append(true)
+                .open(dir.join(JOURNAL_FILE))
+                .unwrap();
+            write!(f, "{{\"rec\":\"comple").unwrap();
+        }
+        let ring = Arc::new(RingSink::new(16));
+        let (_j, rec) = JobJournal::open(&dir, Tracer::shared(Arc::clone(&ring) as _)).unwrap();
+        assert_eq!(rec.jobs.len(), 1, "torn record ignored, job recovered");
+        assert_eq!(rec.jobs[0].id, 7);
+        assert_eq!(ring.count("journal.bad_record"), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn live_lock_is_a_config_error_and_dead_lock_is_stolen() {
+        let dir = tmp_dir("lock");
+        fs::create_dir_all(&dir).unwrap();
+        // A lock held by this (live) process wedges a second open.
+        fs::write(dir.join(LOCK_FILE), format!("{}\n", std::process::id())).unwrap();
+        // pid_alive special-cases our own pid, so fake a second live owner
+        // via pid 1 (init, always alive under procfs).
+        if Path::new("/proc/1").exists() {
+            fs::write(dir.join(LOCK_FILE), "1\n").unwrap();
+            let err = match JobJournal::open(&dir, Tracer::disabled()) {
+                Err(e) => e,
+                Ok(_) => panic!("a live lock owner must be rejected"),
+            };
+            assert_eq!(err.kind(), ErrorKind::Config);
+        }
+        // A dead owner's lock is stolen.
+        fs::write(dir.join(LOCK_FILE), "999999999\n").unwrap();
+        let ring = Arc::new(RingSink::new(16));
+        let (j, _) = JobJournal::open(&dir, Tracer::shared(Arc::clone(&ring) as _)).unwrap();
+        assert_eq!(ring.count("journal.lock_stolen"), 1);
+        drop(j);
+        assert!(
+            !dir.join(LOCK_FILE).exists(),
+            "clean drop releases the lock"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transitions_for_unjournaled_ids_are_ignored() {
+        let dir = tmp_dir("unjournaled");
+        {
+            let (j, _) = JobJournal::open(&dir, Tracer::disabled()).unwrap();
+            // No submitted record: these must not create phantom entries.
+            j.admitted(40);
+            j.checkpointed(40, "ab");
+            j.completed(40);
+            j.failed(41, 2);
+        }
+        let text = fs::read_to_string(dir.join(JOURNAL_FILE)).unwrap();
+        assert!(text.is_empty(), "nothing journaled: {text:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

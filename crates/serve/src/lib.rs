@@ -45,6 +45,7 @@ pub mod batch;
 pub mod cache;
 pub mod config;
 pub mod job;
+pub mod journal;
 pub mod listener;
 pub mod metrics;
 pub mod service;
@@ -58,6 +59,7 @@ pub use config::{ServiceConfig, ServiceConfigBuilder};
 pub use job::{
     EstimateJob, EstimateResult, JobError, JobId, JobOutput, Ticket, TrackJob, TrackResult,
 };
+pub use journal::{JobJournal, RecoveredJob, Recovery};
 pub use listener::SocketServer;
 pub use metrics::MetricsSnapshot;
 pub use service::TractoService;

@@ -246,6 +246,17 @@ impl SocketServer {
         self.state.remote_jobs.load(Ordering::Relaxed)
     }
 
+    /// Adopt tickets recovered from the job journal (see
+    /// [`TractoService::recover`]) under their original wire job ids, so a
+    /// client that submitted before the crash can keep polling the same id
+    /// after the restart.
+    pub fn adopt_jobs(&self, jobs: Vec<(u64, Ticket<JobOutput>)>) {
+        let mut map = self.state.jobs.lock();
+        for (id, ticket) in jobs {
+            map.insert(id, ticket);
+        }
+    }
+
     /// Block until some client sends a `shutdown` request (the signal for
     /// the hosting process to [`stop`](Self::stop) the listener and shut
     /// the service down).

@@ -34,6 +34,7 @@ use crate::config::ServiceConfig;
 use crate::job::{
     EstimateJob, EstimateResult, JobError, JobId, JobOutput, Ticket, TrackJob, TrackResult,
 };
+use crate::journal::{JobJournal, RecoveredJob};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::spec::{materialize_dataset, DatasetSource, JobSpec, Work};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
@@ -42,11 +43,11 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
-use tracto::mcmc::{ChainConfig, SampleVolumes};
+use tracto::mcmc::{ChainConfig, CheckpointPolicy, CheckpointStore, SampleVolumes};
 use tracto::phantom::Dataset;
 use tracto::pipeline::PipelineConfig;
-use tracto::run_mcmc_gpu;
 use tracto::tracking::probabilistic::seeds_from_mask;
+use tracto::{run_mcmc_gpu, run_mcmc_gpu_checkpointed, PersistentCheckpoint};
 use tracto_diffusion::PriorConfig;
 use tracto_gpu_sim::{DeviceConfig, Gpu, MultiGpu};
 use tracto_proto::{CachePolicy, Priority};
@@ -79,6 +80,12 @@ struct Shared {
     in_flight: Mutex<u64>,
     idle: Condvar,
     next_id: AtomicU64,
+    /// Write-ahead journal of wire-form job lifecycles (crash recovery).
+    journal: Option<Arc<JobJournal>>,
+    /// Persistent MCMC snapshot store under the state dir.
+    ckpt_store: Option<Arc<CheckpointStore>>,
+    /// Persist a snapshot every N launch segments (0 = off).
+    checkpoint_every: u32,
     tracer: Tracer,
 }
 
@@ -111,6 +118,15 @@ impl Shared {
                 Err(_) => (&self.metrics.failed, "serve.job_failed"),
             };
             counter.fetch_add(1, Ordering::Relaxed);
+            if let Some(journal) = &self.journal {
+                // The terminal record is a no-op for jobs that were never
+                // journaled (in-process submissions).
+                match &stored {
+                    Ok(_) => journal.completed(ticket.id.0),
+                    Err(JobError::Cancelled) => journal.cancelled(ticket.id.0),
+                    Err(_) => journal.failed(ticket.id.0, ticket.attempts()),
+                }
+            }
             if self.tracer.enabled() {
                 match &stored {
                     Err(JobError::Failed(err)) => self.tracer.emit(
@@ -164,6 +180,7 @@ impl Shared {
         chain: ChainConfig,
         seed: u64,
         policy: CachePolicy,
+        job: JobId,
     ) -> (Arc<SampleVolumes>, bool, usize) {
         if policy != CachePolicy::Bypass {
             if let Some(samples) = self.cache.get(key) {
@@ -182,15 +199,7 @@ impl Shared {
                 }
             }
         }
-        let report = run_mcmc_gpu(
-            gpu,
-            &dataset.acq,
-            &dataset.dwi,
-            &dataset.wm_mask,
-            prior,
-            chain,
-            seed,
-        );
+        let report = self.run_estimation(gpu, key, dataset, prior, chain, seed, job);
         self.metrics.estimations_run.fetch_add(1, Ordering::Relaxed);
         self.metrics.accum.lock().estimation_sim_s += report.ledger.total_s();
         let samples = Arc::new(report.samples);
@@ -203,6 +212,73 @@ impl Shared {
         }
         (samples, false, report.voxels)
     }
+
+    /// Run a fresh MCMC estimation, through the persistent-checkpoint
+    /// runner when a state dir is configured: the run saves a resumable
+    /// snapshot every `checkpoint_every` segments under the sample key, so
+    /// a crash mid-estimation costs at most one checkpoint interval. The
+    /// journal records the binding so recovery can report which snapshot a
+    /// re-run resumes from.
+    #[allow(clippy::too_many_arguments)]
+    fn run_estimation(
+        &self,
+        gpu: &mut Gpu,
+        key: SampleKey,
+        dataset: &Dataset,
+        prior: PriorConfig,
+        chain: ChainConfig,
+        seed: u64,
+        job: JobId,
+    ) -> tracto::McmcGpuReport {
+        if let (Some(store), every) = (&self.ckpt_store, self.checkpoint_every) {
+            if every > 0 {
+                let key_hex = key.hex();
+                if let Some(journal) = &self.journal {
+                    journal.checkpointed(job.0, &key_hex);
+                }
+                let persist = PersistentCheckpoint {
+                    store: store.as_ref(),
+                    key: key_hex,
+                    tracer: self.tracer.clone(),
+                };
+                match run_mcmc_gpu_checkpointed(
+                    gpu,
+                    &dataset.acq,
+                    &dataset.dwi,
+                    &dataset.wm_mask,
+                    prior,
+                    chain,
+                    seed,
+                    CheckpointPolicy::every(every),
+                    &persist,
+                ) {
+                    Ok(report) => return report,
+                    Err(err) => {
+                        // Snapshot-store I/O trouble must not kill the job:
+                        // fall back to a plain (non-resumable) run.
+                        if self.tracer.enabled() {
+                            self.tracer.emit(
+                                "serve.ckpt_error",
+                                &[
+                                    ("job", job.0.into()),
+                                    ("error", Value::Text(err.to_string())),
+                                ],
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        run_mcmc_gpu(
+            gpu,
+            &dataset.acq,
+            &dataset.dwi,
+            &dataset.wm_mask,
+            prior,
+            chain,
+            seed,
+        )
+    }
 }
 
 /// The running service. Dropping it without calling
@@ -213,6 +289,9 @@ pub struct TractoService {
     shared: Arc<Shared>,
     prep_tx: Option<Sender<PrepTask>>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    /// Unfinished journaled jobs found at startup, waiting for
+    /// [`recover`](Self::recover) to re-enqueue them.
+    recovered: Mutex<Vec<RecoveredJob>>,
 }
 
 impl TractoService {
@@ -232,6 +311,20 @@ impl TractoService {
             }
             cache
         });
+        let mut recovered = Vec::new();
+        let mut max_seen_id = 0;
+        let (journal, ckpt_store) = match &config.state_dir {
+            Some(dir) => {
+                let (journal, recovery) = JobJournal::open(dir, config.tracer.clone())
+                    .expect("open job journal in state dir");
+                let store = CheckpointStore::open(&dir.join("checkpoints"))
+                    .expect("open checkpoint store in state dir");
+                recovered = recovery.jobs;
+                max_seen_id = recovery.max_seen_id;
+                (Some(Arc::new(journal)), Some(Arc::new(store)))
+            }
+            None => (None, None),
+        };
         let shared = Arc::new(Shared {
             cache: SampleCache::new(config.cache_bytes).with_tracer(config.tracer.clone()),
             disk,
@@ -239,7 +332,12 @@ impl TractoService {
             metrics: Metrics::default(),
             in_flight: Mutex::new(0),
             idle: Condvar::new(),
-            next_id: AtomicU64::new(1),
+            // Fresh ids allocate strictly above every id the journal has
+            // ever issued, so recovered and new jobs never collide.
+            next_id: AtomicU64::new(max_seen_id + 1),
+            journal,
+            ckpt_store,
+            checkpoint_every: config.checkpoint_every,
             tracer: config.tracer.clone(),
         });
 
@@ -280,6 +378,7 @@ impl TractoService {
             shared,
             prep_tx: Some(prep_tx),
             workers,
+            recovered: Mutex::new(recovered),
         }
     }
 
@@ -308,6 +407,11 @@ impl TractoService {
         let spec = spec.into();
         let ticket = Ticket::new(self.next_id());
         self.trace_submit(ticket.id, work_kind(&spec.work));
+        // Write-ahead: a wire-form job is durable before acceptance becomes
+        // observable, so a crash after this point cannot lose it.
+        if let (Some(journal), Some(wire)) = (&self.shared.journal, &spec.wire) {
+            journal.submitted(ticket.id.0, wire);
+        }
         self.shared.job_started();
         let task = PrepTask {
             spec,
@@ -317,7 +421,11 @@ impl TractoService {
             Some(tx) => tx.send(task).is_ok(),
             None => false,
         };
-        if !sent {
+        if sent {
+            if let Some(journal) = &self.shared.journal {
+                journal.admitted(ticket.id.0);
+            }
+        } else {
             self.shared.complete(&ticket, Err(JobError::ShuttingDown));
         }
         ticket
@@ -332,23 +440,96 @@ impl TractoService {
         };
         let ticket = Ticket::new(self.next_id());
         self.trace_submit(ticket.id, work_kind(&spec.work));
+        if let (Some(journal), Some(wire)) = (&self.shared.journal, &spec.wire) {
+            journal.submitted(ticket.id.0, wire);
+        }
         self.shared.job_started();
         match tx.try_send(PrepTask {
             spec,
             ticket: ticket.clone(),
         }) {
-            Ok(()) => Ok(ticket),
+            Ok(()) => {
+                if let Some(journal) = &self.shared.journal {
+                    journal.admitted(ticket.id.0);
+                }
+                Ok(ticket)
+            }
             Err(TrySendError::Full(_)) => {
+                if let Some(journal) = &self.shared.journal {
+                    journal.failed(ticket.id.0, 0);
+                }
                 self.shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
                 self.shared.job_finished();
                 Err(JobError::QueueFull)
             }
             Err(TrySendError::Disconnected(_)) => {
+                if let Some(journal) = &self.shared.journal {
+                    journal.failed(ticket.id.0, 0);
+                }
                 self.shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
                 self.shared.job_finished();
                 Err(JobError::ShuttingDown)
             }
         }
+    }
+
+    /// Re-enqueue every unfinished journaled job found in the state dir at
+    /// startup, preserving original job ids — clients that were polling a
+    /// job id across the crash keep a valid handle. Returns `(id, ticket)`
+    /// pairs so a front end can rebind them (see
+    /// [`SocketServer::adopt_jobs`](crate::SocketServer::adopt_jobs)).
+    ///
+    /// A recovered estimation resumes from its latest persistent
+    /// checkpoint automatically: it recomputes the same sample key and the
+    /// checkpointed runner finds the snapshot, so at most one checkpoint
+    /// interval of MCMC work is repeated.
+    pub fn recover(&self) -> Vec<(u64, Ticket<JobOutput>)> {
+        let jobs = std::mem::take(&mut *self.recovered.lock());
+        let mut out = Vec::with_capacity(jobs.len());
+        for r in jobs {
+            let ticket = Ticket::new(JobId(r.id));
+            if self.shared.tracer.enabled() {
+                self.shared.tracer.emit(
+                    "serve.job_recovered",
+                    &[
+                        ("job", r.id.into()),
+                        (
+                            "checkpoint",
+                            Value::Text(r.checkpoint.clone().unwrap_or_default()),
+                        ),
+                    ],
+                );
+            }
+            self.shared.job_started();
+            match JobSpec::from_wire(&r.spec) {
+                Ok(spec) => {
+                    let task = PrepTask {
+                        spec,
+                        ticket: ticket.clone(),
+                    };
+                    let sent = match &self.prep_tx {
+                        Some(tx) => tx.send(task).is_ok(),
+                        None => false,
+                    };
+                    if sent {
+                        if let Some(journal) = &self.shared.journal {
+                            journal.admitted(r.id);
+                        }
+                    } else {
+                        self.shared.complete(&ticket, Err(JobError::ShuttingDown));
+                    }
+                }
+                Err(err) => {
+                    // A journaled spec that no longer converts (protocol
+                    // drift across the restart) fails terminally — and
+                    // observably — rather than vanishing.
+                    self.shared
+                        .complete(&ticket, Err(JobError::Failed(Arc::new(err))));
+                }
+            }
+            out.push((r.id, ticket));
+        }
+        out
     }
 
     /// Submit an estimation job.
@@ -441,8 +622,9 @@ fn estimate_worker(
         match spec.work {
             Work::Estimate { prior, chain, seed } => {
                 let key = sample_key(&dataset, &prior, &chain, seed);
-                let (samples, cache_hit, voxels) =
-                    shared.resolve_samples(&mut gpu, key, &dataset, prior, chain, seed, spec.cache);
+                let (samples, cache_hit, voxels) = shared.resolve_samples(
+                    &mut gpu, key, &dataset, prior, chain, seed, spec.cache, ticket.id,
+                );
                 shared.complete(
                     &ticket,
                     Ok(JobOutput::Estimate(EstimateResult {
@@ -463,6 +645,7 @@ fn estimate_worker(
                     config.chain,
                     config.seed,
                     spec.cache,
+                    ticket.id,
                 );
                 let ready = ReadyTrack {
                     config,
@@ -1198,6 +1381,130 @@ mod tests {
         let snap = service.shutdown();
         // Every submission is accounted for: completed or rejected.
         assert_eq!(snap.completed + rejected, 16);
+    }
+
+    fn tmp_state_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("tracto-svc-state-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn wire_track(seed: u64) -> tracto_proto::JobSpec {
+        let mut wire = tracto_proto::JobSpec::track(tracto_proto::DatasetSpec {
+            kind: "single".into(),
+            scale: 0.05,
+            seed: 3,
+            snr: None,
+        });
+        wire.chain = tracto_proto::ChainSpec {
+            burnin: 40,
+            samples: 3,
+            interval: 2,
+        };
+        wire.seed = seed;
+        wire
+    }
+
+    #[test]
+    fn journaled_wire_jobs_recover_and_complete_after_crash() {
+        use crate::journal::JobJournal;
+        let dir = tmp_state_dir("recover");
+        let wire = wire_track(4);
+        // Session 1: accept the job durably, then "crash" before running it
+        // (drop with no terminal record).
+        {
+            let (journal, recovery) = JobJournal::open(&dir, Tracer::disabled()).unwrap();
+            assert!(recovery.jobs.is_empty());
+            journal.submitted(5, &wire);
+            journal.admitted(5);
+        }
+        // Session 2: the restarted service replays the journal and re-runs
+        // the job under its original id.
+        let mut cfg = small_config();
+        cfg.state_dir = Some(dir.clone());
+        cfg.checkpoint_every = 1;
+        let service = TractoService::start(cfg);
+        let recovered = service.recover();
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].0, 5, "recovery preserves job ids");
+        let out = recovered[0]
+            .1
+            .wait_track()
+            .expect("recovered job completes");
+        assert!(out.tracking.total_steps > 0);
+        // Fresh submissions allocate above every journaled id.
+        let fresh = service.submit(JobSpec::from_wire(&wire).unwrap());
+        assert!(fresh.id.0 > 5, "fresh id {} must exceed 5", fresh.id.0);
+        fresh.wait_track().expect("fresh job completes");
+        let snap = service.shutdown();
+        assert_eq!(snap.completed, 2);
+        // Session 3: everything finished, so nothing is left to recover.
+        let (_j, recovery) = JobJournal::open(&dir, Tracer::disabled()).unwrap();
+        assert!(
+            recovery.jobs.is_empty(),
+            "terminal records settle the journal"
+        );
+        assert_eq!(recovery.max_seen_id, fresh.id.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn completed_jobs_settle_the_journal_and_local_jobs_skip_it() {
+        use crate::journal::JobJournal;
+        let dir = tmp_state_dir("settle");
+        let mut cfg = small_config();
+        cfg.state_dir = Some(dir.clone());
+        let service = TractoService::start(cfg);
+        service
+            .submit(JobSpec::from_wire(&wire_track(6)).unwrap())
+            .wait_track()
+            .expect("wire job completes");
+        // An in-process dataset has no wire form: it must run fine and
+        // never touch the journal.
+        service
+            .submit(JobSpec::track(tiny_dataset(15), fast_pipeline(1)))
+            .wait_track()
+            .expect("local job completes");
+        service.shutdown();
+        let (_j, recovery) = JobJournal::open(&dir, Tracer::disabled()).unwrap();
+        assert!(recovery.jobs.is_empty());
+        assert_eq!(
+            recovery.max_seen_id, 1,
+            "only the wire job (id 1) was journaled"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn estimation_persists_checkpoints_under_the_state_dir() {
+        use tracto_trace::RingSink;
+        let dir = tmp_state_dir("ckpt");
+        let ring = Arc::new(RingSink::new(4096));
+        let mut cfg = small_config();
+        cfg.state_dir = Some(dir.clone());
+        cfg.checkpoint_every = 1;
+        cfg.tracer = Tracer::shared(Arc::clone(&ring) as _);
+        let service = TractoService::start(cfg);
+        let mut wire = wire_track(8);
+        wire.kind = tracto_proto::JobKind::Estimate;
+        wire.cache = CachePolicy::Bypass;
+        service
+            .submit(JobSpec::from_wire(&wire).unwrap())
+            .wait_estimate()
+            .expect("estimation completes");
+        service.shutdown();
+        assert!(
+            ring.count("ckpt.save") >= 1,
+            "persistent checkpoints must be written during estimation"
+        );
+        // A completed run discards its snapshot: the store holds nothing.
+        let ckpts: Vec<_> = std::fs::read_dir(dir.join("checkpoints"))
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .collect();
+        assert!(ckpts.is_empty(), "completed runs leave no snapshots");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

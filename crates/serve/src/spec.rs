@@ -82,6 +82,13 @@ pub struct JobSpec {
     pub retry_budget: Option<u32>,
     /// How this job interacts with the sample cache.
     pub cache: CachePolicy,
+    /// The wire-level spec this job was converted from, when it came
+    /// through [`JobSpec::from_wire`]. This is what the job journal
+    /// persists: wire specs name datasets as deterministic recipes, so a
+    /// journaled job can be re-run bit-identically after a crash. Jobs
+    /// built from in-process `Arc<Dataset>`s have no wire form and are
+    /// not journaled.
+    pub wire: Option<tracto_proto::JobSpec>,
 }
 
 impl JobSpec {
@@ -98,6 +105,7 @@ impl JobSpec {
             priority: Priority::Normal,
             retry_budget: None,
             cache: CachePolicy::ReadWrite,
+            wire: None,
         }
     }
 
@@ -113,6 +121,7 @@ impl JobSpec {
             priority: Priority::Normal,
             retry_budget: None,
             cache: CachePolicy::ReadWrite,
+            wire: None,
         }
     }
 
@@ -200,6 +209,7 @@ impl JobSpec {
             priority: wire.priority,
             retry_budget: wire.retry_budget,
             cache: wire.cache,
+            wire: Some(wire.clone()),
         })
     }
 }
@@ -217,6 +227,7 @@ impl From<EstimateJob> for JobSpec {
             priority: Priority::Normal,
             retry_budget: None,
             cache: CachePolicy::ReadWrite,
+            wire: None,
         }
     }
 }
@@ -233,6 +244,7 @@ impl From<TrackJob> for JobSpec {
             priority: Priority::Normal,
             retry_budget: None,
             cache: CachePolicy::ReadWrite,
+            wire: None,
         }
     }
 }

@@ -88,6 +88,90 @@ fn seeded_faults_leave_streamline_counts_bit_identical() {
     }
 }
 
+/// A poisoned disk-cache entry that was quarantined before a crash must
+/// stay gone after recovery: a fresh service over the same cache and state
+/// dirs sees a clean miss (never the corrupt bytes, never a second
+/// quarantine) and recomputes bit-identical results.
+#[test]
+fn quarantined_cache_entry_stays_gone_across_restart() {
+    use tracto_proto::CachePolicy;
+    use tracto_trace::{RingSink, Tracer};
+
+    let root = std::env::temp_dir().join(format!(
+        "tracto-chaos-quarantine-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+    let cache_dir = root.join("cache");
+    let state_dir = root.join("state");
+
+    let bundle: Arc<Dataset> = Arc::new(datasets::single_bundle(Dim3::new(8, 6, 6), Some(20.0), 3));
+    let cfg = small_config(5, 60);
+    let session = |ring: &Arc<RingSink>| {
+        TractoService::start(ServiceConfig {
+            devices: 1,
+            estimate_workers: 1,
+            disk_cache: Some(cache_dir.clone()),
+            state_dir: Some(state_dir.clone()),
+            tracer: Tracer::shared(ring.clone()),
+            ..ServiceConfig::default()
+        })
+    };
+
+    // Session 1 populates the disk cache.
+    let ring1 = Arc::new(RingSink::new(4096));
+    let service = session(&ring1);
+    let ticket = service.submit(JobSpec::track(Arc::clone(&bundle), cfg.clone()));
+    let baseline = ticket.wait_track().expect("baseline run");
+    service.shutdown();
+    let entry_dir = std::fs::read_dir(&cache_dir)
+        .expect("cache dir exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.is_dir())
+        .expect("one cache entry on disk");
+
+    // Truncate one field mid-header: the entry is now poisoned.
+    let field = entry_dir.join("th1.trv4");
+    let bytes = std::fs::read(&field).unwrap();
+    std::fs::write(&field, &bytes[..7.min(bytes.len())]).unwrap();
+
+    // Session 2 trips over the poison, quarantines it, and recomputes. The
+    // read-only cache policy means nothing is written back, so the slot is
+    // empty on disk when this session "crashes".
+    let ring2 = Arc::new(RingSink::new(4096));
+    let service = session(&ring2);
+    let ticket = service
+        .submit(JobSpec::track(Arc::clone(&bundle), cfg.clone()).with_cache(CachePolicy::ReadOnly));
+    let recomputed = ticket.wait_track().expect("recompute past the poison");
+    assert_eq!(ring2.count("serve.cache_quarantine"), 1, "poison detected");
+    assert!(!entry_dir.exists(), "quarantine deleted the entry on disk");
+    assert_eq!(
+        recomputed.tracking.lengths_by_sample, baseline.tracking.lengths_by_sample,
+        "recompute past a poisoned entry is bit-identical"
+    );
+    service.shutdown();
+
+    // Session 3 recovers over the same dirs: the quarantined entry must
+    // not resurface — a clean miss, no quarantine event, same results.
+    let ring3 = Arc::new(RingSink::new(4096));
+    let service = session(&ring3);
+    let ticket = service.submit(JobSpec::track(Arc::clone(&bundle), cfg.clone()));
+    let after = ticket.wait_track().expect("post-recovery run");
+    assert_eq!(
+        ring3.count("serve.cache_quarantine"),
+        0,
+        "the quarantined entry must stay gone after restart"
+    );
+    assert_eq!(
+        after.tracking.lengths_by_sample, baseline.tracking.lengths_by_sample,
+        "post-recovery results are bit-identical"
+    );
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 #[test]
 fn exhausted_retry_budget_is_a_typed_chained_error_not_a_panic() {
     use std::error::Error;

