@@ -1,12 +1,16 @@
 //! Remote-service commands: `tracto submit | await | status | cancel |
-//! metrics | shutdown`, all speaking the `tracto-proto` wire protocol to a
-//! `tracto serve --listen` process via `--connect ENDPOINT`.
+//! upload | metrics | shutdown`, all speaking the `tracto-proto` wire
+//! protocol to a `tracto serve --listen` process via `--connect ENDPOINT`.
 //!
 //! Datasets cross the wire as deterministic phantom recipes, so a remote
 //! submission names `(kind, scale, seed, snr)` and the server materializes
-//! bit-identical volumes on its side.
+//! bit-identical volumes on its side — or, since protocol v2, as a content
+//! hash from `tracto upload` (`--volume HASH`), which ships a real stored
+//! dataset to the server once and reuses it by reference.
 
 use crate::args::ArgMap;
+use std::time::{Duration, Instant};
+use tracto::loaded::encode_trds;
 use tracto_proto::{
     CachePolicy, ChainSpec, DatasetSpec, Endpoint, JobKind, JobSpec, JobState, Outcome, Priority,
     RemoteService, TrackSpec,
@@ -18,12 +22,13 @@ use tracto_trace::{Tracer, TractoError, TractoResult, Value};
 /// journal, so the client rides that out with bounded retries).
 const CONNECT_FLAGS: [&str; 3] = ["connect", "connect-retries", "connect-backoff-ms"];
 
-const SUBMIT_FLAGS: [&str; 16] = [
+const SUBMIT_FLAGS: [&str; 18] = [
     "connect",
     "dataset",
     "scale",
     "dataset-seed",
     "snr",
+    "volume",
     "estimate",
     "samples",
     "burnin",
@@ -35,6 +40,7 @@ const SUBMIT_FLAGS: [&str; 16] = [
     "deadline-ms",
     "priority",
     "no-wait",
+    "follow",
 ];
 
 /// Connect and perform the handshake, emitting a trace span for the call.
@@ -103,18 +109,29 @@ fn report_state(job: u64, state: &JobState) -> TractoResult<()> {
 
 /// Build the wire spec from submit flags.
 fn spec_from_args(args: &ArgMap) -> TractoResult<JobSpec> {
-    let dataset = DatasetSpec {
-        kind: args.get("dataset").unwrap_or("1").to_string(),
-        scale: args.get_parse("scale", 0.25)?,
-        seed: args.get_parse("dataset-seed", 7)?,
-        snr: match args.get("snr") {
-            None => Some(25.0),
-            Some("none") => None,
-            Some(v) => Some(
-                v.parse()
-                    .map_err(|_| TractoError::config(format!("--snr: bad value `{v}`")))?,
-            ),
-        },
+    let dataset = if let Some(hash) = args.get("volume") {
+        if args.get("dataset").is_some() {
+            return Err(TractoError::config(
+                "--volume and --dataset are mutually exclusive (an uploaded \
+                 volume replaces the phantom recipe)",
+            ));
+        }
+        DatasetSpec::uploaded(hash)
+    } else {
+        DatasetSpec {
+            kind: args.get("dataset").unwrap_or("1").to_string(),
+            scale: args.get_parse("scale", 0.25)?,
+            seed: args.get_parse("dataset-seed", 7)?,
+            snr: match args.get("snr") {
+                None => Some(25.0),
+                Some("none") => None,
+                Some(v) => Some(
+                    v.parse()
+                        .map_err(|_| TractoError::config(format!("--snr: bad value `{v}`")))?,
+                ),
+            },
+            upload: None,
+        }
     };
     let kind = if args.switch("estimate") {
         JobKind::Estimate
@@ -155,8 +172,39 @@ fn spec_from_args(args: &ArgMap) -> TractoResult<JobSpec> {
     })
 }
 
+/// Subscribe to one job's pushed events and narrate each transition until
+/// the terminal one, whose state is returned. `Pending` means the timeout
+/// elapsed first. Requires a v2 connection.
+fn follow_job(
+    client: &mut RemoteService,
+    job: u64,
+    timeout_ms: Option<u64>,
+) -> TractoResult<JobState> {
+    client.subscribe(Some(job))?;
+    let deadline = timeout_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    loop {
+        let remaining = match deadline {
+            None => None,
+            Some(d) => {
+                let left = d.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    return Ok(JobState::Pending);
+                }
+                Some(left)
+            }
+        };
+        match client.next_event(remaining)? {
+            Some(ev) if ev.job == job && ev.is_terminal() => return Ok(ev.state),
+            Some(ev) if ev.job == job => println!("job {job}: {}", ev.kind),
+            Some(_) => {}
+            None => return Ok(JobState::Pending),
+        }
+    }
+}
+
 /// `tracto submit --connect EP [job flags]`: submit one job, and (unless
-/// `--no-wait`) block until it finishes.
+/// `--no-wait`) block until it finishes. With `--follow`, narrate pushed
+/// lifecycle events along the way instead of waiting silently.
 pub fn submit(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
     let mut flags = with_connect_flags(&SUBMIT_FLAGS);
     flags.extend(["retry-budget", "cache", "timeout-ms"]);
@@ -175,7 +223,13 @@ pub fn submit(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
                 .map_err(|_| TractoError::config(format!("--timeout-ms: bad value `{v}`")))
         })
         .transpose()?;
-    let state = client.await_job(job, timeout_ms)?;
+    let state = if args.switch("follow") && client.server_version >= 2 {
+        follow_job(&mut client, job, timeout_ms)?
+    } else {
+        // --follow against a v1 server degrades to a silent await: same
+        // result, no narration to stream.
+        client.await_job(job, timeout_ms)?
+    };
     if state == JobState::Pending {
         return Err(TractoError::format(format!(
             "job {job} still pending after {}ms",
@@ -183,6 +237,34 @@ pub fn submit(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
         )));
     }
     report_state(job, &state)
+}
+
+/// `tracto upload --connect EP --data DIR`: pack a stored dataset
+/// directory (`dwi.trv4`, `wm_mask.trv3`, `acq.txt`) into a TRDS container
+/// and upload it in chunks, printing the content hash to pass as
+/// `submit --volume HASH`. Content-addressed: re-uploading the same data
+/// is a cheap no-op, and an interrupted upload resumes where it stopped.
+pub fn upload(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
+    args.reject_unknown(&with_connect_flags(&["data"]))?;
+    let data = std::path::PathBuf::from(args.required("data")?);
+    let (dwi, mask, acq) = crate::store::load_dataset(&data)?;
+    let blob = encode_trds(&dwi, &mask, &acq)?;
+    let mut client = connect(args, tracer)?;
+    let hash = client.upload(&blob)?;
+    tracer.emit(
+        "cli.uploaded",
+        &[
+            ("hash", Value::Text(hash.clone())),
+            ("bytes", Value::U64(blob.len() as u64)),
+        ],
+    );
+    println!(
+        "uploaded {} bytes as volume {hash}\nsubmit against it with: \
+         tracto submit --connect {} --volume {hash}",
+        blob.len(),
+        args.required("connect")?
+    );
+    Ok(())
 }
 
 /// `tracto await --connect EP --job N [--timeout-ms N]`: block until a

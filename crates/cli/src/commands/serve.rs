@@ -115,6 +115,7 @@ fn build_dataset(kind: &str, kv: &Kv) -> TractoResult<Dataset> {
         scale: kv.get("scale", 0.25)?,
         seed: kv.get("seed", 7)?,
         snr,
+        upload: None,
     })
 }
 

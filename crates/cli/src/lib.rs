@@ -60,12 +60,15 @@ COMMANDS:
              [--state-dir DIR] [--checkpoint-every N]
   submit     submit one job to a listening server and wait for its result
              --connect ENDPOINT [--dataset 1|2|single|crossing] [--scale F]
-             [--dataset-seed N] [--snr F|none] [--estimate]
+             [--dataset-seed N] [--snr F|none] [--volume HASH] [--estimate]
              [--samples N] [--burnin N] [--interval N] [--seed N]
              [--step F] [--threshold F] [--max-steps N]
              [--deadline-ms N] [--priority low|normal|high]
              [--retry-budget N] [--cache rw|ro|bypass]
-             [--no-wait] [--timeout-ms N]
+             [--no-wait] [--follow] [--timeout-ms N]
+  upload     upload a stored dataset for remote jobs (server needs
+             --state-dir); prints the HASH for submit --volume
+             --connect ENDPOINT --data DIR
   await      wait for a remote job (e.g. one recovered after a restart)
              --connect ENDPOINT --job N [--timeout-ms N]
   status     poll a remote job          --connect ENDPOINT --job N
@@ -146,6 +149,7 @@ pub fn run(args: &[String]) -> i32 {
         "track" => commands::track::run(&parsed, &tracer),
         "serve" => commands::serve::run(&parsed, &tracer),
         "submit" => commands::remote::submit(&parsed, &tracer),
+        "upload" => commands::remote::upload(&parsed, &tracer),
         "await" => commands::remote::await_job(&parsed, &tracer),
         "status" => commands::remote::status(&parsed, &tracer),
         "cancel" => commands::remote::cancel(&parsed, &tracer),

@@ -58,8 +58,13 @@ impl Drop for ServerGuard {
 }
 
 fn start_server(socket: &str) -> ServerGuard {
+    start_server_with(socket, &[])
+}
+
+fn start_server_with(socket: &str, extra: &[&str]) -> ServerGuard {
     let child = Command::new(BIN)
         .args(["serve", "--listen", socket, "--workers", "2"])
+        .args(extra)
         .stdout(Stdio::null())
         .stderr(Stdio::null())
         .spawn()
@@ -70,6 +75,14 @@ fn start_server(socket: &str) -> ServerGuard {
         std::thread::sleep(Duration::from_millis(20));
     }
     ServerGuard(Some(child))
+}
+
+/// Open descriptors in the server process (Linux procfs).
+fn server_fds(server: &ServerGuard) -> usize {
+    let pid = server.0.as_ref().expect("server running").id();
+    std::fs::read_dir(format!("/proc/{pid}/fd"))
+        .map(|d| d.count())
+        .unwrap_or(0)
 }
 
 fn digest_of(stdout: &str) -> &str {
@@ -149,6 +162,122 @@ fn socket_round_trip_across_processes() {
     // Unknown job ids are typed errors, not crashes.
     let (code, _) = client(&["status", "--connect", socket, "--job", "999"]);
     assert_ne!(code, 0);
+
+    let (code, out) = client(&["shutdown", "--connect", socket]);
+    assert_eq!(code, 0, "shutdown failed: {out}");
+    let status = server.wait();
+    assert!(status.success(), "server exited with {status:?}");
+    assert!(!std::path::Path::new(socket).exists(), "socket unlinked");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn upload_and_follow_round_trip_across_processes() {
+    let dir = tmp("upload");
+    let socket = dir.join("tracto.sock");
+    let socket = socket.to_str().unwrap();
+    let state = dir.join("state");
+    let server = start_server_with(socket, &["--state-dir", state.to_str().unwrap()]);
+
+    // Generate a real stored dataset with the phantom command.
+    let data = dir.join("data");
+    let (code, out) = client(&[
+        "phantom",
+        "--out",
+        data.to_str().unwrap(),
+        "--dataset",
+        "single",
+        "--scale",
+        "0.05",
+        "--snr",
+        "none",
+        "--seed",
+        "3",
+    ]);
+    assert_eq!(code, 0, "phantom failed: {out}");
+
+    // Upload it; the command prints the content hash to submit against.
+    let (code, out) = client(&[
+        "upload",
+        "--connect",
+        socket,
+        "--data",
+        data.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "upload failed: {out}");
+    let at = out.find("as volume ").expect("hash in output") + "as volume ".len();
+    let hash = out[at..at + 16].to_string();
+    assert!(
+        hash.bytes().all(|b| b.is_ascii_hexdigit()),
+        "bad hash `{hash}` in {out}"
+    );
+
+    // Re-uploading is a content-addressed no-op with the same hash.
+    let (code, out) = client(&[
+        "upload",
+        "--connect",
+        socket,
+        "--data",
+        data.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "re-upload failed: {out}");
+    assert!(out.contains(&hash), "{out}");
+
+    // Submit against the uploaded volume, following pushed events.
+    let job = [
+        "submit",
+        "--connect",
+        socket,
+        "--volume",
+        &hash,
+        "--follow",
+        "--samples",
+        "2",
+        "--burnin",
+        "30",
+        "--interval",
+        "1",
+        "--seed",
+        "9",
+        "--max-steps",
+        "60",
+    ];
+    let (code, out) = client(&job);
+    assert_eq!(code, 0, "submit --volume failed: {out}");
+    assert!(out.contains("done (track)"), "{out}");
+    let first = digest_of(&out).to_string();
+
+    // Resubmitting hits the sample cache and reproduces the digest.
+    let (code, out) = client(&job);
+    assert_eq!(code, 0, "resubmit failed: {out}");
+    assert!(out.contains("cache_hit=true"), "{out}");
+    assert_eq!(
+        digest_of(&out),
+        first,
+        "uploaded volume must be deterministic"
+    );
+
+    // Connection churn must not leak descriptors in the reactor: after a
+    // burst of short-lived clients the server's fd table returns to its
+    // baseline.
+    let baseline = server_fds(&server);
+    assert!(baseline > 0, "procfs fd listing unavailable");
+    for _ in 0..20 {
+        let (code, _) = client(&["metrics", "--connect", socket]);
+        assert_eq!(code, 0);
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let now = server_fds(&server);
+        if now <= baseline {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "reactor leaked fds: {baseline} before churn, {now} after"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
 
     let (code, out) = client(&["shutdown", "--connect", socket]);
     assert_eq!(code, 0, "shutdown failed: {out}");

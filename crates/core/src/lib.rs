@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod estimation;
+pub mod loaded;
 pub mod pipeline;
 pub mod synthetic;
 /// Step-2 drivers re-exported from the tracking crate.

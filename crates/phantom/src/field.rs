@@ -120,6 +120,23 @@ impl GroundTruthField {
         GroundTruthField { dims, voxels }
     }
 
+    /// A placeholder truth field for data whose real fiber geometry is
+    /// unknown — an uploaded DWI volume rather than a synthesized phantom.
+    ///
+    /// Every in-mask voxel gets one x-aligned stick, so
+    /// [`fiber_mask`](Self::fiber_mask) reproduces `mask` exactly and
+    /// mask-driven seeding works unchanged; accuracy-vs-truth metrics are
+    /// meaningless against it and should not be reported.
+    pub fn from_mask(dims: Dim3, mask: &Mask, fraction: f64) -> Self {
+        let mut voxels = vec![VoxelTruth::EMPTY; dims.len()];
+        for (idx, vt) in voxels.iter_mut().enumerate() {
+            if mask.contains(dims.coords(idx)) {
+                vt.push(Vec3::X, fraction);
+            }
+        }
+        GroundTruthField { dims, voxels }
+    }
+
     /// Grid dimensions.
     pub fn dims(&self) -> Dim3 {
         self.dims
@@ -224,6 +241,22 @@ mod tests {
         assert!(field.crossing_mask().count() > 0);
         // Away from the crossing only one population.
         assert_eq!(field.at(Ijk::new(1, 6, 2)).count, 1);
+    }
+
+    #[test]
+    fn from_mask_reproduces_the_mask_exactly() {
+        let dims = Dim3::new(6, 5, 4);
+        let mask = Mask::from_fn(dims, |c| (c.i + c.j + c.k) % 3 == 0);
+        let field = GroundTruthField::from_mask(dims, &mask, 0.7);
+        let derived = field.fiber_mask();
+        for idx in 0..dims.len() {
+            let c = dims.coords(idx);
+            assert_eq!(derived.contains(c), mask.contains(c));
+        }
+        // In-mask voxels carry one stick so default seeding works.
+        let inside = dims.coords(mask.indices()[0]);
+        assert_eq!(field.at(inside).count, 1);
+        assert!((field.at(inside).total_fraction() - 0.7).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! Minimal standard-alphabet base64 (RFC 4648, with padding) for upload
+//! chunk payloads. Frame payloads are UTF-8 JSON, so raw volume bytes must
+//! travel as text; base64 costs 4/3 overhead, which the chunk-size cap
+//! already accounts for.
+
+use tracto_trace::{TractoError, TractoResult};
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encode bytes as standard base64 with `=` padding.
+pub fn encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len().div_ceil(3) * 4);
+    for chunk in bytes.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let triple = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(triple >> 18) as usize & 0x3f] as char);
+        out.push(ALPHABET[(triple >> 12) as usize & 0x3f] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(triple >> 6) as usize & 0x3f] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[triple as usize & 0x3f] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+fn decode_sym(c: u8) -> Option<u32> {
+    match c {
+        b'A'..=b'Z' => Some(u32::from(c - b'A')),
+        b'a'..=b'z' => Some(u32::from(c - b'a') + 26),
+        b'0'..=b'9' => Some(u32::from(c - b'0') + 52),
+        b'+' => Some(62),
+        b'/' => Some(63),
+        _ => None,
+    }
+}
+
+/// Decode standard base64. Rejects bad lengths, stray characters, and
+/// misplaced padding with typed [protocol errors](TractoError::Protocol).
+pub fn decode(text: &str) -> TractoResult<Vec<u8>> {
+    let bytes = text.as_bytes();
+    if bytes.len() % 4 != 0 {
+        return Err(TractoError::protocol(format!(
+            "base64 length {} is not a multiple of 4",
+            bytes.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (i, quad) in bytes.chunks_exact(4).enumerate() {
+        let last = i + 1 == bytes.len() / 4;
+        let pad = quad.iter().filter(|&&c| c == b'=').count();
+        if pad > 2 || (pad > 0 && !last) || (pad >= 1 && quad[3] != b'=') {
+            return Err(TractoError::protocol("misplaced base64 padding"));
+        }
+        if pad == 2 && quad[2] != b'=' {
+            return Err(TractoError::protocol("misplaced base64 padding"));
+        }
+        let mut triple: u32 = 0;
+        for &c in &quad[..4 - pad] {
+            triple = (triple << 6)
+                | decode_sym(c).ok_or_else(|| {
+                    TractoError::protocol(format!("invalid base64 character `{}`", c as char))
+                })?;
+        }
+        triple <<= 6 * pad as u32;
+        out.push((triple >> 16) as u8);
+        if pad < 2 {
+            out.push((triple >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(triple as u8);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracto_trace::ErrorKind;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(encode(b""), "");
+        assert_eq!(encode(b"f"), "Zg==");
+        assert_eq!(encode(b"fo"), "Zm8=");
+        assert_eq!(encode(b"foo"), "Zm9v");
+        assert_eq!(encode(b"foob"), "Zm9vYg==");
+        assert_eq!(encode(b"fooba"), "Zm9vYmE=");
+        assert_eq!(encode(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn round_trips_all_byte_values() {
+        for len in 0..32 {
+            let data: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+            assert_eq!(decode(&encode(&data)).unwrap(), data, "len {len}");
+        }
+        let all: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&all)).unwrap(), all);
+    }
+
+    #[test]
+    fn hostile_input_is_a_typed_error() {
+        for bad in [
+            "Zg=",
+            "Z===",
+            "Zg==Zg==",
+            "=g==",
+            "Z g=",
+            "Zm9v!A==",
+            "académie",
+        ] {
+            let err = decode(bad).expect_err(bad);
+            assert_eq!(err.kind(), ErrorKind::Protocol, "{bad}");
+        }
+    }
+}

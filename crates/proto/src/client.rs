@@ -1,21 +1,38 @@
 //! The remote client: a blocking connection that speaks the protocol and
 //! exposes the same submit/status/cancel/await verbs as the in-process
-//! service.
+//! service, plus the v2 extensions (event subscriptions and chunked
+//! volume uploads) when the server negotiates v2.
 
-use std::io::{Read, Write};
+use std::collections::VecDeque;
+use std::io::{ErrorKind as IoKind, Read, Write};
 use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
+use std::time::{Duration, Instant};
 
+use crate::b64;
 use crate::endpoint::Endpoint;
-use crate::frame::{read_frame, write_frame};
-use crate::spec::JobSpec;
-use crate::wire::{JobState, MetricsWire, Request, Response};
-use crate::PROTOCOL_VERSION;
+use crate::frame::{write_frame, FrameBuf};
+use crate::spec::{content_digest, JobSpec};
+use crate::wire::{Event, JobState, MetricsWire, Request, Response};
+use crate::{PROTOCOL_VERSION, PROTOCOL_VERSION_MIN};
 use tracto_trace::{TractoError, TractoResult};
+
+/// Raw bytes sent per `upload_chunk` (1 MiB — comfortably under
+/// [`UPLOAD_CHUNK_MAX`](crate::UPLOAD_CHUNK_MAX) after base64 expansion).
+const UPLOAD_CLIENT_CHUNK: usize = 1 << 20;
 
 enum Stream {
     Unix(UnixStream),
     Tcp(TcpStream),
+}
+
+impl Stream {
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_read_timeout(timeout),
+            Stream::Tcp(s) => s.set_read_timeout(timeout),
+        }
+    }
 }
 
 impl Read for Stream {
@@ -44,20 +61,41 @@ impl Write for Stream {
 }
 
 /// A connected client. One request is in flight at a time (the protocol is
-/// strict request/response), so methods take `&mut self`.
+/// strict request/response), so methods take `&mut self`. Pushed
+/// [`Event`]s may interleave with responses on a v2 connection; they are
+/// buffered internally and drained by [`next_event`](Self::next_event).
 pub struct RemoteService {
     stream: Stream,
-    /// The server's protocol version from the handshake.
+    frames: FrameBuf,
+    events: VecDeque<Event>,
+    /// The negotiated protocol version from the handshake.
     pub server_version: u32,
     /// The server's identification string from the handshake.
     pub server_name: String,
 }
 
 impl RemoteService {
-    /// Connect to `endpoint` and perform the `hello` handshake. Fails with
-    /// a typed [protocol error](TractoError::Protocol) on a version
-    /// mismatch.
+    /// Connect to `endpoint` and negotiate the protocol version. Offers
+    /// [`PROTOCOL_VERSION`] and accepts whatever the server answers down
+    /// to [`PROTOCOL_VERSION_MIN`]; a pre-negotiation (v1) server that
+    /// *refuses* the offer with its version-mismatch error is retried
+    /// once speaking v1, so old servers keep working — v2-only verbs then
+    /// fail with a typed error instead.
     pub fn connect(endpoint: &Endpoint, client_name: &str) -> TractoResult<Self> {
+        match Self::connect_with_version(endpoint, client_name, PROTOCOL_VERSION) {
+            Ok(client) => Ok(client),
+            Err(err) if is_version_refusal(&err) => {
+                Self::connect_with_version(endpoint, client_name, PROTOCOL_VERSION_MIN)
+            }
+            Err(err) => Err(err),
+        }
+    }
+
+    fn connect_with_version(
+        endpoint: &Endpoint,
+        client_name: &str,
+        version: u32,
+    ) -> TractoResult<Self> {
         let stream = match endpoint {
             Endpoint::Unix(path) => Stream::Unix(
                 UnixStream::connect(path)
@@ -70,22 +108,27 @@ impl RemoteService {
         };
         let mut client = RemoteService {
             stream,
+            frames: FrameBuf::new(),
+            events: VecDeque::new(),
             server_version: 0,
             server_name: String::new(),
         };
         let reply = client.call(&Request::Hello {
-            version: PROTOCOL_VERSION,
+            version,
             client: client_name.to_string(),
         })?;
         match reply {
-            Response::Hello { version, server } => {
-                if version != PROTOCOL_VERSION {
+            Response::Hello {
+                version: server,
+                server: name,
+            } => {
+                if server < PROTOCOL_VERSION_MIN || server > version {
                     return Err(TractoError::protocol(format!(
-                        "server speaks protocol v{version}, client speaks v{PROTOCOL_VERSION}"
+                        "server negotiated protocol v{server}, client offered v{version}"
                     )));
                 }
-                client.server_version = version;
-                client.server_name = server;
+                client.server_version = server;
+                client.server_name = name;
                 Ok(client)
             }
             other => Err(unexpected("hello", &other)),
@@ -123,16 +166,45 @@ impl RemoteService {
         }
     }
 
-    /// Send one request and read its response. [`Response::Error`] is
-    /// returned as-is so callers can inspect it; transport and decode
-    /// failures are typed errors.
+    /// Read raw bytes into the frame buffer and return the next decoded
+    /// response, or `Ok(None)` on a clean close between frames.
+    fn recv_response(&mut self) -> TractoResult<Option<Response>> {
+        loop {
+            if let Some(payload) = self.frames.next_frame()? {
+                return Response::decode(&payload).map(Some);
+            }
+            let mut buf = [0u8; 8192];
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    return if self.frames.pending() == 0 {
+                        Ok(None)
+                    } else {
+                        Err(TractoError::protocol("stream ended inside a frame"))
+                    }
+                }
+                Ok(n) => self.frames.extend(&buf[..n]),
+                Err(e) if e.kind() == IoKind::Interrupted => {}
+                Err(e) => return Err(TractoError::io("read frame", e)),
+            }
+        }
+    }
+
+    /// Send one request and read its response, buffering any pushed
+    /// events that arrive in between. [`Response::Error`] is returned
+    /// as-is so callers can inspect it; transport and decode failures are
+    /// typed errors.
     pub fn call(&mut self, request: &Request) -> TractoResult<Response> {
         write_frame(&mut self.stream, &request.encode())?;
-        match read_frame(&mut self.stream)? {
-            Some(payload) => Response::decode(&payload),
-            None => Err(TractoError::protocol(
-                "server closed the connection before responding",
-            )),
+        loop {
+            match self.recv_response()? {
+                Some(Response::Event(ev)) => self.events.push_back(ev),
+                Some(response) => return Ok(response),
+                None => {
+                    return Err(TractoError::protocol(
+                        "server closed the connection before responding",
+                    ))
+                }
+            }
         }
     }
 
@@ -152,12 +224,38 @@ impl RemoteService {
         }
     }
 
-    /// Block until the job finishes (or `timeout_ms` elapses server-side)
-    /// and return its state — [`JobState::Pending`] means the timeout hit.
+    /// Block until the job finishes (or `timeout_ms` elapses) and return
+    /// its state — [`JobState::Pending`] means the timeout hit.
+    ///
+    /// On a v2 connection this subscribes to the job and waits for its
+    /// pushed terminal event — no request sits parked on a server thread
+    /// and no poll loop runs anywhere. Against a v1 server it falls back
+    /// to the blocking `await` request.
     pub fn await_job(&mut self, job: u64, timeout_ms: Option<u64>) -> TractoResult<JobState> {
-        match self.call(&Request::Await { job, timeout_ms })? {
-            Response::Status { state, .. } => Ok(state),
-            other => Err(unexpected("status", &other)),
+        if self.server_version < 2 {
+            return match self.call(&Request::Await { job, timeout_ms })? {
+                Response::Status { state, .. } => Ok(state),
+                other => Err(unexpected("status", &other)),
+            };
+        }
+        self.subscribe(Some(job))?;
+        let deadline = timeout_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+        loop {
+            let remaining = match deadline {
+                None => None,
+                Some(d) => {
+                    let left = d.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        return Ok(JobState::Pending);
+                    }
+                    Some(left)
+                }
+            };
+            match self.next_event(remaining)? {
+                Some(ev) if ev.job == job && ev.is_terminal() => return Ok(ev.state),
+                Some(_) => {}
+                None => return Ok(JobState::Pending),
+            }
         }
     }
 
@@ -191,6 +289,127 @@ impl RemoteService {
             Response::ShuttingDown => Ok(()),
             other => Err(unexpected("shutting_down", &other)),
         }
+    }
+
+    fn require_v2(&self, what: &str) -> TractoResult<()> {
+        if self.server_version >= 2 {
+            Ok(())
+        } else {
+            Err(TractoError::protocol(format!(
+                "{what} requires protocol v2; server `{}` speaks v{}",
+                self.server_name, self.server_version
+            )))
+        }
+    }
+
+    /// Subscribe this connection to pushed job events: one job's, or all
+    /// jobs' when `job` is `None` (v2 only). Subscribing to a job that is
+    /// already terminal pushes its terminal event immediately.
+    pub fn subscribe(&mut self, job: Option<u64>) -> TractoResult<()> {
+        self.require_v2("subscribe")?;
+        match self.call(&Request::Subscribe { job })? {
+            Response::Subscribed { .. } => Ok(()),
+            other => Err(unexpected("subscribed", &other)),
+        }
+    }
+
+    /// Return the next pushed event: a buffered one if any, otherwise
+    /// block reading the stream up to `timeout` (`None` waits
+    /// indefinitely). `Ok(None)` means the timeout elapsed.
+    pub fn next_event(&mut self, timeout: Option<Duration>) -> TractoResult<Option<Event>> {
+        let result = self.next_event_inner(timeout);
+        // Leave the stream blocking for subsequent request/response calls.
+        let _ = self.stream.set_read_timeout(None);
+        result
+    }
+
+    fn next_event_inner(&mut self, timeout: Option<Duration>) -> TractoResult<Option<Event>> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        loop {
+            if let Some(ev) = self.events.pop_front() {
+                return Ok(Some(ev));
+            }
+            if let Some(payload) = self.frames.next_frame()? {
+                match Response::decode(&payload)? {
+                    Response::Event(ev) => return Ok(Some(ev)),
+                    other => {
+                        return Err(TractoError::protocol(format!(
+                            "unsolicited response while waiting for events: {other:?}"
+                        )))
+                    }
+                }
+            }
+            let remaining = match deadline {
+                None => None,
+                Some(d) => {
+                    let left = d.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        return Ok(None);
+                    }
+                    Some(left)
+                }
+            };
+            self.stream
+                .set_read_timeout(remaining)
+                .map_err(|e| TractoError::io("set read timeout", e))?;
+            let mut buf = [0u8; 8192];
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    return Err(TractoError::protocol(
+                        "server closed the connection while streaming events",
+                    ))
+                }
+                Ok(n) => self.frames.extend(&buf[..n]),
+                Err(e) if e.kind() == IoKind::Interrupted => {}
+                Err(e) if e.kind() == IoKind::WouldBlock || e.kind() == IoKind::TimedOut => {
+                    return Ok(None)
+                }
+                Err(e) => return Err(TractoError::io("read event", e)),
+            }
+        }
+    }
+
+    /// Upload a volume blob in chunks (v2 only), returning its 16-hex
+    /// content hash for use in
+    /// [`DatasetSpec::uploaded`](crate::DatasetSpec::uploaded). Resumes
+    /// from the server's staged offset and skips entirely when the server
+    /// already holds the committed blob.
+    pub fn upload(&mut self, bytes: &[u8]) -> TractoResult<String> {
+        self.require_v2("upload")?;
+        let hash = format!("{:016x}", content_digest(bytes));
+        let offset = match self.call(&Request::UploadBegin {
+            hash: hash.clone(),
+            len: bytes.len() as u64,
+        })? {
+            Response::UploadReady { complete: true, .. } => return Ok(hash),
+            Response::UploadReady { offset, .. } => offset as usize,
+            other => return Err(unexpected("upload_ready", &other)),
+        };
+        let mut sent = offset.min(bytes.len());
+        while sent < bytes.len() {
+            let end = (sent + UPLOAD_CLIENT_CHUNK).min(bytes.len());
+            match self.call(&Request::UploadChunk {
+                hash: hash.clone(),
+                offset: sent as u64,
+                data: b64::encode(&bytes[sent..end]),
+            })? {
+                Response::UploadAck { received } => sent = received as usize,
+                other => return Err(unexpected("upload_ack", &other)),
+            }
+        }
+        match self.call(&Request::UploadCommit { hash: hash.clone() })? {
+            Response::UploadDone { .. } => Ok(hash),
+            other => Err(unexpected("upload_done", &other)),
+        }
+    }
+}
+
+/// Whether `err` is a v1 server's refusal of a newer `hello` — the signal
+/// to reconnect speaking v1.
+fn is_version_refusal(err: &TractoError) -> bool {
+    err.kind() == tracto_trace::ErrorKind::Protocol && {
+        let text = err.to_string();
+        text.contains("version") && text.contains("mismatch")
     }
 }
 
@@ -242,5 +461,25 @@ mod tests {
             start.elapsed() < Duration::from_secs(5),
             "zero retries must not sleep"
         );
+    }
+
+    #[test]
+    fn version_refusal_detection_matches_the_v1_server_wording() {
+        // The exact phrasing a v1 server sends back for a v2 hello.
+        let refusal = unexpected(
+            "hello",
+            &Response::Error {
+                kind: "protocol".into(),
+                message: "protocol version mismatch: server speaks 1, client sent 2".into(),
+            },
+        );
+        assert!(is_version_refusal(&refusal));
+        let other = TractoError::protocol("server closed the connection before responding");
+        assert!(!is_version_refusal(&other));
+        let io = TractoError::io(
+            "connect",
+            std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "no"),
+        );
+        assert!(!is_version_refusal(&io));
     }
 }

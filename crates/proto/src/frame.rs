@@ -65,6 +65,68 @@ pub fn read_frame(r: &mut impl Read) -> TractoResult<Option<String>> {
         .map_err(|_| TractoError::protocol("frame body is not valid UTF-8"))
 }
 
+/// Incremental frame extraction over an append-only byte buffer, for
+/// nonblocking readers (the reactor's per-connection inbox, the client's
+/// event loop) that receive partial frames across many `read` calls.
+///
+/// Feed raw bytes with [`extend`](Self::extend); pull complete payloads
+/// with [`next_frame`](Self::next_frame). An oversized length prefix is
+/// reported before its body is buffered, so a hostile peer cannot make the
+/// reader allocate past [`MAX_FRAME_BYTES`].
+#[derive(Debug, Default)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        FrameBuf::default()
+    }
+
+    /// Append raw bytes read from the transport.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Reclaim consumed prefix before growing, keeping the buffer
+        // bounded by one frame plus one read.
+        if self.start > 0 && (self.start >= 4096 || self.start == self.buf.len()) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Extract the next complete frame payload, or `Ok(None)` if more
+    /// bytes are needed. An oversized announcement or a non-UTF-8 body is
+    /// a typed [protocol error](TractoError::Protocol).
+    pub fn next_frame(&mut self) -> TractoResult<Option<String>> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([avail[0], avail[1], avail[2], avail[3]]);
+        if len > MAX_FRAME_BYTES {
+            return Err(TractoError::protocol(format!(
+                "incoming frame of {len} bytes exceeds the {MAX_FRAME_BYTES} byte limit"
+            )));
+        }
+        let total = 4 + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let body = avail[4..total].to_vec();
+        self.start += total;
+        String::from_utf8(body)
+            .map(Some)
+            .map_err(|_| TractoError::protocol("frame body is not valid UTF-8"))
+    }
+}
+
 enum Filled {
     Complete,
     Partial(usize),
@@ -138,6 +200,34 @@ mod tests {
         buf.extend_from_slice(b"x");
         let mut r = buf.as_slice();
         let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Protocol);
+        assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn frame_buf_extracts_across_partial_feeds() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, "{\"a\":1}").unwrap();
+        write_frame(&mut wire, "").unwrap();
+        write_frame(&mut wire, "tail").unwrap();
+        let mut fb = FrameBuf::new();
+        let mut got = Vec::new();
+        // Feed one byte at a time: frames must still come out whole.
+        for &b in &wire {
+            fb.extend(&[b]);
+            while let Some(f) = fb.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, ["{\"a\":1}", "", "tail"]);
+        assert_eq!(fb.pending(), 0);
+    }
+
+    #[test]
+    fn frame_buf_rejects_oversize_before_buffering_body() {
+        let mut fb = FrameBuf::new();
+        fb.extend(&(MAX_FRAME_BYTES + 1).to_be_bytes());
+        let err = fb.next_frame().unwrap_err();
         assert_eq!(err.kind(), ErrorKind::Protocol);
         assert!(err.to_string().contains("exceeds"));
     }

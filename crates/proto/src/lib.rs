@@ -20,11 +20,14 @@
 //!
 //! The version is a single integer, bumped on any change a v_n peer could
 //! misread: renamed/removed fields, re-typed fields, or changed framing.
-//! *Adding* an optional request field or a new response variant bumps it
-//! too — the protocol is young, and one number both sides compare exactly
-//! beats field-level feature negotiation at this stage. Servers answer a
-//! mismatched `hello` with an `error` frame (so old clients get a readable
-//! reason) and then close.
+//! Since v2 the handshake *negotiates*: the server answers `hello` with
+//! `min(client_version, PROTOCOL_VERSION)` and both sides speak that
+//! version for the rest of the connection, so a v1 client keeps working
+//! against a v2 server unchanged. A v1 server still answers a v2 `hello`
+//! with an `error` frame and closes; [`RemoteService::connect`] catches
+//! that refusal and reconnects speaking v1, gating v2-only verbs
+//! (subscriptions, uploads) on the negotiated `server_version`. A `hello`
+//! below [`PROTOCOL_VERSION_MIN`] is refused outright.
 //!
 //! The crate is std-only: JSON encode/decode reuses `tracto-trace`'s
 //! hand-rolled writer/parser, so nothing new is pulled into the workspace.
@@ -32,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod b64;
 pub mod client;
 pub mod endpoint;
 pub mod frame;
@@ -41,13 +45,17 @@ pub mod wire;
 
 pub use client::RemoteService;
 pub use endpoint::Endpoint;
-pub use frame::{read_frame, write_frame, MAX_FRAME_BYTES};
+pub use frame::{read_frame, write_frame, FrameBuf, MAX_FRAME_BYTES};
 pub use spec::{
-    lengths_digest, CachePolicy, ChainSpec, DatasetSpec, JobKind, JobSpec, Priority, TrackSpec,
+    content_digest, lengths_digest, CachePolicy, ChainSpec, DatasetSpec, JobKind, JobSpec,
+    Priority, TrackSpec,
 };
-pub use wire::{JobState, MetricsWire, Outcome, Request, Response};
+pub use wire::{Event, JobState, MetricsWire, Outcome, Request, Response, UPLOAD_CHUNK_MAX};
 
-/// The protocol version both sides exchange in `hello`. Peers with
-/// different versions refuse to talk (see the compatibility policy in the
-/// crate docs).
-pub const PROTOCOL_VERSION: u32 = 1;
+/// The newest protocol version this build speaks; the client offers it in
+/// `hello` and the server negotiates down to `min(client, server)` (see
+/// the compatibility policy in the crate docs).
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// The oldest version either side will still negotiate down to.
+pub const PROTOCOL_VERSION_MIN: u32 = 1;

@@ -82,20 +82,26 @@ impl CachePolicy {
     }
 }
 
-/// A deterministic phantom-dataset recipe, the wire stand-in for raw
-/// volumes. `(kind, scale, seed, snr)` fully determine the generated
-/// dataset, so it doubles as a memoization key server-side.
+/// A dataset reference that crosses the wire: either a deterministic
+/// phantom recipe (`(kind, scale, seed, snr)` fully determine the
+/// generated volumes, so the recipe doubles as a memoization key
+/// server-side) or, since protocol v2, a pointer to a previously uploaded
+/// volume blob (`kind = "upload"`, content hash in `upload`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct DatasetSpec {
     /// Phantom family: `1` | `2` (the paper's datasets) | `single` |
-    /// `crossing`.
+    /// `crossing` — or `upload` for an uploaded volume.
     pub kind: String,
-    /// Grid scale in `(0, 1]`.
+    /// Grid scale in `(0, 1]` (ignored for uploads).
     pub scale: f64,
-    /// Generation seed.
+    /// Generation seed (ignored for uploads).
     pub seed: u64,
-    /// Rician noise SNR; `None` generates a noiseless dataset.
+    /// Rician noise SNR; `None` generates a noiseless dataset (ignored
+    /// for uploads).
     pub snr: Option<f64>,
+    /// Content hash (16 hex digits) of an uploaded volume blob; set if
+    /// and only if `kind == "upload"`. v1 peers never see this field.
+    pub upload: Option<String>,
 }
 
 impl DatasetSpec {
@@ -106,11 +112,26 @@ impl DatasetSpec {
             scale: 0.25,
             seed: 7,
             snr: Some(25.0),
+            upload: None,
+        }
+    }
+
+    /// A reference to an uploaded volume blob by content hash (v2 only).
+    pub fn uploaded(hash: impl Into<String>) -> Self {
+        DatasetSpec {
+            kind: "upload".into(),
+            scale: 1.0,
+            seed: 0,
+            snr: None,
+            upload: Some(hash.into()),
         }
     }
 
     /// Canonical string form, used as the server's memoization key.
     pub fn canonical(&self) -> String {
+        if let Some(hash) = &self.upload {
+            return format!("upload:{hash}");
+        }
         match self.snr {
             Some(snr) => format!("{}:{}:{}:{}", self.kind, self.scale, self.seed, snr),
             None => format!("{}:{}:{}:none", self.kind, self.scale, self.seed),
@@ -126,15 +147,34 @@ impl DatasetSpec {
             Some(snr) => w.f64_field("snr", snr),
             None => w.null_field("snr"),
         }
+        // Only uploads carry the hash, so v1 specs encode byte-identically
+        // to what a v1 peer would produce.
+        if let Some(hash) = &self.upload {
+            w.str_field("upload", hash);
+        }
         w.end();
     }
 
     fn from_json(v: &Json) -> TractoResult<Self> {
+        let kind = obj_str(v, "kind")?;
+        let upload =
+            match v.get("upload") {
+                None | Some(Json::Null) => None,
+                Some(j) => Some(j.as_str().map(str::to_owned).ok_or_else(|| {
+                    TractoError::protocol("dataset field `upload` is not a string")
+                })?),
+            };
+        if (kind == "upload") != upload.is_some() {
+            return Err(TractoError::protocol(
+                "dataset kind `upload` requires the `upload` hash field (and vice versa)",
+            ));
+        }
         Ok(DatasetSpec {
-            kind: obj_str(v, "kind")?,
+            kind,
             scale: obj_f64(v, "scale")?,
             seed: obj_u64(v, "seed")?,
             snr: obj_opt_f64(v, "snr")?,
+            upload,
         })
     }
 }
@@ -320,6 +360,18 @@ impl JobSpec {
     }
 }
 
+/// FNV-1a digest of a raw byte blob: the content hash that names an
+/// uploaded volume on the wire (16-hex form) and on disk. Stable across
+/// platforms.
+pub fn content_digest(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
 /// FNV-1a digest of a per-sample length table, the compact form of "these
 /// two tracking runs are bit-identical". Stable across platforms.
 pub fn lengths_digest(lengths: &[Vec<u32>]) -> u64 {
@@ -399,6 +451,22 @@ mod tests {
         assert_ne!(lengths_digest(&a), lengths_digest(&b));
         assert_eq!(lengths_digest(&a), lengths_digest(&c));
         assert_ne!(lengths_digest(&a), lengths_digest(&[]));
+    }
+
+    #[test]
+    fn uploaded_spec_round_trips_and_keys_by_hash() {
+        let spec = JobSpec::track(DatasetSpec::uploaded("0123456789abcdef"));
+        assert_eq!(roundtrip(&spec), spec);
+        assert_eq!(spec.dataset.canonical(), "upload:0123456789abcdef");
+        // A phantom recipe never emits the upload field.
+        assert!(!JobSpec::track(DatasetSpec::new("single"))
+            .to_json_string()
+            .contains("upload"));
+        // Kind and hash must agree.
+        let mut bad = DatasetSpec::new("single");
+        bad.upload = Some("0123456789abcdef".into());
+        let text = JobSpec::track(bad).to_json_string();
+        assert!(JobSpec::from_json_str(&text).is_err());
     }
 
     #[test]

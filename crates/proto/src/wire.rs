@@ -11,6 +11,12 @@ use crate::spec::JobSpec;
 use tracto_trace::json::{parse, Json};
 use tracto_trace::{TractoError, TractoResult};
 
+/// Upper bound on the *raw* byte length of one `upload_chunk` payload
+/// (4 MiB). Base64 expansion keeps the encoded frame well under
+/// [`MAX_FRAME_BYTES`](crate::MAX_FRAME_BYTES); a server refuses larger
+/// chunks before decoding them.
+pub const UPLOAD_CHUNK_MAX: u64 = 4 << 20;
+
 /// A client-to-server message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -47,6 +53,40 @@ pub enum Request {
     Drain,
     /// Ask the serving process to drain and exit.
     Shutdown,
+    /// (v2) Subscribe this connection to pushed [`Response::Event`]s:
+    /// every job's lifecycle transitions, or one job's. Answered with
+    /// [`Response::Subscribed`]; if the named job is already terminal its
+    /// terminal event is pushed immediately after, so subscribing after
+    /// `submit` can never miss the end of a fast job.
+    Subscribe {
+        /// Restrict the subscription to one job id; `None` streams all.
+        job: Option<u64>,
+    },
+    /// (v2) Open (or resume) a chunked volume upload. Answered with
+    /// [`Response::UploadReady`] carrying the offset to continue from.
+    UploadBegin {
+        /// FNV-1a content hash of the complete blob, 16 hex digits.
+        hash: String,
+        /// Total blob length in bytes.
+        len: u64,
+    },
+    /// (v2) Append one chunk to an open upload; answered with
+    /// [`Response::UploadAck`].
+    UploadChunk {
+        /// Hash from [`Request::UploadBegin`].
+        hash: String,
+        /// Byte offset of this chunk (must equal the staged length).
+        offset: u64,
+        /// Base64-encoded chunk bytes, at most [`UPLOAD_CHUNK_MAX`] raw.
+        data: String,
+    },
+    /// (v2) Verify the staged bytes against the declared hash and publish
+    /// the blob for job submission; answered with
+    /// [`Response::UploadDone`].
+    UploadCommit {
+        /// Hash from [`Request::UploadBegin`].
+        hash: String,
+    },
 }
 
 /// A server-to-client message.
@@ -92,6 +132,60 @@ pub enum Response {
         /// Human-readable detail.
         message: String,
     },
+    /// (v2) The subscription is active.
+    Subscribed {
+        /// The job filter that was installed (`None` = all jobs).
+        job: Option<u64>,
+    },
+    /// (v2) A pushed job-lifecycle event. Unlike every other response this
+    /// one is *unsolicited*: it may arrive between a request and its
+    /// response, and clients must buffer it (see
+    /// [`RemoteService::next_event`](crate::RemoteService::next_event)).
+    Event(Event),
+    /// (v2) Upload opened; continue from `offset` (`complete` means the
+    /// blob was already committed under this hash — nothing to send).
+    UploadReady {
+        /// Bytes already staged (or the full length when `complete`).
+        offset: u64,
+        /// The hash is already committed; skip straight to submission.
+        complete: bool,
+    },
+    /// (v2) Chunk accepted.
+    UploadAck {
+        /// Total bytes staged after this chunk.
+        received: u64,
+    },
+    /// (v2) Upload verified and committed.
+    UploadDone {
+        /// The committed content hash.
+        hash: String,
+        /// Total blob length.
+        bytes: u64,
+    },
+}
+
+/// A pushed job-lifecycle transition (protocol v2). `kind` is one of
+/// `admitted` | `checkpointed` | `completed` | `cancelled` | `failed`; the
+/// last three are terminal and carry the job's final [`JobState`], so a
+/// subscriber needs no follow-up `status` poll.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Server-side push sequence number (per connection, monotonic).
+    pub seq: u64,
+    /// The job this transition belongs to.
+    pub job: u64,
+    /// Transition name.
+    pub kind: String,
+    /// The job's state as of this transition (`Pending` for non-terminal
+    /// kinds).
+    pub state: JobState,
+}
+
+impl Event {
+    /// Whether this transition ended the job's lifecycle.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self.kind.as_str(), "completed" | "cancelled" | "failed")
+    }
 }
 
 /// A job's lifecycle state as reported on the wire.
@@ -336,6 +430,27 @@ impl Request {
             Request::Metrics => w.str_field("type", "metrics"),
             Request::Drain => w.str_field("type", "drain"),
             Request::Shutdown => w.str_field("type", "shutdown"),
+            Request::Subscribe { job } => {
+                w.str_field("type", "subscribe");
+                if let Some(job) = job {
+                    w.u64_field("job", *job);
+                }
+            }
+            Request::UploadBegin { hash, len } => {
+                w.str_field("type", "upload_begin");
+                w.str_field("hash", hash);
+                w.u64_field("len", *len);
+            }
+            Request::UploadChunk { hash, offset, data } => {
+                w.str_field("type", "upload_chunk");
+                w.str_field("hash", hash);
+                w.u64_field("offset", *offset);
+                w.str_field("data", data);
+            }
+            Request::UploadCommit { hash } => {
+                w.str_field("type", "upload_commit");
+                w.str_field("hash", hash);
+            }
         }
         w.end();
         w.finish()
@@ -372,6 +487,21 @@ impl Request {
             "metrics" => Ok(Request::Metrics),
             "drain" => Ok(Request::Drain),
             "shutdown" => Ok(Request::Shutdown),
+            "subscribe" => Ok(Request::Subscribe {
+                job: obj_opt_u64(&v, "job")?,
+            }),
+            "upload_begin" => Ok(Request::UploadBegin {
+                hash: obj_str(&v, "hash")?,
+                len: obj_u64(&v, "len")?,
+            }),
+            "upload_chunk" => Ok(Request::UploadChunk {
+                hash: obj_str(&v, "hash")?,
+                offset: obj_u64(&v, "offset")?,
+                data: obj_str(&v, "data")?,
+            }),
+            "upload_commit" => Ok(Request::UploadCommit {
+                hash: obj_str(&v, "hash")?,
+            }),
             other => Err(TractoError::protocol(format!(
                 "unknown request type `{other}`"
             ))),
@@ -500,6 +630,33 @@ impl Response {
                 w.str_field("kind", kind);
                 w.str_field("message", message);
             }
+            Response::Subscribed { job } => {
+                w.str_field("type", "subscribed");
+                if let Some(job) = job {
+                    w.u64_field("job", *job);
+                }
+            }
+            Response::Event(ev) => {
+                w.str_field("type", "event");
+                w.u64_field("seq", ev.seq);
+                w.u64_field("job", ev.job);
+                w.str_field("kind", &ev.kind);
+                w.raw_field("job_state", |w| write_state(w, &ev.state));
+            }
+            Response::UploadReady { offset, complete } => {
+                w.str_field("type", "upload_ready");
+                w.u64_field("offset", *offset);
+                w.bool_field("complete", *complete);
+            }
+            Response::UploadAck { received } => {
+                w.str_field("type", "upload_ack");
+                w.u64_field("received", *received);
+            }
+            Response::UploadDone { hash, bytes } => {
+                w.str_field("type", "upload_done");
+                w.str_field("hash", hash);
+                w.u64_field("bytes", *bytes);
+            }
         }
         w.end();
         w.finish()
@@ -537,6 +694,29 @@ impl Response {
             "error" => Ok(Response::Error {
                 kind: obj_str(&v, "kind")?,
                 message: obj_str(&v, "message")?,
+            }),
+            "subscribed" => Ok(Response::Subscribed {
+                job: obj_opt_u64(&v, "job")?,
+            }),
+            "event" => Ok(Response::Event(Event {
+                seq: obj_u64(&v, "seq")?,
+                job: obj_u64(&v, "job")?,
+                kind: obj_str(&v, "kind")?,
+                state: read_state(
+                    v.get("job_state")
+                        .ok_or_else(|| TractoError::protocol("event missing `job_state`"))?,
+                )?,
+            })),
+            "upload_ready" => Ok(Response::UploadReady {
+                offset: obj_u64(&v, "offset")?,
+                complete: obj_bool(&v, "complete")?,
+            }),
+            "upload_ack" => Ok(Response::UploadAck {
+                received: obj_u64(&v, "received")?,
+            }),
+            "upload_done" => Ok(Response::UploadDone {
+                hash: obj_str(&v, "hash")?,
+                bytes: obj_u64(&v, "bytes")?,
             }),
             other => Err(TractoError::protocol(format!(
                 "unknown response type `{other}`"
@@ -586,6 +766,76 @@ mod tests {
         rt_req(Request::Metrics);
         rt_req(Request::Drain);
         rt_req(Request::Shutdown);
+    }
+
+    #[test]
+    fn v2_requests_round_trip() {
+        rt_req(Request::Subscribe { job: None });
+        rt_req(Request::Subscribe { job: Some(41) });
+        rt_req(Request::UploadBegin {
+            hash: "00ff00ff00ff00ff".into(),
+            len: 1 << 24,
+        });
+        rt_req(Request::UploadChunk {
+            hash: "00ff00ff00ff00ff".into(),
+            offset: 65536,
+            data: "Zm9vYmFy".into(),
+        });
+        rt_req(Request::UploadCommit {
+            hash: "00ff00ff00ff00ff".into(),
+        });
+        let mut spec = JobSpec::track(DatasetSpec::uploaded("00ff00ff00ff00ff"));
+        spec.seed = 5;
+        rt_req(Request::Submit(Box::new(spec)));
+    }
+
+    #[test]
+    fn v2_responses_round_trip() {
+        rt_resp(Response::Subscribed { job: None });
+        rt_resp(Response::Subscribed { job: Some(7) });
+        rt_resp(Response::Event(Event {
+            seq: 3,
+            job: 7,
+            kind: "admitted".into(),
+            state: JobState::Pending,
+        }));
+        rt_resp(Response::Event(Event {
+            seq: 4,
+            job: 7,
+            kind: "completed".into(),
+            state: JobState::Done(Outcome::Estimate {
+                voxels: 99,
+                cache_hit: false,
+            }),
+        }));
+        rt_resp(Response::UploadReady {
+            offset: 12,
+            complete: false,
+        });
+        rt_resp(Response::UploadAck { received: 4096 });
+        rt_resp(Response::UploadDone {
+            hash: "deadbeefdeadbeef".into(),
+            bytes: 4096,
+        });
+    }
+
+    #[test]
+    fn terminal_kinds_are_terminal() {
+        for (kind, terminal) in [
+            ("admitted", false),
+            ("checkpointed", false),
+            ("completed", true),
+            ("cancelled", true),
+            ("failed", true),
+        ] {
+            let ev = Event {
+                seq: 0,
+                job: 1,
+                kind: kind.into(),
+                state: JobState::Pending,
+            };
+            assert_eq!(ev.is_terminal(), terminal, "{kind}");
+        }
     }
 
     #[test]

@@ -44,12 +44,15 @@
 pub mod batch;
 pub mod cache;
 pub mod config;
+mod events;
 pub mod job;
 pub mod journal;
 pub mod listener;
 pub mod metrics;
+mod reactor;
 pub mod service;
 pub mod spec;
+pub mod uploads;
 
 pub use batch::{run_batch, BatchJob, BatchReport};
 pub use cache::{
@@ -64,3 +67,4 @@ pub use listener::SocketServer;
 pub use metrics::MetricsSnapshot;
 pub use service::TractoService;
 pub use spec::{materialize_dataset, DatasetSource, JobSpec, Work};
+pub use uploads::UploadStore;

@@ -1,24 +1,29 @@
-//! The socket front end: serves the wire protocol over a Unix-domain (or
-//! TCP) socket, translating frames into [`TractoService`] calls.
+//! The socket front end: binds the endpoint, owns shared server state,
+//! and hosts the connection [`reactor`](crate::reactor).
 //!
-//! One acceptor thread polls a nonblocking listener; each accepted
-//! connection gets a blocking handler thread. Shutdown never relies on
-//! read timeouts (a timeout mid-frame would corrupt frame sync): the
-//! acceptor checks a stop flag between polls, and [`SocketServer::stop`]
-//! half-closes every live connection's stored clone, which makes the
-//! handler's blocking read return end-of-stream cleanly between frames.
+//! Since protocol v2 the front end is event-driven: instead of one
+//! blocking handler thread per connection, a single nonblocking IO
+//! thread multiplexes every client (plus a small fixed worker pool for
+//! the one verb that blocks, `drain`). This file keeps the pieces that
+//! are about the *endpoint* rather than the connections: the stale-
+//! socket replacement dance at bind, the public [`SocketServer`] API,
+//! and teardown — stop raises a flag, the reactor closes every live
+//! connection and exits, and the threads are joined here, so no
+//! descriptor outlives [`SocketServer::stop`].
 //!
 //! Error discipline follows the protocol contract: a request the server
-//! cannot *decode* is answered with an `error` response and the connection
-//! survives (frame boundaries are intact); a *framing* violation — bad
-//! length prefix, oversized frame — tears the connection down. A client
-//! that disconnects mid-job loses only its handle: the job itself runs to
-//! completion and keeps warming the cache.
+//! cannot *decode* is answered with an `error` response and the
+//! connection survives (frame boundaries are intact); a *framing*
+//! violation — bad length prefix, oversized frame — tears the connection
+//! down. A client that disconnects mid-job loses only its handle: the
+//! job itself runs to completion and keeps warming the cache.
 
-use crate::job::{JobError, JobOutput, Ticket};
+use crate::events::EventBus;
+use crate::job::{JobOutput, Ticket};
 use crate::metrics::MetricsSnapshot;
+use crate::reactor;
 use crate::service::TractoService;
-use crate::spec::JobSpec;
+use crate::uploads::UploadStore;
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::io::{ErrorKind as IoKind, Read, Write};
@@ -27,24 +32,16 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
-use tracto_proto::{
-    read_frame, write_frame, Endpoint, JobState, MetricsWire, Outcome, Request, Response,
-    PROTOCOL_VERSION,
-};
+use tracto_proto::{Endpoint, MetricsWire};
 use tracto_trace::{TractoError, TractoResult};
 
-/// How often the acceptor re-checks the stop flag between accept polls,
-/// and how often an indefinite `await` re-checks it between waits.
-const POLL_INTERVAL: Duration = Duration::from_millis(10);
-
-enum Listener {
+pub(crate) enum Listener {
     Unix(UnixListener),
     Tcp(TcpListener),
 }
 
 impl Listener {
-    fn accept(&self) -> std::io::Result<ConnStream> {
+    pub(crate) fn accept(&self) -> std::io::Result<ConnStream> {
         match self {
             Listener::Unix(l) => l.accept().map(|(s, _)| ConnStream::Unix(s)),
             Listener::Tcp(l) => l.accept().map(|(s, _)| ConnStream::Tcp(s)),
@@ -59,29 +56,22 @@ impl Listener {
     }
 }
 
-enum ConnStream {
+pub(crate) enum ConnStream {
     Unix(UnixStream),
     Tcp(TcpStream),
 }
 
 impl ConnStream {
-    fn try_clone(&self) -> std::io::Result<ConnStream> {
-        match self {
-            ConnStream::Unix(s) => s.try_clone().map(ConnStream::Unix),
-            ConnStream::Tcp(s) => s.try_clone().map(ConnStream::Tcp),
-        }
-    }
-
-    fn set_nonblocking(&self, nb: bool) -> std::io::Result<()> {
+    pub(crate) fn set_nonblocking(&self, nb: bool) -> std::io::Result<()> {
         match self {
             ConnStream::Unix(s) => s.set_nonblocking(nb),
             ConnStream::Tcp(s) => s.set_nonblocking(nb),
         }
     }
 
-    /// Half-close both directions so a handler blocked in `read` observes
-    /// a clean end-of-stream.
-    fn shutdown_both(&self) {
+    /// Half-close both directions so the peer observes a clean
+    /// end-of-stream.
+    pub(crate) fn shutdown_both(&self) {
         let _ = match self {
             ConnStream::Unix(s) => s.shutdown(std::net::Shutdown::Both),
             ConnStream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
@@ -114,48 +104,55 @@ impl Write for ConnStream {
     }
 }
 
-struct ServerState {
-    service: Arc<TractoService>,
+pub(crate) struct ServerState {
+    pub(crate) service: Arc<TractoService>,
     /// Tickets by wire job id, shared across connections: a job submitted
     /// on one connection can be polled or cancelled from another.
-    jobs: Mutex<HashMap<u64, Ticket<JobOutput>>>,
-    /// Stored stream clones, used only to half-close live connections at
-    /// shutdown.
-    conns: Mutex<HashMap<u64, ConnStream>>,
-    next_conn: AtomicU64,
-    remote_jobs: AtomicU64,
-    stop: AtomicBool,
-    shutdown_requested: Mutex<bool>,
-    shutdown_cv: Condvar,
+    pub(crate) jobs: Mutex<HashMap<u64, Ticket<JobOutput>>>,
+    pub(crate) next_conn: AtomicU64,
+    pub(crate) remote_jobs: AtomicU64,
+    /// `status` + `await` requests served — the requests v2 subscriptions
+    /// make unnecessary. The soak test asserts this stays at zero when
+    /// every client follows pushed events.
+    pub(crate) polls: AtomicU64,
+    pub(crate) stop: AtomicBool,
+    pub(crate) shutdown_requested: Mutex<bool>,
+    pub(crate) shutdown_cv: Condvar,
+    /// Staged/committed volume uploads; `None` without `--state-dir`.
+    pub(crate) uploads: Option<Arc<UploadStore>>,
+    /// The service's lifecycle event bus, drained by the reactor.
+    pub(crate) bus: Arc<EventBus>,
 }
 
 impl ServerState {
-    fn request_shutdown(&self) {
+    pub(crate) fn request_shutdown(&self) {
         let mut requested = self.shutdown_requested.lock();
         *requested = true;
         self.shutdown_cv.notify_all();
     }
 }
 
-/// A running socket front end over a [`TractoService`]. Owns an acceptor
-/// thread and one handler thread per live connection; [`stop`](Self::stop)
-/// (or drop) tears all of them down. The service itself is shared and
-/// outlives the listener — in-process submission keeps working while the
-/// socket is up, against the same queues, cache, and metrics.
+/// A running socket front end over a [`TractoService`]. Owns the reactor
+/// IO thread and its worker pool; [`stop`](Self::stop) (or drop) tears
+/// them down and closes every live connection. The service itself is
+/// shared and outlives the listener — in-process submission keeps working
+/// while the socket is up, against the same queues, cache, and metrics.
 pub struct SocketServer {
     state: Arc<ServerState>,
     endpoint: Endpoint,
-    acceptor: Option<std::thread::JoinHandle<()>>,
-    handlers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    io: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
     /// Socket file to unlink at stop (Unix endpoints only).
     cleanup: Option<PathBuf>,
 }
 
 impl SocketServer {
-    /// Bind the endpoint and start accepting connections.
+    /// Bind the endpoint and start the reactor.
     ///
     /// For a Unix endpoint, a stale socket file left by a crashed server
     /// (one nothing answers on) is replaced; a *live* socket is an error.
+    /// With `--state-dir` configured this also opens the upload store and
+    /// sweeps staging files orphaned by a previous process.
     pub fn bind(service: Arc<TractoService>, endpoint: &Endpoint) -> TractoResult<Self> {
         let (listener, bound, cleanup) = match endpoint {
             Endpoint::Unix(path) => {
@@ -197,27 +194,26 @@ impl SocketServer {
             .set_nonblocking(true)
             .map_err(|e| TractoError::io("set listener nonblocking", e))?;
 
+        let uploads = match &service.config().state_dir {
+            Some(dir) => Some(Arc::new(UploadStore::open(&dir.join("uploads"))?)),
+            None => None,
+        };
+        let bus = service.event_bus();
+        bus.attach();
         let state = Arc::new(ServerState {
             service,
             jobs: Mutex::new(HashMap::new()),
-            conns: Mutex::new(HashMap::new()),
             next_conn: AtomicU64::new(1),
             remote_jobs: AtomicU64::new(0),
+            polls: AtomicU64::new(0),
             stop: AtomicBool::new(false),
             shutdown_requested: Mutex::new(false),
             shutdown_cv: Condvar::new(),
+            uploads,
+            bus,
         });
-        let handlers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
-            Arc::new(Mutex::new(Vec::new()));
 
-        let acceptor = {
-            let state = Arc::clone(&state);
-            let handlers = Arc::clone(&handlers);
-            std::thread::Builder::new()
-                .name("tracto-proto-accept".into())
-                .spawn(move || accept_loop(listener, state, handlers))
-                .map_err(|e| TractoError::io("spawn acceptor", e))?
-        };
+        let handles = reactor::spawn(listener, Arc::clone(&state))?;
 
         if state.service.config().tracer.enabled() {
             state
@@ -229,8 +225,8 @@ impl SocketServer {
         Ok(SocketServer {
             state,
             endpoint: bound,
-            acceptor: Some(acceptor),
-            handlers,
+            io: Some(handles.io),
+            workers: handles.workers,
             cleanup,
         })
     }
@@ -244,6 +240,12 @@ impl SocketServer {
     /// Jobs submitted over the socket since bind.
     pub fn remote_jobs(&self) -> u64 {
         self.state.remote_jobs.load(Ordering::Relaxed)
+    }
+
+    /// `status` and `await` requests served since bind. A fleet of v2
+    /// clients following pushed events keeps this at zero.
+    pub fn poll_requests(&self) -> u64 {
+        self.state.polls.load(Ordering::Relaxed)
     }
 
     /// Adopt tickets recovered from the job journal (see
@@ -277,15 +279,13 @@ impl SocketServer {
         // Wake wait_shutdown() callers so a hosting process that stops the
         // listener directly doesn't strand a waiter.
         self.state.request_shutdown();
-        for (_, conn) in self.state.conns.lock().drain() {
-            conn.shutdown_both();
-        }
-        if let Some(h) = self.acceptor.take() {
+        if let Some(h) = self.io.take() {
             let _ = h.join();
         }
-        for h in self.handlers.lock().drain(..) {
+        for h in self.workers.drain(..) {
             let _ = h.join();
         }
+        self.state.bus.detach();
         if let Some(path) = self.cleanup.take() {
             let _ = std::fs::remove_file(path);
         }
@@ -295,275 +295,6 @@ impl SocketServer {
 impl Drop for SocketServer {
     fn drop(&mut self) {
         self.stop_inner();
-    }
-}
-
-fn accept_loop(
-    listener: Listener,
-    state: Arc<ServerState>,
-    handlers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
-) {
-    while !state.stop.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok(conn) => {
-                if conn.set_nonblocking(false).is_err() {
-                    continue;
-                }
-                let conn_id = state.next_conn.fetch_add(1, Ordering::Relaxed);
-                if let Ok(clone) = conn.try_clone() {
-                    state.conns.lock().insert(conn_id, clone);
-                }
-                let conn_state = Arc::clone(&state);
-                let spawned = std::thread::Builder::new()
-                    .name(format!("tracto-proto-conn-{conn_id}"))
-                    .spawn(move || {
-                        handle_connection(conn, conn_id, &conn_state);
-                        conn_state.conns.lock().remove(&conn_id);
-                    });
-                match spawned {
-                    Ok(h) => handlers.lock().push(h),
-                    Err(_) => {
-                        state.conns.lock().remove(&conn_id);
-                    }
-                }
-            }
-            Err(e) if e.kind() == IoKind::WouldBlock => {
-                std::thread::sleep(POLL_INTERVAL);
-            }
-            Err(_) => std::thread::sleep(POLL_INTERVAL),
-        }
-    }
-}
-
-fn handle_connection(mut conn: ConnStream, conn_id: u64, state: &ServerState) {
-    let tracer = state.service.config().tracer.clone();
-    if tracer.enabled() {
-        tracer.emit("proto.conn_open", &[("conn", conn_id.into())]);
-    }
-    // The handshake must come first and must agree on the version.
-    match read_request(&mut conn) {
-        Some(Request::Hello { version, client }) => {
-            if version != PROTOCOL_VERSION {
-                let _ = send(
-                    &mut conn,
-                    &Response::Error {
-                        kind: "protocol".into(),
-                        message: format!(
-                            "protocol version mismatch: server speaks {PROTOCOL_VERSION}, \
-                             client sent {version}"
-                        ),
-                    },
-                );
-                return;
-            }
-            if tracer.enabled() {
-                tracer.emit(
-                    "proto.hello",
-                    &[("conn", conn_id.into()), ("client", client.into())],
-                );
-            }
-            if send(
-                &mut conn,
-                &Response::Hello {
-                    version: PROTOCOL_VERSION,
-                    server: "tracto-serve".into(),
-                },
-            )
-            .is_err()
-            {
-                return;
-            }
-        }
-        Some(_) => {
-            let _ = send(
-                &mut conn,
-                &Response::Error {
-                    kind: "protocol".into(),
-                    message: "first request must be `hello`".into(),
-                },
-            );
-            return;
-        }
-        None => return,
-    }
-
-    loop {
-        let payload = match read_frame(&mut conn) {
-            Ok(Some(p)) => p,
-            // Clean disconnect between frames: the client is gone, its
-            // jobs keep running.
-            Ok(None) => break,
-            // Framing violation: answer if the pipe still works, then close.
-            Err(e) => {
-                if !state.stop.load(Ordering::SeqCst) {
-                    let _ = send(
-                        &mut conn,
-                        &Response::Error {
-                            kind: "protocol".into(),
-                            message: e.to_string(),
-                        },
-                    );
-                }
-                break;
-            }
-        };
-        let response = match Request::decode(&payload) {
-            // Decode failures leave frame sync intact — answer and carry on.
-            Err(e) => Response::Error {
-                kind: "protocol".into(),
-                message: e.to_string(),
-            },
-            Ok(req) => handle_request(req, state),
-        };
-        let shutting_down = response == Response::ShuttingDown;
-        if send(&mut conn, &response).is_err() {
-            break;
-        }
-        if shutting_down {
-            state.request_shutdown();
-        }
-    }
-    if tracer.enabled() {
-        tracer.emit("proto.conn_close", &[("conn", conn_id.into())]);
-    }
-}
-
-/// Read and decode the handshake frame. Framing or decode errors before
-/// `hello` yield `None` — there is nothing useful to answer yet.
-fn read_request(conn: &mut ConnStream) -> Option<Request> {
-    match read_frame(conn) {
-        Ok(Some(p)) => Request::decode(&p).ok(),
-        _ => None,
-    }
-}
-
-fn send(conn: &mut ConnStream, response: &Response) -> TractoResult<()> {
-    write_frame(conn, &response.encode())
-}
-
-fn handle_request(req: Request, state: &ServerState) -> Response {
-    match req {
-        // A repeated hello is harmless; answer it again.
-        Request::Hello { .. } => Response::Hello {
-            version: PROTOCOL_VERSION,
-            server: "tracto-serve".into(),
-        },
-        Request::Submit(wire) => match JobSpec::from_wire(&wire) {
-            Err(e) => Response::Error {
-                kind: e.kind().to_string(),
-                message: e.to_string(),
-            },
-            Ok(spec) => match state.service.try_submit(spec) {
-                Err(e) => Response::Error {
-                    kind: error_kind(&e),
-                    message: e.to_string(),
-                },
-                Ok(ticket) => {
-                    let job = ticket.id.0;
-                    state.jobs.lock().insert(job, ticket);
-                    state.remote_jobs.fetch_add(1, Ordering::Relaxed);
-                    Response::Submitted { job }
-                }
-            },
-        },
-        Request::Status { job } => match lookup(state, job) {
-            Err(r) => r,
-            Ok(ticket) => Response::Status {
-                job,
-                state: job_state(ticket.try_result()),
-            },
-        },
-        Request::Cancel { job } => match lookup(state, job) {
-            Err(r) => r,
-            Ok(ticket) => Response::Cancelled {
-                job,
-                cancelled: ticket.cancel(),
-            },
-        },
-        Request::Await { job, timeout_ms } => match lookup(state, job) {
-            Err(r) => r,
-            Ok(ticket) => {
-                let result = match timeout_ms {
-                    Some(ms) => ticket.wait_timeout(Duration::from_millis(ms)),
-                    None => loop {
-                        // Indefinite awaits still observe server stop, so a
-                        // handler never outlives the listener it serves.
-                        if let Some(r) = ticket.wait_timeout(25 * POLL_INTERVAL) {
-                            break Some(r);
-                        }
-                        if state.stop.load(Ordering::SeqCst) {
-                            break None;
-                        }
-                    },
-                };
-                Response::Status {
-                    job,
-                    state: result.map_or(JobState::Pending, |r| job_state(Some(r))),
-                }
-            }
-        },
-        Request::Metrics => {
-            let snap = state.service.metrics();
-            Response::Metrics(Box::new(metrics_wire(
-                &snap,
-                state.remote_jobs.load(Ordering::Relaxed),
-            )))
-        }
-        Request::Drain => {
-            state.service.drain();
-            Response::Drained
-        }
-        Request::Shutdown => Response::ShuttingDown,
-    }
-}
-
-fn lookup(state: &ServerState, job: u64) -> Result<Ticket<JobOutput>, Response> {
-    state.jobs.lock().get(&job).cloned().ok_or(Response::Error {
-        kind: "protocol".into(),
-        message: format!("unknown job id {job}"),
-    })
-}
-
-/// The wire `kind` string for a job failure. Typed causes use their
-/// [`ErrorKind`](tracto_trace::ErrorKind) display name so the client can
-/// re-type them.
-fn error_kind(err: &JobError) -> String {
-    match err {
-        JobError::QueueFull => "capacity".into(),
-        JobError::Cancelled => "cancelled".into(),
-        JobError::DeadlineExceeded => "deadline".into(),
-        JobError::ShuttingDown => "shutdown".into(),
-        JobError::Failed(cause) => cause.kind().to_string(),
-    }
-}
-
-fn job_state(result: Option<Result<JobOutput, JobError>>) -> JobState {
-    match result {
-        None => JobState::Pending,
-        Some(Err(e)) => JobState::Failed {
-            kind: error_kind(&e),
-            message: e.to_string(),
-        },
-        Some(Ok(JobOutput::Estimate(est))) => JobState::Done(Outcome::Estimate {
-            voxels: est.voxels as u64,
-            cache_hit: est.cache_hit,
-        }),
-        Some(Ok(JobOutput::Track(track))) => {
-            let streamlines = track
-                .tracking
-                .lengths_by_sample
-                .iter()
-                .map(|s| s.len() as u64)
-                .sum();
-            JobState::Done(Outcome::Track {
-                total_steps: track.tracking.total_steps,
-                streamlines,
-                lengths_digest: tracto_proto::lengths_digest(&track.tracking.lengths_by_sample),
-                cache_hit: track.cache_hit,
-                batch_jobs: track.batch_jobs as u64,
-                batch_lanes: track.batch_lanes as u64,
-            })
-        }
     }
 }
 

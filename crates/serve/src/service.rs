@@ -31,6 +31,7 @@
 use crate::batch::{run_batch, BatchJob};
 use crate::cache::{sample_key, DiskSampleCache, SampleCache, SampleKey};
 use crate::config::ServiceConfig;
+use crate::events::EventBus;
 use crate::job::{
     EstimateJob, EstimateResult, JobError, JobId, JobOutput, Ticket, TrackJob, TrackResult,
 };
@@ -50,7 +51,7 @@ use tracto::tracking::probabilistic::seeds_from_mask;
 use tracto::{run_mcmc_gpu, run_mcmc_gpu_checkpointed, PersistentCheckpoint};
 use tracto_diffusion::PriorConfig;
 use tracto_gpu_sim::{DeviceConfig, Gpu, MultiGpu};
-use tracto_proto::{CachePolicy, Priority};
+use tracto_proto::{CachePolicy, JobState, Priority};
 use tracto_trace::{Tracer, Value};
 use tracto_volume::Vec3;
 
@@ -87,6 +88,12 @@ struct Shared {
     /// Persist a snapshot every N launch segments (0 = off).
     checkpoint_every: u32,
     tracer: Tracer,
+    /// Lifecycle event bus for v2 subscribers; publishes are no-ops until
+    /// a socket front end attaches.
+    bus: Arc<EventBus>,
+    /// Committed volume uploads (`<state-dir>/uploads`), resolvable as
+    /// `kind: "upload"` datasets.
+    upload_dir: Option<std::path::PathBuf>,
 }
 
 impl Shared {
@@ -139,13 +146,25 @@ impl Shared {
                     _ => self.tracer.emit(event, &[("job", ticket.id.0.into())]),
                 }
             }
+            // Terminal push carries the full wire state, so a subscriber
+            // needs no follow-up status poll. Gated on `attached` because
+            // building the state clones the result.
+            if self.bus.attached() {
+                self.bus.publish(
+                    ticket.id.0,
+                    crate::events::terminal_kind(&stored),
+                    crate::events::job_state(Some(stored)),
+                );
+            }
         }
         self.job_finished();
     }
 
     /// Resolve a job's dataset: an in-process `Arc` passes through, a
     /// phantom recipe is materialized once and memoized by its canonical
-    /// string.
+    /// string, and an `upload` spec is decoded from its committed TRDS
+    /// blob under the state dir (memoized the same way — the canonical
+    /// key embeds the content hash).
     fn resolve_dataset(&self, source: &DatasetSource) -> Result<Arc<Dataset>, JobError> {
         match source {
             DatasetSource::Loaded(ds) => Ok(Arc::clone(ds)),
@@ -158,12 +177,42 @@ impl Shared {
                 // work at full scale and must not serialize other workers.
                 // A racing duplicate build is wasted work, not an error;
                 // first insert wins so every job shares one copy.
-                let built =
-                    Arc::new(materialize_dataset(spec).map_err(|e| JobError::Failed(Arc::new(e)))?);
+                let built = if spec.kind == "upload" {
+                    self.load_upload(spec)
+                } else {
+                    materialize_dataset(spec)
+                };
+                let built = Arc::new(built.map_err(|e| JobError::Failed(Arc::new(e)))?);
                 let mut memo = self.phantoms.lock();
                 Ok(Arc::clone(memo.entry(key).or_insert(built)))
             }
         }
+    }
+
+    /// Decode an uploaded TRDS container into a runnable dataset,
+    /// re-verifying the content hash so a corrupted blob fails the job
+    /// rather than silently changing its results.
+    fn load_upload(&self, spec: &tracto_proto::DatasetSpec) -> tracto_trace::TractoResult<Dataset> {
+        use tracto_trace::TractoError;
+        let hash = spec
+            .upload
+            .as_deref()
+            .ok_or_else(|| TractoError::config("upload dataset spec is missing its hash"))?;
+        let dir = self
+            .upload_dir
+            .as_ref()
+            .ok_or_else(|| TractoError::config("uploads require --state-dir"))?;
+        let path = dir.join(format!("{hash}.trds"));
+        let bytes = std::fs::read(&path).map_err(|_| {
+            TractoError::config(format!("unknown upload volume {hash} (upload it first)"))
+        })?;
+        let actual = format!("{:016x}", tracto_proto::content_digest(&bytes));
+        if actual != hash {
+            return Err(TractoError::format(format!(
+                "upload {hash} hashes to {actual}: corrupt blob"
+            )));
+        }
+        tracto::loaded::dataset_from_trds(format!("upload:{hash}"), &bytes)
     }
 
     /// Resolve a sample stack through memory cache → disk cache → fresh
@@ -236,6 +285,7 @@ impl Shared {
                 if let Some(journal) = &self.journal {
                     journal.checkpointed(job.0, &key_hex);
                 }
+                self.bus.publish(job.0, "checkpointed", JobState::Pending);
                 let persist = PersistentCheckpoint {
                     store: store.as_ref(),
                     key: key_hex,
@@ -339,6 +389,8 @@ impl TractoService {
             ckpt_store,
             checkpoint_every: config.checkpoint_every,
             tracer: config.tracer.clone(),
+            bus: Arc::new(EventBus::new()),
+            upload_dir: config.state_dir.as_ref().map(|d| d.join("uploads")),
         });
 
         let (prep_tx, prep_rx) = bounded::<PrepTask>(config.queue_capacity);
@@ -387,6 +439,11 @@ impl TractoService {
         &self.config
     }
 
+    /// The lifecycle event bus (attached by the socket front end).
+    pub(crate) fn event_bus(&self) -> Arc<EventBus> {
+        Arc::clone(&self.shared.bus)
+    }
+
     fn next_id(&self) -> JobId {
         JobId(self.shared.next_id.fetch_add(1, Ordering::Relaxed))
     }
@@ -425,6 +482,9 @@ impl TractoService {
             if let Some(journal) = &self.shared.journal {
                 journal.admitted(ticket.id.0);
             }
+            self.shared
+                .bus
+                .publish(ticket.id.0, "admitted", JobState::Pending);
         } else {
             self.shared.complete(&ticket, Err(JobError::ShuttingDown));
         }
@@ -452,6 +512,9 @@ impl TractoService {
                 if let Some(journal) = &self.shared.journal {
                     journal.admitted(ticket.id.0);
                 }
+                self.shared
+                    .bus
+                    .publish(ticket.id.0, "admitted", JobState::Pending);
                 Ok(ticket)
             }
             Err(TrySendError::Full(_)) => {
@@ -515,6 +578,7 @@ impl TractoService {
                         if let Some(journal) = &self.shared.journal {
                             journal.admitted(r.id);
                         }
+                        self.shared.bus.publish(r.id, "admitted", JobState::Pending);
                     } else {
                         self.shared.complete(&ticket, Err(JobError::ShuttingDown));
                     }
@@ -1141,6 +1205,7 @@ mod tests {
             scale: 0.05,
             seed: 3,
             snr: None,
+            upload: None,
         };
         // Warm first so the two remaining jobs deterministically hit the
         // cache instead of racing both estimate workers on a cold key.
@@ -1396,6 +1461,7 @@ mod tests {
             scale: 0.05,
             seed: 3,
             snr: None,
+            upload: None,
         });
         wire.chain = tracto_proto::ChainSpec {
             burnin: 40,

@@ -304,6 +304,7 @@ mod tests {
             scale: 0.05,
             seed: 3,
             snr: None,
+            upload: None,
         }
     }
 

@@ -73,6 +73,7 @@ fn wire_job() -> tracto_proto::JobSpec {
         scale: 0.05,
         seed: 3,
         snr: None,
+        upload: None,
     });
     spec.chain = ChainSpec {
         burnin: 30,
@@ -183,16 +184,41 @@ fn connection_survives_decode_errors() {
 }
 
 #[test]
-fn version_mismatch_is_refused_then_closed() {
-    let fx = Fixture::start("version");
+fn newer_client_negotiates_down_to_server_version() {
+    // A client from the future is not refused: the server answers with
+    // the highest version it speaks and the connection proceeds there.
+    let fx = Fixture::start("negotiate");
     let mut stream = fx.raw();
     let req = Request::Hello {
         version: PROTOCOL_VERSION + 1,
         client: "from the future".into(),
     };
     write_frame(&mut stream, &req.encode()).unwrap();
+    let payload = read_frame(&mut stream).unwrap().expect("hello reply");
+    match Response::decode(&payload).unwrap() {
+        Response::Hello { version, .. } => assert_eq!(version, PROTOCOL_VERSION),
+        other => panic!("expected negotiated hello, got {other:?}"),
+    }
+    // The negotiated connection works.
+    write_frame(&mut stream, &Request::Metrics.encode()).unwrap();
+    let payload = read_frame(&mut stream).unwrap().expect("metrics reply");
+    assert!(matches!(
+        Response::decode(&payload).unwrap(),
+        Response::Metrics(_)
+    ));
+}
+
+#[test]
+fn version_below_minimum_is_refused_then_closed() {
+    let fx = Fixture::start("version");
+    let mut stream = fx.raw();
+    let req = Request::Hello {
+        version: 0,
+        client: "from the past".into(),
+    };
+    write_frame(&mut stream, &req.encode()).unwrap();
     let msg = expect_error(&mut stream, "protocol");
-    assert!(msg.contains("version"), "{msg}");
+    assert!(msg.contains("version") && msg.contains("mismatch"), "{msg}");
     // The server closes after refusing the handshake.
     assert!(read_frame(&mut stream).unwrap().is_none());
 }
