@@ -233,86 +233,80 @@ fn main() {
     }
     w.line("   → stale sorting buys little (Fig. 4), unlike segmentation (Table IV).");
 
-    // ---- 6. Multi-GPU strong scaling.
+    // ---- 6. Multi-GPU strong scaling, serialized vs stream-overlapped.
     w.line("");
     w.line("6) multi-GPU strong scaling (paper: \"proportional performance gains\"):");
-    use tracto::gpu_sim::multi::{scaling_summary, MultiGpu};
-    use tracto::gpu_sim::{LaneStatus, SimKernel};
-    use tracto::rng::dist;
-    struct Countdown;
-    impl SimKernel for Countdown {
-        type Lane = u32;
-        fn step(&self, lane: &mut u32) -> LaneStatus {
-            if *lane > 1 {
-                *lane -= 1;
-                LaneStatus::Continue
-            } else {
-                *lane = 0;
-                LaneStatus::Finished
-            }
-        }
-    }
-    let loads: Vec<u32> = {
-        let mut rng = HybridTaus::new(99);
-        (0..262_144)
-            .map(|_| {
-                if dist::bernoulli(&mut rng, 0.1) {
-                    dist::exponential(&mut rng, 1.0 / 110.0).ceil() as u32 + 1
-                } else {
-                    1
-                }
-            })
-            .collect()
-    };
-    let run_scaling = |strategy: &SegmentationStrategy| -> Vec<(usize, f64)> {
-        let budgets = strategy.budgets(2000);
-        let mut measurements = Vec::new();
-        for n in [1usize, 2, 4] {
-            let mut multi = MultiGpu::new(DeviceConfig::radeon_5870(), n);
-            let mut lanes = loads.clone();
-            multi.broadcast_to_devices(6 * 442_368 * 4); // sample volume per device
-            multi.scatter_to_devices(lanes.len() as u64 * 32);
-            for &b in &budgets {
-                if lanes.is_empty() {
-                    break;
-                }
-                let stats = multi.launch_partitioned(&Countdown, &mut lanes, b).unwrap();
-                multi.gather_to_host(lanes.len() as u64 * 32);
-                multi.host_reduction(lanes.len() as u64);
-                let finished: Vec<bool> = stats.iter().flat_map(|s| s.finished.clone()).collect();
-                let mut next = Vec::with_capacity(lanes.len());
-                for (lane, fin) in lanes.into_iter().zip(finished) {
-                    if !fin {
-                        next.push(lane);
-                    }
-                }
-                lanes = next;
-                if !lanes.is_empty() {
-                    multi.scatter_to_devices(lanes.len() as u64 * 32);
-                }
-            }
-            measurements.push((n, multi.wall_s()));
-        }
-        measurements
-    };
-    for (label, strategy) in [
-        ("A_MaxStep (kernel-bound)", SegmentationStrategy::Single),
-        ("B (host-bound)", SegmentationStrategy::paper_b()),
-    ] {
+    use tracto::gpu_sim::multi::scaling_summary;
+    use tracto_bench::{run_scaling, scaling_loads};
+    let loads = scaling_loads(262_144, 99);
+    // streams_for(n): 1 = the legacy serialized host loop; otherwise two
+    // stream lanes per device so every device has a sibling stream to hide
+    // its host work behind.
+    type StreamsFor = fn(usize) -> usize;
+    let rows: [(&str, SegmentationStrategy, StreamsFor); 3] = [
+        (
+            "A_MaxStep (kernel-bound)",
+            SegmentationStrategy::Single,
+            |_| 1,
+        ),
+        (
+            "B (host-bound, serialized)",
+            SegmentationStrategy::paper_b(),
+            |_| 1,
+        ),
+        (
+            "B (2 streams/device)",
+            SegmentationStrategy::paper_b(),
+            |n| 2 * n,
+        ),
+    ];
+    for (label, strategy, streams_for) in rows {
+        let runs: Vec<(usize, tracto_bench::ScalingRun)> = [1usize, 2, 4]
+            .iter()
+            .map(|&n| (n, run_scaling(&loads, &strategy, n, streams_for(n))))
+            .collect();
+        let measurements: Vec<(usize, f64)> = runs.iter().map(|(n, r)| (*n, r.wall_s)).collect();
         w.line(&format!("   strategy {label}:"));
-        for pt in scaling_summary(&run_scaling(&strategy)) {
+        for (pt, (_, run)) in scaling_summary(&measurements).iter().zip(&runs) {
             w.line(&format!(
-                "     {} GPU(s): wall {} s, speedup {:.2}x, efficiency {:.0}%",
+                "     {} GPU(s): wall {} s, speedup {:.2}x, efficiency {:.0}%{}",
                 pt.devices,
-                fmt_s(pt.wall_s),
+                fmt_s(run.wall_s),
                 pt.speedup,
-                pt.efficiency * 100.0
+                pt.efficiency * 100.0,
+                if run.overlap_saved_s > 0.0 {
+                    format!(", {} s hidden by overlap", fmt_s(run.overlap_saved_s))
+                } else {
+                    String::new()
+                }
             ));
         }
     }
-    w.line("   → the paper's proportional-gains claim holds in the kernel-bound");
-    w.line("     regime; its own best strategy (B) makes the pipeline host-bound,");
-    w.line("     where serialized transfers/reductions cap multi-GPU benefit —");
-    w.line("     exactly the overlap problem Fig. 8 anticipates.");
+    // Bit-identity witness: the stream-overlapped schedule must execute
+    // exactly the same iterations per lane as the serialized host loop, at
+    // every device count — overlap reorders time, never work.
+    let strategy_b = SegmentationStrategy::paper_b();
+    for n in [1usize, 2, 4] {
+        let serial = run_scaling(&loads, &strategy_b, n, 1);
+        let streamed = run_scaling(&loads, &strategy_b, n, 2 * n);
+        assert_eq!(
+            serial.executed, streamed.executed,
+            "streamed schedule diverged from serialized at {n} device(s)"
+        );
+        // At 1 device the split transfers pay per-op latency twice with no
+        // sibling kernels to hide behind, so only multi-device schedules
+        // are required to come out ahead.
+        if n >= 2 {
+            assert!(
+                streamed.wall_s <= serial.wall_s,
+                "overlap must not slow the schedule down at {n} device(s)"
+            );
+        }
+    }
+    w.line("   → serialized strategy B is host-bound: transfers/reductions cap");
+    w.line("     multi-GPU benefit (Fig. 8's overlap problem). Stream-overlapped");
+    w.line("     launches hide host work behind kernels of sibling streams and");
+    w.line("     restore >1x scaling — with bit-identical per-lane iteration");
+    w.line("     counts (asserted above) at every device count.");
     w.save();
 }

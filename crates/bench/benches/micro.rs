@@ -74,6 +74,26 @@ fn bench_posterior(c: &mut Criterion) {
             black_box(sampler.log_density())
         })
     });
+    g.bench_function("mh_full_loop_9_params_cached", |b| {
+        use tracto::mcmc::cached::{BallSticksCacheBuffers, CachedBallSticks};
+        use tracto::mcmc::mh::IncrementalTarget;
+        let target =
+            |p: &[f64; NUM_PARAMETERS]| posterior.log_posterior(&BallSticksParams::from_array(*p));
+        let mut sampler = MhSampler::new(
+            &target,
+            params.to_array(),
+            [0.01; NUM_PARAMETERS],
+            AdaptScheme::paper_default(),
+        );
+        let mut buf = BallSticksCacheBuffers::new();
+        let mut cached = CachedBallSticks::new(&posterior, &mut buf);
+        cached.init(sampler.params());
+        let mut rng = HybridTaus::new(7);
+        b.iter(|| {
+            sampler.step_loop_incremental(&mut cached, &mut rng);
+            black_box(sampler.log_density())
+        })
+    });
     g.finish();
 }
 

@@ -1,0 +1,175 @@
+//! CI bench smoke: a quick-mode regression gate over the two performance
+//! claims the overlap-scheduled execution path makes.
+//!
+//! 1. **Ablation-6 scaling**: stream-overlapped strategy B must scale at
+//!    or above 1.0x at 2 and 4 simulated devices, with per-lane executed
+//!    iteration counts bit-identical to the serialized host loop. These
+//!    run on the simulated clock, so they are machine-independent.
+//! 2. **MH inner loop**: the cached incremental loop must stay at or
+//!    below its committed cached/plain time ratio (+10% tolerance) and
+//!    below the 0.5 ceiling (the 2x acceptance bar), with bit-identical
+//!    chain output for a fixed seed. Ratios divide out machine speed, so
+//!    the committed baseline is portable across CI hosts.
+//!
+//! Baseline: `crates/bench/baselines/smoke.json`. Exit code 0 = pass.
+
+use std::time::Instant;
+use tracto::diffusion::posterior::{BallSticksParams, NUM_PARAMETERS};
+use tracto::diffusion::DiffusionModel;
+use tracto::mcmc::cached::{BallSticksCacheBuffers, CachedBallSticks};
+use tracto::mcmc::mh::{AdaptScheme, IncrementalTarget, MhSampler};
+use tracto::phantom::gradients;
+use tracto::prelude::*;
+use tracto::rng::HybridTaus;
+use tracto_bench::{run_scaling, scaling_loads};
+use tracto_trace::json::{parse, Json};
+
+/// Quick-mode lane count: a quarter of the full ablation keeps the same
+/// 10% heavy-tail shape while the whole gate runs in seconds.
+const SMOKE_LANES: usize = 65_536;
+/// Timing loops per MH measurement pass.
+const MH_LOOPS: u32 = 2_000;
+
+fn baseline() -> Json {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/baselines/smoke.json");
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+    parse(&text).expect("baseline JSON parses")
+}
+
+fn baseline_f64(doc: &Json, key: &str) -> f64 {
+    doc.get(key)
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("baseline missing numeric `{key}`"))
+}
+
+/// Gate 1: streamed strategy-B scaling on the simulated clock.
+fn check_scaling(failures: &mut Vec<String>) {
+    let loads = scaling_loads(SMOKE_LANES, 99);
+    let strategy = SegmentationStrategy::paper_b();
+    let base = run_scaling(&loads, &strategy, 1, 2);
+    println!("ablation-6 (quick, {SMOKE_LANES} lanes), strategy B streamed:");
+    for n in [2usize, 4] {
+        let serial = run_scaling(&loads, &strategy, n, 1);
+        let streamed = run_scaling(&loads, &strategy, n, 2 * n);
+        let speedup = base.wall_s / streamed.wall_s;
+        println!(
+            "  {n} device(s): wall {:.4} s (serialized {:.4} s), speedup {speedup:.2}x, \
+             {:.4} s hidden",
+            streamed.wall_s, serial.wall_s, streamed.overlap_saved_s
+        );
+        if serial.executed != streamed.executed {
+            failures.push(format!(
+                "streamed schedule diverged from serialized at {n} device(s)"
+            ));
+        }
+        if speedup < 1.0 {
+            failures.push(format!(
+                "strategy B streamed speedup {speedup:.3}x < 1.0x at {n} device(s)"
+            ));
+        }
+    }
+}
+
+/// Gate 2: the cached MH inner loop — identical output, bounded ratio.
+fn check_mh_loop(doc: &Json, failures: &mut Vec<String>) {
+    let acq = gradients::default_protocol(1);
+    let model = tracto::diffusion::BallSticksModel::new(
+        1000.0,
+        1.5e-3,
+        vec![0.5, 0.2],
+        vec![Vec3::X, Vec3::Y],
+    );
+    let signal = model.predict_protocol(&acq);
+    let posterior = BallSticksPosterior::new(&acq, &signal, PriorConfig::default());
+    let init = posterior.initial_params().to_array();
+    let target =
+        |p: &[f64; NUM_PARAMETERS]| posterior.log_posterior(&BallSticksParams::from_array(*p));
+    let scheme = AdaptScheme::paper_default;
+
+    // Identity first: the cached loop must retrace the plain one exactly.
+    let mut plain = MhSampler::new(&target, init, [0.01; NUM_PARAMETERS], scheme());
+    let mut rng = HybridTaus::new(7);
+    for _ in 0..MH_LOOPS {
+        plain.step_loop(&target, &mut rng);
+    }
+    let mut cached_s = MhSampler::new(&target, init, [0.01; NUM_PARAMETERS], scheme());
+    let mut buf = BallSticksCacheBuffers::new();
+    let mut cached = CachedBallSticks::new(&posterior, &mut buf);
+    cached.init(cached_s.params());
+    let mut rng = HybridTaus::new(7);
+    for _ in 0..MH_LOOPS {
+        cached_s.step_loop_incremental(&mut cached, &mut rng);
+    }
+    if plain.params() != cached_s.params() || plain.log_density() != cached_s.log_density() {
+        failures.push("cached MH loop diverged from the plain sampler".into());
+    }
+
+    // Timing: median of 5 passes each, interleaved to share thermal state.
+    let time_plain = || {
+        let mut s = MhSampler::new(&target, init, [0.01; NUM_PARAMETERS], scheme());
+        let mut rng = HybridTaus::new(7);
+        let t = Instant::now();
+        for _ in 0..MH_LOOPS {
+            s.step_loop(&target, &mut rng);
+        }
+        t.elapsed().as_secs_f64()
+    };
+    let time_cached = || {
+        let mut s = MhSampler::new(&target, init, [0.01; NUM_PARAMETERS], scheme());
+        let mut buf = BallSticksCacheBuffers::new();
+        let mut c = CachedBallSticks::new(&posterior, &mut buf);
+        c.init(s.params());
+        let mut rng = HybridTaus::new(7);
+        let t = Instant::now();
+        for _ in 0..MH_LOOPS {
+            s.step_loop_incremental(&mut c, &mut rng);
+        }
+        t.elapsed().as_secs_f64()
+    };
+    let mut plain_ts = Vec::new();
+    let mut cached_ts = Vec::new();
+    for _ in 0..5 {
+        plain_ts.push(time_plain());
+        cached_ts.push(time_cached());
+    }
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.total_cmp(b));
+        v[v.len() / 2]
+    };
+    let plain_us = median(&mut plain_ts) / f64::from(MH_LOOPS) * 1e6;
+    let cached_us = median(&mut cached_ts) / f64::from(MH_LOOPS) * 1e6;
+    let ratio = cached_us / plain_us;
+
+    let base_ratio = baseline_f64(doc, "mh_loop_cached_ratio");
+    let ceiling = baseline_f64(doc, "mh_loop_cached_ratio_max");
+    println!(
+        "mh loop: plain {plain_us:.2} us, cached {cached_us:.2} us, ratio {ratio:.3} \
+         (baseline {base_ratio:.3}, ceiling {ceiling:.3})"
+    );
+    if ratio > base_ratio * 1.10 {
+        failures.push(format!(
+            "MH cached/plain ratio {ratio:.3} regressed >10% over baseline {base_ratio:.3}"
+        ));
+    }
+    if ratio > ceiling {
+        failures.push(format!(
+            "MH cached/plain ratio {ratio:.3} above the {ceiling:.2} ceiling (2x speedup bar)"
+        ));
+    }
+}
+
+fn main() {
+    let doc = baseline();
+    let mut failures = Vec::new();
+    check_scaling(&mut failures);
+    check_mh_loop(&doc, &mut failures);
+    if failures.is_empty() {
+        println!("bench smoke: PASS");
+    } else {
+        for f in &failures {
+            eprintln!("bench smoke FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

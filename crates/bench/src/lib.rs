@@ -142,6 +142,180 @@ pub fn row_params(step: f64, threshold: f64) -> TrackingParams {
     }
 }
 
+/// The ablation-6 multi-GPU scaling workload: mostly-trivial lanes with a
+/// 10% heavy exponential tail, reproducing the paper's load imbalance.
+pub fn scaling_loads(count: usize, seed: u64) -> Vec<u32> {
+    use tracto::rng::{dist, HybridTaus};
+    let mut rng = HybridTaus::new(seed);
+    (0..count)
+        .map(|_| {
+            if dist::bernoulli(&mut rng, 0.1) {
+                dist::exponential(&mut rng, 1.0 / 110.0).ceil() as u32 + 1
+            } else {
+                1
+            }
+        })
+        .collect()
+}
+
+/// One ablation-6 scaling measurement.
+pub struct ScalingRun {
+    /// Simulated wall-clock of the whole schedule.
+    pub wall_s: f64,
+    /// Simulated time hidden by stream overlap (0 on the serialized path).
+    pub overlap_saved_s: f64,
+    /// Iterations executed per original lane — the bit-identity witness:
+    /// any two runs of the same loads and strategy must agree exactly,
+    /// whatever the device count or stream mix.
+    pub executed: Vec<u64>,
+}
+
+struct ScalingCountdown;
+impl tracto::gpu_sim::SimKernel for ScalingCountdown {
+    // `[remaining, original lane index]`.
+    type Lane = [u32; 2];
+    fn step(&self, lane: &mut [u32; 2]) -> tracto::gpu_sim::LaneStatus {
+        if lane[0] > 1 {
+            lane[0] -= 1;
+            tracto::gpu_sim::LaneStatus::Continue
+        } else {
+            lane[0] = 0;
+            tracto::gpu_sim::LaneStatus::Finished
+        }
+    }
+}
+
+const SCALING_VOLUME_BYTES: u64 = 6 * 442_368 * 4;
+const SCALING_LANE_BYTES: u64 = 32;
+
+/// Run the ablation-6 scaling loop on `devices` simulated GPUs.
+/// `streams <= 1` reproduces the legacy serialized host loop
+/// (broadcast / scatter / partitioned launch / gather / reduce);
+/// `streams > 1` drives the same schedule through the stream-aware
+/// launch path, round-robining lanes onto stream lanes pinned to
+/// `stream % devices` so transfers and reductions hide behind kernels.
+pub fn run_scaling(
+    loads: &[u32],
+    strategy: &SegmentationStrategy,
+    devices: usize,
+    streams: usize,
+) -> ScalingRun {
+    use tracto::gpu_sim::multi::MultiGpu;
+    let budgets = strategy.budgets(2000);
+    let mut multi = MultiGpu::new(DeviceConfig::radeon_5870(), devices);
+    let mut executed = vec![0u64; loads.len()];
+
+    if streams <= 1 {
+        let mut lanes: Vec<[u32; 2]> = loads
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| [l, i as u32])
+            .collect();
+        multi.broadcast_to_devices(SCALING_VOLUME_BYTES);
+        multi.scatter_to_devices(lanes.len() as u64 * SCALING_LANE_BYTES);
+        for &b in &budgets {
+            if lanes.is_empty() {
+                break;
+            }
+            let stats = multi
+                .launch_partitioned(&ScalingCountdown, &mut lanes, b)
+                .expect("fault-free launch");
+            multi.gather_to_host(lanes.len() as u64 * SCALING_LANE_BYTES);
+            multi.host_reduction(lanes.len() as u64);
+            let per_lane: Vec<(u32, bool)> = stats
+                .iter()
+                .flat_map(|s| s.executed.iter().copied().zip(s.finished.iter().copied()))
+                .collect();
+            let mut next = Vec::with_capacity(lanes.len());
+            for (lane, (e, fin)) in lanes.into_iter().zip(per_lane) {
+                executed[lane[1] as usize] += u64::from(e);
+                if !fin {
+                    next.push(lane);
+                }
+            }
+            lanes = next;
+            if !lanes.is_empty() {
+                multi.scatter_to_devices(lanes.len() as u64 * SCALING_LANE_BYTES);
+            }
+        }
+        return ScalingRun {
+            wall_s: multi.wall_s(),
+            overlap_saved_s: multi.overlap_saved_s(),
+            executed,
+        };
+    }
+
+    let k = streams;
+    let mut groups: Vec<(usize, Vec<[u32; 2]>)> = (0..k)
+        .map(|s| {
+            let lanes: Vec<[u32; 2]> = loads
+                .iter()
+                .enumerate()
+                .skip(s)
+                .step_by(k)
+                .map(|(i, &l)| [l, i as u32])
+                .collect();
+            (s % devices, lanes)
+        })
+        .collect();
+    // One sample-volume upload per device (as broadcast charges), plus each
+    // stream's share of the lane buffers; issued round-robin so the clock
+    // can pipeline them.
+    for d in 0..devices.min(k) {
+        multi
+            .stream_upload(d, d, SCALING_VOLUME_BYTES)
+            .expect("fault-free upload");
+    }
+    for (s, (device, lanes)) in groups.iter().enumerate() {
+        multi
+            .stream_upload(s, *device, lanes.len() as u64 * SCALING_LANE_BYTES)
+            .expect("fault-free upload");
+    }
+    for (seg_idx, &b) in budgets.iter().enumerate() {
+        let mut any = false;
+        for (s, (device, lanes)) in groups.iter_mut().enumerate() {
+            if lanes.is_empty() {
+                continue;
+            }
+            any = true;
+            if seg_idx > 0 {
+                multi
+                    .stream_upload(s, *device, lanes.len() as u64 * SCALING_LANE_BYTES)
+                    .expect("fault-free upload");
+            }
+            let stats = multi
+                .stream_launch(s, *device, &ScalingCountdown, lanes, b)
+                .expect("fault-free launch");
+            multi
+                .stream_readback(s, *device, lanes.len() as u64 * SCALING_LANE_BYTES)
+                .expect("fault-free readback");
+            multi.stream_reduce(s, *device, lanes.len() as u64);
+            let mut next = Vec::with_capacity(lanes.len());
+            for (lane, (e, fin)) in lanes.drain(..).zip(
+                stats
+                    .executed
+                    .iter()
+                    .copied()
+                    .zip(stats.finished.iter().copied()),
+            ) {
+                executed[lane[1] as usize] += u64::from(e);
+                if !fin {
+                    next.push(lane);
+                }
+            }
+            *lanes = next;
+        }
+        if !any {
+            break;
+        }
+    }
+    ScalingRun {
+        wall_s: multi.wall_s(),
+        overlap_saved_s: multi.overlap_saved_s(),
+        executed,
+    }
+}
+
 /// Fixed-width table printer that also appends to
 /// `target/experiments/<name>.txt` so EXPERIMENTS.md can reference outputs.
 pub struct TableWriter {

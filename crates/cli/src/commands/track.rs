@@ -16,7 +16,7 @@ use tracto_tracking::walker::TrackingParams;
 use tracto_tracking::{InterpMode, SegmentationStrategy};
 use tracto_volume::io::write_volume3;
 
-const FLAGS: [&str; 19] = [
+const FLAGS: [&str; 20] = [
     "data",
     "out",
     "samples-dir",
@@ -36,6 +36,7 @@ const FLAGS: [&str; 19] = [
     "fault-plan",
     "fault-seed",
     "checkpoint-every",
+    "streams",
 ];
 
 pub(crate) fn parse_strategy(s: &str) -> TractoResult<SegmentationStrategy> {
@@ -141,6 +142,12 @@ pub fn run(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
     if devices == 0 {
         return Err(TractoError::config("--devices must be positive"));
     }
+    let streams: usize = args.get_parse("streams", 1)?;
+    if streams == 0 {
+        return Err(TractoError::config(
+            "--streams must be positive (1 = serialized)",
+        ));
+    }
     let fault_plan = parse_fault_plan(args, devices)?;
     let checkpoint_every: u32 = args.get_parse("checkpoint-every", 0)?;
     let checkpoint = if checkpoint_every == 0 {
@@ -238,15 +245,18 @@ pub fn run(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
             run_seed: seed,
             record_visits: true,
         };
-        let mut report = tracto_serve::run_batch(multi, &[job], &strategy)?;
+        let mut report = tracto_serve::run_batch_streamed(multi, &[job], &strategy, streams)?;
         let out = report.per_job.pop().expect("one job in the batch");
         println!(
-            "simulated pool: {}/{} devices alive, wall {:.3}s (util {:.1}%), \
+            "simulated pool: {}/{} devices alive, wall {:.3}s (util {:.1}%, \
+             {:.3}s hidden by {} stream(s)), \
              {} failover(s), {} retry(ies), {} fault(s) injected",
             multi.alive_devices(),
             multi.num_devices(),
             report.wall_s,
             report.utilization * 100.0,
+            report.overlap_saved_s,
+            report.streams,
             multi.failovers(),
             multi.fault_retries(),
             multi.faults_injected()
@@ -265,13 +275,15 @@ pub fn run(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
             run_seed: seed,
             record_visits: true,
         };
-        let report = tracker.run(&mut gpu);
+        let report = tracker.run_streamed(&mut gpu, streams);
         println!(
-            "simulated GPU: kernel {:.3}s, reduction {:.3}s, transfer {:.3}s (util {:.1}%)",
+            "simulated GPU: kernel {:.3}s, reduction {:.3}s, transfer {:.3}s \
+             (util {:.1}%, {:.3}s hidden by streams)",
             report.ledger.kernel_s,
             report.ledger.reduction_s,
             report.ledger.transfer_s,
-            report.ledger.simd_utilization() * 100.0
+            report.ledger.simd_utilization() * 100.0,
+            gpu.overlap_saved_s()
         );
         (report.lengths_by_sample, report.connectivity, Vec::new())
     };
@@ -466,6 +478,62 @@ mod tests {
         let chaos = std::fs::read_to_string(out_chaos.join("lengths.csv")).unwrap();
         assert_eq!(clean, chaos, "injected faults must not change results");
         for d in [&data, &samples_dir, &out_clean, &out_chaos] {
+            let _ = std::fs::remove_dir_all(d);
+        }
+    }
+
+    #[test]
+    fn streams_flag_leaves_track_output_bit_identical() {
+        let data = tmp("st_data");
+        let samples_dir = tmp("st_sv");
+        let out_serial = tmp("st_serial");
+        let out_streamed = tmp("st_streamed");
+        let out_pool = tmp("st_pool");
+        let ds = datasets::single_bundle(Dim3::new(10, 6, 6), None, 3);
+        let mask = Mask::from_fn(ds.dwi.dims(), |c| ds.truth.at(c).count > 0);
+        store::save_dataset(&data, &ds.dwi, &mask, &ds.acq).unwrap();
+        let sv = tracto::synthetic::samples_from_truth(&ds.truth, 4, 0.1, 0.02, 5);
+        store::save_samples(&samples_dir, &sv).unwrap();
+
+        let base = |out: &PathBuf, extra: &[&str]| {
+            let mut v = vec![
+                "--data",
+                data.to_str().unwrap(),
+                "--samples-dir",
+                samples_dir.to_str().unwrap(),
+                "--out",
+                out.to_str().unwrap(),
+                "--step",
+                "0.3",
+                "--max-steps",
+                "300",
+            ];
+            v.extend_from_slice(extra);
+            argmap(&v)
+        };
+        run(&base(&out_serial, &[]), &Tracer::disabled()).unwrap();
+        run(
+            &base(&out_streamed, &["--streams", "3"]),
+            &Tracer::disabled(),
+        )
+        .unwrap();
+        run(
+            &base(&out_pool, &["--streams", "3", "--devices", "2"]),
+            &Tracer::disabled(),
+        )
+        .unwrap();
+        let serial = std::fs::read_to_string(out_serial.join("lengths.csv")).unwrap();
+        let streamed = std::fs::read_to_string(out_streamed.join("lengths.csv")).unwrap();
+        let pool = std::fs::read_to_string(out_pool.join("lengths.csv")).unwrap();
+        assert_eq!(serial, streamed, "streams must not change results");
+        assert_eq!(serial, pool, "streams over a pool must not change results");
+
+        let zero = base(&out_serial, &["--streams", "0"]);
+        assert!(run(&zero, &Tracer::disabled())
+            .unwrap_err()
+            .to_string()
+            .contains("--streams"));
+        for d in [&data, &samples_dir, &out_serial, &out_streamed, &out_pool] {
             let _ = std::fs::remove_dir_all(d);
         }
     }

@@ -49,7 +49,7 @@ COMMANDS:
              [--min-export-steps N]
              [--est-samples N] [--est-burnin N] [--est-interval N] [--est-seed N]
              [--devices N] [--fault-plan FILE | --fault-seed N]
-             [--checkpoint-every N]
+             [--checkpoint-every N] [--streams N]
   serve      run the batched job service: replay a job script, listen on a
              socket for remote clients, or both
              (--script FILE | --listen ENDPOINT | both) [--devices N]
@@ -57,7 +57,7 @@ COMMANDS:
              [--strategy B|C|single|every|uniform:K] [--cache-mb N]
              [--cache-dir DIR] [--disk-cache-mb N]
              [--fault-plan FILE | --fault-seed N] [--retry-budget N]
-             [--state-dir DIR] [--checkpoint-every N]
+             [--state-dir DIR] [--checkpoint-every N] [--streams N]
   submit     submit one job to a listening server and wait for its result
              --connect ENDPOINT [--dataset 1|2|single|crossing] [--scale F]
              [--dataset-seed N] [--snr F|none] [--volume HASH] [--estimate]

@@ -7,14 +7,17 @@
 //! Table III speedup is a flat ~34× while tracking required the
 //! load-balancing contribution.
 
+use std::cell::RefCell;
+
 use tracto_diffusion::posterior::{BallSticksParams, NUM_PARAMETERS};
 use tracto_diffusion::{Acquisition, BallSticksPosterior, PriorConfig};
 use tracto_gpu_sim::{Gpu, LaneStatus, MultiGpu, SimKernel, TimingLedger};
+use tracto_mcmc::cached::{BallSticksCacheBuffers, CachedBallSticks};
 use tracto_mcmc::chain::ChainConfig;
 use tracto_mcmc::checkpoint::{
     CheckpointPolicy, CheckpointStore, SnapshotLoad, CHECKPOINT_LANE_BYTES,
 };
-use tracto_mcmc::mh::{MhSampler, MhState};
+use tracto_mcmc::mh::{IncrementalTarget, MhSampler, MhState};
 use tracto_mcmc::voxelwise::{default_proposal_scales, SampleVolumes};
 use tracto_rng::HybridTaus;
 use tracto_trace::{Tracer, TractoResult, Value};
@@ -60,9 +63,17 @@ impl SimKernel for McmcKernel<'_> {
             return LaneStatus::Finished;
         }
         let posterior = BallSticksPosterior::new(self.acq, &lane.signal, self.prior);
-        let target =
-            |p: &[f64; NUM_PARAMETERS]| posterior.log_posterior(&BallSticksParams::from_array(*p));
-        lane.sampler.step_loop(&target, &mut lane.rng);
+        // The incremental target re-evaluates only the per-measurement terms
+        // a proposal touches; per rayon worker one buffer set is rebound to
+        // whichever lane the worker is stepping. Bit-identical to the plain
+        // `step_loop` (pinned by `gpu_mcmc_matches_cpu_reference_exactly`).
+        POSTERIOR_CACHE.with(|buf| {
+            let mut buf = buf.borrow_mut();
+            let mut cached = CachedBallSticks::new(&posterior, &mut buf);
+            cached.init(lane.sampler.params());
+            lane.sampler
+                .step_loop_incremental(&mut cached, &mut lane.rng);
+        });
         lane.loops_done += 1;
         // Record a sample every L loops after burn-in.
         if lane.loops_done > config.num_burnin {
@@ -79,6 +90,14 @@ impl SimKernel for McmcKernel<'_> {
             LaneStatus::Continue
         }
     }
+}
+
+thread_local! {
+    /// Reusable cache buffers for [`CachedBallSticks`]: one set per rayon
+    /// worker, rebound to each lane it steps, so the hot loop allocates
+    /// nothing in steady state.
+    static POSTERIOR_CACHE: RefCell<BallSticksCacheBuffers> =
+        RefCell::new(BallSticksCacheBuffers::new());
 }
 
 /// Report of a GPU-simulated MCMC run.
@@ -197,6 +216,82 @@ pub fn run_mcmc_gpu(
     // Download the six sample volumes.
     let out_bytes = 6 * dwi.dims().len() as u64 * config.num_samples as u64 * 4;
     gpu.transfer_to_host(out_bytes);
+
+    let (volumes, voxels) = assemble_volumes(&lanes, dwi, config);
+
+    McmcGpuReport {
+        samples: volumes,
+        ledger: *gpu.ledger(),
+        voxels,
+        checkpoints: 0,
+    }
+}
+
+/// [`run_mcmc_gpu`] driven through the stream-aware launch path: the masked
+/// voxels are split into `streams` contiguous lane groups, each bound to its
+/// own stream, so one group's sample-volume readback hides behind the next
+/// group's kernel on the simulated clock.
+///
+/// Chains are perfectly balanced, so each group still runs one launch of
+/// `NumLoops` — the kernels serialize on the single device's compute engine
+/// and only transfers overlap, which is exactly what real streams buy on
+/// one GPU. Each lane owns its per-voxel RNG stream and runs the same loop
+/// count, so the sample volumes are **bit-identical** to the serialized
+/// path regardless of stream count; only the simulated timeline changes.
+/// `streams <= 1` delegates to [`run_mcmc_gpu`] exactly.
+#[allow(clippy::too_many_arguments)]
+pub fn run_mcmc_gpu_streamed(
+    gpu: &mut Gpu,
+    acq: &Acquisition,
+    dwi: &Volume4<f32>,
+    mask: &Mask,
+    prior: PriorConfig,
+    config: ChainConfig,
+    seed: u64,
+    streams: usize,
+) -> McmcGpuReport {
+    if streams <= 1 {
+        return run_mcmc_gpu(gpu, acq, dwi, mask, prior, config, seed);
+    }
+    assert_eq!(dwi.nt(), acq.len(), "DWI volume count must match protocol");
+    assert_eq!(dwi.dims(), mask.dims(), "mask dims must match DWI dims");
+    gpu.reset();
+
+    // The DWI volume and protocol are shared by every group; charge them to
+    // stream 0 so each group's first launch transitively waits on them (the
+    // groups' kernels serialize on the compute engine behind stream 0's).
+    let dwi_bytes = dwi.len() as u64 * 4;
+    let protocol_bytes = acq.len() as u64 * 16;
+    gpu.try_transfer_to_device_on(dwi_bytes + protocol_bytes, 0)
+        .expect("transfer failed on a device with a fault plan");
+
+    let mut lanes = build_mcmc_lanes(acq, dwi, mask, prior, config, seed);
+    let kernel = McmcKernel { acq, prior, config };
+
+    let total = lanes.len();
+    let groups = streams.min(total.max(1));
+    let per_group = total.div_ceil(groups.max(1)).max(1);
+    // One balanced launch per group, issued in stream order so the clock
+    // pipelines group g's readback behind group g+1's kernel.
+    for (g, group) in lanes.chunks_mut(per_group).enumerate() {
+        gpu.try_launch_on(&kernel, group, config.num_loops(), g)
+            .expect("launch failed on a device with a fault plan");
+    }
+    // Per-group share of the six sample volumes, proportional to lanes.
+    let out_bytes = 6 * dwi.dims().len() as u64 * config.num_samples as u64 * 4;
+    let mut charged = 0u64;
+    let n_groups = total.div_ceil(per_group);
+    for g in 0..n_groups {
+        let lanes_in_group = per_group.min(total - g * per_group) as u64;
+        let share = if g + 1 == n_groups {
+            out_bytes - charged
+        } else {
+            out_bytes * lanes_in_group / total as u64
+        };
+        charged += share;
+        gpu.try_transfer_to_host_on(share, g)
+            .expect("transfer failed on a device with a fault plan");
+    }
 
     let (volumes, voxels) = assemble_volumes(&lanes, dwi, config);
 
@@ -649,6 +744,62 @@ mod tests {
             out.ledger.simd_utilization()
         );
         assert_eq!(out.ledger.launches, 1);
+    }
+
+    #[test]
+    fn streamed_mcmc_bit_identical_to_serialized() {
+        let ds = datasets::single_bundle(Dim3::new(6, 4, 4), Some(25.0), 3);
+        let mask = Mask::from_fn(ds.dwi.dims(), |c| c.j == 2 && c.k == 2);
+        let config = ChainConfig::fast_test();
+        let prior = PriorConfig::default();
+        let mut gpu = small_gpu();
+        let serialized = run_mcmc_gpu(&mut gpu, &ds.acq, &ds.dwi, &mask, prior, config, 77);
+        for streams in [2usize, 3, 5] {
+            let mut gpu = small_gpu();
+            let streamed = run_mcmc_gpu_streamed(
+                &mut gpu, &ds.acq, &ds.dwi, &mask, prior, config, 77, streams,
+            );
+            assert_eq!(
+                serialized.samples.f1, streamed.samples.f1,
+                "{streams} streams: f1 must be bit-identical"
+            );
+            assert_eq!(serialized.samples.th1, streamed.samples.th1);
+            assert_eq!(serialized.samples.ph2, streamed.samples.ph2);
+            assert_eq!(serialized.voxels, streamed.voxels);
+            // Same total traffic, just charged to different streams.
+            assert_eq!(serialized.ledger.bytes_h2d, streamed.ledger.bytes_h2d);
+            assert_eq!(serialized.ledger.bytes_d2h, streamed.ledger.bytes_d2h);
+        }
+    }
+
+    #[test]
+    fn streamed_mcmc_overlaps_readbacks_behind_kernels() {
+        let ds = datasets::single_bundle(Dim3::new(6, 4, 4), Some(25.0), 3);
+        let mask = Mask::from_fn(ds.dwi.dims(), |c| c.j == 2 && c.k == 2);
+        let config = ChainConfig::fast_test();
+        let prior = PriorConfig::default();
+        let mut gpu = small_gpu();
+        run_mcmc_gpu_streamed(&mut gpu, &ds.acq, &ds.dwi, &mask, prior, config, 77, 3);
+        assert!(
+            gpu.overlap_saved_s() > 0.0,
+            "a group's readback should hide behind the next group's kernel"
+        );
+        assert!(gpu.clock_s() < gpu.stream_clock().serial_s());
+    }
+
+    #[test]
+    fn single_stream_delegates_to_serialized_path() {
+        let ds = datasets::single_bundle(Dim3::new(6, 4, 4), Some(25.0), 3);
+        let mask = Mask::from_fn(ds.dwi.dims(), |c| c.j == 2 && c.k == 2);
+        let config = ChainConfig::fast_test();
+        let prior = PriorConfig::default();
+        let mut a = small_gpu();
+        let plain = run_mcmc_gpu(&mut a, &ds.acq, &ds.dwi, &mask, prior, config, 9);
+        let mut b = small_gpu();
+        let streamed = run_mcmc_gpu_streamed(&mut b, &ds.acq, &ds.dwi, &mask, prior, config, 9, 1);
+        assert_eq!(plain.samples.f1, streamed.samples.f1);
+        assert_eq!(a.clock_s(), b.clock_s(), "streams=1 charges identically");
+        assert_eq!(b.overlap_saved_s(), 0.0);
     }
 
     #[test]

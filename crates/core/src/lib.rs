@@ -43,7 +43,8 @@ pub mod tracking2 {
 }
 
 pub use estimation::{
-    run_mcmc_gpu, run_mcmc_gpu_checkpointed, run_mcmc_multi, McmcGpuReport, PersistentCheckpoint,
+    run_mcmc_gpu, run_mcmc_gpu_checkpointed, run_mcmc_gpu_streamed, run_mcmc_multi, McmcGpuReport,
+    PersistentCheckpoint,
 };
 pub use pipeline::{Backend, Pipeline, PipelineConfig, PipelineOutcome};
 
@@ -58,7 +59,9 @@ pub use tracto_volume as volume;
 
 /// Convenient glob-import surface for examples and tests.
 pub mod prelude {
-    pub use crate::estimation::{run_mcmc_gpu, run_mcmc_multi, McmcGpuReport};
+    pub use crate::estimation::{
+        run_mcmc_gpu, run_mcmc_gpu_streamed, run_mcmc_multi, McmcGpuReport,
+    };
     pub use crate::pipeline::{Backend, Pipeline, PipelineConfig, PipelineOutcome};
     pub use tracto_diffusion::{Acquisition, BallSticksPosterior, PriorConfig};
     pub use tracto_gpu_sim::{DeviceConfig, Gpu, TimingLedger};

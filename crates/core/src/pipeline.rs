@@ -1,7 +1,7 @@
 //! The end-to-end pipeline: dataset → MCMC sampling → probabilistic
 //! streamlining → connectivity.
 
-use crate::estimation::run_mcmc_gpu;
+use crate::estimation::run_mcmc_gpu_streamed;
 use std::time::{Duration, Instant};
 use tracto_diffusion::PriorConfig;
 use tracto_gpu_sim::{DeviceConfig, Gpu, TimingLedger};
@@ -32,6 +32,12 @@ pub struct PipelineConfig {
     pub seed: u64,
     /// Record per-voxel connectivity.
     pub record_connectivity: bool,
+    /// Stream lanes for the GPU backend: both steps issue their launches
+    /// and transfers through the overlap scheduler with this many streams.
+    /// `1` (the default) reproduces the serialized host loop exactly;
+    /// results are bit-identical for any value, only simulated wall time
+    /// changes.
+    pub streams: usize,
 }
 
 impl PipelineConfig {
@@ -48,6 +54,7 @@ impl PipelineConfig {
             jitter: 0.5,
             seed: 42,
             record_connectivity: true,
+            streams: 1,
         }
     }
 
@@ -163,7 +170,7 @@ impl Pipeline {
             ),
             Backend::GpuSim(device) => {
                 let mut gpu = Gpu::with_tracer(device.clone(), self.tracer.clone());
-                let report = run_mcmc_gpu(
+                let report = run_mcmc_gpu_streamed(
                     &mut gpu,
                     &dataset.acq,
                     &dataset.dwi,
@@ -171,6 +178,7 @@ impl Pipeline {
                     cfg.prior,
                     cfg.chain,
                     cfg.seed,
+                    cfg.streams,
                 );
                 (report.samples, Some(report.ledger))
             }
@@ -226,7 +234,7 @@ impl Pipeline {
                     run_seed: cfg.seed,
                     record_visits: cfg.record_connectivity,
                 };
-                let report = tracker.run(&mut gpu);
+                let report = tracker.run_streamed(&mut gpu, cfg.streams);
                 let out = TrackingOutput {
                     lengths_by_sample: report.lengths_by_sample.clone(),
                     total_steps: report.total_steps,
@@ -332,6 +340,39 @@ mod tests {
         let spine = tracto_volume::Ijk::new(dims.nx / 2, dims.ny / 2, dims.nz / 2);
         let corner = tracto_volume::Ijk::new(0, 0, 0);
         assert!(conn.count(spine) > conn.count(corner));
+    }
+
+    #[test]
+    fn stream_count_never_changes_pipeline_results() {
+        let ds = tiny_dataset();
+        let serialized = Pipeline::new(PipelineConfig::fast())
+            .run(&ds, Backend::GpuSim(DeviceConfig::radeon_5870()));
+        for streams in [2usize, 4] {
+            let cfg = PipelineConfig {
+                streams,
+                ..PipelineConfig::fast()
+            };
+            let streamed =
+                Pipeline::new(cfg).run(&ds, Backend::GpuSim(DeviceConfig::radeon_5870()));
+            assert_eq!(
+                serialized.samples.f1, streamed.samples.f1,
+                "{streams} streams: Step-1 samples must be bit-identical"
+            );
+            assert_eq!(serialized.samples.ph2, streamed.samples.ph2);
+            assert_eq!(
+                serialized.tracking.lengths_by_sample, streamed.tracking.lengths_by_sample,
+                "{streams} streams: Step-2 lengths must be bit-identical"
+            );
+            assert_eq!(
+                serialized.tracking.total_steps,
+                streamed.tracking.total_steps
+            );
+            let (a, b) = (
+                serialized.tracking.connectivity.as_ref().unwrap(),
+                streamed.tracking.connectivity.as_ref().unwrap(),
+            );
+            assert_eq!(a.total_streamlines(), b.total_streamlines());
+        }
     }
 
     #[test]

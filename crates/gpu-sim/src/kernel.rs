@@ -4,9 +4,17 @@ use crate::device::DeviceConfig;
 use crate::fault::{DeviceHealth, FaultCategory, FaultKind, FaultPlan, FaultState};
 use crate::ledger::TimingLedger;
 use crate::schedule::{EventKind, ScheduleEvent, ScheduleTrace};
+use crate::stream::{ChargeSpan, StreamClock};
 use rayon::prelude::*;
 use std::time::Instant;
 use tracto_trace::{Tracer, TractoError, TractoResult};
+
+/// Resource id of this device's compute engine on its [`StreamClock`].
+pub const RES_GPU: usize = 0;
+/// Resource id of this device's PCIe/DMA link.
+pub const RES_DMA: usize = 1;
+/// Resource id of the host CPU (reductions/compactions).
+pub const RES_HOST: usize = 2;
 
 /// Whether a lane wants to keep iterating.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,12 +70,19 @@ impl LaunchStats {
 
 /// The simulated GPU: owns the device model, a timing ledger, and a
 /// schedule trace.
+///
+/// Every operation accepts a *stream*: operations on the same stream are
+/// dependent and chain sequentially, while operations on different streams
+/// overlap wherever their resources (compute engine, DMA link, host CPU)
+/// allow — the Fig. 8 model, charged on the simulated clock by a
+/// [`StreamClock`]. The plain (streamless) methods charge stream 0, which
+/// degenerates to the strictly sequential clock this simulator always had.
 #[derive(Debug)]
 pub struct Gpu {
     config: DeviceConfig,
     ledger: TimingLedger,
     trace: ScheduleTrace,
-    clock_s: f64,
+    clock: StreamClock,
     allocated_bytes: u64,
     tracer: Tracer,
     device_id: u32,
@@ -81,7 +96,7 @@ impl Gpu {
             config,
             ledger: TimingLedger::default(),
             trace: ScheduleTrace::default(),
-            clock_s: 0.0,
+            clock: StreamClock::new(),
             allocated_bytes: 0,
             tracer: Tracer::disabled(),
             device_id: 0,
@@ -130,7 +145,7 @@ impl Gpu {
     pub fn reset(&mut self) {
         self.ledger = TimingLedger::default();
         self.trace = ScheduleTrace::default();
-        self.clock_s = 0.0;
+        self.clock.reset();
     }
 
     /// Install `plan`'s events addressed to `device` on this GPU, resetting
@@ -161,7 +176,7 @@ impl Gpu {
             };
             self.tracer.emit_sim(
                 "gpu.fault",
-                self.clock_s,
+                self.clock.makespan_s(),
                 &[
                     ("device", self.device_id.into()),
                     ("kind", kind.as_str().into()),
@@ -212,6 +227,33 @@ impl Gpu {
         lanes: &mut [K::Lane],
         max_iters: u32,
     ) -> TractoResult<LaunchStats> {
+        self.try_launch_inner(kernel, lanes, max_iters, 0)
+            .map(|(stats, _)| stats)
+    }
+
+    /// Stream-aware [`try_launch`](Self::try_launch): the kernel is charged
+    /// to `stream` on this device's compute engine, so it overlaps other
+    /// streams' transfers and host work. Emits a `gpu.stream` trace event
+    /// recording how much of the kernel hid behind already-scheduled work.
+    pub fn try_launch_on<K: SimKernel>(
+        &mut self,
+        kernel: &K,
+        lanes: &mut [K::Lane],
+        max_iters: u32,
+        stream: usize,
+    ) -> TractoResult<LaunchStats> {
+        let (stats, span) = self.try_launch_inner(kernel, lanes, max_iters, stream)?;
+        self.emit_stream_event("kernel", stream, span);
+        Ok(stats)
+    }
+
+    fn try_launch_inner<K: SimKernel>(
+        &mut self,
+        kernel: &K,
+        lanes: &mut [K::Lane],
+        max_iters: u32,
+        stream: usize,
+    ) -> TractoResult<(LaunchStats, ChargeSpan)> {
         if self.fault.health == DeviceHealth::Failed {
             return Err(TractoError::device(
                 self.device_id,
@@ -223,13 +265,13 @@ impl Gpu {
                 FaultKind::LaunchFail | FaultKind::DeviceLost => {
                     let overhead = self.config.kernel_seconds_weighted(0, kernel.cost_weight());
                     self.ledger.kernel_s += overhead;
+                    let span = self.clock.charge(stream, RES_GPU, overhead);
                     self.trace.push(ScheduleEvent {
                         kind: EventKind::Kernel,
-                        start_s: self.clock_s,
+                        start_s: span.start_s,
                         duration_s: overhead,
                         lanes: 0,
                     });
-                    self.clock_s += overhead;
                     self.emit_fault(kind, "launch", at_op);
                     let context = if kind == FaultKind::DeviceLost {
                         "device lost during kernel launch"
@@ -305,17 +347,17 @@ impl Gpu {
         self.ledger.useful_iterations += useful;
         self.ledger.charged_iterations += charged;
         self.ledger.wall_kernel_s += wall;
+        let span = self.clock.charge(stream, RES_GPU, kernel_s);
         self.trace.push(ScheduleEvent {
             kind: EventKind::Kernel,
-            start_s: self.clock_s,
+            start_s: span.start_s,
             duration_s: kernel_s,
             lanes: n,
         });
-        self.clock_s += kernel_s;
         if self.tracer.enabled() {
             self.tracer.emit_sim(
                 "gpu.launch",
-                self.clock_s,
+                span.end_s,
                 &[
                     ("device", self.device_id.into()),
                     ("lanes", n.into()),
@@ -328,13 +370,36 @@ impl Gpu {
             );
         }
 
-        Ok(LaunchStats {
-            executed,
-            finished,
-            kernel_s,
-            charged_iterations: charged,
-            useful_iterations: useful,
-        })
+        Ok((
+            LaunchStats {
+                executed,
+                finished,
+                kernel_s,
+                charged_iterations: charged,
+                useful_iterations: useful,
+            },
+            span,
+        ))
+    }
+
+    /// Emit a `gpu.stream` trace event for one stream-charged segment:
+    /// which stream, what segment kind, where it landed on the overlapped
+    /// timeline, and how much of it was hidden behind other streams' work.
+    fn emit_stream_event(&self, segment: &'static str, stream: usize, span: ChargeSpan) {
+        if self.tracer.enabled() {
+            self.tracer.emit_sim(
+                "gpu.stream",
+                span.end_s,
+                &[
+                    ("device", self.device_id.into()),
+                    ("stream", stream.into()),
+                    ("segment", segment.into()),
+                    ("start_s", span.start_s.into()),
+                    ("duration_s", span.duration_s().into()),
+                    ("hidden_s", span.hidden_s.into()),
+                ],
+            );
+        }
     }
 
     /// Whether a scheduled fault pre-empts a transfer. On a timeout the
@@ -343,6 +408,7 @@ impl Gpu {
         &mut self,
         event_kind: EventKind,
         dir: &'static str,
+        stream: usize,
     ) -> TractoResult<()> {
         if self.fault.health == DeviceHealth::Failed {
             return Err(TractoError::device(
@@ -353,13 +419,13 @@ impl Gpu {
         if let Some((kind, at_op)) = self.fault.next_fault(FaultCategory::Transfer) {
             let stall = self.fault.transfer_timeout_s;
             self.ledger.transfer_s += stall;
+            let span = self.clock.charge(stream, RES_DMA, stall);
             self.trace.push(ScheduleEvent {
                 kind: event_kind,
-                start_s: self.clock_s,
+                start_s: span.start_s,
                 duration_s: stall,
                 lanes: 0,
             });
-            self.clock_s += stall;
             self.emit_fault(kind, "transfer", at_op);
             return Err(TractoError::device(
                 self.device_id,
@@ -387,21 +453,38 @@ impl Gpu {
     /// plan's `transfer_timeout_s` (charged to the simulated clock), then
     /// errors without moving any bytes.
     pub fn try_transfer_to_device(&mut self, bytes: u64) -> TractoResult<f64> {
-        self.check_transfer_fault(EventKind::TransferH2D, "host-to-device")?;
+        self.try_transfer_to_device_inner(bytes, 0).map(|(t, _)| t)
+    }
+
+    /// Stream-aware [`try_transfer_to_device`](Self::try_transfer_to_device):
+    /// the transfer is charged to `stream` on this device's DMA link, so it
+    /// overlaps other streams' kernels. Emits a `gpu.stream` trace event.
+    pub fn try_transfer_to_device_on(&mut self, bytes: u64, stream: usize) -> TractoResult<f64> {
+        let (t, span) = self.try_transfer_to_device_inner(bytes, stream)?;
+        self.emit_stream_event("h2d", stream, span);
+        Ok(t)
+    }
+
+    fn try_transfer_to_device_inner(
+        &mut self,
+        bytes: u64,
+        stream: usize,
+    ) -> TractoResult<(f64, ChargeSpan)> {
+        self.check_transfer_fault(EventKind::TransferH2D, "host-to-device", stream)?;
         let t = self.config.pcie.transfer_seconds(bytes);
         self.ledger.transfer_s += t;
         self.ledger.bytes_h2d += bytes;
+        let span = self.clock.charge(stream, RES_DMA, t);
         self.trace.push(ScheduleEvent {
             kind: EventKind::TransferH2D,
-            start_s: self.clock_s,
+            start_s: span.start_s,
             duration_s: t,
             lanes: 0,
         });
-        self.clock_s += t;
         if self.tracer.enabled() {
             self.tracer.emit_sim(
                 "gpu.transfer_h2d",
-                self.clock_s,
+                span.end_s,
                 &[
                     ("device", self.device_id.into()),
                     ("bytes", bytes.into()),
@@ -409,7 +492,7 @@ impl Gpu {
                 ],
             );
         }
-        Ok(t)
+        Ok((t, span))
     }
 
     /// Charge a device→host transfer.
@@ -430,21 +513,38 @@ impl Gpu {
     /// plan's `transfer_timeout_s` (charged to the simulated clock), then
     /// errors without moving any bytes.
     pub fn try_transfer_to_host(&mut self, bytes: u64) -> TractoResult<f64> {
-        self.check_transfer_fault(EventKind::TransferD2H, "device-to-host")?;
+        self.try_transfer_to_host_inner(bytes, 0).map(|(t, _)| t)
+    }
+
+    /// Stream-aware [`try_transfer_to_host`](Self::try_transfer_to_host):
+    /// the readback is charged to `stream` on this device's DMA link.
+    /// Emits a `gpu.stream` trace event.
+    pub fn try_transfer_to_host_on(&mut self, bytes: u64, stream: usize) -> TractoResult<f64> {
+        let (t, span) = self.try_transfer_to_host_inner(bytes, stream)?;
+        self.emit_stream_event("d2h", stream, span);
+        Ok(t)
+    }
+
+    fn try_transfer_to_host_inner(
+        &mut self,
+        bytes: u64,
+        stream: usize,
+    ) -> TractoResult<(f64, ChargeSpan)> {
+        self.check_transfer_fault(EventKind::TransferD2H, "device-to-host", stream)?;
         let t = self.config.pcie.transfer_seconds(bytes);
         self.ledger.transfer_s += t;
         self.ledger.bytes_d2h += bytes;
+        let span = self.clock.charge(stream, RES_DMA, t);
         self.trace.push(ScheduleEvent {
             kind: EventKind::TransferD2H,
-            start_s: self.clock_s,
+            start_s: span.start_s,
             duration_s: t,
             lanes: 0,
         });
-        self.clock_s += t;
         if self.tracer.enabled() {
             self.tracer.emit_sim(
                 "gpu.transfer_d2h",
-                self.clock_s,
+                span.end_s,
                 &[
                     ("device", self.device_id.into()),
                     ("bytes", bytes.into()),
@@ -452,24 +552,37 @@ impl Gpu {
                 ],
             );
         }
-        Ok(t)
+        Ok((t, span))
     }
 
     /// Charge a host-side reduction/compaction over `elements` items.
     pub fn host_reduction(&mut self, elements: u64) -> f64 {
+        self.host_reduction_inner(elements, 0).0
+    }
+
+    /// Stream-aware [`host_reduction`](Self::host_reduction): the reduction
+    /// is charged to `stream` on the host CPU, so it overlaps other
+    /// streams' kernels and transfers. Emits a `gpu.stream` trace event.
+    pub fn host_reduction_on(&mut self, elements: u64, stream: usize) -> f64 {
+        let (t, span) = self.host_reduction_inner(elements, stream);
+        self.emit_stream_event("reduce", stream, span);
+        t
+    }
+
+    fn host_reduction_inner(&mut self, elements: u64, stream: usize) -> (f64, ChargeSpan) {
         let t = self.config.reduction_seconds(elements);
         self.ledger.reduction_s += t;
+        let span = self.clock.charge(stream, RES_HOST, t);
         self.trace.push(ScheduleEvent {
             kind: EventKind::Reduction,
-            start_s: self.clock_s,
+            start_s: span.start_s,
             duration_s: t,
             lanes: elements as usize,
         });
-        self.clock_s += t;
         if self.tracer.enabled() {
             self.tracer.emit_sim(
                 "gpu.compaction",
-                self.clock_s,
+                span.end_s,
                 &[
                     ("device", self.device_id.into()),
                     ("elements", elements.into()),
@@ -477,12 +590,24 @@ impl Gpu {
                 ],
             );
         }
-        t
+        (t, span)
     }
 
-    /// Current simulated clock.
+    /// Current simulated clock: the end of the latest segment across all
+    /// streams (for single-stream use, the plain sequential sum).
     pub fn clock_s(&self) -> f64 {
-        self.clock_s
+        self.clock.makespan_s()
+    }
+
+    /// The stream clock: per-stream readiness, per-resource availability,
+    /// and the serialized-vs-overlapped accounting.
+    pub fn stream_clock(&self) -> &StreamClock {
+        &self.clock
+    }
+
+    /// Wall time hidden by multi-stream overlap so far (0 when serialized).
+    pub fn overlap_saved_s(&self) -> f64 {
+        self.clock.saved_s()
     }
 
     /// Reserve device memory. Fails with [`TractoError::Capacity`] when the
@@ -825,6 +950,81 @@ mod tests {
         let faults = ring.named("gpu.fault");
         assert_eq!(faults.len(), 3);
         assert!(faults.iter().all(|e| e.field_u64("device") == Some(2)));
+    }
+
+    #[test]
+    fn stream_zero_matches_legacy_clock_exactly() {
+        let mut legacy = Gpu::new(device());
+        let mut streamed = Gpu::new(device());
+        let mut a = vec![7u32; 8];
+        let mut b = a.clone();
+        legacy.transfer_to_device(1_000_000);
+        legacy.launch(&CountdownKernel, &mut a, 100);
+        legacy.host_reduction(8);
+        legacy.transfer_to_host(500_000);
+        streamed.try_transfer_to_device_on(1_000_000, 0).unwrap();
+        streamed
+            .try_launch_on(&CountdownKernel, &mut b, 100, 0)
+            .unwrap();
+        streamed.host_reduction_on(8, 0);
+        streamed.try_transfer_to_host_on(500_000, 0).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(legacy.clock_s(), streamed.clock_s(), "bit-identical clock");
+        assert_eq!(streamed.overlap_saved_s(), 0.0);
+    }
+
+    #[test]
+    fn second_stream_hides_transfer_behind_kernel() {
+        let mut serial = Gpu::new(device());
+        let mut streamed = Gpu::new(device());
+        let mut a = vec![200u32; 8];
+        let mut b = a.clone();
+        serial.launch(&CountdownKernel, &mut a, 1000);
+        serial.transfer_to_device(4_000_000);
+        streamed
+            .try_launch_on(&CountdownKernel, &mut b, 1000, 0)
+            .unwrap();
+        streamed.try_transfer_to_device_on(4_000_000, 1).unwrap();
+        assert_eq!(a, b, "streams reorder time, never results");
+        assert!(streamed.clock_s() < serial.clock_s());
+        assert!(streamed.overlap_saved_s() > 0.0);
+        assert_eq!(
+            streamed.ledger().total_s(),
+            serial.ledger().total_s(),
+            "device-seconds identical; only the wall shrinks"
+        );
+    }
+
+    #[test]
+    fn stream_ops_emit_stream_trace_events() {
+        use std::sync::Arc;
+        use tracto_trace::{RingSink, Tracer};
+
+        let ring = Arc::new(RingSink::new(64));
+        let mut gpu = Gpu::with_tracer(device(), Tracer::shared(ring.clone()));
+        let mut lanes = vec![300u32; 8];
+        gpu.try_launch_on(&CountdownKernel, &mut lanes, 1000, 0)
+            .unwrap();
+        gpu.try_transfer_to_device_on(4_000_000, 1).unwrap();
+        gpu.host_reduction_on(16, 1);
+        let events = ring.named("gpu.stream");
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].field_u64("stream"), Some(0));
+        assert_eq!(
+            events[0].field("segment"),
+            Some(&tracto_trace::Value::Str("kernel"))
+        );
+        let h2d = &events[1];
+        assert_eq!(h2d.field_u64("stream"), Some(1));
+        let dur = h2d.field_f64("duration_s").unwrap();
+        let hidden = h2d.field_f64("hidden_s").unwrap();
+        assert!(
+            (hidden - dur).abs() < 1e-15,
+            "transfer fully hidden behind the stream-0 kernel"
+        );
+        // Legacy (streamless) ops never emit gpu.stream.
+        gpu.transfer_to_host(64);
+        assert_eq!(ring.count("gpu.stream"), 3);
     }
 
     #[test]

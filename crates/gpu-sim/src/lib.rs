@@ -21,7 +21,11 @@
 //!   the three columns of the paper's Tables II and IV;
 //! * [`schedule`] — an event trace of the run (the paper's Figs. 3 and 7);
 //! * [`overlap`] — the two-stream overlapped scheduler the paper sketches in
-//!   Fig. 8 as future work.
+//!   Fig. 8 as future work;
+//! * [`stream`] — the same overlap cost model charged *online* on the
+//!   simulated clock: every launch/transfer/reduction names a stream, and
+//!   per-resource availability (GPU, DMA link, host CPU) decides how much
+//!   of it hides behind other streams' work.
 //!
 //! Because lanes are mutated by real Rust code, results are bit-identical to
 //! a serial CPU execution of the same algorithm — the property the paper
@@ -39,9 +43,11 @@ pub mod fault;
 pub mod multi;
 pub mod overlap;
 pub mod schedule;
+pub mod stream;
 
 pub use device::{DeviceConfig, PcieModel};
 pub use fault::{DeviceHealth, FaultEvent, FaultKind, FaultPlan};
 pub use kernel::{Gpu, LaneStatus, LaunchStats, SimKernel};
 pub use ledger::TimingLedger;
 pub use multi::MultiGpu;
+pub use stream::{ChargeSpan, StreamClock};

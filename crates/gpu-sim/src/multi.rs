@@ -13,6 +13,7 @@ use crate::device::DeviceConfig;
 use crate::fault::{DeviceHealth, FaultPlan};
 use crate::kernel::{Gpu, LaunchStats, SimKernel};
 use crate::ledger::TimingLedger;
+use crate::stream::{ChargeSpan, StreamClock};
 use tracto_trace::{Tracer, TractoError, TractoResult};
 
 /// A group of identical simulated devices sharing one host.
@@ -22,13 +23,17 @@ use tracto_trace::{Tracer, TractoError, TractoResult};
 /// same device, and a lost device's lane shard fails over to the survivors
 /// (see [`launch_partitioned`](Self::launch_partitioned)). Only allocation
 /// faults and the loss of *every* device escape to the caller.
+///
+/// Wall time is kept by a pool-level [`StreamClock`] with one compute
+/// resource and one PCIe link per device plus one shared host CPU. The
+/// legacy collective operations charge stream 0 — the serialized host loop
+/// this pool always modelled — while the `stream_*` operations let callers
+/// pin independent work to distinct streams so one job's transfers and
+/// reductions hide behind another's kernels.
 #[derive(Debug)]
 pub struct MultiGpu {
     devices: Vec<Gpu>,
-    // Aggregate wall view: kernels overlap across devices, host work is
-    // serialized.
-    kernel_wall_s: f64,
-    host_serial_s: f64,
+    clock: StreamClock,
     failovers: u64,
     fault_retries: u64,
     tracer: Tracer,
@@ -53,12 +58,26 @@ impl MultiGpu {
         }
         Ok(MultiGpu {
             devices: (0..n).map(|_| Gpu::new(config.clone())).collect(),
-            kernel_wall_s: 0.0,
-            host_serial_s: 0.0,
+            clock: StreamClock::new(),
             failovers: 0,
             fault_retries: 0,
             tracer: Tracer::disabled(),
         })
+    }
+
+    /// Pool-clock resource id of device `d`'s compute engine.
+    fn res_gpu(&self, d: usize) -> usize {
+        d
+    }
+
+    /// Pool-clock resource id of device `d`'s PCIe link.
+    fn res_dma(&self, d: usize) -> usize {
+        self.devices.len() + d
+    }
+
+    /// Pool-clock resource id of the one shared host CPU.
+    fn res_cpu(&self) -> usize {
+        2 * self.devices.len()
     }
 
     /// Number of devices (including failed ones).
@@ -159,7 +178,10 @@ impl MultiGpu {
                 return Err(Self::pool_exhausted());
             }
             let shard = rest.len().div_ceil(alive.len()).max(1);
-            let mut round_slowest = 0.0f64;
+            // One group charge per round: each device's time this round
+            // (including failed attempts) on its own compute resource,
+            // advancing stream 0 by the slowest — devices run concurrently.
+            let mut round_parts: Vec<(usize, f64)> = Vec::with_capacity(alive.len());
             let mut done_lanes = 0usize;
             let mut lost_device: Option<usize> = None;
             for (k, chunk) in rest.chunks_mut(shard).enumerate() {
@@ -186,7 +208,8 @@ impl MultiGpu {
                     }
                 };
                 // Device time spent this round, including failed attempts.
-                round_slowest = round_slowest.max(self.devices[d].clock_s() - t0);
+                let gpu_res = self.res_gpu(d);
+                round_parts.push((gpu_res, self.devices[d].clock_s() - t0));
                 match outcome {
                     Ok(s) => {
                         done_lanes += chunk.len();
@@ -198,7 +221,7 @@ impl MultiGpu {
                     }
                 }
             }
-            self.kernel_wall_s += round_slowest;
+            self.clock.charge_group(0, &round_parts);
             let Some(d) = lost_device else {
                 return Ok(stats);
             };
@@ -230,6 +253,7 @@ impl MultiGpu {
         op: impl Fn(&mut Gpu) -> TractoResult<f64>,
         label: &'static str,
     ) {
+        let dma = self.res_dma(i);
         loop {
             let d = &mut self.devices[i];
             if d.health() == DeviceHealth::Failed {
@@ -238,14 +262,15 @@ impl MultiGpu {
             let before = d.clock_s();
             match op(d) {
                 Ok(t) => {
-                    self.host_serial_s += t;
+                    self.clock.charge(0, dma, t);
                     return;
                 }
                 Err(_) => {
                     // Timed-out transfer: the stall was charged to the
                     // device clock; mirror it into serialized host time and
                     // retry.
-                    self.host_serial_s += self.devices[i].clock_s() - before;
+                    let stall = self.devices[i].clock_s() - before;
+                    self.clock.charge(0, dma, stall);
                     self.fault_retries += 1;
                     if self.tracer.enabled() {
                         self.tracer.emit(
@@ -287,12 +312,13 @@ impl MultiGpu {
     /// Host reduction over all live shards (serialized on the one CPU).
     pub fn host_reduction(&mut self, elements: u64) {
         let n = self.alive_devices().max(1) as u64;
+        let cpu = self.res_cpu();
         for d in &mut self.devices {
             if d.health() == DeviceHealth::Failed {
                 continue;
             }
             let t = d.host_reduction(elements / n);
-            self.host_serial_s += t;
+            self.clock.charge(0, cpu, t);
         }
     }
 
@@ -337,15 +363,229 @@ impl MultiGpu {
         total
     }
 
-    /// Simulated wall-clock makespan: concurrent kernels + serialized host
-    /// work.
+    /// Simulated wall-clock makespan: concurrent kernels, overlapped
+    /// streams, serialized per-link transfers and CPU reductions.
     pub fn wall_s(&self) -> f64 {
-        self.kernel_wall_s + self.host_serial_s
+        self.clock.makespan_s()
     }
 
     /// Per-device ledgers.
     pub fn device_ledgers(&self) -> Vec<TimingLedger> {
         self.devices.iter().map(|d| *d.ledger()).collect()
+    }
+
+    /// What this pool's charges would have cost on the serialized
+    /// single-stream path (concurrent device rounds still overlap).
+    pub fn serial_s(&self) -> f64 {
+        self.clock.serial_s()
+    }
+
+    /// Wall time hidden by multi-stream overlap: `serial − wall` (0 when
+    /// everything ran through the legacy stream-0 path).
+    pub fn overlap_saved_s(&self) -> f64 {
+        self.clock.saved_s()
+    }
+
+    /// Stream occupancy `serial / wall` (1.0 when serialized, > 1 when
+    /// streams overlapped).
+    pub fn occupancy(&self) -> f64 {
+        self.clock.occupancy()
+    }
+
+    /// The pool's stream clock.
+    pub fn stream_clock(&self) -> &StreamClock {
+        &self.clock
+    }
+
+    /// First alive device at or after `from` (wrapping); `None` when the
+    /// pool is exhausted.
+    pub fn next_alive_device(&self, from: usize) -> Option<usize> {
+        let n = self.devices.len();
+        (0..n)
+            .map(|k| (from + k) % n)
+            .find(|&d| self.devices[d].health() != DeviceHealth::Failed)
+    }
+
+    /// Emit a `gpu.stream` event for one pool-level stream segment.
+    fn emit_stream_event(
+        &self,
+        segment: &'static str,
+        stream: usize,
+        device: usize,
+        span: ChargeSpan,
+    ) {
+        if self.tracer.enabled() {
+            self.tracer.emit_sim(
+                "gpu.stream",
+                span.end_s,
+                &[
+                    ("device", (device as u32).into()),
+                    ("stream", stream.into()),
+                    ("segment", segment.into()),
+                    ("start_s", span.start_s.into()),
+                    ("duration_s", span.duration_s().into()),
+                    ("hidden_s", span.hidden_s.into()),
+                ],
+            );
+        }
+    }
+
+    /// Reserve `bytes` on one device (streamed residency: each stream's
+    /// jobs live only on their pinned device).
+    pub fn stream_alloc(&mut self, device: usize, bytes: u64) -> Result<(), TractoError> {
+        self.devices[device].device_alloc(bytes)
+    }
+
+    /// Release a per-device reservation.
+    pub fn stream_free(&mut self, device: usize, bytes: u64) {
+        self.devices[device].device_free(bytes);
+    }
+
+    /// Upload `bytes` to `device` on `stream`, charged to that device's
+    /// PCIe link — transfers to *other* devices and all kernels overlap.
+    /// Transient timeouts retry on the same device (stalls charged to the
+    /// stream); errors only if the device has failed.
+    pub fn stream_upload(&mut self, stream: usize, device: usize, bytes: u64) -> TractoResult<f64> {
+        self.stream_transfer(stream, device, bytes, false)
+    }
+
+    /// Read `bytes` back from `device` on `stream` (see
+    /// [`stream_upload`](Self::stream_upload)).
+    pub fn stream_readback(
+        &mut self,
+        stream: usize,
+        device: usize,
+        bytes: u64,
+    ) -> TractoResult<f64> {
+        self.stream_transfer(stream, device, bytes, true)
+    }
+
+    fn stream_transfer(
+        &mut self,
+        stream: usize,
+        device: usize,
+        bytes: u64,
+        to_host: bool,
+    ) -> TractoResult<f64> {
+        let dma = self.res_dma(device);
+        let (label, segment): (&'static str, &'static str) = if to_host {
+            ("stream-readback", "d2h")
+        } else {
+            ("stream-upload", "h2d")
+        };
+        loop {
+            let d = &mut self.devices[device];
+            let before = d.clock_s();
+            let outcome = if to_host {
+                d.try_transfer_to_host(bytes)
+            } else {
+                d.try_transfer_to_device(bytes)
+            };
+            match outcome {
+                Ok(t) => {
+                    let span = self.clock.charge(stream, dma, t);
+                    self.emit_stream_event(segment, stream, device, span);
+                    return Ok(t);
+                }
+                Err(e) if self.devices[device].health() == DeviceHealth::Failed => {
+                    return Err(e);
+                }
+                Err(_) => {
+                    let stall = self.devices[device].clock_s() - before;
+                    self.clock.charge(stream, dma, stall);
+                    self.fault_retries += 1;
+                    if self.tracer.enabled() {
+                        self.tracer.emit(
+                            "gpu.retry",
+                            &[("device", (device as u32).into()), ("op", label.into())],
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Launch `kernel` over `lanes` on one device, charged to `stream` on
+    /// that device's compute resource — kernels of other devices and
+    /// transfers of other streams overlap. Transient launch failures retry
+    /// on the same device; a lost device returns the error with lanes
+    /// untouched so the caller can fail over (see
+    /// [`stream_failover`](Self::stream_failover)) and replay
+    /// bit-identically.
+    pub fn stream_launch<K: SimKernel>(
+        &mut self,
+        stream: usize,
+        device: usize,
+        kernel: &K,
+        lanes: &mut [K::Lane],
+        max_iters: u32,
+    ) -> TractoResult<LaunchStats> {
+        let gpu_res = self.res_gpu(device);
+        loop {
+            let d = &mut self.devices[device];
+            let before = d.clock_s();
+            match d.try_launch(kernel, lanes, max_iters) {
+                Ok(stats) => {
+                    let spent = self.devices[device].clock_s() - before;
+                    let span = self.clock.charge(stream, gpu_res, spent);
+                    self.emit_stream_event("kernel", stream, device, span);
+                    return Ok(stats);
+                }
+                Err(e) if self.devices[device].health() == DeviceHealth::Failed => {
+                    // Charge the failed attempt's overhead before erroring.
+                    let spent = self.devices[device].clock_s() - before;
+                    self.clock.charge(stream, gpu_res, spent);
+                    return Err(e);
+                }
+                Err(_) => {
+                    let spent = self.devices[device].clock_s() - before;
+                    self.clock.charge(stream, gpu_res, spent);
+                    self.fault_retries += 1;
+                    if self.tracer.enabled() {
+                        self.tracer.emit(
+                            "gpu.retry",
+                            &[
+                                ("device", (device as u32).into()),
+                                ("op", "stream-launch".into()),
+                            ],
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Host reduction over one stream's shard, charged to `stream` on the
+    /// shared CPU — reductions of different streams serialize (reduction
+    /// *order* is the caller's, preserving bit-identity), but hide behind
+    /// kernels and transfers of other streams.
+    pub fn stream_reduce(&mut self, stream: usize, device: usize, elements: u64) -> f64 {
+        let cpu = self.res_cpu();
+        let t = self.devices[device].host_reduction(elements);
+        let span = self.clock.charge(stream, cpu, t);
+        self.emit_stream_event("reduce", stream, device, span);
+        t
+    }
+
+    /// A stream's device was lost: pick the next alive device (wrapping),
+    /// count the failover, and emit the `gpu.failover` trace event. Errors
+    /// with [`TractoError::Capacity`] when no device remains.
+    pub fn stream_failover(&mut self, from: usize, orphaned_lanes: usize) -> TractoResult<usize> {
+        let Some(next) = self.next_alive_device(from) else {
+            return Err(Self::pool_exhausted());
+        };
+        self.failovers += 1;
+        if self.tracer.enabled() {
+            self.tracer.emit(
+                "gpu.failover",
+                &[
+                    ("device", (from as u32).into()),
+                    ("orphaned_lanes", orphaned_lanes.into()),
+                    ("survivors", self.alive_devices().into()),
+                ],
+            );
+        }
+        Ok(next)
     }
 }
 
@@ -617,6 +857,118 @@ mod tests {
         let failover = &ring.named("gpu.failover")[0];
         assert_eq!(failover.field_u64("device"), Some(0));
         assert_eq!(failover.field_u64("survivors"), Some(1));
+    }
+
+    fn run_job(multi: &mut MultiGpu, stream: usize, device: usize, lanes: &mut [u32]) {
+        multi.stream_upload(stream, device, 1_000_000).unwrap();
+        multi
+            .stream_launch(stream, device, &Countdown, lanes, 10_000)
+            .unwrap();
+        multi.stream_readback(stream, device, 500_000).unwrap();
+        multi.stream_reduce(stream, device, lanes.len() as u64);
+    }
+
+    #[test]
+    fn streams_hide_one_jobs_host_work_behind_anothers_kernels() {
+        let mut serialized = MultiGpu::new(device(), 2);
+        let mut streamed = MultiGpu::new(device(), 2);
+        let mut a0 = balanced_loads(256);
+        let mut a1 = balanced_loads(256);
+        let mut b0 = a0.clone();
+        let mut b1 = a1.clone();
+        // Same jobs, same devices; the only difference is the stream id.
+        run_job(&mut serialized, 0, 0, &mut a0);
+        run_job(&mut serialized, 0, 1, &mut a1);
+        run_job(&mut streamed, 0, 0, &mut b0);
+        run_job(&mut streamed, 1, 1, &mut b1);
+        assert_eq!(a0, b0);
+        assert_eq!(a1, b1);
+        assert!(
+            streamed.wall_s() < serialized.wall_s(),
+            "streamed {0} vs serialized {1}",
+            streamed.wall_s(),
+            serialized.wall_s()
+        );
+        assert!(streamed.overlap_saved_s() > 0.0);
+        assert_eq!(serialized.overlap_saved_s(), 0.0);
+        assert_eq!(
+            streamed.serial_s(),
+            serialized.wall_s(),
+            "the serialized view of the streamed run is the stream-0 wall"
+        );
+        assert!(streamed.occupancy() > 1.0);
+    }
+
+    #[test]
+    fn stream_failover_replays_bit_identically() {
+        let plan = FaultPlan::parse("fault 1 0 device-lost").unwrap();
+        let mut clean = MultiGpu::new(device(), 2);
+        let mut faulted = MultiGpu::new(device(), 2);
+        faulted.set_fault_plan(&plan);
+        let mut a: Vec<u32> = (1..=64u32).collect();
+        let mut b = a.clone();
+        clean
+            .stream_launch(0, 1, &Countdown, &mut a, 10_000)
+            .unwrap();
+        let err = faulted
+            .stream_launch(0, 1, &Countdown, &mut b, 10_000)
+            .expect_err("device 1 lost before stepping lanes");
+        assert_eq!(err.kind(), tracto_trace::ErrorKind::Device);
+        assert_eq!(b, (1..=64u32).collect::<Vec<_>>(), "lanes untouched");
+        let next = faulted.stream_failover(1, b.len()).expect("a survivor");
+        assert_eq!(next, 0);
+        faulted
+            .stream_launch(0, next, &Countdown, &mut b, 10_000)
+            .unwrap();
+        assert_eq!(a, b, "replay on the failover device is bit-identical");
+        assert_eq!(faulted.failovers(), 1);
+        assert_eq!(faulted.alive_devices(), 1);
+    }
+
+    #[test]
+    fn stream_failover_with_no_survivors_is_capacity_error() {
+        let plan = FaultPlan::parse("fault 0 0 device-lost").unwrap();
+        let mut multi = MultiGpu::new(device(), 1);
+        multi.set_fault_plan(&plan);
+        let mut lanes = vec![4u32; 8];
+        multi
+            .stream_launch(0, 0, &Countdown, &mut lanes, 10)
+            .expect_err("only device lost");
+        let err = multi
+            .stream_failover(0, lanes.len())
+            .expect_err("exhausted");
+        assert_eq!(err.kind(), tracto_trace::ErrorKind::Capacity);
+    }
+
+    #[test]
+    fn stream_ops_emit_stream_events_with_device_and_hidden_time() {
+        use std::sync::Arc;
+        use tracto_trace::{RingSink, Tracer};
+
+        let ring = Arc::new(RingSink::new(128));
+        let mut multi = MultiGpu::new(device(), 2);
+        multi.set_tracer(&Tracer::shared(ring.clone()));
+        let mut l0 = balanced_loads(256);
+        let mut l1 = balanced_loads(256);
+        run_job(&mut multi, 0, 0, &mut l0);
+        run_job(&mut multi, 1, 1, &mut l1);
+        let events = ring.named("gpu.stream");
+        assert_eq!(events.len(), 8, "4 segments per job");
+        assert!(events
+            .iter()
+            .any(|e| e.field_u64("stream") == Some(1) && e.field_u64("device") == Some(1)));
+        // Stream 1's upload runs on device 1's own link while stream 0
+        // works: fully hidden.
+        let s1_upload = events
+            .iter()
+            .find(|e| {
+                e.field_u64("stream") == Some(1)
+                    && e.field("segment") == Some(&tracto_trace::Value::Str("h2d"))
+            })
+            .expect("stream 1 upload traced");
+        let dur = s1_upload.field_f64("duration_s").unwrap();
+        let hidden = s1_upload.field_f64("hidden_s").unwrap();
+        assert!((hidden - dur).abs() < 1e-15);
     }
 
     #[test]

@@ -259,6 +259,8 @@ pub struct MetricsWire {
     pub devices_alive: u64,
     pub devices_total: u64,
     pub tracking_sim_s: f64,
+    pub overlap_saved_sim_s: f64,
+    pub stream_occupancy: f64,
     pub estimation_sim_s: f64,
     pub cache_hits: u64,
     pub cache_misses: u64,
@@ -308,12 +310,14 @@ impl MetricsWire {
             self.mean_wavefront_utilization,
         );
         w.f64_field("tracking_sim_s", self.tracking_sim_s);
+        w.f64_field("overlap_saved_sim_s", self.overlap_saved_sim_s);
+        w.f64_field("stream_occupancy", self.stream_occupancy);
         w.f64_field("estimation_sim_s", self.estimation_sim_s);
         w.end();
     }
 
     fn from_json(v: &Json) -> TractoResult<Self> {
-        use crate::json_util::obj_f64;
+        use crate::json_util::{obj_f64, obj_opt_f64};
         Ok(MetricsWire {
             submitted: obj_u64(v, "submitted")?,
             completed: obj_u64(v, "completed")?,
@@ -335,6 +339,9 @@ impl MetricsWire {
             devices_alive: obj_u64(v, "devices_alive")?,
             devices_total: obj_u64(v, "devices_total")?,
             tracking_sim_s: obj_f64(v, "tracking_sim_s")?,
+            // Absent when talking to a pre-stream server: serialized values.
+            overlap_saved_sim_s: obj_opt_f64(v, "overlap_saved_sim_s")?.unwrap_or(0.0),
+            stream_occupancy: obj_opt_f64(v, "stream_occupancy")?.unwrap_or(1.0),
             estimation_sim_s: obj_f64(v, "estimation_sim_s")?,
             cache_hits: obj_u64(v, "cache_hits")?,
             cache_misses: obj_u64(v, "cache_misses")?,
@@ -388,6 +395,11 @@ impl std::fmt::Display for MetricsWire {
             self.failovers,
             self.devices_alive,
             self.devices_total
+        )?;
+        writeln!(
+            f,
+            "streams: {:.3}s hidden by overlap, {:.3} occupancy",
+            self.overlap_saved_sim_s, self.stream_occupancy
         )?;
         write!(
             f,

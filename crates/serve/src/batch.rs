@@ -83,6 +83,13 @@ pub struct BatchReport {
     pub ledger: TimingLedger,
     /// Simulated wall-clock of the batch (kernels overlap across devices).
     pub wall_s: f64,
+    /// What the same charges would have cost on the serialized host loop.
+    pub serial_s: f64,
+    /// Simulated wall time hidden by multi-stream overlap (`serial_s −
+    /// wall_s` over this batch, ≥ 0; exactly 0 on the serialized path).
+    pub overlap_saved_s: f64,
+    /// Stream lanes the batch ran with (1 = serialized legacy path).
+    pub streams: usize,
     /// Total lanes in the merged population.
     pub lanes: usize,
     /// Launches issued.
@@ -91,27 +98,13 @@ pub struct BatchReport {
     pub utilization: f64,
 }
 
-/// Run `jobs` as one merged lane population on `multi`, under one shared
-/// segmentation schedule. The report's ledger and wall clock are deltas
-/// over this call, so a long-lived device group yields per-batch numbers.
-pub fn run_batch(
-    multi: &mut MultiGpu,
-    jobs: &[BatchJob],
-    strategy: &SegmentationStrategy,
-) -> Result<BatchReport, tracto_trace::TractoError> {
-    assert!(!jobs.is_empty(), "empty batch");
-    let ledger_before = multi.aggregate_ledger();
-    let wall_before = multi.wall_s();
-
-    // Residency: every job's full sample stack on every device (lanes from
-    // all samples are in flight together), plus the merged lane buffers.
-    let volume_bytes: u64 = jobs
-        .iter()
-        .map(|j| 6 * j.samples.dims().len() as u64 * j.samples.num_samples() as u64 * 4)
-        .sum();
-
+/// Build the merged lane population for `job_indices` (in that order),
+/// reproducing the solo tracker's lane recipe exactly — per-job results are
+/// therefore independent of how jobs are grouped into batches or streams.
+fn build_lanes(jobs: &[BatchJob], job_indices: impl Iterator<Item = usize>) -> Vec<BatchLane> {
     let mut lanes: Vec<BatchLane> = Vec::new();
-    for (job_idx, job) in jobs.iter().enumerate() {
+    for job_idx in job_indices {
+        let job = &jobs[job_idx];
         let num_samples = job.samples.num_samples();
         for sample in 0..num_samples {
             let field = SampleFieldView::new(&job.samples, sample);
@@ -135,6 +128,270 @@ pub fn run_batch(
             }
         }
     }
+    lanes
+}
+
+fn fresh_accumulators(jobs: &[BatchJob]) -> Vec<JobAccum> {
+    jobs.iter()
+        .map(|j| {
+            (
+                vec![vec![0u32; j.seeds.len()]; j.samples.num_samples()],
+                0u64,
+                j.record_visits
+                    .then(|| ConnectivityAccumulator::new(j.samples.dims())),
+            )
+        })
+        .collect()
+}
+
+fn finish_accumulators(per_job: Vec<JobAccum>) -> Vec<TrackingOutput> {
+    per_job
+        .into_iter()
+        .map(
+            |(lengths_by_sample, total_steps, connectivity)| TrackingOutput {
+                lengths_by_sample,
+                total_steps,
+                connectivity,
+                streamlines: Vec::new(),
+            },
+        )
+        .collect()
+}
+
+fn ledger_delta(before: &TimingLedger, after: &TimingLedger) -> TimingLedger {
+    TimingLedger {
+        kernel_s: after.kernel_s - before.kernel_s,
+        reduction_s: after.reduction_s - before.reduction_s,
+        transfer_s: after.transfer_s - before.transfer_s,
+        launches: after.launches - before.launches,
+        bytes_h2d: after.bytes_h2d - before.bytes_h2d,
+        bytes_d2h: after.bytes_d2h - before.bytes_d2h,
+        useful_iterations: after.useful_iterations - before.useful_iterations,
+        charged_iterations: after.charged_iterations - before.charged_iterations,
+        wall_kernel_s: after.wall_kernel_s - before.wall_kernel_s,
+    }
+}
+
+/// [`run_batch`] driven through the stream-aware launch path: jobs are
+/// round-robined onto `streams` stream lanes, each pinned to device
+/// `stream % devices`, and every upload / kernel / readback / reduction is
+/// charged to its stream — so one stream's host-side work hides behind
+/// another stream's kernels on the simulated clock. Per-job results are
+/// **bit-identical** to the serialized path for any stream count: lane
+/// construction and stepping are per-job deterministic, and the per-job
+/// accumulators are order-independent sums.
+///
+/// A device lost mid-stream fails over to the next alive device: residency
+/// is re-uploaded and the failed launch replayed (a failed launch never
+/// advances a lane), composing with [`FaultPlan`](tracto_gpu_sim::FaultPlan)
+/// exactly as the serialized path does. Errors with a capacity error only
+/// when every device is lost.
+///
+/// `streams <= 1` delegates to [`run_batch`] exactly.
+pub fn run_batch_streamed(
+    multi: &mut MultiGpu,
+    jobs: &[BatchJob],
+    strategy: &SegmentationStrategy,
+    streams: usize,
+) -> Result<BatchReport, tracto_trace::TractoError> {
+    if streams <= 1 {
+        return run_batch(multi, jobs, strategy);
+    }
+    assert!(!jobs.is_empty(), "empty batch");
+    let ledger_before = multi.aggregate_ledger();
+    let wall_before = multi.wall_s();
+    let serial_before = multi.serial_s();
+
+    struct StreamState {
+        stream: usize,
+        device: usize,
+        /// Resident job volumes on the stream's device.
+        volume_bytes: u64,
+        /// Total reservation currently held on `device`.
+        alloc_bytes: u64,
+        lanes: Vec<BatchLane>,
+    }
+
+    let n_dev = multi.num_devices();
+    let k = streams.min(jobs.len());
+    let mut states: Vec<StreamState> = Vec::with_capacity(k);
+    let mut total_lanes = 0usize;
+    for s in 0..k {
+        let lanes = build_lanes(jobs, (s..jobs.len()).step_by(k));
+        let volume_bytes: u64 = (s..jobs.len())
+            .step_by(k)
+            .map(|i| {
+                6 * jobs[i].samples.dims().len() as u64 * jobs[i].samples.num_samples() as u64 * 4
+            })
+            .sum();
+        let device = multi
+            .next_alive_device(s % n_dev)
+            .ok_or_else(|| tracto_trace::TractoError::capacity("gpu devices", 1, 0))?;
+        total_lanes += lanes.len();
+        states.push(StreamState {
+            stream: s,
+            device,
+            volume_bytes,
+            alloc_bytes: 0,
+            lanes,
+        });
+    }
+
+    // Residency per stream on its pinned device: its jobs' sample stacks
+    // plus its share of the merged lane buffers.
+    for st in states.iter_mut() {
+        let bytes = st.volume_bytes + st.lanes.len() as u64 * LANE_BYTES;
+        multi.stream_alloc(st.device, bytes)?;
+        st.alloc_bytes = bytes;
+    }
+
+    /// Re-home a stream after a device loss: claim the next alive device,
+    /// reserve memory there, and re-upload the stream's full residency.
+    /// Loops because the replacement can itself be scheduled to fail.
+    fn fail_over(
+        multi: &mut MultiGpu,
+        st: &mut StreamState,
+    ) -> Result<(), tracto_trace::TractoError> {
+        loop {
+            let next = multi.stream_failover(st.device, st.lanes.len())?;
+            st.device = next;
+            multi.stream_alloc(next, st.alloc_bytes)?;
+            let residency = st.volume_bytes + st.lanes.len() as u64 * LANE_BYTES;
+            match multi.stream_upload(st.stream, next, residency) {
+                Ok(_) => return Ok(()),
+                Err(_) => continue,
+            }
+        }
+    }
+
+    let max_steps = jobs
+        .iter()
+        .map(|j| j.params.max_steps)
+        .max()
+        .expect("non-empty");
+    let budgets = strategy.budgets(max_steps);
+
+    let mut per_job = fresh_accumulators(jobs);
+    let kernel = BatchKernel { jobs };
+    let mut launches = 0u64;
+    let mut charged = 0u64;
+    let mut useful = 0u64;
+
+    // Initial residency uploads, one per stream, issued round-robin so the
+    // clock can pipeline them against each other's devices.
+    for st in states.iter_mut() {
+        let residency = st.volume_bytes + st.lanes.len() as u64 * LANE_BYTES;
+        if multi
+            .stream_upload(st.stream, st.device, residency)
+            .is_err()
+        {
+            fail_over(multi, st)?;
+        }
+    }
+
+    // Shared segmentation schedule, interleaved across streams per segment:
+    // submission order is issue order on the simulated clock, so the
+    // round-robin is what lets stream s+1's upload hide behind stream s's
+    // kernel (and readbacks hide behind the next stream's kernels).
+    for (seg_idx, &budget) in budgets.iter().enumerate() {
+        let mut any = false;
+        for st in states.iter_mut() {
+            if st.lanes.is_empty() {
+                continue;
+            }
+            any = true;
+            if seg_idx > 0 {
+                // Re-upload the compacted population.
+                if multi
+                    .stream_upload(st.stream, st.device, st.lanes.len() as u64 * LANE_BYTES)
+                    .is_err()
+                {
+                    fail_over(multi, st)?;
+                }
+            }
+            // A failed launch never advances a lane, so replaying it on the
+            // failover device is bit-identical to a fault-free run.
+            let stats = loop {
+                match multi.stream_launch(st.stream, st.device, &kernel, &mut st.lanes, budget) {
+                    Ok(stats) => break stats,
+                    Err(_) => fail_over(multi, st)?,
+                }
+            };
+            launches += 1;
+            charged += stats.charged_iterations;
+            useful += stats.useful_iterations;
+            if multi
+                .stream_readback(st.stream, st.device, st.lanes.len() as u64 * LANE_BYTES)
+                .is_err()
+            {
+                fail_over(multi, st)?;
+                multi.stream_readback(st.stream, st.device, st.lanes.len() as u64 * LANE_BYTES)?;
+            }
+            multi.stream_reduce(st.stream, st.device, st.lanes.len() as u64);
+
+            // Compact: retire finished lanes into their job's accumulators.
+            let mut still_running = Vec::with_capacity(st.lanes.len());
+            for lane in st.lanes.drain(..) {
+                if lane.walker.alive() {
+                    still_running.push(lane);
+                } else {
+                    retire(&lane, &mut per_job);
+                }
+            }
+            st.lanes = still_running;
+        }
+        if !any {
+            break;
+        }
+    }
+    for st in states.iter_mut() {
+        debug_assert!(st.lanes.is_empty(), "lanes survived the full budget");
+        for lane in st.lanes.drain(..) {
+            retire(&lane, &mut per_job);
+        }
+        multi.stream_free(st.device, st.alloc_bytes);
+    }
+
+    let wall_s = multi.wall_s() - wall_before;
+    let serial_s = multi.serial_s() - serial_before;
+    Ok(BatchReport {
+        per_job: finish_accumulators(per_job),
+        ledger: ledger_delta(&ledger_before, &multi.aggregate_ledger()),
+        wall_s,
+        serial_s,
+        overlap_saved_s: (serial_s - wall_s).max(0.0),
+        streams: k,
+        lanes: total_lanes,
+        launches,
+        utilization: if charged == 0 {
+            1.0
+        } else {
+            useful as f64 / charged as f64
+        },
+    })
+}
+
+/// Run `jobs` as one merged lane population on `multi`, under one shared
+/// segmentation schedule. The report's ledger and wall clock are deltas
+/// over this call, so a long-lived device group yields per-batch numbers.
+pub fn run_batch(
+    multi: &mut MultiGpu,
+    jobs: &[BatchJob],
+    strategy: &SegmentationStrategy,
+) -> Result<BatchReport, tracto_trace::TractoError> {
+    assert!(!jobs.is_empty(), "empty batch");
+    let ledger_before = multi.aggregate_ledger();
+    let wall_before = multi.wall_s();
+    let serial_before = multi.serial_s();
+
+    // Residency: every job's full sample stack on every device (lanes from
+    // all samples are in flight together), plus the merged lane buffers.
+    let volume_bytes: u64 = jobs
+        .iter()
+        .map(|j| 6 * j.samples.dims().len() as u64 * j.samples.num_samples() as u64 * 4)
+        .sum();
+
+    let mut lanes = build_lanes(jobs, 0..jobs.len());
     let total_lanes = lanes.len();
     let lane_bytes = total_lanes as u64 * LANE_BYTES;
 
@@ -151,17 +408,7 @@ pub fn run_batch(
         .expect("non-empty");
     let budgets = strategy.budgets(max_steps);
 
-    let mut per_job: Vec<JobAccum> = jobs
-        .iter()
-        .map(|j| {
-            (
-                vec![vec![0u32; j.seeds.len()]; j.samples.num_samples()],
-                0u64,
-                j.record_visits
-                    .then(|| ConnectivityAccumulator::new(j.samples.dims())),
-            )
-        })
-        .collect();
+    let mut per_job = fresh_accumulators(jobs);
 
     let kernel = BatchKernel { jobs };
     let mut launches = 0u64;
@@ -203,35 +450,15 @@ pub fn run_batch(
 
     multi.device_free_all(volume_bytes + lane_bytes);
 
-    let per_job = per_job
-        .into_iter()
-        .map(
-            |(lengths_by_sample, total_steps, connectivity)| TrackingOutput {
-                lengths_by_sample,
-                total_steps,
-                connectivity,
-                streamlines: Vec::new(),
-            },
-        )
-        .collect();
-
-    let after = multi.aggregate_ledger();
-    let ledger = TimingLedger {
-        kernel_s: after.kernel_s - ledger_before.kernel_s,
-        reduction_s: after.reduction_s - ledger_before.reduction_s,
-        transfer_s: after.transfer_s - ledger_before.transfer_s,
-        launches: after.launches - ledger_before.launches,
-        bytes_h2d: after.bytes_h2d - ledger_before.bytes_h2d,
-        bytes_d2h: after.bytes_d2h - ledger_before.bytes_d2h,
-        useful_iterations: after.useful_iterations - ledger_before.useful_iterations,
-        charged_iterations: after.charged_iterations - ledger_before.charged_iterations,
-        wall_kernel_s: after.wall_kernel_s - ledger_before.wall_kernel_s,
-    };
-
+    let wall_s = multi.wall_s() - wall_before;
+    let serial_s = multi.serial_s() - serial_before;
     Ok(BatchReport {
-        per_job,
-        ledger,
-        wall_s: multi.wall_s() - wall_before,
+        per_job: finish_accumulators(per_job),
+        ledger: ledger_delta(&ledger_before, &multi.aggregate_ledger()),
+        wall_s,
+        serial_s,
+        overlap_saved_s: (serial_s - wall_s).max(0.0),
+        streams: 1,
         lanes: total_lanes,
         launches,
         utilization: if charged == 0 {
@@ -435,6 +662,118 @@ mod tests {
             sequential
         );
         assert!(batch.utilization > 0.0 && batch.utilization <= 1.0);
+    }
+
+    fn assert_reports_identical(a: &BatchReport, b: &BatchReport) {
+        assert_eq!(a.per_job.len(), b.per_job.len());
+        for (x, y) in a.per_job.iter().zip(&b.per_job) {
+            assert_eq!(x.lengths_by_sample, y.lengths_by_sample);
+            assert_eq!(x.total_steps, y.total_steps);
+            match (&x.connectivity, &y.connectivity) {
+                (None, None) => {}
+                (Some(ca), Some(cb)) => {
+                    assert_eq!(ca.total_streamlines(), cb.total_streamlines());
+                    assert_eq!(ca.probability_volume(), cb.probability_volume());
+                }
+                _ => panic!("connectivity presence differs"),
+            }
+        }
+    }
+
+    fn stream_jobs(sv: &Arc<SampleVolumes>, dims: Dim3) -> Vec<BatchJob> {
+        let mut jobs: Vec<BatchJob> = (0..5u64)
+            .map(|i| batch_job(sv, line_seeds(dims), 10 + i, 200))
+            .collect();
+        jobs[1].params.max_steps = 9;
+        jobs[3].record_visits = true;
+        jobs
+    }
+
+    #[test]
+    fn streamed_batch_bit_identical_to_serialized() {
+        let dims = Dim3::new(12, 6, 6);
+        let sv = x_samples(dims, 3);
+        let strategy = SegmentationStrategy::paper_b();
+        let jobs = stream_jobs(&sv, dims);
+        let mut base = MultiGpu::new(device(), 2);
+        let serial = run_batch(&mut base, &jobs, &strategy).unwrap();
+        assert_eq!(serial.streams, 1);
+        assert_eq!(serial.overlap_saved_s, 0.0);
+        for streams in [2usize, 3, 5, 9] {
+            let mut multi = MultiGpu::new(device(), 2);
+            let streamed = run_batch_streamed(&mut multi, &jobs, &strategy, streams).unwrap();
+            assert_reports_identical(&serial, &streamed);
+            assert_eq!(streamed.streams, streams.min(jobs.len()));
+            assert_eq!(streamed.lanes, serial.lanes);
+        }
+    }
+
+    #[test]
+    fn streamed_batch_overlaps_host_work_behind_kernels() {
+        let dims = Dim3::new(12, 6, 6);
+        let sv = x_samples(dims, 3);
+        let strategy = SegmentationStrategy::paper_b();
+        let jobs = stream_jobs(&sv, dims);
+        let mut multi = MultiGpu::new(device(), 2);
+        let report = run_batch_streamed(&mut multi, &jobs, &strategy, 4).unwrap();
+        assert!(
+            report.overlap_saved_s > 0.0,
+            "expected overlap, saved = {}",
+            report.overlap_saved_s
+        );
+        assert!(report.wall_s < report.serial_s);
+    }
+
+    #[test]
+    fn single_stream_delegates_to_serialized_path() {
+        let dims = Dim3::new(10, 6, 6);
+        let sv = x_samples(dims, 2);
+        let strategy = SegmentationStrategy::paper_b();
+        let jobs = stream_jobs(&sv, dims);
+        let mut a = MultiGpu::new(device(), 2);
+        let legacy = run_batch(&mut a, &jobs, &strategy).unwrap();
+        let mut b = MultiGpu::new(device(), 2);
+        let delegated = run_batch_streamed(&mut b, &jobs, &strategy, 1).unwrap();
+        assert_reports_identical(&legacy, &delegated);
+        assert_eq!(legacy.wall_s, delegated.wall_s);
+        assert_eq!(delegated.streams, 1);
+        assert_eq!(delegated.overlap_saved_s, 0.0);
+    }
+
+    #[test]
+    fn streamed_batch_composes_with_device_loss() {
+        let dims = Dim3::new(12, 6, 6);
+        let sv = x_samples(dims, 3);
+        let strategy = SegmentationStrategy::paper_b();
+        let jobs = stream_jobs(&sv, dims);
+        let mut clean = MultiGpu::new(device(), 2);
+        let expected = run_batch_streamed(&mut clean, &jobs, &strategy, 3).unwrap();
+
+        // Device 0 dies on its second launch: mid-schedule, with lanes in
+        // flight on both stream lanes pinned to it.
+        let plan = tracto_gpu_sim::FaultPlan::parse("fault 0 1 device-lost").unwrap();
+        let mut faulted = MultiGpu::new(device(), 2);
+        faulted.set_fault_plan(&plan);
+        let report = run_batch_streamed(&mut faulted, &jobs, &strategy, 3).unwrap();
+        assert!(faulted.failovers() >= 1, "the fault must actually fire");
+        assert_reports_identical(&expected, &report);
+    }
+
+    #[test]
+    fn streamed_batch_pool_exhausted_reports_capacity() {
+        let dims = Dim3::new(10, 6, 6);
+        let sv = x_samples(dims, 2);
+        let plan = tracto_gpu_sim::FaultPlan::parse("fault 0 0 device-lost").unwrap();
+        let mut multi = MultiGpu::new(device(), 1);
+        multi.set_fault_plan(&plan);
+        let jobs = vec![
+            batch_job(&sv, line_seeds(dims), 1, 100),
+            batch_job(&sv, line_seeds(dims), 2, 100),
+        ];
+        match run_batch_streamed(&mut multi, &jobs, &SegmentationStrategy::paper_b(), 2) {
+            Err(err) => assert_eq!(err.kind(), tracto_trace::ErrorKind::Capacity),
+            Ok(_) => panic!("expected pool-exhausted error"),
+        }
     }
 
     #[test]

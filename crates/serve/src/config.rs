@@ -55,6 +55,11 @@ pub struct ServiceConfig {
     /// estimation (0 disables mid-run checkpoints; the job journal still
     /// replays whole jobs). Requires `state_dir`.
     pub checkpoint_every: u32,
+    /// Stream lanes for batched launches (1 = serialized legacy path).
+    /// Results are bit-identical for any value; streams only let one
+    /// job's host work hide behind another's kernels on the simulated
+    /// clock.
+    pub streams: usize,
     /// Structured-event sink for job lifecycle, cache, batch, and GPU
     /// events. Disabled by default.
     pub tracer: Tracer,
@@ -78,6 +83,7 @@ impl Default for ServiceConfig {
             retry_backoff: Duration::from_millis(5),
             state_dir: None,
             checkpoint_every: 0,
+            streams: 1,
             tracer: Tracer::disabled(),
         }
     }
@@ -105,7 +111,7 @@ impl ServiceConfigBuilder {
     /// The service flags a CLI exposes, as `(name, value-hint, help)`.
     /// [`set_cli`](Self::set_cli) accepts exactly these names, so commands
     /// can loop over this table for both parsing and usage text.
-    pub const CLI_FLAGS: [(&'static str, &'static str, &'static str); 13] = [
+    pub const CLI_FLAGS: [(&'static str, &'static str, &'static str); 14] = [
         ("devices", "N", "devices in the tracking pool (default 1)"),
         ("workers", "N", "estimation worker threads (default 2)"),
         (
@@ -138,6 +144,11 @@ impl ServiceConfigBuilder {
             "checkpoint-every",
             "N",
             "persist an MCMC checkpoint every N segments (0 = off)",
+        ),
+        (
+            "streams",
+            "N",
+            "stream lanes for batched launches (default 1 = serialized)",
         ),
     ];
 
@@ -240,6 +251,12 @@ impl ServiceConfigBuilder {
         self
     }
 
+    /// Set the stream-lane count for batched launches (1 = serialized).
+    pub fn streams(mut self, streams: usize) -> Self {
+        self.config.streams = streams;
+        self
+    }
+
     /// Install an event sink.
     pub fn tracer(mut self, tracer: Tracer) -> Self {
         self.config.tracer = tracer;
@@ -269,6 +286,7 @@ impl ServiceConfigBuilder {
             "retry-budget" => self.retry_budget(num(name, value)?),
             "state-dir" => self.state_dir(value),
             "checkpoint-every" => self.checkpoint_every(num(name, value)?),
+            "streams" => self.streams(num(name, value)?),
             other => {
                 return Err(TractoError::config(format!(
                     "unknown service flag `--{other}`"
@@ -299,6 +317,11 @@ impl ServiceConfigBuilder {
         if config.batch_window > Duration::from_secs(60) {
             return Err(TractoError::config(
                 "batch-window-ms above 60s holds jobs hostage",
+            ));
+        }
+        if config.streams == 0 {
+            return Err(TractoError::config(
+                "streams must be positive (1 = serialized)",
             ));
         }
         if config.checkpoint_every > 0 && config.state_dir.is_none() {
@@ -347,6 +370,7 @@ mod tests {
             ServiceConfig::builder().cache_bytes(0),
             ServiceConfig::builder().batch_window(Duration::from_secs(3600)),
             ServiceConfig::builder().checkpoint_every(2),
+            ServiceConfig::builder().streams(0),
         ] {
             let err = builder.build().expect_err("must be rejected");
             assert_eq!(err.kind(), ErrorKind::Config);
@@ -386,6 +410,7 @@ mod tests {
             ("retry-budget", "5"),
             ("state-dir", "/tmp/tracto-test-state"),
             ("checkpoint-every", "2"),
+            ("streams", "4"),
         ] {
             assert!(
                 ServiceConfigBuilder::CLI_FLAGS
@@ -413,6 +438,7 @@ mod tests {
             "/tmp/tracto-test-state"
         );
         assert_eq!(cfg.checkpoint_every, 2);
+        assert_eq!(cfg.streams, 4);
     }
 
     #[test]

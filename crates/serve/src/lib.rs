@@ -54,7 +54,7 @@ pub mod service;
 pub mod spec;
 pub mod uploads;
 
-pub use batch::{run_batch, BatchJob, BatchReport};
+pub use batch::{run_batch, run_batch_streamed, BatchJob, BatchReport};
 pub use cache::{
     sample_key, sample_key_parts, CacheStats, DiskSampleCache, SampleCache, SampleKey,
 };

@@ -321,6 +321,8 @@ pub fn metrics_wire(snap: &MetricsSnapshot, remote_jobs: u64) -> MetricsWire {
         devices_alive: snap.devices_alive,
         devices_total: snap.devices_total,
         tracking_sim_s: snap.tracking_sim_s,
+        overlap_saved_sim_s: snap.overlap_saved_sim_s,
+        stream_occupancy: snap.stream_occupancy,
         estimation_sim_s: snap.estimation_sim_s,
         cache_hits: snap.cache.hits,
         cache_misses: snap.cache.misses,

@@ -32,20 +32,37 @@ pub(crate) struct Metrics {
 #[derive(Default, Clone, Copy)]
 pub(crate) struct Accum {
     pub tracking_sim_s: f64,
+    pub tracking_serial_sim_s: f64,
+    pub overlap_saved_sim_s: f64,
     pub estimation_sim_s: f64,
     pub utilization_sum: f64,
     pub utilization_batches: u64,
 }
 
+/// One batch's contribution to the counters, taken from its
+/// [`BatchReport`](crate::batch::BatchReport).
+pub(crate) struct BatchSample {
+    pub jobs: u64,
+    pub lanes: u64,
+    pub launches: u64,
+    pub wall_s: f64,
+    pub serial_s: f64,
+    pub overlap_saved_s: f64,
+    pub utilization: f64,
+}
+
 impl Metrics {
-    pub(crate) fn add_batch(&self, jobs: u64, lanes: u64, launches: u64, wall_s: f64, util: f64) {
+    pub(crate) fn add_batch(&self, sample: BatchSample) {
         self.batches.fetch_add(1, Ordering::Relaxed);
-        self.batch_jobs.fetch_add(jobs, Ordering::Relaxed);
-        self.lanes_tracked.fetch_add(lanes, Ordering::Relaxed);
-        self.launches.fetch_add(launches, Ordering::Relaxed);
+        self.batch_jobs.fetch_add(sample.jobs, Ordering::Relaxed);
+        self.lanes_tracked
+            .fetch_add(sample.lanes, Ordering::Relaxed);
+        self.launches.fetch_add(sample.launches, Ordering::Relaxed);
         let mut acc = self.accum.lock();
-        acc.tracking_sim_s += wall_s;
-        acc.utilization_sum += util;
+        acc.tracking_sim_s += sample.wall_s;
+        acc.tracking_serial_sim_s += sample.serial_s;
+        acc.overlap_saved_sim_s += sample.overlap_saved_s;
+        acc.utilization_sum += sample.utilization;
         acc.utilization_batches += 1;
     }
 }
@@ -97,6 +114,12 @@ pub struct MetricsSnapshot {
     pub devices_total: u64,
     /// Simulated seconds spent in batched tracking.
     pub tracking_sim_s: f64,
+    /// Simulated wall time hidden by multi-stream overlap across all
+    /// batches (`serial − wall`, summed; 0 when serving serialized).
+    pub overlap_saved_sim_s: f64,
+    /// Stream occupancy `serial / wall` over all batched tracking
+    /// (≥ 1; exactly 1.0 when serving serialized).
+    pub stream_occupancy: f64,
     /// Simulated seconds spent in estimation.
     pub estimation_sim_s: f64,
     /// Sample-cache statistics (hits, misses, bytes, evictions).
@@ -137,6 +160,12 @@ impl Metrics {
             devices_alive: self.devices_alive.load(Ordering::Relaxed),
             devices_total: self.devices_total.load(Ordering::Relaxed),
             tracking_sim_s: acc.tracking_sim_s,
+            overlap_saved_sim_s: acc.overlap_saved_sim_s,
+            stream_occupancy: if acc.tracking_sim_s <= 0.0 {
+                1.0
+            } else {
+                acc.tracking_serial_sim_s / acc.tracking_sim_s
+            },
             estimation_sim_s: acc.estimation_sim_s,
             cache,
         }
@@ -185,6 +214,11 @@ impl std::fmt::Display for MetricsSnapshot {
             self.devices_alive,
             self.devices_total
         )?;
+        writeln!(
+            f,
+            "streams: {:.4} s hidden by overlap, occupancy {:.3}",
+            self.overlap_saved_sim_s, self.stream_occupancy
+        )?;
         write!(
             f,
             "simulated: {:.4} s tracking, {:.4} s estimation ({} MCMC runs)",
@@ -197,11 +231,23 @@ impl std::fmt::Display for MetricsSnapshot {
 mod tests {
     use super::*;
 
+    fn sample(jobs: u64, lanes: u64, launches: u64, wall_s: f64, util: f64) -> BatchSample {
+        BatchSample {
+            jobs,
+            lanes,
+            launches,
+            wall_s,
+            serial_s: wall_s,
+            overlap_saved_s: 0.0,
+            utilization: util,
+        }
+    }
+
     #[test]
     fn occupancy_and_utilization_means() {
         let m = Metrics::default();
-        m.add_batch(4, 100, 10, 1.5, 0.8);
-        m.add_batch(2, 50, 5, 0.5, 0.6);
+        m.add_batch(sample(4, 100, 10, 1.5, 0.8));
+        m.add_batch(sample(2, 50, 5, 0.5, 0.6));
         let snap = m.snapshot(
             0,
             CacheStats {
@@ -217,12 +263,52 @@ mod tests {
         assert!((snap.mean_wavefront_utilization - 0.7).abs() < 1e-12);
         assert!((snap.tracking_sim_s - 2.0).abs() < 1e-12);
         assert_eq!(snap.lanes_tracked, 150);
+        assert_eq!(snap.overlap_saved_sim_s, 0.0);
+        assert!((snap.stream_occupancy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_savings_accumulate_into_occupancy() {
+        let m = Metrics::default();
+        m.add_batch(BatchSample {
+            jobs: 3,
+            lanes: 60,
+            launches: 6,
+            wall_s: 1.0,
+            serial_s: 1.5,
+            overlap_saved_s: 0.5,
+            utilization: 0.9,
+        });
+        m.add_batch(BatchSample {
+            jobs: 1,
+            lanes: 20,
+            launches: 2,
+            wall_s: 1.0,
+            serial_s: 1.5,
+            overlap_saved_s: 0.5,
+            utilization: 0.9,
+        });
+        let snap = m.snapshot(
+            0,
+            CacheStats {
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+                bytes: 0,
+                entries: 0,
+            },
+        );
+        assert!((snap.overlap_saved_sim_s - 1.0).abs() < 1e-12);
+        assert!((snap.stream_occupancy - 1.5).abs() < 1e-12);
+        let text = snap.to_string();
+        assert!(text.contains("hidden by overlap"));
+        assert!(text.contains("occupancy 1.500"));
     }
 
     #[test]
     fn display_is_complete() {
         let m = Metrics::default();
-        m.add_batch(1, 10, 3, 0.1, 0.9);
+        m.add_batch(sample(1, 10, 3, 0.1, 0.9));
         let snap = m.snapshot(
             2,
             CacheStats {

@@ -28,7 +28,7 @@
 //! Shutdown drops the submission side, lets the workers drain, and joins
 //! them; `drain` blocks until no job is queued or running.
 
-use crate::batch::{run_batch, BatchJob};
+use crate::batch::{run_batch_streamed, BatchJob};
 use crate::cache::{sample_key, DiskSampleCache, SampleCache, SampleKey};
 use crate::config::ServiceConfig;
 use crate::events::EventBus;
@@ -943,7 +943,7 @@ fn execute_batch(
         })
         .collect();
 
-    match run_batch(multi, &jobs, &cfg.strategy) {
+    match run_batch_streamed(multi, &jobs, &cfg.strategy, cfg.streams) {
         Ok(report) => {
             if shared.tracer.enabled() {
                 shared.tracer.emit(
@@ -953,16 +953,20 @@ fn execute_batch(
                         ("lanes", report.lanes.into()),
                         ("launches", report.launches.into()),
                         ("utilization", report.utilization.into()),
+                        ("streams", report.streams.into()),
+                        ("overlap_saved_s", report.overlap_saved_s.into()),
                     ],
                 );
             }
-            shared.metrics.add_batch(
-                live.len() as u64,
-                report.lanes as u64,
-                report.launches,
-                report.wall_s,
-                report.utilization,
-            );
+            shared.metrics.add_batch(crate::metrics::BatchSample {
+                jobs: live.len() as u64,
+                lanes: report.lanes as u64,
+                launches: report.launches,
+                wall_s: report.wall_s,
+                serial_s: report.serial_s,
+                overlap_saved_s: report.overlap_saved_s,
+                utilization: report.utilization,
+            });
             let batch_jobs = live.len();
             for (r, out) in live.into_iter().zip(report.per_job) {
                 shared.complete(

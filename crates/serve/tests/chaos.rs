@@ -42,12 +42,24 @@ fn run_jobs(
     Vec<tracto_serve::TrackResult>,
     tracto_serve::MetricsSnapshot,
 ) {
+    run_jobs_streamed(fault_plan, jobs, 1)
+}
+
+fn run_jobs_streamed(
+    fault_plan: Option<FaultPlan>,
+    jobs: &[(Arc<Dataset>, PipelineConfig)],
+    streams: usize,
+) -> (
+    Vec<tracto_serve::TrackResult>,
+    tracto_serve::MetricsSnapshot,
+) {
     let service = TractoService::start(ServiceConfig {
         devices: 3,
         estimate_workers: 1,
         max_batch_jobs: 8,
         batch_window: Duration::from_millis(100),
         fault_plan,
+        streams,
         ..ServiceConfig::default()
     });
     let tickets: Vec<_> = jobs
@@ -83,6 +95,43 @@ fn seeded_faults_leave_streamline_counts_bit_identical() {
         assert_eq!(
             a.tracking.lengths_by_sample, b.tracking.lengths_by_sample,
             "job {i}: streamline lengths must be bit-identical under faults"
+        );
+        assert_eq!(a.tracking.total_steps, b.tracking.total_steps, "job {i}");
+    }
+}
+
+/// Streams compose with fault injection: a device lost mid-stream (while
+/// its stream lane has walkers in flight) fails over and the batch stays
+/// bit-identical to the fault-free *serialized* service — timing is the
+/// only thing streams and faults are allowed to change.
+#[test]
+fn device_lost_mid_stream_leaves_results_bit_identical() {
+    let bundle: Arc<Dataset> = Arc::new(datasets::single_bundle(Dim3::new(8, 6, 6), Some(20.0), 3));
+    let crossing: Arc<Dataset> =
+        Arc::new(datasets::crossing(Dim3::new(8, 8, 5), 90.0, Some(20.0), 5));
+    let jobs: Vec<(Arc<Dataset>, PipelineConfig)> = vec![
+        (Arc::clone(&bundle), small_config(5, 120)),
+        (Arc::clone(&crossing), small_config(9, 60)),
+        (Arc::clone(&bundle), small_config(5, 80)),
+    ];
+
+    let (clean, _) = run_jobs(None, &jobs);
+    // The second launch on device 0 fires after the streamed batch has
+    // started issuing work, so the loss lands mid-stream.
+    let plan = FaultPlan::parse("fault 0 1 device-lost").unwrap();
+    let (chaos, metrics) = run_jobs_streamed(Some(plan), &jobs, 3);
+
+    assert!(metrics.faults_injected >= 1, "the schedule must fire");
+    assert!(
+        metrics.failovers >= 1,
+        "the loss must be survived, not missed"
+    );
+    assert_eq!(metrics.completed, jobs.len() as u64);
+    assert_eq!(metrics.failed, 0);
+    for (i, (a, b)) in clean.iter().zip(&chaos).enumerate() {
+        assert_eq!(
+            a.tracking.lengths_by_sample, b.tracking.lengths_by_sample,
+            "job {i}: streams + device loss must not change results"
         );
         assert_eq!(a.tracking.total_steps, b.tracking.total_steps, "job {i}");
     }

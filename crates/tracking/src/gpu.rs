@@ -129,6 +129,16 @@ impl GpuTrackingReport {
     }
 }
 
+/// In-flight state of one sample volume being streamed through the device.
+struct SampleStream<'a> {
+    sample: usize,
+    stream: usize,
+    order: Vec<u32>,
+    lanes: Vec<TrackLane>,
+    kernel: TrackingKernel<'a>,
+    unfinished_after_segment: Vec<usize>,
+}
+
 impl<'a> GpuTracker<'a> {
     /// Execute Algorithm 1 on `gpu`. The device ledger is reset first so
     /// the report's timing covers exactly this run.
@@ -250,6 +260,183 @@ impl<'a> GpuTracker<'a> {
             }
             submission_orders.push(order);
             per_segment_unfinished.push(unfinished_after_segment);
+        }
+
+        GpuTrackingReport {
+            ledger: *gpu.ledger(),
+            lengths_by_sample,
+            submission_orders,
+            per_segment_unfinished,
+            total_steps,
+            connectivity,
+        }
+    }
+
+    /// Execute Algorithm 1 with `streams` sample volumes in flight at once.
+    ///
+    /// Samples are processed in groups of `streams`, each pinned to its own
+    /// stream lane on the device's [`StreamClock`](tracto_gpu_sim::StreamClock):
+    /// within a group, segment rounds are issued round-robin so one
+    /// sample's lane uploads, readbacks, and CPU compactions hide behind
+    /// another sample's kernels — the Fig. 8 overlap, now on the real
+    /// execution path. Device memory holds at most `streams` sample
+    /// volumes at a time.
+    ///
+    /// Results are bit-identical to [`run`](Self::run): streams reorder
+    /// *time* only — every walker is stepped by the same code in the same
+    /// per-lane order, and retirement writes are indexed by seed, never
+    /// order-dependent. `streams <= 1` *is* the serialized path.
+    pub fn run_streamed(&self, gpu: &mut Gpu, streams: usize) -> GpuTrackingReport {
+        if streams <= 1 {
+            return self.run(gpu);
+        }
+        gpu.reset();
+        let num_samples = self.samples.num_samples();
+        let n_seeds = self.seeds.len();
+        let budgets = self.strategy.budgets(self.params.max_steps);
+        let volume_bytes = sample_volume_bytes(self.samples);
+
+        let mut lengths_by_sample = vec![vec![0u32; n_seeds]; num_samples];
+        let mut submission_orders: Vec<Vec<u32>> = Vec::with_capacity(num_samples);
+        let mut per_segment_unfinished: Vec<Vec<usize>> = Vec::with_capacity(num_samples);
+        let mut connectivity = self
+            .record_visits
+            .then(|| ConnectivityAccumulator::new(self.samples.dims()));
+        let mut total_steps = 0u64;
+        let mut pilot_lengths: Option<Vec<u32>> = None;
+
+        // Sorted ordering needs the pilot's lengths before any other
+        // sample's submission order exists: the pilot runs as its own
+        // group, the rest overlap.
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let first_group = if self.ordering == SeedOrdering::SortedByPilot && num_samples > 0 {
+            groups.push(vec![0]);
+            1
+        } else {
+            0
+        };
+        for chunk in (first_group..num_samples)
+            .collect::<Vec<_>>()
+            .chunks(streams)
+        {
+            groups.push(chunk.to_vec());
+        }
+
+        for group in groups {
+            let mut in_flight: Vec<SampleStream<'a>> = Vec::with_capacity(group.len());
+            // Copy3DImagesToGPU() + SendStartPointsToGPU() for the whole
+            // group, one stream lane per sample.
+            for (slot, &sample) in group.iter().enumerate() {
+                let lane_bytes = n_seeds as u64 * LANE_BYTES;
+                gpu.device_alloc(volume_bytes + lane_bytes)
+                    .unwrap_or_else(|err| {
+                        panic!("{err} (shrink the grid, sample count, or stream count)")
+                    });
+                gpu.try_transfer_to_device_on(volume_bytes, slot)
+                    .expect("transfer failed on a device with a fault plan");
+                let order: Vec<u32> = match (&self.ordering, &pilot_lengths) {
+                    (SeedOrdering::SortedByPilot, Some(pilot)) => {
+                        let mut idx: Vec<u32> = (0..n_seeds as u32).collect();
+                        idx.sort_by_key(|&i| std::cmp::Reverse(pilot[i as usize]));
+                        idx
+                    }
+                    _ => (0..n_seeds as u32).collect(),
+                };
+                let field = SampleFieldView::new(self.samples, sample);
+                let lanes: Vec<TrackLane> = order
+                    .iter()
+                    .map(|&seed_idx| {
+                        let pos = jittered_seed(
+                            self.seeds[seed_idx as usize],
+                            self.run_seed,
+                            sample,
+                            seed_idx as usize,
+                            self.jitter,
+                        );
+                        let dir = initial_direction(&field, pos, self.params.min_fraction)
+                            .unwrap_or(Vec3::ZERO);
+                        let walker = if self.record_visits {
+                            Walker::new_recording(seed_idx, pos, dir)
+                        } else {
+                            Walker::new(seed_idx, pos, dir)
+                        };
+                        let mut lane = TrackLane { walker };
+                        if dir == Vec3::ZERO {
+                            lane.walker.stop = StopReason::NoDirection;
+                        }
+                        lane
+                    })
+                    .collect();
+                gpu.try_transfer_to_device_on(lanes.len() as u64 * LANE_BYTES, slot)
+                    .expect("transfer failed on a device with a fault plan");
+                in_flight.push(SampleStream {
+                    sample,
+                    stream: slot,
+                    order,
+                    lanes,
+                    kernel: TrackingKernel {
+                        field,
+                        params: self.params,
+                        mask: self.mask,
+                    },
+                    unfinished_after_segment: Vec::with_capacity(budgets.len()),
+                });
+            }
+
+            // Segment rounds, round-robin across the group's streams: the
+            // launch of one sample overlaps the readback + reduction of
+            // the previous one.
+            for (seg_idx, &budget) in budgets.iter().enumerate() {
+                let mut any = false;
+                for st in in_flight.iter_mut() {
+                    if st.lanes.is_empty() {
+                        continue;
+                    }
+                    any = true;
+                    if seg_idx > 0 {
+                        // Re-upload the compacted start points.
+                        gpu.try_transfer_to_device_on(
+                            st.lanes.len() as u64 * LANE_BYTES,
+                            st.stream,
+                        )
+                        .expect("transfer failed on a device with a fault plan");
+                    }
+                    gpu.try_launch_on(&st.kernel, &mut st.lanes, budget, st.stream)
+                        .expect("launch failed on a device with a fault plan");
+                    gpu.try_transfer_to_host_on(st.lanes.len() as u64 * LANE_BYTES, st.stream)
+                        .expect("transfer failed on a device with a fault plan");
+                    gpu.host_reduction_on(st.lanes.len() as u64, st.stream);
+                    let mut still_running = Vec::with_capacity(st.lanes.len());
+                    for lane in st.lanes.drain(..) {
+                        if lane.walker.alive() {
+                            still_running.push(lane);
+                        } else {
+                            self.retire(
+                                &lane,
+                                st.sample,
+                                &mut lengths_by_sample,
+                                &mut connectivity,
+                                &mut total_steps,
+                            );
+                        }
+                    }
+                    st.lanes = still_running;
+                    st.unfinished_after_segment.push(st.lanes.len());
+                }
+                if !any {
+                    break;
+                }
+            }
+
+            for st in in_flight {
+                debug_assert!(st.lanes.is_empty(), "lanes survived the full budget");
+                gpu.device_free(volume_bytes + n_seeds as u64 * LANE_BYTES);
+                if st.sample == 0 && self.ordering == SeedOrdering::SortedByPilot {
+                    pilot_lengths = Some(lengths_by_sample[0].clone());
+                }
+                submission_orders.push(st.order);
+                per_segment_unfinished.push(st.unfinished_after_segment);
+            }
         }
 
         GpuTrackingReport {
@@ -480,6 +667,66 @@ mod tests {
             tracker(&sv, line_seeds(dims), SegmentationStrategy::Single).run(&mut small_gpu());
         let expected_volume_bytes = 3 * sample_volume_bytes(&sv);
         assert!(run.ledger.bytes_h2d >= expected_volume_bytes);
+    }
+
+    #[test]
+    fn streamed_run_bit_identical_to_serialized() {
+        let dims = Dim3::new(12, 6, 6);
+        let sv = x_samples(dims, 5);
+        let seeds = line_seeds(dims);
+        let mut t = tracker(&sv, seeds, SegmentationStrategy::paper_b());
+        t.record_visits = true;
+        let serial = t.run(&mut small_gpu());
+        for streams in [2usize, 3, 8] {
+            let streamed = t.run_streamed(&mut small_gpu(), streams);
+            assert_eq!(streamed.lengths_by_sample, serial.lengths_by_sample);
+            assert_eq!(streamed.total_steps, serial.total_steps);
+            assert_eq!(streamed.submission_orders, serial.submission_orders);
+            assert_eq!(
+                streamed.per_segment_unfinished,
+                serial.per_segment_unfinished
+            );
+            let (a, b) = (
+                serial.connectivity.as_ref().unwrap(),
+                streamed.connectivity.as_ref().unwrap(),
+            );
+            assert_eq!(a.total_streamlines(), b.total_streamlines());
+            for c in dims.iter() {
+                assert_eq!(a.count(c), b.count(c));
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_run_overlaps_host_work() {
+        let dims = Dim3::new(12, 6, 6);
+        let sv = x_samples(dims, 4);
+        let seeds = line_seeds(dims);
+        let t = tracker(&sv, seeds, SegmentationStrategy::paper_b());
+        let mut g_serial = small_gpu();
+        let mut g_streamed = small_gpu();
+        t.run(&mut g_serial);
+        t.run_streamed(&mut g_streamed, 2);
+        assert!(g_streamed.overlap_saved_s() > 0.0);
+        assert!(
+            g_streamed.clock_s() < g_serial.clock_s(),
+            "streamed {0} vs serialized {1}",
+            g_streamed.clock_s(),
+            g_serial.clock_s()
+        );
+    }
+
+    #[test]
+    fn streamed_sorted_ordering_still_runs_pilot_first() {
+        let dims = Dim3::new(12, 6, 6);
+        let sv = x_samples(dims, 4);
+        let seeds = line_seeds(dims);
+        let mut t = tracker(&sv, seeds, SegmentationStrategy::Single);
+        t.ordering = SeedOrdering::SortedByPilot;
+        let serial = t.run(&mut small_gpu());
+        let streamed = t.run_streamed(&mut small_gpu(), 3);
+        assert_eq!(streamed.submission_orders, serial.submission_orders);
+        assert_eq!(streamed.lengths_by_sample, serial.lengths_by_sample);
     }
 
     #[test]
