@@ -1,0 +1,122 @@
+//! `tracto fleet` — run the thin fleet coordinator: one endpoint that
+//! places every job on a member host by consistent hash of its placement
+//! key, probes member heartbeats, and hands a dead member's hash range
+//! (and replicated journal) to its standby.
+//!
+//! ```text
+//! tracto fleet --listen unix:/tmp/fleet.sock \
+//!     --members a=unix:/tmp/a.sock,b=unix:/tmp/b.sock
+//! ```
+//!
+//! Member names default to `m0, m1, …` when not given. The member order is
+//! the standby chain: when a host dies, the next *alive* member in listed
+//! order adopts its replicated journal. The names must match each member's
+//! `serve --member NAME` so takeover finds the right replica.
+
+use crate::args::ArgMap;
+use std::time::Duration;
+use tracto_proto::Endpoint;
+use tracto_serve::{Fleet, FleetConfig};
+use tracto_trace::{Tracer, TractoError, TractoResult, Value};
+
+/// Parse `--members [NAME=]EP,...` into the standby-chain-ordered member
+/// list, inventing `m{i}` names where none are given.
+fn parse_members(raw: &str) -> TractoResult<Vec<(String, Endpoint)>> {
+    let mut members = Vec::new();
+    for (i, item) in raw.split(',').enumerate() {
+        let item = item.trim();
+        if item.is_empty() {
+            return Err(TractoError::config(format!(
+                "--members: empty entry at position {i}"
+            )));
+        }
+        // `tcp:host:port` contains colons but never `=`; a name is
+        // everything before the first `=` when one is present.
+        let (name, endpoint) = match item.split_once('=') {
+            Some((name, ep)) => (name.to_string(), ep),
+            None => (format!("m{i}"), item),
+        };
+        if name.is_empty()
+            || !name
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b"._-".contains(&b))
+        {
+            return Err(TractoError::config(format!(
+                "--members: bad member name `{name}` (letters, digits, `.`, `_`, `-`)"
+            )));
+        }
+        if members.iter().any(|(n, _)| *n == name) {
+            return Err(TractoError::config(format!(
+                "--members: duplicate member name `{name}`"
+            )));
+        }
+        members.push((name, Endpoint::parse(endpoint)?));
+    }
+    Ok(members)
+}
+
+/// Run the command.
+pub fn run(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
+    args.reject_unknown(&["listen", "members", "heartbeat-ms", "max-misses"])?;
+    let listen = Endpoint::parse(args.required("listen")?)?;
+    let members = parse_members(args.required("members")?)?;
+    let mut config = FleetConfig::new(listen, members);
+    config.heartbeat = Duration::from_millis(args.get_parse("heartbeat-ms", 500u64)?.max(10));
+    config.max_misses = args.get_parse("max-misses", 3u32)?.max(1);
+    config.tracer = tracer.clone();
+
+    let fleet = Fleet::bind(config)?;
+    tracer.emit(
+        "cli.fleet_up",
+        &[("endpoint", Value::Text(fleet.endpoint().to_string()))],
+    );
+    let status = fleet.status();
+    println!("fleet coordinator on {}", fleet.endpoint());
+    for member in &status.members {
+        println!("  member {}: {}", member.name, member.endpoint);
+    }
+    println!("(stops when a client sends `shutdown`)");
+    fleet.wait_shutdown();
+    println!("{}", fleet.status());
+    fleet.stop();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argmap(v: &[&str]) -> ArgMap {
+        ArgMap::parse(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn members_parse_with_and_without_names() {
+        let members = parse_members("a=unix:/tmp/a.sock,/tmp/b.sock,tcp:127.0.0.1:7777").unwrap();
+        assert_eq!(members[0].0, "a");
+        assert_eq!(members[1].0, "m1");
+        assert_eq!(members[2].0, "m2");
+        assert!(matches!(members[2].1, Endpoint::Tcp(_)));
+    }
+
+    #[test]
+    fn bad_member_lists_are_config_errors() {
+        for raw in [
+            "",
+            "a=unix:/tmp/a.sock,",
+            "a=unix:/tmp/a.sock,a=unix:/tmp/b.sock",
+            "bad name=unix:/tmp/a.sock",
+            "=unix:/tmp/a.sock",
+        ] {
+            let err = parse_members(raw).expect_err(raw);
+            assert_eq!(err.kind(), tracto_trace::ErrorKind::Config, "{raw}");
+        }
+    }
+
+    #[test]
+    fn missing_flags_are_reported() {
+        let err = run(&argmap(&[]), &Tracer::disabled()).unwrap_err();
+        assert_eq!(err.kind(), tracto_trace::ErrorKind::Config);
+        assert!(err.to_string().contains("listen"), "{err}");
+    }
+}

@@ -1,6 +1,7 @@
 //! CLI subcommands.
 
 pub mod estimate;
+pub mod fleet;
 pub mod info;
 pub mod phantom;
 pub mod remote;

@@ -319,6 +319,43 @@ pub fn cancel(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
     Ok(())
 }
 
+/// `tracto ping --connect EP`: probe a server's heartbeat. A fleet member
+/// answers with its member name; a pre-v3 server has no ping verb, which
+/// is itself useful information (the connection still proved liveness).
+pub fn ping(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
+    args.reject_unknown(&with_connect_flags(&[]))?;
+    let mut client = connect(args, tracer)?;
+    match client.ping()? {
+        tracto_proto::PingReply::Heartbeat { member } if member.is_empty() => {
+            println!(
+                "server {} v{} is alive (not a named fleet member)",
+                client.server_name, client.server_version
+            );
+        }
+        tracto_proto::PingReply::Heartbeat { member } => {
+            println!(
+                "server {} v{} is alive, fleet member `{member}`",
+                client.server_name, client.server_version
+            );
+        }
+        tracto_proto::PingReply::NoHeartbeat => {
+            println!(
+                "server {} v{} is alive but predates heartbeats (v1, no ping verb)",
+                client.server_name, client.server_version
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `tracto fleet-status --connect EP`: print a coordinator's member table.
+pub fn fleet_status(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
+    args.reject_unknown(&with_connect_flags(&[]))?;
+    let mut client = connect(args, tracer)?;
+    println!("{}", client.fleet_status()?);
+    Ok(())
+}
+
 /// `tracto metrics --connect EP`: print the server's metrics snapshot.
 pub fn metrics(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
     args.reject_unknown(&with_connect_flags(&[]))?;

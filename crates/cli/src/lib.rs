@@ -58,6 +58,10 @@ COMMANDS:
              [--cache-dir DIR] [--disk-cache-mb N]
              [--fault-plan FILE | --fault-seed N] [--retry-budget N]
              [--state-dir DIR] [--checkpoint-every N] [--streams N]
+  fleet      run a fleet coordinator: route jobs to member servers by
+             consistent hash, replicate-aware takeover on host death
+             --listen ENDPOINT --members [NAME=]EP,[NAME=]EP,...
+             [--heartbeat-ms N] [--max-misses N]
   submit     submit one job to a listening server and wait for its result
              --connect ENDPOINT [--dataset 1|2|single|crossing] [--scale F]
              [--dataset-seed N] [--snr F|none] [--volume HASH] [--estimate]
@@ -74,6 +78,10 @@ COMMANDS:
   status     poll a remote job          --connect ENDPOINT --job N
   cancel     cancel a remote job        --connect ENDPOINT --job N
   metrics    print remote service metrics  --connect ENDPOINT
+  ping       probe a server's heartbeat (reports fleet member name;
+             old servers answer \"v1, no heartbeat\")  --connect ENDPOINT
+  fleet-status
+             print a coordinator's member table  --connect ENDPOINT
   shutdown   drain and stop a listening server  --connect ENDPOINT
   replay-faults
              reconstruct a --fault-plan file from a recorded trace
@@ -148,12 +156,15 @@ pub fn run(args: &[String]) -> i32 {
         "estimate" => commands::estimate::run(&parsed, &tracer),
         "track" => commands::track::run(&parsed, &tracer),
         "serve" => commands::serve::run(&parsed, &tracer),
+        "fleet" => commands::fleet::run(&parsed, &tracer),
         "submit" => commands::remote::submit(&parsed, &tracer),
         "upload" => commands::remote::upload(&parsed, &tracer),
         "await" => commands::remote::await_job(&parsed, &tracer),
         "status" => commands::remote::status(&parsed, &tracer),
         "cancel" => commands::remote::cancel(&parsed, &tracer),
         "metrics" => commands::remote::metrics(&parsed, &tracer),
+        "ping" => commands::remote::ping(&parsed, &tracer),
+        "fleet-status" => commands::remote::fleet_status(&parsed, &tracer),
         "shutdown" => commands::remote::shutdown(&parsed, &tracer),
         "info" => commands::info::run(&parsed, &tracer),
         "render" => commands::render::run(&parsed, &tracer),

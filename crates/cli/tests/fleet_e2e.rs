@@ -1,0 +1,310 @@
+//! Host-death end-to-end test for fleet mode: two real `tracto serve`
+//! member processes behind a `tracto fleet` coordinator process, one
+//! member SIGKILLed mid-batch at a seeded point. Every job accepted by
+//! the coordinator must still complete — bit-identically to a fault-free
+//! single-host run of the same specs — and repeat submissions of a
+//! cached job must land on the surviving member's warm sample cache.
+//!
+//! The kill schedule is seeded (`TRACTO_CHAOS_SEED`, default 1) so a
+//! failing timing can be replayed exactly.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_tracto");
+
+fn tmp(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("tracto_fleet_e2e_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Deterministic kill-point schedule: an LCG over the chaos seed.
+struct Lcg(u64);
+
+impl Lcg {
+    fn from_env() -> Self {
+        let seed = std::env::var("TRACTO_CHAOS_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1u64);
+        Lcg(seed.wrapping_mul(0x9e3779b97f4a7c15).max(1))
+    }
+
+    fn next_delay_ms(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        60 + (self.0 >> 33) % 340 // 60..400 ms into the batch
+    }
+}
+
+fn client(args: &[&str]) -> (i32, String) {
+    let out = Command::new(BIN)
+        .args(args)
+        .stderr(Stdio::piped())
+        .output()
+        .expect("spawn client");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+struct ProcGuard(Option<Child>);
+
+impl Drop for ProcGuard {
+    fn drop(&mut self) {
+        if let Some(mut child) = self.0.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+impl ProcGuard {
+    /// SIGKILL — no drain, no Drop handlers, no journal compaction.
+    fn crash(mut self) {
+        let mut child = self.0.take().expect("process running");
+        child.kill().expect("SIGKILL process");
+        let _ = child.wait();
+    }
+}
+
+/// Block until `tracto ping` succeeds against `socket` (the satellite
+/// heartbeat verb doubles as the readiness probe here).
+fn wait_ready(socket: &str) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (code, _) = client(&["ping", "--connect", socket, "--connect-retries", "0"]);
+        if code == 0 {
+            return;
+        }
+        assert!(Instant::now() < deadline, "{socket} never became reachable");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Start one fleet member: a plain `serve --listen` with a member name, a
+/// journal, and (optionally) replication to its standby.
+fn start_member(dir: &Path, name: &str, replicate_to: Option<&str>) -> (ProcGuard, String) {
+    let socket = dir.join(format!("{name}.sock"));
+    let socket = socket.to_str().unwrap().to_string();
+    let state = dir.join(format!("{name}-state"));
+    let mut args = vec![
+        "serve".to_string(),
+        "--listen".into(),
+        socket.clone(),
+        "--workers".into(),
+        "2".into(),
+        "--member".into(),
+        name.to_string(),
+        "--state-dir".into(),
+        state.to_str().unwrap().to_string(),
+        "--checkpoint-every".into(),
+        "1".into(),
+    ];
+    if let Some(target) = replicate_to {
+        args.extend(["--replicate-to".to_string(), target.to_string()]);
+    }
+    let child = Command::new(BIN)
+        .args(&args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn member");
+    let guard = ProcGuard(Some(child));
+    wait_ready(&socket);
+    (guard, socket)
+}
+
+fn start_coordinator(dir: &Path, members: &str) -> (ProcGuard, String) {
+    let socket = dir.join("fleet.sock");
+    let socket = socket.to_str().unwrap().to_string();
+    let child = Command::new(BIN)
+        .args([
+            "fleet",
+            "--listen",
+            &socket,
+            "--members",
+            members,
+            "--heartbeat-ms",
+            "100",
+            "--max-misses",
+            "2",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn coordinator");
+    let guard = ProcGuard(Some(child));
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (code, _) = client(&[
+            "fleet-status",
+            "--connect",
+            &socket,
+            "--connect-retries",
+            "0",
+        ]);
+        if code == 0 {
+            return (guard, socket);
+        }
+        assert!(
+            Instant::now() < deadline,
+            "coordinator never became reachable"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// The job recipes under test: distinct MCMC seeds, so distinct cache
+/// keys, distinct placement keys, and real per-job estimation work.
+fn spec_flags(seed: u32) -> Vec<String> {
+    [
+        "--dataset",
+        "single",
+        "--scale",
+        "0.05",
+        "--snr",
+        "none",
+        "--samples",
+        "2",
+        "--burnin",
+        "30",
+        "--interval",
+        "1",
+        "--max-steps",
+        "60",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .chain(["--seed".to_string(), seed.to_string()])
+    .collect()
+}
+
+const SEEDS: [u32; 4] = [20, 21, 22, 23];
+
+fn digest_of(stdout: &str) -> String {
+    let at = stdout.find("digest ").expect("digest in output");
+    stdout[at + 7..at + 23].to_string()
+}
+
+fn submit(socket: &str, seed: u32, extra: &[&str]) -> (i32, String) {
+    let mut args = vec!["submit".to_string(), "--connect".into(), socket.into()];
+    args.extend(extra.iter().map(|s| s.to_string()));
+    args.extend(spec_flags(seed));
+    let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+    client(&argv)
+}
+
+/// Run every spec against one uninterrupted single-host server and return
+/// its digests — the bit-identity reference for the fleet run.
+fn reference_digests(dir: &Path) -> Vec<String> {
+    let (server, socket) = start_member(dir, "ref", None);
+    let digests = SEEDS
+        .iter()
+        .map(|&seed| {
+            let (code, out) = submit(&socket, seed, &[]);
+            assert_eq!(code, 0, "reference submit failed: {out}");
+            digest_of(&out)
+        })
+        .collect();
+    drop(server);
+    digests
+}
+
+#[test]
+fn fleet_survives_member_sigkill_bit_identically() {
+    let dir = tmp("kill");
+    let reference = reference_digests(&dir);
+
+    // b is the standby: a streams its journal to b, so killing a leaves b
+    // holding everything it needs to adopt a's unfinished jobs.
+    let (b, b_sock) = start_member(&dir, "b", None);
+    let (a, a_sock) = start_member(&dir, "a", Some(&b_sock));
+    let (coordinator, fleet_sock) = start_coordinator(&dir, &format!("a={a_sock},b={b_sock}"));
+
+    // The fleet coordinator answers the heartbeat verb too.
+    let (code, out) = client(&["ping", "--connect", &fleet_sock]);
+    assert_eq!(code, 0, "ping coordinator: {out}");
+    assert!(
+        out.contains("fleet"),
+        "coordinator ping names itself: {out}"
+    );
+
+    // Accept the whole batch through the coordinator, then kill a at a
+    // seeded point mid-flight.
+    let mut jobs = Vec::new();
+    for &seed in &SEEDS {
+        let (code, out) = submit(&fleet_sock, seed, &["--no-wait"]);
+        assert_eq!(code, 0, "fleet submit failed: {out}");
+        let id: u64 = out
+            .trim()
+            .rsplit(' ')
+            .next()
+            .and_then(|t| t.parse().ok())
+            .unwrap_or_else(|| panic!("no job id in {out:?}"));
+        jobs.push((id, seed));
+    }
+    let delay = Lcg::from_env().next_delay_ms();
+    std::thread::sleep(Duration::from_millis(delay));
+    a.crash();
+
+    // Await every accepted job through the one coordinator endpoint. The
+    // monitor needs a few heartbeats to declare a dead and hand its jobs
+    // to b, so the await timeout is generous; re-routed work restarts
+    // from a's last replicated checkpoint (losing at most one interval),
+    // and bit-identity must hold regardless.
+    for (i, &(id, seed)) in jobs.iter().enumerate() {
+        let id_str = id.to_string();
+        let (code, out) = client(&[
+            "await",
+            "--connect",
+            &fleet_sock,
+            "--job",
+            &id_str,
+            "--timeout-ms",
+            "180000",
+        ]);
+        assert_eq!(code, 0, "await job {id} (seed {seed}) failed: {out}");
+        assert_eq!(
+            digest_of(&out),
+            reference[i],
+            "job {id} (seed {seed}) must match the fault-free single-host run"
+        );
+    }
+
+    // The coordinator has recorded the death and the takeover.
+    let (code, out) = client(&["fleet-status", "--connect", &fleet_sock]);
+    assert_eq!(code, 0, "fleet-status: {out}");
+    assert!(out.contains("1 takeover(s)"), "takeover recorded: {out}");
+
+    // Repeat submission of a finished job: routes to the survivor, whose
+    // Step-1 sample cache is warm from the post-takeover run.
+    let (code, out) = submit(&fleet_sock, SEEDS[0], &[]);
+    assert_eq!(code, 0, "repeat submit failed: {out}");
+    assert_eq!(digest_of(&out), reference[0]);
+    assert!(out.contains("cache_hit=true"), "warm-cache repeat: {out}");
+    let (code, out) = client(&["metrics", "--connect", &b_sock]);
+    assert_eq!(code, 0, "member metrics: {out}");
+    let hits: u64 = out
+        .lines()
+        .find_map(|l| l.split("cache ").nth(1))
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("no cache hits in {out:?}"));
+    assert!(
+        hits >= 1,
+        "survivor must have served a warm-cache hit: {out}"
+    );
+
+    let (code, out) = client(&["shutdown", "--connect", &fleet_sock]);
+    assert_eq!(code, 0, "fleet shutdown failed: {out}");
+    drop(coordinator);
+    drop(b);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -13,7 +13,7 @@ use crate::b64;
 use crate::endpoint::Endpoint;
 use crate::frame::{write_frame, FrameBuf};
 use crate::spec::{content_digest, JobSpec};
-use crate::wire::{Event, JobState, MetricsWire, Request, Response};
+use crate::wire::{Event, FleetWire, JobState, MetricsWire, Request, Response};
 use crate::{PROTOCOL_VERSION, PROTOCOL_VERSION_MIN};
 use tracto_trace::{TractoError, TractoResult};
 
@@ -72,6 +72,26 @@ pub struct RemoteService {
     pub server_version: u32,
     /// The server's identification string from the handshake.
     pub server_name: String,
+    /// The server's fleet member name from the handshake, when it runs as
+    /// a fleet member (`serve --member`).
+    pub server_member: Option<String>,
+}
+
+/// Outcome of a [`RemoteService::ping`] liveness probe. Both variants mean
+/// the peer is up and speaking the protocol; they differ in whether it
+/// understands heartbeats.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PingReply {
+    /// The server answered `pong`; `member` is its fleet name (empty on a
+    /// standalone server).
+    Heartbeat {
+        /// The fleet member name from the pong (possibly empty).
+        member: String,
+    },
+    /// The server is alive but predates the `ping` verb (it answered with
+    /// its in-band `unknown request type` protocol error) — a v1/v2 peer
+    /// with no heartbeat support.
+    NoHeartbeat,
 }
 
 impl RemoteService {
@@ -112,6 +132,7 @@ impl RemoteService {
             events: VecDeque::new(),
             server_version: 0,
             server_name: String::new(),
+            server_member: None,
         };
         let reply = client.call(&Request::Hello {
             version,
@@ -121,6 +142,7 @@ impl RemoteService {
             Response::Hello {
                 version: server,
                 server: name,
+                member,
             } => {
                 if server < PROTOCOL_VERSION_MIN || server > version {
                     return Err(TractoError::protocol(format!(
@@ -129,6 +151,7 @@ impl RemoteService {
                 }
                 client.server_version = server;
                 client.server_name = name;
+                client.server_member = member;
                 Ok(client)
             }
             other => Err(unexpected("hello", &other)),
@@ -145,6 +168,11 @@ impl RemoteService {
     /// protocol or version mismatch will not fix itself by waiting. After
     /// `retries` extra attempts the last error is returned unchanged, so
     /// exhaustion still reads as a typed Io error.
+    ///
+    /// Each sleep carries ±25 % jitter: when a host dies, its clients all
+    /// observe the failure at the same instant, and without jitter their
+    /// identical exponential schedules would hammer the takeover standby
+    /// in synchronized waves.
     pub fn connect_with_retry(
         endpoint: &Endpoint,
         client_name: &str,
@@ -153,12 +181,13 @@ impl RemoteService {
     ) -> TractoResult<Self> {
         let mut wait = backoff;
         let mut attempt = 0;
+        let mut salt = jitter_seed();
         loop {
             match Self::connect(endpoint, client_name) {
                 Ok(client) => return Ok(client),
                 Err(err) if attempt < retries && err.kind() == tracto_trace::ErrorKind::Io => {
                     attempt += 1;
-                    std::thread::sleep(wait);
+                    std::thread::sleep(jittered(wait, &mut salt));
                     wait = wait.saturating_mul(2);
                 }
                 Err(err) => return Err(err),
@@ -291,6 +320,74 @@ impl RemoteService {
         }
     }
 
+    /// Liveness probe. Distinguishes a server that answers `pong` (with
+    /// its fleet member name) from an older one that is alive but has no
+    /// heartbeat support — see [`PingReply`]. Transport failures stay
+    /// typed Io errors, so callers can tell "down" from "old".
+    pub fn ping(&mut self) -> TractoResult<PingReply> {
+        match self.call(&Request::Ping)? {
+            Response::Pong { member } => Ok(PingReply::Heartbeat { member }),
+            Response::Error { kind, message }
+                if kind == "protocol" && message.contains("unknown request type") =>
+            {
+                Ok(PingReply::NoHeartbeat)
+            }
+            other => Err(unexpected("pong", &other)),
+        }
+    }
+
+    /// Stream replicated journal records to this host (the standby side
+    /// of fleet replication). Returns the next sequence number the
+    /// replica expects; a `next` below `first_seq + records.len()` means
+    /// the replica detected a gap and the caller must re-sync with
+    /// `reset`.
+    pub fn replicate(
+        &mut self,
+        source: &str,
+        first_seq: u64,
+        reset: bool,
+        records: Vec<String>,
+    ) -> TractoResult<u64> {
+        match self.call(&Request::Replicate {
+            source: source.to_string(),
+            first_seq,
+            reset,
+            records,
+        })? {
+            Response::ReplAck { next } => Ok(next),
+            other => Err(unexpected("repl_ack", &other)),
+        }
+    }
+
+    /// Tell this host to adopt the replicated journal of dead member
+    /// `source`: replay it and re-enqueue its unfinished jobs. Returns
+    /// `(original_id, adopted_id)` pairs.
+    pub fn takeover(&mut self, source: &str) -> TractoResult<Vec<(u64, u64)>> {
+        match self.call(&Request::Takeover {
+            source: source.to_string(),
+        })? {
+            Response::TookOver { jobs } => Ok(jobs),
+            other => Err(unexpected("took_over", &other)),
+        }
+    }
+
+    /// Fetch the fleet topology snapshot from a coordinator.
+    pub fn fleet_status(&mut self) -> TractoResult<FleetWire> {
+        match self.call(&Request::FleetStatus)? {
+            Response::Fleet(fleet) => Ok(*fleet),
+            other => Err(unexpected("fleet", &other)),
+        }
+    }
+
+    /// Ask a coordinator which member `spec` routes to, without
+    /// submitting it.
+    pub fn route(&mut self, spec: JobSpec) -> TractoResult<String> {
+        match self.call(&Request::Route(Box::new(spec)))? {
+            Response::Routed { member } => Ok(member),
+            other => Err(unexpected("routed", &other)),
+        }
+    }
+
     fn require_v2(&self, what: &str) -> TractoResult<()> {
         if self.server_version >= 2 {
             Ok(())
@@ -404,6 +501,27 @@ impl RemoteService {
     }
 }
 
+/// A per-process-and-thread seed for backoff jitter. No RNG crate in the
+/// workspace, so mix wall-clock nanos with the pid — distinct clients
+/// land on distinct streams, which is all de-synchronization needs.
+fn jitter_seed() -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos())
+        .unwrap_or(0);
+    (u64::from(nanos) << 20 | u64::from(std::process::id())).max(1)
+}
+
+/// Scale `wait` by a factor drawn uniformly from `[0.75, 1.25)`, advancing
+/// `salt` as an xorshift state.
+fn jittered(wait: Duration, salt: &mut u64) -> Duration {
+    *salt ^= *salt << 13;
+    *salt ^= *salt >> 7;
+    *salt ^= *salt << 17;
+    let unit = (*salt >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+    wait.mul_f64(0.75 + 0.5 * unit)
+}
+
 /// Whether `err` is a v1 server's refusal of a newer `hello` — the signal
 /// to reconnect speaking v1.
 fn is_version_refusal(err: &TractoError) -> bool {
@@ -442,11 +560,44 @@ mod tests {
             .err()
             .expect("nothing listens there");
         assert_eq!(err.kind(), ErrorKind::Io, "exhaustion keeps the Io type");
-        // Two retries back off 5 ms then 10 ms before giving up.
+        // Two retries back off 5 ms then 10 ms nominal; with ±25 % jitter
+        // the worst-case minimum is 0.75 × 15 ms.
         assert!(
-            start.elapsed() >= Duration::from_millis(15),
+            start.elapsed() >= Duration::from_millis(11),
             "retries must actually wait"
         );
+    }
+
+    #[test]
+    fn jitter_stays_within_a_quarter_band() {
+        let base = Duration::from_millis(100);
+        let mut salt = jitter_seed();
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..256 {
+            let j = jittered(base, &mut salt);
+            assert!(
+                j >= Duration::from_millis(75) && j < Duration::from_millis(125),
+                "jittered value {j:?} outside ±25% of {base:?}"
+            );
+            distinct.insert(j.as_nanos());
+        }
+        assert!(distinct.len() > 200, "jitter must actually vary per sleep");
+    }
+
+    #[test]
+    fn ping_reply_distinguishes_old_servers() {
+        // The client-side half of the "v1, no heartbeat" contract: the
+        // in-band error an old server sends for an unknown verb is a
+        // liveness signal, not a failure.
+        let old = Response::Error {
+            kind: "protocol".into(),
+            message: "unknown request type `ping`".into(),
+        };
+        match old {
+            Response::Error { kind, message }
+                if kind == "protocol" && message.contains("unknown request type") => {}
+            other => panic!("wording drifted: {other:?}"),
+        }
     }
 
     #[test]

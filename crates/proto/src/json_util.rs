@@ -87,6 +87,32 @@ impl JsonWriter {
         self.key(name);
         f(self);
     }
+
+    /// A field whose value is an array of `len` elements; `f` writes each
+    /// element (a bare value via [`str_value`](Self::str_value) or an
+    /// object via `begin()`/`end()`), and the writer inserts the commas.
+    pub(crate) fn array_field(
+        &mut self,
+        name: &str,
+        len: usize,
+        mut f: impl FnMut(&mut JsonWriter, usize),
+    ) {
+        self.key(name);
+        self.out.push('[');
+        for i in 0..len {
+            if i > 0 {
+                self.out.push(',');
+            }
+            f(self, i);
+        }
+        self.out.push(']');
+    }
+
+    /// Append one bare string value (an [`array_field`](Self::array_field)
+    /// element, not a keyed field).
+    pub(crate) fn str_value(&mut self, value: &str) {
+        escape_into(&mut self.out, value);
+    }
 }
 
 fn field<'a>(v: &'a Json, key: &str) -> TractoResult<&'a Json> {
@@ -149,6 +175,27 @@ pub(crate) fn obj_opt_u64(v: &Json, key: &str) -> TractoResult<Option<u64>> {
     match v.get(key) {
         None | Some(Json::Null) => Ok(None),
         Some(_) => obj_u64(v, key).map(Some),
+    }
+}
+
+/// `None` when the field is absent or `null`.
+pub(crate) fn obj_opt_str(v: &Json, key: &str) -> TractoResult<Option<String>> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(j) => j
+            .as_str()
+            .map(|s| Some(s.to_owned()))
+            .ok_or_else(|| TractoError::protocol(format!("field `{key}` is not a string"))),
+    }
+}
+
+/// The elements of an array-valued field.
+pub(crate) fn obj_array<'a>(v: &'a Json, key: &str) -> TractoResult<&'a [Json]> {
+    match field(v, key)? {
+        Json::Array(items) => Ok(items),
+        _ => Err(TractoError::protocol(format!(
+            "field `{key}` is not an array"
+        ))),
     }
 }
 

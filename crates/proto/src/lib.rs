@@ -43,19 +43,31 @@ mod json_util;
 pub mod spec;
 pub mod wire;
 
-pub use client::RemoteService;
+pub use client::{PingReply, RemoteService};
 pub use endpoint::Endpoint;
 pub use frame::{read_frame, write_frame, FrameBuf, MAX_FRAME_BYTES};
 pub use spec::{
-    content_digest, lengths_digest, CachePolicy, ChainSpec, DatasetSpec, JobKind, JobSpec,
-    Priority, TrackSpec,
+    content_digest, lengths_digest, placement_key, CachePolicy, ChainSpec, DatasetSpec, JobKind,
+    JobSpec, Priority, TrackSpec,
 };
-pub use wire::{Event, JobState, MetricsWire, Outcome, Request, Response, UPLOAD_CHUNK_MAX};
+pub use wire::{
+    Event, FleetWire, JobState, MemberWire, MetricsWire, Outcome, Request, Response,
+    UPLOAD_CHUNK_MAX,
+};
 
 /// The newest protocol version this build speaks; the client offers it in
 /// `hello` and the server negotiates down to `min(client, server)` (see
 /// the compatibility policy in the crate docs).
-pub const PROTOCOL_VERSION: u32 = 2;
+///
+/// v3 adds the fleet verbs (`ping`, `replicate`, `takeover`,
+/// `fleet_status`, `route`) and the optional `member` identity in the
+/// server's `hello`. The fleet verbs are deliberately *not* gated on the
+/// negotiated version: a server that knows them answers them on any
+/// negotiated version, and a server that predates them answers with its
+/// usual in-band `unknown request type` protocol error — which callers
+/// like `tracto ping` surface as "no heartbeat support" rather than a
+/// transport failure.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// The oldest version either side will still negotiate down to.
 pub const PROTOCOL_VERSION_MIN: u32 = 1;

@@ -360,6 +360,30 @@ impl JobSpec {
     }
 }
 
+/// The fleet placement key of a job: an FNV-1a hash over exactly the
+/// inputs that determine its Step-1 sample-cache entry — the dataset
+/// recipe's canonical form, the chain schedule, and the seed. Two specs
+/// with equal placement keys resolve to the same cached MCMC samples on
+/// whichever host ran either of them first, so a consistent-hash router
+/// keyed on this value sends repeat work to the host whose cache is
+/// already warm. Tracking knobs, deadlines, and priorities deliberately
+/// do not participate: they change the job, not its cache residency.
+pub fn placement_key(spec: &JobSpec) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix_bytes = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+    };
+    mix_bytes(spec.dataset.canonical().as_bytes());
+    mix_bytes(&spec.chain.burnin.to_le_bytes());
+    mix_bytes(&spec.chain.samples.to_le_bytes());
+    mix_bytes(&spec.chain.interval.to_le_bytes());
+    mix_bytes(&spec.seed.to_le_bytes());
+    h
+}
+
 /// FNV-1a digest of a raw byte blob: the content hash that names an
 /// uploaded volume on the wire (16-hex form) and on disk. Stable across
 /// platforms.
@@ -467,6 +491,32 @@ mod tests {
         bad.upload = Some("0123456789abcdef".into());
         let text = JobSpec::track(bad).to_json_string();
         assert!(JobSpec::from_json_str(&text).is_err());
+    }
+
+    #[test]
+    fn placement_key_follows_cache_identity() {
+        let base = JobSpec::track(DatasetSpec::new("single"));
+        // Equal cache inputs → equal key, even across job kinds and
+        // scheduling envelopes.
+        let mut estimate = JobSpec::estimate(DatasetSpec::new("single"));
+        estimate.deadline_ms = Some(100);
+        estimate.priority = Priority::High;
+        assert_eq!(placement_key(&base), placement_key(&estimate));
+        let mut other_step = base.clone();
+        if let JobKind::Track(t) = &mut other_step.kind {
+            t.max_steps = 999;
+        }
+        assert_eq!(placement_key(&base), placement_key(&other_step));
+        // Any cache input change moves the key.
+        let mut other_seed = base.clone();
+        other_seed.seed = 43;
+        assert_ne!(placement_key(&base), placement_key(&other_seed));
+        let mut other_chain = base.clone();
+        other_chain.chain.samples += 1;
+        assert_ne!(placement_key(&base), placement_key(&other_chain));
+        let mut other_ds = base.clone();
+        other_ds.dataset.seed = 8;
+        assert_ne!(placement_key(&base), placement_key(&other_ds));
     }
 
     #[test]

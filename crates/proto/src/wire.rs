@@ -6,7 +6,9 @@
 //! answered with an `error` response — frame boundaries stay intact, so
 //! the connection survives; only *framing* violations tear it down.
 
-use crate::json_util::{obj_bool, obj_opt_u64, obj_str, obj_u32, obj_u64, JsonWriter};
+use crate::json_util::{
+    obj_array, obj_bool, obj_opt_str, obj_opt_u64, obj_str, obj_u32, obj_u64, JsonWriter,
+};
 use crate::spec::JobSpec;
 use tracto_trace::json::{parse, Json};
 use tracto_trace::{TractoError, TractoResult};
@@ -87,6 +89,40 @@ pub enum Request {
         /// Hash from [`Request::UploadBegin`].
         hash: String,
     },
+    /// (v3) Liveness probe; answered with [`Response::Pong`]. Not
+    /// version-gated: a pre-v3 server answers with an in-band
+    /// `unknown request type` protocol error, which is itself a liveness
+    /// signal — the peer is up but has no heartbeat support.
+    Ping,
+    /// (v3) Append replicated job-journal records to this host's replica
+    /// of `source`'s journal; answered with [`Response::ReplAck`].
+    /// Records are raw journal lines streamed in order: `first_seq` names
+    /// the sequence number of `records[0]`, and a gap (a `first_seq`
+    /// beyond the replica's length) is refused so the source re-syncs.
+    Replicate {
+        /// The replicating member's name (one replica file per source).
+        source: String,
+        /// Sequence number (0-based replica line index) of `records[0]`.
+        first_seq: u64,
+        /// Discard any existing replica of `source` first — sent on
+        /// (re)connect so the stream always starts from a known prefix.
+        reset: bool,
+        /// Raw journal lines, in append order.
+        records: Vec<String>,
+    },
+    /// (v3) Declare `source` dead: replay its replicated journal and
+    /// re-enqueue its unfinished jobs on this host; answered with
+    /// [`Response::TookOver`].
+    Takeover {
+        /// The dead member whose replica to adopt.
+        source: String,
+    },
+    /// (v3) Fleet topology snapshot (answered by a coordinator); answered
+    /// with [`Response::Fleet`].
+    FleetStatus,
+    /// (v3) Ask a coordinator which member the spec's placement hash
+    /// routes to, without submitting; answered with [`Response::Routed`].
+    Route(Box<JobSpec>),
 }
 
 /// A server-to-client message.
@@ -98,6 +134,10 @@ pub enum Response {
         version: u32,
         /// Free-form server identification.
         server: String,
+        /// (v3) The server's fleet member name, when it runs with one
+        /// (`serve --member`). Absent on the wire before v3 and on
+        /// standalone servers; decoding tolerates both.
+        member: Option<String>,
     },
     /// The job was accepted and assigned an id.
     Submitted {
@@ -162,6 +202,84 @@ pub enum Response {
         /// Total blob length.
         bytes: u64,
     },
+    /// (v3) Liveness probe answer.
+    Pong {
+        /// The answering host's fleet member name (empty when it has
+        /// none).
+        member: String,
+    },
+    /// (v3) Replicated records were durably appended.
+    ReplAck {
+        /// The next sequence number the replica expects (replica length).
+        next: u64,
+    },
+    /// (v3) Takeover finished: the replica was replayed and its
+    /// unfinished jobs re-enqueued on the answering host.
+    TookOver {
+        /// `(original_id, adopted_id)` pairs for every re-enqueued job;
+        /// the coordinator uses them to remap live bindings.
+        jobs: Vec<(u64, u64)>,
+    },
+    /// (v3) Fleet topology snapshot.
+    Fleet(Box<FleetWire>),
+    /// (v3) Where a spec's placement hash routes.
+    Routed {
+        /// The member name the consistent hash selects.
+        member: String,
+    },
+}
+
+/// One fleet member as reported by `fleet_status`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemberWire {
+    /// The member's name.
+    pub name: String,
+    /// The endpoint the coordinator dials it on.
+    pub endpoint: String,
+    /// Whether the heartbeat monitor currently considers it alive.
+    pub alive: bool,
+    /// Jobs the coordinator has routed to it.
+    pub jobs_routed: u64,
+    /// Consecutive heartbeat misses (resets on a successful ping).
+    pub heartbeat_misses: u64,
+}
+
+/// The fleet topology snapshot carried by [`Response::Fleet`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FleetWire {
+    /// Members in hash-ring order of registration.
+    pub members: Vec<MemberWire>,
+    /// Completed takeovers since the coordinator started.
+    pub takeovers: u64,
+    /// Total jobs routed since the coordinator started.
+    pub jobs_routed: u64,
+}
+
+impl std::fmt::Display for FleetWire {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "fleet: {} member(s), {} job(s) routed, {} takeover(s)",
+            self.members.len(),
+            self.jobs_routed,
+            self.takeovers
+        )?;
+        for (i, m) in self.members.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(
+                f,
+                "  {} @ {} — {}, {} job(s), {} missed heartbeat(s)",
+                m.name,
+                m.endpoint,
+                if m.alive { "alive" } else { "dead" },
+                m.jobs_routed,
+                m.heartbeat_misses
+            )?;
+        }
+        Ok(())
+    }
 }
 
 /// A pushed job-lifecycle transition (protocol v2). `kind` is one of
@@ -463,6 +581,28 @@ impl Request {
                 w.str_field("type", "upload_commit");
                 w.str_field("hash", hash);
             }
+            Request::Ping => w.str_field("type", "ping"),
+            Request::Replicate {
+                source,
+                first_seq,
+                reset,
+                records,
+            } => {
+                w.str_field("type", "replicate");
+                w.str_field("source", source);
+                w.u64_field("first_seq", *first_seq);
+                w.bool_field("reset", *reset);
+                w.array_field("records", records.len(), |w, i| w.str_value(&records[i]));
+            }
+            Request::Takeover { source } => {
+                w.str_field("type", "takeover");
+                w.str_field("source", source);
+            }
+            Request::FleetStatus => w.str_field("type", "fleet_status"),
+            Request::Route(spec) => {
+                w.str_field("type", "route");
+                w.raw_field("spec", |w| spec.write_json(w));
+            }
         }
         w.end();
         w.finish()
@@ -514,6 +654,35 @@ impl Request {
             "upload_commit" => Ok(Request::UploadCommit {
                 hash: obj_str(&v, "hash")?,
             }),
+            "ping" => Ok(Request::Ping),
+            "replicate" => {
+                let mut records = Vec::new();
+                for item in obj_array(&v, "records")? {
+                    records.push(
+                        item.as_str()
+                            .ok_or_else(|| {
+                                TractoError::protocol("replicate record is not a string")
+                            })?
+                            .to_owned(),
+                    );
+                }
+                Ok(Request::Replicate {
+                    source: obj_str(&v, "source")?,
+                    first_seq: obj_u64(&v, "first_seq")?,
+                    reset: obj_bool(&v, "reset")?,
+                    records,
+                })
+            }
+            "takeover" => Ok(Request::Takeover {
+                source: obj_str(&v, "source")?,
+            }),
+            "fleet_status" => Ok(Request::FleetStatus),
+            "route" => {
+                let spec = v
+                    .get("spec")
+                    .ok_or_else(|| TractoError::protocol("route request missing `spec`"))?;
+                Ok(Request::Route(Box::new(JobSpec::from_json(spec)?)))
+            }
             other => Err(TractoError::protocol(format!(
                 "unknown request type `{other}`"
             ))),
@@ -612,10 +781,17 @@ impl Response {
         let mut w = JsonWriter::new();
         w.begin();
         match self {
-            Response::Hello { version, server } => {
+            Response::Hello {
+                version,
+                server,
+                member,
+            } => {
                 w.str_field("type", "hello");
                 w.u64_field("version", u64::from(*version));
                 w.str_field("server", server);
+                if let Some(member) = member {
+                    w.str_field("member", member);
+                }
             }
             Response::Submitted { job } => {
                 w.str_field("type", "submitted");
@@ -669,6 +845,42 @@ impl Response {
                 w.str_field("hash", hash);
                 w.u64_field("bytes", *bytes);
             }
+            Response::Pong { member } => {
+                w.str_field("type", "pong");
+                w.str_field("member", member);
+            }
+            Response::ReplAck { next } => {
+                w.str_field("type", "repl_ack");
+                w.u64_field("next", *next);
+            }
+            Response::TookOver { jobs } => {
+                w.str_field("type", "took_over");
+                w.array_field("jobs", jobs.len(), |w, i| {
+                    w.begin();
+                    w.u64_field("from", jobs[i].0);
+                    w.u64_field("to", jobs[i].1);
+                    w.end();
+                });
+            }
+            Response::Fleet(fleet) => {
+                w.str_field("type", "fleet");
+                w.u64_field("takeovers", fleet.takeovers);
+                w.u64_field("jobs_routed", fleet.jobs_routed);
+                w.array_field("members", fleet.members.len(), |w, i| {
+                    let m = &fleet.members[i];
+                    w.begin();
+                    w.str_field("name", &m.name);
+                    w.str_field("endpoint", &m.endpoint);
+                    w.bool_field("alive", m.alive);
+                    w.u64_field("jobs_routed", m.jobs_routed);
+                    w.u64_field("heartbeat_misses", m.heartbeat_misses);
+                    w.end();
+                });
+            }
+            Response::Routed { member } => {
+                w.str_field("type", "routed");
+                w.str_field("member", member);
+            }
         }
         w.end();
         w.finish()
@@ -683,6 +895,7 @@ impl Response {
             "hello" => Ok(Response::Hello {
                 version: obj_u32(&v, "version")?,
                 server: obj_str(&v, "server")?,
+                member: obj_opt_str(&v, "member")?,
             }),
             "submitted" => Ok(Response::Submitted {
                 job: obj_u64(&v, "job")?,
@@ -729,6 +942,39 @@ impl Response {
             "upload_done" => Ok(Response::UploadDone {
                 hash: obj_str(&v, "hash")?,
                 bytes: obj_u64(&v, "bytes")?,
+            }),
+            "pong" => Ok(Response::Pong {
+                member: obj_str(&v, "member")?,
+            }),
+            "repl_ack" => Ok(Response::ReplAck {
+                next: obj_u64(&v, "next")?,
+            }),
+            "took_over" => {
+                let mut jobs = Vec::new();
+                for item in obj_array(&v, "jobs")? {
+                    jobs.push((obj_u64(item, "from")?, obj_u64(item, "to")?));
+                }
+                Ok(Response::TookOver { jobs })
+            }
+            "fleet" => {
+                let mut members = Vec::new();
+                for item in obj_array(&v, "members")? {
+                    members.push(MemberWire {
+                        name: obj_str(item, "name")?,
+                        endpoint: obj_str(item, "endpoint")?,
+                        alive: obj_bool(item, "alive")?,
+                        jobs_routed: obj_u64(item, "jobs_routed")?,
+                        heartbeat_misses: obj_u64(item, "heartbeat_misses")?,
+                    });
+                }
+                Ok(Response::Fleet(Box::new(FleetWire {
+                    members,
+                    takeovers: obj_u64(&v, "takeovers")?,
+                    jobs_routed: obj_u64(&v, "jobs_routed")?,
+                })))
+            }
+            "routed" => Ok(Response::Routed {
+                member: obj_str(&v, "member")?,
             }),
             other => Err(TractoError::protocol(format!(
                 "unknown response type `{other}`"
@@ -855,6 +1101,7 @@ mod tests {
         rt_resp(Response::Hello {
             version: 1,
             server: "tracto-serve".into(),
+            member: None,
         });
         rt_resp(Response::Submitted { job: 12 });
         rt_resp(Response::Status {
@@ -903,6 +1150,76 @@ mod tests {
         rt_resp(Response::Error {
             kind: "protocol".into(),
             message: "unknown request type `zap`".into(),
+        });
+    }
+
+    #[test]
+    fn v3_fleet_requests_round_trip() {
+        rt_req(Request::Ping);
+        rt_req(Request::Replicate {
+            source: "m0".into(),
+            first_seq: 17,
+            reset: false,
+            records: vec![
+                r#"{"rec":"submitted","job":3}"#.into(),
+                r#"{"rec":"admitted","job":3}"#.into(),
+            ],
+        });
+        rt_req(Request::Replicate {
+            source: "m1".into(),
+            first_seq: 0,
+            reset: true,
+            records: Vec::new(),
+        });
+        rt_req(Request::Takeover {
+            source: "m0".into(),
+        });
+        rt_req(Request::FleetStatus);
+        rt_req(Request::Route(Box::new(JobSpec::track(DatasetSpec::new(
+            "crossing",
+        )))));
+    }
+
+    #[test]
+    fn v3_fleet_responses_round_trip() {
+        rt_resp(Response::Hello {
+            version: 3,
+            server: "tracto-serve".into(),
+            member: Some("m1".into()),
+        });
+        rt_resp(Response::Pong {
+            member: "m0".into(),
+        });
+        rt_resp(Response::Pong {
+            member: String::new(),
+        });
+        rt_resp(Response::ReplAck { next: 42 });
+        rt_resp(Response::TookOver { jobs: Vec::new() });
+        rt_resp(Response::TookOver {
+            jobs: vec![(3, 11), (4, 12)],
+        });
+        rt_resp(Response::Fleet(Box::new(FleetWire {
+            members: vec![
+                MemberWire {
+                    name: "m0".into(),
+                    endpoint: "unix:/tmp/a.sock".into(),
+                    alive: false,
+                    jobs_routed: 9,
+                    heartbeat_misses: 3,
+                },
+                MemberWire {
+                    name: "m1".into(),
+                    endpoint: "tcp:127.0.0.1:9000".into(),
+                    alive: true,
+                    jobs_routed: 4,
+                    heartbeat_misses: 0,
+                },
+            ],
+            takeovers: 1,
+            jobs_routed: 13,
+        })));
+        rt_resp(Response::Routed {
+            member: "m1".into(),
         });
     }
 

@@ -60,6 +60,15 @@ pub struct ServiceConfig {
     /// job's host work hide behind another's kernels on the simulated
     /// clock.
     pub streams: usize,
+    /// This host's fleet member name. Echoed in the protocol handshake and
+    /// heartbeat answers, and used as the replication source name when
+    /// [`replicate_to`](Self::replicate_to) is set. `None` = standalone.
+    pub member: Option<String>,
+    /// Stream every job-journal record to a standby at this endpoint (the
+    /// fleet replication sink). Requires [`member`](Self::member) (the
+    /// standby files records by source name) and
+    /// [`state_dir`](Self::state_dir) (no journal, nothing to replicate).
+    pub replicate_to: Option<tracto_proto::Endpoint>,
     /// Structured-event sink for job lifecycle, cache, batch, and GPU
     /// events. Disabled by default.
     pub tracer: Tracer,
@@ -84,6 +93,8 @@ impl Default for ServiceConfig {
             state_dir: None,
             checkpoint_every: 0,
             streams: 1,
+            member: None,
+            replicate_to: None,
             tracer: Tracer::disabled(),
         }
     }
@@ -111,7 +122,7 @@ impl ServiceConfigBuilder {
     /// The service flags a CLI exposes, as `(name, value-hint, help)`.
     /// [`set_cli`](Self::set_cli) accepts exactly these names, so commands
     /// can loop over this table for both parsing and usage text.
-    pub const CLI_FLAGS: [(&'static str, &'static str, &'static str); 14] = [
+    pub const CLI_FLAGS: [(&'static str, &'static str, &'static str); 16] = [
         ("devices", "N", "devices in the tracking pool (default 1)"),
         ("workers", "N", "estimation worker threads (default 2)"),
         (
@@ -149,6 +160,12 @@ impl ServiceConfigBuilder {
             "streams",
             "N",
             "stream lanes for batched launches (default 1 = serialized)",
+        ),
+        ("member", "NAME", "fleet member name for this host"),
+        (
+            "replicate-to",
+            "EP",
+            "stream journal records to a standby at this endpoint",
         ),
     ];
 
@@ -257,6 +274,18 @@ impl ServiceConfigBuilder {
         self
     }
 
+    /// Name this host as a fleet member.
+    pub fn member(mut self, name: impl Into<String>) -> Self {
+        self.config.member = Some(name.into());
+        self
+    }
+
+    /// Replicate the job journal to a standby at `endpoint`.
+    pub fn replicate_to(mut self, endpoint: tracto_proto::Endpoint) -> Self {
+        self.config.replicate_to = Some(endpoint);
+        self
+    }
+
     /// Install an event sink.
     pub fn tracer(mut self, tracer: Tracer) -> Self {
         self.config.tracer = tracer;
@@ -287,6 +316,8 @@ impl ServiceConfigBuilder {
             "state-dir" => self.state_dir(value),
             "checkpoint-every" => self.checkpoint_every(num(name, value)?),
             "streams" => self.streams(num(name, value)?),
+            "member" => self.member(value),
+            "replicate-to" => self.replicate_to(tracto_proto::Endpoint::parse(value)?),
             other => {
                 return Err(TractoError::config(format!(
                     "unknown service flag `--{other}`"
@@ -328,6 +359,31 @@ impl ServiceConfigBuilder {
             return Err(TractoError::config(
                 "checkpoint-every requires state-dir (checkpoints need somewhere to live)",
             ));
+        }
+        if let Some(name) = &config.member {
+            if name.is_empty()
+                || name.len() > 64
+                || !name
+                    .bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+            {
+                return Err(TractoError::config(format!(
+                    "member name `{name}` must be 1-64 chars of [A-Za-z0-9._-]"
+                )));
+            }
+        }
+        if config.replicate_to.is_some() {
+            if config.member.is_none() {
+                return Err(TractoError::config(
+                    "replicate-to requires member (the standby files records by source name)",
+                ));
+            }
+            if config.state_dir.is_none() {
+                return Err(TractoError::config(
+                    "replicate-to requires state-dir (without a journal there is nothing \
+                     to replicate)",
+                ));
+            }
         }
         if let Some(seed) = self.fault_seed {
             if config.fault_plan.is_some() {
@@ -371,6 +427,13 @@ mod tests {
             ServiceConfig::builder().batch_window(Duration::from_secs(3600)),
             ServiceConfig::builder().checkpoint_every(2),
             ServiceConfig::builder().streams(0),
+            ServiceConfig::builder().member("no spaces allowed"),
+            // replicate-to without member / without state-dir.
+            ServiceConfig::builder()
+                .replicate_to(tracto_proto::Endpoint::parse("unix:/tmp/x.sock").unwrap()),
+            ServiceConfig::builder()
+                .member("m0")
+                .replicate_to(tracto_proto::Endpoint::parse("unix:/tmp/x.sock").unwrap()),
         ] {
             let err = builder.build().expect_err("must be rejected");
             assert_eq!(err.kind(), ErrorKind::Config);
@@ -411,6 +474,8 @@ mod tests {
             ("state-dir", "/tmp/tracto-test-state"),
             ("checkpoint-every", "2"),
             ("streams", "4"),
+            ("member", "m0"),
+            ("replicate-to", "unix:/tmp/tracto-test-standby.sock"),
         ] {
             assert!(
                 ServiceConfigBuilder::CLI_FLAGS
@@ -439,6 +504,11 @@ mod tests {
         );
         assert_eq!(cfg.checkpoint_every, 2);
         assert_eq!(cfg.streams, 4);
+        assert_eq!(cfg.member.as_deref(), Some("m0"));
+        assert_eq!(
+            cfg.replicate_to.as_ref().unwrap().to_string(),
+            "unix:/tmp/tracto-test-standby.sock"
+        );
     }
 
     #[test]
@@ -450,6 +520,8 @@ mod tests {
                 "strategy" => "B",
                 "cache-dir" | "state-dir" => "/tmp/x",
                 "fault-plan" => continue, // needs a real file; covered below
+                "member" => "m0",
+                "replicate-to" => "unix:/tmp/x.sock",
                 _ => "1",
             };
             ServiceConfig::builder()

@@ -20,6 +20,7 @@
 //! error, a dead owner's lock is stolen (with a `journal.lock_stolen`
 //! trace event) so an unclean crash never wedges recovery.
 
+use crossbeam::channel::Sender;
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::fs::{self, File, OpenOptions};
@@ -59,6 +60,11 @@ struct Inner {
     /// against journaling transitions of jobs that were never journaled
     /// (in-process submissions) and against double terminal records.
     open_jobs: HashSet<u64>,
+    /// Fleet replication tee: every appended record is also sent here (the
+    /// replicator streams them to the standby). Sends never block and a
+    /// dropped receiver is ignored — replication must not slow or wedge
+    /// the local write-ahead path.
+    mirror: Option<Sender<String>>,
 }
 
 /// An fsync'd, append-only JSON-lines journal of job lifecycle records.
@@ -112,7 +118,11 @@ impl JobJournal {
         }
         Ok((
             JobJournal {
-                inner: Mutex::new(Inner { file, open_jobs }),
+                inner: Mutex::new(Inner {
+                    file,
+                    open_jobs,
+                    mirror: None,
+                }),
                 path,
                 lock_path,
                 tracer,
@@ -124,6 +134,22 @@ impl JobJournal {
     /// Path of the journal file (for tests and tooling).
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Attach a replication mirror: every record appended after this call
+    /// is also sent on `tx`, in append order. Attach before any submission
+    /// is possible (the service does this during startup) so the mirror
+    /// stream plus the on-disk snapshot covers every record ever written.
+    pub fn set_mirror(&self, tx: Sender<String>) {
+        self.inner.lock().mirror = Some(tx);
+    }
+
+    /// The current journal text under the append lock — the snapshot a
+    /// replicator pairs with the mirror stream (records appended after
+    /// this read arrive on the mirror, so snapshot + stream is gap-free).
+    pub fn snapshot_text(&self) -> String {
+        let _guard = self.inner.lock();
+        fs::read_to_string(&self.path).unwrap_or_default()
     }
 
     /// Record an accepted job, durably, *before* the acceptance becomes
@@ -199,6 +225,11 @@ impl JobJournal {
     /// trace events, not errors — the job itself must still run; only its
     /// crash durability degrades.
     fn append(&self, inner: &mut Inner, line: &str) {
+        if let Some(mirror) = &inner.mirror {
+            // Unbounded channel: never blocks. A gone replicator is not
+            // this journal's problem.
+            let _ = mirror.send(line.to_string());
+        }
         let result = writeln!(inner.file, "{line}").and_then(|_| inner.file.sync_data());
         if let Err(err) = result {
             if self.tracer.enabled() {
@@ -277,6 +308,15 @@ fn replay(path: &Path, tracer: &Tracer) -> TractoResult<Recovery> {
         Err(err) if err.kind() == IoErrorKind::NotFound => String::new(),
         Err(err) => return Err(TractoError::from(err)),
     };
+    Ok(replay_text(&text, tracer))
+}
+
+/// Replay journal records from raw JSONL text: the pending-job set and the
+/// highest id seen. This is the same scan [`JobJournal::open`] runs on the
+/// local journal; fleet takeover runs it over a *replicated* journal, so
+/// the standby recovers exactly what the dead host's own restart would
+/// have. Torn or malformed lines are skipped, never fatal.
+pub fn replay_text(text: &str, tracer: &Tracer) -> Recovery {
     let mut jobs: HashMap<u64, ReplayedJob> = HashMap::new();
     let mut max_seen_id = 0u64;
     for (lineno, line) in text.lines().enumerate() {
@@ -348,10 +388,10 @@ fn replay(path: &Path, tracer: &Tracer) -> TractoResult<Recovery> {
         })
         .collect();
     unfinished.sort_by_key(|j| j.id);
-    Ok(Recovery {
+    Recovery {
         jobs: unfinished,
         max_seen_id,
-    })
+    }
 }
 
 fn decode_record(line: &str) -> Option<(String, u64, Json)> {

@@ -45,6 +45,7 @@ pub mod batch;
 pub mod cache;
 pub mod config;
 mod events;
+pub mod fleet;
 pub mod job;
 pub mod journal;
 pub mod listener;
@@ -59,10 +60,11 @@ pub use cache::{
     sample_key, sample_key_parts, CacheStats, DiskSampleCache, SampleCache, SampleKey,
 };
 pub use config::{ServiceConfig, ServiceConfigBuilder};
+pub use fleet::{Fleet, FleetConfig, HashRing, ReplicaStore};
 pub use job::{
     EstimateJob, EstimateResult, JobError, JobId, JobOutput, Ticket, TrackJob, TrackResult,
 };
-pub use journal::{JobJournal, RecoveredJob, Recovery};
+pub use journal::{replay_text, JobJournal, RecoveredJob, Recovery};
 pub use listener::SocketServer;
 pub use metrics::MetricsSnapshot;
 pub use service::TractoService;

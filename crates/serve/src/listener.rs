@@ -48,10 +48,54 @@ impl Listener {
         }
     }
 
-    fn set_nonblocking(&self, nb: bool) -> std::io::Result<()> {
+    pub(crate) fn set_nonblocking(&self, nb: bool) -> std::io::Result<()> {
         match self {
             Listener::Unix(l) => l.set_nonblocking(nb),
             Listener::Tcp(l) => l.set_nonblocking(nb),
+        }
+    }
+}
+
+/// Bind an endpoint, returning the listener, the endpoint actually bound
+/// (for TCP a `:0` request carries the kernel-assigned port back), and the
+/// socket file to unlink at teardown (Unix only). For a Unix endpoint a
+/// stale socket file left by a crashed process (one nothing answers on) is
+/// replaced; a *live* socket is an error. Shared by [`SocketServer`] and
+/// the fleet coordinator ([`crate::fleet::Fleet`]).
+pub(crate) fn bind_endpoint(
+    endpoint: &Endpoint,
+) -> TractoResult<(Listener, Endpoint, Option<PathBuf>)> {
+    match endpoint {
+        Endpoint::Unix(path) => {
+            let listener = match UnixListener::bind(path) {
+                Ok(l) => l,
+                Err(e) if e.kind() == IoKind::AddrInUse => {
+                    if UnixStream::connect(path).is_ok() {
+                        return Err(TractoError::io(
+                            format!("bind {}: another server is listening", path.display()),
+                            e,
+                        ));
+                    }
+                    std::fs::remove_file(path)
+                        .map_err(|e| TractoError::io("remove stale socket", e))?;
+                    UnixListener::bind(path).map_err(|e| TractoError::io("bind unix socket", e))?
+                }
+                Err(e) => return Err(TractoError::io("bind unix socket", e)),
+            };
+            Ok((
+                Listener::Unix(listener),
+                Endpoint::Unix(path.clone()),
+                Some(path.clone()),
+            ))
+        }
+        Endpoint::Tcp(addr) => {
+            let listener =
+                TcpListener::bind(addr).map_err(|e| TractoError::io("bind tcp socket", e))?;
+            let actual = listener
+                .local_addr()
+                .map(|a| Endpoint::Tcp(a.to_string()))
+                .unwrap_or_else(|_| Endpoint::Tcp(addr.clone()));
+            Ok((Listener::Tcp(listener), actual, None))
         }
     }
 }
@@ -66,6 +110,15 @@ impl ConnStream {
         match self {
             ConnStream::Unix(s) => s.set_nonblocking(nb),
             ConnStream::Tcp(s) => s.set_nonblocking(nb),
+        }
+    }
+
+    /// Bound how long a blocking `read` waits — lets a thread-per-
+    /// connection handler (the fleet coordinator) poll its stop flag.
+    pub(crate) fn set_read_timeout(&self, dur: Option<std::time::Duration>) -> std::io::Result<()> {
+        match self {
+            ConnStream::Unix(s) => s.set_read_timeout(dur),
+            ConnStream::Tcp(s) => s.set_read_timeout(dur),
         }
     }
 
@@ -122,6 +175,12 @@ pub(crate) struct ServerState {
     pub(crate) uploads: Option<Arc<UploadStore>>,
     /// The service's lifecycle event bus, drained by the reactor.
     pub(crate) bus: Arc<EventBus>,
+    /// This host's fleet member name (`serve --member`); `None` when
+    /// standalone. Echoed in `hello` and `pong`.
+    pub(crate) member: Option<String>,
+    /// Replicated journals from other members; `None` without
+    /// `--state-dir`. Serves `replicate` appends and `takeover` replays.
+    pub(crate) replica: Option<Arc<crate::fleet::ReplicaStore>>,
 }
 
 impl ServerState {
@@ -154,42 +213,7 @@ impl SocketServer {
     /// With `--state-dir` configured this also opens the upload store and
     /// sweeps staging files orphaned by a previous process.
     pub fn bind(service: Arc<TractoService>, endpoint: &Endpoint) -> TractoResult<Self> {
-        let (listener, bound, cleanup) = match endpoint {
-            Endpoint::Unix(path) => {
-                let listener = match UnixListener::bind(path) {
-                    Ok(l) => l,
-                    Err(e) if e.kind() == IoKind::AddrInUse => {
-                        if UnixStream::connect(path).is_ok() {
-                            return Err(TractoError::io(
-                                format!("bind {}: another server is listening", path.display()),
-                                e,
-                            ));
-                        }
-                        std::fs::remove_file(path)
-                            .map_err(|e| TractoError::io("remove stale socket", e))?;
-                        UnixListener::bind(path)
-                            .map_err(|e| TractoError::io("bind unix socket", e))?
-                    }
-                    Err(e) => return Err(TractoError::io("bind unix socket", e)),
-                };
-                (
-                    Listener::Unix(listener),
-                    Endpoint::Unix(path.clone()),
-                    Some(path.clone()),
-                )
-            }
-            Endpoint::Tcp(addr) => {
-                let listener =
-                    TcpListener::bind(addr).map_err(|e| TractoError::io("bind tcp socket", e))?;
-                // Report the real address (a `:0` request gets a kernel-
-                // assigned port).
-                let actual = listener
-                    .local_addr()
-                    .map(|a| Endpoint::Tcp(a.to_string()))
-                    .unwrap_or_else(|_| Endpoint::Tcp(addr.clone()));
-                (Listener::Tcp(listener), actual, None)
-            }
-        };
+        let (listener, bound, cleanup) = bind_endpoint(endpoint)?;
         listener
             .set_nonblocking(true)
             .map_err(|e| TractoError::io("set listener nonblocking", e))?;
@@ -198,6 +222,13 @@ impl SocketServer {
             Some(dir) => Some(Arc::new(UploadStore::open(&dir.join("uploads"))?)),
             None => None,
         };
+        let replica = match &service.config().state_dir {
+            Some(dir) => Some(Arc::new(crate::fleet::ReplicaStore::open(
+                &dir.join("replica"),
+            )?)),
+            None => None,
+        };
+        let member = service.config().member.clone();
         let bus = service.event_bus();
         bus.attach();
         let state = Arc::new(ServerState {
@@ -211,6 +242,8 @@ impl SocketServer {
             shutdown_cv: Condvar::new(),
             uploads,
             bus,
+            member,
+            replica,
         });
 
         let handles = reactor::spawn(listener, Arc::clone(&state))?;

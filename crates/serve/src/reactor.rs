@@ -507,9 +507,11 @@ impl Io {
                 ],
             );
         }
+        let member = self.state.member.clone();
         conn.queue(&Response::Hello {
             version: negotiated,
             server: "tracto-serve".into(),
+            member,
         });
     }
 
@@ -653,7 +655,104 @@ impl Io {
                 };
                 self.queue_to(cid, &response);
             }
+            Request::Ping => {
+                let member = self.state.member.clone().unwrap_or_default();
+                self.queue_to(cid, &Response::Pong { member });
+            }
+            Request::Replicate {
+                source,
+                first_seq,
+                reset,
+                records,
+            } => {
+                let response = match self.replica() {
+                    Err(r) => r,
+                    Ok(store) => match store.append(&source, first_seq, reset, &records) {
+                        Ok(next) => Response::ReplAck { next },
+                        Err(e) => error_response(&e),
+                    },
+                };
+                self.queue_to(cid, &response);
+            }
+            Request::Takeover { source } => {
+                let response = match self.replica() {
+                    Err(r) => r,
+                    Ok(store) => match store.take(&source) {
+                        Err(e) => error_response(&e),
+                        Ok(text) => self.adopt_replica(&source, &text),
+                    },
+                };
+                self.queue_to(cid, &response);
+            }
+            Request::FleetStatus | Request::Route(_) => {
+                self.queue_to(
+                    cid,
+                    &Response::Error {
+                        kind: "config".into(),
+                        message: "this server is a fleet member, not a coordinator \
+                                  (connect to `tracto fleet` for fleet_status/route)"
+                            .into(),
+                    },
+                );
+            }
         }
+    }
+
+    /// Host-death takeover, member side: replay the dead member's
+    /// replicated journal with the same scan a local restart uses, then
+    /// re-enqueue every unfinished job here under fresh ids (this host's
+    /// own journal write-aheads them, so the adoption survives *our* crash
+    /// too). Answers with `(original, adopted)` id pairs so the
+    /// coordinator can remap live bindings. Determinism makes the re-run
+    /// bit-identical to what the dead member would have produced.
+    fn adopt_replica(&mut self, source: &str, text: &str) -> Response {
+        let tracer = self.tracer();
+        let recovery = crate::journal::replay_text(text, &tracer);
+        let mut jobs = Vec::with_capacity(recovery.jobs.len());
+        for r in recovery.jobs {
+            let spec = match JobSpec::from_wire(&r.spec) {
+                Ok(spec) => spec,
+                Err(e) => {
+                    // An unconvertible replicated spec (protocol drift
+                    // across hosts) is skipped observably, not silently.
+                    if tracer.enabled() {
+                        tracer.emit(
+                            "fleet.takeover_skip",
+                            &[
+                                ("source", source.to_string().into()),
+                                ("orig_job", r.id.into()),
+                                ("error", e.to_string().into()),
+                            ],
+                        );
+                    }
+                    continue;
+                }
+            };
+            match self.state.service.try_submit(spec) {
+                Ok(ticket) => {
+                    let adopted = ticket.id.0;
+                    self.state.jobs.lock().insert(adopted, ticket);
+                    self.state.remote_jobs.fetch_add(1, Ordering::Relaxed);
+                    jobs.push((r.id, adopted));
+                }
+                Err(e) => {
+                    return Response::Error {
+                        kind: crate::events::error_kind(&e),
+                        message: format!("takeover of `{source}` job {}: {e}", r.id),
+                    }
+                }
+            }
+        }
+        if tracer.enabled() {
+            tracer.emit(
+                "fleet.took_over",
+                &[
+                    ("source", source.to_string().into()),
+                    ("jobs", (jobs.len() as u64).into()),
+                ],
+            );
+        }
+        Response::TookOver { jobs }
     }
 
     fn subscribe(&mut self, cid: u64, job: Option<u64>) {
@@ -797,6 +896,13 @@ impl Io {
         self.state.uploads.clone().ok_or(Response::Error {
             kind: "config".into(),
             message: "uploads require --state-dir".into(),
+        })
+    }
+
+    fn replica(&self) -> Result<Arc<crate::fleet::ReplicaStore>, Response> {
+        self.state.replica.clone().ok_or(Response::Error {
+            kind: "config".into(),
+            message: "journal replication requires --state-dir".into(),
         })
     }
 }

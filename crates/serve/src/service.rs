@@ -371,7 +371,32 @@ impl TractoService {
                     .expect("open checkpoint store in state dir");
                 recovered = recovery.jobs;
                 max_seen_id = recovery.max_seen_id;
-                (Some(Arc::new(journal)), Some(Arc::new(store)))
+                let journal = Arc::new(journal);
+                // Fleet replication: tee every subsequent journal append to
+                // a detached replicator thread, seeded with the compacted
+                // on-disk snapshot. Wired before any submission is possible,
+                // so no record can slip between snapshot and mirror. The
+                // thread is not joined: it exits when the journal (holding
+                // the channel sender) drops, which happens after
+                // `shutdown_inner` joins the workers — joining it here
+                // would deadlock.
+                if let (Some(target), Some(member)) = (&config.replicate_to, &config.member) {
+                    let (tx, rx) = crossbeam::channel::unbounded();
+                    let snapshot: Vec<String> = journal
+                        .snapshot_text()
+                        .lines()
+                        .map(|l| l.to_string())
+                        .collect();
+                    journal.set_mirror(tx);
+                    crate::fleet::spawn_replicator(
+                        member.clone(),
+                        target.clone(),
+                        snapshot,
+                        rx,
+                        config.tracer.clone(),
+                    );
+                }
+                (Some(journal), Some(Arc::new(store)))
             }
             None => (None, None),
         };

@@ -223,6 +223,7 @@ fn spawn_mock_v1_server(path: PathBuf) -> std::thread::JoinHandle<()> {
                         let reply = Response::Hello {
                             version: 1,
                             server: "mock-v1".into(),
+                            member: None,
                         };
                         write_frame(&mut stream, &reply.encode()).unwrap();
                     }
