@@ -10,6 +10,10 @@
 //!    below the 0.5 ceiling (the 2x acceptance bar), with bit-identical
 //!    chain output for a fixed seed. Ratios divide out machine speed, so
 //!    the committed baseline is portable across CI hosts.
+//! 3. **Analytic fast tier**: tracking the posterior mean with closed-form
+//!    unit steps must cost at least `analytic_vs_mcmc_min_speedup` times
+//!    less simulated device time than per-sample MCMC tracking of the
+//!    same dataset. Simulated clock again, so machine-independent.
 //!
 //! Baseline: `crates/bench/baselines/smoke.json`. Exit code 0 = pass.
 
@@ -159,11 +163,60 @@ fn check_mh_loop(doc: &Json, failures: &mut Vec<String>) {
     }
 }
 
+/// Gate 3: the analytic modality's simulated-time advantage over MCMC.
+fn check_analytic_vs_mcmc(doc: &Json, failures: &mut Vec<String>) {
+    use tracto::tracking::analytic::{analytic_params, mean_posterior};
+
+    let min_speedup = baseline_f64(doc, "analytic_vs_mcmc_min_speedup");
+    let ds = datasets::single_bundle(Dim3::new(12, 8, 8), None, 3);
+    let mask = Mask::from_fn(ds.dwi.dims(), |c| ds.truth.at(c).count > 0);
+    let samples = tracto::synthetic::samples_from_truth(&ds.truth, 16, 0.1, 0.02, 5);
+    let seeds = seeds_from_mask(&mask);
+    let params = TrackingParams {
+        step_length: 0.1,
+        angular_threshold: 0.9,
+        max_steps: 2000,
+        min_fraction: 0.05,
+        interp: InterpMode::Nearest,
+    };
+    let simulated_s =
+        |samples: &tracto::mcmc::SampleVolumes, params: TrackingParams, jitter: f64| {
+            let tracker = GpuTracker {
+                samples,
+                params,
+                seeds: seeds.clone(),
+                mask: None,
+                strategy: SegmentationStrategy::paper_b(),
+                ordering: SeedOrdering::Natural,
+                jitter,
+                run_seed: 42,
+                record_visits: false,
+            };
+            let mut gpu = Gpu::new(DeviceConfig::radeon_5870());
+            tracker.run(&mut gpu).ledger.total_s()
+        };
+    let mcmc_s = simulated_s(&samples, params, 0.5);
+    let analytic_s = simulated_s(&mean_posterior(&samples), analytic_params(&params), 0.0);
+    let speedup = mcmc_s / analytic_s;
+    println!(
+        "analytic tier ({} seeds, {} samples): mcmc {mcmc_s:.4} s simulated, \
+         analytic {analytic_s:.4} s simulated, {speedup:.1}x cheaper (floor {min_speedup:.1}x)",
+        seeds.len(),
+        samples.num_samples()
+    );
+    if speedup < min_speedup {
+        failures.push(format!(
+            "analytic tier only {speedup:.2}x cheaper than MCMC (floor {min_speedup:.1}x)"
+        ));
+    }
+}
+
 fn main() {
     let doc = baseline();
     let mut failures = Vec::new();
     check_scaling(&mut failures);
     check_mh_loop(&doc, &mut failures);
+    check_analytic_vs_mcmc(&doc, &mut failures);
     if failures.is_empty() {
         println!("bench smoke: PASS");
     } else {

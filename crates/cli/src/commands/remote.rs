@@ -12,8 +12,8 @@ use crate::args::ArgMap;
 use std::time::{Duration, Instant};
 use tracto::loaded::encode_trds;
 use tracto_proto::{
-    CachePolicy, ChainSpec, DatasetSpec, Endpoint, JobKind, JobSpec, JobState, Outcome, Priority,
-    RemoteService, TrackSpec,
+    CachePolicy, ChainSpec, DatasetSpec, Endpoint, JobKind, JobSpec, JobState, Modality, Outcome,
+    Priority, RemoteService, TrackSpec,
 };
 use tracto_trace::{Tracer, TractoError, TractoResult, Value};
 
@@ -22,7 +22,7 @@ use tracto_trace::{Tracer, TractoError, TractoResult, Value};
 /// journal, so the client rides that out with bounded retries).
 const CONNECT_FLAGS: [&str; 3] = ["connect", "connect-retries", "connect-backoff-ms"];
 
-const SUBMIT_FLAGS: [&str; 18] = [
+const SUBMIT_FLAGS: [&str; 21] = [
     "connect",
     "dataset",
     "scale",
@@ -41,6 +41,9 @@ const SUBMIT_FLAGS: [&str; 18] = [
     "priority",
     "no-wait",
     "follow",
+    "modality",
+    "stop-mask",
+    "stop-threshold",
 ];
 
 /// Connect and perform the handshake, emitting a trace span for the call.
@@ -109,6 +112,15 @@ fn report_state(job: u64, state: &JobState) -> TractoResult<()> {
 
 /// Build the wire spec from submit flags.
 fn spec_from_args(args: &ArgMap) -> TractoResult<JobSpec> {
+    if args.get("stop-mask").is_some() {
+        // Mask volumes never cross the wire; remote jobs carry only the
+        // percentile and the server derives the mask from its copy of
+        // the dataset's mean DWI signal.
+        return Err(TractoError::config(
+            "--stop-mask is local-only; for remote jobs use --stop-threshold \
+             (the server derives the mask from the dataset's mean DWI)",
+        ));
+    }
     let dataset = if let Some(hash) = args.get("volume") {
         if args.get("dataset").is_some() {
             return Err(TractoError::config(
@@ -158,6 +170,14 @@ fn spec_from_args(args: &ArgMap) -> TractoResult<JobSpec> {
             .map(|v| {
                 v.parse()
                     .map_err(|_| TractoError::config(format!("--deadline-ms: bad value `{v}`")))
+            })
+            .transpose()?,
+        modality: Modality::parse(args.get("modality").unwrap_or("mcmc"))?,
+        stop_percentile: args
+            .get("stop-threshold")
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| TractoError::config(format!("--stop-threshold: bad value `{v}`")))
             })
             .transpose()?,
         priority: Priority::parse(args.get("priority").unwrap_or("normal"))?,
@@ -427,6 +447,31 @@ mod tests {
         assert_eq!(spec.deadline_ms, Some(1500));
         assert_eq!(spec.priority, Priority::High);
         assert_eq!(spec.cache, CachePolicy::Bypass);
+    }
+
+    #[test]
+    fn modality_flags_land_on_the_wire() {
+        let spec = spec_from_args(&argmap(&[
+            "--modality",
+            "analytic",
+            "--stop-threshold",
+            "90",
+        ]))
+        .unwrap();
+        assert_eq!(spec.modality, Modality::Analytic);
+        assert_eq!(spec.stop_percentile, Some(90.0));
+        let spec = spec_from_args(&argmap(&[])).unwrap();
+        assert_eq!(spec.modality, Modality::Mcmc);
+        assert_eq!(spec.stop_percentile, None);
+    }
+
+    #[test]
+    fn stop_mask_is_rejected_for_remote_jobs() {
+        let err = spec_from_args(&argmap(&["--stop-mask", "wm.trv3"]))
+            .map(|_| ())
+            .expect_err("must fail");
+        assert_eq!(err.kind(), tracto_trace::ErrorKind::Config);
+        assert!(err.to_string().contains("local-only"));
     }
 
     #[test]

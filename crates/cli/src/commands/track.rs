@@ -9,14 +9,20 @@ use std::sync::Arc;
 use tracto_gpu_sim::{DeviceConfig, FaultPlan, Gpu, MultiGpu};
 use tracto_mcmc::CheckpointPolicy;
 use tracto_trace::{Tracer, TractoError, TractoResult};
+use tracto_tracking::analytic::{analytic_params, mean_posterior};
 use tracto_tracking::export;
+use tracto_tracking::field::InterpMode;
+use tracto_tracking::getter::Modality;
 use tracto_tracking::gpu::{GpuTracker, SeedOrdering};
 use tracto_tracking::probabilistic::{seeds_from_mask, CpuTracker, RecordMode};
+use tracto_tracking::stop::mask_from_percentile;
+use tracto_tracking::tensorline::TensorField;
 use tracto_tracking::walker::TrackingParams;
-use tracto_tracking::{InterpMode, SegmentationStrategy};
+use tracto_tracking::SegmentationStrategy;
 use tracto_volume::io::write_volume3;
+use tracto_volume::Mask;
 
-const FLAGS: [&str; 20] = [
+const FLAGS: [&str; 23] = [
     "data",
     "out",
     "samples-dir",
@@ -37,7 +43,56 @@ const FLAGS: [&str; 20] = [
     "fault-seed",
     "checkpoint-every",
     "streams",
+    "modality",
+    "stop-mask",
+    "stop-threshold",
 ];
+
+/// Resolve `--stop-mask FILE` / `--stop-threshold PCT` into an optional
+/// termination mask on the dataset grid. A mask file alone keeps voxels
+/// strictly above zero; with a threshold, voxels above the file's
+/// `PCT`-th percentile; a threshold alone is taken over the dataset's
+/// per-voxel mean DWI signal.
+fn parse_stop_mask(args: &ArgMap, dwi: &tracto_volume::Volume4<f32>) -> TractoResult<Option<Mask>> {
+    let pct: Option<f64> = args
+        .get("stop-threshold")
+        .map(|v| {
+            v.parse()
+                .map_err(|_| TractoError::config(format!("--stop-threshold: bad value `{v}`")))
+        })
+        .transpose()?;
+    if let Some(p) = pct {
+        if !p.is_finite() || !(0.0..=100.0).contains(&p) {
+            return Err(TractoError::config(
+                "--stop-threshold must be a percentile in 0..=100",
+            ));
+        }
+    }
+    let vol = match args.get("stop-mask") {
+        Some(path) => {
+            let mut f = File::open(path).map_err(|e| TractoError::io(format!("open {path}"), e))?;
+            Some(
+                tracto_volume::io::read_volume3(&mut f)
+                    .map_err(|e| TractoError::format_with(format!("read {path}"), e))?,
+            )
+        }
+        None => None,
+    };
+    let mask = match (vol, pct) {
+        (Some(v), Some(p)) => mask_from_percentile(&v, p),
+        (Some(v), None) => Some(Mask::threshold(&v, 0.0)),
+        (None, Some(p)) => mask_from_percentile(&tracto::pipeline::mean_dwi_volume(dwi), p),
+        (None, None) => None,
+    };
+    if let Some(m) = &mask {
+        if m.dims() != dwi.dims() {
+            return Err(TractoError::format(
+                "--stop-mask volume does not match the dataset grid",
+            ));
+        }
+    }
+    Ok(mask)
+}
 
 pub(crate) fn parse_strategy(s: &str) -> TractoResult<SegmentationStrategy> {
     // One parser serves the CLI, the serve script, and the wire protocol.
@@ -138,6 +193,10 @@ pub fn run(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
     if step <= 0.0 || !(0.0..=1.0).contains(&threshold) || max_steps == 0 {
         return Err(TractoError::config("invalid tracking parameters"));
     }
+    let modality = match args.get("modality") {
+        None => Modality::Mcmc,
+        Some(s) => Modality::parse(s)?,
+    };
     let devices: usize = args.get_parse("devices", 1)?;
     if devices == 0 {
         return Err(TractoError::config("--devices must be positive"));
@@ -173,24 +232,36 @@ pub fn run(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
     };
 
     let (dwi, mask, acq) = store::load_dataset(&data)?;
-    let samples = match (args.get("samples-dir"), args.get("cache-dir")) {
-        (Some(_), Some(_)) => {
+    let samples = if modality == Modality::Tensorline {
+        // Tensorlines fit one tensor per voxel from the data directly;
+        // posterior samples are neither needed nor accepted.
+        if args.get("samples-dir").is_some() || args.get("cache-dir").is_some() {
             return Err(TractoError::config(
-                "--samples-dir and --cache-dir are mutually exclusive",
-            ))
+                "--modality tensorline fits the dataset directly and takes \
+                 no --samples-dir/--cache-dir",
+            ));
         }
-        (Some(dir), None) => store::load_samples(&PathBuf::from(dir))?,
-        (None, Some(dir)) => samples_from_cache(
-            &PathBuf::from(dir),
-            &dwi,
-            &mask,
-            &acq,
-            args,
-            tracer,
-            pool.as_mut().map(|m| (m, checkpoint)),
-        )?,
-        (None, None) => {
-            return Err(TractoError::config("need --samples-dir or --cache-dir"));
+        TensorField::fit(&acq, &dwi).to_sample_volumes()
+    } else {
+        match (args.get("samples-dir"), args.get("cache-dir")) {
+            (Some(_), Some(_)) => {
+                return Err(TractoError::config(
+                    "--samples-dir and --cache-dir are mutually exclusive",
+                ))
+            }
+            (Some(dir), None) => store::load_samples(&PathBuf::from(dir))?,
+            (None, Some(dir)) => samples_from_cache(
+                &PathBuf::from(dir),
+                &dwi,
+                &mask,
+                &acq,
+                args,
+                tracer,
+                pool.as_mut().map(|m| (m, checkpoint)),
+            )?,
+            (None, None) => {
+                return Err(TractoError::config("need --samples-dir or --cache-dir"));
+            }
         }
     };
     if samples.dims() != dwi.dims() {
@@ -198,7 +269,6 @@ pub fn run(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
             "sample volumes do not match the dataset grid",
         ));
     }
-    let samples = Arc::new(samples);
     let seeds = seeds_from_mask(&mask);
     let params = TrackingParams {
         step_length: step,
@@ -207,14 +277,25 @@ pub fn run(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
         min_fraction: 0.05,
         interp: InterpMode::Nearest,
     };
+    // The analytic fast tier is a transform, not a different engine:
+    // collapse the posterior to its mean and take closed-form unit steps.
+    let (samples, params) = if modality == Modality::Analytic {
+        (mean_posterior(&samples), analytic_params(&params))
+    } else {
+        (samples, params)
+    };
+    let samples = Arc::new(samples);
+    let jitter = modality.effective_jitter(0.5);
+    let stop_mask = parse_stop_mask(args, &dwi)?;
     std::fs::create_dir_all(&out)
         .map_err(|e| TractoError::io(format!("create {}", out.display()), e))?;
 
     println!(
-        "tracking {} seeds × {} samples (strategy {})…",
+        "tracking {} seeds × {} samples (strategy {}, modality {})…",
         seeds.len(),
         samples.num_samples(),
-        strategy.label()
+        strategy.label(),
+        modality.as_str()
     );
     let t0 = std::time::Instant::now();
 
@@ -226,8 +307,8 @@ pub fn run(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
             samples: &samples,
             params,
             seeds,
-            mask: None,
-            jitter: 0.5,
+            mask: stop_mask.as_ref(),
+            jitter,
             run_seed: seed,
             bidirectional: false,
         };
@@ -240,8 +321,8 @@ pub fn run(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
             samples: Arc::clone(&samples),
             params,
             seeds,
-            mask: None,
-            jitter: 0.5,
+            mask: stop_mask.clone(),
+            jitter,
             run_seed: seed,
             record_visits: true,
         };
@@ -268,10 +349,10 @@ pub fn run(args: &ArgMap, tracer: &Tracer) -> TractoResult<()> {
             samples: &samples,
             params,
             seeds,
-            mask: None,
+            mask: stop_mask.as_ref(),
             strategy,
             ordering: SeedOrdering::Natural,
-            jitter: 0.5,
+            jitter,
             run_seed: seed,
             record_visits: true,
         };
@@ -571,6 +652,172 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("incompatible"));
+    }
+
+    /// Sum the `steps` column of a run's `lengths.csv`.
+    fn total_steps(out: &std::path::Path) -> u64 {
+        std::fs::read_to_string(out.join("lengths.csv"))
+            .unwrap()
+            .lines()
+            .skip(1)
+            .map(|l| l.rsplit(',').next().unwrap().parse::<u64>().unwrap())
+            .sum()
+    }
+
+    #[test]
+    fn analytic_modality_is_cheaper_than_default() {
+        let data = tmp("an_data");
+        let samples_dir = tmp("an_sv");
+        let out_mcmc = tmp("an_mcmc");
+        let out_fast = tmp("an_fast");
+        let ds = datasets::single_bundle(Dim3::new(10, 6, 6), None, 3);
+        let mask = Mask::from_fn(ds.dwi.dims(), |c| ds.truth.at(c).count > 0);
+        store::save_dataset(&data, &ds.dwi, &mask, &ds.acq).unwrap();
+        let sv = tracto::synthetic::samples_from_truth(&ds.truth, 4, 0.1, 0.02, 5);
+        store::save_samples(&samples_dir, &sv).unwrap();
+        let base = |out: &PathBuf, extra: &[&str]| {
+            let mut v = vec![
+                "--data",
+                data.to_str().unwrap(),
+                "--samples-dir",
+                samples_dir.to_str().unwrap(),
+                "--out",
+                out.to_str().unwrap(),
+                "--step",
+                "0.3",
+                "--max-steps",
+                "500",
+            ];
+            v.extend_from_slice(extra);
+            argmap(&v)
+        };
+        run(&base(&out_mcmc, &[]), &Tracer::disabled()).unwrap();
+        run(
+            &base(&out_fast, &["--modality", "analytic"]),
+            &Tracer::disabled(),
+        )
+        .unwrap();
+        // One mean sample instead of four, and unit steps instead of 0.3:
+        // the fast tier must do strictly less work.
+        assert!(total_steps(&out_fast) < total_steps(&out_mcmc));
+        let rows = |o: &PathBuf| {
+            std::fs::read_to_string(o.join("lengths.csv"))
+                .unwrap()
+                .lines()
+                .count()
+        };
+        assert!(rows(&out_fast) < rows(&out_mcmc), "fewer lanes tracked");
+        for d in [&data, &samples_dir, &out_mcmc, &out_fast] {
+            let _ = std::fs::remove_dir_all(d);
+        }
+    }
+
+    #[test]
+    fn tensorline_modality_needs_no_samples() {
+        let data = tmp("tl_data");
+        let out = tmp("tl_out");
+        let ds = datasets::single_bundle(Dim3::new(10, 6, 6), None, 3);
+        let mask = Mask::from_fn(ds.dwi.dims(), |c| ds.truth.at(c).count > 0);
+        store::save_dataset(&data, &ds.dwi, &mask, &ds.acq).unwrap();
+        let args = argmap(&[
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+            "--modality",
+            "tensorline",
+            "--cpu",
+            "--step",
+            "0.3",
+            "--max-steps",
+            "300",
+        ]);
+        run(&args, &Tracer::disabled()).unwrap();
+        assert!(out.join("lengths.csv").exists());
+        // A sample source is rejected: tensorlines fit the data directly.
+        let rejected = argmap(&[
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+            "--modality",
+            "tensorline",
+            "--samples-dir",
+            "sv",
+        ]);
+        assert!(run(&rejected, &Tracer::disabled())
+            .unwrap_err()
+            .to_string()
+            .contains("tensorline"));
+        for d in [&data, &out] {
+            let _ = std::fs::remove_dir_all(d);
+        }
+    }
+
+    #[test]
+    fn stop_flags_validated_and_truncate() {
+        let data = tmp("sm_data");
+        let samples_dir = tmp("sm_sv");
+        let out_free = tmp("sm_free");
+        let out_stop = tmp("sm_stop");
+        let ds = datasets::single_bundle(Dim3::new(10, 6, 6), None, 3);
+        let mask = Mask::from_fn(ds.dwi.dims(), |c| ds.truth.at(c).count > 0);
+        store::save_dataset(&data, &ds.dwi, &mask, &ds.acq).unwrap();
+        let sv = tracto::synthetic::samples_from_truth(&ds.truth, 4, 0.1, 0.02, 5);
+        store::save_samples(&samples_dir, &sv).unwrap();
+        let base = |out: &PathBuf, extra: &[&str]| {
+            let mut v = vec![
+                "--data",
+                data.to_str().unwrap(),
+                "--samples-dir",
+                samples_dir.to_str().unwrap(),
+                "--out",
+                out.to_str().unwrap(),
+                "--step",
+                "0.3",
+                "--max-steps",
+                "500",
+            ];
+            v.extend_from_slice(extra);
+            argmap(&v)
+        };
+        run(&base(&out_free, &[]), &Tracer::disabled()).unwrap();
+        // A 95th-percentile stop mask leaves almost every voxel out of
+        // bounds for the walkers, so streamlines terminate early.
+        run(
+            &base(&out_stop, &["--stop-threshold", "95"]),
+            &Tracer::disabled(),
+        )
+        .unwrap();
+        assert!(total_steps(&out_stop) < total_steps(&out_free));
+
+        let err = run(
+            &base(&out_stop, &["--stop-threshold", "150"]),
+            &Tracer::disabled(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("0..=100"));
+
+        // A stop-mask volume on the wrong grid is rejected.
+        let bad = tmp("sm_badmask");
+        std::fs::create_dir_all(&bad).unwrap();
+        let bad_path = bad.join("stop.trv3");
+        let mut f = std::fs::File::create(&bad_path).unwrap();
+        tracto_volume::io::write_volume3(
+            &mut f,
+            &tracto_volume::Volume3::zeros(Dim3::new(3, 3, 3)),
+        )
+        .unwrap();
+        drop(f);
+        let err = run(
+            &base(&out_stop, &["--stop-mask", bad_path.to_str().unwrap()]),
+            &Tracer::disabled(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("does not match"));
+        for d in [&data, &samples_dir, &out_free, &out_stop, &bad] {
+            let _ = std::fs::remove_dir_all(d);
+        }
     }
 
     #[test]

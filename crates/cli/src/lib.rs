@@ -47,6 +47,8 @@ COMMANDS:
              [--step F] [--threshold F] [--max-steps N]
              [--strategy B|C|single|every|uniform:K] [--seed N] [--cpu]
              [--min-export-steps N]
+             [--modality mcmc|tensorline|analytic]
+             [--stop-mask FILE.trv3] [--stop-threshold PCT]
              [--est-samples N] [--est-burnin N] [--est-interval N] [--est-seed N]
              [--devices N] [--fault-plan FILE | --fault-seed N]
              [--checkpoint-every N] [--streams N]
@@ -67,6 +69,7 @@ COMMANDS:
              [--dataset-seed N] [--snr F|none] [--volume HASH] [--estimate]
              [--samples N] [--burnin N] [--interval N] [--seed N]
              [--step F] [--threshold F] [--max-steps N]
+             [--modality mcmc|tensorline|analytic] [--stop-threshold PCT]
              [--deadline-ms N] [--priority low|normal|high]
              [--retry-budget N] [--cache rw|ro|bypass]
              [--no-wait] [--follow] [--timeout-ms N]

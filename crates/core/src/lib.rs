@@ -67,9 +67,11 @@ pub mod prelude {
     pub use tracto_gpu_sim::{DeviceConfig, Gpu, TimingLedger};
     pub use tracto_mcmc::{ChainConfig, SampleVolumes, VoxelEstimator};
     pub use tracto_phantom::datasets::{self, Dataset, DatasetSpec};
+    pub use tracto_tracking::field::InterpMode;
+    pub use tracto_tracking::getter::Modality;
     pub use tracto_tracking::gpu::{GpuTracker, SeedOrdering};
     pub use tracto_tracking::probabilistic::{seeds_from_mask, CpuTracker, RecordMode};
     pub use tracto_tracking::walker::TrackingParams;
-    pub use tracto_tracking::{InterpMode, SegmentationStrategy};
+    pub use tracto_tracking::SegmentationStrategy;
     pub use tracto_volume::{Dim3, Ijk, Mask, Vec3, Volume3, Volume4};
 }

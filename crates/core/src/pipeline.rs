@@ -8,10 +8,15 @@ use tracto_gpu_sim::{DeviceConfig, Gpu, TimingLedger};
 use tracto_mcmc::{ChainConfig, SampleVolumes, VoxelEstimator};
 use tracto_phantom::Dataset;
 use tracto_trace::Tracer;
+use tracto_tracking::analytic::{analytic_params, mean_posterior};
+use tracto_tracking::getter::Modality;
 use tracto_tracking::gpu::{GpuTracker, SeedOrdering};
 use tracto_tracking::probabilistic::{seeds_from_mask, CpuTracker, RecordMode};
+use tracto_tracking::stop::mask_from_percentile;
+use tracto_tracking::tensorline::TensorField;
 use tracto_tracking::walker::TrackingParams;
 use tracto_tracking::{SegmentationStrategy, TrackingOutput};
+use tracto_volume::{Volume3, Volume4};
 
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
@@ -38,6 +43,15 @@ pub struct PipelineConfig {
     /// results are bit-identical for any value, only simulated wall time
     /// changes.
     pub streams: usize,
+    /// Which direction getter drives Step 2. The default (`Mcmc`) is
+    /// bit-identical to the pre-modality pipeline; `Tensorline` replaces
+    /// Step 1 with a closed-form tensor fit; `Analytic` collapses the
+    /// posterior to its mean and tracks voxel-length hops.
+    pub modality: Modality,
+    /// Optional stop mask expressed as a percentile (0–100) of the
+    /// dataset's mean-DWI values: streamlines stop on leaving the
+    /// above-percentile region.
+    pub stop_percentile: Option<f64>,
 }
 
 impl PipelineConfig {
@@ -55,6 +69,8 @@ impl PipelineConfig {
             seed: 42,
             record_connectivity: true,
             streams: 1,
+            modality: Modality::Mcmc,
+            stop_percentile: None,
         }
     }
 
@@ -99,6 +115,19 @@ pub struct PipelineOutcome {
     pub tracking_wall: Duration,
 }
 
+/// Per-voxel mean DWI signal — the scalar volume that `--stop-threshold`
+/// percentiles are taken over, on both the CLI and the server side.
+pub fn mean_dwi_volume(dwi: &Volume4<f32>) -> Volume3<f32> {
+    Volume3::from_fn(dwi.dims(), |c| {
+        let v = dwi.voxel(c);
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f32>() / v.len() as f32
+        }
+    })
+}
+
 /// The end-to-end driver.
 #[derive(Debug, Clone)]
 pub struct Pipeline {
@@ -141,46 +170,56 @@ impl Pipeline {
             "pipeline.step1",
             &[("voxels", dataset.wm_mask.count().into())],
         );
-        let (samples, mcmc_ledger) = match &backend {
-            Backend::CpuSerial => (
-                VoxelEstimator::new(
-                    &dataset.acq,
-                    &dataset.dwi,
-                    &dataset.wm_mask,
-                    cfg.prior,
-                    cfg.chain,
-                    cfg.seed,
-                )
-                .with_tracer(self.tracer.clone())
-                .run_serial(),
+        let (samples, mcmc_ledger) = if cfg.modality == Modality::Tensorline {
+            // The tensorline tier needs no posterior: Step 1 is the
+            // closed-form tensor fit re-encoded as a one-sample volume,
+            // identical on every backend.
+            (
+                TensorField::fit(&dataset.acq, &dataset.dwi).to_sample_volumes(),
                 None,
-            ),
-            Backend::CpuParallel => (
-                VoxelEstimator::new(
-                    &dataset.acq,
-                    &dataset.dwi,
-                    &dataset.wm_mask,
-                    cfg.prior,
-                    cfg.chain,
-                    cfg.seed,
-                )
-                .with_tracer(self.tracer.clone())
-                .run_parallel(),
-                None,
-            ),
-            Backend::GpuSim(device) => {
-                let mut gpu = Gpu::with_tracer(device.clone(), self.tracer.clone());
-                let report = run_mcmc_gpu_streamed(
-                    &mut gpu,
-                    &dataset.acq,
-                    &dataset.dwi,
-                    &dataset.wm_mask,
-                    cfg.prior,
-                    cfg.chain,
-                    cfg.seed,
-                    cfg.streams,
-                );
-                (report.samples, Some(report.ledger))
+            )
+        } else {
+            match &backend {
+                Backend::CpuSerial => (
+                    VoxelEstimator::new(
+                        &dataset.acq,
+                        &dataset.dwi,
+                        &dataset.wm_mask,
+                        cfg.prior,
+                        cfg.chain,
+                        cfg.seed,
+                    )
+                    .with_tracer(self.tracer.clone())
+                    .run_serial(),
+                    None,
+                ),
+                Backend::CpuParallel => (
+                    VoxelEstimator::new(
+                        &dataset.acq,
+                        &dataset.dwi,
+                        &dataset.wm_mask,
+                        cfg.prior,
+                        cfg.chain,
+                        cfg.seed,
+                    )
+                    .with_tracer(self.tracer.clone())
+                    .run_parallel(),
+                    None,
+                ),
+                Backend::GpuSim(device) => {
+                    let mut gpu = Gpu::with_tracer(device.clone(), self.tracer.clone());
+                    let report = run_mcmc_gpu_streamed(
+                        &mut gpu,
+                        &dataset.acq,
+                        &dataset.dwi,
+                        &dataset.wm_mask,
+                        cfg.prior,
+                        cfg.chain,
+                        cfg.seed,
+                        cfg.streams,
+                    );
+                    (report.samples, Some(report.ledger))
+                }
             }
         };
         step1.end_with(&[(
@@ -193,8 +232,27 @@ impl Pipeline {
         )]);
         let mcmc_wall = t0.elapsed();
 
-        // ---- Step 2: probabilistic streamlining.
+        // ---- Step 2: streamlining under the configured modality.
         let t1 = Instant::now();
+        // The analytic tier tracks the posterior mean with voxel-length
+        // hops; the other tiers track the Step-1 samples directly.
+        // Deterministic tiers force the seed jitter off.
+        let analytic_samples;
+        let (track_samples, track_params, jitter): (&SampleVolumes, TrackingParams, f64) =
+            match cfg.modality {
+                Modality::Analytic => {
+                    analytic_samples = mean_posterior(&samples);
+                    (&analytic_samples, analytic_params(&cfg.tracking), 0.0)
+                }
+                _ => (
+                    &samples,
+                    cfg.tracking,
+                    cfg.modality.effective_jitter(cfg.jitter),
+                ),
+            };
+        let stop_mask = cfg
+            .stop_percentile
+            .and_then(|pct| mask_from_percentile(&mean_dwi_volume(&dataset.dwi), pct));
         let record = if cfg.record_connectivity {
             RecordMode::Connectivity
         } else {
@@ -206,11 +264,11 @@ impl Pipeline {
         let (tracking, tracking_ledger) = match &backend {
             Backend::CpuSerial | Backend::CpuParallel => {
                 let tracker = CpuTracker {
-                    samples: &samples,
-                    params: cfg.tracking,
+                    samples: track_samples,
+                    params: track_params,
                     seeds,
-                    mask: None,
-                    jitter: cfg.jitter,
+                    mask: stop_mask.as_ref(),
+                    jitter,
                     run_seed: cfg.seed,
                     bidirectional: false,
                 };
@@ -224,13 +282,13 @@ impl Pipeline {
             Backend::GpuSim(device) => {
                 let mut gpu = Gpu::with_tracer(device.clone(), self.tracer.clone());
                 let tracker = GpuTracker {
-                    samples: &samples,
-                    params: cfg.tracking,
+                    samples: track_samples,
+                    params: track_params,
                     seeds,
-                    mask: None,
+                    mask: stop_mask.as_ref(),
                     strategy: cfg.strategy.clone(),
                     ordering: cfg.ordering,
-                    jitter: cfg.jitter,
+                    jitter,
                     run_seed: cfg.seed,
                     record_visits: cfg.record_connectivity,
                 };
@@ -373,6 +431,87 @@ mod tests {
             );
             assert_eq!(a.total_streamlines(), b.total_streamlines());
         }
+    }
+
+    #[test]
+    fn analytic_modality_is_cheaper_than_mcmc_tracking() {
+        let ds = tiny_dataset();
+        let mcmc = Pipeline::new(PipelineConfig::fast())
+            .run(&ds, Backend::GpuSim(DeviceConfig::radeon_5870()));
+        let cfg = PipelineConfig {
+            modality: Modality::Analytic,
+            ..PipelineConfig::fast()
+        };
+        let analytic = Pipeline::new(cfg).run(&ds, Backend::GpuSim(DeviceConfig::radeon_5870()));
+        // One mean volume instead of N samples, voxel-length hops instead
+        // of sub-voxel steps: far fewer lanes and far fewer iterations.
+        assert!(analytic.tracking.total_steps > 0);
+        assert!(
+            analytic.tracking.total_steps * 5 <= mcmc.tracking.total_steps,
+            "analytic steps {} vs mcmc {}",
+            analytic.tracking.total_steps,
+            mcmc.tracking.total_steps
+        );
+        let (a, m) = (
+            analytic.tracking_ledger.unwrap().total_s(),
+            mcmc.tracking_ledger.unwrap().total_s(),
+        );
+        assert!(a * 5.0 <= m, "analytic {a:.4}s vs mcmc {m:.4}s");
+        // Connectivity still lands on fiber voxels.
+        let conn = analytic.tracking.connectivity.expect("connectivity");
+        let fiber_hits: u32 = ds
+            .truth
+            .fiber_mask()
+            .coords()
+            .iter()
+            .map(|&c| conn.count(c))
+            .sum();
+        assert!(fiber_hits > 0, "analytic tier must visit the bundle");
+    }
+
+    #[test]
+    fn tensorline_modality_skips_mcmc_and_tracks() {
+        let ds = tiny_dataset();
+        let cfg = PipelineConfig {
+            modality: Modality::Tensorline,
+            ..PipelineConfig::fast()
+        };
+        let out = Pipeline::new(cfg).run(&ds, Backend::GpuSim(DeviceConfig::radeon_5870()));
+        // Step 1 is the tensor fit: one sample volume, no MCMC ledger.
+        assert_eq!(out.samples.num_samples(), 1);
+        assert!(out.mcmc_ledger.is_none());
+        assert!(out.tracking_ledger.is_some());
+        assert!(out.tracking.total_steps > 0);
+        // Deterministic tier: repeat runs are bit-identical even though
+        // the config asks for jitter.
+        let cfg2 = PipelineConfig {
+            modality: Modality::Tensorline,
+            jitter: 0.5,
+            ..PipelineConfig::fast()
+        };
+        let out2 = Pipeline::new(cfg2).run(&ds, Backend::CpuSerial);
+        assert_eq!(
+            out.tracking.lengths_by_sample,
+            out2.tracking.lengths_by_sample
+        );
+    }
+
+    #[test]
+    fn stop_percentile_truncates_streamlines() {
+        let ds = tiny_dataset();
+        let base = Pipeline::new(PipelineConfig::fast()).run(&ds, Backend::CpuSerial);
+        let cfg = PipelineConfig {
+            stop_percentile: Some(95.0),
+            ..PipelineConfig::fast()
+        };
+        let masked = Pipeline::new(cfg).run(&ds, Backend::CpuSerial);
+        assert!(masked.tracking.total_steps > 0);
+        assert!(
+            masked.tracking.total_steps < base.tracking.total_steps,
+            "a tight stop mask must shorten tracking: {} vs {}",
+            masked.tracking.total_steps,
+            base.tracking.total_steps
+        );
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub use endpoint::Endpoint;
 pub use frame::{read_frame, write_frame, FrameBuf, MAX_FRAME_BYTES};
 pub use spec::{
     content_digest, lengths_digest, placement_key, CachePolicy, ChainSpec, DatasetSpec, JobKind,
-    JobSpec, Priority, TrackSpec,
+    JobSpec, Modality, Priority, TrackSpec,
 };
 pub use wire::{
     Event, FleetWire, JobState, MemberWire, MetricsWire, Outcome, Request, Response,

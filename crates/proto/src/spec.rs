@@ -82,6 +82,43 @@ impl CachePolicy {
     }
 }
 
+/// The tracking modality a job requests — which direction getter drives
+/// Step 2. Absent on the wire for the default (`mcmc`), so v1–v3 peers and
+/// their byte-identical encodings are untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Modality {
+    /// Posterior-sample streamlining (the paper's pipeline; the default).
+    #[default]
+    Mcmc,
+    /// Deterministic single-tensor baseline (skips MCMC entirely).
+    Tensorline,
+    /// Closed-form fast tier over the posterior mean.
+    Analytic,
+}
+
+impl Modality {
+    /// Canonical wire name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Modality::Mcmc => "mcmc",
+            Modality::Tensorline => "tensorline",
+            Modality::Analytic => "analytic",
+        }
+    }
+
+    /// Parse a wire/CLI name.
+    pub fn parse(s: &str) -> TractoResult<Self> {
+        match s {
+            "mcmc" => Ok(Modality::Mcmc),
+            "tensorline" => Ok(Modality::Tensorline),
+            "analytic" => Ok(Modality::Analytic),
+            other => Err(TractoError::config(format!(
+                "unknown modality `{other}` (mcmc|tensorline|analytic)"
+            ))),
+        }
+    }
+}
+
 /// A dataset reference that crosses the wire: either a deterministic
 /// phantom recipe (`(kind, scale, seed, snr)` fully determine the
 /// generated volumes, so the recipe doubles as a memoization key
@@ -253,6 +290,14 @@ pub struct JobSpec {
     pub retry_budget: Option<u32>,
     /// Sample-cache interaction.
     pub cache: CachePolicy,
+    /// Which direction getter drives Step 2. Additive and optional on the
+    /// wire (absent means the default), so v1–v3 peers are untouched and
+    /// no protocol version bump is needed.
+    pub modality: Modality,
+    /// Optional stop-mask threshold: a percentile (0–100) of the dataset's
+    /// mean-DWI volume. The server derives the stop mask from the
+    /// materialized dataset, so only the scalar crosses the wire.
+    pub stop_percentile: Option<f64>,
 }
 
 impl JobSpec {
@@ -267,6 +312,8 @@ impl JobSpec {
             priority: Priority::Normal,
             retry_budget: None,
             cache: CachePolicy::ReadWrite,
+            modality: Modality::Mcmc,
+            stop_percentile: None,
         }
     }
 
@@ -322,6 +369,14 @@ impl JobSpec {
             w.u64_field("retry_budget", u64::from(n));
         }
         w.str_field("cache", self.cache.as_str());
+        // Post-v3 fields append after `cache` and only when non-default,
+        // so default specs encode byte-identically to v3 output.
+        if self.modality != Modality::Mcmc {
+            w.str_field("modality", self.modality.as_str());
+        }
+        if let Some(pct) = self.stop_percentile {
+            w.f64_field("stop_percentile", pct);
+        }
         w.end();
     }
 
@@ -356,6 +411,13 @@ impl JobSpec {
             priority: Priority::parse(&obj_str(v, "priority")?)?,
             retry_budget: obj_opt_u64(v, "retry_budget")?.map(|n| n as u32),
             cache: CachePolicy::parse(&obj_str(v, "cache")?)?,
+            modality: match v.get("modality") {
+                None | Some(Json::Null) => Modality::Mcmc,
+                Some(j) => Modality::parse(j.as_str().ok_or_else(|| {
+                    TractoError::protocol("job field `modality` is not a string")
+                })?)?,
+            },
+            stop_percentile: obj_opt_f64(v, "stop_percentile")?,
         })
     }
 }
@@ -517,6 +579,36 @@ mod tests {
         let mut other_ds = base.clone();
         other_ds.dataset.seed = 8;
         assert_ne!(placement_key(&base), placement_key(&other_ds));
+    }
+
+    #[test]
+    fn modality_round_trips_and_defaults_stay_v3_compatible() {
+        // Non-default modality and stop percentile survive the wire.
+        let mut spec = JobSpec::track(DatasetSpec::new("single"));
+        spec.modality = Modality::Analytic;
+        spec.stop_percentile = Some(60.0);
+        assert_eq!(roundtrip(&spec), spec);
+        // Default specs never emit the new fields: a v3 peer sees the
+        // exact bytes it always did, and a v3 frame (no modality key)
+        // decodes to the default modality.
+        let text = JobSpec::track(DatasetSpec::new("single")).to_json_string();
+        assert!(!text.contains("modality"));
+        assert!(!text.contains("stop_percentile"));
+        let decoded = JobSpec::from_json_str(&text).unwrap();
+        assert_eq!(decoded.modality, Modality::Mcmc);
+        assert_eq!(decoded.stop_percentile, None);
+        assert!(Modality::parse("deep-learned").is_err());
+    }
+
+    #[test]
+    fn placement_key_ignores_modality() {
+        // Modality changes the job, not its Step-1 cache residency, so it
+        // must not move the placement key.
+        let base = JobSpec::track(DatasetSpec::new("single"));
+        let mut analytic = base.clone();
+        analytic.modality = Modality::Analytic;
+        analytic.stop_percentile = Some(50.0);
+        assert_eq!(placement_key(&base), placement_key(&analytic));
     }
 
     #[test]

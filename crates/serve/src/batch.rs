@@ -512,7 +512,7 @@ mod tests {
             angular_threshold: 0.8,
             max_steps,
             min_fraction: 0.05,
-            interp: tracto::tracking::InterpMode::Nearest,
+            interp: tracto::tracking::field::InterpMode::Nearest,
         }
     }
 

@@ -69,6 +69,13 @@ pub struct ServiceConfig {
     /// standby files records by source name) and
     /// [`state_dir`](Self::state_dir) (no journal, nothing to replicate).
     pub replicate_to: Option<tracto_proto::Endpoint>,
+    /// Route `Priority::Low` MCMC tracking jobs onto the analytic fast
+    /// tier at batch admission: they keep their full posterior for Step 1
+    /// (the cache stays warm) but track the closed-form mean instead of
+    /// every sample, trading per-sample fidelity for a far cheaper batch
+    /// slot. Off by default — demotion changes results, so it is an
+    /// explicit operator opt-in.
+    pub approx_low: bool,
     /// Structured-event sink for job lifecycle, cache, batch, and GPU
     /// events. Disabled by default.
     pub tracer: Tracer,
@@ -95,6 +102,7 @@ impl Default for ServiceConfig {
             streams: 1,
             member: None,
             replicate_to: None,
+            approx_low: false,
             tracer: Tracer::disabled(),
         }
     }
@@ -122,7 +130,7 @@ impl ServiceConfigBuilder {
     /// The service flags a CLI exposes, as `(name, value-hint, help)`.
     /// [`set_cli`](Self::set_cli) accepts exactly these names, so commands
     /// can loop over this table for both parsing and usage text.
-    pub const CLI_FLAGS: [(&'static str, &'static str, &'static str); 16] = [
+    pub const CLI_FLAGS: [(&'static str, &'static str, &'static str); 17] = [
         ("devices", "N", "devices in the tracking pool (default 1)"),
         ("workers", "N", "estimation worker threads (default 2)"),
         (
@@ -166,6 +174,11 @@ impl ServiceConfigBuilder {
             "replicate-to",
             "EP",
             "stream journal records to a standby at this endpoint",
+        ),
+        (
+            "approx-low",
+            "BOOL",
+            "route low-priority track jobs to the analytic fast tier",
         ),
     ];
 
@@ -286,6 +299,13 @@ impl ServiceConfigBuilder {
         self
     }
 
+    /// Route low-priority MCMC tracking jobs onto the analytic fast tier
+    /// at batch admission.
+    pub fn approx_low(mut self, on: bool) -> Self {
+        self.config.approx_low = on;
+        self
+    }
+
     /// Install an event sink.
     pub fn tracer(mut self, tracer: Tracer) -> Self {
         self.config.tracer = tracer;
@@ -318,6 +338,15 @@ impl ServiceConfigBuilder {
             "streams" => self.streams(num(name, value)?),
             "member" => self.member(value),
             "replicate-to" => self.replicate_to(tracto_proto::Endpoint::parse(value)?),
+            "approx-low" => match value {
+                "true" | "on" | "1" => self.approx_low(true),
+                "false" | "off" | "0" => self.approx_low(false),
+                other => {
+                    return Err(TractoError::config(format!(
+                        "--approx-low: bad value `{other}` (true|false)"
+                    )))
+                }
+            },
             other => {
                 return Err(TractoError::config(format!(
                     "unknown service flag `--{other}`"
@@ -476,6 +505,7 @@ mod tests {
             ("streams", "4"),
             ("member", "m0"),
             ("replicate-to", "unix:/tmp/tracto-test-standby.sock"),
+            ("approx-low", "true"),
         ] {
             assert!(
                 ServiceConfigBuilder::CLI_FLAGS
@@ -509,6 +539,10 @@ mod tests {
             cfg.replicate_to.as_ref().unwrap().to_string(),
             "unix:/tmp/tracto-test-standby.sock"
         );
+        assert!(cfg.approx_low);
+        assert!(ServiceConfig::builder()
+            .set_cli("approx-low", "maybe")
+            .is_err());
     }
 
     #[test]
@@ -522,6 +556,7 @@ mod tests {
                 "fault-plan" => continue, // needs a real file; covered below
                 "member" => "m0",
                 "replicate-to" => "unix:/tmp/x.sock",
+                "approx-low" => "true",
                 _ => "1",
             };
             ServiceConfig::builder()

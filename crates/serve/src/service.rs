@@ -46,14 +46,18 @@ use std::sync::Arc;
 use std::time::Instant;
 use tracto::mcmc::{ChainConfig, CheckpointPolicy, CheckpointStore, SampleVolumes};
 use tracto::phantom::Dataset;
-use tracto::pipeline::PipelineConfig;
+use tracto::pipeline::{mean_dwi_volume, PipelineConfig};
+use tracto::tracking::analytic::{analytic_params, mean_posterior};
+use tracto::tracking::getter::Modality;
 use tracto::tracking::probabilistic::seeds_from_mask;
+use tracto::tracking::stop::mask_from_percentile;
+use tracto::tracking::tensorline::TensorField;
 use tracto::{run_mcmc_gpu, run_mcmc_gpu_checkpointed, PersistentCheckpoint};
 use tracto_diffusion::PriorConfig;
 use tracto_gpu_sim::{DeviceConfig, Gpu, MultiGpu};
 use tracto_proto::{CachePolicy, JobState, Priority};
 use tracto_trace::{Tracer, Value};
-use tracto_volume::Vec3;
+use tracto_volume::{Mask, Vec3};
 
 struct PrepTask {
     spec: JobSpec,
@@ -64,11 +68,26 @@ struct ReadyTrack {
     config: PipelineConfig,
     seeds: Vec<Vec3>,
     samples: Arc<SampleVolumes>,
+    /// Stop mask: explicit (in-process callers) or derived from the
+    /// job's stop percentile over the dataset's mean DWI.
+    stop_mask: Option<Mask>,
     cache_hit: bool,
     deadline_at: Option<Instant>,
     priority: Priority,
     retry_budget: Option<u32>,
     ticket: Ticket<JobOutput>,
+}
+
+/// Rewrite a ready job onto the analytic fast tier: collapse the posterior
+/// stack to its mean, switch to voxel-length hops with the same reach, and
+/// force the (deterministic) tier's jitter off. Callers guard on the
+/// *previous* modality so the transform runs exactly once per job even
+/// when a fault-retried job passes through admission again.
+fn apply_analytic_tier(r: &mut ReadyTrack) {
+    r.samples = Arc::new(mean_posterior(&r.samples));
+    r.config.tracking = analytic_params(&r.config.tracking);
+    r.config.modality = Modality::Analytic;
+    r.config.jitter = 0.0;
 }
 
 struct Shared {
@@ -723,29 +742,59 @@ fn estimate_worker(
                     })),
                 );
             }
-            Work::Track { config, seeds } => {
+            Work::Track {
+                config,
+                seeds,
+                stop_mask,
+            } => {
                 let seeds = seeds.unwrap_or_else(|| seeds_from_mask(&dataset.truth.fiber_mask()));
-                let key = sample_key(&dataset, &config.prior, &config.chain, config.seed);
-                let (samples, cache_hit, _) = shared.resolve_samples(
-                    &mut gpu,
-                    key,
-                    &dataset,
-                    config.prior,
-                    config.chain,
-                    config.seed,
-                    spec.cache,
-                    ticket.id,
-                );
-                let ready = ReadyTrack {
+                // Derive the stop mask here, where the dataset is
+                // materialized: remote jobs carry only the percentile.
+                let stop_mask = stop_mask.or_else(|| {
+                    config
+                        .stop_percentile
+                        .and_then(|pct| mask_from_percentile(&mean_dwi_volume(&dataset.dwi), pct))
+                });
+                let (samples, cache_hit) = if config.modality == Modality::Tensorline {
+                    // The tensorline tier skips MCMC entirely: Step 1 is
+                    // the closed-form tensor fit. It must bypass the
+                    // sample cache — a fit stored under the dataset+chain
+                    // key would poison later MCMC jobs (and vice versa).
+                    (
+                        Arc::new(TensorField::fit(&dataset.acq, &dataset.dwi).to_sample_volumes()),
+                        false,
+                    )
+                } else {
+                    let key = sample_key(&dataset, &config.prior, &config.chain, config.seed);
+                    let (samples, cache_hit, _) = shared.resolve_samples(
+                        &mut gpu,
+                        key,
+                        &dataset,
+                        config.prior,
+                        config.chain,
+                        config.seed,
+                        spec.cache,
+                        ticket.id,
+                    );
+                    (samples, cache_hit)
+                };
+                let mut ready = ReadyTrack {
                     config,
                     seeds,
                     samples,
+                    stop_mask,
                     cache_hit,
                     deadline_at,
                     priority: spec.priority,
                     retry_budget: spec.retry_budget,
                     ticket,
                 };
+                match ready.config.modality {
+                    Modality::Analytic => apply_analytic_tier(&mut ready),
+                    // Deterministic tiers never jitter their seeds.
+                    Modality::Tensorline => ready.config.jitter = 0.0,
+                    Modality::Mcmc => {}
+                }
                 if let Err(send_err) = tx.send(ready) {
                     let ReadyTrack { ticket, .. } = send_err.0;
                     shared.complete(&ticket, Err(JobError::ShuttingDown));
@@ -905,12 +954,30 @@ fn batch_worker(rx: Receiver<ReadyTrack>, shared: Arc<Shared>, cfg: ServiceConfi
 
         let admitted = admit_batch(&mut pending, cfg.max_batch_jobs);
         let mut live = Vec::with_capacity(admitted.len());
-        for r in admitted {
+        for mut r in admitted {
             if r.ticket.is_cancelled() {
                 shared.complete(&r.ticket, Err(JobError::Cancelled));
             } else if r.deadline_at.is_some_and(|t| Instant::now() >= t) {
                 shared.complete(&r.ticket, Err(JobError::DeadlineExceeded));
             } else {
+                // Opt-in approximate tier: demote low-priority MCMC jobs
+                // to the analytic getter at admission. The modality guard
+                // keeps fault-retried jobs from being transformed twice.
+                if cfg.approx_low
+                    && r.priority == Priority::Low
+                    && r.config.modality == Modality::Mcmc
+                {
+                    apply_analytic_tier(&mut r);
+                    if shared.tracer.enabled() {
+                        shared.tracer.emit(
+                            "serve.job_demoted",
+                            &[
+                                ("job", r.ticket.id.0.into()),
+                                ("modality", Value::Text("analytic".into())),
+                            ],
+                        );
+                    }
+                }
                 live.push(r);
             }
         }
@@ -961,7 +1028,7 @@ fn execute_batch(
             samples: Arc::clone(&r.samples),
             params: r.config.tracking,
             seeds: r.seeds.clone(),
-            mask: None,
+            mask: r.stop_mask.clone(),
             jitter: r.config.jitter,
             run_seed: r.config.seed,
             record_visits: r.config.record_connectivity,
@@ -1109,6 +1176,7 @@ mod tests {
             config: fast_pipeline(0),
             seeds: Vec::new(),
             samples: Arc::new(SampleVolumes::zeros(tracto_volume::Dim3::new(1, 1, 1), 1)),
+            stop_mask: None,
             cache_hit: false,
             deadline_at,
             priority,

@@ -14,12 +14,13 @@ use std::sync::Arc;
 use std::time::Duration;
 use tracto::phantom::{datasets, Dataset};
 use tracto::pipeline::PipelineConfig;
+use tracto::tracking::getter::Modality;
 use tracto_diffusion::PriorConfig;
 use tracto_mcmc::mh::AdaptScheme;
 use tracto_mcmc::ChainConfig;
 use tracto_proto::{CachePolicy, JobKind, Priority};
 use tracto_trace::{TractoError, TractoResult};
-use tracto_volume::{Dim3, Vec3};
+use tracto_volume::{Dim3, Mask, Vec3};
 
 /// Where a job's dataset comes from.
 #[derive(Clone)]
@@ -58,11 +59,17 @@ pub enum Work {
     },
     /// The full pipeline: Step 1 via the cache, Step 2 batched.
     Track {
-        /// Full pipeline configuration (chain + prior + tracking + seed).
+        /// Full pipeline configuration (chain + prior + tracking + seed +
+        /// modality + optional stop percentile).
         config: PipelineConfig,
         /// Seed points; `None` seeds every fiber-bearing ground-truth
         /// voxel, exactly as [`tracto::Pipeline`] does.
         seeds: Option<Vec<Vec3>>,
+        /// Explicit stop mask (streamlines stop on leaving it). Only
+        /// in-process callers can pass one — file masks do not cross the
+        /// wire; remote jobs express stop masks as a percentile of the
+        /// dataset's mean DWI via `config.stop_percentile`.
+        stop_mask: Option<Mask>,
     },
 }
 
@@ -116,6 +123,7 @@ impl JobSpec {
             work: Work::Track {
                 config,
                 seeds: None,
+                stop_mask: None,
             },
             deadline: None,
             priority: Priority::Normal,
@@ -149,6 +157,36 @@ impl JobSpec {
         self
     }
 
+    /// Select the tracking modality (which direction getter drives
+    /// Step 2). Returns a typed [`TractoError::Config`] on estimation
+    /// jobs — modality only changes Step 2, so requesting one on a job
+    /// with no Step 2 is a caller bug worth surfacing, not ignoring.
+    pub fn with_modality(mut self, modality: Modality) -> TractoResult<Self> {
+        match &mut self.work {
+            Work::Track { config, .. } => {
+                config.modality = modality;
+                Ok(self)
+            }
+            Work::Estimate { .. } => Err(TractoError::config(
+                "modality applies to track jobs only (estimation has no Step 2)",
+            )),
+        }
+    }
+
+    /// Attach an explicit stop mask: streamlines stop on leaving it.
+    /// Returns a typed [`TractoError::Config`] on estimation jobs.
+    pub fn with_stop_mask(mut self, mask: Mask) -> TractoResult<Self> {
+        match &mut self.work {
+            Work::Track { stop_mask, .. } => {
+                *stop_mask = Some(mask);
+                Ok(self)
+            }
+            Work::Estimate { .. } => Err(TractoError::config(
+                "stop masks apply to track jobs only (estimation has no Step 2)",
+            )),
+        }
+    }
+
     /// Override the service-wide retry budget for this job.
     pub fn with_retry_budget(mut self, budget: u32) -> Self {
         self.retry_budget = Some(budget);
@@ -179,18 +217,36 @@ impl JobSpec {
             ));
         }
         let work = match &wire.kind {
-            JobKind::Estimate => Work::Estimate {
-                prior: PriorConfig::default(),
-                chain,
-                seed: wire.seed,
-            },
+            JobKind::Estimate => {
+                // Modality and stop thresholds only change Step 2; a
+                // Step-1-only job carrying them is a client bug.
+                if wire.modality != tracto_proto::Modality::Mcmc || wire.stop_percentile.is_some() {
+                    return Err(TractoError::config(
+                        "modality and stop thresholds apply to track jobs only",
+                    ));
+                }
+                Work::Estimate {
+                    prior: PriorConfig::default(),
+                    chain,
+                    seed: wire.seed,
+                }
+            }
             JobKind::Track(t) => {
                 if t.step <= 0.0 || !(0.0..=1.0).contains(&t.threshold) || t.max_steps == 0 {
                     return Err(TractoError::config("invalid tracking parameters"));
                 }
+                if let Some(pct) = wire.stop_percentile {
+                    if !pct.is_finite() || !(0.0..=100.0).contains(&pct) {
+                        return Err(TractoError::config(
+                            "stop percentile must be a finite value in [0, 100]",
+                        ));
+                    }
+                }
                 let mut config = PipelineConfig {
                     chain,
                     seed: wire.seed,
+                    modality: modality_from_wire(wire.modality),
+                    stop_percentile: wire.stop_percentile,
                     ..PipelineConfig::fast()
                 };
                 config.tracking.step_length = t.step;
@@ -199,6 +255,7 @@ impl JobSpec {
                 Work::Track {
                     config,
                     seeds: None,
+                    stop_mask: None,
                 }
             }
         };
@@ -211,6 +268,16 @@ impl JobSpec {
             cache: wire.cache,
             wire: Some(wire.clone()),
         })
+    }
+}
+
+/// Wire modality → domain modality. The two enums exist so the tracking
+/// crate never depends on the protocol; this is the one crossing point.
+pub fn modality_from_wire(m: tracto_proto::Modality) -> Modality {
+    match m {
+        tracto_proto::Modality::Mcmc => Modality::Mcmc,
+        tracto_proto::Modality::Tensorline => Modality::Tensorline,
+        tracto_proto::Modality::Analytic => Modality::Analytic,
     }
 }
 
@@ -239,6 +306,7 @@ impl From<TrackJob> for JobSpec {
             work: Work::Track {
                 config: job.config,
                 seeds: job.seeds,
+                stop_mask: None,
             },
             deadline: job.deadline,
             priority: Priority::Normal,
@@ -354,6 +422,78 @@ mod tests {
             JobSpec::from_wire(&wire).err().expect("must fail").kind(),
             ErrorKind::Config
         );
+    }
+
+    #[test]
+    fn modality_builders_reject_estimation_jobs() {
+        let ds = Arc::new(materialize_dataset(&wire_ds()).unwrap());
+        let track = JobSpec::track(ds.clone(), PipelineConfig::fast())
+            .with_modality(Modality::Analytic)
+            .expect("track jobs take a modality");
+        match &track.work {
+            Work::Track { config, .. } => assert_eq!(config.modality, Modality::Analytic),
+            Work::Estimate { .. } => panic!("track spec became estimate"),
+        }
+        let dims = ds.dwi.dims();
+        let track = JobSpec::track(ds.clone(), PipelineConfig::fast())
+            .with_stop_mask(Mask::full(dims))
+            .expect("track jobs take a stop mask");
+        match &track.work {
+            Work::Track { stop_mask, .. } => assert!(stop_mask.is_some()),
+            Work::Estimate { .. } => panic!("track spec became estimate"),
+        }
+        // Estimation has no Step 2: both builders are typed config errors.
+        let est = JobSpec::estimate(ds.clone(), ChainConfig::fast_test(), 1);
+        assert_eq!(
+            est.with_modality(Modality::Tensorline)
+                .err()
+                .expect("must fail")
+                .kind(),
+            ErrorKind::Config
+        );
+        let est = JobSpec::estimate(ds, ChainConfig::fast_test(), 1);
+        assert_eq!(
+            est.with_stop_mask(Mask::full(dims))
+                .err()
+                .expect("must fail")
+                .kind(),
+            ErrorKind::Config
+        );
+    }
+
+    #[test]
+    fn from_wire_rejects_modality_work_mismatches() {
+        // Estimate + non-default modality is a client bug.
+        let mut wire = tracto_proto::JobSpec::estimate(wire_ds());
+        wire.modality = tracto_proto::Modality::Analytic;
+        assert_eq!(
+            JobSpec::from_wire(&wire).err().expect("must fail").kind(),
+            ErrorKind::Config
+        );
+        let mut wire = tracto_proto::JobSpec::estimate(wire_ds());
+        wire.stop_percentile = Some(50.0);
+        assert_eq!(
+            JobSpec::from_wire(&wire).err().expect("must fail").kind(),
+            ErrorKind::Config
+        );
+        // Out-of-range percentiles are rejected before any dataset work.
+        let mut wire = tracto_proto::JobSpec::track(wire_ds());
+        wire.stop_percentile = Some(150.0);
+        assert_eq!(
+            JobSpec::from_wire(&wire).err().expect("must fail").kind(),
+            ErrorKind::Config
+        );
+        // A valid modality + percentile lands in the pipeline config.
+        let mut wire = tracto_proto::JobSpec::track(wire_ds());
+        wire.modality = tracto_proto::Modality::Tensorline;
+        wire.stop_percentile = Some(60.0);
+        match JobSpec::from_wire(&wire).unwrap().work {
+            Work::Track { config, .. } => {
+                assert_eq!(config.modality, Modality::Tensorline);
+                assert_eq!(config.stop_percentile, Some(60.0));
+            }
+            Work::Estimate { .. } => panic!("track spec converted to estimate"),
+        }
     }
 
     #[test]

@@ -329,6 +329,83 @@ fn invalid_wire_spec_is_rejected_at_submit() {
 }
 
 #[test]
+fn v3_frames_without_modality_field_get_the_default_modality() {
+    let fx = Fixture::start("nomodality");
+    let mut stream = fx.raw();
+    hello(&mut stream);
+
+    // A pre-modality v3 client encodes a spec with no `modality` /
+    // `stop_percentile` keys; the raw frame proves the fields are absent.
+    let spec_json = wire_job().to_json_string();
+    assert!(!spec_json.contains("modality"), "{spec_json}");
+    assert!(!spec_json.contains("stop_percentile"), "{spec_json}");
+    let submit = |stream: &mut UnixStream, spec: &str| {
+        write_frame(stream, &format!(r#"{{"type":"submit","spec":{spec}}}"#)).unwrap();
+        let payload = read_frame(stream).unwrap().expect("submit reply");
+        match Response::decode(&payload).unwrap() {
+            Response::Submitted { job } => job,
+            other => panic!("submit refused: {other:?}"),
+        }
+    };
+    let implicit = submit(&mut stream, &spec_json);
+    // The same spec with the default spelled out explicitly.
+    let explicit_json = spec_json.replacen('{', r#"{"modality":"mcmc","#, 1);
+    let explicit = submit(&mut stream, &explicit_json);
+
+    let mut client = fx.connect();
+    let digest = |state: JobState| match state {
+        JobState::Done(Outcome::Track { lengths_digest, .. }) => lengths_digest,
+        other => panic!("job did not finish: {other:?}"),
+    };
+    let d_implicit = digest(client.await_job(implicit, None).unwrap());
+    let d_explicit = digest(client.await_job(explicit, None).unwrap());
+    assert_eq!(
+        d_implicit, d_explicit,
+        "a frame without the modality field must decode to the default"
+    );
+}
+
+#[test]
+fn analytic_modality_round_trips_over_the_socket() {
+    let fx = Fixture::start("analytic");
+    let mut client = fx.connect();
+    let mut fast = wire_job();
+    fast.modality = tracto_proto::Modality::Analytic;
+
+    let outcome = |client: &mut RemoteService, spec: tracto_proto::JobSpec| {
+        let job = client.submit(spec).unwrap();
+        match client.await_job(job, None).unwrap() {
+            JobState::Done(Outcome::Track {
+                total_steps,
+                lengths_digest,
+                ..
+            }) => (total_steps, lengths_digest),
+            other => panic!("job did not finish: {other:?}"),
+        }
+    };
+    let (mcmc_steps, _) = outcome(&mut client, wire_job());
+    let (fast_steps, fast_digest) = outcome(&mut client, fast.clone());
+    assert!(
+        fast_steps < mcmc_steps,
+        "analytic tier must be cheaper ({fast_steps} vs {mcmc_steps} steps)"
+    );
+
+    // The analytic spec through a fresh in-process service must land on
+    // the same bits the socket run produced.
+    let local = TractoService::start(ServiceConfig::builder().build().unwrap());
+    let result = local
+        .submit(JobSpec::from_wire(&fast).unwrap())
+        .wait_track()
+        .unwrap();
+    assert_eq!(
+        lengths_digest(&result.tracking.lengths_by_sample),
+        fast_digest,
+        "socket and in-process analytic runs must be bit-identical"
+    );
+    local.shutdown();
+}
+
+#[test]
 fn tcp_endpoint_round_trips() {
     let service = Arc::new(TractoService::start(
         ServiceConfig::builder().build().unwrap(),

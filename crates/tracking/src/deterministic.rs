@@ -3,7 +3,10 @@
 //! done by invoking deterministic streamlining for many times").
 
 use crate::field::{dominant_direction, OrientationField};
+use crate::getter::{lane_rng, DirectionGetter, PosteriorSampleGetter};
+use crate::stop::StopStack;
 use crate::walker::{StopReason, TrackingParams, Walker};
+use tracto_rng::HybridTaus;
 use tracto_volume::{Ijk, Mask, Vec3};
 
 /// A completed streamline.
@@ -27,8 +30,40 @@ impl Streamline {
     }
 }
 
+/// Track a single streamline through any [`DirectionGetter`] under a
+/// [`StopStack`] — the modality-layer driver every tracker shares.
+#[allow(clippy::too_many_arguments)]
+pub fn track_streamline_with(
+    getter: &dyn DirectionGetter,
+    seed_id: u32,
+    seed: Vec3,
+    dir: Vec3,
+    step_length: f64,
+    stop: &StopStack<'_>,
+    rng: &mut HybridTaus,
+    record: bool,
+) -> Streamline {
+    let mut w = if record {
+        Walker::new_recording(seed_id, seed, dir)
+    } else {
+        Walker::new(seed_id, seed, dir)
+    };
+    while w.alive() {
+        w.step_with(getter, step_length, stop, rng);
+    }
+    Streamline {
+        seed_id,
+        points: w.path,
+        steps: w.steps,
+        stop: w.stop,
+    }
+}
+
 /// Track a single streamline from `seed` in direction `dir` until a stop
 /// criterion fires. Records the trajectory when `record` is set.
+///
+/// This is the posterior-sampling modality spelled out: a
+/// [`PosteriorSampleGetter`] over `field` with the standard stop stack.
 pub fn track_streamline<Fld: OrientationField + ?Sized>(
     field: &Fld,
     seed_id: u32,
@@ -38,20 +73,19 @@ pub fn track_streamline<Fld: OrientationField + ?Sized>(
     mask: Option<&Mask>,
     record: bool,
 ) -> Streamline {
-    let mut w = if record {
-        Walker::new_recording(seed_id, seed, dir)
-    } else {
-        Walker::new(seed_id, seed, dir)
-    };
-    while w.alive() {
-        w.step(field, params, mask);
-    }
-    Streamline {
+    let getter = PosteriorSampleGetter::new(field, params.interp, params.min_fraction);
+    let stop = StopStack::standard(params, mask);
+    let mut rng = lane_rng(0, 0, seed_id as usize);
+    track_streamline_with(
+        &getter,
         seed_id,
-        points: w.path,
-        steps: w.steps,
-        stop: w.stop,
-    }
+        seed,
+        dir,
+        params.step_length,
+        &stop,
+        &mut rng,
+        record,
+    )
 }
 
 /// Track bidirectionally: once along the seed's dominant direction and once

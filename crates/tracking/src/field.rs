@@ -13,6 +13,17 @@ pub trait OrientationField: Sync {
     fn sticks(&self, c: Ijk) -> [(Vec3, f64); 2];
 }
 
+impl<F: OrientationField + ?Sized> OrientationField for &F {
+    fn dims(&self) -> Dim3 {
+        (**self).dims()
+    }
+
+    #[inline]
+    fn sticks(&self, c: Ijk) -> [(Vec3, f64); 2] {
+        (**self).sticks(c)
+    }
+}
+
 /// One posterior sample volume viewed as an orientation field — what one
 /// iteration of the paper's "for every sample volume" loop tracks through.
 #[derive(Debug, Clone, Copy)]

@@ -15,11 +15,14 @@
 
 use crate::connectivity::ConnectivityAccumulator;
 use crate::field::SampleFieldView;
+use crate::getter::{lane_rng, PosteriorSampleGetter};
 use crate::probabilistic::{initial_direction, jittered_seed};
 use crate::segmentation::SegmentationStrategy;
+use crate::stop::StopStack;
 use crate::walker::{StopReason, TrackingParams, Walker};
 use tracto_gpu_sim::{Gpu, LaneStatus, SimKernel, TimingLedger};
 use tracto_mcmc::SampleVolumes;
+use tracto_rng::HybridTaus;
 use tracto_volume::{Mask, Vec3};
 
 /// Simulated size of one lane's transferable state (float3 position +
@@ -33,17 +36,30 @@ pub fn sample_volume_bytes(samples: &SampleVolumes) -> u64 {
 }
 
 /// One tracking lane: a walker plus its identity for post-compaction
-/// bookkeeping.
+/// bookkeeping and its private RNG stream (deterministic getters never
+/// draw from it).
 #[derive(Debug, Clone)]
 pub struct TrackLane {
     walker: Walker,
+    rng: HybridTaus,
 }
 
-/// The tracking kernel over one sample volume.
+/// The tracking kernel over one sample volume: a prebuilt direction
+/// getter plus the stop-criterion stack, shared read-only across lanes.
 struct TrackingKernel<'a> {
-    field: SampleFieldView<'a>,
-    params: TrackingParams,
-    mask: Option<&'a Mask>,
+    getter: PosteriorSampleGetter<SampleFieldView<'a>>,
+    step_length: f64,
+    stop: StopStack<'a>,
+}
+
+impl<'a> TrackingKernel<'a> {
+    fn new(field: SampleFieldView<'a>, params: &TrackingParams, mask: Option<&'a Mask>) -> Self {
+        TrackingKernel {
+            getter: PosteriorSampleGetter::new(field, params.interp, params.min_fraction),
+            step_length: params.step_length,
+            stop: StopStack::standard(params, mask),
+        }
+    }
 }
 
 impl SimKernel for TrackingKernel<'_> {
@@ -51,7 +67,10 @@ impl SimKernel for TrackingKernel<'_> {
 
     #[inline]
     fn step(&self, lane: &mut TrackLane) -> LaneStatus {
-        match lane.walker.step(&self.field, &self.params, self.mask) {
+        match lane
+            .walker
+            .step_with(&self.getter, self.step_length, &self.stop, &mut lane.rng)
+        {
             StopReason::Running => LaneStatus::Continue,
             _ => LaneStatus::Finished,
         }
@@ -192,7 +211,10 @@ impl<'a> GpuTracker<'a> {
                     } else {
                         Walker::new(seed_idx, pos, dir)
                     };
-                    let mut lane = TrackLane { walker };
+                    let mut lane = TrackLane {
+                        walker,
+                        rng: lane_rng(self.run_seed, sample, seed_idx as usize),
+                    };
                     if dir == Vec3::ZERO {
                         // No eligible population at the seed: dead on
                         // arrival, finishes in the first iteration.
@@ -205,11 +227,7 @@ impl<'a> GpuTracker<'a> {
             // SendStartPointsToGPU().
             gpu.transfer_to_device(lanes.len() as u64 * LANE_BYTES);
 
-            let kernel = TrackingKernel {
-                field,
-                params: self.params,
-                mask: self.mask,
-            };
+            let kernel = TrackingKernel::new(field, &self.params, self.mask);
             let mut unfinished_after_segment = Vec::with_capacity(budgets.len());
 
             for (seg_idx, &budget) in budgets.iter().enumerate() {
@@ -360,7 +378,10 @@ impl<'a> GpuTracker<'a> {
                         } else {
                             Walker::new(seed_idx, pos, dir)
                         };
-                        let mut lane = TrackLane { walker };
+                        let mut lane = TrackLane {
+                            walker,
+                            rng: lane_rng(self.run_seed, sample, seed_idx as usize),
+                        };
                         if dir == Vec3::ZERO {
                             lane.walker.stop = StopReason::NoDirection;
                         }
@@ -374,11 +395,7 @@ impl<'a> GpuTracker<'a> {
                     stream: slot,
                     order,
                     lanes,
-                    kernel: TrackingKernel {
-                        field,
-                        params: self.params,
-                        mask: self.mask,
-                    },
+                    kernel: TrackingKernel::new(field, &self.params, self.mask),
                     unfinished_after_segment: Vec::with_capacity(budgets.len()),
                 });
             }

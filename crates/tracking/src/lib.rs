@@ -12,11 +12,21 @@
 //!   ground-truth fields, closures for tests) plus direction selection with
 //!   multi-fiber "maintain orientation" semantics and nearest/trilinear
 //!   interpolation;
-//! * [`walker`] — one streamline walker: stepping, stop criteria (maximum
-//!   steps and angular threshold, the two criteria the paper keeps);
+//! * [`getter`] — the modality layer: the object-safe
+//!   [`getter::DirectionGetter`] trait with the posterior sampler,
+//!   tensorline, and analytic tiers as interchangeable implementations,
+//!   plus the [`getter::Modality`] selector threaded through the service;
+//! * [`stop`] — the composable [`stop::StopStack`] of termination
+//!   criteria (max steps, curvature, bounds, stop/exclusion masks with
+//!   percentile thresholds);
+//! * [`walker`] — one streamline walker: stepping through a getter under
+//!   a stop stack (plus the fused legacy fast path);
 //! * [`deterministic`] — whole-streamline tracking from a seed;
 //! * [`probabilistic`] — the CPU reference probabilistic-streamlining driver
 //!   (serial baseline + rayon-parallel host path);
+//! * [`analytic`] — the closed-form fast tier: posterior-mean collapse,
+//!   rescaled voxel-hop parameters, and the no-streamline
+//!   local-connectivity map (after Cieslak et al.);
 //! * [`segmentation`] — the paper's segmentation strategies: `A_k` uniform
 //!   segments, the increasing-interval arrays `B` and `C`, single-launch
 //!   `A_MaxStep`, per-step `A_1`, and load-sorted variants (Fig. 4);
@@ -27,26 +37,58 @@
 //! * [`connectivity`] — visit counting and the connectivity matrix;
 //! * [`export`] — streamline polyline export (CSV) for the biological
 //!   figures.
+//!
+//! Import the working set in one line with [`prelude`]. Direction
+//! selection (`select_direction`, `InterpMode`) lives behind the getter
+//! surface now; reach it via [`prelude`] or the [`field`] module rather
+//! than crate-root re-exports.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analytic;
 pub mod cluster;
 pub mod connectivity;
 pub mod deterministic;
 pub mod export;
 pub mod field;
+pub mod getter;
 pub mod gpu;
 pub mod policy;
 pub mod probabilistic;
 pub mod resample;
 pub mod segmentation;
+pub mod stop;
 pub mod tensorline;
 pub mod walker;
 
 pub use connectivity::ConnectivityAccumulator;
-pub use field::{select_direction, InterpMode, OrientationField, SampleFieldView};
+pub use field::{OrientationField, SampleFieldView};
+pub use getter::{DirectionGetter, Modality};
 pub use gpu::{GpuTracker, GpuTrackingReport};
 pub use probabilistic::{CpuTracker, TrackingOutput};
 pub use segmentation::SegmentationStrategy;
+pub use stop::{StopCriterion, StopStack};
 pub use walker::{StopReason, TrackingParams, Walker};
+
+/// The one-line import for tracking callers: modality surface, stop
+/// criteria, trackers, and the parameter/result types.
+pub mod prelude {
+    pub use crate::analytic::{
+        analytic_params, local_connectivity, mean_posterior, AnalyticGetter,
+    };
+    pub use crate::connectivity::ConnectivityAccumulator;
+    pub use crate::deterministic::{track_streamline, track_streamline_with, Streamline};
+    pub use crate::field::{
+        select_direction, FnField, InterpMode, OrientationField, SampleFieldView,
+    };
+    pub use crate::getter::{
+        lane_rng, DirectionGetter, Modality, PosteriorSampleGetter, TensorlineGetter,
+    };
+    pub use crate::gpu::{GpuTracker, GpuTrackingReport, SeedOrdering};
+    pub use crate::probabilistic::{seeds_from_mask, CpuTracker, RecordMode, TrackingOutput};
+    pub use crate::segmentation::SegmentationStrategy;
+    pub use crate::stop::{mask_from_percentile, percentile_threshold, StopCriterion, StopStack};
+    pub use crate::tensorline::TensorField;
+    pub use crate::walker::{StopReason, TrackingParams, Walker};
+}

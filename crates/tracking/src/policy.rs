@@ -13,6 +13,8 @@
 
 use crate::deterministic::Streamline;
 use crate::field::OrientationField;
+use crate::getter::{lane_rng, PosteriorSampleGetter};
+use crate::stop::{StopCriterion, StopStack};
 use crate::walker::{StopReason, TrackingParams, Walker};
 use tracto_volume::{Ijk, Mask, Vec3};
 
@@ -93,6 +95,14 @@ pub fn track_with_policy<Fld: OrientationField + ?Sized>(
         Walker::new(seed_id, seed, dir)
     };
     let mut visited_waypoints = vec![false; policy.waypoints.len()];
+    // The policy layer drives the same modality surface as the trackers:
+    // a direction getter plus the standard stop stack over the track mask.
+    // Termination regions are the stop-on-entry criterion, applied at the
+    // policy's own voxel granularity below.
+    let getter = PosteriorSampleGetter::new(field, params.interp, params.min_fraction);
+    let stop = StopStack::standard(params, policy.track_mask);
+    let termination = policy.termination.map(StopCriterion::Exclusion);
+    let mut rng = lane_rng(0, 0, seed_id as usize);
 
     // Evaluate the seed voxel itself.
     if let Some(c) = voxel_of(walker.pos) {
@@ -113,7 +123,7 @@ pub fn track_with_policy<Fld: OrientationField + ?Sized>(
     }
 
     while walker.alive() {
-        walker.step(field, params, policy.track_mask);
+        walker.step_with(&getter, params.step_length, &stop, &mut rng);
         let Some(c) = voxel_of(walker.pos) else {
             continue;
         };
@@ -132,9 +142,11 @@ pub fn track_with_policy<Fld: OrientationField + ?Sized>(
                     visited_waypoints[i] = true;
                 }
             }
-            if walker.alive() && policy.termination.map(|m| m.contains(c)).unwrap_or(false) {
-                walker.stop = StopReason::OutOfMask;
-                break;
+            if walker.alive() {
+                if let Some(r) = termination.as_ref().and_then(|t| t.stop_at_voxel(c)) {
+                    walker.stop = r;
+                    break;
+                }
             }
         }
     }

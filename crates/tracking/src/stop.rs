@@ -1,0 +1,277 @@
+//! Composable stop criteria — the termination half of the modality layer.
+//!
+//! The walker used to hard-code its stop checks (max steps, curvature,
+//! bounds, one optional tracking mask) against `TrackingParams` fields.
+//! [`StopStack`] makes the same checks a composable list so callers can
+//! add mask-based stop and exclusion regions — with thresholds
+//! expressible as percentiles of a scalar volume
+//! ([`mask_from_percentile`]) in the pyAFQ `stop_threshold` style —
+//! without growing the parameter struct again.
+//!
+//! The stack is evaluated in three phases matching the walker's exact
+//! legacy order (budget → turn → position), so
+//! [`StopStack::standard`] is bit-identical to the pre-stack walker.
+
+use crate::walker::{StopReason, TrackingParams};
+use tracto_volume::{Dim3, Ijk, Mask, Vec3, Volume3};
+
+/// One termination rule. Mask-based rules both map to
+/// [`StopReason::OutOfMask`]; they differ in polarity: a streamline stops
+/// on *leaving* a [`StopCriterion::StopMask`] and on *entering* a
+/// [`StopCriterion::Exclusion`] region.
+#[derive(Debug, Clone, Copy)]
+pub enum StopCriterion<'a> {
+    /// Stop after this many steps ("to avoid dead loops").
+    MaxSteps(u32),
+    /// Stop when successive directions' dot product drops below this
+    /// threshold (the paper's angular criterion).
+    Curvature(f64),
+    /// Stop on leaving the volume.
+    Bounds,
+    /// Stop on leaving this mask (the classical tracking mask).
+    StopMask(&'a Mask),
+    /// Stop on entering this mask (termination regions; the policy
+    /// layer's exclusion test uses the same membership rule).
+    Exclusion(&'a Mask),
+}
+
+impl StopCriterion<'_> {
+    /// Whether stepping to voxel `c` fires this (mask-based) criterion.
+    /// Budget and turn criteria never fire here.
+    pub fn stop_at_voxel(&self, c: Ijk) -> Option<StopReason> {
+        match self {
+            StopCriterion::StopMask(m) => (!m.contains(c)).then_some(StopReason::OutOfMask),
+            StopCriterion::Exclusion(m) => m.contains(c).then_some(StopReason::OutOfMask),
+            _ => None,
+        }
+    }
+}
+
+/// An ordered stack of stop criteria, evaluated in the walker's legacy
+/// phase order. Build once per streamline (or per kernel), not per step.
+#[derive(Debug, Clone, Default)]
+pub struct StopStack<'a> {
+    criteria: Vec<StopCriterion<'a>>,
+}
+
+impl<'a> StopStack<'a> {
+    /// An empty stack (nothing ever stops except `NoDirection`).
+    pub fn new() -> Self {
+        StopStack::default()
+    }
+
+    /// The pre-stack walker's exact criteria: max steps, curvature,
+    /// bounds, and the optional tracking mask — in that order.
+    pub fn standard(params: &TrackingParams, mask: Option<&'a Mask>) -> Self {
+        let mut stack = StopStack::new()
+            .with(StopCriterion::MaxSteps(params.max_steps))
+            .with(StopCriterion::Curvature(params.angular_threshold))
+            .with(StopCriterion::Bounds);
+        if let Some(m) = mask {
+            stack = stack.with(StopCriterion::StopMask(m));
+        }
+        stack
+    }
+
+    /// Append a criterion (builder style).
+    pub fn with(mut self, criterion: StopCriterion<'a>) -> Self {
+        self.criteria.push(criterion);
+        self
+    }
+
+    /// Append a criterion in place.
+    pub fn push(&mut self, criterion: StopCriterion<'a>) {
+        self.criteria.push(criterion);
+    }
+
+    /// The criteria in evaluation order.
+    pub fn criteria(&self) -> &[StopCriterion<'a>] {
+        &self.criteria
+    }
+
+    /// Phase 1 (also re-run after advancing): has the step budget run out?
+    #[inline]
+    pub fn check_budget(&self, steps: u32) -> Option<StopReason> {
+        for c in &self.criteria {
+            if let StopCriterion::MaxSteps(max) = c {
+                if steps >= *max {
+                    return Some(StopReason::MaxSteps);
+                }
+            }
+        }
+        None
+    }
+
+    /// Phase 2: does the proposed direction turn too sharply?
+    #[inline]
+    pub fn check_turn(&self, prev: Vec3, next: Vec3) -> Option<StopReason> {
+        for c in &self.criteria {
+            if let StopCriterion::Curvature(threshold) = c {
+                if next.dot(prev) < *threshold {
+                    return Some(StopReason::Curvature);
+                }
+            }
+        }
+        None
+    }
+
+    /// Phase 3: does the proposed position terminate the streamline?
+    /// Bounds and mask criteria fire in stack order; mask membership uses
+    /// the nearest voxel, exactly as the legacy walker did.
+    #[inline]
+    pub fn check_position(&self, dims: Dim3, pos: Vec3) -> Option<StopReason> {
+        let mut voxel: Option<Ijk> = None;
+        for c in &self.criteria {
+            match c {
+                StopCriterion::Bounds if !dims.contains_point(pos.x, pos.y, pos.z) => {
+                    return Some(StopReason::OutOfBounds);
+                }
+                StopCriterion::StopMask(_) | StopCriterion::Exclusion(_) => {
+                    let v = *voxel.get_or_insert_with(|| {
+                        Ijk::new(
+                            pos.x.round() as usize,
+                            pos.y.round() as usize,
+                            pos.z.round() as usize,
+                        )
+                    });
+                    if let Some(r) = c.stop_at_voxel(v) {
+                        return Some(r);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+}
+
+/// The value at percentile `pct` (0–100) of a scalar volume — pyAFQ's
+/// `thresholds_as_percentages` convention, nearest-rank on the sorted
+/// values. Returns `None` for an empty volume or a non-finite percentile.
+pub fn percentile_threshold(volume: &Volume3<f32>, pct: f64) -> Option<f32> {
+    if volume.is_empty() || !pct.is_finite() {
+        return None;
+    }
+    let mut values: Vec<f32> = volume.as_slice().to_vec();
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite volume values"));
+    let pct = pct.clamp(0.0, 100.0);
+    let rank = ((pct / 100.0) * (values.len() - 1) as f64).round() as usize;
+    Some(values[rank])
+}
+
+/// Threshold a scalar volume at a percentile of its own values: voxels
+/// strictly above the percentile value are in the mask. `--stop-threshold
+/// 60` keeps the top 40 % of (say) mean-signal voxels as trackable.
+pub fn mask_from_percentile(volume: &Volume3<f32>, pct: f64) -> Option<Mask> {
+    percentile_threshold(volume, pct).map(|t| Mask::threshold(volume, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::InterpMode;
+
+    fn params() -> TrackingParams {
+        TrackingParams {
+            step_length: 0.5,
+            angular_threshold: 0.8,
+            max_steps: 100,
+            min_fraction: 0.05,
+            interp: InterpMode::Nearest,
+        }
+    }
+
+    #[test]
+    fn standard_stack_mirrors_legacy_checks() {
+        let dims = Dim3::new(8, 4, 4);
+        let mask = Mask::from_fn(dims, |c| c.i < 4);
+        let stack = StopStack::standard(&params(), Some(&mask));
+        assert_eq!(stack.criteria().len(), 4);
+        assert_eq!(stack.check_budget(99), None);
+        assert_eq!(stack.check_budget(100), Some(StopReason::MaxSteps));
+        assert_eq!(stack.check_turn(Vec3::X, Vec3::X), None);
+        assert_eq!(
+            stack.check_turn(Vec3::X, Vec3::Y),
+            Some(StopReason::Curvature)
+        );
+        // In bounds and in mask.
+        assert_eq!(stack.check_position(dims, Vec3::new(2.0, 2.0, 2.0)), None);
+        // In bounds, out of mask.
+        assert_eq!(
+            stack.check_position(dims, Vec3::new(6.0, 2.0, 2.0)),
+            Some(StopReason::OutOfMask)
+        );
+        // Out of bounds fires before the mask, as in the legacy walker.
+        assert_eq!(
+            stack.check_position(dims, Vec3::new(9.0, 2.0, 2.0)),
+            Some(StopReason::OutOfBounds)
+        );
+    }
+
+    #[test]
+    fn exclusion_polarity_is_stop_on_entry() {
+        let dims = Dim3::new(8, 4, 4);
+        let wall = Mask::from_fn(dims, |c| c.i == 6);
+        let stack = StopStack::new()
+            .with(StopCriterion::Bounds)
+            .with(StopCriterion::Exclusion(&wall));
+        assert_eq!(stack.check_position(dims, Vec3::new(2.0, 2.0, 2.0)), None);
+        assert_eq!(
+            stack.check_position(dims, Vec3::new(6.2, 2.0, 2.0)),
+            Some(StopReason::OutOfMask)
+        );
+        assert_eq!(
+            StopCriterion::Exclusion(&wall).stop_at_voxel(Ijk::new(6, 2, 2)),
+            Some(StopReason::OutOfMask)
+        );
+        assert_eq!(
+            StopCriterion::Exclusion(&wall).stop_at_voxel(Ijk::new(5, 2, 2)),
+            None
+        );
+    }
+
+    #[test]
+    fn empty_stack_never_stops() {
+        let stack = StopStack::new();
+        assert_eq!(stack.check_budget(u32::MAX), None);
+        assert_eq!(stack.check_turn(Vec3::X, -Vec3::X), None);
+        assert_eq!(
+            stack.check_position(Dim3::new(2, 2, 2), Vec3::new(99.0, 0.0, 0.0)),
+            None
+        );
+    }
+
+    #[test]
+    fn percentile_thresholds_match_nearest_rank() {
+        let dims = Dim3::new(5, 1, 1);
+        let v = Volume3::from_fn(dims, |c| c.i as f32); // 0,1,2,3,4
+        assert_eq!(percentile_threshold(&v, 0.0), Some(0.0));
+        assert_eq!(percentile_threshold(&v, 50.0), Some(2.0));
+        assert_eq!(percentile_threshold(&v, 100.0), Some(4.0));
+        assert_eq!(percentile_threshold(&v, 200.0), Some(4.0), "clamped");
+        assert_eq!(percentile_threshold(&v, f64::NAN), None);
+        let m = mask_from_percentile(&v, 50.0).unwrap();
+        // Strictly above the 50th-percentile value (2.0): voxels 3 and 4.
+        assert_eq!(m.count(), 2);
+        assert!(m.contains(Ijk::new(4, 0, 0)));
+        assert!(!m.contains(Ijk::new(2, 0, 0)));
+    }
+
+    #[test]
+    fn percentile_mask_as_stop_criterion() {
+        let dims = Dim3::new(8, 1, 1);
+        // Signal falls off with i: 7,6,…,0. The 50th-percentile value is
+        // 4.0, so the strictly-above mask keeps voxels i < 3.
+        let signal = Volume3::from_fn(dims, |c| (7 - c.i) as f32);
+        let mask = mask_from_percentile(&signal, 50.0).unwrap();
+        assert_eq!(mask.count(), 3);
+        let stack = StopStack::new()
+            .with(StopCriterion::Bounds)
+            .with(StopCriterion::StopMask(&mask));
+        assert_eq!(stack.check_position(dims, Vec3::new(2.0, 0.0, 0.0)), None);
+        assert_eq!(
+            stack.check_position(dims, Vec3::new(6.0, 0.0, 0.0)),
+            Some(StopReason::OutOfMask)
+        );
+    }
+}

@@ -52,6 +52,26 @@ impl TensorField {
         self.dirs[self.dims.index(c)]
     }
 
+    /// Re-encode the tensor fit as a one-sample posterior stack (stick 1 =
+    /// principal direction with FA as its "fraction", stick 2 empty), so
+    /// the tensorline modality runs through the unchanged sample-volume
+    /// tracking machinery — GPU lanes, batching, caching and all.
+    pub fn to_sample_volumes(&self) -> tracto_mcmc::SampleVolumes {
+        let mut sv = tracto_mcmc::SampleVolumes::zeros(self.dims, 1);
+        for c in self.dims.iter() {
+            let i = self.dims.index(c);
+            let (dir, fa) = (self.dirs[i], self.fa[i]);
+            if dir == Vec3::ZERO || fa <= 0.0 {
+                continue;
+            }
+            let (theta, phi) = dir.to_spherical();
+            sv.f1.set(c, 0, fa as f32);
+            sv.th1.set(c, 0, theta as f32);
+            sv.ph1.set(c, 0, phi as f32);
+        }
+        sv
+    }
+
     /// Mean FA over a mask — the map-level sanity statistic.
     pub fn mean_fa(&self, mask: &Mask) -> f64 {
         let idx = mask.indices();
@@ -153,6 +173,28 @@ mod tests {
         assert!(s.steps > 20, "tracked {} steps", s.steps);
         let last = s.points.last().unwrap();
         assert!(last.x > 10.0, "followed the bundle to {last:?}");
+    }
+
+    #[test]
+    fn sample_volume_encoding_round_trips_the_fit() {
+        use crate::field::SampleFieldView;
+        let ds = datasets::single_bundle(Dim3::new(12, 8, 8), None, 3);
+        let field = TensorField::fit(&ds.acq, &ds.dwi);
+        let sv = field.to_sample_volumes();
+        assert_eq!(sv.num_samples(), 1);
+        let view = SampleFieldView::new(&sv, 0);
+        for c in field.dims().iter() {
+            let [(d, f), (_, f2)] = view.sticks(c);
+            let (td, tf) = (field.dir_at(c), field.fa_at(c));
+            assert_eq!(f2, 0.0, "second stick stays empty");
+            if td == Vec3::ZERO || tf <= 0.0 {
+                assert_eq!(f, 0.0);
+                continue;
+            }
+            // f32 storage: direction within rounding of the fit.
+            assert!((f - tf).abs() < 1e-6, "fa {f} vs {tf}");
+            assert!(d.dot(td).abs() > 0.999_99, "dir {d:?} vs {td:?}");
+        }
     }
 
     #[test]

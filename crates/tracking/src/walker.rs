@@ -1,6 +1,9 @@
 //! One streamline walker: stepping and termination.
 
 use crate::field::{select_direction, InterpMode, OrientationField};
+use crate::getter::DirectionGetter;
+use crate::stop::StopStack;
+use tracto_rng::HybridTaus;
 use tracto_volume::{Ijk, Mask, Vec3};
 
 /// Tracking configuration.
@@ -102,10 +105,64 @@ impl Walker {
         self.stop == StopReason::Running
     }
 
+    /// Advance one step through a pluggable [`DirectionGetter`] under a
+    /// composable [`StopStack`] — the modality-layer stepping path every
+    /// tracker now drives.
+    ///
+    /// The check order is exactly the legacy [`step`](Self::step): budget,
+    /// direction, turn, position (bounds then masks), advance, budget
+    /// again — so `step_with` over a
+    /// [`PosteriorSampleGetter`](crate::getter::PosteriorSampleGetter)
+    /// and [`StopStack::standard`] is bit-identical to the fused fast
+    /// path. Deterministic getters never draw from `rng`.
+    pub fn step_with(
+        &mut self,
+        getter: &dyn DirectionGetter,
+        step_length: f64,
+        stop: &StopStack<'_>,
+        rng: &mut HybridTaus,
+    ) -> StopReason {
+        if !self.alive() {
+            return self.stop;
+        }
+        if let Some(r) = stop.check_budget(self.steps) {
+            self.stop = r;
+            return self.stop;
+        }
+        // Interpolation(): evaluate the local direction.
+        let Some(new_dir) = getter.next_direction(self.pos, self.dir, rng) else {
+            self.stop = StopReason::NoDirection;
+            return self.stop;
+        };
+        if let Some(r) = stop.check_turn(self.dir, new_dir) {
+            self.stop = r;
+            return self.stop;
+        }
+        // StepToNextPoint().
+        let next = self.pos + new_dir * step_length;
+        if let Some(r) = stop.check_position(getter.dims(), next) {
+            self.stop = r;
+            return self.stop;
+        }
+        self.pos = next;
+        self.dir = new_dir;
+        self.steps += 1;
+        if !self.path.is_empty() {
+            self.path.push(next);
+        }
+        if let Some(r) = stop.check_budget(self.steps) {
+            self.stop = r;
+        }
+        self.stop
+    }
+
     /// Advance one step through `field`. Returns the walker's stop state
     /// after the step ([`StopReason::Running`] if it may continue).
     ///
     /// One call is exactly one iteration of the GPU kernel's inner loop.
+    /// This is the fused fast path for the standard criteria; it is
+    /// asserted bit-identical to [`step_with`](Self::step_with) over the
+    /// standard stack.
     pub fn step<Fld: OrientationField + ?Sized>(
         &mut self,
         field: &Fld,
@@ -286,6 +343,42 @@ mod tests {
         w.step(&f, &p, None);
         assert_eq!(w.steps, steps);
         assert_eq!(w.pos, pos);
+    }
+
+    #[test]
+    fn step_with_standard_stack_is_bit_identical_to_step() {
+        use crate::getter::{lane_rng, PosteriorSampleGetter};
+        use crate::stop::StopStack;
+        // Curved field + mask exercises every stop reason.
+        let dims = Dim3::new(16, 16, 4);
+        let f = FnField::new(dims, |c: Ijk| {
+            let t = Vec3::new(-(c.j as f64), c.i as f64, 0.0).normalized();
+            let t = if t == Vec3::ZERO { Vec3::Y } else { t };
+            [(t, 0.6), (Vec3::ZERO, 0.0)]
+        });
+        let mask = Mask::from_fn(dims, |c| c.i + c.j < 24);
+        let p = params();
+        for seed in [
+            Vec3::new(10.0, 1.0, 2.0),
+            Vec3::new(3.0, 0.5, 2.0),
+            Vec3::new(14.9, 2.0, 2.0),
+        ] {
+            let mut legacy = Walker::new_recording(0, seed, Vec3::Y);
+            while legacy.alive() {
+                legacy.step(&f, &p, Some(&mask));
+            }
+            let getter = PosteriorSampleGetter::new(&f, p.interp, p.min_fraction);
+            let stack = StopStack::standard(&p, Some(&mask));
+            let mut rng = lane_rng(0, 0, 0);
+            let mut new = Walker::new_recording(0, seed, Vec3::Y);
+            while new.alive() {
+                new.step_with(&getter, p.step_length, &stack, &mut rng);
+            }
+            assert_eq!(new.stop, legacy.stop);
+            assert_eq!(new.steps, legacy.steps);
+            assert_eq!(new.pos, legacy.pos);
+            assert_eq!(new.path, legacy.path);
+        }
     }
 
     #[test]

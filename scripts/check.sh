@@ -13,4 +13,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test -q --workspace
 
+echo "== modality matrix (per-getter suites) =="
+for modality in getter analytic tensorline stop; do
+    echo "-- modality leg: ${modality} --"
+    cargo test -q -p tracto-tracking "${modality}::"
+done
+cargo test -q -p tracto-cli modality
+
 echo "all checks passed"
