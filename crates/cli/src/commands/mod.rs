@@ -3,6 +3,7 @@
 pub mod estimate;
 pub mod fleet;
 pub mod info;
+pub mod loadgen;
 pub mod phantom;
 pub mod remote;
 pub mod render;

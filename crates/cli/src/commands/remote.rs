@@ -22,7 +22,7 @@ use tracto_trace::{Tracer, TractoError, TractoResult, Value};
 /// journal, so the client rides that out with bounded retries).
 const CONNECT_FLAGS: [&str; 3] = ["connect", "connect-retries", "connect-backoff-ms"];
 
-const SUBMIT_FLAGS: [&str; 21] = [
+const SUBMIT_FLAGS: [&str; 22] = [
     "connect",
     "dataset",
     "scale",
@@ -44,6 +44,7 @@ const SUBMIT_FLAGS: [&str; 21] = [
     "modality",
     "stop-mask",
     "stop-threshold",
+    "tenant",
 ];
 
 /// Connect and perform the handshake, emitting a trace span for the call.
@@ -189,6 +190,10 @@ fn spec_from_args(args: &ArgMap) -> TractoResult<JobSpec> {
             })
             .transpose()?,
         cache: CachePolicy::parse(args.get("cache").unwrap_or("read-write"))?,
+        tenant: args
+            .get("tenant")
+            .unwrap_or(tracto_proto::DEFAULT_TENANT)
+            .to_string(),
     })
 }
 
@@ -463,6 +468,14 @@ mod tests {
         let spec = spec_from_args(&argmap(&[])).unwrap();
         assert_eq!(spec.modality, Modality::Mcmc);
         assert_eq!(spec.stop_percentile, None);
+    }
+
+    #[test]
+    fn tenant_flag_lands_on_the_wire() {
+        let spec = spec_from_args(&argmap(&["--tenant", "lab-a"])).unwrap();
+        assert_eq!(spec.tenant, "lab-a");
+        let spec = spec_from_args(&argmap(&[])).unwrap();
+        assert_eq!(spec.tenant, tracto_proto::DEFAULT_TENANT);
     }
 
     #[test]

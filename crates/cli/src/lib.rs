@@ -60,6 +60,7 @@ COMMANDS:
              [--cache-dir DIR] [--disk-cache-mb N]
              [--fault-plan FILE | --fault-seed N] [--retry-budget N]
              [--state-dir DIR] [--checkpoint-every N] [--streams N]
+             [--approx-low BOOL] [--rate-limit JPS]
   fleet      run a fleet coordinator: route jobs to member servers by
              consistent hash, replicate-aware takeover on host death
              --listen ENDPOINT --members [NAME=]EP,[NAME=]EP,...
@@ -70,9 +71,18 @@ COMMANDS:
              [--samples N] [--burnin N] [--interval N] [--seed N]
              [--step F] [--threshold F] [--max-steps N]
              [--modality mcmc|tensorline|analytic] [--stop-threshold PCT]
-             [--deadline-ms N] [--priority low|normal|high]
+             [--deadline-ms N] [--priority low|normal|high] [--tenant NAME]
              [--retry-budget N] [--cache rw|ro|bypass]
              [--no-wait] [--follow] [--timeout-ms N]
+  loadgen    fire a synthetic or replayed workload at a listening server
+             (open-loop pacing; reports sheds, latency percentiles, and
+             deadline hit rates per priority and tenant)
+             [--connect ENDPOINT] [--replay FILE] [--out FILE]
+             [--requests N] [--rate JPS] [--arrivals poisson|burst|uniform]
+             [--burst N] [--tenants a:3,b:1] [--priorities low:1,high:1]
+             [--repeat F] [--distinct N] [--deadline-ms N]
+             [--scale F] [--samples N] [--burnin N] [--seed N]
+             [--timeout-ms N]
   upload     upload a stored dataset for remote jobs (server needs
              --state-dir); prints the HASH for submit --volume
              --connect ENDPOINT --data DIR
@@ -161,6 +171,7 @@ pub fn run(args: &[String]) -> i32 {
         "serve" => commands::serve::run(&parsed, &tracer),
         "fleet" => commands::fleet::run(&parsed, &tracer),
         "submit" => commands::remote::submit(&parsed, &tracer),
+        "loadgen" => commands::loadgen::run(&parsed, &tracer),
         "upload" => commands::remote::upload(&parsed, &tracer),
         "await" => commands::remote::await_job(&parsed, &tracer),
         "status" => commands::remote::status(&parsed, &tracer),

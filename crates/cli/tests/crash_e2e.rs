@@ -82,6 +82,10 @@ impl ServerGuard {
 }
 
 fn start_server(socket: &str, state_dir: &str) -> ServerGuard {
+    start_server_with(socket, state_dir, &[])
+}
+
+fn start_server_with(socket: &str, state_dir: &str, extra: &[&str]) -> ServerGuard {
     let child = Command::new(BIN)
         .args([
             "serve",
@@ -94,6 +98,7 @@ fn start_server(socket: &str, state_dir: &str) -> ServerGuard {
             "--checkpoint-every",
             "1",
         ])
+        .args(extra)
         .stdout(Stdio::null())
         .stderr(Stdio::null())
         .spawn()
@@ -164,6 +169,144 @@ fn reference_digests(dir: &std::path::Path) -> Vec<String> {
         .collect();
     drop(server);
     digests
+}
+
+/// Counters pulled out of `tracto metrics` output:
+/// `(submitted, deadline_hits, sheds, demotions, rate_limited)`.
+fn overload_counters(metrics: &str) -> (u64, u64, u64, u64, u64) {
+    let field = |line_tag: &str, suffix: &str| -> u64 {
+        let line = metrics
+            .lines()
+            .find(|l| l.starts_with(line_tag))
+            .unwrap_or_else(|| panic!("no `{line_tag}` line in: {metrics}"));
+        let at = line
+            .find(suffix)
+            .unwrap_or_else(|| panic!("no `{suffix}` in: {line}"));
+        line[..at]
+            .rsplit([' ', ',', ':'])
+            .find(|t| !t.is_empty())
+            .and_then(|t| t.parse().ok())
+            .unwrap_or_else(|| panic!("no count before `{suffix}` in: {line}"))
+    };
+    (
+        field("jobs:", " submitted"),
+        field("overload:", " deadline hits"),
+        field("overload:", " sheds"),
+        field("overload:", " demotions"),
+        field("overload:", " rate limited"),
+    )
+}
+
+/// A `kill -9` in the middle of an overload storm must not lose or
+/// double-settle the persisted SLO counters: the restarted incarnation
+/// seeds from the sidecar, so every counter reads at least what a client
+/// observed over RPC before the crash.
+#[test]
+fn overload_counters_stay_monotone_across_a_kill_mid_storm() {
+    let dir = tmp("storm");
+    let socket = dir.join("storm.sock");
+    let socket = socket.to_str().unwrap();
+    let state = dir.join("storm-state");
+    let state = state.to_str().unwrap();
+    // A tight rate limit guarantees the ladder is active from the first
+    // burst; the deadline arms the hit/shed counters too.
+    let server = start_server_with(
+        socket,
+        state,
+        &["--rate-limit", "15", "--approx-low", "true"],
+    );
+
+    let mut storm = Command::new(BIN)
+        .args([
+            "loadgen",
+            "--connect",
+            socket,
+            "--requests",
+            "400",
+            "--rate",
+            "50",
+            "--arrivals",
+            "uniform",
+            "--repeat",
+            "0.9",
+            "--distinct",
+            "3",
+            "--priorities",
+            "low:1,high:1",
+            "--deadline-ms",
+            "2000",
+            "--scale",
+            "0.05",
+            "--samples",
+            "2",
+            "--burnin",
+            "30",
+            "--timeout-ms",
+            "30000",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn loadgen storm");
+
+    // Observe the counters mid-storm: wait until the ladder has provably
+    // fired (sheds or rate limits) and work has settled (submissions).
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let observed = loop {
+        let (code, out) = client(&["metrics", "--connect", socket]);
+        assert_eq!(code, 0, "metrics poll failed: {out}");
+        let counters = overload_counters(&out);
+        if counters.0 > 20 && (counters.2 + counters.4) > 0 {
+            break counters;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "the storm never tripped the overload ladder: {out}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+
+    // Die mid-storm, with submissions still arriving.
+    std::thread::sleep(Duration::from_millis(120));
+    server.crash();
+    let _ = storm.kill();
+    let _ = storm.wait();
+
+    // The restarted incarnation seeds its counters from the sidecar:
+    // nothing a client already saw may be lost.
+    let server = start_server_with(
+        socket,
+        state,
+        &["--rate-limit", "15", "--approx-low", "true"],
+    );
+    let (code, out) = client(&["metrics", "--connect", socket]);
+    assert_eq!(code, 0, "post-restart metrics failed: {out}");
+    let after = overload_counters(&out);
+    assert!(
+        after.0 >= observed.0,
+        "submitted regressed across the crash: {after:?} < {observed:?}"
+    );
+    assert!(
+        after.1 >= observed.1,
+        "deadline hits regressed: {after:?} < {observed:?}"
+    );
+    assert!(
+        after.2 >= observed.2,
+        "sheds regressed: {after:?} < {observed:?}"
+    );
+    assert!(
+        after.3 >= observed.3,
+        "demotions regressed: {after:?} < {observed:?}"
+    );
+    assert!(
+        after.4 >= observed.4,
+        "rate limits regressed: {after:?} < {observed:?}"
+    );
+
+    let (code, _) = client(&["shutdown", "--connect", socket]);
+    assert_eq!(code, 0);
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

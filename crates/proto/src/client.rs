@@ -245,6 +245,41 @@ impl RemoteService {
         }
     }
 
+    /// Submit like [`submit`](Self::submit), backing off and retrying when
+    /// the server sheds the job with a typed `capacity` error — the
+    /// client-side half of load shedding. The server's rejection carries a
+    /// `retry_after_ms=N` hint (its own estimate of when the backlog
+    /// drains); when present that wait is honored instead of the local
+    /// exponential schedule, jittered ±25 % so a shed burst does not
+    /// return as a synchronized retry wave. Only `capacity` rejections are
+    /// retried: anything else (including transport failures, which
+    /// [`connect_with_retry`](Self::connect_with_retry) already covers at
+    /// connect time) is returned unchanged.
+    pub fn submit_with_retry(
+        &mut self,
+        spec: &JobSpec,
+        retries: u32,
+        backoff: Duration,
+    ) -> TractoResult<u64> {
+        let mut wait = backoff;
+        let mut attempt = 0;
+        let mut salt = jitter_seed();
+        loop {
+            match self.submit(spec.clone()) {
+                Ok(job) => return Ok(job),
+                Err(err)
+                    if attempt < retries && err.kind() == tracto_trace::ErrorKind::Capacity =>
+                {
+                    attempt += 1;
+                    let hinted = capacity_retry_after(&err).unwrap_or(wait);
+                    std::thread::sleep(jittered(hinted, &mut salt));
+                    wait = wait.saturating_mul(2);
+                }
+                Err(err) => return Err(err),
+            }
+        }
+    }
+
     /// Poll a job's state without blocking.
     pub fn status(&mut self, job: u64) -> TractoResult<JobState> {
         match self.call(&Request::Status { job })? {
@@ -533,17 +568,52 @@ fn is_version_refusal(err: &TractoError) -> bool {
 
 /// Map a reply that wasn't the expected variant to a typed error. Server
 /// [`Response::Error`]s are re-typed where the kind survives the wire
-/// (`cancelled`, `deadline`, `config`); anything else is a protocol error.
+/// (`cancelled`, `deadline`, `config`, `capacity`); anything else is a
+/// protocol error.
 fn unexpected(wanted: &str, got: &Response) -> TractoError {
     match got {
         Response::Error { kind, message } => match kind.as_str() {
             "cancelled" => TractoError::Cancelled,
             "deadline" => TractoError::Deadline,
             "config" => TractoError::config(message.clone()),
+            "capacity" => parse_capacity(message),
             _ => TractoError::protocol(format!("server error ({kind}): {message}")),
         },
         other => TractoError::protocol(format!("expected a `{wanted}` response, got {other:?}")),
     }
+}
+
+/// Re-type a server `capacity` rejection into [`TractoError::Capacity`],
+/// recovering `required`/`available` when the message is the standard
+/// Display form (`{resource} exhausted: {required} required, {available}
+/// available`). A message in any other shape keeps its full text as the
+/// resource — the kind is what retry logic dispatches on.
+fn parse_capacity(message: &str) -> TractoError {
+    if let Some((resource, rest)) = message.split_once(" exhausted: ") {
+        let fields: Vec<&str> = rest.split(&[' ', ','][..]).collect();
+        if let [req, "required", "", avail, "available"] = fields[..] {
+            if let (Ok(required), Ok(available)) = (req.parse(), avail.parse()) {
+                return TractoError::capacity(resource, required, available);
+            }
+        }
+    }
+    TractoError::Capacity {
+        resource: message.to_string(),
+        required: 0,
+        available: 0,
+    }
+}
+
+/// Extract the server's `retry_after_ms=N` hint from a capacity
+/// rejection, if it sent one.
+pub fn capacity_retry_after(err: &TractoError) -> Option<Duration> {
+    let text = err.to_string();
+    let start = text.find("retry_after_ms=")? + "retry_after_ms=".len();
+    let digits: String = text[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse::<u64>().ok().map(Duration::from_millis)
 }
 
 #[cfg(test)]
@@ -612,6 +682,40 @@ mod tests {
             start.elapsed() < Duration::from_secs(5),
             "zero retries must not sleep"
         );
+    }
+
+    #[test]
+    fn capacity_rejections_re_type_and_carry_the_retry_hint() {
+        // The exact shape a shedding server sends: error_kind maps the
+        // Capacity cause to kind `capacity` and message is its Display.
+        let server_side = TractoError::capacity("admission backlog (retry_after_ms=250)", 900, 400);
+        let err = unexpected(
+            "submitted",
+            &Response::Error {
+                kind: "capacity".into(),
+                message: server_side.to_string(),
+            },
+        );
+        assert_eq!(err.kind(), ErrorKind::Capacity);
+        assert_eq!(err.to_string(), server_side.to_string());
+        assert_eq!(
+            capacity_retry_after(&err),
+            Some(Duration::from_millis(250)),
+            "the retry-after hint survives the wire"
+        );
+        // A capacity message in a non-standard shape keeps its kind (what
+        // retry dispatches on) even though the fields cannot be recovered.
+        let odd = unexpected(
+            "submitted",
+            &Response::Error {
+                kind: "capacity".into(),
+                message: "try later".into(),
+            },
+        );
+        assert_eq!(odd.kind(), ErrorKind::Capacity);
+        assert_eq!(capacity_retry_after(&odd), None);
+        // Non-capacity errors never produce a hint.
+        assert_eq!(capacity_retry_after(&TractoError::Deadline), None);
     }
 
     #[test]

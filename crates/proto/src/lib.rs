@@ -43,15 +43,15 @@ mod json_util;
 pub mod spec;
 pub mod wire;
 
-pub use client::{PingReply, RemoteService};
+pub use client::{capacity_retry_after, PingReply, RemoteService};
 pub use endpoint::Endpoint;
 pub use frame::{read_frame, write_frame, FrameBuf, MAX_FRAME_BYTES};
 pub use spec::{
     content_digest, lengths_digest, placement_key, CachePolicy, ChainSpec, DatasetSpec, JobKind,
-    JobSpec, Modality, Priority, TrackSpec,
+    JobSpec, Modality, Priority, TrackSpec, DEFAULT_TENANT,
 };
 pub use wire::{
-    Event, FleetWire, JobState, MemberWire, MetricsWire, Outcome, Request, Response,
+    Event, FleetWire, JobState, MemberWire, MetricsWire, Outcome, Request, Response, TenantWire,
     UPLOAD_CHUNK_MAX,
 };
 

@@ -298,7 +298,15 @@ pub struct JobSpec {
     /// mean-DWI volume. The server derives the stop mask from the
     /// materialized dataset, so only the scalar crosses the wire.
     pub stop_percentile: Option<f64>,
+    /// Accounting tenant for rate limits and fair admission. Additive and
+    /// optional on the wire (absent means [`DEFAULT_TENANT`]), so v1–v3
+    /// peers are untouched and no protocol version bump is needed.
+    pub tenant: String,
 }
+
+/// The tenant a spec belongs to when it names none. Never emitted on the
+/// wire, so default specs stay byte-identical to v3 output.
+pub const DEFAULT_TENANT: &str = "default";
 
 impl JobSpec {
     /// An estimation job with default chain/scheduling knobs.
@@ -314,6 +322,7 @@ impl JobSpec {
             cache: CachePolicy::ReadWrite,
             modality: Modality::Mcmc,
             stop_percentile: None,
+            tenant: DEFAULT_TENANT.to_string(),
         }
     }
 
@@ -377,6 +386,9 @@ impl JobSpec {
         if let Some(pct) = self.stop_percentile {
             w.f64_field("stop_percentile", pct);
         }
+        if self.tenant != DEFAULT_TENANT {
+            w.str_field("tenant", &self.tenant);
+        }
         w.end();
     }
 
@@ -418,6 +430,13 @@ impl JobSpec {
                 })?)?,
             },
             stop_percentile: obj_opt_f64(v, "stop_percentile")?,
+            tenant: match v.get("tenant") {
+                None | Some(Json::Null) => DEFAULT_TENANT.to_string(),
+                Some(j) => j
+                    .as_str()
+                    .map(str::to_owned)
+                    .ok_or_else(|| TractoError::protocol("job field `tenant` is not a string"))?,
+            },
         })
     }
 }
@@ -609,6 +628,31 @@ mod tests {
         analytic.modality = Modality::Analytic;
         analytic.stop_percentile = Some(50.0);
         assert_eq!(placement_key(&base), placement_key(&analytic));
+    }
+
+    #[test]
+    fn tenant_round_trips_and_default_stays_v3_compatible() {
+        // A named tenant survives the wire.
+        let mut spec = JobSpec::track(DatasetSpec::new("single"));
+        spec.tenant = "hospital-a".to_string();
+        assert_eq!(roundtrip(&spec), spec);
+        // The default tenant is never emitted: a v3 peer sees the exact
+        // bytes it always did, and a v3 frame (no tenant key) decodes to
+        // the default tenant.
+        let text = JobSpec::track(DatasetSpec::new("single")).to_json_string();
+        assert!(!text.contains("tenant"));
+        let decoded = JobSpec::from_json_str(&text).unwrap();
+        assert_eq!(decoded.tenant, DEFAULT_TENANT);
+    }
+
+    #[test]
+    fn placement_key_ignores_tenant() {
+        // Tenancy is a scheduling envelope, not a cache input: the same
+        // work from two tenants must land on the same warm cache.
+        let base = JobSpec::track(DatasetSpec::new("single"));
+        let mut other = base.clone();
+        other.tenant = "hospital-b".to_string();
+        assert_eq!(placement_key(&base), placement_key(&other));
     }
 
     #[test]

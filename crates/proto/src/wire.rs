@@ -386,6 +386,25 @@ pub struct MetricsWire {
     pub cache_bytes: u64,
     pub cache_entries: u64,
     pub remote_jobs: u64,
+    pub deadline_hits: u64,
+    pub sheds: u64,
+    pub demotions: u64,
+    pub rate_limited: u64,
+    pub tenants: Vec<TenantWire>,
+}
+
+/// Per-tenant counters inside a [`MetricsWire`] snapshot. Additive: old
+/// servers never send the `tenants` array and old clients ignore it.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TenantWire {
+    /// Tenant name (`default` for unlabelled traffic).
+    pub name: String,
+    /// Jobs this tenant submitted.
+    pub submitted: u64,
+    /// Jobs that finished successfully.
+    pub completed: u64,
+    /// Jobs refused by the overload ladder (shed or rate-limited).
+    pub shed: u64,
 }
 
 impl MetricsWire {
@@ -431,6 +450,23 @@ impl MetricsWire {
         w.f64_field("overlap_saved_sim_s", self.overlap_saved_sim_s);
         w.f64_field("stream_occupancy", self.stream_occupancy);
         w.f64_field("estimation_sim_s", self.estimation_sim_s);
+        // Overload counters append at the end: pre-overload servers never
+        // send them, so the decoder treats them as optional.
+        w.u64_field("deadline_hits", self.deadline_hits);
+        w.u64_field("sheds", self.sheds);
+        w.u64_field("demotions", self.demotions);
+        w.u64_field("rate_limited", self.rate_limited);
+        if !self.tenants.is_empty() {
+            w.array_field("tenants", self.tenants.len(), |w, i| {
+                let t = &self.tenants[i];
+                w.begin();
+                w.str_field("name", &t.name);
+                w.u64_field("submitted", t.submitted);
+                w.u64_field("completed", t.completed);
+                w.u64_field("shed", t.shed);
+                w.end();
+            });
+        }
         w.end();
     }
 
@@ -467,6 +503,25 @@ impl MetricsWire {
             cache_bytes: obj_u64(v, "cache_bytes")?,
             cache_entries: obj_u64(v, "cache_entries")?,
             remote_jobs: obj_u64(v, "remote_jobs")?,
+            // Absent when talking to a pre-overload server: zeros.
+            deadline_hits: obj_opt_u64(v, "deadline_hits")?.unwrap_or(0),
+            sheds: obj_opt_u64(v, "sheds")?.unwrap_or(0),
+            demotions: obj_opt_u64(v, "demotions")?.unwrap_or(0),
+            rate_limited: obj_opt_u64(v, "rate_limited")?.unwrap_or(0),
+            tenants: match v.get("tenants") {
+                None | Some(Json::Null) => Vec::new(),
+                Some(_) => obj_array(v, "tenants")?
+                    .iter()
+                    .map(|t| {
+                        Ok(TenantWire {
+                            name: obj_str(t, "name")?,
+                            submitted: obj_u64(t, "submitted")?,
+                            completed: obj_u64(t, "completed")?,
+                            shed: obj_u64(t, "shed")?,
+                        })
+                    })
+                    .collect::<TractoResult<Vec<_>>>()?,
+            },
         })
     }
 }
@@ -514,6 +569,18 @@ impl std::fmt::Display for MetricsWire {
             self.devices_alive,
             self.devices_total
         )?;
+        writeln!(
+            f,
+            "overload: {} deadline hits, {} sheds, {} demotions, {} rate limited",
+            self.deadline_hits, self.sheds, self.demotions, self.rate_limited
+        )?;
+        for t in &self.tenants {
+            writeln!(
+                f,
+                "tenant {}: {} submitted, {} completed, {} shed",
+                t.name, t.submitted, t.completed, t.shed
+            )?;
+        }
         writeln!(
             f,
             "streams: {:.3}s hidden by overlap, {:.3} occupancy",
@@ -1151,6 +1218,62 @@ mod tests {
             kind: "protocol".into(),
             message: "unknown request type `zap`".into(),
         });
+    }
+
+    #[test]
+    fn metrics_overload_counters_tolerate_old_peers_both_ways() {
+        // New server → new client: the overload counters and per-tenant
+        // rows ride along and round-trip exactly.
+        let full = MetricsWire {
+            submitted: 9,
+            deadline_hits: 3,
+            sheds: 2,
+            demotions: 1,
+            rate_limited: 4,
+            tenants: vec![
+                TenantWire {
+                    name: "default".into(),
+                    submitted: 5,
+                    completed: 4,
+                    shed: 1,
+                },
+                TenantWire {
+                    name: "hospital-a".into(),
+                    submitted: 4,
+                    completed: 2,
+                    shed: 1,
+                },
+            ],
+            ..Default::default()
+        };
+        rt_resp(Response::Metrics(Box::new(full)));
+        // Old server → new client: a pre-overload snapshot carries none of
+        // the new keys. Strip them from a default encoding (they are
+        // written contiguously after `estimation_sim_s`) and the decoder
+        // must fill zeros, not error.
+        let mut w = JsonWriter::new();
+        MetricsWire::default().write_json(&mut w);
+        let text = w.finish();
+        let old = text.replace(
+            ",\"deadline_hits\":0,\"sheds\":0,\"demotions\":0,\"rate_limited\":0",
+            "",
+        );
+        assert_ne!(old, text, "the new keys must be present to strip");
+        let v = tracto_trace::json::parse(&old).expect("old snapshot parses");
+        let decoded = MetricsWire::from_json(&v).expect("old snapshot decodes");
+        assert_eq!(decoded, MetricsWire::default());
+        // New server → old client: every pre-overload key is still emitted
+        // (an old strict decoder reads only those and ignores the rest).
+        for key in [
+            "submitted",
+            "estimation_sim_s",
+            "remote_jobs",
+            "cache_entries",
+        ] {
+            assert!(text.contains(&format!("\"{key}\"")), "missing `{key}`");
+        }
+        // Idle servers with no tenant traffic omit the array entirely.
+        assert!(!text.contains("tenants"));
     }
 
     #[test]

@@ -2,9 +2,10 @@
 //!
 //! Step 1 (voxelwise MCMC) dominates end-to-end cost, yet its output
 //! depends only on the dataset content and the estimation configuration —
-//! both fully hashable. The service therefore keys a byte-bounded LRU of
-//! [`SampleVolumes`] stacks on a content hash of `(dataset, PriorConfig,
-//! ChainConfig, seed)`, so a repeated `TrackJob` against a known dataset
+//! both fully hashable. The service therefore keys a byte-bounded cache of
+//! [`SampleVolumes`] stacks (victim choice per [`EvictionPolicy`]) on a
+//! content hash of `(dataset, PriorConfig, ChainConfig, seed)`, so a
+//! repeated `TrackJob` against a known dataset
 //! skips Step 1 entirely. A directory-backed variant persists entries in
 //! the CLI's TRV4 sample format so `tracto track --cache-dir` shares them
 //! across processes.
@@ -19,6 +20,49 @@ use tracto::phantom::Dataset;
 use tracto_trace::{Tracer, TractoError, TractoResult, Value};
 use tracto_volume::io::{read_volume4, write_volume4};
 use tracto_volume::{Mask, Volume4};
+
+/// How the byte-bounded cache tiers pick a victim when full.
+///
+/// The default is the winner of the eviction ablation in EXPERIMENTS.md,
+/// run under the `tracto loadgen` repeat-rate distributions; the others
+/// stay selectable via `--cache-policy` for re-running it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// Evict the least recently used entry.
+    Lru,
+    /// Evict the least frequently used entry (hits since admission;
+    /// ties broken toward the least recently used).
+    Lfu,
+    /// Evict the entry with the least retained benefit per byte:
+    /// `(hits + 1) × recompute-cost / bytes`, falling back to plain
+    /// frequency when no recompute cost was recorded. Keeps entries that
+    /// are expensive to rebuild relative to the space they occupy.
+    #[default]
+    CostAware,
+}
+
+impl EvictionPolicy {
+    /// Canonical CLI name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EvictionPolicy::Lru => "lru",
+            EvictionPolicy::Lfu => "lfu",
+            EvictionPolicy::CostAware => "cost",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(s: &str) -> TractoResult<Self> {
+        match s {
+            "lru" => Ok(EvictionPolicy::Lru),
+            "lfu" => Ok(EvictionPolicy::Lfu),
+            "cost" | "cost-aware" => Ok(EvictionPolicy::CostAware),
+            other => Err(TractoError::config(format!(
+                "unknown eviction policy `{other}` (lru|lfu|cost)"
+            ))),
+        }
+    }
+}
 
 /// Content hash identifying one Step-1 computation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -151,6 +195,42 @@ struct CacheEntry {
     key: SampleKey,
     samples: Arc<SampleVolumes>,
     bytes: u64,
+    /// Hits since admission (refreshing an entry preserves its count).
+    hits: u64,
+    /// Wall-clock cost of the estimation that produced this entry, in
+    /// milliseconds; `0.0` when unknown (e.g. promoted from disk).
+    cost_ms: f64,
+}
+
+impl CacheEntry {
+    /// Cost-aware retention score: benefit per byte. Entries with no
+    /// recorded cost score by frequency alone (cost cancels bytes).
+    fn score(&self) -> f64 {
+        let cost = if self.cost_ms > 0.0 {
+            self.cost_ms
+        } else {
+            self.bytes as f64
+        };
+        (self.hits + 1) as f64 * cost / (self.bytes.max(1)) as f64
+    }
+}
+
+/// Pick an eviction victim's index from `(hits, cost-aware score)` pairs.
+/// Callers keep entries in recency order (front = least recently used), so
+/// index 0 is the LRU victim and the first-occurrence argmin used by the
+/// other policies breaks ties toward the least recently used entry.
+fn victim_index(policy: EvictionPolicy, entries: impl Iterator<Item = (u64, f64)>) -> usize {
+    match policy {
+        EvictionPolicy::Lru => 0,
+        EvictionPolicy::Lfu => entries
+            .enumerate()
+            .min_by_key(|&(_, (hits, _))| hits)
+            .map_or(0, |(i, _)| i),
+        EvictionPolicy::CostAware => entries
+            .enumerate()
+            .min_by(|(_, (_, a)), (_, (_, b))| a.total_cmp(b))
+            .map_or(0, |(i, _)| i),
+    }
 }
 
 struct CacheInner {
@@ -162,15 +242,17 @@ struct CacheInner {
     evictions: u64,
 }
 
-/// Byte-bounded LRU cache of posterior sample stacks.
+/// Byte-bounded cache of posterior sample stacks. The victim choice when
+/// full is pluggable ([`EvictionPolicy`], default the ablation winner).
 pub struct SampleCache {
     max_bytes: u64,
+    policy: EvictionPolicy,
     inner: Mutex<CacheInner>,
     tracer: Tracer,
 }
 
 /// Point-in-time cache statistics.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct CacheStats {
     /// Lookups that found an entry.
     pub hits: u64,
@@ -200,6 +282,7 @@ impl SampleCache {
     pub fn new(max_bytes: u64) -> Self {
         SampleCache {
             max_bytes,
+            policy: EvictionPolicy::default(),
             inner: Mutex::new(CacheInner {
                 entries: Vec::new(),
                 bytes: 0,
@@ -217,11 +300,24 @@ impl SampleCache {
         self
     }
 
-    /// Look up a key, refreshing its recency.
+    /// Choose the eviction policy (default: [`EvictionPolicy::default`]).
+    pub fn with_policy(mut self, policy: EvictionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Whether a key is resident, without touching recency, frequency, or
+    /// the hit/miss counters — admission probes must not skew eviction.
+    pub fn contains(&self, key: SampleKey) -> bool {
+        self.inner.lock().entries.iter().any(|e| e.key == key)
+    }
+
+    /// Look up a key, refreshing its recency and frequency.
     pub fn get(&self, key: SampleKey) -> Option<Arc<SampleVolumes>> {
         let mut inner = self.inner.lock();
         if let Some(pos) = inner.entries.iter().position(|e| e.key == key) {
-            let entry = inner.entries.remove(pos);
+            let mut entry = inner.entries.remove(pos);
+            entry.hits += 1;
             let samples = Arc::clone(&entry.samples);
             inner.entries.push(entry);
             inner.hits += 1;
@@ -242,21 +338,34 @@ impl SampleCache {
         }
     }
 
-    /// Insert (or refresh) an entry, evicting least-recently-used entries
-    /// until the byte bound holds. An entry larger than the whole bound is
+    /// Insert (or refresh) an entry, evicting policy-chosen victims until
+    /// the byte bound holds. An entry larger than the whole bound is
     /// simply not retained.
     pub fn insert(&self, key: SampleKey, samples: Arc<SampleVolumes>) {
+        self.insert_with_cost(key, samples, 0.0);
+    }
+
+    /// [`insert`](Self::insert), recording the wall-clock cost (ms) of the
+    /// estimation that produced the entry so the cost-aware policy can
+    /// keep expensive-to-rebuild stacks preferentially.
+    pub fn insert_with_cost(&self, key: SampleKey, samples: Arc<SampleVolumes>, cost_ms: f64) {
         let bytes = sample_bytes(&samples);
         let mut inner = self.inner.lock();
+        let mut hits = 0;
         if let Some(pos) = inner.entries.iter().position(|e| e.key == key) {
             let entry = inner.entries.remove(pos);
             inner.bytes -= entry.bytes;
+            hits = entry.hits;
         }
         if bytes > self.max_bytes {
             return;
         }
         while inner.bytes + bytes > self.max_bytes {
-            let evicted = inner.entries.remove(0);
+            let victim = victim_index(
+                self.policy,
+                inner.entries.iter().map(|e| (e.hits, e.score())),
+            );
+            let evicted = inner.entries.remove(victim);
             inner.bytes -= evicted.bytes;
             inner.evictions += 1;
             if self.tracer.enabled() {
@@ -265,6 +374,7 @@ impl SampleCache {
                     &[
                         ("key", Value::Text(evicted.key.hex())),
                         ("bytes", evicted.bytes.into()),
+                        ("policy", Value::Str(self.policy.as_str())),
                     ],
                 );
             }
@@ -274,6 +384,8 @@ impl SampleCache {
             key,
             samples,
             bytes,
+            hits,
+            cost_ms,
         });
     }
 
@@ -296,21 +408,45 @@ const DISK_FIELDS: [&str; 6] = ["f1", "f2", "th1", "ph1", "th2", "ph2"];
 /// subdirectory per key (`<dir>/<hex key>/{f1,f2,th1,ph1,th2,ph2}.trv4`).
 ///
 /// Optionally byte-capped: with [`DiskSampleCache::with_limit`] the cache
-/// evicts least-recently-used entry directories on insert until the bound
+/// evicts policy-chosen entry directories on insert until the bound
 /// holds. Recency survives restarts via file modification times — a hit
 /// touches the entry's `f1.trv4`, and [`DiskSampleCache::open`] rebuilds
 /// the recency order from the on-disk timestamps.
 pub struct DiskSampleCache {
     dir: PathBuf,
     max_bytes: Option<u64>,
+    policy: EvictionPolicy,
     tracer: Tracer,
     state: Mutex<DiskState>,
 }
 
+struct DiskEntry {
+    key: SampleKey,
+    /// Summed file sizes of the entry directory.
+    bytes: u64,
+    /// Hits since this process opened the cache (frequency does not
+    /// survive a restart; a reopened cache warms its counts from zero).
+    hits: u64,
+    /// Recompute cost (ms) read from the entry's `cost` sidecar file;
+    /// `0.0` when the entry predates cost recording.
+    cost_ms: f64,
+}
+
+impl DiskEntry {
+    /// Same retained-benefit-per-byte score as the memory tier.
+    fn score(&self) -> f64 {
+        let cost = if self.cost_ms > 0.0 {
+            self.cost_ms
+        } else {
+            self.bytes as f64
+        };
+        (self.hits + 1) as f64 * cost / (self.bytes.max(1)) as f64
+    }
+}
+
 struct DiskState {
-    // Recency order: front = least recently used. Bytes are the summed
-    // file sizes of the entry directory.
-    entries: Vec<(SampleKey, u64)>,
+    // Recency order: front = least recently used.
+    entries: Vec<DiskEntry>,
     bytes: u64,
 }
 
@@ -338,7 +474,7 @@ impl DiskSampleCache {
             .map_err(|e| TractoError::io(format!("create cache dir {}", dir.display()), e))?;
         let read = std::fs::read_dir(dir)
             .map_err(|e| TractoError::io(format!("scan cache dir {}", dir.display()), e))?;
-        let mut scanned: Vec<(SampleKey, u64, Option<SystemTime>)> = Vec::new();
+        let mut scanned: Vec<(SampleKey, u64, f64, Option<SystemTime>)> = Vec::new();
         for entry in read.flatten() {
             let name = entry.file_name();
             let Some(key) = name
@@ -352,16 +488,30 @@ impl DiskSampleCache {
                 continue;
             }
             let (bytes, modified) = dir_entry_stats(&entry.path());
-            scanned.push((SampleKey(key), bytes, modified));
+            let cost_ms = std::fs::read_to_string(entry.path().join("cost"))
+                .ok()
+                .and_then(|s| s.trim().parse::<f64>().ok())
+                .filter(|c| c.is_finite() && *c > 0.0)
+                .unwrap_or(0.0);
+            scanned.push((SampleKey(key), bytes, cost_ms, modified));
         }
-        scanned.sort_by_key(|&(key, _, modified)| (modified, key));
-        let bytes = scanned.iter().map(|&(_, b, _)| b).sum();
+        scanned.sort_by_key(|&(key, _, _, modified)| (modified, key));
+        let bytes = scanned.iter().map(|&(_, b, _, _)| b).sum();
         Ok(DiskSampleCache {
             dir: dir.to_path_buf(),
             max_bytes: None,
+            policy: EvictionPolicy::default(),
             tracer: Tracer::disabled(),
             state: Mutex::new(DiskState {
-                entries: scanned.into_iter().map(|(k, b, _)| (k, b)).collect(),
+                entries: scanned
+                    .into_iter()
+                    .map(|(key, bytes, cost_ms, _)| DiskEntry {
+                        key,
+                        bytes,
+                        hits: 0,
+                        cost_ms,
+                    })
+                    .collect(),
                 bytes,
             }),
         })
@@ -380,6 +530,12 @@ impl DiskSampleCache {
     /// Emit hit/miss/eviction/poisoned-entry events into `tracer`.
     pub fn with_tracer(mut self, tracer: Tracer) -> Self {
         self.tracer = tracer;
+        self
+    }
+
+    /// Choose the eviction policy (default: [`EvictionPolicy::default`]).
+    pub fn with_policy(mut self, policy: EvictionPolicy) -> Self {
+        self.policy = policy;
         self
     }
 
@@ -402,26 +558,49 @@ impl DiskSampleCache {
         self.dir.join(key.hex())
     }
 
-    fn forget(state: &mut DiskState, key: SampleKey) {
-        if let Some(pos) = state.entries.iter().position(|&(k, _)| k == key) {
-            let (_, bytes) = state.entries.remove(pos);
-            state.bytes -= bytes;
+    /// Whether a key is present on disk, without opening or verifying the
+    /// entry (admission probes only need residency, not bytes).
+    pub fn contains(&self, key: SampleKey) -> bool {
+        self.state.lock().entries.iter().any(|e| e.key == key)
+    }
+
+    fn forget(state: &mut DiskState, key: SampleKey) -> u64 {
+        if let Some(pos) = state.entries.iter().position(|e| e.key == key) {
+            let entry = state.entries.remove(pos);
+            state.bytes -= entry.bytes;
+            return entry.hits;
         }
+        0
+    }
+
+    /// Delete the policy-chosen victim; false when nothing is left.
+    fn evict_one(&self, state: &mut DiskState) -> bool {
+        if state.entries.is_empty() {
+            return false;
+        }
+        let victim = victim_index(
+            self.policy,
+            state.entries.iter().map(|e| (e.hits, e.score())),
+        );
+        let DiskEntry { key, bytes, .. } = state.entries.remove(victim);
+        state.bytes -= bytes;
+        std::fs::remove_dir_all(self.entry_dir(key)).ok();
+        if self.tracer.enabled() {
+            self.tracer.emit(
+                "serve.disk_cache_evict",
+                &[
+                    ("key", Value::Text(key.hex())),
+                    ("bytes", bytes.into()),
+                    ("policy", Value::Str(self.policy.as_str())),
+                ],
+            );
+        }
+        true
     }
 
     fn enforce_cap(&self, state: &mut DiskState) {
         let Some(max) = self.max_bytes else { return };
-        while state.bytes > max && !state.entries.is_empty() {
-            let (key, bytes) = state.entries.remove(0);
-            state.bytes -= bytes;
-            std::fs::remove_dir_all(self.entry_dir(key)).ok();
-            if self.tracer.enabled() {
-                self.tracer.emit(
-                    "serve.disk_cache_evict",
-                    &[("key", Value::Text(key.hex())), ("bytes", bytes.into())],
-                );
-            }
-        }
+        while state.bytes > max && self.evict_one(state) {}
     }
 
     /// Load an entry. `Ok(None)` is a clean miss. A present-but-unreadable
@@ -441,8 +620,9 @@ impl DiskSampleCache {
         match self.read_entry(&dir) {
             Ok(samples) => {
                 let mut state = self.state.lock();
-                if let Some(pos) = state.entries.iter().position(|&(k, _)| k == key) {
-                    let entry = state.entries.remove(pos);
+                if let Some(pos) = state.entries.iter().position(|e| e.key == key) {
+                    let mut entry = state.entries.remove(pos);
+                    entry.hits += 1;
                     state.entries.push(entry);
                 }
                 drop(state);
@@ -508,9 +688,21 @@ impl DiskSampleCache {
         })
     }
 
-    /// Persist an entry (overwrites), then evict least-recently-used
-    /// entries while the byte cap is exceeded.
+    /// Persist an entry (overwrites), then evict policy-chosen victims
+    /// while the byte cap is exceeded.
     pub fn put(&self, key: SampleKey, samples: &SampleVolumes) -> TractoResult<()> {
+        self.put_with_cost(key, samples, 0.0)
+    }
+
+    /// [`put`](Self::put), recording the wall-clock estimation cost (ms)
+    /// in a `cost` sidecar file so the cost-aware policy survives a
+    /// restart (unlike hit counts, which reset per process).
+    pub fn put_with_cost(
+        &self,
+        key: SampleKey,
+        samples: &SampleVolumes,
+        cost_ms: f64,
+    ) -> TractoResult<()> {
         let dir = self.entry_dir(key);
         std::fs::create_dir_all(&dir)
             .map_err(|e| TractoError::io(format!("create cache entry {}", dir.display()), e))?;
@@ -532,11 +724,35 @@ impl DiskSampleCache {
             std::fs::write(&path, buf)
                 .map_err(|e| TractoError::io(format!("write cache entry {}", path.display()), e))?;
         }
+        if cost_ms > 0.0 {
+            // Best-effort sidecar: a missing cost file only degrades the
+            // cost-aware score to frequency, never the entry itself.
+            let text = format!("{cost_ms:.3}\n");
+            if std::fs::write(dir.join("cost"), text.as_bytes()).is_ok() {
+                written += text.len() as u64;
+            }
+        }
         let mut state = self.state.lock();
-        Self::forget(&mut state, key);
-        state.entries.push((key, written));
+        let hits = Self::forget(&mut state, key);
+        // Mirror the memory tier: the fresh entry is never its own victim
+        // (an LFU/cost-aware scan would otherwise always pick the zero-hit
+        // newcomer) — evict among existing entries, then admit. An entry
+        // larger than the whole cap is simply not retained.
+        if let Some(max) = self.max_bytes {
+            while state.bytes + written > max && self.evict_one(&mut state) {}
+            if written > max {
+                drop(state);
+                std::fs::remove_dir_all(&dir).ok();
+                return Ok(());
+            }
+        }
+        state.entries.push(DiskEntry {
+            key,
+            bytes: written,
+            hits,
+            cost_ms,
+        });
         state.bytes += written;
-        self.enforce_cap(&mut state);
         Ok(())
     }
 }
@@ -594,7 +810,7 @@ mod tests {
     fn lru_evicts_oldest_under_byte_bound() {
         let dims = Dim3::new(4, 4, 4);
         let per = sample_bytes(&stack(dims, 2, 0.0));
-        let cache = SampleCache::new(2 * per);
+        let cache = SampleCache::new(2 * per).with_policy(EvictionPolicy::Lru);
         cache.insert(SampleKey(1), stack(dims, 2, 0.1));
         cache.insert(SampleKey(2), stack(dims, 2, 0.2));
         assert!(cache.get(SampleKey(1)).is_some(), "refresh key 1");
@@ -607,6 +823,40 @@ mod tests {
         assert_eq!(stats.evictions, 1);
         assert_eq!(stats.entries, 2);
         assert!(stats.bytes <= 2 * per);
+    }
+
+    #[test]
+    fn lfu_evicts_the_coldest_entry_even_when_recently_used() {
+        let dims = Dim3::new(4, 4, 4);
+        let per = sample_bytes(&stack(dims, 2, 0.0));
+        let cache = SampleCache::new(2 * per).with_policy(EvictionPolicy::Lfu);
+        cache.insert(SampleKey(1), stack(dims, 2, 0.1));
+        cache.insert(SampleKey(2), stack(dims, 2, 0.2));
+        assert!(cache.get(SampleKey(1)).is_some());
+        assert!(cache.get(SampleKey(1)).is_some());
+        assert!(cache.get(SampleKey(2)).is_some());
+        // Recency order is now [1, 2] — LRU would evict key 1 here, but
+        // key 2 has fewer hits (1 vs 2), so LFU picks it.
+        cache.insert(SampleKey(3), stack(dims, 2, 0.3));
+        assert!(cache.get(SampleKey(2)).is_none(), "coldest entry evicted");
+        assert!(cache.get(SampleKey(1)).is_some());
+        assert!(cache.get(SampleKey(3)).is_some());
+    }
+
+    #[test]
+    fn cost_aware_keeps_expensive_entries_over_hot_cheap_ones() {
+        let dims = Dim3::new(4, 4, 4);
+        let per = sample_bytes(&stack(dims, 2, 0.0));
+        let cache = SampleCache::new(2 * per).with_policy(EvictionPolicy::CostAware);
+        cache.insert_with_cost(SampleKey(1), stack(dims, 2, 0.1), 5_000.0);
+        cache.insert_with_cost(SampleKey(2), stack(dims, 2, 0.2), 1.0);
+        // Key 2 is both more recent and more frequent — but nearly free to
+        // recompute, so it scores below the expensive key 1.
+        assert!(cache.get(SampleKey(2)).is_some());
+        cache.insert_with_cost(SampleKey(3), stack(dims, 2, 0.3), 100.0);
+        assert!(cache.get(SampleKey(2)).is_none(), "cheap entry evicted");
+        assert!(cache.get(SampleKey(1)).is_some(), "expensive entry kept");
+        assert!(cache.get(SampleKey(3)).is_some());
     }
 
     #[test]
@@ -671,6 +921,7 @@ mod tests {
         let cache = DiskSampleCache::open(&dir)
             .unwrap()
             .with_limit(2 * per)
+            .with_policy(EvictionPolicy::Lru)
             .with_tracer(Tracer::shared(ring.clone()));
         assert_eq!(cache.len(), 1);
         cache.put(SampleKey(2), &sv).unwrap();
@@ -689,6 +940,58 @@ mod tests {
             evicts[0].field("key"),
             Some(&tracto_trace::Value::Text(SampleKey(2).hex()))
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disk_lfu_evicts_coldest_and_cost_sidecar_survives_reopen() {
+        let dims = Dim3::new(3, 2, 2);
+        let dir = std::env::temp_dir().join(format!(
+            "tracto-serve-disk-policy-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let cache = DiskSampleCache::open(&dir).unwrap();
+        let sv = stack(dims, 2, 0.5);
+        cache.put(SampleKey(1), &sv).unwrap();
+        let per = cache.bytes();
+        drop(cache);
+
+        // LFU on disk: key 1 is hotter (2 hits) than key 2 (1 hit), so
+        // the third put evicts key 2 even though key 1 is less recent.
+        let cache = DiskSampleCache::open(&dir)
+            .unwrap()
+            .with_policy(EvictionPolicy::Lfu)
+            .with_limit(2 * per + 64);
+        cache.put(SampleKey(2), &sv).unwrap();
+        assert!(cache.get(SampleKey(1)).unwrap().is_some());
+        assert!(cache.get(SampleKey(1)).unwrap().is_some());
+        assert!(cache.get(SampleKey(2)).unwrap().is_some());
+        cache.put(SampleKey(3), &sv).unwrap();
+        assert!(
+            cache.get(SampleKey(2)).unwrap().is_none(),
+            "coldest evicted"
+        );
+        assert!(cache.get(SampleKey(1)).unwrap().is_some());
+        drop(cache);
+
+        // Cost sidecars persist across a reopen: the expensive entry
+        // survives a cap squeeze even with all hit counts reset to zero.
+        std::fs::remove_dir_all(&dir).ok();
+        let cache = DiskSampleCache::open(&dir).unwrap();
+        cache.put_with_cost(SampleKey(10), &sv, 9_000.0).unwrap();
+        cache.put(SampleKey(11), &sv).unwrap();
+        let both = cache.bytes();
+        drop(cache);
+        let cache = DiskSampleCache::open(&dir)
+            .unwrap()
+            .with_policy(EvictionPolicy::CostAware)
+            .with_limit(both - 1);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(SampleKey(11)).unwrap().is_none(), "cheap evicted");
+        let back = cache.get(SampleKey(10)).unwrap();
+        assert!(back.is_some(), "expensive entry kept via persisted cost");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -35,6 +35,10 @@ pub struct ServiceConfig {
     pub strategy: SegmentationStrategy,
     /// In-memory sample-cache bound in bytes.
     pub cache_bytes: u64,
+    /// Victim choice for both cache tiers when full. The default is the
+    /// eviction-ablation winner (EXPERIMENTS.md); `--cache-policy` selects
+    /// the others for re-running the ablation.
+    pub cache_policy: crate::cache::EvictionPolicy,
     /// Optional on-disk sample cache shared with `tracto track --cache-dir`.
     pub disk_cache: Option<PathBuf>,
     /// Byte cap for the disk tier; `None` leaves it unbounded.
@@ -76,6 +80,11 @@ pub struct ServiceConfig {
     /// slot. Off by default — demotion changes results, so it is an
     /// explicit operator opt-in.
     pub approx_low: bool,
+    /// Per-tenant token-bucket rate limit in jobs/second (burst capacity
+    /// is one second of refill, minimum 1). `0.0` disables rate limiting.
+    /// Each tenant gets its own bucket, so one tenant hammering submit
+    /// cannot spend another's budget.
+    pub rate_limit: f64,
     /// Structured-event sink for job lifecycle, cache, batch, and GPU
     /// events. Disabled by default.
     pub tracer: Tracer,
@@ -92,6 +101,7 @@ impl Default for ServiceConfig {
             batch_window: Duration::from_millis(20),
             strategy: SegmentationStrategy::paper_table2(),
             cache_bytes: 256 * 1024 * 1024,
+            cache_policy: crate::cache::EvictionPolicy::default(),
             disk_cache: None,
             disk_cache_bytes: None,
             fault_plan: None,
@@ -103,6 +113,7 @@ impl Default for ServiceConfig {
             member: None,
             replicate_to: None,
             approx_low: false,
+            rate_limit: 0.0,
             tracer: Tracer::disabled(),
         }
     }
@@ -130,7 +141,7 @@ impl ServiceConfigBuilder {
     /// The service flags a CLI exposes, as `(name, value-hint, help)`.
     /// [`set_cli`](Self::set_cli) accepts exactly these names, so commands
     /// can loop over this table for both parsing and usage text.
-    pub const CLI_FLAGS: [(&'static str, &'static str, &'static str); 17] = [
+    pub const CLI_FLAGS: [(&'static str, &'static str, &'static str); 19] = [
         ("devices", "N", "devices in the tracking pool (default 1)"),
         ("workers", "N", "estimation worker threads (default 2)"),
         (
@@ -144,6 +155,11 @@ impl ServiceConfigBuilder {
             "cache-mb",
             "MB",
             "in-memory sample cache bound (default 256)",
+        ),
+        (
+            "cache-policy",
+            "P",
+            "cache eviction policy: lru|lfu|cost (default cost)",
         ),
         ("cache-dir", "DIR", "on-disk sample cache directory"),
         ("disk-cache-mb", "MB", "byte cap for the disk cache tier"),
@@ -179,6 +195,11 @@ impl ServiceConfigBuilder {
             "approx-low",
             "BOOL",
             "route low-priority track jobs to the analytic fast tier",
+        ),
+        (
+            "rate-limit",
+            "JPS",
+            "per-tenant token-bucket rate limit in jobs/sec (0 = off)",
         ),
     ];
 
@@ -227,6 +248,12 @@ impl ServiceConfigBuilder {
     /// Set the in-memory cache bound in bytes.
     pub fn cache_bytes(mut self, bytes: u64) -> Self {
         self.config.cache_bytes = bytes;
+        self
+    }
+
+    /// Set the eviction policy for both cache tiers.
+    pub fn cache_policy(mut self, policy: crate::cache::EvictionPolicy) -> Self {
+        self.config.cache_policy = policy;
         self
     }
 
@@ -306,6 +333,13 @@ impl ServiceConfigBuilder {
         self
     }
 
+    /// Set the per-tenant token-bucket rate limit in jobs/second
+    /// (`0.0` disables).
+    pub fn rate_limit(mut self, jobs_per_sec: f64) -> Self {
+        self.config.rate_limit = jobs_per_sec;
+        self
+    }
+
     /// Install an event sink.
     pub fn tracer(mut self, tracer: Tracer) -> Self {
         self.config.tracer = tracer;
@@ -328,6 +362,7 @@ impl ServiceConfigBuilder {
             "batch-window-ms" => self.batch_window(Duration::from_millis(num::<u64>(name, value)?)),
             "strategy" => self.strategy(SegmentationStrategy::parse(value)?),
             "cache-mb" => self.cache_bytes(num::<u64>(name, value)? << 20),
+            "cache-policy" => self.cache_policy(crate::cache::EvictionPolicy::parse(value)?),
             "cache-dir" => self.disk_cache(value),
             "disk-cache-mb" => self.disk_cache_bytes(num::<u64>(name, value)? << 20),
             "fault-plan" => self.fault_plan(FaultPlan::load(value)?),
@@ -347,6 +382,7 @@ impl ServiceConfigBuilder {
                     )))
                 }
             },
+            "rate-limit" => self.rate_limit(num(name, value)?),
             other => {
                 return Err(TractoError::config(format!(
                     "unknown service flag `--{other}`"
@@ -382,6 +418,11 @@ impl ServiceConfigBuilder {
         if config.streams == 0 {
             return Err(TractoError::config(
                 "streams must be positive (1 = serialized)",
+            ));
+        }
+        if !config.rate_limit.is_finite() || config.rate_limit < 0.0 {
+            return Err(TractoError::config(
+                "rate-limit must be a finite jobs/sec value (0 = off)",
             ));
         }
         if config.checkpoint_every > 0 && config.state_dir.is_none() {
@@ -497,6 +538,7 @@ mod tests {
             ("batch-window-ms", "15"),
             ("strategy", "uniform:50"),
             ("cache-mb", "64"),
+            ("cache-policy", "lfu"),
             ("cache-dir", "/tmp/tracto-test-cache"),
             ("disk-cache-mb", "128"),
             ("retry-budget", "5"),
@@ -506,6 +548,7 @@ mod tests {
             ("member", "m0"),
             ("replicate-to", "unix:/tmp/tracto-test-standby.sock"),
             ("approx-low", "true"),
+            ("rate-limit", "2.5"),
         ] {
             assert!(
                 ServiceConfigBuilder::CLI_FLAGS
@@ -522,6 +565,7 @@ mod tests {
         assert_eq!(cfg.batch_window, Duration::from_millis(15));
         assert_eq!(cfg.strategy, SegmentationStrategy::Uniform(50));
         assert_eq!(cfg.cache_bytes, 64 << 20);
+        assert_eq!(cfg.cache_policy, crate::cache::EvictionPolicy::Lfu);
         assert_eq!(
             cfg.disk_cache.as_deref().unwrap().to_str().unwrap(),
             "/tmp/tracto-test-cache"
@@ -540,8 +584,13 @@ mod tests {
             "unix:/tmp/tracto-test-standby.sock"
         );
         assert!(cfg.approx_low);
+        assert_eq!(cfg.rate_limit, 2.5);
         assert!(ServiceConfig::builder()
             .set_cli("approx-low", "maybe")
+            .is_err());
+        assert!(ServiceConfig::builder()
+            .rate_limit(f64::NAN)
+            .build()
             .is_err());
     }
 
@@ -557,6 +606,7 @@ mod tests {
                 "member" => "m0",
                 "replicate-to" => "unix:/tmp/x.sock",
                 "approx-low" => "true",
+                "cache-policy" => "lru",
                 _ => "1",
             };
             ServiceConfig::builder()

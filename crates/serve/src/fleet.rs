@@ -1058,7 +1058,34 @@ fn sum_metrics(a: MetricsWire, b: MetricsWire) -> MetricsWire {
         cache_bytes: a.cache_bytes + b.cache_bytes,
         cache_entries: a.cache_entries + b.cache_entries,
         remote_jobs: a.remote_jobs + b.remote_jobs,
+        deadline_hits: a.deadline_hits + b.deadline_hits,
+        sheds: a.sheds + b.sheds,
+        demotions: a.demotions + b.demotions,
+        rate_limited: a.rate_limited + b.rate_limited,
+        tenants: sum_tenants(a.tenants, b.tenants),
     }
+}
+
+/// Merge two per-tenant counter lists by tenant name, keeping the
+/// fleet-wide list sorted so repeated folds stay deterministic.
+fn sum_tenants(
+    a: Vec<tracto_proto::TenantWire>,
+    b: Vec<tracto_proto::TenantWire>,
+) -> Vec<tracto_proto::TenantWire> {
+    let mut merged: std::collections::BTreeMap<String, tracto_proto::TenantWire> =
+        a.into_iter().map(|t| (t.name.clone(), t)).collect();
+    for t in b {
+        let slot = merged
+            .entry(t.name.clone())
+            .or_insert_with(|| tracto_proto::TenantWire {
+                name: t.name.clone(),
+                ..Default::default()
+            });
+        slot.submitted += t.submitted;
+        slot.completed += t.completed;
+        slot.shed += t.shed;
+    }
+    merged.into_values().collect()
 }
 
 fn fleet_wire(shared: &FleetShared) -> FleetWire {

@@ -57,7 +57,8 @@ pub mod uploads;
 
 pub use batch::{run_batch, run_batch_streamed, BatchJob, BatchReport};
 pub use cache::{
-    sample_key, sample_key_parts, CacheStats, DiskSampleCache, SampleCache, SampleKey,
+    sample_key, sample_key_parts, CacheStats, DiskSampleCache, EvictionPolicy, SampleCache,
+    SampleKey,
 };
 pub use config::{ServiceConfig, ServiceConfigBuilder};
 pub use fleet::{Fleet, FleetConfig, HashRing, ReplicaStore};

@@ -363,5 +363,19 @@ pub fn metrics_wire(snap: &MetricsSnapshot, remote_jobs: u64) -> MetricsWire {
         cache_bytes: snap.cache.bytes,
         cache_entries: snap.cache.entries as u64,
         remote_jobs,
+        deadline_hits: snap.deadline_hits,
+        sheds: snap.sheds,
+        demotions: snap.demotions,
+        rate_limited: snap.rate_limited,
+        tenants: snap
+            .tenants
+            .iter()
+            .map(|t| tracto_proto::TenantWire {
+                name: t.name.clone(),
+                submitted: t.submitted,
+                completed: t.completed,
+                shed: t.shed,
+            })
+            .collect(),
     }
 }

@@ -1,9 +1,21 @@
 //! Service observability: counters accumulated by the workers, exposed as
 //! point-in-time snapshots.
+//!
+//! The SLO-bearing counters (settlements, deadline hits, sheds, demotions,
+//! per-tenant totals) are additionally persisted to `metrics.json` under
+//! the service's `--state-dir` (see [`MetricsPersist`]), so they survive a
+//! `kill -9` and a dashboard never watches them restart from zero. The
+//! job journal cannot carry them: it compacts terminal records away on
+//! every restart, which is exactly the history these totals summarize.
 
 use crate::cache::CacheStats;
 use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fs::{self, File};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use tracto_trace::json::{escape_into, parse, Json};
 
 /// Shared counter block the workers write into.
 #[derive(Default)]
@@ -22,11 +34,27 @@ pub(crate) struct Metrics {
     pub device_retries: AtomicU64,
     pub job_retries: AtomicU64,
     pub failovers: AtomicU64,
+    // Overload-ladder counters.
+    pub deadline_hits: AtomicU64,
+    pub sheds: AtomicU64,
+    pub demotions: AtomicU64,
+    pub rate_limited: AtomicU64,
     // Gauges, not counters: the batch worker stores the pool's current shape.
     pub devices_alive: AtomicU64,
     pub devices_total: AtomicU64,
     // f64 accumulators (simulated seconds, utilization sums) under a lock.
     pub accum: Mutex<Accum>,
+    /// Per-tenant settlement counters, keyed by tenant name. A BTreeMap so
+    /// snapshots (and the persisted file) list tenants in a stable order.
+    pub tenants: Mutex<BTreeMap<String, TenantCounters>>,
+}
+
+/// One tenant's settlement totals.
+#[derive(Default, Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct TenantCounters {
+    pub submitted: u64,
+    pub completed: u64,
+    pub shed: u64,
 }
 
 #[derive(Default, Clone, Copy)]
@@ -52,6 +80,30 @@ pub(crate) struct BatchSample {
 }
 
 impl Metrics {
+    pub(crate) fn tenant_submitted(&self, name: &str) {
+        self.tenants
+            .lock()
+            .entry(name.to_string())
+            .or_default()
+            .submitted += 1;
+    }
+
+    pub(crate) fn tenant_completed(&self, name: &str) {
+        self.tenants
+            .lock()
+            .entry(name.to_string())
+            .or_default()
+            .completed += 1;
+    }
+
+    pub(crate) fn tenant_shed(&self, name: &str) {
+        self.tenants
+            .lock()
+            .entry(name.to_string())
+            .or_default()
+            .shed += 1;
+    }
+
     pub(crate) fn add_batch(&self, sample: BatchSample) {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.batch_jobs.fetch_add(sample.jobs, Ordering::Relaxed);
@@ -124,6 +176,31 @@ pub struct MetricsSnapshot {
     pub estimation_sim_s: f64,
     /// Sample-cache statistics (hits, misses, bytes, evictions).
     pub cache: CacheStats,
+    /// Jobs that completed *within* their requested deadline (jobs with no
+    /// deadline never count here).
+    pub deadline_hits: u64,
+    /// Jobs refused by the overload ladder because their deadline was
+    /// provably infeasible at submit or admission time.
+    pub sheds: u64,
+    /// Low-priority MCMC jobs demoted to the analytic tier under load.
+    pub demotions: u64,
+    /// Jobs refused by a tenant's token-bucket rate limit.
+    pub rate_limited: u64,
+    /// Per-tenant settlement totals, sorted by tenant name.
+    pub tenants: Vec<TenantSnapshot>,
+}
+
+/// One tenant's row in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSnapshot {
+    /// Tenant name (`default` for unlabelled traffic).
+    pub name: String,
+    /// Jobs this tenant submitted.
+    pub submitted: u64,
+    /// Jobs that finished successfully.
+    pub completed: u64,
+    /// Jobs refused by the overload ladder (shed or rate-limited).
+    pub shed: u64,
 }
 
 impl Metrics {
@@ -168,7 +245,141 @@ impl Metrics {
             },
             estimation_sim_s: acc.estimation_sim_s,
             cache,
+            deadline_hits: self.deadline_hits.load(Ordering::Relaxed),
+            sheds: self.sheds.load(Ordering::Relaxed),
+            demotions: self.demotions.load(Ordering::Relaxed),
+            rate_limited: self.rate_limited.load(Ordering::Relaxed),
+            tenants: self
+                .tenants
+                .lock()
+                .iter()
+                .map(|(name, t)| TenantSnapshot {
+                    name: name.clone(),
+                    submitted: t.submitted,
+                    completed: t.completed,
+                    shed: t.shed,
+                })
+                .collect(),
         }
+    }
+}
+
+/// Durable home for the SLO counters: `metrics.json` under `--state-dir`.
+///
+/// [`save`](Self::save) rewrites the file with the same atomic discipline
+/// as journal compaction (write-tmp → fsync → rename → dir fsync), so a
+/// `kill -9` leaves either the old totals or the new ones, never a torn
+/// file. [`seed`](Self::seed) loads the totals back at startup and adds
+/// them into a fresh [`Metrics`] block; the live counters then advance
+/// from where the dead process left off. Only settlement totals persist —
+/// throughput stats (batches, lanes, sim time) describe a process
+/// lifetime and deliberately restart from zero.
+pub(crate) struct MetricsPersist {
+    dir: PathBuf,
+    path: PathBuf,
+    tmp: PathBuf,
+    lock: Mutex<()>,
+}
+
+impl MetricsPersist {
+    pub(crate) fn open(dir: &Path) -> MetricsPersist {
+        MetricsPersist {
+            dir: dir.to_path_buf(),
+            path: dir.join("metrics.json"),
+            tmp: dir.join("metrics.json.tmp"),
+            lock: Mutex::new(()),
+        }
+    }
+
+    /// Add the persisted totals (if any) into `metrics`. Call once, before
+    /// any worker can write counters. A missing or torn file seeds nothing
+    /// — recovery must never wedge on observability state.
+    pub(crate) fn seed(&self, metrics: &Metrics) {
+        let Ok(text) = fs::read_to_string(&self.path) else {
+            return;
+        };
+        let Ok(v) = parse(&text) else { return };
+        let load = |key: &str| -> u64 {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .filter(|n| *n >= 0.0 && n.fract() == 0.0)
+                .map_or(0, |n| n as u64)
+        };
+        for (key, counter) in self.persisted_fields(metrics) {
+            counter.fetch_add(load(key), Ordering::Relaxed);
+        }
+        if let Some(Json::Array(rows)) = v.get("tenants") {
+            let mut tenants = metrics.tenants.lock();
+            for row in rows {
+                let Some(name) = row.get("name").and_then(Json::as_str) else {
+                    continue;
+                };
+                let get = |key: &str| -> u64 {
+                    row.get(key).and_then(Json::as_f64).map_or(0, |n| n as u64)
+                };
+                let t = tenants.entry(name.to_string()).or_default();
+                t.submitted += get("submitted");
+                t.completed += get("completed");
+                t.shed += get("shed");
+            }
+        }
+    }
+
+    /// Persist the current SLO totals. Best-effort like journal appends: a
+    /// full disk degrades metrics durability, never the jobs themselves.
+    pub(crate) fn save(&self, metrics: &Metrics) {
+        let _guard = self.lock.lock();
+        let mut out = String::with_capacity(256);
+        out.push('{');
+        for (i, (key, counter)) in self.persisted_fields(metrics).iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            escape_into(&mut out, key);
+            out.push(':');
+            out.push_str(&counter.load(Ordering::Relaxed).to_string());
+        }
+        out.push_str(",\"tenants\":[");
+        {
+            let tenants = metrics.tenants.lock();
+            for (i, (name, t)) in tenants.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"name\":");
+                escape_into(&mut out, name);
+                out.push_str(&format!(
+                    ",\"submitted\":{},\"completed\":{},\"shed\":{}}}",
+                    t.submitted, t.completed, t.shed
+                ));
+            }
+        }
+        out.push_str("]}");
+        let written = File::create(&self.tmp)
+            .and_then(|mut f| {
+                f.write_all(out.as_bytes())?;
+                f.sync_all()
+            })
+            .and_then(|_| fs::rename(&self.tmp, &self.path));
+        if written.is_ok() {
+            if let Ok(d) = File::open(&self.dir) {
+                let _ = d.sync_all();
+            }
+        }
+    }
+
+    fn persisted_fields<'m>(&self, m: &'m Metrics) -> [(&'static str, &'m AtomicU64); 9] {
+        [
+            ("submitted", &m.submitted),
+            ("completed", &m.completed),
+            ("failed", &m.failed),
+            ("cancelled", &m.cancelled),
+            ("deadline_exceeded", &m.deadline_exceeded),
+            ("deadline_hits", &m.deadline_hits),
+            ("sheds", &m.sheds),
+            ("demotions", &m.demotions),
+            ("rate_limited", &m.rate_limited),
+        ]
     }
 }
 
@@ -214,6 +425,18 @@ impl std::fmt::Display for MetricsSnapshot {
             self.devices_alive,
             self.devices_total
         )?;
+        writeln!(
+            f,
+            "overload: {} deadline hits, {} sheds, {} demotions, {} rate limited",
+            self.deadline_hits, self.sheds, self.demotions, self.rate_limited
+        )?;
+        for t in &self.tenants {
+            writeln!(
+                f,
+                "tenant {}: {} submitted, {} completed, {} shed",
+                t.name, t.submitted, t.completed, t.shed
+            )?;
+        }
         writeln!(
             f,
             "streams: {:.4} s hidden by overlap, occupancy {:.3}",
@@ -303,6 +526,79 @@ mod tests {
         let text = snap.to_string();
         assert!(text.contains("hidden by overlap"));
         assert!(text.contains("occupancy 1.500"));
+    }
+
+    #[test]
+    fn slo_counters_persist_and_seed_across_a_restart() {
+        let dir = std::env::temp_dir().join(format!(
+            "tracto-metrics-persist-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let persist = MetricsPersist::open(&dir);
+        let m = Metrics::default();
+        m.submitted.store(7, Ordering::Relaxed);
+        m.completed.store(5, Ordering::Relaxed);
+        m.deadline_hits.store(4, Ordering::Relaxed);
+        m.sheds.store(2, Ordering::Relaxed);
+        m.demotions.store(1, Ordering::Relaxed);
+        m.tenant_submitted("hospital-a");
+        m.tenant_submitted("hospital-a");
+        m.tenant_completed("hospital-a");
+        m.tenant_shed("default");
+        persist.save(&m);
+        // A restart: a fresh counter block seeded from disk continues the
+        // totals instead of restarting from zero.
+        let fresh = Metrics::default();
+        MetricsPersist::open(&dir).seed(&fresh);
+        assert_eq!(fresh.submitted.load(Ordering::Relaxed), 7);
+        assert_eq!(fresh.completed.load(Ordering::Relaxed), 5);
+        assert_eq!(fresh.deadline_hits.load(Ordering::Relaxed), 4);
+        assert_eq!(fresh.sheds.load(Ordering::Relaxed), 2);
+        assert_eq!(fresh.demotions.load(Ordering::Relaxed), 1);
+        {
+            let tenants = fresh.tenants.lock();
+            assert_eq!(tenants["hospital-a"].submitted, 2);
+            assert_eq!(tenants["hospital-a"].completed, 1);
+            assert_eq!(tenants["default"].shed, 1);
+        }
+        // Post-restart work accumulates on top and re-persists monotone.
+        fresh.completed.fetch_add(3, Ordering::Relaxed);
+        fresh.tenant_completed("hospital-a");
+        MetricsPersist::open(&dir).save(&fresh);
+        let third = Metrics::default();
+        MetricsPersist::open(&dir).seed(&third);
+        assert_eq!(third.completed.load(Ordering::Relaxed), 8);
+        assert_eq!(third.tenants.lock()["hospital-a"].completed, 2);
+        // A torn file (crash mid-write would be prevented by the rename,
+        // but defend anyway) seeds nothing rather than wedging startup.
+        fs::write(dir.join("metrics.json"), "{\"completed\":5,").unwrap();
+        let torn = Metrics::default();
+        MetricsPersist::open(&dir).seed(&torn);
+        assert_eq!(torn.completed.load(Ordering::Relaxed), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_carries_overload_counters_and_tenants() {
+        let m = Metrics::default();
+        m.deadline_hits.store(6, Ordering::Relaxed);
+        m.sheds.store(3, Ordering::Relaxed);
+        m.rate_limited.store(2, Ordering::Relaxed);
+        m.tenant_submitted("b-lab");
+        m.tenant_submitted("a-lab");
+        let snap = m.snapshot(0, CacheStats::default());
+        assert_eq!(snap.deadline_hits, 6);
+        assert_eq!(snap.sheds, 3);
+        assert_eq!(snap.rate_limited, 2);
+        // Stable (sorted) tenant order.
+        let names: Vec<&str> = snap.tenants.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, ["a-lab", "b-lab"]);
+        let text = snap.to_string();
+        assert!(text.contains("overload: 6 deadline hits, 3 sheds"));
+        assert!(text.contains("tenant a-lab: 1 submitted"));
     }
 
     #[test]

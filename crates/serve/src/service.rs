@@ -36,9 +36,9 @@ use crate::job::{
     EstimateJob, EstimateResult, JobError, JobId, JobOutput, Ticket, TrackJob, TrackResult,
 };
 use crate::journal::{JobJournal, RecoveredJob};
-use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::metrics::{Metrics, MetricsPersist, MetricsSnapshot};
 use crate::spec::{materialize_dataset, DatasetSource, JobSpec, Work};
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -64,6 +64,151 @@ struct PrepTask {
     ticket: Ticket<JobOutput>,
 }
 
+/// An admitted job waiting for an estimation worker, tagged with the
+/// fields the queue orders by so a pop never has to inspect the spec.
+struct PrepEntry {
+    seq: u64,
+    priority: Priority,
+    deadline_at: Option<Instant>,
+    task: PrepTask,
+}
+
+struct PrepQueueState {
+    entries: Vec<PrepEntry>,
+    closed: bool,
+    seq: u64,
+}
+
+/// Outcome of a non-blocking push, mirroring a bounded channel's
+/// `TrySendError` so the submit paths keep their shed/shutdown split.
+/// The task rides back to the caller so its ticket is dropped (and any
+/// waiter woken) there, not inside the queue lock.
+enum TryPushError {
+    Full(#[allow(dead_code)] PrepTask),
+    Closed(#[allow(dead_code)] PrepTask),
+}
+
+/// SLO-aware admission queue feeding the estimation workers.
+///
+/// The prep stage is where a cache-miss job pays its MCMC bill, so a
+/// plain FIFO channel head-of-line-blocks urgent work behind whatever
+/// arrived first — under overload every deadline blows no matter how the
+/// *tracking* stage orders its window. Workers instead always dequeue in
+/// admission order (higher priority first, nearest deadline within a
+/// band, FIFO otherwise), so saturation starves low-priority jobs
+/// instead of defeating the priority bands.
+struct PrepQueue {
+    inner: Mutex<PrepQueueState>,
+    /// Signalled on push and on close: wakes workers waiting in `pop`.
+    nonempty: Condvar,
+    /// Signalled on pop and on close: wakes producers blocked in `push`.
+    vacancy: Condvar,
+    cap: usize,
+}
+
+impl PrepQueue {
+    fn new(cap: usize) -> PrepQueue {
+        PrepQueue {
+            inner: Mutex::new(PrepQueueState {
+                entries: Vec::new(),
+                closed: false,
+                seq: 0,
+            }),
+            nonempty: Condvar::new(),
+            vacancy: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    fn entry(state: &mut PrepQueueState, task: PrepTask) -> PrepEntry {
+        let seq = state.seq;
+        state.seq += 1;
+        let deadline_at = task.spec.deadline.map(|d| task.ticket.accepted_at + d);
+        PrepEntry {
+            seq,
+            priority: task.spec.priority,
+            deadline_at,
+            task,
+        }
+    }
+
+    /// Enqueue, blocking while the queue is at capacity. Returns the task
+    /// back when the queue has been closed (by value on purpose: the
+    /// ticket must drop at the caller, outside the queue lock).
+    #[allow(clippy::result_large_err)]
+    fn push(&self, task: PrepTask) -> Result<(), PrepTask> {
+        let mut state = self.inner.lock();
+        while state.entries.len() >= self.cap && !state.closed {
+            self.vacancy.wait(&mut state);
+        }
+        if state.closed {
+            return Err(task);
+        }
+        let entry = Self::entry(&mut state, task);
+        state.entries.push(entry);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueue without blocking; a full queue is the caller's load shed.
+    #[allow(clippy::result_large_err)]
+    fn try_push(&self, task: PrepTask) -> Result<(), TryPushError> {
+        let mut state = self.inner.lock();
+        if state.closed {
+            return Err(TryPushError::Closed(task));
+        }
+        if state.entries.len() >= self.cap {
+            return Err(TryPushError::Full(task));
+        }
+        let entry = Self::entry(&mut state, task);
+        state.entries.push(entry);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue the best waiting job (admission order), blocking while the
+    /// queue is empty. Returns `None` only when the queue is closed *and*
+    /// drained, so shutdown still runs every accepted job.
+    fn pop(&self) -> Option<PrepTask> {
+        let mut state = self.inner.lock();
+        loop {
+            if let Some(best) = Self::best_index(&state.entries) {
+                let entry = state.entries.swap_remove(best);
+                self.vacancy.notify_one();
+                return Some(entry.task);
+            }
+            if state.closed {
+                return None;
+            }
+            self.nonempty.wait(&mut state);
+        }
+    }
+
+    /// Index of the entry workers should take next: priority bands first,
+    /// nearest deadline within a band, then arrival order. The explicit
+    /// sequence number makes the order independent of `swap_remove`'s
+    /// shuffling.
+    fn best_index(entries: &[PrepEntry]) -> Option<usize> {
+        entries
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                b.priority
+                    .cmp(&a.priority)
+                    .then_with(|| cmp_deadlines(a.deadline_at, b.deadline_at))
+                    .then_with(|| a.seq.cmp(&b.seq))
+            })
+            .map(|(i, _)| i)
+    }
+
+    /// Stop accepting jobs and wake everyone; queued jobs still drain.
+    fn close(&self) {
+        self.inner.lock().closed = true;
+        self.nonempty.notify_all();
+        self.vacancy.notify_all();
+    }
+}
+
 struct ReadyTrack {
     config: PipelineConfig,
     seeds: Vec<Vec3>,
@@ -75,7 +220,39 @@ struct ReadyTrack {
     deadline_at: Option<Instant>,
     priority: Priority,
     retry_budget: Option<u32>,
+    tenant: String,
     ticket: Ticket<JobOutput>,
+}
+
+/// Per-tenant token bucket for submit-time rate limiting. Buckets start
+/// full (one second of refill, at least one job) so a tenant's first burst
+/// is admitted; sustained traffic is clamped to the refill rate.
+struct TokenBucket {
+    tokens: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    fn full(rate: f64) -> TokenBucket {
+        TokenBucket {
+            tokens: rate.max(1.0),
+            last: Instant::now(),
+        }
+    }
+
+    /// Take one token, or report how long (in ms) until one is available.
+    fn take(&mut self, rate: f64) -> Result<(), u64> {
+        let now = Instant::now();
+        let burst = rate.max(1.0);
+        self.tokens = (self.tokens + now.duration_since(self.last).as_secs_f64() * rate).min(burst);
+        self.last = now;
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            Ok(())
+        } else {
+            Err((((1.0 - self.tokens) / rate) * 1000.0).ceil() as u64)
+        }
+    }
 }
 
 /// Rewrite a ready job onto the analytic fast tier: collapse the posterior
@@ -113,12 +290,173 @@ struct Shared {
     /// Committed volume uploads (`<state-dir>/uploads`), resolvable as
     /// `kind: "upload"` datasets.
     upload_dir: Option<std::path::PathBuf>,
+    /// SLO counter sidecar under the state dir; counters seed from it at
+    /// startup and every settle re-saves, so totals survive `kill -9`.
+    persist: Option<MetricsPersist>,
+    /// Per-tenant token-bucket rate limit in jobs/sec (0 = off).
+    rate_limit: f64,
+    buckets: Mutex<HashMap<String, TokenBucket>>,
+    /// EWMA of per-job batch wall time in ms (0 until the first batch).
+    /// Half of it is the "provably infeasible" service floor: a deadline
+    /// below the floor is shed at submit instead of wasting GPU time.
+    service_ewma_ms: AtomicU64,
+    /// EWMA of a cache-miss estimation's wall time in ms (0 until the
+    /// first miss). The prep-stage shed rung compares a dated job's
+    /// remaining budget against it before paying for a doomed MCMC run.
+    estimate_ewma_ms: AtomicU64,
+    /// Mirror of [`ServiceConfig::approx_low`] for the prep stage: under
+    /// deadline pressure a low-priority MCMC job demotes to the
+    /// deterministic tensorline tier (skipping estimation entirely)
+    /// instead of being shed.
+    approx_low: bool,
 }
 
 impl Shared {
-    fn job_started(&self) {
+    fn job_started(&self, tenant: &str) {
         *self.in_flight.lock() += 1;
         self.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+        self.metrics.tenant_submitted(tenant);
+    }
+
+    fn persist_metrics(&self) {
+        if let Some(persist) = &self.persist {
+            persist.save(&self.metrics);
+        }
+    }
+
+    /// The admission ladder's shed rung: reject a job at submit when the
+    /// tenant is over its rate limit or the deadline is provably
+    /// infeasible. Returns the typed `Capacity` error (with a
+    /// `retry_after_ms` hint) the caller must settle the job with; the
+    /// shed counters are already ticked.
+    fn admission_shed(&self, spec: &JobSpec) -> Option<JobError> {
+        if self.rate_limit > 0.0 {
+            let verdict = self
+                .buckets
+                .lock()
+                .entry(spec.tenant.clone())
+                .or_insert_with(|| TokenBucket::full(self.rate_limit))
+                .take(self.rate_limit);
+            if let Err(retry_ms) = verdict {
+                self.metrics.rate_limited.fetch_add(1, Ordering::Relaxed);
+                self.metrics.tenant_shed(&spec.tenant);
+                if self.tracer.enabled() {
+                    self.tracer.emit(
+                        "serve.job_rate_limited",
+                        &[
+                            ("tenant", Value::Text(spec.tenant.clone())),
+                            ("retry_after_ms", retry_ms.into()),
+                        ],
+                    );
+                }
+                return Some(JobError::Failed(Arc::new(
+                    tracto_trace::TractoError::capacity(
+                        format!(
+                            "tenant `{}` rate limit (retry_after_ms={retry_ms})",
+                            spec.tenant
+                        ),
+                        1,
+                        0,
+                    ),
+                )));
+            }
+        }
+        if let Some(deadline) = spec.deadline {
+            let floor_ms = self.service_ewma_ms.load(Ordering::Relaxed) / 2;
+            let deadline_ms = deadline.as_millis() as u64;
+            if floor_ms > 0 && deadline_ms < floor_ms {
+                self.metrics.sheds.fetch_add(1, Ordering::Relaxed);
+                self.metrics.tenant_shed(&spec.tenant);
+                if self.tracer.enabled() {
+                    self.tracer.emit(
+                        "serve.job_shed",
+                        &[
+                            ("tenant", Value::Text(spec.tenant.clone())),
+                            ("reason", Value::Text("infeasible-deadline".into())),
+                            ("deadline_ms", deadline_ms.into()),
+                            ("floor_ms", floor_ms.into()),
+                        ],
+                    );
+                }
+                return Some(JobError::Failed(Arc::new(
+                    tracto_trace::TractoError::capacity(
+                        format!(
+                            "deadline {deadline_ms}ms below service floor \
+                             (retry_after_ms={floor_ms})"
+                        ),
+                        floor_ms,
+                        deadline_ms,
+                    ),
+                )));
+            }
+        }
+        None
+    }
+
+    /// Prep-stage shed rung: would a fresh MCMC run provably blow this
+    /// job's deadline? Returns the measured estimation cost (the retry
+    /// hint) when it would. Cached samples make estimation free, so a
+    /// job whose key is already resident in either tier always passes.
+    fn estimation_infeasible(
+        &self,
+        deadline_at: Option<Instant>,
+        key: SampleKey,
+        policy: CachePolicy,
+    ) -> Option<u64> {
+        let deadline = deadline_at?;
+        let est_ms = self.estimate_ewma_ms.load(Ordering::Relaxed);
+        if est_ms == 0 {
+            return None;
+        }
+        if policy != CachePolicy::Bypass
+            && (self.cache.contains(key) || self.disk.as_ref().is_some_and(|d| d.contains(key)))
+        {
+            return None;
+        }
+        let remaining = deadline
+            .saturating_duration_since(Instant::now())
+            .as_millis() as u64;
+        (remaining < est_ms).then_some(est_ms)
+    }
+
+    /// Settle a prep-stage shed: tick the overload counters, trace it,
+    /// and fail the ticket with the typed `Capacity` error remote
+    /// clients back off on.
+    fn shed_at_prep(
+        &self,
+        ticket: &Ticket<JobOutput>,
+        tenant: &str,
+        remaining_ms: u64,
+        est_ms: u64,
+    ) {
+        self.metrics.sheds.fetch_add(1, Ordering::Relaxed);
+        self.metrics.tenant_shed(tenant);
+        if self.tracer.enabled() {
+            self.tracer.emit(
+                "serve.job_shed",
+                &[
+                    ("job", ticket.id.0.into()),
+                    ("tenant", Value::Text(tenant.to_string())),
+                    ("reason", Value::Text("estimation-infeasible".into())),
+                    ("remaining_ms", remaining_ms.into()),
+                    ("estimate_ms", est_ms.into()),
+                ],
+            );
+        }
+        self.complete(
+            ticket,
+            tenant,
+            Err(JobError::Failed(Arc::new(
+                tracto_trace::TractoError::capacity(
+                    format!(
+                        "remaining deadline {remaining_ms}ms below estimation cost \
+                         (retry_after_ms={est_ms})"
+                    ),
+                    est_ms,
+                    remaining_ms,
+                ),
+            ))),
+        );
     }
 
     fn job_finished(&self) {
@@ -133,7 +471,12 @@ impl Shared {
     /// follow what the ticket actually *stored* — a cancel that won the
     /// race converts a late success into `Cancelled`, and the cancelled
     /// counter (not the completed one) must tick.
-    fn complete(&self, ticket: &Ticket<JobOutput>, result: Result<JobOutput, JobError>) {
+    fn complete(
+        &self,
+        ticket: &Ticket<JobOutput>,
+        tenant: &str,
+        result: Result<JobOutput, JobError>,
+    ) {
         if let Some(stored) = ticket.fulfill(result) {
             let (counter, event) = match &stored {
                 Ok(_) => (&self.metrics.completed, "serve.job_completed"),
@@ -144,6 +487,9 @@ impl Shared {
                 Err(_) => (&self.metrics.failed, "serve.job_failed"),
             };
             counter.fetch_add(1, Ordering::Relaxed);
+            if stored.is_ok() {
+                self.metrics.tenant_completed(tenant);
+            }
             if let Some(journal) = &self.journal {
                 // The terminal record is a no-op for jobs that were never
                 // journaled (in-process submissions).
@@ -175,6 +521,9 @@ impl Shared {
                     crate::events::job_state(Some(stored)),
                 );
             }
+            // Persist after the counters settle so a crash never observes
+            // a job both re-runnable (journaled, unfinished) and counted.
+            self.persist_metrics();
         }
         self.job_finished();
     }
@@ -267,15 +616,29 @@ impl Shared {
                 }
             }
         }
+        let wall = Instant::now();
         let report = self.run_estimation(gpu, key, dataset, prior, chain, seed, job);
+        // Recompute cost for the cost-aware eviction score: what this
+        // entry actually took to build, in wall milliseconds.
+        let cost_ms = wall.elapsed().as_secs_f64() * 1e3;
+        // Feed the prep-stage feasibility floor: what a miss costs now.
+        let cost = (cost_ms as u64).max(1);
+        let prev = self.estimate_ewma_ms.load(Ordering::Relaxed);
+        let ewma = if prev == 0 {
+            cost
+        } else {
+            (3 * prev + cost) / 4
+        };
+        self.estimate_ewma_ms.store(ewma, Ordering::Relaxed);
         self.metrics.estimations_run.fetch_add(1, Ordering::Relaxed);
         self.metrics.accum.lock().estimation_sim_s += report.ledger.total_s();
         let samples = Arc::new(report.samples);
         if policy == CachePolicy::ReadWrite {
-            self.cache.insert(key, Arc::clone(&samples));
+            self.cache
+                .insert_with_cost(key, Arc::clone(&samples), cost_ms);
             if let Some(disk) = &self.disk {
                 // Disk persistence is best-effort; the in-memory result stands.
-                let _ = disk.put(key, &samples);
+                let _ = disk.put_with_cost(key, &samples, cost_ms);
             }
         }
         (samples, false, report.voxels)
@@ -356,7 +719,7 @@ impl Shared {
 pub struct TractoService {
     config: ServiceConfig,
     shared: Arc<Shared>,
-    prep_tx: Option<Sender<PrepTask>>,
+    prep_q: Arc<PrepQueue>,
     workers: Vec<std::thread::JoinHandle<()>>,
     /// Unfinished journaled jobs found at startup, waiting for
     /// [`recover`](Self::recover) to re-enqueue them.
@@ -374,6 +737,7 @@ impl TractoService {
         let disk = config.disk_cache.as_ref().map(|dir| {
             let mut cache = DiskSampleCache::open(dir)
                 .expect("open disk cache")
+                .with_policy(config.cache_policy)
                 .with_tracer(config.tracer.clone());
             if let Some(cap) = config.disk_cache_bytes {
                 cache = cache.with_limit(cap);
@@ -419,11 +783,21 @@ impl TractoService {
             }
             None => (None, None),
         };
+        // Seed the SLO counters from the previous incarnation's sidecar
+        // before any job can tick them, so recovered totals stay monotone.
+        let metrics = Metrics::default();
+        let persist = config.state_dir.as_ref().map(|dir| {
+            let persist = MetricsPersist::open(dir);
+            persist.seed(&metrics);
+            persist
+        });
         let shared = Arc::new(Shared {
-            cache: SampleCache::new(config.cache_bytes).with_tracer(config.tracer.clone()),
+            cache: SampleCache::new(config.cache_bytes)
+                .with_policy(config.cache_policy)
+                .with_tracer(config.tracer.clone()),
             disk,
             phantoms: Mutex::new(HashMap::new()),
-            metrics: Metrics::default(),
+            metrics,
             in_flight: Mutex::new(0),
             idle: Condvar::new(),
             // Fresh ids allocate strictly above every id the journal has
@@ -435,27 +809,32 @@ impl TractoService {
             tracer: config.tracer.clone(),
             bus: Arc::new(EventBus::new()),
             upload_dir: config.state_dir.as_ref().map(|d| d.join("uploads")),
+            persist,
+            rate_limit: config.rate_limit,
+            buckets: Mutex::new(HashMap::new()),
+            service_ewma_ms: AtomicU64::new(0),
+            estimate_ewma_ms: AtomicU64::new(0),
+            approx_low: config.approx_low,
         });
 
-        let (prep_tx, prep_rx) = bounded::<PrepTask>(config.queue_capacity);
+        let prep_q = Arc::new(PrepQueue::new(config.queue_capacity));
         let (ready_tx, ready_rx) = bounded::<ReadyTrack>(config.queue_capacity);
 
         let mut workers = Vec::new();
         for i in 0..config.estimate_workers {
-            let rx = prep_rx.clone();
+            let q = Arc::clone(&prep_q);
             let tx = ready_tx.clone();
             let shared = Arc::clone(&shared);
             let device = config.device.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("tracto-estimate-{i}"))
-                    .spawn(move || estimate_worker(i, rx, tx, shared, device))
+                    .spawn(move || estimate_worker(i, q, tx, shared, device))
                     .expect("spawn estimation worker"),
             );
         }
-        // The clones above keep the channel alive; drop the originals so
+        // The clones above keep the channel alive; drop the original so
         // the pipeline collapses cleanly once the senders go away.
-        drop(prep_rx);
         drop(ready_tx);
 
         {
@@ -472,7 +851,7 @@ impl TractoService {
         TractoService {
             config,
             shared,
-            prep_tx: Some(prep_tx),
+            prep_q,
             workers,
             recovered: Mutex::new(recovered),
         }
@@ -508,21 +887,26 @@ impl TractoService {
         let spec = spec.into();
         let ticket = Ticket::new(self.next_id());
         self.trace_submit(ticket.id, work_kind(&spec.work));
+        // Shed rung of the admission ladder: a rate-limited or provably
+        // late job fails typed before it is journaled, so a rejected job
+        // is never re-run by crash recovery.
+        if let Some(err) = self.shared.admission_shed(&spec) {
+            self.shared.job_started(&spec.tenant);
+            self.shared.complete(&ticket, &spec.tenant, Err(err));
+            return ticket;
+        }
         // Write-ahead: a wire-form job is durable before acceptance becomes
         // observable, so a crash after this point cannot lose it.
         if let (Some(journal), Some(wire)) = (&self.shared.journal, &spec.wire) {
             journal.submitted(ticket.id.0, wire);
         }
-        self.shared.job_started();
+        self.shared.job_started(&spec.tenant);
+        let tenant = spec.tenant.clone();
         let task = PrepTask {
             spec,
             ticket: ticket.clone(),
         };
-        let sent = match &self.prep_tx {
-            Some(tx) => tx.send(task).is_ok(),
-            None => false,
-        };
-        if sent {
+        if self.prep_q.push(task).is_ok() {
             if let Some(journal) = &self.shared.journal {
                 journal.admitted(ticket.id.0);
             }
@@ -530,7 +914,8 @@ impl TractoService {
                 .bus
                 .publish(ticket.id.0, "admitted", JobState::Pending);
         } else {
-            self.shared.complete(&ticket, Err(JobError::ShuttingDown));
+            self.shared
+                .complete(&ticket, &tenant, Err(JobError::ShuttingDown));
         }
         ticket
     }
@@ -539,16 +924,24 @@ impl TractoService {
     /// [`JobError::QueueFull`] when the bounded queue is at capacity.
     pub fn try_submit(&self, spec: impl Into<JobSpec>) -> Result<Ticket<JobOutput>, JobError> {
         let spec = spec.into();
-        let Some(tx) = &self.prep_tx else {
-            return Err(JobError::ShuttingDown);
-        };
+        // Shed rung: reject before the job is ticketed or journaled. The
+        // caller sees the typed `Capacity` error (with its retry-after
+        // hint) directly — the reactor maps it to a wire error as-is.
+        if let Some(err) = self.shared.admission_shed(&spec) {
+            self.shared.job_started(&spec.tenant);
+            self.shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+            self.shared.job_finished();
+            self.shared.persist_metrics();
+            return Err(err);
+        }
         let ticket = Ticket::new(self.next_id());
         self.trace_submit(ticket.id, work_kind(&spec.work));
         if let (Some(journal), Some(wire)) = (&self.shared.journal, &spec.wire) {
             journal.submitted(ticket.id.0, wire);
         }
-        self.shared.job_started();
-        match tx.try_send(PrepTask {
+        self.shared.job_started(&spec.tenant);
+        let tenant = spec.tenant.clone();
+        match self.prep_q.try_push(PrepTask {
             spec,
             ticket: ticket.clone(),
         }) {
@@ -561,20 +954,26 @@ impl TractoService {
                     .publish(ticket.id.0, "admitted", JobState::Pending);
                 Ok(ticket)
             }
-            Err(TrySendError::Full(_)) => {
+            Err(TryPushError::Full(_)) => {
                 if let Some(journal) = &self.shared.journal {
                     journal.failed(ticket.id.0, 0);
                 }
                 self.shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                // A full queue is a load shed too: count it so saturation
+                // shows up in the overload counters, not just as failures.
+                self.shared.metrics.sheds.fetch_add(1, Ordering::Relaxed);
+                self.shared.metrics.tenant_shed(&tenant);
                 self.shared.job_finished();
+                self.shared.persist_metrics();
                 Err(JobError::QueueFull)
             }
-            Err(TrySendError::Disconnected(_)) => {
+            Err(TryPushError::Closed(_)) => {
                 if let Some(journal) = &self.shared.journal {
                     journal.failed(ticket.id.0, 0);
                 }
                 self.shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
                 self.shared.job_finished();
+                self.shared.persist_metrics();
                 Err(JobError::ShuttingDown)
             }
         }
@@ -607,32 +1006,37 @@ impl TractoService {
                     ],
                 );
             }
-            self.shared.job_started();
+            // Re-bumping `submitted` here keeps the persisted totals
+            // monotone: a job accepted after the last sidecar save is
+            // unfinished in the journal, so its count re-enters through
+            // this path after the crash.
+            self.shared.job_started(&r.spec.tenant);
             match JobSpec::from_wire(&r.spec) {
                 Ok(spec) => {
+                    let tenant = spec.tenant.clone();
                     let task = PrepTask {
                         spec,
                         ticket: ticket.clone(),
                     };
-                    let sent = match &self.prep_tx {
-                        Some(tx) => tx.send(task).is_ok(),
-                        None => false,
-                    };
-                    if sent {
+                    if self.prep_q.push(task).is_ok() {
                         if let Some(journal) = &self.shared.journal {
                             journal.admitted(r.id);
                         }
                         self.shared.bus.publish(r.id, "admitted", JobState::Pending);
                     } else {
-                        self.shared.complete(&ticket, Err(JobError::ShuttingDown));
+                        self.shared
+                            .complete(&ticket, &tenant, Err(JobError::ShuttingDown));
                     }
                 }
                 Err(err) => {
                     // A journaled spec that no longer converts (protocol
                     // drift across the restart) fails terminally — and
                     // observably — rather than vanishing.
-                    self.shared
-                        .complete(&ticket, Err(JobError::Failed(Arc::new(err))));
+                    self.shared.complete(
+                        &ticket,
+                        &r.spec.tenant,
+                        Err(JobError::Failed(Arc::new(err))),
+                    );
                 }
             }
             out.push((r.id, ticket));
@@ -681,7 +1085,7 @@ impl TractoService {
     }
 
     fn shutdown_inner(&mut self) {
-        self.prep_tx.take();
+        self.prep_q.close();
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
@@ -703,38 +1107,52 @@ fn work_kind(work: &Work) -> &'static str {
 
 fn estimate_worker(
     index: usize,
-    rx: Receiver<PrepTask>,
+    queue: Arc<PrepQueue>,
     tx: Sender<ReadyTrack>,
     shared: Arc<Shared>,
     device: DeviceConfig,
 ) {
     let mut gpu = Gpu::new(device);
     gpu.set_tracer(shared.tracer.clone(), index as u32);
-    while let Ok(PrepTask { spec, ticket }) = rx.recv() {
+    while let Some(PrepTask { spec, ticket }) = queue.pop() {
         if ticket.is_cancelled() {
-            shared.complete(&ticket, Err(JobError::Cancelled));
+            shared.complete(&ticket, &spec.tenant, Err(JobError::Cancelled));
             continue;
         }
         let deadline_at = spec.deadline.map(|d| ticket.accepted_at + d);
         if deadline_at.is_some_and(|t| Instant::now() >= t) {
-            shared.complete(&ticket, Err(JobError::DeadlineExceeded));
+            shared.complete(&ticket, &spec.tenant, Err(JobError::DeadlineExceeded));
             continue;
         }
         let dataset = match shared.resolve_dataset(&spec.dataset) {
             Ok(ds) => ds,
             Err(err) => {
-                shared.complete(&ticket, Err(err));
+                shared.complete(&ticket, &spec.tenant, Err(err));
                 continue;
             }
         };
         match spec.work {
             Work::Estimate { prior, chain, seed } => {
                 let key = sample_key(&dataset, &prior, &chain, seed);
+                // Prep-stage shed rung: an estimation job has no cheaper
+                // tier to demote onto, so an unaffordable fresh run is
+                // shed typed before it burns the worker.
+                if let Some(est_ms) = shared.estimation_infeasible(deadline_at, key, spec.cache) {
+                    let remaining_ms = deadline_at
+                        .map(|t| t.saturating_duration_since(Instant::now()).as_millis() as u64)
+                        .unwrap_or(0);
+                    shared.shed_at_prep(&ticket, &spec.tenant, remaining_ms, est_ms);
+                    continue;
+                }
                 let (samples, cache_hit, voxels) = shared.resolve_samples(
                     &mut gpu, key, &dataset, prior, chain, seed, spec.cache, ticket.id,
                 );
+                if deadline_at.is_some_and(|t| Instant::now() <= t) {
+                    shared.metrics.deadline_hits.fetch_add(1, Ordering::Relaxed);
+                }
                 shared.complete(
                     &ticket,
+                    &spec.tenant,
                     Ok(JobOutput::Estimate(EstimateResult {
                         samples,
                         cache_hit,
@@ -743,7 +1161,7 @@ fn estimate_worker(
                 );
             }
             Work::Track {
-                config,
+                mut config,
                 seeds,
                 stop_mask,
             } => {
@@ -755,6 +1173,43 @@ fn estimate_worker(
                         .stop_percentile
                         .and_then(|pct| mask_from_percentile(&mean_dwi_volume(&dataset.dwi), pct))
                 });
+                // Prep-stage overload ladder, applied where the MCMC bill
+                // is actually paid: a dated job whose remaining budget
+                // cannot cover a fresh estimation either demotes onto the
+                // estimation-free tensorline tier (low priority, opt-in
+                // via `--approx-low`) or is shed typed — never run to a
+                // guaranteed deadline failure.
+                if config.modality != Modality::Tensorline {
+                    let key = sample_key(&dataset, &config.prior, &config.chain, config.seed);
+                    if let Some(est_ms) = shared.estimation_infeasible(deadline_at, key, spec.cache)
+                    {
+                        if shared.approx_low
+                            && spec.priority == Priority::Low
+                            && config.modality == Modality::Mcmc
+                        {
+                            config.modality = Modality::Tensorline;
+                            config.jitter = 0.0;
+                            shared.metrics.demotions.fetch_add(1, Ordering::Relaxed);
+                            if shared.tracer.enabled() {
+                                shared.tracer.emit(
+                                    "serve.job_demoted",
+                                    &[
+                                        ("job", ticket.id.0.into()),
+                                        ("modality", Value::Text("tensorline".into())),
+                                    ],
+                                );
+                            }
+                        } else {
+                            let remaining_ms = deadline_at
+                                .map(|t| {
+                                    t.saturating_duration_since(Instant::now()).as_millis() as u64
+                                })
+                                .unwrap_or(0);
+                            shared.shed_at_prep(&ticket, &spec.tenant, remaining_ms, est_ms);
+                            continue;
+                        }
+                    }
+                }
                 let (samples, cache_hit) = if config.modality == Modality::Tensorline {
                     // The tensorline tier skips MCMC entirely: Step 1 is
                     // the closed-form tensor fit. It must bypass the
@@ -787,6 +1242,7 @@ fn estimate_worker(
                     deadline_at,
                     priority: spec.priority,
                     retry_budget: spec.retry_budget,
+                    tenant: spec.tenant,
                     ticket,
                 };
                 match ready.config.modality {
@@ -796,8 +1252,8 @@ fn estimate_worker(
                     Modality::Mcmc => {}
                 }
                 if let Err(send_err) = tx.send(ready) {
-                    let ReadyTrack { ticket, .. } = send_err.0;
-                    shared.complete(&ticket, Err(JobError::ShuttingDown));
+                    let ReadyTrack { ticket, tenant, .. } = send_err.0;
+                    shared.complete(&ticket, &tenant, Err(JobError::ShuttingDown));
                 }
             }
         }
@@ -825,10 +1281,84 @@ fn cmp_deadlines(a: Option<Instant>, b: Option<Instant>) -> std::cmp::Ordering {
 }
 
 /// Pull up to `max_jobs` jobs out of `pending` in admission order.
-fn admit_batch(pending: &mut Vec<ReadyTrack>, max_jobs: usize) -> Vec<ReadyTrack> {
+///
+/// When the window cannot fit every pending job, admission is
+/// tenant-fair *within each priority band*: tenants take turns
+/// contributing their best remaining job, so one tenant's backlog
+/// cannot starve another tenant out of the window. Across bands the
+/// strict priority order of [`cmp_admission`] still holds — fairness
+/// never promotes a low-priority job over a high-priority one. The
+/// `rotor` advances every call so the tenant who leads a round rotates
+/// between windows — without it a narrow window would always favor the
+/// first-arriving tenant.
+fn admit_batch(
+    pending: &mut Vec<ReadyTrack>,
+    max_jobs: usize,
+    rotor: &mut usize,
+) -> Vec<ReadyTrack> {
     pending.sort_by(cmp_admission);
     let take = max_jobs.min(pending.len());
-    pending.drain(..take).collect()
+    if take == pending.len() {
+        return std::mem::take(pending);
+    }
+    let start = *rotor;
+    *rotor = rotor.wrapping_add(1);
+    let mut picked = vec![false; pending.len()];
+    let mut taken = 0;
+    {
+        // Maximal runs of equal priority in the sorted order.
+        let mut band_start = 0;
+        while band_start < pending.len() && taken < take {
+            let band_end = band_start
+                + pending[band_start..]
+                    .iter()
+                    .take_while(|r| r.priority == pending[band_start].priority)
+                    .count();
+            // Per-tenant index queues, each already in admission order.
+            let mut names: Vec<&str> = Vec::new();
+            let mut queues: Vec<Vec<usize>> = Vec::new();
+            for (i, ready) in pending.iter().enumerate().take(band_end).skip(band_start) {
+                match names.iter().position(|t| *t == ready.tenant) {
+                    Some(q) => queues[q].push(i),
+                    None => {
+                        names.push(&ready.tenant);
+                        queues.push(vec![i]);
+                    }
+                }
+            }
+            let mut round = 0;
+            'band: loop {
+                let mut any = false;
+                for k in 0..queues.len() {
+                    let q = &queues[(k + start) % queues.len()];
+                    if let Some(&i) = q.get(round) {
+                        any = true;
+                        picked[i] = true;
+                        taken += 1;
+                        if taken == take {
+                            break 'band;
+                        }
+                    }
+                }
+                if !any {
+                    break;
+                }
+                round += 1;
+            }
+            band_start = band_end;
+        }
+    }
+    let mut admitted = Vec::with_capacity(take);
+    let mut kept = Vec::new();
+    for (i, r) in std::mem::take(pending).into_iter().enumerate() {
+        if picked[i] {
+            admitted.push(r);
+        } else {
+            kept.push(r);
+        }
+    }
+    *pending = kept;
+    admitted
 }
 
 /// Device-pool counter values already copied into the service metrics; the
@@ -886,6 +1416,7 @@ fn batch_worker(rx: Receiver<ReadyTrack>, shared: Arc<Shared>, cfg: ServiceConfi
     let mut pending: Vec<ReadyTrack> = Vec::new();
     // Jobs re-queued after a device fault, held until their backoff expires.
     let mut delayed: Vec<(ReadyTrack, Instant)> = Vec::new();
+    let mut fair_rotor = 0usize;
     let mut counters = FaultCounters::default();
     let mut prev_alive = multi.alive_devices();
     let mut channel_open = true;
@@ -952,34 +1483,71 @@ fn batch_worker(rx: Receiver<ReadyTrack>, shared: Arc<Shared>, cfg: ServiceConfi
             }
         }
 
-        let admitted = admit_batch(&mut pending, cfg.max_batch_jobs);
+        let admitted = admit_batch(&mut pending, cfg.max_batch_jobs, &mut fair_rotor);
         let mut live = Vec::with_capacity(admitted.len());
         for mut r in admitted {
             if r.ticket.is_cancelled() {
-                shared.complete(&r.ticket, Err(JobError::Cancelled));
-            } else if r.deadline_at.is_some_and(|t| Instant::now() >= t) {
-                shared.complete(&r.ticket, Err(JobError::DeadlineExceeded));
-            } else {
-                // Opt-in approximate tier: demote low-priority MCMC jobs
-                // to the analytic getter at admission. The modality guard
-                // keeps fault-retried jobs from being transformed twice.
-                if cfg.approx_low
-                    && r.priority == Priority::Low
-                    && r.config.modality == Modality::Mcmc
-                {
-                    apply_analytic_tier(&mut r);
-                    if shared.tracer.enabled() {
-                        shared.tracer.emit(
-                            "serve.job_demoted",
-                            &[
-                                ("job", r.ticket.id.0.into()),
-                                ("modality", Value::Text("analytic".into())),
-                            ],
+                shared.complete(&r.ticket, &r.tenant, Err(JobError::Cancelled));
+                continue;
+            }
+            if r.deadline_at.is_some_and(|t| Instant::now() >= t) {
+                shared.complete(&r.ticket, &r.tenant, Err(JobError::DeadlineExceeded));
+                continue;
+            }
+            // Overload ladder, rung 1 — demote: low-priority MCMC jobs
+            // drop to the analytic getter at admission (opt-in). The
+            // modality guard keeps fault-retried jobs from being
+            // transformed twice.
+            if cfg.approx_low && r.priority == Priority::Low && r.config.modality == Modality::Mcmc
+            {
+                apply_analytic_tier(&mut r);
+                shared.metrics.demotions.fetch_add(1, Ordering::Relaxed);
+                if shared.tracer.enabled() {
+                    shared.tracer.emit(
+                        "serve.job_demoted",
+                        &[
+                            ("job", r.ticket.id.0.into()),
+                            ("modality", Value::Text("analytic".into())),
+                        ],
+                    );
+                }
+            }
+            // Rung 2 — shed: a job whose remaining deadline budget is
+            // below the measured service floor cannot finish in time, so
+            // spending a batch slot on it only delays feasible work.
+            let floor_ms = shared.service_ewma_ms.load(Ordering::Relaxed) / 2;
+            if floor_ms > 0 {
+                if let Some(t) = r.deadline_at {
+                    let remaining = t.saturating_duration_since(Instant::now()).as_millis() as u64;
+                    if remaining < floor_ms {
+                        shared.metrics.sheds.fetch_add(1, Ordering::Relaxed);
+                        shared.metrics.tenant_shed(&r.tenant);
+                        if shared.tracer.enabled() {
+                            shared.tracer.emit(
+                                "serve.job_shed",
+                                &[
+                                    ("job", r.ticket.id.0.into()),
+                                    ("tenant", Value::Text(r.tenant.clone())),
+                                    ("reason", Value::Text("deadline-infeasible".into())),
+                                    ("remaining_ms", remaining.into()),
+                                    ("floor_ms", floor_ms.into()),
+                                ],
+                            );
+                        }
+                        let err = tracto_trace::TractoError::capacity(
+                            format!(
+                                "remaining deadline {remaining}ms below service floor \
+                                 (retry_after_ms={floor_ms})"
+                            ),
+                            floor_ms,
+                            remaining,
                         );
+                        shared.complete(&r.ticket, &r.tenant, Err(JobError::Failed(Arc::new(err))));
+                        continue;
                     }
                 }
-                live.push(r);
             }
+            live.push(r);
         }
         if !live.is_empty() {
             if shared.tracer.enabled() {
@@ -1008,10 +1576,10 @@ fn batch_worker(rx: Receiver<ReadyTrack>, shared: Arc<Shared>, cfg: ServiceConfi
     // Complete anything still buffered after the senders vanished (pending
     // and delayed are empty here — the loop drains both before exiting).
     for r in pending {
-        shared.complete(&r.ticket, Err(JobError::ShuttingDown));
+        shared.complete(&r.ticket, &r.tenant, Err(JobError::ShuttingDown));
     }
     while let Ok(r) = rx.try_recv() {
-        shared.complete(&r.ticket, Err(JobError::ShuttingDown));
+        shared.complete(&r.ticket, &r.tenant, Err(JobError::ShuttingDown));
     }
 }
 
@@ -1059,10 +1627,25 @@ fn execute_batch(
                 overlap_saved_s: report.overlap_saved_s,
                 utilization: report.utilization,
             });
+            // Feed the service-floor estimate: EWMA of per-job batch wall
+            // time, the cost of running one cache-warm tracking job.
+            let per_job_ms = (report.wall_s * 1000.0 / live.len().max(1) as f64) as u64;
+            let prev = shared.service_ewma_ms.load(Ordering::Relaxed);
+            let ewma = if prev == 0 {
+                per_job_ms.max(1)
+            } else {
+                ((prev * 4 + per_job_ms) / 5).max(1)
+            };
+            shared.service_ewma_ms.store(ewma, Ordering::Relaxed);
             let batch_jobs = live.len();
+            let settled_at = Instant::now();
             for (r, out) in live.into_iter().zip(report.per_job) {
+                if r.deadline_at.is_some_and(|t| settled_at <= t) {
+                    shared.metrics.deadline_hits.fetch_add(1, Ordering::Relaxed);
+                }
                 shared.complete(
                     &r.ticket,
+                    &r.tenant,
                     Ok(JobOutput::Track(TrackResult {
                         tracking: out,
                         cache_hit: r.cache_hit,
@@ -1082,7 +1665,11 @@ fn execute_batch(
                 let attempt = r.ticket.record_attempt();
                 let budget = r.retry_budget.unwrap_or(cfg.retry_budget);
                 if attempt > budget {
-                    shared.complete(&r.ticket, Err(JobError::Failed(Arc::clone(&err))));
+                    shared.complete(
+                        &r.ticket,
+                        &r.tenant,
+                        Err(JobError::Failed(Arc::clone(&err))),
+                    );
                     continue;
                 }
                 let backoff = cfg
@@ -1112,7 +1699,7 @@ fn execute_batch(
                 }
             } else {
                 let r = &live[0];
-                shared.complete(&r.ticket, Err(JobError::from(err)));
+                shared.complete(&r.ticket, &r.tenant, Err(JobError::from(err)));
             }
         }
     }
@@ -1172,6 +1759,10 @@ mod tests {
     }
 
     fn ready(priority: Priority, deadline_at: Option<Instant>) -> ReadyTrack {
+        ready_for("default", priority, deadline_at)
+    }
+
+    fn ready_for(tenant: &str, priority: Priority, deadline_at: Option<Instant>) -> ReadyTrack {
         ReadyTrack {
             config: fast_pipeline(0),
             seeds: Vec::new(),
@@ -1181,6 +1772,7 @@ mod tests {
             deadline_at,
             priority,
             retry_budget: None,
+            tenant: tenant.to_string(),
             ticket: Ticket::new(JobId(0)),
         }
     }
@@ -1205,6 +1797,360 @@ mod tests {
         // normal band the short-deadline job jumps the queue and undated
         // jobs keep FIFO order behind every dated one.
         assert_eq!(order, vec![4, 2, 1, 0, 3]);
+    }
+
+    /// Property test over the admission order: `cmp_admission` must be a
+    /// total order (antisymmetric, transitive) that ranks priority above
+    /// deadline and sorts no-deadline jobs behind every dated job in
+    /// their band. Exercised over a deterministic LCG-generated corpus.
+    #[test]
+    fn cmp_admission_is_a_total_order() {
+        let base = Instant::now();
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut jobs = Vec::new();
+        for _ in 0..48 {
+            let priority = match next() % 3 {
+                0 => Priority::Low,
+                1 => Priority::Normal,
+                _ => Priority::High,
+            };
+            let deadline_at = match next() % 4 {
+                0 => None,
+                k => Some(base + Duration::from_millis(100 * k * (1 + next() % 7))),
+            };
+            jobs.push(ready(priority, deadline_at));
+        }
+        use std::cmp::Ordering::*;
+        for a in &jobs {
+            assert_eq!(cmp_admission(a, a), Equal, "reflexivity");
+            for b in &jobs {
+                let ab = cmp_admission(a, b);
+                assert_eq!(ab, cmp_admission(b, a).reverse(), "antisymmetry");
+                // Priority dominates: a higher-priority job never sorts
+                // after a lower-priority one, whatever the deadlines.
+                if a.priority > b.priority {
+                    assert_eq!(ab, Less, "priority must dominate deadline");
+                }
+                // Within a band, a dated job beats an undated one.
+                if a.priority == b.priority && a.deadline_at.is_some() && b.deadline_at.is_none() {
+                    assert_eq!(ab, Less, "no-deadline jobs sort last in band");
+                }
+                for c in &jobs {
+                    let bc = cmp_admission(b, c);
+                    if ab == bc && ab != Equal {
+                        assert_eq!(cmp_admission(a, c), ab, "transitivity");
+                    }
+                    if ab == Equal && bc == Equal {
+                        assert_eq!(cmp_admission(a, c), Equal, "equivalence classes");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn admission_window_is_tenant_fair_within_a_band() {
+        // Tenant `a` floods the queue; tenant `b` has two jobs. A window
+        // of four must carry both of b's jobs, not four of a's.
+        let mut pending: Vec<ReadyTrack> = Vec::new();
+        for _ in 0..6 {
+            pending.push(ready_for("a", Priority::Normal, None));
+        }
+        for _ in 0..2 {
+            pending.push(ready_for("b", Priority::Normal, None));
+        }
+        let mut rotor = 0;
+        let admitted = admit_batch(&mut pending, 4, &mut rotor);
+        let b_jobs = admitted.iter().filter(|r| r.tenant == "b").count();
+        assert_eq!(admitted.len(), 4);
+        assert_eq!(b_jobs, 2, "fair admission must not starve tenant b");
+        assert_eq!(pending.len(), 4, "the rest of a's backlog stays queued");
+        // Priority still dominates fairness: a lone high-priority job from
+        // the flooding tenant leads the next window; the advanced rotor
+        // hands the next normal-band slot to tenant b.
+        pending.push(ready_for("b", Priority::Normal, None));
+        pending.insert(0, ready_for("a", Priority::High, None));
+        let admitted = admit_batch(&mut pending, 2, &mut rotor);
+        assert_eq!(admitted[0].priority, Priority::High);
+        assert_eq!(admitted[1].tenant, "b", "band fairness below the high job");
+        // Even a width-1 window cannot starve anyone: the rotor hands the
+        // lead to each tenant in turn.
+        pending.push(ready_for("b", Priority::Normal, None));
+        pending.push(ready_for("b", Priority::Normal, None));
+        let mut lead = std::collections::BTreeSet::new();
+        for _ in 0..2 {
+            let one = admit_batch(&mut pending, 1, &mut rotor);
+            lead.insert(one[0].tenant.clone());
+        }
+        assert_eq!(lead.len(), 2, "rotation alternates the leading tenant");
+    }
+
+    #[test]
+    fn rate_limited_tenants_shed_with_a_typed_retry_hint() {
+        use tracto_trace::ErrorKind;
+        let mut cfg = small_config();
+        cfg.rate_limit = 1.0; // burst of 1, then 1 job/sec
+        let service = TractoService::start(cfg);
+        let ds = tiny_dataset(31);
+        let first = service
+            .try_submit(JobSpec::track(Arc::clone(&ds), fast_pipeline(1)).with_tenant("greedy"))
+            .expect("burst capacity admits the first job");
+        let err = match service
+            .try_submit(JobSpec::track(Arc::clone(&ds), fast_pipeline(2)).with_tenant("greedy"))
+        {
+            Err(err) => err,
+            Ok(_) => panic!("the second submission must exceed the bucket"),
+        };
+        match &err {
+            JobError::Failed(cause) => {
+                assert_eq!(cause.kind(), ErrorKind::Capacity);
+                assert!(cause.to_string().contains("retry_after_ms="));
+                assert!(
+                    tracto_proto::capacity_retry_after(cause).is_some(),
+                    "clients must be able to recover the hint"
+                );
+            }
+            other => panic!("expected a typed capacity shed, got {other}"),
+        }
+        // Another tenant's bucket is untouched by greedy's exhaustion.
+        let other = service
+            .try_submit(JobSpec::track(Arc::clone(&ds), fast_pipeline(3)).with_tenant("patient"))
+            .expect("rate limits are per tenant");
+        first.wait_track().expect("admitted job completes");
+        other.wait_track().expect("other tenant's job completes");
+        let snap = service.shutdown();
+        assert_eq!(snap.rate_limited, 1);
+        assert_eq!(snap.completed, 2);
+        let greedy = snap.tenants.iter().find(|t| t.name == "greedy").unwrap();
+        assert_eq!(greedy.submitted, 2);
+        assert_eq!(greedy.completed, 1);
+        assert_eq!(greedy.shed, 1);
+        let patient = snap.tenants.iter().find(|t| t.name == "patient").unwrap();
+        assert_eq!(patient.shed, 0);
+    }
+
+    #[test]
+    fn provably_infeasible_deadlines_shed_at_submit_once_floor_is_known() {
+        use tracto_trace::ErrorKind;
+        let service = TractoService::start(small_config());
+        let ds = tiny_dataset(32);
+        // Establish the service floor with a real batch.
+        service
+            .submit(JobSpec::track(Arc::clone(&ds), fast_pipeline(4)))
+            .wait_track()
+            .expect("warm job");
+        let floor = service.shared.service_ewma_ms.load(Ordering::Relaxed);
+        assert!(floor >= 1, "a completed batch must establish the floor");
+        // Force an unmissable shed: pretend the floor is enormous.
+        service
+            .shared
+            .service_ewma_ms
+            .store(60_000, Ordering::Relaxed);
+        let err = service
+            .submit(
+                JobSpec::track(Arc::clone(&ds), fast_pipeline(5))
+                    .with_deadline(Duration::from_millis(5)),
+            )
+            .wait()
+            .expect_err("a 5ms deadline under a 30s floor is infeasible");
+        match &err {
+            JobError::Failed(cause) => {
+                assert_eq!(cause.kind(), ErrorKind::Capacity);
+                assert!(cause.to_string().contains("below service floor"));
+            }
+            other => panic!("expected a capacity shed, got {other}"),
+        }
+        // An undated job is never shed by the feasibility check.
+        service
+            .submit(JobSpec::track(Arc::clone(&ds), fast_pipeline(6)))
+            .wait_track()
+            .expect("undated jobs still run");
+        let snap = service.shutdown();
+        assert_eq!(snap.sheds, 1);
+        assert_eq!(snap.completed, 2);
+        assert_eq!(snap.deadline_hits, 0, "no deadlined job ever finished");
+    }
+
+    #[test]
+    fn prep_queue_pops_in_admission_order_and_drains_after_close() {
+        let ds = tiny_dataset(71);
+        let task = |id: u64, priority: Priority, deadline: Option<Duration>| {
+            let mut spec =
+                JobSpec::track(Arc::clone(&ds), fast_pipeline(id)).with_priority(priority);
+            if let Some(d) = deadline {
+                spec = spec.with_deadline(d);
+            }
+            PrepTask {
+                spec,
+                ticket: Ticket::new(JobId(id)),
+            }
+        };
+        let q = PrepQueue::new(8);
+        q.push(task(1, Priority::Low, None)).ok().unwrap();
+        q.push(task(2, Priority::Normal, Some(Duration::from_secs(9))))
+            .ok()
+            .unwrap();
+        q.push(task(3, Priority::Normal, Some(Duration::from_secs(1))))
+            .ok()
+            .unwrap();
+        q.push(task(4, Priority::High, None)).ok().unwrap();
+        q.push(task(5, Priority::Normal, None)).ok().unwrap();
+        q.close();
+        // Highest band first; nearest deadline within a band; an undated
+        // job sorts behind every dated peer; close still drains the queue.
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|t| t.ticket.id.0)).collect();
+        assert_eq!(order, vec![4, 3, 2, 5, 1]);
+        assert!(q.pop().is_none(), "closed and drained");
+        assert!(
+            matches!(
+                q.try_push(task(6, Priority::High, None)),
+                Err(TryPushError::Closed(_))
+            ),
+            "pushes after close are refused"
+        );
+        // A full queue refuses non-blocking pushes without dropping jobs.
+        let q = PrepQueue::new(2);
+        q.push(task(7, Priority::Normal, None)).ok().unwrap();
+        q.push(task(8, Priority::Normal, None)).ok().unwrap();
+        assert!(matches!(
+            q.try_push(task(9, Priority::Normal, None)),
+            Err(TryPushError::Full(_))
+        ));
+        assert_eq!(
+            q.pop().map(|t| t.ticket.id.0),
+            Some(7),
+            "FIFO within equals"
+        );
+    }
+
+    #[test]
+    fn doomed_mcmc_jobs_shed_at_prep_unless_their_samples_are_cached() {
+        use tracto_trace::ErrorKind;
+        let service = TractoService::start(small_config());
+        let ds = tiny_dataset(33);
+        // Warm the cache (and the estimation EWMA) with a real run.
+        service
+            .submit(JobSpec::track(Arc::clone(&ds), fast_pipeline(4)))
+            .wait_track()
+            .expect("warm job");
+        assert!(
+            service.shared.estimate_ewma_ms.load(Ordering::Relaxed) >= 1,
+            "a cache miss must establish the estimation floor"
+        );
+        // Pretend estimation costs a minute: a dated cache-miss job is now
+        // provably doomed and must shed at the prep stage, typed.
+        service
+            .shared
+            .estimate_ewma_ms
+            .store(60_000, Ordering::Relaxed);
+        let err = service
+            .submit(
+                JobSpec::track(Arc::clone(&ds), fast_pipeline(5))
+                    .with_deadline(Duration::from_secs(5)),
+            )
+            .wait()
+            .expect_err("a 5s deadline cannot cover a 60s estimation");
+        match &err {
+            JobError::Failed(cause) => {
+                assert_eq!(cause.kind(), ErrorKind::Capacity);
+                assert!(cause.to_string().contains("below estimation cost"));
+                assert!(tracto_proto::capacity_retry_after(cause).is_some());
+            }
+            other => panic!("expected a typed capacity shed, got {other}"),
+        }
+        // The same dated spec with *cached* samples is free to run: the
+        // feasibility probe must not shed a job estimation costs nothing.
+        service
+            .submit(
+                JobSpec::track(Arc::clone(&ds), fast_pipeline(4))
+                    .with_deadline(Duration::from_secs(5)),
+            )
+            .wait_track()
+            .expect("cached samples make the deadline feasible");
+        let snap = service.shutdown();
+        assert_eq!(snap.sheds, 1);
+        assert_eq!(snap.completed, 2);
+    }
+
+    #[test]
+    fn doomed_low_priority_jobs_demote_to_tensorline_instead_of_shedding() {
+        let mut cfg = small_config();
+        cfg.approx_low = true;
+        let service = TractoService::start(cfg);
+        let ds = tiny_dataset(34);
+        service
+            .shared
+            .estimate_ewma_ms
+            .store(60_000, Ordering::Relaxed);
+        // A low-priority MCMC job that cannot afford estimation drops to
+        // the estimation-free tensorline tier and still completes in time.
+        let result = service
+            .submit(
+                JobSpec::track(Arc::clone(&ds), fast_pipeline(6))
+                    .with_priority(Priority::Low)
+                    .with_deadline(Duration::from_secs(30)),
+            )
+            .wait_track()
+            .expect("demoted job completes on the fast tier");
+        assert!(
+            result.tracking.total_steps > 0,
+            "the demoted job still tracks"
+        );
+        // A normal-priority sibling has no tier to fall to: it sheds.
+        service
+            .submit(
+                JobSpec::track(Arc::clone(&ds), fast_pipeline(7))
+                    .with_deadline(Duration::from_secs(5)),
+            )
+            .wait()
+            .expect_err("normal priority has no demotion tier");
+        let snap = service.shutdown();
+        assert_eq!(snap.demotions, 1);
+        assert_eq!(snap.sheds, 1);
+        assert_eq!(snap.completed, 1);
+        assert_eq!(snap.deadline_hits, 1, "the demoted job beat its deadline");
+    }
+
+    #[test]
+    fn slo_counters_survive_a_service_restart() {
+        let dir = tmp_state_dir("slo");
+        let mut cfg = small_config();
+        cfg.state_dir = Some(dir.clone());
+        let before;
+        {
+            let service = TractoService::start(cfg.clone());
+            service
+                .submit(
+                    JobSpec::from_wire(&wire_track(9))
+                        .unwrap()
+                        .with_deadline(Duration::from_secs(60)),
+                )
+                .wait_track()
+                .expect("deadlined job completes in time");
+            before = service.shutdown();
+            assert_eq!(before.deadline_hits, 1);
+            assert_eq!(before.completed, 1);
+        }
+        let service = TractoService::start(cfg);
+        let after = service.metrics();
+        assert_eq!(after.submitted, before.submitted, "counters seed from disk");
+        assert_eq!(after.completed, before.completed);
+        assert_eq!(after.deadline_hits, before.deadline_hits);
+        let tenant = after.tenants.iter().find(|t| t.name == "default").unwrap();
+        assert_eq!(tenant.completed, 1, "per-tenant counters persist too");
+        service
+            .submit(JobSpec::from_wire(&wire_track(9)).unwrap())
+            .wait_track()
+            .expect("post-restart job completes");
+        let last = service.shutdown();
+        assert_eq!(last.completed, before.completed + 1, "strictly monotone");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

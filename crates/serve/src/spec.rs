@@ -89,6 +89,9 @@ pub struct JobSpec {
     pub retry_budget: Option<u32>,
     /// How this job interacts with the sample cache.
     pub cache: CachePolicy,
+    /// Accounting tenant for rate limits and fair admission
+    /// ([`tracto_proto::DEFAULT_TENANT`] for unlabelled traffic).
+    pub tenant: String,
     /// The wire-level spec this job was converted from, when it came
     /// through [`JobSpec::from_wire`]. This is what the job journal
     /// persists: wire specs name datasets as deterministic recipes, so a
@@ -112,6 +115,7 @@ impl JobSpec {
             priority: Priority::Normal,
             retry_budget: None,
             cache: CachePolicy::ReadWrite,
+            tenant: tracto_proto::DEFAULT_TENANT.to_string(),
             wire: None,
         }
     }
@@ -129,6 +133,7 @@ impl JobSpec {
             priority: Priority::Normal,
             retry_budget: None,
             cache: CachePolicy::ReadWrite,
+            tenant: tracto_proto::DEFAULT_TENANT.to_string(),
             wire: None,
         }
     }
@@ -199,6 +204,12 @@ impl JobSpec {
         self
     }
 
+    /// Set the accounting tenant.
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = tenant.into();
+        self
+    }
+
     /// Convert a wire-level spec. This is the *only* wire-to-serve
     /// conversion: the socket listener and any in-process caller that
     /// starts from a [`tracto_proto::JobSpec`] both go through here, so
@@ -266,6 +277,7 @@ impl JobSpec {
             priority: wire.priority,
             retry_budget: wire.retry_budget,
             cache: wire.cache,
+            tenant: wire.tenant.clone(),
             wire: Some(wire.clone()),
         })
     }
@@ -294,6 +306,7 @@ impl From<EstimateJob> for JobSpec {
             priority: Priority::Normal,
             retry_budget: None,
             cache: CachePolicy::ReadWrite,
+            tenant: tracto_proto::DEFAULT_TENANT.to_string(),
             wire: None,
         }
     }
@@ -312,6 +325,7 @@ impl From<TrackJob> for JobSpec {
             priority: Priority::Normal,
             retry_budget: None,
             cache: CachePolicy::ReadWrite,
+            tenant: tracto_proto::DEFAULT_TENANT.to_string(),
             wire: None,
         }
     }
